@@ -1,0 +1,302 @@
+//! A gprof-style call-graph profiler and the "gprof problem".
+
+use pp_cct::{CctRuntime, DynCallGraph, RecordId};
+use pp_instrument::{instrument_program, InstrumentOptions, Mode};
+use pp_ir::{CallSiteId, HwEvent, ProcId, Program};
+use pp_usim::{CctTransition, ExecError, Machine, MachineConfig, ProfSink, RunResult};
+
+/// The gprof-style profile: a dynamic call graph with per-procedure
+/// inclusive metrics and per-edge call counts.
+#[derive(Debug)]
+pub struct GprofProfile {
+    /// The call graph (vertex metrics are inclusive of callees, like
+    /// gprof's propagated times).
+    pub dcg: DynCallGraph,
+    /// Machine-level outcome of the profiled run.
+    pub machine: RunResult,
+}
+
+/// Sink that builds a [`DynCallGraph`] from context-instrumentation events
+/// (a gprof `mcount` analog: it reuses PP's entry/exit hooks but keeps
+/// only caller/callee aggregates — exactly the information loss the CCT
+/// avoids).
+#[derive(Debug, Default)]
+struct GprofSink {
+    dcg: DynCallGraph,
+    stash: Vec<(u32, u32)>,
+}
+
+impl ProfSink for GprofSink {
+    fn cct_enter(&mut self, proc: ProcId) -> CctTransition {
+        self.dcg.enter(proc.0);
+        CctTransition {
+            // mcount is cheap: hash the (caller, callee) pair, bump.
+            extra_uops: 4,
+            ..CctTransition::default()
+        }
+    }
+
+    fn cct_call(&mut self, _site: CallSiteId, _prefix: Option<u64>) {}
+
+    fn cct_exit(&mut self) {
+        self.dcg.exit();
+    }
+
+    fn cct_metric_enter(&mut self, pics: (u32, u32)) {
+        self.stash.push(pics);
+    }
+
+    fn cct_metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+        if let Some(s) = self.stash.pop() {
+            let d0 = pics.0.wrapping_sub(s.0) as u64;
+            let d1 = pics.1.wrapping_sub(s.1) as u64;
+            self.dcg.add_metrics(&[d0, d1]);
+        }
+        0
+    }
+
+    fn cct_metric_tick(&mut self, _pics: (u32, u32)) -> u64 {
+        0
+    }
+
+    fn unwind(&mut self, depth: usize) {
+        // The stash stack tracks metric_enter/exit nesting; on a
+        // non-local return both it and the DCG stack shrink.
+        while self.stash.len() > depth {
+            self.stash.pop();
+            self.dcg.exit();
+        }
+    }
+}
+
+/// Runs `program` under gprof-style profiling, measuring `events`.
+///
+/// # Errors
+///
+/// Propagates instrumentation and execution errors as a boxed error.
+pub fn run_gprof(
+    program: &Program,
+    machine_config: MachineConfig,
+    events: (HwEvent, HwEvent),
+) -> Result<GprofProfile, Box<dyn std::error::Error>> {
+    let options = InstrumentOptions::new(Mode::ContextHw).with_events(events.0, events.1);
+    let inst = instrument_program(program, options)?;
+    let mut sink = GprofSink {
+        dcg: DynCallGraph::new(2),
+        stash: Vec::new(),
+    };
+    let mut machine = Machine::new(&inst.program, machine_config);
+    let machine = machine.run(&mut sink).map_err(|e: ExecError| Box::new(e) as Box<_>)?;
+    Ok(GprofProfile {
+        dcg: sink.dcg,
+        machine,
+    })
+}
+
+/// Quantifies the gprof problem for procedure `callee`: the total
+/// variation distance between gprof's proportional attribution of the
+/// callee's metric to its callers and the CCT's exact per-context
+/// attribution. 0 means gprof happened to be right; 1 means completely
+/// wrong.
+pub fn attribution_error(gprof: &DynCallGraph, cct: &CctRuntime, callee: u32, metric: usize) -> f64 {
+    // Ground truth from the CCT: the callee's metric per parent procedure.
+    let mut truth: Vec<(Option<u32>, f64)> = Vec::new();
+    let mut total = 0.0f64;
+    for id in cct.record_ids().skip(1) {
+        let r = cct.record(id);
+        if r.proc() != Some(callee) {
+            continue;
+        }
+        let m = r.metrics().get(metric).copied().unwrap_or(0) as f64;
+        total += m;
+        let parent_proc = r
+            .parent()
+            .filter(|&p| p != RecordId::ROOT)
+            .and_then(|p| cct.record(p).proc());
+        match truth.iter_mut().find(|(p, _)| *p == parent_proc) {
+            Some((_, acc)) => *acc += m,
+            None => truth.push((parent_proc, m)),
+        }
+    }
+    if total == 0.0 {
+        return 0.0;
+    }
+    let estimate = gprof.gprof_attribution(callee, metric);
+    let est_total: f64 = estimate.iter().map(|&(_, m)| m).sum();
+    if est_total == 0.0 {
+        return 1.0;
+    }
+    // Compare normalized distributions over callers.
+    let mut callers: Vec<Option<u32>> = truth.iter().map(|&(p, _)| p).collect();
+    for &(p, _) in &estimate {
+        if !callers.contains(&p) {
+            callers.push(p);
+        }
+    }
+    let mut tv = 0.0;
+    for p in callers {
+        let t = truth
+            .iter()
+            .find(|&&(q, _)| q == p)
+            .map(|&(_, m)| m / total)
+            .unwrap_or(0.0);
+        let e = estimate
+            .iter()
+            .find(|&&(q, _)| q == p)
+            .map(|&(_, m)| m / est_total)
+            .unwrap_or(0.0);
+        tv += (t - e).abs();
+    }
+    tv / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_ir::build::ProgramBuilder;
+    use pp_ir::Operand;
+
+    /// The classic gprof-problem program: `cheap` calls `shared` many
+    /// times doing little; `expensive` calls it once doing lots of cache
+    /// misses. Proportional attribution blames `cheap`.
+    fn gprof_problem_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let shared = pb.declare("shared");
+        let cheap = pb.declare("cheap");
+        let expensive = pb.declare("expensive");
+        let mut m = pb.procedure("main");
+        let e = m.entry_block();
+        m.block(e)
+            .call(cheap, vec![], None)
+            .call(expensive, vec![], None)
+            .ret();
+        let main = m.finish();
+
+        // shared(n): touch n cache lines.
+        let mut s = pb.procedure_for(shared);
+        let e = s.entry_block();
+        let h = s.new_block();
+        let body = s.new_block();
+        let x = s.new_block();
+        s.reserve_regs(1);
+        let n = pp_ir::Reg(0);
+        let i = s.new_reg();
+        let c = s.new_reg();
+        let a = s.new_reg();
+        let v = s.new_reg();
+        s.block(e).mov(i, 0i64).jump(h);
+        s.block(h).cmp_lt(c, i, Operand::Reg(n)).branch(c, body, x);
+        s.block(body)
+            .mul(a, i, 64i64)
+            .add(a, a, 0x40_0000i64)
+            .load(v, a, 0)
+            .add(i, i, 1i64)
+            .jump(h);
+        s.block(x).ret();
+        s.finish();
+
+        // cheap: calls shared(1) nine times.
+        let mut cproc = pb.procedure_for(cheap);
+        let e = cproc.entry_block();
+        let mut bb = cproc.block(e);
+        for _ in 0..9 {
+            bb.call(shared, vec![Operand::Imm(1)], None);
+        }
+        bb.ret();
+        cproc.finish();
+
+        // expensive: calls shared(2000) once.
+        let mut eproc = pb.procedure_for(expensive);
+        let e = eproc.entry_block();
+        eproc
+            .block(e)
+            .call(shared, vec![Operand::Imm(2000)], None)
+            .ret();
+        eproc.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn gprof_run_collects_graph() {
+        let prog = gprof_problem_program();
+        let g = run_gprof(
+            &prog,
+            MachineConfig::default(),
+            (HwEvent::Cycles, HwEvent::DcMiss),
+        )
+        .unwrap();
+        let shared = prog.find_procedure("shared").unwrap().0;
+        let cheap = prog.find_procedure("cheap").unwrap().0;
+        let expensive = prog.find_procedure("expensive").unwrap().0;
+        assert_eq!(g.dcg.call_count(shared), 10);
+        assert_eq!(g.dcg.edge_count(Some(cheap), shared), 9);
+        assert_eq!(g.dcg.edge_count(Some(expensive), shared), 1);
+    }
+
+    #[test]
+    fn gprof_misattributes_and_cct_does_not() {
+        let prog = gprof_problem_program();
+        let events = (HwEvent::Cycles, HwEvent::DcMiss);
+        let g = run_gprof(&prog, MachineConfig::default(), events).unwrap();
+        // Ground truth CCT run.
+        let profiler = pp_core::Profiler::default();
+        let cct_run = profiler
+            .run(&prog, pp_core::RunConfig::ContextHw { events })
+            .unwrap();
+        let cct = cct_run.cct.as_ref().unwrap();
+        let shared = prog.find_procedure("shared").unwrap().0;
+
+        // gprof attributes 90% of shared's cycles to cheap; truth is the
+        // reverse. The attribution error should therefore be large.
+        let err = attribution_error(&g.dcg, cct, shared, 0);
+        assert!(err > 0.5, "attribution error = {err}");
+
+        // And the raw proportional estimate indeed favours cheap.
+        let attr = g.dcg.gprof_attribution(shared, 0);
+        let cheap = prog.find_procedure("cheap").unwrap().0;
+        let expensive = prog.find_procedure("expensive").unwrap().0;
+        let from_cheap = attr
+            .iter()
+            .find(|(p, _)| *p == Some(cheap))
+            .map(|&(_, m)| m)
+            .unwrap_or(0.0);
+        let from_exp = attr
+            .iter()
+            .find(|(p, _)| *p == Some(expensive))
+            .map(|&(_, m)| m)
+            .unwrap_or(0.0);
+        assert!(
+            from_cheap > from_exp,
+            "gprof must blame the frequent caller ({from_cheap} vs {from_exp})"
+        );
+    }
+
+    #[test]
+    fn attribution_error_zero_when_single_caller() {
+        let mut pb = ProgramBuilder::new();
+        let leaf = pb.declare("leaf");
+        let mut m = pb.procedure("main");
+        let e = m.entry_block();
+        m.block(e).call(leaf, vec![], None).ret();
+        let main = m.finish();
+        let mut l = pb.procedure_for(leaf);
+        let e = l.entry_block();
+        l.block(e).nop().ret();
+        l.finish();
+        let prog = pb.finish(main);
+
+        let events = (HwEvent::Cycles, HwEvent::Insts);
+        let g = run_gprof(&prog, MachineConfig::default(), events).unwrap();
+        let profiler = pp_core::Profiler::default();
+        let cct_run = profiler
+            .run(&prog, pp_core::RunConfig::ContextHw { events })
+            .unwrap();
+        let err = attribution_error(
+            &g.dcg,
+            cct_run.cct.as_ref().unwrap(),
+            prog.find_procedure("leaf").unwrap().0,
+            0,
+        );
+        assert!(err < 0.05, "single caller cannot be misattributed: {err}");
+    }
+}

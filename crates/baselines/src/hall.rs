@@ -1,0 +1,256 @@
+//! Hall-style iterative call-path profiling \[Hal92\].
+//!
+//! Hall's scheme instruments only the call sites at one level of the call
+//! graph, runs the program, then re-instruments one level deeper and
+//! re-executes — so each run is cheap but a complete call-path profile
+//! needs as many executions as the call graph is deep. The paper's
+//! contrast: "our technique requires only one instrumentation and
+//! execution phase to record complete information for all calling
+//! contexts."
+
+use std::collections::VecDeque;
+
+use pp_cct::{CctConfig, CctRuntime, ProcInfo};
+use pp_instrument::{instrument_program_selected, InstrumentOptions, Mode};
+use pp_ir::{CallSiteId, CallTarget, Instr, ProcId, Program};
+use pp_usim::{CctTransition, Machine, MachineConfig, ProfSink};
+
+/// The outcome of a full Hall-style profiling campaign.
+#[derive(Clone, Debug)]
+pub struct HallResult {
+    /// Number of instrument-and-execute phases (call-graph depth).
+    pub runs: usize,
+    /// Total simulated cycles over all phases.
+    pub total_cycles: u64,
+    /// Cycles of the uninstrumented program, for overhead comparison.
+    pub base_cycles: u64,
+    /// Cycles of a single-run CCT profile (Context and Flow), the paper's
+    /// alternative.
+    pub cct_cycles: u64,
+}
+
+impl HallResult {
+    /// Total overhead of the iterative campaign relative to one base run.
+    pub fn hall_overhead(&self) -> f64 {
+        self.total_cycles as f64 / self.base_cycles as f64
+    }
+
+    /// Overhead of the single-run CCT approach.
+    pub fn cct_overhead(&self) -> f64 {
+        self.cct_cycles as f64 / self.base_cycles as f64
+    }
+}
+
+/// Static call-graph levels: breadth-first distance from the entry over
+/// direct call targets (indirect sites conservatively link to every
+/// procedure whose index appears in a data segment — here simply to all
+/// procedures, which only deepens levels it cannot skip).
+fn call_graph_levels(program: &Program) -> Vec<u32> {
+    let n = program.procedures().len();
+    let mut level = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    level[program.entry().index()] = 0;
+    q.push_back(program.entry());
+    while let Some(p) = q.pop_front() {
+        let l = level[p.index()];
+        let mut targets: Vec<ProcId> = Vec::new();
+        let mut has_indirect = false;
+        for block in &program.procedure(p).blocks {
+            for instr in &block.instrs {
+                if let Instr::Call { target, .. } = instr {
+                    match target {
+                        CallTarget::Direct(t) => targets.push(*t),
+                        CallTarget::Indirect(_) => has_indirect = true,
+                    }
+                }
+            }
+        }
+        if has_indirect {
+            // Conservative: an indirect site may reach any procedure.
+            targets.extend((0..n as u32).map(ProcId));
+        }
+        for t in targets {
+            if level[t.index()] == u32::MAX {
+                level[t.index()] = l + 1;
+                q.push_back(t);
+            }
+        }
+    }
+    level
+}
+
+/// A sink that maintains the CCT only down to a depth limit, modeling
+/// Hall's per-level measurement (deeper activations are transparent).
+#[derive(Debug)]
+struct DepthLimitedSink {
+    cct: CctRuntime,
+    limit: usize,
+    depth: usize,
+}
+
+impl ProfSink for DepthLimitedSink {
+    fn cct_enter(&mut self, proc: ProcId) -> CctTransition {
+        self.depth += 1;
+        if self.depth <= self.limit {
+            let eff = self.cct.enter(proc.0);
+            CctTransition {
+                extra_uops: 2,
+                slot_addr: eff.slot_addr,
+                record_addr: eff.record_addr,
+                slot_written: false,
+                record_writes: 0,
+            }
+        } else {
+            CctTransition::default()
+        }
+    }
+
+    fn cct_call(&mut self, site: CallSiteId, prefix: Option<u64>) {
+        if self.depth < self.limit && self.depth == self.cct.depth() {
+            self.cct.prepare_call(site.0, prefix);
+        }
+    }
+
+    fn cct_exit(&mut self) {
+        if self.depth <= self.limit {
+            self.cct.exit();
+        }
+        self.depth -= 1;
+    }
+
+    fn cct_path_event(&mut self, _sum: u64, _pics: Option<(u32, u32)>) -> u64 {
+        0
+    }
+
+    fn unwind(&mut self, depth: usize) {
+        self.depth = depth;
+        self.cct.unwind_to(depth.min(self.limit));
+    }
+}
+
+/// Runs the full Hall campaign on `program`: one instrumented execution
+/// per call-graph level, instrumenting only the procedures at or above
+/// that level, plus the comparison runs.
+///
+/// # Errors
+///
+/// Propagates instrumentation and execution errors as a boxed error.
+pub fn hall_call_path_profile(
+    program: &Program,
+    machine_config: MachineConfig,
+) -> Result<HallResult, Box<dyn std::error::Error>> {
+    let levels = call_graph_levels(program);
+    let max_level = levels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    // Base run.
+    let mut base_machine = Machine::new(program, machine_config);
+    let base_cycles = base_machine.run(&mut pp_usim::NullSink)?.cycles();
+
+    // CCT single run (Context and Flow, like the paper's configuration).
+    let profiler = pp_core::Profiler::new(machine_config);
+    let cct_cycles = profiler
+        .run(program, pp_core::RunConfig::ContextFlow)?
+        .cycles();
+
+    // Hall: one run per level.
+    let mut total_cycles = 0u64;
+    let mut runs = 0usize;
+    for cutoff in 0..=max_level {
+        let selected: Vec<bool> = levels
+            .iter()
+            .map(|&l| l != u32::MAX && l <= cutoff)
+            .collect();
+        let options = InstrumentOptions::new(Mode::ContextFlow);
+        let inst = instrument_program_selected(program, options, &selected)?;
+        let procs: Vec<ProcInfo> = inst
+            .proc_meta
+            .iter()
+            .map(|m| {
+                let mut info = ProcInfo::new(&m.name, m.num_call_sites).with_paths(m.num_paths);
+                for (site, &ind) in m.indirect_sites.iter().enumerate() {
+                    if ind {
+                        info = info.with_indirect_site(site as u32);
+                    }
+                }
+                info
+            })
+            .collect();
+        let mut sink = DepthLimitedSink {
+            cct: CctRuntime::new(CctConfig::default(), procs),
+            limit: cutoff as usize + 1,
+            depth: 0,
+        };
+        let mut machine = Machine::new(&inst.program, machine_config);
+        total_cycles += machine.run(&mut sink)?.cycles();
+        runs += 1;
+    }
+
+    Ok(HallResult {
+        runs,
+        total_cycles,
+        base_cycles,
+        cct_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_ir::build::ProgramBuilder;
+
+    fn layered_program(depth: u32) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let ids: Vec<ProcId> = (0..depth)
+            .map(|i| pb.declare(&format!("layer_{i}")))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let mut f = pb.procedure_for(id);
+            let e = f.entry_block();
+            let mut bb = f.block(e);
+            for _ in 0..4 {
+                bb.nop();
+            }
+            if i + 1 < ids.len() {
+                bb.call(ids[i + 1], vec![], None);
+                bb.call(ids[i + 1], vec![], None);
+            }
+            bb.ret();
+            f.finish();
+        }
+        pb.finish(ids[0])
+    }
+
+    #[test]
+    fn levels_of_a_chain() {
+        let prog = layered_program(5);
+        let levels = call_graph_levels(&prog);
+        assert_eq!(levels, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hall_needs_one_run_per_level() {
+        let prog = layered_program(5);
+        let r = hall_call_path_profile(&prog, MachineConfig::default()).unwrap();
+        assert_eq!(r.runs, 5);
+        assert!(r.total_cycles > r.base_cycles * 4, "five runs cost > 4x base");
+        assert!(
+            r.hall_overhead() > r.cct_overhead(),
+            "iterative re-execution ({:.2}x) must cost more than one CCT run ({:.2}x)",
+            r.hall_overhead(),
+            r.cct_overhead()
+        );
+    }
+
+    #[test]
+    fn hall_on_a_workload_analog() {
+        let w = &pp_workloads::suite(0.05)[4]; // 130.li analog, small
+        let r = hall_call_path_profile(&w.program, MachineConfig::default()).unwrap();
+        assert!(r.runs >= 3, "call tree has several levels, got {}", r.runs);
+        assert!(r.hall_overhead() > r.cct_overhead());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # pp-baselines — the profilers the paper compares against
+//!
+//! Three related-work baselines (paper Sections 4.1 and 7), implemented on
+//! the same machine and instrumentation substrate as PP itself:
+//!
+//! * [`gprof`] — call-graph profiling in the style of gprof \[GKM83\]:
+//!   per-procedure metrics plus caller/callee call counts, with the
+//!   *proportional attribution* heuristic whose failure ("the gprof
+//!   problem", \[PF88\]) motivates the calling context tree. The module
+//!   quantifies the attribution error against the CCT ground truth.
+//! * [`edges`] — edge profiling \[BL94\]: derived exactly from a path
+//!   profile (a path profile subsumes an edge profile: each edge's count
+//!   is the sum of the counts of paths crossing it), with flow-conservation
+//!   checks.
+//! * [`hall`] — Hall-style iterative call-path profiling \[Hal92\]: the
+//!   program is re-instrumented and re-executed once per call-graph level,
+//!   which keeps per-run overhead low but multiplies executions — the cost
+//!   trade-off the paper contrasts with the CCT's single run.
+//! * [`sampling`] — Goldberg–Hall process sampling \[HG93\]: interrupt,
+//!   walk the stack, store the sample — approximate, and unbounded in
+//!   space, where the CCT is exact and bounded.
+
+pub mod edges;
+pub mod gprof;
+pub mod hall;
+pub mod sampling;
+
+pub use edges::EdgeProfile;
+pub use gprof::{attribution_error, run_gprof, GprofProfile};
+pub use hall::{hall_call_path_profile, HallResult};
+pub use sampling::{run_sampled_profile, sampling_error, SampledProfile};

@@ -1,0 +1,125 @@
+//! Cross-validation of edge profiles: counts *derived* from a Ball–Larus
+//! path profile must equal counts *measured* by direct edge
+//! instrumentation — the "path profiling subsumes edge profiling" claim —
+//! and direct edge profiling must be cheaper, path profiling costing
+//! "roughly twice that of efficient edge profiling" (paper Section 6.1).
+
+use std::collections::BTreeMap;
+
+use pp_baselines::edges::reconstruct;
+use pp_baselines::EdgeProfile;
+use pp_core::{Profiler, RunConfig};
+use pp_ir::{BlockId, ProcId, Program};
+
+/// Edge counts of an efficient edge-profiling run, reconstructed by
+/// flow conservation from the chord counters.
+fn direct_edge_counts(
+    program: &Program,
+    run: &pp_core::RunReport,
+) -> BTreeMap<(ProcId, BlockId, BlockId), u64> {
+    let ep = reconstruct(
+        program,
+        run.instrumented.as_ref().expect("manifest"),
+        run.flow.as_ref().expect("profile"),
+    );
+    let mut out = BTreeMap::new();
+    for (pid, proc) in program.iter_procedures() {
+        for (bid, block) in proc.iter_blocks() {
+            let mut seen = Vec::new();
+            for succ in block.term.successors() {
+                if seen.contains(&succ) {
+                    continue;
+                }
+                seen.push(succ);
+                let n = ep.edge_count(pid, bid, succ);
+                if n > 0 {
+                    out.insert((pid, bid, succ), n);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Path-derived edge counts in the same shape (only intra-CFG edges; the
+/// ret edges of the path graph are virtual).
+fn derived_edge_counts(
+    program: &Program,
+    run: &pp_core::RunReport,
+) -> BTreeMap<(ProcId, BlockId, BlockId), u64> {
+    let ep = EdgeProfile::from_flow(
+        run.instrumented.as_ref().expect("manifest"),
+        run.flow.as_ref().expect("profile"),
+    );
+    let mut out = BTreeMap::new();
+    for (pid, proc) in program.iter_procedures() {
+        for (bid, block) in proc.iter_blocks() {
+            let mut seen = Vec::new();
+            for succ in block.term.successors() {
+                if seen.contains(&succ) {
+                    continue; // parallel edges are merged in EdgeProfile
+                }
+                seen.push(succ);
+                let n = ep.edge_count(pid, bid, succ);
+                if n > 0 {
+                    out.insert((pid, bid, succ), n);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn derived_and_direct_edge_profiles_agree() {
+    for ix in [1usize, 3, 5, 8] {
+        let w = pp_workloads::suite(0.04).swap_remove(ix);
+        let profiler = Profiler::default();
+        let path_run = profiler
+            .run(&w.program, RunConfig::FlowFreq)
+            .expect("path run");
+        let edge_run = profiler
+            .run(&w.program, RunConfig::EdgeFreq)
+            .expect("edge run");
+        let derived = derived_edge_counts(&w.program, &path_run);
+        let direct = direct_edge_counts(&w.program, &edge_run);
+        assert_eq!(derived, direct, "{}", w.name);
+    }
+}
+
+#[test]
+fn edge_profiling_is_cheaper_than_path_profiling() {
+    let mut ratios = Vec::new();
+    for ix in [0usize, 4, 7] {
+        let w = pp_workloads::suite(0.05).swap_remove(ix);
+        let profiler = Profiler::default();
+        let base = profiler
+            .run(&w.program, RunConfig::Base)
+            .expect("base")
+            .cycles();
+        let edge = profiler
+            .run(&w.program, RunConfig::EdgeFreq)
+            .expect("edge")
+            .cycles();
+        let path = profiler
+            .run(&w.program, RunConfig::FlowFreq)
+            .expect("path")
+            .cycles();
+        let edge_oh = edge as f64 / base as f64 - 1.0;
+        let path_oh = path as f64 / base as f64 - 1.0;
+        assert!(
+            path_oh > edge_oh * 0.9,
+            "{}: path overhead {path_oh:.3} vs edge {edge_oh:.3}",
+            w.name
+        );
+        if edge_oh > 0.0 {
+            ratios.push(path_oh / edge_oh);
+        }
+    }
+    // The paper: path profiling is "roughly twice" edge profiling.
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        (0.8..=6.0).contains(&avg),
+        "path/edge overhead ratio {avg:.2} should be near the paper's ~2x"
+    );
+}

@@ -1,0 +1,224 @@
+//! Ablations over the design choices DESIGN.md calls out.
+//!
+//! 1. **Call-site vs procedure CCT slots** (paper Section 4.1 / 6.3: the
+//!    call-site CCT is "2-3x" larger but distinguishes per-site contexts).
+//! 2. **Simple vs spanning-tree-optimized increment placement**
+//!    (Figure 1(c) vs 1(d)).
+//! 3. **Array vs hashed path counters** (Section 2's two counter
+//!    organizations).
+//! 4. **Backedge counter ticks in Context+HW** (Section 4.3: dearer, but
+//!    bounds the measured interval against wrap and non-local exits).
+//! 5. **Register-spill modeling** (Section 3.2's EEL spilling).
+
+use pp_cct::{CctConfig, CctStats};
+use pp_core::RunConfig;
+use pp_instrument::{InstrumentOptions, Mode, PlacementChoice};
+use pp_ir::HwEvent;
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+
+fn main() {
+    let cases = pp_bench::suite_cases();
+    let profiler = pp_bench::profiler();
+    // A representative sample: one branchy CINT analog, one call-heavy
+    // CINT analog, one loopy CFP analog.
+    let sample: Vec<_> = cases
+        .iter()
+        .filter(|c| ["126.gcc", "147.vortex", "101.tomcatv"].contains(&c.name.as_str()))
+        .collect();
+    let start = std::time::Instant::now();
+
+    println!("Ablation 1: call-site vs per-procedure CCT slots (combined profile)\n");
+    println!("{:<14} {:>14} {:>14} {:>7}", "benchmark", "site bytes", "proc bytes", "ratio");
+    for case in &sample {
+        let site = profiler
+            .run(&case.program, RunConfig::CombinedHw { events: EVENTS })
+            .expect("site run");
+        let merged = profiler
+            .run_full(
+                &case.program,
+                RunConfig::CombinedHw { events: EVENTS },
+                InstrumentOptions::new(Mode::CombinedHw).with_events(EVENTS.0, EVENTS.1),
+                Some(CctConfig {
+                    num_metrics: 2,
+                    distinguish_call_sites: false,
+                    path_tables: true,
+                    ..CctConfig::default()
+                }),
+            )
+            .expect("merged run");
+        let a = CctStats::compute(site.cct.as_ref().expect("cct"));
+        let b = CctStats::compute(merged.cct.as_ref().expect("cct"));
+        println!(
+            "{:<14} {:>14} {:>14} {:>6.1}x",
+            case.name,
+            a.file_size,
+            b.file_size,
+            a.file_size as f64 / b.file_size.max(1) as f64
+        );
+    }
+
+    println!("\nAblation 2: simple vs optimized increment placement (flow, freq)\n");
+    println!("{:<14} {:>14} {:>14} {:>8}", "benchmark", "simple cyc", "optimized cyc", "saved");
+    for case in &sample {
+        let simple = profiler
+            .run_instrumented(
+                &case.program,
+                RunConfig::FlowFreq,
+                InstrumentOptions::new(Mode::FlowFreq).with_placement(PlacementChoice::Simple),
+            )
+            .expect("simple run")
+            .cycles();
+        let optimized = profiler
+            .run_instrumented(
+                &case.program,
+                RunConfig::FlowFreq,
+                InstrumentOptions::new(Mode::FlowFreq)
+                    .with_placement(PlacementChoice::Optimized),
+            )
+            .expect("optimized run")
+            .cycles();
+        println!(
+            "{:<14} {:>14} {:>14} {:>7.1}%",
+            case.name,
+            simple,
+            optimized,
+            100.0 * (simple as f64 - optimized as f64) / simple as f64
+        );
+    }
+
+    println!("\nAblation 3: array vs hashed path counters (flow + HW)\n");
+    println!("{:<14} {:>14} {:>14} {:>8}", "benchmark", "array cyc", "hashed cyc", "extra");
+    for case in &sample {
+        let mut hashed_opts = InstrumentOptions::new(Mode::FlowHw).with_events(EVENTS.0, EVENTS.1);
+        hashed_opts.hash_threshold = 0; // force hashing everywhere
+        let array = profiler
+            .run(&case.program, RunConfig::FlowHw { events: EVENTS })
+            .expect("array run")
+            .cycles();
+        let hashed = profiler
+            .run_instrumented(&case.program, RunConfig::FlowHw { events: EVENTS }, hashed_opts)
+            .expect("hashed run")
+            .cycles();
+        println!(
+            "{:<14} {:>14} {:>14} {:>7.1}%",
+            case.name,
+            array,
+            hashed,
+            100.0 * (hashed as f64 - array as f64) / array as f64
+        );
+    }
+
+    println!("\nAblation 4: Section 4.3 backedge counter ticks (context + HW)\n");
+    println!(
+        "{:<14} {:>14} {:>14} {:>8}  (ticks bound the measured interval)",
+        "benchmark", "ticks cyc", "no-ticks cyc", "cost"
+    );
+    for case in &sample {
+        let mut no_ticks = InstrumentOptions::new(Mode::ContextHw).with_events(EVENTS.0, EVENTS.1);
+        no_ticks.backedge_ticks = false;
+        let with_ticks = profiler
+            .run(&case.program, RunConfig::ContextHw { events: EVENTS })
+            .expect("ticks run")
+            .cycles();
+        let without = profiler
+            .run_instrumented(&case.program, RunConfig::ContextHw { events: EVENTS }, no_ticks)
+            .expect("no-ticks run")
+            .cycles();
+        println!(
+            "{:<14} {:>14} {:>14} {:>7.1}%",
+            case.name,
+            with_ticks,
+            without,
+            100.0 * (with_ticks as f64 - without as f64) / without as f64
+        );
+    }
+
+    println!("\nAblation 5: path profiling vs efficient edge profiling (Section 6.1)\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>8}",
+        "benchmark", "base cyc", "edge oh", "path oh", "ratio"
+    );
+    for case in &sample {
+        let base = profiler
+            .run(&case.program, RunConfig::Base)
+            .expect("base run")
+            .cycles();
+        let edge = profiler
+            .run(&case.program, RunConfig::EdgeFreq)
+            .expect("edge run")
+            .cycles();
+        let path = profiler
+            .run(&case.program, RunConfig::FlowFreq)
+            .expect("path run")
+            .cycles();
+        let edge_oh = edge as f64 / base as f64 - 1.0;
+        let path_oh = path as f64 / base as f64 - 1.0;
+        println!(
+            "{:<14} {:>10} {:>9.1}% {:>9.1}% {:>7.1}x",
+            case.name,
+            base,
+            100.0 * edge_oh,
+            100.0 * path_oh,
+            if edge_oh > 0.0 { path_oh / edge_oh } else { 0.0 }
+        );
+    }
+
+    println!("\nAblation 6: EEL register-spill modeling (flow + HW)\n");
+    println!("{:<14} {:>14} {:>14} {:>8}", "benchmark", "spills cyc", "no-spill cyc", "cost");
+    for case in &sample {
+        let mut no_spill = InstrumentOptions::new(Mode::FlowHw).with_events(EVENTS.0, EVENTS.1);
+        no_spill.spill_reg_threshold = u16::MAX;
+        let with_spill = profiler
+            .run(&case.program, RunConfig::FlowHw { events: EVENTS })
+            .expect("spill run")
+            .cycles();
+        let without = profiler
+            .run_instrumented(&case.program, RunConfig::FlowHw { events: EVENTS }, no_spill)
+            .expect("no-spill run")
+            .cycles();
+        println!(
+            "{:<14} {:>14} {:>14} {:>7.1}%",
+            case.name,
+            with_spill,
+            without,
+            100.0 * (with_spill as f64 - without as f64) / without as f64
+        );
+    }
+
+    println!("\nAblation 7: memory hierarchy — flat miss penalty vs external L2\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>8}   (hot-path shape must survive)",
+        "benchmark", "flat cyc", "with-L2 cyc", "delta"
+    );
+    for case in &sample {
+        let flat = profiler
+            .run(&case.program, RunConfig::Base)
+            .expect("flat run")
+            .cycles();
+        let l2_profiler = pp_core::Profiler::new(pp_usim::MachineConfig::with_l2(512 * 1024));
+        let with_l2 = l2_profiler
+            .run(&case.program, RunConfig::Base)
+            .expect("l2 run")
+            .cycles();
+        // Hot-path concentration under both hierarchies.
+        let conc = |p: &pp_core::Profiler| {
+            let run = p
+                .run(&case.program, RunConfig::FlowHw { events: EVENTS })
+                .expect("flow");
+            pp_core::analysis::hot_paths(run.flow.as_ref().expect("profile"), 0.001)
+                .hot_miss_fraction()
+        };
+        println!(
+            "{:<14} {:>12} {:>12} {:>+7.1}%   hot-miss {:.0}% -> {:.0}%",
+            case.name,
+            flat,
+            with_l2,
+            100.0 * (with_l2 as f64 - flat as f64) / flat as f64,
+            100.0 * conc(&profiler),
+            100.0 * conc(&l2_profiler),
+        );
+    }
+
+    println!("\n(wall time: {:.1?})", start.elapsed());
+}

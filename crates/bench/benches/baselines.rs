@@ -1,0 +1,80 @@
+//! Related-work comparisons (paper Sections 4.1 and 7).
+//!
+//! * **gprof attribution error**: total variation distance between
+//!   gprof's proportional attribution and the CCT ground truth, per
+//!   benchmark, for the most-shared procedure.
+//! * **Hall iterative call-path profiling**: total cost of one run per
+//!   call-graph level vs the CCT's single instrumented run.
+
+use pp_baselines::{attribution_error, hall_call_path_profile, run_gprof};
+use pp_core::RunConfig;
+use pp_ir::HwEvent;
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Cycles, HwEvent::DcMiss);
+
+fn main() {
+    let cases = pp_bench::suite_cases();
+    let profiler = pp_bench::profiler();
+    let sample: Vec<_> = cases
+        .iter()
+        .filter(|c| {
+            ["124.m88ksim", "130.li", "134.perl", "147.vortex", "103.su2cor"]
+                .contains(&c.name.as_str())
+        })
+        .collect();
+    let start = std::time::Instant::now();
+
+    println!("gprof attribution error vs CCT ground truth\n");
+    println!(
+        "{:<14} {:>20} {:>10} {:>10}",
+        "benchmark", "worst-attributed proc", "callers", "tv error"
+    );
+    for case in &sample {
+        let gprof = run_gprof(&case.program, *profiler.machine_config(), EVENTS)
+            .expect("gprof run");
+        let cct_run = profiler
+            .run(&case.program, RunConfig::ContextHw { events: EVENTS })
+            .expect("cct run");
+        let cct = cct_run.cct.as_ref().expect("cct");
+        // Report the worst-misattributed multi-caller procedure.
+        let worst = gprof
+            .dcg
+            .vertices()
+            .filter(|&p| gprof.dcg.callers(p).len() > 1)
+            .map(|p| (p, attribution_error(&gprof.dcg, cct, p, 0)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        match worst {
+            Some((victim, err)) => println!(
+                "{:<14} {:>20} {:>10} {:>9.1}%",
+                case.name,
+                case.program.procedure(pp_ir::ProcId(victim)).name,
+                gprof.dcg.callers(victim).len(),
+                100.0 * err
+            ),
+            None => println!(
+                "{:<14} {:>20} {:>10} {:>10}",
+                case.name, "(single-caller graph)", "-", "-"
+            ),
+        }
+    }
+
+    println!("\nHall iterative call-path profiling vs one CCT run\n");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>12}",
+        "benchmark", "runs", "hall total", "cct total", "ratio"
+    );
+    for case in &sample {
+        let r = hall_call_path_profile(&case.program, *profiler.machine_config())
+            .expect("hall campaign");
+        println!(
+            "{:<14} {:>6} {:>11.1}x {:>11.1}x {:>11.1}x",
+            case.name,
+            r.runs,
+            r.hall_overhead(),
+            r.cct_overhead(),
+            r.hall_overhead() / r.cct_overhead()
+        );
+    }
+
+    println!("\n(wall time: {:.1?})", start.elapsed());
+}

@@ -1,0 +1,119 @@
+//! Regenerates the paper's figures (Sections 2 and 4): the Figure 1 path
+//! profiling example and the Figure 4/5 DCT / DCG / CCT comparison.
+
+use pp_cct::{CctConfig, CctRuntime, DynCallGraph, DynCallTree, ProcInfo};
+use pp_pathprof::{PathGraph, Placement, WeightSource};
+
+const NAMES: [&str; 6] = ["A", "B", "C", "D", "E", "F"];
+
+fn figure1() {
+    let mut g = PathGraph::new(6, 0, 5);
+    let edges = [
+        (0u32, 2u32),
+        (0, 1),
+        (1, 2),
+        (1, 3),
+        (2, 3),
+        (3, 5),
+        (3, 4),
+        (4, 5),
+    ];
+    for &(u, v) in &edges {
+        g.add_edge(u, v);
+    }
+    let l = g.label().expect("figure 1 labels");
+    println!("Figure 1(a): Val per edge");
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        println!(
+            "  {} -> {}  Val = {}",
+            NAMES[u as usize],
+            NAMES[v as usize],
+            l.val(e as u32)
+        );
+    }
+    println!("\nFigure 1(b): the {} paths", l.num_paths());
+    for p in l.iter_paths() {
+        let path: String = p.nodes.iter().map(|&n| NAMES[n as usize]).collect();
+        println!("  {path:<8} = {}", p.sum);
+    }
+    let simple = Placement::simple(&l);
+    let optimized = Placement::optimized(&l, WeightSource::Uniform);
+    println!(
+        "\nFigure 1(c)/(d): {} simple increments vs {} optimized chords",
+        simple.num_instrumented_edges(),
+        optimized.num_instrumented_edges()
+    );
+}
+
+fn figure45() {
+    // Figure 4: M { A { B { C } } ; D { C } }
+    let procs = vec![
+        ProcInfo::new("M", 2),
+        ProcInfo::new("A", 1),
+        ProcInfo::new("B", 1),
+        ProcInfo::new("C", 0),
+        ProcInfo::new("D", 1),
+    ];
+    let names = ["M", "A", "B", "C", "D"];
+    let mut cct = CctRuntime::new(CctConfig::default(), procs);
+    let mut dct = DynCallTree::new(0);
+    let mut dcg = DynCallGraph::new(0);
+    let trace: [(u32, u32); 6] = [(0, 0), (1, 0), (2, 0), (3, 0), (4, 1), (3, 0)];
+    // M, M->A, A->B, B->C, pop to M, M->D, D->C.
+    let script = [
+        (0u32, 0u32, 0usize), // enter M
+        (1, 0, 0),            // enter A via site 0
+        (2, 0, 0),            // enter B
+        (3, 0, 3),            // enter C, then exit 3 levels
+        (4, 1, 0),            // enter D via site 1
+        (3, 0, 3),            // enter C, exit all
+    ];
+    let _ = trace;
+    for &(proc, site, exits) in &script {
+        if cct.depth() > 0 {
+            cct.prepare_call(site, None);
+        }
+        cct.enter(proc);
+        dct.enter(proc);
+        dcg.enter(proc);
+        for _ in 0..exits {
+            cct.exit();
+            dct.exit();
+            dcg.exit();
+        }
+    }
+    println!("\nFigure 4: DCT {} nodes / CCT {} records / DCG {} vertices", dct.len() - 1, cct.num_records(), dcg.num_vertices());
+    println!("CCT contexts of C:");
+    for id in cct.record_ids().skip(1) {
+        let r = cct.record(id);
+        if r.proc_name() == "C" {
+            let chain: Vec<&str> = r.context().iter().map(|&p| names[p as usize]).collect();
+            println!("  {}", chain.join(" -> "));
+        }
+    }
+
+    // Figure 5: recursion M { A { B { A ... } } }
+    let procs = vec![
+        ProcInfo::new("M", 1),
+        ProcInfo::new("A", 1),
+        ProcInfo::new("B", 1),
+    ];
+    let mut cct = CctRuntime::new(CctConfig::default(), procs);
+    cct.enter(0);
+    cct.prepare_call(0, None);
+    cct.enter(1);
+    cct.prepare_call(0, None);
+    cct.enter(2);
+    cct.prepare_call(0, None);
+    cct.enter(1); // recursive A
+    println!(
+        "\nFigure 5: recursive A reuses its record through a backedge: {} records for 4 live activations",
+        cct.num_records()
+    );
+    cct.unwind_to(0);
+}
+
+fn main() {
+    figure1();
+    figure45();
+}

@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks of the core data structures: Ball–Larus
+//! labelling and regeneration, CCT transitions, and raw interpreter
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pp_cct::{CctConfig, CctRuntime, ProcInfo};
+use pp_ir::build::ProgramBuilder;
+use pp_pathprof::{PathGraph, Placement, WeightSource};
+use pp_usim::{Machine, MachineConfig, NullSink};
+
+/// A 3-wide, `depth`-deep chain of diamonds with loop backedges: a
+/// realistically messy CFG for the labelling benchmarks.
+fn big_graph(depth: u32) -> PathGraph {
+    let n = depth * 3 + 1;
+    let mut g = PathGraph::new(n, 0, n - 1);
+    for i in 0..depth {
+        let base = i * 3;
+        g.add_edge(base, base + 1);
+        g.add_edge(base, base + 2);
+        g.add_edge(base + 1, base + 3);
+        g.add_edge(base + 2, base + 3);
+        if i % 4 == 3 && base + 3 != n - 1 {
+            g.add_edge(base + 3, base); // loop backedge (never out of exit)
+        }
+    }
+    g
+}
+
+fn bench_labeling(c: &mut Criterion) {
+    let g = big_graph(20);
+    c.bench_function("ball_larus_label_61_blocks", |b| {
+        b.iter(|| black_box(&g).label().expect("labels"))
+    });
+    let l = g.label().expect("labels");
+    c.bench_function("placement_optimized", |b| {
+        b.iter(|| Placement::optimized(black_box(&l), WeightSource::LoopHeuristic))
+    });
+    c.bench_function("regenerate_path", |b| {
+        let sums: Vec<u64> = (0..l.num_paths().min(64)).collect();
+        b.iter(|| {
+            for &s in &sums {
+                black_box(l.regenerate(s));
+            }
+        })
+    });
+}
+
+fn bench_cct(c: &mut Criterion) {
+    c.bench_function("cct_enter_exit_fast_path", |b| {
+        let procs = vec![ProcInfo::new("a", 1), ProcInfo::new("b", 0)];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        b.iter(|| {
+            for _ in 0..100 {
+                cct.prepare_call(0, None);
+                cct.enter(1);
+                cct.exit();
+            }
+        });
+    });
+    c.bench_function("cct_recursive_backedge", |b| {
+        let procs = vec![ProcInfo::new("rec", 1)];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        b.iter(|| {
+            for _ in 0..50 {
+                cct.prepare_call(0, None);
+                cct.enter(0);
+            }
+            cct.unwind_to(1);
+        });
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    // A tight arithmetic loop: measures raw simulation throughput.
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.procedure("main");
+    let e = f.entry_block();
+    let h = f.new_block();
+    let body = f.new_block();
+    let x = f.new_block();
+    let i = f.new_reg();
+    let cnd = f.new_reg();
+    let acc = f.new_reg();
+    f.block(e).mov(i, 0i64).mov(acc, 0i64).jump(h);
+    f.block(h).cmp_lt(cnd, i, 10_000i64).branch(cnd, body, x);
+    f.block(body)
+        .add(acc, acc, pp_ir::Operand::Reg(i))
+        .add(i, i, 1i64)
+        .jump(h);
+    f.block(x).ret();
+    let id = f.finish();
+    let prog = pb.finish(id);
+    c.bench_function("interpreter_50k_uops_loop", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(black_box(&prog), MachineConfig::default());
+            m.run(&mut NullSink).expect("runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_labeling, bench_cct, bench_interpreter
+}
+criterion_main!(benches);

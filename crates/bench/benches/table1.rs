@@ -1,0 +1,20 @@
+//! Table 1: overhead of profiling.
+//!
+//! Paper reference (SPEC95 on a 167 MHz UltraSPARC): Flow+HW overhead
+//! CINT avg 2.7x / CFP avg 1.3x / SPEC avg 1.8x; Context+HW 2.4 / 1.2 /
+//! 1.6; Context+Flow 2.7 / 1.2 / 1.7. The shape to reproduce: every
+//! configuration is much more expensive on the branchy, call-dense CINT
+//! analogs than on the loop-dominated CFP analogs, with Flow+HW the most
+//! expensive configuration.
+
+use pp_core::experiment::{render_table1, table1};
+
+fn main() {
+    let cases = pp_bench::suite_cases();
+    let profiler = pp_bench::profiler();
+    let start = std::time::Instant::now();
+    let rows = table1(&profiler, &cases).expect("table 1 runs");
+    println!("Table 1: overhead of profiling (simulated cycles)\n");
+    println!("{}", render_table1(&rows));
+    println!("(wall time: {:.1?})", start.elapsed());
+}

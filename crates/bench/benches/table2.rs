@@ -1,0 +1,22 @@
+//! Table 2: perturbation of hardware metrics by profiling.
+//!
+//! Paper reference: F (flow) and C (context) ratios of each recorded
+//! metric to the uninstrumented value are mostly near 1 (SPEC averages
+//! 0.6-1.19 across events) with occasional large outliers. The shape to
+//! reproduce: cycles and instruction ratios slightly above 1 (the
+//! instrumentation inside measured intervals), cache metrics near 1, and
+//! higher variance on the stall metrics.
+
+use pp_core::experiment::{render_table2, table2_case};
+
+fn main() {
+    let cases = pp_bench::suite_cases();
+    let profiler = pp_bench::profiler();
+    let start = std::time::Instant::now();
+    let rows: Vec<_> = pp_bench::par_map(&cases, |case| {
+        table2_case(&profiler, case).expect("table 2 runs")
+    });
+    println!("Table 2: perturbation of hardware metrics (recorded / uninstrumented)\n");
+    println!("{}", render_table2(&rows));
+    println!("(wall time: {:.1?})", start.elapsed());
+}

@@ -1,0 +1,50 @@
+//! A one-screen overview of the whole suite: base cost, overheads of the
+//! three main configurations, executed paths and misses per benchmark.
+//! Useful as a quick health check after changes to the machine model or
+//! the workload generators.
+//!
+//! ```sh
+//! PP_SCALE=1.0 cargo run --release -p pp-bench --bin smoke
+//! ```
+
+use pp_core::RunConfig;
+use pp_ir::HwEvent;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let cases = pp_bench::suite_cases();
+    println!("suite generated in {:?}", t0.elapsed());
+    let profiler = pp_bench::profiler();
+    let events = (HwEvent::Insts, HwEvent::DcMiss);
+    println!(
+        "{:<14} {:>10} {:>10} | {:>6} {:>6} {:>6} | {:>6} {:>8}",
+        "benchmark", "base cyc", "uops", "flow", "ctx", "cf", "paths", "misses"
+    );
+    for case in &cases {
+        let base = profiler
+            .run(&case.program, RunConfig::Base)
+            .expect("base run");
+        let flow = profiler
+            .run(&case.program, RunConfig::FlowHw { events })
+            .expect("flow run");
+        let ctx = profiler
+            .run(&case.program, RunConfig::ContextHw { events })
+            .expect("ctx run");
+        let cf = profiler
+            .run(&case.program, RunConfig::ContextFlow)
+            .expect("cf run");
+        let fp = flow.flow.as_ref().expect("profile");
+        println!(
+            "{:<14} {:>10} {:>10} | {:>5.2}x {:>5.2}x {:>5.2}x | {:>6} {:>8}",
+            case.name,
+            base.cycles(),
+            base.machine.uops,
+            flow.cycles() as f64 / base.cycles() as f64,
+            ctx.cycles() as f64 / base.cycles() as f64,
+            cf.cycles() as f64 / base.cycles() as f64,
+            fp.total_paths_executed(),
+            fp.total(|c| c.m1),
+        );
+    }
+    println!("total wall time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,101 @@
+#![warn(missing_docs)]
+
+//! # pp-bench — experiment harnesses
+//!
+//! One bench target per table of the paper (`cargo bench -p pp-bench`):
+//!
+//! * `table1` — overhead of profiling (Base / Flow+HW / Context+HW /
+//!   Context+Flow).
+//! * `table2` — perturbation of the eight hardware metrics (F and C).
+//! * `table3` — CCT statistics.
+//! * `table45` — L1 D-cache misses by path and by procedure (Tables 4
+//!   and 5, including the go/gcc low-threshold treatment and the
+//!   Section 6.4.3 block multiplicity).
+//! * `ablations` — design-choice studies: call-site vs procedure CCT
+//!   slots, simple vs optimized increment placement, array vs hashed
+//!   counters, backedge ticks on/off, path vs efficient edge profiling,
+//!   EEL register-spill modeling, and the flat-penalty vs external-L2
+//!   memory hierarchy.
+//! * `baselines` — gprof attribution error and Hall iterative call-path
+//!   profiling vs the single-run CCT.
+//! * `micro` — Criterion microbenchmarks of the core data structures.
+//!
+//! The workload scale is controlled by the `PP_SCALE` environment
+//! variable (default `1.0`).
+
+use pp_core::experiment::BenchCase;
+use pp_core::Profiler;
+use pp_usim::MachineConfig;
+use pp_workloads::suite;
+
+/// Reads the workload scale from `PP_SCALE` (default 1.0).
+pub fn scale_from_env() -> f64 {
+    std::env::var("PP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Generates the full suite as [`BenchCase`]s at the environment scale.
+pub fn suite_cases() -> Vec<BenchCase> {
+    suite(scale_from_env())
+        .into_iter()
+        .map(|w| BenchCase {
+            name: w.name,
+            cint: w.cint,
+            program: w.program,
+        })
+        .collect()
+}
+
+/// The profiler used by every table harness.
+pub fn profiler() -> Profiler {
+    Profiler::new(MachineConfig::default())
+}
+
+/// Maps `f` over the cases in parallel (one OS thread per chunk, capped at
+/// the available parallelism), preserving order. Everything in the stack is
+/// `Send`, so table harnesses parallelize trivially across benchmarks.
+pub fn par_map<T: Send>(
+    cases: &[BenchCase],
+    f: impl Fn(&BenchCase) -> T + Sync,
+) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cases.len().max(1));
+    let chunk = cases.len().div_ceil(threads.max(1)).max(1);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(cases.len());
+    out.resize_with(cases.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot_chunk, case_chunk) in out.chunks_mut(chunk).zip(cases.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, case) in slot_chunk.iter_mut().zip(case_chunk) {
+                    *slot = Some(f(case));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|t| t.expect("thread filled slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_cases_cover_the_suite() {
+        std::env::set_var("PP_SCALE", "0.05");
+        let cases = suite_cases();
+        assert_eq!(cases.len(), 18);
+        assert_eq!(cases.iter().filter(|c| c.cint).count(), 8);
+        std::env::remove_var("PP_SCALE");
+    }
+
+    #[test]
+    fn scale_parsing_defaults() {
+        std::env::remove_var("PP_SCALE");
+        assert_eq!(scale_from_env(), 1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Configuration of the CCT runtime.
+
+/// Static description of one procedure, as the instrumenter knows it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProcInfo {
+    /// Name, used in reports.
+    pub name: String,
+    /// Number of call sites (one callee slot each when
+    /// [`CctConfig::distinguish_call_sites`] is on).
+    pub num_call_sites: u32,
+    /// Which call sites are indirect (list-valued slots). Missing entries
+    /// default to direct.
+    pub indirect_sites: Vec<bool>,
+    /// Number of potential intraprocedural paths (sizes per-record path
+    /// tables in combined mode).
+    pub num_paths: u64,
+}
+
+impl ProcInfo {
+    /// Creates a descriptor with all-direct call sites and one path.
+    pub fn new(name: &str, num_call_sites: u32) -> ProcInfo {
+        ProcInfo {
+            name: name.to_string(),
+            num_call_sites,
+            indirect_sites: vec![false; num_call_sites as usize],
+            num_paths: 1,
+        }
+    }
+
+    /// Sets the potential-path count.
+    pub fn with_paths(mut self, num_paths: u64) -> ProcInfo {
+        self.num_paths = num_paths;
+        self
+    }
+
+    /// Marks call site `site` as indirect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn with_indirect_site(mut self, site: u32) -> ProcInfo {
+        self.indirect_sites[site as usize] = true;
+        self
+    }
+
+    /// True if `site` is indirect.
+    pub fn site_is_indirect(&self, site: u32) -> bool {
+        self.indirect_sites.get(site as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Configuration of a [`CctRuntime`](crate::CctRuntime).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CctConfig {
+    /// Number of 64-bit hardware-metric accumulators per call record
+    /// (0 for Context+Flow runs; 2 when profiling with the two PICs).
+    pub num_metrics: usize,
+    /// Keep one callee slot per *call site* (the paper's default, more
+    /// precise, 2–3x larger) rather than one per *callee procedure*.
+    pub distinguish_call_sites: bool,
+    /// Allocate a per-record path counter table (combined flow+context
+    /// profiling).
+    pub path_tables: bool,
+    /// Base simulated address of the CCT heap, used to model the cache
+    /// traffic of record accesses.
+    pub heap_base: u64,
+}
+
+impl Default for CctConfig {
+    fn default() -> CctConfig {
+        CctConfig {
+            num_metrics: 0,
+            distinguish_call_sites: true,
+            path_tables: false,
+            heap_base: 0x5000_0000,
+        }
+    }
+}
+
+impl CctConfig {
+    /// Convenience: context profiling with the two hardware counters.
+    pub fn with_hw_metrics() -> CctConfig {
+        CctConfig {
+            num_metrics: 2,
+            ..CctConfig::default()
+        }
+    }
+
+    /// Convenience: combined flow and context profiling (per-record path
+    /// tables), optionally with hardware metrics.
+    pub fn combined(with_metrics: bool) -> CctConfig {
+        CctConfig {
+            num_metrics: if with_metrics { 2 } else { 0 },
+            path_tables: true,
+            ..CctConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_info_builders() {
+        let p = ProcInfo::new("f", 3).with_paths(17).with_indirect_site(1);
+        assert_eq!(p.num_call_sites, 3);
+        assert_eq!(p.num_paths, 17);
+        assert!(!p.site_is_indirect(0));
+        assert!(p.site_is_indirect(1));
+        assert!(!p.site_is_indirect(2));
+        assert!(!p.site_is_indirect(99)); // out of range defaults direct
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(CctConfig::default().num_metrics, 0);
+        assert!(CctConfig::default().distinguish_call_sites);
+        assert_eq!(CctConfig::with_hw_metrics().num_metrics, 2);
+        assert!(CctConfig::combined(true).path_tables);
+        assert_eq!(CctConfig::combined(false).num_metrics, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! The dynamic call graph (Figure 4(b)): one vertex per procedure.
+//!
+//! Compact but imprecise: metrics recorded at a procedure cannot be
+//! attributed to its callers (the "gprof problem"), and the graph admits
+//! infeasible paths such as `M -> D -> A -> C'` in Figure 4.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A dynamic call graph recorder with the same `enter`/`exit` protocol as
+/// [`CctRuntime`](crate::CctRuntime).
+#[derive(Clone, Debug, Default)]
+pub struct DynCallGraph {
+    /// Edge -> call count.
+    edges: BTreeMap<(Option<u32>, u32), u64>,
+    /// Per-procedure activation count.
+    calls: BTreeMap<u32, u64>,
+    /// Per-procedure accumulated metrics.
+    metrics: BTreeMap<u32, Vec<u64>>,
+    stack: Vec<u32>,
+    num_metrics: usize,
+}
+
+impl DynCallGraph {
+    /// Creates an empty graph whose vertices carry `num_metrics`
+    /// accumulators.
+    pub fn new(num_metrics: usize) -> DynCallGraph {
+        DynCallGraph {
+            num_metrics,
+            ..DynCallGraph::default()
+        }
+    }
+
+    /// Records entry to `proc` from the current caller.
+    pub fn enter(&mut self, proc: u32) {
+        let caller = self.stack.last().copied();
+        *self.edges.entry((caller, proc)).or_insert(0) += 1;
+        *self.calls.entry(proc).or_insert(0) += 1;
+        self.stack.push(proc);
+    }
+
+    /// Records exit from the current procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on more exits than enters.
+    pub fn exit(&mut self) {
+        self.stack.pop().expect("dcg exit with empty stack");
+    }
+
+    /// Adds metric deltas to the current procedure's vertex.
+    pub fn add_metrics(&mut self, deltas: &[u64]) {
+        if let Some(&cur) = self.stack.last() {
+            let m = self
+                .metrics
+                .entry(cur)
+                .or_insert_with(|| vec![0; self.num_metrics]);
+            for (slot, d) in m.iter_mut().zip(deltas) {
+                *slot += d;
+            }
+        }
+    }
+
+    /// Number of distinct procedures observed.
+    pub fn num_vertices(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Number of distinct (caller, callee) edges; the caller is `None`
+    /// for the program entry.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Call count of edge `(caller, callee)`.
+    pub fn edge_count(&self, caller: Option<u32>, callee: u32) -> u64 {
+        self.edges.get(&(caller, callee)).copied().unwrap_or(0)
+    }
+
+    /// Total activations of `proc`.
+    pub fn call_count(&self, proc: u32) -> u64 {
+        self.calls.get(&proc).copied().unwrap_or(0)
+    }
+
+    /// Accumulated metrics of `proc` (empty slice if never recorded).
+    pub fn metrics(&self, proc: u32) -> &[u64] {
+        self.metrics.get(&proc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Procedures that appear in the graph.
+    pub fn vertices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.calls.keys().copied()
+    }
+
+    /// All edges with their counts.
+    pub fn edges(&self) -> impl Iterator<Item = ((Option<u32>, u32), u64)> + '_ {
+        self.edges.iter().map(|(&e, &c)| (e, c))
+    }
+
+    /// The gprof approximation: attribute a callee's metric to its callers
+    /// in proportion to call frequency (what the paper's Section 7.1 calls
+    /// out as a source of misleading results, after \[PF88\]).
+    ///
+    /// Returns `(caller, attributed metric 0)` pairs for `callee`.
+    pub fn gprof_attribution(&self, callee: u32, metric: usize) -> Vec<(Option<u32>, f64)> {
+        let total_calls: u64 = self
+            .edges
+            .iter()
+            .filter(|((_, c), _)| *c == callee)
+            .map(|(_, &n)| n)
+            .sum();
+        let m = self
+            .metrics
+            .get(&callee)
+            .and_then(|v| v.get(metric))
+            .copied()
+            .unwrap_or(0) as f64;
+        if total_calls == 0 {
+            return Vec::new();
+        }
+        self.edges
+            .iter()
+            .filter(|((_, c), _)| *c == callee)
+            .map(|(&(caller, _), &n)| (caller, m * n as f64 / total_calls as f64))
+            .collect()
+    }
+
+    /// The set of procedures that ever called `callee`.
+    pub fn callers(&self, callee: u32) -> BTreeSet<Option<u32>> {
+        self.edges
+            .keys()
+            .filter(|(_, c)| *c == callee)
+            .map(|&(caller, _)| caller)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_counts() {
+        let mut g = DynCallGraph::new(1);
+        g.enter(0); // entry
+        g.enter(1);
+        g.exit();
+        g.enter(1);
+        g.exit();
+        g.enter(2);
+        g.enter(1);
+        g.exit();
+        g.exit();
+        g.exit();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.edge_count(Some(0), 1), 2);
+        assert_eq!(g.edge_count(Some(2), 1), 1);
+        assert_eq!(g.edge_count(None, 0), 1);
+        assert_eq!(g.call_count(1), 3);
+        assert_eq!(g.callers(1).len(), 2);
+    }
+
+    #[test]
+    fn gprof_attribution_is_proportional() {
+        let mut g = DynCallGraph::new(1);
+        g.enter(0);
+        // Two cheap calls from 0.
+        for _ in 0..2 {
+            g.enter(2);
+            g.add_metrics(&[5]);
+            g.exit();
+        }
+        g.enter(1);
+        // One expensive call from 1.
+        g.enter(2);
+        g.add_metrics(&[90]);
+        g.exit();
+        g.exit();
+        g.exit();
+        // Ground truth: caller 0 caused 10, caller 1 caused 90. gprof says
+        // 0 caused 2/3 of 100 — the classic distortion.
+        let attr = g.gprof_attribution(2, 0);
+        let from0 = attr
+            .iter()
+            .find(|(c, _)| *c == Some(0))
+            .map(|&(_, m)| m)
+            .unwrap();
+        let from1 = attr
+            .iter()
+            .find(|(c, _)| *c == Some(1))
+            .map(|&(_, m)| m)
+            .unwrap();
+        assert!((from0 - 100.0 * 2.0 / 3.0).abs() < 1e-9);
+        assert!((from1 - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_accumulate_on_current_vertex() {
+        let mut g = DynCallGraph::new(2);
+        g.enter(4);
+        g.add_metrics(&[1, 2]);
+        g.add_metrics(&[3, 4]);
+        g.exit();
+        assert_eq!(g.metrics(4), &[4, 6]);
+        assert_eq!(g.metrics(99), &[] as &[u64]);
+    }
+}

@@ -1,0 +1,213 @@
+//! The dynamic call tree (Figure 4(a)): one node per activation.
+//!
+//! Precise but unbounded — its size is proportional to the number of calls
+//! in the execution. Used as the ground truth that the CCT is proven (by
+//! property tests) to be a projection of.
+
+/// Node index within a [`DynCallTree`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DctNodeId(pub u32);
+
+impl DctNodeId {
+    /// The synthetic root (no procedure).
+    pub const ROOT: DctNodeId = DctNodeId(0);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug)]
+struct DctNode {
+    proc: Option<u32>,
+    parent: Option<DctNodeId>,
+    children: Vec<DctNodeId>,
+    metrics: Vec<u64>,
+}
+
+/// A dynamic call tree recorder with the same `enter`/`exit` protocol as
+/// [`CctRuntime`](crate::CctRuntime).
+#[derive(Clone, Debug)]
+pub struct DynCallTree {
+    nodes: Vec<DctNode>,
+    stack: Vec<DctNodeId>,
+    num_metrics: usize,
+}
+
+impl Default for DynCallTree {
+    fn default() -> DynCallTree {
+        DynCallTree::new(0)
+    }
+}
+
+impl DynCallTree {
+    /// Creates an empty tree whose nodes carry `num_metrics` accumulators.
+    pub fn new(num_metrics: usize) -> DynCallTree {
+        DynCallTree {
+            nodes: vec![DctNode {
+                proc: None,
+                parent: None,
+                children: Vec::new(),
+                metrics: vec![0; num_metrics],
+            }],
+            stack: vec![DctNodeId::ROOT],
+            num_metrics,
+        }
+    }
+
+    /// Records entry to an activation of `proc`: always creates a node.
+    pub fn enter(&mut self, proc: u32) -> DctNodeId {
+        let parent = *self.stack.last().expect("root always present");
+        let id = DctNodeId(self.nodes.len() as u32);
+        self.nodes.push(DctNode {
+            proc: Some(proc),
+            parent: Some(parent),
+            children: Vec::new(),
+            metrics: vec![0; self.num_metrics],
+        });
+        self.nodes[parent.index()].children.push(id);
+        self.stack.push(id);
+        id
+    }
+
+    /// Records exit from the current activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on more exits than enters.
+    pub fn exit(&mut self) {
+        assert!(self.stack.len() > 1, "dct exit with empty stack");
+        self.stack.pop();
+    }
+
+    /// Adds metric deltas to the current activation's node.
+    pub fn add_metrics(&mut self, deltas: &[u64]) {
+        let cur = *self.stack.last().expect("root always present");
+        for (m, d) in self.nodes[cur.index()].metrics.iter_mut().zip(deltas) {
+            *m += d;
+        }
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The procedure of a node (`None` for the root).
+    pub fn proc(&self, id: DctNodeId) -> Option<u32> {
+        self.nodes[id.index()].proc
+    }
+
+    /// A node's parent.
+    pub fn parent(&self, id: DctNodeId) -> Option<DctNodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// A node's children, in call order.
+    pub fn children(&self, id: DctNodeId) -> &[DctNodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// A node's metrics.
+    pub fn metrics(&self, id: DctNodeId) -> &[u64] {
+        &self.nodes[id.index()].metrics
+    }
+
+    /// All node ids in creation order (root first).
+    pub fn node_ids(&self) -> impl Iterator<Item = DctNodeId> {
+        (0..self.nodes.len() as u32).map(DctNodeId)
+    }
+
+    /// The call chain (procedures) from the root to `id`.
+    pub fn context(&self, id: DctNodeId) -> Vec<u32> {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if let Some(p) = self.nodes[n.index()].proc {
+                chain.push(p);
+            }
+            cur = self.nodes[n.index()].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The call chain with the paper's recursion collapse applied: a
+    /// procedure occurrence is dropped if the same procedure already
+    /// appears earlier in the chain, and the chain is truncated back to
+    /// that earlier occurrence — mirroring how the CCT's modified vertex
+    /// equivalence reuses the ancestral record.
+    pub fn collapsed_context(&self, id: DctNodeId) -> Vec<u32> {
+        let full = self.context(id);
+        let mut out: Vec<u32> = Vec::new();
+        for p in full {
+            if let Some(pos) = out.iter().position(|&q| q == p) {
+                out.truncate(pos + 1);
+            } else {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_activation_gets_a_node() {
+        let mut dct = DynCallTree::new(0);
+        dct.enter(0);
+        dct.enter(1);
+        dct.exit();
+        dct.enter(1);
+        dct.exit();
+        dct.exit();
+        assert_eq!(dct.len(), 4); // root + M + two activations of 1
+        let root_children = dct.children(DctNodeId::ROOT);
+        assert_eq!(root_children.len(), 1);
+        assert_eq!(dct.children(root_children[0]).len(), 2);
+    }
+
+    #[test]
+    fn contexts_and_metrics() {
+        let mut dct = DynCallTree::new(2);
+        dct.enter(7);
+        dct.add_metrics(&[1, 2]);
+        let b = dct.enter(9);
+        dct.add_metrics(&[10, 20]);
+        dct.exit();
+        dct.add_metrics(&[100, 200]);
+        dct.exit();
+        assert_eq!(dct.context(b), vec![7, 9]);
+        assert_eq!(dct.metrics(b), &[10, 20]);
+        let a = dct.parent(b).unwrap();
+        assert_eq!(dct.metrics(a), &[101, 202]);
+    }
+
+    #[test]
+    fn collapsed_context_handles_recursion() {
+        let mut dct = DynCallTree::new(0);
+        dct.enter(0); // M
+        dct.enter(1); // A
+        dct.enter(2); // B
+        let a2 = dct.enter(1); // A again
+        let b2 = dct.enter(2); // B again
+        assert_eq!(dct.context(b2), vec![0, 1, 2, 1, 2]);
+        assert_eq!(dct.collapsed_context(a2), vec![0, 1]);
+        assert_eq!(dct.collapsed_context(b2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stack")]
+    fn exit_underflow_panics() {
+        let mut dct = DynCallTree::new(0);
+        dct.exit();
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # pp-cct — the calling context tree and friends
+//!
+//! Implements the run-time data structures of the paper's Section 4:
+//!
+//! * [`CctRuntime`] — the **calling context tree** built online during a
+//!   program's execution, exactly as Section 4.2 describes: each procedure
+//!   activation finds or creates its *call record* through the callee slot
+//!   that its caller's gCSP register points at; direct call sites hold a
+//!   single record pointer, indirect call sites hold a move-to-front list,
+//!   and recursion is detected by walking parent pointers and resolved
+//!   with a backedge to the ancestral record (the modified vertex
+//!   equivalence that bounds the tree's depth by the number of
+//!   procedures).
+//! * [`DynCallTree`] — the precise but unbounded **dynamic call tree**
+//!   (Figure 4(a)), one node per activation.
+//! * [`DynCallGraph`] — the compact but imprecise **dynamic call graph**
+//!   (Figure 4(b)), whose aggregation causes the "gprof problem".
+//! * [`CctStats`] — the statistics of the paper's Table 3 (nodes, height,
+//!   out-degree, replication, call-site usage), and a compact binary
+//!   serialization ("immediately before the program terminates, the
+//!   instrumentation writes the heap containing the CCT to a file").
+//!
+//! The crate is freestanding (no dependency on the IR): procedures are
+//! `u32` keys described by [`ProcInfo`], so the structures are usable from
+//! the machine simulator, from baseline profilers, and directly from
+//! tests.
+//!
+//! ```
+//! use pp_cct::{CctConfig, CctRuntime, ProcInfo};
+//!
+//! // Two procedures: main (one direct call site) and helper (no sites).
+//! let procs = vec![
+//!     ProcInfo::new("main", 1).with_paths(1),
+//!     ProcInfo::new("helper", 0).with_paths(1),
+//! ];
+//! let mut cct = CctRuntime::new(CctConfig::default(), procs);
+//! cct.enter(0); // main
+//! cct.prepare_call(0, None);
+//! cct.enter(1); // helper, under main's call site 0
+//! cct.exit();
+//! cct.exit();
+//! assert_eq!(cct.num_records(), 2); // main + helper (root is separate)
+//! ```
+
+mod config;
+mod dcg;
+mod dct;
+mod runtime;
+mod serialize;
+mod stats;
+
+pub use config::{CctConfig, ProcInfo};
+pub use dcg::DynCallGraph;
+pub use dct::{DctNodeId, DynCallTree};
+pub use runtime::{
+    CallRecordView, CctRuntime, EnterEffect, EnterOutcome, PathCounts, RecordId, SlotView,
+};
+pub use serialize::{read_cct, write_cct, SerializeError};
+pub use stats::CctStats;

@@ -1,0 +1,1395 @@
+//! The calling context tree runtime (paper Section 4.2).
+
+use std::collections::HashMap;
+
+use crate::config::{CctConfig, ProcInfo};
+
+/// Identifies a call record within a [`CctRuntime`]. The root record is
+/// always id 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RecordId(pub u32);
+
+impl RecordId {
+    /// The distinguished root record (the paper's `⊤` vertex, which
+    /// corresponds to no procedure and accumulates no metrics).
+    pub const ROOT: RecordId = RecordId(0);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The procedure key stored in the root record.
+const ROOT_PROC: u32 = u32::MAX;
+
+/// How an [`CctRuntime::enter`] resolved its call record — the cost classes
+/// the machine simulator charges for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnterOutcome {
+    /// The callee slot already pointed at this procedure's record
+    /// (tag 0 in the paper: one load, one compare).
+    FastHit,
+    /// The slot held a list; the record was found after scanning
+    /// `scanned` cells and moved to the front.
+    ListHit {
+        /// List cells inspected.
+        scanned: u32,
+    },
+    /// No record existed; `ancestors_walked` parent pointers were
+    /// searched (finding no recursive ancestor) and a fresh record was
+    /// allocated and initialized.
+    NewRecord {
+        /// Parent-chain length inspected.
+        ancestors_walked: u32,
+    },
+    /// An ancestral record for the same procedure was found after walking
+    /// `ancestors_walked` parents: the call is recursive and the old
+    /// record is reused through a backedge.
+    RecursiveBackedge {
+        /// Parent-chain length inspected.
+        ancestors_walked: u32,
+    },
+}
+
+/// Addresses and outcome of an [`CctRuntime::enter`], for cost modeling.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EnterEffect {
+    /// How the record was found.
+    pub outcome: EnterOutcome,
+    /// Simulated address of the callee slot that was read (and possibly
+    /// written).
+    pub slot_addr: u64,
+    /// Simulated address of the resolved call record.
+    pub record_addr: u64,
+}
+
+/// Per-path counters held in a call record (combined mode).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PathCounts {
+    /// Execution frequency.
+    pub freq: u64,
+    /// Accumulated first hardware metric.
+    pub m0: u64,
+    /// Accumulated second hardware metric.
+    pub m1: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Slot {
+    /// Never used from this context (the paper's tagged offset).
+    Unset,
+    /// Direct pointer to the callee's record (tag 0).
+    Rec(RecordId),
+    /// Head index into the list arena (tag 2; indirect call sites).
+    List(u32),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum SlotPrefix {
+    Untouched,
+    One(u64),
+    Many,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ListCell {
+    rec: RecordId,
+    next: Option<u32>,
+}
+
+#[derive(Debug)]
+struct CallRecord {
+    proc: u32,
+    parent: Option<RecordId>,
+    addr: u64,
+    base_size: u64,
+    calls: u64,
+    metrics: Vec<u64>,
+    slots: Vec<Slot>,
+    slot_prefixes: Vec<SlotPrefix>,
+    paths: Option<HashMap<u64, PathCounts>>,
+    paths_addr: u64,
+    paths_is_array: bool,
+    /// Live activations currently mapped to this record (recursion makes
+    /// this exceed 1; inclusive metric deltas are only accumulated for the
+    /// outermost activation to avoid double counting).
+    active: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Activation {
+    saved_record: RecordId,
+    saved_gcsp: SlotRef,
+    stash: (u32, u32),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct SlotRef {
+    rec: RecordId,
+    slot: u32,
+}
+
+/// Metric entry stride in bytes for per-path counters with hardware
+/// metrics (freq + two 64-bit accumulators).
+const PATH_STRIDE_METRICS: u64 = 24;
+/// Stride for frequency-only path counters.
+const PATH_STRIDE_FREQ: u64 = 8;
+/// Path tables at most this large are dense arrays; larger ones hash.
+const PATH_ARRAY_LIMIT: u64 = 4096;
+/// Modeled bucket count of a hashed path table (for address generation).
+const PATH_HASH_BUCKETS: u64 = 1024;
+
+/// The online calling context tree.
+///
+/// Drive it with the instrumentation protocol:
+/// [`CctRuntime::enter`] at procedure entry, [`CctRuntime::prepare_call`]
+/// immediately before each call, [`CctRuntime::exit`] at procedure exit.
+/// Metrics attach through [`CctRuntime::metric_enter`] /
+/// [`CctRuntime::metric_exit`] / [`CctRuntime::metric_tick`] (Context+HW)
+/// and [`CctRuntime::path_event`] (combined mode).
+#[derive(Debug)]
+pub struct CctRuntime {
+    config: CctConfig,
+    procs: Vec<ProcInfo>,
+    records: Vec<CallRecord>,
+    lists: Vec<ListCell>,
+    cur: RecordId,
+    gcsp: SlotRef,
+    stack: Vec<Activation>,
+    heap_top: u64,
+}
+
+impl CctRuntime {
+    /// Creates the runtime with the root record installed and current.
+    pub fn new(config: CctConfig, procs: Vec<ProcInfo>) -> CctRuntime {
+        let mut rt = CctRuntime {
+            config,
+            procs,
+            records: Vec::new(),
+            lists: Vec::new(),
+            cur: RecordId::ROOT,
+            gcsp: SlotRef {
+                rec: RecordId::ROOT,
+                slot: 0,
+            },
+            heap_top: config.heap_base,
+
+            stack: Vec::new(),
+        };
+        // The root has a single callee slot (for the program entry) and
+        // accumulates no metrics.
+        let root = rt.alloc_record(ROOT_PROC, None, 1, 0);
+        debug_assert_eq!(root, RecordId::ROOT);
+        rt
+    }
+
+    fn alloc_record(
+        &mut self,
+        proc: u32,
+        parent: Option<RecordId>,
+        nslots: u32,
+        num_paths: u64,
+    ) -> RecordId {
+        let id = RecordId(self.records.len() as u32);
+        // Paper-style C layout: id (4) + parent (4) + frequency (8)
+        // + metrics (8 each) + slots (4 each).
+        let mut base_size = 16 + 8 * self.config.num_metrics as u64 + 4 * nslots as u64;
+        let addr = self.heap_top;
+        let mut paths = None;
+        let mut paths_addr = 0;
+        let mut paths_is_array = false;
+        if self.config.path_tables && proc != ROOT_PROC {
+            paths = Some(HashMap::new());
+            paths_addr = addr + base_size;
+            if num_paths <= PATH_ARRAY_LIMIT {
+                paths_is_array = true;
+                base_size += num_paths * self.path_stride();
+            } else {
+                base_size += PATH_HASH_BUCKETS * self.path_stride();
+            }
+        }
+        self.heap_top += base_size;
+        self.records.push(CallRecord {
+            proc,
+            parent,
+            addr,
+            base_size,
+            calls: 0,
+            metrics: vec![0; self.config.num_metrics],
+            slots: vec![Slot::Unset; nslots as usize],
+            slot_prefixes: vec![SlotPrefix::Untouched; nslots as usize],
+            paths,
+            paths_addr,
+            paths_is_array,
+            active: 0,
+        });
+        id
+    }
+
+    fn path_stride(&self) -> u64 {
+        if self.config.num_metrics > 0 {
+            PATH_STRIDE_METRICS
+        } else {
+            PATH_STRIDE_FREQ
+        }
+    }
+
+    fn slots_for(&self, proc: u32) -> u32 {
+        let info = &self.procs[proc as usize];
+        if self.config.distinguish_call_sites {
+            info.num_call_sites
+        } else {
+            u32::from(info.num_call_sites > 0)
+        }
+    }
+
+    fn slot_addr(&self, sref: SlotRef) -> u64 {
+        let rec = &self.records[sref.rec.index()];
+        rec.addr + 16 + 8 * self.config.num_metrics as u64 + 4 * sref.slot as u64
+    }
+
+    /// Walks the parent chain starting at `from` (inclusive) looking for a
+    /// record of `proc`. Returns the record and the number of links
+    /// inspected.
+    fn ancestor_search(&self, from: RecordId, proc: u32) -> (Option<RecordId>, u32) {
+        let mut cur = Some(from);
+        let mut walked = 0;
+        while let Some(r) = cur {
+            walked += 1;
+            let rec = &self.records[r.index()];
+            if rec.proc == proc {
+                return (Some(r), walked);
+            }
+            cur = rec.parent;
+        }
+        (None, walked)
+    }
+
+    fn resolve_missing(&mut self, caller: RecordId, proc: u32) -> (RecordId, EnterOutcome) {
+        let (found, walked) = self.ancestor_search(caller, proc);
+        match found {
+            Some(r) => (
+                r,
+                EnterOutcome::RecursiveBackedge {
+                    ancestors_walked: walked,
+                },
+            ),
+            None => {
+                let nslots = self.slots_for(proc);
+                let num_paths = self.procs[proc as usize].num_paths;
+                let r = self.alloc_record(proc, Some(caller), nslots, num_paths);
+                (
+                    r,
+                    EnterOutcome::NewRecord {
+                        ancestors_walked: walked,
+                    },
+                )
+            }
+        }
+    }
+
+    /// Procedure entry: find or create `proc`'s call record under the slot
+    /// that gCSP designates, push the caller's state, and make the record
+    /// current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range of the procedure table.
+    pub fn enter(&mut self, proc: u32) -> EnterEffect {
+        assert!(
+            (proc as usize) < self.procs.len(),
+            "procedure {proc} out of range"
+        );
+        let sref = self.gcsp;
+        let caller = sref.rec;
+        let slot_addr = self.slot_addr(sref);
+        let caller_proc = self.records[caller.index()].proc;
+        let indirect = caller_proc != ROOT_PROC
+            && (!self.config.distinguish_call_sites
+                || self.procs[caller_proc as usize].site_is_indirect(sref.slot));
+
+        let slot = self.records[caller.index()].slots[sref.slot as usize];
+        let (child, outcome) = match slot {
+            Slot::Rec(r) if self.records[r.index()].proc == proc => (r, EnterOutcome::FastHit),
+            Slot::Rec(r) => {
+                // A direct slot observed a different callee (possible only
+                // through unusual control flow); degrade gracefully to a
+                // list holding both.
+                let (child, outcome) = self.resolve_missing(caller, proc);
+                let head = self.lists.len() as u32;
+                self.lists.push(ListCell {
+                    rec: child,
+                    next: Some(head + 1),
+                });
+                self.lists.push(ListCell { rec: r, next: None });
+                self.records[caller.index()].slots[sref.slot as usize] = Slot::List(head);
+                (child, outcome)
+            }
+            Slot::Unset => {
+                let (child, outcome) = self.resolve_missing(caller, proc);
+                let new_slot = if indirect {
+                    let head = self.lists.len() as u32;
+                    self.lists.push(ListCell {
+                        rec: child,
+                        next: None,
+                    });
+                    Slot::List(head)
+                } else {
+                    Slot::Rec(child)
+                };
+                self.records[caller.index()].slots[sref.slot as usize] = new_slot;
+                (child, outcome)
+            }
+            Slot::List(head) => {
+                // Scan the list; on a hit, move the cell's record to the
+                // front ("so it can be found more quickly next time").
+                let mut scanned = 0u32;
+                let mut prev: Option<u32> = None;
+                let mut cursor = Some(head);
+                let mut hit: Option<(u32, RecordId)> = None;
+                while let Some(c) = cursor {
+                    scanned += 1;
+                    let cell = self.lists[c as usize];
+                    if self.records[cell.rec.index()].proc == proc {
+                        hit = Some((c, cell.rec));
+                        break;
+                    }
+                    prev = Some(c);
+                    cursor = cell.next;
+                }
+                match hit {
+                    Some((c, r)) => {
+                        if let Some(p) = prev {
+                            // unlink c, relink at front
+                            self.lists[p as usize].next = self.lists[c as usize].next;
+                            self.lists[c as usize].next = Some(head);
+                            self.records[caller.index()].slots[sref.slot as usize] =
+                                Slot::List(c);
+                        }
+                        (r, EnterOutcome::ListHit { scanned })
+                    }
+                    None => {
+                        let (child, outcome) = self.resolve_missing(caller, proc);
+                        let c = self.lists.len() as u32;
+                        self.lists.push(ListCell {
+                            rec: child,
+                            next: Some(head),
+                        });
+                        self.records[caller.index()].slots[sref.slot as usize] = Slot::List(c);
+                        (child, outcome)
+                    }
+                }
+            }
+        };
+
+        {
+            let rec = &mut self.records[child.index()];
+            rec.calls += 1;
+            rec.active += 1;
+        }
+        self.stack.push(Activation {
+            saved_record: self.cur,
+            saved_gcsp: self.gcsp,
+            stash: (0, 0),
+        });
+        self.cur = child;
+        EnterEffect {
+            outcome,
+            slot_addr,
+            record_addr: self.records[child.index()].addr,
+        }
+    }
+
+    /// Immediately before a call: point gCSP at this activation's callee
+    /// slot for `site`. `path_prefix` optionally carries the current path
+    /// register value, feeding the Table 3 "call sites reached by one
+    /// path" statistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range for the current procedure.
+    pub fn prepare_call(&mut self, site: u32, path_prefix: Option<u64>) {
+        let slot = if self.config.distinguish_call_sites {
+            site
+        } else {
+            0
+        };
+        let rec = &mut self.records[self.cur.index()];
+        assert!(
+            (slot as usize) < rec.slots.len(),
+            "call site {site} out of range ({} slots)",
+            rec.slots.len()
+        );
+        if let Some(p) = path_prefix {
+            let sp = &mut rec.slot_prefixes[slot as usize];
+            *sp = match *sp {
+                SlotPrefix::Untouched => SlotPrefix::One(p),
+                SlotPrefix::One(q) if q == p => SlotPrefix::One(q),
+                _ => SlotPrefix::Many,
+            };
+        }
+        self.gcsp = SlotRef {
+            rec: self.cur,
+            slot,
+        };
+    }
+
+    /// Procedure exit: restore the caller's current record and gCSP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activation stack is empty (more exits than enters).
+    pub fn exit(&mut self) -> u64 {
+        let act = self.stack.pop().expect("cct exit with empty stack");
+        let rec = &mut self.records[self.cur.index()];
+        rec.active = rec.active.saturating_sub(1);
+        self.cur = act.saved_record;
+        self.gcsp = act.saved_gcsp;
+        self.slot_addr(self.gcsp)
+    }
+
+    /// Context+HW: snapshot the counters at procedure entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no activation is live.
+    pub fn metric_enter(&mut self, pics: (u32, u32)) {
+        self.stack
+            .last_mut()
+            .expect("metric_enter outside any activation")
+            .stash = pics;
+    }
+
+    /// Context+HW: accumulate the counter deltas since the last snapshot
+    /// into the current record. Returns the record's address (for cache
+    /// modeling). 32-bit wrap-around between snapshot and read is handled
+    /// by the wrapping subtraction, as long as reads are frequent enough —
+    /// which is what the Section 4.3 backedge ticks guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no activation is live.
+    pub fn metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+        let act = self.stack.last().expect("metric_exit outside any activation");
+        let d0 = pics.0.wrapping_sub(act.stash.0) as u64;
+        let d1 = pics.1.wrapping_sub(act.stash.1) as u64;
+        let rec = &mut self.records[self.cur.index()];
+        // Only the outermost live activation of a record accumulates:
+        // recursive re-entries share the record, and their intervals are
+        // already inside the outer activation's delta.
+        if rec.metrics.len() >= 2 && rec.active <= 1 {
+            rec.metrics[0] += d0;
+            rec.metrics[1] += d1;
+        }
+        rec.addr
+    }
+
+    /// Context+HW on a loop backedge: accumulate and re-snapshot
+    /// (Section 4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no activation is live.
+    pub fn metric_tick(&mut self, pics: (u32, u32)) -> u64 {
+        let addr = self.metric_exit(pics);
+        self.stack
+            .last_mut()
+            .expect("metric_tick outside any activation")
+            .stash = pics;
+        addr
+    }
+
+    /// Combined mode: bump the current record's counters for path `sum`,
+    /// optionally accumulating two metric deltas. Returns the simulated
+    /// address of the touched counter entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime was not configured with `path_tables`, or if
+    /// called while the root is current.
+    pub fn path_event(&mut self, sum: u64, metrics: Option<(u64, u64)>) -> u64 {
+        let stride = self.path_stride();
+        let rec = &mut self.records[self.cur.index()];
+        let table = rec
+            .paths
+            .as_mut()
+            .expect("path_event requires path_tables config (and a non-root record)");
+        let cell = table.entry(sum).or_default();
+        cell.freq += 1;
+        if let Some((m0, m1)) = metrics {
+            cell.m0 += m0;
+            cell.m1 += m1;
+        }
+        if rec.paths_is_array {
+            rec.paths_addr + sum * stride
+        } else {
+            rec.paths_addr + (sum % PATH_HASH_BUCKETS) * stride
+        }
+    }
+
+    /// Unwinds activations until only `depth` remain (non-local return /
+    /// longjmp support; exceptions to instrumented code restore state
+    /// transparently, per the paper's discussion).
+    pub fn unwind_to(&mut self, depth: usize) {
+        while self.stack.len() > depth {
+            self.exit();
+        }
+    }
+
+    /// Current activation depth (0 when only the root is live).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The current call record.
+    pub fn current(&self) -> RecordId {
+        self.cur
+    }
+
+    /// Number of call records excluding the root.
+    pub fn num_records(&self) -> usize {
+        self.records.len() - 1
+    }
+
+    /// Total simulated heap bytes consumed by records (and inline path
+    /// arrays).
+    pub fn heap_bytes(&self) -> u64 {
+        self.heap_top - self.config.heap_base
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &CctConfig {
+        &self.config
+    }
+
+    /// The procedure table.
+    pub fn procs(&self) -> &[ProcInfo] {
+        &self.procs
+    }
+
+    /// Iterates over all record ids, root first.
+    pub fn record_ids(&self) -> impl Iterator<Item = RecordId> {
+        (0..self.records.len() as u32).map(RecordId)
+    }
+
+    /// A read-only view of one record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn record(&self, id: RecordId) -> CallRecordView<'_> {
+        assert!(id.index() < self.records.len(), "record {id:?} out of range");
+        CallRecordView { rt: self, id }
+    }
+}
+
+/// Deserialized pieces of one record (internal, used by the profile file
+/// reader).
+#[derive(Clone, Debug)]
+pub(crate) struct RecordParts {
+    pub(crate) proc: u32,
+    pub(crate) parent: Option<u32>,
+    pub(crate) calls: u64,
+    pub(crate) metrics: Vec<u64>,
+    pub(crate) slots: Vec<SlotParts>,
+    pub(crate) paths: Vec<(u64, PathCounts)>,
+}
+
+/// Deserialized pieces of one callee slot.
+#[derive(Clone, Debug)]
+pub(crate) struct SlotParts {
+    pub(crate) entries: Vec<u32>,
+    pub(crate) one_path: bool,
+    pub(crate) used: bool,
+}
+
+impl CctRuntime {
+    /// Rebuilds a runtime from deserialized parts. The activation stack is
+    /// left empty; the result is for offline analysis.
+    pub(crate) fn from_parts(
+        config: CctConfig,
+        procs: Vec<ProcInfo>,
+        parts: Vec<RecordParts>,
+    ) -> Result<CctRuntime, String> {
+        let mut rt = CctRuntime {
+            config,
+            procs,
+            records: Vec::new(),
+            lists: Vec::new(),
+            cur: RecordId::ROOT,
+            gcsp: SlotRef {
+                rec: RecordId::ROOT,
+                slot: 0,
+            },
+            stack: Vec::new(),
+            heap_top: config.heap_base,
+        };
+        if parts.first().map(|p| p.proc) != Some(ROOT_PROC) {
+            return Err("first record must be the root".to_string());
+        }
+        for (i, part) in parts.into_iter().enumerate() {
+            let num_paths = if part.proc == ROOT_PROC {
+                0
+            } else {
+                rt.procs
+                    .get(part.proc as usize)
+                    .map(|p| p.num_paths)
+                    .ok_or_else(|| format!("record {i} references unknown procedure"))?
+            };
+            let id = rt.alloc_record(
+                part.proc,
+                part.parent.map(RecordId),
+                part.slots.len() as u32,
+                num_paths,
+            );
+            let rec = &mut rt.records[id.index()];
+            rec.calls = part.calls;
+            if part.metrics.len() != rec.metrics.len() {
+                return Err(format!("record {i} has a bad metric count"));
+            }
+            rec.metrics = part.metrics;
+            if let Some(table) = rec.paths.as_mut() {
+                table.extend(part.paths.iter().copied());
+            } else if !part.paths.is_empty() {
+                return Err(format!("record {i} has paths but path tables are off"));
+            }
+            for (s, sp) in part.slots.into_iter().enumerate() {
+                let slot_val = if sp.entries.is_empty() {
+                    Slot::Unset
+                } else if sp.entries.len() == 1 {
+                    Slot::Rec(RecordId(sp.entries[0]))
+                } else {
+                    // Rebuild the list preserving front-first order.
+                    let mut next = None;
+                    for &e in sp.entries.iter().rev() {
+                        let c = rt.lists.len() as u32;
+                        rt.lists.push(ListCell {
+                            rec: RecordId(e),
+                            next,
+                        });
+                        next = Some(c);
+                    }
+                    Slot::List(next.expect("nonempty list"))
+                };
+                let rec = &mut rt.records[id.index()];
+                rec.slots[s] = slot_val;
+                rec.slot_prefixes[s] = if sp.one_path {
+                    SlotPrefix::One(0)
+                } else if sp.used {
+                    SlotPrefix::Many
+                } else {
+                    SlotPrefix::Untouched
+                };
+            }
+        }
+        Ok(rt)
+    }
+}
+
+impl CctRuntime {
+    /// Merges another profile of the *same program* into this one: call
+    /// counts, metrics and per-path counters add; records missing here are
+    /// created in place. Real profilers use this to combine runs over
+    /// several inputs into one profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two runtimes were built over different procedure
+    /// tables or configurations, or if either has live activations.
+    pub fn merge_from(&mut self, other: &CctRuntime) {
+        assert_eq!(self.config, other.config, "configs must match");
+        assert_eq!(
+            self.procs.len(),
+            other.procs.len(),
+            "procedure tables must match"
+        );
+        assert!(
+            self.stack.is_empty() && other.stack.is_empty(),
+            "merge requires quiescent profiles"
+        );
+        self.merge_children(RecordId::ROOT, other, RecordId::ROOT);
+    }
+
+    /// Recursively merges `other`'s subtree under `other_id` into our
+    /// record `self_id` (which must represent the same context).
+    fn merge_children(&mut self, self_id: RecordId, other: &CctRuntime, other_id: RecordId) {
+        // Accumulate this record's own data (skip the root, which holds
+        // none).
+        if other_id != RecordId::ROOT {
+            let (calls, metrics, paths) = {
+                let rec = &other.records[other_id.index()];
+                (rec.calls, rec.metrics.clone(), rec.paths.clone())
+            };
+            let mine = &mut self.records[self_id.index()];
+            mine.calls += calls;
+            for (m, d) in mine.metrics.iter_mut().zip(&metrics) {
+                *m += d;
+            }
+            if let (Some(mine_paths), Some(theirs)) = (mine.paths.as_mut(), paths.as_ref()) {
+                for (&sum, counts) in theirs {
+                    let cell = mine_paths.entry(sum).or_default();
+                    cell.freq += counts.freq;
+                    cell.m0 += counts.m0;
+                    cell.m1 += counts.m1;
+                }
+            }
+        }
+
+        // Recurse over the other record's slots, creating our records on
+        // demand (backedge targets are skipped: their data merges at the
+        // record that owns them as a tree child).
+        let num_slots = other.records[other_id.index()].slots.len();
+        for slot_ix in 0..num_slots {
+            let entries: Vec<RecordId> = match other.records[other_id.index()].slots[slot_ix] {
+                Slot::Unset => Vec::new(),
+                Slot::Rec(r) => vec![r],
+                Slot::List(head) => {
+                    let mut v = Vec::new();
+                    let mut cur = Some(head);
+                    while let Some(c) = cur {
+                        let cell = other.lists[c as usize];
+                        v.push(cell.rec);
+                        cur = cell.next;
+                    }
+                    v
+                }
+            };
+            for child in entries {
+                if other.records[child.index()].parent != Some(other_id) {
+                    continue; // a recursion backedge, not a tree child
+                }
+                let proc = other.records[child.index()].proc;
+                let mine_child = self.find_or_create_child(self_id, slot_ix as u32, proc);
+                // Merge the one-path markers conservatively.
+                let theirs = other.records[other_id.index()].slot_prefixes[slot_ix];
+                let sp = &mut self.records[self_id.index()].slot_prefixes[slot_ix];
+                *sp = match (*sp, theirs) {
+                    (SlotPrefix::Untouched, t) => t,
+                    (s, SlotPrefix::Untouched) => s,
+                    (SlotPrefix::One(a), SlotPrefix::One(b)) if a == b => SlotPrefix::One(a),
+                    _ => SlotPrefix::Many,
+                };
+                self.merge_children(mine_child, other, child);
+            }
+        }
+    }
+
+    /// Finds the tree child of `parent` for `proc` under `slot`, creating
+    /// it (with the right slot/list shape) if absent.
+    fn find_or_create_child(&mut self, parent: RecordId, slot: u32, proc: u32) -> RecordId {
+        let existing = match self.records[parent.index()].slots[slot as usize] {
+            Slot::Unset => None,
+            Slot::Rec(r) => (self.records[r.index()].proc == proc
+                && self.records[r.index()].parent == Some(parent))
+            .then_some(r),
+            Slot::List(head) => {
+                let mut found = None;
+                let mut cur = Some(head);
+                while let Some(c) = cur {
+                    let cell = self.lists[c as usize];
+                    if self.records[cell.rec.index()].proc == proc
+                        && self.records[cell.rec.index()].parent == Some(parent)
+                    {
+                        found = Some(cell.rec);
+                        break;
+                    }
+                    cur = cell.next;
+                }
+                found
+            }
+        };
+        if let Some(r) = existing {
+            return r;
+        }
+        let nslots = self.slots_for(proc);
+        let num_paths = self.procs[proc as usize].num_paths;
+        let new = self.alloc_record(proc, Some(parent), nslots, num_paths);
+        match self.records[parent.index()].slots[slot as usize] {
+            Slot::Unset => {
+                self.records[parent.index()].slots[slot as usize] = Slot::Rec(new);
+            }
+            Slot::Rec(old) => {
+                let head = self.lists.len() as u32;
+                self.lists.push(ListCell {
+                    rec: new,
+                    next: Some(head + 1),
+                });
+                self.lists.push(ListCell {
+                    rec: old,
+                    next: None,
+                });
+                self.records[parent.index()].slots[slot as usize] = Slot::List(head);
+            }
+            Slot::List(head) => {
+                let c = self.lists.len() as u32;
+                self.lists.push(ListCell {
+                    rec: new,
+                    next: Some(head),
+                });
+                self.records[parent.index()].slots[slot as usize] = Slot::List(c);
+            }
+        }
+        new
+    }
+}
+
+impl CctRuntime {
+    /// Renders the tree as indented text, depth-first, to `max_depth`
+    /// levels and at most `max_records` lines — the standard way to eyeball
+    /// a profile.
+    pub fn render_tree(&self, max_depth: u32, max_records: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut budget = max_records;
+        self.render_subtree(RecordId::ROOT, 0, max_depth, &mut budget, &mut out);
+        if budget == 0 {
+            let _ = writeln!(out, "... (truncated at {max_records} records)");
+        }
+        out
+    }
+
+    fn render_subtree(
+        &self,
+        id: RecordId,
+        depth: u32,
+        max_depth: u32,
+        budget: &mut usize,
+        out: &mut String,
+    ) {
+        use std::fmt::Write as _;
+        if depth > max_depth || *budget == 0 {
+            return;
+        }
+        *budget -= 1;
+        let r = self.record(id);
+        let metrics = r.metrics();
+        let _ = write!(out, "{:indent$}{}", "", r.proc_name(), indent = (depth as usize) * 2);
+        if id != RecordId::ROOT {
+            let _ = write!(out, "  calls={}", r.calls());
+            if !metrics.is_empty() {
+                let _ = write!(out, " m0={} m1={}", metrics[0], metrics.get(1).copied().unwrap_or(0));
+            }
+            let paths = r.paths();
+            if !paths.is_empty() {
+                let _ = write!(out, " paths={}", paths.len());
+            }
+        }
+        let _ = writeln!(out);
+        for child in r.children() {
+            self.render_subtree(child, depth + 1, max_depth, budget, out);
+        }
+    }
+}
+
+/// Read-only view of a call record.
+#[derive(Clone, Copy, Debug)]
+pub struct CallRecordView<'a> {
+    rt: &'a CctRuntime,
+    id: RecordId,
+}
+
+impl<'a> CallRecordView<'a> {
+    fn rec(&self) -> &'a CallRecord {
+        &self.rt.records[self.id.index()]
+    }
+
+    /// This record's id.
+    pub fn id(&self) -> RecordId {
+        self.id
+    }
+
+    /// The procedure this record represents; `None` for the root.
+    pub fn proc(&self) -> Option<u32> {
+        let p = self.rec().proc;
+        (p != ROOT_PROC).then_some(p)
+    }
+
+    /// The procedure's name (`"<root>"` for the root).
+    pub fn proc_name(&self) -> &'a str {
+        match self.proc() {
+            Some(p) => &self.rt.procs[p as usize].name,
+            None => "<root>",
+        }
+    }
+
+    /// Tree parent.
+    pub fn parent(&self) -> Option<RecordId> {
+        self.rec().parent
+    }
+
+    /// Number of times this context was entered.
+    pub fn calls(&self) -> u64 {
+        self.rec().calls
+    }
+
+    /// Accumulated hardware metrics.
+    pub fn metrics(&self) -> &'a [u64] {
+        &self.rec().metrics
+    }
+
+    /// Simulated heap address.
+    pub fn addr(&self) -> u64 {
+        self.rec().addr
+    }
+
+    /// Allocated size in simulated bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.rec().base_size
+    }
+
+    /// Depth below the root (root = 0).
+    pub fn depth(&self) -> u32 {
+        let mut d = 0;
+        let mut cur = self.rec().parent;
+        while let Some(r) = cur {
+            d += 1;
+            cur = self.rt.records[r.index()].parent;
+        }
+        d
+    }
+
+    /// Tree children: records whose parent is this record, discovered
+    /// through the slots (backedge targets are excluded since their parent
+    /// lies elsewhere).
+    pub fn children(&self) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        for view in self.slots() {
+            for r in view.entries {
+                if self.rt.records[r.index()].parent == Some(self.id) && !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Views of the record's callee slots.
+    pub fn slots(&self) -> Vec<SlotView> {
+        let rec = self.rec();
+        rec.slots
+            .iter()
+            .zip(&rec.slot_prefixes)
+            .map(|(s, p)| {
+                let entries = match *s {
+                    Slot::Unset => Vec::new(),
+                    Slot::Rec(r) => vec![r],
+                    Slot::List(head) => {
+                        let mut v = Vec::new();
+                        let mut cur = Some(head);
+                        while let Some(c) = cur {
+                            let cell = self.rt.lists[c as usize];
+                            v.push(cell.rec);
+                            cur = cell.next;
+                        }
+                        v
+                    }
+                };
+                SlotView {
+                    used: !entries.is_empty(),
+                    one_path: matches!(p, SlotPrefix::One(_)),
+                    entries,
+                }
+            })
+            .collect()
+    }
+
+    /// The per-path counters (combined mode), sorted by path sum.
+    pub fn paths(&self) -> Vec<(u64, PathCounts)> {
+        match &self.rec().paths {
+            None => Vec::new(),
+            Some(t) => {
+                let mut v: Vec<(u64, PathCounts)> = t.iter().map(|(&k, &c)| (k, c)).collect();
+                v.sort_by_key(|&(k, _)| k);
+                v
+            }
+        }
+    }
+
+    /// The call chain from the root to this record, as procedure keys.
+    pub fn context(&self) -> Vec<u32> {
+        let mut chain = Vec::new();
+        let mut cur = Some(self.id);
+        while let Some(r) = cur {
+            let rec = &self.rt.records[r.index()];
+            if rec.proc != ROOT_PROC {
+                chain.push(rec.proc);
+            }
+            cur = rec.parent;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Read-only view of one callee slot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SlotView {
+    /// True if the slot was ever reached.
+    pub used: bool,
+    /// True if exactly one intraprocedural path prefix reached this slot
+    /// (the paper's "One Path" column — where flow+context profiling is as
+    /// precise as full interprocedural path profiling).
+    pub one_path: bool,
+    /// Records reachable through the slot (front-of-list first).
+    pub entries: Vec<RecordId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn procs_abc() -> Vec<ProcInfo> {
+        vec![
+            ProcInfo::new("M", 2),  // 0: M calls A (site 0) and D (site 1)
+            ProcInfo::new("A", 1),  // 1: A calls B
+            ProcInfo::new("B", 1),  // 2: B calls C
+            ProcInfo::new("C", 0),  // 3
+            ProcInfo::new("D", 1),  // 4: D calls C
+        ]
+    }
+
+    /// Figure 4: M { A { B { C } } ; D { C } } — the CCT keeps the two
+    /// distinct contexts of C.
+    fn run_figure4(cct: &mut CctRuntime) {
+        cct.enter(0); // M
+        cct.prepare_call(0, None);
+        cct.enter(1); // A
+        cct.prepare_call(0, None);
+        cct.enter(2); // B
+        cct.prepare_call(0, None);
+        cct.enter(3); // C
+        cct.exit();
+        cct.exit();
+        cct.exit();
+        cct.prepare_call(1, None);
+        cct.enter(4); // D
+        cct.prepare_call(0, None);
+        cct.enter(3); // C again, different context
+        cct.exit();
+        cct.exit();
+        cct.exit();
+    }
+
+    #[test]
+    fn figure4_cct_keeps_contexts_of_c() {
+        let mut cct = CctRuntime::new(CctConfig::default(), procs_abc());
+        run_figure4(&mut cct);
+        // M, A, B, D, and *two* records for C (one per calling context).
+        assert_eq!(cct.num_records(), 6);
+    }
+
+    #[test]
+    fn figure4_contexts() {
+        let mut cct = CctRuntime::new(CctConfig::default(), procs_abc());
+        run_figure4(&mut cct);
+        let mut contexts: Vec<Vec<u32>> = cct
+            .record_ids()
+            .skip(1)
+            .map(|id| cct.record(id).context())
+            .collect();
+        contexts.sort();
+        assert!(contexts.contains(&vec![0, 1, 2, 3])); // M A B C
+        assert!(contexts.contains(&vec![0, 4, 3])); // M D C
+    }
+
+    #[test]
+    fn repeated_identical_contexts_share_records() {
+        let mut cct = CctRuntime::new(CctConfig::default(), procs_abc());
+        run_figure4(&mut cct);
+        let n = cct.num_records();
+        run_figure4(&mut cct); // same calls again
+        assert_eq!(cct.num_records(), n, "no new records on identical rerun");
+        // M entered twice.
+        let m = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "M")
+            .unwrap();
+        assert_eq!(cct.record(m).calls(), 2);
+    }
+
+    #[test]
+    fn fast_hit_on_second_entry() {
+        let mut cct = CctRuntime::new(CctConfig::default(), procs_abc());
+        cct.enter(0);
+        cct.prepare_call(0, None);
+        let first = cct.enter(1);
+        assert!(matches!(first.outcome, EnterOutcome::NewRecord { .. }));
+        cct.exit();
+        cct.prepare_call(0, None);
+        let second = cct.enter(1);
+        assert_eq!(second.outcome, EnterOutcome::FastHit);
+        assert_eq!(first.record_addr, second.record_addr);
+    }
+
+    /// Figure 5: recursion A -> B -> A collapses through a backedge.
+    #[test]
+    fn figure5_recursion_bounded_by_backedge() {
+        let procs = vec![
+            ProcInfo::new("M", 1), // 0
+            ProcInfo::new("A", 1), // 1 calls B
+            ProcInfo::new("B", 1), // 2 calls A (recursive)
+        ];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        cct.prepare_call(0, None);
+        cct.enter(1); // A
+        cct.prepare_call(0, None);
+        cct.enter(2); // B
+        cct.prepare_call(0, None);
+        let eff = cct.enter(1); // A again: recursive
+        assert!(matches!(eff.outcome, EnterOutcome::RecursiveBackedge { .. }));
+        // No new record: still M, A, B.
+        assert_eq!(cct.num_records(), 3);
+        // The recursive A aggregates into the original record.
+        let a = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "A")
+            .unwrap();
+        assert_eq!(cct.record(a).calls(), 2);
+        cct.exit();
+        cct.exit();
+        cct.exit();
+        cct.exit();
+        assert_eq!(cct.depth(), 0);
+    }
+
+    #[test]
+    fn deep_recursion_depth_bounded_by_num_procs() {
+        let procs = vec![ProcInfo::new("M", 1), ProcInfo::new("R", 1)];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        for _ in 0..1000 {
+            cct.prepare_call(0, None);
+            cct.enter(1);
+        }
+        // Records bounded: M + R only.
+        assert_eq!(cct.num_records(), 2);
+        // But the activation stack is still 1001 deep.
+        assert_eq!(cct.depth(), 1001);
+        cct.unwind_to(0);
+        assert_eq!(cct.depth(), 0);
+    }
+
+    #[test]
+    fn indirect_sites_use_lists_with_move_to_front() {
+        let procs = vec![
+            ProcInfo::new("M", 1).with_indirect_site(0),
+            ProcInfo::new("f", 0),
+            ProcInfo::new("g", 0),
+            ProcInfo::new("h", 0),
+        ];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        for &callee in &[1u32, 2, 3] {
+            cct.prepare_call(0, None);
+            cct.enter(callee);
+            cct.exit();
+        }
+        // List now h -> g -> f (new entries at front). Entering g scans 2,
+        // then g moves to front.
+        cct.prepare_call(0, None);
+        let eff = cct.enter(2);
+        assert_eq!(eff.outcome, EnterOutcome::ListHit { scanned: 2 });
+        cct.exit();
+        cct.prepare_call(0, None);
+        let eff = cct.enter(2);
+        assert_eq!(eff.outcome, EnterOutcome::ListHit { scanned: 1 });
+        cct.exit();
+        // Slot view lists g first now.
+        let m = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "M")
+            .unwrap();
+        let slots = cct.record(m).slots();
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].entries.len(), 3);
+        assert_eq!(
+            cct.record(slots[0].entries[0]).proc_name(),
+            "g",
+            "move-to-front"
+        );
+    }
+
+    #[test]
+    fn merged_call_sites_share_one_slot() {
+        let procs = vec![
+            ProcInfo::new("M", 3), // three sites, all calling f or g
+            ProcInfo::new("f", 0),
+            ProcInfo::new("g", 0),
+        ];
+        let config = CctConfig {
+            distinguish_call_sites: false,
+            ..CctConfig::default()
+        };
+        let mut cct = CctRuntime::new(config, procs);
+        cct.enter(0);
+        for site in 0..3 {
+            cct.prepare_call(site, None);
+            cct.enter(1);
+            cct.exit();
+        }
+        cct.prepare_call(2, None);
+        cct.enter(2);
+        cct.exit();
+        // One f record reached from all three sites; records: M, f, g.
+        assert_eq!(cct.num_records(), 3);
+        let m = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "M")
+            .unwrap();
+        assert_eq!(cct.record(m).slots().len(), 1);
+        let f = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "f")
+            .unwrap();
+        assert_eq!(cct.record(f).calls(), 3);
+    }
+
+    #[test]
+    fn merged_mode_is_smaller() {
+        let mk = |distinguish| {
+            let procs = vec![
+                ProcInfo::new("M", 8),
+                ProcInfo::new("f", 0),
+            ];
+            let config = CctConfig {
+                distinguish_call_sites: distinguish,
+                ..CctConfig::default()
+            };
+            let mut cct = CctRuntime::new(config, procs);
+            cct.enter(0);
+            for site in 0..8 {
+                cct.prepare_call(site, None);
+                cct.enter(1);
+                cct.exit();
+            }
+            cct.exit();
+            cct.heap_bytes()
+        };
+        assert!(mk(true) > mk(false));
+    }
+
+    #[test]
+    fn metric_deltas_accumulate_with_wrap() {
+        let procs = vec![ProcInfo::new("M", 0)];
+        let mut cct = CctRuntime::new(CctConfig::with_hw_metrics(), procs);
+        cct.enter(0);
+        cct.metric_enter((u32::MAX - 5, 100));
+        // Counter wrapped past zero: delta must still be 10.
+        cct.metric_exit((4, 110));
+        let m = cct.record(RecordId(1));
+        assert_eq!(m.metrics(), &[10, 10]);
+        cct.exit();
+    }
+
+    #[test]
+    fn metric_tick_resnapshots() {
+        let procs = vec![ProcInfo::new("M", 0)];
+        let mut cct = CctRuntime::new(CctConfig::with_hw_metrics(), procs);
+        cct.enter(0);
+        cct.metric_enter((0, 0));
+        cct.metric_tick((7, 3));
+        cct.metric_tick((10, 4));
+        cct.metric_exit((12, 9));
+        let m = cct.record(RecordId(1));
+        assert_eq!(m.metrics(), &[12, 9]);
+        cct.exit();
+    }
+
+    #[test]
+    fn path_events_counted_per_record() {
+        let procs = vec![ProcInfo::new("M", 1).with_paths(10), ProcInfo::new("f", 0).with_paths(4)];
+        let mut cct = CctRuntime::new(CctConfig::combined(true), procs);
+        cct.enter(0);
+        cct.path_event(3, Some((5, 0)));
+        cct.path_event(3, Some((2, 1)));
+        cct.path_event(7, None);
+        cct.prepare_call(0, Some(3));
+        cct.enter(1);
+        cct.path_event(0, Some((1, 1)));
+        cct.exit();
+        cct.exit();
+        let m = cct.record(RecordId(1));
+        let paths = m.paths();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].0, 3);
+        assert_eq!(paths[0].1.freq, 2);
+        assert_eq!(paths[0].1.m0, 7);
+        assert_eq!(paths[0].1.m1, 1);
+        assert_eq!(paths[1].0, 7);
+        assert_eq!(paths[1].1.freq, 1);
+    }
+
+    #[test]
+    fn one_path_slot_tracking() {
+        let procs = vec![ProcInfo::new("M", 2), ProcInfo::new("f", 0)];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        cct.prepare_call(0, Some(5));
+        cct.enter(1);
+        cct.exit();
+        cct.prepare_call(0, Some(5)); // same prefix again
+        cct.enter(1);
+        cct.exit();
+        cct.prepare_call(1, Some(1));
+        cct.enter(1);
+        cct.exit();
+        cct.prepare_call(1, Some(2)); // different prefix
+        cct.enter(1);
+        cct.exit();
+        let m = cct.record(RecordId(1));
+        let slots = m.slots();
+        assert!(slots[0].one_path);
+        assert!(!slots[1].one_path);
+    }
+
+    #[test]
+    fn heap_addresses_are_disjoint_and_increasing() {
+        let mut cct = CctRuntime::new(CctConfig::default(), procs_abc());
+        run_figure4(&mut cct);
+        let mut prev_end = cct.config().heap_base;
+        for id in cct.record_ids() {
+            let r = cct.record(id);
+            assert!(r.addr() >= prev_end, "records overlap");
+            prev_end = r.addr() + r.size_bytes();
+        }
+        assert_eq!(prev_end - cct.config().heap_base, cct.heap_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stack")]
+    fn exit_without_enter_panics() {
+        let mut cct = CctRuntime::new(CctConfig::default(), vec![ProcInfo::new("M", 0)]);
+        cct.exit();
+    }
+
+    #[test]
+    fn children_exclude_backedge_targets() {
+        let procs = vec![
+            ProcInfo::new("M", 1),
+            ProcInfo::new("A", 1),
+            ProcInfo::new("B", 1),
+        ];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        cct.prepare_call(0, None);
+        cct.enter(1);
+        cct.prepare_call(0, None);
+        cct.enter(2);
+        cct.prepare_call(0, None);
+        cct.enter(1); // backedge to A
+        let a = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "A")
+            .unwrap();
+        let b = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "B")
+            .unwrap();
+        // B's slot points at A (backedge) but A is not B's tree child.
+        let b_slots = cct.record(b).slots();
+        assert_eq!(b_slots[0].entries, vec![a]);
+        assert!(cct.record(b).children().is_empty());
+        assert_eq!(cct.record(a).children(), vec![b]);
+    }
+}

@@ -1,0 +1,213 @@
+//! CCT statistics — the columns of the paper's Table 3.
+
+use std::collections::HashMap;
+
+use crate::runtime::{CctRuntime, RecordId};
+use crate::serialize::write_cct;
+
+/// Statistics of a built CCT, mirroring Table 3 of the paper.
+///
+/// ```
+/// use pp_cct::{CctConfig, CctRuntime, CctStats, ProcInfo};
+///
+/// let procs = vec![ProcInfo::new("main", 1), ProcInfo::new("leaf", 0)];
+/// let mut cct = CctRuntime::new(CctConfig::default(), procs);
+/// cct.enter(0);
+/// cct.prepare_call(0, None);
+/// cct.enter(1);
+/// cct.exit();
+/// cct.exit();
+/// let stats = CctStats::compute(&cct);
+/// assert_eq!(stats.nodes, 2);
+/// assert_eq!(stats.height_max, 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CctStats {
+    /// Size in bytes of the serialized profile file ("Size").
+    pub file_size: u64,
+    /// Simulated heap bytes consumed by the live structure.
+    pub heap_bytes: u64,
+    /// Number of call records, excluding the root ("Nodes").
+    pub nodes: usize,
+    /// Average allocated record size in bytes ("Avg Node Size").
+    pub avg_node_size: f64,
+    /// Average number of tree children over interior nodes
+    /// ("Avg Out Degree").
+    pub avg_out_degree: f64,
+    /// Average depth of leaf records ("Height", average).
+    pub height_avg: f64,
+    /// Maximum record depth ("Height", max).
+    pub height_max: u32,
+    /// Maximum number of distinct call records for any single procedure
+    /// ("Max Replication").
+    pub max_replication: usize,
+    /// Total callee slots in allocated records ("Call Sites").
+    pub call_sites_total: u64,
+    /// Slots that were actually reached ("Used").
+    pub call_sites_used: u64,
+    /// Used slots reached by exactly one intraprocedural path prefix
+    /// ("One Path") — contexts where flow+context profiling is as precise
+    /// as full interprocedural path profiling.
+    pub call_sites_one_path: u64,
+}
+
+impl CctStats {
+    /// Computes statistics (and the serialized file size) of `cct`.
+    pub fn compute(cct: &CctRuntime) -> CctStats {
+        let mut buf = Vec::new();
+        write_cct(cct, &mut buf).expect("serializing to a Vec cannot fail");
+        let file_size = buf.len() as u64;
+
+        let mut nodes = 0usize;
+        let mut size_sum = 0u64;
+        let mut out_deg_sum = 0u64;
+        let mut interior = 0usize;
+        let mut leaf_depth_sum = 0u64;
+        let mut leaves = 0usize;
+        let mut height_max = 0u32;
+        let mut replication: HashMap<u32, usize> = HashMap::new();
+        let mut sites_total = 0u64;
+        let mut sites_used = 0u64;
+        let mut sites_one = 0u64;
+
+        for id in cct.record_ids() {
+            if id == RecordId::ROOT {
+                continue;
+            }
+            let r = cct.record(id);
+            nodes += 1;
+            size_sum += r.size_bytes();
+            let proc = r.proc().expect("non-root record has a procedure");
+            *replication.entry(proc).or_insert(0) += 1;
+            let children = r.children();
+            if children.is_empty() {
+                leaves += 1;
+                let d = r.depth();
+                leaf_depth_sum += u64::from(d);
+                height_max = height_max.max(d);
+            } else {
+                interior += 1;
+                out_deg_sum += children.len() as u64;
+            }
+            for s in r.slots() {
+                sites_total += 1;
+                if s.used {
+                    sites_used += 1;
+                    if s.one_path {
+                        sites_one += 1;
+                    }
+                }
+            }
+        }
+
+        CctStats {
+            file_size,
+            heap_bytes: cct.heap_bytes(),
+            nodes,
+            avg_node_size: if nodes > 0 {
+                size_sum as f64 / nodes as f64
+            } else {
+                0.0
+            },
+            avg_out_degree: if interior > 0 {
+                out_deg_sum as f64 / interior as f64
+            } else {
+                0.0
+            },
+            height_avg: if leaves > 0 {
+                leaf_depth_sum as f64 / leaves as f64
+            } else {
+                0.0
+            },
+            height_max,
+            max_replication: replication.values().copied().max().unwrap_or(0),
+            call_sites_total: sites_total,
+            call_sites_used: sites_used,
+            call_sites_one_path: sites_one,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CctConfig, ProcInfo};
+
+    fn bushy_cct() -> CctRuntime {
+        // main calls f and g; f calls h twice (2 sites); g calls h once.
+        let procs = vec![
+            ProcInfo::new("main", 2),
+            ProcInfo::new("f", 2),
+            ProcInfo::new("g", 1),
+            ProcInfo::new("h", 0),
+        ];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        cct.prepare_call(0, Some(0));
+        cct.enter(1);
+        cct.prepare_call(0, Some(0));
+        cct.enter(3);
+        cct.exit();
+        cct.prepare_call(1, Some(1));
+        cct.enter(3);
+        cct.exit();
+        cct.exit();
+        cct.prepare_call(1, Some(0));
+        cct.enter(2);
+        cct.prepare_call(0, Some(0));
+        cct.enter(3);
+        cct.exit();
+        cct.exit();
+        cct.exit();
+        cct
+    }
+
+    #[test]
+    fn counts_nodes_and_replication() {
+        let cct = bushy_cct();
+        let s = CctStats::compute(&cct);
+        // main, f, g, h×3 = 6 records.
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.max_replication, 3); // h appears three times
+        assert_eq!(s.height_max, 3);
+        assert!(s.height_avg > 2.0 && s.height_avg <= 3.0);
+    }
+
+    #[test]
+    fn call_site_accounting() {
+        let cct = bushy_cct();
+        let s = CctStats::compute(&cct);
+        // Slots: main 2 + f 2 + g 1 + h×3 × 0 = 5; all used, all one-path.
+        assert_eq!(s.call_sites_total, 5);
+        assert_eq!(s.call_sites_used, 5);
+        assert_eq!(s.call_sites_one_path, 5);
+    }
+
+    #[test]
+    fn out_degree_over_interior_nodes() {
+        let cct = bushy_cct();
+        let s = CctStats::compute(&cct);
+        // Interior: main (2 children), f (2), g (1) → avg 5/3.
+        assert!((s.avg_out_degree - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sizes_are_positive_and_consistent() {
+        let cct = bushy_cct();
+        let s = CctStats::compute(&cct);
+        assert!(s.file_size > 0);
+        assert!(s.heap_bytes > 0);
+        assert!(s.avg_node_size > 0.0);
+        assert_eq!(s.heap_bytes, cct.heap_bytes());
+    }
+
+    #[test]
+    fn empty_cct_stats_are_zero() {
+        let cct = CctRuntime::new(CctConfig::default(), vec![ProcInfo::new("m", 0)]);
+        let s = CctStats::compute(&cct);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.max_replication, 0);
+        assert_eq!(s.avg_out_degree, 0.0);
+        assert_eq!(s.call_sites_total, 0);
+    }
+}

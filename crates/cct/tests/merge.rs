@@ -1,0 +1,157 @@
+//! Merging profiles from several runs of the same program.
+
+use std::collections::BTreeMap;
+
+use pp_cct::{CctConfig, CctRuntime, ProcInfo};
+
+fn procs() -> Vec<ProcInfo> {
+    vec![
+        ProcInfo::new("main", 2).with_paths(4),
+        ProcInfo::new("a", 1).with_indirect_site(0).with_paths(2),
+        ProcInfo::new("b", 0).with_paths(2),
+        ProcInfo::new("c", 0).with_paths(2),
+    ]
+}
+
+/// Runs a scripted trace and returns the profile.
+fn run_trace(script: &[(&str, u32)]) -> CctRuntime {
+    let mut cct = CctRuntime::new(CctConfig::combined(true), procs());
+    for &(op, arg) in script {
+        match op {
+            "enter" => {
+                cct.enter(arg);
+            }
+            "call" => cct.prepare_call(arg, Some(0)),
+            "exit" => {
+                cct.exit();
+            }
+            "path" => {
+                cct.path_event(arg as u64, Some((10, arg as u64)));
+            }
+            _ => unreachable!(),
+        }
+    }
+    cct
+}
+
+fn histogram(cct: &CctRuntime) -> BTreeMap<(Vec<u32>, u64), (u64, u64)> {
+    let mut out = BTreeMap::new();
+    for id in cct.record_ids().skip(1) {
+        let r = cct.record(id);
+        let ctx = r.context();
+        for (sum, counts) in r.paths() {
+            let e = out.entry((ctx.clone(), sum)).or_insert((0, 0));
+            e.0 += counts.freq;
+            e.1 += counts.m1;
+        }
+    }
+    out
+}
+
+fn calls_histogram(cct: &CctRuntime) -> BTreeMap<Vec<u32>, u64> {
+    let mut out = BTreeMap::new();
+    for id in cct.record_ids().skip(1) {
+        let r = cct.record(id);
+        *out.entry(r.context()).or_insert(0) += r.calls();
+    }
+    out
+}
+
+const RUN_A: &[(&str, u32)] = &[
+    ("enter", 0),
+    ("path", 1),
+    ("call", 0),
+    ("enter", 1),
+    ("call", 0),
+    ("enter", 2),
+    ("path", 0),
+    ("exit", 0),
+    ("exit", 0),
+    ("exit", 0),
+];
+
+const RUN_B: &[(&str, u32)] = &[
+    ("enter", 0),
+    ("path", 3),
+    ("call", 0),
+    ("enter", 1),
+    ("call", 0),
+    ("enter", 3), // different indirect callee this run
+    ("path", 1),
+    ("exit", 0),
+    ("exit", 0),
+    ("call", 1),
+    ("enter", 2), // b directly under main
+    ("path", 0),
+    ("exit", 0),
+    ("exit", 0),
+];
+
+#[test]
+fn merge_adds_counts_and_creates_missing_records() {
+    let mut merged = run_trace(RUN_A);
+    let b = run_trace(RUN_B);
+    merged.merge_from(&b);
+
+    // Path histogram of the merge equals the sum of the two histograms.
+    let mut expect = histogram(&run_trace(RUN_A));
+    for (k, v) in histogram(&run_trace(RUN_B)) {
+        let e = expect.entry(k).or_insert((0, 0));
+        e.0 += v.0;
+        e.1 += v.1;
+    }
+    assert_eq!(histogram(&merged), expect);
+
+    // Same for call counts per context.
+    let mut expect_calls = calls_histogram(&run_trace(RUN_A));
+    for (k, v) in calls_histogram(&run_trace(RUN_B)) {
+        *expect_calls.entry(k).or_insert(0) += v;
+    }
+    assert_eq!(calls_histogram(&merged), expect_calls);
+}
+
+#[test]
+fn merge_is_commutative_on_histograms() {
+    let mut ab = run_trace(RUN_A);
+    ab.merge_from(&run_trace(RUN_B));
+    let mut ba = run_trace(RUN_B);
+    ba.merge_from(&run_trace(RUN_A));
+    assert_eq!(histogram(&ab), histogram(&ba));
+    assert_eq!(calls_histogram(&ab), calls_histogram(&ba));
+}
+
+#[test]
+fn merging_identical_runs_doubles_counts() {
+    let mut m = run_trace(RUN_A);
+    m.merge_from(&run_trace(RUN_A));
+    let single = calls_histogram(&run_trace(RUN_A));
+    for (ctx, n) in calls_histogram(&m) {
+        assert_eq!(n, 2 * single[&ctx], "context {ctx:?}");
+    }
+    // No new records appear when merging an identical profile.
+    assert_eq!(m.num_records(), run_trace(RUN_A).num_records());
+}
+
+#[test]
+#[should_panic(expected = "configs must match")]
+fn merge_rejects_mismatched_configs() {
+    let mut a = CctRuntime::new(CctConfig::combined(true), procs());
+    let b = CctRuntime::new(CctConfig::default(), procs());
+    a.merge_from(&b);
+}
+
+#[test]
+fn render_tree_shows_contexts() {
+    let cct = run_trace(RUN_B);
+    let text = cct.render_tree(10, 100);
+    assert!(text.contains("<root>"), "{text}");
+    assert!(text.contains("main"), "{text}");
+    // Indentation deepens with depth.
+    let main_line = text.lines().find(|l| l.trim_start().starts_with("main")).unwrap();
+    let leaf_line = text.lines().find(|l| l.trim_start().starts_with("b")).unwrap();
+    let indent = |l: &str| l.len() - l.trim_start().len();
+    assert!(indent(leaf_line) > indent(main_line), "{text}");
+    // Truncation works.
+    let truncated = cct.render_tree(10, 2);
+    assert!(truncated.contains("truncated"), "{truncated}");
+}

@@ -1,0 +1,258 @@
+//! Property tests of the paper's Section 4.1 claims: the CCT is exactly
+//! the projection of the dynamic call tree that discards redundant
+//! context while preserving unique contexts, with recursion collapsed by
+//! the modified vertex equivalence.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use pp_cct::{CctConfig, CctRuntime, DynCallGraph, DynCallTree, ProcInfo};
+
+/// A call trace: balanced enter/exit events over `num_procs` procedures,
+/// each with `num_sites` call sites.
+#[derive(Clone, Debug)]
+struct Trace {
+    num_procs: u32,
+    num_sites: u32,
+    /// (proc, site) pairs consumed by a recursive builder.
+    choices: Vec<(u32, u32)>,
+    max_depth: u32,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Ev {
+    Enter(u32, u32),
+    Exit,
+}
+
+impl Trace {
+    /// Expands the choice list into a balanced event sequence: a preorder
+    /// walk that enters each chosen (proc, site) child until choices run
+    /// out or the depth cap is hit.
+    fn events(&self) -> Vec<Ev> {
+        let mut events = vec![Ev::Enter(0, 0)];
+        let mut depth = 1u32;
+        for &(proc, site) in &self.choices {
+            let proc = proc % self.num_procs;
+            let site = site % self.num_sites;
+            if depth < self.max_depth {
+                events.push(Ev::Enter(proc, site));
+                depth += 1;
+            } else {
+                events.push(Ev::Exit);
+                depth -= 1;
+                if depth == 0 {
+                    events.push(Ev::Enter(0, 0));
+                    depth = 1;
+                }
+            }
+        }
+        while depth > 0 {
+            events.push(Ev::Exit);
+            depth -= 1;
+        }
+        events
+    }
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (2u32..8, 1u32..4, 2u32..7).prop_flat_map(|(num_procs, num_sites, max_depth)| {
+        proptest::collection::vec((0..num_procs, 0..num_sites), 0..120).prop_map(
+            move |choices| Trace {
+                num_procs,
+                num_sites,
+                choices,
+                max_depth,
+            },
+        )
+    })
+}
+
+fn build_all(trace: &Trace) -> (CctRuntime, DynCallTree, DynCallGraph) {
+    let procs: Vec<ProcInfo> = (0..trace.num_procs)
+        .map(|i| ProcInfo::new(&format!("p{i}"), trace.num_sites))
+        .collect();
+    let mut cct = CctRuntime::new(CctConfig::default(), procs);
+    let mut dct = DynCallTree::new(0);
+    let mut dcg = DynCallGraph::new(0);
+    for ev in trace.events() {
+        match ev {
+            Ev::Enter(proc, site) => {
+                if cct.depth() > 0 {
+                    cct.prepare_call(site, None);
+                }
+                cct.enter(proc);
+                dct.enter(proc);
+                dcg.enter(proc);
+            }
+            Ev::Exit => {
+                cct.exit();
+                dct.exit();
+                dcg.exit();
+            }
+        }
+    }
+    assert_eq!(cct.depth(), 0);
+    (cct, dct, dcg)
+}
+
+/// Counts DCT activations per collapsed context.
+fn dct_context_histogram(dct: &DynCallTree) -> BTreeMap<Vec<u32>, u64> {
+    let mut hist = BTreeMap::new();
+    for id in dct.node_ids().skip(1) {
+        *hist.entry(dct.collapsed_context(id)).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Counts CCT entries per record context.
+fn cct_context_histogram(cct: &CctRuntime) -> BTreeMap<Vec<u32>, u64> {
+    let mut hist = BTreeMap::new();
+    for id in cct.record_ids().skip(1) {
+        let r = cct.record(id);
+        *hist.entry(r.context()).or_insert(0) += r.calls();
+    }
+    hist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The CCT's (context -> entry count) map equals the DCT's
+    /// (collapsed context -> activation count) map: the projection
+    /// preserves unique contexts and aggregates equivalent ones.
+    #[test]
+    fn cct_is_projection_of_dct(trace in arb_trace()) {
+        let (cct, dct, _) = build_all(&trace);
+        prop_assert_eq!(cct_context_histogram(&cct), dct_context_histogram(&dct));
+    }
+
+    /// In site-merged mode the context multiset is identical (contexts are
+    /// procedure chains; only slot layout changes).
+    #[test]
+    fn merged_mode_preserves_contexts(trace in arb_trace()) {
+        let procs: Vec<ProcInfo> = (0..trace.num_procs)
+            .map(|i| ProcInfo::new(&format!("p{i}"), trace.num_sites))
+            .collect();
+        let mut merged = CctRuntime::new(
+            CctConfig { distinguish_call_sites: false, ..CctConfig::default() },
+            procs,
+        );
+        for ev in trace.events() {
+            match ev {
+                Ev::Enter(proc, site) => {
+                    if merged.depth() > 0 {
+                        merged.prepare_call(site, None);
+                    }
+                    merged.enter(proc);
+                }
+                Ev::Exit => {
+                    merged.exit();
+                }
+            }
+        }
+        let (cct, _, _) = build_all(&trace);
+        prop_assert_eq!(cct_context_histogram(&cct), cct_context_histogram(&merged));
+    }
+
+    /// Size ordering of the three representations: |DCG vertices| <=
+    /// |CCT records| <= |DCT activations|; and the CCT never exceeds the
+    /// total activation count.
+    #[test]
+    fn representation_size_ordering(trace in arb_trace()) {
+        let (cct, dct, dcg) = build_all(&trace);
+        prop_assert!(dcg.num_vertices() <= cct.num_records());
+        prop_assert!(cct.num_records() < dct.len());
+    }
+
+    /// Depth bound: no record is deeper than the number of procedures
+    /// (the modified equivalence guarantees each procedure at most once
+    /// per root-to-leaf chain).
+    #[test]
+    fn cct_depth_bounded_by_procedure_count(trace in arb_trace()) {
+        let (cct, _, _) = build_all(&trace);
+        for id in cct.record_ids() {
+            prop_assert!(cct.record(id).depth() <= trace.num_procs);
+        }
+    }
+
+    /// A context never contains the same procedure twice (no duplicate
+    /// procedure on any root-to-record chain).
+    #[test]
+    fn contexts_have_unique_procedures(trace in arb_trace()) {
+        let (cct, _, _) = build_all(&trace);
+        for id in cct.record_ids().skip(1) {
+            let ctx = cct.record(id).context();
+            let mut sorted = ctx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), ctx.len(), "context {:?} repeats a procedure", ctx);
+        }
+    }
+
+    /// Serialization roundtrip preserves the context histogram.
+    #[test]
+    fn serialized_roundtrip_preserves_profile(trace in arb_trace()) {
+        let (cct, _, _) = build_all(&trace);
+        let mut buf = Vec::new();
+        pp_cct::write_cct(&cct, &mut buf).expect("write to Vec");
+        let back = pp_cct::read_cct(&mut buf.as_slice()).expect("read back");
+        prop_assert_eq!(cct_context_histogram(&cct), cct_context_histogram(&back));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging two random profiles is commutative on the (context ->
+    /// calls) histogram and equals the concatenated-trace profile.
+    #[test]
+    fn merge_matches_concatenated_trace(a in arb_trace(), b_choices in proptest::collection::vec((0u32..6, 0u32..3), 0..80)) {
+        // Give both traces the same program shape (procs/sites from `a`).
+        let b = Trace {
+            num_procs: a.num_procs,
+            num_sites: a.num_sites,
+            choices: b_choices
+                .into_iter()
+                .map(|(p, s)| (p % a.num_procs, s % a.num_sites))
+                .collect(),
+            max_depth: a.max_depth,
+        };
+        let (cct_a, _, _) = build_all(&a);
+        let (cct_b, _, _) = build_all(&b);
+
+        let mut merged_ab = build_all(&a).0;
+        merged_ab.merge_from(&cct_b);
+        let mut merged_ba = build_all(&b).0;
+        merged_ba.merge_from(&cct_a);
+        prop_assert_eq!(
+            cct_context_histogram(&merged_ab),
+            cct_context_histogram(&merged_ba)
+        );
+
+        // Equals the profile of running trace a then trace b in sequence.
+        let concat = Trace {
+            num_procs: a.num_procs,
+            num_sites: a.num_sites,
+            choices: a
+                .choices
+                .iter()
+                .chain(b.choices.iter())
+                .copied()
+                .collect(),
+            max_depth: a.max_depth,
+        };
+        // Concatenation only matches if both traces individually return to
+        // depth 0 between them, which build_all guarantees by
+        // construction; but the *events* differ (the concatenated trace
+        // re-enters procedure 0 once instead of twice). Compare sums of
+        // the individual histograms instead.
+        let _ = concat;
+        let mut expect = cct_context_histogram(&cct_a);
+        for (k, v) in cct_context_histogram(&cct_b) {
+            *expect.entry(k).or_insert(0) += v;
+        }
+        prop_assert_eq!(cct_context_histogram(&merged_ab), expect);
+    }
+}

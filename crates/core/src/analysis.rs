@@ -1,0 +1,507 @@
+//! Hot path and hot procedure analyses (Tables 4 and 5, Section 6.4).
+//!
+//! Conventions: these analyses expect a [`FlowProfile`] collected with
+//! `%pic0 = Insts` and `%pic1 = DcMiss` (instructions and L1 data cache
+//! misses per path), which is how the Table 4/5 harnesses run the
+//! profiler. `m0` is therefore "instructions along the path" and `m1`
+//! "misses along the path".
+
+use std::collections::{HashMap, HashSet};
+
+use pp_instrument::Instrumented;
+use pp_ir::{ProcId, Program};
+
+use crate::profile::{FlowProfile, PathCell};
+
+/// Dense (above-average miss ratio) or sparse (below-average) — the
+/// paper's split of hot paths and hot procedures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathClass {
+    /// Miss ratio above the program average: likely a locality problem.
+    Dense,
+    /// Miss ratio below average: hot because it executes a lot.
+    Sparse,
+}
+
+/// One path's measurements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PathStat {
+    /// Procedure containing the path.
+    pub proc: ProcId,
+    /// The Ball–Larus path sum.
+    pub sum: u64,
+    /// Execution count.
+    pub freq: u64,
+    /// Instructions executed along the path (all executions).
+    pub inst: u64,
+    /// L1 data cache misses along the path (all executions).
+    pub miss: u64,
+    /// Dense/sparse classification (hot paths only).
+    pub class: PathClass,
+}
+
+/// The Table 4 analysis: hot / cold / dense / sparse paths.
+#[derive(Clone, Debug)]
+pub struct HotPathReport {
+    /// Miss fraction a path needs to be hot (the paper uses 1%, and 0.1%
+    /// for go/gcc).
+    pub threshold: f64,
+    /// Total instructions over all paths.
+    pub total_inst: u64,
+    /// Total misses over all paths.
+    pub total_miss: u64,
+    /// Number of distinct executed paths.
+    pub executed: usize,
+    /// Hot paths, sorted by misses descending.
+    pub hot: Vec<PathStat>,
+    /// Number of cold paths.
+    pub cold_count: usize,
+    /// Instructions on cold paths.
+    pub cold_inst: u64,
+    /// Misses on cold paths.
+    pub cold_miss: u64,
+}
+
+impl HotPathReport {
+    /// Hot paths with above-average miss ratios.
+    pub fn dense(&self) -> impl Iterator<Item = &PathStat> {
+        self.hot.iter().filter(|p| p.class == PathClass::Dense)
+    }
+
+    /// Hot paths with below-average miss ratios.
+    pub fn sparse(&self) -> impl Iterator<Item = &PathStat> {
+        self.hot.iter().filter(|p| p.class == PathClass::Sparse)
+    }
+
+    /// Fraction of all misses covered by the hot paths.
+    pub fn hot_miss_fraction(&self) -> f64 {
+        if self.total_miss == 0 {
+            return 0.0;
+        }
+        self.hot.iter().map(|p| p.miss).sum::<u64>() as f64 / self.total_miss as f64
+    }
+
+    /// Fraction of all instructions executed on the hot paths.
+    pub fn hot_inst_fraction(&self) -> f64 {
+        if self.total_inst == 0 {
+            return 0.0;
+        }
+        self.hot.iter().map(|p| p.inst).sum::<u64>() as f64 / self.total_inst as f64
+    }
+}
+
+/// Classifies executed paths by miss contribution (Table 4).
+///
+/// ```
+/// use pp_core::analysis::hot_paths;
+/// use pp_core::FlowProfile;
+/// use pp_ir::ProcId;
+///
+/// let mut flow = FlowProfile::new(1);
+/// flow.record(ProcId(0), 0, Some((1000, 90))); // the hot, dense path
+/// flow.record(ProcId(0), 1, Some((5000, 0)));  // busy but clean
+/// let report = hot_paths(&flow, 0.01);
+/// assert_eq!(report.hot.len(), 1);
+/// assert!(report.hot_miss_fraction() > 0.98);
+/// ```
+pub fn hot_paths(flow: &FlowProfile, threshold: f64) -> HotPathReport {
+    let total_inst = flow.total(|c| c.m0);
+    let total_miss = flow.total(|c| c.m1);
+    let avg_ratio = if total_inst > 0 {
+        total_miss as f64 / total_inst as f64
+    } else {
+        0.0
+    };
+    let cut = total_miss as f64 * threshold;
+
+    let mut hot = Vec::new();
+    let mut cold_count = 0usize;
+    let mut cold_inst = 0u64;
+    let mut cold_miss = 0u64;
+    let mut executed = 0usize;
+    for (proc, sum, cell) in flow.iter_paths() {
+        executed += 1;
+        let is_hot = total_miss > 0 && cell.m1 as f64 >= cut && cell.m1 > 0;
+        if is_hot {
+            let ratio = if cell.m0 > 0 {
+                cell.m1 as f64 / cell.m0 as f64
+            } else {
+                f64::INFINITY
+            };
+            hot.push(PathStat {
+                proc,
+                sum,
+                freq: cell.freq,
+                inst: cell.m0,
+                miss: cell.m1,
+                class: if ratio > avg_ratio {
+                    PathClass::Dense
+                } else {
+                    PathClass::Sparse
+                },
+            });
+        } else {
+            cold_count += 1;
+            cold_inst += cell.m0;
+            cold_miss += cell.m1;
+        }
+    }
+    hot.sort_by(|a, b| b.miss.cmp(&a.miss).then(a.sum.cmp(&b.sum)));
+    HotPathReport {
+        threshold,
+        total_inst,
+        total_miss,
+        executed,
+        hot,
+        cold_count,
+        cold_inst,
+        cold_miss,
+    }
+}
+
+/// One procedure's aggregated measurements (Table 5).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProcStat {
+    /// The procedure.
+    pub proc: ProcId,
+    /// Its name.
+    pub name: String,
+    /// Instructions over all its paths.
+    pub inst: u64,
+    /// Misses over all its paths.
+    pub miss: u64,
+    /// Distinct paths executed in it.
+    pub paths_executed: usize,
+    /// Dense/sparse (hot procedures only; cold ones are `Sparse` by
+    /// convention but reported separately).
+    pub class: PathClass,
+}
+
+/// The Table 5 analysis: hot / cold / dense / sparse procedures.
+#[derive(Clone, Debug)]
+pub struct HotProcReport {
+    /// Miss fraction threshold for a hot procedure.
+    pub threshold: f64,
+    /// Total misses.
+    pub total_miss: u64,
+    /// Hot procedures, sorted by misses descending.
+    pub hot: Vec<ProcStat>,
+    /// Cold procedures (those that executed at all).
+    pub cold: Vec<ProcStat>,
+}
+
+impl HotProcReport {
+    /// Dense hot procedures.
+    pub fn dense(&self) -> impl Iterator<Item = &ProcStat> {
+        self.hot.iter().filter(|p| p.class == PathClass::Dense)
+    }
+
+    /// Sparse hot procedures.
+    pub fn sparse(&self) -> impl Iterator<Item = &ProcStat> {
+        self.hot.iter().filter(|p| p.class == PathClass::Sparse)
+    }
+
+    /// Average executed paths per procedure over `set`.
+    pub fn avg_paths(set: &[&ProcStat]) -> f64 {
+        if set.is_empty() {
+            return 0.0;
+        }
+        set.iter().map(|p| p.paths_executed as f64).sum::<f64>() / set.len() as f64
+    }
+
+    /// Miss fraction covered by a set of procedures.
+    pub fn miss_fraction(&self, set: &[&ProcStat]) -> f64 {
+        if self.total_miss == 0 {
+            return 0.0;
+        }
+        set.iter().map(|p| p.miss).sum::<u64>() as f64 / self.total_miss as f64
+    }
+}
+
+/// Aggregates the flow profile per procedure and classifies (Table 5).
+pub fn hot_procedures(flow: &FlowProfile, program: &Program, threshold: f64) -> HotProcReport {
+    let mut per_proc: HashMap<ProcId, (u64, u64, usize)> = HashMap::new();
+    for (proc, _, cell) in flow.iter_paths() {
+        let e = per_proc.entry(proc).or_insert((0, 0, 0));
+        e.0 += cell.m0;
+        e.1 += cell.m1;
+        e.2 += 1;
+    }
+    let total_inst: u64 = per_proc.values().map(|e| e.0).sum();
+    let total_miss: u64 = per_proc.values().map(|e| e.1).sum();
+    let avg_ratio = if total_inst > 0 {
+        total_miss as f64 / total_inst as f64
+    } else {
+        0.0
+    };
+    let cut = total_miss as f64 * threshold;
+
+    let mut hot = Vec::new();
+    let mut cold = Vec::new();
+    for (proc, (inst, miss, paths_executed)) in per_proc {
+        let ratio = if inst > 0 {
+            miss as f64 / inst as f64
+        } else {
+            0.0
+        };
+        let stat = ProcStat {
+            proc,
+            name: program.procedure(proc).name.clone(),
+            inst,
+            miss,
+            paths_executed,
+            class: if ratio > avg_ratio {
+                PathClass::Dense
+            } else {
+                PathClass::Sparse
+            },
+        };
+        if total_miss > 0 && miss as f64 >= cut && miss > 0 {
+            hot.push(stat);
+        } else {
+            cold.push(stat);
+        }
+    }
+    hot.sort_by(|a, b| b.miss.cmp(&a.miss).then(a.proc.cmp(&b.proc)));
+    cold.sort_by(|a, b| b.miss.cmp(&a.miss).then(a.proc.cmp(&b.proc)));
+    HotProcReport {
+        threshold,
+        total_miss,
+        hot,
+        cold,
+    }
+}
+
+/// The Section 6.4.3 statistic: for blocks that lie on hot paths, the
+/// average number of distinct executed paths each block appears on
+/// ("basic blocks along hot paths execute along an average of 16
+/// different paths").
+pub fn block_path_multiplicity(
+    instrumented: &Instrumented,
+    flow: &FlowProfile,
+    report: &HotPathReport,
+) -> f64 {
+    // Blocks on hot paths.
+    let mut hot_blocks: HashSet<(ProcId, u32)> = HashSet::new();
+    for p in &report.hot {
+        if let Some((blocks, _)) = instrumented.decode_path(p.proc, p.sum) {
+            for b in blocks {
+                hot_blocks.insert((p.proc, b.0));
+            }
+        }
+    }
+    if hot_blocks.is_empty() {
+        return 0.0;
+    }
+    // Count, for every executed path, which of those blocks it crosses.
+    let mut multiplicity: HashMap<(ProcId, u32), u64> = HashMap::new();
+    for (proc, sum, _) in flow.iter_paths() {
+        if let Some((blocks, _)) = instrumented.decode_path(proc, sum) {
+            for b in blocks {
+                let key = (proc, b.0);
+                if hot_blocks.contains(&key) {
+                    *multiplicity.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    multiplicity.values().map(|&n| n as f64).sum::<f64>() / hot_blocks.len() as f64
+}
+
+/// One (calling context, intraprocedural path) pair from a combined
+/// profile — the unit of the paper's "efficient approximation to
+/// interprocedural path profiling" (Section 1.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ContextPathStat {
+    /// The call chain from the program entry, as procedure keys.
+    pub context: Vec<u32>,
+    /// The Ball–Larus path sum within the innermost procedure.
+    pub sum: u64,
+    /// Execution count.
+    pub freq: u64,
+    /// First metric total (instructions under the Table 4 convention).
+    pub m0: u64,
+    /// Second metric total (L1 D-misses under the Table 4 convention).
+    pub m1: u64,
+}
+
+/// Extracts the hot (context, path) pairs from a combined-mode CCT: the
+/// pairs carrying at least `threshold` of the second metric. This is the
+/// view neither flow profiling (no context) nor context profiling (no
+/// paths) can produce alone.
+pub fn hot_context_paths(
+    cct: &pp_cct::CctRuntime,
+    threshold: f64,
+) -> (Vec<ContextPathStat>, u64) {
+    let mut all: Vec<ContextPathStat> = Vec::new();
+    let mut total_m1 = 0u64;
+    for id in cct.record_ids().skip(1) {
+        let r = cct.record(id);
+        let context = r.context();
+        for (sum, counts) in r.paths() {
+            total_m1 += counts.m1;
+            all.push(ContextPathStat {
+                context: context.clone(),
+                sum,
+                freq: counts.freq,
+                m0: counts.m0,
+                m1: counts.m1,
+            });
+        }
+    }
+    let cut = total_m1 as f64 * threshold;
+    let mut hot: Vec<ContextPathStat> = all
+        .into_iter()
+        .filter(|s| s.m1 > 0 && s.m1 as f64 >= cut)
+        .collect();
+    hot.sort_by(|a, b| b.m1.cmp(&a.m1).then(a.sum.cmp(&b.sum)));
+    (hot, total_m1)
+}
+
+/// Convenience: the average L1 miss ratio recorded in the profile.
+pub fn overall_miss_ratio(flow: &FlowProfile) -> f64 {
+    let inst = flow.total(|c: &PathCell| c.m0);
+    if inst == 0 {
+        return 0.0;
+    }
+    flow.total(|c| c.m1) as f64 / inst as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> FlowProfile {
+        let mut fp = FlowProfile::new(2);
+        // proc 0: one dominant dense path, one sparse-but-hot path, one cold.
+        fp.record_n(ProcId(0), 0, 100, 10_000, 900); // dense: ratio 0.09
+        fp.record_n(ProcId(0), 1, 1000, 80_000, 80); // sparse hot: ratio 0.001
+        fp.record_n(ProcId(0), 2, 1, 100, 1); // cold
+        // proc 1: cold noise.
+        fp.record_n(ProcId(1), 0, 5, 500, 2);
+        fp
+    }
+
+    impl FlowProfile {
+        fn record_n(&mut self, proc: ProcId, sum: u64, freq: u64, inst: u64, miss: u64) {
+            for _ in 0..freq - 1 {
+                self.record(proc, sum, Some((0, 0)));
+            }
+            self.record(proc, sum, Some((inst, miss)));
+        }
+    }
+
+    #[test]
+    fn hot_path_classification() {
+        let fp = profile();
+        let r = hot_paths(&fp, 0.01);
+        assert_eq!(r.total_miss, 983);
+        assert_eq!(r.executed, 4);
+        assert_eq!(r.hot.len(), 2);
+        assert_eq!(r.cold_count, 2);
+        assert_eq!(r.hot[0].miss, 900);
+        assert_eq!(r.hot[0].class, PathClass::Dense);
+        assert_eq!(r.hot[1].class, PathClass::Sparse);
+        assert!(r.hot_miss_fraction() > 0.99);
+    }
+
+    #[test]
+    fn threshold_moves_the_cut() {
+        let fp = profile();
+        // 10% threshold: only the 900-miss path qualifies (98.3 cut).
+        let r = hot_paths(&fp, 0.10);
+        assert_eq!(r.hot.len(), 1);
+        // 0.01% threshold: everything with >0 misses qualifies.
+        let r = hot_paths(&fp, 0.0001);
+        assert_eq!(r.hot.len(), 4);
+    }
+
+    #[test]
+    fn hot_procedures_aggregate() {
+        let fp = profile();
+        let mut pb = pp_ir::build::ProgramBuilder::new();
+        let a = pb.procedure("alpha").finish();
+        let mut b = pb.procedure("beta");
+        b.entry_block();
+        b.finish();
+        let prog = pb.finish(a);
+        let r = hot_procedures(&fp, &prog, 0.01);
+        assert_eq!(r.hot.len(), 1);
+        assert_eq!(r.hot[0].name, "alpha");
+        assert_eq!(r.hot[0].paths_executed, 3);
+        assert_eq!(r.cold.len(), 1);
+        assert_eq!(r.cold[0].name, "beta");
+        let hot_refs: Vec<&ProcStat> = r.hot.iter().collect();
+        assert!(r.miss_fraction(&hot_refs) > 0.99);
+        assert_eq!(HotProcReport::avg_paths(&hot_refs), 3.0);
+    }
+
+    #[test]
+    fn zero_miss_profile_has_no_hot_paths() {
+        let mut fp = FlowProfile::new(1);
+        fp.record(ProcId(0), 0, Some((100, 0)));
+        let r = hot_paths(&fp, 0.01);
+        assert!(r.hot.is_empty());
+        assert_eq!(r.hot_miss_fraction(), 0.0);
+        assert_eq!(overall_miss_ratio(&fp), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod context_path_tests {
+    use super::*;
+    use pp_cct::{CctConfig, CctRuntime, ProcInfo};
+
+    #[test]
+    fn hot_context_paths_split_by_context() {
+        let procs = vec![
+            ProcInfo::new("main", 2).with_paths(1),
+            ProcInfo::new("a", 1).with_paths(1),
+            ProcInfo::new("b", 1).with_paths(1),
+            ProcInfo::new("leaf", 0).with_paths(4),
+        ];
+        let mut cct = CctRuntime::new(CctConfig::combined(true), procs);
+        cct.enter(0);
+        cct.prepare_call(0, None);
+        cct.enter(1); // a
+        cct.prepare_call(0, None);
+        cct.enter(3); // leaf under a: path 0, heavy misses
+        cct.path_event(0, Some((100, 90)));
+        cct.exit();
+        cct.exit();
+        cct.prepare_call(1, None);
+        cct.enter(2); // b
+        cct.prepare_call(0, None);
+        cct.enter(3); // leaf under b: path 2, few misses
+        cct.path_event(2, Some((100, 10)));
+        cct.exit();
+        cct.exit();
+        cct.exit();
+
+        let (hot, total) = hot_context_paths(&cct, 0.05);
+        assert_eq!(total, 100);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].context, vec![0, 1, 3]); // main -> a -> leaf
+        assert_eq!(hot[0].sum, 0);
+        assert_eq!(hot[0].m1, 90);
+        assert_eq!(hot[1].context, vec![0, 2, 3]);
+        assert_eq!(hot[1].sum, 2);
+        // A flow profile would merge both into (leaf, path) totals; a
+        // context profile would merge both paths per record. Only the
+        // combination separates all four dimensions.
+    }
+
+    #[test]
+    fn threshold_filters_cold_pairs() {
+        let procs = vec![ProcInfo::new("main", 0).with_paths(8)];
+        let mut cct = CctRuntime::new(CctConfig::combined(true), procs);
+        cct.enter(0);
+        cct.path_event(0, Some((10, 99)));
+        cct.path_event(1, Some((10, 1)));
+        cct.exit();
+        let (hot, total) = hot_context_paths(&cct, 0.05);
+        assert_eq!(total, 100);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].sum, 0);
+    }
+}

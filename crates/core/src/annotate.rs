@@ -1,0 +1,222 @@
+//! Block-level attribution — the *statement-level* view the paper argues
+//! against (Section 6.4.3).
+//!
+//! A flow profile knows metrics per *path*; a conventional profiler
+//! reports them per block/statement, which requires smearing each path's
+//! metric over the blocks it crosses. This module implements that
+//! projection (so PP can also print classic annotated listings) and
+//! quantifies the information loss: how much of a block's misses can be
+//! assigned to a single responsible path.
+
+use std::collections::HashMap;
+
+use pp_instrument::Instrumented;
+use pp_ir::{BlockId, ProcId, Procedure};
+
+use crate::profile::FlowProfile;
+
+/// Per-block attribution projected from a path profile.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct BlockAttribution {
+    /// Times the block executed.
+    pub freq: u64,
+    /// Instructions attributed to the block (each path's instructions
+    /// split evenly over its blocks — the smear a statement profiler
+    /// reports).
+    pub inst_est: f64,
+    /// Misses attributed to the block, smeared the same way.
+    pub miss_est: f64,
+    /// Number of distinct executed paths crossing the block.
+    pub paths: u32,
+    /// Largest share of the block's smeared misses owed to one path
+    /// (1.0 = a single path explains the block; low values = the
+    /// block-level number cannot identify the behaviour).
+    pub top_path_share: f64,
+}
+
+/// Computes block attributions for every block of every procedure.
+pub fn block_attribution(
+    instrumented: &Instrumented,
+    flow: &FlowProfile,
+) -> HashMap<(ProcId, BlockId), BlockAttribution> {
+    let mut out: HashMap<(ProcId, BlockId), BlockAttribution> = HashMap::new();
+    let mut top: HashMap<(ProcId, BlockId), f64> = HashMap::new();
+    for (proc, sum, cell) in flow.iter_paths() {
+        let Some((blocks, _)) = instrumented.decode_path(proc, sum) else {
+            continue;
+        };
+        if blocks.is_empty() {
+            continue;
+        }
+        let share_inst = cell.m0 as f64 / blocks.len() as f64;
+        let share_miss = cell.m1 as f64 / blocks.len() as f64;
+        for b in blocks {
+            let e = out.entry((proc, b)).or_default();
+            e.freq += cell.freq;
+            e.inst_est += share_inst;
+            e.miss_est += share_miss;
+            e.paths += 1;
+            let t = top.entry((proc, b)).or_insert(0.0);
+            if share_miss > *t {
+                *t = share_miss;
+            }
+        }
+    }
+    for (key, e) in &mut out {
+        if e.miss_est > 0.0 {
+            e.top_path_share = top.get(key).copied().unwrap_or(0.0) / e.miss_est;
+        }
+    }
+    out
+}
+
+/// An annotated listing of one procedure: each block's text with its
+/// attribution, the classic profiler output format.
+pub fn annotated_listing(
+    proc: &Procedure,
+    pid: ProcId,
+    attributions: &HashMap<(ProcId, BlockId), BlockAttribution>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "proc {}:  (freq / est.misses / paths crossing)",
+        proc.name
+    );
+    for (bid, block) in proc.iter_blocks() {
+        let a = attributions.get(&(pid, bid)).copied().unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  b{:<4} {:>10} {:>12.1} {:>6}",
+            bid.0, a.freq, a.miss_est, a.paths
+        );
+        for instr in &block.instrs {
+            let _ = writeln!(out, "         | {instr}");
+        }
+        let _ = writeln!(out, "         | {}", block.term);
+    }
+    out
+}
+
+/// The Section 6.4.3 measurement over an entire profile: the average (over
+/// blocks with misses) of the largest single-path share of each block's
+/// misses. A value near 1 would mean block-level numbers identify paths;
+/// the paper's point is that it is far below 1 on hot code.
+pub fn avg_top_path_share(
+    attributions: &HashMap<(ProcId, BlockId), BlockAttribution>,
+) -> f64 {
+    let with_misses: Vec<&BlockAttribution> = attributions
+        .values()
+        .filter(|a| a.miss_est > 0.0 && a.paths > 1)
+        .collect();
+    if with_misses.is_empty() {
+        return 1.0;
+    }
+    with_misses.iter().map(|a| a.top_path_share).sum::<f64>() / with_misses.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{Profiler, RunConfig};
+    use pp_ir::build::ProgramBuilder;
+    use pp_ir::{HwEvent, Program};
+
+    fn diamond_loop() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let sel = f.new_block();
+        let hot = f.new_block();
+        let cold = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        let p = f.new_reg();
+        let a = f.new_reg();
+        let v = f.new_reg();
+        f.block(e).mov(i, 0i64).jump(h);
+        f.block(h).cmp_lt(c, i, 64i64).branch(c, sel, x);
+        f.block(sel)
+            .bin(pp_ir::instr::BinOp::And, p, i, 3i64)
+            .cmp_lt(p, p, 3i64)
+            .branch(p, hot, cold);
+        f.block(hot)
+            .mul(a, i, 512i64)
+            .add(a, a, 0x30_0000i64)
+            .load(v, a, 0)
+            .add(i, i, 1i64)
+            .jump(h);
+        f.block(cold).add(i, i, 1i64).jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    #[test]
+    fn attribution_counts_block_frequencies() {
+        let prog = diamond_loop();
+        let run = Profiler::default()
+            .run(
+                &prog,
+                RunConfig::FlowHw {
+                    events: (HwEvent::Insts, HwEvent::DcMiss),
+                },
+            )
+            .unwrap();
+        let attr = block_attribution(
+            run.instrumented.as_ref().unwrap(),
+            run.flow.as_ref().unwrap(),
+        );
+        let p = prog.entry();
+        // Header executes 65 times, hot arm 48, cold arm 16.
+        assert_eq!(attr[&(p, pp_ir::BlockId(1))].freq, 65);
+        assert_eq!(attr[&(p, pp_ir::BlockId(3))].freq, 48);
+        assert_eq!(attr[&(p, pp_ir::BlockId(4))].freq, 16);
+        // Misses concentrate in the hot arm's attribution.
+        assert!(attr[&(p, pp_ir::BlockId(3))].miss_est > attr[&(p, pp_ir::BlockId(4))].miss_est);
+        // The header is crossed by several distinct paths.
+        assert!(attr[&(p, pp_ir::BlockId(1))].paths >= 3);
+    }
+
+    #[test]
+    fn listing_renders_every_block() {
+        let prog = diamond_loop();
+        let run = Profiler::default().run(&prog, RunConfig::FlowFreq).unwrap();
+        // FlowFreq has no metrics; attribution still counts freq/paths.
+        let attr = block_attribution(
+            run.instrumented.as_ref().unwrap(),
+            run.flow.as_ref().unwrap(),
+        );
+        let listing = annotated_listing(prog.procedure(prog.entry()), prog.entry(), &attr);
+        assert!(listing.contains("proc main"), "{listing}");
+        assert_eq!(listing.matches("\n  b").count(), 6, "{listing}");
+        assert!(listing.contains("br "), "{listing}");
+    }
+
+    #[test]
+    fn top_path_share_low_on_shared_blocks() {
+        let prog = diamond_loop();
+        let run = Profiler::default()
+            .run(
+                &prog,
+                RunConfig::FlowHw {
+                    events: (HwEvent::Insts, HwEvent::DcMiss),
+                },
+            )
+            .unwrap();
+        let attr = block_attribution(
+            run.instrumented.as_ref().unwrap(),
+            run.flow.as_ref().unwrap(),
+        );
+        let p = prog.entry();
+        // The loop header's misses come from several paths: no single
+        // path explains them.
+        let header = attr[&(p, pp_ir::BlockId(1))];
+        assert!(header.top_path_share < 0.9, "{header:?}");
+        let avg = avg_top_path_share(&attr);
+        assert!(avg < 0.95, "avg share {avg}");
+    }
+}

@@ -1,0 +1,636 @@
+//! Harnesses regenerating the paper's tables from a benchmark suite.
+//!
+//! Each `tableN` function runs the required configurations over a slice of
+//! [`BenchCase`]s and returns structured rows; each `render_tableN`
+//! formats them the way the paper prints them (including the CINT / CFP /
+//! SPEC average rows). The `pp-bench` crate owns the binaries that call
+//! these with the synthetic SPEC95-analog suite.
+
+use pp_cct::CctStats;
+use pp_ir::{HwEvent, Program};
+
+use crate::analysis::{self, HotPathReport, HotProcReport};
+use crate::profiler::{ProfileError, Profiler, RunConfig};
+use crate::report::{compact, pct, ratio1, ratio2, TextTable};
+
+/// One benchmark in the suite.
+#[derive(Clone, Debug)]
+pub struct BenchCase {
+    /// Display name (e.g. "099.go").
+    pub name: String,
+    /// True for integer-suite analogs (CINT95), false for CFP95 analogs.
+    pub cint: bool,
+    /// The program.
+    pub program: Program,
+}
+
+/// The Table 4/5 runs measure instructions and D-cache misses per path.
+pub const TABLE45_EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+
+// ---------------------------------------------------------------------------
+// Table 1: overhead of profiling
+// ---------------------------------------------------------------------------
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Integer-suite analog?
+    pub cint: bool,
+    /// Uninstrumented cycles.
+    pub base: u64,
+    /// "Flow and HW" cycles.
+    pub flow_hw: u64,
+    /// "Context and HW" cycles.
+    pub context_hw: u64,
+    /// "Context and Flow" cycles.
+    pub context_flow: u64,
+}
+
+impl Table1Row {
+    /// Overhead of a configuration relative to base.
+    pub fn overhead(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.base as f64
+    }
+}
+
+/// Runs the three instrumented configurations plus base for every case.
+///
+/// # Errors
+///
+/// Propagates the first [`ProfileError`].
+pub fn table1(profiler: &Profiler, cases: &[BenchCase]) -> Result<Vec<Table1Row>, ProfileError> {
+    let events = TABLE45_EVENTS;
+    cases
+        .iter()
+        .map(|case| {
+            let base = profiler.run(&case.program, RunConfig::Base)?.cycles();
+            let flow_hw = profiler
+                .run(&case.program, RunConfig::FlowHw { events })?
+                .cycles();
+            let context_hw = profiler
+                .run(&case.program, RunConfig::ContextHw { events })?
+                .cycles();
+            let context_flow = profiler
+                .run(&case.program, RunConfig::ContextFlow)?
+                .cycles();
+            Ok(Table1Row {
+                name: case.name.clone(),
+                cint: case.cint,
+                base,
+                flow_hw,
+                context_hw,
+                context_flow,
+            })
+        })
+        .collect()
+}
+
+fn avg(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Renders Table 1 with CINT/CFP/SPEC average rows.
+pub fn render_table1(rows: &[Table1Row]) -> TextTable {
+    let mut t = TextTable::new([
+        "Benchmark",
+        "Base (cyc)",
+        "Flow+HW (cyc)",
+        "xBase",
+        "Ctx+HW (cyc)",
+        "xBase",
+        "Ctx+Flow (cyc)",
+        "xBase",
+    ]);
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            compact(r.base),
+            compact(r.flow_hw),
+            ratio1(r.overhead(r.flow_hw)),
+            compact(r.context_hw),
+            ratio1(r.overhead(r.context_hw)),
+            compact(r.context_flow),
+            ratio1(r.overhead(r.context_flow)),
+        ]);
+    }
+    for (label, filter) in [
+        ("CINT Avg", Some(true)),
+        ("CFP Avg", Some(false)),
+        ("SPEC Avg", None),
+    ] {
+        let sel: Vec<&Table1Row> = rows
+            .iter()
+            .filter(|r| filter.is_none_or(|c| r.cint == c))
+            .collect();
+        if sel.is_empty() {
+            continue;
+        }
+        t.separator();
+        t.row([
+            label.to_string(),
+            String::new(),
+            String::new(),
+            ratio1(avg(sel.iter().map(|r| r.overhead(r.flow_hw)))),
+            String::new(),
+            ratio1(avg(sel.iter().map(|r| r.overhead(r.context_hw)))),
+            String::new(),
+            ratio1(avg(sel.iter().map(|r| r.overhead(r.context_flow)))),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: perturbation of hardware metrics
+// ---------------------------------------------------------------------------
+
+/// Perturbation ratios for one benchmark: recorded metric / uninstrumented
+/// metric, for flow (F) and context (C) profiling, for each of the eight
+/// Table 2 events.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Integer-suite analog?
+    pub cint: bool,
+    /// `(event, F ratio, C ratio)` for the eight Table 2 events.
+    pub ratios: Vec<(HwEvent, f64, f64)>,
+}
+
+/// The event pairing used to cover all eight metrics in four runs.
+pub const TABLE2_PAIRS: [(HwEvent, HwEvent); 4] = [
+    (HwEvent::Cycles, HwEvent::Insts),
+    (HwEvent::DcReadMiss, HwEvent::DcWriteMiss),
+    (HwEvent::IcMiss, HwEvent::BranchMispredict),
+    (HwEvent::StoreBufStall, HwEvent::FpStall),
+];
+
+/// Measures perturbation: for each event pair, a Flow+HW run (recorded =
+/// sum over paths) and a Context+HW run (recorded = inclusive metrics of
+/// the root's children), each divided by the uninstrumented total.
+///
+/// # Errors
+///
+/// Propagates the first [`ProfileError`].
+pub fn table2(profiler: &Profiler, cases: &[BenchCase]) -> Result<Vec<Table2Row>, ProfileError> {
+    cases.iter().map(|case| table2_case(profiler, case)).collect()
+}
+
+/// The Table 2 measurement for a single benchmark (exposed so harnesses
+/// can parallelize across benchmarks).
+///
+/// # Errors
+///
+/// Propagates the first [`ProfileError`].
+pub fn table2_case(profiler: &Profiler, case: &BenchCase) -> Result<Table2Row, ProfileError> {
+    {
+        {
+            let base = profiler.run(&case.program, RunConfig::Base)?;
+            let mut ratios = Vec::new();
+            for events in TABLE2_PAIRS {
+                let flow_run = profiler.run(&case.program, RunConfig::FlowHw { events })?;
+                let flow = flow_run.flow.as_ref().expect("flow profile present");
+                let ctx_run = profiler.run(&case.program, RunConfig::ContextHw { events })?;
+                let cct = ctx_run.cct.as_ref().expect("cct present");
+                // Context recorded total: inclusive metrics of the root's
+                // children (normally just the program entry).
+                let mut ctx0 = 0u64;
+                let mut ctx1 = 0u64;
+                for id in cct.record_ids().skip(1) {
+                    let r = cct.record(id);
+                    if r.parent() == Some(pp_cct::RecordId::ROOT) {
+                        ctx0 += r.metrics().first().copied().unwrap_or(0);
+                        ctx1 += r.metrics().get(1).copied().unwrap_or(0);
+                    }
+                }
+                for (k, ev) in [events.0, events.1].into_iter().enumerate() {
+                    let ground = base.machine.metrics.get(ev).max(1) as f64;
+                    let f_rec = if k == 0 {
+                        flow.total(|c| c.m0)
+                    } else {
+                        flow.total(|c| c.m1)
+                    } as f64;
+                    let c_rec = if k == 0 { ctx0 } else { ctx1 } as f64;
+                    ratios.push((ev, f_rec / ground, c_rec / ground));
+                }
+            }
+            Ok(Table2Row {
+                name: case.name.clone(),
+                cint: case.cint,
+                ratios,
+            })
+        }
+    }
+}
+
+/// Renders Table 2 (F and C columns per event).
+pub fn render_table2(rows: &[Table2Row]) -> TextTable {
+    let mut headers = vec!["Benchmark".to_string()];
+    if let Some(first) = rows.first() {
+        for (ev, _, _) in &first.ratios {
+            headers.push(format!("{ev} F"));
+            headers.push(format!("{ev} C"));
+        }
+    }
+    let mut t = TextTable::new(headers);
+    for r in rows {
+        let mut cells = vec![r.name.clone()];
+        for (_, f, c) in &r.ratios {
+            cells.push(ratio2(*f));
+            cells.push(ratio2(*c));
+        }
+        t.row(cells);
+    }
+    for (label, filter) in [
+        ("CINT Avg", Some(true)),
+        ("CFP Avg", Some(false)),
+        ("SPEC Avg", None),
+    ] {
+        let sel: Vec<&Table2Row> = rows
+            .iter()
+            .filter(|r| filter.is_none_or(|c| r.cint == c))
+            .collect();
+        if sel.is_empty() || rows.is_empty() {
+            continue;
+        }
+        t.separator();
+        let nev = sel[0].ratios.len();
+        let mut cells = vec![label.to_string()];
+        for i in 0..nev {
+            cells.push(ratio2(avg(sel.iter().map(|r| r.ratios[i].1))));
+            cells.push(ratio2(avg(sel.iter().map(|r| r.ratios[i].2))));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: CCT statistics
+// ---------------------------------------------------------------------------
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Integer-suite analog?
+    pub cint: bool,
+    /// The computed statistics.
+    pub stats: CctStats,
+}
+
+/// Builds a combined-mode CCT per case and computes its statistics.
+///
+/// # Errors
+///
+/// Propagates the first [`ProfileError`].
+pub fn table3(profiler: &Profiler, cases: &[BenchCase]) -> Result<Vec<Table3Row>, ProfileError> {
+    cases
+        .iter()
+        .map(|case| {
+            let run = profiler.run(
+                &case.program,
+                RunConfig::CombinedHw {
+                    events: TABLE45_EVENTS,
+                },
+            )?;
+            let cct = run.cct.as_ref().expect("cct present");
+            Ok(Table3Row {
+                name: case.name.clone(),
+                cint: case.cint,
+                stats: CctStats::compute(cct),
+            })
+        })
+        .collect()
+}
+
+/// Renders Table 3.
+pub fn render_table3(rows: &[Table3Row]) -> TextTable {
+    let mut t = TextTable::new([
+        "Benchmark",
+        "Size",
+        "Nodes",
+        "AvgNode",
+        "OutDeg",
+        "HtAvg",
+        "HtMax",
+        "MaxRepl",
+        "Sites",
+        "Used",
+        "OnePath",
+    ]);
+    for r in rows {
+        let s = &r.stats;
+        t.row([
+            r.name.clone(),
+            compact(s.file_size),
+            s.nodes.to_string(),
+            format!("{:.1}", s.avg_node_size),
+            format!("{:.1}", s.avg_out_degree),
+            format!("{:.1}", s.height_avg),
+            s.height_max.to_string(),
+            s.max_replication.to_string(),
+            s.call_sites_total.to_string(),
+            s.call_sites_used.to_string(),
+            s.call_sites_one_path.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Tables 4 & 5: L1 D-cache misses by path / by procedure
+// ---------------------------------------------------------------------------
+
+/// One row of Table 4 plus the Section 6.4.3 statistic.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Integer-suite analog?
+    pub cint: bool,
+    /// Hot-path threshold used.
+    pub threshold: f64,
+    /// The analysis.
+    pub report: HotPathReport,
+    /// Average number of executed paths crossing each hot-path block.
+    pub block_multiplicity: f64,
+    /// Total potential Ball–Larus paths across all procedures — the
+    /// paper's point that executed paths are "a miniscule fraction of
+    /// potential paths" (saturates at `u64::MAX`).
+    pub potential_paths: u64,
+}
+
+/// One row of Table 5.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Integer-suite analog?
+    pub cint: bool,
+    /// The analysis.
+    pub report: HotProcReport,
+}
+
+/// Runs Flow+HW (instructions + misses) once per case and produces both
+/// the path-level and procedure-level analyses. `low_threshold_for`
+/// selects benchmarks measured at 0.1% instead of 1% (the paper's go and
+/// gcc treatment).
+///
+/// # Errors
+///
+/// Propagates the first [`ProfileError`].
+pub fn table45(
+    profiler: &Profiler,
+    cases: &[BenchCase],
+    low_threshold_for: &[&str],
+) -> Result<(Vec<Table4Row>, Vec<Table5Row>), ProfileError> {
+    let mut t4 = Vec::new();
+    let mut t5 = Vec::new();
+    for case in cases {
+        let run = profiler.run(
+            &case.program,
+            RunConfig::FlowHw {
+                events: TABLE45_EVENTS,
+            },
+        )?;
+        let flow = run.flow.as_ref().expect("flow profile present");
+        let inst = run.instrumented.as_ref().expect("instrumented");
+        let threshold = if low_threshold_for.iter().any(|n| case.name.contains(n)) {
+            0.001
+        } else {
+            0.01
+        };
+        let report = analysis::hot_paths(flow, threshold);
+        let block_multiplicity = analysis::block_path_multiplicity(inst, flow, &report);
+        let potential_paths = inst
+            .proc_paths
+            .iter()
+            .flatten()
+            .fold(0u64, |acc, pp| acc.saturating_add(pp.num_paths()));
+        t4.push(Table4Row {
+            name: case.name.clone(),
+            cint: case.cint,
+            threshold,
+            report,
+            block_multiplicity,
+            potential_paths,
+        });
+        t5.push(Table5Row {
+            name: case.name.clone(),
+            cint: case.cint,
+            report: analysis::hot_procedures(flow, &case.program, threshold),
+        });
+    }
+    Ok((t4, t5))
+}
+
+/// Renders Table 4.
+pub fn render_table4(rows: &[Table4Row]) -> TextTable {
+    let mut t = TextTable::new([
+        "Benchmark",
+        "Potential",
+        "Paths",
+        "Inst",
+        "Miss",
+        "Hot#",
+        "HotInst",
+        "HotMiss",
+        "Dense#",
+        "Sparse#",
+        "Cold#",
+        "ColdMiss",
+        "Blk*Paths",
+    ]);
+    for r in rows {
+        let rep = &r.report;
+        let hot_n = rep.hot.len();
+        t.row([
+            format!(
+                "{}{}",
+                r.name,
+                if r.threshold < 0.01 { " (0.1%)" } else { "" }
+            ),
+            compact(r.potential_paths),
+            rep.executed.to_string(),
+            compact(rep.total_inst),
+            compact(rep.total_miss),
+            hot_n.to_string(),
+            pct(rep.hot_inst_fraction()),
+            pct(rep.hot_miss_fraction()),
+            rep.dense().count().to_string(),
+            rep.sparse().count().to_string(),
+            rep.cold_count.to_string(),
+            pct(if rep.total_miss == 0 {
+                0.0
+            } else {
+                rep.cold_miss as f64 / rep.total_miss as f64
+            }),
+            format!("{:.1}", r.block_multiplicity),
+        ]);
+    }
+    for (label, filter) in [
+        ("CINT Avg", Some(true)),
+        ("CFP Avg", Some(false)),
+        ("SPEC Avg", None),
+    ] {
+        let sel: Vec<&Table4Row> = rows
+            .iter()
+            .filter(|r| filter.is_none_or(|c| r.cint == c))
+            .collect();
+        if sel.is_empty() {
+            continue;
+        }
+        t.separator();
+        t.row([
+            label.to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:.1}", avg(sel.iter().map(|r| r.report.hot.len() as f64))),
+            pct(avg(sel.iter().map(|r| r.report.hot_inst_fraction()))),
+            pct(avg(sel.iter().map(|r| r.report.hot_miss_fraction()))),
+            format!("{:.1}", avg(sel.iter().map(|r| r.report.dense().count() as f64))),
+            format!("{:.1}", avg(sel.iter().map(|r| r.report.sparse().count() as f64))),
+            String::new(),
+            String::new(),
+            format!("{:.1}", avg(sel.iter().map(|r| r.block_multiplicity))),
+        ]);
+    }
+    t
+}
+
+/// Renders Table 5.
+pub fn render_table5(rows: &[Table5Row]) -> TextTable {
+    let mut t = TextTable::new([
+        "Benchmark",
+        "Hot#",
+        "HotPath/Proc",
+        "HotMiss",
+        "Dense#",
+        "Sparse#",
+        "Cold#",
+        "ColdPath/Proc",
+        "ColdMiss",
+    ]);
+    for r in rows {
+        let rep = &r.report;
+        let hot: Vec<&crate::analysis::ProcStat> = rep.hot.iter().collect();
+        let cold: Vec<&crate::analysis::ProcStat> = rep.cold.iter().collect();
+        t.row([
+            r.name.clone(),
+            hot.len().to_string(),
+            format!("{:.1}", HotProcReport::avg_paths(&hot)),
+            pct(rep.miss_fraction(&hot)),
+            rep.dense().count().to_string(),
+            rep.sparse().count().to_string(),
+            cold.len().to_string(),
+            format!("{:.1}", HotProcReport::avg_paths(&cold)),
+            pct(rep.miss_fraction(&cold)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_ir::build::ProgramBuilder;
+    use pp_ir::Operand;
+
+    fn tiny_case(name: &str, cint: bool) -> BenchCase {
+        let mut pb = ProgramBuilder::new();
+        let leaf = pb.declare("leaf");
+        let mut m = pb.procedure("main");
+        let e = m.entry_block();
+        let h = m.new_block();
+        let body = m.new_block();
+        let x = m.new_block();
+        let i = m.new_reg();
+        let c = m.new_reg();
+        let a = m.new_reg();
+        let v = m.new_reg();
+        m.block(e).mov(i, 0i64).jump(h);
+        m.block(h).cmp_lt(c, i, 64i64).branch(c, body, x);
+        m.block(body)
+            .mul(a, i, 512i64) // strided loads: misses
+            .add(a, a, 0x20_0000i64)
+            .load(v, a, 0)
+            .call(leaf, vec![Operand::Reg(i)], None)
+            .add(i, i, 1i64)
+            .jump(h);
+        m.block(x).ret();
+        let main = m.finish();
+        let mut l = pb.procedure_for(leaf);
+        let e = l.entry_block();
+        l.reserve_regs(1);
+        l.block(e).nop().ret();
+        l.finish();
+        BenchCase {
+            name: name.to_string(),
+            cint,
+            program: pb.finish(main),
+        }
+    }
+
+    #[test]
+    fn table1_shows_positive_overheads() {
+        let cases = vec![tiny_case("int.a", true), tiny_case("fp.b", false)];
+        let rows = table1(&Profiler::default(), &cases).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.overhead(r.flow_hw) > 1.0);
+            assert!(r.overhead(r.context_hw) > 1.0);
+            assert!(r.overhead(r.context_flow) > 1.0);
+        }
+        let text = render_table1(&rows).to_string();
+        assert!(text.contains("CINT Avg"));
+        assert!(text.contains("SPEC Avg"));
+    }
+
+    #[test]
+    fn table2_ratios_near_one_for_insts() {
+        let cases = vec![tiny_case("int.a", true)];
+        let rows = table2(&Profiler::default(), &cases).unwrap();
+        let r = &rows[0];
+        assert_eq!(r.ratios.len(), 8);
+        let (ev, f, _c) = r.ratios[1];
+        assert_eq!(ev, HwEvent::Insts);
+        // Flow-recorded instructions should be within 2x of ground truth.
+        assert!(f > 0.5 && f < 2.0, "F(insts) = {f}");
+        let text = render_table2(&rows).to_string();
+        assert!(text.contains("insts F"));
+    }
+
+    #[test]
+    fn table3_counts_records() {
+        let cases = vec![tiny_case("x", true)];
+        let rows = table3(&Profiler::default(), &cases).unwrap();
+        assert_eq!(rows[0].stats.nodes, 2); // main + leaf
+        let text = render_table3(&rows).to_string();
+        assert!(text.contains("MaxRepl"));
+    }
+
+    #[test]
+    fn table45_produces_hot_paths() {
+        let cases = vec![tiny_case("go.analog", true)];
+        let (t4, t5) = table45(&Profiler::default(), &cases, &["go"]).unwrap();
+        assert_eq!(t4[0].threshold, 0.001, "go analog uses the low threshold");
+        assert!(t4[0].report.total_miss > 0);
+        assert!(!t4[0].report.hot.is_empty());
+        assert!(!t5[0].report.hot.is_empty());
+        let text4 = render_table4(&t4).to_string();
+        assert!(text4.contains("(0.1%)"));
+        let text5 = render_table5(&t5).to_string();
+        assert!(text5.contains("HotPath/Proc"));
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # pp-core — the PP profiler
+//!
+//! The top of the reproduction stack: this crate is the analog of the
+//! paper's PP tool as its *user* sees it. Give it a `pp-ir` program and a
+//! [`RunConfig`], and it
+//!
+//! 1. instruments the program (`pp-instrument`),
+//! 2. executes it on the simulated UltraSPARC (`pp-usim`) with a profiling
+//!    sink that maintains the flow counter tables and the calling context
+//!    tree (`pp-cct`) exactly, and
+//! 3. returns a [`RunReport`] with the machine's ground-truth metrics plus
+//!    the collected profile.
+//!
+//! On top of the reports sit the paper's analyses:
+//!
+//! * [`analysis::hot_paths`] — Table 4's hot/cold/dense/sparse path
+//!   classification,
+//! * [`analysis::hot_procedures`] — Table 5's per-procedure view,
+//! * [`analysis::block_path_multiplicity`] — the Section 6.4.3 statistic
+//!   (blocks on hot paths execute on ~16 different paths),
+//! * [`pp_cct::CctStats`] — Table 3's CCT statistics,
+//! * [`experiment`] — harnesses that regenerate each of the paper's
+//!   tables from a set of benchmark programs.
+//!
+//! ```no_run
+//! use pp_core::{Profiler, RunConfig};
+//! use pp_ir::HwEvent;
+//! # fn program() -> pp_ir::Program { unimplemented!() }
+//!
+//! let program = program();
+//! let profiler = Profiler::new(Default::default());
+//! let report = profiler
+//!     .run(&program, RunConfig::FlowHw { events: (HwEvent::Insts, HwEvent::DcMiss) })
+//!     .unwrap();
+//! let flow = report.flow.as_ref().unwrap();
+//! for (proc, sum, cell) in flow.iter_paths().take(10) {
+//!     println!("{proc} path {sum}: {} times, {} misses", cell.freq, cell.m1);
+//! }
+//! ```
+
+pub mod analysis;
+pub mod annotate;
+pub mod experiment;
+pub mod profile;
+pub mod profiler;
+pub mod report;
+mod sink_impl;
+
+pub use analysis::{ContextPathStat, HotPathReport, HotProcReport, PathClass, PathStat, ProcStat};
+pub use profile::{FlowProfile, PathCell};
+pub use profiler::{ProfileError, Profiler, RunConfig, RunReport};
+pub use report::TextTable;

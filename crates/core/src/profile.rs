@@ -1,0 +1,258 @@
+//! The collected flow profile.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+use pp_ir::ProcId;
+
+/// Counters for one intraprocedural path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PathCell {
+    /// Times the path executed.
+    pub freq: u64,
+    /// Accumulated first hardware metric (`%pic0` over the path).
+    pub m0: u64,
+    /// Accumulated second hardware metric (`%pic1` over the path).
+    pub m1: u64,
+}
+
+/// Per-procedure path counter tables — what the paper's flow sensitive
+/// profiling writes out.
+#[derive(Clone, Debug, Default)]
+pub struct FlowProfile {
+    tables: Vec<HashMap<u64, PathCell>>,
+}
+
+impl FlowProfile {
+    /// Creates empty tables for `num_procs` procedures.
+    pub fn new(num_procs: usize) -> FlowProfile {
+        FlowProfile {
+            tables: vec![HashMap::new(); num_procs],
+        }
+    }
+
+    /// Bumps the counter for (`proc`, `sum`), accumulating metric values
+    /// when present.
+    pub fn record(&mut self, proc: ProcId, sum: u64, metrics: Option<(u64, u64)>) {
+        let cell = self.tables[proc.index()].entry(sum).or_default();
+        cell.freq += 1;
+        if let Some((m0, m1)) = metrics {
+            cell.m0 += m0;
+            cell.m1 += m1;
+        }
+    }
+
+    /// The cell for (`proc`, `sum`), if the path ever executed.
+    pub fn get(&self, proc: ProcId, sum: u64) -> Option<&PathCell> {
+        self.tables[proc.index()].get(&sum)
+    }
+
+    /// Number of procedures.
+    pub fn num_procs(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of distinct paths executed in `proc`.
+    pub fn paths_executed(&self, proc: ProcId) -> usize {
+        self.tables[proc.index()].len()
+    }
+
+    /// Total distinct paths executed across all procedures.
+    pub fn total_paths_executed(&self) -> usize {
+        self.tables.iter().map(HashMap::len).sum()
+    }
+
+    /// Iterates `(proc, sum, cell)` over every executed path, procedure by
+    /// procedure, path sums ascending within a procedure.
+    pub fn iter_paths(&self) -> impl Iterator<Item = (ProcId, u64, PathCell)> + '_ {
+        self.tables.iter().enumerate().flat_map(|(p, table)| {
+            let mut entries: Vec<(u64, PathCell)> =
+                table.iter().map(|(&s, &c)| (s, c)).collect();
+            entries.sort_by_key(|&(s, _)| s);
+            entries
+                .into_iter()
+                .map(move |(s, c)| (ProcId(p as u32), s, c))
+        })
+    }
+
+    /// Merges another profile of the same program: cells add. Profilers
+    /// use this to combine runs over several inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the procedure counts differ.
+    pub fn merge_from(&mut self, other: &FlowProfile) {
+        assert_eq!(
+            self.tables.len(),
+            other.tables.len(),
+            "profiles cover different programs"
+        );
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            for (&sum, cell) in theirs {
+                let e = mine.entry(sum).or_default();
+                e.freq += cell.freq;
+                e.m0 += cell.m0;
+                e.m1 += cell.m1;
+            }
+        }
+    }
+
+    /// Writes the profile in a compact binary format (magic, procedure
+    /// count, then per procedure the entry count and `(sum, freq, m0, m1)`
+    /// quadruples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(b"PPFLOW1\n")?;
+        w.write_all(&(self.tables.len() as u32).to_le_bytes())?;
+        for table in &self.tables {
+            w.write_all(&(table.len() as u32).to_le_bytes())?;
+            let mut entries: Vec<(&u64, &PathCell)> = table.iter().collect();
+            entries.sort_by_key(|(&s, _)| s);
+            for (&sum, cell) in entries {
+                for v in [sum, cell.freq, cell.m0, cell.m1] {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a profile written by [`FlowProfile::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic number and propagates read
+    /// failures (including truncation).
+    pub fn read_from(r: &mut impl Read) -> io::Result<FlowProfile> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"PPFLOW1\n" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut b4 = [0u8; 4];
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b4)?;
+        let nprocs = u32::from_le_bytes(b4) as usize;
+        if nprocs > 10_000_000 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible size"));
+        }
+        let mut out = FlowProfile::new(nprocs);
+        for table in &mut out.tables {
+            r.read_exact(&mut b4)?;
+            let n = u32::from_le_bytes(b4) as usize;
+            for _ in 0..n {
+                let mut vals = [0u64; 4];
+                for v in &mut vals {
+                    r.read_exact(&mut b8)?;
+                    *v = u64::from_le_bytes(b8);
+                }
+                table.insert(
+                    vals[0],
+                    PathCell {
+                        freq: vals[1],
+                        m0: vals[2],
+                        m1: vals[3],
+                    },
+                );
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of a projection over all cells (e.g. total misses).
+    pub fn total(&self, f: impl Fn(&PathCell) -> u64) -> u64 {
+        self.tables
+            .iter()
+            .flat_map(|t| t.values())
+            .map(f)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut fp = FlowProfile::new(2);
+        fp.record(ProcId(0), 3, Some((100, 5)));
+        fp.record(ProcId(0), 3, Some((50, 2)));
+        fp.record(ProcId(1), 0, None);
+        let c = fp.get(ProcId(0), 3).unwrap();
+        assert_eq!(c.freq, 2);
+        assert_eq!(c.m0, 150);
+        assert_eq!(c.m1, 7);
+        assert_eq!(fp.total_paths_executed(), 2);
+        assert_eq!(fp.paths_executed(ProcId(0)), 1);
+        assert_eq!(fp.total(|c| c.freq), 3);
+        assert_eq!(fp.total(|c| c.m1), 7);
+    }
+
+    #[test]
+    fn iter_is_sorted_within_proc() {
+        let mut fp = FlowProfile::new(1);
+        fp.record(ProcId(0), 9, None);
+        fp.record(ProcId(0), 1, None);
+        fp.record(ProcId(0), 4, None);
+        let sums: Vec<u64> = fp.iter_paths().map(|(_, s, _)| s).collect();
+        assert_eq!(sums, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn merge_adds_cells() {
+        let mut a = FlowProfile::new(2);
+        a.record(ProcId(0), 1, Some((10, 2)));
+        let mut b = FlowProfile::new(2);
+        b.record(ProcId(0), 1, Some((5, 1)));
+        b.record(ProcId(1), 0, None);
+        a.merge_from(&b);
+        let c = a.get(ProcId(0), 1).unwrap();
+        assert_eq!((c.freq, c.m0, c.m1), (2, 15, 3));
+        assert_eq!(a.get(ProcId(1), 0).unwrap().freq, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different programs")]
+    fn merge_rejects_mismatched_sizes() {
+        let mut a = FlowProfile::new(1);
+        a.merge_from(&FlowProfile::new(2));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut fp = FlowProfile::new(3);
+        fp.record(ProcId(0), 5, Some((100, 7)));
+        fp.record(ProcId(2), 0, None);
+        fp.record(ProcId(2), 9, Some((1, 1)));
+        let mut buf = Vec::new();
+        fp.write_to(&mut buf).unwrap();
+        let back = FlowProfile::read_from(&mut buf.as_slice()).unwrap();
+        let a: Vec<_> = fp.iter_paths().collect();
+        let b: Vec<_> = back.iter_paths().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let err = FlowProfile::read_from(&mut &b"NOTFLOW!"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Truncation surfaces as UnexpectedEof.
+        let mut fp = FlowProfile::new(1);
+        fp.record(ProcId(0), 0, None);
+        let mut buf = Vec::new();
+        fp.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        let err = FlowProfile::read_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn missing_path_is_none() {
+        let fp = FlowProfile::new(1);
+        assert!(fp.get(ProcId(0), 7).is_none());
+    }
+}

@@ -1,0 +1,484 @@
+//! Running programs under a profiling configuration.
+
+use std::fmt;
+
+use pp_cct::{CctConfig, CctRuntime, ProcInfo};
+use pp_instrument::{
+    instrument_program, InstrumentError, InstrumentOptions, Instrumented, Mode,
+};
+use pp_ir::{HwEvent, Program};
+use pp_usim::{ExecError, Machine, MachineConfig, NullSink, RunResult};
+
+use crate::profile::FlowProfile;
+use crate::sink_impl::PpSink;
+
+/// A profiling configuration — the paper's run configurations plus the
+/// uninstrumented base.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunConfig {
+    /// Uninstrumented execution.
+    Base,
+    /// CFG edge frequencies only (\[BL94\]) — the baseline the paper
+    /// compares path profiling's cost against.
+    EdgeFreq,
+    /// Path frequencies only (\[BL96\]).
+    FlowFreq,
+    /// "Flow and HW": two metrics along intraprocedural paths.
+    FlowHw {
+        /// Events on `%pic0` / `%pic1`.
+        events: (HwEvent, HwEvent),
+    },
+    /// "Context and HW": metric deltas in the CCT.
+    ContextHw {
+        /// Events on `%pic0` / `%pic1`.
+        events: (HwEvent, HwEvent),
+    },
+    /// "Context and Flow": path frequencies per call record.
+    ContextFlow,
+    /// Paths and metrics per call record.
+    CombinedHw {
+        /// Events on `%pic0` / `%pic1`.
+        events: (HwEvent, HwEvent),
+    },
+}
+
+impl RunConfig {
+    /// The instrumentation mode, or `None` for the base run.
+    pub fn mode(self) -> Option<Mode> {
+        match self {
+            RunConfig::Base => None,
+            RunConfig::EdgeFreq => Some(Mode::EdgeFreq),
+            RunConfig::FlowFreq => Some(Mode::FlowFreq),
+            RunConfig::FlowHw { .. } => Some(Mode::FlowHw),
+            RunConfig::ContextHw { .. } => Some(Mode::ContextHw),
+            RunConfig::ContextFlow => Some(Mode::ContextFlow),
+            RunConfig::CombinedHw { .. } => Some(Mode::CombinedHw),
+        }
+    }
+
+    fn events(self) -> (HwEvent, HwEvent) {
+        match self {
+            RunConfig::FlowHw { events }
+            | RunConfig::ContextHw { events }
+            | RunConfig::CombinedHw { events } => events,
+            _ => (HwEvent::Insts, HwEvent::DcMiss),
+        }
+    }
+
+    /// The paper's name for this configuration.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            RunConfig::Base => "Base",
+            RunConfig::EdgeFreq => "Edge (freq)",
+            RunConfig::FlowFreq => "Flow (freq)",
+            RunConfig::FlowHw { .. } => "Flow and HW",
+            RunConfig::ContextHw { .. } => "Context and HW",
+            RunConfig::ContextFlow => "Context and Flow",
+            RunConfig::CombinedHw { .. } => "Combined",
+        }
+    }
+}
+
+impl fmt::Display for RunConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Profiling failure.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// Instrumentation failed.
+    Instrument(InstrumentError),
+    /// The (possibly instrumented) program crashed or ran away.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Instrument(e) => write!(f, "instrumentation failed: {e}"),
+            ProfileError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<InstrumentError> for ProfileError {
+    fn from(e: InstrumentError) -> ProfileError {
+        ProfileError::Instrument(e)
+    }
+}
+
+impl From<ExecError> for ProfileError {
+    fn from(e: ExecError) -> ProfileError {
+        ProfileError::Exec(e)
+    }
+}
+
+/// The outcome of one profiled run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The configuration that produced this report.
+    pub config: RunConfig,
+    /// Machine-level outcome (ground-truth metrics, cycles, code size).
+    pub machine: RunResult,
+    /// Flow profile (modes with per-procedure counter tables).
+    pub flow: Option<FlowProfile>,
+    /// The calling context tree (context modes).
+    pub cct: Option<CctRuntime>,
+    /// The instrumentation manifest (absent for base runs) — carries the
+    /// path analyses needed to decode path sums.
+    pub instrumented: Option<Instrumented>,
+}
+
+impl RunReport {
+    /// Simulated cycles — the paper's "Time".
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+}
+
+/// The PP profiler: instruments and runs programs.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    machine_config: MachineConfig,
+}
+
+impl Profiler {
+    /// Creates a profiler whose runs use `machine_config`.
+    pub fn new(machine_config: MachineConfig) -> Profiler {
+        Profiler { machine_config }
+    }
+
+    /// The machine configuration in use.
+    pub fn machine_config(&self) -> &MachineConfig {
+        &self.machine_config
+    }
+
+    /// Instruments (per `config`) and executes `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Instrument`] when Ball–Larus analysis or
+    /// rewriting fails, and [`ProfileError::Exec`] when the simulated
+    /// machine reports an error (stack overflow, instruction limit,
+    /// invalid indirect call).
+    pub fn run(&self, program: &Program, config: RunConfig) -> Result<RunReport, ProfileError> {
+        let Some(mode) = config.mode() else {
+            let mut machine = Machine::new(program, self.machine_config);
+            let machine = machine.run(&mut NullSink)?;
+            return Ok(RunReport {
+                config,
+                machine,
+                flow: None,
+                cct: None,
+                instrumented: None,
+            });
+        };
+
+        let (pic0, pic1) = config.events();
+        let options = InstrumentOptions::new(mode).with_events(pic0, pic1);
+        self.run_instrumented(program, config, options)
+    }
+
+    /// Like [`Profiler::run`] but with full control over instrumentation
+    /// options (placement strategy, hash threshold, backedge ticks) — used
+    /// by the ablation benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Profiler::run`].
+    pub fn run_instrumented(
+        &self,
+        program: &Program,
+        config: RunConfig,
+        options: InstrumentOptions,
+    ) -> Result<RunReport, ProfileError> {
+        self.run_full(program, config, options, None)
+    }
+
+    /// The fully general entry point: explicit instrumentation options
+    /// plus an optional CCT configuration override (used by the
+    /// call-site-vs-procedure-slot ablation).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Profiler::run`].
+    pub fn run_full(
+        &self,
+        program: &Program,
+        config: RunConfig,
+        options: InstrumentOptions,
+        cct_override: Option<CctConfig>,
+    ) -> Result<RunReport, ProfileError> {
+        let mode = options.mode;
+        let inst = instrument_program(program, options)?;
+
+        let flow = matches!(mode, Mode::FlowFreq | Mode::FlowHw | Mode::EdgeFreq)
+            .then(|| FlowProfile::new(program.procedures().len()));
+        let cct = mode.tracks_context().then(|| {
+            let procs: Vec<ProcInfo> = inst
+                .proc_meta
+                .iter()
+                .map(|m| {
+                    let mut info =
+                        ProcInfo::new(&m.name, m.num_call_sites).with_paths(m.num_paths);
+                    for (site, &ind) in m.indirect_sites.iter().enumerate() {
+                        if ind {
+                            info = info.with_indirect_site(site as u32);
+                        }
+                    }
+                    info
+                })
+                .collect();
+            let cct_config = cct_override.unwrap_or(match mode {
+                Mode::ContextHw => CctConfig::with_hw_metrics(),
+                Mode::ContextFlow => CctConfig::combined(false),
+                Mode::CombinedHw => CctConfig::combined(true),
+                _ => unreachable!("context modes only"),
+            });
+            CctRuntime::new(cct_config, procs)
+        });
+
+        let mut sink = PpSink { flow, cct };
+        let mut machine = Machine::new(&inst.program, self.machine_config);
+        let machine = machine.run(&mut sink)?;
+        Ok(RunReport {
+            config,
+            machine,
+            flow: sink.flow,
+            cct: sink.cct,
+            instrumented: Some(inst),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_ir::build::ProgramBuilder;
+    use pp_ir::Operand;
+
+    /// main calls leaf in a loop; leaf branches on its argument's parity.
+    fn sample_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let leaf = pb.declare("leaf");
+        let mut m = pb.procedure("main");
+        let e = m.entry_block();
+        let h = m.new_block();
+        let body = m.new_block();
+        let x = m.new_block();
+        let i = m.new_reg();
+        let c = m.new_reg();
+        m.block(e).mov(i, 0i64).jump(h);
+        m.block(h).cmp_lt(c, i, 20i64).branch(c, body, x);
+        m.block(body)
+            .call(leaf, vec![Operand::Reg(i)], None)
+            .add(i, i, 1i64)
+            .jump(h);
+        m.block(x).ret();
+        let main = m.finish();
+
+        let mut l = pb.procedure_for(leaf);
+        let e = l.entry_block();
+        let odd = l.new_block();
+        let even = l.new_block();
+        let x = l.new_block();
+        l.reserve_regs(1);
+        let p = l.new_reg();
+        let arg = pp_ir::Reg(0);
+        l.block(e).bin(pp_ir::instr::BinOp::And, p, arg, 1i64).branch(p, odd, even);
+        l.block(odd).nop().jump(x);
+        l.block(even).nop().nop().jump(x);
+        l.block(x).ret();
+        l.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn base_run_collects_no_profile() {
+        let prog = sample_program();
+        let r = Profiler::default().run(&prog, RunConfig::Base).unwrap();
+        assert!(r.flow.is_none());
+        assert!(r.cct.is_none());
+        assert!(r.cycles() > 0);
+    }
+
+    #[test]
+    fn flow_freq_counts_paths_exactly() {
+        let prog = sample_program();
+        let r = Profiler::default().run(&prog, RunConfig::FlowFreq).unwrap();
+        let flow = r.flow.as_ref().unwrap();
+        // leaf executes 20 times: 10 odd paths, 10 even paths.
+        let leaf = prog.find_procedure("leaf").unwrap();
+        assert_eq!(flow.paths_executed(leaf), 2);
+        let total_leaf: u64 = (0..flow.num_procs() as u32)
+            .filter(|&p| pp_ir::ProcId(p) == leaf)
+            .map(|p| {
+                flow.iter_paths()
+                    .filter(|(pr, _, _)| *pr == pp_ir::ProcId(p))
+                    .map(|(_, _, c)| c.freq)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(total_leaf, 20);
+        // main: 20 loop iterations + entry/exit paths.
+        let main = prog.find_procedure("main").unwrap();
+        let main_total: u64 = flow
+            .iter_paths()
+            .filter(|(p, _, _)| *p == main)
+            .map(|(_, _, c)| c.freq)
+            .sum();
+        assert_eq!(main_total, 21); // 20 backedge events + 1 final
+    }
+
+    #[test]
+    fn flow_hw_measures_instructions_per_path() {
+        let prog = sample_program();
+        let r = Profiler::default()
+            .run(
+                &prog,
+                RunConfig::FlowHw {
+                    events: (HwEvent::Insts, HwEvent::DcMiss),
+                },
+            )
+            .unwrap();
+        let flow = r.flow.as_ref().unwrap();
+        let leaf = prog.find_procedure("leaf").unwrap();
+        // The "even" path executes one more nop than the "odd" path; the
+        // recorded per-path instruction totals must differ accordingly.
+        let cells: Vec<(u64, crate::profile::PathCell)> = flow
+            .iter_paths()
+            .filter(|(p, _, _)| *p == leaf)
+            .map(|(_, s, c)| (s, c))
+            .collect();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].1.freq, 10);
+        assert_eq!(cells[1].1.freq, 10);
+        let per_exec: Vec<u64> = cells.iter().map(|(_, c)| c.m0 / c.freq).collect();
+        assert_ne!(per_exec[0], per_exec[1], "paths have different lengths");
+        // One extra nop, plus up to two instrumentation instructions that
+        // land on one path but not the other (measured perturbation —
+        // exactly the Section 3.2 effect).
+        let diff = per_exec[0].abs_diff(per_exec[1]);
+        assert!((1..=3).contains(&diff), "diff = {diff}");
+    }
+
+    #[test]
+    fn context_flow_builds_cct_with_path_tables() {
+        let prog = sample_program();
+        let r = Profiler::default()
+            .run(&prog, RunConfig::ContextFlow)
+            .unwrap();
+        let cct = r.cct.as_ref().unwrap();
+        assert_eq!(cct.num_records(), 2); // main + leaf under main
+        let leaf_rec = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "leaf")
+            .unwrap();
+        let paths = cct.record(leaf_rec).paths();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths.iter().map(|(_, c)| c.freq).sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn context_hw_records_inclusive_deltas() {
+        let prog = sample_program();
+        let r = Profiler::default()
+            .run(
+                &prog,
+                RunConfig::ContextHw {
+                    events: (HwEvent::Insts, HwEvent::Cycles),
+                },
+            )
+            .unwrap();
+        let cct = r.cct.as_ref().unwrap();
+        let main_rec = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "main")
+            .unwrap();
+        let leaf_rec = cct
+            .record_ids()
+            .find(|&id| cct.record(id).proc_name() == "leaf")
+            .unwrap();
+        let m = cct.record(main_rec).metrics()[0];
+        let l = cct.record(leaf_rec).metrics()[0];
+        assert!(m > l, "main's inclusive instructions exceed leaf's");
+        assert!(l > 0);
+    }
+
+    #[test]
+    fn overhead_ordering_base_cheapest() {
+        let prog = sample_program();
+        let p = Profiler::default();
+        let base = p.run(&prog, RunConfig::Base).unwrap().cycles();
+        let flow = p
+            .run(
+                &prog,
+                RunConfig::FlowHw {
+                    events: (HwEvent::Insts, HwEvent::DcMiss),
+                },
+            )
+            .unwrap()
+            .cycles();
+        assert!(flow > base, "instrumentation must cost cycles");
+    }
+
+    #[test]
+    fn combined_mode_distinguishes_contexts_of_paths() {
+        // Two callers of leaf -> two leaf records, each with its own path
+        // table.
+        let mut pb = ProgramBuilder::new();
+        let leaf = pb.declare("leaf");
+        let a = pb.declare("a");
+        let b = pb.declare("b");
+        let mut m = pb.procedure("main");
+        let e = m.entry_block();
+        m.block(e)
+            .call(a, vec![], None)
+            .call(b, vec![], None)
+            .ret();
+        let main = m.finish();
+        for (id, arg) in [(a, 0i64), (b, 1i64)] {
+            let mut p = pb.procedure_for(id);
+            let e = p.entry_block();
+            p.block(e).call(leaf, vec![Operand::Imm(arg)], None).ret();
+            p.finish();
+        }
+        let mut l = pb.procedure_for(leaf);
+        let e = l.entry_block();
+        let odd = l.new_block();
+        let even = l.new_block();
+        let x = l.new_block();
+        l.reserve_regs(1);
+        l.block(e).branch(pp_ir::Reg(0), odd, even);
+        l.block(odd).nop().jump(x);
+        l.block(even).nop().jump(x);
+        l.block(x).ret();
+        l.finish();
+        let prog = pb.finish(main);
+
+        let r = Profiler::default()
+            .run(
+                &prog,
+                RunConfig::CombinedHw {
+                    events: (HwEvent::Insts, HwEvent::DcMiss),
+                },
+            )
+            .unwrap();
+        let cct = r.cct.as_ref().unwrap();
+        let leaf_records: Vec<_> = cct
+            .record_ids()
+            .filter(|&id| cct.record(id).proc_name() == "leaf")
+            .collect();
+        assert_eq!(leaf_records.len(), 2, "one record per calling context");
+        // Each context executed a different path.
+        let sums: Vec<Vec<u64>> = leaf_records
+            .iter()
+            .map(|&id| cct.record(id).paths().iter().map(|&(s, _)| s).collect())
+            .collect();
+        assert_ne!(sums[0], sums[1]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain-text table rendering for the experiment harnesses.
+
+use std::fmt;
+
+/// A fixed-width text table: headers plus rows, columns padded to fit.
+/// The first column is left-aligned, the rest right-aligned (the layout of
+/// the paper's tables).
+///
+/// ```
+/// use pp_core::TextTable;
+///
+/// let mut t = TextTable::new(["Benchmark", "Overhead"]);
+/// t.row(["099.go", "3.0"]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("099.go"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    separators_before: Vec<usize>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            separators_before: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than there are headers.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut TextTable {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            row.len() <= self.headers.len(),
+            "row has {} cells but table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Inserts a horizontal separator before the next row (used before
+    /// the CINT/CFP/SPEC average rows).
+    pub fn separator(&mut self) -> &mut TextTable {
+        self.separators_before.push(self.rows.len());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = width[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{c:<w$}", w = width[i])?;
+                } else {
+                    write!(f, "{c:>w$}", w = width[i])?;
+                }
+            }
+            writeln!(f)
+        };
+
+        write_row(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for (r, row) in self.rows.iter().enumerate() {
+            if self.separators_before.contains(&r) {
+                writeln!(f, "{}", "-".repeat(total))?;
+            }
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio the way the paper does (one decimal for overheads).
+pub fn ratio1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a ratio with two decimals (Table 2 perturbations).
+pub fn ratio2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a large count in scientific-ish notation like the paper's
+/// "1.1e7" size column when it exceeds five digits, plainly otherwise.
+pub fn compact(n: u64) -> String {
+    if n >= 100_000 {
+        let exp = (n as f64).log10().floor() as u32;
+        let mant = n as f64 / 10f64.powi(exp as i32);
+        format!("{mant:.1}e{exp}")
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_columns() {
+        let mut t = TextTable::new(["Benchmark", "Time", "Overhead"]);
+        t.row(["099.go", "850.9", "3.0"]);
+        t.row(["126.gcc", "330.9", "4.4"]);
+        t.separator();
+        t.row(["Avg", "590.9", "3.7"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("Benchmark"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("099.go"));
+        // Separator inserted before the average row.
+        assert!(lines[4].chars().all(|c| c == '-'));
+        assert!(lines[5].contains("Avg"));
+        // Right alignment of numeric columns: all rows end at same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn too_wide_row_panics() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio1(2.96), "3.0");
+        assert_eq!(ratio2(1.234), "1.23");
+        assert_eq!(pct(0.5951), "59.5%");
+        assert_eq!(compact(42), "42");
+        assert_eq!(compact(11_000_000), "1.1e7");
+        assert_eq!(compact(99_999), "99999");
+    }
+}

@@ -1,0 +1,94 @@
+//! The profiling sink wiring the machine to the profile structures.
+
+use pp_cct::{CctRuntime, EnterOutcome};
+use pp_ir::prof::PathTable;
+use pp_ir::{CallSiteId, ProcId};
+use pp_usim::{CctTransition, ProfSink};
+
+use crate::profile::FlowProfile;
+
+/// The real sink: flow counter tables plus (optionally) a CCT runtime.
+#[derive(Debug, Default)]
+pub(crate) struct PpSink {
+    pub(crate) flow: Option<FlowProfile>,
+    pub(crate) cct: Option<CctRuntime>,
+}
+
+fn widen(pics: Option<(u32, u32)>) -> Option<(u64, u64)> {
+    pics.map(|(a, b)| (a as u64, b as u64))
+}
+
+impl ProfSink for PpSink {
+    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u32, u32)>) {
+        if let Some(flow) = &mut self.flow {
+            flow.record(table.proc, sum, widen(pics));
+        }
+    }
+
+    fn cct_enter(&mut self, proc: ProcId) -> CctTransition {
+        let Some(cct) = &mut self.cct else {
+            return CctTransition::default();
+        };
+        let eff = cct.enter(proc.0);
+        let (extra_uops, slot_written, record_writes) = match eff.outcome {
+            EnterOutcome::FastHit => (0, false, 0),
+            EnterOutcome::ListHit { scanned } => (2 * scanned, true, 0),
+            EnterOutcome::NewRecord { ancestors_walked } => (10 + 2 * ancestors_walked, true, 4),
+            EnterOutcome::RecursiveBackedge { ancestors_walked } => {
+                (2 * ancestors_walked, true, 0)
+            }
+        };
+        CctTransition {
+            extra_uops,
+            slot_addr: eff.slot_addr,
+            record_addr: eff.record_addr,
+            slot_written,
+            record_writes,
+        }
+    }
+
+    fn cct_call(&mut self, site: CallSiteId, path_prefix: Option<u64>) {
+        if let Some(cct) = &mut self.cct {
+            cct.prepare_call(site.0, path_prefix);
+        }
+    }
+
+    fn cct_exit(&mut self) {
+        if let Some(cct) = &mut self.cct {
+            cct.exit();
+        }
+    }
+
+    fn cct_metric_enter(&mut self, pics: (u32, u32)) {
+        if let Some(cct) = &mut self.cct {
+            cct.metric_enter(pics);
+        }
+    }
+
+    fn cct_metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+        match &mut self.cct {
+            Some(cct) => cct.metric_exit(pics),
+            None => 0,
+        }
+    }
+
+    fn cct_metric_tick(&mut self, pics: (u32, u32)) -> u64 {
+        match &mut self.cct {
+            Some(cct) => cct.metric_tick(pics),
+            None => 0,
+        }
+    }
+
+    fn cct_path_event(&mut self, sum: u64, pics: Option<(u32, u32)>) -> u64 {
+        match &mut self.cct {
+            Some(cct) => cct.path_event(sum, widen(pics)),
+            None => 0,
+        }
+    }
+
+    fn unwind(&mut self, depth: usize) {
+        if let Some(cct) = &mut self.cct {
+            cct.unwind_to(depth);
+        }
+    }
+}

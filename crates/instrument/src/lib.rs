@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # pp-instrument — the PP instrumentation passes
+//!
+//! This crate plays the role of PP itself (the tool the paper built on
+//! EEL): it rewrites `pp-ir` programs, inserting the profiling code
+//! sequences of Sections 2–4 as real instructions and profiling
+//! pseudo-ops. Instrumentation modes correspond to the paper's run
+//! configurations:
+//!
+//! | [`Mode`]            | Paper configuration                          |
+//! |---------------------|----------------------------------------------|
+//! | [`Mode::FlowFreq`]  | path profiling, frequency only (\[BL96\])    |
+//! | [`Mode::FlowHw`]    | "Flow and HW" — metrics along paths          |
+//! | [`Mode::ContextHw`] | "Context and HW" — metrics in the CCT        |
+//! | [`Mode::ContextFlow`] | "Context and Flow" — path counts per call record |
+//! | [`Mode::CombinedHw`] | paths **and** metrics per call record (Table 3's CCT) |
+//!
+//! Mechanically the pass:
+//!
+//! 1. analyzes each procedure with Ball–Larus ([`pp_pathprof::ProcPaths`]),
+//! 2. chooses an increment [`Placement`](pp_pathprof::Placement) (simple or
+//!    spanning-tree optimized),
+//! 3. prepends a prologue block (CCT entry, counter save/zero, path
+//!    register reset — keeping the original entry intact so loop backedges
+//!    to it do not re-run the prologue),
+//! 4. places path-register increments on edges (appending, prepending or
+//!    *splitting* edges as the CFG shape requires),
+//! 5. inserts backedge instrumentation (`count[r + END]++; r = START`,
+//!    counter re-zeroing, CCT metric ticks per Section 4.3), and
+//! 6. rewrites returns with end-of-path counting, counter restore and CCT
+//!    exit, and prefixes every call with the gCSP update.
+//!
+//! The rewritten program is verified structurally before being returned.
+
+mod modes;
+mod rewrite;
+
+pub use modes::{
+    EdgePlan, InstrumentError, InstrumentOptions, Instrumented, Mode, PlacementChoice, PlanEdge,
+    ProcMeta,
+};
+pub use rewrite::{
+    instrument_program, instrument_program_selected, instrument_program_weighted,
+};
+
+/// Base simulated address of the flow-profiling counter tables.
+pub const PROF_TABLE_BASE: u64 = 0x4000_0000;
+
+/// Path tables larger than this use hashed counters (the paper's "hash
+/// table of counters (if the number of potential paths is large)").
+pub const DEFAULT_HASH_THRESHOLD: u64 = 4096;

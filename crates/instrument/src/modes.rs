@@ -1,0 +1,290 @@
+//! Instrumentation modes, options and results.
+
+use std::fmt;
+
+use pp_ir::prof::PathTable;
+use pp_ir::{HwEvent, ProcId, Program};
+use pp_pathprof::{LabelError, ProcPaths, WeightSource};
+
+/// Which profile the instrumentation collects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// CFG edge frequencies only (\[BL94\] — the cheaper profile the
+    /// paper says path profiling costs "roughly twice" as much as).
+    EdgeFreq,
+    /// Intraprocedural path frequencies only (the \[BL96\] baseline).
+    FlowFreq,
+    /// "Flow and HW": two hardware metrics plus frequency per path.
+    FlowHw,
+    /// "Context and HW": a CCT whose records accumulate metric deltas.
+    ContextHw,
+    /// "Context and Flow": a CCT whose records hold path frequencies.
+    ContextFlow,
+    /// Paths *and* hardware metrics per call record (the combination of
+    /// Section 4.3 / Table 3).
+    CombinedHw,
+}
+
+impl Mode {
+    /// True if the mode tracks intraprocedural paths (needs a path
+    /// register and Ball–Larus analysis).
+    pub fn tracks_paths(self) -> bool {
+        !matches!(self, Mode::ContextHw | Mode::EdgeFreq)
+    }
+
+    /// True if the mode builds a calling context tree.
+    pub fn tracks_context(self) -> bool {
+        matches!(self, Mode::ContextHw | Mode::ContextFlow | Mode::CombinedHw)
+    }
+
+    /// True if the mode reads the hardware counters.
+    pub fn uses_hw(self) -> bool {
+        matches!(self, Mode::FlowHw | Mode::ContextHw | Mode::CombinedHw)
+    }
+
+    /// True if the counters follow the save/zero/restore protocol of
+    /// Section 3.1 (path-interval measurement).
+    pub fn path_interval_counters(self) -> bool {
+        matches!(self, Mode::FlowHw | Mode::CombinedHw)
+    }
+
+    /// The paper's name for this configuration.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Mode::EdgeFreq => "Edge (freq)",
+            Mode::FlowFreq => "Flow (freq)",
+            Mode::FlowHw => "Flow and HW",
+            Mode::ContextHw => "Context and HW",
+            Mode::ContextFlow => "Context and Flow",
+            Mode::CombinedHw => "Combined (paths in CCT, HW)",
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// How path-register increments are placed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PlacementChoice {
+    /// `Val(e)` on every nonzero edge (Figure 1(c)).
+    Simple,
+    /// Spanning-tree chord increments with the static loop heuristic
+    /// (Figure 1(d)).
+    #[default]
+    Optimized,
+    /// Spanning-tree chord increments weighted by a *measured* edge
+    /// profile (what \[BL96\] actually did) — supply the profile through
+    /// [`instrument_program_weighted`](crate::instrument_program_weighted).
+    ProfileGuided,
+}
+
+/// Options controlling the instrumentation pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InstrumentOptions {
+    /// Profile being collected.
+    pub mode: Mode,
+    /// Which two events the hardware counters observe (ignored by
+    /// frequency-only modes).
+    pub events: (HwEvent, HwEvent),
+    /// Increment placement strategy.
+    pub placement: PlacementChoice,
+    /// Path-count threshold beyond which counters are hashed.
+    pub hash_threshold: u64,
+    /// Insert counter reads along loop backedges in [`Mode::ContextHw`]
+    /// (Section 4.3). Turning this off is the wrap-hazard ablation.
+    pub backedge_ticks: bool,
+    /// Procedures using at least this many registers are treated as having
+    /// no free register, so every flow-instrumentation site pays a
+    /// spill/reload pair (EEL's behaviour, Section 3.2). `u16::MAX`
+    /// disables spill modeling.
+    pub spill_reg_threshold: u16,
+}
+
+impl InstrumentOptions {
+    /// Default options for a mode: L1 D-cache read/write misses on the two
+    /// counters, optimized placement, 4096-entry hash threshold, backedge
+    /// ticks on.
+    pub fn new(mode: Mode) -> InstrumentOptions {
+        InstrumentOptions {
+            mode,
+            events: (HwEvent::DcReadMiss, HwEvent::DcWriteMiss),
+            placement: PlacementChoice::default(),
+            hash_threshold: crate::DEFAULT_HASH_THRESHOLD,
+            backedge_ticks: true,
+            spill_reg_threshold: 7,
+        }
+    }
+
+    /// Replaces the counter event selection.
+    pub fn with_events(mut self, pic0: HwEvent, pic1: HwEvent) -> InstrumentOptions {
+        self.events = (pic0, pic1);
+        self
+    }
+
+    /// Replaces the placement strategy.
+    pub fn with_placement(mut self, placement: PlacementChoice) -> InstrumentOptions {
+        self.placement = placement;
+        self
+    }
+
+    pub(crate) fn weight_source(&self) -> WeightSource<'static> {
+        WeightSource::LoopHeuristic
+    }
+}
+
+/// Per-procedure facts the profiler runtime needs (a neutral mirror of
+/// `pp-cct`'s `ProcInfo`, so this crate does not depend on the CCT crate).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProcMeta {
+    /// Procedure name.
+    pub name: String,
+    /// Number of call sites.
+    pub num_call_sites: u32,
+    /// Which sites are indirect.
+    pub indirect_sites: Vec<bool>,
+    /// Number of potential Ball–Larus paths (1 for context-only modes).
+    pub num_paths: u64,
+}
+
+/// One edge of a procedure's edge-profiling plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanEdge {
+    /// The `succ_index`-th successor edge of `block`.
+    Succ {
+        /// Source block.
+        block: pp_ir::BlockId,
+        /// Successor index within the terminator.
+        succ_index: u32,
+    },
+    /// The virtual edge from a returning `block` to the exit vertex.
+    Ret {
+        /// The returning block.
+        block: pp_ir::BlockId,
+    },
+    /// The virtual exit→entry edge (its count is the invocation count);
+    /// always a spanning-tree edge, never instrumented.
+    Virtual,
+}
+
+/// The \[BL94\] efficient edge-profiling plan for one procedure: every
+/// edge of the extended CFG (plus the virtual exit→entry edge), with a
+/// counter index on the spanning-tree *chords* — the only instrumented
+/// edges. Tree-edge counts are reconstructed offline by flow conservation
+/// (`pp_baselines::edges::reconstruct`).
+#[derive(Clone, Debug, Default)]
+pub struct EdgePlan {
+    /// All edges with their optional counter index.
+    pub edges: Vec<(PlanEdge, Option<u32>)>,
+}
+
+/// The result of instrumenting a program.
+#[derive(Debug)]
+pub struct Instrumented {
+    /// The rewritten program.
+    pub program: Program,
+    /// The options used.
+    pub options: InstrumentOptions,
+    /// Per-procedure path analysis (present when the mode tracks paths),
+    /// performed on the *original* procedure bodies.
+    pub proc_paths: Vec<Option<ProcPaths>>,
+    /// Per-procedure flow counter tables (flow modes only).
+    pub tables: Vec<Option<PathTable>>,
+    /// Per-procedure metadata for the profiler runtime.
+    pub proc_meta: Vec<ProcMeta>,
+    /// Per-procedure edge-profiling plans ([`Mode::EdgeFreq`] only).
+    pub edge_plans: Vec<Option<EdgePlan>>,
+}
+
+impl Instrumented {
+    /// The path analysis for `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn paths_of(&self, proc: ProcId) -> Option<&ProcPaths> {
+        self.proc_paths[proc.index()].as_ref()
+    }
+
+    /// Decodes a path sum of `proc` back to its block sequence in the
+    /// *original* program.
+    ///
+    /// Returns `None` when the mode did not track paths.
+    pub fn decode_path(
+        &self,
+        proc: ProcId,
+        sum: u64,
+    ) -> Option<(Vec<pp_ir::BlockId>, pp_pathprof::PathKind)> {
+        self.paths_of(proc).map(|pp| pp.decode_blocks(sum))
+    }
+}
+
+/// Instrumentation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InstrumentError {
+    /// Ball–Larus analysis failed for a procedure.
+    Paths {
+        /// The procedure that failed.
+        proc: ProcId,
+        /// Why.
+        error: LabelError,
+    },
+    /// The rewritten program failed verification (an instrumenter bug;
+    /// included for diagnosis rather than recovery).
+    Verify(String),
+}
+
+impl fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrumentError::Paths { proc, error } => {
+                write!(f, "path analysis failed for {proc}: {error}")
+            }
+            InstrumentError::Verify(m) => write!(f, "instrumented program is malformed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_classification() {
+        assert!(Mode::FlowFreq.tracks_paths());
+        assert!(!Mode::FlowFreq.tracks_context());
+        assert!(!Mode::FlowFreq.uses_hw());
+        assert!(Mode::FlowHw.uses_hw());
+        assert!(Mode::FlowHw.path_interval_counters());
+        assert!(!Mode::ContextHw.tracks_paths());
+        assert!(Mode::ContextHw.tracks_context());
+        assert!(!Mode::ContextHw.path_interval_counters());
+        assert!(Mode::ContextFlow.tracks_paths());
+        assert!(Mode::ContextFlow.tracks_context());
+        assert!(!Mode::ContextFlow.uses_hw());
+        assert!(Mode::CombinedHw.tracks_paths());
+        assert!(Mode::CombinedHw.tracks_context());
+        assert!(Mode::CombinedHw.uses_hw());
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(Mode::FlowHw.to_string(), "Flow and HW");
+        assert_eq!(Mode::ContextFlow.to_string(), "Context and Flow");
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = InstrumentOptions::new(Mode::FlowHw)
+            .with_events(HwEvent::Cycles, HwEvent::Insts)
+            .with_placement(PlacementChoice::Simple);
+        assert_eq!(o.events, (HwEvent::Cycles, HwEvent::Insts));
+        assert_eq!(o.placement, PlacementChoice::Simple);
+        assert!(o.backedge_ticks);
+    }
+}

@@ -1,0 +1,894 @@
+//! The rewriting machinery.
+
+use pp_ir::cfg::Cfg;
+use pp_ir::prof::{CounterStorage, PathTable};
+use pp_ir::{
+    BlockId, Block, Instr, Operand, ProcId, Procedure, ProfOp, Program, Reg, Terminator,
+};
+use pp_pathprof::{CfgEdgeRef, Placement, ProcPaths};
+
+use crate::modes::{
+    EdgePlan, InstrumentError, InstrumentOptions, Instrumented, Mode, PlacementChoice, PlanEdge,
+    ProcMeta,
+};
+
+/// Instruments `program` according to `options`.
+///
+/// The original program is not modified; analysis results refer to its
+/// block numbering.
+///
+/// ```
+/// use pp_instrument::{instrument_program, InstrumentOptions, Mode};
+/// use pp_ir::build::ProgramBuilder;
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.procedure("main");
+/// let e = f.entry_block();
+/// let r = f.new_reg();
+/// f.block(e).mov(r, 1i64).ret();
+/// let id = f.finish();
+/// let program = pb.finish(id);
+///
+/// let inst = instrument_program(&program, InstrumentOptions::new(Mode::FlowFreq)).unwrap();
+/// assert!(inst.program.static_size() > program.static_size());
+/// assert_eq!(inst.proc_paths[0].as_ref().unwrap().num_paths(), 1);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`InstrumentError::Paths`] if Ball–Larus analysis fails for a
+/// procedure (unreachable blocks, path-count overflow) and
+/// [`InstrumentError::Verify`] if the rewritten program fails structural
+/// verification (an internal bug).
+pub fn instrument_program(
+    program: &Program,
+    options: InstrumentOptions,
+) -> Result<Instrumented, InstrumentError> {
+    let all = vec![true; program.procedures().len()];
+    instrument_program_impl(program, options, &all, None)
+}
+
+/// Instruments with [`PlacementChoice::ProfileGuided`] spanning trees:
+/// `edge_weight(proc, edge_index)` supplies measured (or estimated)
+/// execution frequencies for the abstract path-graph edges of each
+/// procedure (the indices of
+/// [`ProcPaths::labeling`](pp_pathprof::ProcPaths)'s graph). Hot edges
+/// land in the spanning tree so the chord increments execute rarely —
+/// the profile-driven optimization of \[BL96\]/\[Bal94\].
+///
+/// # Errors
+///
+/// As for [`instrument_program`].
+pub fn instrument_program_weighted(
+    program: &Program,
+    options: InstrumentOptions,
+    edge_weight: &dyn Fn(ProcId, u32) -> u64,
+) -> Result<Instrumented, InstrumentError> {
+    let all = vec![true; program.procedures().len()];
+    instrument_program_impl(program, options, &all, Some(edge_weight))
+}
+
+/// Instruments only the procedures for which `selected` is true; the rest
+/// are copied unchanged. The program entry is always treated as selected
+/// (it carries the counter setup). This is what Hall-style iterative
+/// call-path profiling uses — instrument one call-graph level at a time —
+/// and what the partial-instrumentation ablation measures. The CCT
+/// machinery tolerates uninstrumented procedures in the middle of a call
+/// chain: their callees attach to the caller's pending slot, exactly the
+/// behaviour the paper describes for instrumented/uninstrumented mixtures.
+///
+/// # Errors
+///
+/// As for [`instrument_program`].
+///
+/// # Panics
+///
+/// Panics if `selected.len()` differs from the procedure count.
+pub fn instrument_program_selected(
+    program: &Program,
+    options: InstrumentOptions,
+    selected: &[bool],
+) -> Result<Instrumented, InstrumentError> {
+    instrument_program_impl(program, options, selected, None)
+}
+
+fn instrument_program_impl(
+    program: &Program,
+    options: InstrumentOptions,
+    selected: &[bool],
+    edge_weight: Option<&dyn Fn(ProcId, u32) -> u64>,
+) -> Result<Instrumented, InstrumentError> {
+    assert_eq!(
+        selected.len(),
+        program.procedures().len(),
+        "selection mask must cover every procedure"
+    );
+    let mut proc_paths: Vec<Option<ProcPaths>> = Vec::new();
+    let mut tables: Vec<Option<PathTable>> = Vec::new();
+    let mut proc_meta: Vec<ProcMeta> = Vec::new();
+    let mut new_procs: Vec<Procedure> = Vec::new();
+    let mut edge_plans: Vec<Option<EdgePlan>> = Vec::new();
+
+    // Flow counter tables are laid out sequentially in the profile region.
+    let mut table_cursor = crate::PROF_TABLE_BASE;
+    let flow_tables = matches!(
+        options.mode,
+        Mode::FlowFreq | Mode::FlowHw | Mode::EdgeFreq
+    );
+    let stride = if options.mode == Mode::FlowHw { 24 } else { 8 };
+
+    for (pid, proc) in program.iter_procedures() {
+        let is_selected = selected[pid.index()] || pid == program.entry();
+        let paths = if options.mode.tracks_paths() && is_selected {
+            Some(
+                ProcPaths::analyze(proc)
+                    .map_err(|error| InstrumentError::Paths { proc: pid, error })?,
+            )
+        } else {
+            None
+        };
+
+        let table = match (&paths, flow_tables) {
+            (Some(pp), true) => {
+                let storage = if pp.num_paths() > options.hash_threshold {
+                    CounterStorage::Hashed
+                } else {
+                    CounterStorage::Array
+                };
+                let entries = match storage {
+                    CounterStorage::Array => pp.num_paths(),
+                    CounterStorage::Hashed => 1024,
+                };
+                let base = table_cursor;
+                table_cursor += (entries * stride + 63) & !63;
+                Some(PathTable {
+                    proc: pid,
+                    base,
+                    storage,
+                })
+            }
+            (None, true) if options.mode == Mode::EdgeFreq && is_selected => {
+                // One counter per CFG edge.
+                let nedges: u64 = proc
+                    .blocks
+                    .iter()
+                    .map(|b| b.term.successors().count() as u64)
+                    .sum();
+                let base = table_cursor;
+                table_cursor += (nedges.max(1) * stride + 63) & !63;
+                Some(PathTable {
+                    proc: pid,
+                    base,
+                    storage: CounterStorage::Array,
+                })
+            }
+            _ => None,
+        };
+
+        proc_meta.push(ProcMeta {
+            name: proc.name.clone(),
+            num_call_sites: proc.call_sites.len() as u32,
+            indirect_sites: proc
+                .call_sites
+                .iter()
+                .map(|cs| cs.direct_target.is_none())
+                .collect(),
+            num_paths: paths.as_ref().map_or(1, ProcPaths::num_paths),
+        });
+
+        let (rewritten, edge_plan) = if is_selected {
+            let weights: Option<Vec<u64>> = match (edge_weight, &paths) {
+                (Some(f), Some(pp)) => Some(
+                    (0..pp.labeling().graph().num_edges())
+                        .map(|e| f(pid, e))
+                        .collect(),
+                ),
+                _ => None,
+            };
+            rewrite_procedure(
+                proc,
+                pid,
+                pid == program.entry(),
+                paths.as_ref(),
+                table,
+                &options,
+                weights.as_deref(),
+            )
+        } else {
+            (proc.clone(), None)
+        };
+        new_procs.push(rewritten);
+        proc_paths.push(paths);
+        tables.push(table);
+        edge_plans.push(edge_plan);
+    }
+
+    let instrumented = Program::new(new_procs, program.entry(), program.data.clone());
+    pp_ir::verify::verify_program(&instrumented)
+        .map_err(|e| InstrumentError::Verify(e.to_string()))?;
+
+    Ok(Instrumented {
+        program: instrumented,
+        options,
+        proc_paths,
+        tables,
+        proc_meta,
+        edge_plans,
+    })
+}
+
+/// Replaces the `k`-th successor of a terminator.
+fn set_successor(term: &mut Terminator, k: u32, target: BlockId) {
+    match term {
+        Terminator::Jump(t) => {
+            debug_assert_eq!(k, 0);
+            *t = target;
+        }
+        Terminator::Branch {
+            taken, not_taken, ..
+        } => match k {
+            0 => *taken = target,
+            1 => *not_taken = target,
+            _ => unreachable!("branch has two successors"),
+        },
+        Terminator::Switch {
+            targets, default, ..
+        } => {
+            if (k as usize) < targets.len() {
+                targets[k as usize] = target;
+            } else {
+                debug_assert_eq!(k as usize, targets.len());
+                *default = target;
+            }
+        }
+        Terminator::Ret => unreachable!("ret has no successors"),
+    }
+}
+
+/// Retargets every successor by the +1 block shift.
+fn shift_terminator(term: &mut Terminator) {
+    match term {
+        Terminator::Jump(t) => t.0 += 1,
+        Terminator::Branch {
+            taken, not_taken, ..
+        } => {
+            taken.0 += 1;
+            not_taken.0 += 1;
+        }
+        Terminator::Switch {
+            targets, default, ..
+        } => {
+            for t in targets {
+                t.0 += 1;
+            }
+            default.0 += 1;
+        }
+        Terminator::Ret => {}
+    }
+}
+
+struct Edits {
+    prologue: Vec<Instr>,
+    prepend: Vec<Vec<Instr>>,
+    append: Vec<Vec<Instr>>,
+    /// (source block, successor index, instructions) — materialized as a
+    /// fresh block spliced into the edge.
+    splits: Vec<(usize, u32, Vec<Instr>)>,
+}
+
+fn rewrite_procedure(
+    proc: &Procedure,
+    pid: ProcId,
+    is_entry: bool,
+    paths: Option<&ProcPaths>,
+    table: Option<PathTable>,
+    options: &InstrumentOptions,
+    edge_weights: Option<&[u64]>,
+) -> (Procedure, Option<EdgePlan>) {
+    let mode = options.mode;
+    let cfg = Cfg::new(proc);
+    let nblocks = proc.blocks.len();
+    let rp = Reg(proc.num_regs); // fresh path register
+    let spills = mode.tracks_paths() && proc.num_regs >= options.spill_reg_threshold;
+    let maybe_spill = |instrs: Vec<Instr>| -> Vec<Instr> {
+        if spills {
+            let mut v = vec![Instr::Prof(ProfOp::Spill)];
+            v.extend(instrs);
+            v
+        } else {
+            instrs
+        }
+    };
+
+    let mut edits = Edits {
+        prologue: Vec::new(),
+        prepend: vec![Vec::new(); nblocks],
+        append: vec![Vec::new(); nblocks],
+        splits: Vec::new(),
+    };
+
+    // ---- prologue --------------------------------------------------------
+    if is_entry && mode.uses_hw() {
+        edits.prologue.push(Instr::SetPcr {
+            pic0: options.events.0,
+            pic1: options.events.1,
+        });
+    }
+    if mode.tracks_context() {
+        edits.prologue.push(Instr::Prof(ProfOp::CctEnter { proc: pid }));
+    }
+    if mode == Mode::ContextHw {
+        edits.prologue.push(Instr::Prof(ProfOp::CctMetricEnter));
+    }
+    if mode.path_interval_counters() {
+        edits.prologue.push(Instr::Prof(ProfOp::PicSave));
+        edits.prologue.push(Instr::Prof(ProfOp::PicZero));
+    }
+    if mode.tracks_paths() {
+        edits.prologue.push(Instr::Mov {
+            dst: rp,
+            src: Operand::Imm(0),
+        });
+    }
+
+    // Routes edge instrumentation to the cheapest correct location.
+    let route_edge = |edits: &mut Edits, block: BlockId, succ_index: u32, instrs: Vec<Instr>, is_backedge: bool| {
+        let succs = cfg.succs(block);
+        if succs.len() == 1 {
+            edits.append[block.index()].extend(instrs);
+            return;
+        }
+        let target = succs[succ_index as usize];
+        if !is_backedge && target.index() != 0 && cfg.preds(target).len() == 1 {
+            // Only this edge reaches the target: run at its head.
+            let mut seq = instrs;
+            seq.append(&mut edits.prepend[target.index()]);
+            edits.prepend[target.index()] = seq;
+            return;
+        }
+        edits.splits.push((block.index(), succ_index, instrs));
+    };
+
+    // ---- path instrumentation ---------------------------------------------
+    let mut ret_pre: Vec<Vec<Instr>> = vec![Vec::new(); nblocks];
+    let mut exit_const = 0i64;
+    if let Some(pp) = paths {
+        let labeling = pp.labeling();
+        let placement = match (options.placement, edge_weights) {
+            (PlacementChoice::Simple, _) => Placement::simple(labeling),
+            (PlacementChoice::ProfileGuided, Some(w)) => {
+                Placement::optimized(labeling, pp_pathprof::WeightSource::Edges(w))
+            }
+            _ => Placement::optimized(labeling, options.weight_source()),
+        };
+        exit_const = placement.exit_const();
+
+        for inc in placement.nonzero_increments() {
+            let add = Instr::Bin {
+                op: pp_ir::instr::BinOp::Add,
+                dst: rp,
+                a: rp,
+                b: Operand::Imm(inc.amount),
+            };
+            match pp.edge_ref(inc.edge) {
+                CfgEdgeRef::Succ { block, succ_index } => {
+                    route_edge(&mut edits, block, succ_index, maybe_spill(vec![add]), false);
+                }
+                CfgEdgeRef::Ret { block } => {
+                    ret_pre[block.index()].extend(maybe_spill(vec![add]));
+                }
+            }
+        }
+
+        for (i, &be) in labeling.backedges().iter().enumerate() {
+            let (end, start) = placement.backedge_consts(i);
+            let op = match mode {
+                Mode::FlowFreq => ProfOp::PathCountBackedge {
+                    table: table.expect("flow mode has a table"),
+                    reg: rp,
+                    end,
+                    start,
+                },
+                Mode::FlowHw => ProfOp::PathMetricsBackedge {
+                    table: table.expect("flow mode has a table"),
+                    reg: rp,
+                    end,
+                    start,
+                },
+                Mode::ContextFlow => ProfOp::CctPathCountBackedge { reg: rp, end, start },
+                Mode::CombinedHw => ProfOp::CctPathMetricsBackedge { reg: rp, end, start },
+                Mode::ContextHw | Mode::EdgeFreq => {
+                    unreachable!("mode does not track paths")
+                }
+            };
+            match pp.edge_ref(be) {
+                CfgEdgeRef::Succ { block, succ_index } => {
+                    route_edge(
+                        &mut edits,
+                        block,
+                        succ_index,
+                        maybe_spill(vec![Instr::Prof(op)]),
+                        true,
+                    );
+                }
+                CfgEdgeRef::Ret { .. } => unreachable!("ret edges cannot be backedges"),
+            }
+        }
+    } else if mode == Mode::ContextHw && options.backedge_ticks {
+        // Section 4.3: read the counters along loop backedges so 32-bit
+        // wrap and non-local exits cannot corrupt long activations.
+        for be in cfg.dfs().backedges {
+            route_edge(
+                &mut edits,
+                be.from,
+                be.succ_index,
+                vec![Instr::Prof(ProfOp::CctMetricTick)],
+                true,
+            );
+        }
+    }
+
+    // ---- efficient edge profiling (Mode::EdgeFreq) --------------------------
+    let mut edge_plan: Option<EdgePlan> = None;
+    if mode == Mode::EdgeFreq {
+        let table = table.expect("edge mode has a table");
+        // Extended graph: blocks plus a virtual exit vertex `nblocks`;
+        // edges are the CFG edges, one Ret edge per returning block, and
+        // the virtual exit->entry edge (forced into the spanning tree).
+        let mut plan_edges: Vec<(PlanEdge, usize, usize)> = vec![(PlanEdge::Virtual, nblocks, 0)];
+        for (bid, block) in proc.iter_blocks() {
+            for (k, succ) in block.term.successors().enumerate() {
+                plan_edges.push((
+                    PlanEdge::Succ {
+                        block: bid,
+                        succ_index: k as u32,
+                    },
+                    bid.index(),
+                    succ.index(),
+                ));
+            }
+            if block.term.is_return() {
+                plan_edges.push((PlanEdge::Ret { block: bid }, bid.index(), nblocks));
+            }
+        }
+        // Kruskal over the undirected view, virtual edge first, then
+        // cycle-preferred ordering: edges whose target reaches their
+        // source are loop edges — keep them in the tree so the chords
+        // (instrumented) are the colder edges.
+        let reaches = |from: usize, to: usize| -> bool {
+            if from >= nblocks || to >= nblocks {
+                return false;
+            }
+            let mut seen = vec![false; nblocks];
+            let mut stack = vec![from];
+            seen[from] = true;
+            while let Some(v) = stack.pop() {
+                if v == to {
+                    return true;
+                }
+                for s in proc.blocks[v].term.successors() {
+                    if !seen[s.index()] {
+                        seen[s.index()] = true;
+                        stack.push(s.index());
+                    }
+                }
+            }
+            false
+        };
+        let mut order: Vec<usize> = (0..plan_edges.len()).collect();
+        order.sort_by_key(|&i| match plan_edges[i].0 {
+            PlanEdge::Virtual => 0u8,
+            _ => {
+                let (_, u, v) = plan_edges[i];
+                if reaches(v, u) {
+                    1 // loop edge: prefer in tree
+                } else {
+                    2
+                }
+            }
+        });
+        let mut dsu: Vec<usize> = (0..nblocks + 1).collect();
+        fn find(dsu: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while dsu[root] != root {
+                root = dsu[root];
+            }
+            let mut cur = x;
+            while dsu[cur] != root {
+                let next = dsu[cur];
+                dsu[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut in_tree = vec![false; plan_edges.len()];
+        for &i in &order {
+            let (_, u, v) = plan_edges[i];
+            let (ru, rv) = (find(&mut dsu, u), find(&mut dsu, v));
+            if ru != rv {
+                dsu[ru] = rv;
+                in_tree[i] = true;
+            }
+        }
+        // Chords get counters and instrumentation.
+        let mut counter = 0u32;
+        let mut plan = EdgePlan::default();
+        for (i, &(kind, _, _)) in plan_edges.iter().enumerate() {
+            if in_tree[i] {
+                plan.edges.push((kind, None));
+                continue;
+            }
+            let op = Instr::Prof(ProfOp::EdgeCount {
+                table,
+                index: counter,
+            });
+            match kind {
+                PlanEdge::Succ { block, succ_index } => {
+                    route_edge(&mut edits, block, succ_index, vec![op], false);
+                }
+                PlanEdge::Ret { block } => edits.append[block.index()].push(op),
+                PlanEdge::Virtual => unreachable!("virtual edge is forced into the tree"),
+            }
+            plan.edges.push((kind, Some(counter)));
+            counter += 1;
+        }
+        edge_plan = Some(plan);
+    }
+
+    // ---- returns -----------------------------------------------------------
+    for (bid, block) in proc.iter_blocks() {
+        if !block.term.is_return() {
+            continue;
+        }
+        let tail = &mut edits.append[bid.index()];
+        tail.append(&mut ret_pre[bid.index()]);
+        if spills {
+            tail.push(Instr::Prof(ProfOp::Spill));
+        }
+        if mode.tracks_paths() && exit_const != 0 {
+            tail.push(Instr::Bin {
+                op: pp_ir::instr::BinOp::Add,
+                dst: rp,
+                a: rp,
+                b: Operand::Imm(exit_const),
+            });
+        }
+        match mode {
+            Mode::FlowFreq => tail.push(Instr::Prof(ProfOp::PathCount {
+                table: table.expect("flow mode has a table"),
+                reg: rp,
+            })),
+            Mode::FlowHw => tail.push(Instr::Prof(ProfOp::PathMetrics {
+                table: table.expect("flow mode has a table"),
+                reg: rp,
+            })),
+            Mode::ContextFlow => tail.push(Instr::Prof(ProfOp::CctPathCount { reg: rp })),
+            Mode::CombinedHw => tail.push(Instr::Prof(ProfOp::CctPathMetrics { reg: rp })),
+            Mode::ContextHw => tail.push(Instr::Prof(ProfOp::CctMetricExit)),
+            Mode::EdgeFreq => {}
+        }
+        if mode.path_interval_counters() {
+            tail.push(Instr::Prof(ProfOp::PicRestore));
+        }
+        if mode.tracks_context() {
+            tail.push(Instr::Prof(ProfOp::CctExit));
+        }
+    }
+
+    // ---- materialize --------------------------------------------------------
+    let mut blocks: Vec<Block> = Vec::with_capacity(nblocks + 1 + edits.splits.len());
+    let mut prologue = Block::new(Terminator::Jump(BlockId(1)));
+    prologue.instrs = edits.prologue;
+    blocks.push(prologue);
+
+    for (i, orig) in proc.blocks.iter().enumerate() {
+        let mut b = Block::new(orig.term.clone());
+        shift_terminator(&mut b.term);
+        b.instrs = std::mem::take(&mut edits.prepend[i]);
+        for instr in &orig.instrs {
+            if mode.tracks_context() {
+                if let Instr::Call { site, .. } = instr {
+                    b.instrs.push(Instr::Prof(ProfOp::CctCall {
+                        site: *site,
+                        path_reg: mode.tracks_paths().then_some(rp),
+                    }));
+                }
+            }
+            b.instrs.push(instr.clone());
+        }
+        b.instrs.append(&mut edits.append[i]);
+        blocks.push(b);
+    }
+
+    for (from, succ_index, instrs) in edits.splits {
+        let shifted_from = from + 1;
+        // Current (already shifted) target of that successor.
+        let target = blocks[shifted_from]
+            .term
+            .successors()
+            .nth(succ_index as usize)
+            .expect("successor exists");
+        let split_id = BlockId(blocks.len() as u32);
+        let mut split = Block::new(Terminator::Jump(target));
+        split.instrs = instrs;
+        blocks.push(split);
+        set_successor(&mut blocks[shifted_from].term, succ_index, split_id);
+    }
+
+    let mut out = Procedure {
+        name: proc.name.clone(),
+        blocks,
+        num_regs: proc.num_regs + u16::from(mode.tracks_paths()),
+        num_fregs: proc.num_fregs,
+        call_sites: Vec::new(),
+    };
+    out.recompute_call_sites();
+    (out, edge_plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_ir::build::ProgramBuilder;
+    use pp_ir::HwEvent;
+
+    /// A procedure shaped like the paper's Figure 3: a diamond measuring a
+    /// metric over two paths.
+    fn diamond_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let t = f.new_block();
+        let z = f.new_block();
+        let x = f.new_block();
+        let c = f.new_reg();
+        f.block(e).mov(c, 1i64).branch(c, t, z);
+        f.block(t).nop().jump(x);
+        f.block(z).nop().jump(x);
+        f.block(x).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    fn loop_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        f.block(e).mov(i, 0i64).jump(h);
+        f.block(h).cmp_lt(c, i, 5i64).branch(c, body, x);
+        f.block(body).add(i, i, 1i64).jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    fn count_prof_ops(p: &Program) -> usize {
+        p.procedures()
+            .iter()
+            .flat_map(|pr| pr.blocks.iter())
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| matches!(i, Instr::Prof(_)))
+            .count()
+    }
+
+    #[test]
+    fn flow_hw_instrumentation_points_match_figure3() {
+        let prog = diamond_program();
+        let inst =
+            instrument_program(&prog, InstrumentOptions::new(Mode::FlowHw)).expect("instrument");
+        let p = inst.program.procedure(ProcId(0));
+        // Prologue: SetPcr + PicSave + PicZero + Mov rp.
+        let prologue = &p.blocks[0].instrs;
+        assert!(matches!(prologue[0], Instr::SetPcr { .. }));
+        assert!(matches!(prologue[1], Instr::Prof(ProfOp::PicSave)));
+        assert!(matches!(prologue[2], Instr::Prof(ProfOp::PicZero)));
+        assert!(matches!(prologue[3], Instr::Mov { .. }));
+        // The ret block ends with PathMetrics then PicRestore.
+        let ret_block = p
+            .blocks
+            .iter()
+            .find(|b| b.term.is_return())
+            .expect("has ret");
+        let n = ret_block.instrs.len();
+        assert!(matches!(
+            ret_block.instrs[n - 2],
+            Instr::Prof(ProfOp::PathMetrics { .. })
+        ));
+        assert!(matches!(ret_block.instrs[n - 1], Instr::Prof(ProfOp::PicRestore)));
+        // Exactly one path-register increment somewhere (two paths, one
+        // chord after optimization).
+        let adds: usize = p
+            .blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| matches!(i, Instr::Bin { dst, .. } if *dst == Reg(1)))
+            .count();
+        assert_eq!(adds, 1, "one increment for a two-path diamond");
+    }
+
+    #[test]
+    fn loop_backedge_gets_backedge_op() {
+        let prog = loop_program();
+        let inst =
+            instrument_program(&prog, InstrumentOptions::new(Mode::FlowFreq)).expect("instrument");
+        let p = inst.program.procedure(ProcId(0));
+        let backedge_ops = p
+            .blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| matches!(i, Instr::Prof(ProfOp::PathCountBackedge { .. })))
+            .count();
+        assert_eq!(backedge_ops, 1);
+    }
+
+    #[test]
+    fn context_mode_wraps_calls_and_returns() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("f");
+        let mut m = pb.procedure("main");
+        let e = m.entry_block();
+        m.block(e).call(callee, vec![], None).ret();
+        let main = m.finish();
+        let mut f = pb.procedure_for(callee);
+        f.entry_block();
+        f.finish();
+        let prog = pb.finish(main);
+        let inst =
+            instrument_program(&prog, InstrumentOptions::new(Mode::ContextHw)).expect("instrument");
+        let p = inst.program.procedure(main);
+        // Prologue has CctEnter + CctMetricEnter.
+        assert!(matches!(
+            p.blocks[0].instrs[1],
+            Instr::Prof(ProfOp::CctEnter { .. })
+        ));
+        assert!(matches!(
+            p.blocks[0].instrs[2],
+            Instr::Prof(ProfOp::CctMetricEnter)
+        ));
+        // The call is preceded by CctCall.
+        let body = &p.blocks[1].instrs;
+        let call_pos = body
+            .iter()
+            .position(|i| matches!(i, Instr::Call { .. }))
+            .expect("call present");
+        assert!(matches!(
+            body[call_pos - 1],
+            Instr::Prof(ProfOp::CctCall { .. })
+        ));
+        // Return ends with MetricExit then CctExit.
+        let n = body.len();
+        assert!(matches!(body[n - 2], Instr::Prof(ProfOp::CctMetricExit)));
+        assert!(matches!(body[n - 1], Instr::Prof(ProfOp::CctExit)));
+    }
+
+    #[test]
+    fn context_hw_ticks_loop_backedges() {
+        let prog = loop_program();
+        let inst =
+            instrument_program(&prog, InstrumentOptions::new(Mode::ContextHw)).expect("instrument");
+        let ticks = inst
+            .program
+            .procedures()
+            .iter()
+            .flat_map(|p| p.blocks.iter())
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| matches!(i, Instr::Prof(ProfOp::CctMetricTick)))
+            .count();
+        assert_eq!(ticks, 1);
+        // Ablation: ticks off.
+        let mut opts = InstrumentOptions::new(Mode::ContextHw);
+        opts.backedge_ticks = false;
+        let inst = instrument_program(&prog, opts).expect("instrument");
+        let ticks = inst
+            .program
+            .procedures()
+            .iter()
+            .flat_map(|p| p.blocks.iter())
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| matches!(i, Instr::Prof(ProfOp::CctMetricTick)))
+            .count();
+        assert_eq!(ticks, 0);
+    }
+
+    #[test]
+    fn all_modes_verify_and_grow_code() {
+        let prog = loop_program();
+        for mode in [
+            Mode::FlowFreq,
+            Mode::FlowHw,
+            Mode::ContextHw,
+            Mode::ContextFlow,
+            Mode::CombinedHw,
+        ] {
+            let inst = instrument_program(&prog, InstrumentOptions::new(mode))
+                .unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert!(
+                inst.program.static_size() > prog.static_size(),
+                "{mode} must add code"
+            );
+            assert!(count_prof_ops(&inst.program) > 0, "{mode} must add ops");
+        }
+    }
+
+    #[test]
+    fn hash_threshold_switches_storage() {
+        // A procedure with 2^8 paths: a chain of 8 diamonds.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("many");
+        let e = f.entry_block();
+        let c = f.new_reg();
+        f.block(e).mov(c, 1i64);
+        let mut prev = e;
+        for _ in 0..8 {
+            let t = f.new_block();
+            let z = f.new_block();
+            let join = f.new_block();
+            f.block(prev).branch(c, t, z);
+            f.block(t).jump(join);
+            f.block(z).jump(join);
+            prev = join;
+        }
+        f.block(prev).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let mut opts = InstrumentOptions::new(Mode::FlowFreq);
+        opts.hash_threshold = 100; // 256 paths > 100
+        let inst = instrument_program(&prog, opts).expect("instrument");
+        assert_eq!(
+            inst.tables[0].expect("table").storage,
+            CounterStorage::Hashed
+        );
+        let opts = InstrumentOptions::new(Mode::FlowFreq);
+        let inst = instrument_program(&prog, opts).expect("instrument");
+        assert_eq!(
+            inst.tables[0].expect("table").storage,
+            CounterStorage::Array
+        );
+    }
+
+    #[test]
+    fn proc_meta_reflects_sites_and_paths() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.declare("g");
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let fp = f.new_reg();
+        f.block(e)
+            .call(g, vec![], None)
+            .mov(fp, 1i64)
+            .icall(fp, vec![], None)
+            .ret();
+        let main = f.finish();
+        let mut gg = pb.procedure_for(g);
+        gg.entry_block();
+        gg.finish();
+        let prog = pb.finish(main);
+        let inst =
+            instrument_program(&prog, InstrumentOptions::new(Mode::ContextFlow)).expect("ok");
+        let meta = &inst.proc_meta[main.index()];
+        assert_eq!(meta.num_call_sites, 2);
+        assert_eq!(meta.indirect_sites, vec![false, true]);
+        assert_eq!(meta.num_paths, 1);
+    }
+
+    #[test]
+    fn base_vs_instrumented_events_selected() {
+        let prog = diamond_program();
+        let opts = InstrumentOptions::new(Mode::FlowHw)
+            .with_events(HwEvent::Cycles, HwEvent::IcMiss);
+        let inst = instrument_program(&prog, opts).expect("ok");
+        let prologue = &inst.program.procedure(ProcId(0)).blocks[0].instrs;
+        assert!(matches!(
+            prologue[0],
+            Instr::SetPcr {
+                pic0: HwEvent::Cycles,
+                pic1: HwEvent::IcMiss
+            }
+        ));
+    }
+}

@@ -1,0 +1,523 @@
+//! Ergonomic builders for programs and procedures.
+//!
+//! [`ProgramBuilder`] collects procedures and data segments; procedures can
+//! be declared ahead of their definition so that mutually recursive call
+//! graphs are easy to construct. [`ProcBuilder`] builds one procedure's CFG
+//! block by block, tracking register usage and call sites automatically.
+//!
+//! ```
+//! use pp_ir::build::ProgramBuilder;
+//! use pp_ir::{Operand, Reg};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let helper_id = pb.declare("helper");
+//!
+//! let mut main = pb.procedure("main");
+//! let e = main.entry_block();
+//! let r = main.new_reg();
+//! main.block(e).call(helper_id, vec![Operand::Imm(5)], Some(r));
+//! main.block(e).ret();
+//! let main_id = main.finish();
+//!
+//! let mut helper = pb.procedure_for(helper_id);
+//! let e = helper.entry_block();
+//! helper
+//!     .block(e)
+//!     .add(Reg(0), Reg(0), Operand::Imm(1))
+//!     .ret();
+//! helper.finish();
+//!
+//! let program = pb.finish(main_id);
+//! pp_ir::verify::verify_program(&program).unwrap();
+//! ```
+
+use crate::hw::HwEvent;
+use crate::ids::{BlockId, CallSiteId, FReg, ProcId, Reg};
+use crate::instr::{BinOp, CallTarget, FBinOp, Instr, Operand, Terminator};
+use crate::prof::ProfOp;
+use crate::program::{Block, CallSite, DataSegment, Procedure, Program};
+
+/// Builds a [`Program`] incrementally.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    procs: Vec<Option<Procedure>>,
+    names: Vec<String>,
+    data: Vec<DataSegment>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a procedure without defining it, returning its id. Use
+    /// [`ProgramBuilder::procedure_for`] later to define it; this enables
+    /// forward references and mutual recursion.
+    pub fn declare(&mut self, name: &str) -> ProcId {
+        let id = ProcId(self.procs.len() as u32);
+        self.procs.push(None);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Declares and starts defining a new procedure.
+    pub fn procedure(&mut self, name: &str) -> ProcBuilder<'_> {
+        let id = self.declare(name);
+        self.procedure_for(id)
+    }
+
+    /// Starts defining a previously declared procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared or is already defined.
+    pub fn procedure_for(&mut self, id: ProcId) -> ProcBuilder<'_> {
+        assert!(id.index() < self.procs.len(), "{id} was never declared");
+        assert!(
+            self.procs[id.index()].is_none(),
+            "{id} ({}) is already defined",
+            self.names[id.index()]
+        );
+        let name = self.names[id.index()].clone();
+        ProcBuilder {
+            parent: self,
+            id,
+            proc: Procedure {
+                name,
+                blocks: Vec::new(),
+                num_regs: 0,
+                num_fregs: 0,
+                call_sites: Vec::new(),
+            },
+            next_reg: 0,
+            next_freg: 0,
+            next_site: 0,
+        }
+    }
+
+    /// Adds an initialized data segment.
+    pub fn data_segment(&mut self, addr: u64, bytes: Vec<u8>) -> &mut ProgramBuilder {
+        self.data.push(DataSegment { addr, bytes });
+        self
+    }
+
+    /// Adds a data segment of little-endian `u64` words (convenient for
+    /// function-pointer tables and numeric inputs).
+    pub fn data_words(&mut self, addr: u64, words: &[u64]) -> &mut ProgramBuilder {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data_segment(addr, bytes)
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared procedure was never defined, or if `entry` is
+    /// out of range.
+    pub fn finish(self, entry: ProcId) -> Program {
+        let procs: Vec<Procedure> = self
+            .procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.unwrap_or_else(|| panic!("procedure @{i} ({}) declared but never defined", self.names[i])))
+            .collect();
+        Program::new(procs, entry, self.data)
+    }
+}
+
+/// Builds one [`Procedure`]'s control flow graph.
+///
+/// Obtained from [`ProgramBuilder::procedure`]; call
+/// [`ProcBuilder::finish`] to install the procedure into the program.
+#[derive(Debug)]
+pub struct ProcBuilder<'a> {
+    parent: &'a mut ProgramBuilder,
+    id: ProcId,
+    proc: Procedure,
+    next_reg: u16,
+    next_freg: u16,
+    next_site: u32,
+}
+
+impl<'a> ProcBuilder<'a> {
+    /// The id this procedure will have in the finished program.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Returns the entry block, creating it if this is the first call.
+    pub fn entry_block(&mut self) -> BlockId {
+        if self.proc.blocks.is_empty() {
+            self.new_block()
+        } else {
+            BlockId(0)
+        }
+    }
+
+    /// Appends a new, empty block terminated by `Ret`.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.proc.blocks.len() as u32);
+        self.proc.blocks.push(Block::new(Terminator::Ret));
+        id
+    }
+
+    /// Allocates a fresh integer register.
+    pub fn new_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates a fresh floating point register.
+    pub fn new_freg(&mut self) -> FReg {
+        let r = FReg(self.next_freg);
+        self.next_freg += 1;
+        r
+    }
+
+    /// Reserves integer registers `r0..rn` (used for argument registers).
+    pub fn reserve_regs(&mut self, n: u16) {
+        self.next_reg = self.next_reg.max(n);
+    }
+
+    /// Returns an emitter positioned at block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` does not exist yet.
+    pub fn block(&mut self, b: BlockId) -> BlockRef<'_, 'a> {
+        assert!(b.index() < self.proc.blocks.len(), "{b} does not exist");
+        BlockRef { pb: self, block: b }
+    }
+
+    /// Installs the procedure into the program, returning its id.
+    pub fn finish(mut self) -> ProcId {
+        if self.proc.blocks.is_empty() {
+            self.proc.blocks.push(Block::new(Terminator::Ret));
+        }
+        self.proc.num_regs = self.proc.num_regs.max(self.next_reg);
+        self.proc.num_fregs = self.proc.num_fregs.max(self.next_freg);
+        let slot = &mut self.parent.procs[self.id.index()];
+        *slot = Some(self.proc);
+        self.id
+    }
+
+    fn note_reg(&mut self, r: Reg) {
+        self.proc.num_regs = self.proc.num_regs.max(r.0 + 1);
+    }
+
+    fn note_freg(&mut self, r: FReg) {
+        self.proc.num_fregs = self.proc.num_fregs.max(r.0 + 1);
+    }
+
+    fn note_operand(&mut self, o: Operand) {
+        if let Operand::Reg(r) = o {
+            self.note_reg(r);
+        }
+    }
+}
+
+/// Emits instructions into one block of a [`ProcBuilder`].
+///
+/// All emission methods return `&mut Self` for chaining. Terminator methods
+/// ([`BlockRef::jump`], [`BlockRef::branch`], [`BlockRef::switch`],
+/// [`BlockRef::ret`]) replace the block's terminator.
+#[derive(Debug)]
+pub struct BlockRef<'b, 'a> {
+    pb: &'b mut ProcBuilder<'a>,
+    block: BlockId,
+}
+
+impl<'b, 'a> BlockRef<'b, 'a> {
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.pb.proc.blocks[self.block.index()].instrs.push(i);
+        self
+    }
+
+    /// Emits `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        let src = src.into();
+        self.pb.note_reg(dst);
+        self.pb.note_operand(src);
+        self.push(Instr::Mov { dst, src })
+    }
+
+    /// Emits `dst = a <op> b`.
+    pub fn bin(&mut self, op: BinOp, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        let b = b.into();
+        self.pb.note_reg(dst);
+        self.pb.note_reg(a);
+        self.pb.note_operand(b);
+        self.push(Instr::Bin { op, dst, a, b })
+    }
+
+    /// Emits `dst = a + b`.
+    pub fn add(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.bin(BinOp::Add, dst, a, b)
+    }
+
+    /// Emits `dst = a - b`.
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.bin(BinOp::Sub, dst, a, b)
+    }
+
+    /// Emits `dst = a * b`.
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.bin(BinOp::Mul, dst, a, b)
+    }
+
+    /// Emits `dst = a < b` (0 or 1).
+    pub fn cmp_lt(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.bin(BinOp::CmpLt, dst, a, b)
+    }
+
+    /// Emits `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.pb.note_reg(dst);
+        self.pb.note_reg(base);
+        self.push(Instr::Load { dst, base, offset })
+    }
+
+    /// Emits `mem[base + offset] = src`.
+    pub fn store(&mut self, src: impl Into<Operand>, base: Reg, offset: i64) -> &mut Self {
+        let src = src.into();
+        self.pb.note_operand(src);
+        self.pb.note_reg(base);
+        self.push(Instr::Store { src, base, offset })
+    }
+
+    /// Emits a floating point constant load.
+    pub fn fconst(&mut self, dst: FReg, value: f64) -> &mut Self {
+        self.pb.note_freg(dst);
+        self.push(Instr::FConst { dst, value })
+    }
+
+    /// Emits `dst = a <op> b` on floating point registers.
+    pub fn fbin(&mut self, op: FBinOp, dst: FReg, a: FReg, b: FReg) -> &mut Self {
+        self.pb.note_freg(dst);
+        self.pb.note_freg(a);
+        self.pb.note_freg(b);
+        self.push(Instr::FBin { op, dst, a, b })
+    }
+
+    /// Emits `dst = mem[base + offset]` as an `f64`.
+    pub fn fload(&mut self, dst: FReg, base: Reg, offset: i64) -> &mut Self {
+        self.pb.note_freg(dst);
+        self.pb.note_reg(base);
+        self.push(Instr::FLoad { dst, base, offset })
+    }
+
+    /// Emits `mem[base + offset] = src` as an `f64`.
+    pub fn fstore(&mut self, src: FReg, base: Reg, offset: i64) -> &mut Self {
+        self.pb.note_freg(src);
+        self.pb.note_reg(base);
+        self.push(Instr::FStore { src, base, offset })
+    }
+
+    /// Emits a direct call; allocates the next [`CallSiteId`].
+    pub fn call(&mut self, target: ProcId, args: Vec<Operand>, ret: Option<Reg>) -> &mut Self {
+        self.call_target(CallTarget::Direct(target), args, ret)
+    }
+
+    /// Emits an indirect call through `target_reg`.
+    pub fn icall(&mut self, target_reg: Reg, args: Vec<Operand>, ret: Option<Reg>) -> &mut Self {
+        self.pb.note_reg(target_reg);
+        self.call_target(CallTarget::Indirect(target_reg), args, ret)
+    }
+
+    fn call_target(
+        &mut self,
+        target: CallTarget,
+        args: Vec<Operand>,
+        ret: Option<Reg>,
+    ) -> &mut Self {
+        for &a in &args {
+            self.pb.note_operand(a);
+        }
+        if let Some(r) = ret {
+            self.pb.note_reg(r);
+        }
+        let site = CallSiteId(self.pb.next_site);
+        self.pb.next_site += 1;
+        let direct_target = match target {
+            CallTarget::Direct(p) => Some(p),
+            CallTarget::Indirect(_) => None,
+        };
+        self.pb.proc.call_sites.push(CallSite {
+            block: self.block,
+            direct_target,
+        });
+        self.push(Instr::Call {
+            target,
+            site,
+            args,
+            ret,
+        })
+    }
+
+    /// Programs the performance control register.
+    pub fn setpcr(&mut self, pic0: HwEvent, pic1: HwEvent) -> &mut Self {
+        self.push(Instr::SetPcr { pic0, pic1 })
+    }
+
+    /// Reads both performance counters into `dst`.
+    pub fn rdpic(&mut self, dst: Reg) -> &mut Self {
+        self.pb.note_reg(dst);
+        self.push(Instr::RdPic { dst })
+    }
+
+    /// Writes both performance counters from `src`.
+    pub fn wrpic(&mut self, src: impl Into<Operand>) -> &mut Self {
+        let src = src.into();
+        self.pb.note_operand(src);
+        self.push(Instr::WrPic { src })
+    }
+
+    /// Emits a setjmp, storing the token in `dst`.
+    pub fn setjmp(&mut self, dst: Reg) -> &mut Self {
+        self.pb.note_reg(dst);
+        self.push(Instr::Setjmp { dst })
+    }
+
+    /// Emits a longjmp through `token`.
+    pub fn longjmp(&mut self, token: Reg) -> &mut Self {
+        self.pb.note_reg(token);
+        self.push(Instr::Longjmp { token })
+    }
+
+    /// Emits a profiling pseudo-op.
+    pub fn prof(&mut self, op: ProfOp) -> &mut Self {
+        self.push(Instr::Prof(op))
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Terminates the block with an unconditional jump.
+    pub fn jump(&mut self, to: BlockId) {
+        self.pb.proc.blocks[self.block.index()].term = Terminator::Jump(to);
+    }
+
+    /// Terminates the block with a conditional branch on `cond != 0`.
+    pub fn branch(&mut self, cond: Reg, taken: BlockId, not_taken: BlockId) {
+        self.pb.note_reg(cond);
+        self.pb.proc.blocks[self.block.index()].term = Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        };
+    }
+
+    /// Terminates the block with a multi-way switch.
+    pub fn switch(&mut self, sel: Reg, targets: Vec<BlockId>, default: BlockId) {
+        self.pb.note_reg(sel);
+        self.pb.proc.blocks[self.block.index()].term = Terminator::Switch {
+            sel,
+            targets,
+            default,
+        };
+    }
+
+    /// Terminates the block with a return.
+    pub fn ret(&mut self) {
+        self.pb.proc.blocks[self.block.index()].term = Terminator::Ret;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_diamond() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("diamond");
+        let e = f.entry_block();
+        let t = f.new_block();
+        let z = f.new_block();
+        let x = f.new_block();
+        let c = f.new_reg();
+        f.block(e).mov(c, 1i64).branch(c, t, z);
+        f.block(t).nop().jump(x);
+        f.block(z).nop().jump(x);
+        f.block(x).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let p = prog.procedure(id);
+        assert_eq!(p.blocks.len(), 4);
+        assert_eq!(p.num_regs, 1);
+        assert_eq!(
+            p.block(BlockId(0)).term.successors().collect::<Vec<_>>(),
+            vec![t, z]
+        );
+    }
+
+    #[test]
+    fn call_sites_recorded_in_order() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee");
+        let mut f = pb.procedure("caller");
+        let e = f.entry_block();
+        let fp = f.new_reg();
+        f.block(e)
+            .call(callee, vec![Operand::Imm(1)], None)
+            .mov(fp, 0i64)
+            .icall(fp, vec![], None)
+            .ret();
+        let caller = f.finish();
+        let mut c = pb.procedure_for(callee);
+        c.entry_block();
+        c.finish();
+        let prog = pb.finish(caller);
+        let p = prog.procedure(caller);
+        assert_eq!(p.call_sites.len(), 2);
+        assert_eq!(p.call_sites[0].direct_target, Some(callee));
+        assert_eq!(p.call_sites[1].direct_target, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "never defined")]
+    fn undefined_declaration_panics_at_finish() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.procedure("main").finish();
+        pb.declare("ghost");
+        let _ = pb.finish(main);
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn double_definition_panics() {
+        let mut pb = ProgramBuilder::new();
+        let id = pb.procedure("f").finish();
+        let _ = pb.procedure_for(id);
+    }
+
+    #[test]
+    fn data_words_little_endian() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.procedure("main").finish();
+        pb.data_words(0x1000, &[0x0102_0304_0506_0708]);
+        let prog = pb.finish(main);
+        assert_eq!(prog.data.len(), 1);
+        assert_eq!(prog.data[0].addr, 0x1000);
+        assert_eq!(prog.data[0].bytes[0], 0x08);
+        assert_eq!(prog.data[0].bytes[7], 0x01);
+    }
+
+    #[test]
+    fn registers_tracked_from_direct_use() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("f");
+        let e = f.entry_block();
+        f.block(e).mov(Reg(7), 0i64).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        assert_eq!(prog.procedure(id).num_regs, 8);
+    }
+}

@@ -1,0 +1,333 @@
+//! Control flow graph analyses over a [`Procedure`].
+//!
+//! [`Cfg`] materializes successor and predecessor lists and provides the
+//! traversals the profiler needs: depth-first search with backedge
+//! identification (backedges are what the Ball–Larus transform removes),
+//! reverse postorder, and reachability.
+
+use crate::ids::BlockId;
+use crate::program::Procedure;
+
+/// An edge in the CFG, identified by its endpoints and the index of the
+/// target in the source block's successor list (so that parallel edges —
+/// e.g. a branch whose two arms target the same block — stay distinct).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Edge {
+    /// Source block.
+    pub from: BlockId,
+    /// Target block.
+    pub to: BlockId,
+    /// Index of this edge within `from`'s successor list.
+    pub succ_index: u32,
+}
+
+/// Materialized control flow graph of one procedure.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Builds the CFG of `proc`.
+    pub fn new(proc: &Procedure) -> Cfg {
+        let n = proc.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (i, block) in proc.blocks.iter().enumerate() {
+            for s in block.term.successors() {
+                succs[i].push(s);
+                preds[s.index()].push(BlockId(i as u32));
+            }
+        }
+        Cfg {
+            succs,
+            preds,
+            entry: proc.entry(),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the procedure has no blocks (never produced by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Successors of `b`, in terminator order.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Iterates over every edge of the graph.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.succs.iter().enumerate().flat_map(|(i, ss)| {
+            ss.iter().enumerate().map(move |(k, &t)| Edge {
+                from: BlockId(i as u32),
+                to: t,
+                succ_index: k as u32,
+            })
+        })
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![self.entry];
+        seen[self.entry.index()] = true;
+        while let Some(b) = stack.pop() {
+            for &s in self.succs(b) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Depth-first search from the entry, returning for each block its
+    /// preorder/postorder numbers and the set of backedges.
+    ///
+    /// A backedge is an edge `u -> v` where `v` is an ancestor of `u` on
+    /// the DFS spanning tree (including self loops). Every cycle of the CFG
+    /// contains at least one backedge, which is exactly what the
+    /// Ball–Larus cyclic transform removes.
+    pub fn dfs(&self) -> Dfs {
+        let n = self.len();
+        let mut pre = vec![u32::MAX; n];
+        let mut post = vec![u32::MAX; n];
+        let mut on_stack = vec![false; n];
+        let mut backedges = Vec::new();
+        let mut pre_counter = 0u32;
+        let mut post_counter = 0u32;
+        // Iterative DFS that tracks which successor index each frame is at,
+        // so we can record backedges with their succ_index.
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        pre[self.entry.index()] = pre_counter;
+        pre_counter += 1;
+        on_stack[self.entry.index()] = true;
+        stack.push((self.entry, 0));
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = self.succs(b);
+            if *next < ss.len() {
+                let k = *next;
+                *next += 1;
+                let t = ss[k];
+                if pre[t.index()] == u32::MAX {
+                    pre[t.index()] = pre_counter;
+                    pre_counter += 1;
+                    on_stack[t.index()] = true;
+                    stack.push((t, 0));
+                } else if on_stack[t.index()] {
+                    backedges.push(Edge {
+                        from: b,
+                        to: t,
+                        succ_index: k as u32,
+                    });
+                }
+            } else {
+                post[b.index()] = post_counter;
+                post_counter += 1;
+                on_stack[b.index()] = false;
+                stack.pop();
+            }
+        }
+        Dfs {
+            preorder: pre,
+            postorder: post,
+            backedges,
+        }
+    }
+
+    /// Blocks in reverse postorder (a topological order when the graph is
+    /// acyclic; ignores unreachable blocks).
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let dfs = self.dfs();
+        let mut order: Vec<BlockId> = (0..self.len() as u32)
+            .map(BlockId)
+            .filter(|b| dfs.postorder[b.index()] != u32::MAX)
+            .collect();
+        order.sort_by_key(|b| std::cmp::Reverse(dfs.postorder[b.index()]));
+        order
+    }
+
+    /// True if the reachable portion of the graph contains no cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.dfs().backedges.is_empty()
+    }
+
+    /// The blocks whose terminator is a return (the procedure's exits).
+    pub fn exits(proc: &Procedure) -> Vec<BlockId> {
+        proc.iter_blocks()
+            .filter(|(_, b)| b.term.is_return())
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Result of [`Cfg::dfs`].
+#[derive(Clone, Debug)]
+pub struct Dfs {
+    /// Preorder number per block (`u32::MAX` when unreachable).
+    pub preorder: Vec<u32>,
+    /// Postorder number per block (`u32::MAX` when unreachable).
+    pub postorder: Vec<u32>,
+    /// Backedges discovered by the search.
+    pub backedges: Vec<Edge>,
+}
+
+impl Dfs {
+    /// True if `e` is one of the discovered backedges.
+    pub fn is_backedge(&self, e: &Edge) -> bool {
+        self.backedges.contains(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::program::Program;
+
+    /// entry -> {loop header -> body -> header (backedge)} -> exit
+    fn loop_proc() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("loop");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let c = f.new_reg();
+        f.block(e).mov(c, 10i64).jump(h);
+        f.block(h).branch(c, body, x);
+        f.block(body).sub(c, c, 1i64).jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let prog = loop_proc();
+        let cfg = Cfg::new(prog.procedure(prog.entry()));
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(cfg.succs(BlockId(1)), &[BlockId(2), BlockId(3)]);
+        assert_eq!(cfg.preds(BlockId(1)), &[BlockId(0), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(0)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn dfs_finds_the_backedge() {
+        let prog = loop_proc();
+        let cfg = Cfg::new(prog.procedure(prog.entry()));
+        let dfs = cfg.dfs();
+        assert_eq!(dfs.backedges.len(), 1);
+        assert_eq!(dfs.backedges[0].from, BlockId(2));
+        assert_eq!(dfs.backedges[0].to, BlockId(1));
+        assert!(!cfg.is_acyclic());
+    }
+
+    #[test]
+    fn self_loop_is_a_backedge() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("selfloop");
+        let e = f.entry_block();
+        let s = f.new_block();
+        let x = f.new_block();
+        let c = f.new_reg();
+        f.block(e).mov(c, 3i64).jump(s);
+        f.block(s).sub(c, c, 1i64).branch(c, s, x);
+        f.block(x).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let cfg = Cfg::new(prog.procedure(id));
+        let dfs = cfg.dfs();
+        assert_eq!(dfs.backedges.len(), 1);
+        assert_eq!(dfs.backedges[0].from, s);
+        assert_eq!(dfs.backedges[0].to, s);
+    }
+
+    #[test]
+    fn reverse_postorder_is_topological_on_dags() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("dag");
+        let a = f.entry_block();
+        let b = f.new_block();
+        let c = f.new_block();
+        let d = f.new_block();
+        let cond = f.new_reg();
+        f.block(a).mov(cond, 1i64).branch(cond, b, c);
+        f.block(b).jump(d);
+        f.block(c).jump(d);
+        f.block(d).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let cfg = Cfg::new(prog.procedure(id));
+        assert!(cfg.is_acyclic());
+        let rpo = cfg.reverse_postorder();
+        let pos =
+            |x: BlockId| rpo.iter().position(|&b| b == x).expect("block missing from rpo");
+        for e in cfg.edges() {
+            assert!(pos(e.from) < pos(e.to), "edge {:?} violates rpo", e);
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("unreach");
+        let e = f.entry_block();
+        let dead = f.new_block();
+        f.block(e).ret();
+        f.block(dead).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let cfg = Cfg::new(prog.procedure(id));
+        let reach = cfg.reachable();
+        assert!(reach[0]);
+        assert!(!reach[1]);
+        assert_eq!(cfg.reverse_postorder(), vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("par");
+        let e = f.entry_block();
+        let t = f.new_block();
+        let c = f.new_reg();
+        f.block(e).mov(c, 0i64).branch(c, t, t);
+        f.block(t).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let cfg = Cfg::new(prog.procedure(id));
+        let edges: Vec<Edge> = cfg.edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert_ne!(edges[0], edges[1]);
+        assert_eq!(edges[0].succ_index, 0);
+        assert_eq!(edges[1].succ_index, 1);
+    }
+
+    #[test]
+    fn exits_lists_ret_blocks() {
+        let prog = loop_proc();
+        let p = prog.procedure(prog.entry());
+        assert_eq!(Cfg::exits(p), vec![BlockId(3)]);
+    }
+}

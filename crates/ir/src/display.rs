@@ -1,0 +1,232 @@
+//! Textual pretty-printing of programs.
+//!
+//! The format is line-oriented assembly-like text, useful in test failure
+//! output and for eyeballing what an instrumentation pass produced.
+
+use std::fmt::{self, Write as _};
+
+use crate::instr::{BinOp, CallTarget, FBinOp, Instr, Operand, Terminator};
+use crate::program::{Procedure, Program};
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::CmpLt => "cmplt",
+            BinOp::CmpLe => "cmple",
+            BinOp::CmpEq => "cmpeq",
+            BinOp::CmpNe => "cmpne",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for FBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FBinOp::Add => "fadd",
+            FBinOp::Sub => "fsub",
+            FBinOp::Mul => "fmul",
+            FBinOp::Div => "fdiv",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::Bin { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            Instr::Load { dst, base, offset } => write!(f, "ld {dst}, [{base}{offset:+}]"),
+            Instr::Store { src, base, offset } => write!(f, "st {src}, [{base}{offset:+}]"),
+            Instr::FConst { dst, value } => write!(f, "fconst {dst}, {value}"),
+            Instr::FBin { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            Instr::FLoad { dst, base, offset } => write!(f, "fld {dst}, [{base}{offset:+}]"),
+            Instr::FStore { src, base, offset } => write!(f, "fst {src}, [{base}{offset:+}]"),
+            Instr::FToI { dst, src } => write!(f, "ftoi {dst}, {src}"),
+            Instr::IToF { dst, src } => write!(f, "itof {dst}, {src}"),
+            Instr::Call {
+                target,
+                site,
+                args,
+                ret,
+            } => {
+                match target {
+                    CallTarget::Direct(p) => write!(f, "call {p}")?,
+                    CallTarget::Indirect(r) => write!(f, "icall [{r}]")?,
+                }
+                write!(f, " {site}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_char(')')?;
+                if let Some(r) = ret {
+                    write!(f, " -> {r}")?;
+                }
+                Ok(())
+            }
+            Instr::SetPcr { pic0, pic1 } => write!(f, "setpcr {pic0}, {pic1}"),
+            Instr::RdPic { dst } => write!(f, "rdpic {dst}"),
+            Instr::WrPic { src } => write!(f, "wrpic {src}"),
+            Instr::Setjmp { dst } => write!(f, "setjmp {dst}"),
+            Instr::Longjmp { token } => write!(f, "longjmp {token}"),
+            Instr::Prof(op) => write!(f, "prof {op:?}"),
+            Instr::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jmp {b}"),
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => write!(f, "br {cond} ? {taken} : {not_taken}"),
+            Terminator::Switch {
+                sel,
+                targets,
+                default,
+            } => {
+                write!(f, "switch {sel} [")?;
+                for (i, t) in targets.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "] else {default}")
+            }
+            Terminator::Ret => f.write_str("ret"),
+        }
+    }
+}
+
+impl fmt::Display for Procedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "proc {} (regs={}, fregs={}, sites={}):",
+            self.name,
+            self.num_regs,
+            self.num_fregs,
+            self.call_sites.len()
+        )?;
+        for (id, block) in self.iter_blocks() {
+            writeln!(f, "  {id}:")?;
+            for i in &block.instrs {
+                writeln!(f, "    {i}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program (entry {}):", self.entry())?;
+        for (_, p) in self.iter_procedures() {
+            write!(f, "{p}")?;
+        }
+        for seg in &self.data {
+            write!(f, "data {:#x} ", seg.addr)?;
+            for b in &seg.bytes {
+                write!(f, "{b:02x}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::ids::Reg;
+
+    #[test]
+    fn prints_instructions() {
+        assert_eq!(
+            Instr::Load {
+                dst: Reg(1),
+                base: Reg(2),
+                offset: -8
+            }
+            .to_string(),
+            "ld r1, [r2-8]"
+        );
+        assert_eq!(
+            Instr::Bin {
+                op: BinOp::Add,
+                dst: Reg(0),
+                a: Reg(1),
+                b: Operand::Imm(4)
+            }
+            .to_string(),
+            "add r0, r1, 4"
+        );
+    }
+
+    #[test]
+    fn prints_whole_program() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let r = f.new_reg();
+        f.block(e).mov(r, 7i64).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let s = prog.to_string();
+        assert!(s.contains("proc main"), "{s}");
+        assert!(s.contains("mov r0, 7"), "{s}");
+        assert!(s.contains("ret"), "{s}");
+    }
+
+    #[test]
+    fn prints_call_and_switch() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("g");
+        let mut f = pb.procedure("f");
+        let e = f.entry_block();
+        let b1 = f.new_block();
+        let r = f.new_reg();
+        f.block(e)
+            .call(callee, vec![Operand::Imm(3)], Some(r))
+            .switch(r, vec![b1], b1);
+        f.block(b1).ret();
+        let id = f.finish();
+        let mut g = pb.procedure_for(callee);
+        g.entry_block();
+        g.finish();
+        let prog = pb.finish(id);
+        let s = prog.to_string();
+        assert!(s.contains("call @0 cs0(3) -> r0"), "{s}");
+        assert!(s.contains("switch r0 [b1] else b1"), "{s}");
+    }
+}

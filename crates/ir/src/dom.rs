@@ -1,0 +1,235 @@
+//! Dominators and natural loops.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative dominator algorithm over
+//! reverse postorder, plus natural-loop discovery from backedges. The
+//! profiler uses loops to place the Section 4.3 "read counters along loop
+//! backedges" instrumentation, and the verifier uses dominance for sanity
+//! checks.
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+
+/// Immediate-dominator tree for the reachable blocks of a CFG.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; the entry's idom is
+    /// itself; unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg`.
+    pub fn new(cfg: &Cfg) -> Dominators {
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_number = vec![u32::MAX; cfg.len()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_number[b.index()] = i as u32;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; cfg.len()];
+        let entry = cfg.entry();
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_number[a.index()] > rpo_number[b.index()] {
+                    a = idom[a.index()].expect("processed block must have idom");
+                }
+                while rpo_number[b.index()] > rpo_number[a.index()] {
+                    b = idom[b.index()].expect("processed block must have idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, entry }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = match self.idom[cur.index()] {
+                Some(d) => d,
+                None => return false,
+            };
+        }
+    }
+}
+
+/// A natural loop: the header plus all blocks that can reach the backedge
+/// source without passing through the header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header (target of the backedge).
+    pub header: BlockId,
+    /// Source of the backedge.
+    pub latch: BlockId,
+    /// All blocks in the loop, including header and latch.
+    pub body: Vec<BlockId>,
+}
+
+/// Finds the natural loop of every *dominating* backedge (one loop per
+/// backedge; irreducible backedges — whose target does not dominate their
+/// source — are skipped, mirroring standard loop analysis).
+pub fn natural_loops(cfg: &Cfg, doms: &Dominators) -> Vec<NaturalLoop> {
+    let mut loops = Vec::new();
+    for be in cfg.dfs().backedges {
+        if !doms.dominates(be.to, be.from) {
+            continue; // irreducible
+        }
+        let header = be.to;
+        let latch = be.from;
+        let mut in_loop = vec![false; cfg.len()];
+        in_loop[header.index()] = true;
+        let mut body = vec![header];
+        let mut stack = Vec::new();
+        if !in_loop[latch.index()] {
+            in_loop[latch.index()] = true;
+            body.push(latch);
+            stack.push(latch);
+        }
+        while let Some(b) = stack.pop() {
+            for &p in cfg.preds(b) {
+                if !in_loop[p.index()] {
+                    in_loop[p.index()] = true;
+                    body.push(p);
+                    stack.push(p);
+                }
+            }
+        }
+        body.sort();
+        loops.push(NaturalLoop { header, latch, body });
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::program::Program;
+
+    fn diamond_with_loop() -> Program {
+        // e -> h; h -> (b|x); b -> (c|d); c -> h (backedge); d -> h (backedge); x: ret
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("p");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let b = f.new_block();
+        let c = f.new_block();
+        let d = f.new_block();
+        let x = f.new_block();
+        let r = f.new_reg();
+        f.block(e).mov(r, 5i64).jump(h);
+        f.block(h).branch(r, b, x);
+        f.block(b).branch(r, c, d);
+        f.block(c).sub(r, r, 1i64).jump(h);
+        f.block(d).sub(r, r, 2i64).jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    #[test]
+    fn idoms_of_diamond_loop() {
+        let prog = diamond_with_loop();
+        let p = prog.procedure(prog.entry());
+        let cfg = Cfg::new(p);
+        let doms = Dominators::new(&cfg);
+        assert_eq!(doms.idom(BlockId(0)), None);
+        assert_eq!(doms.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(doms.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(doms.idom(BlockId(3)), Some(BlockId(2)));
+        assert_eq!(doms.idom(BlockId(4)), Some(BlockId(2)));
+        assert_eq!(doms.idom(BlockId(5)), Some(BlockId(1)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_respects_entry() {
+        let prog = diamond_with_loop();
+        let cfg = Cfg::new(prog.procedure(prog.entry()));
+        let doms = Dominators::new(&cfg);
+        for i in 0..cfg.len() as u32 {
+            assert!(doms.dominates(BlockId(i), BlockId(i)));
+            assert!(doms.dominates(BlockId(0), BlockId(i)));
+        }
+        assert!(!doms.dominates(BlockId(2), BlockId(5)));
+        assert!(doms.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn natural_loops_found_per_backedge() {
+        let prog = diamond_with_loop();
+        let cfg = Cfg::new(prog.procedure(prog.entry()));
+        let doms = Dominators::new(&cfg);
+        let loops = natural_loops(&cfg, &doms);
+        assert_eq!(loops.len(), 2);
+        for l in &loops {
+            assert_eq!(l.header, BlockId(1));
+            assert!(l.body.contains(&BlockId(2)));
+            assert!(!l.body.contains(&BlockId(5)));
+            assert!(!l.body.contains(&BlockId(0)));
+        }
+        let latches: Vec<BlockId> = loops.iter().map(|l| l.latch).collect();
+        assert!(latches.contains(&BlockId(3)));
+        assert!(latches.contains(&BlockId(4)));
+    }
+
+    #[test]
+    fn unreachable_block_is_dominated_by_nothing() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("u");
+        let e = f.entry_block();
+        let dead = f.new_block();
+        f.block(e).ret();
+        f.block(dead).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let cfg = Cfg::new(prog.procedure(id));
+        let doms = Dominators::new(&cfg);
+        assert!(!doms.dominates(BlockId(0), dead));
+        assert_eq!(doms.idom(dead), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Hardware performance counter events.
+//!
+//! The UltraSPARC-I/II exposed sixteen countable events selected through the
+//! `%pcr` register, counted by two 32-bit Performance Instrumentation
+//! Counters (`%pic0`, `%pic1`) that user code can read and write directly
+//! (Sun Microelectronics, *UltraSPARC User's Manual*, 1996). Our simulated
+//! machine reproduces that interface: [`HwEvent`] is the event selector, and
+//! the [`Instr::SetPcr`](crate::Instr::SetPcr) /
+//! [`Instr::RdPic`](crate::Instr::RdPic) /
+//! [`Instr::WrPic`](crate::Instr::WrPic) instructions manipulate the
+//! counters from within the running program, just as PP's instrumentation
+//! did.
+
+use std::fmt;
+
+/// A hardware event that a performance counter can be programmed to count.
+///
+/// The first eight variants correspond exactly to the columns of the paper's
+/// Table 2 (perturbation of hardware metrics); the remainder round the set
+/// out to the sixteen events of the UltraSPARC.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum HwEvent {
+    /// Processor cycles, including all stall cycles.
+    Cycles,
+    /// Instructions (micro-operations) completed.
+    Insts,
+    /// L1 data cache read misses.
+    DcReadMiss,
+    /// L1 data cache write misses (write-through, no-allocate cache).
+    DcWriteMiss,
+    /// L1 instruction cache misses.
+    IcMiss,
+    /// Conditional branch mispredictions.
+    BranchMispredict,
+    /// Cycles stalled because the store buffer was full.
+    StoreBufStall,
+    /// Cycles stalled waiting on the floating point unit.
+    FpStall,
+    /// L1 data cache read accesses.
+    DcRead,
+    /// L1 data cache write accesses.
+    DcWrite,
+    /// L1 data cache misses of either kind (read + write).
+    DcMiss,
+    /// Conditional branches executed.
+    Branches,
+    /// Load instructions completed.
+    Loads,
+    /// Store instructions completed.
+    Stores,
+    /// Call instructions completed (direct and indirect).
+    Calls,
+    /// Floating point operations completed.
+    FpOps,
+}
+
+impl HwEvent {
+    /// All sixteen events, in selector order.
+    pub const ALL: [HwEvent; 16] = [
+        HwEvent::Cycles,
+        HwEvent::Insts,
+        HwEvent::DcReadMiss,
+        HwEvent::DcWriteMiss,
+        HwEvent::IcMiss,
+        HwEvent::BranchMispredict,
+        HwEvent::StoreBufStall,
+        HwEvent::FpStall,
+        HwEvent::DcRead,
+        HwEvent::DcWrite,
+        HwEvent::DcMiss,
+        HwEvent::Branches,
+        HwEvent::Loads,
+        HwEvent::Stores,
+        HwEvent::Calls,
+        HwEvent::FpOps,
+    ];
+
+    /// The eight events reported in the paper's Table 2, in column order.
+    pub const TABLE2: [HwEvent; 8] = [
+        HwEvent::Cycles,
+        HwEvent::Insts,
+        HwEvent::DcReadMiss,
+        HwEvent::DcWriteMiss,
+        HwEvent::IcMiss,
+        HwEvent::BranchMispredict,
+        HwEvent::StoreBufStall,
+        HwEvent::FpStall,
+    ];
+
+    /// Returns the event's dense selector index (`0..16`).
+    #[inline]
+    pub fn selector(self) -> usize {
+        self as usize
+    }
+
+    /// Looks an event up by its selector index.
+    ///
+    /// Returns `None` if `sel >= 16`.
+    pub fn from_selector(sel: usize) -> Option<HwEvent> {
+        HwEvent::ALL.get(sel).copied()
+    }
+
+    /// A short mnemonic, as a performance tool would print in a table header.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            HwEvent::Cycles => "cycles",
+            HwEvent::Insts => "insts",
+            HwEvent::DcReadMiss => "dc_rd_miss",
+            HwEvent::DcWriteMiss => "dc_wr_miss",
+            HwEvent::IcMiss => "ic_miss",
+            HwEvent::BranchMispredict => "mispredict",
+            HwEvent::StoreBufStall => "sb_stall",
+            HwEvent::FpStall => "fp_stall",
+            HwEvent::DcRead => "dc_rd",
+            HwEvent::DcWrite => "dc_wr",
+            HwEvent::DcMiss => "dc_miss",
+            HwEvent::Branches => "branches",
+            HwEvent::Loads => "loads",
+            HwEvent::Stores => "stores",
+            HwEvent::Calls => "calls",
+            HwEvent::FpOps => "fp_ops",
+        }
+    }
+}
+
+impl fmt::Display for HwEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_events_with_distinct_selectors() {
+        let mut seen = [false; 16];
+        for ev in HwEvent::ALL {
+            assert!(!seen[ev.selector()], "duplicate selector for {ev}");
+            seen[ev.selector()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn selector_roundtrip() {
+        for ev in HwEvent::ALL {
+            assert_eq!(HwEvent::from_selector(ev.selector()), Some(ev));
+        }
+        assert_eq!(HwEvent::from_selector(16), None);
+        assert_eq!(HwEvent::from_selector(usize::MAX), None);
+    }
+
+    #[test]
+    fn table2_events_are_the_first_eight() {
+        for (i, ev) in HwEvent::TABLE2.iter().enumerate() {
+            assert_eq!(ev.selector(), i);
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = HwEvent::ALL.iter().map(|e| e.mnemonic()).collect();
+        assert_eq!(set.len(), 16);
+    }
+}

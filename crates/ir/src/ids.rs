@@ -1,0 +1,144 @@
+//! Newtype identifiers for IR entities.
+//!
+//! Every index into a [`Program`](crate::Program) or
+//! [`Procedure`](crate::Procedure) is a dedicated newtype so that block
+//! indices, procedure indices and register numbers cannot be confused
+//! (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifies a procedure within a [`Program`](crate::Program).
+///
+/// The paper uses a procedure's starting address as its identifier inside
+/// call records; we use this dense index instead and translate to simulated
+/// code addresses in the machine layer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+/// Identifies a basic block within a [`Procedure`](crate::Procedure).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+/// An integer virtual register.
+///
+/// Registers hold 64-bit signed integers. Each procedure activation gets a
+/// fresh register file; by convention arguments arrive in `r0..`, and a
+/// procedure's return value is left in `r0`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(pub u16);
+
+/// A floating point virtual register holding an `f64`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FReg(pub u16);
+
+/// Identifies a call site within a procedure.
+///
+/// Call sites are numbered densely from zero in the order the builder
+/// created them. The calling context tree keeps one callee slot per call
+/// site (the space/precision trade-off of the paper's Section 4.1), so this
+/// index doubles as the callee-slot index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CallSiteId(pub u32);
+
+impl ProcId {
+    /// Returns the underlying index as a `usize` suitable for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Returns the underlying index as a `usize` suitable for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Reg {
+    /// Returns the underlying index as a `usize` suitable for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FReg {
+    /// Returns the underlying index as a `usize` suitable for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CallSiteId {
+    /// Returns the underlying index as a `usize` suitable for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for CallSiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cs{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ProcId(3).to_string(), "@3");
+        assert_eq!(BlockId(7).to_string(), "b7");
+        assert_eq!(Reg(2).to_string(), "r2");
+        assert_eq!(FReg(1).to_string(), "f1");
+        assert_eq!(CallSiteId(0).to_string(), "cs0");
+    }
+
+    #[test]
+    fn ids_index() {
+        assert_eq!(ProcId(3).index(), 3);
+        assert_eq!(BlockId(7).index(), 7);
+        assert_eq!(Reg(65535).index(), 65535);
+        assert_eq!(CallSiteId(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(BlockId(1));
+        s.insert(BlockId(1));
+        s.insert(BlockId(2));
+        assert_eq!(s.len(), 2);
+        assert!(BlockId(1) < BlockId(2));
+    }
+}

@@ -1,0 +1,380 @@
+//! Instructions, operands and block terminators.
+
+use crate::hw::HwEvent;
+use crate::ids::{BlockId, CallSiteId, FReg, ProcId, Reg};
+use crate::prof::ProfOp;
+
+/// An integer operand: either a register or an immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// The current value of a register.
+    Reg(Reg),
+    /// A 64-bit immediate.
+    Imm(i64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+/// A two-input integer ALU operation.
+///
+/// Comparison operators produce `1` or `0`. `Div` and `Rem` by zero produce
+/// `0` (the simulated machine traps nothing; workload generators guarantee
+/// nonzero divisors, and defining the result keeps the interpreter total).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Wrapping division (0 when the divisor is 0).
+    Div,
+    /// Remainder (0 when the divisor is 0).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left (modulo 64).
+    Shl,
+    /// Logical shift right (modulo 64).
+    Shr,
+    /// Signed less-than, producing 0 or 1.
+    CmpLt,
+    /// Signed less-or-equal, producing 0 or 1.
+    CmpLe,
+    /// Equality, producing 0 or 1.
+    CmpEq,
+    /// Inequality, producing 0 or 1.
+    CmpNe,
+}
+
+/// A two-input floating point operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FBinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (long-latency in the machine model).
+    Div,
+}
+
+/// The target of a call instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CallTarget {
+    /// A statically-known callee.
+    Direct(ProcId),
+    /// An indirect call through a register holding a [`ProcId`] index
+    /// (a simulated function pointer).
+    Indirect(Reg),
+}
+
+/// A straight-line instruction.
+///
+/// The mix mirrors what PP's instrumentation needed from the SPARC: integer
+/// ALU, loads/stores, floating point, calls, and user-mode counter access.
+/// [`Instr::Prof`] carries a profiling pseudo-op inserted by the
+/// instrumenter; the simulator executes it with a cost model so that
+/// instrumentation perturbs the caches and counters like real injected code.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Instr {
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register or immediate.
+        src: Operand,
+    },
+    /// `dst = a <op> b`.
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand (register or immediate).
+        b: Operand,
+    },
+    /// `dst = mem[base + offset]` (8-byte load through the D-cache).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// `mem[base + offset] = src` (8-byte store through the D-cache).
+    Store {
+        /// Value stored.
+        src: Operand,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// `dst = value` (floating point constant load).
+    FConst {
+        /// Destination register.
+        dst: FReg,
+        /// The constant.
+        value: f64,
+    },
+    /// `dst = a <op> b` on floating point registers.
+    FBin {
+        /// The operation.
+        op: FBinOp,
+        /// Destination register.
+        dst: FReg,
+        /// First operand.
+        a: FReg,
+        /// Second operand.
+        b: FReg,
+    },
+    /// `dst = mem[base + offset]` as an `f64`.
+    FLoad {
+        /// Destination register.
+        dst: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// `mem[base + offset] = src` as an `f64`.
+    FStore {
+        /// Value stored.
+        src: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// `dst = src as i64` (truncating float-to-int conversion).
+    FToI {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: FReg,
+    },
+    /// `dst = src as f64` (int-to-float conversion).
+    IToF {
+        /// Destination register.
+        dst: FReg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Call a procedure. Arguments are copied into the callee's `r0..`;
+    /// on return, the callee's `r0` is copied into `ret` if present.
+    Call {
+        /// Callee (direct or through a register).
+        target: CallTarget,
+        /// The call site's dense index within this procedure.
+        site: CallSiteId,
+        /// Argument values, copied to the callee's `r0..rN`.
+        args: Vec<Operand>,
+        /// Register receiving the callee's `r0` on return, if any.
+        ret: Option<Reg>,
+    },
+    /// Program the performance control register: select which [`HwEvent`]
+    /// each of the two 32-bit counters observes.
+    SetPcr {
+        /// Event observed by `%pic0`.
+        pic0: HwEvent,
+        /// Event observed by `%pic1`.
+        pic1: HwEvent,
+    },
+    /// Read both counters into one 64-bit register: `dst = pic1 << 32 | pic0`.
+    RdPic {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Write both counters from one 64-bit value
+    /// (`pic0 = lo32, pic1 = hi32`).
+    ///
+    /// On the real (out-of-order) UltraSPARC a write must be followed by a
+    /// read to guarantee completion; the instrumenter emits that read, and
+    /// the simulator charges for it.
+    WrPic {
+        /// The packed counter values (`pic0 = lo32, pic1 = hi32`).
+        src: Operand,
+    },
+    /// Capture a non-local-return token in `dst` and continue; after a
+    /// matching [`Instr::Longjmp`], execution resumes at the instruction
+    /// following this one.
+    Setjmp {
+        /// Register receiving the token.
+        dst: Reg,
+    },
+    /// Unwind the activation stack to the frame that created `token` and
+    /// resume after its `Setjmp`. Exercises the CCT's handling of
+    /// non-local returns.
+    Longjmp {
+        /// Register holding a token from [`Instr::Setjmp`].
+        token: Reg,
+    },
+    /// A profiling pseudo-op inserted by `pp-instrument`.
+    Prof(ProfOp),
+    /// No operation (1 cycle).
+    Nop,
+}
+
+/// A block terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch on `cond != 0`.
+    Branch {
+        /// Condition register; nonzero takes the branch.
+        cond: Reg,
+        /// Successor when `cond != 0`.
+        taken: BlockId,
+        /// Successor when `cond == 0`.
+        not_taken: BlockId,
+    },
+    /// Multi-way branch: jumps to `targets[sel]`, or `default` when `sel`
+    /// is out of range. Models jump tables / indirect jumps within a
+    /// procedure.
+    Switch {
+        /// Selector register.
+        sel: Reg,
+        /// In-range targets.
+        targets: Vec<BlockId>,
+        /// Out-of-range target.
+        default: BlockId,
+    },
+    /// Return to the caller (the value convention is "callee leaves its
+    /// result in `r0`").
+    Ret,
+}
+
+impl Terminator {
+    /// Iterates over the terminator's successor blocks, in branch order
+    /// (taken first for [`Terminator::Branch`]; table order, then default,
+    /// for [`Terminator::Switch`]).
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (slice, pair): (&[BlockId], [Option<BlockId>; 3]) = match self {
+            Terminator::Jump(b) => (&[], [Some(*b), None, None]),
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => (&[], [Some(*taken), Some(*not_taken), None]),
+            Terminator::Switch {
+                targets, default, ..
+            } => (targets.as_slice(), [None, None, Some(*default)]),
+            Terminator::Ret => (&[], [None, None, None]),
+        };
+        slice
+            .iter()
+            .copied()
+            .chain(pair.into_iter().flatten())
+    }
+
+    /// True for [`Terminator::Ret`].
+    pub fn is_return(&self) -> bool {
+        matches!(self, Terminator::Ret)
+    }
+}
+
+impl Instr {
+    /// Returns the call site id if this is a call instruction.
+    pub fn call_site(&self) -> Option<CallSiteId> {
+        match self {
+            Instr::Call { site, .. } => Some(*site),
+            _ => None,
+        }
+    }
+
+    /// True if the instruction reads or writes simulated memory
+    /// (profiling pseudo-ops report their own traffic separately).
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. } | Instr::Store { .. } | Instr::FLoad { .. } | Instr::FStore { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successors_of_jump_branch_ret() {
+        let j = Terminator::Jump(BlockId(4));
+        assert_eq!(j.successors().collect::<Vec<_>>(), vec![BlockId(4)]);
+
+        let b = Terminator::Branch {
+            cond: Reg(0),
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        };
+        assert_eq!(
+            b.successors().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(2)]
+        );
+
+        assert_eq!(Terminator::Ret.successors().count(), 0);
+        assert!(Terminator::Ret.is_return());
+        assert!(!j.is_return());
+    }
+
+    #[test]
+    fn successors_of_switch_include_default_last() {
+        let s = Terminator::Switch {
+            sel: Reg(3),
+            targets: vec![BlockId(5), BlockId(6)],
+            default: BlockId(7),
+        };
+        assert_eq!(
+            s.successors().collect::<Vec<_>>(),
+            vec![BlockId(5), BlockId(6), BlockId(7)]
+        );
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(3)), Operand::Reg(Reg(3)));
+        assert_eq!(Operand::from(-7i64), Operand::Imm(-7));
+    }
+
+    #[test]
+    fn call_site_accessor() {
+        let c = Instr::Call {
+            target: CallTarget::Direct(ProcId(1)),
+            site: CallSiteId(2),
+            args: vec![],
+            ret: None,
+        };
+        assert_eq!(c.call_site(), Some(CallSiteId(2)));
+        assert_eq!(Instr::Nop.call_site(), None);
+    }
+
+    #[test]
+    fn memory_touch_classification() {
+        assert!(Instr::Load {
+            dst: Reg(0),
+            base: Reg(1),
+            offset: 8
+        }
+        .touches_memory());
+        assert!(!Instr::Nop.touches_memory());
+        assert!(!Instr::RdPic { dst: Reg(0) }.touches_memory());
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! # pp-ir — the intermediate representation of the PP profiling system
+//!
+//! This crate defines a small, executable, control-flow-graph based IR that
+//! stands in for the SPARC binaries the original PLDI'97 system (PP, built on
+//! EEL) instrumented. A [`Program`] is a collection of [`Procedure`]s; each
+//! procedure is a list of [`Block`]s holding straight-line [`Instr`]uctions
+//! and ending in a [`Terminator`].
+//!
+//! The ISA deliberately mirrors the parts of the UltraSPARC that the paper
+//! depends on:
+//!
+//! * integer ALU operations on virtual registers ([`Reg`]),
+//! * loads and stores with base+offset addressing (they go through the
+//!   simulated L1 data cache in `pp-usim`),
+//! * floating point operations on separate registers ([`FReg`]) with
+//!   multi-cycle latency,
+//! * direct and indirect calls with per-procedure call sites,
+//! * user-mode access to two 32-bit hardware performance counters
+//!   ([`Instr::RdPic`], [`Instr::WrPic`], [`Instr::SetPcr`]) that can be
+//!   mapped to any [`HwEvent`], and
+//! * profiling pseudo-instructions ([`ProfOp`]) which the instrumenter
+//!   (`pp-instrument`) inserts; the simulator executes them with a realistic
+//!   cost (micro-ops plus memory traffic through the caches) so that
+//!   instrumentation *perturbs* the measured program exactly as the paper
+//!   discusses in its Section 3.2.
+//!
+//! The crate also provides CFG analyses used by the profiler: successor /
+//! predecessor maps, depth-first search with backedge identification,
+//! reverse postorder, iterative dominators and natural loop discovery
+//! ([`mod@cfg`], [`dom`]), plus a structural [`verify`]er and a textual
+//! pretty-printer ([`display`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use pp_ir::build::ProgramBuilder;
+//! use pp_ir::{Operand, Reg};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.procedure("main");
+//! let entry = f.entry_block();
+//! let r0 = Reg(0);
+//! f.block(entry).mov(r0, Operand::Imm(41));
+//! f.block(entry).add(r0, r0, Operand::Imm(1));
+//! f.block(entry).ret();
+//! let main = f.finish();
+//! let program = pb.finish(main);
+//! assert_eq!(program.procedures().len(), 1);
+//! pp_ir::verify::verify_program(&program).unwrap();
+//! ```
+
+pub mod build;
+pub mod cfg;
+pub mod display;
+pub mod dom;
+pub mod hw;
+pub mod ids;
+pub mod parse;
+pub mod instr;
+pub mod prof;
+pub mod program;
+pub mod verify;
+
+pub use hw::HwEvent;
+pub use ids::{BlockId, CallSiteId, FReg, ProcId, Reg};
+pub use instr::{CallTarget, Instr, Operand, Terminator};
+pub use prof::ProfOp;
+pub use program::{Block, CallSite, Procedure, Program};

@@ -1,0 +1,752 @@
+//! Parsing the textual IR format.
+//!
+//! [`parse_program`] reads the exact format the [`Display`](std::fmt::Display)
+//! implementations print, so `parse(program.to_string())` round-trips any
+//! program that contains no profiling pseudo-ops (those are inserted by
+//! the instrumenter and have no source syntax). The format is
+//! line-oriented:
+//!
+//! ```text
+//! program (entry @0):
+//! proc main (regs=2, fregs=0, sites=1):
+//!   b0:
+//!     mov r0, 41
+//!     add r0, r0, 1
+//!     call @1 cs0(r0) -> r1
+//!     ret
+//! proc helper (regs=1, fregs=0, sites=0):
+//!   b0:
+//!     ret
+//! ```
+//!
+//! ```
+//! let text = "\
+//! program (entry @0):
+//! proc main (regs=1, fregs=0, sites=0):
+//!   b0:
+//!     mov r0, 42
+//!     ret
+//! ";
+//! let program = pp_ir::parse::parse_program(text).unwrap();
+//! assert_eq!(program.procedures().len(), 1);
+//! assert_eq!(program.to_string().trim(), text.trim());
+//! ```
+
+use std::fmt;
+
+use crate::hw::HwEvent;
+use crate::ids::{BlockId, CallSiteId, FReg, ProcId, Reg};
+use crate::instr::{BinOp, CallTarget, FBinOp, Instr, Operand, Terminator};
+use crate::program::{Block, DataSegment, Procedure, Program};
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A small cursor over one line's tokens.
+struct Cursor<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str, line: usize) -> Cursor<'a> {
+        Cursor {
+            rest: s.trim_start(),
+            line,
+        }
+    }
+
+    fn eof(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    /// Consumes a literal token (punctuation-aware).
+    fn expect(&mut self, tok: &str) -> Result<(), ParseError> {
+        if let Some(stripped) = self.rest.strip_prefix(tok) {
+            self.rest = stripped.trim_start();
+            Ok(())
+        } else {
+            err(self.line, format!("expected `{tok}` at `{}`", self.rest))
+        }
+    }
+
+    fn try_consume(&mut self, tok: &str) -> bool {
+        if let Some(stripped) = self.rest.strip_prefix(tok) {
+            self.rest = stripped.trim_start();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads the next bare word (letters, digits, `_`, `.`, `-`, `+`).
+    fn word(&mut self) -> Result<&'a str, ParseError> {
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_alphanumeric() || "_.+-".contains(c)))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return err(self.line, format!("expected a token at `{}`", self.rest));
+        }
+        let (word, rest) = self.rest.split_at(end);
+        self.rest = rest.trim_start();
+        Ok(word)
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        let w = self.word()?;
+        w.parse()
+            .map_err(|_| ParseError {
+                line: self.line,
+                message: format!("expected an integer, found `{w}`"),
+            })
+    }
+
+    fn float(&mut self) -> Result<f64, ParseError> {
+        let w = self.word()?;
+        w.parse().map_err(|_| ParseError {
+            line: self.line,
+            message: format!("expected a number, found `{w}`"),
+        })
+    }
+
+    fn prefixed_index(&mut self, prefix: &str) -> Result<u32, ParseError> {
+        self.expect(prefix)?;
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return err(
+                self.line,
+                format!("expected `{prefix}N`, found `{prefix}{}`", self.rest),
+            );
+        }
+        let (digits, rest) = self.rest.split_at(end);
+        self.rest = rest.trim_start();
+        digits.parse().map_err(|_| ParseError {
+            line: self.line,
+            message: format!("bad index `{digits}`"),
+        })
+    }
+
+    fn reg(&mut self) -> Result<Reg, ParseError> {
+        Ok(Reg(self.prefixed_index("r")? as u16))
+    }
+
+    fn freg(&mut self) -> Result<FReg, ParseError> {
+        Ok(FReg(self.prefixed_index("f")? as u16))
+    }
+
+    fn block_id(&mut self) -> Result<BlockId, ParseError> {
+        Ok(BlockId(self.prefixed_index("b")?))
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        if self.rest.starts_with('r')
+            && self
+                .rest
+                .as_bytes()
+                .get(1)
+                .is_some_and(|b| b.is_ascii_digit())
+        {
+            Ok(Operand::Reg(self.reg()?))
+        } else {
+            Ok(Operand::Imm(self.int()?))
+        }
+    }
+
+    /// `[rN+off]` or `[rN-off]`.
+    fn mem(&mut self) -> Result<(Reg, i64), ParseError> {
+        self.expect("[")?;
+        let base = self.reg()?;
+        // The offset is printed with an explicit sign ({:+}).
+        let offset = self.int()?;
+        self.expect("]")?;
+        Ok((base, offset))
+    }
+
+    fn event(&mut self) -> Result<HwEvent, ParseError> {
+        let w = self.word()?;
+        HwEvent::ALL
+            .iter()
+            .copied()
+            .find(|e| e.mnemonic() == w)
+            .ok_or_else(|| ParseError {
+                line: self.line,
+                message: format!("unknown hardware event `{w}`"),
+            })
+    }
+}
+
+fn bin_op(word: &str) -> Option<BinOp> {
+    Some(match word {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "cmplt" => BinOp::CmpLt,
+        "cmple" => BinOp::CmpLe,
+        "cmpeq" => BinOp::CmpEq,
+        "cmpne" => BinOp::CmpNe,
+        _ => return None,
+    })
+}
+
+fn fbin_op(word: &str) -> Option<FBinOp> {
+    Some(match word {
+        "fadd" => FBinOp::Add,
+        "fsub" => FBinOp::Sub,
+        "fmul" => FBinOp::Mul,
+        "fdiv" => FBinOp::Div,
+        _ => return None,
+    })
+}
+
+enum Line {
+    Instr(Instr),
+    Term(Terminator),
+}
+
+fn parse_line(text: &str, line_no: usize) -> Result<Line, ParseError> {
+    let mut c = Cursor::new(text, line_no);
+    let op = c.word()?;
+    let parsed = match op {
+        "mov" => {
+            let dst = c.reg()?;
+            c.expect(",")?;
+            let src = c.operand()?;
+            Line::Instr(Instr::Mov { dst, src })
+        }
+        _ if bin_op(op).is_some() => {
+            let dst = c.reg()?;
+            c.expect(",")?;
+            let a = c.reg()?;
+            c.expect(",")?;
+            let b = c.operand()?;
+            Line::Instr(Instr::Bin {
+                op: bin_op(op).expect("checked"),
+                dst,
+                a,
+                b,
+            })
+        }
+        _ if fbin_op(op).is_some() => {
+            let dst = c.freg()?;
+            c.expect(",")?;
+            let a = c.freg()?;
+            c.expect(",")?;
+            let b = c.freg()?;
+            Line::Instr(Instr::FBin {
+                op: fbin_op(op).expect("checked"),
+                dst,
+                a,
+                b,
+            })
+        }
+        "ld" => {
+            let dst = c.reg()?;
+            c.expect(",")?;
+            let (base, offset) = c.mem()?;
+            Line::Instr(Instr::Load { dst, base, offset })
+        }
+        "st" => {
+            let src = c.operand()?;
+            c.expect(",")?;
+            let (base, offset) = c.mem()?;
+            Line::Instr(Instr::Store { src, base, offset })
+        }
+        "fconst" => {
+            let dst = c.freg()?;
+            c.expect(",")?;
+            let value = c.float()?;
+            Line::Instr(Instr::FConst { dst, value })
+        }
+        "fld" => {
+            let dst = c.freg()?;
+            c.expect(",")?;
+            let (base, offset) = c.mem()?;
+            Line::Instr(Instr::FLoad { dst, base, offset })
+        }
+        "fst" => {
+            let src = c.freg()?;
+            c.expect(",")?;
+            let (base, offset) = c.mem()?;
+            Line::Instr(Instr::FStore { src, base, offset })
+        }
+        "ftoi" => {
+            let dst = c.reg()?;
+            c.expect(",")?;
+            let src = c.freg()?;
+            Line::Instr(Instr::FToI { dst, src })
+        }
+        "itof" => {
+            let dst = c.freg()?;
+            c.expect(",")?;
+            let src = c.reg()?;
+            Line::Instr(Instr::IToF { dst, src })
+        }
+        "call" | "icall" => {
+            let target = if op == "call" {
+                CallTarget::Direct(ProcId(c.prefixed_index("@")?))
+            } else {
+                c.expect("[")?;
+                let r = c.reg()?;
+                c.expect("]")?;
+                CallTarget::Indirect(r)
+            };
+            let site = CallSiteId(c.prefixed_index("cs")?);
+            c.expect("(")?;
+            let mut args = Vec::new();
+            if !c.try_consume(")") {
+                loop {
+                    args.push(c.operand()?);
+                    if c.try_consume(")") {
+                        break;
+                    }
+                    c.expect(",")?;
+                }
+            }
+            let ret = if c.try_consume("->") {
+                Some(c.reg()?)
+            } else {
+                None
+            };
+            Line::Instr(Instr::Call {
+                target,
+                site,
+                args,
+                ret,
+            })
+        }
+        "setpcr" => {
+            let pic0 = c.event()?;
+            c.expect(",")?;
+            let pic1 = c.event()?;
+            Line::Instr(Instr::SetPcr { pic0, pic1 })
+        }
+        "rdpic" => Line::Instr(Instr::RdPic { dst: c.reg()? }),
+        "wrpic" => Line::Instr(Instr::WrPic { src: c.operand()? }),
+        "setjmp" => Line::Instr(Instr::Setjmp { dst: c.reg()? }),
+        "longjmp" => Line::Instr(Instr::Longjmp { token: c.reg()? }),
+        "nop" => Line::Instr(Instr::Nop),
+        "prof" => {
+            return err(
+                line_no,
+                "profiling pseudo-ops have no source syntax (they are inserted by pp-instrument)",
+            )
+        }
+        "jmp" => Line::Term(Terminator::Jump(c.block_id()?)),
+        "br" => {
+            let cond = c.reg()?;
+            c.expect("?")?;
+            let taken = c.block_id()?;
+            c.expect(":")?;
+            let not_taken = c.block_id()?;
+            Line::Term(Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            })
+        }
+        "switch" => {
+            let sel = c.reg()?;
+            c.expect("[")?;
+            let mut targets = Vec::new();
+            if !c.try_consume("]") {
+                loop {
+                    targets.push(c.block_id()?);
+                    if c.try_consume("]") {
+                        break;
+                    }
+                    c.expect(",")?;
+                }
+            }
+            c.expect("else")?;
+            let default = c.block_id()?;
+            Line::Term(Terminator::Switch {
+                sel,
+                targets,
+                default,
+            })
+        }
+        "ret" => Line::Term(Terminator::Ret),
+        other => return err(line_no, format!("unknown instruction `{other}`")),
+    };
+    if !c.eof() {
+        return err(line_no, format!("trailing input `{}`", c.rest));
+    }
+    Ok(parsed)
+}
+
+/// Parses a whole program in the [`Display`](std::fmt::Display) format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for any syntactic
+/// problem; the parsed program is additionally run through
+/// [`verify_program`](crate::verify::verify_program), whose failures are
+/// reported on line 0.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut entry: Option<ProcId> = None;
+    let mut procedures: Vec<Procedure> = Vec::new();
+    let mut current_proc: Option<Procedure> = None;
+    let mut current_block: Option<Block> = None;
+    let mut block_terminated = true;
+    let mut data: Vec<DataSegment> = Vec::new();
+
+    fn flush_block(
+        proc: &mut Option<Procedure>,
+        block: &mut Option<Block>,
+        terminated: bool,
+        line: usize,
+    ) -> Result<(), ParseError> {
+        if let Some(b) = block.take() {
+            if !terminated {
+                return err(line, "block is missing a terminator");
+            }
+            proc.as_mut()
+                .expect("block implies an open procedure")
+                .blocks
+                .push(b);
+        }
+        Ok(())
+    }
+
+    for (ix, raw) in text.lines().enumerate() {
+        let line_no = ix + 1;
+        let line = raw.trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("program") {
+            let mut c = Cursor::new(rest, line_no);
+            c.expect("(")?;
+            c.expect("entry")?;
+            entry = Some(ProcId(c.prefixed_index("@")?));
+            c.expect(")")?;
+            c.expect(":")?;
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("data ") {
+            flush_block(&mut current_proc, &mut current_block, block_terminated, line_no)?;
+            if let Some(p) = current_proc.take() {
+                procedures.push(p);
+            }
+            let mut parts = rest.split_whitespace();
+            let addr_text = parts
+                .next()
+                .ok_or_else(|| ParseError {
+                    line: line_no,
+                    message: "data segment missing address".to_string(),
+                })?;
+            let addr = u64::from_str_radix(addr_text.trim_start_matches("0x"), 16).map_err(
+                |_| ParseError {
+                    line: line_no,
+                    message: format!("bad data address `{addr_text}`"),
+                },
+            )?;
+            let hex = parts.next().unwrap_or("");
+            if hex.len() % 2 != 0 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return err(line_no, "data bytes must be an even-length hex string");
+            }
+            let bytes = (0..hex.len() / 2)
+                .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).expect("hex checked"))
+                .collect();
+            data.push(DataSegment { addr, bytes });
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("proc ") {
+            flush_block(&mut current_proc, &mut current_block, block_terminated, line_no)?;
+            if let Some(p) = current_proc.take() {
+                procedures.push(p);
+            }
+            let mut c = Cursor::new(rest, line_no);
+            let name = c.word()?.to_string();
+            c.expect("(")?;
+            c.expect("regs=")?;
+            let num_regs = c.int()? as u16;
+            c.expect(",")?;
+            c.expect("fregs=")?;
+            let num_fregs = c.int()? as u16;
+            c.expect(",")?;
+            c.expect("sites=")?;
+            let _sites = c.int()?;
+            c.expect(")")?;
+            c.expect(":")?;
+            current_proc = Some(Procedure {
+                name,
+                blocks: Vec::new(),
+                num_regs,
+                num_fregs,
+                call_sites: Vec::new(),
+            });
+            block_terminated = true;
+            continue;
+        }
+        if trimmed.starts_with('b') && trimmed.ends_with(':') && trimmed[1..trimmed.len() - 1]
+            .chars()
+            .all(|ch| ch.is_ascii_digit())
+        {
+            flush_block(&mut current_proc, &mut current_block, block_terminated, line_no)?;
+            if current_proc.is_none() {
+                return err(line_no, "block label outside a procedure");
+            }
+            let declared: u32 = trimmed[1..trimmed.len() - 1]
+                .parse()
+                .expect("digits checked");
+            let expected = current_proc.as_ref().expect("checked").blocks.len() as u32;
+            if declared != expected {
+                return err(
+                    line_no,
+                    format!("block label b{declared} out of order (expected b{expected})"),
+                );
+            }
+            current_block = Some(Block::new(Terminator::Ret));
+            block_terminated = false;
+            continue;
+        }
+        // An instruction or terminator inside the current block.
+        let Some(block) = current_block.as_mut() else {
+            return err(line_no, "instruction outside a block");
+        };
+        if block_terminated {
+            return err(line_no, "instruction after the block's terminator");
+        }
+        match parse_line(trimmed, line_no)? {
+            Line::Instr(i) => block.instrs.push(i),
+            Line::Term(t) => {
+                block.term = t;
+                block_terminated = true;
+            }
+        }
+    }
+    let last_line = text.lines().count();
+    flush_block(&mut current_proc, &mut current_block, block_terminated, last_line)?;
+    if let Some(p) = current_proc.take() {
+        procedures.push(p);
+    }
+
+    let Some(entry) = entry else {
+        return err(0, "missing `program (entry @N):` header");
+    };
+    if entry.index() >= procedures.len() {
+        return err(0, format!("entry {entry} out of range"));
+    }
+    for p in &mut procedures {
+        p.recompute_call_sites();
+    }
+    let program = Program::new(procedures, entry, data);
+    crate::verify::verify_program(&program).map_err(|e| ParseError {
+        line: 0,
+        message: format!("verification failed: {e}"),
+    })?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+
+    #[test]
+    fn parses_minimal_program() {
+        let text = "\
+program (entry @0):
+proc main (regs=1, fregs=0, sites=0):
+  b0:
+    mov r0, 42
+    ret
+";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.procedures().len(), 1);
+        assert_eq!(p.procedure(ProcId(0)).name, "main");
+        assert_eq!(p.procedure(ProcId(0)).blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn roundtrips_builder_program() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("helper");
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        let fp = f.new_reg();
+        let a = f.new_reg();
+        let fr = f.new_freg();
+        f.block(e).mov(i, 0i64).fconst(fr, 1.5).jump(h);
+        f.block(h).cmp_lt(c, i, 10i64).branch(c, body, x);
+        f.block(body)
+            .call(callee, vec![Operand::Reg(i), Operand::Imm(-3)], Some(c))
+            .mov(fp, 0i64)
+            .icall(fp, vec![], None)
+            .mov(a, 4096i64)
+            .store(Operand::Reg(i), a, -8)
+            .fstore(fr, a, 16)
+            .add(i, i, 1i64)
+            .jump(h);
+        f.block(x).switch(i, vec![x, h], x);
+        let main = f.finish();
+        let mut g = pb.procedure_for(callee);
+        let ge = g.entry_block();
+        g.reserve_regs(2);
+        g.block(ge).ret();
+        g.finish();
+        // The switch made block x non-returning; fix up to keep a
+        // reachable ret (self-switch default to a ret block).
+        let mut prog = pb.finish(main);
+        prog.procedure_mut(main).blocks[3].term = Terminator::Ret;
+
+        let text = prog.to_string();
+        let back = parse_program(&text).unwrap();
+        assert_eq!(back, prog);
+        // And printing again is identical text.
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn roundtrips_workload_style_features() {
+        let text = "\
+program (entry @0):
+proc main (regs=2, fregs=1, sites=1):
+  b0:
+    setpcr insts, dc_miss
+    rdpic r0
+    wrpic 0
+    setjmp r1
+    longjmp r1
+    itof f0, r0
+    ftoi r0, f0
+    fadd f0, f0, f0
+    call @0 cs0() -> r0
+    ret
+";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.to_string().trim(), text.trim());
+    }
+
+    #[test]
+    fn rejects_unknown_instruction() {
+        let text = "\
+program (entry @0):
+proc main (regs=1, fregs=0, sites=0):
+  b0:
+    frobnicate r0
+    ret
+";
+        let e = parse_program(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let text = "\
+program (entry @0):
+proc main (regs=1, fregs=0, sites=0):
+  b0:
+    mov r0, 1
+  b1:
+    ret
+";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_instruction_after_terminator() {
+        let text = "\
+program (entry @0):
+proc main (regs=1, fregs=0, sites=0):
+  b0:
+    ret
+    mov r0, 1
+";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.message.contains("after the block's terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_blocks() {
+        let text = "\
+program (entry @0):
+proc main (regs=1, fregs=0, sites=0):
+  b1:
+    ret
+";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.message.contains("out of order"), "{e}");
+    }
+
+    #[test]
+    fn rejects_prof_ops() {
+        let text = "\
+program (entry @0):
+proc main (regs=1, fregs=0, sites=0):
+  b0:
+    prof PicZero
+    ret
+";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.message.contains("no source syntax"), "{e}");
+    }
+
+    #[test]
+    fn verification_failures_surface() {
+        let text = "\
+program (entry @0):
+proc main (regs=1, fregs=0, sites=0):
+  b0:
+    mov r5, 1
+    ret
+";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.message.contains("verification failed"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "\
+# a comment
+program (entry @0):
+
+proc main (regs=1, fregs=0, sites=0):
+  # another
+  b0:
+    ret
+";
+        assert!(parse_program(text).is_ok());
+    }
+}

@@ -1,0 +1,262 @@
+//! Profiling pseudo-operations.
+//!
+//! The instrumenter (`pp-instrument`) rewrites procedures by inserting
+//! [`ProfOp`]s, exactly as PP inserted SPARC code sequences with EEL. Each
+//! op stands for a short, fixed instruction sequence; the machine simulator
+//! charges its micro-op count and performs its memory accesses through the
+//! simulated D-cache (at the concrete buffer addresses carried by the op),
+//! so profiling perturbs the program the way the paper's Section 3.2 and
+//! Table 2 describe. The op's *semantics* — which counter to bump, which
+//! calling-context transition happened — are delivered to a `ProfSink`
+//! implemented by the profiler runtime.
+
+use crate::ids::{CallSiteId, ProcId, Reg};
+
+/// How a procedure's path counters are stored.
+///
+/// The paper: "The path sum can directly index an array of counters or be
+/// used as a key into a hash table of counters (if the number of potential
+/// paths is large)." Hashed tables cost extra micro-ops per update.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CounterStorage {
+    /// Dense array indexed directly by the path sum.
+    Array,
+    /// Hash table keyed by the path sum.
+    Hashed,
+}
+
+/// A static reference to a procedure's path-counter table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PathTable {
+    /// The procedure whose paths this table counts.
+    pub proc: ProcId,
+    /// Base address of the table in the simulated profile-data region.
+    pub base: u64,
+    /// Array or hash-table storage.
+    pub storage: CounterStorage,
+}
+
+/// A profiling pseudo-operation.
+///
+/// Ops come in three families, matching the paper's three profiling modes:
+///
+/// * `Pic*` and `Path*`: flow sensitive profiling (Sections 2–3) — path-sum
+///   tracking instrumentation is emitted as *real* ALU instructions on a
+///   dedicated register; these ops cover counter management and the
+///   end-of-path counter updates.
+/// * `Cct*`: context sensitive profiling (Section 4) — building the calling
+///   context tree at procedure entry/exit and call sites.
+/// * `CctPath*`: the combination — path counters stored per call record.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ProfOp {
+    /// Spill/reload a victim register around an instrumentation site in a
+    /// procedure with no free register (EEL "spills a register to the
+    /// stack, which requires additional loads and stores" — Section 3.2).
+    /// Costs 2 micro-ops plus a store and a load through the D-cache.
+    Spill,
+    /// Zero both hardware counters, then read them back to force write
+    /// completion on the out-of-order pipeline (2 micro-ops).
+    PicZero,
+    /// Read both counters and save them in the activation's save area
+    /// (callee-entry save of the paper's Section 3.1; 1 read micro-op +
+    /// 1 store through the cache).
+    PicSave,
+    /// Restore both counters from the activation's save area (1 load +
+    /// write + completing read).
+    PicRestore,
+    /// Edge profiling (\[BL94\], the cheaper baseline the paper compares
+    /// path profiling against): `count[index]++` on a CFG edge
+    /// (load, add, store at `table.base + index * 8`).
+    EdgeCount {
+        /// Counter table (shared layout with path tables).
+        table: PathTable,
+        /// The edge's dense index.
+        index: u32,
+    },
+    /// End of path at procedure exit: `count[r]++`
+    /// (load, add, store at `table.base + r * 8`).
+    PathCount {
+        /// Counter table.
+        table: PathTable,
+        /// Register holding the path sum.
+        reg: Reg,
+    },
+    /// Backedge v→w with pseudo-edge values END = Val(v→EXIT) and
+    /// START = Val(ENTRY→w): `count[r + END]++; r = START`.
+    PathCountBackedge {
+        /// Counter table.
+        table: PathTable,
+        /// Register holding the path sum.
+        reg: Reg,
+        /// Constant added before counting (`Val(v -> EXIT)`, adjusted by
+        /// the spanning-tree optimization — possibly negative).
+        end: i64,
+        /// The path register's reset value (`Val(ENTRY -> w)`, adjusted —
+        /// possibly negative).
+        start: i64,
+    },
+    /// End of path, with hardware metrics: read both counters, extract the
+    /// two 32-bit halves, and accumulate two 64-bit metric accumulators and
+    /// a frequency count for path `r` (the paper's "thirteen or more
+    /// instructions"; entry stride 24 bytes).
+    PathMetrics {
+        /// Counter table.
+        table: PathTable,
+        /// Register holding the path sum.
+        reg: Reg,
+    },
+    /// [`ProfOp::PathMetrics`] on a backedge, followed by `r = START` and
+    /// re-zeroing the counters for the next path.
+    PathMetricsBackedge {
+        /// Counter table.
+        table: PathTable,
+        /// Register holding the path sum.
+        reg: Reg,
+        /// Constant added before counting (`Val(v -> EXIT)`, adjusted by
+        /// the spanning-tree optimization — possibly negative).
+        end: i64,
+        /// The path register's reset value (`Val(ENTRY -> w)`, adjusted —
+        /// possibly negative).
+        start: i64,
+    },
+    /// Procedure entry: find or create this procedure's call record under
+    /// the slot that the caller's gCSP points to, push the old gCSP, and
+    /// make the record current (the paper's Section 4.2 entry sequence).
+    CctEnter {
+        /// The procedure being entered.
+        proc: ProcId,
+    },
+    /// Immediately before a call: `gCSP = lCRP + offsetof(slot[site])`.
+    CctCall {
+        /// Callee-slot index (one per call site).
+        site: CallSiteId,
+        /// When flow profiling is also active, the register holding the
+        /// current path sum prefix — it feeds the Table 3 "call sites
+        /// reached by one path" statistic.
+        path_reg: Option<Reg>,
+    },
+    /// Procedure exit: restore the caller's gCSP and current record.
+    CctExit,
+    /// Context+HW, procedure entry: snapshot both counters into the
+    /// activation (so exit can accumulate the difference).
+    CctMetricEnter,
+    /// Context+HW, procedure exit: read counters, accumulate the deltas
+    /// since the last snapshot into the current call record's metrics.
+    CctMetricExit,
+    /// Context+HW, loop backedge: accumulate the deltas so far and take a
+    /// fresh snapshot (the paper's Section 4.3 countermeasure against
+    /// 32-bit wrap and non-local exits).
+    CctMetricTick,
+    /// Combined mode, procedure exit: `record.paths[r]++` in the current
+    /// call record's own path table.
+    CctPathCount {
+        /// Register holding the path sum.
+        reg: Reg,
+    },
+    /// Combined mode backedge: `record.paths[r + END]++; r = START`.
+    CctPathCountBackedge {
+        /// Register holding the path sum.
+        reg: Reg,
+        /// Constant added before counting (`Val(v -> EXIT)`, adjusted by
+        /// the spanning-tree optimization — possibly negative).
+        end: i64,
+        /// The path register's reset value (`Val(ENTRY -> w)`, adjusted —
+        /// possibly negative).
+        start: i64,
+    },
+    /// Combined mode with hardware metrics, procedure exit.
+    CctPathMetrics {
+        /// Register holding the path sum.
+        reg: Reg,
+    },
+    /// Combined mode with hardware metrics, backedge.
+    CctPathMetricsBackedge {
+        /// Register holding the path sum.
+        reg: Reg,
+        /// Constant added before counting (`Val(v -> EXIT)`, adjusted by
+        /// the spanning-tree optimization — possibly negative).
+        end: i64,
+        /// The path register's reset value (`Val(ENTRY -> w)`, adjusted —
+        /// possibly negative).
+        start: i64,
+    },
+}
+
+impl ProfOp {
+    /// True for ops belonging to the calling-context-tree family.
+    pub fn is_context(&self) -> bool {
+        matches!(
+            self,
+            ProfOp::CctEnter { .. }
+                | ProfOp::CctCall { .. }
+                | ProfOp::CctExit
+                | ProfOp::CctMetricEnter
+                | ProfOp::CctMetricExit
+                | ProfOp::CctMetricTick
+                | ProfOp::CctPathCount { .. }
+                | ProfOp::CctPathCountBackedge { .. }
+                | ProfOp::CctPathMetrics { .. }
+                | ProfOp::CctPathMetricsBackedge { .. }
+        )
+    }
+
+    /// True for ops that read or reset the hardware counters.
+    pub fn uses_counters(&self) -> bool {
+        matches!(
+            self,
+            ProfOp::PicZero
+                | ProfOp::PicSave
+                | ProfOp::PicRestore
+                | ProfOp::PathMetrics { .. }
+                | ProfOp::PathMetricsBackedge { .. }
+                | ProfOp::CctMetricEnter
+                | ProfOp::CctMetricExit
+                | ProfOp::CctMetricTick
+                | ProfOp::CctPathMetrics { .. }
+                | ProfOp::CctPathMetricsBackedge { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PathTable {
+        PathTable {
+            proc: ProcId(0),
+            base: 0x4000_0000,
+            storage: CounterStorage::Array,
+        }
+    }
+
+    #[test]
+    fn family_classification() {
+        assert!(ProfOp::CctEnter { proc: ProcId(1) }.is_context());
+        assert!(ProfOp::CctCall { site: CallSiteId(0), path_reg: None }.is_context());
+        assert!(!ProfOp::PicZero.is_context());
+        assert!(!ProfOp::PathCount {
+            table: table(),
+            reg: Reg(9)
+        }
+        .is_context());
+        assert!(ProfOp::CctPathCount { reg: Reg(9) }.is_context());
+    }
+
+    #[test]
+    fn counter_usage_classification() {
+        assert!(ProfOp::PicZero.uses_counters());
+        assert!(ProfOp::PathMetrics {
+            table: table(),
+            reg: Reg(1)
+        }
+        .uses_counters());
+        assert!(ProfOp::CctMetricTick.uses_counters());
+        assert!(!ProfOp::PathCount {
+            table: table(),
+            reg: Reg(1)
+        }
+        .uses_counters());
+        assert!(!ProfOp::CctExit.uses_counters());
+    }
+}

@@ -1,0 +1,301 @@
+//! Programs, procedures and basic blocks.
+
+use crate::ids::{BlockId, CallSiteId, ProcId};
+use crate::instr::{CallTarget, Instr, Terminator};
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// Instructions executed in order.
+    pub instrs: Vec<Instr>,
+    /// Control transfer ending the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates a block with the given terminator and no instructions.
+    pub fn new(term: Terminator) -> Block {
+        Block {
+            instrs: Vec::new(),
+            term,
+        }
+    }
+}
+
+/// Static description of one call site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CallSite {
+    /// Block containing the call instruction.
+    pub block: BlockId,
+    /// `Some(callee)` for direct calls; `None` for indirect calls.
+    pub direct_target: Option<ProcId>,
+}
+
+/// A procedure: a CFG of [`Block`]s with a distinguished entry block.
+///
+/// The entry block is always [`BlockId`] 0. Procedures may have several
+/// `Ret` blocks; analyses that need a unique exit (such as Ball–Larus path
+/// profiling) introduce a virtual one.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Procedure {
+    /// Human-readable name, used in reports.
+    pub name: String,
+    /// Basic blocks; index 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Number of integer registers used (registers are `r0..r{num_regs-1}`).
+    pub num_regs: u16,
+    /// Number of floating point registers used.
+    pub num_fregs: u16,
+    /// Call sites in this procedure, indexed by [`CallSiteId`].
+    pub call_sites: Vec<CallSite>,
+}
+
+impl Procedure {
+    /// The entry block (always block 0).
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Borrows a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutably borrows a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Number of static instructions across all blocks (terminators count
+    /// as one instruction each, matching the machine's code layout).
+    pub fn static_size(&self) -> usize {
+        self.blocks.len() + self.blocks.iter().map(|b| b.instrs.len()).sum::<usize>()
+    }
+
+    /// Returns the call site descriptor for `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn call_site(&self, site: CallSiteId) -> CallSite {
+        self.call_sites[site.index()]
+    }
+
+    /// Recomputes `call_sites` from the instruction stream. The builder
+    /// maintains this automatically; instrumentation passes that move call
+    /// instructions between blocks call this to refresh the block field.
+    pub fn recompute_call_sites(&mut self) {
+        let mut sites: Vec<(CallSiteId, CallSite)> = Vec::new();
+        for (bid, block) in self.blocks.iter().enumerate() {
+            for instr in &block.instrs {
+                if let Instr::Call { target, site, .. } = instr {
+                    let direct_target = match target {
+                        CallTarget::Direct(p) => Some(*p),
+                        CallTarget::Indirect(_) => None,
+                    };
+                    sites.push((
+                        *site,
+                        CallSite {
+                            block: BlockId(bid as u32),
+                            direct_target,
+                        },
+                    ));
+                }
+            }
+        }
+        sites.sort_by_key(|(id, _)| *id);
+        self.call_sites = sites.into_iter().map(|(_, cs)| cs).collect();
+    }
+}
+
+/// An initialized region of simulated memory (globals, function-pointer
+/// tables, input data).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataSegment {
+    /// Base simulated address.
+    pub addr: u64,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+}
+
+/// A whole program: procedures plus initialized data and an entry point.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    procedures: Vec<Procedure>,
+    entry: ProcId,
+    /// Initialized data segments loaded before execution.
+    pub data: Vec<DataSegment>,
+}
+
+impl Program {
+    /// Assembles a program from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range.
+    pub fn new(procedures: Vec<Procedure>, entry: ProcId, data: Vec<DataSegment>) -> Program {
+        assert!(
+            entry.index() < procedures.len(),
+            "entry {entry} out of range ({} procedures)",
+            procedures.len()
+        );
+        Program {
+            procedures,
+            entry,
+            data,
+        }
+    }
+
+    /// The program's entry procedure.
+    #[inline]
+    pub fn entry(&self) -> ProcId {
+        self.entry
+    }
+
+    /// All procedures, indexed by [`ProcId`].
+    #[inline]
+    pub fn procedures(&self) -> &[Procedure] {
+        &self.procedures
+    }
+
+    /// Mutable access to the procedures (used by instrumentation passes).
+    #[inline]
+    pub fn procedures_mut(&mut self) -> &mut [Procedure] {
+        &mut self.procedures
+    }
+
+    /// Borrows one procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn procedure(&self, id: ProcId) -> &Procedure {
+        &self.procedures[id.index()]
+    }
+
+    /// Mutably borrows one procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn procedure_mut(&mut self, id: ProcId) -> &mut Procedure {
+        &mut self.procedures[id.index()]
+    }
+
+    /// Iterates over `(ProcId, &Procedure)` pairs.
+    pub fn iter_procedures(&self) -> impl Iterator<Item = (ProcId, &Procedure)> {
+        self.procedures
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProcId(i as u32), p))
+    }
+
+    /// Finds a procedure by name (first match).
+    pub fn find_procedure(&self, name: &str) -> Option<ProcId> {
+        self.procedures
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ProcId(i as u32))
+    }
+
+    /// Total static instruction count over all procedures.
+    pub fn static_size(&self) -> usize {
+        self.procedures.iter().map(Procedure::static_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Operand;
+    use crate::Reg;
+
+    fn tiny_proc(name: &str) -> Procedure {
+        let mut b = Block::new(Terminator::Ret);
+        b.instrs.push(Instr::Mov {
+            dst: Reg(0),
+            src: Operand::Imm(1),
+        });
+        Procedure {
+            name: name.to_string(),
+            blocks: vec![b],
+            num_regs: 1,
+            num_fregs: 0,
+            call_sites: vec![],
+        }
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program::new(vec![tiny_proc("a"), tiny_proc("b")], ProcId(1), vec![]);
+        assert_eq!(p.entry(), ProcId(1));
+        assert_eq!(p.procedures().len(), 2);
+        assert_eq!(p.procedure(ProcId(0)).name, "a");
+        assert_eq!(p.find_procedure("b"), Some(ProcId(1)));
+        assert_eq!(p.find_procedure("zzz"), None);
+        assert_eq!(p.static_size(), 4); // 2 blocks (terminators) + 2 movs
+    }
+
+    #[test]
+    #[should_panic(expected = "entry")]
+    fn entry_out_of_range_panics() {
+        let _ = Program::new(vec![tiny_proc("a")], ProcId(5), vec![]);
+    }
+
+    #[test]
+    fn recompute_call_sites_orders_by_id() {
+        let mut callee_block = Block::new(Terminator::Ret);
+        callee_block.instrs.push(Instr::Call {
+            target: CallTarget::Direct(ProcId(0)),
+            site: CallSiteId(1),
+            args: vec![],
+            ret: None,
+        });
+        callee_block.instrs.push(Instr::Call {
+            target: CallTarget::Indirect(Reg(0)),
+            site: CallSiteId(0),
+            args: vec![],
+            ret: None,
+        });
+        let mut p = Procedure {
+            name: "p".into(),
+            blocks: vec![callee_block],
+            num_regs: 1,
+            num_fregs: 0,
+            call_sites: vec![],
+        };
+        p.recompute_call_sites();
+        assert_eq!(p.call_sites.len(), 2);
+        assert_eq!(p.call_sites[0].direct_target, None);
+        assert_eq!(p.call_sites[1].direct_target, Some(ProcId(0)));
+        assert_eq!(p.call_site(CallSiteId(1)).block, BlockId(0));
+    }
+
+    #[test]
+    fn entry_is_block_zero() {
+        let p = tiny_proc("x");
+        assert_eq!(p.entry(), BlockId(0));
+        assert_eq!(p.iter_blocks().count(), 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! Structural verification of programs.
+//!
+//! The verifier catches malformed IR early: dangling block or procedure
+//! references, register numbers outside the declared range, call-site
+//! tables inconsistent with the instruction stream, and unreachable return
+//! paths. Instrumentation passes run it in debug builds after rewriting.
+
+use std::fmt;
+
+use crate::cfg::Cfg;
+use crate::ids::{BlockId, ProcId};
+use crate::instr::{CallTarget, Instr, Operand, Terminator};
+use crate::program::{Procedure, Program};
+
+/// A verification failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// Procedure in which the problem was found, if any.
+    pub proc: Option<ProcId>,
+    /// Block in which the problem was found, if any.
+    pub block: Option<BlockId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.proc, self.block) {
+            (Some(p), Some(b)) => write!(f, "in {p} at {b}: {}", self.message),
+            (Some(p), None) => write!(f, "in {p}: {}", self.message),
+            _ => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(proc: Option<ProcId>, block: Option<BlockId>, message: String) -> VerifyError {
+    VerifyError {
+        proc,
+        block,
+        message,
+    }
+}
+
+/// Verifies a whole program.
+///
+/// # Errors
+///
+/// Returns the first structural problem found: an out-of-range register,
+/// block, procedure or call-site reference; a call-site table that does not
+/// match the instruction stream; or a procedure with no reachable return.
+pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
+    let nprocs = program.procedures().len();
+    for (pid, proc) in program.iter_procedures() {
+        verify_procedure(proc, pid, nprocs)?;
+    }
+    Ok(())
+}
+
+/// Verifies one procedure. `nprocs` bounds direct call targets.
+///
+/// # Errors
+///
+/// See [`verify_program`].
+pub fn verify_procedure(
+    proc: &Procedure,
+    pid: ProcId,
+    nprocs: usize,
+) -> Result<(), VerifyError> {
+    let p = Some(pid);
+    let nblocks = proc.blocks.len();
+    if nblocks == 0 {
+        return Err(err(p, None, "procedure has no blocks".into()));
+    }
+    let check_block = |b: BlockId, at: BlockId| -> Result<(), VerifyError> {
+        if b.index() >= nblocks {
+            Err(err(
+                p,
+                Some(at),
+                format!("terminator targets nonexistent block {b}"),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    let check_reg = |r: crate::Reg, at: BlockId| -> Result<(), VerifyError> {
+        if r.index() >= proc.num_regs as usize {
+            Err(err(
+                p,
+                Some(at),
+                format!("register {r} out of range (num_regs = {})", proc.num_regs),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    let check_freg = |r: crate::FReg, at: BlockId| -> Result<(), VerifyError> {
+        if r.index() >= proc.num_fregs as usize {
+            Err(err(
+                p,
+                Some(at),
+                format!("fp register {r} out of range (num_fregs = {})", proc.num_fregs),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    let check_op = |o: Operand, at: BlockId| -> Result<(), VerifyError> {
+        match o {
+            Operand::Reg(r) => check_reg(r, at),
+            Operand::Imm(_) => Ok(()),
+        }
+    };
+
+    let mut seen_sites = Vec::new();
+    for (bid, block) in proc.iter_blocks() {
+        for instr in &block.instrs {
+            match instr {
+                Instr::Mov { dst, src } => {
+                    check_reg(*dst, bid)?;
+                    check_op(*src, bid)?;
+                }
+                Instr::Bin { dst, a, b, .. } => {
+                    check_reg(*dst, bid)?;
+                    check_reg(*a, bid)?;
+                    check_op(*b, bid)?;
+                }
+                Instr::Load { dst, base, .. } => {
+                    check_reg(*dst, bid)?;
+                    check_reg(*base, bid)?;
+                }
+                Instr::Store { src, base, .. } => {
+                    check_op(*src, bid)?;
+                    check_reg(*base, bid)?;
+                }
+                Instr::FConst { dst, .. } => check_freg(*dst, bid)?,
+                Instr::FBin { dst, a, b, .. } => {
+                    check_freg(*dst, bid)?;
+                    check_freg(*a, bid)?;
+                    check_freg(*b, bid)?;
+                }
+                Instr::FLoad { dst, base, .. } => {
+                    check_freg(*dst, bid)?;
+                    check_reg(*base, bid)?;
+                }
+                Instr::FStore { src, base, .. } => {
+                    check_freg(*src, bid)?;
+                    check_reg(*base, bid)?;
+                }
+                Instr::FToI { dst, src } => {
+                    check_reg(*dst, bid)?;
+                    check_freg(*src, bid)?;
+                }
+                Instr::IToF { dst, src } => {
+                    check_freg(*dst, bid)?;
+                    check_reg(*src, bid)?;
+                }
+                Instr::Call {
+                    target,
+                    site,
+                    args,
+                    ret,
+                } => {
+                    match target {
+                        CallTarget::Direct(t) => {
+                            if t.index() >= nprocs {
+                                return Err(err(
+                                    p,
+                                    Some(bid),
+                                    format!("call to nonexistent procedure {t}"),
+                                ));
+                            }
+                        }
+                        CallTarget::Indirect(r) => check_reg(*r, bid)?,
+                    }
+                    for a in args {
+                        check_op(*a, bid)?;
+                    }
+                    if let Some(r) = ret {
+                        check_reg(*r, bid)?;
+                    }
+                    if site.index() >= proc.call_sites.len() {
+                        return Err(err(
+                            p,
+                            Some(bid),
+                            format!(
+                                "call site {site} out of range ({} sites declared)",
+                                proc.call_sites.len()
+                            ),
+                        ));
+                    }
+                    seen_sites.push(*site);
+                }
+                Instr::RdPic { dst } => check_reg(*dst, bid)?,
+                Instr::WrPic { src } => check_op(*src, bid)?,
+                Instr::Setjmp { dst } => check_reg(*dst, bid)?,
+                Instr::Longjmp { token } => check_reg(*token, bid)?,
+                Instr::SetPcr { .. } | Instr::Prof(_) | Instr::Nop => {}
+            }
+        }
+        match &block.term {
+            Terminator::Jump(t) => check_block(*t, bid)?,
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                check_reg(*cond, bid)?;
+                check_block(*taken, bid)?;
+                check_block(*not_taken, bid)?;
+            }
+            Terminator::Switch {
+                sel,
+                targets,
+                default,
+            } => {
+                check_reg(*sel, bid)?;
+                for t in targets {
+                    check_block(*t, bid)?;
+                }
+                check_block(*default, bid)?;
+            }
+            Terminator::Ret => {}
+        }
+    }
+
+    seen_sites.sort();
+    seen_sites.dedup();
+    if seen_sites.len() != proc.call_sites.len() {
+        return Err(err(
+            p,
+            None,
+            format!(
+                "call-site table has {} entries but instruction stream uses {} distinct sites",
+                proc.call_sites.len(),
+                seen_sites.len()
+            ),
+        ));
+    }
+
+    // Every procedure must be able to return: some Ret block reachable.
+    let cfg = Cfg::new(proc);
+    let reach = cfg.reachable();
+    let has_reachable_ret = proc
+        .iter_blocks()
+        .any(|(id, b)| b.term.is_return() && reach[id.index()]);
+    if !has_reachable_ret {
+        return Err(err(p, None, "no return block is reachable from entry".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::ids::Reg;
+    use crate::program::Block;
+
+    fn good_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("ok");
+        let e = f.entry_block();
+        let r = f.new_reg();
+        f.block(e).mov(r, 1i64).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        assert!(verify_program(&good_program()).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let mut prog = good_program();
+        prog.procedure_mut(ProcId(0)).blocks[0].instrs.push(Instr::Mov {
+            dst: Reg(99),
+            src: Operand::Imm(0),
+        });
+        let e = verify_program(&prog).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_dangling_block_target() {
+        let mut prog = good_program();
+        prog.procedure_mut(ProcId(0)).blocks[0].term = Terminator::Jump(BlockId(42));
+        let e = verify_program(&prog).unwrap_err();
+        assert!(e.message.contains("nonexistent block"), "{e}");
+    }
+
+    #[test]
+    fn rejects_dangling_call_target() {
+        let mut pb = ProgramBuilder::new();
+        let ghost = pb.declare("ghost");
+        let mut f = pb.procedure("caller");
+        let e = f.entry_block();
+        f.block(e).call(ghost, vec![], None).ret();
+        let id = f.finish();
+        let mut g = pb.procedure_for(ghost);
+        g.entry_block();
+        g.finish();
+        let mut prog = pb.finish(id);
+        // Corrupt the call target.
+        let blocks = &mut prog.procedure_mut(id).blocks;
+        for i in &mut blocks[0].instrs {
+            if let Instr::Call { target, .. } = i {
+                *target = CallTarget::Direct(ProcId(77));
+            }
+        }
+        let e = verify_program(&prog).unwrap_err();
+        assert!(e.message.contains("nonexistent procedure"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_reachable_return() {
+        let mut prog = good_program();
+        let p = prog.procedure_mut(ProcId(0));
+        // entry jumps to a self-loop; the only Ret is unreachable.
+        p.blocks.push(Block::new(Terminator::Jump(BlockId(1))));
+        p.blocks[0].term = Terminator::Jump(BlockId(1));
+        let e = verify_program(&prog).unwrap_err();
+        assert!(e.message.contains("no return"), "{e}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_call_site_table() {
+        let mut prog = good_program();
+        let p = prog.procedure_mut(ProcId(0));
+        p.call_sites.push(crate::program::CallSite {
+            block: BlockId(0),
+            direct_target: None,
+        });
+        let e = verify_program(&prog).unwrap_err();
+        assert!(e.message.contains("call-site table"), "{e}");
+    }
+
+    #[test]
+    fn error_display_mentions_location() {
+        let mut prog = good_program();
+        prog.procedure_mut(ProcId(0)).blocks[0].term = Terminator::Jump(BlockId(42));
+        let e = verify_program(&prog).unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("@0"), "{s}");
+        assert!(s.contains("b0"), "{s}");
+    }
+}

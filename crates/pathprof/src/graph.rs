@@ -1,0 +1,146 @@
+//! The abstract graph that path profiling runs over.
+
+use crate::label::{LabelError, Labeling};
+
+/// A vertex index in a [`PathGraph`].
+pub type NodeIdx = u32;
+
+/// An edge index in a [`PathGraph`] (edges are numbered in insertion
+/// order; a vertex's out-edges keep their insertion order, which is the
+/// successor order the labelling uses).
+pub type EdgeIdx = u32;
+
+/// A directed multigraph with designated `ENTRY` and `EXIT` vertices.
+///
+/// Parallel edges are allowed (a conditional branch whose arms reach the
+/// same block produces two distinct paths). Self loops are allowed and are
+/// treated as backedges by the cyclic transform.
+#[derive(Clone, Debug)]
+pub struct PathGraph {
+    n: u32,
+    entry: NodeIdx,
+    exit: NodeIdx,
+    edges: Vec<(NodeIdx, NodeIdx)>,
+    out: Vec<Vec<EdgeIdx>>,
+}
+
+impl PathGraph {
+    /// Creates a graph with `n` vertices and no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` or `exit` is out of range, or if `entry == exit`
+    /// with `n > 1` would still be accepted — entry and exit may coincide
+    /// only in a single-vertex graph.
+    pub fn new(n: u32, entry: NodeIdx, exit: NodeIdx) -> PathGraph {
+        assert!(entry < n, "entry {entry} out of range (n = {n})");
+        assert!(exit < n, "exit {exit} out of range (n = {n})");
+        assert!(
+            entry != exit || n == 1,
+            "entry and exit may only coincide in a single-vertex graph"
+        );
+        PathGraph {
+            n,
+            entry,
+            exit,
+            edges: Vec::new(),
+            out: vec![Vec::new(); n as usize],
+        }
+    }
+
+    /// Adds an edge and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: NodeIdx, to: NodeIdx) -> EdgeIdx {
+        assert!(from < self.n && to < self.n, "edge endpoint out of range");
+        let idx = self.edges.len() as EdgeIdx;
+        self.edges.push((from, to));
+        self.out[from as usize].push(idx);
+        idx
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u32 {
+        self.edges.len() as u32
+    }
+
+    /// The entry vertex.
+    pub fn entry(&self) -> NodeIdx {
+        self.entry
+    }
+
+    /// The exit vertex.
+    pub fn exit(&self) -> NodeIdx {
+        self.exit
+    }
+
+    /// The endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: EdgeIdx) -> (NodeIdx, NodeIdx) {
+        self.edges[e as usize]
+    }
+
+    /// Out-edges of `v`, in insertion (successor) order.
+    pub fn out_edges(&self, v: NodeIdx) -> &[EdgeIdx] {
+        &self.out[v as usize]
+    }
+
+    /// Runs the Ball–Larus labelling (including the cyclic transform when
+    /// the graph has backedges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabelError::TooManyPaths`] if the number of potential
+    /// paths overflows `u64`, and [`LabelError::Malformed`] if some vertex
+    /// is unreachable from `ENTRY` or cannot reach `EXIT` (after the
+    /// transform), or if `EXIT` has an out-edge other than a backedge.
+    pub fn label(&self) -> Result<Labeling, LabelError> {
+        Labeling::compute(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_graph_with_parallel_edges() {
+        let mut g = PathGraph::new(3, 0, 2);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_ne!(e0, e1);
+        assert_eq!(g.out_edges(0), &[e0, e1]);
+        assert_eq!(g.edge(e0), (0, 1));
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_entry() {
+        let _ = PathGraph::new(2, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn rejects_entry_equals_exit() {
+        let _ = PathGraph::new(3, 1, 1);
+    }
+
+    #[test]
+    fn single_vertex_graph_is_allowed() {
+        let g = PathGraph::new(1, 0, 0);
+        assert_eq!(g.entry(), g.exit());
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # pp-pathprof — efficient path profiling (Ball–Larus)
+//!
+//! Implements the intraprocedural path profiling algorithm of Ball & Larus
+//! (*Efficient Path Profiling*, MICRO '96) that the PLDI '97 paper
+//! generalizes to hardware metrics (its Section 2):
+//!
+//! * **Edge labelling** ([`Labeling`]): assigns an integer `Val(e)` to every
+//!   edge of an acyclic CFG so that the sum of values along each
+//!   entry-to-exit path is unique and compact — path sums cover exactly
+//!   `0 .. NumPaths`.
+//! * **Cyclic transform**: every DFS backedge `v -> w` is replaced by the
+//!   pseudo edges `ENTRY -> w` and `v -> EXIT`, bounding the number of
+//!   paths while preserving uniqueness across all four path categories the
+//!   paper enumerates.
+//! * **Path regeneration** ([`Labeling::regenerate`]): maps a path sum back
+//!   to the block sequence it encodes, used when reporting hot paths.
+//! * **Optimized placement** ([`Placement`]): the spanning-tree / chord
+//!   increment optimization ("see \[BL96, Bal94\] for details" in the
+//!   paper), which moves increments off frequently executed edges.
+//!
+//! The algorithm runs over an abstract [`PathGraph`] so it can be exercised
+//! on arbitrary graphs (the paper's Figure 1 appears in the tests), with
+//! [`ProcPaths`] binding a labelling to a `pp-ir` procedure for the
+//! instrumenter.
+//!
+//! ```
+//! use pp_pathprof::PathGraph;
+//!
+//! // The six-path graph of the paper's Figure 1.
+//! let mut g = PathGraph::new(6, 0, 5); // A=0 .. F=5
+//! g.add_edge(0, 1); // A -> B
+//! g.add_edge(0, 2); // A -> C
+//! g.add_edge(1, 2); // B -> C
+//! g.add_edge(1, 3); // B -> D
+//! g.add_edge(2, 3); // C -> D
+//! g.add_edge(3, 4); // D -> E
+//! g.add_edge(3, 5); // D -> F
+//! g.add_edge(4, 5); // E -> F
+//! let labeling = g.label().unwrap();
+//! assert_eq!(labeling.num_paths(), 6);
+//! ```
+
+mod graph;
+mod label;
+mod place;
+mod proc_paths;
+mod regen;
+
+pub use graph::{EdgeIdx, NodeIdx, PathGraph};
+pub use label::{LabelError, Labeling, PseudoEdgeVals};
+pub use place::{EdgeIncrement, Placement, WeightSource};
+pub use proc_paths::{CfgEdgeRef, ProcPaths};
+pub use regen::{DecodedPath, PathKind};

@@ -1,0 +1,446 @@
+//! Optimized increment placement (the \[Bal94\]/\[BL96\] spanning-tree
+//! optimization).
+//!
+//! The simple instrumentation of Figure 1(c) adds `Val(e)` to the path
+//! register on every edge with a nonzero value. Ball's event-counting
+//! optimization instead chooses a spanning tree of the (transformed) CFG
+//! and places increments only on the *chords* — edges outside the tree —
+//! with values adjusted by a vertex potential so every path still produces
+//! its unique sum. Choosing a maximum-weight spanning tree under estimated
+//! (or measured) edge frequencies moves increments off hot edges, which is
+//! how the paper's Figure 1(d) instrumentation arises.
+//!
+//! The [`Placement`] produced here is what `pp-instrument` consumes: a
+//! (possibly negative) increment per original edge, adjusted constants for
+//! each backedge's `count[r + END]++; r = START` sequence, and a constant
+//! folded into the final `count[r + K]++` at `EXIT`.
+
+use crate::graph::EdgeIdx;
+use crate::label::{Labeling, TEdgeKind};
+
+/// How spanning-tree edge weights are chosen.
+#[derive(Clone, Copy, Debug)]
+pub enum WeightSource<'a> {
+    /// All original edges weigh the same (pseudo edges are preferred as
+    /// chords because their increments are folded into backedge
+    /// instrumentation that must execute anyway).
+    Uniform,
+    /// Original edges that lie on a cycle weigh 10x — a static stand-in
+    /// for "loop bodies execute often".
+    LoopHeuristic,
+    /// Measured or estimated execution frequency per original edge,
+    /// indexed by [`EdgeIdx`].
+    Edges(&'a [u64]),
+}
+
+/// An increment the instrumenter must place on an original edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeIncrement {
+    /// The original edge.
+    pub edge: EdgeIdx,
+    /// Amount added to the path register when the edge executes.
+    pub amount: i64,
+}
+
+/// A complete increment placement for one procedure.
+///
+/// ```
+/// use pp_pathprof::{PathGraph, Placement, WeightSource};
+///
+/// let mut g = PathGraph::new(4, 0, 3);
+/// g.add_edge(0, 1);
+/// g.add_edge(0, 2);
+/// g.add_edge(1, 3);
+/// g.add_edge(2, 3);
+/// let labeling = g.label().unwrap();
+/// let simple = Placement::simple(&labeling);
+/// let optimized = Placement::optimized(&labeling, WeightSource::Uniform);
+/// assert!(optimized.num_instrumented_edges() <= simple.num_instrumented_edges());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Placement {
+    increments: Vec<i64>,
+    backedge_consts: Vec<(i64, i64)>,
+    exit_const: i64,
+}
+
+impl Placement {
+    /// The naive placement: `Inc(e) = Val(e)` on every edge, zero exit
+    /// constant — the paper's Figure 1(c).
+    pub fn simple(l: &Labeling) -> Placement {
+        let g = l.graph();
+        let mut increments = vec![0i64; g.num_edges() as usize];
+        for e in 0..g.num_edges() {
+            if !l.is_backedge(e) {
+                increments[e as usize] = l.val(e) as i64;
+            }
+        }
+        let backedge_consts = l
+            .backedges()
+            .iter()
+            .map(|&e| {
+                let pv = l.pseudo_vals(e);
+                (pv.end as i64, pv.start as i64)
+            })
+            .collect();
+        Placement {
+            increments,
+            backedge_consts,
+            exit_const: 0,
+        }
+    }
+
+    /// The spanning-tree optimized placement — the paper's Figure 1(d).
+    ///
+    /// Increments land only on chords of a maximum-weight spanning tree of
+    /// the transformed graph; tree edges carry no instrumentation. Path
+    /// sums are unchanged (see the crate tests, which check equivalence
+    /// with [`Placement::simple`] on random graphs).
+    pub fn optimized(l: &Labeling, weights: WeightSource<'_>) -> Placement {
+        let g = l.graph();
+        let n = g.num_nodes() as usize;
+
+        // Collect the transformed edges.
+        let mut tedges: Vec<(u32, u32, TEdgeKind)> = Vec::new();
+        for v in 0..n as u32 {
+            for &(t, kind) in l.tsucc(v) {
+                tedges.push((v, t, kind));
+            }
+        }
+
+        // On-cycle test for the LoopHeuristic: edge u->w is on a cycle iff
+        // w reaches u in the original graph.
+        let reaches = |from: u32, to: u32| -> bool {
+            let mut seen = vec![false; n];
+            let mut stack = vec![from];
+            seen[from as usize] = true;
+            while let Some(v) = stack.pop() {
+                if v == to {
+                    return true;
+                }
+                for &e in g.out_edges(v) {
+                    let (_, t) = g.edge(e);
+                    if !seen[t as usize] {
+                        seen[t as usize] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+            false
+        };
+        let weight = |kind: TEdgeKind| -> u64 {
+            match kind {
+                // Pseudo edges are free chords: weight 0 keeps them out of
+                // the tree unless needed for connectivity.
+                TEdgeKind::PseudoStart(_) | TEdgeKind::PseudoEnd(_) => 0,
+                TEdgeKind::Orig(e) => match weights {
+                    WeightSource::Uniform => 2,
+                    WeightSource::LoopHeuristic => {
+                        let (u, w) = g.edge(e);
+                        if reaches(w, u) {
+                            20
+                        } else {
+                            2
+                        }
+                    }
+                    WeightSource::Edges(freqs) => {
+                        freqs.get(e as usize).copied().unwrap_or(0).saturating_add(1)
+                    }
+                },
+            }
+        };
+
+        // Maximum-weight spanning tree over the undirected view (Kruskal).
+        let mut order: Vec<usize> = (0..tedges.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(weight(tedges[i].2)));
+        let mut dsu: Vec<u32> = (0..n as u32).collect();
+        fn find(dsu: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while dsu[root as usize] != root {
+                root = dsu[root as usize];
+            }
+            let mut cur = x;
+            while dsu[cur as usize] != root {
+                let next = dsu[cur as usize];
+                dsu[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut in_tree = vec![false; tedges.len()];
+        for &i in &order {
+            let (u, w, _) = tedges[i];
+            let (ru, rw) = (find(&mut dsu, u), find(&mut dsu, w));
+            if ru != rw {
+                dsu[ru as usize] = rw;
+                in_tree[i] = true;
+            }
+        }
+
+        // Vertex potentials: phi(entry) = 0, and phi(to) = phi(from) + Val
+        // along tree edges (in either traversal direction).
+        let mut phi = vec![0i64; n];
+        let mut have = vec![false; n];
+        have[g.entry() as usize] = true;
+        // adjacency over tree edges
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &(u, w, _)) in tedges.iter().enumerate() {
+            if in_tree[i] {
+                adj[u as usize].push(i);
+                adj[w as usize].push(i);
+            }
+        }
+        let mut stack = vec![g.entry()];
+        while let Some(v) = stack.pop() {
+            for &i in &adj[v as usize] {
+                let (u, w, kind) = tedges[i];
+                let val = l.tval(kind) as i64;
+                let other = if u == v { w } else { u };
+                if !have[other as usize] {
+                    have[other as usize] = true;
+                    phi[other as usize] = if u == v {
+                        phi[v as usize] + val // traversed forward
+                    } else {
+                        phi[v as usize] - val // traversed backward
+                    };
+                    stack.push(other);
+                }
+            }
+        }
+        debug_assert!(have.iter().all(|&b| b), "spanning tree must reach every vertex");
+
+        // Inc(e) = Val(e) + phi(from) - phi(to); zero on tree edges.
+        let inc = |i: usize| -> i64 {
+            let (u, w, kind) = tedges[i];
+            if in_tree[i] {
+                0
+            } else {
+                l.tval(kind) as i64 + phi[u as usize] - phi[w as usize]
+            }
+        };
+
+        let exit_const = phi[g.exit() as usize] - phi[g.entry() as usize];
+        let mut increments = vec![0i64; g.num_edges() as usize];
+        let mut start_inc = vec![0i64; l.backedges().len()];
+        let mut end_inc = vec![0i64; l.backedges().len()];
+        for (i, &(_, _, kind)) in tedges.iter().enumerate() {
+            match kind {
+                TEdgeKind::Orig(e) => increments[e as usize] = inc(i),
+                TEdgeKind::PseudoStart(b) => start_inc[b] = inc(i),
+                TEdgeKind::PseudoEnd(b) => end_inc[b] = inc(i),
+            }
+        }
+        let backedge_consts = (0..l.backedges().len())
+            .map(|b| (end_inc[b] + exit_const, start_inc[b]))
+            .collect();
+        Placement {
+            increments,
+            backedge_consts,
+            exit_const,
+        }
+    }
+
+    /// The increment for original edge `e` (zero means "no instrumentation
+    /// needed on this edge").
+    pub fn increment(&self, e: EdgeIdx) -> i64 {
+        self.increments[e as usize]
+    }
+
+    /// Nonzero increments, for the instrumenter.
+    pub fn nonzero_increments(&self) -> impl Iterator<Item = EdgeIncrement> + '_ {
+        self.increments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a != 0)
+            .map(|(e, &amount)| EdgeIncrement {
+                edge: e as EdgeIdx,
+                amount,
+            })
+    }
+
+    /// `(END, START)` constants for backedge position `b` (in
+    /// [`Labeling::backedges`] order): the backedge executes
+    /// `count[r + END]++; r = START`.
+    pub fn backedge_consts(&self, b: usize) -> (i64, i64) {
+        self.backedge_consts[b]
+    }
+
+    /// Constant added to the register at `EXIT`: `count[r + K]++`.
+    pub fn exit_const(&self) -> i64 {
+        self.exit_const
+    }
+
+    /// Number of instrumented (nonzero-increment) original edges — the
+    /// quantity the optimization minimizes, weighted by frequency.
+    pub fn num_instrumented_edges(&self) -> usize {
+        self.increments.iter().filter(|&&a| a != 0).count()
+    }
+
+    /// Replays a walk through the original graph (vertex sequence from
+    /// `ENTRY` to `EXIT`), returning the counter indices this placement's
+    /// instrumentation would bump — used by tests to prove equivalence
+    /// with the Val-based scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Labeling::walk_sums`], or if
+    /// an instrumented index would be negative (which would indicate a
+    /// placement bug).
+    pub fn walk_counts(&self, l: &Labeling, walk: &[u32]) -> Vec<u64> {
+        assert_eq!(walk.first(), Some(&l.graph().entry()), "walk must start at entry");
+        assert_eq!(walk.last(), Some(&l.graph().exit()), "walk must end at exit");
+        let mut out = Vec::new();
+        let mut r: i64 = 0;
+        for pair in walk.windows(2) {
+            let (u, w) = (pair[0], pair[1]);
+            let g = l.graph();
+            let e = g
+                .out_edges(u)
+                .iter()
+                .copied()
+                .find(|&e| g.edge(e).1 == w && !l.is_backedge(e))
+                .or_else(|| {
+                    g.out_edges(u)
+                        .iter()
+                        .copied()
+                        .find(|&e| g.edge(e).1 == w)
+                })
+                .unwrap_or_else(|| panic!("no edge {u} -> {w}"));
+            if l.is_backedge(e) {
+                let b = l
+                    .backedges()
+                    .iter()
+                    .position(|&be| be == e)
+                    .expect("backedge");
+                let (end, start) = self.backedge_consts[b];
+                let idx = r + end;
+                assert!(idx >= 0, "negative counter index {idx}");
+                out.push(idx as u64);
+                r = start;
+            } else {
+                r += self.increments[e as usize];
+            }
+        }
+        let idx = r + self.exit_const;
+        assert!(idx >= 0, "negative counter index {idx}");
+        out.push(idx as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PathGraph;
+
+    fn figure1() -> PathGraph {
+        let mut g = PathGraph::new(6, 0, 5);
+        g.add_edge(0, 2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(3, 5);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g
+    }
+
+    fn loopy() -> PathGraph {
+        // 0 -> 1; 1 -> 2 | 4(exit); 2 -> 3 | 1(backedge); 3 -> 1(backedge)
+        let mut g = PathGraph::new(5, 0, 4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 4);
+        g.add_edge(2, 3);
+        g.add_edge(2, 1);
+        g.add_edge(3, 1);
+        g
+    }
+
+    #[test]
+    fn simple_placement_equals_vals() {
+        let l = figure1().label().unwrap();
+        let p = Placement::simple(&l);
+        for e in 0..8u32 {
+            assert_eq!(p.increment(e), l.val(e) as i64);
+        }
+        assert_eq!(p.exit_const(), 0);
+    }
+
+    #[test]
+    fn optimized_instruments_fewer_edges() {
+        let l = figure1().label().unwrap();
+        let simple = Placement::simple(&l);
+        let opt = Placement::optimized(&l, WeightSource::Uniform);
+        assert!(opt.num_instrumented_edges() <= simple.num_instrumented_edges());
+        // A spanning tree of 6 vertices covers 5 of 8 edges: at most 3 chords.
+        assert!(opt.num_instrumented_edges() <= 3);
+    }
+
+    fn all_walks(g: &PathGraph, max_backedge_traversals: usize) -> Vec<Vec<u32>> {
+        // Enumerate walks entry -> exit with bounded backedge use.
+        let mut out = Vec::new();
+        let mut stack = vec![(vec![g.entry()], 0usize)];
+        while let Some((walk, bes)) = stack.pop() {
+            let v = *walk.last().expect("nonempty");
+            if v == g.exit() {
+                out.push(walk);
+                continue;
+            }
+            for &e in g.out_edges(v) {
+                let (_, t) = g.edge(e);
+                let mut w = walk.clone();
+                w.push(t);
+                // Rough cycle bound: limit total walk length.
+                if w.len() <= g.num_nodes() as usize * (max_backedge_traversals + 1) {
+                    stack.push((w, bes));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn optimized_and_simple_agree_on_every_walk() {
+        for g in [figure1(), loopy()] {
+            let l = g.label().unwrap();
+            let simple = Placement::simple(&l);
+            for ws in [
+                WeightSource::Uniform,
+                WeightSource::LoopHeuristic,
+                WeightSource::Edges(&[7, 1, 3, 9, 2, 8]),
+            ] {
+                let opt = Placement::optimized(&l, ws);
+                for walk in all_walks(&g, 2) {
+                    let a = simple.walk_counts(&l, &walk);
+                    let b = opt.walk_counts(&l, &walk);
+                    assert_eq!(a, b, "walk {walk:?}");
+                    // And the simple placement agrees with raw Val sums.
+                    assert_eq!(a, l.walk_sums(&walk), "walk {walk:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_heuristic_prefers_cycle_edges_in_tree() {
+        let l = loopy().label().unwrap();
+        let opt = Placement::optimized(&l, WeightSource::LoopHeuristic);
+        // The hot loop edge 1->2 (on a cycle) should carry no increment.
+        assert_eq!(opt.increment(1), 0, "cycle edge should be a tree edge");
+    }
+
+    #[test]
+    fn backedge_consts_keep_indices_in_range() {
+        let l = loopy().label().unwrap();
+        for ws in [WeightSource::Uniform, WeightSource::LoopHeuristic] {
+            let opt = Placement::optimized(&l, ws);
+            for walk in all_walks(&loopy(), 2) {
+                for idx in opt.walk_counts(&l, &walk) {
+                    assert!(idx < l.num_paths(), "index {idx} out of range");
+                }
+            }
+        }
+    }
+}

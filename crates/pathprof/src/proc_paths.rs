@@ -1,0 +1,236 @@
+//! Binding the abstract path-profiling machinery to a `pp-ir` procedure.
+
+use pp_ir::{BlockId, Procedure};
+
+use crate::graph::{EdgeIdx, NodeIdx, PathGraph};
+use crate::label::{LabelError, Labeling};
+use crate::regen::DecodedPath;
+
+/// Where an abstract [`PathGraph`] edge lives in the procedure's CFG.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CfgEdgeRef {
+    /// The `succ_index`-th successor edge of `block`'s terminator.
+    Succ {
+        /// Source block.
+        block: BlockId,
+        /// Index into the terminator's successor list.
+        succ_index: u32,
+    },
+    /// The virtual edge from a `Ret` block to the virtual exit vertex.
+    Ret {
+        /// The returning block.
+        block: BlockId,
+    },
+}
+
+/// Path-profiling analysis of one procedure: vertices are the procedure's
+/// blocks plus one virtual exit that every `Ret` block feeds (the paper's
+/// "straightforward extension" for CFGs without a unique exit).
+#[derive(Clone, Debug)]
+pub struct ProcPaths {
+    labeling: Labeling,
+    edge_refs: Vec<CfgEdgeRef>,
+    num_blocks: u32,
+}
+
+impl ProcPaths {
+    /// Analyzes `proc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabelError::Malformed`] if the procedure has unreachable
+    /// blocks (strip them first) and [`LabelError::TooManyPaths`] if the
+    /// potential path count overflows `u64`.
+    pub fn analyze(proc: &Procedure) -> Result<ProcPaths, LabelError> {
+        let n = proc.blocks.len() as u32;
+        let exit = n; // virtual exit vertex
+        let mut g = PathGraph::new(n + 1, 0, exit);
+        let mut edge_refs = Vec::new();
+        for (bid, block) in proc.iter_blocks() {
+            for (k, s) in block.term.successors().enumerate() {
+                g.add_edge(bid.0, s.0);
+                edge_refs.push(CfgEdgeRef::Succ {
+                    block: bid,
+                    succ_index: k as u32,
+                });
+            }
+            if block.term.is_return() {
+                g.add_edge(bid.0, exit);
+                edge_refs.push(CfgEdgeRef::Ret { block: bid });
+            }
+        }
+        let labeling = g.label()?;
+        Ok(ProcPaths {
+            labeling,
+            edge_refs,
+            num_blocks: n,
+        })
+    }
+
+    /// The underlying labelling.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// Number of potential paths through the procedure.
+    pub fn num_paths(&self) -> u64 {
+        self.labeling.num_paths()
+    }
+
+    /// Where abstract edge `e` lives in the CFG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge_ref(&self, e: EdgeIdx) -> CfgEdgeRef {
+        self.edge_refs[e as usize]
+    }
+
+    /// The abstract vertex for a block (the identity embedding).
+    pub fn node_of(&self, b: BlockId) -> NodeIdx {
+        b.0
+    }
+
+    /// The virtual exit vertex.
+    pub fn exit_node(&self) -> NodeIdx {
+        self.num_blocks
+    }
+
+    /// Decodes a path sum to the block sequence it encodes (the virtual
+    /// exit vertex is stripped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sum >= num_paths()`.
+    pub fn decode_blocks(&self, sum: u64) -> (Vec<BlockId>, crate::regen::PathKind) {
+        let DecodedPath { nodes, kind, .. } = self.labeling.regenerate(sum);
+        let blocks = nodes
+            .into_iter()
+            .filter(|&v| v < self.num_blocks)
+            .map(BlockId)
+            .collect();
+        (blocks, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regen::PathKind;
+    use pp_ir::build::ProgramBuilder;
+    use pp_ir::Program;
+
+    fn diamond() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("d");
+        let e = f.entry_block();
+        let a = f.new_block();
+        let b = f.new_block();
+        let x = f.new_block();
+        let c = f.new_reg();
+        f.block(e).mov(c, 1i64).branch(c, a, b);
+        f.block(a).jump(x);
+        f.block(b).jump(x);
+        f.block(x).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    fn two_exits() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("two_exits");
+        let e = f.entry_block();
+        let a = f.new_block();
+        let b = f.new_block();
+        let c = f.new_reg();
+        f.block(e).mov(c, 1i64).branch(c, a, b);
+        f.block(a).ret();
+        f.block(b).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let prog = diamond();
+        let pp = ProcPaths::analyze(prog.procedure(prog.entry())).unwrap();
+        assert_eq!(pp.num_paths(), 2);
+        let (p0, k0) = pp.decode_blocks(0);
+        let (p1, k1) = pp.decode_blocks(1);
+        assert_eq!(k0, PathKind::EntryToExit);
+        assert_eq!(k1, PathKind::EntryToExit);
+        assert_ne!(p0, p1);
+        for p in [&p0, &p1] {
+            assert_eq!(p.first(), Some(&BlockId(0)));
+            assert_eq!(p.last(), Some(&BlockId(3)));
+            assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn multiple_rets_feed_virtual_exit() {
+        let prog = two_exits();
+        let pp = ProcPaths::analyze(prog.procedure(prog.entry())).unwrap();
+        assert_eq!(pp.num_paths(), 2);
+        // Each path ends at a different ret block; virtual exit stripped.
+        let (p0, _) = pp.decode_blocks(0);
+        let (p1, _) = pp.decode_blocks(1);
+        let ends: Vec<BlockId> = vec![*p0.last().unwrap(), *p1.last().unwrap()];
+        assert!(ends.contains(&BlockId(1)));
+        assert!(ends.contains(&BlockId(2)));
+    }
+
+    #[test]
+    fn edge_refs_cover_ret_edges() {
+        let prog = two_exits();
+        let pp = ProcPaths::analyze(prog.procedure(prog.entry())).unwrap();
+        let g = pp.labeling().graph();
+        let mut ret_edges = 0;
+        for e in 0..g.num_edges() {
+            if let CfgEdgeRef::Ret { .. } = pp.edge_ref(e) {
+                ret_edges += 1;
+                assert_eq!(g.edge(e).1, pp.exit_node());
+            }
+        }
+        assert_eq!(ret_edges, 2);
+    }
+
+    #[test]
+    fn unreachable_block_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("u");
+        let e = f.entry_block();
+        let _dead = f.new_block();
+        f.block(e).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let err = ProcPaths::analyze(prog.procedure(id)).unwrap_err();
+        assert!(matches!(err, LabelError::Malformed(_)));
+    }
+
+    #[test]
+    fn loop_procedure_paths() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("loop");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let c = f.new_reg();
+        f.block(e).mov(c, 10i64).jump(h);
+        f.block(h).branch(c, body, x);
+        f.block(body).sub(c, c, 1i64).jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let pp = ProcPaths::analyze(prog.procedure(id)).unwrap();
+        // Four path categories for the single loop: e->h->x, e->h->body(be),
+        // (be)h->body(be), (be)h->x.
+        assert_eq!(pp.num_paths(), 4);
+        let kinds: Vec<PathKind> = (0..4).map(|s| pp.decode_blocks(s).1).collect();
+        assert!(kinds.iter().any(|k| matches!(k, PathKind::EntryToExit)));
+        assert!(kinds.iter().any(|k| matches!(k, PathKind::EntryToBackedge { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, PathKind::BackedgeToBackedge { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, PathKind::BackedgeToExit { .. })));
+    }
+}

@@ -1,0 +1,288 @@
+//! Path regeneration: mapping a path sum back to the blocks it encodes.
+
+use crate::graph::{EdgeIdx, NodeIdx};
+use crate::label::{Labeling, TEdgeKind};
+
+/// Which of the paper's four path categories a decoded path belongs to
+/// (Section 2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathKind {
+    /// A backedge-free path from `ENTRY` to `EXIT`.
+    EntryToExit,
+    /// A backedge-free path from `ENTRY` ending with the given backedge.
+    EntryToBackedge {
+        /// Original edge index of the terminating backedge.
+        backedge: EdgeIdx,
+    },
+    /// A path that starts after one backedge and ends with another
+    /// (possibly the same one).
+    BackedgeToBackedge {
+        /// Backedge whose execution started this path.
+        from: EdgeIdx,
+        /// Backedge that ends this path.
+        to: EdgeIdx,
+    },
+    /// A path that starts after a backedge and runs to `EXIT`.
+    BackedgeToExit {
+        /// Backedge whose execution started this path.
+        backedge: EdgeIdx,
+    },
+}
+
+/// A regenerated path: the physical vertex sequence plus its category.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecodedPath {
+    /// The path sum this path encodes.
+    pub sum: u64,
+    /// Physical vertices visited, in order. Starts at the backedge target
+    /// for backedge-started paths (the virtual `ENTRY` hop is dropped) and
+    /// ends at the backedge source for backedge-ended paths.
+    pub nodes: Vec<NodeIdx>,
+    /// The paper's path category.
+    pub kind: PathKind,
+}
+
+impl Labeling {
+    /// Regenerates the unique path whose sum is `sum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sum >= self.num_paths()`.
+    pub fn regenerate(&self, sum: u64) -> DecodedPath {
+        assert!(
+            sum < self.num_paths(),
+            "path sum {sum} out of range (num_paths = {})",
+            self.num_paths()
+        );
+        let entry = self.graph().entry();
+        let exit = self.graph().exit();
+        let mut remaining = sum;
+        let mut v = entry;
+        let mut first_edge: Option<TEdgeKind> = None;
+        let mut last_edge: Option<TEdgeKind> = None;
+        let mut nodes: Vec<NodeIdx> = vec![entry];
+        while v != exit {
+            // Choose the last successor whose Val is <= remaining; since
+            // Vals at a vertex are the prefix sums of successor NP counts,
+            // this is the unique successor whose sum interval contains
+            // `remaining`.
+            let succs = self.tsucc(v);
+            let (&(target, kind), val) = succs
+                .iter()
+                .map(|s| (s, self.tval(s.1)))
+                .filter(|&(_, val)| val <= remaining)
+                .max_by_key(|&(_, val)| val)
+                .expect("labelled vertex must have a successor containing the sum");
+            remaining -= val;
+            if first_edge.is_none() {
+                first_edge = Some(kind);
+            }
+            last_edge = Some(kind);
+            nodes.push(target);
+            v = target;
+        }
+        debug_assert_eq!(remaining, 0, "path sum not fully consumed");
+
+        let starts_with = match first_edge {
+            Some(TEdgeKind::PseudoStart(b)) => Some(self.backedge_at(b)),
+            _ => None,
+        };
+        let ends_with = match last_edge {
+            Some(TEdgeKind::PseudoEnd(b)) => Some(self.backedge_at(b)),
+            _ => None,
+        };
+        if starts_with.is_some() {
+            nodes.remove(0); // drop the virtual ENTRY hop
+        }
+        if ends_with.is_some() {
+            nodes.pop(); // drop the virtual EXIT hop
+        }
+        let kind = match (starts_with, ends_with) {
+            (None, None) => PathKind::EntryToExit,
+            (None, Some(b)) => PathKind::EntryToBackedge { backedge: b },
+            (Some(f), Some(t)) => PathKind::BackedgeToBackedge { from: f, to: t },
+            (Some(b), None) => PathKind::BackedgeToExit { backedge: b },
+        };
+        DecodedPath { sum, nodes, kind }
+    }
+
+    /// Enumerates every potential path by regenerating each sum in
+    /// `0 .. num_paths()`. Intended for tests, reports and examples on
+    /// small procedures; cost is proportional to the number of paths.
+    pub fn iter_paths(&self) -> impl Iterator<Item = DecodedPath> + '_ {
+        (0..self.num_paths()).map(|s| self.regenerate(s))
+    }
+
+    /// Computes the path sum the instrumentation would produce for a walk
+    /// through the *original* graph, given as a vertex sequence. The walk
+    /// may traverse backedges; each backedge traversal ends one path and
+    /// starts the next, so a walk yields one or more `(sum, kind)` events
+    /// in order — exactly what `count[r]++` instrumentation would record.
+    ///
+    /// When consecutive vertices are joined by several parallel edges the
+    /// first non-backedge edge is preferred (parallel edges of mixed kind
+    /// are ambiguous in a vertex walk; instrumented code distinguishes
+    /// them, so tests that need parallel-edge precision use edge walks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive vertices are not joined by an edge, or the
+    /// walk does not start at `ENTRY` / end at `EXIT`.
+    pub fn walk_sums(&self, walk: &[NodeIdx]) -> Vec<u64> {
+        assert!(!walk.is_empty(), "empty walk");
+        assert_eq!(walk[0], self.graph().entry(), "walk must start at entry");
+        assert_eq!(
+            *walk.last().expect("nonempty"),
+            self.graph().exit(),
+            "walk must end at exit"
+        );
+        let mut sums = Vec::new();
+        let mut r: u64 = 0;
+        for pair in walk.windows(2) {
+            let (u, w) = (pair[0], pair[1]);
+            let e = self
+                .graph()
+                .out_edges(u)
+                .iter()
+                .copied()
+                .find(|&e| self.graph().edge(e).1 == w && !self.is_backedge(e))
+                .or_else(|| {
+                    self.graph()
+                        .out_edges(u)
+                        .iter()
+                        .copied()
+                        .find(|&e| self.graph().edge(e).1 == w)
+                })
+                .unwrap_or_else(|| panic!("no edge {u} -> {w}"));
+            if self.is_backedge(e) {
+                let pv = self.pseudo_vals(e);
+                sums.push(r + pv.end);
+                r = pv.start;
+            } else {
+                r += self.val(e);
+            }
+        }
+        sums.push(r);
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PathGraph;
+
+    fn figure1() -> PathGraph {
+        let mut g = PathGraph::new(6, 0, 5);
+        g.add_edge(0, 2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(3, 5);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g
+    }
+
+    #[test]
+    fn figure1_regeneration_matches_paper_encoding() {
+        let l = figure1().label().unwrap();
+        // Paper Figure 1(b): ACDF=0 ACDEF=1 ABCDF=2 ABCDEF=3 ABDF=4 ABDEF=5
+        let expect: [&[NodeIdx]; 6] = [
+            &[0, 2, 3, 5],
+            &[0, 2, 3, 4, 5],
+            &[0, 1, 2, 3, 5],
+            &[0, 1, 2, 3, 4, 5],
+            &[0, 1, 3, 5],
+            &[0, 1, 3, 4, 5],
+        ];
+        for (sum, want) in expect.iter().enumerate() {
+            let p = l.regenerate(sum as u64);
+            assert_eq!(&p.nodes, want, "sum {sum}");
+            assert_eq!(p.kind, PathKind::EntryToExit);
+        }
+    }
+
+    #[test]
+    fn every_sum_regenerates_exactly_once() {
+        let l = figure1().label().unwrap();
+        let paths: Vec<DecodedPath> = l.iter_paths().collect();
+        assert_eq!(paths.len(), 6);
+        for (i, p) in paths.iter().enumerate() {
+            assert_eq!(p.sum, i as u64);
+        }
+        // All node sequences distinct.
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                assert_ne!(paths[i].nodes, paths[j].nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn loop_paths_have_correct_kinds() {
+        // entry(0) -> h(1); h -> body(2) | exit(3); body -> h backedge.
+        let mut g = PathGraph::new(4, 0, 3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        let be = g.add_edge(2, 1);
+        let l = g.label().unwrap();
+        let kinds: Vec<PathKind> = l.iter_paths().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PathKind::EntryToExit));
+        assert!(kinds.contains(&PathKind::EntryToBackedge { backedge: be }));
+        assert!(kinds.contains(&PathKind::BackedgeToBackedge { from: be, to: be }));
+        assert!(kinds.contains(&PathKind::BackedgeToExit { backedge: be }));
+    }
+
+    #[test]
+    fn backedge_started_paths_drop_virtual_entry() {
+        let mut g = PathGraph::new(4, 0, 3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        let _be = g.add_edge(2, 1);
+        let l = g.label().unwrap();
+        for p in l.iter_paths() {
+            match p.kind {
+                PathKind::BackedgeToExit { backedge } | PathKind::BackedgeToBackedge { from: backedge, .. } => {
+                    let (_, w) = l.graph().edge(backedge);
+                    assert_eq!(p.nodes[0], w, "path {p:?} must start at backedge target");
+                }
+                _ => assert_eq!(p.nodes[0], 0),
+            }
+        }
+    }
+
+    #[test]
+    fn walk_sums_simulate_instrumentation() {
+        // entry(0) -> h(1); h -> body(2) | exit(3); body -> h backedge.
+        let mut g = PathGraph::new(4, 0, 3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 1);
+        let l = g.label().unwrap();
+        // Two iterations: 0 1 2 1 2 1 3
+        let sums = l.walk_sums(&[0, 1, 2, 1, 2, 1, 3]);
+        assert_eq!(sums.len(), 3); // two backedge events + final count
+        // Each regenerates to a real path, and kinds chain correctly:
+        let p0 = l.regenerate(sums[0]);
+        let p1 = l.regenerate(sums[1]);
+        let p2 = l.regenerate(sums[2]);
+        assert!(matches!(p0.kind, PathKind::EntryToBackedge { .. }));
+        assert!(matches!(p1.kind, PathKind::BackedgeToBackedge { .. }));
+        assert!(matches!(p2.kind, PathKind::BackedgeToExit { .. }));
+        assert_eq!(p0.nodes, vec![0, 1, 2]);
+        assert_eq!(p1.nodes, vec![1, 2]);
+        assert_eq!(p2.nodes, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn regenerate_rejects_out_of_range_sum() {
+        let l = figure1().label().unwrap();
+        let _ = l.regenerate(6);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests of the Ball–Larus labelling: uniqueness and
+//! compactness of path sums, regeneration as the inverse of encoding, and
+//! equivalence of the optimized increment placement with the simple one —
+//! over randomly generated cyclic CFGs.
+
+use proptest::prelude::*;
+
+use pp_pathprof::{PathGraph, Placement, WeightSource};
+
+/// A generated graph description: `n` vertices with a connectivity chain
+/// `i -> i+1`, extra forward edges, and back/cross edges that create
+/// cycles (possibly irreducible ones).
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    n: u32,
+    forward: Vec<(u32, u32)>,
+    back: Vec<(u32, u32)>,
+}
+
+impl GraphSpec {
+    fn build(&self) -> PathGraph {
+        // Dedupe: parallel edges are supported (and unit-tested at the
+        // edge level), but they make node-sequence-based uniqueness
+        // checks ambiguous.
+        let mut forward = self.forward.clone();
+        forward.sort();
+        forward.dedup();
+        let mut back = self.back.clone();
+        back.sort();
+        back.dedup();
+        let mut g = PathGraph::new(self.n, 0, self.n - 1);
+        for i in 0..self.n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        for (u, v) in forward {
+            g.add_edge(u, v);
+        }
+        for (u, v) in back {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = GraphSpec> {
+    (3u32..11).prop_flat_map(|n| {
+        let forward = proptest::collection::vec(
+            (0..n - 1, 0..n).prop_filter_map("forward", move |(u, j)| {
+                // forward edge u -> v with v > u (not the chain edge itself)
+                let v = j % n;
+                (v > u + 1).then_some((u, v))
+            }),
+            0..6,
+        );
+        let back = proptest::collection::vec(
+            (1..n - 1, 0..n).prop_map(move |(u, j)| (u, j % (u + 1))),
+            0..4,
+        );
+        (Just(n), forward, back).prop_map(|(n, forward, back)| GraphSpec { n, forward, back })
+    })
+}
+
+/// A random walk from entry to exit through the original graph: take
+/// random successors for a bounded number of steps, then follow a
+/// shortest-path-to-exit policy so the walk terminates.
+fn random_walk(g: &PathGraph, mut seed: u64, wander: usize) -> Vec<u32> {
+    // BFS distances to exit over the original graph.
+    let n = g.num_nodes() as usize;
+    let mut dist = vec![u32::MAX; n];
+    dist[g.exit() as usize] = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n as u32 {
+            for &e in g.out_edges(v) {
+                let (_, t) = g.edge(e);
+                let cand = dist[t as usize].saturating_add(1);
+                if cand < dist[v as usize] {
+                    dist[v as usize] = cand;
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut walk = vec![g.entry()];
+    let mut v = g.entry();
+    let mut steps = 0usize;
+    while v != g.exit() {
+        let out = g.out_edges(v);
+        let next = if steps < wander {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = out[(seed >> 33) as usize % out.len()];
+            g.edge(e).1
+        } else {
+            // Head for the exit.
+            *out.iter()
+                .map(|&e| g.edge(e).1)
+                .collect::<Vec<_>>()
+                .iter()
+                .min_by_key(|&&t| dist[t as usize])
+                .expect("vertex has successors")
+        };
+        walk.push(next);
+        v = next;
+        steps += 1;
+    }
+    walk
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Path sums are compact and unique: regenerating each sum in
+    /// `0..num_paths` yields pairwise-distinct (nodes, kind) pairs.
+    #[test]
+    fn sums_are_unique_and_compact(spec in arb_graph()) {
+        let g = spec.build();
+        let l = g.label().expect("chain-connected graph must label");
+        prop_assume!(l.num_paths() <= 4096);
+        let mut seen = std::collections::HashSet::new();
+        for p in l.iter_paths() {
+            prop_assert!(
+                seen.insert((p.nodes.clone(), format!("{:?}", p.kind))),
+                "duplicate path {:?}", p
+            );
+        }
+        prop_assert_eq!(seen.len() as u64, l.num_paths());
+    }
+
+    /// Every instrumented walk produces in-range sums whose regenerated
+    /// paths are segments of the walk.
+    #[test]
+    fn walk_sums_regenerate_to_walk_segments(spec in arb_graph(), seed in any::<u64>()) {
+        let g = spec.build();
+        let l = g.label().expect("label");
+        prop_assume!(l.num_paths() <= 4096);
+        let walk = random_walk(&g, seed, 12);
+        let sums = l.walk_sums(&walk);
+        // Split the walk at backedges the same way instrumentation would.
+        let mut segments: Vec<Vec<u32>> = vec![vec![walk[0]]];
+        for pair in walk.windows(2) {
+            let (u, w) = (pair[0], pair[1]);
+            // Does a non-backedge edge u->w exist? walk_sums prefers it.
+            let non_backedge = g
+                .out_edges(u)
+                .iter()
+                .any(|&e| g.edge(e).1 == w && !l.is_backedge(e));
+            if non_backedge {
+                segments.last_mut().unwrap().push(w);
+            } else {
+                segments.push(vec![w]);
+            }
+        }
+        prop_assert_eq!(sums.len(), segments.len());
+        for (sum, seg) in sums.iter().zip(&segments) {
+            prop_assert!(*sum < l.num_paths(), "sum {} out of range", sum);
+            let p = l.regenerate(*sum);
+            prop_assert_eq!(&p.nodes, seg, "sum {}", sum);
+        }
+    }
+
+    /// The spanning-tree optimized placement counts exactly the same
+    /// paths as the simple Val-based placement, for every weight source.
+    #[test]
+    fn optimized_placement_is_equivalent(spec in arb_graph(), seed in any::<u64>()) {
+        let g = spec.build();
+        let l = g.label().expect("label");
+        prop_assume!(l.num_paths() <= 4096);
+        let simple = Placement::simple(&l);
+        let freqs: Vec<u64> = (0..g.num_edges() as u64).map(|e| (e * 7919) % 97).collect();
+        for ws in [WeightSource::Uniform, WeightSource::LoopHeuristic, WeightSource::Edges(&freqs)] {
+            let opt = Placement::optimized(&l, ws);
+            for k in 0..4u64 {
+                let walk = random_walk(&g, seed.wrapping_add(k), 10);
+                let a = simple.walk_counts(&l, &walk);
+                let b = opt.walk_counts(&l, &walk);
+                prop_assert_eq!(&a, &b, "weights {:?} walk {:?}", ws, walk);
+                prop_assert_eq!(&a, &l.walk_sums(&walk));
+            }
+        }
+    }
+
+    /// The optimization never instruments more edges than the simple
+    /// placement.
+    #[test]
+    fn optimized_never_worse(spec in arb_graph()) {
+        let g = spec.build();
+        let l = g.label().expect("label");
+        let simple = Placement::simple(&l);
+        let opt = Placement::optimized(&l, WeightSource::Uniform);
+        prop_assert!(opt.num_instrumented_edges() <= simple.num_instrumented_edges());
+    }
+}

@@ -1,0 +1,132 @@
+//! Code layout: simulated instruction addresses.
+//!
+//! Procedures are laid out sequentially from `code_base`, blocks in index
+//! order, 4 bytes per instruction (terminators count as one instruction).
+//! Instrumentation grows blocks, moving everything after them — which is
+//! exactly how binary editing perturbs instruction-cache behaviour
+//! ("EEL's layout of the edited code can introduce new branches",
+//! Section 3.2).
+
+use pp_ir::{BlockId, ProcId, Program};
+
+/// Per-instruction code size in bytes (SPARC-like fixed width).
+pub const INSTR_BYTES: u64 = 4;
+
+/// Simulated code addresses for every block of a program.
+#[derive(Clone, Debug)]
+pub struct CodeLayout {
+    proc_base: Vec<u64>,
+    /// `block_addr[proc][block]`.
+    block_addr: Vec<Vec<u64>>,
+    block_bytes: Vec<Vec<u64>>,
+    total_bytes: u64,
+    code_base: u64,
+}
+
+impl CodeLayout {
+    /// Lays out `program` starting at `code_base`.
+    pub fn new(program: &Program, code_base: u64) -> CodeLayout {
+        let mut proc_base = Vec::new();
+        let mut block_addr = Vec::new();
+        let mut block_bytes = Vec::new();
+        let mut cursor = code_base;
+        for (_, proc) in program.iter_procedures() {
+            proc_base.push(cursor);
+            let mut addrs = Vec::with_capacity(proc.blocks.len());
+            let mut sizes = Vec::with_capacity(proc.blocks.len());
+            for block in &proc.blocks {
+                let bytes = (block.instrs.len() as u64 + 1) * INSTR_BYTES;
+                addrs.push(cursor);
+                sizes.push(bytes);
+                cursor += bytes;
+            }
+            block_addr.push(addrs);
+            block_bytes.push(sizes);
+        }
+        CodeLayout {
+            proc_base,
+            block_addr,
+            block_bytes,
+            total_bytes: cursor - code_base,
+            code_base,
+        }
+    }
+
+    /// Base address of a procedure's code.
+    pub fn proc_base(&self, p: ProcId) -> u64 {
+        self.proc_base[p.index()]
+    }
+
+    /// Address of a block's first instruction.
+    pub fn block_addr(&self, p: ProcId, b: BlockId) -> u64 {
+        self.block_addr[p.index()][b.index()]
+    }
+
+    /// Code bytes occupied by a block (instructions + terminator).
+    pub fn block_bytes(&self, p: ProcId, b: BlockId) -> u64 {
+        self.block_bytes[p.index()][b.index()]
+    }
+
+    /// Total code bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The configured base address.
+    pub fn code_base(&self) -> u64 {
+        self.code_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_ir::build::ProgramBuilder;
+
+    #[test]
+    fn sequential_nonoverlapping_layout() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("a");
+        let e = f.entry_block();
+        let b2 = f.new_block();
+        let r = f.new_reg();
+        f.block(e).mov(r, 1i64).mov(r, 2i64).jump(b2);
+        f.block(b2).ret();
+        let a = f.finish();
+        let mut g = pb.procedure("b");
+        let e = g.entry_block();
+        g.block(e).nop().ret();
+        g.finish();
+        let prog = pb.finish(a);
+
+        let layout = CodeLayout::new(&prog, 0x10000);
+        assert_eq!(layout.block_addr(ProcId(0), BlockId(0)), 0x10000);
+        // Block 0: 2 movs + jump = 3 instrs = 12 bytes.
+        assert_eq!(layout.block_bytes(ProcId(0), BlockId(0)), 12);
+        assert_eq!(layout.block_addr(ProcId(0), BlockId(1)), 0x1000C);
+        // Block 1: ret only = 4 bytes. Proc b starts right after.
+        assert_eq!(layout.proc_base(ProcId(1)), 0x10010);
+        assert_eq!(layout.total_bytes(), 12 + 4 + 8);
+    }
+
+    #[test]
+    fn instrumentation_moves_later_code() {
+        let build = |extra_nops: usize| {
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.procedure("a");
+            let e = f.entry_block();
+            for _ in 0..extra_nops {
+                f.block(e).nop();
+            }
+            f.block(e).ret();
+            let a = f.finish();
+            let mut g = pb.procedure("b");
+            g.entry_block();
+            g.finish();
+            pb.finish(a)
+        };
+        let small = CodeLayout::new(&build(0), 0x10000);
+        let big = CodeLayout::new(&build(5), 0x10000);
+        assert!(big.proc_base(ProcId(1)) > small.proc_base(ProcId(1)));
+    }
+}

@@ -1,0 +1,1297 @@
+//! The interpreter and its cost model.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use pp_ir::prof::{CounterStorage, PathTable};
+use pp_ir::{
+    BlockId, CallTarget, HwEvent, Instr, Operand, ProcId, ProfOp, Program, Reg, Terminator,
+};
+
+use crate::cache::{AssocCache, DirectMappedCache};
+use crate::config::MachineConfig;
+use crate::layout::CodeLayout;
+use crate::metrics::HwMetrics;
+use crate::predict::{BranchPredictor, TargetPredictor};
+use crate::sink::ProfSink;
+use crate::Memory;
+
+/// A sampling configuration: interval in cycles plus the stack consumer.
+type Sampler<'s> = (u64, &'s mut dyn FnMut(&[ProcId]));
+
+/// Execution failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// Call depth exceeded [`MachineConfig::max_call_depth`].
+    StackOverflow {
+        /// Depth at which the overflow occurred.
+        depth: usize,
+    },
+    /// The micro-op budget ran out (runaway program).
+    InstructionLimit,
+    /// An indirect call's register did not hold a valid procedure index.
+    BadIndirectTarget {
+        /// The offending register value.
+        value: i64,
+    },
+    /// A longjmp used an invalid or stale token.
+    BadJumpToken {
+        /// The offending token value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::StackOverflow { depth } => write!(f, "call stack overflow at depth {depth}"),
+            ExecError::InstructionLimit => f.write_str("instruction limit exceeded"),
+            ExecError::BadIndirectTarget { value } => {
+                write!(f, "indirect call through invalid procedure index {value}")
+            }
+            ExecError::BadJumpToken { value } => write!(f, "longjmp with invalid token {value}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The outcome of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Ground-truth totals for all sixteen events.
+    pub metrics: HwMetrics,
+    /// Total micro-ops executed (equals `metrics[Insts]`).
+    pub uops: u64,
+    /// Resident simulated memory pages at exit.
+    pub resident_pages: usize,
+    /// Total code bytes after layout (instrumentation grows this).
+    pub code_bytes: u64,
+}
+
+impl RunResult {
+    /// Elapsed simulated cycles — the paper's "Time" columns.
+    pub fn cycles(&self) -> u64 {
+        self.metrics.get(HwEvent::Cycles)
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    proc: ProcId,
+    block: BlockId,
+    ip: usize,
+    regs: Vec<i64>,
+    fregs: Vec<f64>,
+    /// Register in the *caller* receiving this frame's `r0` on return.
+    ret_to: Option<Reg>,
+    /// Counter save area (host mirror of the frame's save slots).
+    saved_pics: (u32, u32),
+    /// Simulated address of the frame's profiling save area.
+    frame_addr: u64,
+}
+
+/// The simulated machine. Create one per run; [`Machine::run`] executes the
+/// program to completion.
+pub struct Machine<'p> {
+    program: &'p Program,
+    layout: CodeLayout,
+    config: MachineConfig,
+    mem: Memory,
+    dcache: DirectMappedCache,
+    icache: AssocCache,
+    l2: Option<AssocCache>,
+    bp: BranchPredictor,
+    tp: TargetPredictor,
+    pics: [u32; 2],
+    pcr: (HwEvent, HwEvent),
+    metrics: HwMetrics,
+    store_q: VecDeque<u64>,
+    last_retire: u64,
+    fp_busy: u64,
+    frames: Vec<Frame>,
+    setjmps: Vec<(usize, BlockId, usize)>,
+    uops: u64,
+    block_counts: HashMap<(ProcId, BlockId), u64>,
+}
+
+impl<'p> fmt::Debug for Machine<'p> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Machine(uops={}, depth={}, cycles={})",
+            self.uops,
+            self.frames.len(),
+            self.metrics.get(HwEvent::Cycles)
+        )
+    }
+}
+
+impl<'p> Machine<'p> {
+    /// Prepares a machine for `program` (lays out code, loads nothing yet —
+    /// data segments are loaded by [`Machine::run`]).
+    pub fn new(program: &'p Program, config: MachineConfig) -> Machine<'p> {
+        Machine {
+            program,
+            layout: CodeLayout::new(program, config.code_base),
+            config,
+            mem: Memory::new(),
+            dcache: DirectMappedCache::new(config.dcache_bytes, config.dcache_line),
+            icache: AssocCache::new(config.icache_bytes, config.icache_line, config.icache_ways),
+            l2: (config.l2_bytes > 0).then(|| {
+                AssocCache::new(config.l2_bytes, config.l2_line, config.l2_ways.max(1))
+            }),
+            bp: BranchPredictor::new(config.predictor_entries),
+            tp: TargetPredictor::new(config.predictor_entries / 4),
+            pics: [0, 0],
+            pcr: (HwEvent::Cycles, HwEvent::Insts),
+            metrics: HwMetrics::new(),
+            store_q: VecDeque::new(),
+            last_retire: 0,
+            fp_busy: 0,
+            frames: Vec::new(),
+            setjmps: Vec::new(),
+            uops: 0,
+            block_counts: HashMap::new(),
+        }
+    }
+
+    /// The code layout in effect.
+    pub fn layout(&self) -> &CodeLayout {
+        &self.layout
+    }
+
+    /// Current ground-truth metrics (useful mid-run from tests).
+    pub fn metrics(&self) -> &HwMetrics {
+        &self.metrics
+    }
+
+    /// The simulated memory (inspect program results after a run).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The architectural counter registers `(%pic0, %pic1)`.
+    pub fn pics(&self) -> (u32, u32) {
+        (self.pics[0], self.pics[1])
+    }
+
+    /// Per-block execution counts, populated when
+    /// [`MachineConfig::trace_blocks`] is set — the oracle that the
+    /// path-profile projection tests compare against.
+    pub fn block_counts(&self) -> &HashMap<(ProcId, BlockId), u64> {
+        &self.block_counts
+    }
+
+    fn trace_block(&mut self, proc: ProcId, block: BlockId) {
+        if self.config.trace_blocks {
+            *self.block_counts.entry((proc, block)).or_insert(0) += 1;
+        }
+    }
+
+    // ----- event plumbing -------------------------------------------------
+
+    #[inline]
+    fn count(&mut self, ev: HwEvent, n: u64) {
+        self.metrics.add(ev, n);
+        if self.pcr.0 == ev {
+            self.pics[0] = self.pics[0].wrapping_add(n as u32);
+        }
+        if self.pcr.1 == ev {
+            self.pics[1] = self.pics[1].wrapping_add(n as u32);
+        }
+    }
+
+    /// Advances time by `n` cycles.
+    #[inline]
+    fn tick(&mut self, n: u64) {
+        self.count(HwEvent::Cycles, n);
+    }
+
+    /// One completed micro-op: a cycle plus an instruction.
+    #[inline]
+    fn uop(&mut self) {
+        self.uops += 1;
+        self.count(HwEvent::Insts, 1);
+        self.tick(1);
+    }
+
+    fn uops_n(&mut self, n: u32) {
+        for _ in 0..n {
+            self.uop();
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.metrics.get(HwEvent::Cycles)
+    }
+
+    /// Charges the cost of an L1 miss: a flat penalty, or an L2 lookup
+    /// when the external cache is enabled.
+    fn l1_miss(&mut self, addr: u64) {
+        self.tick(self.config.dcache_miss_penalty);
+        if let Some(l2) = self.l2.as_mut() {
+            if !l2.access(addr) {
+                self.tick(self.config.l2_miss_penalty);
+            }
+        }
+    }
+
+    /// A data read through the cache (no architectural load of memory —
+    /// callers read [`Memory`] themselves).
+    fn dread(&mut self, addr: u64) {
+        self.count(HwEvent::Loads, 1);
+        self.count(HwEvent::DcRead, 1);
+        if !self.dcache.access(addr, true) {
+            self.count(HwEvent::DcReadMiss, 1);
+            self.count(HwEvent::DcMiss, 1);
+            self.l1_miss(addr);
+        }
+    }
+
+    /// A data write through the write-through, no-allocate cache and the
+    /// store buffer.
+    fn dwrite(&mut self, addr: u64) {
+        self.count(HwEvent::Stores, 1);
+        self.count(HwEvent::DcWrite, 1);
+        let hit = self.dcache.access(addr, false);
+        let mut drain = self.config.store_drain_interval;
+        if !hit {
+            self.count(HwEvent::DcWriteMiss, 1);
+            self.count(HwEvent::DcMiss, 1);
+            // Missing stores occupy the buffer longer (and miss the L2
+            // occasionally when it is enabled).
+            drain += self.config.store_drain_interval;
+            if let Some(l2) = self.l2.as_mut() {
+                if !l2.access(addr) {
+                    drain += self.config.l2_miss_penalty / 4;
+                }
+            }
+        }
+        let now = self.now();
+        while let Some(&front) = self.store_q.front() {
+            if front <= now {
+                self.store_q.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.store_q.len() >= self.config.store_buffer_depth {
+            let front = *self.store_q.front().expect("nonempty when full");
+            let stall = front - now;
+            self.tick(stall);
+            self.count(HwEvent::StoreBufStall, stall);
+            self.store_q.pop_front();
+        }
+        let retire = self.now().max(self.last_retire) + drain;
+        self.store_q.push_back(retire);
+        self.last_retire = retire;
+    }
+
+    fn fp_issue(&mut self, latency: u64) {
+        self.count(HwEvent::FpOps, 1);
+        let now = self.now();
+        if now < self.fp_busy {
+            let stall = self.fp_busy - now;
+            self.tick(stall);
+            self.count(HwEvent::FpStall, stall);
+        }
+        self.fp_busy = self.now() + latency;
+    }
+
+    fn ifetch_block(&mut self, proc: ProcId, block: BlockId) {
+        let addr = self.layout.block_addr(proc, block);
+        let bytes = self.layout.block_bytes(proc, block);
+        let line = self.config.icache_line;
+        let mut a = addr & !(line - 1);
+        while a < addr + bytes {
+            if !self.icache.access(a) {
+                self.count(HwEvent::IcMiss, 1);
+                self.tick(self.config.icache_miss_penalty);
+            }
+            a += line;
+        }
+    }
+
+    // ----- register and operand access ------------------------------------
+
+    #[inline]
+    fn reg(&self, r: Reg) -> i64 {
+        self.frames.last().expect("live frame").regs[r.index()]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: i64) {
+        self.frames.last_mut().expect("live frame").regs[r.index()] = v;
+    }
+
+    #[inline]
+    fn freg(&self, r: pp_ir::FReg) -> f64 {
+        self.frames.last().expect("live frame").fregs[r.index()]
+    }
+
+    #[inline]
+    fn set_freg(&mut self, r: pp_ir::FReg, v: f64) {
+        self.frames.last_mut().expect("live frame").fregs[r.index()] = v;
+    }
+
+    #[inline]
+    fn value(&self, op: Operand) -> i64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn frame_addr(&self) -> u64 {
+        self.frames.last().expect("live frame").frame_addr
+    }
+
+    fn push_frame(
+        &mut self,
+        proc: ProcId,
+        args: &[i64],
+        ret_to: Option<Reg>,
+    ) -> Result<(), ExecError> {
+        if self.frames.len() >= self.config.max_call_depth {
+            return Err(ExecError::StackOverflow {
+                depth: self.frames.len(),
+            });
+        }
+        let p = self.program.procedure(proc);
+        let mut regs = vec![0i64; p.num_regs as usize];
+        for (i, &a) in args.iter().enumerate() {
+            if i < regs.len() {
+                regs[i] = a;
+            }
+        }
+        let frame_addr =
+            self.config.stack_top - (self.frames.len() as u64 + 1) * self.config.frame_bytes;
+        self.frames.push(Frame {
+            proc,
+            block: BlockId(0),
+            ip: 0,
+            regs,
+            fregs: vec![0.0; p.num_fregs as usize],
+            ret_to,
+            saved_pics: (0, 0),
+            frame_addr,
+        });
+        self.trace_block(proc, BlockId(0));
+        self.ifetch_block(proc, BlockId(0));
+        Ok(())
+    }
+
+    // ----- the run loop ----------------------------------------------------
+
+    /// Executes the program to completion, delivering profiling events to
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(&mut self, sink: &mut dyn ProfSink) -> Result<RunResult, ExecError> {
+        self.run_inner(sink, None)
+    }
+
+    /// Like [`Machine::run`], but additionally interrupts the program
+    /// every `interval` cycles and hands the sampler the current call
+    /// stack (outermost first) — the process-sampling technique of
+    /// Goldberg and Hall that the paper's Section 7.2 compares against.
+    /// Walking an `n`-deep stack costs the sampled program `3n + 20`
+    /// cycles per sample (handler entry plus one frame-chain load per
+    /// activation).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn run_sampled(
+        &mut self,
+        sink: &mut dyn ProfSink,
+        interval: u64,
+        on_sample: &mut dyn FnMut(&[ProcId]),
+    ) -> Result<RunResult, ExecError> {
+        assert!(interval > 0, "sampling interval must be positive");
+        self.run_inner(sink, Some((interval, on_sample)))
+    }
+
+    fn run_inner(
+        &mut self,
+        sink: &mut dyn ProfSink,
+        mut sampler: Option<Sampler<'_>>,
+    ) -> Result<RunResult, ExecError> {
+        for seg in &self.program.data {
+            self.mem.write_bytes(seg.addr, &seg.bytes);
+        }
+        self.push_frame(self.program.entry(), &[], None)?;
+        let mut next_sample = sampler.as_ref().map(|(iv, _)| *iv).unwrap_or(u64::MAX);
+
+        while !self.frames.is_empty() {
+            if self.uops >= self.config.max_instructions {
+                return Err(ExecError::InstructionLimit);
+            }
+            if self.now() >= next_sample {
+                let (interval, on_sample) = sampler.as_mut().expect("sampling enabled");
+                let stack: Vec<ProcId> = self.frames.iter().map(|f| f.proc).collect();
+                on_sample(&stack);
+                next_sample = self.now() + *interval;
+                // The sample perturbs the program: handler entry plus a
+                // stack walk.
+                let cost = 20 + 3 * stack.len() as u64;
+                self.tick(cost);
+            }
+            let frame = self.frames.last().expect("loop guard");
+            let (proc, block, ip) = (frame.proc, frame.block, frame.ip);
+            let p = self.program.procedure(proc);
+            let b = &p.blocks[block.index()];
+            if ip < b.instrs.len() {
+                self.frames.last_mut().expect("live frame").ip += 1;
+                self.exec_instr(&b.instrs[ip], sink)?;
+            } else {
+                self.exec_term(proc, block, &b.term, sink);
+            }
+        }
+
+        Ok(RunResult {
+            metrics: self.metrics,
+            uops: self.uops,
+            resident_pages: self.mem.resident_pages(),
+            code_bytes: self.layout.total_bytes(),
+        })
+    }
+
+    fn exec_instr(&mut self, instr: &Instr, sink: &mut dyn ProfSink) -> Result<(), ExecError> {
+        match instr {
+            Instr::Mov { dst, src } => {
+                self.uop();
+                let v = self.value(*src);
+                self.set_reg(*dst, v);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                self.uop();
+                let x = self.reg(*a);
+                let y = self.value(*b);
+                use pp_ir::instr::BinOp::*;
+                let v = match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    Div => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_div(y)
+                        }
+                    }
+                    Rem => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_rem(y)
+                        }
+                    }
+                    And => x & y,
+                    Or => x | y,
+                    Xor => x ^ y,
+                    Shl => ((x as u64) << (y as u64 & 63)) as i64,
+                    Shr => ((x as u64) >> (y as u64 & 63)) as i64,
+                    CmpLt => i64::from(x < y),
+                    CmpLe => i64::from(x <= y),
+                    CmpEq => i64::from(x == y),
+                    CmpNe => i64::from(x != y),
+                };
+                self.set_reg(*dst, v);
+            }
+            Instr::Load { dst, base, offset } => {
+                self.uop();
+                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
+                self.dread(addr);
+                let v = self.mem.read_u64(addr) as i64;
+                self.set_reg(*dst, v);
+            }
+            Instr::Store { src, base, offset } => {
+                self.uop();
+                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
+                let v = self.value(*src);
+                self.dwrite(addr);
+                self.mem.write_u64(addr, v as u64);
+            }
+            Instr::FConst { dst, value } => {
+                self.uop();
+                self.set_freg(*dst, *value);
+            }
+            Instr::FBin { op, dst, a, b } => {
+                self.uop();
+                use pp_ir::instr::FBinOp::*;
+                let latency = match op {
+                    Div => self.config.fdiv_latency,
+                    _ => self.config.fp_latency,
+                };
+                self.fp_issue(latency);
+                let x = self.freg(*a);
+                let y = self.freg(*b);
+                let v = match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                };
+                self.set_freg(*dst, v);
+            }
+            Instr::FLoad { dst, base, offset } => {
+                self.uop();
+                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
+                self.dread(addr);
+                let v = self.mem.read_f64(addr);
+                self.set_freg(*dst, v);
+            }
+            Instr::FStore { src, base, offset } => {
+                self.uop();
+                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
+                let v = self.freg(*src);
+                self.dwrite(addr);
+                self.mem.write_f64(addr, v);
+            }
+            Instr::FToI { dst, src } => {
+                self.uop();
+                let v = self.freg(*src);
+                self.set_reg(*dst, v as i64);
+            }
+            Instr::IToF { dst, src } => {
+                self.uop();
+                let v = self.reg(*src);
+                self.set_freg(*dst, v as f64);
+            }
+            Instr::Call {
+                target,
+                args,
+                ret,
+                ..
+            } => {
+                self.uop();
+                self.count(HwEvent::Calls, 1);
+                let callee = match target {
+                    CallTarget::Direct(p) => *p,
+                    CallTarget::Indirect(r) => {
+                        let v = self.reg(*r);
+                        if v < 0 || v as usize >= self.program.procedures().len() {
+                            return Err(ExecError::BadIndirectTarget { value: v });
+                        }
+                        ProcId(v as u32)
+                    }
+                };
+                let argv: Vec<i64> = args.iter().map(|&a| self.value(a)).collect();
+                self.push_frame(callee, &argv, *ret)?;
+            }
+            Instr::SetPcr { pic0, pic1 } => {
+                self.uop();
+                self.pcr = (*pic0, *pic1);
+            }
+            Instr::RdPic { dst } => {
+                self.uop();
+                let v = ((self.pics[1] as u64) << 32) | self.pics[0] as u64;
+                self.set_reg(*dst, v as i64);
+            }
+            Instr::WrPic { src } => {
+                self.uop();
+                let v = self.value(*src) as u64;
+                self.pics = [v as u32, (v >> 32) as u32];
+            }
+            Instr::Setjmp { dst } => {
+                self.uop();
+                let frame = self.frames.last().expect("live frame");
+                let token = self.setjmps.len() as i64;
+                self.setjmps.push((self.frames.len(), frame.block, frame.ip));
+                self.set_reg(*dst, token);
+            }
+            Instr::Longjmp { token } => {
+                self.uop();
+                let v = self.reg(*token);
+                let &(depth, block, ip) = self
+                    .setjmps
+                    .get(usize::try_from(v).map_err(|_| ExecError::BadJumpToken { value: v })?)
+                    .ok_or(ExecError::BadJumpToken { value: v })?;
+                if depth > self.frames.len() {
+                    return Err(ExecError::BadJumpToken { value: v });
+                }
+                // Unwind costs a few cycles per frame popped.
+                let popped = self.frames.len() - depth;
+                self.uops_n(2 * popped as u32 + 2);
+                self.frames.truncate(depth);
+                sink.unwind(depth);
+                let f = self.frames.last_mut().expect("setjmp frame alive");
+                f.block = block;
+                f.ip = ip;
+            }
+            Instr::Prof(op) => self.exec_prof(*op, sink),
+            Instr::Nop => self.uop(),
+        }
+        Ok(())
+    }
+
+    fn exec_term(
+        &mut self,
+        proc: ProcId,
+        block: BlockId,
+        term: &Terminator,
+        _sink: &mut dyn ProfSink,
+    ) {
+        let site_key = self.layout.block_addr(proc, block);
+        match term {
+            Terminator::Jump(t) => {
+                self.uop();
+                self.goto(proc, *t);
+            }
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                self.uop();
+                self.count(HwEvent::Branches, 1);
+                let is_taken = self.reg(*cond) != 0;
+                if !self.bp.predict_and_update(site_key, is_taken) {
+                    self.count(HwEvent::BranchMispredict, 1);
+                    self.tick(self.config.mispredict_penalty);
+                }
+                let t = if is_taken { *taken } else { *not_taken };
+                self.goto(proc, t);
+            }
+            Terminator::Switch {
+                sel,
+                targets,
+                default,
+            } => {
+                self.uop();
+                self.count(HwEvent::Branches, 1);
+                let v = self.reg(*sel);
+                let t = if v >= 0 && (v as usize) < targets.len() {
+                    targets[v as usize]
+                } else {
+                    *default
+                };
+                if !self.tp.predict_and_update(site_key, t.0 as u64) {
+                    self.count(HwEvent::BranchMispredict, 1);
+                    self.tick(self.config.mispredict_penalty);
+                }
+                self.goto(proc, t);
+            }
+            Terminator::Ret => {
+                self.uop();
+                let frame = self.frames.pop().expect("live frame");
+                if let (Some(r), Some(_)) = (frame.ret_to, self.frames.last()) {
+                    let v = frame.regs.first().copied().unwrap_or(0);
+                    self.set_reg(r, v);
+                }
+                // Returning resumes the caller mid-block; its lines are
+                // usually resident, but model the fetch of the resume line.
+                if let Some(caller) = self.frames.last() {
+                    let addr = self.layout.block_addr(caller.proc, caller.block);
+                    if !self.icache.access(addr) {
+                        self.count(HwEvent::IcMiss, 1);
+                        self.tick(self.config.icache_miss_penalty);
+                    }
+                }
+            }
+        }
+    }
+
+    fn goto(&mut self, proc: ProcId, block: BlockId) {
+        {
+            let f = self.frames.last_mut().expect("live frame");
+            f.block = block;
+            f.ip = 0;
+        }
+        self.trace_block(proc, block);
+        self.ifetch_block(proc, block);
+    }
+
+    // ----- profiling ops ---------------------------------------------------
+
+    fn table_entry_addr(&self, table: PathTable, idx: u64, stride: u64) -> u64 {
+        match table.storage {
+            CounterStorage::Array => table.base + idx * stride,
+            CounterStorage::Hashed => table.base + (idx % 1024) * stride,
+        }
+    }
+
+    fn hashed_extra(&mut self, table: PathTable) {
+        if table.storage == CounterStorage::Hashed {
+            self.uops_n(4);
+        }
+    }
+
+    fn path_sum(&self, reg: Reg) -> u64 {
+        let v = self.reg(reg);
+        debug_assert!(v >= 0, "negative path sum {v}");
+        v as u64
+    }
+
+    fn exec_prof(&mut self, op: ProfOp, sink: &mut dyn ProfSink) {
+        // Accesses to %pic serialize the pipeline (the required
+        // read-after-write ordering of Section 3.1); charge a fixed
+        // synchronization cost per counter-touching sequence.
+        if op.uses_counters() {
+            self.tick(3);
+        }
+        match op {
+            ProfOp::Spill => {
+                self.uops_n(2);
+                let fa = self.frame_addr();
+                self.dwrite(fa + 24);
+                self.dread(fa + 24);
+            }
+            ProfOp::PicZero => {
+                self.uops_n(2);
+                self.pics = [0, 0];
+            }
+            ProfOp::PicSave => {
+                let pics = (self.pics[0], self.pics[1]);
+                self.uops_n(2);
+                let addr = self.frame_addr();
+                self.dwrite(addr);
+                self.frames.last_mut().expect("live frame").saved_pics = pics;
+            }
+            ProfOp::PicRestore => {
+                self.uops_n(3);
+                let addr = self.frame_addr();
+                self.dread(addr);
+                let saved = self.frames.last().expect("live frame").saved_pics;
+                self.pics = [saved.0, saved.1];
+            }
+            ProfOp::EdgeCount { table, index } => {
+                self.uops_n(3);
+                let addr = self.table_entry_addr(table, index as u64, 8);
+                self.dread(addr);
+                self.dwrite(addr);
+                sink.path_event(table, index as u64, None);
+            }
+            ProfOp::PathCount { table, reg } => {
+                let sum = self.path_sum(reg);
+                self.uops_n(3);
+                self.hashed_extra(table);
+                let addr = self.table_entry_addr(table, sum, 8);
+                self.dread(addr);
+                self.dwrite(addr);
+                sink.path_event(table, sum, None);
+            }
+            ProfOp::PathCountBackedge {
+                table,
+                reg,
+                end,
+                start,
+            } => {
+                let sum = (self.reg(reg).wrapping_add(end)) as u64;
+                self.uops_n(4);
+                self.hashed_extra(table);
+                let addr = self.table_entry_addr(table, sum, 8);
+                self.dread(addr);
+                self.dwrite(addr);
+                self.set_reg(reg, start);
+                sink.path_event(table, sum, None);
+            }
+            ProfOp::PathMetrics { table, reg } => {
+                // Capture the counters before the instrumentation's own
+                // micro-ops execute (the paper's read-at-end-of-path).
+                let pics = (self.pics[0], self.pics[1]);
+                let sum = self.path_sum(reg);
+                self.path_metrics_cost(table, sum);
+                sink.path_event(table, sum, Some(pics));
+            }
+            ProfOp::PathMetricsBackedge {
+                table,
+                reg,
+                end,
+                start,
+            } => {
+                let pics = (self.pics[0], self.pics[1]);
+                let sum = (self.reg(reg).wrapping_add(end)) as u64;
+                self.path_metrics_cost(table, sum);
+                // r = START and re-zero for the next path.
+                self.uops_n(3);
+                self.set_reg(reg, start);
+                self.pics = [0, 0];
+                sink.path_event(table, sum, Some(pics));
+            }
+            ProfOp::CctEnter { proc } => {
+                let t = sink.cct_enter(proc);
+                // Fast path: load slot, mask tag, compare, update lCRP,
+                // push old gCSP and current record.
+                self.uops_n(8 + t.extra_uops);
+                if t.slot_addr != 0 {
+                    self.dread(t.slot_addr);
+                }
+                let fa = self.frame_addr();
+                self.dwrite(fa + 8);
+                if t.slot_written && t.slot_addr != 0 {
+                    self.dwrite(t.slot_addr);
+                }
+                for k in 0..t.record_writes {
+                    self.dwrite(t.record_addr + 8 * k as u64);
+                }
+            }
+            ProfOp::CctCall { site, path_reg } => {
+                self.uops_n(2);
+                let prefix = path_reg.map(|r| self.path_sum(r));
+                sink.cct_call(site, prefix);
+            }
+            ProfOp::CctExit => {
+                self.uops_n(2);
+                let fa = self.frame_addr();
+                self.dread(fa + 8);
+                sink.cct_exit();
+            }
+            ProfOp::CctMetricEnter => {
+                let pics = (self.pics[0], self.pics[1]);
+                // Read both counters, extract halves, store the snapshot.
+                self.uops_n(4);
+                let fa = self.frame_addr();
+                self.dwrite(fa + 16);
+                sink.cct_metric_enter(pics);
+            }
+            ProfOp::CctMetricExit => {
+                let pics = (self.pics[0], self.pics[1]);
+                self.uops_n(10);
+                let fa = self.frame_addr();
+                self.dread(fa + 16);
+                let addr = sink.cct_metric_exit(pics);
+                if addr != 0 {
+                    self.dread(addr);
+                    self.dwrite(addr);
+                    self.dread(addr + 8);
+                    self.dwrite(addr + 8);
+                }
+            }
+            ProfOp::CctMetricTick => {
+                let pics = (self.pics[0], self.pics[1]);
+                self.uops_n(11);
+                let fa = self.frame_addr();
+                self.dread(fa + 16);
+                self.dwrite(fa + 16);
+                let addr = sink.cct_metric_tick(pics);
+                if addr != 0 {
+                    self.dread(addr);
+                    self.dwrite(addr);
+                    self.dread(addr + 8);
+                    self.dwrite(addr + 8);
+                }
+            }
+            ProfOp::CctPathCount { reg } => {
+                let sum = self.path_sum(reg);
+                self.uops_n(8);
+                let addr = sink.cct_path_event(sum, None);
+                if addr != 0 {
+                    self.dread(addr);
+                    self.dwrite(addr);
+                }
+            }
+            ProfOp::CctPathCountBackedge { reg, end, start } => {
+                let sum = (self.reg(reg).wrapping_add(end)) as u64;
+                self.uops_n(9);
+                let addr = sink.cct_path_event(sum, None);
+                if addr != 0 {
+                    self.dread(addr);
+                    self.dwrite(addr);
+                }
+                self.set_reg(reg, start);
+            }
+            ProfOp::CctPathMetrics { reg } => {
+                let pics = (self.pics[0], self.pics[1]);
+                let sum = self.path_sum(reg);
+                self.uops_n(15);
+                let addr = sink.cct_path_event(sum, Some(pics));
+                if addr != 0 {
+                    for k in 0..3 {
+                        self.dread(addr + 8 * k);
+                        self.dwrite(addr + 8 * k);
+                    }
+                }
+            }
+            ProfOp::CctPathMetricsBackedge { reg, end, start } => {
+                let pics = (self.pics[0], self.pics[1]);
+                let sum = (self.reg(reg).wrapping_add(end)) as u64;
+                self.uops_n(17);
+                let addr = sink.cct_path_event(sum, Some(pics));
+                if addr != 0 {
+                    for k in 0..3 {
+                        self.dread(addr + 8 * k);
+                        self.dwrite(addr + 8 * k);
+                    }
+                }
+                self.set_reg(reg, start);
+                self.pics = [0, 0];
+            }
+        }
+    }
+
+    /// The paper's "thirteen or more instructions": rdpic + extraction +
+    /// three load/add/store triples over the 24-byte entry.
+    fn path_metrics_cost(&mut self, table: PathTable, sum: u64) {
+        self.uops_n(7);
+        self.hashed_extra(table);
+        let addr = self.table_entry_addr(table, sum, 24);
+        for k in 0..3 {
+            self.dread(addr + 8 * k);
+            self.uop();
+            self.dwrite(addr + 8 * k);
+            self.uop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NullSink;
+    use pp_ir::build::ProgramBuilder;
+    use pp_ir::Operand;
+
+    fn run_program(prog: &Program) -> RunResult {
+        let mut m = Machine::new(prog, MachineConfig::default());
+        m.run(&mut NullSink).expect("run")
+    }
+
+    #[test]
+    fn arithmetic_and_result() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let r = f.new_reg();
+        let base = f.new_reg();
+        f.block(e)
+            .mov(r, 20i64)
+            .add(r, r, 22i64)
+            .mov(base, 0x1000i64)
+            .store(Operand::Reg(r), base, 0)
+            .ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.run(&mut NullSink).unwrap();
+        assert_eq!(m.memory().read_u64(0x1000), 42);
+    }
+
+    #[test]
+    fn loop_executes_expected_instructions() {
+        // for i in 0..10 { } : header br + body
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        f.block(e).mov(i, 0i64).jump(h);
+        f.block(h).cmp_lt(c, i, 10i64).branch(c, body, x);
+        f.block(body).add(i, i, 1i64).jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let res = run_program(&prog);
+        // mov + 11*(cmp+br) + 10*(add+jmp) + ret + entry jump
+        assert_eq!(res.metrics.get(HwEvent::Branches), 11);
+        assert_eq!(res.metrics.get(HwEvent::Insts), 1 + 1 + 22 + 20 + 1);
+    }
+
+    #[test]
+    fn call_and_return_value() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("double");
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let r = f.new_reg();
+        let base = f.new_reg();
+        f.block(e)
+            .call(callee, vec![Operand::Imm(21)], Some(r))
+            .mov(base, 0x2000i64)
+            .store(Operand::Reg(r), base, 0)
+            .ret();
+        let main = f.finish();
+        let mut g = pb.procedure_for(callee);
+        let e = g.entry_block();
+        g.reserve_regs(1);
+        g.block(e).add(Reg(0), Reg(0), Operand::Reg(Reg(0))).ret();
+        g.finish();
+        let prog = pb.finish(main);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        let res = m.run(&mut NullSink).unwrap();
+        assert_eq!(m.mem.read_u64(0x2000), 42);
+        assert_eq!(res.metrics.get(HwEvent::Calls), 1);
+    }
+
+    #[test]
+    fn indirect_call_through_table() {
+        let mut pb = ProgramBuilder::new();
+        let f1 = pb.declare("one");
+        let f2 = pb.declare("two");
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let base = f.new_reg();
+        let fp = f.new_reg();
+        let r = f.new_reg();
+        let out = f.new_reg();
+        f.block(e)
+            .mov(base, 0x3000i64)
+            .load(fp, base, 8) // second table entry -> "two"
+            .icall(fp, vec![], Some(r))
+            .mov(out, 0x4000i64)
+            .store(Operand::Reg(r), out, 0)
+            .ret();
+        let main = f.finish();
+        let mut p1 = pb.procedure_for(f1);
+        let e1 = p1.entry_block();
+        let r0 = Reg(0);
+        p1.reserve_regs(1);
+        p1.block(e1).mov(r0, 1i64).ret();
+        p1.finish();
+        let mut p2 = pb.procedure_for(f2);
+        let e2 = p2.entry_block();
+        p2.reserve_regs(1);
+        p2.block(e2).mov(r0, 2i64).ret();
+        p2.finish();
+        pb.data_words(0x3000, &[f1.0 as u64, f2.0 as u64]);
+        let prog = pb.finish(main);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.run(&mut NullSink).unwrap();
+        assert_eq!(m.mem.read_u64(0x4000), 2);
+    }
+
+    #[test]
+    fn bad_indirect_target_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let fp = f.new_reg();
+        f.block(e).mov(fp, 99i64).icall(fp, vec![], None).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        let err = m.run(&mut NullSink).unwrap_err();
+        assert_eq!(err, ExecError::BadIndirectTarget { value: 99 });
+    }
+
+    #[test]
+    fn infinite_recursion_overflows() {
+        let mut pb = ProgramBuilder::new();
+        let this = pb.declare("rec");
+        let mut f = pb.procedure_for(this);
+        let e = f.entry_block();
+        f.block(e).call(this, vec![], None).ret();
+        f.finish();
+        let prog = pb.finish(this);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        let err = m.run(&mut NullSink).unwrap_err();
+        assert!(matches!(err, ExecError::StackOverflow { .. }));
+    }
+
+    #[test]
+    fn cache_misses_counted_for_strided_walk() {
+        // Walk 64 KB with 8-byte loads: 16 KB cache can't hold it; every
+        // new 32-byte line misses => 64KB/32B = 2048 read misses on first
+        // pass.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        let a = f.new_reg();
+        let v = f.new_reg();
+        f.block(e).mov(i, 0i64).jump(h);
+        f.block(h).cmp_lt(c, i, 8192i64).branch(c, body, x);
+        f.block(body)
+            .mul(a, i, 8i64)
+            .add(a, a, 0x10_0000i64)
+            .load(v, a, 0)
+            .add(i, i, 1i64)
+            .jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let res = run_program(&prog);
+        assert_eq!(res.metrics.get(HwEvent::DcRead), 8192);
+        assert_eq!(res.metrics.get(HwEvent::DcReadMiss), 2048);
+    }
+
+    #[test]
+    fn conflicting_lines_thrash_direct_mapped_cache() {
+        // Alternate two addresses 16 KB apart: all conflict misses.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        let a = f.new_reg();
+        let v = f.new_reg();
+        f.block(e).mov(i, 0i64).jump(h);
+        f.block(h).cmp_lt(c, i, 100i64).branch(c, body, x);
+        f.block(body)
+            .mov(a, 0x10_0000i64)
+            .load(v, a, 0)
+            .mov(a, 0x10_4000i64) // +16 KB: same D-cache line index
+            .load(v, a, 0)
+            .add(i, i, 1i64)
+            .jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let res = run_program(&prog);
+        assert_eq!(res.metrics.get(HwEvent::DcReadMiss), 200);
+    }
+
+    #[test]
+    fn store_buffer_stalls_under_store_burst() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let base = f.new_reg();
+        let mut bb = f.block(e);
+        bb.mov(base, 0x8000i64);
+        for k in 0..64 {
+            bb.store(Operand::Imm(k), base, k * 8);
+        }
+        bb.ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let res = run_program(&prog);
+        assert!(res.metrics.get(HwEvent::StoreBufStall) > 0);
+        assert_eq!(res.metrics.get(HwEvent::Stores), 64);
+    }
+
+    #[test]
+    fn fp_stalls_on_dependent_chain() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let a = f.new_freg();
+        let b = f.new_freg();
+        let mut bb = f.block(e);
+        bb.fconst(a, 1.5).fconst(b, 2.5);
+        for _ in 0..10 {
+            bb.fbin(pp_ir::instr::FBinOp::Mul, a, a, b);
+        }
+        bb.ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let res = run_program(&prog);
+        assert!(res.metrics.get(HwEvent::FpStall) > 0);
+        assert_eq!(res.metrics.get(HwEvent::FpOps), 10);
+    }
+
+    #[test]
+    fn pics_follow_pcr_selection_and_wrap() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let r = f.new_reg();
+        let lo = f.new_reg();
+        let base = f.new_reg();
+        f.block(e)
+            .setpcr(HwEvent::Loads, HwEvent::Stores)
+            .wrpic(Operand::Imm(((u32::MAX as i64) << 32) | (u32::MAX as i64))) // both at 2^32-1
+            .mov(base, 0x9000i64)
+            .load(r, base, 0) // pic0 wraps to 0
+            .rdpic(lo)
+            .store(Operand::Reg(lo), base, 0)
+            .ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.run(&mut NullSink).unwrap();
+        let v = m.mem.read_u64(0x9000);
+        assert_eq!(v as u32, 0, "pic0 wrapped");
+        assert_eq!((v >> 32) as u32, u32::MAX, "pic1 untouched by the load");
+    }
+
+    #[test]
+    fn setjmp_longjmp_unwinds_frames() {
+        // main: setjmp; if first time call helper (which longjmps); else
+        // store marker and return.
+        let mut pb = ProgramBuilder::new();
+        let helper = pb.declare("helper");
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let after = f.new_block();
+        let thrown = f.new_block();
+        let call_block = f.new_block();
+        let tok = f.new_reg();
+        let flag = f.new_reg();
+        let base = f.new_reg();
+        f.block(e)
+            .mov(flag, 0i64)
+            .setjmp(tok)
+            .jump(after);
+        // after: if flag != 0, we came back via longjmp
+        f.block(after).branch(flag, thrown, call_block);
+        f.block(call_block)
+            .mov(flag, 1i64)
+            .call(helper, vec![Operand::Reg(tok)], None)
+            .ret(); // unreachable: helper longjmps
+        f.block(thrown)
+            .mov(base, 0xA000i64)
+            .store(Operand::Imm(7), base, 0)
+            .ret();
+        let main = f.finish();
+        let mut h = pb.procedure_for(helper);
+        let he = h.entry_block();
+        h.reserve_regs(1);
+        h.block(he).longjmp(Reg(0)).ret();
+        h.finish();
+        let prog = pb.finish(main);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.run(&mut NullSink).unwrap();
+        assert_eq!(m.mem.read_u64(0xA000), 7);
+    }
+
+    #[test]
+    fn instruction_limit_stops_runaway() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let spin = f.new_block();
+        f.block(e).jump(spin);
+        f.block(spin).nop().jump(spin);
+        // Unreachable ret to satisfy the verifier-style structure (the
+        // machine doesn't verify, but keep the CFG well-formed).
+        let x = f.new_block();
+        f.block(x).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let mut m = Machine::new(
+            &prog,
+            MachineConfig {
+                max_instructions: 10_000,
+                ..MachineConfig::default()
+            },
+        );
+        assert_eq!(m.run(&mut NullSink).unwrap_err(), ExecError::InstructionLimit);
+    }
+
+    #[test]
+    fn icache_misses_on_first_touch() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let mut bb = f.block(e);
+        for _ in 0..100 {
+            bb.nop();
+        }
+        bb.ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let res = run_program(&prog);
+        // 101 instructions * 4 bytes = 404 bytes ≈ 13 lines, all cold.
+        let misses = res.metrics.get(HwEvent::IcMiss);
+        assert!((12..=14).contains(&misses), "misses = {misses}");
+    }
+}

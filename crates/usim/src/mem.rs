@@ -1,0 +1,158 @@
+//! Sparse simulated memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse, demand-paged 64-bit byte-addressed memory. Unwritten bytes
+/// read as zero.
+#[derive(Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Memory({} pages)", self.pages.len())
+    }
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte (allocating the page on demand).
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Reads a little-endian `u64` (page crossings handled).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + 8 <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
+                None => 0,
+            }
+        } else {
+            let mut bytes = [0u8; 8];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u64));
+            }
+            u64::from_le_bytes(bytes)
+        }
+    }
+
+    /// Writes a little-endian `u64` (page crossings handled).
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        let off = (addr & PAGE_MASK) as usize;
+        let bytes = val.to_le_bytes();
+        if off + 8 <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + 8].copy_from_slice(&bytes);
+        } else {
+            for (i, b) in bytes.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u64), *b);
+            }
+        }
+    }
+
+    /// Reads an `f64` stored by [`Memory::write_f64`].
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` as its bit pattern.
+    pub fn write_f64(&mut self, addr: u64, val: f64) {
+        self.write_u64(addr, val.to_bits());
+    }
+
+    /// Copies a byte slice into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Number of resident pages (each 4 KB).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0xdead_beef), 0);
+        assert_eq!(m.read_u64(0x1234_5678), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip_aligned() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u64(0x1000), 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u8(0x1000), 0x08); // little endian
+        assert_eq!(m.read_u8(0x1007), 0x01);
+    }
+
+    #[test]
+    fn u64_roundtrip_page_crossing() {
+        let mut m = Memory::new();
+        let addr = 0x1FFC; // crosses the 0x1000..0x2000 page boundary
+        m.write_u64(addr, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.read_u64(addr), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = Memory::new();
+        m.write_f64(0x2000, -1234.5e-6);
+        assert_eq!(m.read_f64(0x2000), -1234.5e-6);
+        let nan_bits = f64::NAN.to_bits();
+        m.write_f64(0x2008, f64::NAN);
+        assert_eq!(m.read_u64(0x2008), nan_bits);
+    }
+
+    #[test]
+    fn write_bytes_bulk() {
+        let mut m = Memory::new();
+        m.write_bytes(0x3000, &[1, 2, 3, 4]);
+        assert_eq!(m.read_u8(0x3000), 1);
+        assert_eq!(m.read_u8(0x3003), 4);
+        assert_eq!(m.read_u8(0x3004), 0);
+    }
+
+    #[test]
+    fn overwrite_is_last_writer_wins() {
+        let mut m = Memory::new();
+        m.write_u64(0x4000, u64::MAX);
+        m.write_u8(0x4000, 0);
+        assert_eq!(m.read_u64(0x4000), u64::MAX - 0xFF);
+    }
+}

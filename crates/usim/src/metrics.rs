@@ -1,0 +1,127 @@
+//! The 16-event metric vector.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use pp_ir::HwEvent;
+
+/// Full-width (64-bit) totals for every [`HwEvent`], maintained by the
+/// machine alongside the two architectural 32-bit counters. This is the
+/// "ground truth" an uninstrumented measurement reads — the paper obtained
+/// it by sampling the counters every six seconds to avoid wrap.
+///
+/// ```
+/// use pp_ir::HwEvent;
+/// use pp_usim::HwMetrics;
+///
+/// let mut m = HwMetrics::new();
+/// m.add(HwEvent::DcReadMiss, 3);
+/// m.add(HwEvent::DcWriteMiss, 2);
+/// m.add(HwEvent::DcMiss, 5);
+/// assert_eq!(m.dc_misses(), 5);
+/// assert_eq!(m[HwEvent::DcReadMiss], 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct HwMetrics {
+    counts: [u64; 16],
+}
+
+impl HwMetrics {
+    /// All-zero metrics.
+    pub fn new() -> HwMetrics {
+        HwMetrics::default()
+    }
+
+    /// The total for one event.
+    #[inline]
+    pub fn get(&self, ev: HwEvent) -> u64 {
+        self.counts[ev.selector()]
+    }
+
+    /// Adds `n` to one event.
+    #[inline]
+    pub fn add(&mut self, ev: HwEvent, n: u64) {
+        self.counts[ev.selector()] += n;
+    }
+
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &HwMetrics) -> HwMetrics {
+        let mut out = HwMetrics::new();
+        for i in 0..16 {
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out
+    }
+
+    /// Iterates `(event, count)` pairs in selector order.
+    pub fn iter(&self) -> impl Iterator<Item = (HwEvent, u64)> + '_ {
+        HwEvent::ALL.iter().map(move |&ev| (ev, self.get(ev)))
+    }
+
+    /// Total L1 data cache misses (read + write).
+    pub fn dc_misses(&self) -> u64 {
+        self.get(HwEvent::DcMiss)
+    }
+}
+
+impl Index<HwEvent> for HwMetrics {
+    type Output = u64;
+
+    fn index(&self, ev: HwEvent) -> &u64 {
+        &self.counts[ev.selector()]
+    }
+}
+
+impl IndexMut<HwEvent> for HwMetrics {
+    fn index_mut(&mut self, ev: HwEvent) -> &mut u64 {
+        &mut self.counts[ev.selector()]
+    }
+}
+
+impl fmt::Display for HwMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (ev, n)) in self.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{ev:>12}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_index() {
+        let mut m = HwMetrics::new();
+        m.add(HwEvent::Cycles, 10);
+        m[HwEvent::Cycles] += 5;
+        assert_eq!(m.get(HwEvent::Cycles), 15);
+        assert_eq!(m[HwEvent::Insts], 0);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let mut a = HwMetrics::new();
+        let mut b = HwMetrics::new();
+        a.add(HwEvent::Loads, 3);
+        b.add(HwEvent::Loads, 10);
+        b.add(HwEvent::Stores, 2);
+        let d = b.since(&a);
+        assert_eq!(d.get(HwEvent::Loads), 7);
+        assert_eq!(d.get(HwEvent::Stores), 2);
+        let z = a.since(&b);
+        assert_eq!(z.get(HwEvent::Loads), 0);
+    }
+
+    #[test]
+    fn display_lists_all_events() {
+        let m = HwMetrics::new();
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 16);
+        assert!(s.contains("dc_miss"));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # pp-workloads — synthetic SPEC95-analog benchmarks
+//!
+//! The paper evaluates on SPEC95 with the `ref` inputs on a 167 MHz
+//! UltraSPARC. Neither the binaries nor the machine are available here, so
+//! this crate generates *structural analogs*: deterministic `pp-ir`
+//! programs whose shapes expose the same phenomena the paper measures —
+//!
+//! * **CINT analogs** are branchy and call-heavy: many procedures, biased
+//!   multi-way control flow inside loops, indirect calls, recursion. They
+//!   make instrumentation expensive (Table 1's 2–4x overheads) and spread
+//!   execution over many Ball–Larus paths (the go/gcc "many lukewarm
+//!   paths" effect when branch bias is weak).
+//! * **CFP analogs** are loop-dominated with long bodies and floating
+//!   point work: few procedures, few branches, strided array accesses.
+//!   Instrumentation is amortized over long paths (Table 1's 1.1–1.9x).
+//! * **Miss concentration** comes from kernels whose *hot arm* walks a
+//!   large array with a cache-hostile stride (dense paths) or thrashes a
+//!   16 KB-conflicting pair of arrays, while rare arms touch cached data —
+//!   so a handful of paths carries most L1 misses (Tables 4–5).
+//!
+//! Everything is seeded ([`WorkloadSpec::seed`]); the same spec always
+//! generates the same program, and in-program "randomness" is an LCG
+//! computed in IR registers, so runs are bit-for-bit reproducible.
+//!
+//! ```
+//! let suite = pp_workloads::suite(0.1); // 10% of standard size
+//! assert_eq!(suite.len(), 18);
+//! let go = &suite[0];
+//! assert_eq!(go.name, "099.go");
+//! assert!(go.cint);
+//! pp_ir::verify::verify_program(&go.program).unwrap();
+//! ```
+
+mod gen;
+pub mod random;
+mod spec;
+mod suite;
+
+pub use gen::build;
+pub use random::{random_program, RandomSpec};
+pub use spec::WorkloadSpec;
+pub use suite::{spec_for, suite, Workload, SUITE_NAMES};

@@ -1,0 +1,188 @@
+//! Random structured programs — fuzzing fuel for the whole stack.
+//!
+//! [`random_program`] generates a terminating-by-construction program
+//! from a seed: a DAG of procedures whose bodies are random nests of
+//! counted loops, biased branches, arithmetic, memory traffic and calls.
+//! Unlike the named suite, these make no attempt to resemble SPEC95;
+//! they exist to shake out corner cases in the instrumenter, the machine
+//! and the analyses (see `tests/oracle.rs` and the parser round-trip
+//! tests).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pp_ir::build::{ProcBuilder, ProgramBuilder};
+use pp_ir::instr::BinOp;
+use pp_ir::{BlockId, Operand, ProcId, Program, Reg};
+
+/// Tunables for [`random_program`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomSpec {
+    /// Number of procedures (calls go strictly downward, so the call
+    /// graph is a DAG and termination is structural).
+    pub num_procs: u32,
+    /// Maximum nesting depth of loops/branches per procedure.
+    pub max_depth: u32,
+    /// Statements per block of structure.
+    pub max_stmts: u32,
+    /// Maximum trip count of generated loops.
+    pub max_trip: u32,
+}
+
+impl Default for RandomSpec {
+    fn default() -> RandomSpec {
+        RandomSpec {
+            num_procs: 3,
+            max_depth: 3,
+            max_stmts: 4,
+            max_trip: 4,
+        }
+    }
+}
+
+/// Registers and callee pool shared by one procedure's emission.
+struct EmitCtx<'a> {
+    lcg: Reg,
+    tmp: Reg,
+    addr: Reg,
+    callees: &'a [ProcId],
+}
+
+fn emit_body(
+    f: &mut ProcBuilder<'_>,
+    rng: &mut StdRng,
+    spec: &RandomSpec,
+    depth: u32,
+    mut cur: BlockId,
+    ctx: &EmitCtx<'_>,
+) -> BlockId {
+    let (lcg, tmp, addr, callees) = (ctx.lcg, ctx.tmp, ctx.addr, ctx.callees);
+    let n = rng.gen_range(1..=spec.max_stmts);
+    for _ in 0..n {
+        match rng.gen_range(0..6u32) {
+            // Arithmetic work.
+            0 | 1 => {
+                let k = rng.gen_range(1..4);
+                for j in 0..k {
+                    f.block(cur).add(tmp, tmp, j as i64 + 1);
+                }
+            }
+            // Memory traffic in a private scratch region.
+            2 => {
+                let base = 0x0800_0000i64 + rng.gen_range(0..4i64) * 0x1_0000;
+                f.block(cur)
+                    .bin(BinOp::And, addr, tmp, 1023i64)
+                    .mul(addr, addr, 8i64)
+                    .add(addr, addr, base)
+                    .store(Operand::Reg(tmp), addr, 0)
+                    .load(tmp, addr, 0);
+            }
+            // A call to a later procedure (if any).
+            3
+                if !callees.is_empty() => {
+                    let callee = callees[rng.gen_range(0..callees.len())];
+                    f.block(cur).call(callee, vec![Operand::Reg(tmp)], Some(tmp));
+                }
+            // A biased branch.
+            4 if depth < spec.max_depth => {
+                let bias = rng.gen_range(0..=100i64);
+                let then_b = f.new_block();
+                let else_b = f.new_block();
+                let join = f.new_block();
+                f.block(cur)
+                    .mul(lcg, lcg, 6364136223846793005i64)
+                    .add(lcg, lcg, 1442695040888963407i64)
+                    .bin(BinOp::Shr, tmp, lcg, 33i64)
+                    .bin(BinOp::Rem, tmp, tmp, 100i64)
+                    .cmp_lt(tmp, tmp, bias)
+                    .branch(tmp, then_b, else_b);
+                let after_then = emit_body(f, rng, spec, depth + 1, then_b, ctx);
+                let after_else = emit_body(f, rng, spec, depth + 1, else_b, ctx);
+                f.block(after_then).jump(join);
+                f.block(after_else).jump(join);
+                cur = join;
+            }
+            // A counted loop.
+            _ if depth < spec.max_depth => {
+                let trip = rng.gen_range(1..=spec.max_trip) as i64;
+                let i = f.new_reg();
+                let c = f.new_reg();
+                let header = f.new_block();
+                let body = f.new_block();
+                let exit = f.new_block();
+                f.block(cur).mov(i, 0i64).jump(header);
+                f.block(header).cmp_lt(c, i, trip).branch(c, body, exit);
+                let after = emit_body(f, rng, spec, depth + 1, body, ctx);
+                f.block(after).add(i, i, 1i64).jump(header);
+                cur = exit;
+            }
+            _ => {
+                f.block(cur).nop();
+            }
+        }
+    }
+    cur
+}
+
+/// Generates a random, verifying, terminating program. Deterministic in
+/// `(seed, spec)`.
+pub fn random_program(seed: u64, spec: &RandomSpec) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pb = ProgramBuilder::new();
+    let ids: Vec<ProcId> = (0..spec.num_procs.max(1))
+        .map(|i| pb.declare(&format!("r{i}")))
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let mut f = pb.procedure_for(id);
+        let entry = f.entry_block();
+        f.reserve_regs(1); // argument register
+        let lcg = f.new_reg();
+        let tmp = f.new_reg();
+        let addr = f.new_reg();
+        f.block(entry)
+            .mov(lcg, (seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9)) as i64 | 1)
+            .mov(tmp, 0i64);
+        let ctx = EmitCtx {
+            lcg,
+            tmp,
+            addr,
+            callees: &ids[i + 1..],
+        };
+        let last = emit_body(&mut f, &mut rng, spec, 0, entry, &ctx);
+        f.block(last).mov(Reg(0), Operand::Reg(tmp)).ret();
+        f.finish();
+    }
+    let program = pb.finish(ids[0]);
+    debug_assert!(pp_ir::verify::verify_program(&program).is_ok());
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_programs_verify() {
+        for seed in 0..40 {
+            let p = random_program(seed, &RandomSpec::default());
+            pp_ir::verify::verify_program(&p)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = RandomSpec::default();
+        assert_eq!(random_program(7, &spec), random_program(7, &spec));
+        assert_ne!(random_program(7, &spec), random_program(8, &spec));
+    }
+
+    #[test]
+    fn respects_proc_count() {
+        let spec = RandomSpec {
+            num_procs: 5,
+            ..RandomSpec::default()
+        };
+        assert_eq!(random_program(1, &spec).procedures().len(), 5);
+    }
+}

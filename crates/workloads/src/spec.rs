@@ -1,0 +1,128 @@
+//! Workload parameterization.
+
+/// Structural parameters of one synthetic benchmark.
+///
+/// The generated program is a three-level call tree — `main` calls
+/// *drivers*, drivers loop over *mids*, mids loop calling *kernels* — plus
+/// optional recursive and non-local-return side chains. Kernels do the
+/// actual work: loops of `diamonds` biased branches whose hot arms perform
+/// the configured memory traffic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WorkloadSpec {
+    /// Display name (e.g. "099.go").
+    pub name: String,
+    /// Integer-suite analog (affects only reporting groups).
+    pub cint: bool,
+    /// Generator seed (structure randomness) and in-program LCG seed.
+    pub seed: u64,
+    /// Number of kernel procedures.
+    pub num_kernels: u32,
+    /// Number of mid-level procedures (split evenly across
+    /// [`WorkloadSpec::mid_layers`] layers).
+    pub num_mids: u32,
+    /// Call-tree depth between drivers and kernels: layer `i` mids call
+    /// layer `i+1` mids; the last layer calls kernels (through wrappers
+    /// when [`WorkloadSpec::wrappers`] is set).
+    pub mid_layers: u32,
+    /// Insert a straight-line wrapper procedure in front of every kernel:
+    /// wrappers have exactly one call site reached by exactly one path,
+    /// feeding Table 3's "One Path" column.
+    pub wrappers: bool,
+    /// Number of driver procedures (each called once from `main`).
+    pub num_drivers: u32,
+    /// Iterations of each driver's loop over its mids.
+    pub outer_iters: u64,
+    /// Iterations of each mid's loop over its kernels.
+    pub inner_iters: u64,
+    /// Iterations of each kernel's hot loop.
+    pub kernel_iters: u64,
+    /// Kernels called per mid loop iteration.
+    pub fanout: u32,
+    /// Probability (percent) that a diamond takes its hot arm.
+    pub hot_bias: u32,
+    /// Biased branches per kernel loop body (paths per iteration is
+    /// `2^diamonds`).
+    pub diamonds: u32,
+    /// Bytes of the per-kernel array the hot arms walk.
+    pub array_bytes: u64,
+    /// Stride in bytes of the hot-arm walk.
+    pub stride: u64,
+    /// Give each kernel a second array 16 KB-aligned with the first, so
+    /// the hot arm's paired accesses conflict in a direct-mapped 16 KB
+    /// cache.
+    pub conflict: bool,
+    /// How many kernels do floating point work instead of integer work.
+    pub fp_kernels: u32,
+    /// Percentage of mid->kernel call sites made indirect (through a
+    /// function-pointer table).
+    pub indirect_pct: u32,
+    /// Depth of the self-recursive side chain (0 disables it).
+    pub recursion_depth: u32,
+    /// Exercise setjmp/longjmp through a helper chain (perl analog).
+    pub setjmp: bool,
+    /// Extra straight-line work units in each hot arm (CFP analogs use
+    /// large values: long loop bodies amortize instrumentation, which is
+    /// why the paper's CFP overheads are 1.1-1.9x vs 1.9-4.4x for CINT).
+    pub hot_work: u32,
+}
+
+impl WorkloadSpec {
+    /// A small, fast default: one driver, two mids, four integer kernels.
+    pub fn small(name: &str) -> WorkloadSpec {
+        WorkloadSpec {
+            name: name.to_string(),
+            cint: true,
+            seed: 0x5EED,
+            num_kernels: 4,
+            num_mids: 2,
+            mid_layers: 1,
+            wrappers: true,
+            num_drivers: 1,
+            outer_iters: 2,
+            inner_iters: 2,
+            kernel_iters: 32,
+            fanout: 2,
+            hot_bias: 90,
+            diamonds: 2,
+            array_bytes: 64 * 1024,
+            stride: 64,
+            conflict: false,
+            fp_kernels: 0,
+            indirect_pct: 0,
+            recursion_depth: 0,
+            setjmp: false,
+            hot_work: 0,
+        }
+    }
+
+    /// Scales the dynamic size (kernel iterations, with a floor of 8).
+    pub fn scaled(mut self, factor: f64) -> WorkloadSpec {
+        self.kernel_iters = ((self.kernel_iters as f64 * factor) as u64).max(8);
+        self
+    }
+
+    /// Approximate total kernel invocations (for sizing sanity checks).
+    pub fn kernel_invocations(&self) -> u64 {
+        self.num_drivers as u64 * self.outer_iters * self.inner_iters * self.fanout as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_spec_is_consistent() {
+        let s = WorkloadSpec::small("t");
+        assert_eq!(s.name, "t");
+        assert!(s.kernel_invocations() > 0);
+    }
+
+    #[test]
+    fn scaling_floors_at_eight() {
+        let s = WorkloadSpec::small("t").scaled(0.0001);
+        assert_eq!(s.kernel_iters, 8);
+        let s = WorkloadSpec::small("t").scaled(10.0);
+        assert_eq!(s.kernel_iters, 320);
+    }
+}

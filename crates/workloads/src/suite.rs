@@ -1,0 +1,432 @@
+//! The named SPEC95-analog suite.
+
+use pp_ir::Program;
+
+use crate::gen::build;
+use crate::spec::WorkloadSpec;
+
+/// The eighteen benchmark names, CINT95 analogs first — matching the rows
+/// of the paper's tables.
+pub const SUITE_NAMES: [&str; 18] = [
+    "099.go",
+    "124.m88ksim",
+    "126.gcc",
+    "129.compress",
+    "130.li",
+    "132.ijpeg",
+    "134.perl",
+    "147.vortex",
+    "101.tomcatv",
+    "102.swim",
+    "103.su2cor",
+    "104.hydro2d",
+    "107.mgrid",
+    "110.applu",
+    "125.turb3d",
+    "141.apsi",
+    "145.fpppp",
+    "146.wave5",
+];
+
+/// A generated benchmark.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name.
+    pub name: String,
+    /// CINT95 analog?
+    pub cint: bool,
+    /// The program.
+    pub program: Program,
+}
+
+fn base(name: &str, cint: bool, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        cint,
+        seed,
+        ..WorkloadSpec::small(name)
+    }
+}
+
+/// The structural parameters of each analog. Scale multiplies kernel
+/// iteration counts; 1.0 is the "standard" size used by the benches.
+pub fn spec_for(name: &str) -> Option<WorkloadSpec> {
+    let s = match name {
+        // --- CINT95 analogs -------------------------------------------------
+        // go: enormous branchy evaluation functions, weak biases => an
+        // order of magnitude more executed paths, diffuse misses.
+        "099.go" => WorkloadSpec {
+            num_kernels: 36,
+            num_mids: 10,
+            mid_layers: 2,
+            num_drivers: 3,
+            outer_iters: 4,
+            inner_iters: 5,
+            fanout: 4,
+            kernel_iters: 4,
+            hot_bias: 60,
+            diamonds: 4,
+            array_bytes: 256 * 1024,
+            stride: 72,
+            indirect_pct: 10,
+            recursion_depth: 10,
+            ..base(name, true, 0x6099)
+        },
+        // m88ksim: simulator dispatch loop, strong biases.
+        "124.m88ksim" => WorkloadSpec {
+            num_kernels: 10,
+            num_mids: 6,
+            mid_layers: 2,
+            num_drivers: 2,
+            outer_iters: 8,
+            inner_iters: 4,
+            fanout: 3,
+            kernel_iters: 4,
+            hot_bias: 92,
+            diamonds: 2,
+            array_bytes: 96 * 1024,
+            stride: 40,
+            indirect_pct: 20,
+            ..base(name, true, 0x6124)
+        },
+        // gcc: many procedures, weak biases, irregular pointer traffic.
+        "126.gcc" => WorkloadSpec {
+            num_kernels: 44,
+            num_mids: 12,
+            mid_layers: 2,
+            num_drivers: 4,
+            outer_iters: 4,
+            inner_iters: 4,
+            fanout: 4,
+            kernel_iters: 4,
+            hot_bias: 65,
+            diamonds: 4,
+            array_bytes: 128 * 1024,
+            stride: 88,
+            indirect_pct: 25,
+            recursion_depth: 8,
+            ..base(name, true, 0x6126)
+        },
+        // compress: a couple of tight kernels over a big table.
+        "129.compress" => WorkloadSpec {
+            num_kernels: 3,
+            num_mids: 2,
+            num_drivers: 1,
+            outer_iters: 12,
+            inner_iters: 12,
+            fanout: 2,
+            kernel_iters: 12,
+            hot_bias: 95,
+            diamonds: 2,
+            array_bytes: 512 * 1024,
+            stride: 32,
+            ..base(name, true, 0x6129)
+        },
+        // li: lisp interpreter — deep recursion, moderate bias.
+        "130.li" => WorkloadSpec {
+            num_kernels: 8,
+            num_mids: 6,
+            mid_layers: 2,
+            num_drivers: 2,
+            outer_iters: 8,
+            inner_iters: 4,
+            fanout: 3,
+            kernel_iters: 4,
+            hot_bias: 88,
+            diamonds: 2,
+            array_bytes: 64 * 1024,
+            stride: 24,
+            indirect_pct: 30,
+            recursion_depth: 40,
+            ..base(name, true, 0x6130)
+        },
+        // ijpeg: image kernels, predictable, strided.
+        "132.ijpeg" => WorkloadSpec {
+            num_kernels: 9,
+            num_mids: 3,
+            num_drivers: 1,
+            outer_iters: 14,
+            inner_iters: 10,
+            fanout: 3,
+            kernel_iters: 7,
+            hot_bias: 93,
+            diamonds: 2,
+            array_bytes: 192 * 1024,
+            stride: 24,
+            ..base(name, true, 0x6132)
+        },
+        // perl: interpreter with indirect dispatch and non-local exits.
+        "134.perl" => WorkloadSpec {
+            num_kernels: 12,
+            num_mids: 6,
+            mid_layers: 2,
+            num_drivers: 2,
+            outer_iters: 7,
+            inner_iters: 4,
+            fanout: 3,
+            kernel_iters: 4,
+            hot_bias: 85,
+            diamonds: 3,
+            array_bytes: 96 * 1024,
+            stride: 48,
+            indirect_pct: 40,
+            recursion_depth: 16,
+            setjmp: true,
+            ..base(name, true, 0x6134)
+        },
+        // vortex: OO database — the deep, wide call tree (largest CCT).
+        "147.vortex" => WorkloadSpec {
+            num_kernels: 28,
+            num_mids: 15,
+            mid_layers: 3,
+            num_drivers: 4,
+            outer_iters: 4,
+            inner_iters: 2,
+            fanout: 5,
+            kernel_iters: 3,
+            hot_bias: 90,
+            diamonds: 2,
+            array_bytes: 128 * 1024,
+            stride: 56,
+            indirect_pct: 15,
+            recursion_depth: 6,
+            ..base(name, true, 0x6147)
+        },
+
+        // --- CFP95 analogs --------------------------------------------------
+        // tomcatv: a single mesh kernel with conflicting arrays.
+        "101.tomcatv" => WorkloadSpec {
+            cint: false,
+            num_kernels: 2,
+            num_mids: 1,
+            num_drivers: 1,
+            outer_iters: 4,
+            inner_iters: 3,
+            fanout: 2,
+            kernel_iters: 900,
+            hot_bias: 98,
+            diamonds: 1,
+            array_bytes: 512 * 1024,
+            stride: 32,
+            conflict: true,
+            fp_kernels: 2,
+            hot_work: 28,
+            ..base(name, false, 0x6101)
+        },
+        "102.swim" => WorkloadSpec {
+            cint: false,
+            num_kernels: 3,
+            num_mids: 1,
+            num_drivers: 1,
+            outer_iters: 4,
+            inner_iters: 3,
+            fanout: 3,
+            kernel_iters: 700,
+            hot_bias: 98,
+            diamonds: 1,
+            array_bytes: 768 * 1024,
+            stride: 32,
+            conflict: true,
+            fp_kernels: 3,
+            hot_work: 32,
+            ..base(name, false, 0x6102)
+        },
+        "103.su2cor" => WorkloadSpec {
+            cint: false,
+            num_kernels: 6,
+            num_mids: 2,
+            num_drivers: 1,
+            outer_iters: 4,
+            inner_iters: 3,
+            fanout: 3,
+            kernel_iters: 350,
+            hot_bias: 96,
+            diamonds: 2,
+            array_bytes: 256 * 1024,
+            stride: 40,
+            fp_kernels: 5,
+            hot_work: 18,
+            ..base(name, false, 0x6103)
+        },
+        "104.hydro2d" => WorkloadSpec {
+            cint: false,
+            num_kernels: 8,
+            num_mids: 3,
+            num_drivers: 1,
+            outer_iters: 4,
+            inner_iters: 3,
+            fanout: 3,
+            kernel_iters: 260,
+            hot_bias: 95,
+            diamonds: 2,
+            array_bytes: 256 * 1024,
+            stride: 32,
+            fp_kernels: 7,
+            hot_work: 20,
+            ..base(name, false, 0x6104)
+        },
+        "107.mgrid" => WorkloadSpec {
+            cint: false,
+            num_kernels: 4,
+            num_mids: 2,
+            num_drivers: 1,
+            outer_iters: 5,
+            inner_iters: 3,
+            fanout: 2,
+            kernel_iters: 500,
+            hot_bias: 98,
+            diamonds: 1,
+            array_bytes: 1024 * 1024,
+            stride: 64,
+            fp_kernels: 4,
+            hot_work: 30,
+            ..base(name, false, 0x6107)
+        },
+        "110.applu" => WorkloadSpec {
+            cint: false,
+            num_kernels: 6,
+            num_mids: 2,
+            num_drivers: 1,
+            outer_iters: 4,
+            inner_iters: 3,
+            fanout: 3,
+            kernel_iters: 300,
+            hot_bias: 96,
+            diamonds: 2,
+            array_bytes: 384 * 1024,
+            stride: 40,
+            fp_kernels: 6,
+            hot_work: 22,
+            ..base(name, false, 0x6110)
+        },
+        "125.turb3d" => WorkloadSpec {
+            cint: false,
+            num_kernels: 7,
+            num_mids: 3,
+            num_drivers: 2,
+            outer_iters: 3,
+            inner_iters: 3,
+            fanout: 3,
+            kernel_iters: 240,
+            hot_bias: 94,
+            diamonds: 2,
+            array_bytes: 256 * 1024,
+            stride: 48,
+            fp_kernels: 6,
+            hot_work: 16,
+            ..base(name, false, 0x6125)
+        },
+        "141.apsi" => WorkloadSpec {
+            cint: false,
+            num_kernels: 10,
+            num_mids: 4,
+            num_drivers: 2,
+            outer_iters: 3,
+            inner_iters: 3,
+            fanout: 3,
+            kernel_iters: 180,
+            hot_bias: 94,
+            diamonds: 2,
+            array_bytes: 192 * 1024,
+            stride: 40,
+            fp_kernels: 8,
+            hot_work: 14,
+            ..base(name, false, 0x6141)
+        },
+        // fpppp: giant straight-line FP blocks, tiny working set.
+        "145.fpppp" => WorkloadSpec {
+            cint: false,
+            num_kernels: 3,
+            num_mids: 1,
+            num_drivers: 1,
+            outer_iters: 4,
+            inner_iters: 3,
+            fanout: 3,
+            kernel_iters: 800,
+            hot_bias: 99,
+            diamonds: 1,
+            array_bytes: 12 * 1024, // cache-resident: compute bound
+            stride: 16,
+            fp_kernels: 3,
+            hot_work: 48,
+            ..base(name, false, 0x6145)
+        },
+        "146.wave5" => WorkloadSpec {
+            cint: false,
+            num_kernels: 6,
+            num_mids: 2,
+            num_drivers: 1,
+            outer_iters: 4,
+            inner_iters: 3,
+            fanout: 3,
+            kernel_iters: 320,
+            hot_bias: 95,
+            diamonds: 2,
+            array_bytes: 320 * 1024,
+            stride: 48,
+            fp_kernels: 5,
+            hot_work: 20,
+            ..base(name, false, 0x6146)
+        },
+        _ => return None,
+    };
+    Some(s)
+}
+
+/// Generates the full 18-benchmark suite at the given size factor
+/// (1.0 = standard; benches use 1.0, quick tests use 0.1).
+pub fn suite(scale: f64) -> Vec<Workload> {
+    SUITE_NAMES
+        .iter()
+        .map(|name| {
+            let spec = spec_for(name).expect("suite name is known").scaled(scale);
+            Workload {
+                name: spec.name.clone(),
+                cint: spec.cint,
+                program: build(&spec),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_has_a_spec() {
+        for name in SUITE_NAMES {
+            let spec = spec_for(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(spec.name, name);
+        }
+        assert!(spec_for("999.nonesuch").is_none());
+    }
+
+    #[test]
+    fn cint_cfp_split_is_8_10() {
+        let cint = SUITE_NAMES
+            .iter()
+            .filter(|n| spec_for(n).unwrap().cint)
+            .count();
+        assert_eq!(cint, 8);
+        assert_eq!(SUITE_NAMES.len() - cint, 10);
+    }
+
+    #[test]
+    fn all_programs_build_and_verify_small() {
+        for w in suite(0.05) {
+            pp_ir::verify::verify_program(&w.program)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(w.program.procedures().len() >= 5, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn go_analog_is_biggest_path_space() {
+        // go should have more procedures than compress, mirroring its
+        // role as the many-paths outlier.
+        let go = spec_for("099.go").unwrap();
+        let compress = spec_for("129.compress").unwrap();
+        assert!(go.num_kernels > 5 * compress.num_kernels);
+        assert!(go.hot_bias < compress.hot_bias);
+    }
+}

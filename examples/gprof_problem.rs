@@ -1,0 +1,124 @@
+//! Demonstrates the "gprof problem" (paper Sections 1, 4.1, 7.1): a
+//! call-graph profiler attributes a shared callee's cost to its callers in
+//! proportion to call *frequency*, which can be arbitrarily wrong; the
+//! calling context tree records the truth per context.
+//!
+//! ```sh
+//! cargo run --example gprof_problem
+//! ```
+
+use pp::baselines::{attribution_error, run_gprof};
+use pp::ir::build::ProgramBuilder;
+use pp::ir::{HwEvent, Operand, Program, Reg};
+use pp::profiler::{Profiler, RunConfig};
+use pp::usim::MachineConfig;
+
+/// `cheap` calls `work(1)` nine times; `expensive` calls `work(4000)`
+/// once. Nearly all of `work`'s cycles belong to `expensive`, but gprof
+/// splits them 9:1 the other way.
+fn build_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let work = pb.declare("work");
+    let cheap = pb.declare("cheap");
+    let expensive = pb.declare("expensive");
+
+    let mut m = pb.procedure("main");
+    let e = m.entry_block();
+    m.block(e)
+        .call(cheap, vec![], None)
+        .call(expensive, vec![], None)
+        .ret();
+    let main = m.finish();
+
+    let mut w = pb.procedure_for(work);
+    let e = w.entry_block();
+    let h = w.new_block();
+    let body = w.new_block();
+    let x = w.new_block();
+    w.reserve_regs(1);
+    let n = Reg(0);
+    let i = w.new_reg();
+    let c = w.new_reg();
+    let a = w.new_reg();
+    let v = w.new_reg();
+    w.block(e).mov(i, 0i64).jump(h);
+    w.block(h).cmp_lt(c, i, Operand::Reg(n)).branch(c, body, x);
+    w.block(body)
+        .mul(a, i, 64i64)
+        .add(a, a, 0x40_0000i64)
+        .load(v, a, 0)
+        .add(i, i, 1i64)
+        .jump(h);
+    w.block(x).ret();
+    w.finish();
+
+    let mut cp = pb.procedure_for(cheap);
+    let e = cp.entry_block();
+    let mut bb = cp.block(e);
+    for _ in 0..9 {
+        bb.call(work, vec![Operand::Imm(1)], None);
+    }
+    bb.ret();
+    cp.finish();
+
+    let mut ep = pb.procedure_for(expensive);
+    let e = ep.entry_block();
+    ep.block(e).call(work, vec![Operand::Imm(4000)], None).ret();
+    ep.finish();
+
+    pb.finish(main)
+}
+
+fn main() {
+    let program = build_program();
+    let events = (HwEvent::Cycles, HwEvent::DcMiss);
+
+    let gprof = run_gprof(&program, MachineConfig::default(), events).expect("gprof run");
+    let work = program.find_procedure("work").expect("work exists").0;
+    let cheap = program.find_procedure("cheap").expect("cheap exists").0;
+    let expensive = program
+        .find_procedure("expensive")
+        .expect("expensive exists")
+        .0;
+
+    println!("gprof's view of `work` (cycles attributed proportionally to call counts):");
+    for (caller, cycles) in gprof.dcg.gprof_attribution(work, 0) {
+        let name = match caller {
+            Some(p) if p == cheap => "cheap",
+            Some(p) if p == expensive => "expensive",
+            _ => "other",
+        };
+        println!("  from {name:<10} {cycles:>12.0} cycles");
+    }
+
+    let profiler = Profiler::default();
+    let cct_run = profiler
+        .run(&program, RunConfig::ContextHw { events })
+        .expect("cct run");
+    let cct = cct_run.cct.as_ref().expect("cct built");
+
+    println!("\nthe CCT's view (exact cycles per calling context):");
+    for id in cct.record_ids().skip(1) {
+        let r = cct.record(id);
+        if r.proc() == Some(work) {
+            let chain: Vec<String> = r
+                .context()
+                .iter()
+                .map(|&p| program.procedure(pp::ir::ProcId(p)).name.clone())
+                .collect();
+            println!(
+                "  {} -> {:>12} cycles over {} calls",
+                chain.join(" -> "),
+                r.metrics()[0],
+                r.calls()
+            );
+        }
+    }
+
+    let err = attribution_error(&gprof.dcg, cct, work, 0);
+    println!(
+        "\nattribution error (total variation distance): {:.1}%",
+        100.0 * err
+    );
+    println!("gprof blames the frequent caller; the CCT does not.");
+}

@@ -1,0 +1,125 @@
+//! A tomcatv-style scenario: the same computation with cache-friendly and
+//! cache-hostile traversal orders, in one program. Procedure-level
+//! profiling shows both kernels "hot"; the path-level view (plus the
+//! dense/sparse classification) immediately separates the locality
+//! problem from the volume problem — the paper's core selling point.
+//!
+//! Sums a matrix twice: row-major (sequential, cache friendly) and
+//! column-major (strided by the row pitch, one miss per access once the
+//! matrix exceeds the 16 KB L1).
+//!
+//! ```sh
+//! cargo run --release --example matrix
+//! ```
+
+use pp::ir::build::ProgramBuilder;
+use pp::ir::{HwEvent, Program};
+use pp::profiler::{analysis, Profiler, RunConfig};
+
+const MATRIX_BASE: i64 = 0x0500_0000;
+const N: i64 = 96; // 96 x 96 x 8 bytes = 72 KB >> 16 KB L1
+
+/// Builds a kernel that sums matrix[i][j] over the full index space, with
+/// the loops in the given order (`row_major` = i outer, j inner).
+fn build_kernel(pb: &mut ProgramBuilder, name: &str, row_major: bool) -> pp::ir::ProcId {
+    let mut f = pb.procedure(name);
+    let entry = f.entry_block();
+    let oh = f.new_block(); // outer header
+    let ih = f.new_block(); // inner header
+    let body = f.new_block();
+    let itail = f.new_block();
+    let oexit = f.new_block();
+    let x = f.new_block();
+
+    let i = f.new_reg();
+    let j = f.new_reg();
+    let c = f.new_reg();
+    let addr = f.new_reg();
+    let acc = f.new_freg();
+    let v = f.new_freg();
+
+    f.block(entry).mov(i, 0i64).fconst(acc, 0.0).jump(oh);
+    f.block(oh).cmp_lt(c, i, N).branch(c, ih, x);
+    f.block(ih).mov(j, 0i64).jump(body);
+    // body: addr = base + (row*N + col) * 8
+    {
+        let (row, col) = if row_major { (i, j) } else { (j, i) };
+        f.block(body)
+            .mul(addr, row, N)
+            .add(addr, addr, pp::ir::Operand::Reg(col))
+            .mul(addr, addr, 8i64)
+            .add(addr, addr, MATRIX_BASE)
+            .fload(v, addr, 0)
+            .fbin(pp::ir::instr::FBinOp::Add, acc, acc, v)
+            .jump(itail);
+    }
+    f.block(itail).add(j, j, 1i64).cmp_lt(c, j, N).branch(c, body, oexit);
+    f.block(oexit).add(i, i, 1i64).jump(oh);
+    f.block(x).ret();
+    f.finish()
+}
+
+fn build_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let main_id = pb.declare("main");
+    let fast = build_kernel(&mut pb, "sum_row_major", true);
+    let slow = build_kernel(&mut pb, "sum_col_major", false);
+    let mut m = pb.procedure_for(main_id);
+    let e = m.entry_block();
+    m.block(e)
+        .call(fast, vec![], None)
+        .call(slow, vec![], None)
+        .ret();
+    m.finish();
+    pb.finish(main_id)
+}
+
+fn main() {
+    let program = build_program();
+    let profiler = Profiler::default();
+    let run = profiler
+        .run(
+            &program,
+            RunConfig::FlowHw {
+                events: (HwEvent::Insts, HwEvent::DcMiss),
+            },
+        )
+        .expect("runs");
+    let flow = run.flow.as_ref().expect("profile");
+
+    println!("== {N}x{N} f64 matrix summed row-major then column-major ==\n");
+
+    let procs = analysis::hot_procedures(flow, &program, 0.01);
+    println!("procedure view (what a conventional profiler reports):");
+    for p in procs.hot.iter().chain(procs.cold.iter()) {
+        if p.inst == 0 {
+            continue;
+        }
+        println!(
+            "  {:<16} {:>9} insts  {:>7} misses  ratio {:.4}",
+            p.name,
+            p.inst,
+            p.miss,
+            p.miss as f64 / p.inst as f64
+        );
+    }
+
+    let paths = analysis::hot_paths(flow, 0.01);
+    println!("\npath view with dense/sparse classification (Section 6.4.1):");
+    for p in &paths.hot {
+        println!(
+            "  {:<16} path {:<3} freq {:>6}  misses {:>7}  {:?}",
+            program.procedure(p.proc).name,
+            p.sum,
+            p.freq,
+            p.miss,
+            p.class
+        );
+    }
+    println!(
+        "\nboth kernels execute identical instruction counts, but the\n\
+         column-major kernel's inner-loop path is *dense* (a locality\n\
+         problem worth fixing) while the row-major one is sparse or cold —\n\
+         a distinction the procedure table above cannot make."
+    );
+}

@@ -1,0 +1,73 @@
+//! Quick start: profile a synthetic benchmark and print its hottest paths.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pp::ir::HwEvent;
+use pp::profiler::{analysis, Profiler, RunConfig};
+
+fn main() {
+    // Grab the 129.compress analog from the suite at a small scale.
+    let suite = pp::workloads::suite(0.5);
+    let workload = suite
+        .iter()
+        .find(|w| w.name == "129.compress")
+        .expect("suite contains compress");
+
+    let profiler = Profiler::default();
+
+    // First, the uninstrumented base run: ground-truth machine metrics.
+    let base = profiler
+        .run(&workload.program, RunConfig::Base)
+        .expect("base run");
+    println!("== {} (base run) ==", workload.name);
+    println!(
+        "cycles: {}   instructions: {}   L1 D-misses: {}",
+        base.cycles(),
+        base.machine.metrics.get(HwEvent::Insts),
+        base.machine.metrics.get(HwEvent::DcMiss),
+    );
+
+    // Now flow sensitive profiling: instructions and L1 misses per path.
+    let run = profiler
+        .run(
+            &workload.program,
+            RunConfig::FlowHw {
+                events: (HwEvent::Insts, HwEvent::DcMiss),
+            },
+        )
+        .expect("flow run");
+    let flow = run.flow.as_ref().expect("flow profile");
+    println!(
+        "\nprofiled run: {} cycles ({:.2}x overhead), {} distinct paths executed",
+        run.cycles(),
+        run.cycles() as f64 / base.cycles() as f64,
+        flow.total_paths_executed(),
+    );
+
+    let hot = analysis::hot_paths(flow, 0.01);
+    println!(
+        "\nhot paths (>= 1% of misses): {} paths cover {:.1}% of all L1 D-misses",
+        hot.hot.len(),
+        100.0 * hot.hot_miss_fraction(),
+    );
+    let inst = run.instrumented.as_ref().expect("instrumented");
+    println!("\n  proc              path  freq      inst     miss  class  blocks");
+    for p in hot.hot.iter().take(10) {
+        let name = &workload.program.procedure(p.proc).name;
+        let blocks = inst
+            .decode_path(p.proc, p.sum)
+            .map(|(bs, _)| {
+                bs.iter()
+                    .map(|b| b.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join("-")
+            })
+            .unwrap_or_default();
+        println!(
+            "  {name:<16} {:>5} {:>5} {:>9} {:>8}  {:?}  {blocks}",
+            p.sum, p.freq, p.inst, p.miss, p.class
+        );
+    }
+}

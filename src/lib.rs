@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # pp — flow and context sensitive profiling with hardware counters
+//!
+//! A Rust reproduction of Ammons, Ball & Larus, *"Exploiting Hardware
+//! Performance Counters with Flow and Context Sensitive Profiling"*
+//! (PLDI 1997): Ball–Larus path profiling generalized to hardware
+//! metrics, the calling context tree, and their combination — together
+//! with the machine simulator, instrumentation engine, workload suite and
+//! baselines needed to regenerate every table of the paper's evaluation.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`ir`] | `pp-ir` | the CFG-based IR, builders, analyses |
+//! | [`pathprof`] | `pp-pathprof` | Ball–Larus labelling, regeneration, placement |
+//! | [`cct`] | `pp-cct` | calling context tree, DCT, DCG, statistics |
+//! | [`usim`] | `pp-usim` | the simulated UltraSPARC with counters |
+//! | [`instrument`] | `pp-instrument` | the PP instrumentation passes |
+//! | [`profiler`] | `pp-core` | run configurations, reports, analyses |
+//! | [`workloads`] | `pp-workloads` | the synthetic SPEC95-analog suite |
+//! | [`baselines`] | `pp-baselines` | gprof-style, edge, Hall profilers |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pp::profiler::{Profiler, RunConfig};
+//! use pp::ir::HwEvent;
+//!
+//! // Generate a small benchmark and profile its L1 misses per path.
+//! let workload = &pp::workloads::suite(0.05)[3]; // 129.compress analog
+//! let profiler = Profiler::default();
+//! let report = profiler
+//!     .run(
+//!         &workload.program,
+//!         RunConfig::FlowHw { events: (HwEvent::Insts, HwEvent::DcMiss) },
+//!     )
+//!     .unwrap();
+//! let flow = report.flow.as_ref().unwrap();
+//! let hot = pp::profiler::analysis::hot_paths(flow, 0.01);
+//! assert!(hot.hot_miss_fraction() > 0.3, "a few paths carry the misses");
+//! ```
+
+pub use pp_baselines as baselines;
+pub use pp_cct as cct;
+pub use pp_core as profiler;
+pub use pp_instrument as instrument;
+pub use pp_ir as ir;
+pub use pp_pathprof as pathprof;
+pub use pp_usim as usim;
+pub use pp_workloads as workloads;

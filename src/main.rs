@@ -1,0 +1,499 @@
+//! `pp` — the command-line profiler.
+//!
+//! ```text
+//! pp list                                   list the benchmark suite
+//! pp run <target> [options]                 profile and summarize
+//! pp hot <target> [options]                 hot paths and procedures
+//! pp report <target> [options]              full report: overheads, hot
+//!                                           paths, procedures, CCT stats
+//! pp cct <target> [--out FILE] [options]    build a CCT, print stats
+//! pp annotate <target> <proc> [options]     annotated block listing
+//! pp decode <target> <proc> <sum>           decode a path sum to blocks
+//!
+//! <target> is a suite benchmark name (see `pp list`) or a path to a
+//! textual IR file (see pp_ir::parse).
+//!
+//! options:
+//!   --config base|edge|flow|flow-hw|context-hw|context-flow|combined
+//!   --events <ev0>,<ev1>      counter selection (default insts,dc_miss)
+//!   --scale <f64>             suite workload scale (default 1.0)
+//!   --threshold <f64>         hot threshold (default 0.01)
+//! ```
+
+use std::process::ExitCode;
+
+use pp::cct::CctStats;
+use pp::ir::{HwEvent, ProcId, Program};
+use pp::profiler::{analysis, annotate, Profiler, RunConfig};
+
+struct Options {
+    config: String,
+    events: (HwEvent, HwEvent),
+    scale: f64,
+    threshold: f64,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            config: "flow-hw".to_string(),
+            events: (HwEvent::Insts, HwEvent::DcMiss),
+            scale: 1.0,
+            threshold: 0.01,
+            out: None,
+        }
+    }
+}
+
+fn parse_event(name: &str) -> Result<HwEvent, String> {
+    HwEvent::ALL
+        .iter()
+        .copied()
+        .find(|e| e.mnemonic() == name)
+        .ok_or_else(|| {
+            let all: Vec<&str> = HwEvent::ALL.iter().map(|e| e.mnemonic()).collect();
+            format!("unknown event `{name}`; one of: {}", all.join(", "))
+        })
+}
+
+fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
+    let mut opts = Options::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => opts.config = it.next().ok_or("--config needs a value")?.clone(),
+            "--events" => {
+                let v = it.next().ok_or("--events needs a value")?;
+                let (a, b) = v
+                    .split_once(',')
+                    .ok_or("--events expects `ev0,ev1`")?;
+                opts.events = (parse_event(a.trim())?, parse_event(b.trim())?);
+            }
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --scale value")?;
+            }
+            "--threshold" => {
+                opts.threshold = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --threshold value")?;
+            }
+            "--out" => opts.out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    Ok((positional, opts))
+}
+
+fn load_target(target: &str, scale: f64) -> Result<(String, Program), String> {
+    if pp::workloads::SUITE_NAMES.contains(&target) {
+        let spec = pp::workloads::spec_for(target)
+            .expect("suite name has a spec")
+            .scaled(scale);
+        return Ok((target.to_string(), pp::workloads::build(&spec)));
+    }
+    if std::path::Path::new(target).exists() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
+        let program = pp::ir::parse::parse_program(&text).map_err(|e| format!("{target}: {e}"))?;
+        return Ok((target.to_string(), program));
+    }
+    Err(format!(
+        "`{target}` is neither a suite benchmark (try `pp list`) nor an IR file"
+    ))
+}
+
+fn run_config(opts: &Options) -> Result<RunConfig, String> {
+    Ok(match opts.config.as_str() {
+        "base" => RunConfig::Base,
+        "edge" => RunConfig::EdgeFreq,
+        "flow" => RunConfig::FlowFreq,
+        "flow-hw" => RunConfig::FlowHw {
+            events: opts.events,
+        },
+        "context-hw" => RunConfig::ContextHw {
+            events: opts.events,
+        },
+        "context-flow" => RunConfig::ContextFlow,
+        "combined" => RunConfig::CombinedHw {
+            events: opts.events,
+        },
+        other => return Err(format!("unknown config `{other}`")),
+    })
+}
+
+fn find_proc(program: &Program, name: &str) -> Result<ProcId, String> {
+    program
+        .find_procedure(name)
+        .ok_or_else(|| format!("no procedure named `{name}`"))
+}
+
+fn cmd_list() {
+    println!("{:<14} {:>5}  description", "benchmark", "suite");
+    for name in pp::workloads::SUITE_NAMES {
+        let spec = pp::workloads::spec_for(name).expect("known");
+        println!(
+            "{:<14} {:>5}  {} kernels, {} mids, bias {}%, {} diamonds{}",
+            name,
+            if spec.cint { "CINT" } else { "CFP" },
+            spec.num_kernels,
+            spec.num_mids,
+            spec.hot_bias,
+            spec.diamonds,
+            if spec.recursion_depth > 0 {
+                ", recursive"
+            } else {
+                ""
+            },
+        );
+    }
+}
+
+fn cmd_run(target: &str, opts: &Options) -> Result<(), String> {
+    let (name, program) = load_target(target, opts.scale)?;
+    let profiler = Profiler::default();
+    let base = profiler
+        .run(&program, RunConfig::Base)
+        .map_err(|e| e.to_string())?;
+    let config = run_config(opts)?;
+    let run = profiler.run(&program, config).map_err(|e| e.to_string())?;
+    println!("== {name} under {} ==", run.config);
+    println!(
+        "cycles:       {} ({:.2}x base)",
+        run.cycles(),
+        run.cycles() as f64 / base.cycles() as f64
+    );
+    println!("instructions: {}", run.machine.metrics.get(HwEvent::Insts));
+    println!("L1 D-misses:  {}", run.machine.metrics.get(HwEvent::DcMiss));
+    if let Some(flow) = &run.flow {
+        println!("paths:        {} executed", flow.total_paths_executed());
+    }
+    if let Some(cct) = &run.cct {
+        let stats = CctStats::compute(cct);
+        println!(
+            "cct:          {} records, {} bytes, height {} max",
+            stats.nodes, stats.file_size, stats.height_max
+        );
+    }
+    Ok(())
+}
+
+fn cmd_hot(target: &str, opts: &Options) -> Result<(), String> {
+    let (name, program) = load_target(target, opts.scale)?;
+    let profiler = Profiler::default();
+    let run = profiler
+        .run(
+            &program,
+            RunConfig::FlowHw {
+                events: (HwEvent::Insts, HwEvent::DcMiss),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let flow = run.flow.as_ref().expect("flow profile");
+    let inst = run.instrumented.as_ref().expect("manifest");
+    let paths = analysis::hot_paths(flow, opts.threshold);
+    println!(
+        "== {name}: {} hot paths (>= {:.2}% of {} misses) cover {:.1}% ==",
+        paths.hot.len(),
+        100.0 * opts.threshold,
+        paths.total_miss,
+        100.0 * paths.hot_miss_fraction()
+    );
+    for p in paths.hot.iter().take(20) {
+        let blocks = inst
+            .decode_path(p.proc, p.sum)
+            .map(|(bs, _)| {
+                bs.iter()
+                    .map(|b| b.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join("-")
+            })
+            .unwrap_or_default();
+        println!(
+            "  {:<14} sum={:<6} freq={:<8} miss={:<8} {:?}  [{blocks}]",
+            program.procedure(p.proc).name,
+            p.sum,
+            p.freq,
+            p.miss,
+            p.class
+        );
+    }
+    let procs = analysis::hot_procedures(flow, &program, opts.threshold);
+    let hot: Vec<&analysis::ProcStat> = procs.hot.iter().collect();
+    println!(
+        "\n{} hot procedures cover {:.1}% of misses (avg {:.1} paths each)",
+        hot.len(),
+        100.0 * procs.miss_fraction(&hot),
+        analysis::HotProcReport::avg_paths(&hot)
+    );
+    Ok(())
+}
+
+fn cmd_report(target: &str, opts: &Options) -> Result<(), String> {
+    let (name, program) = load_target(target, opts.scale)?;
+    let profiler = Profiler::default();
+    let base = profiler
+        .run(&program, RunConfig::Base)
+        .map_err(|e| e.to_string())?;
+    println!("================================================================");
+    println!("PP profile report: {name}");
+    println!("================================================================");
+    println!(
+        "base: {} cycles, {} instructions, {} L1 D-misses
+",
+        base.cycles(),
+        base.machine.metrics.get(HwEvent::Insts),
+        base.machine.metrics.get(HwEvent::DcMiss)
+    );
+
+    // Overheads of the main configurations.
+    println!("-- profiling overheads (x base cycles) --");
+    for config in [
+        RunConfig::EdgeFreq,
+        RunConfig::FlowFreq,
+        RunConfig::FlowHw {
+            events: (HwEvent::Insts, HwEvent::DcMiss),
+        },
+        RunConfig::ContextHw {
+            events: (HwEvent::Insts, HwEvent::DcMiss),
+        },
+        RunConfig::ContextFlow,
+    ] {
+        let cycles = profiler
+            .run(&program, config)
+            .map_err(|e| e.to_string())?
+            .cycles();
+        println!(
+            "  {:<18} {:.2}x",
+            config.to_string(),
+            cycles as f64 / base.cycles() as f64
+        );
+    }
+
+    // Hot paths and procedures.
+    let run = profiler
+        .run(
+            &program,
+            RunConfig::FlowHw {
+                events: (HwEvent::Insts, HwEvent::DcMiss),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let flow = run.flow.as_ref().expect("profile");
+    let inst = run.instrumented.as_ref().expect("manifest");
+    let paths = analysis::hot_paths(flow, opts.threshold);
+    println!(
+        "
+-- hot paths ({} of {} executed cover {:.1}% of misses) --",
+        paths.hot.len(),
+        paths.executed,
+        100.0 * paths.hot_miss_fraction()
+    );
+    for p in paths.hot.iter().take(8) {
+        println!(
+            "  {:<16} sum={:<5} freq={:<7} miss={:<7} {:?}",
+            program.procedure(p.proc).name,
+            p.sum,
+            p.freq,
+            p.miss,
+            p.class
+        );
+    }
+    let procs = analysis::hot_procedures(flow, &program, opts.threshold);
+    let hot_refs: Vec<&analysis::ProcStat> = procs.hot.iter().collect();
+    println!(
+        "
+-- hot procedures ({} cover {:.1}% of misses, {:.1} paths each) --",
+        procs.hot.len(),
+        100.0 * procs.miss_fraction(&hot_refs),
+        analysis::HotProcReport::avg_paths(&hot_refs)
+    );
+    for p in procs.hot.iter().take(8) {
+        println!(
+            "  {:<16} inst={:<9} miss={:<7} paths={}",
+            p.name, p.inst, p.miss, p.paths_executed
+        );
+    }
+    println!(
+        "
+-- section 6.4.3 -- blocks on hot paths lie on {:.1} executed paths each",
+        analysis::block_path_multiplicity(inst, flow, &paths)
+    );
+
+    // CCT summary.
+    let cct_run = profiler
+        .run(
+            &program,
+            RunConfig::CombinedHw {
+                events: (HwEvent::Insts, HwEvent::DcMiss),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let stats = CctStats::compute(cct_run.cct.as_ref().expect("cct"));
+    println!(
+        "
+-- calling context tree -- {} records, {} bytes, height {} max,          {} of {} sites one-path",
+        stats.nodes,
+        stats.file_size,
+        stats.height_max,
+        stats.call_sites_one_path,
+        stats.call_sites_used
+    );
+
+    // The combination: hot (context, path) pairs — the interprocedural
+    // approximation.
+    // Threshold 0: rank every pair, display the top handful.
+    let (ctx_paths, _) = analysis::hot_context_paths(cct_run.cct.as_ref().expect("cct"), 0.0);
+    println!("\n-- hot (context, path) pairs (interprocedural approximation) --");
+    for cp in ctx_paths.iter().take(6) {
+        let chain: Vec<String> = cp
+            .context
+            .iter()
+            .map(|&p| program.procedure(pp::ir::ProcId(p)).name.clone())
+            .collect();
+        println!(
+            "  {} [path {}] freq={} miss={}",
+            chain.join(" -> "),
+            cp.sum,
+            cp.freq,
+            cp.m1
+        );
+    }
+    Ok(())
+}
+
+fn cmd_cct(target: &str, opts: &Options) -> Result<(), String> {
+    let (name, program) = load_target(target, opts.scale)?;
+    let profiler = Profiler::default();
+    let run = profiler
+        .run(
+            &program,
+            RunConfig::CombinedHw {
+                events: opts.events,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let cct = run.cct.as_ref().expect("cct");
+    let stats = CctStats::compute(cct);
+    println!("== calling context tree of {name} ==");
+    println!("records:         {}", stats.nodes);
+    println!("file size:       {} bytes", stats.file_size);
+    println!("avg node size:   {:.1} bytes", stats.avg_node_size);
+    println!("avg out degree:  {:.1}", stats.avg_out_degree);
+    println!("height:          {:.1} avg / {} max", stats.height_avg, stats.height_max);
+    println!("max replication: {}", stats.max_replication);
+    println!(
+        "call sites:      {} used / {} one-path",
+        stats.call_sites_used, stats.call_sites_one_path
+    );
+    if let Some(path) = &opts.out {
+        let mut file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        pp::cct::write_cct(cct, &mut file).map_err(|e| e.to_string())?;
+        println!("wrote profile to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_annotate(target: &str, proc_name: &str, opts: &Options) -> Result<(), String> {
+    let (_, program) = load_target(target, opts.scale)?;
+    let pid = find_proc(&program, proc_name)?;
+    let profiler = Profiler::default();
+    let run = profiler
+        .run(
+            &program,
+            RunConfig::FlowHw {
+                events: (HwEvent::Insts, HwEvent::DcMiss),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let attr = annotate::block_attribution(
+        run.instrumented.as_ref().expect("manifest"),
+        run.flow.as_ref().expect("profile"),
+    );
+    print!(
+        "{}",
+        annotate::annotated_listing(program.procedure(pid), pid, &attr)
+    );
+    println!(
+        "\n(avg top-path share across profile: {:.2} — block numbers rarely \
+         identify a single responsible path)",
+        annotate::avg_top_path_share(&attr)
+    );
+    Ok(())
+}
+
+fn cmd_decode(target: &str, proc_name: &str, sum_text: &str, opts: &Options) -> Result<(), String> {
+    let (_, program) = load_target(target, opts.scale)?;
+    let pid = find_proc(&program, proc_name)?;
+    let sum: u64 = sum_text.parse().map_err(|_| "bad path sum")?;
+    let paths = pp::pathprof::ProcPaths::analyze(program.procedure(pid))
+        .map_err(|e| e.to_string())?;
+    if sum >= paths.num_paths() {
+        return Err(format!(
+            "path sum {sum} out of range ({} potential paths)",
+            paths.num_paths()
+        ));
+    }
+    let (blocks, kind) = paths.decode_blocks(sum);
+    println!(
+        "{proc_name} has {} potential paths; sum {sum} is {:?}:",
+        paths.num_paths(),
+        kind
+    );
+    for b in blocks {
+        let block = &program.procedure(pid).blocks[b.index()];
+        println!("  b{}:", b.0);
+        for i in &block.instrs {
+            println!("    {i}");
+        }
+        println!("    {}", block.term);
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: pp <list|run|report|hot|cct|annotate|decode> [target] [options]\n\
+     run `pp list` to see the benchmark suite; see crate docs for options"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let (positional, opts) = match parse_options(&args[1..]) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match (cmd.as_str(), positional.as_slice()) {
+        ("list", _) => {
+            cmd_list();
+            Ok(())
+        }
+        ("run", [t]) => cmd_run(t, &opts),
+        ("report", [t]) => cmd_report(t, &opts),
+        ("hot", [t]) => cmd_hot(t, &opts),
+        ("cct", [t]) => cmd_cct(t, &opts),
+        ("annotate", [t, p]) => cmd_annotate(t, p, &opts),
+        ("decode", [t, p, s]) => cmd_decode(t, p, s, &opts),
+        _ => Err(usage().to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

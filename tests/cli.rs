@@ -1,0 +1,127 @@
+//! End-to-end tests of the `pp` command-line tool.
+
+use std::process::Command;
+
+fn pp(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pp"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+#[test]
+fn list_names_the_suite() {
+    let out = pp(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in pp::workloads::SUITE_NAMES {
+        assert!(text.contains(name), "missing {name}:\n{text}");
+    }
+}
+
+#[test]
+fn run_reports_overhead() {
+    let out = pp(&["run", "129.compress", "--scale", "0.1", "--config", "flow-hw"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Flow and HW"), "{text}");
+    assert!(text.contains("x base"), "{text}");
+    assert!(text.contains("paths:"), "{text}");
+}
+
+#[test]
+fn hot_lists_paths_and_procedures() {
+    let out = pp(&["hot", "101.tomcatv", "--scale", "0.1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hot paths"), "{text}");
+    assert!(text.contains("hot procedures"), "{text}");
+    assert!(text.contains("kernel_"), "{text}");
+}
+
+#[test]
+fn cct_writes_a_loadable_profile() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("profile.cct");
+    let out = pp(&[
+        "cct",
+        "130.li",
+        "--scale",
+        "0.1",
+        "--out",
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&file).expect("profile written");
+    let cct = pp::cct::read_cct(&mut bytes.as_slice()).expect("profile loads");
+    assert!(cct.num_records() > 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn decode_prints_a_block_listing() {
+    let out = pp(&["decode", "129.compress", "kernel_0", "0", "--scale", "0.1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("potential paths"), "{text}");
+    assert!(text.contains("b0:"), "{text}");
+}
+
+#[test]
+fn accepts_textual_ir_files() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-ir-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("tiny.ir");
+    std::fs::write(
+        &file,
+        "program (entry @0):\n\
+         proc main (regs=2, fregs=0, sites=0):\n\
+           b0:\n\
+             mov r0, 0\n\
+             jmp b1\n\
+           b1:\n\
+             cmplt r1, r0, 100\n\
+             br r1 ? b2 : b3\n\
+           b2:\n\
+             add r0, r0, 1\n\
+             jmp b1\n\
+           b3:\n\
+             ret\n",
+    )
+    .expect("write ir");
+    let out = pp(&["run", file.to_str().expect("utf8"), "--config", "flow"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("paths:"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_target_fails_cleanly() {
+    let out = pp(&["run", "999.nonesuch"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("neither a suite benchmark"), "{err}");
+}
+
+#[test]
+fn bad_event_fails_with_event_list() {
+    let out = pp(&["run", "129.compress", "--events", "bogus,dc_miss"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown event"), "{err}");
+    assert!(err.contains("cycles"), "{err}");
+}
+
+#[test]
+fn report_combines_everything() {
+    let out = pp(&["report", "130.li", "--scale", "0.1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("profiling overheads"), "{text}");
+    assert!(text.contains("hot paths"), "{text}");
+    assert!(text.contains("hot procedures"), "{text}");
+    assert!(text.contains("calling context tree"), "{text}");
+    assert!(text.contains("section 6.4.3"), "{text}");
+}

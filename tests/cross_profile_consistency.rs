@@ -1,0 +1,183 @@
+//! Cross-crate consistency: the same program profiled under different
+//! configurations must tell one coherent story.
+
+use std::collections::BTreeMap;
+
+use pp::ir::HwEvent;
+use pp::profiler::{Profiler, RunConfig};
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+
+fn workload(ix: usize) -> pp::workloads::Workload {
+    pp::workloads::suite(0.05).swap_remove(ix)
+}
+
+/// Aggregates (proc name, path sum) -> freq from a flow profile.
+fn flow_histogram(
+    program: &pp::ir::Program,
+    flow: &pp::profiler::FlowProfile,
+) -> BTreeMap<(String, u64), u64> {
+    flow.iter_paths()
+        .map(|(p, s, c)| ((program.procedure(p).name.clone(), s), c.freq))
+        .collect()
+}
+
+/// Aggregates (proc name, path sum) -> freq from a combined-mode CCT by
+/// summing over calling contexts.
+fn cct_histogram(cct: &pp::cct::CctRuntime) -> BTreeMap<(String, u64), u64> {
+    let mut out = BTreeMap::new();
+    for id in cct.record_ids().skip(1) {
+        let r = cct.record(id);
+        for (sum, counts) in r.paths() {
+            *out.entry((r.proc_name().to_string(), sum)).or_insert(0) += counts.freq;
+        }
+    }
+    out
+}
+
+#[test]
+fn flow_and_context_flow_agree_on_path_frequencies() {
+    // The flow profile aggregates paths per procedure; the combined CCT
+    // splits them per context. Summing contexts must reproduce the flow
+    // histogram exactly — frequencies are deterministic.
+    let w = workload(4); // 130.li analog: recursion + indirect calls
+    let profiler = Profiler::default();
+    let flow_run = profiler.run(&w.program, RunConfig::FlowFreq).expect("flow");
+    let cf_run = profiler
+        .run(&w.program, RunConfig::ContextFlow)
+        .expect("context flow");
+    let a = flow_histogram(&w.program, flow_run.flow.as_ref().expect("profile"));
+    let b = cct_histogram(cf_run.cct.as_ref().expect("cct"));
+    assert_eq!(a, b, "per-proc and per-context path counts must agree");
+}
+
+#[test]
+fn recorded_instructions_bounded_by_machine_truth() {
+    let w = workload(1); // m88ksim analog
+    let profiler = Profiler::default();
+    let run = profiler
+        .run(&w.program, RunConfig::FlowHw { events: EVENTS })
+        .expect("flow hw");
+    let recorded: u64 = run.flow.as_ref().expect("profile").total(|c| c.m0);
+    let truth = run.machine.metrics.get(HwEvent::Insts);
+    assert!(recorded > 0);
+    assert!(
+        recorded <= truth,
+        "paths cannot record more instructions ({recorded}) than executed ({truth})"
+    );
+    // And the recorded total must be most of the program (only per-call
+    // glue and instrumentation outside intervals is excluded).
+    assert!(
+        recorded as f64 >= 0.5 * truth as f64,
+        "paths should cover the bulk of execution ({recorded} vs {truth})"
+    );
+}
+
+#[test]
+fn context_hw_entry_records_cover_the_run() {
+    let w = workload(3); // compress analog
+    let profiler = Profiler::default();
+    let run = profiler
+        .run(&w.program, RunConfig::ContextHw { events: EVENTS })
+        .expect("context hw");
+    let cct = run.cct.as_ref().expect("cct");
+    // The root's child (main) holds inclusive instructions for the whole
+    // run: within 25% of the machine's ground truth (instrumentation in
+    // the interval inflates slightly; the prologue before the snapshot
+    // deflates slightly).
+    let main_rec = cct
+        .record_ids()
+        .skip(1)
+        .find(|&id| cct.record(id).parent() == Some(pp::cct::RecordId::ROOT))
+        .expect("main record");
+    let recorded = cct.record(main_rec).metrics()[0];
+    let truth = run.machine.metrics.get(HwEvent::Insts);
+    let ratio = recorded as f64 / truth as f64;
+    assert!(
+        (0.75..=1.05).contains(&ratio),
+        "inclusive main instructions {recorded} vs machine {truth} (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let w = workload(6); // perl analog (setjmp + indirect)
+    let profiler = Profiler::default();
+    let a = profiler
+        .run(&w.program, RunConfig::FlowHw { events: EVENTS })
+        .expect("run a");
+    let b = profiler
+        .run(&w.program, RunConfig::FlowHw { events: EVENTS })
+        .expect("run b");
+    assert_eq!(a.machine.metrics, b.machine.metrics);
+    let fa = flow_histogram(&w.program, a.flow.as_ref().expect("profile"));
+    let fb = flow_histogram(&w.program, b.flow.as_ref().expect("profile"));
+    assert_eq!(fa, fb);
+}
+
+#[test]
+fn instrumented_runs_execute_more_instructions_than_base() {
+    let w = workload(0); // go analog
+    let profiler = Profiler::default();
+    let base = profiler.run(&w.program, RunConfig::Base).expect("base");
+    for config in [
+        RunConfig::FlowFreq,
+        RunConfig::FlowHw { events: EVENTS },
+        RunConfig::ContextHw { events: EVENTS },
+        RunConfig::ContextFlow,
+        RunConfig::CombinedHw { events: EVENTS },
+    ] {
+        let run = profiler.run(&w.program, config).expect("instrumented");
+        assert!(
+            run.machine.metrics.get(HwEvent::Insts) > base.machine.metrics.get(HwEvent::Insts),
+            "{config} must add instructions"
+        );
+        assert!(run.cycles() > base.cycles(), "{config} must add cycles");
+        assert!(
+            run.machine.code_bytes > base.machine.code_bytes,
+            "{config} must grow the code"
+        );
+    }
+}
+
+#[test]
+fn path_frequencies_match_call_counts() {
+    // Every kernel invocation produces at least one completed path, and
+    // the number of EntryTo* paths equals the number of invocations.
+    let w = workload(2); // gcc analog
+    let profiler = Profiler::default();
+    let flow_run = profiler.run(&w.program, RunConfig::FlowFreq).expect("flow");
+    let ctx_run = profiler
+        .run(&w.program, RunConfig::ContextFlow)
+        .expect("ctx");
+    let flow = flow_run.flow.as_ref().expect("profile");
+    let inst = flow_run.instrumented.as_ref().expect("manifest");
+    let cct = ctx_run.cct.as_ref().expect("cct");
+
+    // Invocation counts per procedure from the CCT.
+    let mut calls: BTreeMap<String, u64> = BTreeMap::new();
+    for id in cct.record_ids().skip(1) {
+        let r = cct.record(id);
+        *calls.entry(r.proc_name().to_string()).or_insert(0) += r.calls();
+    }
+    // Entry-path counts per procedure from the flow profile.
+    let mut entry_paths: BTreeMap<String, u64> = BTreeMap::new();
+    for (proc, sum, cell) in flow.iter_paths() {
+        let (_, kind) = inst.decode_path(proc, sum).expect("flow mode decodes");
+        if matches!(
+            kind,
+            pp::pathprof::PathKind::EntryToExit | pp::pathprof::PathKind::EntryToBackedge { .. }
+        ) {
+            *entry_paths
+                .entry(w.program.procedure(proc).name.clone())
+                .or_insert(0) += cell.freq;
+        }
+    }
+    for (name, &n_calls) in &calls {
+        let n_paths = entry_paths.get(name).copied().unwrap_or(0);
+        assert_eq!(
+            n_paths, n_calls,
+            "{name}: every invocation starts exactly one entry path"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Fuzzing the full stack with random structured programs: every
+//! profiling mode must run them to completion, produce a coherent
+//! profile, survive text round-trips, and agree across modes.
+
+use pp::ir::HwEvent;
+use pp::profiler::{Profiler, RunConfig};
+use pp::workloads::{random_program, RandomSpec};
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+
+fn spec() -> RandomSpec {
+    RandomSpec {
+        num_procs: 4,
+        max_depth: 3,
+        max_stmts: 4,
+        max_trip: 4,
+    }
+}
+
+#[test]
+fn all_modes_survive_random_programs() {
+    let profiler = Profiler::default();
+    for seed in 0..30u64 {
+        let prog = random_program(seed, &spec());
+        for config in [
+            RunConfig::Base,
+            RunConfig::EdgeFreq,
+            RunConfig::FlowFreq,
+            RunConfig::FlowHw { events: EVENTS },
+            RunConfig::ContextHw { events: EVENTS },
+            RunConfig::ContextFlow,
+            RunConfig::CombinedHw { events: EVENTS },
+        ] {
+            profiler
+                .run(&prog, config)
+                .unwrap_or_else(|e| panic!("seed {seed} {config}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn random_programs_roundtrip_through_text() {
+    for seed in 0..30u64 {
+        let prog = random_program(seed, &spec());
+        let text = prog.to_string();
+        let back = pp::ir::parse::parse_program(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(back, prog, "seed {seed}");
+    }
+}
+
+#[test]
+fn flow_and_context_agree_on_random_programs() {
+    use std::collections::BTreeMap;
+    let profiler = Profiler::default();
+    for seed in 0..12u64 {
+        let prog = random_program(seed, &spec());
+        let flow_run = profiler.run(&prog, RunConfig::FlowFreq).expect("flow");
+        let cf_run = profiler.run(&prog, RunConfig::ContextFlow).expect("cf");
+        let flow = flow_run.flow.as_ref().expect("profile");
+        let cct = cf_run.cct.as_ref().expect("cct");
+        let mut from_flow: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+        for (p, s, c) in flow.iter_paths() {
+            from_flow.insert((p.0, s), c.freq);
+        }
+        let mut from_cct: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+        for id in cct.record_ids().skip(1) {
+            let r = cct.record(id);
+            let Some(proc) = r.proc() else { continue };
+            for (sum, counts) in r.paths() {
+                *from_cct.entry((proc, sum)).or_insert(0) += counts.freq;
+            }
+        }
+        assert_eq!(from_flow, from_cct, "seed {seed}");
+    }
+}
+
+#[test]
+fn base_runs_are_reproducible() {
+    let profiler = Profiler::default();
+    for seed in [3u64, 17, 23] {
+        let prog = random_program(seed, &spec());
+        let a = profiler.run(&prog, RunConfig::Base).expect("a");
+        let b = profiler.run(&prog, RunConfig::Base).expect("b");
+        assert_eq!(a.machine.metrics, b.machine.metrics, "seed {seed}");
+    }
+}

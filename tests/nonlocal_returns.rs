@@ -1,0 +1,145 @@
+//! Non-local returns (setjmp/longjmp) under every profiling mode: the
+//! machinery must survive abandoned activations — the situation the
+//! paper's Section 4.2 discusses for exceptions into instrumented code.
+
+use pp::ir::build::ProgramBuilder;
+use pp::ir::{HwEvent, Operand, Program, Reg};
+use pp::profiler::{Profiler, RunConfig};
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+
+/// main setjmps, then calls a chain a -> b -> c where c longjmps back;
+/// afterwards main calls a normally. The CCT must end balanced and record
+/// both the abandoned and the completed contexts.
+fn longjmp_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let a = pb.declare("a");
+    let b = pb.declare("b");
+    let c = pb.declare("c");
+
+    let mut m = pb.procedure("main");
+    let e = m.entry_block();
+    let chk = m.new_block();
+    let throw_path = m.new_block();
+    let post = m.new_block();
+    let tok = m.new_reg();
+    let flag = m.new_reg();
+    m.block(e).mov(flag, 0i64).setjmp(tok).jump(chk);
+    m.block(chk).branch(flag, post, throw_path);
+    m.block(throw_path)
+        .mov(flag, 1i64)
+        .call(a, vec![Operand::Reg(tok), Operand::Imm(1)], None)
+        .jump(post);
+    m.block(post)
+        .call(a, vec![Operand::Imm(0), Operand::Imm(0)], None)
+        .ret();
+    let main = m.finish();
+
+    // a(tok, do_throw) -> b(tok, do_throw)
+    for (this, next) in [(a, b), (b, c)] {
+        let mut f = pb.procedure_for(this);
+        let e = f.entry_block();
+        f.reserve_regs(2);
+        f.block(e)
+            .nop()
+            .call(next, vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(1))], None)
+            .nop()
+            .ret();
+        f.finish();
+    }
+    // c(tok, do_throw): longjmp if asked, else return.
+    let mut f = pb.procedure_for(c);
+    let e = f.entry_block();
+    let do_throw = f.new_block();
+    let done = f.new_block();
+    f.reserve_regs(2);
+    f.block(e).branch(Reg(1), do_throw, done);
+    f.block(do_throw).longjmp(Reg(0)).ret();
+    f.block(done).nop().ret();
+    f.finish();
+    pb.finish(main)
+}
+
+#[test]
+fn all_modes_survive_longjmp() {
+    let prog = longjmp_program();
+    let profiler = Profiler::default();
+    for config in [
+        RunConfig::Base,
+        RunConfig::FlowFreq,
+        RunConfig::FlowHw { events: EVENTS },
+        RunConfig::ContextHw { events: EVENTS },
+        RunConfig::ContextFlow,
+        RunConfig::CombinedHw { events: EVENTS },
+    ] {
+        profiler
+            .run(&prog, config)
+            .unwrap_or_else(|e| panic!("{config}: {e}"));
+    }
+}
+
+#[test]
+fn cct_unwinds_and_keeps_both_contexts() {
+    let prog = longjmp_program();
+    let profiler = Profiler::default();
+    let run = profiler
+        .run(&prog, RunConfig::ContextFlow)
+        .expect("context flow");
+    let cct = run.cct.as_ref().expect("cct");
+    // Depth balanced at the end despite the abandoned a->b->c chain.
+    assert_eq!(cct.depth(), 0);
+    // c entered twice (once abandoned, once completing) — from two
+    // different call sites in main, so the call-site-distinguished CCT
+    // keeps two records, one call each, both spelling main -> a -> b -> c.
+    let c_recs: Vec<_> = cct
+        .record_ids()
+        .filter(|&id| cct.record(id).proc_name() == "c")
+        .collect();
+    assert_eq!(c_recs.len(), 2);
+    for rec in c_recs {
+        assert_eq!(cct.record(rec).calls(), 1);
+        assert_eq!(
+            cct.record(rec)
+                .context()
+                .iter()
+                .map(|&p| prog.procedure(pp::ir::ProcId(p)).name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["main", "a", "b", "c"]
+        );
+    }
+}
+
+#[test]
+fn flow_profile_misses_abandoned_paths_but_counts_completed_ones() {
+    let prog = longjmp_program();
+    let profiler = Profiler::default();
+    let run = profiler.run(&prog, RunConfig::FlowFreq).expect("flow");
+    let flow = run.flow.as_ref().expect("profile");
+    // The completed (non-throwing) executions of a and b record one path
+    // each; the abandoned activations never reach their path-count op —
+    // exactly the "functions that are not returned to in the conventional
+    // manner" limitation of Section 4.3.
+    let a = prog.find_procedure("a").expect("a");
+    let b = prog.find_procedure("b").expect("b");
+    let a_paths: u64 = flow
+        .iter_paths()
+        .filter(|(p, _, _)| *p == a)
+        .map(|(_, _, c)| c.freq)
+        .sum();
+    let b_paths: u64 = flow
+        .iter_paths()
+        .filter(|(p, _, _)| *p == b)
+        .map(|(_, _, c)| c.freq)
+        .sum();
+    assert_eq!(a_paths, 1, "only the completed activation of a counts");
+    assert_eq!(b_paths, 1, "only the completed activation of b counts");
+    // c: the throwing activation ends at the longjmp (no count); the
+    // normal one counts.
+    let c = prog.find_procedure("c").expect("c");
+    let c_paths: u64 = flow
+        .iter_paths()
+        .filter(|(p, _, _)| *p == c)
+        .map(|(_, _, cell)| cell.freq)
+        .sum();
+    assert_eq!(c_paths, 1);
+}

@@ -1,0 +1,257 @@
+//! The end-to-end instrumentation oracle: on randomly generated
+//! structured programs, the Ball–Larus path profile — decoded back to
+//! blocks — must reproduce the machine's *true* per-block execution
+//! counts exactly. This closes the loop across every layer: builder →
+//! labelling → placement → rewriting → execution → collection → decoding.
+
+use proptest::prelude::*;
+
+use pp::baselines::EdgeProfile;
+use pp::instrument::{instrument_program, InstrumentOptions, Mode, PlacementChoice};
+use pp::ir::build::{ProcBuilder, ProgramBuilder};
+use pp::ir::{BlockId, ProcId, Program};
+use pp::profiler::FlowProfile;
+use pp::usim::{Machine, MachineConfig, ProfSink, RecordingSink};
+
+/// A structured statement: termination is guaranteed by construction
+/// (loops have fixed trip counts, calls go strictly downward in the
+/// procedure list).
+#[derive(Clone, Debug)]
+enum Stmt {
+    /// `n` arithmetic instructions.
+    Work(u8),
+    /// A data-dependent two-way branch (LCG-driven, bias percent).
+    If(u8, Vec<Stmt>, Vec<Stmt>),
+    /// A counted loop of `k` iterations.
+    Loop(u8, Vec<Stmt>),
+    /// Call procedure `callee_offset` levels down.
+    Call(u8),
+}
+
+fn arb_stmts(depth: u32) -> impl Strategy<Value = Vec<Stmt>> {
+    let leaf = prop_oneof![
+        (1u8..4).prop_map(Stmt::Work),
+        (1u8..3).prop_map(Stmt::Call),
+    ];
+    let stmt = leaf.prop_recursive(depth, 12, 3, |inner| {
+        prop_oneof![
+            (1u8..4).prop_map(Stmt::Work),
+            (1u8..3).prop_map(Stmt::Call),
+            (
+                0u8..101,
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(b, t, e)| Stmt::If(b, t, e)),
+            (1u8..4, proptest::collection::vec(inner, 1..3)).prop_map(|(k, b)| Stmt::Loop(k, b)),
+        ]
+    });
+    proptest::collection::vec(stmt, 1..4)
+}
+
+/// Emits `stmts` into `f` starting at `cur`; returns the block where
+/// control continues.
+fn emit(
+    f: &mut ProcBuilder<'_>,
+    stmts: &[Stmt],
+    mut cur: BlockId,
+    lcg: pp::ir::Reg,
+    tmp: pp::ir::Reg,
+    callees: &[ProcId],
+    my_index: usize,
+) -> BlockId {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Work(n) => {
+                for k in 0..*n {
+                    f.block(cur).add(tmp, tmp, (k as i64) + 1);
+                }
+            }
+            Stmt::Call(off) => {
+                let target = my_index + *off as usize;
+                if target < callees.len() {
+                    f.block(cur).call(callees[target], vec![], Some(tmp));
+                } else {
+                    f.block(cur).nop();
+                }
+            }
+            Stmt::If(bias, then_s, else_s) => {
+                let then_b = f.new_block();
+                let else_b = f.new_block();
+                let join = f.new_block();
+                f.block(cur)
+                    .mul(lcg, lcg, 6364136223846793005i64)
+                    .add(lcg, lcg, 1442695040888963407i64)
+                    .bin(pp::ir::instr::BinOp::Shr, tmp, lcg, 33i64)
+                    .bin(pp::ir::instr::BinOp::Rem, tmp, tmp, 100i64)
+                    .cmp_lt(tmp, tmp, *bias as i64)
+                    .branch(tmp, then_b, else_b);
+                let after_then = emit(f, then_s, then_b, lcg, tmp, callees, my_index);
+                let after_else = emit(f, else_s, else_b, lcg, tmp, callees, my_index);
+                f.block(after_then).jump(join);
+                f.block(after_else).jump(join);
+                cur = join;
+            }
+            Stmt::Loop(k, body) => {
+                let i = f.new_reg();
+                let c = f.new_reg();
+                let header = f.new_block();
+                let body_b = f.new_block();
+                let exit = f.new_block();
+                f.block(cur).mov(i, 0i64).jump(header);
+                f.block(header).cmp_lt(c, i, *k as i64).branch(c, body_b, exit);
+                let after_body = emit(f, body, body_b, lcg, tmp, callees, my_index);
+                f.block(after_body).add(i, i, 1i64).jump(header);
+                cur = exit;
+            }
+        }
+    }
+    cur
+}
+
+fn build_program(procs: &[(u64, Vec<Stmt>)]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let ids: Vec<ProcId> = procs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| pb.declare(&format!("p{i}")))
+        .collect();
+    for (i, (seed, stmts)) in procs.iter().enumerate() {
+        let mut f = pb.procedure_for(ids[i]);
+        let entry = f.entry_block();
+        let lcg = f.new_reg();
+        let tmp = f.new_reg();
+        f.block(entry).mov(lcg, (*seed as i64) | 1);
+        let last = emit(&mut f, stmts, entry, lcg, tmp, &ids, i);
+        f.block(last).ret();
+        f.finish();
+    }
+    pb.finish(ids[0])
+}
+
+/// Runs the instrumented program collecting path counts plus the block
+/// oracle, then compares block counts decoded from paths with the truth.
+fn check_program(prog: &Program, placement: PlacementChoice) -> Result<(), TestCaseError> {
+    let options = InstrumentOptions::new(Mode::FlowFreq).with_placement(placement);
+    let inst = instrument_program(prog, options).expect("instrument");
+
+    struct FlowSink(FlowProfile);
+    impl ProfSink for FlowSink {
+        fn path_event(
+            &mut self,
+            table: pp::ir::prof::PathTable,
+            sum: u64,
+            pics: Option<(u32, u32)>,
+        ) {
+            self.0
+                .record(table.proc, sum, pics.map(|(a, b)| (a as u64, b as u64)));
+        }
+    }
+    let mut sink = FlowSink(FlowProfile::new(prog.procedures().len()));
+    let config = MachineConfig {
+        trace_blocks: true,
+        max_instructions: 20_000_000,
+        ..MachineConfig::default()
+    };
+    let mut machine = Machine::new(&inst.program, config);
+    machine.run(&mut sink).expect("instrumented program runs");
+
+    let edge_profile = EdgeProfile::from_flow(&inst, &sink.0);
+    prop_assert_eq!(
+        edge_profile.conservation_violations(),
+        Vec::<String>::new()
+    );
+
+    // Truth: instrumented block b+1 corresponds to original block b
+    // (block 0 is the prologue; split blocks come after the originals).
+    for (pid, proc) in prog.iter_procedures() {
+        for b in 0..proc.blocks.len() as u32 {
+            let truth = machine
+                .block_counts()
+                .get(&(pid, BlockId(b + 1)))
+                .copied()
+                .unwrap_or(0);
+            let projected = edge_profile.block_count(pid, BlockId(b));
+            prop_assert_eq!(
+                projected,
+                truth,
+                "{:?} block {} (placement {:?})",
+                pid,
+                b,
+                placement
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn path_profile_reproduces_true_block_counts(
+        bodies in proptest::collection::vec((any::<u64>(), arb_stmts(3)), 1..4),
+        optimized in any::<bool>(),
+    ) {
+        let prog = build_program(&bodies);
+        pp::ir::verify::verify_program(&prog).expect("generated program verifies");
+        let placement = if optimized {
+            PlacementChoice::Optimized
+        } else {
+            PlacementChoice::Simple
+        };
+        check_program(&prog, placement)?;
+    }
+}
+
+#[test]
+fn oracle_holds_on_suite_samples() {
+    for ix in [1usize, 3, 5, 9] {
+        let w = pp::workloads::suite(0.04).swap_remove(ix);
+        check_program(&w.program, PlacementChoice::Optimized)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn oracle_example_nested_loops_and_calls() {
+    let prog = build_program(&[
+        (
+            7,
+            vec![
+                Stmt::Loop(3, vec![Stmt::If(50, vec![Stmt::Call(1)], vec![Stmt::Work(2)])]),
+                Stmt::Work(1),
+            ],
+        ),
+        (9, vec![Stmt::Loop(2, vec![Stmt::Work(3)])]),
+    ]);
+    check_program(&prog, PlacementChoice::Simple).expect("oracle holds");
+    check_program(&prog, PlacementChoice::Optimized).expect("oracle holds");
+}
+
+#[test]
+fn recording_sink_collects_consistent_event_stream() {
+    // Sanity on the event protocol itself: enters and exits balance.
+    let w = pp::workloads::suite(0.03).swap_remove(4);
+    let inst = instrument_program(&w.program, InstrumentOptions::new(Mode::ContextFlow))
+        .expect("instrument");
+    let mut sink = RecordingSink::default();
+    let mut machine = Machine::new(&inst.program, MachineConfig::default());
+    machine.run(&mut sink).expect("runs");
+    let mut depth = 0i64;
+    let mut max_depth = 0i64;
+    for ev in &sink.events {
+        match ev {
+            pp::usim::SinkEvent::Enter(_) => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            pp::usim::SinkEvent::Exit => depth -= 1,
+            pp::usim::SinkEvent::Unwind(d) => depth = *d as i64,
+            _ => {}
+        }
+        assert!(depth >= 0, "exit underflow");
+    }
+    assert_eq!(depth, 0, "enters and exits balance");
+    assert!(max_depth >= 3, "call tree has depth");
+}

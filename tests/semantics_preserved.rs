@@ -1,0 +1,140 @@
+//! Instrumentation must not change what the program computes: every
+//! profiling mode runs a result-producing program and the stored result
+//! must match the uninstrumented run — EEL's fundamental contract.
+
+use pp::instrument::{instrument_program, InstrumentOptions, Mode, PlacementChoice};
+use pp::ir::build::ProgramBuilder;
+use pp::ir::{Operand, Program, Reg};
+use pp::usim::{Machine, MachineConfig, NullSink, RecordingSink};
+
+const RESULT_ADDR: u64 = 0x0BEE_F000;
+
+/// A program with recursion, loops, branches and memory traffic that
+/// computes `fib(18)` plus a data checksum and stores it.
+fn checksum_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let fib = pb.declare("fib");
+
+    let mut m = pb.procedure("main");
+    let e = m.entry_block();
+    let h = m.new_block();
+    let body = m.new_block();
+    let done = m.new_block();
+    let i = m.new_reg();
+    let c = m.new_reg();
+    let a = m.new_reg();
+    let v = m.new_reg();
+    let acc = m.new_reg();
+    let r = m.new_reg();
+    m.block(e).mov(i, 0i64).mov(acc, 0i64).jump(h);
+    m.block(h).cmp_lt(c, i, 200i64).branch(c, body, done);
+    m.block(body)
+        .mul(a, i, 8i64)
+        .add(a, a, 0x9000i64)
+        .store(Operand::Reg(i), a, 0)
+        .load(v, a, 0)
+        .mul(v, v, 31i64)
+        .add(acc, acc, Operand::Reg(v))
+        .add(i, i, 1i64)
+        .jump(h);
+    m.block(done)
+        .call(fib, vec![Operand::Imm(18)], Some(r))
+        .add(acc, acc, Operand::Reg(r))
+        .mov(a, RESULT_ADDR as i64)
+        .store(Operand::Reg(acc), a, 0)
+        .ret();
+    let main = m.finish();
+
+    let mut f = pb.procedure_for(fib);
+    let e = f.entry_block();
+    let base_case = f.new_block();
+    let rec_case = f.new_block();
+    f.reserve_regs(1);
+    let n = Reg(0);
+    let c = f.new_reg();
+    let x = f.new_reg();
+    let y = f.new_reg();
+    let t = f.new_reg();
+    f.block(e).bin(pp::ir::instr::BinOp::CmpLt, c, n, 2i64).branch(c, base_case, rec_case);
+    f.block(base_case).ret(); // fib(0)=0, fib(1)=1: r0 = n already
+    f.block(rec_case)
+        .sub(t, n, 1i64)
+        .call(fib, vec![Operand::Reg(t)], Some(x))
+        .sub(t, n, 2i64)
+        .call(fib, vec![Operand::Reg(t)], Some(y))
+        .add(Reg(0), x, Operand::Reg(y))
+        .ret();
+    f.finish();
+    pb.finish(main)
+}
+
+fn result_of(program: &Program) -> u64 {
+    let mut m = Machine::new(program, MachineConfig::default());
+    m.run(&mut NullSink).expect("program runs");
+    m.memory().read_u64(RESULT_ADDR)
+}
+
+#[test]
+fn base_program_computes_expected_result() {
+    let prog = checksum_program();
+    let result = result_of(&prog);
+    // fib(18) = 2584; checksum = 31 * sum(0..200).
+    let expected = 2584 + 31 * (0..200u64).sum::<u64>();
+    assert_eq!(result, expected);
+}
+
+#[test]
+fn every_mode_preserves_semantics() {
+    let prog = checksum_program();
+    let expected = result_of(&prog);
+    for mode in [
+        Mode::FlowFreq,
+        Mode::FlowHw,
+        Mode::ContextHw,
+        Mode::ContextFlow,
+        Mode::CombinedHw,
+    ] {
+        let inst =
+            instrument_program(&prog, InstrumentOptions::new(mode)).expect("instruments");
+        let mut machine = Machine::new(&inst.program, MachineConfig::default());
+        machine
+            .run(&mut RecordingSink::default())
+            .unwrap_or_else(|e| panic!("{mode}: {e}"));
+        assert_eq!(
+            machine.memory().read_u64(RESULT_ADDR),
+            expected,
+            "{mode} changed the program's result"
+        );
+    }
+}
+
+#[test]
+fn both_placements_preserve_semantics() {
+    let prog = checksum_program();
+    let expected = result_of(&prog);
+    for placement in [PlacementChoice::Simple, PlacementChoice::Optimized] {
+        let inst = instrument_program(
+            &prog,
+            InstrumentOptions::new(Mode::FlowFreq).with_placement(placement),
+        )
+        .expect("instruments");
+        let mut machine = Machine::new(&inst.program, MachineConfig::default());
+        machine.run(&mut RecordingSink::default()).expect("runs");
+        assert_eq!(machine.memory().read_u64(RESULT_ADDR), expected);
+    }
+}
+
+#[test]
+fn workload_suite_semantics_preserved_under_instrumentation() {
+    // Every suite program must run to completion in every mode (the
+    // result here is completion without ExecError, since workloads do not
+    // publish a single result word).
+    for w in pp::workloads::suite(0.03) {
+        for mode in [Mode::FlowHw, Mode::ContextFlow] {
+            let inst = instrument_program(&w.program, InstrumentOptions::new(mode))
+                .unwrap_or_else(|e| panic!("{} {mode}: {e}", w.name));
+            pp::ir::verify::verify_program(&inst.program)
+                .unwrap_or_else(|e| panic!("{} {mode}: {e}", w.name));
+        }
+    }
+}

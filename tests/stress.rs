@@ -1,0 +1,50 @@
+//! Large-scale robustness checks, ignored by default (run with
+//! `cargo test --release -- --ignored`).
+
+use pp::ir::HwEvent;
+use pp::profiler::{Profiler, RunConfig};
+
+#[test]
+#[ignore = "multi-minute at debug opt levels; run with --release -- --ignored"]
+fn full_suite_at_4x_scale() {
+    let profiler = Profiler::default();
+    for w in pp::workloads::suite(4.0) {
+        for config in [
+            RunConfig::Base,
+            RunConfig::FlowHw {
+                events: (HwEvent::Insts, HwEvent::DcMiss),
+            },
+            RunConfig::CombinedHw {
+                events: (HwEvent::Insts, HwEvent::DcMiss),
+            },
+        ] {
+            let run = profiler
+                .run(&w.program, config)
+                .unwrap_or_else(|e| panic!("{} {config}: {e}", w.name));
+            assert!(run.cycles() > 0);
+        }
+    }
+}
+
+#[test]
+#[ignore = "slow fuzz sweep; run with --release -- --ignored"]
+fn wide_random_program_sweep() {
+    let spec = pp::workloads::RandomSpec {
+        num_procs: 6,
+        max_depth: 4,
+        max_stmts: 5,
+        max_trip: 5,
+    };
+    let profiler = Profiler::default();
+    for seed in 0..200u64 {
+        let prog = pp::workloads::random_program(seed, &spec);
+        profiler
+            .run(
+                &prog,
+                RunConfig::CombinedHw {
+                    events: (HwEvent::Cycles, HwEvent::DcMiss),
+                },
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Round-trip property of the textual IR format over the whole workload
+//! suite: `parse(display(p)) == p`, including data segments — so programs
+//! can be saved, edited and re-profiled as text.
+
+use pp::ir::parse::parse_program;
+
+#[test]
+fn suite_programs_roundtrip_through_text() {
+    for w in pp::workloads::suite(0.03) {
+        let text = w.program.to_string();
+        let back = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{text}", w.name));
+        assert_eq!(back, w.program, "{} did not roundtrip", w.name);
+        assert_eq!(back.to_string(), text, "{} text unstable", w.name);
+    }
+}
+
+#[test]
+fn parsed_program_profiles_identically() {
+    let w = pp::workloads::suite(0.03).swap_remove(3); // compress analog
+    let text = w.program.to_string();
+    let parsed = parse_program(&text).expect("parses");
+    let profiler = pp::profiler::Profiler::default();
+    let a = profiler
+        .run(&w.program, pp::profiler::RunConfig::Base)
+        .expect("original runs");
+    let b = profiler
+        .run(&parsed, pp::profiler::RunConfig::Base)
+        .expect("parsed runs");
+    assert_eq!(a.machine.metrics, b.machine.metrics);
+}
