@@ -121,9 +121,7 @@ impl EdgeProfile {
                 inflow += self.entry_count(proc);
             }
             if inflow != count {
-                violations.push(format!(
-                    "{proc} {block}: inflow {inflow} != count {count}"
-                ));
+                violations.push(format!("{proc} {block}: inflow {inflow} != count {count}"));
             }
         }
         violations
@@ -309,9 +307,7 @@ mod tests {
     #[test]
     fn projection_counts_known_loop() {
         let prog = branchy_loop_terminating();
-        let run = Profiler::default()
-            .run(&prog, RunConfig::FlowFreq)
-            .unwrap();
+        let run = Profiler::default().run(&prog, RunConfig::FlowFreq).unwrap();
         let flow = run.flow.as_ref().unwrap();
         let inst = run.instrumented.as_ref().unwrap();
         let ep = EdgeProfile::from_flow(inst, flow);

@@ -86,7 +86,9 @@ pub fn run_gprof(
         stash: Vec::new(),
     };
     let mut machine = Machine::new(&inst.program, machine_config);
-    let machine = machine.run(&mut sink).map_err(|e: ExecError| Box::new(e) as Box<_>)?;
+    let machine = machine
+        .run(&mut sink)
+        .map_err(|e: ExecError| Box::new(e) as Box<_>)?;
     Ok(GprofProfile {
         dcg: sink.dcg,
         machine,
@@ -98,7 +100,12 @@ pub fn run_gprof(
 /// callee's metric to its callers and the CCT's exact per-context
 /// attribution. 0 means gprof happened to be right; 1 means completely
 /// wrong.
-pub fn attribution_error(gprof: &DynCallGraph, cct: &CctRuntime, callee: u32, metric: usize) -> f64 {
+pub fn attribution_error(
+    gprof: &DynCallGraph,
+    cct: &CctRuntime,
+    callee: u32,
+    metric: usize,
+) -> f64 {
     // Ground truth from the CCT: the callee's metric per parent procedure.
     let mut truth: Vec<(Option<u32>, f64)> = Vec::new();
     let mut total = 0.0f64;

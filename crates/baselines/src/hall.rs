@@ -237,7 +237,10 @@ mod tests {
         let prog = layered_program(5);
         let r = hall_call_path_profile(&prog, MachineConfig::default()).unwrap();
         assert_eq!(r.runs, 5);
-        assert!(r.total_cycles > r.base_cycles * 4, "five runs cost > 4x base");
+        assert!(
+            r.total_cycles > r.base_cycles * 4,
+            "five runs cost > 4x base"
+        );
         assert!(
             r.hall_overhead() > r.cct_overhead(),
             "iterative re-execution ({:.2}x) must cost more than one CCT run ({:.2}x)",

@@ -93,8 +93,7 @@ pub fn sampling_error(profile: &SampledProfile, cct: &CctRuntime, min_share: f64
     let mut exact: HashMap<Vec<u32>, u64> = HashMap::new();
     for id in cct.record_ids().skip(1) {
         let r = cct.record(id);
-        *exact.entry(r.context()).or_insert(0) +=
-            r.metrics().first().copied().unwrap_or(0);
+        *exact.entry(r.context()).or_insert(0) += r.metrics().first().copied().unwrap_or(0);
     }
     let mut n = 0usize;
     let mut err_sum = 0.0;
@@ -174,11 +173,13 @@ mod tests {
     fn unbounded_structure_grows_with_distinct_stacks() {
         // Deep recursion produces many distinct stacks: one per depth.
         let w = pp_workloads::suite(0.1).swap_remove(4); // li analog: recursion
-        let (profile, _) =
-            run_sampled_profile(&w.program, MachineConfig::default(), 100).unwrap();
+        let (profile, _) = run_sampled_profile(&w.program, MachineConfig::default(), 100).unwrap();
         // The CCT for the same program is bounded; the sample store keeps
         // every distinct stack (recursive stacks included).
         let max_depth = profile.stacks.keys().map(Vec::len).max().unwrap_or(0);
-        assert!(max_depth > 8, "recursion visible in stacks (depth {max_depth})");
+        assert!(
+            max_depth > 8,
+            "recursion visible in stacks (depth {max_depth})"
+        );
     }
 }

@@ -7,9 +7,7 @@ use std::collections::BTreeMap;
 
 use pp_baselines::EdgeProfile;
 use pp_core::{Profiler, RunConfig};
-use pp_instrument::{
-    instrument_program, instrument_program_weighted, InstrumentOptions, Mode,
-};
+use pp_instrument::{instrument_program, instrument_program_weighted, InstrumentOptions, Mode};
 use pp_pathprof::{CfgEdgeRef, ProcPaths};
 use pp_usim::{Machine, MachineConfig, ProfSink};
 
@@ -55,7 +53,12 @@ fn profile_guided_placement_is_no_worse_and_identical_in_meaning() {
             let pp = &analyses[pid.index()];
             match pp.edge_ref(e) {
                 CfgEdgeRef::Succ { block, succ_index } => {
-                    let succ = w.program.procedure(pid).block(block).term.successors()
+                    let succ = w
+                        .program
+                        .procedure(pid)
+                        .block(block)
+                        .term
+                        .successors()
                         .nth(succ_index as usize)
                         .expect("edge exists");
                     measured.edge_count(pid, block, succ)

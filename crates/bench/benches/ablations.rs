@@ -29,7 +29,10 @@ fn main() {
     let start = std::time::Instant::now();
 
     println!("Ablation 1: call-site vs per-procedure CCT slots (combined profile)\n");
-    println!("{:<14} {:>14} {:>14} {:>7}", "benchmark", "site bytes", "proc bytes", "ratio");
+    println!(
+        "{:<14} {:>14} {:>14} {:>7}",
+        "benchmark", "site bytes", "proc bytes", "ratio"
+    );
     for case in &sample {
         let site = profiler
             .run(&case.program, RunConfig::CombinedHw { events: EVENTS })
@@ -59,7 +62,10 @@ fn main() {
     }
 
     println!("\nAblation 2: simple vs optimized increment placement (flow, freq)\n");
-    println!("{:<14} {:>14} {:>14} {:>8}", "benchmark", "simple cyc", "optimized cyc", "saved");
+    println!(
+        "{:<14} {:>14} {:>14} {:>8}",
+        "benchmark", "simple cyc", "optimized cyc", "saved"
+    );
     for case in &sample {
         let simple = profiler
             .run_instrumented(
@@ -73,8 +79,7 @@ fn main() {
             .run_instrumented(
                 &case.program,
                 RunConfig::FlowFreq,
-                InstrumentOptions::new(Mode::FlowFreq)
-                    .with_placement(PlacementChoice::Optimized),
+                InstrumentOptions::new(Mode::FlowFreq).with_placement(PlacementChoice::Optimized),
             )
             .expect("optimized run")
             .cycles();
@@ -88,7 +93,10 @@ fn main() {
     }
 
     println!("\nAblation 3: array vs hashed path counters (flow + HW)\n");
-    println!("{:<14} {:>14} {:>14} {:>8}", "benchmark", "array cyc", "hashed cyc", "extra");
+    println!(
+        "{:<14} {:>14} {:>14} {:>8}",
+        "benchmark", "array cyc", "hashed cyc", "extra"
+    );
     for case in &sample {
         let mut hashed_opts = InstrumentOptions::new(Mode::FlowHw).with_events(EVENTS.0, EVENTS.1);
         hashed_opts.hash_threshold = 0; // force hashing everywhere
@@ -97,7 +105,11 @@ fn main() {
             .expect("array run")
             .cycles();
         let hashed = profiler
-            .run_instrumented(&case.program, RunConfig::FlowHw { events: EVENTS }, hashed_opts)
+            .run_instrumented(
+                &case.program,
+                RunConfig::FlowHw { events: EVENTS },
+                hashed_opts,
+            )
             .expect("hashed run")
             .cycles();
         println!(
@@ -122,7 +134,11 @@ fn main() {
             .expect("ticks run")
             .cycles();
         let without = profiler
-            .run_instrumented(&case.program, RunConfig::ContextHw { events: EVENTS }, no_ticks)
+            .run_instrumented(
+                &case.program,
+                RunConfig::ContextHw { events: EVENTS },
+                no_ticks,
+            )
             .expect("no-ticks run")
             .cycles();
         println!(
@@ -160,12 +176,19 @@ fn main() {
             base,
             100.0 * edge_oh,
             100.0 * path_oh,
-            if edge_oh > 0.0 { path_oh / edge_oh } else { 0.0 }
+            if edge_oh > 0.0 {
+                path_oh / edge_oh
+            } else {
+                0.0
+            }
         );
     }
 
     println!("\nAblation 6: EEL register-spill modeling (flow + HW)\n");
-    println!("{:<14} {:>14} {:>14} {:>8}", "benchmark", "spills cyc", "no-spill cyc", "cost");
+    println!(
+        "{:<14} {:>14} {:>14} {:>8}",
+        "benchmark", "spills cyc", "no-spill cyc", "cost"
+    );
     for case in &sample {
         let mut no_spill = InstrumentOptions::new(Mode::FlowHw).with_events(EVENTS.0, EVENTS.1);
         no_spill.spill_reg_threshold = u16::MAX;
@@ -174,7 +197,11 @@ fn main() {
             .expect("spill run")
             .cycles();
         let without = profiler
-            .run_instrumented(&case.program, RunConfig::FlowHw { events: EVENTS }, no_spill)
+            .run_instrumented(
+                &case.program,
+                RunConfig::FlowHw { events: EVENTS },
+                no_spill,
+            )
             .expect("no-spill run")
             .cycles();
         println!(

@@ -18,8 +18,14 @@ fn main() {
     let sample: Vec<_> = cases
         .iter()
         .filter(|c| {
-            ["124.m88ksim", "130.li", "134.perl", "147.vortex", "103.su2cor"]
-                .contains(&c.name.as_str())
+            [
+                "124.m88ksim",
+                "130.li",
+                "134.perl",
+                "147.vortex",
+                "103.su2cor",
+            ]
+            .contains(&c.name.as_str())
         })
         .collect();
     let start = std::time::Instant::now();
@@ -30,8 +36,8 @@ fn main() {
         "benchmark", "worst-attributed proc", "callers", "tv error"
     );
     for case in &sample {
-        let gprof = run_gprof(&case.program, *profiler.machine_config(), EVENTS)
-            .expect("gprof run");
+        let gprof =
+            run_gprof(&case.program, *profiler.machine_config(), EVENTS).expect("gprof run");
         let cct_run = profiler
             .run(&case.program, RunConfig::ContextHw { events: EVENTS })
             .expect("cct run");

@@ -82,7 +82,12 @@ fn figure45() {
             dcg.exit();
         }
     }
-    println!("\nFigure 4: DCT {} nodes / CCT {} records / DCG {} vertices", dct.len() - 1, cct.num_records(), dcg.num_vertices());
+    println!(
+        "\nFigure 4: DCT {} nodes / CCT {} records / DCG {} vertices",
+        dct.len() - 1,
+        cct.num_records(),
+        dcg.num_vertices()
+    );
     println!("CCT contexts of C:");
     for id in cct.record_ids().skip(1) {
         let r = cct.record(id);

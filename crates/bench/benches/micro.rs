@@ -1,14 +1,29 @@
-//! Criterion microbenchmarks of the core data structures: Ball–Larus
-//! labelling and regeneration, CCT transitions, and raw interpreter
-//! throughput.
+//! Microbenchmarks of the core data structures: Ball–Larus labelling and
+//! regeneration, CCT transitions, and raw interpreter throughput.
+//!
+//! Uses a small `Instant`-based harness (like the table benches) so the
+//! suite has no external benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use pp_cct::{CctConfig, CctRuntime, ProcInfo};
 use pp_ir::build::ProgramBuilder;
 use pp_pathprof::{PathGraph, Placement, WeightSource};
 use pp_usim::{Machine, MachineConfig, NullSink};
+
+/// Times `iters` runs of `f` after a small warmup and prints ns/iter.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_nanos() / iters as u128;
+    println!("{name:<36} {per:>12} ns/iter  ({iters} iters)");
+}
 
 /// A 3-wide, `depth`-deep chain of diamonds with loop backedges: a
 /// realistically messy CFG for the labelling benchmarks.
@@ -28,53 +43,50 @@ fn big_graph(depth: u32) -> PathGraph {
     g
 }
 
-fn bench_labeling(c: &mut Criterion) {
+fn bench_labeling() {
     let g = big_graph(20);
-    c.bench_function("ball_larus_label_61_blocks", |b| {
-        b.iter(|| black_box(&g).label().expect("labels"))
+    bench("ball_larus_label_61_blocks", 2000, || {
+        black_box(black_box(&g).label().expect("labels"));
     });
     let l = g.label().expect("labels");
-    c.bench_function("placement_optimized", |b| {
-        b.iter(|| Placement::optimized(black_box(&l), WeightSource::LoopHeuristic))
+    bench("placement_optimized", 2000, || {
+        black_box(Placement::optimized(
+            black_box(&l),
+            WeightSource::LoopHeuristic,
+        ));
     });
-    c.bench_function("regenerate_path", |b| {
-        let sums: Vec<u64> = (0..l.num_paths().min(64)).collect();
-        b.iter(|| {
-            for &s in &sums {
-                black_box(l.regenerate(s));
-            }
-        })
-    });
-}
-
-fn bench_cct(c: &mut Criterion) {
-    c.bench_function("cct_enter_exit_fast_path", |b| {
-        let procs = vec![ProcInfo::new("a", 1), ProcInfo::new("b", 0)];
-        let mut cct = CctRuntime::new(CctConfig::default(), procs);
-        cct.enter(0);
-        b.iter(|| {
-            for _ in 0..100 {
-                cct.prepare_call(0, None);
-                cct.enter(1);
-                cct.exit();
-            }
-        });
-    });
-    c.bench_function("cct_recursive_backedge", |b| {
-        let procs = vec![ProcInfo::new("rec", 1)];
-        let mut cct = CctRuntime::new(CctConfig::default(), procs);
-        cct.enter(0);
-        b.iter(|| {
-            for _ in 0..50 {
-                cct.prepare_call(0, None);
-                cct.enter(0);
-            }
-            cct.unwind_to(1);
-        });
+    let sums: Vec<u64> = (0..l.num_paths().min(64)).collect();
+    bench("regenerate_path", 2000, || {
+        for &s in &sums {
+            black_box(l.regenerate(s));
+        }
     });
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_cct() {
+    let procs = vec![ProcInfo::new("a", 1), ProcInfo::new("b", 0)];
+    let mut cct = CctRuntime::new(CctConfig::default(), procs);
+    cct.enter(0);
+    bench("cct_enter_exit_fast_path", 20000, || {
+        for _ in 0..100 {
+            cct.prepare_call(0, None);
+            cct.enter(1);
+            cct.exit();
+        }
+    });
+    let procs = vec![ProcInfo::new("rec", 1)];
+    let mut rec = CctRuntime::new(CctConfig::default(), procs);
+    rec.enter(0);
+    bench("cct_recursive_backedge", 20000, || {
+        for _ in 0..50 {
+            rec.prepare_call(0, None);
+            rec.enter(0);
+        }
+        rec.unwind_to(1);
+    });
+}
+
+fn bench_interpreter() {
     // A tight arithmetic loop: measures raw simulation throughput.
     let mut pb = ProgramBuilder::new();
     let mut f = pb.procedure("main");
@@ -94,17 +106,14 @@ fn bench_interpreter(c: &mut Criterion) {
     f.block(x).ret();
     let id = f.finish();
     let prog = pb.finish(id);
-    c.bench_function("interpreter_50k_uops_loop", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(black_box(&prog), MachineConfig::default());
-            m.run(&mut NullSink).expect("runs")
-        })
+    bench("interpreter_50k_uops_loop", 100, || {
+        let mut m = Machine::new(black_box(&prog), MachineConfig::default());
+        black_box(m.run(&mut NullSink).expect("runs"));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_labeling, bench_cct, bench_interpreter
+fn main() {
+    bench_labeling();
+    bench_cct();
+    bench_interpreter();
 }
-criterion_main!(benches);

@@ -22,8 +22,7 @@ fn main() {
             format!(
                 "{}: {:.0}%",
                 r.name,
-                100.0 * r.stats.call_sites_one_path as f64
-                    / r.stats.call_sites_used.max(1) as f64
+                100.0 * r.stats.call_sites_one_path as f64 / r.stats.call_sites_used.max(1) as f64
             )
         })
         .collect();

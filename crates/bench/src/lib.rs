@@ -56,10 +56,7 @@ pub fn profiler() -> Profiler {
 /// Maps `f` over the cases in parallel (one OS thread per chunk, capped at
 /// the available parallelism), preserving order. Everything in the stack is
 /// `Send`, so table harnesses parallelize trivially across benchmarks.
-pub fn par_map<T: Send>(
-    cases: &[BenchCase],
-    f: impl Fn(&BenchCase) -> T + Sync,
-) -> Vec<T> {
+pub fn par_map<T: Send>(cases: &[BenchCase], f: impl Fn(&BenchCase) -> T + Sync) -> Vec<T> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -77,7 +74,9 @@ pub fn par_map<T: Send>(
             });
         }
     });
-    out.into_iter().map(|t| t.expect("thread filled slot")).collect()
+    out.into_iter()
+        .map(|t| t.expect("thread filled slot"))
+        .collect()
 }
 
 #[cfg(test)]

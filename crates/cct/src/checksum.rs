@@ -1,0 +1,59 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to protect
+//! profile files against corruption and truncation.
+//!
+//! Kept dependency-free on purpose: profile integrity checking must work
+//! in every build of the reproduction, including offline ones.
+
+/// Computes the CRC-32 of `data` (same parameters as zlib's `crc32`).
+pub fn crc32(data: &[u8]) -> u32 {
+    update_crc32(0, data)
+}
+
+/// Continues a CRC-32 computation: `update_crc32(crc32(a), b) ==
+/// crc32(a ++ b)`.
+pub fn update_crc32(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answers() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(update_crc32(crc32(a), b), crc32(data));
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"profile payload bytes".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut mutated = data.clone();
+                mutated[i] ^= 1 << bit;
+                assert_ne!(crc32(&mutated), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

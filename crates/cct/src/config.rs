@@ -45,7 +45,10 @@ impl ProcInfo {
 
     /// True if `site` is indirect.
     pub fn site_is_indirect(&self, site: u32) -> bool {
-        self.indirect_sites.get(site as usize).copied().unwrap_or(false)
+        self.indirect_sites
+            .get(site as usize)
+            .copied()
+            .unwrap_or(false)
     }
 }
 
@@ -64,6 +67,14 @@ pub struct CctConfig {
     /// Base simulated address of the CCT heap, used to model the cache
     /// traffic of record accesses.
     pub heap_base: u64,
+    /// Hard cap on the number of call records (0 = unlimited, the paper's
+    /// behavior). When the arena is full, new contexts collapse onto one
+    /// shared per-procedure *overflow record*, degrading the overflowed
+    /// region of the tree into a dynamic call graph (Section 2's DCG)
+    /// instead of growing without bound. Up to one overflow record per
+    /// procedure may still be allocated past the cap, so memory stays
+    /// bounded by `max_records + num_procs` records.
+    pub max_records: u32,
 }
 
 impl Default for CctConfig {
@@ -73,6 +84,7 @@ impl Default for CctConfig {
             distinguish_call_sites: true,
             path_tables: false,
             heap_base: 0x5000_0000,
+            max_records: 0,
         }
     }
 }
@@ -94,6 +106,12 @@ impl CctConfig {
             path_tables: true,
             ..CctConfig::default()
         }
+    }
+
+    /// Sets the hard record cap (0 = unlimited).
+    pub fn with_max_records(mut self, max_records: u32) -> CctConfig {
+        self.max_records = max_records;
+        self
     }
 }
 
@@ -119,5 +137,7 @@ mod tests {
         assert_eq!(CctConfig::with_hw_metrics().num_metrics, 2);
         assert!(CctConfig::combined(true).path_tables);
         assert_eq!(CctConfig::combined(false).num_metrics, 0);
+        assert_eq!(CctConfig::default().max_records, 0, "unlimited by default");
+        assert_eq!(CctConfig::default().with_max_records(64).max_records, 64);
     }
 }

@@ -44,6 +44,7 @@
 //! assert_eq!(cct.num_records(), 2); // main + helper (root is separate)
 //! ```
 
+pub mod checksum;
 mod config;
 mod dcg;
 mod dct;
@@ -51,11 +52,12 @@ mod runtime;
 mod serialize;
 mod stats;
 
+pub use checksum::crc32;
 pub use config::{CctConfig, ProcInfo};
 pub use dcg::DynCallGraph;
 pub use dct::{DctNodeId, DynCallTree};
 pub use runtime::{
     CallRecordView, CctRuntime, EnterEffect, EnterOutcome, PathCounts, RecordId, SlotView,
 };
-pub use serialize::{read_cct, write_cct, SerializeError};
+pub use serialize::{read_cct, read_envelope, write_cct, write_envelope, SerializeError};
 pub use stats::CctStats;

@@ -49,6 +49,13 @@ pub enum EnterOutcome {
         /// Parent-chain length inspected.
         ancestors_walked: u32,
     },
+    /// The record arena hit [`CctConfig::max_records`]; the call was
+    /// collapsed onto the procedure's shared overflow record (DCG-style
+    /// degradation), losing context but bounding memory.
+    Overflow {
+        /// Parent-chain length inspected before giving up.
+        ancestors_walked: u32,
+    },
 }
 
 /// Addresses and outcome of an [`CctRuntime::enter`], for cost modeling.
@@ -157,6 +164,10 @@ pub struct CctRuntime {
     gcsp: SlotRef,
     stack: Vec<Activation>,
     heap_top: u64,
+    /// Per-procedure shared records used once `config.max_records` is hit.
+    overflow: HashMap<u32, RecordId>,
+    /// Number of enters that collapsed onto an overflow record.
+    overflow_enters: u64,
 }
 
 impl CctRuntime {
@@ -175,6 +186,8 @@ impl CctRuntime {
             heap_top: config.heap_base,
 
             stack: Vec::new(),
+            overflow: HashMap::new(),
+            overflow_enters: 0,
         };
         // The root has a single callee slot (for the program entry) and
         // accumulates no metrics.
@@ -277,6 +290,26 @@ impl CctRuntime {
             None => {
                 let nslots = self.slots_for(proc);
                 let num_paths = self.procs[proc as usize].num_paths;
+                if self.at_capacity() {
+                    // DCG-style degradation: all further contexts of `proc`
+                    // share one overflow record, so the structure (and its
+                    // simulated heap) stays bounded.
+                    self.overflow_enters += 1;
+                    let r = match self.overflow.get(&proc) {
+                        Some(&r) => r,
+                        None => {
+                            let r = self.alloc_record(proc, Some(caller), nslots, num_paths);
+                            self.overflow.insert(proc, r);
+                            r
+                        }
+                    };
+                    return (
+                        r,
+                        EnterOutcome::Overflow {
+                            ancestors_walked: walked,
+                        },
+                    );
+                }
                 let r = self.alloc_record(proc, Some(caller), nslots, num_paths);
                 (
                     r,
@@ -286,6 +319,11 @@ impl CctRuntime {
                 )
             }
         }
+    }
+
+    /// True when the configured cap is active and the arena has reached it.
+    fn at_capacity(&self) -> bool {
+        self.config.max_records != 0 && self.records.len() >= self.config.max_records as usize
     }
 
     /// Procedure entry: find or create `proc`'s call record under the slot
@@ -363,8 +401,7 @@ impl CctRuntime {
                             // unlink c, relink at front
                             self.lists[p as usize].next = self.lists[c as usize].next;
                             self.lists[c as usize].next = Some(head);
-                            self.records[caller.index()].slots[sref.slot as usize] =
-                                Slot::List(c);
+                            self.records[caller.index()].slots[sref.slot as usize] = Slot::List(c);
                         }
                         (r, EnterOutcome::ListHit { scanned })
                     }
@@ -470,7 +507,10 @@ impl CctRuntime {
     ///
     /// Panics if no activation is live.
     pub fn metric_exit(&mut self, pics: (u32, u32)) -> u64 {
-        let act = self.stack.last().expect("metric_exit outside any activation");
+        let act = self
+            .stack
+            .last()
+            .expect("metric_exit outside any activation");
         let d0 = pics.0.wrapping_sub(act.stash.0) as u64;
         let d1 = pics.1.wrapping_sub(act.stash.1) as u64;
         let rec = &mut self.records[self.cur.index()];
@@ -551,6 +591,19 @@ impl CctRuntime {
         self.records.len() - 1
     }
 
+    /// Number of enters that collapsed onto a shared per-procedure
+    /// overflow record because [`CctConfig::max_records`] was reached.
+    /// Zero when uncapped or when the cap was never hit.
+    pub fn overflow_enters(&self) -> u64 {
+        self.overflow_enters
+    }
+
+    /// Number of shared overflow records allocated once the cap was hit
+    /// (at most one per procedure).
+    pub fn num_overflow_records(&self) -> usize {
+        self.overflow.len()
+    }
+
     /// Total simulated heap bytes consumed by records (and inline path
     /// arrays).
     pub fn heap_bytes(&self) -> u64 {
@@ -578,7 +631,10 @@ impl CctRuntime {
     ///
     /// Panics if `id` is out of range.
     pub fn record(&self, id: RecordId) -> CallRecordView<'_> {
-        assert!(id.index() < self.records.len(), "record {id:?} out of range");
+        assert!(
+            id.index() < self.records.len(),
+            "record {id:?} out of range"
+        );
         CallRecordView { rt: self, id }
     }
 }
@@ -623,6 +679,8 @@ impl CctRuntime {
             },
             stack: Vec::new(),
             heap_top: config.heap_base,
+            overflow: HashMap::new(),
+            overflow_enters: 0,
         };
         if parts.first().map(|p| p.proc) != Some(ROOT_PROC) {
             return Err("first record must be the root".to_string());
@@ -863,11 +921,22 @@ impl CctRuntime {
         *budget -= 1;
         let r = self.record(id);
         let metrics = r.metrics();
-        let _ = write!(out, "{:indent$}{}", "", r.proc_name(), indent = (depth as usize) * 2);
+        let _ = write!(
+            out,
+            "{:indent$}{}",
+            "",
+            r.proc_name(),
+            indent = (depth as usize) * 2
+        );
         if id != RecordId::ROOT {
             let _ = write!(out, "  calls={}", r.calls());
             if !metrics.is_empty() {
-                let _ = write!(out, " m0={} m1={}", metrics[0], metrics.get(1).copied().unwrap_or(0));
+                let _ = write!(
+                    out,
+                    " m0={} m1={}",
+                    metrics[0],
+                    metrics.get(1).copied().unwrap_or(0)
+                );
             }
             let paths = r.paths();
             if !paths.is_empty() {
@@ -1040,11 +1109,11 @@ mod tests {
 
     fn procs_abc() -> Vec<ProcInfo> {
         vec![
-            ProcInfo::new("M", 2),  // 0: M calls A (site 0) and D (site 1)
-            ProcInfo::new("A", 1),  // 1: A calls B
-            ProcInfo::new("B", 1),  // 2: B calls C
-            ProcInfo::new("C", 0),  // 3
-            ProcInfo::new("D", 1),  // 4: D calls C
+            ProcInfo::new("M", 2), // 0: M calls A (site 0) and D (site 1)
+            ProcInfo::new("A", 1), // 1: A calls B
+            ProcInfo::new("B", 1), // 2: B calls C
+            ProcInfo::new("C", 0), // 3
+            ProcInfo::new("D", 1), // 4: D calls C
         ]
     }
 
@@ -1137,7 +1206,10 @@ mod tests {
         cct.enter(2); // B
         cct.prepare_call(0, None);
         let eff = cct.enter(1); // A again: recursive
-        assert!(matches!(eff.outcome, EnterOutcome::RecursiveBackedge { .. }));
+        assert!(matches!(
+            eff.outcome,
+            EnterOutcome::RecursiveBackedge { .. }
+        ));
         // No new record: still M, A, B.
         assert_eq!(cct.num_records(), 3);
         // The recursive A aggregates into the original record.
@@ -1248,10 +1320,7 @@ mod tests {
     #[test]
     fn merged_mode_is_smaller() {
         let mk = |distinguish| {
-            let procs = vec![
-                ProcInfo::new("M", 8),
-                ProcInfo::new("f", 0),
-            ];
+            let procs = vec![ProcInfo::new("M", 8), ProcInfo::new("f", 0)];
             let config = CctConfig {
                 distinguish_call_sites: distinguish,
                 ..CctConfig::default()
@@ -1267,6 +1336,118 @@ mod tests {
             cct.heap_bytes()
         };
         assert!(mk(true) > mk(false));
+    }
+
+    #[test]
+    fn record_cap_collapses_new_contexts_onto_overflow_record() {
+        // M has many call sites all calling f; with distinguish_call_sites
+        // each site would get its own f record, overflowing a small cap.
+        let nsites = 32u32;
+        let procs = vec![ProcInfo::new("M", nsites), ProcInfo::new("f", 0)];
+        let config = CctConfig::default().with_max_records(10);
+        let mut cct = CctRuntime::new(config, procs);
+        cct.enter(0);
+        let mut overflowed = 0u32;
+        for site in 0..nsites {
+            cct.prepare_call(site, None);
+            let eff = cct.enter(1);
+            if matches!(eff.outcome, EnterOutcome::Overflow { .. }) {
+                overflowed += 1;
+            }
+            cct.exit();
+        }
+        cct.exit();
+        // Cap 10 = root + M + 8 distinct f records; the remaining sites all
+        // collapse onto one shared overflow record.
+        assert_eq!(overflowed, nsites - 8);
+        assert_eq!(cct.num_records(), 10, "one overflow record past the cap");
+        assert_eq!(cct.num_overflow_records(), 1);
+        assert_eq!(cct.overflow_enters(), u64::from(nsites - 8));
+        // No call is lost: f's records together saw every enter.
+        let total_f_calls: u64 = cct
+            .record_ids()
+            .filter(|&id| cct.record(id).proc_name() == "f")
+            .map(|id| cct.record(id).calls())
+            .sum();
+        assert_eq!(total_f_calls, u64::from(nsites));
+        // The degraded tree still renders without panicking.
+        let _ = cct.render_tree(8, 64);
+    }
+
+    #[test]
+    fn record_cap_overflow_record_is_reused_across_sites() {
+        let procs = vec![ProcInfo::new("M", 6), ProcInfo::new("f", 0)];
+        let mut cct = CctRuntime::new(CctConfig::default().with_max_records(3), procs);
+        cct.enter(0);
+        let mut addrs = Vec::new();
+        for site in 0..6 {
+            cct.prepare_call(site, None);
+            let eff = cct.enter(1);
+            if matches!(eff.outcome, EnterOutcome::Overflow { .. }) {
+                addrs.push(eff.record_addr);
+            }
+            cct.exit();
+        }
+        cct.exit();
+        assert!(!addrs.is_empty());
+        assert!(
+            addrs.windows(2).all(|w| w[0] == w[1]),
+            "all overflowed enters resolve to the same shared record"
+        );
+        // Re-entering an already-collapsed site is a plain hit, not
+        // another overflow event.
+        cct.enter(0);
+        cct.prepare_call(5, None);
+        let eff = cct.enter(1);
+        assert_eq!(eff.outcome, EnterOutcome::FastHit);
+        cct.exit();
+        cct.exit();
+    }
+
+    #[test]
+    fn uncapped_runtime_never_overflows() {
+        let procs = vec![ProcInfo::new("M", 16), ProcInfo::new("f", 0)];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        for site in 0..16 {
+            cct.prepare_call(site, None);
+            let eff = cct.enter(1);
+            assert!(!matches!(eff.outcome, EnterOutcome::Overflow { .. }));
+            cct.exit();
+        }
+        cct.exit();
+        assert_eq!(cct.overflow_enters(), 0);
+        assert_eq!(cct.num_overflow_records(), 0);
+    }
+
+    #[test]
+    fn record_cap_recursion_still_uses_backedges() {
+        // Recursion must keep resolving through ancestor backedges (not
+        // overflow records) even at capacity.
+        let procs = vec![ProcInfo::new("M", 1), ProcInfo::new("r", 1)];
+        let mut cct = CctRuntime::new(CctConfig::default().with_max_records(3), procs);
+        cct.enter(0);
+        cct.prepare_call(0, None);
+        cct.enter(1); // r: fills the arena to the cap (root, M, r)
+        for depth in 0..5 {
+            cct.prepare_call(0, None);
+            let eff = cct.enter(1);
+            // First re-entry resolves via the ancestor walk; later ones hit
+            // the cached backedge in the slot. Never an overflow.
+            if depth == 0 {
+                assert!(matches!(
+                    eff.outcome,
+                    EnterOutcome::RecursiveBackedge { .. }
+                ));
+            } else {
+                assert_eq!(eff.outcome, EnterOutcome::FastHit);
+            }
+        }
+        for _ in 0..6 {
+            cct.exit();
+        }
+        cct.exit();
+        assert_eq!(cct.overflow_enters(), 0);
     }
 
     #[test]
@@ -1298,7 +1479,10 @@ mod tests {
 
     #[test]
     fn path_events_counted_per_record() {
-        let procs = vec![ProcInfo::new("M", 1).with_paths(10), ProcInfo::new("f", 0).with_paths(4)];
+        let procs = vec![
+            ProcInfo::new("M", 1).with_paths(10),
+            ProcInfo::new("f", 0).with_paths(4),
+        ];
         let mut cct = CctRuntime::new(CctConfig::combined(true), procs);
         cct.enter(0);
         cct.path_event(3, Some((5, 0)));

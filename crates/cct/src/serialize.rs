@@ -4,14 +4,36 @@
 //! the heap containing the CCT to a file from which the CCT can be
 //! reconstructed." The format here is a compact little-endian binary
 //! encoding; its size is what Table 3 reports as "Size".
+//!
+//! # On-disk format (version 2)
+//!
+//! ```text
+//! magic    8 bytes   b"PPCCT02\n"
+//! length   u64 LE    number of payload bytes that follow
+//! payload  length bytes (config, procedure table, records)
+//! crc32    u32 LE    CRC-32 (IEEE) of the payload bytes
+//! ```
+//!
+//! The envelope makes the three corruption classes distinguishable:
+//! a wrong or outdated magic ([`SerializeError::UnsupportedVersion`] /
+//! bad-magic [`SerializeError::Format`]), a file cut short
+//! ([`SerializeError::Truncated`]), and payload bytes that were altered in
+//! place ([`SerializeError::ChecksumMismatch`]). Decoding never panics on
+//! arbitrary input.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use crate::checksum::crc32;
 use crate::config::{CctConfig, ProcInfo};
 use crate::runtime::{CctRuntime, PathCounts, RecordId, RecordParts, SlotParts};
 
-const MAGIC: &[u8; 8] = b"PPCCT01\n";
+const MAGIC: &[u8; 8] = b"PPCCT02\n";
+/// The pre-checksum format, recognized only to report a version error.
+const MAGIC_V1: &[u8; 8] = b"PPCCT01\n";
+/// Upper bound on a plausible payload (Table 3's largest profiles are a
+/// few megabytes; this mostly guards against allocating on garbage).
+const MAX_PAYLOAD: u64 = 1 << 33;
 
 /// Serialization / deserialization failure.
 #[derive(Debug)]
@@ -20,6 +42,22 @@ pub enum SerializeError {
     Io(io::Error),
     /// The input is not a PP CCT profile or is corrupt.
     Format(String),
+    /// The magic belongs to a profile version this build cannot read.
+    UnsupportedVersion(String),
+    /// The input ended before the declared payload and trailer.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// The payload's CRC-32 does not match the stored trailer.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the payload read.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for SerializeError {
@@ -27,6 +65,16 @@ impl fmt::Display for SerializeError {
         match self {
             SerializeError::Io(e) => write!(f, "i/o error: {e}"),
             SerializeError::Format(m) => write!(f, "bad profile file: {m}"),
+            SerializeError::UnsupportedVersion(m) => {
+                write!(f, "unsupported profile version: {m}")
+            }
+            SerializeError::Truncated { expected, got } => {
+                write!(f, "truncated profile: expected {expected} bytes, got {got}")
+            }
+            SerializeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "profile checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -35,7 +83,7 @@ impl std::error::Error for SerializeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SerializeError::Io(e) => Some(e),
-            SerializeError::Format(_) => None,
+            _ => None,
         }
     }
 }
@@ -72,13 +120,92 @@ fn r64(r: &mut impl Read) -> Result<u64, SerializeError> {
     Ok(u64::from_le_bytes(b))
 }
 
+/// Writes `payload` wrapped in the standard envelope: `magic`, a u64
+/// little-endian payload length, the payload, and a CRC-32 trailer.
+///
+/// Shared by every profile format in the reproduction (CCT files here,
+/// flow-profile files in `pp-core`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_envelope(
+    w: &mut impl Write,
+    magic: &[u8; 8],
+    payload: &[u8],
+) -> Result<(), SerializeError> {
+    w.write_all(magic)?;
+    w64(w, payload.len() as u64)?;
+    w.write_all(payload)?;
+    w32(w, crc32(payload))?;
+    Ok(())
+}
+
+/// Reads one envelope written by [`write_envelope`], returning the
+/// verified payload. `older` maps recognizable-but-outdated magics to an
+/// [`SerializeError::UnsupportedVersion`] message.
+///
+/// # Errors
+///
+/// [`SerializeError::UnsupportedVersion`] for an `older` magic,
+/// [`SerializeError::Format`] for an unknown magic or implausible length,
+/// [`SerializeError::Truncated`] when the input ends early, and
+/// [`SerializeError::ChecksumMismatch`] when the payload fails its CRC.
+pub fn read_envelope(
+    r: &mut impl Read,
+    magic: &[u8; 8],
+    older: &[(&[u8; 8], &str)],
+) -> Result<Vec<u8>, SerializeError> {
+    let mut found = [0u8; 8];
+    read_or_truncated(r, &mut found, 0)?;
+    if let Some((_, why)) = older.iter().find(|(m, _)| *m == &found) {
+        return Err(SerializeError::UnsupportedVersion((*why).to_string()));
+    }
+    if &found != magic {
+        return Err(SerializeError::Format("bad magic".to_string()));
+    }
+
+    let mut len_bytes = [0u8; 8];
+    read_or_truncated(r, &mut len_bytes, 8)?;
+    let payload_len = u64::from_le_bytes(len_bytes);
+    if payload_len > MAX_PAYLOAD {
+        return Err(SerializeError::Format("implausible payload length".into()));
+    }
+
+    let mut payload = Vec::new();
+    let got = r
+        .take(payload_len)
+        .read_to_end(&mut payload)
+        .map_err(SerializeError::Io)?;
+    if (got as u64) < payload_len {
+        return Err(SerializeError::Truncated {
+            expected: 8 + 8 + payload_len + 4,
+            got: 8 + 8 + got as u64,
+        });
+    }
+
+    let mut crc_bytes = [0u8; 4];
+    read_or_truncated(r, &mut crc_bytes, 8 + 8 + payload_len)?;
+    let stored = u32::from_le_bytes(crc_bytes);
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(SerializeError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
 /// Writes `cct` to `w`.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `w`.
 pub fn write_cct(cct: &CctRuntime, w: &mut impl Write) -> Result<(), SerializeError> {
-    w.write_all(MAGIC)?;
+    let mut payload = Vec::new();
+    write_payload(cct, &mut payload)?;
+    write_envelope(w, MAGIC, &payload)
+}
+
+fn write_payload(cct: &CctRuntime, w: &mut impl Write) -> Result<(), SerializeError> {
     let config = cct.config();
     w.write_all(&[
         config.num_metrics as u8,
@@ -86,6 +213,7 @@ pub fn write_cct(cct: &CctRuntime, w: &mut impl Write) -> Result<(), SerializeEr
         u8::from(config.path_tables),
     ])?;
     w64(w, config.heap_base)?;
+    w32(w, config.max_records)?;
 
     let procs = cct.procs();
     w32(w, procs.len() as u32)?;
@@ -142,23 +270,58 @@ pub fn write_cct(cct: &CctRuntime, w: &mut impl Write) -> Result<(), SerializeEr
 ///
 /// # Errors
 ///
-/// Returns [`SerializeError::Format`] on a bad magic number or truncated /
-/// inconsistent input, and [`SerializeError::Io`] on read failures.
+/// Returns [`SerializeError::UnsupportedVersion`] on a recognizable but
+/// unreadable version, [`SerializeError::Truncated`] when the input ends
+/// before the declared payload and checksum,
+/// [`SerializeError::ChecksumMismatch`] when the payload bytes were
+/// altered, [`SerializeError::Format`] on a bad magic number or an
+/// internally inconsistent payload, and [`SerializeError::Io`] on read
+/// failures.
 pub fn read_cct(r: &mut impl Read) -> Result<CctRuntime, SerializeError> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(SerializeError::Format("bad magic".to_string()));
+    let payload = read_envelope(
+        r,
+        MAGIC,
+        &[(
+            MAGIC_V1,
+            "PPCCT01 (no checksum); re-profile to produce PPCCT02",
+        )],
+    )?;
+    let mut cursor: &[u8] = &payload;
+    let cct = read_payload(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(SerializeError::Format(format!(
+            "{} trailing payload bytes",
+            cursor.len()
+        )));
     }
+    Ok(cct)
+}
+
+/// `read_exact` that reports EOF as [`SerializeError::Truncated`] (with
+/// `offset` bytes already consumed) instead of a bare I/O error.
+fn read_or_truncated(r: &mut impl Read, buf: &mut [u8], offset: u64) -> Result<(), SerializeError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(SerializeError::Truncated {
+            expected: offset + buf.len() as u64,
+            got: offset,
+        }),
+        Err(e) => Err(SerializeError::Io(e)),
+    }
+}
+
+fn read_payload(r: &mut &[u8]) -> Result<CctRuntime, SerializeError> {
     let num_metrics = r8(r)? as usize;
     let distinguish = r8(r)? != 0;
     let path_tables = r8(r)? != 0;
     let heap_base = r64(r)?;
+    let max_records = r32(r)?;
     let config = CctConfig {
         num_metrics,
         distinguish_call_sites: distinguish,
         path_tables,
         heap_base,
+        max_records,
     };
 
     let nprocs = r32(r)? as usize;
@@ -176,6 +339,9 @@ pub fn read_cct(r: &mut impl Read) -> Result<CctRuntime, SerializeError> {
         let name = String::from_utf8(name)
             .map_err(|_| SerializeError::Format("name is not utf-8".into()))?;
         let num_call_sites = r32(r)?;
+        if num_call_sites as usize > r.len() {
+            return Err(SerializeError::Format("implausible call-site count".into()));
+        }
         let num_paths = r64(r)?;
         let mut info = ProcInfo::new(&name, num_call_sites).with_paths(num_paths);
         for site in 0..num_call_sites {
@@ -189,6 +355,9 @@ pub fn read_cct(r: &mut impl Read) -> Result<CctRuntime, SerializeError> {
     let nrecords = r32(r)? as usize;
     if nrecords == 0 {
         return Err(SerializeError::Format("no root record".into()));
+    }
+    if nrecords > r.len() {
+        return Err(SerializeError::Format("implausible record count".into()));
     }
     let mut parts = Vec::with_capacity(nrecords);
     for i in 0..nrecords {
@@ -213,12 +382,17 @@ pub fn read_cct(r: &mut impl Read) -> Result<CctRuntime, SerializeError> {
             metrics.push(r64(r)?);
         }
         let nslots = r32(r)? as usize;
+        if nslots > r.len() {
+            return Err(SerializeError::Format("implausible slot count".into()));
+        }
         let mut slots = Vec::with_capacity(nslots);
         for _ in 0..nslots {
             let tag = r8(r)?;
             let nentries = r32(r)? as usize;
             if nentries > nrecords {
-                return Err(SerializeError::Format("implausible slot entry count".into()));
+                return Err(SerializeError::Format(
+                    "implausible slot entry count".into(),
+                ));
             }
             let mut entries = Vec::with_capacity(nentries);
             for _ in 0..nentries {
@@ -237,6 +411,9 @@ pub fn read_cct(r: &mut impl Read) -> Result<CctRuntime, SerializeError> {
             });
         }
         let npaths = r32(r)? as usize;
+        if npaths > r.len() {
+            return Err(SerializeError::Format("implausible path count".into()));
+        }
         let mut paths = Vec::with_capacity(npaths);
         for _ in 0..npaths {
             let sum = r64(r)?;
@@ -254,8 +431,7 @@ pub fn read_cct(r: &mut impl Read) -> Result<CctRuntime, SerializeError> {
             paths,
         });
     }
-    CctRuntime::from_parts(config, procs, parts)
-        .map_err(SerializeError::Format)
+    CctRuntime::from_parts(config, procs, parts).map_err(SerializeError::Format)
 }
 
 #[cfg(test)]
@@ -285,19 +461,28 @@ mod tests {
         cct
     }
 
+    fn encode(cct: &CctRuntime) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_cct(cct, &mut buf).unwrap();
+        buf
+    }
+
     #[test]
     fn roundtrip_preserves_structure_and_stats() {
         let cct = sample();
-        let mut buf = Vec::new();
-        write_cct(&cct, &mut buf).unwrap();
+        let buf = encode(&cct);
         let back = read_cct(&mut buf.as_slice()).unwrap();
         assert_eq!(back.num_records(), cct.num_records());
+        assert_eq!(back.config(), cct.config());
         let a = CctStats::compute(&cct);
         let b = CctStats::compute(&back);
         assert_eq!(a, b);
         // Contexts survive.
         let mut ca: Vec<Vec<u32>> = cct.record_ids().map(|i| cct.record(i).context()).collect();
-        let mut cb: Vec<Vec<u32>> = back.record_ids().map(|i| back.record(i).context()).collect();
+        let mut cb: Vec<Vec<u32>> = back
+            .record_ids()
+            .map(|i| back.record(i).context())
+            .collect();
         ca.sort();
         cb.sort();
         assert_eq!(ca, cb);
@@ -308,32 +493,127 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_preserves_record_cap_config() {
+        let procs = vec![ProcInfo::new("M", 4), ProcInfo::new("f", 0)];
+        let mut cct = CctRuntime::new(CctConfig::default().with_max_records(3), procs);
+        cct.enter(0);
+        for site in 0..4 {
+            cct.prepare_call(site, None);
+            cct.enter(1);
+            cct.exit();
+        }
+        cct.exit();
+        let buf = encode(&cct);
+        let back = read_cct(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.config().max_records, 3);
+        assert_eq!(back.num_records(), cct.num_records());
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let err = read_cct(&mut &b"NOTACCTF"[..]).unwrap_err();
         assert!(matches!(err, SerializeError::Format(_)), "{err}");
     }
 
     #[test]
-    fn truncated_input_is_an_error() {
-        let cct = sample();
-        let mut buf = Vec::new();
-        write_cct(&cct, &mut buf).unwrap();
-        buf.truncate(buf.len() / 2);
+    fn v1_magic_is_reported_as_unsupported_version() {
+        let mut buf = b"PPCCT01\n".to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
         let err = read_cct(&mut buf.as_slice()).unwrap_err();
-        assert!(matches!(err, SerializeError::Io(_)), "{err}");
+        assert!(
+            matches!(err, SerializeError::UnsupportedVersion(_)),
+            "{err}"
+        );
     }
 
     #[test]
-    fn corrupt_record_reference_is_rejected() {
-        let cct = sample();
-        let mut buf = Vec::new();
-        write_cct(&cct, &mut buf).unwrap();
-        // Flip the record count up so slot references become dangling...
-        // easier: corrupt a parent pointer region. Instead, just check
-        // that random garbage after the magic fails cleanly.
-        let mut garbage = MAGIC.to_vec();
-        garbage.extend_from_slice(&[0xFF; 64]);
-        let err = read_cct(&mut garbage.as_slice()).unwrap_err();
-        assert!(matches!(err, SerializeError::Format(_) | SerializeError::Io(_)));
+    fn truncation_at_every_offset_is_a_typed_error() {
+        let buf = encode(&sample());
+        for cut in 0..buf.len() {
+            let err = read_cct(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SerializeError::Truncated { .. }),
+                "cut at {cut}/{}: {err}",
+                buf.len()
+            );
+        }
+        // The full buffer still decodes.
+        read_cct(&mut buf.as_slice()).unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let buf = encode(&sample());
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupt = buf.clone();
+                corrupt[i] ^= 1 << bit;
+                assert!(
+                    read_cct(&mut corrupt.as_slice()).is_err(),
+                    "flip at byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_a_checksum_mismatch() {
+        let buf = encode(&sample());
+        // Flip a byte in the middle of the payload (past magic + length).
+        let mut corrupt = buf.clone();
+        let mid = 16 + (buf.len() - 20) / 2;
+        corrupt[mid] ^= 0x40;
+        let err = read_cct(&mut corrupt.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, SerializeError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailer_corruption_is_a_checksum_mismatch() {
+        let mut buf = encode(&sample());
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let err = read_cct(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, SerializeError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn garbage_tail_after_valid_file_is_ignored_by_reader() {
+        // The reader consumes exactly one profile; callers appending to a
+        // stream can read several back-to-back.
+        let mut buf = encode(&sample());
+        buf.extend_from_slice(b"unrelated trailing junk");
+        read_cct(&mut buf.as_slice()).unwrap();
+    }
+
+    #[test]
+    fn random_garbage_never_panics() {
+        // A tiny deterministic corruption corpus: xorshift-filled buffers
+        // of varying lengths, magic-prefixed and not.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [0usize, 1, 7, 8, 9, 20, 64, 256, 1024] {
+            for prefix_magic in [false, true] {
+                let mut buf = Vec::new();
+                if prefix_magic {
+                    buf.extend_from_slice(MAGIC);
+                }
+                while buf.len() < len {
+                    buf.extend_from_slice(&next().to_le_bytes());
+                }
+                buf.truncate(len.max(if prefix_magic { 8 } else { 0 }));
+                let _ = read_cct(&mut buf.as_slice());
+            }
+        }
     }
 }

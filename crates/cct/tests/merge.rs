@@ -147,8 +147,14 @@ fn render_tree_shows_contexts() {
     assert!(text.contains("<root>"), "{text}");
     assert!(text.contains("main"), "{text}");
     // Indentation deepens with depth.
-    let main_line = text.lines().find(|l| l.trim_start().starts_with("main")).unwrap();
-    let leaf_line = text.lines().find(|l| l.trim_start().starts_with("b")).unwrap();
+    let main_line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("main"))
+        .unwrap();
+    let leaf_line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("b"))
+        .unwrap();
     let indent = |l: &str| l.len() - l.trim_start().len();
     assert!(indent(leaf_line) > indent(main_line), "{text}");
     // Truncation works.

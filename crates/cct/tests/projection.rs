@@ -2,12 +2,15 @@
 //! the projection of the dynamic call tree that discards redundant
 //! context while preserving unique contexts, with recursion collapsed by
 //! the modified vertex equivalence.
+//!
+//! Randomized inputs come from the workspace-local deterministic RNG
+//! (`pp_workloads::SmallRng`) rather than an external property-testing
+//! framework, so every case is reproducible from its seed.
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
-
 use pp_cct::{CctConfig, CctRuntime, DynCallGraph, DynCallTree, ProcInfo};
+use pp_workloads::SmallRng;
 
 /// A call trace: balanced enter/exit events over `num_procs` procedures,
 /// each with `num_sites` call sites.
@@ -27,6 +30,23 @@ enum Ev {
 }
 
 impl Trace {
+    /// Draws a random trace shape from `rng`.
+    fn arbitrary(rng: &mut SmallRng) -> Trace {
+        let num_procs = rng.gen_range(2..8u32);
+        let num_sites = rng.gen_range(1..4u32);
+        let max_depth = rng.gen_range(2..7u32);
+        let len = rng.gen_range(0..120usize);
+        let choices = (0..len)
+            .map(|_| (rng.gen_range(0..num_procs), rng.gen_range(0..num_sites)))
+            .collect();
+        Trace {
+            num_procs,
+            num_sites,
+            choices,
+            max_depth,
+        }
+    }
+
     /// Expands the choice list into a balanced event sequence: a preorder
     /// walk that enters each chosen (proc, site) child until choices run
     /// out or the depth cap is hit.
@@ -54,19 +74,6 @@ impl Trace {
         }
         events
     }
-}
-
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    (2u32..8, 1u32..4, 2u32..7).prop_flat_map(|(num_procs, num_sites, max_depth)| {
-        proptest::collection::vec((0..num_procs, 0..num_sites), 0..120).prop_map(
-            move |choices| Trace {
-                num_procs,
-                num_sites,
-                choices,
-                max_depth,
-            },
-        )
-    })
 }
 
 fn build_all(trace: &Trace) -> (CctRuntime, DynCallTree, DynCallGraph) {
@@ -116,27 +123,36 @@ fn cct_context_histogram(cct: &CctRuntime) -> BTreeMap<Vec<u32>, u64> {
     hist
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// The CCT's (context -> entry count) map equals the DCT's
-    /// (collapsed context -> activation count) map: the projection
-    /// preserves unique contexts and aggregates equivalent ones.
-    #[test]
-    fn cct_is_projection_of_dct(trace in arb_trace()) {
+/// The CCT's (context -> entry count) map equals the DCT's
+/// (collapsed context -> activation count) map: the projection
+/// preserves unique contexts and aggregates equivalent ones.
+#[test]
+fn cct_is_projection_of_dct() {
+    for seed in 0..192u64 {
+        let trace = Trace::arbitrary(&mut SmallRng::seed_from_u64(seed));
         let (cct, dct, _) = build_all(&trace);
-        prop_assert_eq!(cct_context_histogram(&cct), dct_context_histogram(&dct));
+        assert_eq!(
+            cct_context_histogram(&cct),
+            dct_context_histogram(&dct),
+            "seed {seed}"
+        );
     }
+}
 
-    /// In site-merged mode the context multiset is identical (contexts are
-    /// procedure chains; only slot layout changes).
-    #[test]
-    fn merged_mode_preserves_contexts(trace in arb_trace()) {
+/// In site-merged mode the context multiset is identical (contexts are
+/// procedure chains; only slot layout changes).
+#[test]
+fn merged_mode_preserves_contexts() {
+    for seed in 0..96u64 {
+        let trace = Trace::arbitrary(&mut SmallRng::seed_from_u64(seed));
         let procs: Vec<ProcInfo> = (0..trace.num_procs)
             .map(|i| ProcInfo::new(&format!("p{i}"), trace.num_sites))
             .collect();
         let mut merged = CctRuntime::new(
-            CctConfig { distinguish_call_sites: false, ..CctConfig::default() },
+            CctConfig {
+                distinguish_call_sites: false,
+                ..CctConfig::default()
+            },
             procs,
         );
         for ev in trace.events() {
@@ -153,69 +169,93 @@ proptest! {
             }
         }
         let (cct, _, _) = build_all(&trace);
-        prop_assert_eq!(cct_context_histogram(&cct), cct_context_histogram(&merged));
+        assert_eq!(
+            cct_context_histogram(&cct),
+            cct_context_histogram(&merged),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Size ordering of the three representations: |DCG vertices| <=
-    /// |CCT records| <= |DCT activations|; and the CCT never exceeds the
-    /// total activation count.
-    #[test]
-    fn representation_size_ordering(trace in arb_trace()) {
+/// Size ordering of the three representations: |DCG vertices| <=
+/// |CCT records| <= |DCT activations|; and the CCT never exceeds the
+/// total activation count.
+#[test]
+fn representation_size_ordering() {
+    for seed in 0..192u64 {
+        let trace = Trace::arbitrary(&mut SmallRng::seed_from_u64(seed));
         let (cct, dct, dcg) = build_all(&trace);
-        prop_assert!(dcg.num_vertices() <= cct.num_records());
-        prop_assert!(cct.num_records() < dct.len());
+        assert!(dcg.num_vertices() <= cct.num_records(), "seed {seed}");
+        assert!(cct.num_records() < dct.len(), "seed {seed}");
     }
+}
 
-    /// Depth bound: no record is deeper than the number of procedures
-    /// (the modified equivalence guarantees each procedure at most once
-    /// per root-to-leaf chain).
-    #[test]
-    fn cct_depth_bounded_by_procedure_count(trace in arb_trace()) {
+/// Depth bound: no record is deeper than the number of procedures
+/// (the modified equivalence guarantees each procedure at most once
+/// per root-to-leaf chain).
+#[test]
+fn cct_depth_bounded_by_procedure_count() {
+    for seed in 0..192u64 {
+        let trace = Trace::arbitrary(&mut SmallRng::seed_from_u64(seed));
         let (cct, _, _) = build_all(&trace);
         for id in cct.record_ids() {
-            prop_assert!(cct.record(id).depth() <= trace.num_procs);
+            assert!(cct.record(id).depth() <= trace.num_procs, "seed {seed}");
         }
     }
+}
 
-    /// A context never contains the same procedure twice (no duplicate
-    /// procedure on any root-to-record chain).
-    #[test]
-    fn contexts_have_unique_procedures(trace in arb_trace()) {
+/// A context never contains the same procedure twice (no duplicate
+/// procedure on any root-to-record chain).
+#[test]
+fn contexts_have_unique_procedures() {
+    for seed in 0..192u64 {
+        let trace = Trace::arbitrary(&mut SmallRng::seed_from_u64(seed));
         let (cct, _, _) = build_all(&trace);
         for id in cct.record_ids().skip(1) {
             let ctx = cct.record(id).context();
             let mut sorted = ctx.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), ctx.len(), "context {:?} repeats a procedure", ctx);
+            assert_eq!(
+                sorted.len(),
+                ctx.len(),
+                "seed {seed}: context {ctx:?} repeats a procedure"
+            );
         }
     }
+}
 
-    /// Serialization roundtrip preserves the context histogram.
-    #[test]
-    fn serialized_roundtrip_preserves_profile(trace in arb_trace()) {
+/// Serialization roundtrip preserves the context histogram.
+#[test]
+fn serialized_roundtrip_preserves_profile() {
+    for seed in 0..96u64 {
+        let trace = Trace::arbitrary(&mut SmallRng::seed_from_u64(seed));
         let (cct, _, _) = build_all(&trace);
         let mut buf = Vec::new();
         pp_cct::write_cct(&cct, &mut buf).expect("write to Vec");
         let back = pp_cct::read_cct(&mut buf.as_slice()).expect("read back");
-        prop_assert_eq!(cct_context_histogram(&cct), cct_context_histogram(&back));
+        assert_eq!(
+            cct_context_histogram(&cct),
+            cct_context_histogram(&back),
+            "seed {seed}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Merging two random profiles is commutative on the (context ->
-    /// calls) histogram and equals the concatenated-trace profile.
-    #[test]
-    fn merge_matches_concatenated_trace(a in arb_trace(), b_choices in proptest::collection::vec((0u32..6, 0u32..3), 0..80)) {
+/// Merging two random profiles is commutative on the (context ->
+/// calls) histogram and equals the sum of the individual histograms.
+#[test]
+fn merge_matches_concatenated_trace() {
+    for seed in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x4D45_5247 ^ seed);
+        let a = Trace::arbitrary(&mut rng);
         // Give both traces the same program shape (procs/sites from `a`).
+        let b_len = rng.gen_range(0..80usize);
         let b = Trace {
             num_procs: a.num_procs,
             num_sites: a.num_sites,
-            choices: b_choices
-                .into_iter()
-                .map(|(p, s)| (p % a.num_procs, s % a.num_sites))
+            choices: (0..b_len)
+                .map(|_| (rng.gen_range(0..a.num_procs), rng.gen_range(0..a.num_sites)))
                 .collect(),
             max_depth: a.max_depth,
         };
@@ -226,33 +266,18 @@ proptest! {
         merged_ab.merge_from(&cct_b);
         let mut merged_ba = build_all(&b).0;
         merged_ba.merge_from(&cct_a);
-        prop_assert_eq!(
+        assert_eq!(
             cct_context_histogram(&merged_ab),
-            cct_context_histogram(&merged_ba)
+            cct_context_histogram(&merged_ba),
+            "seed {seed}"
         );
 
-        // Equals the profile of running trace a then trace b in sequence.
-        let concat = Trace {
-            num_procs: a.num_procs,
-            num_sites: a.num_sites,
-            choices: a
-                .choices
-                .iter()
-                .chain(b.choices.iter())
-                .copied()
-                .collect(),
-            max_depth: a.max_depth,
-        };
-        // Concatenation only matches if both traces individually return to
-        // depth 0 between them, which build_all guarantees by
-        // construction; but the *events* differ (the concatenated trace
-        // re-enters procedure 0 once instead of twice). Compare sums of
-        // the individual histograms instead.
-        let _ = concat;
+        // Equals the sum of the individual histograms (both traces return
+        // to depth 0, so contexts are independent).
         let mut expect = cct_context_histogram(&cct_a);
         for (k, v) in cct_context_histogram(&cct_b) {
             *expect.entry(k).or_insert(0) += v;
         }
-        prop_assert_eq!(cct_context_histogram(&merged_ab), expect);
+        assert_eq!(cct_context_histogram(&merged_ab), expect, "seed {seed}");
     }
 }

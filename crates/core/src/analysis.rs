@@ -329,10 +329,7 @@ pub struct ContextPathStat {
 /// pairs carrying at least `threshold` of the second metric. This is the
 /// view neither flow profiling (no context) nor context profiling (no
 /// paths) can produce alone.
-pub fn hot_context_paths(
-    cct: &pp_cct::CctRuntime,
-    threshold: f64,
-) -> (Vec<ContextPathStat>, u64) {
+pub fn hot_context_paths(cct: &pp_cct::CctRuntime, threshold: f64) -> (Vec<ContextPathStat>, u64) {
     let mut all: Vec<ContextPathStat> = Vec::new();
     let mut total_m1 = 0u64;
     for id in cct.record_ids().skip(1) {
@@ -377,7 +374,7 @@ mod tests {
         fp.record_n(ProcId(0), 0, 100, 10_000, 900); // dense: ratio 0.09
         fp.record_n(ProcId(0), 1, 1000, 80_000, 80); // sparse hot: ratio 0.001
         fp.record_n(ProcId(0), 2, 1, 100, 1); // cold
-        // proc 1: cold noise.
+                                              // proc 1: cold noise.
         fp.record_n(ProcId(1), 0, 5, 500, 2);
         fp
     }

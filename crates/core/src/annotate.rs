@@ -103,9 +103,7 @@ pub fn annotated_listing(
 /// blocks with misses) of the largest single-path share of each block's
 /// misses. A value near 1 would mean block-level numbers identify paths;
 /// the paper's point is that it is far below 1 on hot code.
-pub fn avg_top_path_share(
-    attributions: &HashMap<(ProcId, BlockId), BlockAttribution>,
-) -> f64 {
+pub fn avg_top_path_share(attributions: &HashMap<(ProcId, BlockId), BlockAttribution>) -> f64 {
     let with_misses: Vec<&BlockAttribution> = attributions
         .values()
         .filter(|a| a.miss_est > 0.0 && a.paths > 1)

@@ -1,0 +1,167 @@
+//! The unified error taxonomy of the PP tool.
+//!
+//! Every failure a user of the profiler (in particular the `pp` CLI) can
+//! hit maps onto one [`PpError`] variant, and every variant maps onto one
+//! process exit code:
+//!
+//! | variant | meaning | exit code |
+//! |---|---|---|
+//! | — | clean run | 0 |
+//! | [`PpError::Usage`] | bad arguments / bad input program | 1 |
+//! | [`PpError::Instrument`] | Ball–Larus analysis or rewriting failed | 1 |
+//! | [`PpError::Aborted`] | execution cut short; a partial profile was still reported | 2 |
+//! | [`PpError::Io`] | file I/O failed | 3 |
+//! | [`PpError::Corrupt`] | a profile file failed version/length/CRC validation | 3 |
+
+use std::fmt;
+use std::io;
+
+use pp_cct::SerializeError;
+use pp_instrument::InstrumentError;
+use pp_usim::ExecError;
+
+use crate::profiler::ProfileError;
+
+/// Everything that can go wrong when profiling — see the module docs for
+/// the exit-code mapping.
+#[derive(Debug)]
+pub enum PpError {
+    /// Bad command-line arguments or an unusable input program.
+    Usage(String),
+    /// Instrumentation (path analysis or rewriting) failed.
+    Instrument(InstrumentError),
+    /// Execution was cut short by a machine fault; callers should have
+    /// reported the partial profile before surfacing this.
+    Aborted(ExecError),
+    /// An I/O operation failed; `context` names the file or stream.
+    Io {
+        /// What was being read or written.
+        context: String,
+        /// The underlying failure.
+        source: io::Error,
+    },
+    /// A profile file failed validation (wrong version, truncated,
+    /// checksum mismatch, or internally inconsistent).
+    Corrupt(SerializeError),
+}
+
+impl PpError {
+    /// The process exit code this error maps onto (1 usage, 2 aborted
+    /// run with partial profile, 3 I/O or corruption).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            PpError::Usage(_) | PpError::Instrument(_) => 1,
+            PpError::Aborted(_) => 2,
+            PpError::Io { .. } | PpError::Corrupt(_) => 3,
+        }
+    }
+
+    /// Convenience constructor tagging an [`io::Error`] with its file.
+    pub fn io(context: impl Into<String>, source: io::Error) -> PpError {
+        PpError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for PpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpError::Usage(m) => write!(f, "{m}"),
+            PpError::Instrument(e) => write!(f, "instrumentation failed: {e}"),
+            PpError::Aborted(e) => write!(f, "run aborted: {e} (partial profile reported)"),
+            PpError::Io { context, source } => write!(f, "{context}: {source}"),
+            PpError::Corrupt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PpError::Io { source, .. } => Some(source),
+            PpError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InstrumentError> for PpError {
+    fn from(e: InstrumentError) -> PpError {
+        PpError::Instrument(e)
+    }
+}
+
+impl From<ExecError> for PpError {
+    fn from(e: ExecError) -> PpError {
+        PpError::Aborted(e)
+    }
+}
+
+impl From<SerializeError> for PpError {
+    fn from(e: SerializeError) -> PpError {
+        // An envelope I/O failure is an I/O problem, not corruption.
+        match e {
+            SerializeError::Io(source) => PpError::Io {
+                context: "profile file".to_string(),
+                source,
+            },
+            other => PpError::Corrupt(other),
+        }
+    }
+}
+
+impl From<ProfileError> for PpError {
+    fn from(e: ProfileError) -> PpError {
+        match e {
+            ProfileError::Instrument(e) => PpError::Instrument(e),
+            ProfileError::Exec(e) => PpError::Aborted(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_the_taxonomy() {
+        assert_eq!(PpError::Usage("x".into()).exit_code(), 1);
+        assert_eq!(
+            PpError::Aborted(ExecError::StackOverflow { depth: 9 }).exit_code(),
+            2
+        );
+        assert_eq!(
+            PpError::io("f", io::Error::new(io::ErrorKind::NotFound, "gone")).exit_code(),
+            3
+        );
+        assert_eq!(
+            PpError::Corrupt(SerializeError::ChecksumMismatch {
+                stored: 1,
+                computed: 2
+            })
+            .exit_code(),
+            3
+        );
+    }
+
+    #[test]
+    fn serialize_io_maps_to_io_not_corruption() {
+        let e: PpError =
+            SerializeError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "short")).into();
+        assert!(matches!(e, PpError::Io { .. }), "{e}");
+        let e: PpError = SerializeError::Truncated {
+            expected: 10,
+            got: 4,
+        }
+        .into();
+        assert!(matches!(e, PpError::Corrupt(_)), "{e}");
+    }
+
+    #[test]
+    fn profile_error_maps_by_kind() {
+        let e: PpError = ProfileError::Exec(ExecError::InstructionLimit).into();
+        assert_eq!(e.exit_code(), 2);
+    }
+}

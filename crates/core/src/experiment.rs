@@ -180,7 +180,10 @@ pub const TABLE2_PAIRS: [(HwEvent, HwEvent); 4] = [
 ///
 /// Propagates the first [`ProfileError`].
 pub fn table2(profiler: &Profiler, cases: &[BenchCase]) -> Result<Vec<Table2Row>, ProfileError> {
-    cases.iter().map(|case| table2_case(profiler, case)).collect()
+    cases
+        .iter()
+        .map(|case| table2_case(profiler, case))
+        .collect()
 }
 
 /// The Table 2 measurement for a single benchmark (exposed so harnesses
@@ -499,8 +502,14 @@ pub fn render_table4(rows: &[Table4Row]) -> TextTable {
             format!("{:.1}", avg(sel.iter().map(|r| r.report.hot.len() as f64))),
             pct(avg(sel.iter().map(|r| r.report.hot_inst_fraction()))),
             pct(avg(sel.iter().map(|r| r.report.hot_miss_fraction()))),
-            format!("{:.1}", avg(sel.iter().map(|r| r.report.dense().count() as f64))),
-            format!("{:.1}", avg(sel.iter().map(|r| r.report.sparse().count() as f64))),
+            format!(
+                "{:.1}",
+                avg(sel.iter().map(|r| r.report.dense().count() as f64))
+            ),
+            format!(
+                "{:.1}",
+                avg(sel.iter().map(|r| r.report.sparse().count() as f64))
+            ),
             String::new(),
             String::new(),
             format!("{:.1}", avg(sel.iter().map(|r| r.block_multiplicity))),

@@ -42,6 +42,7 @@
 
 pub mod analysis;
 pub mod annotate;
+pub mod error;
 pub mod experiment;
 pub mod profile;
 pub mod profiler;
@@ -49,6 +50,7 @@ pub mod report;
 mod sink_impl;
 
 pub use analysis::{ContextPathStat, HotPathReport, HotProcReport, PathClass, PathStat, ProcStat};
+pub use error::PpError;
 pub use profile::{FlowProfile, PathCell};
-pub use profiler::{ProfileError, Profiler, RunConfig, RunReport};
+pub use profiler::{ProfileError, Profiler, RunConfig, RunOutcome, RunReport};
 pub use report::TextTable;

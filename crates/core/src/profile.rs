@@ -1,9 +1,14 @@
 //! The collected flow profile.
 
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io::{Read, Write};
 
+use pp_cct::{read_envelope, write_envelope, SerializeError};
 use pp_ir::ProcId;
+
+const MAGIC: &[u8; 8] = b"PPFLOW2\n";
+/// The pre-checksum format, recognized only to report a version error.
+const MAGIC_V1: &[u8; 8] = b"PPFLOW1\n";
 
 /// Counters for one intraprocedural path.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -66,8 +71,7 @@ impl FlowProfile {
     /// procedure, path sums ascending within a procedure.
     pub fn iter_paths(&self) -> impl Iterator<Item = (ProcId, u64, PathCell)> + '_ {
         self.tables.iter().enumerate().flat_map(|(p, table)| {
-            let mut entries: Vec<(u64, PathCell)> =
-                table.iter().map(|(&s, &c)| (s, c)).collect();
+            let mut entries: Vec<(u64, PathCell)> = table.iter().map(|(&s, &c)| (s, c)).collect();
             entries.sort_by_key(|&(s, _)| s);
             entries
                 .into_iter()
@@ -97,78 +101,92 @@ impl FlowProfile {
         }
     }
 
-    /// Writes the profile in a compact binary format (magic, procedure
-    /// count, then per procedure the entry count and `(sum, freq, m0, m1)`
-    /// quadruples).
+    /// Writes the profile: a `PPFLOW2` envelope (magic, payload length,
+    /// CRC-32 trailer) around the procedure count and, per procedure, the
+    /// entry count and `(sum, freq, m0, m1)` quadruples.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `w`.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        w.write_all(b"PPFLOW1\n")?;
-        w.write_all(&(self.tables.len() as u32).to_le_bytes())?;
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), SerializeError> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
         for table in &self.tables {
-            w.write_all(&(table.len() as u32).to_le_bytes())?;
+            payload.extend_from_slice(&(table.len() as u32).to_le_bytes());
             let mut entries: Vec<(&u64, &PathCell)> = table.iter().collect();
             entries.sort_by_key(|(&s, _)| s);
             for (&sum, cell) in entries {
                 for v in [sum, cell.freq, cell.m0, cell.m1] {
-                    w.write_all(&v.to_le_bytes())?;
+                    payload.extend_from_slice(&v.to_le_bytes());
                 }
             }
         }
-        Ok(())
+        write_envelope(w, MAGIC, &payload)
     }
 
     /// Reads a profile written by [`FlowProfile::write_to`].
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on a bad magic number and propagates read
-    /// failures (including truncation).
-    pub fn read_from(r: &mut impl Read) -> io::Result<FlowProfile> {
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != b"PPFLOW1\n" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
-        }
-        let mut b4 = [0u8; 4];
-        let mut b8 = [0u8; 8];
-        r.read_exact(&mut b4)?;
-        let nprocs = u32::from_le_bytes(b4) as usize;
+    /// [`SerializeError::UnsupportedVersion`] for a `PPFLOW1` file,
+    /// [`SerializeError::Format`] on a bad magic or inconsistent payload,
+    /// [`SerializeError::Truncated`] when the input ends early, and
+    /// [`SerializeError::ChecksumMismatch`] when the payload bytes were
+    /// altered. Never panics on arbitrary input.
+    pub fn read_from(r: &mut impl Read) -> Result<FlowProfile, SerializeError> {
+        let payload = read_envelope(
+            r,
+            MAGIC,
+            &[(
+                MAGIC_V1,
+                "PPFLOW1 (no checksum); re-profile to produce PPFLOW2",
+            )],
+        )?;
+        let mut cur: &[u8] = &payload;
+        let take4 = |cur: &mut &[u8]| -> Result<u32, SerializeError> {
+            let (head, rest) = cur
+                .split_first_chunk::<4>()
+                .ok_or_else(|| SerializeError::Format("payload cut short".into()))?;
+            *cur = rest;
+            Ok(u32::from_le_bytes(*head))
+        };
+        let take8 = |cur: &mut &[u8]| -> Result<u64, SerializeError> {
+            let (head, rest) = cur
+                .split_first_chunk::<8>()
+                .ok_or_else(|| SerializeError::Format("payload cut short".into()))?;
+            *cur = rest;
+            Ok(u64::from_le_bytes(*head))
+        };
+        let nprocs = take4(&mut cur)? as usize;
         if nprocs > 10_000_000 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible size"));
+            return Err(SerializeError::Format("implausible procedure count".into()));
         }
         let mut out = FlowProfile::new(nprocs);
         for table in &mut out.tables {
-            r.read_exact(&mut b4)?;
-            let n = u32::from_le_bytes(b4) as usize;
-            for _ in 0..n {
-                let mut vals = [0u64; 4];
-                for v in &mut vals {
-                    r.read_exact(&mut b8)?;
-                    *v = u64::from_le_bytes(b8);
-                }
-                table.insert(
-                    vals[0],
-                    PathCell {
-                        freq: vals[1],
-                        m0: vals[2],
-                        m1: vals[3],
-                    },
-                );
+            let n = take4(&mut cur)? as usize;
+            if n > cur.len() {
+                return Err(SerializeError::Format("implausible entry count".into()));
             }
+            for _ in 0..n {
+                let sum = take8(&mut cur)?;
+                let freq = take8(&mut cur)?;
+                let m0 = take8(&mut cur)?;
+                let m1 = take8(&mut cur)?;
+                table.insert(sum, PathCell { freq, m0, m1 });
+            }
+        }
+        if !cur.is_empty() {
+            return Err(SerializeError::Format(format!(
+                "{} trailing payload bytes",
+                cur.len()
+            )));
         }
         Ok(out)
     }
 
     /// Sum of a projection over all cells (e.g. total misses).
     pub fn total(&self, f: impl Fn(&PathCell) -> u64) -> u64 {
-        self.tables
-            .iter()
-            .flat_map(|t| t.values())
-            .map(f)
-            .sum()
+        self.tables.iter().flat_map(|t| t.values()).map(f).sum()
     }
 }
 
@@ -239,15 +257,47 @@ mod tests {
     #[test]
     fn read_rejects_garbage() {
         let err = FlowProfile::read_from(&mut &b"NOTFLOW!"[..]).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
-        // Truncation surfaces as UnexpectedEof.
-        let mut fp = FlowProfile::new(1);
-        fp.record(ProcId(0), 0, None);
+        assert!(matches!(err, SerializeError::Format(_)), "{err}");
+        let err = FlowProfile::read_from(&mut &b"PPFLOW1\n"[..]).unwrap_err();
+        assert!(
+            matches!(err, SerializeError::UnsupportedVersion(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_typed() {
+        let mut fp = FlowProfile::new(2);
+        fp.record(ProcId(0), 3, Some((9, 2)));
+        fp.record(ProcId(1), 1, None);
         let mut buf = Vec::new();
         fp.write_to(&mut buf).unwrap();
-        buf.truncate(buf.len() - 4);
-        let err = FlowProfile::read_from(&mut buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        for cut in 0..buf.len() {
+            let err = FlowProfile::read_from(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SerializeError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+        FlowProfile::read_from(&mut buf.as_slice()).unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let mut fp = FlowProfile::new(1);
+        fp.record(ProcId(0), 5, Some((100, 7)));
+        let mut buf = Vec::new();
+        fp.write_to(&mut buf).unwrap();
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupt = buf.clone();
+                corrupt[i] ^= 1 << bit;
+                assert!(
+                    FlowProfile::read_from(&mut corrupt.as_slice()).is_err(),
+                    "flip at byte {i} bit {bit} went undetected"
+                );
+            }
+        }
     }
 
     #[test]

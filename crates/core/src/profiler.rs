@@ -3,11 +3,9 @@
 use std::fmt;
 
 use pp_cct::{CctConfig, CctRuntime, ProcInfo};
-use pp_instrument::{
-    instrument_program, InstrumentError, InstrumentOptions, Instrumented, Mode,
-};
+use pp_instrument::{instrument_program, InstrumentError, InstrumentOptions, Instrumented, Mode};
 use pp_ir::{HwEvent, Program};
-use pp_usim::{ExecError, Machine, MachineConfig, NullSink, RunResult};
+use pp_usim::{ExecError, FaultPlan, Machine, MachineConfig, NullSink, RunResult};
 
 use crate::profile::FlowProfile;
 use crate::sink_impl::PpSink;
@@ -140,16 +138,100 @@ impl RunReport {
     }
 }
 
+/// The outcome of a profiled run: the report plus, when execution was cut
+/// short, the fault that ended it.
+///
+/// A faulted run is not discarded — `report` carries everything the
+/// profile collected up to the fault (the paper's counters survive
+/// interrupts; ours survive aborts). `RunOutcome` derefs to
+/// [`RunReport`], so read access (`outcome.flow`, `outcome.cycles()`)
+/// works unchanged whether or not the run completed.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The collected profile — complete, or partial up to `fault`.
+    pub report: RunReport,
+    /// The execution error that aborted the run, if any.
+    pub fault: Option<ExecError>,
+}
+
+impl RunOutcome {
+    /// Did the program run to completion?
+    pub fn is_complete(&self) -> bool {
+        self.fault.is_none()
+    }
+
+    /// The report, requiring a clean run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Exec`] when the run was aborted (the
+    /// partial profile is dropped — use `report` directly to keep it).
+    pub fn into_complete(self) -> Result<RunReport, ProfileError> {
+        match self.fault {
+            None => Ok(self.report),
+            Some(e) => Err(ProfileError::Exec(e)),
+        }
+    }
+
+    /// The report of a run asserted to have completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was aborted by an [`ExecError`].
+    pub fn expect_complete(self) -> RunReport {
+        match self.fault {
+            None => self.report,
+            Some(e) => panic!("run did not complete: {e}"),
+        }
+    }
+}
+
+impl std::ops::Deref for RunOutcome {
+    type Target = RunReport;
+
+    fn deref(&self) -> &RunReport {
+        &self.report
+    }
+}
+
+impl std::ops::DerefMut for RunOutcome {
+    fn deref_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+}
+
 /// The PP profiler: instruments and runs programs.
 #[derive(Clone, Debug, Default)]
 pub struct Profiler {
     machine_config: MachineConfig,
+    fault_plan: FaultPlan,
+    cct_max_records: u32,
 }
 
 impl Profiler {
     /// Creates a profiler whose runs use `machine_config`.
     pub fn new(machine_config: MachineConfig) -> Profiler {
-        Profiler { machine_config }
+        Profiler {
+            machine_config,
+            fault_plan: FaultPlan::default(),
+            cct_max_records: 0,
+        }
+    }
+
+    /// Injects `plan` into every machine this profiler runs (fault
+    /// testing: preloaded counters, read skew, forced aborts).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Profiler {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Caps the CCT record arena at `max_records` (0 = unlimited). Once
+    /// full, new contexts collapse onto shared per-procedure overflow
+    /// records — the profile degrades DCG-style instead of growing
+    /// without bound (see [`CctConfig::max_records`]).
+    pub fn with_cct_record_cap(mut self, max_records: u32) -> Profiler {
+        self.cct_max_records = max_records;
+        self
     }
 
     /// The machine configuration in use.
@@ -162,19 +244,28 @@ impl Profiler {
     /// # Errors
     ///
     /// Returns [`ProfileError::Instrument`] when Ball–Larus analysis or
-    /// rewriting fails, and [`ProfileError::Exec`] when the simulated
-    /// machine reports an error (stack overflow, instruction limit,
-    /// invalid indirect call).
-    pub fn run(&self, program: &Program, config: RunConfig) -> Result<RunReport, ProfileError> {
+    /// rewriting fails. Machine-level failures (stack overflow,
+    /// instruction limit, invalid indirect call, injected aborts) do
+    /// *not* discard the run: they come back as a [`RunOutcome`] whose
+    /// `fault` is set and whose report holds the profile collected up to
+    /// the fault.
+    pub fn run(&self, program: &Program, config: RunConfig) -> Result<RunOutcome, ProfileError> {
         let Some(mode) = config.mode() else {
             let mut machine = Machine::new(program, self.machine_config);
-            let machine = machine.run(&mut NullSink)?;
-            return Ok(RunReport {
-                config,
-                machine,
-                flow: None,
-                cct: None,
-                instrumented: None,
+            machine.inject_faults(self.fault_plan);
+            let (machine, fault) = match machine.run(&mut NullSink) {
+                Ok(r) => (r, None),
+                Err(e) => (machine.partial_result(), Some(e)),
+            };
+            return Ok(RunOutcome {
+                report: RunReport {
+                    config,
+                    machine,
+                    flow: None,
+                    cct: None,
+                    instrumented: None,
+                },
+                fault,
             });
         };
 
@@ -195,7 +286,7 @@ impl Profiler {
         program: &Program,
         config: RunConfig,
         options: InstrumentOptions,
-    ) -> Result<RunReport, ProfileError> {
+    ) -> Result<RunOutcome, ProfileError> {
         self.run_full(program, config, options, None)
     }
 
@@ -212,7 +303,7 @@ impl Profiler {
         config: RunConfig,
         options: InstrumentOptions,
         cct_override: Option<CctConfig>,
-    ) -> Result<RunReport, ProfileError> {
+    ) -> Result<RunOutcome, ProfileError> {
         let mode = options.mode;
         let inst = instrument_program(program, options)?;
 
@@ -223,8 +314,7 @@ impl Profiler {
                 .proc_meta
                 .iter()
                 .map(|m| {
-                    let mut info =
-                        ProcInfo::new(&m.name, m.num_call_sites).with_paths(m.num_paths);
+                    let mut info = ProcInfo::new(&m.name, m.num_call_sites).with_paths(m.num_paths);
                     for (site, &ind) in m.indirect_sites.iter().enumerate() {
                         if ind {
                             info = info.with_indirect_site(site as u32);
@@ -233,24 +323,36 @@ impl Profiler {
                     info
                 })
                 .collect();
-            let cct_config = cct_override.unwrap_or(match mode {
+            let mut cct_config = cct_override.unwrap_or(match mode {
                 Mode::ContextHw => CctConfig::with_hw_metrics(),
                 Mode::ContextFlow => CctConfig::combined(false),
                 Mode::CombinedHw => CctConfig::combined(true),
                 _ => unreachable!("context modes only"),
             });
+            if self.cct_max_records != 0 {
+                cct_config.max_records = self.cct_max_records;
+            }
             CctRuntime::new(cct_config, procs)
         });
 
         let mut sink = PpSink { flow, cct };
         let mut machine = Machine::new(&inst.program, self.machine_config);
-        let machine = machine.run(&mut sink)?;
-        Ok(RunReport {
-            config,
-            machine,
-            flow: sink.flow,
-            cct: sink.cct,
-            instrumented: Some(inst),
+        machine.inject_faults(self.fault_plan);
+        // On a machine fault the sink still holds everything collected up
+        // to the fault; recover it rather than discarding the run.
+        let (machine, fault) = match machine.run(&mut sink) {
+            Ok(r) => (r, None),
+            Err(e) => (machine.partial_result(), Some(e)),
+        };
+        Ok(RunOutcome {
+            report: RunReport {
+                config,
+                machine,
+                flow: sink.flow,
+                cct: sink.cct,
+                instrumented: Some(inst),
+            },
+            fault,
         })
     }
 }
@@ -289,7 +391,9 @@ mod tests {
         l.reserve_regs(1);
         let p = l.new_reg();
         let arg = pp_ir::Reg(0);
-        l.block(e).bin(pp_ir::instr::BinOp::And, p, arg, 1i64).branch(p, odd, even);
+        l.block(e)
+            .bin(pp_ir::instr::BinOp::And, p, arg, 1i64)
+            .branch(p, odd, even);
         l.block(odd).nop().jump(x);
         l.block(even).nop().nop().jump(x);
         l.block(x).ret();
@@ -436,10 +540,7 @@ mod tests {
         let b = pb.declare("b");
         let mut m = pb.procedure("main");
         let e = m.entry_block();
-        m.block(e)
-            .call(a, vec![], None)
-            .call(b, vec![], None)
-            .ret();
+        m.block(e).call(a, vec![], None).call(b, vec![], None).ret();
         let main = m.finish();
         for (id, arg) in [(a, 0i64), (b, 1i64)] {
             let mut p = pb.procedure_for(id);

@@ -34,9 +34,10 @@ impl ProfSink for PpSink {
             EnterOutcome::FastHit => (0, false, 0),
             EnterOutcome::ListHit { scanned } => (2 * scanned, true, 0),
             EnterOutcome::NewRecord { ancestors_walked } => (10 + 2 * ancestors_walked, true, 4),
-            EnterOutcome::RecursiveBackedge { ancestors_walked } => {
-                (2 * ancestors_walked, true, 0)
-            }
+            EnterOutcome::RecursiveBackedge { ancestors_walked } => (2 * ancestors_walked, true, 0),
+            // Cap hit: the failed ancestor walk plus a hash probe for the
+            // shared overflow record.
+            EnterOutcome::Overflow { ancestors_walked } => (4 + 2 * ancestors_walked, true, 0),
         };
         CctTransition {
             extra_uops,

@@ -40,9 +40,7 @@ pub use modes::{
     EdgePlan, InstrumentError, InstrumentOptions, Instrumented, Mode, PlacementChoice, PlanEdge,
     ProcMeta,
 };
-pub use rewrite::{
-    instrument_program, instrument_program_selected, instrument_program_weighted,
-};
+pub use rewrite::{instrument_program, instrument_program_selected, instrument_program_weighted};
 
 /// Base simulated address of the flow-profiling counter tables.
 pub const PROF_TABLE_BASE: u64 = 0x4000_0000;

@@ -2,9 +2,7 @@
 
 use pp_ir::cfg::Cfg;
 use pp_ir::prof::{CounterStorage, PathTable};
-use pp_ir::{
-    BlockId, Block, Instr, Operand, ProcId, Procedure, ProfOp, Program, Reg, Terminator,
-};
+use pp_ir::{Block, BlockId, Instr, Operand, ProcId, Procedure, ProfOp, Program, Reg, Terminator};
 use pp_pathprof::{CfgEdgeRef, Placement, ProcPaths};
 
 use crate::modes::{
@@ -111,10 +109,7 @@ fn instrument_program_impl(
 
     // Flow counter tables are laid out sequentially in the profile region.
     let mut table_cursor = crate::PROF_TABLE_BASE;
-    let flow_tables = matches!(
-        options.mode,
-        Mode::FlowFreq | Mode::FlowHw | Mode::EdgeFreq
-    );
+    let flow_tables = matches!(options.mode, Mode::FlowFreq | Mode::FlowHw | Mode::EdgeFreq);
     let stride = if options.mode == Mode::FlowHw { 24 } else { 8 };
 
     for (pid, proc) in program.iter_procedures() {
@@ -315,7 +310,9 @@ fn rewrite_procedure(
         });
     }
     if mode.tracks_context() {
-        edits.prologue.push(Instr::Prof(ProfOp::CctEnter { proc: pid }));
+        edits
+            .prologue
+            .push(Instr::Prof(ProfOp::CctEnter { proc: pid }));
     }
     if mode == Mode::ContextHw {
         edits.prologue.push(Instr::Prof(ProfOp::CctMetricEnter));
@@ -332,7 +329,11 @@ fn rewrite_procedure(
     }
 
     // Routes edge instrumentation to the cheapest correct location.
-    let route_edge = |edits: &mut Edits, block: BlockId, succ_index: u32, instrs: Vec<Instr>, is_backedge: bool| {
+    let route_edge = |edits: &mut Edits,
+                      block: BlockId,
+                      succ_index: u32,
+                      instrs: Vec<Instr>,
+                      is_backedge: bool| {
         let succs = cfg.succs(block);
         if succs.len() == 1 {
             edits.append[block.index()].extend(instrs);
@@ -354,12 +355,20 @@ fn rewrite_procedure(
     let mut exit_const = 0i64;
     if let Some(pp) = paths {
         let labeling = pp.labeling();
-        let placement = match (options.placement, edge_weights) {
-            (PlacementChoice::Simple, _) => Placement::simple(labeling),
-            (PlacementChoice::ProfileGuided, Some(w)) => {
-                Placement::optimized(labeling, pp_pathprof::WeightSource::Edges(w))
+        // Context-tracking modes read the path register mid-path at call
+        // sites (the Section 4.4 path prefix). Only the simple Val
+        // placement keeps partial sums meaningful there — chord
+        // increments can drive the register negative between blocks.
+        let placement = if mode.tracks_context() {
+            Placement::simple(labeling)
+        } else {
+            match (options.placement, edge_weights) {
+                (PlacementChoice::Simple, _) => Placement::simple(labeling),
+                (PlacementChoice::ProfileGuided, Some(w)) => {
+                    Placement::optimized(labeling, pp_pathprof::WeightSource::Edges(w))
+                }
+                _ => Placement::optimized(labeling, options.weight_source()),
             }
-            _ => Placement::optimized(labeling, options.weight_source()),
         };
         exit_const = placement.exit_const();
 
@@ -395,8 +404,16 @@ fn rewrite_procedure(
                     end,
                     start,
                 },
-                Mode::ContextFlow => ProfOp::CctPathCountBackedge { reg: rp, end, start },
-                Mode::CombinedHw => ProfOp::CctPathMetricsBackedge { reg: rp, end, start },
+                Mode::ContextFlow => ProfOp::CctPathCountBackedge {
+                    reg: rp,
+                    end,
+                    start,
+                },
+                Mode::CombinedHw => ProfOp::CctPathMetricsBackedge {
+                    reg: rp,
+                    end,
+                    start,
+                },
                 Mode::ContextHw | Mode::EdgeFreq => {
                     unreachable!("mode does not track paths")
                 }
@@ -699,7 +716,10 @@ mod tests {
             ret_block.instrs[n - 2],
             Instr::Prof(ProfOp::PathMetrics { .. })
         ));
-        assert!(matches!(ret_block.instrs[n - 1], Instr::Prof(ProfOp::PicRestore)));
+        assert!(matches!(
+            ret_block.instrs[n - 1],
+            Instr::Prof(ProfOp::PicRestore)
+        ));
         // Exactly one path-register increment somewhere (two paths, one
         // chord after optimization).
         let adds: usize = p
@@ -879,8 +899,8 @@ mod tests {
     #[test]
     fn base_vs_instrumented_events_selected() {
         let prog = diamond_program();
-        let opts = InstrumentOptions::new(Mode::FlowHw)
-            .with_events(HwEvent::Cycles, HwEvent::IcMiss);
+        let opts =
+            InstrumentOptions::new(Mode::FlowHw).with_events(HwEvent::Cycles, HwEvent::IcMiss);
         let inst = instrument_program(&prog, opts).expect("ok");
         let prologue = &inst.program.procedure(ProcId(0)).blocks[0].instrs;
         assert!(matches!(

@@ -123,7 +123,14 @@ impl ProgramBuilder {
             .procs
             .into_iter()
             .enumerate()
-            .map(|(i, p)| p.unwrap_or_else(|| panic!("procedure @{i} ({}) declared but never defined", self.names[i])))
+            .map(|(i, p)| {
+                p.unwrap_or_else(|| {
+                    panic!(
+                        "procedure @{i} ({}) declared but never defined",
+                        self.names[i]
+                    )
+                })
+            })
             .collect();
         Program::new(procs, entry, self.data)
     }

@@ -281,8 +281,11 @@ mod tests {
         let cfg = Cfg::new(prog.procedure(id));
         assert!(cfg.is_acyclic());
         let rpo = cfg.reverse_postorder();
-        let pos =
-            |x: BlockId| rpo.iter().position(|&b| b == x).expect("block missing from rpo");
+        let pos = |x: BlockId| {
+            rpo.iter()
+                .position(|&b| b == x)
+                .expect("block missing from rpo")
+        };
         for e in cfg.edges() {
             assert!(pos(e.from) < pos(e.to), "edge {:?} violates rpo", e);
         }

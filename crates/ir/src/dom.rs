@@ -140,7 +140,11 @@ pub fn natural_loops(cfg: &Cfg, doms: &Dominators) -> Vec<NaturalLoop> {
             }
         }
         body.sort();
-        loops.push(NaturalLoop { header, latch, body });
+        loops.push(NaturalLoop {
+            header,
+            latch,
+            body,
+        });
     }
     loops
 }

@@ -280,10 +280,7 @@ impl Terminator {
             } => (targets.as_slice(), [None, None, Some(*default)]),
             Terminator::Ret => (&[], [None, None, None]),
         };
-        slice
-            .iter()
-            .copied()
-            .chain(pair.into_iter().flatten())
+        slice.iter().copied().chain(pair.into_iter().flatten())
     }
 
     /// True for [`Terminator::Ret`].

@@ -57,8 +57,8 @@ pub mod display;
 pub mod dom;
 pub mod hw;
 pub mod ids;
-pub mod parse;
 pub mod instr;
+pub mod parse;
 pub mod prof;
 pub mod program;
 pub mod verify;

@@ -116,11 +116,10 @@ impl<'a> Cursor<'a> {
 
     fn int(&mut self) -> Result<i64, ParseError> {
         let w = self.word()?;
-        w.parse()
-            .map_err(|_| ParseError {
-                line: self.line,
-                message: format!("expected an integer, found `{w}`"),
-            })
+        w.parse().map_err(|_| ParseError {
+            line: self.line,
+            message: format!("expected an integer, found `{w}`"),
+        })
     }
 
     fn float(&mut self) -> Result<f64, ParseError> {
@@ -238,168 +237,167 @@ enum Line {
 fn parse_line(text: &str, line_no: usize) -> Result<Line, ParseError> {
     let mut c = Cursor::new(text, line_no);
     let op = c.word()?;
-    let parsed = match op {
-        "mov" => {
-            let dst = c.reg()?;
-            c.expect(",")?;
-            let src = c.operand()?;
-            Line::Instr(Instr::Mov { dst, src })
-        }
-        _ if bin_op(op).is_some() => {
-            let dst = c.reg()?;
-            c.expect(",")?;
-            let a = c.reg()?;
-            c.expect(",")?;
-            let b = c.operand()?;
-            Line::Instr(Instr::Bin {
-                op: bin_op(op).expect("checked"),
-                dst,
-                a,
-                b,
-            })
-        }
-        _ if fbin_op(op).is_some() => {
-            let dst = c.freg()?;
-            c.expect(",")?;
-            let a = c.freg()?;
-            c.expect(",")?;
-            let b = c.freg()?;
-            Line::Instr(Instr::FBin {
-                op: fbin_op(op).expect("checked"),
-                dst,
-                a,
-                b,
-            })
-        }
-        "ld" => {
-            let dst = c.reg()?;
-            c.expect(",")?;
-            let (base, offset) = c.mem()?;
-            Line::Instr(Instr::Load { dst, base, offset })
-        }
-        "st" => {
-            let src = c.operand()?;
-            c.expect(",")?;
-            let (base, offset) = c.mem()?;
-            Line::Instr(Instr::Store { src, base, offset })
-        }
-        "fconst" => {
-            let dst = c.freg()?;
-            c.expect(",")?;
-            let value = c.float()?;
-            Line::Instr(Instr::FConst { dst, value })
-        }
-        "fld" => {
-            let dst = c.freg()?;
-            c.expect(",")?;
-            let (base, offset) = c.mem()?;
-            Line::Instr(Instr::FLoad { dst, base, offset })
-        }
-        "fst" => {
-            let src = c.freg()?;
-            c.expect(",")?;
-            let (base, offset) = c.mem()?;
-            Line::Instr(Instr::FStore { src, base, offset })
-        }
-        "ftoi" => {
-            let dst = c.reg()?;
-            c.expect(",")?;
-            let src = c.freg()?;
-            Line::Instr(Instr::FToI { dst, src })
-        }
-        "itof" => {
-            let dst = c.freg()?;
-            c.expect(",")?;
-            let src = c.reg()?;
-            Line::Instr(Instr::IToF { dst, src })
-        }
-        "call" | "icall" => {
-            let target = if op == "call" {
-                CallTarget::Direct(ProcId(c.prefixed_index("@")?))
-            } else {
-                c.expect("[")?;
-                let r = c.reg()?;
-                c.expect("]")?;
-                CallTarget::Indirect(r)
-            };
-            let site = CallSiteId(c.prefixed_index("cs")?);
-            c.expect("(")?;
-            let mut args = Vec::new();
-            if !c.try_consume(")") {
-                loop {
-                    args.push(c.operand()?);
-                    if c.try_consume(")") {
-                        break;
-                    }
-                    c.expect(",")?;
-                }
+    let parsed =
+        match op {
+            "mov" => {
+                let dst = c.reg()?;
+                c.expect(",")?;
+                let src = c.operand()?;
+                Line::Instr(Instr::Mov { dst, src })
             }
-            let ret = if c.try_consume("->") {
-                Some(c.reg()?)
-            } else {
-                None
-            };
-            Line::Instr(Instr::Call {
-                target,
-                site,
-                args,
-                ret,
-            })
-        }
-        "setpcr" => {
-            let pic0 = c.event()?;
-            c.expect(",")?;
-            let pic1 = c.event()?;
-            Line::Instr(Instr::SetPcr { pic0, pic1 })
-        }
-        "rdpic" => Line::Instr(Instr::RdPic { dst: c.reg()? }),
-        "wrpic" => Line::Instr(Instr::WrPic { src: c.operand()? }),
-        "setjmp" => Line::Instr(Instr::Setjmp { dst: c.reg()? }),
-        "longjmp" => Line::Instr(Instr::Longjmp { token: c.reg()? }),
-        "nop" => Line::Instr(Instr::Nop),
-        "prof" => {
-            return err(
+            _ if bin_op(op).is_some() => {
+                let dst = c.reg()?;
+                c.expect(",")?;
+                let a = c.reg()?;
+                c.expect(",")?;
+                let b = c.operand()?;
+                Line::Instr(Instr::Bin {
+                    op: bin_op(op).expect("checked"),
+                    dst,
+                    a,
+                    b,
+                })
+            }
+            _ if fbin_op(op).is_some() => {
+                let dst = c.freg()?;
+                c.expect(",")?;
+                let a = c.freg()?;
+                c.expect(",")?;
+                let b = c.freg()?;
+                Line::Instr(Instr::FBin {
+                    op: fbin_op(op).expect("checked"),
+                    dst,
+                    a,
+                    b,
+                })
+            }
+            "ld" => {
+                let dst = c.reg()?;
+                c.expect(",")?;
+                let (base, offset) = c.mem()?;
+                Line::Instr(Instr::Load { dst, base, offset })
+            }
+            "st" => {
+                let src = c.operand()?;
+                c.expect(",")?;
+                let (base, offset) = c.mem()?;
+                Line::Instr(Instr::Store { src, base, offset })
+            }
+            "fconst" => {
+                let dst = c.freg()?;
+                c.expect(",")?;
+                let value = c.float()?;
+                Line::Instr(Instr::FConst { dst, value })
+            }
+            "fld" => {
+                let dst = c.freg()?;
+                c.expect(",")?;
+                let (base, offset) = c.mem()?;
+                Line::Instr(Instr::FLoad { dst, base, offset })
+            }
+            "fst" => {
+                let src = c.freg()?;
+                c.expect(",")?;
+                let (base, offset) = c.mem()?;
+                Line::Instr(Instr::FStore { src, base, offset })
+            }
+            "ftoi" => {
+                let dst = c.reg()?;
+                c.expect(",")?;
+                let src = c.freg()?;
+                Line::Instr(Instr::FToI { dst, src })
+            }
+            "itof" => {
+                let dst = c.freg()?;
+                c.expect(",")?;
+                let src = c.reg()?;
+                Line::Instr(Instr::IToF { dst, src })
+            }
+            "call" | "icall" => {
+                let target = if op == "call" {
+                    CallTarget::Direct(ProcId(c.prefixed_index("@")?))
+                } else {
+                    c.expect("[")?;
+                    let r = c.reg()?;
+                    c.expect("]")?;
+                    CallTarget::Indirect(r)
+                };
+                let site = CallSiteId(c.prefixed_index("cs")?);
+                c.expect("(")?;
+                let mut args = Vec::new();
+                if !c.try_consume(")") {
+                    loop {
+                        args.push(c.operand()?);
+                        if c.try_consume(")") {
+                            break;
+                        }
+                        c.expect(",")?;
+                    }
+                }
+                let ret = if c.try_consume("->") {
+                    Some(c.reg()?)
+                } else {
+                    None
+                };
+                Line::Instr(Instr::Call {
+                    target,
+                    site,
+                    args,
+                    ret,
+                })
+            }
+            "setpcr" => {
+                let pic0 = c.event()?;
+                c.expect(",")?;
+                let pic1 = c.event()?;
+                Line::Instr(Instr::SetPcr { pic0, pic1 })
+            }
+            "rdpic" => Line::Instr(Instr::RdPic { dst: c.reg()? }),
+            "wrpic" => Line::Instr(Instr::WrPic { src: c.operand()? }),
+            "setjmp" => Line::Instr(Instr::Setjmp { dst: c.reg()? }),
+            "longjmp" => Line::Instr(Instr::Longjmp { token: c.reg()? }),
+            "nop" => Line::Instr(Instr::Nop),
+            "prof" => return err(
                 line_no,
                 "profiling pseudo-ops have no source syntax (they are inserted by pp-instrument)",
-            )
-        }
-        "jmp" => Line::Term(Terminator::Jump(c.block_id()?)),
-        "br" => {
-            let cond = c.reg()?;
-            c.expect("?")?;
-            let taken = c.block_id()?;
-            c.expect(":")?;
-            let not_taken = c.block_id()?;
-            Line::Term(Terminator::Branch {
-                cond,
-                taken,
-                not_taken,
-            })
-        }
-        "switch" => {
-            let sel = c.reg()?;
-            c.expect("[")?;
-            let mut targets = Vec::new();
-            if !c.try_consume("]") {
-                loop {
-                    targets.push(c.block_id()?);
-                    if c.try_consume("]") {
-                        break;
-                    }
-                    c.expect(",")?;
-                }
+            ),
+            "jmp" => Line::Term(Terminator::Jump(c.block_id()?)),
+            "br" => {
+                let cond = c.reg()?;
+                c.expect("?")?;
+                let taken = c.block_id()?;
+                c.expect(":")?;
+                let not_taken = c.block_id()?;
+                Line::Term(Terminator::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                })
             }
-            c.expect("else")?;
-            let default = c.block_id()?;
-            Line::Term(Terminator::Switch {
-                sel,
-                targets,
-                default,
-            })
-        }
-        "ret" => Line::Term(Terminator::Ret),
-        other => return err(line_no, format!("unknown instruction `{other}`")),
-    };
+            "switch" => {
+                let sel = c.reg()?;
+                c.expect("[")?;
+                let mut targets = Vec::new();
+                if !c.try_consume("]") {
+                    loop {
+                        targets.push(c.block_id()?);
+                        if c.try_consume("]") {
+                            break;
+                        }
+                        c.expect(",")?;
+                    }
+                }
+                c.expect("else")?;
+                let default = c.block_id()?;
+                Line::Term(Terminator::Switch {
+                    sel,
+                    targets,
+                    default,
+                })
+            }
+            "ret" => Line::Term(Terminator::Ret),
+            other => return err(line_no, format!("unknown instruction `{other}`")),
+        };
     if !c.eof() {
         return err(line_no, format!("trailing input `{}`", c.rest));
     }
@@ -457,23 +455,27 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             continue;
         }
         if let Some(rest) = trimmed.strip_prefix("data ") {
-            flush_block(&mut current_proc, &mut current_block, block_terminated, line_no)?;
+            flush_block(
+                &mut current_proc,
+                &mut current_block,
+                block_terminated,
+                line_no,
+            )?;
             if let Some(p) = current_proc.take() {
                 procedures.push(p);
             }
             let mut parts = rest.split_whitespace();
-            let addr_text = parts
-                .next()
-                .ok_or_else(|| ParseError {
-                    line: line_no,
-                    message: "data segment missing address".to_string(),
+            let addr_text = parts.next().ok_or_else(|| ParseError {
+                line: line_no,
+                message: "data segment missing address".to_string(),
+            })?;
+            let addr =
+                u64::from_str_radix(addr_text.trim_start_matches("0x"), 16).map_err(|_| {
+                    ParseError {
+                        line: line_no,
+                        message: format!("bad data address `{addr_text}`"),
+                    }
                 })?;
-            let addr = u64::from_str_radix(addr_text.trim_start_matches("0x"), 16).map_err(
-                |_| ParseError {
-                    line: line_no,
-                    message: format!("bad data address `{addr_text}`"),
-                },
-            )?;
             let hex = parts.next().unwrap_or("");
             if hex.len() % 2 != 0 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
                 return err(line_no, "data bytes must be an even-length hex string");
@@ -485,7 +487,12 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             continue;
         }
         if let Some(rest) = trimmed.strip_prefix("proc ") {
-            flush_block(&mut current_proc, &mut current_block, block_terminated, line_no)?;
+            flush_block(
+                &mut current_proc,
+                &mut current_block,
+                block_terminated,
+                line_no,
+            )?;
             if let Some(p) = current_proc.take() {
                 procedures.push(p);
             }
@@ -512,17 +519,28 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             block_terminated = true;
             continue;
         }
-        if trimmed.starts_with('b') && trimmed.ends_with(':') && trimmed[1..trimmed.len() - 1]
-            .chars()
-            .all(|ch| ch.is_ascii_digit())
+        if trimmed.starts_with('b')
+            && trimmed.ends_with(':')
+            && trimmed[1..trimmed.len() - 1]
+                .chars()
+                .all(|ch| ch.is_ascii_digit())
         {
-            flush_block(&mut current_proc, &mut current_block, block_terminated, line_no)?;
+            flush_block(
+                &mut current_proc,
+                &mut current_block,
+                block_terminated,
+                line_no,
+            )?;
             if current_proc.is_none() {
                 return err(line_no, "block label outside a procedure");
             }
-            let declared: u32 = trimmed[1..trimmed.len() - 1]
-                .parse()
-                .expect("digits checked");
+            // All-digits does not imply it fits: `b:` has no digits at all
+            // and b<20 digits> overflows u32.
+            let digits = &trimmed[1..trimmed.len() - 1];
+            let declared: u32 = digits.parse().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("bad block label `b{digits}`"),
+            })?;
             let expected = current_proc.as_ref().expect("checked").blocks.len() as u32;
             if declared != expected {
                 return err(
@@ -550,7 +568,12 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         }
     }
     let last_line = text.lines().count();
-    flush_block(&mut current_proc, &mut current_block, block_terminated, last_line)?;
+    flush_block(
+        &mut current_proc,
+        &mut current_block,
+        block_terminated,
+        last_line,
+    )?;
     if let Some(p) = current_proc.take() {
         procedures.push(p);
     }

@@ -233,7 +233,11 @@ mod tests {
     #[test]
     fn family_classification() {
         assert!(ProfOp::CctEnter { proc: ProcId(1) }.is_context());
-        assert!(ProfOp::CctCall { site: CallSiteId(0), path_reg: None }.is_context());
+        assert!(ProfOp::CctCall {
+            site: CallSiteId(0),
+            path_reg: None
+        }
+        .is_context());
         assert!(!ProfOp::PicZero.is_context());
         assert!(!ProfOp::PathCount {
             table: table(),

@@ -63,11 +63,7 @@ pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
 /// # Errors
 ///
 /// See [`verify_program`].
-pub fn verify_procedure(
-    proc: &Procedure,
-    pid: ProcId,
-    nprocs: usize,
-) -> Result<(), VerifyError> {
+pub fn verify_procedure(proc: &Procedure, pid: ProcId, nprocs: usize) -> Result<(), VerifyError> {
     let p = Some(pid);
     let nblocks = proc.blocks.len();
     if nblocks == 0 {
@@ -100,7 +96,10 @@ pub fn verify_procedure(
             Err(err(
                 p,
                 Some(at),
-                format!("fp register {r} out of range (num_fregs = {})", proc.num_fregs),
+                format!(
+                    "fp register {r} out of range (num_fregs = {})",
+                    proc.num_fregs
+                ),
             ))
         } else {
             Ok(())
@@ -246,7 +245,11 @@ pub fn verify_procedure(
         .iter_blocks()
         .any(|(id, b)| b.term.is_return() && reach[id.index()]);
     if !has_reachable_ret {
-        return Err(err(p, None, "no return block is reachable from entry".into()));
+        return Err(err(
+            p,
+            None,
+            "no return block is reachable from entry".into(),
+        ));
     }
     Ok(())
 }
@@ -276,10 +279,12 @@ mod tests {
     #[test]
     fn rejects_out_of_range_register() {
         let mut prog = good_program();
-        prog.procedure_mut(ProcId(0)).blocks[0].instrs.push(Instr::Mov {
-            dst: Reg(99),
-            src: Operand::Imm(0),
-        });
+        prog.procedure_mut(ProcId(0)).blocks[0]
+            .instrs
+            .push(Instr::Mov {
+                dst: Reg(99),
+                src: Operand::Imm(0),
+            });
         let e = verify_program(&prog).unwrap_err();
         assert!(e.message.contains("out of range"), "{e}");
     }

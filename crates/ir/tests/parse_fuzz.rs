@@ -1,0 +1,218 @@
+//! Robustness of the textual IR parser: `parse_program` must return
+//! `Err` — never panic — on arbitrary input. Deterministic and
+//! dependency-free (a local xorshift stands in for a fuzzer's entropy).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pp_ir::build::ProgramBuilder;
+use pp_ir::parse::parse_program;
+use pp_ir::{Operand, Terminator};
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Asserts that parsing `text` completes (either way) without panicking.
+fn must_not_panic(text: &str, what: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = parse_program(text);
+    }));
+    assert!(result.is_ok(), "parser panicked on {what}: {text:?}");
+}
+
+fn valid_program_text() -> String {
+    let mut pb = ProgramBuilder::new();
+    let callee = pb.declare("helper");
+    let mut f = pb.procedure("main");
+    let e = f.entry_block();
+    let h = f.new_block();
+    let body = f.new_block();
+    let x = f.new_block();
+    let i = f.new_reg();
+    let c = f.new_reg();
+    let fr = f.new_freg();
+    f.block(e).mov(i, 0i64).fconst(fr, 1.5).jump(h);
+    f.block(h).cmp_lt(c, i, 10i64).branch(c, body, x);
+    f.block(body)
+        .call(callee, vec![Operand::Reg(i), Operand::Imm(-3)], Some(c))
+        .add(i, i, 1i64)
+        .jump(h);
+    f.block(x).switch(i, vec![x, h], x);
+    let main = f.finish();
+    let mut g = pb.procedure_for(callee);
+    let ge = g.entry_block();
+    g.reserve_regs(2);
+    g.block(ge).ret();
+    g.finish();
+    let mut prog = pb.finish(main);
+    prog.procedure_mut(main).blocks[3].term = Terminator::Ret;
+    prog.to_string()
+}
+
+#[test]
+fn arbitrary_bytes_never_panic() {
+    for seed in 1..200u64 {
+        let mut rng = XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let len = rng.below(512);
+        let mut bytes = Vec::with_capacity(len);
+        while bytes.len() < len {
+            bytes.extend_from_slice(&rng.next().to_le_bytes());
+        }
+        bytes.truncate(len);
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        must_not_panic(&text, &format!("random bytes (seed {seed})"));
+    }
+}
+
+#[test]
+fn token_soup_never_panics() {
+    // Plausible-looking fragments reach much deeper parser paths than raw
+    // bytes do.
+    const VOCAB: &[&str] = &[
+        "proc",
+        "main",
+        "helper",
+        "(",
+        ")",
+        ":",
+        ",",
+        "regs=",
+        "fregs=",
+        "sites=",
+        "b0:",
+        "b1:",
+        "b:",
+        "b99999999999999999999:",
+        "mov",
+        "add",
+        "sub",
+        "mul",
+        "cmp.lt",
+        "fadd",
+        "fconst",
+        "load",
+        "store",
+        "fload",
+        "fstore",
+        "call",
+        "icall",
+        "ret",
+        "jump",
+        "branch",
+        "switch",
+        "setpcr",
+        "data",
+        "@0x1000",
+        "deadbeef",
+        "r0",
+        "r1",
+        "r65535",
+        "r99999999999",
+        "f0",
+        "f1",
+        "-1",
+        "0",
+        "1",
+        "42",
+        "9223372036854775807",
+        "-9223372036854775808",
+        "99999999999999999999",
+        "1.5",
+        "-0.25",
+        "?",
+        "[",
+        "]",
+        "else",
+        "entry",
+        "#",
+        "# comment",
+        "\n",
+        "\n\n",
+        " ",
+    ];
+    for seed in 1..300u64 {
+        let mut rng = XorShift(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1);
+        let ntokens = 1 + rng.below(120);
+        let mut text = String::new();
+        for _ in 0..ntokens {
+            text.push_str(VOCAB[rng.below(VOCAB.len())]);
+            if rng.below(3) == 0 {
+                text.push(' ');
+            }
+            if rng.below(7) == 0 {
+                text.push('\n');
+            }
+        }
+        must_not_panic(&text, &format!("token soup (seed {seed})"));
+    }
+}
+
+#[test]
+fn mutations_of_valid_programs_never_panic() {
+    let base = valid_program_text();
+    // The pristine text must still parse.
+    parse_program(&base).expect("valid program parses");
+    let bytes = base.as_bytes();
+    for seed in 1..400u64 {
+        let mut rng = XorShift(seed.wrapping_mul(0xD134_2543_DE82_EF95) | 1);
+        let mut mutated = bytes.to_vec();
+        match rng.below(4) {
+            0 => {
+                // Flip a byte.
+                let i = rng.below(mutated.len());
+                mutated[i] ^= 1 << rng.below(8);
+            }
+            1 => {
+                // Delete a run.
+                let start = rng.below(mutated.len());
+                let len = 1 + rng.below(16).min(mutated.len() - start - 1);
+                mutated.drain(start..start + len);
+            }
+            2 => {
+                // Duplicate a run somewhere else.
+                let start = rng.below(mutated.len());
+                let len = 1 + rng.below(16).min(mutated.len() - start - 1);
+                let chunk: Vec<u8> = mutated[start..start + len].to_vec();
+                let at = rng.below(mutated.len());
+                for (k, b) in chunk.into_iter().enumerate() {
+                    mutated.insert(at + k, b);
+                }
+            }
+            _ => {
+                // Truncate.
+                let keep = rng.below(mutated.len());
+                mutated.truncate(keep);
+            }
+        }
+        let text = String::from_utf8_lossy(&mutated).into_owned();
+        must_not_panic(&text, &format!("mutated program (seed {seed})"));
+    }
+}
+
+#[test]
+fn hostile_block_labels_error_cleanly() {
+    // Regressions: all-digit labels that do not fit a u32, and the
+    // zero-digit label `b:` — both previously panicked in a
+    // `.expect("digits checked")`.
+    for label in ["b99999999999999999999:", "b4294967296:", "b:"] {
+        let text = format!(
+            "program (entry @0):\nproc main (regs=0, fregs=0, sites=0):\n  {label}\n    ret\n"
+        );
+        let err = parse_program(&text).expect_err("hostile label must error");
+        assert!(
+            err.to_string().contains("block label") || err.to_string().contains("bad"),
+            "unexpected message: {err}"
+        );
+    }
+}

@@ -143,9 +143,11 @@ impl Placement {
                             2
                         }
                     }
-                    WeightSource::Edges(freqs) => {
-                        freqs.get(e as usize).copied().unwrap_or(0).saturating_add(1)
-                    }
+                    WeightSource::Edges(freqs) => freqs
+                        .get(e as usize)
+                        .copied()
+                        .unwrap_or(0)
+                        .saturating_add(1),
                 },
             }
         };
@@ -207,7 +209,10 @@ impl Placement {
                 }
             }
         }
-        debug_assert!(have.iter().all(|&b| b), "spanning tree must reach every vertex");
+        debug_assert!(
+            have.iter().all(|&b| b),
+            "spanning tree must reach every vertex"
+        );
 
         // Inc(e) = Val(e) + phi(from) - phi(to); zero on tree edges.
         let inc = |i: usize| -> i64 {
@@ -287,8 +292,16 @@ impl Placement {
     /// an instrumented index would be negative (which would indicate a
     /// placement bug).
     pub fn walk_counts(&self, l: &Labeling, walk: &[u32]) -> Vec<u64> {
-        assert_eq!(walk.first(), Some(&l.graph().entry()), "walk must start at entry");
-        assert_eq!(walk.last(), Some(&l.graph().exit()), "walk must end at exit");
+        assert_eq!(
+            walk.first(),
+            Some(&l.graph().entry()),
+            "walk must start at entry"
+        );
+        assert_eq!(
+            walk.last(),
+            Some(&l.graph().exit()),
+            "walk must end at exit"
+        );
         let mut out = Vec::new();
         let mut r: i64 = 0;
         for pair in walk.windows(2) {
@@ -299,12 +312,7 @@ impl Placement {
                 .iter()
                 .copied()
                 .find(|&e| g.edge(e).1 == w && !l.is_backedge(e))
-                .or_else(|| {
-                    g.out_edges(u)
-                        .iter()
-                        .copied()
-                        .find(|&e| g.edge(e).1 == w)
-                })
+                .or_else(|| g.out_edges(u).iter().copied().find(|&e| g.edge(e).1 == w))
                 .unwrap_or_else(|| panic!("no edge {u} -> {w}"));
             if l.is_backedge(e) {
                 let b = l

@@ -229,8 +229,14 @@ mod tests {
         assert_eq!(pp.num_paths(), 4);
         let kinds: Vec<PathKind> = (0..4).map(|s| pp.decode_blocks(s).1).collect();
         assert!(kinds.iter().any(|k| matches!(k, PathKind::EntryToExit)));
-        assert!(kinds.iter().any(|k| matches!(k, PathKind::EntryToBackedge { .. })));
-        assert!(kinds.iter().any(|k| matches!(k, PathKind::BackedgeToBackedge { .. })));
-        assert!(kinds.iter().any(|k| matches!(k, PathKind::BackedgeToExit { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, PathKind::EntryToBackedge { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, PathKind::BackedgeToBackedge { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, PathKind::BackedgeToExit { .. })));
     }
 }

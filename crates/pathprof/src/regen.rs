@@ -246,7 +246,8 @@ mod tests {
         let l = g.label().unwrap();
         for p in l.iter_paths() {
             match p.kind {
-                PathKind::BackedgeToExit { backedge } | PathKind::BackedgeToBackedge { from: backedge, .. } => {
+                PathKind::BackedgeToExit { backedge }
+                | PathKind::BackedgeToBackedge { from: backedge, .. } => {
                     let (_, w) = l.graph().edge(backedge);
                     assert_eq!(p.nodes[0], w, "path {p:?} must start at backedge target");
                 }
@@ -267,7 +268,7 @@ mod tests {
         // Two iterations: 0 1 2 1 2 1 3
         let sums = l.walk_sums(&[0, 1, 2, 1, 2, 1, 3]);
         assert_eq!(sums.len(), 3); // two backedge events + final count
-        // Each regenerates to a real path, and kinds chain correctly:
+                                   // Each regenerates to a real path, and kinds chain correctly:
         let p0 = l.regenerate(sums[0]);
         let p1 = l.regenerate(sums[1]);
         let p2 = l.regenerate(sums[2]);

@@ -2,10 +2,13 @@
 //! compactness of path sums, regeneration as the inverse of encoding, and
 //! equivalence of the optimized increment placement with the simple one —
 //! over randomly generated cyclic CFGs.
-
-use proptest::prelude::*;
+//!
+//! Graphs are drawn from the workspace-local deterministic RNG
+//! (`pp_workloads::SmallRng`); every failing case is reproducible from
+//! the printed seed.
 
 use pp_pathprof::{PathGraph, Placement, WeightSource};
+use pp_workloads::SmallRng;
 
 /// A generated graph description: `n` vertices with a connectivity chain
 /// `i -> i+1`, extra forward edges, and back/cross edges that create
@@ -18,6 +21,27 @@ struct GraphSpec {
 }
 
 impl GraphSpec {
+    /// Draws a random graph shape from `rng`.
+    fn arbitrary(rng: &mut SmallRng) -> GraphSpec {
+        let n = rng.gen_range(3..11u32);
+        let mut forward = Vec::new();
+        for _ in 0..rng.gen_range(0..6usize) {
+            // forward edge u -> v with v > u (not the chain edge itself)
+            let u = rng.gen_range(0..n - 1);
+            let v = rng.gen_range(0..n);
+            if v > u + 1 {
+                forward.push((u, v));
+            }
+        }
+        let mut back = Vec::new();
+        for _ in 0..rng.gen_range(0..4usize) {
+            let u = rng.gen_range(1..n - 1);
+            let j = rng.gen_range(0..n);
+            back.push((u, j % (u + 1)));
+        }
+        GraphSpec { n, forward, back }
+    }
+
     fn build(&self) -> PathGraph {
         // Dedupe: parallel edges are supported (and unit-tested at the
         // edge level), but they make node-sequence-based uniqueness
@@ -40,24 +64,6 @@ impl GraphSpec {
         }
         g
     }
-}
-
-fn arb_graph() -> impl Strategy<Value = GraphSpec> {
-    (3u32..11).prop_flat_map(|n| {
-        let forward = proptest::collection::vec(
-            (0..n - 1, 0..n).prop_filter_map("forward", move |(u, j)| {
-                // forward edge u -> v with v > u (not the chain edge itself)
-                let v = j % n;
-                (v > u + 1).then_some((u, v))
-            }),
-            0..6,
-        );
-        let back = proptest::collection::vec(
-            (1..n - 1, 0..n).prop_map(move |(u, j)| (u, j % (u + 1))),
-            0..4,
-        );
-        (Just(n), forward, back).prop_map(|(n, forward, back)| GraphSpec { n, forward, back })
-    })
 }
 
 /// A random walk from entry to exit through the original graph: take
@@ -88,7 +94,9 @@ fn random_walk(g: &PathGraph, mut seed: u64, wander: usize) -> Vec<u32> {
     while v != g.exit() {
         let out = g.out_edges(v);
         let next = if steps < wander {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = out[(seed >> 33) as usize % out.len()];
             g.edge(e).1
         } else {
@@ -107,34 +115,42 @@ fn random_walk(g: &PathGraph, mut seed: u64, wander: usize) -> Vec<u32> {
     walk
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Path sums are compact and unique: regenerating each sum in
-    /// `0..num_paths` yields pairwise-distinct (nodes, kind) pairs.
-    #[test]
-    fn sums_are_unique_and_compact(spec in arb_graph()) {
+/// Path sums are compact and unique: regenerating each sum in
+/// `0..num_paths` yields pairwise-distinct (nodes, kind) pairs.
+#[test]
+fn sums_are_unique_and_compact() {
+    for seed in 0..128u64 {
+        let spec = GraphSpec::arbitrary(&mut SmallRng::seed_from_u64(seed));
         let g = spec.build();
         let l = g.label().expect("chain-connected graph must label");
-        prop_assume!(l.num_paths() <= 4096);
+        if l.num_paths() > 4096 {
+            continue;
+        }
         let mut seen = std::collections::HashSet::new();
         for p in l.iter_paths() {
-            prop_assert!(
+            assert!(
                 seen.insert((p.nodes.clone(), format!("{:?}", p.kind))),
-                "duplicate path {:?}", p
+                "seed {seed}: duplicate path {p:?}"
             );
         }
-        prop_assert_eq!(seen.len() as u64, l.num_paths());
+        assert_eq!(seen.len() as u64, l.num_paths(), "seed {seed}");
     }
+}
 
-    /// Every instrumented walk produces in-range sums whose regenerated
-    /// paths are segments of the walk.
-    #[test]
-    fn walk_sums_regenerate_to_walk_segments(spec in arb_graph(), seed in any::<u64>()) {
+/// Every instrumented walk produces in-range sums whose regenerated
+/// paths are segments of the walk.
+#[test]
+fn walk_sums_regenerate_to_walk_segments() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = GraphSpec::arbitrary(&mut rng);
+        let walk_seed = rng.next_u64();
         let g = spec.build();
         let l = g.label().expect("label");
-        prop_assume!(l.num_paths() <= 4096);
-        let walk = random_walk(&g, seed, 12);
+        if l.num_paths() > 4096 {
+            continue;
+        }
+        let walk = random_walk(&g, walk_seed, 12);
         let sums = l.walk_sums(&walk);
         // Split the walk at backedges the same way instrumentation would.
         let mut segments: Vec<Vec<u32>> = vec![vec![walk[0]]];
@@ -151,43 +167,60 @@ proptest! {
                 segments.push(vec![w]);
             }
         }
-        prop_assert_eq!(sums.len(), segments.len());
+        assert_eq!(sums.len(), segments.len(), "seed {seed}");
         for (sum, seg) in sums.iter().zip(&segments) {
-            prop_assert!(*sum < l.num_paths(), "sum {} out of range", sum);
+            assert!(*sum < l.num_paths(), "seed {seed}: sum {sum} out of range");
             let p = l.regenerate(*sum);
-            prop_assert_eq!(&p.nodes, seg, "sum {}", sum);
+            assert_eq!(&p.nodes, seg, "seed {seed}: sum {sum}");
         }
     }
+}
 
-    /// The spanning-tree optimized placement counts exactly the same
-    /// paths as the simple Val-based placement, for every weight source.
-    #[test]
-    fn optimized_placement_is_equivalent(spec in arb_graph(), seed in any::<u64>()) {
+/// The spanning-tree optimized placement counts exactly the same
+/// paths as the simple Val-based placement, for every weight source.
+#[test]
+fn optimized_placement_is_equivalent() {
+    for seed in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = GraphSpec::arbitrary(&mut rng);
+        let walk_seed = rng.next_u64();
         let g = spec.build();
         let l = g.label().expect("label");
-        prop_assume!(l.num_paths() <= 4096);
+        if l.num_paths() > 4096 {
+            continue;
+        }
         let simple = Placement::simple(&l);
         let freqs: Vec<u64> = (0..g.num_edges() as u64).map(|e| (e * 7919) % 97).collect();
-        for ws in [WeightSource::Uniform, WeightSource::LoopHeuristic, WeightSource::Edges(&freqs)] {
+        for ws in [
+            WeightSource::Uniform,
+            WeightSource::LoopHeuristic,
+            WeightSource::Edges(&freqs),
+        ] {
             let opt = Placement::optimized(&l, ws);
             for k in 0..4u64 {
-                let walk = random_walk(&g, seed.wrapping_add(k), 10);
+                let walk = random_walk(&g, walk_seed.wrapping_add(k), 10);
                 let a = simple.walk_counts(&l, &walk);
                 let b = opt.walk_counts(&l, &walk);
-                prop_assert_eq!(&a, &b, "weights {:?} walk {:?}", ws, walk);
-                prop_assert_eq!(&a, &l.walk_sums(&walk));
+                assert_eq!(&a, &b, "seed {seed}: weights {ws:?} walk {walk:?}");
+                assert_eq!(&a, &l.walk_sums(&walk), "seed {seed}");
             }
         }
     }
+}
 
-    /// The optimization never instruments more edges than the simple
-    /// placement.
-    #[test]
-    fn optimized_never_worse(spec in arb_graph()) {
+/// The optimization never instruments more edges than the simple
+/// placement.
+#[test]
+fn optimized_never_worse() {
+    for seed in 0..128u64 {
+        let spec = GraphSpec::arbitrary(&mut SmallRng::seed_from_u64(seed));
         let g = spec.build();
         let l = g.label().expect("label");
         let simple = Placement::simple(&l);
         let opt = Placement::optimized(&l, WeightSource::Uniform);
-        prop_assert!(opt.num_instrumented_edges() <= simple.num_instrumented_edges());
+        assert!(
+            opt.num_instrumented_edges() <= simple.num_instrumented_edges(),
+            "seed {seed}"
+        );
     }
 }

@@ -1,0 +1,105 @@
+//! Fault injection for the simulated machine.
+//!
+//! The paper's profiling sequences must survive hostile run-time
+//! conditions: 32-bit PICs that wrap mid-path (Section 3.1 handles this
+//! with wraparound subtraction), counter reads perturbed by the pipeline
+//! reordering the read against nearby micro-ops, and programs that are
+//! killed before reaching their exit. A [`FaultPlan`] injects each of
+//! these deterministically so tests can assert the wrap semantics and the
+//! partial-result recovery path end-to-end.
+//!
+//! ```
+//! use pp_usim::{FaultPlan, ReadSkew};
+//!
+//! let plan = FaultPlan::default()
+//!     .preload_pics(u32::MAX - 10, u32::MAX - 3) // force mid-path wraps
+//!     .abort_at_uops(50_000)                     // kill the run early
+//!     .skew_reads(ReadSkew { period: 7, magnitude: 2 });
+//! assert!(plan.is_active());
+//! ```
+
+/// A deterministic perturbation of profiling counter reads: every
+/// `period`-th read of `(%pic0, %pic1)` observes both counters advanced
+/// by `magnitude` — the effect of the read being reordered past nearby
+/// counted micro-ops instead of serializing the pipeline as Section 3.1
+/// requires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadSkew {
+    /// Apply the skew to every `period`-th counter read (0 disables).
+    pub period: u64,
+    /// How far the perturbed read runs ahead, in counted events.
+    pub magnitude: u32,
+}
+
+/// A plan of faults to inject into one [`Machine`](crate::Machine) run.
+///
+/// The default plan injects nothing. Plans are `Copy` and built up with
+/// the chained constructors; install one with
+/// [`Machine::inject_faults`](crate::Machine::inject_faults).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Initial values of `(%pic0, %pic1)` at run start — preload near
+    /// `u32::MAX` to force a wrap during the very first profiled path.
+    pub preload_pics: Option<(u32, u32)>,
+    /// Abort execution with [`ExecError::FaultAbort`](crate::ExecError)
+    /// once this many micro-ops have retired.
+    pub abort_at_uops: Option<u64>,
+    /// Perturb counter reads (see [`ReadSkew`]).
+    pub read_skew: Option<ReadSkew>,
+}
+
+impl FaultPlan {
+    /// Starts `(%pic0, %pic1)` at `(p0, p1)` instead of `(0, 0)`.
+    pub fn preload_pics(mut self, p0: u32, p1: u32) -> FaultPlan {
+        self.preload_pics = Some((p0, p1));
+        self
+    }
+
+    /// Aborts the run after `uops` micro-ops.
+    pub fn abort_at_uops(mut self, uops: u64) -> FaultPlan {
+        self.abort_at_uops = Some(uops);
+        self
+    }
+
+    /// Installs a counter-read skew.
+    pub fn skew_reads(mut self, skew: ReadSkew) -> FaultPlan {
+        self.read_skew = Some(skew);
+        self
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self.preload_pics.is_some() || self.abort_at_uops.is_some() || self.read_skew.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        assert!(!FaultPlan::default().is_active());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let plan = FaultPlan::default()
+            .preload_pics(1, 2)
+            .abort_at_uops(3)
+            .skew_reads(ReadSkew {
+                period: 4,
+                magnitude: 5,
+            });
+        assert_eq!(plan.preload_pics, Some((1, 2)));
+        assert_eq!(plan.abort_at_uops, Some(3));
+        assert_eq!(
+            plan.read_skew,
+            Some(ReadSkew {
+                period: 4,
+                magnitude: 5
+            })
+        );
+        assert!(plan.is_active());
+    }
+}

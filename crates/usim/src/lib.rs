@@ -51,6 +51,7 @@
 
 mod cache;
 mod config;
+mod fault;
 mod layout;
 mod machine;
 mod mem;
@@ -60,6 +61,7 @@ mod sink;
 
 pub use cache::{AssocCache, DirectMappedCache};
 pub use config::MachineConfig;
+pub use fault::{FaultPlan, ReadSkew};
 pub use layout::CodeLayout;
 pub use machine::{ExecError, Machine, RunResult};
 pub use mem::Memory;

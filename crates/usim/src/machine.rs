@@ -10,6 +10,7 @@ use pp_ir::{
 
 use crate::cache::{AssocCache, DirectMappedCache};
 use crate::config::MachineConfig;
+use crate::fault::FaultPlan;
 use crate::layout::CodeLayout;
 use crate::metrics::HwMetrics;
 use crate::predict::{BranchPredictor, TargetPredictor};
@@ -39,6 +40,12 @@ pub enum ExecError {
         /// The offending token value.
         value: i64,
     },
+    /// An injected fault aborted the run (see
+    /// [`FaultPlan::abort_at_uops`](crate::FaultPlan)).
+    FaultAbort {
+        /// Micro-ops retired when the abort fired.
+        uops: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -50,6 +57,9 @@ impl fmt::Display for ExecError {
                 write!(f, "indirect call through invalid procedure index {value}")
             }
             ExecError::BadJumpToken { value } => write!(f, "longjmp with invalid token {value}"),
+            ExecError::FaultAbort { uops } => {
+                write!(f, "injected fault aborted execution after {uops} uops")
+            }
         }
     }
 }
@@ -113,6 +123,8 @@ pub struct Machine<'p> {
     setjmps: Vec<(usize, BlockId, usize)>,
     uops: u64,
     block_counts: HashMap<(ProcId, BlockId), u64>,
+    fault: FaultPlan,
+    counter_reads: u64,
 }
 
 impl<'p> fmt::Debug for Machine<'p> {
@@ -138,9 +150,8 @@ impl<'p> Machine<'p> {
             mem: Memory::new(),
             dcache: DirectMappedCache::new(config.dcache_bytes, config.dcache_line),
             icache: AssocCache::new(config.icache_bytes, config.icache_line, config.icache_ways),
-            l2: (config.l2_bytes > 0).then(|| {
-                AssocCache::new(config.l2_bytes, config.l2_line, config.l2_ways.max(1))
-            }),
+            l2: (config.l2_bytes > 0)
+                .then(|| AssocCache::new(config.l2_bytes, config.l2_line, config.l2_ways.max(1))),
             bp: BranchPredictor::new(config.predictor_entries),
             tp: TargetPredictor::new(config.predictor_entries / 4),
             pics: [0, 0],
@@ -153,7 +164,16 @@ impl<'p> Machine<'p> {
             setjmps: Vec::new(),
             uops: 0,
             block_counts: HashMap::new(),
+            fault: FaultPlan::default(),
+            counter_reads: 0,
         }
+    }
+
+    /// Installs a [`FaultPlan`] for the next [`Machine::run`]. Injection
+    /// is deterministic: the same plan on the same program produces the
+    /// same perturbed run.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault = plan;
     }
 
     /// The code layout in effect.
@@ -427,12 +447,20 @@ impl<'p> Machine<'p> {
         for seg in &self.program.data {
             self.mem.write_bytes(seg.addr, &seg.bytes);
         }
+        if let Some((p0, p1)) = self.fault.preload_pics {
+            self.pics = [p0, p1];
+        }
         self.push_frame(self.program.entry(), &[], None)?;
         let mut next_sample = sampler.as_ref().map(|(iv, _)| *iv).unwrap_or(u64::MAX);
 
         while !self.frames.is_empty() {
             if self.uops >= self.config.max_instructions {
                 return Err(ExecError::InstructionLimit);
+            }
+            if let Some(limit) = self.fault.abort_at_uops {
+                if self.uops >= limit {
+                    return Err(ExecError::FaultAbort { uops: self.uops });
+                }
             }
             if self.now() >= next_sample {
                 let (interval, on_sample) = sampler.as_mut().expect("sampling enabled");
@@ -456,12 +484,20 @@ impl<'p> Machine<'p> {
             }
         }
 
-        Ok(RunResult {
+        Ok(self.partial_result())
+    }
+
+    /// The metrics accumulated so far. After [`Machine::run`] returns an
+    /// [`ExecError`], this is the ground truth *up to the fault* — the
+    /// partial-result recovery path reads it instead of discarding the
+    /// run.
+    pub fn partial_result(&self) -> RunResult {
+        RunResult {
             metrics: self.metrics,
             uops: self.uops,
             resident_pages: self.mem.resident_pages(),
             code_bytes: self.layout.total_bytes(),
-        })
+        }
     }
 
     fn exec_instr(&mut self, instr: &Instr, sink: &mut dyn ProfSink) -> Result<(), ExecError> {
@@ -567,10 +603,7 @@ impl<'p> Machine<'p> {
                 self.set_freg(*dst, v as f64);
             }
             Instr::Call {
-                target,
-                args,
-                ret,
-                ..
+                target, args, ret, ..
             } => {
                 self.uop();
                 self.count(HwEvent::Calls, 1);
@@ -605,7 +638,8 @@ impl<'p> Machine<'p> {
                 self.uop();
                 let frame = self.frames.last().expect("live frame");
                 let token = self.setjmps.len() as i64;
-                self.setjmps.push((self.frames.len(), frame.block, frame.ip));
+                self.setjmps
+                    .push((self.frames.len(), frame.block, frame.ip));
                 self.set_reg(*dst, token);
             }
             Instr::Longjmp { token } => {
@@ -731,6 +765,22 @@ impl<'p> Machine<'p> {
         v as u64
     }
 
+    /// A profiling-sequence read of `(%pic0, %pic1)`, subject to the
+    /// fault plan's [`ReadSkew`](crate::ReadSkew): a perturbed read
+    /// observes both counters slightly ahead, as if the read had been
+    /// reordered past nearby counted micro-ops.
+    fn read_pics(&mut self) -> (u32, u32) {
+        self.counter_reads += 1;
+        let mut p = (self.pics[0], self.pics[1]);
+        if let Some(skew) = self.fault.read_skew {
+            if skew.period > 0 && self.counter_reads.is_multiple_of(skew.period) {
+                p.0 = p.0.wrapping_add(skew.magnitude);
+                p.1 = p.1.wrapping_add(skew.magnitude);
+            }
+        }
+        p
+    }
+
     fn exec_prof(&mut self, op: ProfOp, sink: &mut dyn ProfSink) {
         // Accesses to %pic serialize the pipeline (the required
         // read-after-write ordering of Section 3.1); charge a fixed
@@ -750,7 +800,7 @@ impl<'p> Machine<'p> {
                 self.pics = [0, 0];
             }
             ProfOp::PicSave => {
-                let pics = (self.pics[0], self.pics[1]);
+                let pics = self.read_pics();
                 self.uops_n(2);
                 let addr = self.frame_addr();
                 self.dwrite(addr);
@@ -797,7 +847,7 @@ impl<'p> Machine<'p> {
             ProfOp::PathMetrics { table, reg } => {
                 // Capture the counters before the instrumentation's own
                 // micro-ops execute (the paper's read-at-end-of-path).
-                let pics = (self.pics[0], self.pics[1]);
+                let pics = self.read_pics();
                 let sum = self.path_sum(reg);
                 self.path_metrics_cost(table, sum);
                 sink.path_event(table, sum, Some(pics));
@@ -808,7 +858,7 @@ impl<'p> Machine<'p> {
                 end,
                 start,
             } => {
-                let pics = (self.pics[0], self.pics[1]);
+                let pics = self.read_pics();
                 let sum = (self.reg(reg).wrapping_add(end)) as u64;
                 self.path_metrics_cost(table, sum);
                 // r = START and re-zero for the next path.
@@ -846,7 +896,7 @@ impl<'p> Machine<'p> {
                 sink.cct_exit();
             }
             ProfOp::CctMetricEnter => {
-                let pics = (self.pics[0], self.pics[1]);
+                let pics = self.read_pics();
                 // Read both counters, extract halves, store the snapshot.
                 self.uops_n(4);
                 let fa = self.frame_addr();
@@ -854,7 +904,7 @@ impl<'p> Machine<'p> {
                 sink.cct_metric_enter(pics);
             }
             ProfOp::CctMetricExit => {
-                let pics = (self.pics[0], self.pics[1]);
+                let pics = self.read_pics();
                 self.uops_n(10);
                 let fa = self.frame_addr();
                 self.dread(fa + 16);
@@ -867,7 +917,7 @@ impl<'p> Machine<'p> {
                 }
             }
             ProfOp::CctMetricTick => {
-                let pics = (self.pics[0], self.pics[1]);
+                let pics = self.read_pics();
                 self.uops_n(11);
                 let fa = self.frame_addr();
                 self.dread(fa + 16);
@@ -900,7 +950,7 @@ impl<'p> Machine<'p> {
                 self.set_reg(reg, start);
             }
             ProfOp::CctPathMetrics { reg } => {
-                let pics = (self.pics[0], self.pics[1]);
+                let pics = self.read_pics();
                 let sum = self.path_sum(reg);
                 self.uops_n(15);
                 let addr = sink.cct_path_event(sum, Some(pics));
@@ -912,7 +962,7 @@ impl<'p> Machine<'p> {
                 }
             }
             ProfOp::CctPathMetricsBackedge { reg, end, start } => {
-                let pics = (self.pics[0], self.pics[1]);
+                let pics = self.read_pics();
                 let sum = (self.reg(reg).wrapping_add(end)) as u64;
                 self.uops_n(17);
                 let addr = sink.cct_path_event(sum, Some(pics));
@@ -1227,10 +1277,7 @@ mod tests {
         let tok = f.new_reg();
         let flag = f.new_reg();
         let base = f.new_reg();
-        f.block(e)
-            .mov(flag, 0i64)
-            .setjmp(tok)
-            .jump(after);
+        f.block(e).mov(flag, 0i64).setjmp(tok).jump(after);
         // after: if flag != 0, we came back via longjmp
         f.block(after).branch(flag, thrown, call_block);
         f.block(call_block)
@@ -1274,7 +1321,10 @@ mod tests {
                 ..MachineConfig::default()
             },
         );
-        assert_eq!(m.run(&mut NullSink).unwrap_err(), ExecError::InstructionLimit);
+        assert_eq!(
+            m.run(&mut NullSink).unwrap_err(),
+            ExecError::InstructionLimit
+        );
     }
 
     #[test]

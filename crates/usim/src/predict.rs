@@ -57,8 +57,7 @@ impl TargetPredictor {
     /// Predicts and updates for the jump at `key` resolving to `target`;
     /// returns `true` on a correct prediction.
     pub fn predict_and_update(&mut self, key: u64, target: u64) -> bool {
-        let i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize
-            & (self.targets.len() - 1);
+        let i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize & (self.targets.len() - 1);
         let hit = self.targets[i] == target;
         self.targets[i] = target;
         hit

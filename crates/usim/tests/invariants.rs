@@ -30,7 +30,10 @@ fn event_accounting_identities() {
             "seed {seed}"
         );
         assert!(g(HwEvent::DcReadMiss) <= g(HwEvent::DcRead), "seed {seed}");
-        assert!(g(HwEvent::DcWriteMiss) <= g(HwEvent::DcWrite), "seed {seed}");
+        assert!(
+            g(HwEvent::DcWriteMiss) <= g(HwEvent::DcWrite),
+            "seed {seed}"
+        );
         assert!(
             g(HwEvent::BranchMispredict) <= g(HwEvent::Branches),
             "seed {seed}"

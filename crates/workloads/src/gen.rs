@@ -1,7 +1,6 @@
 //! The program generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use pp_ir::build::{ProcBuilder, ProgramBuilder};
 use pp_ir::instr::{BinOp, FBinOp};
@@ -49,12 +48,7 @@ fn emit_throw(f: &mut ProcBuilder<'_>, b: pp_ir::BlockId, lcg: Reg, t: Reg) {
 /// conflicting partner when enabled); cold arms touch a tiny cached
 /// scratch area. Odd-numbered kernels use a cache-resident 8 KB array, so
 /// their frequent paths are *sparse* (hot by volume, low miss ratio).
-fn build_int_kernel(
-    pb: &mut ProgramBuilder,
-    spec: &WorkloadSpec,
-    kernel_index: u32,
-    id: ProcId,
-) {
+fn build_int_kernel(pb: &mut ProgramBuilder, spec: &WorkloadSpec, kernel_index: u32, id: ProcId) {
     let mut f = pb.procedure_for(id);
     let i = f.new_reg();
     let lcg = f.new_reg();
@@ -85,7 +79,10 @@ fn build_int_kernel(
         .load(v, a, 0)
         .add(v, v, 1i64)
         .store(Operand::Reg(v), a, 0)
-        .mov(lcg, (spec.seed ^ (kernel_index as u64 + 1).wrapping_mul(0x9E37)) as i64)
+        .mov(
+            lcg,
+            (spec.seed ^ (kernel_index as u64 + 1).wrapping_mul(0x9E37)) as i64,
+        )
         .mul(v, v, LCG_A)
         .bin(BinOp::Xor, lcg, lcg, Operand::Reg(v))
         .mov(acc, 0i64)
@@ -116,7 +113,8 @@ fn build_int_kernel(
                 .load(v, a, 0)
                 .add(acc, acc, Operand::Reg(v));
             if spec.conflict && !resident {
-                bb.load(v, a, CONFLICT_OFFSET).add(acc, acc, Operand::Reg(v));
+                bb.load(v, a, CONFLICT_OFFSET)
+                    .add(acc, acc, Operand::Reg(v));
             }
             for w in 0..spec.hot_work {
                 bb.bin(BinOp::Xor, acc, acc, Operand::Reg(v))
@@ -152,12 +150,7 @@ fn build_int_kernel(
 /// Builds one floating point kernel: the same loop skeleton but the hot
 /// arms stream `f64`s through the FP unit (with a divide on the second
 /// diamond to create FP stalls).
-fn build_fp_kernel(
-    pb: &mut ProgramBuilder,
-    spec: &WorkloadSpec,
-    kernel_index: u32,
-    id: ProcId,
-) {
+fn build_fp_kernel(pb: &mut ProgramBuilder, spec: &WorkloadSpec, kernel_index: u32, id: ProcId) {
     let mut f = pb.procedure_for(id);
     let i = f.new_reg();
     let lcg = f.new_reg();
@@ -183,7 +176,10 @@ fn build_fp_kernel(
         .load(v, a, 0)
         .add(v, v, 1i64)
         .store(Operand::Reg(v), a, 0)
-        .mov(lcg, (spec.seed ^ (kernel_index as u64 + 7).wrapping_mul(0xC2B2)) as i64)
+        .mov(
+            lcg,
+            (spec.seed ^ (kernel_index as u64 + 7).wrapping_mul(0xC2B2)) as i64,
+        )
         .mul(v, v, LCG_A)
         .bin(BinOp::Xor, lcg, lcg, Operand::Reg(v))
         .fconst(facc, 1.0)
@@ -214,7 +210,8 @@ fn build_fp_kernel(
                 .fbin(FBinOp::Mul, fv, fv, fk)
                 .fbin(FBinOp::Add, facc, facc, fv);
             for w in 0..spec.hot_work {
-                bb.fbin(FBinOp::Mul, fv, fv, fk).fbin(FBinOp::Add, facc, facc, fv);
+                bb.fbin(FBinOp::Mul, fv, fv, fk)
+                    .fbin(FBinOp::Add, facc, facc, fv);
                 if w % 6 == 5 {
                     bb.fload(fv, a, 8 * (w as i64 / 6 + 1));
                 }
@@ -252,7 +249,7 @@ fn build_mid(
     id: ProcId,
     child_pool: &[ProcId],
     handler: ProcId,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
 ) {
     let table_base = FPTAB_REGION + mid_index as u64 * 0x100;
     // The table holds this mid's child set.
@@ -281,7 +278,10 @@ fn build_mid(
 
     f.block(entry)
         .mov(n, 0i64)
-        .mov(lcg, (spec.seed ^ (mid_index as u64 + 3).wrapping_mul(0x85EB)) as i64)
+        .mov(
+            lcg,
+            (spec.seed ^ (mid_index as u64 + 3).wrapping_mul(0x85EB)) as i64,
+        )
         .jump(header);
     // A statically-reachable but never-executed error path: its call site
     // is allocated in every call record but never used (Table 3's
@@ -295,7 +295,7 @@ fn build_mid(
         .branch(c, body, exit);
     {
         let indirect: Vec<bool> = (0..spec.fanout)
-            .map(|_| rng.gen_range(0..100) < spec.indirect_pct)
+            .map(|_| rng.gen_range(0..100u32) < spec.indirect_pct)
             .collect();
         let mut bb = f.block(body);
         for (k, &child) in children.iter().enumerate() {
@@ -379,7 +379,9 @@ fn build_recursion(pb: &mut ProgramBuilder, rec: ProcId, even: ProcId, odd: Proc
         let c = f.new_reg();
         let a = f.new_reg();
         let r = f.new_reg();
-        f.block(e).bin(BinOp::CmpLe, c, n, 0i64).branch(c, base_case, rec_case);
+        f.block(e)
+            .bin(BinOp::CmpLe, c, n, 0i64)
+            .branch(c, base_case, rec_case);
         f.block(base_case).mov(Reg(0), 0i64).ret();
         {
             let mut bb = f.block(rec_case);
@@ -403,7 +405,9 @@ fn build_recursion(pb: &mut ProgramBuilder, rec: ProcId, even: ProcId, odd: Proc
         let n = Reg(0);
         let c = f.new_reg();
         let r = f.new_reg();
-        f.block(e).bin(BinOp::CmpLe, c, n, 0i64).branch(c, base_case, rec_case);
+        f.block(e)
+            .bin(BinOp::CmpLe, c, n, 0i64)
+            .branch(c, base_case, rec_case);
         f.block(base_case).mov(Reg(0), 1i64).ret();
         f.block(rec_case)
             .sub(n, n, 1i64)
@@ -437,7 +441,7 @@ fn build_throw_chain(pb: &mut ProgramBuilder, thrower: ProcId, jumper: ProcId) {
 
 /// Generates the program for `spec`.
 pub fn build(spec: &WorkloadSpec) -> Program {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
     let mut pb = ProgramBuilder::new();
 
     let main_id = pb.declare("main");
@@ -466,14 +470,11 @@ pub fn build(spec: &WorkloadSpec) -> Program {
         .map(|d| pb.declare(&format!("driver_{d}")))
         .collect();
     let handler = pb.declare("panic_handler");
-    let recursion = (spec.recursion_depth > 0).then(|| {
-        (
-            pb.declare("rec"),
-            pb.declare("even"),
-            pb.declare("odd"),
-        )
-    });
-    let throw = spec.setjmp.then(|| (pb.declare("thrower"), pb.declare("jumper")));
+    let recursion = (spec.recursion_depth > 0)
+        .then(|| (pb.declare("rec"), pb.declare("even"), pb.declare("odd")));
+    let throw = spec
+        .setjmp
+        .then(|| (pb.declare("thrower"), pb.declare("jumper")));
 
     for (k, &id) in kernels.iter().enumerate() {
         if (k as u32) < spec.fp_kernels {

@@ -35,10 +35,12 @@
 
 mod gen;
 pub mod random;
+pub mod rng;
 mod spec;
 mod suite;
 
 pub use gen::build;
 pub use random::{random_program, RandomSpec};
+pub use rng::SmallRng;
 pub use spec::WorkloadSpec;
 pub use suite::{spec_for, suite, Workload, SUITE_NAMES};

@@ -8,8 +8,7 @@
 //! and the analyses (see `tests/oracle.rs` and the parser round-trip
 //! tests).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use pp_ir::build::{ProcBuilder, ProgramBuilder};
 use pp_ir::instr::BinOp;
@@ -50,7 +49,7 @@ struct EmitCtx<'a> {
 
 fn emit_body(
     f: &mut ProcBuilder<'_>,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
     spec: &RandomSpec,
     depth: u32,
     mut cur: BlockId,
@@ -62,7 +61,7 @@ fn emit_body(
         match rng.gen_range(0..6u32) {
             // Arithmetic work.
             0 | 1 => {
-                let k = rng.gen_range(1..4);
+                let k = rng.gen_range(1..4u32);
                 for j in 0..k {
                     f.block(cur).add(tmp, tmp, j as i64 + 1);
                 }
@@ -78,11 +77,11 @@ fn emit_body(
                     .load(tmp, addr, 0);
             }
             // A call to a later procedure (if any).
-            3
-                if !callees.is_empty() => {
-                    let callee = callees[rng.gen_range(0..callees.len())];
-                    f.block(cur).call(callee, vec![Operand::Reg(tmp)], Some(tmp));
-                }
+            3 if !callees.is_empty() => {
+                let callee = callees[rng.gen_range(0..callees.len())];
+                f.block(cur)
+                    .call(callee, vec![Operand::Reg(tmp)], Some(tmp));
+            }
             // A biased branch.
             4 if depth < spec.max_depth => {
                 let bias = rng.gen_range(0..=100i64);
@@ -127,7 +126,7 @@ fn emit_body(
 /// Generates a random, verifying, terminating program. Deterministic in
 /// `(seed, spec)`.
 pub fn random_program(seed: u64, spec: &RandomSpec) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let ids: Vec<ProcId> = (0..spec.num_procs.max(1))
         .map(|i| pb.declare(&format!("r{i}")))
@@ -140,7 +139,10 @@ pub fn random_program(seed: u64, spec: &RandomSpec) -> Program {
         let tmp = f.new_reg();
         let addr = f.new_reg();
         f.block(entry)
-            .mov(lcg, (seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9)) as i64 | 1)
+            .mov(
+                lcg,
+                (seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9)) as i64 | 1,
+            )
             .mov(tmp, 0i64);
         let ctx = EmitCtx {
             lcg,
@@ -165,8 +167,7 @@ mod tests {
     fn random_programs_verify() {
         for seed in 0..40 {
             let p = random_program(seed, &RandomSpec::default());
-            pp_ir::verify::verify_program(&p)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            pp_ir::verify::verify_program(&p).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

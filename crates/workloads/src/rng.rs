@@ -1,0 +1,114 @@
+//! A tiny deterministic PRNG for workload generation and tests.
+//!
+//! The container builds offline, so we cannot pull in the `rand` crate;
+//! everything that needs randomness uses this splitmix64-based generator
+//! instead. It is *not* cryptographic and makes no uniformity guarantees
+//! beyond "good enough to shake out corner cases" — the suite only relies
+//! on determinism in the seed, which splitmix64 provides exactly.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic 64-bit PRNG (splitmix64).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 raw bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform-ish sample from a half-open or inclusive integer range.
+    ///
+    /// Panics if the range is empty, matching `rand::Rng::gen_range`.
+    pub fn gen_range<T, R: RangeSample<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability roughly `num` in `denom`.
+    pub fn gen_ratio(&mut self, num: u32, denom: u32) -> bool {
+        assert!(denom > 0 && num <= denom);
+        self.gen_range(0..denom) < num
+    }
+}
+
+/// Integer ranges [`SmallRng::gen_range`] can sample from.
+pub trait RangeSample<T> {
+    /// Draws one value from `self` using `rng`.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample<$t> for Range<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl RangeSample<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u32, u64, i64, usize, u16, u8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let x: usize = rng.gen_range(0..4);
+            assert!(x < 4);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let _: u64 = rng.gen_range(0..=u64::MAX);
+        }
+    }
+}

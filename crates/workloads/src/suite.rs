@@ -414,8 +414,7 @@ mod tests {
     #[test]
     fn all_programs_build_and_verify_small() {
         for w in suite(0.05) {
-            pp_ir::verify::verify_program(&w.program)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            pp_ir::verify::verify_program(&w.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert!(w.program.procedures().len() >= 5, "{}", w.name);
         }
     }

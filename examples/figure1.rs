@@ -39,7 +39,10 @@ fn main() {
         );
     }
 
-    println!("\nFigure 1(b): the {} paths and their sums", labeling.num_paths());
+    println!(
+        "\nFigure 1(b): the {} paths and their sums",
+        labeling.num_paths()
+    );
     for p in labeling.iter_paths() {
         let path: String = p.nodes.iter().map(|&n| NAMES[n as usize]).collect();
         println!("  {path:<8} = {}", p.sum);

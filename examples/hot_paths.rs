@@ -11,12 +11,16 @@ use pp::ir::HwEvent;
 use pp::profiler::{analysis, Profiler, RunConfig};
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "101.tomcatv".to_string());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "101.tomcatv".to_string());
     let suite = pp::workloads::suite(0.5);
-    let workload = suite
-        .iter()
-        .find(|w| w.name == wanted)
-        .unwrap_or_else(|| panic!("unknown benchmark {wanted}; pick one of {:?}", pp::workloads::SUITE_NAMES));
+    let workload = suite.iter().find(|w| w.name == wanted).unwrap_or_else(|| {
+        panic!(
+            "unknown benchmark {wanted}; pick one of {:?}",
+            pp::workloads::SUITE_NAMES
+        )
+    });
 
     let profiler = Profiler::default();
     let run = profiler

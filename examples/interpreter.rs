@@ -34,7 +34,9 @@ enum Op {
     Halt,
 }
 
-const OP_NAMES: [&str; 8] = ["PUSH", "ADD", "SUB", "DUP", "GLOAD", "GSTORE", "JNZ", "HALT"];
+const OP_NAMES: [&str; 8] = [
+    "PUSH", "ADD", "SUB", "DUP", "GLOAD", "GSTORE", "JNZ", "HALT",
+];
 
 /// Encodes ops as (opcode, operand) pairs of 8-byte words.
 fn assemble(ops: &[Op]) -> Vec<u64> {
@@ -81,7 +83,10 @@ fn build_interpreter(bytecode: &[u64]) -> Program {
     let b = f.new_reg();
     let addr = f.new_reg();
 
-    f.block(entry).mov(pc, 0i64).mov(sp, STACK_BASE).jump(dispatch);
+    f.block(entry)
+        .mov(pc, 0i64)
+        .mov(sp, STACK_BASE)
+        .jump(dispatch);
 
     // dispatch: opcode = bc[pc*16], operand = bc[pc*16 + 8]; pc += 1.
     f.block(dispatch)

@@ -53,7 +53,10 @@ fn build_kernel(pb: &mut ProgramBuilder, name: &str, row_major: bool) -> pp::ir:
             .fbin(pp::ir::instr::FBinOp::Add, acc, acc, v)
             .jump(itail);
     }
-    f.block(itail).add(j, j, 1i64).cmp_lt(c, j, N).branch(c, body, oexit);
+    f.block(itail)
+        .add(j, j, 1i64)
+        .cmp_lt(c, j, N)
+        .branch(c, body, oexit);
     f.block(oexit).add(i, i, 1i64).jump(oh);
     f.block(x).ret();
     f.finish()

@@ -7,6 +7,7 @@
 //! pp report <target> [options]              full report: overheads, hot
 //!                                           paths, procedures, CCT stats
 //! pp cct <target> [--out FILE] [options]    build a CCT, print stats
+//! pp stats <file.cct>                       stats of a saved CCT profile
 //! pp annotate <target> <proc> [options]     annotated block listing
 //! pp decode <target> <proc> <sum>           decode a path sum to blocks
 //!
@@ -18,13 +19,21 @@
 //!   --events <ev0>,<ev1>      counter selection (default insts,dc_miss)
 //!   --scale <f64>             suite workload scale (default 1.0)
 //!   --threshold <f64>         hot threshold (default 0.01)
+//!   --cct-cap <u32>           cap CCT records; overflow collapses
+//!                             DCG-style (default unlimited)
+//!   --max-uops <u64>          abort runs after this many micro-ops
+//!                             (partial profile, exit code 2)
+//!
+//! exit codes: 0 success; 1 usage or instrumentation error; 2 run
+//! aborted, partial profile reported; 3 I/O error or corrupt profile.
 //! ```
 
 use std::process::ExitCode;
 
 use pp::cct::CctStats;
 use pp::ir::{HwEvent, ProcId, Program};
-use pp::profiler::{analysis, annotate, Profiler, RunConfig};
+use pp::profiler::{analysis, annotate, PpError, Profiler, RunConfig, RunOutcome};
+use pp::usim::{ExecError, MachineConfig};
 
 struct Options {
     config: String,
@@ -32,6 +41,8 @@ struct Options {
     scale: f64,
     threshold: f64,
     out: Option<String>,
+    cct_cap: u32,
+    max_uops: Option<u64>,
 }
 
 impl Default for Options {
@@ -42,58 +53,92 @@ impl Default for Options {
             scale: 1.0,
             threshold: 0.01,
             out: None,
+            cct_cap: 0,
+            max_uops: None,
         }
     }
 }
 
-fn parse_event(name: &str) -> Result<HwEvent, String> {
+impl Options {
+    fn profiler(&self) -> Profiler {
+        let mut mc = MachineConfig::default();
+        if let Some(uops) = self.max_uops {
+            mc.max_instructions = uops;
+        }
+        Profiler::new(mc).with_cct_record_cap(self.cct_cap)
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> PpError {
+    PpError::Usage(msg.into())
+}
+
+fn parse_event(name: &str) -> Result<HwEvent, PpError> {
     HwEvent::ALL
         .iter()
         .copied()
         .find(|e| e.mnemonic() == name)
         .ok_or_else(|| {
             let all: Vec<&str> = HwEvent::ALL.iter().map(|e| e.mnemonic()).collect();
-            format!("unknown event `{name}`; one of: {}", all.join(", "))
+            usage_err(format!(
+                "unknown event `{name}`; one of: {}",
+                all.join(", ")
+            ))
         })
 }
 
-fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
+fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
     let mut opts = Options::default();
     let mut positional = Vec::new();
     let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| usage_err(format!("{flag} needs a value")))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--config" => opts.config = it.next().ok_or("--config needs a value")?.clone(),
+            "--config" => opts.config = value("--config", &mut it)?,
             "--events" => {
-                let v = it.next().ok_or("--events needs a value")?;
+                let v = value("--events", &mut it)?;
                 let (a, b) = v
                     .split_once(',')
-                    .ok_or("--events expects `ev0,ev1`")?;
+                    .ok_or_else(|| usage_err("--events expects `ev0,ev1`"))?;
                 opts.events = (parse_event(a.trim())?, parse_event(b.trim())?);
             }
             "--scale" => {
-                opts.scale = it
-                    .next()
-                    .ok_or("--scale needs a value")?
+                opts.scale = value("--scale", &mut it)?
                     .parse()
-                    .map_err(|_| "bad --scale value")?;
+                    .map_err(|_| usage_err("bad --scale value"))?;
             }
             "--threshold" => {
-                opts.threshold = it
-                    .next()
-                    .ok_or("--threshold needs a value")?
+                opts.threshold = value("--threshold", &mut it)?
                     .parse()
-                    .map_err(|_| "bad --threshold value")?;
+                    .map_err(|_| usage_err("bad --threshold value"))?;
             }
-            "--out" => opts.out = Some(it.next().ok_or("--out needs a value")?.clone()),
-            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            "--out" => opts.out = Some(value("--out", &mut it)?),
+            "--cct-cap" => {
+                opts.cct_cap = value("--cct-cap", &mut it)?
+                    .parse()
+                    .map_err(|_| usage_err("bad --cct-cap value (expect a u32)"))?;
+            }
+            "--max-uops" => {
+                opts.max_uops = Some(
+                    value("--max-uops", &mut it)?
+                        .parse()
+                        .map_err(|_| usage_err("bad --max-uops value (expect a u64)"))?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(usage_err(format!("unknown option {other}")))
+            }
             other => positional.push(other.to_string()),
         }
     }
     Ok((positional, opts))
 }
 
-fn load_target(target: &str, scale: f64) -> Result<(String, Program), String> {
+fn load_target(target: &str, scale: f64) -> Result<(String, Program), PpError> {
     if pp::workloads::SUITE_NAMES.contains(&target) {
         let spec = pp::workloads::spec_for(target)
             .expect("suite name has a spec")
@@ -101,16 +146,17 @@ fn load_target(target: &str, scale: f64) -> Result<(String, Program), String> {
         return Ok((target.to_string(), pp::workloads::build(&spec)));
     }
     if std::path::Path::new(target).exists() {
-        let text = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
-        let program = pp::ir::parse::parse_program(&text).map_err(|e| format!("{target}: {e}"))?;
+        let text = std::fs::read_to_string(target).map_err(|e| PpError::io(target, e))?;
+        let program =
+            pp::ir::parse::parse_program(&text).map_err(|e| usage_err(format!("{target}: {e}")))?;
         return Ok((target.to_string(), program));
     }
-    Err(format!(
+    Err(usage_err(format!(
         "`{target}` is neither a suite benchmark (try `pp list`) nor an IR file"
-    ))
+    )))
 }
 
-fn run_config(opts: &Options) -> Result<RunConfig, String> {
+fn run_config(opts: &Options) -> Result<RunConfig, PpError> {
     Ok(match opts.config.as_str() {
         "base" => RunConfig::Base,
         "edge" => RunConfig::EdgeFreq,
@@ -125,14 +171,43 @@ fn run_config(opts: &Options) -> Result<RunConfig, String> {
         "combined" => RunConfig::CombinedHw {
             events: opts.events,
         },
-        other => return Err(format!("unknown config `{other}`")),
+        other => return Err(usage_err(format!("unknown config `{other}`"))),
     })
 }
 
-fn find_proc(program: &Program, name: &str) -> Result<ProcId, String> {
+fn find_proc(program: &Program, name: &str) -> Result<ProcId, PpError> {
     program
         .find_procedure(name)
-        .ok_or_else(|| format!("no procedure named `{name}`"))
+        .ok_or_else(|| usage_err(format!("no procedure named `{name}`")))
+}
+
+/// Runs `program` under `config`. An aborted run is not an immediate
+/// error: a warning goes to stderr, the first fault is stashed in
+/// `fault`, and the partial report comes back so the command can finish
+/// printing before the process exits with code 2.
+fn profiled(
+    profiler: &Profiler,
+    program: &Program,
+    config: RunConfig,
+    fault: &mut Option<ExecError>,
+) -> Result<RunOutcome, PpError> {
+    let run = profiler.run(program, config)?;
+    if let Some(e) = &run.fault {
+        eprintln!(
+            "warning: {} run aborted ({e}); reporting the partial profile",
+            run.config
+        );
+        fault.get_or_insert_with(|| e.clone());
+    }
+    Ok(run)
+}
+
+/// Ends a command: exit code 2 when any run was cut short.
+fn finish(fault: Option<ExecError>) -> Result<(), PpError> {
+    match fault {
+        None => Ok(()),
+        Some(e) => Err(PpError::Aborted(e)),
+    }
 }
 
 fn cmd_list() {
@@ -156,19 +231,21 @@ fn cmd_list() {
     }
 }
 
-fn cmd_run(target: &str, opts: &Options) -> Result<(), String> {
+fn cmd_run(target: &str, opts: &Options) -> Result<(), PpError> {
     let (name, program) = load_target(target, opts.scale)?;
-    let profiler = Profiler::default();
-    let base = profiler
-        .run(&program, RunConfig::Base)
-        .map_err(|e| e.to_string())?;
+    let profiler = opts.profiler();
+    let mut fault = None;
+    let base = profiled(&profiler, &program, RunConfig::Base, &mut fault)?;
     let config = run_config(opts)?;
-    let run = profiler.run(&program, config).map_err(|e| e.to_string())?;
+    let run = profiled(&profiler, &program, config, &mut fault)?;
     println!("== {name} under {} ==", run.config);
+    if !run.is_complete() {
+        println!("(partial profile: the run was aborted)");
+    }
     println!(
         "cycles:       {} ({:.2}x base)",
         run.cycles(),
-        run.cycles() as f64 / base.cycles() as f64
+        run.cycles() as f64 / base.cycles().max(1) as f64
     );
     println!("instructions: {}", run.machine.metrics.get(HwEvent::Insts));
     println!("L1 D-misses:  {}", run.machine.metrics.get(HwEvent::DcMiss));
@@ -181,21 +258,29 @@ fn cmd_run(target: &str, opts: &Options) -> Result<(), String> {
             "cct:          {} records, {} bytes, height {} max",
             stats.nodes, stats.file_size, stats.height_max
         );
+        if cct.overflow_enters() > 0 {
+            println!(
+                "              (record cap hit: {} enters collapsed onto {} overflow records)",
+                cct.overflow_enters(),
+                cct.num_overflow_records()
+            );
+        }
     }
-    Ok(())
+    finish(fault)
 }
 
-fn cmd_hot(target: &str, opts: &Options) -> Result<(), String> {
+fn cmd_hot(target: &str, opts: &Options) -> Result<(), PpError> {
     let (name, program) = load_target(target, opts.scale)?;
-    let profiler = Profiler::default();
-    let run = profiler
-        .run(
-            &program,
-            RunConfig::FlowHw {
-                events: (HwEvent::Insts, HwEvent::DcMiss),
-            },
-        )
-        .map_err(|e| e.to_string())?;
+    let profiler = opts.profiler();
+    let mut fault = None;
+    let run = profiled(
+        &profiler,
+        &program,
+        RunConfig::FlowHw {
+            events: (HwEvent::Insts, HwEvent::DcMiss),
+        },
+        &mut fault,
+    )?;
     let flow = run.flow.as_ref().expect("flow profile");
     let inst = run.instrumented.as_ref().expect("manifest");
     let paths = analysis::hot_paths(flow, opts.threshold);
@@ -233,15 +318,14 @@ fn cmd_hot(target: &str, opts: &Options) -> Result<(), String> {
         100.0 * procs.miss_fraction(&hot),
         analysis::HotProcReport::avg_paths(&hot)
     );
-    Ok(())
+    finish(fault)
 }
 
-fn cmd_report(target: &str, opts: &Options) -> Result<(), String> {
+fn cmd_report(target: &str, opts: &Options) -> Result<(), PpError> {
     let (name, program) = load_target(target, opts.scale)?;
-    let profiler = Profiler::default();
-    let base = profiler
-        .run(&program, RunConfig::Base)
-        .map_err(|e| e.to_string())?;
+    let profiler = opts.profiler();
+    let mut fault = None;
+    let base = profiled(&profiler, &program, RunConfig::Base, &mut fault)?;
     println!("================================================================");
     println!("PP profile report: {name}");
     println!("================================================================");
@@ -266,26 +350,23 @@ fn cmd_report(target: &str, opts: &Options) -> Result<(), String> {
         },
         RunConfig::ContextFlow,
     ] {
-        let cycles = profiler
-            .run(&program, config)
-            .map_err(|e| e.to_string())?
-            .cycles();
+        let cycles = profiled(&profiler, &program, config, &mut fault)?.cycles();
         println!(
             "  {:<18} {:.2}x",
             config.to_string(),
-            cycles as f64 / base.cycles() as f64
+            cycles as f64 / base.cycles().max(1) as f64
         );
     }
 
     // Hot paths and procedures.
-    let run = profiler
-        .run(
-            &program,
-            RunConfig::FlowHw {
-                events: (HwEvent::Insts, HwEvent::DcMiss),
-            },
-        )
-        .map_err(|e| e.to_string())?;
+    let run = profiled(
+        &profiler,
+        &program,
+        RunConfig::FlowHw {
+            events: (HwEvent::Insts, HwEvent::DcMiss),
+        },
+        &mut fault,
+    )?;
     let flow = run.flow.as_ref().expect("profile");
     let inst = run.instrumented.as_ref().expect("manifest");
     let paths = analysis::hot_paths(flow, opts.threshold);
@@ -328,14 +409,14 @@ fn cmd_report(target: &str, opts: &Options) -> Result<(), String> {
     );
 
     // CCT summary.
-    let cct_run = profiler
-        .run(
-            &program,
-            RunConfig::CombinedHw {
-                events: (HwEvent::Insts, HwEvent::DcMiss),
-            },
-        )
-        .map_err(|e| e.to_string())?;
+    let cct_run = profiled(
+        &profiler,
+        &program,
+        RunConfig::CombinedHw {
+            events: (HwEvent::Insts, HwEvent::DcMiss),
+        },
+        &mut fault,
+    )?;
     let stats = CctStats::compute(cct_run.cct.as_ref().expect("cct"));
     println!(
         "
@@ -366,20 +447,21 @@ fn cmd_report(target: &str, opts: &Options) -> Result<(), String> {
             cp.m1
         );
     }
-    Ok(())
+    finish(fault)
 }
 
-fn cmd_cct(target: &str, opts: &Options) -> Result<(), String> {
+fn cmd_cct(target: &str, opts: &Options) -> Result<(), PpError> {
     let (name, program) = load_target(target, opts.scale)?;
-    let profiler = Profiler::default();
-    let run = profiler
-        .run(
-            &program,
-            RunConfig::CombinedHw {
-                events: opts.events,
-            },
-        )
-        .map_err(|e| e.to_string())?;
+    let profiler = opts.profiler();
+    let mut fault = None;
+    let run = profiled(
+        &profiler,
+        &program,
+        RunConfig::CombinedHw {
+            events: opts.events,
+        },
+        &mut fault,
+    )?;
     let cct = run.cct.as_ref().expect("cct");
     let stats = CctStats::compute(cct);
     println!("== calling context tree of {name} ==");
@@ -387,32 +469,65 @@ fn cmd_cct(target: &str, opts: &Options) -> Result<(), String> {
     println!("file size:       {} bytes", stats.file_size);
     println!("avg node size:   {:.1} bytes", stats.avg_node_size);
     println!("avg out degree:  {:.1}", stats.avg_out_degree);
-    println!("height:          {:.1} avg / {} max", stats.height_avg, stats.height_max);
+    println!(
+        "height:          {:.1} avg / {} max",
+        stats.height_avg, stats.height_max
+    );
     println!("max replication: {}", stats.max_replication);
     println!(
         "call sites:      {} used / {} one-path",
         stats.call_sites_used, stats.call_sites_one_path
     );
+    if cct.overflow_enters() > 0 {
+        println!(
+            "record cap:      {} enters collapsed onto {} overflow records",
+            cct.overflow_enters(),
+            cct.num_overflow_records()
+        );
+    }
     if let Some(path) = &opts.out {
-        let mut file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        pp::cct::write_cct(cct, &mut file).map_err(|e| e.to_string())?;
+        let mut file = std::fs::File::create(path).map_err(|e| PpError::io(path, e))?;
+        pp::cct::write_cct(cct, &mut file)?;
         println!("wrote profile to {path}");
+    }
+    finish(fault)
+}
+
+fn cmd_stats(path: &str) -> Result<(), PpError> {
+    let mut file = std::fs::File::open(path).map_err(|e| PpError::io(path, e))?;
+    let cct = pp::cct::read_cct(&mut file)?;
+    let stats = CctStats::compute(&cct);
+    println!("== {path} ==");
+    println!("records:         {}", stats.nodes);
+    println!("file size:       {} bytes (payload model)", stats.file_size);
+    println!("avg out degree:  {:.1}", stats.avg_out_degree);
+    println!(
+        "height:          {:.1} avg / {} max",
+        stats.height_avg, stats.height_max
+    );
+    println!(
+        "call sites:      {} used / {} one-path",
+        stats.call_sites_used, stats.call_sites_one_path
+    );
+    if cct.config().max_records != 0 {
+        println!("record cap:      {}", cct.config().max_records);
     }
     Ok(())
 }
 
-fn cmd_annotate(target: &str, proc_name: &str, opts: &Options) -> Result<(), String> {
+fn cmd_annotate(target: &str, proc_name: &str, opts: &Options) -> Result<(), PpError> {
     let (_, program) = load_target(target, opts.scale)?;
     let pid = find_proc(&program, proc_name)?;
-    let profiler = Profiler::default();
-    let run = profiler
-        .run(
-            &program,
-            RunConfig::FlowHw {
-                events: (HwEvent::Insts, HwEvent::DcMiss),
-            },
-        )
-        .map_err(|e| e.to_string())?;
+    let profiler = opts.profiler();
+    let mut fault = None;
+    let run = profiled(
+        &profiler,
+        &program,
+        RunConfig::FlowHw {
+            events: (HwEvent::Insts, HwEvent::DcMiss),
+        },
+        &mut fault,
+    )?;
     let attr = annotate::block_attribution(
         run.instrumented.as_ref().expect("manifest"),
         run.flow.as_ref().expect("profile"),
@@ -426,20 +541,25 @@ fn cmd_annotate(target: &str, proc_name: &str, opts: &Options) -> Result<(), Str
          identify a single responsible path)",
         annotate::avg_top_path_share(&attr)
     );
-    Ok(())
+    finish(fault)
 }
 
-fn cmd_decode(target: &str, proc_name: &str, sum_text: &str, opts: &Options) -> Result<(), String> {
+fn cmd_decode(
+    target: &str,
+    proc_name: &str,
+    sum_text: &str,
+    opts: &Options,
+) -> Result<(), PpError> {
     let (_, program) = load_target(target, opts.scale)?;
     let pid = find_proc(&program, proc_name)?;
-    let sum: u64 = sum_text.parse().map_err(|_| "bad path sum")?;
+    let sum: u64 = sum_text.parse().map_err(|_| usage_err("bad path sum"))?;
     let paths = pp::pathprof::ProcPaths::analyze(program.procedure(pid))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| usage_err(e.to_string()))?;
     if sum >= paths.num_paths() {
-        return Err(format!(
+        return Err(usage_err(format!(
             "path sum {sum} out of range ({} potential paths)",
             paths.num_paths()
-        ));
+        )));
     }
     let (blocks, kind) = paths.decode_blocks(sum);
     println!(
@@ -459,41 +579,60 @@ fn cmd_decode(target: &str, proc_name: &str, sum_text: &str, opts: &Options) -> 
 }
 
 fn usage() -> &'static str {
-    "usage: pp <list|run|report|hot|cct|annotate|decode> [target] [options]\n\
-     run `pp list` to see the benchmark suite; see crate docs for options"
+    "usage: pp <list|run|report|hot|cct|stats|annotate|decode> [target] [options]\n\
+     run `pp list` to see the benchmark suite; see crate docs for options\n\
+     exit codes: 0 ok, 1 usage, 2 aborted run (partial profile), 3 i/o or corrupt profile"
+}
+
+/// `println!` panics when stdout is a closed pipe (`pp list | head`);
+/// detect that payload so we can die quietly like any Unix filter.
+fn is_broken_pipe(payload: &(dyn std::any::Any + Send)) -> bool {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied());
+    msg.is_some_and(|m| m.contains("Broken pipe"))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(1);
     };
-    let (positional, opts) = match parse_options(&args[1..]) {
-        Ok(x) => x,
-        Err(e) => {
+    let run = || -> Result<(), PpError> {
+        let (positional, opts) = parse_options(&args[1..])?;
+        match (cmd.as_str(), positional.as_slice()) {
+            ("list", _) => {
+                cmd_list();
+                Ok(())
+            }
+            ("run", [t]) => cmd_run(t, &opts),
+            ("report", [t]) => cmd_report(t, &opts),
+            ("hot", [t]) => cmd_hot(t, &opts),
+            ("cct", [t]) => cmd_cct(t, &opts),
+            ("stats", [f]) => cmd_stats(f),
+            ("annotate", [t, p]) => cmd_annotate(t, p, &opts),
+            ("decode", [t, p, s]) => cmd_decode(t, p, s, &opts),
+            _ => Err(PpError::Usage(usage().to_string())),
+        }
+    };
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !is_broken_pipe(info.payload()) {
+            default_hook(info);
+        }
+    }));
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            ExitCode::from(e.exit_code())
         }
-    };
-    let result = match (cmd.as_str(), positional.as_slice()) {
-        ("list", _) => {
-            cmd_list();
-            Ok(())
+        Err(payload) if is_broken_pipe(payload.as_ref()) => {
+            // The conventional status of a filter killed by SIGPIPE.
+            ExitCode::from(141)
         }
-        ("run", [t]) => cmd_run(t, &opts),
-        ("report", [t]) => cmd_report(t, &opts),
-        ("hot", [t]) => cmd_hot(t, &opts),
-        ("cct", [t]) => cmd_cct(t, &opts),
-        ("annotate", [t, p]) => cmd_annotate(t, p, &opts),
-        ("decode", [t, p, s]) => cmd_decode(t, p, s, &opts),
-        _ => Err(usage().to_string()),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+        Err(payload) => std::panic::resume_unwind(payload),
     }
 }

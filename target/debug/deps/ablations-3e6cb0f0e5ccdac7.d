@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-3e6cb0f0e5ccdac7.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-3e6cb0f0e5ccdac7: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-192f04f04dbb313e.d: crates/bench/benches/baselines.rs
+
+/root/repo/target/debug/deps/baselines-192f04f04dbb313e: crates/bench/benches/baselines.rs
+
+crates/bench/benches/baselines.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-12cb6386d038d8b5.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-12cb6386d038d8b5.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_pp=placeholder:pp
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-a79fffd8aa4a4858.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-a79fffd8aa4a4858: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pp=/root/repo/target/debug/pp

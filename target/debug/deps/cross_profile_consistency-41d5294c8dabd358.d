@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_profile_consistency-41d5294c8dabd358.d: tests/cross_profile_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_profile_consistency-41d5294c8dabd358.rmeta: tests/cross_profile_consistency.rs Cargo.toml
+
+tests/cross_profile_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_profile_consistency-e510e84d7d32bce5.d: tests/cross_profile_consistency.rs
+
+/root/repo/target/debug/deps/cross_profile_consistency-e510e84d7d32bce5: tests/cross_profile_consistency.rs
+
+tests/cross_profile_consistency.rs:

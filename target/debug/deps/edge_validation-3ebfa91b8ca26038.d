@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_validation-3ebfa91b8ca26038.d: crates/baselines/tests/edge_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_validation-3ebfa91b8ca26038.rmeta: crates/baselines/tests/edge_validation.rs Cargo.toml
+
+crates/baselines/tests/edge_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_validation-af141e53e5c8b6f1.d: crates/baselines/tests/edge_validation.rs
+
+/root/repo/target/debug/deps/edge_validation-af141e53e5c8b6f1: crates/baselines/tests/edge_validation.rs
+
+crates/baselines/tests/edge_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-43d5866233997573.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-43d5866233997573: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-39ed507f668f7e4d.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-39ed507f668f7e4d: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_random_programs-049d6baaefd55912.d: tests/fuzz_random_programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_random_programs-049d6baaefd55912.rmeta: tests/fuzz_random_programs.rs Cargo.toml
+
+tests/fuzz_random_programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

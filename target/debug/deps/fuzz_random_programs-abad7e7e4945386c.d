@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_random_programs-abad7e7e4945386c.d: tests/fuzz_random_programs.rs
+
+/root/repo/target/debug/deps/fuzz_random_programs-abad7e7e4945386c: tests/fuzz_random_programs.rs
+
+tests/fuzz_random_programs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-413c9d90d83f4f2f.d: crates/usim/tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-413c9d90d83f4f2f: crates/usim/tests/invariants.rs
+
+crates/usim/tests/invariants.rs:

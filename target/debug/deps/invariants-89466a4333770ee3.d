@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-89466a4333770ee3.d: crates/usim/tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-89466a4333770ee3.rmeta: crates/usim/tests/invariants.rs Cargo.toml
+
+crates/usim/tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/merge-5aa4a015b2af2d91.d: crates/cct/tests/merge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmerge-5aa4a015b2af2d91.rmeta: crates/cct/tests/merge.rs Cargo.toml
+
+crates/cct/tests/merge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/merge-6d273f15058f88e2.d: crates/cct/tests/merge.rs
+
+/root/repo/target/debug/deps/merge-6d273f15058f88e2: crates/cct/tests/merge.rs
+
+crates/cct/tests/merge.rs:

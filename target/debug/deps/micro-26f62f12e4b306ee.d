@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-26f62f12e4b306ee.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-26f62f12e4b306ee: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

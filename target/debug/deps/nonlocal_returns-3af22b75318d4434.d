@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nonlocal_returns-3af22b75318d4434.d: tests/nonlocal_returns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnonlocal_returns-3af22b75318d4434.rmeta: tests/nonlocal_returns.rs Cargo.toml
+
+tests/nonlocal_returns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nonlocal_returns-5eecdcc3bfa0d33a.d: tests/nonlocal_returns.rs
+
+/root/repo/target/debug/deps/nonlocal_returns-5eecdcc3bfa0d33a: tests/nonlocal_returns.rs
+
+tests/nonlocal_returns.rs:

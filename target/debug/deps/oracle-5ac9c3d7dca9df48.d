@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-5ac9c3d7dca9df48.d: tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-5ac9c3d7dca9df48: tests/oracle.rs
+
+tests/oracle.rs:

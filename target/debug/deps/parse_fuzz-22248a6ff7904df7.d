@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parse_fuzz-22248a6ff7904df7.d: crates/ir/tests/parse_fuzz.rs
+
+/root/repo/target/debug/deps/parse_fuzz-22248a6ff7904df7: crates/ir/tests/parse_fuzz.rs
+
+crates/ir/tests/parse_fuzz.rs:

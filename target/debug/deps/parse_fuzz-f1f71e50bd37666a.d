@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parse_fuzz-f1f71e50bd37666a.d: crates/ir/tests/parse_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparse_fuzz-f1f71e50bd37666a.rmeta: crates/ir/tests/parse_fuzz.rs Cargo.toml
+
+crates/ir/tests/parse_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pp-35960aa48c656935.d: src/lib.rs
+
+/root/repo/target/debug/deps/pp-35960aa48c656935: src/lib.rs
+
+src/lib.rs:

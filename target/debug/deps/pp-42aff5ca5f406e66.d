@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pp-42aff5ca5f406e66.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp-42aff5ca5f406e66.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pp-62d09ee932c94e6f.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp-62d09ee932c94e6f.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pp-983e768f706ab389.d: src/main.rs
+
+/root/repo/target/debug/deps/pp-983e768f706ab389: src/main.rs
+
+src/main.rs:

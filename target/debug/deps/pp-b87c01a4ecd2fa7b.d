@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pp-b87c01a4ecd2fa7b.d: src/main.rs
+
+/root/repo/target/debug/deps/pp-b87c01a4ecd2fa7b: src/main.rs
+
+src/main.rs:

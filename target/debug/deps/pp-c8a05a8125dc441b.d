@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pp-c8a05a8125dc441b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp-c8a05a8125dc441b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

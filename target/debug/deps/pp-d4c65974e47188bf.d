@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pp-d4c65974e47188bf.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp-d4c65974e47188bf.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pp-d569bd4cbfb9de73.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpp-d569bd4cbfb9de73.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpp-d569bd4cbfb9de73.rmeta: src/lib.rs
+
+src/lib.rs:

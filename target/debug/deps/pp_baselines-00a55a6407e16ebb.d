@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pp_baselines-00a55a6407e16ebb.d: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs
+
+/root/repo/target/debug/deps/pp_baselines-00a55a6407e16ebb: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/edges.rs:
+crates/baselines/src/gprof.rs:
+crates/baselines/src/hall.rs:
+crates/baselines/src/sampling.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pp_baselines-26270c198374b34f.d: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs
+
+/root/repo/target/debug/deps/libpp_baselines-26270c198374b34f.rlib: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs
+
+/root/repo/target/debug/deps/libpp_baselines-26270c198374b34f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/edges.rs:
+crates/baselines/src/gprof.rs:
+crates/baselines/src/hall.rs:
+crates/baselines/src/sampling.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pp_baselines-5d59590dda045e77.d: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_baselines-5d59590dda045e77.rmeta: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/edges.rs:
+crates/baselines/src/gprof.rs:
+crates/baselines/src/hall.rs:
+crates/baselines/src/sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

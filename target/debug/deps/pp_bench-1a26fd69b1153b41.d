@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pp_bench-1a26fd69b1153b41.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_bench-1a26fd69b1153b41.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pp_bench-34495a6fd7fdf4ef.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpp_bench-34495a6fd7fdf4ef.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpp_bench-34495a6fd7fdf4ef.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pp_bench-3e38f684e01f18d4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pp_bench-3e38f684e01f18d4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

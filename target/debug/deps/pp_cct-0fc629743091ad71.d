@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pp_cct-0fc629743091ad71.d: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs
+
+/root/repo/target/debug/deps/pp_cct-0fc629743091ad71: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs
+
+crates/cct/src/lib.rs:
+crates/cct/src/checksum.rs:
+crates/cct/src/config.rs:
+crates/cct/src/dcg.rs:
+crates/cct/src/dct.rs:
+crates/cct/src/runtime.rs:
+crates/cct/src/serialize.rs:
+crates/cct/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pp_cct-80da9ec00516b2b9.d: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs
+
+/root/repo/target/debug/deps/libpp_cct-80da9ec00516b2b9.rlib: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs
+
+/root/repo/target/debug/deps/libpp_cct-80da9ec00516b2b9.rmeta: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs
+
+crates/cct/src/lib.rs:
+crates/cct/src/checksum.rs:
+crates/cct/src/config.rs:
+crates/cct/src/dcg.rs:
+crates/cct/src/dct.rs:
+crates/cct/src/runtime.rs:
+crates/cct/src/serialize.rs:
+crates/cct/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pp_cct-906fc3e49152735b.d: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_cct-906fc3e49152735b.rmeta: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs Cargo.toml
+
+crates/cct/src/lib.rs:
+crates/cct/src/checksum.rs:
+crates/cct/src/config.rs:
+crates/cct/src/dcg.rs:
+crates/cct/src/dct.rs:
+crates/cct/src/runtime.rs:
+crates/cct/src/serialize.rs:
+crates/cct/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pp_core-429198abb18fbf2e.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/annotate.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/profile.rs crates/core/src/profiler.rs crates/core/src/report.rs crates/core/src/sink_impl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_core-429198abb18fbf2e.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/annotate.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/profile.rs crates/core/src/profiler.rs crates/core/src/report.rs crates/core/src/sink_impl.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/annotate.rs:
+crates/core/src/error.rs:
+crates/core/src/experiment.rs:
+crates/core/src/profile.rs:
+crates/core/src/profiler.rs:
+crates/core/src/report.rs:
+crates/core/src/sink_impl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pp_core-a3b15c9be6edd23f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/annotate.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/profile.rs crates/core/src/profiler.rs crates/core/src/report.rs crates/core/src/sink_impl.rs
+
+/root/repo/target/debug/deps/pp_core-a3b15c9be6edd23f: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/annotate.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/profile.rs crates/core/src/profiler.rs crates/core/src/report.rs crates/core/src/sink_impl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/annotate.rs:
+crates/core/src/error.rs:
+crates/core/src/experiment.rs:
+crates/core/src/profile.rs:
+crates/core/src/profiler.rs:
+crates/core/src/report.rs:
+crates/core/src/sink_impl.rs:

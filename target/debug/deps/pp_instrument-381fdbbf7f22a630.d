@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pp_instrument-381fdbbf7f22a630.d: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_instrument-381fdbbf7f22a630.rmeta: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs Cargo.toml
+
+crates/instrument/src/lib.rs:
+crates/instrument/src/modes.rs:
+crates/instrument/src/rewrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

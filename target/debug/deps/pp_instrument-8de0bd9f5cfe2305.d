@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pp_instrument-8de0bd9f5cfe2305.d: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_instrument-8de0bd9f5cfe2305.rmeta: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs Cargo.toml
+
+crates/instrument/src/lib.rs:
+crates/instrument/src/modes.rs:
+crates/instrument/src/rewrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pp_instrument-e1bf3108795bc123.d: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/debug/deps/libpp_instrument-e1bf3108795bc123.rlib: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/debug/deps/libpp_instrument-e1bf3108795bc123.rmeta: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs
+
+crates/instrument/src/lib.rs:
+crates/instrument/src/modes.rs:
+crates/instrument/src/rewrite.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pp_instrument-e8d81945fa1167ec.d: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/debug/deps/pp_instrument-e8d81945fa1167ec: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs
+
+crates/instrument/src/lib.rs:
+crates/instrument/src/modes.rs:
+crates/instrument/src/rewrite.rs:

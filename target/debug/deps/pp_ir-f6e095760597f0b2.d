@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pp_ir-f6e095760597f0b2.d: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/cfg.rs crates/ir/src/display.rs crates/ir/src/dom.rs crates/ir/src/hw.rs crates/ir/src/ids.rs crates/ir/src/instr.rs crates/ir/src/parse.rs crates/ir/src/prof.rs crates/ir/src/program.rs crates/ir/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_ir-f6e095760597f0b2.rmeta: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/cfg.rs crates/ir/src/display.rs crates/ir/src/dom.rs crates/ir/src/hw.rs crates/ir/src/ids.rs crates/ir/src/instr.rs crates/ir/src/parse.rs crates/ir/src/prof.rs crates/ir/src/program.rs crates/ir/src/verify.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/build.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/display.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/hw.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/parse.rs:
+crates/ir/src/prof.rs:
+crates/ir/src/program.rs:
+crates/ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

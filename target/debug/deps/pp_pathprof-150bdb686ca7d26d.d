@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pp_pathprof-150bdb686ca7d26d.d: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs
+
+/root/repo/target/debug/deps/libpp_pathprof-150bdb686ca7d26d.rlib: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs
+
+/root/repo/target/debug/deps/libpp_pathprof-150bdb686ca7d26d.rmeta: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs
+
+crates/pathprof/src/lib.rs:
+crates/pathprof/src/graph.rs:
+crates/pathprof/src/label.rs:
+crates/pathprof/src/place.rs:
+crates/pathprof/src/proc_paths.rs:
+crates/pathprof/src/regen.rs:

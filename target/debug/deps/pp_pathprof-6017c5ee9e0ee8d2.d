@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pp_pathprof-6017c5ee9e0ee8d2.d: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs
+
+/root/repo/target/debug/deps/pp_pathprof-6017c5ee9e0ee8d2: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs
+
+crates/pathprof/src/lib.rs:
+crates/pathprof/src/graph.rs:
+crates/pathprof/src/label.rs:
+crates/pathprof/src/place.rs:
+crates/pathprof/src/proc_paths.rs:
+crates/pathprof/src/regen.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pp_pathprof-d45b3acab9dd67f6.d: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_pathprof-d45b3acab9dd67f6.rmeta: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs Cargo.toml
+
+crates/pathprof/src/lib.rs:
+crates/pathprof/src/graph.rs:
+crates/pathprof/src/label.rs:
+crates/pathprof/src/place.rs:
+crates/pathprof/src/proc_paths.rs:
+crates/pathprof/src/regen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

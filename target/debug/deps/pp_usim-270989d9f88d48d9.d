@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pp_usim-270989d9f88d48d9.d: crates/usim/src/lib.rs crates/usim/src/cache.rs crates/usim/src/config.rs crates/usim/src/fault.rs crates/usim/src/layout.rs crates/usim/src/machine.rs crates/usim/src/mem.rs crates/usim/src/metrics.rs crates/usim/src/predict.rs crates/usim/src/sink.rs
+
+/root/repo/target/debug/deps/pp_usim-270989d9f88d48d9: crates/usim/src/lib.rs crates/usim/src/cache.rs crates/usim/src/config.rs crates/usim/src/fault.rs crates/usim/src/layout.rs crates/usim/src/machine.rs crates/usim/src/mem.rs crates/usim/src/metrics.rs crates/usim/src/predict.rs crates/usim/src/sink.rs
+
+crates/usim/src/lib.rs:
+crates/usim/src/cache.rs:
+crates/usim/src/config.rs:
+crates/usim/src/fault.rs:
+crates/usim/src/layout.rs:
+crates/usim/src/machine.rs:
+crates/usim/src/mem.rs:
+crates/usim/src/metrics.rs:
+crates/usim/src/predict.rs:
+crates/usim/src/sink.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pp_usim-819af43c245d6b66.d: crates/usim/src/lib.rs crates/usim/src/cache.rs crates/usim/src/config.rs crates/usim/src/fault.rs crates/usim/src/layout.rs crates/usim/src/machine.rs crates/usim/src/mem.rs crates/usim/src/metrics.rs crates/usim/src/predict.rs crates/usim/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_usim-819af43c245d6b66.rmeta: crates/usim/src/lib.rs crates/usim/src/cache.rs crates/usim/src/config.rs crates/usim/src/fault.rs crates/usim/src/layout.rs crates/usim/src/machine.rs crates/usim/src/mem.rs crates/usim/src/metrics.rs crates/usim/src/predict.rs crates/usim/src/sink.rs Cargo.toml
+
+crates/usim/src/lib.rs:
+crates/usim/src/cache.rs:
+crates/usim/src/config.rs:
+crates/usim/src/fault.rs:
+crates/usim/src/layout.rs:
+crates/usim/src/machine.rs:
+crates/usim/src/mem.rs:
+crates/usim/src/metrics.rs:
+crates/usim/src/predict.rs:
+crates/usim/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

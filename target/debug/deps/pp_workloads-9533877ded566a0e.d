@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pp_workloads-9533877ded566a0e.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/pp_workloads-9533877ded566a0e: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/suite.rs:

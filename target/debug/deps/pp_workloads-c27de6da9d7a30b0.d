@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pp_workloads-c27de6da9d7a30b0.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpp_workloads-c27de6da9d7a30b0.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

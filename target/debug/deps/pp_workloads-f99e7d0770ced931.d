@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pp_workloads-f99e7d0770ced931.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libpp_workloads-f99e7d0770ced931.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libpp_workloads-f99e7d0770ced931.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/suite.rs:

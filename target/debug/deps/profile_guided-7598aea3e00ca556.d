@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_guided-7598aea3e00ca556.d: crates/baselines/tests/profile_guided.rs
+
+/root/repo/target/debug/deps/profile_guided-7598aea3e00ca556: crates/baselines/tests/profile_guided.rs
+
+crates/baselines/tests/profile_guided.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile_guided-d2bebcfb9ec2dc5a.d: crates/baselines/tests/profile_guided.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile_guided-d2bebcfb9ec2dc5a.rmeta: crates/baselines/tests/profile_guided.rs Cargo.toml
+
+crates/baselines/tests/profile_guided.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

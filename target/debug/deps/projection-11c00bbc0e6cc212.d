@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/projection-11c00bbc0e6cc212.d: crates/cct/tests/projection.rs
+
+/root/repo/target/debug/deps/projection-11c00bbc0e6cc212: crates/cct/tests/projection.rs
+
+crates/cct/tests/projection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/projection-92c98ca77abe82f6.d: crates/cct/tests/projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprojection-92c98ca77abe82f6.rmeta: crates/cct/tests/projection.rs Cargo.toml
+
+crates/cct/tests/projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-03bc0d1f3baf37c4.d: crates/pathprof/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-03bc0d1f3baf37c4: crates/pathprof/tests/properties.rs
+
+crates/pathprof/tests/properties.rs:

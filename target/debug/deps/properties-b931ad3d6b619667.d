@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b931ad3d6b619667.d: crates/pathprof/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b931ad3d6b619667.rmeta: crates/pathprof/tests/properties.rs Cargo.toml
+
+crates/pathprof/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics_preserved-8d98c89f382b6c04.d: tests/semantics_preserved.rs
+
+/root/repo/target/debug/deps/semantics_preserved-8d98c89f382b6c04: tests/semantics_preserved.rs
+
+tests/semantics_preserved.rs:

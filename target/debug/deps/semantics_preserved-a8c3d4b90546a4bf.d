@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics_preserved-a8c3d4b90546a4bf.d: tests/semantics_preserved.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics_preserved-a8c3d4b90546a4bf.rmeta: tests/semantics_preserved.rs Cargo.toml
+
+tests/semantics_preserved.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-8f7984c39b3bfd22.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-8f7984c39b3bfd22: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-cf9a4e19e2e6d0c9.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-cf9a4e19e2e6d0c9: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-23a4e2031f55c307.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-23a4e2031f55c307: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-bd23635f4f48940e.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-bd23635f4f48940e: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-17ab136c71f507ea.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/table2-17ab136c71f507ea: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

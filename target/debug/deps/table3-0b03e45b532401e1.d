@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-0b03e45b532401e1.d: crates/bench/benches/table3.rs
+
+/root/repo/target/debug/deps/table3-0b03e45b532401e1: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

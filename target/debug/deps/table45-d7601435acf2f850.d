@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table45-d7601435acf2f850.d: crates/bench/benches/table45.rs
+
+/root/repo/target/debug/deps/table45-d7601435acf2f850: crates/bench/benches/table45.rs
+
+crates/bench/benches/table45.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table45-f373a078029cf3b0.d: crates/bench/benches/table45.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable45-f373a078029cf3b0.rmeta: crates/bench/benches/table45.rs Cargo.toml
+
+crates/bench/benches/table45.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

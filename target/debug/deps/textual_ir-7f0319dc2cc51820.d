@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/textual_ir-7f0319dc2cc51820.d: tests/textual_ir.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtextual_ir-7f0319dc2cc51820.rmeta: tests/textual_ir.rs Cargo.toml
+
+tests/textual_ir.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/textual_ir-a432a2ea828f1360.d: tests/textual_ir.rs
+
+/root/repo/target/debug/deps/textual_ir-a432a2ea828f1360: tests/textual_ir.rs
+
+tests/textual_ir.rs:

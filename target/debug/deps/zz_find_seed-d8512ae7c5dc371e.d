@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_find_seed-d8512ae7c5dc371e.d: tests/zz_find_seed.rs
+
+/root/repo/target/debug/deps/zz_find_seed-d8512ae7c5dc371e: tests/zz_find_seed.rs
+
+tests/zz_find_seed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cct_explore-b60c35fa07ce0034.d: examples/cct_explore.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcct_explore-b60c35fa07ce0034.rmeta: examples/cct_explore.rs Cargo.toml
+
+examples/cct_explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cct_explore-ff5f85e82eb6c3d1.d: examples/cct_explore.rs
+
+/root/repo/target/debug/examples/cct_explore-ff5f85e82eb6c3d1: examples/cct_explore.rs
+
+examples/cct_explore.rs:

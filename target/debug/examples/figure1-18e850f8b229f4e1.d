@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure1-18e850f8b229f4e1.d: examples/figure1.rs
+
+/root/repo/target/debug/examples/figure1-18e850f8b229f4e1: examples/figure1.rs
+
+examples/figure1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure1-5e03ea07cf513bad.d: examples/figure1.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure1-5e03ea07cf513bad.rmeta: examples/figure1.rs Cargo.toml
+
+examples/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gprof_problem-c90de718f8db9614.d: examples/gprof_problem.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgprof_problem-c90de718f8db9614.rmeta: examples/gprof_problem.rs Cargo.toml
+
+examples/gprof_problem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gprof_problem-e20f67cc26866a8c.d: examples/gprof_problem.rs
+
+/root/repo/target/debug/examples/gprof_problem-e20f67cc26866a8c: examples/gprof_problem.rs
+
+examples/gprof_problem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hot_paths-34ed239efc9a8bc9.d: examples/hot_paths.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhot_paths-34ed239efc9a8bc9.rmeta: examples/hot_paths.rs Cargo.toml
+
+examples/hot_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

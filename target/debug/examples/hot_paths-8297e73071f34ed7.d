@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hot_paths-8297e73071f34ed7.d: examples/hot_paths.rs
+
+/root/repo/target/debug/examples/hot_paths-8297e73071f34ed7: examples/hot_paths.rs
+
+examples/hot_paths.rs:

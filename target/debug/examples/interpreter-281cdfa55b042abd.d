@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interpreter-281cdfa55b042abd.d: examples/interpreter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterpreter-281cdfa55b042abd.rmeta: examples/interpreter.rs Cargo.toml
+
+examples/interpreter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interpreter-66f536fea260e02b.d: examples/interpreter.rs
+
+/root/repo/target/debug/examples/interpreter-66f536fea260e02b: examples/interpreter.rs
+
+examples/interpreter.rs:

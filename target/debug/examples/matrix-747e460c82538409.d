@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matrix-747e460c82538409.d: examples/matrix.rs
+
+/root/repo/target/debug/examples/matrix-747e460c82538409: examples/matrix.rs
+
+examples/matrix.rs:

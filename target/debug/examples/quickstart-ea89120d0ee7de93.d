@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ea89120d0ee7de93.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ea89120d0ee7de93: examples/quickstart.rs
+
+examples/quickstart.rs:

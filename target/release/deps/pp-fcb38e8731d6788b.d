@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pp-fcb38e8731d6788b.d: src/main.rs
+
+/root/repo/target/release/deps/pp-fcb38e8731d6788b: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pp-feebdea363703907.d: src/lib.rs
+
+/root/repo/target/release/deps/libpp-feebdea363703907.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpp-feebdea363703907.rmeta: src/lib.rs
+
+src/lib.rs:

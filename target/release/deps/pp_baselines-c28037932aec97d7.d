@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pp_baselines-c28037932aec97d7.d: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs
+
+/root/repo/target/release/deps/libpp_baselines-c28037932aec97d7.rlib: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs
+
+/root/repo/target/release/deps/libpp_baselines-c28037932aec97d7.rmeta: crates/baselines/src/lib.rs crates/baselines/src/edges.rs crates/baselines/src/gprof.rs crates/baselines/src/hall.rs crates/baselines/src/sampling.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/edges.rs:
+crates/baselines/src/gprof.rs:
+crates/baselines/src/hall.rs:
+crates/baselines/src/sampling.rs:

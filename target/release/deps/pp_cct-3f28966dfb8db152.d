@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pp_cct-3f28966dfb8db152.d: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs
+
+/root/repo/target/release/deps/libpp_cct-3f28966dfb8db152.rlib: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs
+
+/root/repo/target/release/deps/libpp_cct-3f28966dfb8db152.rmeta: crates/cct/src/lib.rs crates/cct/src/checksum.rs crates/cct/src/config.rs crates/cct/src/dcg.rs crates/cct/src/dct.rs crates/cct/src/runtime.rs crates/cct/src/serialize.rs crates/cct/src/stats.rs
+
+crates/cct/src/lib.rs:
+crates/cct/src/checksum.rs:
+crates/cct/src/config.rs:
+crates/cct/src/dcg.rs:
+crates/cct/src/dct.rs:
+crates/cct/src/runtime.rs:
+crates/cct/src/serialize.rs:
+crates/cct/src/stats.rs:

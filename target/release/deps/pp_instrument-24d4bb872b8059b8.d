@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pp_instrument-24d4bb872b8059b8.d: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/release/deps/libpp_instrument-24d4bb872b8059b8.rlib: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/release/deps/libpp_instrument-24d4bb872b8059b8.rmeta: crates/instrument/src/lib.rs crates/instrument/src/modes.rs crates/instrument/src/rewrite.rs
+
+crates/instrument/src/lib.rs:
+crates/instrument/src/modes.rs:
+crates/instrument/src/rewrite.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/pp_ir-00a105fd8bba1479.d: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/cfg.rs crates/ir/src/display.rs crates/ir/src/dom.rs crates/ir/src/hw.rs crates/ir/src/ids.rs crates/ir/src/instr.rs crates/ir/src/parse.rs crates/ir/src/prof.rs crates/ir/src/program.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libpp_ir-00a105fd8bba1479.rlib: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/cfg.rs crates/ir/src/display.rs crates/ir/src/dom.rs crates/ir/src/hw.rs crates/ir/src/ids.rs crates/ir/src/instr.rs crates/ir/src/parse.rs crates/ir/src/prof.rs crates/ir/src/program.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libpp_ir-00a105fd8bba1479.rmeta: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/cfg.rs crates/ir/src/display.rs crates/ir/src/dom.rs crates/ir/src/hw.rs crates/ir/src/ids.rs crates/ir/src/instr.rs crates/ir/src/parse.rs crates/ir/src/prof.rs crates/ir/src/program.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/build.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/display.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/hw.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/parse.rs:
+crates/ir/src/prof.rs:
+crates/ir/src/program.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pp_pathprof-e5f3500106ec70ec.d: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs
+
+/root/repo/target/release/deps/libpp_pathprof-e5f3500106ec70ec.rlib: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs
+
+/root/repo/target/release/deps/libpp_pathprof-e5f3500106ec70ec.rmeta: crates/pathprof/src/lib.rs crates/pathprof/src/graph.rs crates/pathprof/src/label.rs crates/pathprof/src/place.rs crates/pathprof/src/proc_paths.rs crates/pathprof/src/regen.rs
+
+crates/pathprof/src/lib.rs:
+crates/pathprof/src/graph.rs:
+crates/pathprof/src/label.rs:
+crates/pathprof/src/place.rs:
+crates/pathprof/src/proc_paths.rs:
+crates/pathprof/src/regen.rs:

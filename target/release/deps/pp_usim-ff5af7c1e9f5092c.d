@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pp_usim-ff5af7c1e9f5092c.d: crates/usim/src/lib.rs crates/usim/src/cache.rs crates/usim/src/config.rs crates/usim/src/fault.rs crates/usim/src/layout.rs crates/usim/src/machine.rs crates/usim/src/mem.rs crates/usim/src/metrics.rs crates/usim/src/predict.rs crates/usim/src/sink.rs
+
+/root/repo/target/release/deps/libpp_usim-ff5af7c1e9f5092c.rlib: crates/usim/src/lib.rs crates/usim/src/cache.rs crates/usim/src/config.rs crates/usim/src/fault.rs crates/usim/src/layout.rs crates/usim/src/machine.rs crates/usim/src/mem.rs crates/usim/src/metrics.rs crates/usim/src/predict.rs crates/usim/src/sink.rs
+
+/root/repo/target/release/deps/libpp_usim-ff5af7c1e9f5092c.rmeta: crates/usim/src/lib.rs crates/usim/src/cache.rs crates/usim/src/config.rs crates/usim/src/fault.rs crates/usim/src/layout.rs crates/usim/src/machine.rs crates/usim/src/mem.rs crates/usim/src/metrics.rs crates/usim/src/predict.rs crates/usim/src/sink.rs
+
+crates/usim/src/lib.rs:
+crates/usim/src/cache.rs:
+crates/usim/src/config.rs:
+crates/usim/src/fault.rs:
+crates/usim/src/layout.rs:
+crates/usim/src/machine.rs:
+crates/usim/src/mem.rs:
+crates/usim/src/metrics.rs:
+crates/usim/src/predict.rs:
+crates/usim/src/sink.rs:

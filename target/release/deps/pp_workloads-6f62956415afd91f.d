@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pp_workloads-6f62956415afd91f.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libpp_workloads-6f62956415afd91f.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libpp_workloads-6f62956415afd91f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/random.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/suite.rs:

@@ -21,8 +21,19 @@ fn list_names_the_suite() {
 
 #[test]
 fn run_reports_overhead() {
-    let out = pp(&["run", "129.compress", "--scale", "0.1", "--config", "flow-hw"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = pp(&[
+        "run",
+        "129.compress",
+        "--scale",
+        "0.1",
+        "--config",
+        "flow-hw",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Flow and HW"), "{text}");
     assert!(text.contains("x base"), "{text}");
@@ -32,7 +43,11 @@ fn run_reports_overhead() {
 #[test]
 fn hot_lists_paths_and_procedures() {
     let out = pp(&["hot", "101.tomcatv", "--scale", "0.1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("hot paths"), "{text}");
     assert!(text.contains("hot procedures"), "{text}");
@@ -52,7 +67,11 @@ fn cct_writes_a_loadable_profile() {
         "--out",
         file.to_str().expect("utf8 path"),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&file).expect("profile written");
     let cct = pp::cct::read_cct(&mut bytes.as_slice()).expect("profile loads");
     assert!(cct.num_records() > 5);
@@ -62,7 +81,11 @@ fn cct_writes_a_loadable_profile() {
 #[test]
 fn decode_prints_a_block_listing() {
     let out = pp(&["decode", "129.compress", "kernel_0", "0", "--scale", "0.1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("potential paths"), "{text}");
     assert!(text.contains("b0:"), "{text}");
@@ -91,7 +114,11 @@ fn accepts_textual_ir_files() {
     )
     .expect("write ir");
     let out = pp(&["run", file.to_str().expect("utf8"), "--config", "flow"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("paths:"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
@@ -117,7 +144,11 @@ fn bad_event_fails_with_event_list() {
 #[test]
 fn report_combines_everything() {
     let out = pp(&["report", "130.li", "--scale", "0.1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("profiling overheads"), "{text}");
     assert!(text.contains("hot paths"), "{text}");

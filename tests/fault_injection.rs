@@ -1,0 +1,389 @@
+//! Fault-injection suite: the paper's profiling sequences must survive
+//! hostile run-time conditions.
+//!
+//! Three fault families are injected through [`pp::usim::FaultPlan`]:
+//! counters preloaded near `u32::MAX` (forcing mid-path wraps that the
+//! Section 3.1 wraparound arithmetic must absorb), counter reads skewed
+//! as if reordered against nearby micro-ops, and execution aborted at a
+//! chosen micro-op count. A fourth family — machine-level failures
+//! (stack overflow, instruction limit) — exercises the same recovery
+//! path. Every fault must yield a typed error with a usable partial
+//! profile; none may panic.
+
+use pp::ir::{HwEvent, Operand, Program};
+use pp::profiler::{Profiler, RunConfig, RunReport};
+use pp::usim::{ExecError, FaultPlan, MachineConfig, ReadSkew};
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+
+const ALL_CONFIGS: [RunConfig; 7] = [
+    RunConfig::Base,
+    RunConfig::EdgeFreq,
+    RunConfig::FlowFreq,
+    RunConfig::FlowHw { events: EVENTS },
+    RunConfig::ContextHw { events: EVENTS },
+    RunConfig::ContextFlow,
+    RunConfig::CombinedHw { events: EVENTS },
+];
+
+/// main loops calling leaf, which branches on parity — small but has
+/// paths, calls and a loop, so every mode collects something.
+fn sample_program() -> Program {
+    use pp::ir::build::ProgramBuilder;
+    let mut pb = ProgramBuilder::new();
+    let leaf = pb.declare("leaf");
+    let mut m = pb.procedure("main");
+    let e = m.entry_block();
+    let h = m.new_block();
+    let body = m.new_block();
+    let x = m.new_block();
+    let i = m.new_reg();
+    let c = m.new_reg();
+    m.block(e).mov(i, 0i64).jump(h);
+    m.block(h).cmp_lt(c, i, 40i64).branch(c, body, x);
+    m.block(body)
+        .call(leaf, vec![Operand::Reg(i)], None)
+        .add(i, i, 1i64)
+        .jump(h);
+    m.block(x).ret();
+    let main = m.finish();
+
+    let mut l = pb.procedure_for(leaf);
+    let e = l.entry_block();
+    let odd = l.new_block();
+    let even = l.new_block();
+    let x = l.new_block();
+    l.reserve_regs(1);
+    let p = l.new_reg();
+    l.block(e)
+        .bin(pp::ir::instr::BinOp::And, p, pp::ir::Reg(0), 1i64)
+        .branch(p, odd, even);
+    l.block(odd).nop().jump(x);
+    l.block(even).nop().nop().jump(x);
+    l.block(x).ret();
+    l.finish();
+    pb.finish(main)
+}
+
+/// rec(n) calls rec(n-1) down to zero — deep enough to overflow a small
+/// stack.
+fn recursive_program(depth: i64) -> Program {
+    use pp::ir::build::ProgramBuilder;
+    let mut pb = ProgramBuilder::new();
+    let rec = pb.declare("rec");
+    let mut m = pb.procedure("main");
+    let e = m.entry_block();
+    m.block(e).call(rec, vec![Operand::Imm(depth)], None).ret();
+    let main = m.finish();
+
+    let mut r = pb.procedure_for(rec);
+    let e = r.entry_block();
+    let deeper = r.new_block();
+    let done = r.new_block();
+    r.reserve_regs(1);
+    let n = pp::ir::Reg(0);
+    let c = r.new_reg();
+    let m1 = r.new_reg();
+    r.block(e).cmp_lt(c, n, 1i64).branch(c, done, deeper);
+    r.block(deeper)
+        .sub(m1, n, 1i64)
+        .call(rec, vec![Operand::Reg(m1)], None)
+        .ret();
+    r.block(done).ret();
+    r.finish();
+    pb.finish(main)
+}
+
+/// A canonical, order-independent fingerprint of a flow profile.
+fn flow_fingerprint(r: &RunReport) -> Vec<(u32, u64, u64, u64, u64)> {
+    let flow = r.flow.as_ref().expect("flow profile");
+    let mut v: Vec<_> = flow
+        .iter_paths()
+        .map(|(p, s, c)| (p.0, s, c.freq, c.m0, c.m1))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// A canonical fingerprint of a CCT: (name, calls, metrics) per record.
+fn cct_fingerprint(r: &RunReport) -> Vec<(String, u64, Vec<u64>)> {
+    let cct = r.cct.as_ref().expect("cct");
+    let mut v: Vec<_> = cct
+        .record_ids()
+        .map(|id| {
+            let rec = cct.record(id);
+            (
+                rec.proc_name().to_string(),
+                rec.calls(),
+                rec.metrics().to_vec(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// PIC preloads that force a wrap within the first few hundred events.
+const PRELOADS: [(u32, u32); 3] = [
+    (u32::MAX, u32::MAX),
+    (u32::MAX - 7, u32::MAX - 1),
+    (u32::MAX - 199, u32::MAX - 50),
+];
+
+/// Preloading the counters near `u32::MAX` forces them to wrap in the
+/// middle of profiled paths. The instrumentation's read/zero sequences
+/// (PicZero at path starts, raw reads at path ends) must make the
+/// preload invisible: the flow profile is bit-identical to a clean run.
+#[test]
+fn flow_hw_profile_survives_counter_wrap() {
+    let prog = sample_program();
+    let clean = Profiler::default()
+        .run(&prog, RunConfig::FlowHw { events: EVENTS })
+        .expect("instrument")
+        .expect_complete();
+    for (p0, p1) in PRELOADS {
+        let faulted = Profiler::default()
+            .with_fault_plan(FaultPlan::default().preload_pics(p0, p1))
+            .run(&prog, RunConfig::FlowHw { events: EVENTS })
+            .expect("instrument")
+            .expect_complete();
+        assert_eq!(
+            flow_fingerprint(&clean),
+            flow_fingerprint(&faulted),
+            "wrap with preload ({p0:#x}, {p1:#x}) leaked into the flow profile"
+        );
+    }
+}
+
+/// Same property for the CCT modes: metric deltas are computed with
+/// wraparound subtraction against the activation snapshot (Section 3.1),
+/// so a counter that wraps between enter and exit still yields the exact
+/// delta.
+#[test]
+fn context_modes_survive_counter_wrap() {
+    let prog = sample_program();
+    for config in [
+        RunConfig::ContextHw { events: EVENTS },
+        RunConfig::CombinedHw { events: EVENTS },
+    ] {
+        let clean = Profiler::default()
+            .run(&prog, config)
+            .expect("instrument")
+            .expect_complete();
+        for (p0, p1) in PRELOADS {
+            let faulted = Profiler::default()
+                .with_fault_plan(FaultPlan::default().preload_pics(p0, p1))
+                .run(&prog, config)
+                .expect("instrument")
+                .expect_complete();
+            assert_eq!(
+                cct_fingerprint(&clean),
+                cct_fingerprint(&faulted),
+                "{config}: wrap with preload ({p0:#x}, {p1:#x}) leaked into the CCT"
+            );
+        }
+    }
+}
+
+/// The wrap property holds on a real workload, not just a toy.
+#[test]
+fn counter_wrap_is_invisible_on_suite_workload() {
+    let w = pp::workloads::suite(0.02).swap_remove(3);
+    let config = RunConfig::FlowHw { events: EVENTS };
+    let clean = Profiler::default()
+        .run(&w.program, config)
+        .expect("instrument")
+        .expect_complete();
+    let faulted = Profiler::default()
+        .with_fault_plan(FaultPlan::default().preload_pics(u32::MAX - 3, u32::MAX - 11))
+        .run(&w.program, config)
+        .expect("instrument")
+        .expect_complete();
+    assert_eq!(flow_fingerprint(&clean), flow_fingerprint(&faulted));
+}
+
+/// An abort mid-run returns a typed `FaultAbort` plus the profile
+/// collected so far — non-empty and no larger than the full profile.
+#[test]
+fn abort_yields_partial_profile() {
+    let prog = sample_program();
+    let config = RunConfig::FlowFreq;
+    let full = Profiler::default()
+        .run(&prog, config)
+        .expect("instrument")
+        .expect_complete();
+    let full_events: u64 = flow_fingerprint(&full).iter().map(|t| t.2).sum();
+
+    let outcome = Profiler::default()
+        .with_fault_plan(FaultPlan::default().abort_at_uops(full.machine.uops / 2))
+        .run(&prog, config)
+        .expect("instrument");
+    assert!(matches!(outcome.fault, Some(ExecError::FaultAbort { .. })));
+    assert!(!outcome.is_complete());
+    let partial_events: u64 = flow_fingerprint(&outcome).iter().map(|t| t.2).sum();
+    assert!(partial_events > 0, "partial profile must not be empty");
+    assert!(partial_events < full_events, "partial is a prefix of full");
+    assert!(outcome.machine.uops <= full.machine.uops);
+}
+
+/// Stack overflow: typed error, and the CCT built up to the overflow
+/// survives (with the stack cut mid-chain).
+#[test]
+fn stack_overflow_yields_partial_cct() {
+    let prog = recursive_program(10_000);
+    let config = MachineConfig {
+        max_call_depth: 64,
+        ..MachineConfig::default()
+    };
+    let outcome = Profiler::new(config)
+        .run(&prog, RunConfig::ContextHw { events: EVENTS })
+        .expect("instrument");
+    assert!(matches!(
+        outcome.fault,
+        Some(ExecError::StackOverflow { .. })
+    ));
+    let cct = outcome.cct.as_ref().expect("cct");
+    assert!(cct.num_records() > 1, "partial CCT has records");
+}
+
+/// Instruction limit: same recovery path as an injected abort.
+#[test]
+fn instruction_limit_yields_partial_profile() {
+    let prog = sample_program();
+    let full = Profiler::default()
+        .run(&prog, RunConfig::FlowFreq)
+        .expect("instrument")
+        .expect_complete();
+    let config = MachineConfig {
+        max_instructions: full.machine.uops / 2,
+        ..MachineConfig::default()
+    };
+    let outcome = Profiler::new(config)
+        .run(&prog, RunConfig::FlowFreq)
+        .expect("instrument");
+    assert!(matches!(outcome.fault, Some(ExecError::InstructionLimit)));
+    let events: u64 = flow_fingerprint(&outcome).iter().map(|t| t.2).sum();
+    assert!(events > 0, "partial profile must not be empty");
+}
+
+/// Counter-read skew perturbs metric values but can never change path
+/// *frequencies* (frequencies come from table increments, not counter
+/// reads), and the perturbation of each metric is bounded by the skew
+/// magnitude per read.
+#[test]
+fn read_skew_perturbs_metrics_not_frequencies() {
+    let prog = sample_program();
+    let config = RunConfig::FlowHw { events: EVENTS };
+    let clean = Profiler::default()
+        .run(&prog, config)
+        .expect("instrument")
+        .expect_complete();
+    let skew = ReadSkew {
+        period: 3,
+        magnitude: 5,
+    };
+    let skewed = Profiler::default()
+        .with_fault_plan(FaultPlan::default().skew_reads(skew))
+        .run(&prog, config)
+        .expect("instrument")
+        .expect_complete();
+
+    let a = flow_fingerprint(&clean);
+    let b = flow_fingerprint(&skewed);
+    assert_eq!(a.len(), b.len());
+    for (ca, cb) in a.iter().zip(&b) {
+        assert_eq!((ca.0, ca.1, ca.2), (cb.0, cb.1, cb.2), "frequencies moved");
+        // Each recorded value comes from one read; a skewed read runs at
+        // most `magnitude` ahead per event counter per path execution.
+        let bound = skew.magnitude as u64 * ca.2;
+        assert!(
+            ca.3.abs_diff(cb.3) <= bound && ca.4.abs_diff(cb.4) <= bound,
+            "skew perturbation exceeded its bound: {ca:?} vs {cb:?}"
+        );
+    }
+}
+
+/// CCT node-cap overflow: with a record cap far below the workload's
+/// natural context count, the tree degrades DCG-style (new contexts of a
+/// procedure collapse onto one shared overflow record) instead of
+/// growing without bound or failing. The run still completes, no call is
+/// lost, and memory stays bounded by `cap + num_procs` records.
+#[test]
+fn cct_record_cap_degrades_to_bounded_tree() {
+    let config = RunConfig::ContextHw { events: EVENTS };
+    let cap = 12u32;
+    // Pick the first suite workload whose natural context count exceeds
+    // the cap, so the collapse actually bites.
+    let (w, uncapped) = pp::workloads::suite(0.02)
+        .into_iter()
+        .find_map(|w| {
+            let run = Profiler::default()
+                .run(&w.program, config)
+                .expect("instrument")
+                .expect_complete();
+            (run.cct.as_ref().expect("cct").num_records() > cap as usize).then_some((w, run))
+        })
+        .expect("some workload must exceed the cap");
+    let total_calls = |r: &RunReport| -> u64 {
+        let cct = r.cct.as_ref().expect("cct");
+        cct.record_ids().map(|id| cct.record(id).calls()).sum()
+    };
+
+    let capped = Profiler::default()
+        .with_cct_record_cap(cap)
+        .run(&w.program, config)
+        .expect("instrument")
+        .expect_complete();
+    let cct = capped.cct.as_ref().expect("cct");
+    assert!(cct.overflow_enters() > 0, "cap was never hit");
+    assert!(cct.num_overflow_records() > 0);
+    assert!(
+        cct.num_records() <= cap as usize + w.program.procedures().len(),
+        "capped tree exceeded its bound: {} records",
+        cct.num_records()
+    );
+    assert_eq!(
+        total_calls(&capped),
+        total_calls(&uncapped),
+        "collapse must conserve call counts"
+    );
+}
+
+/// The full fault matrix: every injected fault under every run
+/// configuration completes without panicking and returns a usable
+/// outcome (typed fault or clean completion).
+#[test]
+fn no_fault_panics_under_any_configuration() {
+    let prog = sample_program();
+    let plans = [
+        FaultPlan::default().preload_pics(u32::MAX, u32::MAX - 3),
+        FaultPlan::default().abort_at_uops(500),
+        FaultPlan::default().skew_reads(ReadSkew {
+            period: 2,
+            magnitude: 9,
+        }),
+        FaultPlan::default()
+            .preload_pics(u32::MAX - 1, 7)
+            .abort_at_uops(1_500)
+            .skew_reads(ReadSkew {
+                period: 5,
+                magnitude: 3,
+            }),
+    ];
+    for plan in plans {
+        for config in ALL_CONFIGS {
+            let outcome = Profiler::default()
+                .with_fault_plan(plan)
+                .run(&prog, config)
+                .unwrap_or_else(|e| panic!("{config}: instrumentation failed: {e}"));
+            if let Some(fault) = &outcome.fault {
+                assert!(
+                    matches!(fault, ExecError::FaultAbort { .. }),
+                    "{config}: unexpected fault {fault}"
+                );
+            }
+            // The report is readable either way.
+            let _ = outcome.cycles();
+        }
+    }
+}

@@ -43,8 +43,8 @@ fn random_programs_roundtrip_through_text() {
     for seed in 0..30u64 {
         let prog = random_program(seed, &spec());
         let text = prog.to_string();
-        let back = pp::ir::parse::parse_program(&text)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let back =
+            pp::ir::parse::parse_program(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(back, prog, "seed {seed}");
     }
 }

@@ -55,7 +55,9 @@ fn checksum_program() -> Program {
     let x = f.new_reg();
     let y = f.new_reg();
     let t = f.new_reg();
-    f.block(e).bin(pp::ir::instr::BinOp::CmpLt, c, n, 2i64).branch(c, base_case, rec_case);
+    f.block(e)
+        .bin(pp::ir::instr::BinOp::CmpLt, c, n, 2i64)
+        .branch(c, base_case, rec_case);
     f.block(base_case).ret(); // fib(0)=0, fib(1)=1: r0 = n already
     f.block(rec_case)
         .sub(t, n, 1i64)
@@ -94,8 +96,7 @@ fn every_mode_preserves_semantics() {
         Mode::ContextFlow,
         Mode::CombinedHw,
     ] {
-        let inst =
-            instrument_program(&prog, InstrumentOptions::new(mode)).expect("instruments");
+        let inst = instrument_program(&prog, InstrumentOptions::new(mode)).expect("instruments");
         let mut machine = Machine::new(&inst.program, MachineConfig::default());
         machine
             .run(&mut RecordingSink::default())

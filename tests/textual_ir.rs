@@ -8,8 +8,7 @@ use pp::ir::parse::parse_program;
 fn suite_programs_roundtrip_through_text() {
     for w in pp::workloads::suite(0.03) {
         let text = w.program.to_string();
-        let back = parse_program(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}\n{text}", w.name));
+        let back = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", w.name));
         assert_eq!(back, w.program, "{} did not roundtrip", w.name);
         assert_eq!(back.to_string(), text, "{} text unstable", w.name);
     }
