@@ -38,7 +38,14 @@ pub fn scale_from_env() -> f64 {
 
 /// Generates the full suite as [`BenchCase`]s at the environment scale.
 pub fn suite_cases() -> Vec<BenchCase> {
-    suite(scale_from_env())
+    cases_at(scale_from_env())
+}
+
+/// Generates the full suite as [`BenchCase`]s at an explicit scale
+/// (`pp bench` passes its `--scale` flag here rather than through the
+/// environment).
+pub fn cases_at(scale: f64) -> Vec<BenchCase> {
+    suite(scale)
         .into_iter()
         .map(|w| BenchCase {
             name: w.name,
@@ -53,29 +60,49 @@ pub fn profiler() -> Profiler {
     Profiler::new(MachineConfig::default())
 }
 
-/// Maps `f` over the cases in parallel (one OS thread per chunk, capped at
-/// the available parallelism), preserving order. Everything in the stack is
-/// `Send`, so table harnesses parallelize trivially across benchmarks.
+/// Maps `f` over the cases in parallel, preserving input order.
+///
+/// Spawns `min(available_parallelism, cases.len())` scoped OS threads
+/// that pull cases one at a time from a shared atomic cursor. The old
+/// implementation split the slice into one fixed chunk per thread, so a
+/// single slow case (the suite's run times vary by an order of
+/// magnitude) serialized every case assigned behind it in the same
+/// chunk; with a work queue whose effective chunk size is one, a slow
+/// case occupies exactly one worker while the rest drain the remainder.
 pub fn par_map<T: Send>(cases: &[BenchCase], f: impl Fn(&BenchCase) -> T + Sync) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(cases.len().max(1));
-    let chunk = cases.len().div_ceil(threads.max(1)).max(1);
+    let cursor = AtomicUsize::new(0);
     let mut out: Vec<Option<T>> = Vec::with_capacity(cases.len());
     out.resize_with(cases.len(), || None);
     std::thread::scope(|scope| {
-        for (slot_chunk, case_chunk) in out.chunks_mut(chunk).zip(cases.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (slot, case) in slot_chunk.iter_mut().zip(case_chunk) {
-                    *slot = Some(f(case));
-                }
-            });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let f = &f;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(case) = cases.get(i) else { break };
+                        produced.push((i, f(case)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for w in workers {
+            for (i, t) in w.join().expect("bench worker panicked") {
+                out[i] = Some(t);
+            }
         }
     });
     out.into_iter()
-        .map(|t| t.expect("thread filled slot"))
+        .map(|t| t.expect("cursor covered every case"))
         .collect()
 }
 

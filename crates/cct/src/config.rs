@@ -64,6 +64,12 @@ pub struct CctConfig {
     /// Allocate a per-record path counter table (combined flow+context
     /// profiling).
     pub path_tables: bool,
+    /// Largest `NumPaths` for which a record's path counters are stored
+    /// as a dense array indexed by path sum (Section 4.2: "if the number
+    /// of potential paths is small, an array of counters is used;
+    /// otherwise, paths are counted in a hash table"). Procedures above
+    /// the threshold hash their path sums instead.
+    pub path_array_threshold: u64,
     /// Base simulated address of the CCT heap, used to model the cache
     /// traffic of record accesses.
     pub heap_base: u64,
@@ -83,6 +89,7 @@ impl Default for CctConfig {
             num_metrics: 0,
             distinguish_call_sites: true,
             path_tables: false,
+            path_array_threshold: 256,
             heap_base: 0x5000_0000,
             max_records: 0,
         }
@@ -113,6 +120,12 @@ impl CctConfig {
         self.max_records = max_records;
         self
     }
+
+    /// Sets the dense-array path-table cutoff.
+    pub fn with_path_threshold(mut self, path_array_threshold: u64) -> CctConfig {
+        self.path_array_threshold = path_array_threshold;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +152,12 @@ mod tests {
         assert_eq!(CctConfig::combined(false).num_metrics, 0);
         assert_eq!(CctConfig::default().max_records, 0, "unlimited by default");
         assert_eq!(CctConfig::default().with_max_records(64).max_records, 64);
+        assert_eq!(CctConfig::default().path_array_threshold, 256);
+        assert_eq!(
+            CctConfig::combined(true)
+                .with_path_threshold(1000)
+                .path_array_threshold,
+            1000
+        );
     }
 }

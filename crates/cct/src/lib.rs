@@ -58,6 +58,7 @@ pub use dcg::DynCallGraph;
 pub use dct::{DctNodeId, DynCallTree};
 pub use runtime::{
     CallRecordView, CctRuntime, EnterEffect, EnterOutcome, PathCounts, RecordId, SlotView,
+    SumHasher, SumMap,
 };
 pub use serialize::{read_cct, read_envelope, write_cct, write_envelope, SerializeError};
 pub use stats::CctStats;

@@ -1,8 +1,41 @@
 //! The calling context tree runtime (paper Section 4.2).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::config::{CctConfig, ProcInfo};
+
+/// Fibonacci-multiplicative hasher for path sums. Ball–Larus sums are
+/// small, well-distributed integers produced by the instrumented program
+/// itself — not attacker-controlled — so a single multiply beats the
+/// std `HashMap`'s DoS-resistant SipHash on the per-path-event hot path
+/// that every hashed table pays in combined mode.
+#[derive(Default)]
+pub struct SumHasher(u64);
+
+impl Hasher for SumHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply mixes into the high bits; fold them down for the
+        // table's low-bit bucket selection.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+/// A `HashMap` keyed by path sums, using [`SumHasher`]. Shared with the
+/// flow profile's per-procedure tables, which hash on the same hot path.
+pub type SumMap<V> = HashMap<u64, V, BuildHasherDefault<SumHasher>>;
 
 /// Identifies a call record within a [`CctRuntime`]. The root record is
 /// always id 0.
@@ -81,6 +114,68 @@ pub struct PathCounts {
     pub m1: u64,
 }
 
+/// Storage for one record's per-path counters (combined mode).
+///
+/// Section 4.2 of the paper sizes the counter area per procedure: when
+/// the number of potential Ball–Larus paths is small an array of
+/// counters indexed directly by path sum is used, otherwise path sums
+/// are counted in a hash table. [`CctConfig::path_array_threshold`]
+/// picks the representation per record at allocation time.
+#[derive(Clone, Debug)]
+enum PathStore {
+    /// One cell per potential path, indexed by path sum.
+    Dense(Box<[PathCounts]>),
+    /// Sparse map keyed by path sum.
+    Hashed(SumMap<PathCounts>),
+}
+
+impl PathStore {
+    fn is_dense(&self) -> bool {
+        matches!(self, PathStore::Dense(_))
+    }
+
+    /// Accumulates `counts` into the cell for `sum`. Fails when `sum`
+    /// falls outside a dense array, which live instrumentation never
+    /// produces (Ball–Larus sums are below the procedure's `NumPaths`);
+    /// only corrupt profile files can get here.
+    fn add(&mut self, sum: u64, counts: PathCounts) -> Result<(), ()> {
+        let cell = match self {
+            PathStore::Dense(arr) => usize::try_from(sum)
+                .ok()
+                .and_then(|i| arr.get_mut(i))
+                .ok_or(())?,
+            PathStore::Hashed(map) => map.entry(sum).or_default(),
+        };
+        cell.freq += counts.freq;
+        cell.m0 += counts.m0;
+        cell.m1 += counts.m1;
+        Ok(())
+    }
+
+    /// Touched entries sorted by path sum. Cells that were never bumped
+    /// are skipped, so a dense and a hashed table fed the same events
+    /// report — and serialize — identically.
+    fn touched(&self) -> Vec<(u64, PathCounts)> {
+        match self {
+            PathStore::Dense(arr) => arr
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c != PathCounts::default())
+                .map(|(i, &c)| (i as u64, c))
+                .collect(),
+            PathStore::Hashed(map) => {
+                let mut v: Vec<(u64, PathCounts)> = map
+                    .iter()
+                    .filter(|(_, c)| **c != PathCounts::default())
+                    .map(|(&k, &c)| (k, c))
+                    .collect();
+                v.sort_unstable_by_key(|&(k, _)| k);
+                v
+            }
+        }
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Slot {
     /// Never used from this context (the paper's tagged offset).
@@ -114,7 +209,7 @@ struct CallRecord {
     metrics: Vec<u64>,
     slots: Vec<Slot>,
     slot_prefixes: Vec<SlotPrefix>,
-    paths: Option<HashMap<u64, PathCounts>>,
+    paths: Option<PathStore>,
     paths_addr: u64,
     paths_is_array: bool,
     /// Live activations currently mapped to this record (recursion makes
@@ -141,9 +236,8 @@ struct SlotRef {
 const PATH_STRIDE_METRICS: u64 = 24;
 /// Stride for frequency-only path counters.
 const PATH_STRIDE_FREQ: u64 = 8;
-/// Path tables at most this large are dense arrays; larger ones hash.
-const PATH_ARRAY_LIMIT: u64 = 4096;
-/// Modeled bucket count of a hashed path table (for address generation).
+/// Bucket count of a hashed path table (sizes the simulated heap
+/// reservation and generates counter addresses for cache modeling).
 const PATH_HASH_BUCKETS: u64 = 1024;
 
 /// The online calling context tree.
@@ -212,14 +306,15 @@ impl CctRuntime {
         let mut paths_addr = 0;
         let mut paths_is_array = false;
         if self.config.path_tables && proc != ROOT_PROC {
-            paths = Some(HashMap::new());
-            paths_addr = addr + base_size;
-            if num_paths <= PATH_ARRAY_LIMIT {
-                paths_is_array = true;
-                base_size += num_paths * self.path_stride();
+            let dense = num_paths <= self.config.path_array_threshold;
+            paths = Some(if dense {
+                PathStore::Dense(vec![PathCounts::default(); num_paths as usize].into())
             } else {
-                base_size += PATH_HASH_BUCKETS * self.path_stride();
-            }
+                PathStore::Hashed(SumMap::default())
+            });
+            paths_addr = addr + base_size;
+            paths_is_array = dense;
+            base_size += if dense { num_paths } else { PATH_HASH_BUCKETS } * self.path_stride();
         }
         self.heap_top += base_size;
         self.records.push(CallRecord {
@@ -545,21 +640,20 @@ impl CctRuntime {
     ///
     /// # Panics
     ///
-    /// Panics if the runtime was not configured with `path_tables`, or if
-    /// called while the root is current.
+    /// Panics if the runtime was not configured with `path_tables`, if
+    /// called while the root is current, or if `sum` is not below the
+    /// current procedure's declared `NumPaths` on a dense table.
     pub fn path_event(&mut self, sum: u64, metrics: Option<(u64, u64)>) -> u64 {
         let stride = self.path_stride();
         let rec = &mut self.records[self.cur.index()];
-        let table = rec
+        let store = rec
             .paths
             .as_mut()
             .expect("path_event requires path_tables config (and a non-root record)");
-        let cell = table.entry(sum).or_default();
-        cell.freq += 1;
-        if let Some((m0, m1)) = metrics {
-            cell.m0 += m0;
-            cell.m1 += m1;
-        }
+        let (m0, m1) = metrics.unwrap_or((0, 0));
+        store
+            .add(sum, PathCounts { freq: 1, m0, m1 })
+            .expect("path sum must be below the procedure's NumPaths");
         if rec.paths_is_array {
             rec.paths_addr + sum * stride
         } else {
@@ -706,10 +800,19 @@ impl CctRuntime {
                 return Err(format!("record {i} has a bad metric count"));
             }
             rec.metrics = part.metrics;
-            if let Some(table) = rec.paths.as_mut() {
-                table.extend(part.paths.iter().copied());
-            } else if !part.paths.is_empty() {
-                return Err(format!("record {i} has paths but path tables are off"));
+            match rec.paths.as_mut() {
+                Some(store) => {
+                    for &(sum, c) in &part.paths {
+                        store.add(sum, c).map_err(|()| {
+                            format!("record {i} path sum {sum} outside its dense table")
+                        })?;
+                    }
+                }
+                None => {
+                    if !part.paths.is_empty() {
+                        return Err(format!("record {i} has paths but path tables are off"));
+                    }
+                }
             }
             for (s, sp) in part.slots.into_iter().enumerate() {
                 let slot_val = if sp.entries.is_empty() {
@@ -784,11 +887,12 @@ impl CctRuntime {
                 *m += d;
             }
             if let (Some(mine_paths), Some(theirs)) = (mine.paths.as_mut(), paths.as_ref()) {
-                for (&sum, counts) in theirs {
-                    let cell = mine_paths.entry(sum).or_default();
-                    cell.freq += counts.freq;
-                    cell.m0 += counts.m0;
-                    cell.m1 += counts.m1;
+                for (sum, counts) in theirs.touched() {
+                    // Same program + same config (asserted by merge_from),
+                    // so the representations and ranges agree.
+                    mine_paths
+                        .add(sum, counts)
+                        .expect("merged profiles share a procedure table");
                 }
             }
         }
@@ -1062,16 +1166,20 @@ impl<'a> CallRecordView<'a> {
             .collect()
     }
 
-    /// The per-path counters (combined mode), sorted by path sum.
+    /// The per-path counters (combined mode), sorted by path sum. Only
+    /// touched entries are reported, regardless of representation.
     pub fn paths(&self) -> Vec<(u64, PathCounts)> {
         match &self.rec().paths {
             None => Vec::new(),
-            Some(t) => {
-                let mut v: Vec<(u64, PathCounts)> = t.iter().map(|(&k, &c)| (k, c)).collect();
-                v.sort_by_key(|&(k, _)| k);
-                v
-            }
+            Some(store) => store.touched(),
         }
+    }
+
+    /// How this record stores its path counters: `Some(true)` for a
+    /// dense array (`NumPaths ≤` [`CctConfig::path_array_threshold`]),
+    /// `Some(false)` for a hash table, `None` when path tables are off.
+    pub fn paths_dense(&self) -> Option<bool> {
+        self.rec().paths.as_ref().map(PathStore::is_dense)
     }
 
     /// The call chain from the root to this record, as procedure keys.
@@ -1280,6 +1388,113 @@ mod tests {
             "g",
             "move-to-front"
         );
+    }
+
+    #[test]
+    fn dense_and_hashed_path_tables_report_identically() {
+        // Same event stream through both representations: a threshold at
+        // NumPaths stores densely, one below it hashes. Reported counters
+        // must not depend on the storage choice (Section 4.2).
+        let mk = |threshold: u64| {
+            let procs = vec![ProcInfo::new("M", 0).with_paths(300)];
+            let mut cct = CctRuntime::new(
+                CctConfig::combined(true).with_path_threshold(threshold),
+                procs,
+            );
+            cct.enter(0);
+            for sum in [0u64, 7, 7, 299, 123, 7] {
+                cct.path_event(sum, Some((10, 1)));
+            }
+            cct.exit();
+            cct
+        };
+        let dense = mk(300);
+        let hashed = mk(299);
+        let m = RecordId(1);
+        assert_eq!(dense.record(m).paths_dense(), Some(true));
+        assert_eq!(hashed.record(m).paths_dense(), Some(false));
+        assert_eq!(dense.record(m).paths(), hashed.record(m).paths());
+        let paths = dense.record(m).paths();
+        assert_eq!(paths.len(), 4, "four distinct sums were touched");
+        assert_eq!(
+            paths[1],
+            (
+                7,
+                PathCounts {
+                    freq: 3,
+                    m0: 30,
+                    m1: 3
+                }
+            )
+        );
+        // The dense table reserves one cell per potential path (300);
+        // the hashed table reserves PATH_HASH_BUCKETS (1024).
+        assert!(dense.heap_bytes() < hashed.heap_bytes());
+    }
+
+    #[test]
+    fn path_counter_addresses_follow_representation() {
+        // Dense: counter address is paths_addr + sum * stride. Hashed:
+        // sums fold into PATH_HASH_BUCKETS buckets, so two sums one
+        // bucket-cycle apart alias to the same simulated address.
+        let procs = vec![ProcInfo::new("M", 0).with_paths(2 * PATH_HASH_BUCKETS)];
+        let mut cct = CctRuntime::new(CctConfig::combined(false).with_path_threshold(0), procs);
+        cct.enter(0);
+        let a = cct.path_event(5, None);
+        let b = cct.path_event(5 + PATH_HASH_BUCKETS, None);
+        assert_eq!(a, b, "hashed sums alias modulo the bucket count");
+
+        let procs = vec![ProcInfo::new("M", 0).with_paths(8)];
+        let mut cct = CctRuntime::new(CctConfig::combined(false), procs);
+        cct.enter(0);
+        let a = cct.path_event(1, None);
+        let b = cct.path_event(2, None);
+        assert_eq!(b - a, PATH_STRIDE_FREQ, "dense cells are adjacent");
+    }
+
+    #[test]
+    #[should_panic(expected = "NumPaths")]
+    fn dense_path_table_rejects_out_of_range_sum() {
+        let procs = vec![ProcInfo::new("M", 0).with_paths(4)];
+        let mut cct = CctRuntime::new(CctConfig::combined(false), procs);
+        cct.enter(0);
+        cct.path_event(4, None); // valid sums are 0..4
+    }
+
+    #[test]
+    fn from_parts_rejects_dense_path_sum_out_of_range() {
+        let procs = vec![ProcInfo::new("M", 0).with_paths(4)];
+        let parts = vec![
+            RecordParts {
+                proc: ROOT_PROC,
+                parent: None,
+                calls: 0,
+                metrics: vec![],
+                slots: vec![SlotParts {
+                    entries: vec![1],
+                    one_path: false,
+                    used: true,
+                }],
+                paths: vec![],
+            },
+            RecordParts {
+                proc: 0,
+                parent: Some(0),
+                calls: 1,
+                metrics: vec![],
+                slots: vec![],
+                paths: vec![(
+                    9,
+                    PathCounts {
+                        freq: 1,
+                        m0: 0,
+                        m1: 0,
+                    },
+                )],
+            },
+        ];
+        let err = CctRuntime::from_parts(CctConfig::combined(false), procs, parts).unwrap_err();
+        assert!(err.contains("outside its dense table"), "{err}");
     }
 
     #[test]

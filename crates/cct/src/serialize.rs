@@ -214,6 +214,7 @@ fn write_payload(cct: &CctRuntime, w: &mut impl Write) -> Result<(), SerializeEr
     ])?;
     w64(w, config.heap_base)?;
     w32(w, config.max_records)?;
+    w64(w, config.path_array_threshold)?;
 
     let procs = cct.procs();
     w32(w, procs.len() as u32)?;
@@ -316,10 +317,12 @@ fn read_payload(r: &mut &[u8]) -> Result<CctRuntime, SerializeError> {
     let path_tables = r8(r)? != 0;
     let heap_base = r64(r)?;
     let max_records = r32(r)?;
+    let path_array_threshold = r64(r)?;
     let config = CctConfig {
         num_metrics,
         distinguish_call_sites: distinguish,
         path_tables,
+        path_array_threshold,
         heap_base,
         max_records,
     };
@@ -507,6 +510,55 @@ mod tests {
         let back = read_cct(&mut buf.as_slice()).unwrap();
         assert_eq!(back.config().max_records, 3);
         assert_eq!(back.num_records(), cct.num_records());
+    }
+
+    #[test]
+    fn roundtrip_preserves_dense_and_hashed_stores_at_threshold() {
+        // The paper's §4.2 hybrid: a procedure with NumPaths at the
+        // threshold counts paths in a dense array, one path past it tips
+        // into the hash representation. Both sides of the boundary must
+        // survive serialization bit-for-bit — counters, metrics, and the
+        // representation choice itself.
+        const T: u64 = 8;
+        let procs = vec![
+            ProcInfo::new("main", 2),
+            ProcInfo::new("at", 0).with_paths(T),
+            ProcInfo::new("over", 0).with_paths(T + 1),
+        ];
+        let mut cct = CctRuntime::new(CctConfig::combined(true).with_path_threshold(T), procs);
+        cct.enter(0);
+        cct.prepare_call(0, None);
+        cct.enter(1);
+        cct.path_event(0, Some((1, 2)));
+        cct.path_event(T - 1, None);
+        cct.path_event(T - 1, Some((3, 4)));
+        cct.exit();
+        cct.prepare_call(1, None);
+        cct.enter(2);
+        cct.path_event(T, Some((5, 6)));
+        cct.path_event(3, None);
+        cct.exit();
+        cct.exit();
+        assert_eq!(cct.record(RecordId(2)).paths_dense(), Some(true));
+        assert_eq!(cct.record(RecordId(3)).paths_dense(), Some(false));
+
+        let buf = encode(&cct);
+        let back = read_cct(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.config().path_array_threshold, T);
+        for id in [RecordId(1), RecordId(2), RecordId(3)] {
+            assert_eq!(
+                back.record(id).paths(),
+                cct.record(id).paths(),
+                "path counters differ for record {id:?}"
+            );
+            assert_eq!(
+                back.record(id).paths_dense(),
+                cct.record(id).paths_dense(),
+                "representation differs for record {id:?}"
+            );
+        }
+        // Re-encoding the read-back tree reproduces the same bytes.
+        assert_eq!(encode(&back), buf);
     }
 
     #[test]

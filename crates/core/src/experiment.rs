@@ -186,51 +186,49 @@ pub fn table2(profiler: &Profiler, cases: &[BenchCase]) -> Result<Vec<Table2Row>
         .collect()
 }
 
-/// The Table 2 measurement for a single benchmark (exposed so harnesses
-/// can parallelize across benchmarks).
+/// The Table 2 measurement for a single benchmark — the unit of work
+/// that `pp-bench`'s `par_map` hands to its worker threads (each worker
+/// pulls one case at a time from a shared queue; see
+/// `pp_bench::par_map`).
 ///
 /// # Errors
 ///
 /// Propagates the first [`ProfileError`].
 pub fn table2_case(profiler: &Profiler, case: &BenchCase) -> Result<Table2Row, ProfileError> {
-    {
-        {
-            let base = profiler.run(&case.program, RunConfig::Base)?;
-            let mut ratios = Vec::new();
-            for events in TABLE2_PAIRS {
-                let flow_run = profiler.run(&case.program, RunConfig::FlowHw { events })?;
-                let flow = flow_run.flow.as_ref().expect("flow profile present");
-                let ctx_run = profiler.run(&case.program, RunConfig::ContextHw { events })?;
-                let cct = ctx_run.cct.as_ref().expect("cct present");
-                // Context recorded total: inclusive metrics of the root's
-                // children (normally just the program entry).
-                let mut ctx0 = 0u64;
-                let mut ctx1 = 0u64;
-                for id in cct.record_ids().skip(1) {
-                    let r = cct.record(id);
-                    if r.parent() == Some(pp_cct::RecordId::ROOT) {
-                        ctx0 += r.metrics().first().copied().unwrap_or(0);
-                        ctx1 += r.metrics().get(1).copied().unwrap_or(0);
-                    }
-                }
-                for (k, ev) in [events.0, events.1].into_iter().enumerate() {
-                    let ground = base.machine.metrics.get(ev).max(1) as f64;
-                    let f_rec = if k == 0 {
-                        flow.total(|c| c.m0)
-                    } else {
-                        flow.total(|c| c.m1)
-                    } as f64;
-                    let c_rec = if k == 0 { ctx0 } else { ctx1 } as f64;
-                    ratios.push((ev, f_rec / ground, c_rec / ground));
-                }
+    let base = profiler.run(&case.program, RunConfig::Base)?;
+    let mut ratios = Vec::new();
+    for events in TABLE2_PAIRS {
+        let flow_run = profiler.run(&case.program, RunConfig::FlowHw { events })?;
+        let flow = flow_run.flow.as_ref().expect("flow profile present");
+        let ctx_run = profiler.run(&case.program, RunConfig::ContextHw { events })?;
+        let cct = ctx_run.cct.as_ref().expect("cct present");
+        // Context recorded total: inclusive metrics of the root's
+        // children (normally just the program entry).
+        let mut ctx0 = 0u64;
+        let mut ctx1 = 0u64;
+        for id in cct.record_ids().skip(1) {
+            let r = cct.record(id);
+            if r.parent() == Some(pp_cct::RecordId::ROOT) {
+                ctx0 += r.metrics().first().copied().unwrap_or(0);
+                ctx1 += r.metrics().get(1).copied().unwrap_or(0);
             }
-            Ok(Table2Row {
-                name: case.name.clone(),
-                cint: case.cint,
-                ratios,
-            })
+        }
+        for (k, ev) in [events.0, events.1].into_iter().enumerate() {
+            let ground = base.machine.metrics.get(ev).max(1) as f64;
+            let f_rec = if k == 0 {
+                flow.total(|c| c.m0)
+            } else {
+                flow.total(|c| c.m1)
+            } as f64;
+            let c_rec = if k == 0 { ctx0 } else { ctx1 } as f64;
+            ratios.push((ev, f_rec / ground, c_rec / ground));
         }
     }
+    Ok(Table2Row {
+        name: case.name.clone(),
+        cint: case.cint,
+        ratios,
+    })
 }
 
 /// Renders Table 2 (F and C columns per event).

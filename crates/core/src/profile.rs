@@ -1,9 +1,8 @@
 //! The collected flow profile.
 
-use std::collections::HashMap;
 use std::io::{Read, Write};
 
-use pp_cct::{read_envelope, write_envelope, SerializeError};
+use pp_cct::{read_envelope, write_envelope, SerializeError, SumMap};
 use pp_ir::ProcId;
 
 const MAGIC: &[u8; 8] = b"PPFLOW2\n";
@@ -25,14 +24,14 @@ pub struct PathCell {
 /// profiling writes out.
 #[derive(Clone, Debug, Default)]
 pub struct FlowProfile {
-    tables: Vec<HashMap<u64, PathCell>>,
+    tables: Vec<SumMap<PathCell>>,
 }
 
 impl FlowProfile {
     /// Creates empty tables for `num_procs` procedures.
     pub fn new(num_procs: usize) -> FlowProfile {
         FlowProfile {
-            tables: vec![HashMap::new(); num_procs],
+            tables: vec![SumMap::default(); num_procs],
         }
     }
 
@@ -64,7 +63,7 @@ impl FlowProfile {
 
     /// Total distinct paths executed across all procedures.
     pub fn total_paths_executed(&self) -> usize {
-        self.tables.iter().map(HashMap::len).sum()
+        self.tables.iter().map(|t| t.len()).sum()
     }
 
     /// Iterates `(proc, sum, cell)` over every executed path, procedure by

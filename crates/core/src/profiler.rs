@@ -304,6 +304,35 @@ impl Profiler {
         options: InstrumentOptions,
         cct_override: Option<CctConfig>,
     ) -> Result<RunOutcome, ProfileError> {
+        let (inst, mut sink) = self.profile_parts(program, options, cct_override)?;
+        let mut machine = Machine::new(&inst.program, self.machine_config);
+        machine.inject_faults(self.fault_plan);
+        // On a machine fault the sink still holds everything collected up
+        // to the fault; recover it rather than discarding the run.
+        let (machine, fault) = match machine.run(&mut sink) {
+            Ok(r) => (r, None),
+            Err(e) => (machine.partial_result(), Some(e)),
+        };
+        Ok(RunOutcome {
+            report: RunReport {
+                config,
+                machine,
+                flow: sink.flow,
+                cct: sink.cct,
+                instrumented: Some(inst),
+            },
+            fault,
+        })
+    }
+
+    /// Instruments `program` and allocates the profile state the sink
+    /// will populate — everything a run needs except the machine itself.
+    fn profile_parts(
+        &self,
+        program: &Program,
+        options: InstrumentOptions,
+        cct_override: Option<CctConfig>,
+    ) -> Result<(Instrumented, PpSink), ProfileError> {
         let mode = options.mode;
         let inst = instrument_program(program, options)?;
 
@@ -335,11 +364,51 @@ impl Profiler {
             CctRuntime::new(cct_config, procs)
         });
 
-        let mut sink = PpSink { flow, cct };
-        let mut machine = Machine::new(&inst.program, self.machine_config);
+        Ok((inst, PpSink { flow, cct }))
+    }
+
+    /// Like [`Profiler::run`], but executing on the pre-predecoding
+    /// tree-walking [`ReferenceMachine`](pp_usim::reference::ReferenceMachine)
+    /// instead of the micro-op-arena [`Machine`]. Instrumentation, sink
+    /// state, and fault injection are identical, so the two profiles must
+    /// agree bit for bit — the differential tests assert exactly that,
+    /// and `pp bench` times the two pipelines against each other.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Profiler::run`].
+    #[cfg(feature = "reference")]
+    pub fn run_reference(
+        &self,
+        program: &Program,
+        config: RunConfig,
+    ) -> Result<RunOutcome, ProfileError> {
+        use pp_usim::reference::ReferenceMachine;
+
+        let Some(mode) = config.mode() else {
+            let mut machine = ReferenceMachine::new(program, self.machine_config);
+            machine.inject_faults(self.fault_plan);
+            let (machine, fault) = match machine.run(&mut NullSink) {
+                Ok(r) => (r, None),
+                Err(e) => (machine.partial_result(), Some(e)),
+            };
+            return Ok(RunOutcome {
+                report: RunReport {
+                    config,
+                    machine,
+                    flow: None,
+                    cct: None,
+                    instrumented: None,
+                },
+                fault,
+            });
+        };
+
+        let (pic0, pic1) = config.events();
+        let options = InstrumentOptions::new(mode).with_events(pic0, pic1);
+        let (inst, mut sink) = self.profile_parts(program, options, None)?;
+        let mut machine = ReferenceMachine::new(&inst.program, self.machine_config);
         machine.inject_faults(self.fault_plan);
-        // On a machine fault the sink still holds everything collected up
-        // to the fault; recover it rather than discarding the run.
         let (machine, fault) = match machine.run(&mut sink) {
             Ok(r) => (r, None),
             Err(e) => (machine.partial_result(), Some(e)),

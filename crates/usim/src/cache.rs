@@ -12,6 +12,9 @@
 pub struct DirectMappedCache {
     line_shift: u32,
     index_mask: u64,
+    /// `index_mask.count_ones()`, precomputed — the tag extraction sits
+    /// on the simulator's per-load/store path.
+    tag_shift: u32,
     tags: Vec<u64>,
 }
 
@@ -33,6 +36,7 @@ impl DirectMappedCache {
         DirectMappedCache {
             line_shift: line_bytes.trailing_zeros(),
             index_mask: lines - 1,
+            tag_shift: lines.trailing_zeros(),
             tags: vec![INVALID; lines as usize],
         }
     }
@@ -43,7 +47,7 @@ impl DirectMappedCache {
     pub fn access(&mut self, addr: u64, allocate: bool) -> bool {
         let line = addr >> self.line_shift;
         let idx = (line & self.index_mask) as usize;
-        let tag = line >> self.index_mask.count_ones();
+        let tag = line >> self.tag_shift;
         if self.tags[idx] == tag {
             true
         } else {
@@ -58,7 +62,7 @@ impl DirectMappedCache {
     pub fn probe(&self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
         let idx = (line & self.index_mask) as usize;
-        let tag = line >> self.index_mask.count_ones();
+        let tag = line >> self.tag_shift;
         self.tags[idx] == tag
     }
 
@@ -78,6 +82,8 @@ impl DirectMappedCache {
 pub struct AssocCache {
     line_shift: u32,
     set_mask: u64,
+    /// `set_mask.count_ones()`, precomputed (see [`DirectMappedCache`]).
+    tag_shift: u32,
     ways: usize,
     /// `sets[set * ways + way]` holds a tag; `lru[set * ways + way]` holds
     /// a recency stamp.
@@ -100,6 +106,7 @@ impl AssocCache {
         AssocCache {
             line_shift: line_bytes.trailing_zeros(),
             set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
             ways,
             tags: vec![INVALID; (sets as usize) * ways],
             lru: vec![0; (sets as usize) * ways],
@@ -112,8 +119,26 @@ impl AssocCache {
         self.clock += 1;
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
+        let tag = line >> self.tag_shift;
         let base = set * self.ways;
+        // The UltraSPARC I-cache (every block fetch goes through it) is
+        // 2-way; a branch-free probe of both ways beats the generic
+        // way-loop + LRU scan. State evolution is identical: same hit
+        // way refreshed, same LRU victim filled.
+        if self.ways == 2 {
+            if self.tags[base] == tag {
+                self.lru[base] = self.clock;
+                return true;
+            }
+            if self.tags[base + 1] == tag {
+                self.lru[base + 1] = self.clock;
+                return true;
+            }
+            let victim = base + usize::from(self.lru[base] > self.lru[base + 1]);
+            self.tags[victim] = tag;
+            self.lru[victim] = self.clock;
+            return false;
+        }
         for w in 0..self.ways {
             if self.tags[base + w] == tag {
                 self.lru[base + w] = self.clock;

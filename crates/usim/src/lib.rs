@@ -51,16 +51,20 @@
 
 mod cache;
 mod config;
+mod decode;
 mod fault;
 mod layout;
 mod machine;
 mod mem;
 mod metrics;
 mod predict;
+#[cfg(feature = "reference")]
+pub mod reference;
 mod sink;
 
 pub use cache::{AssocCache, DirectMappedCache};
 pub use config::MachineConfig;
+pub use decode::DecodedProgram;
 pub use fault::{FaultPlan, ReadSkew};
 pub use layout::CodeLayout;
 pub use machine::{ExecError, Machine, RunResult};

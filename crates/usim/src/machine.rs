@@ -1,15 +1,32 @@
 //! The interpreter and its cost model.
+//!
+//! Execution runs over a predecoded micro-op arena ([`DecodedProgram`]):
+//! the instruction pointer is an arena offset, control transfers are dense
+//! block indices, registers for the whole call stack live in two flat
+//! arenas (no per-call allocation), and per-block execution counts are a
+//! dense `Vec<u64>`. The run loop is generic over the sink so profiling
+//! event delivery monomorphizes; `&mut dyn ProfSink` still works (the
+//! loop accepts `S: ?Sized`). The `%pic` registers are derived lazily
+//! from the metric totals at observation points rather than updated on
+//! every counted event. Register-file and arena accesses execute
+//! unchecked in release builds — sound because
+//! [`DecodedProgram::new`] validates every index a micro-op can name,
+//! once, before execution (debug builds keep the checks as
+//! `debug_assert!`s). The cost model is unchanged from the
+//! original tree-walking interpreter, which survives as
+//! [`crate::reference::ReferenceMachine`] behind the `reference` feature
+//! and backs the differential test suite.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+use pp_ir::instr::{BinOp, FBinOp};
 use pp_ir::prof::{CounterStorage, PathTable};
-use pp_ir::{
-    BlockId, CallTarget, HwEvent, Instr, Operand, ProcId, ProfOp, Program, Reg, Terminator,
-};
+use pp_ir::{BlockId, HwEvent, Operand, ProcId, ProfOp, Program, Reg};
 
 use crate::cache::{AssocCache, DirectMappedCache};
 use crate::config::MachineConfig;
+use crate::decode::{BlockIdx, DecodedProgram, MicroOp};
 use crate::fault::FaultPlan;
 use crate::layout::CodeLayout;
 use crate::metrics::HwMetrics;
@@ -35,7 +52,9 @@ pub enum ExecError {
         /// The offending register value.
         value: i64,
     },
-    /// A longjmp used an invalid or stale token.
+    /// A longjmp used an invalid or stale token (stale includes a token
+    /// whose frame depth has since been re-occupied by a different
+    /// procedure's activation).
     BadJumpToken {
         /// The offending token value.
         value: i64,
@@ -77,6 +96,8 @@ pub struct RunResult {
     pub resident_pages: usize,
     /// Total code bytes after layout (instrumentation grows this).
     pub code_bytes: u64,
+    /// Final architectural counter registers `(%pic0, %pic1)`.
+    pub pics: (u32, u32),
 }
 
 impl RunResult {
@@ -89,10 +110,16 @@ impl RunResult {
 #[derive(Debug)]
 struct Frame {
     proc: ProcId,
-    block: BlockId,
-    ip: usize,
-    regs: Vec<i64>,
-    fregs: Vec<f64>,
+    /// Dense index of the block being executed.
+    block: BlockIdx,
+    /// Resume arena offset. The dispatch loop keeps the live frame's
+    /// instruction pointer in a local; this field is synced only when
+    /// the frame calls out (so `Ret`/`Longjmp` can restore it).
+    ip: u32,
+    /// Start of this frame's registers in the machine's register arena.
+    reg_base: u32,
+    /// Start of this frame's FP registers in the FP register arena.
+    freg_base: u32,
     /// Register in the *caller* receiving this frame's `r0` on return.
     ret_to: Option<Reg>,
     /// Counter save area (host mirror of the frame's save slots).
@@ -106,6 +133,7 @@ struct Frame {
 pub struct Machine<'p> {
     program: &'p Program,
     layout: CodeLayout,
+    decoded: DecodedProgram,
     config: MachineConfig,
     mem: Memory,
     dcache: DirectMappedCache,
@@ -113,16 +141,35 @@ pub struct Machine<'p> {
     l2: Option<AssocCache>,
     bp: BranchPredictor,
     tp: TargetPredictor,
-    pics: [u32; 2],
+    /// Lazy architectural counters: the live value of `%pic_i` is
+    /// `pic_base[i] + (metrics[pcr_i] - pic_snap[i])` truncated to 32
+    /// bits (see [`Machine::pics_now`]). Event counting then only touches
+    /// the 64-bit metric totals — the two per-event `pcr` comparisons the
+    /// eager scheme paid on every counted micro-op vanish from the
+    /// dispatch loop — and the counters materialize at observation
+    /// points: profiling reads, `RdPic`, and run end.
+    pic_base: [u32; 2],
+    pic_snap: [u64; 2],
     pcr: (HwEvent, HwEvent),
     metrics: HwMetrics,
     store_q: VecDeque<u64>,
     last_retire: u64,
     fp_busy: u64,
     frames: Vec<Frame>,
-    setjmps: Vec<(usize, BlockId, usize)>,
-    uops: u64,
-    block_counts: HashMap<(ProcId, BlockId), u64>,
+    /// Register arena for the whole call stack; frames hold base offsets.
+    regs: Vec<i64>,
+    fregs: Vec<f64>,
+    /// Mirror of the live frame's bases (hot: every operand access).
+    reg_base: usize,
+    freg_base: usize,
+    /// Live setjmp tokens: `(frame depth, owning proc, dense block,
+    /// resume arena offset)`. The proc is re-checked on longjmp so a
+    /// stale token whose depth was re-occupied by a different
+    /// procedure's frame cannot resume the wrong code.
+    setjmps: Vec<(usize, ProcId, BlockIdx, u32)>,
+    /// Dense per-block execution counts, indexed by [`BlockIdx`].
+    block_counts: Vec<u64>,
+    argv_scratch: Vec<i64>,
     fault: FaultPlan,
     counter_reads: u64,
 }
@@ -132,7 +179,7 @@ impl<'p> fmt::Debug for Machine<'p> {
         write!(
             f,
             "Machine(uops={}, depth={}, cycles={})",
-            self.uops,
+            self.uops(),
             self.frames.len(),
             self.metrics.get(HwEvent::Cycles)
         )
@@ -140,12 +187,17 @@ impl<'p> fmt::Debug for Machine<'p> {
 }
 
 impl<'p> Machine<'p> {
-    /// Prepares a machine for `program` (lays out code, loads nothing yet —
-    /// data segments are loaded by [`Machine::run`]).
+    /// Prepares a machine for `program`: lays out code and predecodes the
+    /// IR into the micro-op arena (data segments are loaded by
+    /// [`Machine::run`]).
     pub fn new(program: &'p Program, config: MachineConfig) -> Machine<'p> {
+        let layout = CodeLayout::new(program, config.code_base);
+        let decoded = DecodedProgram::new(program, &layout);
+        let num_blocks = decoded.num_blocks();
         Machine {
             program,
-            layout: CodeLayout::new(program, config.code_base),
+            layout,
+            decoded,
             config,
             mem: Memory::new(),
             dcache: DirectMappedCache::new(config.dcache_bytes, config.dcache_line),
@@ -154,16 +206,21 @@ impl<'p> Machine<'p> {
                 .then(|| AssocCache::new(config.l2_bytes, config.l2_line, config.l2_ways.max(1))),
             bp: BranchPredictor::new(config.predictor_entries),
             tp: TargetPredictor::new(config.predictor_entries / 4),
-            pics: [0, 0],
+            pic_base: [0, 0],
+            pic_snap: [0, 0],
             pcr: (HwEvent::Cycles, HwEvent::Insts),
             metrics: HwMetrics::new(),
             store_q: VecDeque::new(),
             last_retire: 0,
             fp_busy: 0,
             frames: Vec::new(),
+            regs: Vec::new(),
+            fregs: Vec::new(),
+            reg_base: 0,
+            freg_base: 0,
             setjmps: Vec::new(),
-            uops: 0,
-            block_counts: HashMap::new(),
+            block_counts: vec![0; num_blocks],
+            argv_scratch: Vec::new(),
             fault: FaultPlan::default(),
             counter_reads: 0,
         }
@@ -181,6 +238,11 @@ impl<'p> Machine<'p> {
         &self.layout
     }
 
+    /// The predecoded micro-op arena the machine executes.
+    pub fn decoded(&self) -> &DecodedProgram {
+        &self.decoded
+    }
+
     /// Current ground-truth metrics (useful mid-run from tests).
     pub fn metrics(&self) -> &HwMetrics {
         &self.metrics
@@ -193,33 +255,53 @@ impl<'p> Machine<'p> {
 
     /// The architectural counter registers `(%pic0, %pic1)`.
     pub fn pics(&self) -> (u32, u32) {
-        (self.pics[0], self.pics[1])
+        let p = self.pics_now();
+        (p[0], p[1])
     }
 
     /// Per-block execution counts, populated when
     /// [`MachineConfig::trace_blocks`] is set — the oracle that the
-    /// path-profile projection tests compare against.
-    pub fn block_counts(&self) -> &HashMap<(ProcId, BlockId), u64> {
-        &self.block_counts
-    }
-
-    fn trace_block(&mut self, proc: ProcId, block: BlockId) {
-        if self.config.trace_blocks {
-            *self.block_counts.entry((proc, block)).or_insert(0) += 1;
-        }
+    /// path-profile projection tests compare against. Counts are kept in
+    /// a dense per-block array during the run; this materializes the
+    /// `(proc, block)`-keyed view (blocks that never executed are absent).
+    pub fn block_counts(&self) -> HashMap<(ProcId, BlockId), u64> {
+        self.decoded
+            .blocks
+            .iter()
+            .zip(&self.block_counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(bm, &c)| ((bm.proc, bm.orig), c))
+            .collect()
     }
 
     // ----- event plumbing -------------------------------------------------
 
+    /// Counts `n` occurrences of `ev`. The `%pic` registers are derived
+    /// from the metric totals lazily ([`Machine::pics_now`]), so this is
+    /// a single indexed add.
     #[inline]
     fn count(&mut self, ev: HwEvent, n: u64) {
         self.metrics.add(ev, n);
-        if self.pcr.0 == ev {
-            self.pics[0] = self.pics[0].wrapping_add(n as u32);
-        }
-        if self.pcr.1 == ev {
-            self.pics[1] = self.pics[1].wrapping_add(n as u32);
-        }
+    }
+
+    /// Materializes `(%pic0, %pic1)`. Truncating the 64-bit metric delta
+    /// to 32 bits distributes over addition, so the result is bit-equal
+    /// to updating a wrapping 32-bit register on every counted event.
+    #[inline]
+    fn pics_now(&self) -> [u32; 2] {
+        [
+            self.pic_base[0]
+                .wrapping_add(self.metrics.get(self.pcr.0).wrapping_sub(self.pic_snap[0]) as u32),
+            self.pic_base[1]
+                .wrapping_add(self.metrics.get(self.pcr.1).wrapping_sub(self.pic_snap[1]) as u32),
+        ]
+    }
+
+    /// Sets the architectural counters to `p` as of the current metric
+    /// totals (counter writes, zeroing, restores).
+    fn set_pics(&mut self, p: [u32; 2]) {
+        self.pic_base = p;
+        self.pic_snap = [self.metrics.get(self.pcr.0), self.metrics.get(self.pcr.1)];
     }
 
     /// Advances time by `n` cycles.
@@ -231,15 +313,24 @@ impl<'p> Machine<'p> {
     /// One completed micro-op: a cycle plus an instruction.
     #[inline]
     fn uop(&mut self) {
-        self.uops += 1;
         self.count(HwEvent::Insts, 1);
         self.tick(1);
     }
 
+    /// `n` completed micro-ops. Counter updates are plain wrapping
+    /// accumulation, so one batched add is identical to `n` single ones.
+    #[inline]
     fn uops_n(&mut self, n: u32) {
-        for _ in 0..n {
-            self.uop();
-        }
+        self.count(HwEvent::Insts, n as u64);
+        self.tick(n as u64);
+    }
+
+    /// Micro-ops retired so far. Single-sourced from the `Insts` metric
+    /// (every retired micro-op counts exactly one instruction), so the
+    /// dispatch loop maintains one total instead of two.
+    #[inline]
+    fn uops(&self) -> u64 {
+        self.metrics.get(HwEvent::Insts)
     }
 
     fn now(&self) -> u64 {
@@ -319,9 +410,9 @@ impl<'p> Machine<'p> {
         self.fp_busy = self.now() + latency;
     }
 
-    fn ifetch_block(&mut self, proc: ProcId, block: BlockId) {
-        let addr = self.layout.block_addr(proc, block);
-        let bytes = self.layout.block_bytes(proc, block);
+    /// Fetches a block's code lines through the I-cache; `addr`/`bytes`
+    /// come precomputed from [`crate::decode::BlockMeta`].
+    fn ifetch(&mut self, addr: u64, bytes: u64) {
         let line = self.config.icache_line;
         let mut a = addr & !(line - 1);
         while a < addr + bytes {
@@ -337,22 +428,39 @@ impl<'p> Machine<'p> {
 
     #[inline]
     fn reg(&self, r: Reg) -> i64 {
-        self.frames.last().expect("live frame").regs[r.index()]
+        let slot = self.reg_base + r.index();
+        debug_assert!(slot < self.regs.len());
+        // SAFETY: decode validated every register a micro-op names
+        // against its procedure's declared count, the arena keeps
+        // `regs.len() == reg_base + num_regs` for the live frame
+        // (`push_frame`/`Ret`/`Longjmp` maintain it), and the stale-token
+        // guard in `Longjmp` guarantees resumed code and live frame
+        // belong to the same procedure — so `slot` is in bounds.
+        unsafe { *self.regs.get_unchecked(slot) }
     }
 
     #[inline]
     fn set_reg(&mut self, r: Reg, v: i64) {
-        self.frames.last_mut().expect("live frame").regs[r.index()] = v;
+        let slot = self.reg_base + r.index();
+        debug_assert!(slot < self.regs.len());
+        // SAFETY: see `reg`.
+        unsafe { *self.regs.get_unchecked_mut(slot) = v }
     }
 
     #[inline]
     fn freg(&self, r: pp_ir::FReg) -> f64 {
-        self.frames.last().expect("live frame").fregs[r.index()]
+        let slot = self.freg_base + r.index();
+        debug_assert!(slot < self.fregs.len());
+        // SAFETY: see `reg` (decode validates fp registers identically).
+        unsafe { *self.fregs.get_unchecked(slot) }
     }
 
     #[inline]
     fn set_freg(&mut self, r: pp_ir::FReg, v: f64) {
-        self.frames.last_mut().expect("live frame").fregs[r.index()] = v;
+        let slot = self.freg_base + r.index();
+        debug_assert!(slot < self.fregs.len());
+        // SAFETY: see `reg` (decode validates fp registers identically).
+        unsafe { *self.fregs.get_unchecked_mut(slot) = v }
     }
 
     #[inline]
@@ -367,51 +475,92 @@ impl<'p> Machine<'p> {
         self.frames.last().expect("live frame").frame_addr
     }
 
+    /// Pushes a callee frame and returns the arena offset of its entry
+    /// block's first micro-op (the caller's new local `ip`).
     fn push_frame(
         &mut self,
+        d: &DecodedProgram,
         proc: ProcId,
         args: &[i64],
         ret_to: Option<Reg>,
-    ) -> Result<(), ExecError> {
+    ) -> Result<u32, ExecError> {
         if self.frames.len() >= self.config.max_call_depth {
             return Err(ExecError::StackOverflow {
                 depth: self.frames.len(),
             });
         }
-        let p = self.program.procedure(proc);
-        let mut regs = vec![0i64; p.num_regs as usize];
-        for (i, &a) in args.iter().enumerate() {
-            if i < regs.len() {
-                regs[i] = a;
-            }
-        }
+        let pm = &d.procs[proc.index()];
+        let reg_base = self.regs.len();
+        let freg_base = self.fregs.len();
+        self.regs.resize(reg_base + pm.num_regs as usize, 0);
+        self.fregs.resize(freg_base + pm.num_fregs as usize, 0.0);
+        let n = args.len().min(pm.num_regs as usize);
+        self.regs[reg_base..reg_base + n].copy_from_slice(&args[..n]);
         let frame_addr =
             self.config.stack_top - (self.frames.len() as u64 + 1) * self.config.frame_bytes;
+        let entry = pm.first_block;
+        let bm = &d.blocks[entry as usize];
         self.frames.push(Frame {
             proc,
-            block: BlockId(0),
-            ip: 0,
-            regs,
-            fregs: vec![0.0; p.num_fregs as usize],
+            block: entry,
+            ip: bm.first_op,
+            reg_base: reg_base as u32,
+            freg_base: freg_base as u32,
             ret_to,
             saved_pics: (0, 0),
             frame_addr,
         });
-        self.trace_block(proc, BlockId(0));
-        self.ifetch_block(proc, BlockId(0));
-        Ok(())
+        self.reg_base = reg_base;
+        self.freg_base = freg_base;
+        if self.config.trace_blocks {
+            self.block_counts[entry as usize] += 1;
+        }
+        let (first_op, addr, bytes) = (bm.first_op, bm.addr, bm.bytes);
+        self.ifetch(addr, bytes);
+        Ok(first_op)
+    }
+
+    /// Evaluates call arguments into a reused scratch buffer and pushes
+    /// the callee frame; returns the callee's first arena offset.
+    fn call_with(
+        &mut self,
+        d: &DecodedProgram,
+        callee: ProcId,
+        args: &[Operand],
+        ret: Option<Reg>,
+    ) -> Result<u32, ExecError> {
+        let mut argv = std::mem::take(&mut self.argv_scratch);
+        argv.clear();
+        argv.extend(args.iter().map(|&a| self.value(a)));
+        let res = self.push_frame(d, callee, &argv, ret);
+        self.argv_scratch = argv;
+        res
+    }
+
+    /// Transfers control to dense block `t` within the live frame and
+    /// returns its first arena offset.
+    fn goto(&mut self, d: &DecodedProgram, t: BlockIdx) -> u32 {
+        let bm = &d.blocks[t as usize];
+        self.frames.last_mut().expect("live frame").block = t;
+        if self.config.trace_blocks {
+            self.block_counts[t as usize] += 1;
+        }
+        let (first_op, addr, bytes) = (bm.first_op, bm.addr, bm.bytes);
+        self.ifetch(addr, bytes);
+        first_op
     }
 
     // ----- the run loop ----------------------------------------------------
 
     /// Executes the program to completion, delivering profiling events to
-    /// `sink`.
+    /// `sink`. Generic over the sink so concrete sinks monomorphize into
+    /// the dispatch loop; `&mut dyn ProfSink` also works (`S: ?Sized`).
     ///
     /// # Errors
     ///
     /// See [`ExecError`].
-    pub fn run(&mut self, sink: &mut dyn ProfSink) -> Result<RunResult, ExecError> {
-        self.run_inner(sink, None)
+    pub fn run<S: ProfSink + ?Sized>(&mut self, sink: &mut S) -> Result<RunResult, ExecError> {
+        self.run_outer(sink, None)
     }
 
     /// Like [`Machine::run`], but additionally interrupts the program
@@ -429,40 +578,71 @@ impl<'p> Machine<'p> {
     /// # Panics
     ///
     /// Panics if `interval` is zero.
-    pub fn run_sampled(
+    pub fn run_sampled<S: ProfSink + ?Sized>(
         &mut self,
-        sink: &mut dyn ProfSink,
+        sink: &mut S,
         interval: u64,
         on_sample: &mut dyn FnMut(&[ProcId]),
     ) -> Result<RunResult, ExecError> {
         assert!(interval > 0, "sampling interval must be positive");
-        self.run_inner(sink, Some((interval, on_sample)))
+        self.run_outer(sink, Some((interval, on_sample)))
     }
 
-    fn run_inner(
+    fn run_outer<S: ProfSink + ?Sized>(
         &mut self,
-        sink: &mut dyn ProfSink,
+        sink: &mut S,
+        sampler: Option<Sampler<'_>>,
+    ) -> Result<RunResult, ExecError> {
+        // The arena is moved out for the duration of the run so the
+        // dispatch loop can hold `&DecodedProgram` alongside `&mut self`.
+        let d = std::mem::take(&mut self.decoded);
+        // Sampling is compiled out of the unsampled loop (the common
+        // case) rather than guarded per micro-op.
+        let res = if sampler.is_some() {
+            self.run_inner::<S, true>(&d, sink, sampler)
+        } else {
+            self.run_inner::<S, false>(&d, sink, None)
+        };
+        self.decoded = d;
+        res
+    }
+
+    fn run_inner<S: ProfSink + ?Sized, const SAMPLED: bool>(
+        &mut self,
+        d: &DecodedProgram,
+        sink: &mut S,
         mut sampler: Option<Sampler<'_>>,
     ) -> Result<RunResult, ExecError> {
         for seg in &self.program.data {
             self.mem.write_bytes(seg.addr, &seg.bytes);
         }
         if let Some((p0, p1)) = self.fault.preload_pics {
-            self.pics = [p0, p1];
+            self.set_pics([p0, p1]);
         }
-        self.push_frame(self.program.entry(), &[], None)?;
+        // The instruction budget and the fault plan's abort point collapse
+        // into one hoisted bound, so the loop top pays a single compare;
+        // which limit fired is disambiguated only when it trips.
+        let stop = self
+            .config
+            .max_instructions
+            .min(self.fault.abort_at_uops.unwrap_or(u64::MAX));
+        // The live frame's instruction pointer stays in this local; the
+        // frame's `ip` field is written only at call sites (the resume
+        // point) and read back on return/unwind.
+        let mut ip = self.push_frame(d, self.program.entry(), &[], None)?;
         let mut next_sample = sampler.as_ref().map(|(iv, _)| *iv).unwrap_or(u64::MAX);
 
-        while !self.frames.is_empty() {
-            if self.uops >= self.config.max_instructions {
-                return Err(ExecError::InstructionLimit);
-            }
-            if let Some(limit) = self.fault.abort_at_uops {
-                if self.uops >= limit {
-                    return Err(ExecError::FaultAbort { uops: self.uops });
+        // The program starts with one live frame and only `Ret` can
+        // retire the last one, so the loop exits from the `Ret` arm
+        // rather than re-testing the frame stack every micro-op.
+        'run: loop {
+            if self.uops() >= stop {
+                if self.uops() >= self.config.max_instructions {
+                    return Err(ExecError::InstructionLimit);
                 }
+                return Err(ExecError::FaultAbort { uops: self.uops() });
             }
-            if self.now() >= next_sample {
+            if SAMPLED && self.now() >= next_sample {
                 let (interval, on_sample) = sampler.as_mut().expect("sampling enabled");
                 let stack: Vec<ProcId> = self.frames.iter().map(|f| f.proc).collect();
                 on_sample(&stack);
@@ -472,15 +652,273 @@ impl<'p> Machine<'p> {
                 let cost = 20 + 3 * stack.len() as u64;
                 self.tick(cost);
             }
-            let frame = self.frames.last().expect("loop guard");
-            let (proc, block, ip) = (frame.proc, frame.block, frame.ip);
-            let p = self.program.procedure(proc);
-            let b = &p.blocks[block.index()];
-            if ip < b.instrs.len() {
-                self.frames.last_mut().expect("live frame").ip += 1;
-                self.exec_instr(&b.instrs[ip], sink)?;
-            } else {
-                self.exec_term(proc, block, &b.term, sink);
+            let cur = ip as usize;
+            ip += 1;
+            debug_assert!(cur < d.ops.len(), "ip escaped the micro-op arena");
+            // SAFETY: `ip` only ever holds a block's `first_op` (decode
+            // validated every transfer target, and `push_frame`/`goto`
+            // index `d.blocks` checked) plus sequential increments, and
+            // every block's last micro-op is a terminator that reassigns
+            // `ip` — so `cur` cannot walk off the arena.
+            match unsafe { d.ops.get_unchecked(cur) } {
+                MicroOp::Mov { dst, src } => {
+                    self.uop();
+                    let v = self.value(*src);
+                    self.set_reg(*dst, v);
+                }
+                MicroOp::Bin { op, dst, a, b } => {
+                    self.uop();
+                    let x = self.reg(*a);
+                    let y = self.value(*b);
+                    let v = match op {
+                        BinOp::Add => x.wrapping_add(y),
+                        BinOp::Sub => x.wrapping_sub(y),
+                        BinOp::Mul => x.wrapping_mul(y),
+                        BinOp::Div => {
+                            if y == 0 {
+                                0
+                            } else {
+                                x.wrapping_div(y)
+                            }
+                        }
+                        BinOp::Rem => {
+                            if y == 0 {
+                                0
+                            } else {
+                                x.wrapping_rem(y)
+                            }
+                        }
+                        BinOp::And => x & y,
+                        BinOp::Or => x | y,
+                        BinOp::Xor => x ^ y,
+                        BinOp::Shl => ((x as u64) << (y as u64 & 63)) as i64,
+                        BinOp::Shr => ((x as u64) >> (y as u64 & 63)) as i64,
+                        BinOp::CmpLt => i64::from(x < y),
+                        BinOp::CmpLe => i64::from(x <= y),
+                        BinOp::CmpEq => i64::from(x == y),
+                        BinOp::CmpNe => i64::from(x != y),
+                    };
+                    self.set_reg(*dst, v);
+                }
+                MicroOp::Load { dst, base, offset } => {
+                    self.uop();
+                    let addr = (self.reg(*base) as u64).wrapping_add(*offset);
+                    self.dread(addr);
+                    let v = self.mem.read_u64(addr) as i64;
+                    self.set_reg(*dst, v);
+                }
+                MicroOp::StoreR { src, base, offset } => {
+                    self.uop();
+                    let addr = (self.reg(*base) as u64).wrapping_add(*offset);
+                    let v = self.reg(*src);
+                    self.dwrite(addr);
+                    self.mem.write_u64(addr, v as u64);
+                }
+                MicroOp::StoreI { imm, base, offset } => {
+                    self.uop();
+                    let addr = (self.reg(*base) as u64).wrapping_add(*offset);
+                    self.dwrite(addr);
+                    self.mem.write_u64(addr, *imm as u64);
+                }
+                MicroOp::FConst { dst, value } => {
+                    self.uop();
+                    self.set_freg(*dst, *value);
+                }
+                MicroOp::FBin { op, dst, a, b } => {
+                    self.uop();
+                    let latency = match op {
+                        FBinOp::Div => self.config.fdiv_latency,
+                        _ => self.config.fp_latency,
+                    };
+                    self.fp_issue(latency);
+                    let x = self.freg(*a);
+                    let y = self.freg(*b);
+                    let v = match op {
+                        FBinOp::Add => x + y,
+                        FBinOp::Sub => x - y,
+                        FBinOp::Mul => x * y,
+                        FBinOp::Div => x / y,
+                    };
+                    self.set_freg(*dst, v);
+                }
+                MicroOp::FLoad { dst, base, offset } => {
+                    self.uop();
+                    let addr = (self.reg(*base) as u64).wrapping_add(*offset);
+                    self.dread(addr);
+                    let v = self.mem.read_f64(addr);
+                    self.set_freg(*dst, v);
+                }
+                MicroOp::FStore { src, base, offset } => {
+                    self.uop();
+                    let addr = (self.reg(*base) as u64).wrapping_add(*offset);
+                    let v = self.freg(*src);
+                    self.dwrite(addr);
+                    self.mem.write_f64(addr, v);
+                }
+                MicroOp::FToI { dst, src } => {
+                    self.uop();
+                    let v = self.freg(*src);
+                    self.set_reg(*dst, v as i64);
+                }
+                MicroOp::IToF { dst, src } => {
+                    self.uop();
+                    let v = self.reg(*src);
+                    self.set_freg(*dst, v as f64);
+                }
+                MicroOp::Call { callee, args, ret } => {
+                    self.uop();
+                    self.count(HwEvent::Calls, 1);
+                    self.frames.last_mut().expect("live frame").ip = ip;
+                    ip = self.call_with(d, *callee, d.args(*args), *ret)?;
+                }
+                MicroOp::CallIndirect { target, args, ret } => {
+                    self.uop();
+                    self.count(HwEvent::Calls, 1);
+                    let v = self.reg(*target);
+                    if v < 0 || v as usize >= d.procs.len() {
+                        return Err(ExecError::BadIndirectTarget { value: v });
+                    }
+                    self.frames.last_mut().expect("live frame").ip = ip;
+                    ip = self.call_with(d, ProcId(v as u32), d.args(*args), *ret)?;
+                }
+                MicroOp::SetPcr { pic0, pic1 } => {
+                    self.uop();
+                    // Materialize under the old selection, then re-anchor
+                    // the lazy counters on the new events.
+                    let cur = self.pics_now();
+                    self.pcr = (*pic0, *pic1);
+                    self.set_pics(cur);
+                }
+                MicroOp::RdPic { dst } => {
+                    self.uop();
+                    let p = self.pics_now();
+                    let v = ((p[1] as u64) << 32) | p[0] as u64;
+                    self.set_reg(*dst, v as i64);
+                }
+                MicroOp::WrPic { src } => {
+                    self.uop();
+                    let v = self.value(*src) as u64;
+                    self.set_pics([v as u32, (v >> 32) as u32]);
+                }
+                MicroOp::Setjmp { dst } => {
+                    self.uop();
+                    let f = self.frames.last().expect("live frame");
+                    let token = self.setjmps.len() as i64;
+                    self.setjmps.push((self.frames.len(), f.proc, f.block, ip));
+                    self.set_reg(*dst, token);
+                }
+                MicroOp::Longjmp { token } => {
+                    self.uop();
+                    let v = self.reg(*token);
+                    let &(depth, proc, block, resume_ip) = self
+                        .setjmps
+                        .get(usize::try_from(v).map_err(|_| ExecError::BadJumpToken { value: v })?)
+                        .ok_or(ExecError::BadJumpToken { value: v })?;
+                    // A token is stale once its frame is gone — including
+                    // when the stack regrew and a *different* procedure's
+                    // frame now sits at that depth (resuming would run
+                    // one procedure's code against another's register
+                    // window).
+                    if depth > self.frames.len() || self.frames[depth - 1].proc != proc {
+                        return Err(ExecError::BadJumpToken { value: v });
+                    }
+                    // Unwind costs a few cycles per frame popped.
+                    let popped = self.frames.len() - depth;
+                    self.uops_n(2 * popped as u32 + 2);
+                    self.frames.truncate(depth);
+                    sink.unwind(depth);
+                    let f = self.frames.last_mut().expect("setjmp frame alive");
+                    f.block = block;
+                    ip = resume_ip;
+                    let (rb, fb, proc) = (f.reg_base as usize, f.freg_base as usize, f.proc);
+                    let pm = &d.procs[proc.index()];
+                    self.regs.truncate(rb + pm.num_regs as usize);
+                    self.fregs.truncate(fb + pm.num_fregs as usize);
+                    self.reg_base = rb;
+                    self.freg_base = fb;
+                }
+                MicroOp::Prof(i) => {
+                    let op = d.prof_ops[*i as usize];
+                    self.exec_prof(op, sink);
+                }
+                MicroOp::Nop => self.uop(),
+                MicroOp::Jump { target } => {
+                    self.uop();
+                    ip = self.goto(d, *target);
+                }
+                MicroOp::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                    site_key,
+                } => {
+                    self.uop();
+                    self.count(HwEvent::Branches, 1);
+                    let is_taken = self.reg(*cond) != 0;
+                    if !self.bp.predict_and_update(*site_key, is_taken) {
+                        self.count(HwEvent::BranchMispredict, 1);
+                        self.tick(self.config.mispredict_penalty);
+                    }
+                    let t = if is_taken { *taken } else { *not_taken };
+                    ip = self.goto(d, t);
+                }
+                MicroOp::Switch {
+                    sel,
+                    targets,
+                    default,
+                    site_key,
+                } => {
+                    self.uop();
+                    self.count(HwEvent::Branches, 1);
+                    let v = self.reg(*sel);
+                    let targets = d.targets(*targets);
+                    let t = if v >= 0 && (v as usize) < targets.len() {
+                        targets[v as usize]
+                    } else {
+                        *default
+                    };
+                    // The target predictor is keyed on the original
+                    // within-procedure block id, as the tree interpreter was.
+                    let orig = d.blocks[t as usize].orig;
+                    if !self.tp.predict_and_update(*site_key, orig.0 as u64) {
+                        self.count(HwEvent::BranchMispredict, 1);
+                        self.tick(self.config.mispredict_penalty);
+                    }
+                    ip = self.goto(d, t);
+                }
+                MicroOp::Ret => {
+                    self.uop();
+                    let frame = self.frames.pop().expect("loop exits on last frame");
+                    let rb = frame.reg_base as usize;
+                    let ret_val = if self.regs.len() > rb {
+                        self.regs[rb]
+                    } else {
+                        0
+                    };
+                    self.regs.truncate(rb);
+                    self.fregs.truncate(frame.freg_base as usize);
+                    if let Some(caller) = self.frames.last() {
+                        ip = caller.ip;
+                        self.reg_base = caller.reg_base as usize;
+                        self.freg_base = caller.freg_base as usize;
+                        let caller_block = caller.block;
+                        if let Some(r) = frame.ret_to {
+                            self.set_reg(r, ret_val);
+                        }
+                        // Returning resumes the caller mid-block; its lines
+                        // are usually resident, but model the fetch of the
+                        // resume line.
+                        let addr = d.blocks[caller_block as usize].addr;
+                        if !self.icache.access(addr) {
+                            self.count(HwEvent::IcMiss, 1);
+                            self.tick(self.config.icache_miss_penalty);
+                        }
+                    } else {
+                        self.reg_base = 0;
+                        self.freg_base = 0;
+                        break 'run;
+                    }
+                }
             }
         }
 
@@ -492,256 +930,14 @@ impl<'p> Machine<'p> {
     /// partial-result recovery path reads it instead of discarding the
     /// run.
     pub fn partial_result(&self) -> RunResult {
+        let pics = self.pics_now();
         RunResult {
             metrics: self.metrics,
-            uops: self.uops,
+            uops: self.uops(),
             resident_pages: self.mem.resident_pages(),
             code_bytes: self.layout.total_bytes(),
+            pics: (pics[0], pics[1]),
         }
-    }
-
-    fn exec_instr(&mut self, instr: &Instr, sink: &mut dyn ProfSink) -> Result<(), ExecError> {
-        match instr {
-            Instr::Mov { dst, src } => {
-                self.uop();
-                let v = self.value(*src);
-                self.set_reg(*dst, v);
-            }
-            Instr::Bin { op, dst, a, b } => {
-                self.uop();
-                let x = self.reg(*a);
-                let y = self.value(*b);
-                use pp_ir::instr::BinOp::*;
-                let v = match op {
-                    Add => x.wrapping_add(y),
-                    Sub => x.wrapping_sub(y),
-                    Mul => x.wrapping_mul(y),
-                    Div => {
-                        if y == 0 {
-                            0
-                        } else {
-                            x.wrapping_div(y)
-                        }
-                    }
-                    Rem => {
-                        if y == 0 {
-                            0
-                        } else {
-                            x.wrapping_rem(y)
-                        }
-                    }
-                    And => x & y,
-                    Or => x | y,
-                    Xor => x ^ y,
-                    Shl => ((x as u64) << (y as u64 & 63)) as i64,
-                    Shr => ((x as u64) >> (y as u64 & 63)) as i64,
-                    CmpLt => i64::from(x < y),
-                    CmpLe => i64::from(x <= y),
-                    CmpEq => i64::from(x == y),
-                    CmpNe => i64::from(x != y),
-                };
-                self.set_reg(*dst, v);
-            }
-            Instr::Load { dst, base, offset } => {
-                self.uop();
-                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
-                self.dread(addr);
-                let v = self.mem.read_u64(addr) as i64;
-                self.set_reg(*dst, v);
-            }
-            Instr::Store { src, base, offset } => {
-                self.uop();
-                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
-                let v = self.value(*src);
-                self.dwrite(addr);
-                self.mem.write_u64(addr, v as u64);
-            }
-            Instr::FConst { dst, value } => {
-                self.uop();
-                self.set_freg(*dst, *value);
-            }
-            Instr::FBin { op, dst, a, b } => {
-                self.uop();
-                use pp_ir::instr::FBinOp::*;
-                let latency = match op {
-                    Div => self.config.fdiv_latency,
-                    _ => self.config.fp_latency,
-                };
-                self.fp_issue(latency);
-                let x = self.freg(*a);
-                let y = self.freg(*b);
-                let v = match op {
-                    Add => x + y,
-                    Sub => x - y,
-                    Mul => x * y,
-                    Div => x / y,
-                };
-                self.set_freg(*dst, v);
-            }
-            Instr::FLoad { dst, base, offset } => {
-                self.uop();
-                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
-                self.dread(addr);
-                let v = self.mem.read_f64(addr);
-                self.set_freg(*dst, v);
-            }
-            Instr::FStore { src, base, offset } => {
-                self.uop();
-                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
-                let v = self.freg(*src);
-                self.dwrite(addr);
-                self.mem.write_f64(addr, v);
-            }
-            Instr::FToI { dst, src } => {
-                self.uop();
-                let v = self.freg(*src);
-                self.set_reg(*dst, v as i64);
-            }
-            Instr::IToF { dst, src } => {
-                self.uop();
-                let v = self.reg(*src);
-                self.set_freg(*dst, v as f64);
-            }
-            Instr::Call {
-                target, args, ret, ..
-            } => {
-                self.uop();
-                self.count(HwEvent::Calls, 1);
-                let callee = match target {
-                    CallTarget::Direct(p) => *p,
-                    CallTarget::Indirect(r) => {
-                        let v = self.reg(*r);
-                        if v < 0 || v as usize >= self.program.procedures().len() {
-                            return Err(ExecError::BadIndirectTarget { value: v });
-                        }
-                        ProcId(v as u32)
-                    }
-                };
-                let argv: Vec<i64> = args.iter().map(|&a| self.value(a)).collect();
-                self.push_frame(callee, &argv, *ret)?;
-            }
-            Instr::SetPcr { pic0, pic1 } => {
-                self.uop();
-                self.pcr = (*pic0, *pic1);
-            }
-            Instr::RdPic { dst } => {
-                self.uop();
-                let v = ((self.pics[1] as u64) << 32) | self.pics[0] as u64;
-                self.set_reg(*dst, v as i64);
-            }
-            Instr::WrPic { src } => {
-                self.uop();
-                let v = self.value(*src) as u64;
-                self.pics = [v as u32, (v >> 32) as u32];
-            }
-            Instr::Setjmp { dst } => {
-                self.uop();
-                let frame = self.frames.last().expect("live frame");
-                let token = self.setjmps.len() as i64;
-                self.setjmps
-                    .push((self.frames.len(), frame.block, frame.ip));
-                self.set_reg(*dst, token);
-            }
-            Instr::Longjmp { token } => {
-                self.uop();
-                let v = self.reg(*token);
-                let &(depth, block, ip) = self
-                    .setjmps
-                    .get(usize::try_from(v).map_err(|_| ExecError::BadJumpToken { value: v })?)
-                    .ok_or(ExecError::BadJumpToken { value: v })?;
-                if depth > self.frames.len() {
-                    return Err(ExecError::BadJumpToken { value: v });
-                }
-                // Unwind costs a few cycles per frame popped.
-                let popped = self.frames.len() - depth;
-                self.uops_n(2 * popped as u32 + 2);
-                self.frames.truncate(depth);
-                sink.unwind(depth);
-                let f = self.frames.last_mut().expect("setjmp frame alive");
-                f.block = block;
-                f.ip = ip;
-            }
-            Instr::Prof(op) => self.exec_prof(*op, sink),
-            Instr::Nop => self.uop(),
-        }
-        Ok(())
-    }
-
-    fn exec_term(
-        &mut self,
-        proc: ProcId,
-        block: BlockId,
-        term: &Terminator,
-        _sink: &mut dyn ProfSink,
-    ) {
-        let site_key = self.layout.block_addr(proc, block);
-        match term {
-            Terminator::Jump(t) => {
-                self.uop();
-                self.goto(proc, *t);
-            }
-            Terminator::Branch {
-                cond,
-                taken,
-                not_taken,
-            } => {
-                self.uop();
-                self.count(HwEvent::Branches, 1);
-                let is_taken = self.reg(*cond) != 0;
-                if !self.bp.predict_and_update(site_key, is_taken) {
-                    self.count(HwEvent::BranchMispredict, 1);
-                    self.tick(self.config.mispredict_penalty);
-                }
-                let t = if is_taken { *taken } else { *not_taken };
-                self.goto(proc, t);
-            }
-            Terminator::Switch {
-                sel,
-                targets,
-                default,
-            } => {
-                self.uop();
-                self.count(HwEvent::Branches, 1);
-                let v = self.reg(*sel);
-                let t = if v >= 0 && (v as usize) < targets.len() {
-                    targets[v as usize]
-                } else {
-                    *default
-                };
-                if !self.tp.predict_and_update(site_key, t.0 as u64) {
-                    self.count(HwEvent::BranchMispredict, 1);
-                    self.tick(self.config.mispredict_penalty);
-                }
-                self.goto(proc, t);
-            }
-            Terminator::Ret => {
-                self.uop();
-                let frame = self.frames.pop().expect("live frame");
-                if let (Some(r), Some(_)) = (frame.ret_to, self.frames.last()) {
-                    let v = frame.regs.first().copied().unwrap_or(0);
-                    self.set_reg(r, v);
-                }
-                // Returning resumes the caller mid-block; its lines are
-                // usually resident, but model the fetch of the resume line.
-                if let Some(caller) = self.frames.last() {
-                    let addr = self.layout.block_addr(caller.proc, caller.block);
-                    if !self.icache.access(addr) {
-                        self.count(HwEvent::IcMiss, 1);
-                        self.tick(self.config.icache_miss_penalty);
-                    }
-                }
-            }
-        }
-    }
-
-    fn goto(&mut self, proc: ProcId, block: BlockId) {
-        {
-            let f = self.frames.last_mut().expect("live frame");
-            f.block = block;
-            f.ip = 0;
-        }
-        self.trace_block(proc, block);
-        self.ifetch_block(proc, block);
     }
 
     // ----- profiling ops ---------------------------------------------------
@@ -771,7 +967,8 @@ impl<'p> Machine<'p> {
     /// reordered past nearby counted micro-ops.
     fn read_pics(&mut self) -> (u32, u32) {
         self.counter_reads += 1;
-        let mut p = (self.pics[0], self.pics[1]);
+        let now = self.pics_now();
+        let mut p = (now[0], now[1]);
         if let Some(skew) = self.fault.read_skew {
             if skew.period > 0 && self.counter_reads.is_multiple_of(skew.period) {
                 p.0 = p.0.wrapping_add(skew.magnitude);
@@ -781,7 +978,7 @@ impl<'p> Machine<'p> {
         p
     }
 
-    fn exec_prof(&mut self, op: ProfOp, sink: &mut dyn ProfSink) {
+    fn exec_prof<S: ProfSink + ?Sized>(&mut self, op: ProfOp, sink: &mut S) {
         // Accesses to %pic serialize the pipeline (the required
         // read-after-write ordering of Section 3.1); charge a fixed
         // synchronization cost per counter-touching sequence.
@@ -797,7 +994,7 @@ impl<'p> Machine<'p> {
             }
             ProfOp::PicZero => {
                 self.uops_n(2);
-                self.pics = [0, 0];
+                self.set_pics([0, 0]);
             }
             ProfOp::PicSave => {
                 let pics = self.read_pics();
@@ -811,7 +1008,7 @@ impl<'p> Machine<'p> {
                 let addr = self.frame_addr();
                 self.dread(addr);
                 let saved = self.frames.last().expect("live frame").saved_pics;
-                self.pics = [saved.0, saved.1];
+                self.set_pics([saved.0, saved.1]);
             }
             ProfOp::EdgeCount { table, index } => {
                 self.uops_n(3);
@@ -864,7 +1061,7 @@ impl<'p> Machine<'p> {
                 // r = START and re-zero for the next path.
                 self.uops_n(3);
                 self.set_reg(reg, start);
-                self.pics = [0, 0];
+                self.set_pics([0, 0]);
                 sink.path_event(table, sum, Some(pics));
             }
             ProfOp::CctEnter { proc } => {
@@ -973,7 +1170,7 @@ impl<'p> Machine<'p> {
                     }
                 }
                 self.set_reg(reg, start);
-                self.pics = [0, 0];
+                self.set_pics([0, 0]);
             }
         }
     }
@@ -1301,6 +1498,39 @@ mod tests {
     }
 
     #[test]
+    fn stale_token_in_reoccupied_frame_is_rejected() {
+        // setter setjmps and returns its token; main then calls a
+        // *different* procedure at the same depth which longjmps with
+        // the stale token. Resuming would run setter's code against
+        // thrower's register window, so the machine must reject it.
+        let mut pb = ProgramBuilder::new();
+        let setter = pb.declare("setter");
+        let thrower = pb.declare("thrower");
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let tok = f.new_reg();
+        f.block(e)
+            .call(setter, vec![], Some(tok))
+            .call(thrower, vec![Operand::Reg(tok)], None)
+            .ret();
+        let main = f.finish();
+        let mut s = pb.procedure_for(setter);
+        let se = s.entry_block();
+        s.reserve_regs(1);
+        s.block(se).setjmp(Reg(0)).ret();
+        s.finish();
+        let mut t = pb.procedure_for(thrower);
+        let te = t.entry_block();
+        t.reserve_regs(1);
+        t.block(te).longjmp(Reg(0)).ret();
+        t.finish();
+        let prog = pb.finish(main);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        let err = m.run(&mut NullSink).unwrap_err();
+        assert!(matches!(err, ExecError::BadJumpToken { .. }));
+    }
+
+    #[test]
     fn instruction_limit_stops_runaway() {
         let mut pb = ProgramBuilder::new();
         let mut f = pb.procedure("main");
@@ -1343,5 +1573,37 @@ mod tests {
         // 101 instructions * 4 bytes = 404 bytes ≈ 13 lines, all cold.
         let misses = res.metrics.get(HwEvent::IcMiss);
         assert!((12..=14).contains(&misses), "misses = {misses}");
+    }
+
+    #[test]
+    fn dense_block_counts_match_control_flow() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        f.block(e).mov(i, 0i64).jump(h);
+        f.block(h).cmp_lt(c, i, 10i64).branch(c, body, x);
+        f.block(body).add(i, i, 1i64).jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let mut m = Machine::new(
+            &prog,
+            MachineConfig {
+                trace_blocks: true,
+                ..MachineConfig::default()
+            },
+        );
+        m.run(&mut NullSink).unwrap();
+        let counts = m.block_counts();
+        let pid = prog.entry();
+        assert_eq!(counts[&(pid, BlockId(0))], 1);
+        assert_eq!(counts[&(pid, BlockId(1))], 11);
+        assert_eq!(counts[&(pid, BlockId(2))], 10);
+        assert_eq!(counts[&(pid, BlockId(3))], 1);
     }
 }

@@ -1,16 +1,78 @@
 //! Sparse simulated memory.
+//!
+//! Every simulated load and store ends here, so the page lookup is one of
+//! the interpreter's hottest operations. Three things keep it cheap:
+//!
+//! * pages live in a flat `Vec` and the page-number index maps to a slot,
+//!   so the common path touches one small table entry rather than hashing
+//!   into boxed pages;
+//! * the index uses a multiplicative hasher — the std `HashMap`'s SipHash
+//!   was the single largest cost in the original load/store path;
+//! * a one-entry cache remembers the last page touched (including "known
+//!   absent"), which captures the strong page locality of stack frames,
+//!   counter tables and sequential array walks without any eviction
+//!   logic. It lives in a [`Cell`] so reads stay `&self`.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
+/// Slot value in the one-entry cache meaning "this page is unallocated".
+const ABSENT: u32 = u32::MAX;
+/// Page number no address can produce (`addr >> 12 < 2^52`), so the cache
+/// starts empty without an extra validity flag.
+const NO_PAGE: u64 = u64::MAX;
+
+/// Fibonacci-multiplicative hasher for page numbers. Page numbers are
+/// small, well-distributed integers; a single multiply mixes them far
+/// faster than a DoS-resistant hash, and simulated addresses are not
+/// attacker-controlled.
+#[derive(Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply mixes into the high bits; fold them down for the
+        // table's low-bit bucket selection.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
 /// A sparse, demand-paged 64-bit byte-addressed memory. Unwritten bytes
 /// read as zero.
-#[derive(Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    index: HashMap<u64, u32, BuildHasherDefault<PageHasher>>,
+    /// `(page number, slot)` of the last page looked up; slot [`ABSENT`]
+    /// caches a miss. Allocation always refills this, so a cached miss
+    /// can never go stale.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory {
+            pages: Vec::new(),
+            index: HashMap::default(),
+            last: Cell::new((NO_PAGE, ABSENT)),
+        }
+    }
 }
 
 impl std::fmt::Debug for Memory {
@@ -25,9 +87,45 @@ impl Memory {
         Memory::default()
     }
 
+    /// Slot of `page_no`, consulting and refilling the one-entry cache.
+    #[inline]
+    fn slot_of(&self, page_no: u64) -> Option<u32> {
+        let (cached_no, cached_slot) = self.last.get();
+        if cached_no == page_no {
+            return (cached_slot != ABSENT).then_some(cached_slot);
+        }
+        let slot = self.index.get(&page_no).copied();
+        self.last.set((page_no, slot.unwrap_or(ABSENT)));
+        slot
+    }
+
+    #[inline]
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.slot_of(addr >> PAGE_SHIFT)
+            .map(|s| &*self.pages[s as usize])
+    }
+
+    /// The page containing `addr`, allocated on demand.
+    #[inline]
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        let page_no = addr >> PAGE_SHIFT;
+        let slot = match self.slot_of(page_no) {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.pages.len()).expect("page count fits u32");
+                assert!(s != ABSENT, "page table full");
+                self.pages.push(Box::new([0u8; PAGE_SIZE]));
+                self.index.insert(page_no, s);
+                self.last.set((page_no, s));
+                s
+            }
+        };
+        &mut self.pages[slot as usize]
+    }
+
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+        match self.page(addr) {
             Some(p) => p[(addr & PAGE_MASK) as usize],
             None => 0,
         }
@@ -35,18 +133,14 @@ impl Memory {
 
     /// Writes one byte (allocating the page on demand).
     pub fn write_u8(&mut self, addr: u64, val: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = val;
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = val;
     }
 
     /// Reads a little-endian `u64` (page crossings handled).
     pub fn read_u64(&self, addr: u64) -> u64 {
         let off = (addr & PAGE_MASK) as usize;
         if off + 8 <= PAGE_SIZE {
-            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            match self.page(addr) {
                 Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
                 None => 0,
             }
@@ -64,11 +158,7 @@ impl Memory {
         let off = (addr & PAGE_MASK) as usize;
         let bytes = val.to_le_bytes();
         if off + 8 <= PAGE_SIZE {
-            let page = self
-                .pages
-                .entry(addr >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-            page[off..off + 8].copy_from_slice(&bytes);
+            self.page_mut(addr)[off..off + 8].copy_from_slice(&bytes);
         } else {
             for (i, b) in bytes.iter().enumerate() {
                 self.write_u8(addr.wrapping_add(i as u64), *b);
@@ -154,5 +244,32 @@ mod tests {
         m.write_u64(0x4000, u64::MAX);
         m.write_u8(0x4000, 0);
         assert_eq!(m.read_u64(0x4000), u64::MAX - 0xFF);
+    }
+
+    #[test]
+    fn cached_miss_is_invalidated_by_allocation() {
+        let mut m = Memory::new();
+        // Prime the one-entry cache with a miss for the page...
+        assert_eq!(m.read_u64(0x5000), 0);
+        // ...then allocate it; the write must refill the cached entry.
+        m.write_u64(0x5000, 77);
+        assert_eq!(m.read_u64(0x5000), 77);
+        // A different page's lookup evicts the entry; the first page must
+        // still read back through the index.
+        m.write_u64(0x9_0000, 88);
+        assert_eq!(m.read_u64(0x5000), 77);
+        assert_eq!(m.read_u64(0x9_0000), 88);
+    }
+
+    #[test]
+    fn many_pages_roundtrip_through_the_index() {
+        let mut m = Memory::new();
+        for i in 0..512u64 {
+            m.write_u64(i * 0x1000 + 8, i);
+        }
+        assert_eq!(m.resident_pages(), 512);
+        for i in 0..512u64 {
+            assert_eq!(m.read_u64(i * 0x1000 + 8), i);
+        }
     }
 }

@@ -1,0 +1,1154 @@
+//! The original tree-walking interpreter, kept verbatim as a differential
+//! oracle for the predecoded machine in [`crate::machine`].
+//!
+//! [`ReferenceMachine`] re-resolves the IR every step (procedure and block
+//! lookups, per-frame register `Vec`s, `dyn`-dispatched sink calls, a
+//! `HashMap` for block counts) — exactly the implementation this crate
+//! shipped before predecoding. It also carries its own copies of the
+//! memory and cache models in [`frozen`], verbatim snapshots of the
+//! pre-overhaul versions, so the machine's performance profile — not
+//! just its semantics — stays pinned to the baseline and `pp bench`
+//! measures a real before/after. The differential test suite runs every
+//! workload through both machines and asserts identical metrics, counter
+//! values, block counts and profiles; `pp bench` runs it to report the
+//! speedup. Gated behind the `reference` cargo feature so release builds
+//! of the profiler don't carry it unless they want the comparison.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use pp_ir::prof::{CounterStorage, PathTable};
+use pp_ir::{
+    BlockId, CallTarget, HwEvent, Instr, Operand, ProcId, ProfOp, Program, Reg, Terminator,
+};
+
+use self::frozen::{AssocCache, DirectMappedCache, Memory};
+use crate::config::MachineConfig;
+use crate::fault::FaultPlan;
+use crate::layout::CodeLayout;
+use crate::machine::{ExecError, RunResult};
+use crate::metrics::HwMetrics;
+use crate::predict::{BranchPredictor, TargetPredictor};
+use crate::sink::ProfSink;
+
+/// A sampling configuration: interval in cycles plus the stack consumer.
+type Sampler<'s> = (u64, &'s mut dyn FnMut(&[ProcId]));
+
+#[derive(Debug)]
+struct Frame {
+    proc: ProcId,
+    block: BlockId,
+    ip: usize,
+    regs: Vec<i64>,
+    fregs: Vec<f64>,
+    /// Register in the *caller* receiving this frame's `r0` on return.
+    ret_to: Option<Reg>,
+    /// Counter save area (host mirror of the frame's save slots).
+    saved_pics: (u32, u32),
+    /// Simulated address of the frame's profiling save area.
+    frame_addr: u64,
+}
+
+/// The simulated machine. Create one per run; [`ReferenceMachine::run`] executes the
+/// program to completion.
+pub struct ReferenceMachine<'p> {
+    program: &'p Program,
+    layout: CodeLayout,
+    config: MachineConfig,
+    mem: Memory,
+    dcache: DirectMappedCache,
+    icache: AssocCache,
+    l2: Option<AssocCache>,
+    bp: BranchPredictor,
+    tp: TargetPredictor,
+    pics: [u32; 2],
+    pcr: (HwEvent, HwEvent),
+    metrics: HwMetrics,
+    store_q: VecDeque<u64>,
+    last_retire: u64,
+    fp_busy: u64,
+    frames: Vec<Frame>,
+    /// Live setjmp tokens: `(frame depth, owning proc, block, resume
+    /// instr index)`. The proc is re-checked on longjmp (mirroring
+    /// [`Machine`](crate::Machine)) so a stale token whose depth was
+    /// re-occupied by a different procedure's frame is rejected.
+    setjmps: Vec<(usize, ProcId, BlockId, usize)>,
+    uops: u64,
+    block_counts: HashMap<(ProcId, BlockId), u64>,
+    fault: FaultPlan,
+    counter_reads: u64,
+}
+
+impl<'p> fmt::Debug for ReferenceMachine<'p> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ReferenceMachine(uops={}, depth={}, cycles={})",
+            self.uops,
+            self.frames.len(),
+            self.metrics.get(HwEvent::Cycles)
+        )
+    }
+}
+
+impl<'p> ReferenceMachine<'p> {
+    /// Prepares a machine for `program` (lays out code, loads nothing yet —
+    /// data segments are loaded by [`ReferenceMachine::run`]).
+    pub fn new(program: &'p Program, config: MachineConfig) -> ReferenceMachine<'p> {
+        ReferenceMachine {
+            program,
+            layout: CodeLayout::new(program, config.code_base),
+            config,
+            mem: Memory::new(),
+            dcache: DirectMappedCache::new(config.dcache_bytes, config.dcache_line),
+            icache: AssocCache::new(config.icache_bytes, config.icache_line, config.icache_ways),
+            l2: (config.l2_bytes > 0)
+                .then(|| AssocCache::new(config.l2_bytes, config.l2_line, config.l2_ways.max(1))),
+            bp: BranchPredictor::new(config.predictor_entries),
+            tp: TargetPredictor::new(config.predictor_entries / 4),
+            pics: [0, 0],
+            pcr: (HwEvent::Cycles, HwEvent::Insts),
+            metrics: HwMetrics::new(),
+            store_q: VecDeque::new(),
+            last_retire: 0,
+            fp_busy: 0,
+            frames: Vec::new(),
+            setjmps: Vec::new(),
+            uops: 0,
+            block_counts: HashMap::new(),
+            fault: FaultPlan::default(),
+            counter_reads: 0,
+        }
+    }
+
+    /// Installs a [`FaultPlan`] for the next [`ReferenceMachine::run`]. Injection
+    /// is deterministic: the same plan on the same program produces the
+    /// same perturbed run.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// The code layout in effect.
+    pub fn layout(&self) -> &CodeLayout {
+        &self.layout
+    }
+
+    /// Current ground-truth metrics (useful mid-run from tests).
+    pub fn metrics(&self) -> &HwMetrics {
+        &self.metrics
+    }
+
+    /// The simulated memory (inspect program results after a run).
+    pub fn memory(&self) -> &frozen::Memory {
+        &self.mem
+    }
+
+    /// The architectural counter registers `(%pic0, %pic1)`.
+    pub fn pics(&self) -> (u32, u32) {
+        (self.pics[0], self.pics[1])
+    }
+
+    /// Per-block execution counts, populated when
+    /// [`MachineConfig::trace_blocks`] is set — the oracle that the
+    /// path-profile projection tests compare against.
+    pub fn block_counts(&self) -> &HashMap<(ProcId, BlockId), u64> {
+        &self.block_counts
+    }
+
+    fn trace_block(&mut self, proc: ProcId, block: BlockId) {
+        if self.config.trace_blocks {
+            *self.block_counts.entry((proc, block)).or_insert(0) += 1;
+        }
+    }
+
+    // ----- event plumbing -------------------------------------------------
+
+    #[inline]
+    fn count(&mut self, ev: HwEvent, n: u64) {
+        self.metrics.add(ev, n);
+        if self.pcr.0 == ev {
+            self.pics[0] = self.pics[0].wrapping_add(n as u32);
+        }
+        if self.pcr.1 == ev {
+            self.pics[1] = self.pics[1].wrapping_add(n as u32);
+        }
+    }
+
+    /// Advances time by `n` cycles.
+    #[inline]
+    fn tick(&mut self, n: u64) {
+        self.count(HwEvent::Cycles, n);
+    }
+
+    /// One completed micro-op: a cycle plus an instruction.
+    #[inline]
+    fn uop(&mut self) {
+        self.uops += 1;
+        self.count(HwEvent::Insts, 1);
+        self.tick(1);
+    }
+
+    fn uops_n(&mut self, n: u32) {
+        for _ in 0..n {
+            self.uop();
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.metrics.get(HwEvent::Cycles)
+    }
+
+    /// Charges the cost of an L1 miss: a flat penalty, or an L2 lookup
+    /// when the external cache is enabled.
+    fn l1_miss(&mut self, addr: u64) {
+        self.tick(self.config.dcache_miss_penalty);
+        if let Some(l2) = self.l2.as_mut() {
+            if !l2.access(addr) {
+                self.tick(self.config.l2_miss_penalty);
+            }
+        }
+    }
+
+    /// A data read through the cache (no architectural load of memory —
+    /// callers read [`Memory`] themselves).
+    fn dread(&mut self, addr: u64) {
+        self.count(HwEvent::Loads, 1);
+        self.count(HwEvent::DcRead, 1);
+        if !self.dcache.access(addr, true) {
+            self.count(HwEvent::DcReadMiss, 1);
+            self.count(HwEvent::DcMiss, 1);
+            self.l1_miss(addr);
+        }
+    }
+
+    /// A data write through the write-through, no-allocate cache and the
+    /// store buffer.
+    fn dwrite(&mut self, addr: u64) {
+        self.count(HwEvent::Stores, 1);
+        self.count(HwEvent::DcWrite, 1);
+        let hit = self.dcache.access(addr, false);
+        let mut drain = self.config.store_drain_interval;
+        if !hit {
+            self.count(HwEvent::DcWriteMiss, 1);
+            self.count(HwEvent::DcMiss, 1);
+            // Missing stores occupy the buffer longer (and miss the L2
+            // occasionally when it is enabled).
+            drain += self.config.store_drain_interval;
+            if let Some(l2) = self.l2.as_mut() {
+                if !l2.access(addr) {
+                    drain += self.config.l2_miss_penalty / 4;
+                }
+            }
+        }
+        let now = self.now();
+        while let Some(&front) = self.store_q.front() {
+            if front <= now {
+                self.store_q.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.store_q.len() >= self.config.store_buffer_depth {
+            let front = *self.store_q.front().expect("nonempty when full");
+            let stall = front - now;
+            self.tick(stall);
+            self.count(HwEvent::StoreBufStall, stall);
+            self.store_q.pop_front();
+        }
+        let retire = self.now().max(self.last_retire) + drain;
+        self.store_q.push_back(retire);
+        self.last_retire = retire;
+    }
+
+    fn fp_issue(&mut self, latency: u64) {
+        self.count(HwEvent::FpOps, 1);
+        let now = self.now();
+        if now < self.fp_busy {
+            let stall = self.fp_busy - now;
+            self.tick(stall);
+            self.count(HwEvent::FpStall, stall);
+        }
+        self.fp_busy = self.now() + latency;
+    }
+
+    fn ifetch_block(&mut self, proc: ProcId, block: BlockId) {
+        let addr = self.layout.block_addr(proc, block);
+        let bytes = self.layout.block_bytes(proc, block);
+        let line = self.config.icache_line;
+        let mut a = addr & !(line - 1);
+        while a < addr + bytes {
+            if !self.icache.access(a) {
+                self.count(HwEvent::IcMiss, 1);
+                self.tick(self.config.icache_miss_penalty);
+            }
+            a += line;
+        }
+    }
+
+    // ----- register and operand access ------------------------------------
+
+    #[inline]
+    fn reg(&self, r: Reg) -> i64 {
+        self.frames.last().expect("live frame").regs[r.index()]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: i64) {
+        self.frames.last_mut().expect("live frame").regs[r.index()] = v;
+    }
+
+    #[inline]
+    fn freg(&self, r: pp_ir::FReg) -> f64 {
+        self.frames.last().expect("live frame").fregs[r.index()]
+    }
+
+    #[inline]
+    fn set_freg(&mut self, r: pp_ir::FReg, v: f64) {
+        self.frames.last_mut().expect("live frame").fregs[r.index()] = v;
+    }
+
+    #[inline]
+    fn value(&self, op: Operand) -> i64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn frame_addr(&self) -> u64 {
+        self.frames.last().expect("live frame").frame_addr
+    }
+
+    fn push_frame(
+        &mut self,
+        proc: ProcId,
+        args: &[i64],
+        ret_to: Option<Reg>,
+    ) -> Result<(), ExecError> {
+        if self.frames.len() >= self.config.max_call_depth {
+            return Err(ExecError::StackOverflow {
+                depth: self.frames.len(),
+            });
+        }
+        let p = self.program.procedure(proc);
+        let mut regs = vec![0i64; p.num_regs as usize];
+        for (i, &a) in args.iter().enumerate() {
+            if i < regs.len() {
+                regs[i] = a;
+            }
+        }
+        let frame_addr =
+            self.config.stack_top - (self.frames.len() as u64 + 1) * self.config.frame_bytes;
+        self.frames.push(Frame {
+            proc,
+            block: BlockId(0),
+            ip: 0,
+            regs,
+            fregs: vec![0.0; p.num_fregs as usize],
+            ret_to,
+            saved_pics: (0, 0),
+            frame_addr,
+        });
+        self.trace_block(proc, BlockId(0));
+        self.ifetch_block(proc, BlockId(0));
+        Ok(())
+    }
+
+    // ----- the run loop ----------------------------------------------------
+
+    /// Executes the program to completion, delivering profiling events to
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(&mut self, sink: &mut dyn ProfSink) -> Result<RunResult, ExecError> {
+        self.run_inner(sink, None)
+    }
+
+    /// Like [`ReferenceMachine::run`], but additionally interrupts the program
+    /// every `interval` cycles and hands the sampler the current call
+    /// stack (outermost first) — the process-sampling technique of
+    /// Goldberg and Hall that the paper's Section 7.2 compares against.
+    /// Walking an `n`-deep stack costs the sampled program `3n + 20`
+    /// cycles per sample (handler entry plus one frame-chain load per
+    /// activation).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn run_sampled(
+        &mut self,
+        sink: &mut dyn ProfSink,
+        interval: u64,
+        on_sample: &mut dyn FnMut(&[ProcId]),
+    ) -> Result<RunResult, ExecError> {
+        assert!(interval > 0, "sampling interval must be positive");
+        self.run_inner(sink, Some((interval, on_sample)))
+    }
+
+    fn run_inner(
+        &mut self,
+        sink: &mut dyn ProfSink,
+        mut sampler: Option<Sampler<'_>>,
+    ) -> Result<RunResult, ExecError> {
+        for seg in &self.program.data {
+            self.mem.write_bytes(seg.addr, &seg.bytes);
+        }
+        if let Some((p0, p1)) = self.fault.preload_pics {
+            self.pics = [p0, p1];
+        }
+        self.push_frame(self.program.entry(), &[], None)?;
+        let mut next_sample = sampler.as_ref().map(|(iv, _)| *iv).unwrap_or(u64::MAX);
+
+        while !self.frames.is_empty() {
+            if self.uops >= self.config.max_instructions {
+                return Err(ExecError::InstructionLimit);
+            }
+            if let Some(limit) = self.fault.abort_at_uops {
+                if self.uops >= limit {
+                    return Err(ExecError::FaultAbort { uops: self.uops });
+                }
+            }
+            if self.now() >= next_sample {
+                let (interval, on_sample) = sampler.as_mut().expect("sampling enabled");
+                let stack: Vec<ProcId> = self.frames.iter().map(|f| f.proc).collect();
+                on_sample(&stack);
+                next_sample = self.now() + *interval;
+                // The sample perturbs the program: handler entry plus a
+                // stack walk.
+                let cost = 20 + 3 * stack.len() as u64;
+                self.tick(cost);
+            }
+            let frame = self.frames.last().expect("loop guard");
+            let (proc, block, ip) = (frame.proc, frame.block, frame.ip);
+            let p = self.program.procedure(proc);
+            let b = &p.blocks[block.index()];
+            if ip < b.instrs.len() {
+                self.frames.last_mut().expect("live frame").ip += 1;
+                self.exec_instr(&b.instrs[ip], sink)?;
+            } else {
+                self.exec_term(proc, block, &b.term, sink);
+            }
+        }
+
+        Ok(self.partial_result())
+    }
+
+    /// The metrics accumulated so far. After [`ReferenceMachine::run`] returns an
+    /// [`ExecError`], this is the ground truth *up to the fault* — the
+    /// partial-result recovery path reads it instead of discarding the
+    /// run.
+    pub fn partial_result(&self) -> RunResult {
+        RunResult {
+            metrics: self.metrics,
+            uops: self.uops,
+            resident_pages: self.mem.resident_pages(),
+            code_bytes: self.layout.total_bytes(),
+            pics: (self.pics[0], self.pics[1]),
+        }
+    }
+
+    fn exec_instr(&mut self, instr: &Instr, sink: &mut dyn ProfSink) -> Result<(), ExecError> {
+        match instr {
+            Instr::Mov { dst, src } => {
+                self.uop();
+                let v = self.value(*src);
+                self.set_reg(*dst, v);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                self.uop();
+                let x = self.reg(*a);
+                let y = self.value(*b);
+                use pp_ir::instr::BinOp::*;
+                let v = match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    Div => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_div(y)
+                        }
+                    }
+                    Rem => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_rem(y)
+                        }
+                    }
+                    And => x & y,
+                    Or => x | y,
+                    Xor => x ^ y,
+                    Shl => ((x as u64) << (y as u64 & 63)) as i64,
+                    Shr => ((x as u64) >> (y as u64 & 63)) as i64,
+                    CmpLt => i64::from(x < y),
+                    CmpLe => i64::from(x <= y),
+                    CmpEq => i64::from(x == y),
+                    CmpNe => i64::from(x != y),
+                };
+                self.set_reg(*dst, v);
+            }
+            Instr::Load { dst, base, offset } => {
+                self.uop();
+                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
+                self.dread(addr);
+                let v = self.mem.read_u64(addr) as i64;
+                self.set_reg(*dst, v);
+            }
+            Instr::Store { src, base, offset } => {
+                self.uop();
+                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
+                let v = self.value(*src);
+                self.dwrite(addr);
+                self.mem.write_u64(addr, v as u64);
+            }
+            Instr::FConst { dst, value } => {
+                self.uop();
+                self.set_freg(*dst, *value);
+            }
+            Instr::FBin { op, dst, a, b } => {
+                self.uop();
+                use pp_ir::instr::FBinOp::*;
+                let latency = match op {
+                    Div => self.config.fdiv_latency,
+                    _ => self.config.fp_latency,
+                };
+                self.fp_issue(latency);
+                let x = self.freg(*a);
+                let y = self.freg(*b);
+                let v = match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                };
+                self.set_freg(*dst, v);
+            }
+            Instr::FLoad { dst, base, offset } => {
+                self.uop();
+                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
+                self.dread(addr);
+                let v = self.mem.read_f64(addr);
+                self.set_freg(*dst, v);
+            }
+            Instr::FStore { src, base, offset } => {
+                self.uop();
+                let addr = (self.reg(*base) as u64).wrapping_add(*offset as u64);
+                let v = self.freg(*src);
+                self.dwrite(addr);
+                self.mem.write_f64(addr, v);
+            }
+            Instr::FToI { dst, src } => {
+                self.uop();
+                let v = self.freg(*src);
+                self.set_reg(*dst, v as i64);
+            }
+            Instr::IToF { dst, src } => {
+                self.uop();
+                let v = self.reg(*src);
+                self.set_freg(*dst, v as f64);
+            }
+            Instr::Call {
+                target, args, ret, ..
+            } => {
+                self.uop();
+                self.count(HwEvent::Calls, 1);
+                let callee = match target {
+                    CallTarget::Direct(p) => *p,
+                    CallTarget::Indirect(r) => {
+                        let v = self.reg(*r);
+                        if v < 0 || v as usize >= self.program.procedures().len() {
+                            return Err(ExecError::BadIndirectTarget { value: v });
+                        }
+                        ProcId(v as u32)
+                    }
+                };
+                let argv: Vec<i64> = args.iter().map(|&a| self.value(a)).collect();
+                self.push_frame(callee, &argv, *ret)?;
+            }
+            Instr::SetPcr { pic0, pic1 } => {
+                self.uop();
+                self.pcr = (*pic0, *pic1);
+            }
+            Instr::RdPic { dst } => {
+                self.uop();
+                let v = ((self.pics[1] as u64) << 32) | self.pics[0] as u64;
+                self.set_reg(*dst, v as i64);
+            }
+            Instr::WrPic { src } => {
+                self.uop();
+                let v = self.value(*src) as u64;
+                self.pics = [v as u32, (v >> 32) as u32];
+            }
+            Instr::Setjmp { dst } => {
+                self.uop();
+                let frame = self.frames.last().expect("live frame");
+                let token = self.setjmps.len() as i64;
+                self.setjmps
+                    .push((self.frames.len(), frame.proc, frame.block, frame.ip));
+                self.set_reg(*dst, token);
+            }
+            Instr::Longjmp { token } => {
+                self.uop();
+                let v = self.reg(*token);
+                let &(depth, proc, block, ip) = self
+                    .setjmps
+                    .get(usize::try_from(v).map_err(|_| ExecError::BadJumpToken { value: v })?)
+                    .ok_or(ExecError::BadJumpToken { value: v })?;
+                // Stale tokens include a depth re-occupied by a different
+                // procedure's frame (see the optimized machine).
+                if depth > self.frames.len() || self.frames[depth - 1].proc != proc {
+                    return Err(ExecError::BadJumpToken { value: v });
+                }
+                // Unwind costs a few cycles per frame popped.
+                let popped = self.frames.len() - depth;
+                self.uops_n(2 * popped as u32 + 2);
+                self.frames.truncate(depth);
+                sink.unwind(depth);
+                let f = self.frames.last_mut().expect("setjmp frame alive");
+                f.block = block;
+                f.ip = ip;
+            }
+            Instr::Prof(op) => self.exec_prof(*op, sink),
+            Instr::Nop => self.uop(),
+        }
+        Ok(())
+    }
+
+    fn exec_term(
+        &mut self,
+        proc: ProcId,
+        block: BlockId,
+        term: &Terminator,
+        _sink: &mut dyn ProfSink,
+    ) {
+        let site_key = self.layout.block_addr(proc, block);
+        match term {
+            Terminator::Jump(t) => {
+                self.uop();
+                self.goto(proc, *t);
+            }
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                self.uop();
+                self.count(HwEvent::Branches, 1);
+                let is_taken = self.reg(*cond) != 0;
+                if !self.bp.predict_and_update(site_key, is_taken) {
+                    self.count(HwEvent::BranchMispredict, 1);
+                    self.tick(self.config.mispredict_penalty);
+                }
+                let t = if is_taken { *taken } else { *not_taken };
+                self.goto(proc, t);
+            }
+            Terminator::Switch {
+                sel,
+                targets,
+                default,
+            } => {
+                self.uop();
+                self.count(HwEvent::Branches, 1);
+                let v = self.reg(*sel);
+                let t = if v >= 0 && (v as usize) < targets.len() {
+                    targets[v as usize]
+                } else {
+                    *default
+                };
+                if !self.tp.predict_and_update(site_key, t.0 as u64) {
+                    self.count(HwEvent::BranchMispredict, 1);
+                    self.tick(self.config.mispredict_penalty);
+                }
+                self.goto(proc, t);
+            }
+            Terminator::Ret => {
+                self.uop();
+                let frame = self.frames.pop().expect("live frame");
+                if let (Some(r), Some(_)) = (frame.ret_to, self.frames.last()) {
+                    let v = frame.regs.first().copied().unwrap_or(0);
+                    self.set_reg(r, v);
+                }
+                // Returning resumes the caller mid-block; its lines are
+                // usually resident, but model the fetch of the resume line.
+                if let Some(caller) = self.frames.last() {
+                    let addr = self.layout.block_addr(caller.proc, caller.block);
+                    if !self.icache.access(addr) {
+                        self.count(HwEvent::IcMiss, 1);
+                        self.tick(self.config.icache_miss_penalty);
+                    }
+                }
+            }
+        }
+    }
+
+    fn goto(&mut self, proc: ProcId, block: BlockId) {
+        {
+            let f = self.frames.last_mut().expect("live frame");
+            f.block = block;
+            f.ip = 0;
+        }
+        self.trace_block(proc, block);
+        self.ifetch_block(proc, block);
+    }
+
+    // ----- profiling ops ---------------------------------------------------
+
+    fn table_entry_addr(&self, table: PathTable, idx: u64, stride: u64) -> u64 {
+        match table.storage {
+            CounterStorage::Array => table.base + idx * stride,
+            CounterStorage::Hashed => table.base + (idx % 1024) * stride,
+        }
+    }
+
+    fn hashed_extra(&mut self, table: PathTable) {
+        if table.storage == CounterStorage::Hashed {
+            self.uops_n(4);
+        }
+    }
+
+    fn path_sum(&self, reg: Reg) -> u64 {
+        let v = self.reg(reg);
+        debug_assert!(v >= 0, "negative path sum {v}");
+        v as u64
+    }
+
+    /// A profiling-sequence read of `(%pic0, %pic1)`, subject to the
+    /// fault plan's [`ReadSkew`](crate::ReadSkew): a perturbed read
+    /// observes both counters slightly ahead, as if the read had been
+    /// reordered past nearby counted micro-ops.
+    fn read_pics(&mut self) -> (u32, u32) {
+        self.counter_reads += 1;
+        let mut p = (self.pics[0], self.pics[1]);
+        if let Some(skew) = self.fault.read_skew {
+            if skew.period > 0 && self.counter_reads.is_multiple_of(skew.period) {
+                p.0 = p.0.wrapping_add(skew.magnitude);
+                p.1 = p.1.wrapping_add(skew.magnitude);
+            }
+        }
+        p
+    }
+
+    fn exec_prof(&mut self, op: ProfOp, sink: &mut dyn ProfSink) {
+        // Accesses to %pic serialize the pipeline (the required
+        // read-after-write ordering of Section 3.1); charge a fixed
+        // synchronization cost per counter-touching sequence.
+        if op.uses_counters() {
+            self.tick(3);
+        }
+        match op {
+            ProfOp::Spill => {
+                self.uops_n(2);
+                let fa = self.frame_addr();
+                self.dwrite(fa + 24);
+                self.dread(fa + 24);
+            }
+            ProfOp::PicZero => {
+                self.uops_n(2);
+                self.pics = [0, 0];
+            }
+            ProfOp::PicSave => {
+                let pics = self.read_pics();
+                self.uops_n(2);
+                let addr = self.frame_addr();
+                self.dwrite(addr);
+                self.frames.last_mut().expect("live frame").saved_pics = pics;
+            }
+            ProfOp::PicRestore => {
+                self.uops_n(3);
+                let addr = self.frame_addr();
+                self.dread(addr);
+                let saved = self.frames.last().expect("live frame").saved_pics;
+                self.pics = [saved.0, saved.1];
+            }
+            ProfOp::EdgeCount { table, index } => {
+                self.uops_n(3);
+                let addr = self.table_entry_addr(table, index as u64, 8);
+                self.dread(addr);
+                self.dwrite(addr);
+                sink.path_event(table, index as u64, None);
+            }
+            ProfOp::PathCount { table, reg } => {
+                let sum = self.path_sum(reg);
+                self.uops_n(3);
+                self.hashed_extra(table);
+                let addr = self.table_entry_addr(table, sum, 8);
+                self.dread(addr);
+                self.dwrite(addr);
+                sink.path_event(table, sum, None);
+            }
+            ProfOp::PathCountBackedge {
+                table,
+                reg,
+                end,
+                start,
+            } => {
+                let sum = (self.reg(reg).wrapping_add(end)) as u64;
+                self.uops_n(4);
+                self.hashed_extra(table);
+                let addr = self.table_entry_addr(table, sum, 8);
+                self.dread(addr);
+                self.dwrite(addr);
+                self.set_reg(reg, start);
+                sink.path_event(table, sum, None);
+            }
+            ProfOp::PathMetrics { table, reg } => {
+                // Capture the counters before the instrumentation's own
+                // micro-ops execute (the paper's read-at-end-of-path).
+                let pics = self.read_pics();
+                let sum = self.path_sum(reg);
+                self.path_metrics_cost(table, sum);
+                sink.path_event(table, sum, Some(pics));
+            }
+            ProfOp::PathMetricsBackedge {
+                table,
+                reg,
+                end,
+                start,
+            } => {
+                let pics = self.read_pics();
+                let sum = (self.reg(reg).wrapping_add(end)) as u64;
+                self.path_metrics_cost(table, sum);
+                // r = START and re-zero for the next path.
+                self.uops_n(3);
+                self.set_reg(reg, start);
+                self.pics = [0, 0];
+                sink.path_event(table, sum, Some(pics));
+            }
+            ProfOp::CctEnter { proc } => {
+                let t = sink.cct_enter(proc);
+                // Fast path: load slot, mask tag, compare, update lCRP,
+                // push old gCSP and current record.
+                self.uops_n(8 + t.extra_uops);
+                if t.slot_addr != 0 {
+                    self.dread(t.slot_addr);
+                }
+                let fa = self.frame_addr();
+                self.dwrite(fa + 8);
+                if t.slot_written && t.slot_addr != 0 {
+                    self.dwrite(t.slot_addr);
+                }
+                for k in 0..t.record_writes {
+                    self.dwrite(t.record_addr + 8 * k as u64);
+                }
+            }
+            ProfOp::CctCall { site, path_reg } => {
+                self.uops_n(2);
+                let prefix = path_reg.map(|r| self.path_sum(r));
+                sink.cct_call(site, prefix);
+            }
+            ProfOp::CctExit => {
+                self.uops_n(2);
+                let fa = self.frame_addr();
+                self.dread(fa + 8);
+                sink.cct_exit();
+            }
+            ProfOp::CctMetricEnter => {
+                let pics = self.read_pics();
+                // Read both counters, extract halves, store the snapshot.
+                self.uops_n(4);
+                let fa = self.frame_addr();
+                self.dwrite(fa + 16);
+                sink.cct_metric_enter(pics);
+            }
+            ProfOp::CctMetricExit => {
+                let pics = self.read_pics();
+                self.uops_n(10);
+                let fa = self.frame_addr();
+                self.dread(fa + 16);
+                let addr = sink.cct_metric_exit(pics);
+                if addr != 0 {
+                    self.dread(addr);
+                    self.dwrite(addr);
+                    self.dread(addr + 8);
+                    self.dwrite(addr + 8);
+                }
+            }
+            ProfOp::CctMetricTick => {
+                let pics = self.read_pics();
+                self.uops_n(11);
+                let fa = self.frame_addr();
+                self.dread(fa + 16);
+                self.dwrite(fa + 16);
+                let addr = sink.cct_metric_tick(pics);
+                if addr != 0 {
+                    self.dread(addr);
+                    self.dwrite(addr);
+                    self.dread(addr + 8);
+                    self.dwrite(addr + 8);
+                }
+            }
+            ProfOp::CctPathCount { reg } => {
+                let sum = self.path_sum(reg);
+                self.uops_n(8);
+                let addr = sink.cct_path_event(sum, None);
+                if addr != 0 {
+                    self.dread(addr);
+                    self.dwrite(addr);
+                }
+            }
+            ProfOp::CctPathCountBackedge { reg, end, start } => {
+                let sum = (self.reg(reg).wrapping_add(end)) as u64;
+                self.uops_n(9);
+                let addr = sink.cct_path_event(sum, None);
+                if addr != 0 {
+                    self.dread(addr);
+                    self.dwrite(addr);
+                }
+                self.set_reg(reg, start);
+            }
+            ProfOp::CctPathMetrics { reg } => {
+                let pics = self.read_pics();
+                let sum = self.path_sum(reg);
+                self.uops_n(15);
+                let addr = sink.cct_path_event(sum, Some(pics));
+                if addr != 0 {
+                    for k in 0..3 {
+                        self.dread(addr + 8 * k);
+                        self.dwrite(addr + 8 * k);
+                    }
+                }
+            }
+            ProfOp::CctPathMetricsBackedge { reg, end, start } => {
+                let pics = self.read_pics();
+                let sum = (self.reg(reg).wrapping_add(end)) as u64;
+                self.uops_n(17);
+                let addr = sink.cct_path_event(sum, Some(pics));
+                if addr != 0 {
+                    for k in 0..3 {
+                        self.dread(addr + 8 * k);
+                        self.dwrite(addr + 8 * k);
+                    }
+                }
+                self.set_reg(reg, start);
+                self.pics = [0, 0];
+            }
+        }
+    }
+
+    /// The paper's "thirteen or more instructions": rdpic + extraction +
+    /// three load/add/store triples over the 24-byte entry.
+    fn path_metrics_cost(&mut self, table: PathTable, sum: u64) {
+        self.uops_n(7);
+        self.hashed_extra(table);
+        let addr = self.table_entry_addr(table, sum, 24);
+        for k in 0..3 {
+            self.dread(addr + 8 * k);
+            self.uop();
+            self.dwrite(addr + 8 * k);
+            self.uop();
+        }
+    }
+}
+
+/// Verbatim snapshots of the memory and cache models as they shipped
+/// before the hot-path overhaul.
+///
+/// The shared [`crate::Memory`] and cache types were optimized alongside
+/// the predecoded machine (multiplicative page hashing, a last-page
+/// cache, precomputed tag shifts). Had the reference kept using them, it
+/// would silently inherit those improvements and the benchmark's
+/// before/after comparison would understate the speedup — so the
+/// baseline implementations are frozen here. They are semantically
+/// identical to the shared models (same miss sequences, same contents);
+/// the differential tests prove it by comparing full metric vectors and
+/// final memory reads across both machines.
+pub mod frozen {
+    use std::collections::HashMap;
+
+    const PAGE_SHIFT: u32 = 12;
+    const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+    const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+    const INVALID: u64 = u64::MAX;
+
+    /// The pre-overhaul sparse memory: SipHash-keyed boxed pages.
+    #[derive(Default)]
+    pub struct Memory {
+        pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    }
+
+    impl std::fmt::Debug for Memory {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Memory({} pages)", self.pages.len())
+        }
+    }
+
+    impl Memory {
+        /// Creates an empty memory.
+        pub fn new() -> Memory {
+            Memory::default()
+        }
+
+        /// Reads one byte.
+        pub fn read_u8(&self, addr: u64) -> u8 {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => p[(addr & PAGE_MASK) as usize],
+                None => 0,
+            }
+        }
+
+        /// Writes one byte (allocating the page on demand).
+        pub fn write_u8(&mut self, addr: u64, val: u8) {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[(addr & PAGE_MASK) as usize] = val;
+        }
+
+        /// Reads a little-endian `u64` (page crossings handled).
+        pub fn read_u64(&self, addr: u64) -> u64 {
+            let off = (addr & PAGE_MASK) as usize;
+            if off + 8 <= PAGE_SIZE {
+                match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                    Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
+                    None => 0,
+                }
+            } else {
+                let mut bytes = [0u8; 8];
+                for (i, b) in bytes.iter_mut().enumerate() {
+                    *b = self.read_u8(addr.wrapping_add(i as u64));
+                }
+                u64::from_le_bytes(bytes)
+            }
+        }
+
+        /// Writes a little-endian `u64` (page crossings handled).
+        pub fn write_u64(&mut self, addr: u64, val: u64) {
+            let off = (addr & PAGE_MASK) as usize;
+            let bytes = val.to_le_bytes();
+            if off + 8 <= PAGE_SIZE {
+                let page = self
+                    .pages
+                    .entry(addr >> PAGE_SHIFT)
+                    .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+                page[off..off + 8].copy_from_slice(&bytes);
+            } else {
+                for (i, b) in bytes.iter().enumerate() {
+                    self.write_u8(addr.wrapping_add(i as u64), *b);
+                }
+            }
+        }
+
+        /// Reads an `f64` stored by [`Memory::write_f64`].
+        pub fn read_f64(&self, addr: u64) -> f64 {
+            f64::from_bits(self.read_u64(addr))
+        }
+
+        /// Writes an `f64` as its bit pattern.
+        pub fn write_f64(&mut self, addr: u64, val: f64) {
+            self.write_u64(addr, val.to_bits());
+        }
+
+        /// Copies a byte slice into memory.
+        pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+            for (i, &b) in bytes.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u64), b);
+            }
+        }
+
+        /// Number of resident pages (each 4 KB).
+        pub fn resident_pages(&self) -> usize {
+            self.pages.len()
+        }
+    }
+
+    /// The pre-overhaul direct-mapped cache (tag popcount per access).
+    #[derive(Clone, Debug)]
+    pub struct DirectMappedCache {
+        line_shift: u32,
+        index_mask: u64,
+        tags: Vec<u64>,
+    }
+
+    impl DirectMappedCache {
+        /// Creates a cache of `size_bytes` with `line_bytes` lines.
+        pub fn new(size_bytes: u64, line_bytes: u64) -> DirectMappedCache {
+            assert!(size_bytes.is_power_of_two(), "size must be a power of two");
+            assert!(line_bytes.is_power_of_two(), "line must be a power of two");
+            assert!(size_bytes >= line_bytes, "cache smaller than one line");
+            let lines = size_bytes / line_bytes;
+            DirectMappedCache {
+                line_shift: line_bytes.trailing_zeros(),
+                index_mask: lines - 1,
+                tags: vec![INVALID; lines as usize],
+            }
+        }
+
+        /// Accesses `addr`; returns `true` on a hit. On a miss the line is
+        /// filled (unless `allocate` is false).
+        pub fn access(&mut self, addr: u64, allocate: bool) -> bool {
+            let line = addr >> self.line_shift;
+            let idx = (line & self.index_mask) as usize;
+            let tag = line >> self.index_mask.count_ones();
+            if self.tags[idx] == tag {
+                true
+            } else {
+                if allocate {
+                    self.tags[idx] = tag;
+                }
+                false
+            }
+        }
+    }
+
+    /// The pre-overhaul set-associative cache with LRU replacement.
+    #[derive(Clone, Debug)]
+    pub struct AssocCache {
+        line_shift: u32,
+        set_mask: u64,
+        ways: usize,
+        tags: Vec<u64>,
+        lru: Vec<u64>,
+        clock: u64,
+    }
+
+    impl AssocCache {
+        /// Creates a `ways`-way cache of `size_bytes` with `line_bytes`
+        /// lines.
+        pub fn new(size_bytes: u64, line_bytes: u64, ways: usize) -> AssocCache {
+            assert!(ways > 0, "at least one way required");
+            assert!(size_bytes.is_power_of_two() && line_bytes.is_power_of_two());
+            let sets = size_bytes / line_bytes / ways as u64;
+            assert!(sets.is_power_of_two() && sets > 0, "bad geometry");
+            AssocCache {
+                line_shift: line_bytes.trailing_zeros(),
+                set_mask: sets - 1,
+                ways,
+                tags: vec![INVALID; (sets as usize) * ways],
+                lru: vec![0; (sets as usize) * ways],
+                clock: 0,
+            }
+        }
+
+        /// Accesses `addr`; returns `true` on a hit. Misses fill the LRU
+        /// way.
+        pub fn access(&mut self, addr: u64) -> bool {
+            self.clock += 1;
+            let line = addr >> self.line_shift;
+            let set = (line & self.set_mask) as usize;
+            let tag = line >> self.set_mask.count_ones();
+            let base = set * self.ways;
+            for w in 0..self.ways {
+                if self.tags[base + w] == tag {
+                    self.lru[base + w] = self.clock;
+                    return true;
+                }
+            }
+            // Miss: evict LRU.
+            let victim = (0..self.ways)
+                .min_by_key(|&w| self.lru[base + w])
+                .expect("ways > 0");
+            self.tags[base + victim] = tag;
+            self.lru[base + victim] = self.clock;
+            false
+        }
+    }
+}

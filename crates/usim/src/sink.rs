@@ -88,6 +88,47 @@ pub trait ProfSink {
     }
 }
 
+/// Forwarding impl so a `&mut S` (including `&mut dyn ProfSink`) is
+/// itself a sink — callers can hand the generic run loop either a
+/// concrete sink (monomorphized, inlined delivery) or a trait object.
+impl<S: ProfSink + ?Sized> ProfSink for &mut S {
+    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u32, u32)>) {
+        (**self).path_event(table, sum, pics);
+    }
+
+    fn cct_enter(&mut self, proc: ProcId) -> CctTransition {
+        (**self).cct_enter(proc)
+    }
+
+    fn cct_call(&mut self, site: CallSiteId, path_prefix: Option<u64>) {
+        (**self).cct_call(site, path_prefix);
+    }
+
+    fn cct_exit(&mut self) {
+        (**self).cct_exit();
+    }
+
+    fn cct_metric_enter(&mut self, pics: (u32, u32)) {
+        (**self).cct_metric_enter(pics);
+    }
+
+    fn cct_metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+        (**self).cct_metric_exit(pics)
+    }
+
+    fn cct_metric_tick(&mut self, pics: (u32, u32)) -> u64 {
+        (**self).cct_metric_tick(pics)
+    }
+
+    fn cct_path_event(&mut self, sum: u64, pics: Option<(u32, u32)>) -> u64 {
+        (**self).cct_path_event(sum, pics)
+    }
+
+    fn unwind(&mut self, depth: usize) {
+        (**self).unwind(depth);
+    }
+}
+
 /// A sink that ignores every event.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NullSink;

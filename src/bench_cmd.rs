@@ -1,0 +1,314 @@
+//! The `pp bench` subcommand: times the simulate+CCT+paths pipeline over
+//! the workload suite and records the trajectory in `BENCH_<date>.json`.
+//!
+//! Every case runs the paper's combined configuration (path profiling
+//! *and* a calling context tree with hardware metrics) — the heaviest
+//! pipeline the profiler has, and the one the predecoded micro-op arena
+//! was built for. When the binary carries the `reference` feature (the
+//! default), each case also runs through the pre-predecoding
+//! tree-walking interpreter, so the report carries a before/after
+//! wall-time comparison of the same profile computation. Wall times are
+//! best-of-N (`--repeat`, default 3): the simulation is deterministic,
+//! so the minimum over repeats measures the pipeline, not the host's
+//! scheduling noise.
+//!
+//! The JSON file is an append-friendly trajectory: one file per day,
+//! each holding the totals plus per-case numbers, so future PRs can
+//! diff `BENCH_*.json` files to see whether the hot path got faster.
+
+use std::fmt::Write as _;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use pp::ir::HwEvent;
+use pp::profiler::{PpError, Profiler, RunConfig};
+
+/// What `pp bench` measures for one workload under one pipeline.
+#[derive(Clone, Copy, Debug, Default)]
+struct PipelineSample {
+    /// Host seconds for instrument + simulate + profile.
+    wall_s: f64,
+    /// Simulated cycles the run retired.
+    sim_cycles: u64,
+    /// Simulated bytes of the CCT heap at exit.
+    cct_bytes: u64,
+    /// CCT records allocated.
+    cct_records: u64,
+}
+
+/// One workload's measurements: the optimized pipeline and, when the
+/// `reference` feature is in, the tree-walking baseline.
+struct CaseResult {
+    name: String,
+    optimized: PipelineSample,
+    reference: Option<PipelineSample>,
+}
+
+/// Options the CLI hands to [`run_bench`].
+pub struct BenchArgs {
+    /// Workload scale factor (the suite's `--scale`).
+    pub scale: f64,
+    /// Smoke mode: tiny scale, no `BENCH_*.json` unless `--out` is given.
+    pub smoke: bool,
+    /// Explicit output path overriding `BENCH_<date>.json`.
+    pub out: Option<String>,
+    /// Events on `%pic0` / `%pic1`.
+    pub events: (HwEvent, HwEvent),
+    /// Times each case this many times and keeps the fastest wall time
+    /// per pipeline. The simulation is deterministic, so repeats differ
+    /// only by host scheduling noise — best-of-N strips it.
+    pub repeat: usize,
+}
+
+fn sample(
+    profiler: &Profiler,
+    program: &pp::ir::Program,
+    config: RunConfig,
+    run: impl FnOnce(
+        &Profiler,
+        &pp::ir::Program,
+        RunConfig,
+    ) -> Result<pp::profiler::RunOutcome, pp::profiler::ProfileError>,
+) -> Result<PipelineSample, PpError> {
+    let t = Instant::now();
+    let outcome = run(profiler, program, config).map_err(|e| PpError::Usage(e.to_string()))?;
+    let wall_s = t.elapsed().as_secs_f64();
+    if let Some(fault) = outcome.fault {
+        return Err(PpError::Aborted(fault));
+    }
+    let (cct_bytes, cct_records) = outcome
+        .cct
+        .as_ref()
+        .map(|c| (c.heap_bytes(), c.num_records() as u64))
+        .unwrap_or((0, 0));
+    Ok(PipelineSample {
+        wall_s,
+        sim_cycles: outcome.cycles(),
+        cct_bytes,
+        cct_records,
+    })
+}
+
+/// Runs `sample` `repeat` times and keeps the fastest wall time (the
+/// simulated statistics are identical across repeats — the run is
+/// deterministic).
+fn sample_best(
+    repeat: usize,
+    profiler: &Profiler,
+    program: &pp::ir::Program,
+    config: RunConfig,
+    run: impl Fn(
+        &Profiler,
+        &pp::ir::Program,
+        RunConfig,
+    ) -> Result<pp::profiler::RunOutcome, pp::profiler::ProfileError>,
+) -> Result<PipelineSample, PpError> {
+    let mut best: Option<PipelineSample> = None;
+    for _ in 0..repeat.max(1) {
+        let s = sample(profiler, program, config, &run)?;
+        best = Some(match best {
+            Some(b) if b.wall_s <= s.wall_s => b,
+            _ => s,
+        });
+    }
+    Ok(best.expect("at least one repeat"))
+}
+
+/// Runs the suite, prints the comparison table, and (outside smoke mode)
+/// writes the `BENCH_<date>.json` trajectory entry.
+///
+/// # Errors
+///
+/// Any case that fails to instrument, faults mid-run, or cannot write
+/// the JSON file fails the whole command — CI's `pp bench --smoke` step
+/// relies on that.
+pub fn run_bench(args: &BenchArgs) -> Result<(), PpError> {
+    let scale = if args.smoke {
+        args.scale.min(0.05)
+    } else {
+        args.scale
+    };
+    let cases = pp::bench::cases_at(scale);
+    let profiler = Profiler::new(pp::usim::MachineConfig::default());
+    let config = RunConfig::CombinedHw {
+        events: args.events,
+    };
+
+    // Cases run strictly one at a time, and each pipeline gets its own
+    // pass over the whole suite. Timing under `bench::par_map` would let
+    // concurrently scheduled cases steal CPU from whichever pipeline
+    // happens to be on the stopwatch, and interleaving the two pipelines
+    // per case lets the reference interpreter's much larger allocations
+    // perturb the allocator and page state that the optimized pipeline
+    // is then timed against.
+    let repeat = if args.smoke { 1 } else { args.repeat.max(1) };
+    let optimized: Vec<PipelineSample> = cases
+        .iter()
+        .map(|case| {
+            sample_best(repeat, &profiler, &case.program, config, |p, prog, c| {
+                p.run(prog, c)
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    #[cfg(feature = "reference")]
+    let reference: Vec<Option<PipelineSample>> = cases
+        .iter()
+        .map(|case| {
+            sample_best(repeat, &profiler, &case.program, config, |p, prog, c| {
+                p.run_reference(prog, c)
+            })
+            .map(Some)
+        })
+        .collect::<Result<_, _>>()?;
+    #[cfg(not(feature = "reference"))]
+    let reference: Vec<Option<PipelineSample>> = vec![None; cases.len()];
+    let results: Vec<CaseResult> = cases
+        .iter()
+        .zip(optimized)
+        .zip(reference)
+        .map(|((case, optimized), reference)| CaseResult {
+            name: case.name.clone(),
+            optimized,
+            reference,
+        })
+        .collect();
+
+    // Totals.
+    let total = |get: &dyn Fn(&CaseResult) -> f64| results.iter().map(get).sum::<f64>();
+    let opt_wall = total(&|r| r.optimized.wall_s);
+    let ref_wall = total(&|r| r.reference.map(|s| s.wall_s).unwrap_or(0.0));
+    let sim_cycles: u64 = results.iter().map(|r| r.optimized.sim_cycles).sum();
+    let peak_cct = results
+        .iter()
+        .map(|r| r.optimized.cct_bytes)
+        .max()
+        .unwrap_or(0);
+    let have_ref = results.iter().all(|r| r.reference.is_some()) && !results.is_empty();
+    let speedup = if have_ref && opt_wall > 0.0 {
+        ref_wall / opt_wall
+    } else {
+        0.0
+    };
+
+    println!("== pp bench: combined pipeline (simulate + CCT + path counters), scale {scale} ==");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>12} {:>10} {:>8}",
+        "benchmark", "wall ms", "ref ms", "speedup", "sim Mcycles", "cct KB", "records"
+    );
+    for r in &results {
+        let (ref_ms, case_speedup) = match r.reference {
+            Some(s) => (
+                format!("{:.1}", s.wall_s * 1e3),
+                format!("{:.2}x", s.wall_s / r.optimized.wall_s.max(1e-12)),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        println!(
+            "{:<14} {:>10.1} {:>10} {:>8} {:>12.1} {:>10.1} {:>8}",
+            r.name,
+            r.optimized.wall_s * 1e3,
+            ref_ms,
+            case_speedup,
+            r.optimized.sim_cycles as f64 / 1e6,
+            r.optimized.cct_bytes as f64 / 1024.0,
+            r.optimized.cct_records,
+        );
+    }
+    println!(
+        "\ntotals: {:.3}s optimized | {} | {:.1} M simulated cycles/s | peak CCT {:.1} KB",
+        opt_wall,
+        if have_ref {
+            format!("{ref_wall:.3}s reference ({speedup:.2}x speedup)")
+        } else {
+            "reference pipeline not built (enable the `reference` feature)".to_string()
+        },
+        sim_cycles as f64 / opt_wall.max(1e-12) / 1e6,
+        peak_cct as f64 / 1024.0,
+    );
+
+    let path = match (&args.out, args.smoke) {
+        (Some(p), _) => Some(p.clone()),
+        (None, true) => None,
+        (None, false) => Some(format!("BENCH_{}.json", today_utc())),
+    };
+    if let Some(path) = path {
+        let json = render_json(
+            scale, repeat, &results, opt_wall, ref_wall, sim_cycles, peak_cct,
+        );
+        std::fs::write(&path, json).map_err(|e| PpError::io(&path, e))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn render_json(
+    scale: f64,
+    repeat: usize,
+    results: &[CaseResult],
+    opt_wall: f64,
+    ref_wall: f64,
+    sim_cycles: u64,
+    peak_cct: u64,
+) -> String {
+    let have_ref = results.iter().all(|r| r.reference.is_some()) && !results.is_empty();
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"date\": \"{}\",", today_utc());
+    let _ = writeln!(s, "  \"scale\": {scale},");
+    let _ = writeln!(s, "  \"repeat\": {repeat},");
+    let _ = writeln!(
+        s,
+        "  \"pipeline\": \"combined (simulate + CCT + path counters)\","
+    );
+    let _ = writeln!(s, "  \"wall_s\": {opt_wall:.6},");
+    if have_ref {
+        let _ = writeln!(s, "  \"reference_wall_s\": {ref_wall:.6},");
+        let _ = writeln!(s, "  \"speedup\": {:.3},", ref_wall / opt_wall.max(1e-12));
+    }
+    let _ = writeln!(s, "  \"sim_cycles\": {sim_cycles},");
+    let _ = writeln!(
+        s,
+        "  \"sim_cycles_per_sec\": {:.0},",
+        sim_cycles as f64 / opt_wall.max(1e-12)
+    );
+    let _ = writeln!(s, "  \"peak_cct_bytes\": {peak_cct},");
+    s.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, ",
+            r.name, r.optimized.wall_s
+        );
+        if let Some(rs) = r.reference {
+            let _ = write!(s, "\"reference_wall_s\": {:.6}, ", rs.wall_s);
+        }
+        let _ = write!(
+            s,
+            "\"sim_cycles\": {}, \"cct_bytes\": {}, \"cct_records\": {}}}",
+            r.optimized.sim_cycles, r.optimized.cct_bytes, r.optimized.cct_records
+        );
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no external
+/// date crates in this container; the civil-from-days conversion is the
+/// standard Howard Hinnant algorithm).
+fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

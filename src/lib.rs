@@ -43,6 +43,7 @@
 //! ```
 
 pub use pp_baselines as baselines;
+pub use pp_bench as bench;
 pub use pp_cct as cct;
 pub use pp_core as profiler;
 pub use pp_instrument as instrument;

@@ -10,6 +10,9 @@
 //! pp stats <file.cct>                       stats of a saved CCT profile
 //! pp annotate <target> <proc> [options]     annotated block listing
 //! pp decode <target> <proc> <sum>           decode a path sum to blocks
+//! pp bench [--smoke] [--out FILE] [options] time the combined pipeline
+//!                                           over the suite; write
+//!                                           BENCH_<date>.json
 //!
 //! <target> is a suite benchmark name (see `pp list`) or a path to a
 //! textual IR file (see pp_ir::parse).
@@ -23,10 +26,16 @@
 //!                             DCG-style (default unlimited)
 //!   --max-uops <u64>          abort runs after this many micro-ops
 //!                             (partial profile, exit code 2)
+//!   --smoke                   (bench) tiny scale, no BENCH file unless
+//!                             --out is given — the CI execution check
+//!   --repeat <n>              (bench) time each case n times, report the
+//!                             best (default 3; noise rejection)
 //!
 //! exit codes: 0 success; 1 usage or instrumentation error; 2 run
 //! aborted, partial profile reported; 3 I/O error or corrupt profile.
 //! ```
+
+mod bench_cmd;
 
 use std::process::ExitCode;
 
@@ -43,6 +52,8 @@ struct Options {
     out: Option<String>,
     cct_cap: u32,
     max_uops: Option<u64>,
+    smoke: bool,
+    repeat: usize,
 }
 
 impl Default for Options {
@@ -55,6 +66,8 @@ impl Default for Options {
             out: None,
             cct_cap: 0,
             max_uops: None,
+            smoke: false,
+            repeat: 3,
         }
     }
 }
@@ -128,6 +141,15 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
                         .parse()
                         .map_err(|_| usage_err("bad --max-uops value (expect a u64)"))?,
                 );
+            }
+            "--smoke" => opts.smoke = true,
+            "--repeat" => {
+                opts.repeat = value("--repeat", &mut it)?
+                    .parse()
+                    .map_err(|_| usage_err("bad --repeat value (expect a positive integer)"))?;
+                if opts.repeat == 0 {
+                    return Err(usage_err("--repeat must be at least 1"));
+                }
             }
             other if other.starts_with("--") => {
                 return Err(usage_err(format!("unknown option {other}")))
@@ -579,7 +601,7 @@ fn cmd_decode(
 }
 
 fn usage() -> &'static str {
-    "usage: pp <list|run|report|hot|cct|stats|annotate|decode> [target] [options]\n\
+    "usage: pp <list|run|report|hot|cct|stats|annotate|decode|bench> [target] [options]\n\
      run `pp list` to see the benchmark suite; see crate docs for options\n\
      exit codes: 0 ok, 1 usage, 2 aborted run (partial profile), 3 i/o or corrupt profile"
 }
@@ -614,6 +636,13 @@ fn main() -> ExitCode {
             ("stats", [f]) => cmd_stats(f),
             ("annotate", [t, p]) => cmd_annotate(t, p, &opts),
             ("decode", [t, p, s]) => cmd_decode(t, p, s, &opts),
+            ("bench", []) => bench_cmd::run_bench(&bench_cmd::BenchArgs {
+                scale: opts.scale,
+                smoke: opts.smoke,
+                out: opts.out.clone(),
+                events: opts.events,
+                repeat: opts.repeat,
+            }),
             _ => Err(PpError::Usage(usage().to_string())),
         }
     };

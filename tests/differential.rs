@@ -1,0 +1,105 @@
+//! Differential testing: the predecoded micro-op interpreter and the
+//! tree-walking reference interpreter are two implementations of the
+//! same machine, and every profile they produce must be bit-identical —
+//! metrics, `%pic` registers, flow-profile bytes, CCT bytes, and
+//! per-block execution counts. This is what licenses every hot-path
+//! optimization in the predecoded pipeline: any divergence the
+//! optimizations introduce fails here, over the whole workload suite
+//! and every profiling configuration.
+
+#![cfg(feature = "reference")]
+
+use pp::ir::HwEvent;
+use pp::profiler::{Profiler, RunConfig};
+use pp::usim::{Machine, MachineConfig, NullSink};
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+
+/// Every profiling configuration the profiler supports, including the
+/// uninstrumented base.
+fn configs() -> Vec<RunConfig> {
+    vec![
+        RunConfig::Base,
+        RunConfig::EdgeFreq,
+        RunConfig::FlowFreq,
+        RunConfig::FlowHw { events: EVENTS },
+        RunConfig::ContextHw { events: EVENTS },
+        RunConfig::ContextFlow,
+        RunConfig::CombinedHw { events: EVENTS },
+    ]
+}
+
+fn flow_bytes(flow: &pp::profiler::FlowProfile) -> Vec<u8> {
+    let mut v = Vec::new();
+    flow.write_to(&mut v).expect("serialize flow profile");
+    v
+}
+
+fn cct_bytes(cct: &pp::cct::CctRuntime) -> Vec<u8> {
+    let mut v = Vec::new();
+    pp::cct::write_cct(cct, &mut v).expect("serialize cct");
+    v
+}
+
+/// The tentpole guarantee: for every workload in the suite and every
+/// configuration, both interpreters produce the same machine state and
+/// the same serialized profiles, byte for byte.
+#[test]
+fn every_profile_is_bit_identical_across_interpreters() {
+    let profiler = Profiler::default();
+    for w in pp::workloads::suite(0.05) {
+        for config in configs() {
+            let ctx = format!("{} under {config}", w.name);
+            let a = profiler
+                .run(&w.program, config)
+                .unwrap_or_else(|e| panic!("optimized {ctx}: {e}"));
+            let b = profiler
+                .run_reference(&w.program, config)
+                .unwrap_or_else(|e| panic!("reference {ctx}: {e}"));
+            assert!(a.fault.is_none(), "optimized {ctx} faulted");
+            assert!(b.fault.is_none(), "reference {ctx} faulted");
+
+            assert_eq!(a.machine.metrics, b.machine.metrics, "metrics: {ctx}");
+            assert_eq!(a.machine.pics, b.machine.pics, "%pic registers: {ctx}");
+            assert_eq!(a.machine.uops, b.machine.uops, "uops: {ctx}");
+            assert_eq!(
+                a.machine.resident_pages, b.machine.resident_pages,
+                "resident pages: {ctx}"
+            );
+            assert_eq!(
+                a.machine.code_bytes, b.machine.code_bytes,
+                "code bytes: {ctx}"
+            );
+
+            assert_eq!(a.flow.is_some(), b.flow.is_some(), "flow presence: {ctx}");
+            if let (Some(fa), Some(fb)) = (&a.flow, &b.flow) {
+                assert_eq!(flow_bytes(fa), flow_bytes(fb), "flow bytes: {ctx}");
+            }
+            assert_eq!(a.cct.is_some(), b.cct.is_some(), "cct presence: {ctx}");
+            if let (Some(ca), Some(cb)) = (&a.cct, &b.cct) {
+                assert_eq!(cct_bytes(ca), cct_bytes(cb), "cct bytes: {ctx}");
+            }
+        }
+    }
+}
+
+/// Control flow itself is identical: with block tracing on, both
+/// interpreters count every `(procedure, block)` execution the same.
+#[test]
+fn block_counts_are_identical_across_interpreters() {
+    let config = MachineConfig {
+        trace_blocks: true,
+        ..MachineConfig::default()
+    };
+    for w in pp::workloads::suite(0.05) {
+        let mut m = Machine::new(&w.program, config);
+        m.run(&mut NullSink)
+            .unwrap_or_else(|e| panic!("optimized {}: {e}", w.name));
+        let mut r = pp::usim::reference::ReferenceMachine::new(&w.program, config);
+        r.run(&mut NullSink)
+            .unwrap_or_else(|e| panic!("reference {}: {e}", w.name));
+        // The reference records only executed blocks; the dense view
+        // filters zero counts, so the maps line up key for key.
+        assert_eq!(&m.block_counts(), r.block_counts(), "{}", w.name);
+    }
+}
