@@ -57,8 +57,8 @@ pub use config::{CctConfig, ProcInfo};
 pub use dcg::DynCallGraph;
 pub use dct::{DctNodeId, DynCallTree};
 pub use runtime::{
-    CallRecordView, CctRuntime, EnterEffect, EnterOutcome, PathCounts, RecordId, SlotView,
-    SumHasher, SumMap,
+    CallRecordView, CctRuntime, EnterEffect, EnterOutcome, PathCounts, PathTableStats, RecordId,
+    SlotView, SumHasher, SumMap,
 };
 pub use serialize::{read_cct, read_envelope, write_cct, write_envelope, SerializeError};
 pub use stats::CctStats;

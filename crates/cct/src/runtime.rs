@@ -114,6 +114,28 @@ pub struct PathCounts {
     pub m1: u64,
 }
 
+/// Aggregate occupancy of the per-record path-counter stores, reported
+/// by [`CctRuntime::path_table_stats`]. Dense arrays report touched
+/// cells vs. capacity; hashed tables report entries, simulated buckets
+/// in use (of the machine's 1024), and the longest simulated chain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathTableStats {
+    /// Records whose path counters are a dense array.
+    pub dense_tables: u64,
+    /// Total dense cells allocated.
+    pub dense_capacity: u64,
+    /// Dense cells with at least one recorded path.
+    pub dense_touched: u64,
+    /// Records whose path counters are a hash table.
+    pub hashed_tables: u64,
+    /// Total entries across hashed tables.
+    pub hashed_entries: u64,
+    /// Simulated hash buckets (key % 1024) with at least one entry.
+    pub hashed_buckets_used: u64,
+    /// Longest simulated bucket chain across all hashed tables.
+    pub hashed_max_chain: u64,
+}
+
 /// Storage for one record's per-path counters (combined mode).
 ///
 /// Section 4.2 of the paper sizes the counter area per procedure: when
@@ -702,6 +724,41 @@ impl CctRuntime {
     /// arrays).
     pub fn heap_bytes(&self) -> u64 {
         self.heap_top - self.config.heap_base
+    }
+
+    /// Aggregate occupancy statistics over every record's per-path
+    /// counter store — the observability layer's view of how the
+    /// Section 4.2 dense-array / hash-table split is behaving on a real
+    /// workload.
+    pub fn path_table_stats(&self) -> PathTableStats {
+        /// Simulated bucket count of a hashed path table (the machine
+        /// addresses hashed cells as `key % 1024`).
+        const SIM_BUCKETS: u64 = 1024;
+        let mut stats = PathTableStats::default();
+        for rec in &self.records {
+            let Some(store) = &rec.paths else { continue };
+            match store {
+                PathStore::Dense(arr) => {
+                    stats.dense_tables += 1;
+                    stats.dense_capacity += arr.len() as u64;
+                    stats.dense_touched +=
+                        arr.iter().filter(|c| **c != PathCounts::default()).count() as u64;
+                }
+                PathStore::Hashed(map) => {
+                    stats.hashed_tables += 1;
+                    stats.hashed_entries += map.len() as u64;
+                    let mut chains = [0u64; SIM_BUCKETS as usize];
+                    for &key in map.keys() {
+                        chains[(key % SIM_BUCKETS) as usize] += 1;
+                    }
+                    for &len in chains.iter().filter(|&&l| l > 0) {
+                        stats.hashed_buckets_used += 1;
+                        stats.hashed_max_chain = stats.hashed_max_chain.max(len);
+                    }
+                }
+            }
+        }
+        stats
     }
 
     /// The configuration this runtime was built with.

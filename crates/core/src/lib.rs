@@ -44,6 +44,7 @@ pub mod analysis;
 pub mod annotate;
 pub mod error;
 pub mod experiment;
+pub mod observe;
 pub mod profile;
 pub mod profiler;
 pub mod report;

@@ -1,0 +1,190 @@
+//! Post-run derivation of internals metrics from a finished profile.
+//!
+//! The hot path records only what it must (see `sink_impl`); everything
+//! derivable after the run — simulator rates, CCT shape, path-table
+//! occupancy, serialized profile sizes, which injected faults fired —
+//! is computed here from the [`RunOutcome`] and pushed into a
+//! [`Recorder`]. Every metric recorded by this module is a function of
+//! simulated state only, so two identical runs (on either interpreter)
+//! produce byte-identical [`Registry`](pp_obs::Registry) snapshots; the
+//! differential suite asserts exactly that. Wall-clock quantities live
+//! in the tracing layer instead.
+
+use pp_ir::HwEvent;
+use pp_obs::Recorder;
+
+use crate::profiler::RunOutcome;
+
+/// Records the full post-run metric set for `outcome` into `recorder`:
+/// simulator counters and rates, CCT shape, path-table occupancy,
+/// serialized profile sizes, and the run's fault log.
+pub fn record_outcome<R: Recorder>(recorder: &mut R, outcome: &RunOutcome) {
+    record_machine(recorder, outcome);
+    record_profile(recorder, outcome);
+    record_faults(recorder, outcome);
+}
+
+/// Simulator internals: retired µops, cycle count, cache hit rates,
+/// predictor accuracy, stall cycles, code and memory footprint.
+fn record_machine<R: Recorder>(recorder: &mut R, outcome: &RunOutcome) {
+    let m = &outcome.machine.metrics;
+    recorder.counter("sim.uops", outcome.machine.uops);
+    recorder.counter("sim.cycles", m.get(HwEvent::Cycles));
+    recorder.counter("sim.store_buf_stall_cycles", m.get(HwEvent::StoreBufStall));
+    recorder.counter("sim.fp_stall_cycles", m.get(HwEvent::FpStall));
+    recorder.gauge("sim.code_bytes", outcome.machine.code_bytes as f64);
+    recorder.gauge("sim.resident_pages", outcome.machine.resident_pages as f64);
+
+    let rate = |hit: u64, total: u64| {
+        if total == 0 {
+            1.0
+        } else {
+            hit as f64 / total as f64
+        }
+    };
+    let dc_accesses = m.get(HwEvent::DcRead) + m.get(HwEvent::DcWrite);
+    recorder.gauge(
+        "sim.dcache.hit_rate",
+        rate(
+            dc_accesses.saturating_sub(m.get(HwEvent::DcMiss)),
+            dc_accesses,
+        ),
+    );
+    // The I-cache has no access counter; misses per retired µop is the
+    // stable normalization.
+    recorder.gauge(
+        "sim.icache.miss_per_uop",
+        rate(m.get(HwEvent::IcMiss), outcome.machine.uops.max(1)).min(1.0),
+    );
+    recorder.gauge(
+        "sim.predictor.accuracy",
+        rate(
+            m.get(HwEvent::Branches)
+                .saturating_sub(m.get(HwEvent::BranchMispredict)),
+            m.get(HwEvent::Branches),
+        ),
+    );
+}
+
+/// Profile-structure shape: flow table fill, CCT size and degradation
+/// counters, dense-vs-hashed path-table occupancy, and serialized
+/// profile sizes (byte counts are deterministic; serialization *time*
+/// is a tracing span, not a metric).
+fn record_profile<R: Recorder>(recorder: &mut R, outcome: &RunOutcome) {
+    if let Some(flow) = &outcome.flow {
+        recorder.gauge("flow.procs", flow.num_procs() as f64);
+        recorder.counter("flow.paths_recorded", flow.iter_paths().count() as u64);
+        let mut bytes = Vec::new();
+        if flow.write_to(&mut bytes).is_ok() {
+            recorder.counter("serialize.flow.bytes", bytes.len() as u64);
+        }
+    }
+    if let Some(cct) = &outcome.cct {
+        recorder.counter("cct.records", cct.num_records() as u64);
+        recorder.counter("cct.overflow_enters", cct.overflow_enters());
+        recorder.counter("cct.overflow_records", cct.num_overflow_records() as u64);
+        recorder.counter("cct.heap_bytes", cct.heap_bytes());
+        let p = cct.path_table_stats();
+        recorder.counter("path.dense.tables", p.dense_tables);
+        recorder.counter("path.dense.capacity", p.dense_capacity);
+        recorder.counter("path.dense.touched", p.dense_touched);
+        if p.dense_capacity > 0 {
+            recorder.gauge(
+                "path.dense.occupancy",
+                p.dense_touched as f64 / p.dense_capacity as f64,
+            );
+        }
+        recorder.counter("path.hashed.tables", p.hashed_tables);
+        recorder.counter("path.hashed.entries", p.hashed_entries);
+        recorder.counter("path.hashed.buckets_used", p.hashed_buckets_used);
+        recorder.counter("path.hashed.max_chain", p.hashed_max_chain);
+        if p.hashed_buckets_used > 0 {
+            recorder.gauge(
+                "path.hashed.avg_chain",
+                p.hashed_entries as f64 / p.hashed_buckets_used as f64,
+            );
+        }
+        let mut bytes = Vec::new();
+        if pp_cct::write_cct(cct, &mut bytes).is_ok() {
+            recorder.counter("serialize.cct.bytes", bytes.len() as u64);
+        }
+    }
+}
+
+/// Which injected faults actually fired (satellite of the fault-injection
+/// harness: tests assert *which* fault fired, not just the degraded
+/// outcome).
+fn record_faults<R: Recorder>(recorder: &mut R, outcome: &RunOutcome) {
+    let log = outcome.machine.fault_log;
+    if log.pics_preloaded {
+        recorder.counter("fault.pics_preloaded", 1);
+    }
+    if log.skewed_reads > 0 {
+        recorder.counter("fault.skewed_reads", log.skewed_reads);
+    }
+    if let Some(uops) = log.aborted_at {
+        recorder.counter("fault.aborted", 1);
+        recorder.gauge("fault.aborted_at_uops", uops as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{Profiler, RunConfig};
+    use pp_obs::Registry;
+
+    fn workload() -> pp_ir::Program {
+        let spec = pp_workloads::spec_for("099.go")
+            .expect("known")
+            .scaled(0.05);
+        pp_workloads::build(&spec)
+    }
+
+    #[test]
+    fn observed_run_fills_registry() {
+        let prog = workload();
+        let profiler = Profiler::default();
+        let mut reg = Registry::new();
+        let outcome = profiler
+            .run_observed(
+                &prog,
+                RunConfig::CombinedHw {
+                    events: (pp_ir::HwEvent::Insts, pp_ir::HwEvent::DcMiss),
+                },
+                &mut reg,
+            )
+            .expect("run");
+        record_outcome(&mut reg, &outcome);
+        assert!(reg.counter_value("sim.uops") > 0);
+        assert!(reg.counter_value("cct.records") > 0);
+        assert!(
+            reg.counter_value("cct.enter.fast_hit") + reg.counter_value("cct.enter.new_record") > 0
+        );
+        assert!(reg.counter_value("serialize.cct.bytes") > 0);
+        let dc = reg.gauge_value("sim.dcache.hit_rate").expect("gauge");
+        assert!((0.0..=1.0).contains(&dc));
+        assert_eq!(reg.counter_value("fault.aborted"), 0);
+    }
+
+    #[test]
+    fn fault_log_surfaces_as_metrics() {
+        let prog = workload();
+        let plan = pp_usim::FaultPlan::default()
+            .preload_pics(u32::MAX - 10, u32::MAX - 5)
+            .abort_at_uops(20_000);
+        let profiler = Profiler::default().with_fault_plan(plan);
+        let mut reg = Registry::new();
+        let outcome = profiler
+            .run_observed(&prog, RunConfig::FlowFreq, &mut reg)
+            .expect("instrumentation succeeds");
+        record_outcome(&mut reg, &outcome);
+        assert!(!outcome.is_complete());
+        assert_eq!(reg.counter_value("fault.pics_preloaded"), 1);
+        assert_eq!(reg.counter_value("fault.aborted"), 1);
+        assert_eq!(
+            reg.gauge_value("fault.aborted_at_uops"),
+            Some(outcome.machine.fault_log.aborted_at.unwrap() as f64)
+        );
+    }
+}

@@ -5,6 +5,7 @@ use std::fmt;
 use pp_cct::{CctConfig, CctRuntime, ProcInfo};
 use pp_instrument::{instrument_program, InstrumentError, InstrumentOptions, Instrumented, Mode};
 use pp_ir::{HwEvent, Program};
+use pp_obs::{NoopRecorder, Recorder};
 use pp_usim::{ExecError, FaultPlan, Machine, MachineConfig, NullSink, RunResult};
 
 use crate::profile::FlowProfile;
@@ -250,9 +251,31 @@ impl Profiler {
     /// `fault` is set and whose report holds the profile collected up to
     /// the fault.
     pub fn run(&self, program: &Program, config: RunConfig) -> Result<RunOutcome, ProfileError> {
+        self.run_observed(program, config, NoopRecorder)
+    }
+
+    /// Like [`Profiler::run`], but feeding internals metrics (CCT enter
+    /// outcomes, list-scan lengths, path events, …) into `recorder` —
+    /// typically `&mut pp_obs::Registry`. `pp stats` and the metrics
+    /// determinism tests use this; [`Profiler::run`] itself passes
+    /// [`NoopRecorder`], which monomorphizes the recording away.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Profiler::run`].
+    pub fn run_observed<R: Recorder>(
+        &self,
+        program: &Program,
+        config: RunConfig,
+        recorder: R,
+    ) -> Result<RunOutcome, ProfileError> {
         let Some(mode) = config.mode() else {
-            let mut machine = Machine::new(program, self.machine_config);
+            let mut machine = {
+                let _span = pp_obs::span!("decode");
+                Machine::new(program, self.machine_config)
+            };
             machine.inject_faults(self.fault_plan);
+            let _span = pp_obs::span!("simulate");
             let (machine, fault) = match machine.run(&mut NullSink) {
                 Ok(r) => (r, None),
                 Err(e) => (machine.partial_result(), Some(e)),
@@ -271,7 +294,7 @@ impl Profiler {
 
         let (pic0, pic1) = config.events();
         let options = InstrumentOptions::new(mode).with_events(pic0, pic1);
-        self.run_instrumented(program, config, options)
+        self.run_with(program, config, options, None, recorder)
     }
 
     /// Like [`Profiler::run`] but with full control over instrumentation
@@ -304,11 +327,26 @@ impl Profiler {
         options: InstrumentOptions,
         cct_override: Option<CctConfig>,
     ) -> Result<RunOutcome, ProfileError> {
-        let (inst, mut sink) = self.profile_parts(program, options, cct_override)?;
-        let mut machine = Machine::new(&inst.program, self.machine_config);
+        self.run_with(program, config, options, cct_override, NoopRecorder)
+    }
+
+    fn run_with<R: Recorder>(
+        &self,
+        program: &Program,
+        config: RunConfig,
+        options: InstrumentOptions,
+        cct_override: Option<CctConfig>,
+        recorder: R,
+    ) -> Result<RunOutcome, ProfileError> {
+        let (inst, mut sink) = self.profile_parts(program, options, cct_override, recorder)?;
+        let mut machine = {
+            let _span = pp_obs::span!("decode");
+            Machine::new(&inst.program, self.machine_config)
+        };
         machine.inject_faults(self.fault_plan);
         // On a machine fault the sink still holds everything collected up
         // to the fault; recover it rather than discarding the run.
+        let _span = pp_obs::span!("simulate");
         let (machine, fault) = match machine.run(&mut sink) {
             Ok(r) => (r, None),
             Err(e) => (machine.partial_result(), Some(e)),
@@ -327,13 +365,15 @@ impl Profiler {
 
     /// Instruments `program` and allocates the profile state the sink
     /// will populate — everything a run needs except the machine itself.
-    fn profile_parts(
+    fn profile_parts<R: Recorder>(
         &self,
         program: &Program,
         options: InstrumentOptions,
         cct_override: Option<CctConfig>,
-    ) -> Result<(Instrumented, PpSink), ProfileError> {
+        recorder: R,
+    ) -> Result<(Instrumented, PpSink<R>), ProfileError> {
         let mode = options.mode;
+        let _span = pp_obs::span!("instrument");
         let inst = instrument_program(program, options)?;
 
         let flow = matches!(mode, Mode::FlowFreq | Mode::FlowHw | Mode::EdgeFreq)
@@ -364,7 +404,14 @@ impl Profiler {
             CctRuntime::new(cct_config, procs)
         });
 
-        Ok((inst, PpSink { flow, cct }))
+        Ok((
+            inst,
+            PpSink {
+                flow,
+                cct,
+                recorder,
+            },
+        ))
     }
 
     /// Like [`Profiler::run`], but executing on the pre-predecoding
@@ -383,11 +430,29 @@ impl Profiler {
         program: &Program,
         config: RunConfig,
     ) -> Result<RunOutcome, ProfileError> {
+        self.run_reference_observed(program, config, NoopRecorder)
+    }
+
+    /// [`Profiler::run_reference`] with internals metrics fed into
+    /// `recorder`, mirroring [`Profiler::run_observed`] — the metrics
+    /// determinism test drives both and asserts identical snapshots.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Profiler::run`].
+    #[cfg(feature = "reference")]
+    pub fn run_reference_observed<R: Recorder>(
+        &self,
+        program: &Program,
+        config: RunConfig,
+        recorder: R,
+    ) -> Result<RunOutcome, ProfileError> {
         use pp_usim::reference::ReferenceMachine;
 
         let Some(mode) = config.mode() else {
             let mut machine = ReferenceMachine::new(program, self.machine_config);
             machine.inject_faults(self.fault_plan);
+            let _span = pp_obs::span!("simulate.reference");
             let (machine, fault) = match machine.run(&mut NullSink) {
                 Ok(r) => (r, None),
                 Err(e) => (machine.partial_result(), Some(e)),
@@ -406,9 +471,10 @@ impl Profiler {
 
         let (pic0, pic1) = config.events();
         let options = InstrumentOptions::new(mode).with_events(pic0, pic1);
-        let (inst, mut sink) = self.profile_parts(program, options, None)?;
+        let (inst, mut sink) = self.profile_parts(program, options, None, recorder)?;
         let mut machine = ReferenceMachine::new(&inst.program, self.machine_config);
         machine.inject_faults(self.fault_plan);
+        let _span = pp_obs::span!("simulate.reference");
         let (machine, fault) = match machine.run(&mut sink) {
             Ok(r) => (r, None),
             Err(e) => (machine.partial_result(), Some(e)),

@@ -1,26 +1,38 @@
 //! The profiling sink wiring the machine to the profile structures.
+//!
+//! `PpSink` is generic over a [`Recorder`] so the observability layer
+//! can watch the CCT's enter-path behavior (fast hits vs. list scans
+//! vs. new records, ancestor-walk depths, move-to-front promotions)
+//! without touching the hot loop when it is off: the default
+//! [`NoopRecorder`] monomorphizes every `recorder.*` call away, leaving
+//! the unobserved sink byte-for-byte what it was before this layer
+//! existed.
 
 use pp_cct::{CctRuntime, EnterOutcome};
 use pp_ir::prof::PathTable;
 use pp_ir::{CallSiteId, ProcId};
+use pp_obs::{NoopRecorder, Recorder};
 use pp_usim::{CctTransition, ProfSink};
 
 use crate::profile::FlowProfile;
 
-/// The real sink: flow counter tables plus (optionally) a CCT runtime.
+/// The real sink: flow counter tables plus (optionally) a CCT runtime,
+/// plus a (default no-op) recorder for internals metrics.
 #[derive(Debug, Default)]
-pub(crate) struct PpSink {
+pub(crate) struct PpSink<R: Recorder = NoopRecorder> {
     pub(crate) flow: Option<FlowProfile>,
     pub(crate) cct: Option<CctRuntime>,
+    pub(crate) recorder: R,
 }
 
 fn widen(pics: Option<(u32, u32)>) -> Option<(u64, u64)> {
     pics.map(|(a, b)| (a as u64, b as u64))
 }
 
-impl ProfSink for PpSink {
+impl<R: Recorder> ProfSink for PpSink<R> {
     fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u32, u32)>) {
         if let Some(flow) = &mut self.flow {
+            self.recorder.counter("flow.path_events", 1);
             flow.record(table.proc, sum, widen(pics));
         }
     }
@@ -31,13 +43,41 @@ impl ProfSink for PpSink {
         };
         let eff = cct.enter(proc.0);
         let (extra_uops, slot_written, record_writes) = match eff.outcome {
-            EnterOutcome::FastHit => (0, false, 0),
-            EnterOutcome::ListHit { scanned } => (2 * scanned, true, 0),
-            EnterOutcome::NewRecord { ancestors_walked } => (10 + 2 * ancestors_walked, true, 4),
-            EnterOutcome::RecursiveBackedge { ancestors_walked } => (2 * ancestors_walked, true, 0),
+            EnterOutcome::FastHit => {
+                self.recorder.counter("cct.enter.fast_hit", 1);
+                (0, false, 0)
+            }
+            EnterOutcome::ListHit { scanned } => {
+                self.recorder.counter("cct.enter.list_hit", 1);
+                self.recorder
+                    .observe("cct.enter.list_scan", u64::from(scanned));
+                // The hit cell is moved to the list head whenever it
+                // wasn't already there.
+                if scanned > 1 {
+                    self.recorder.counter("cct.enter.mtf_promotions", 1);
+                }
+                (2 * scanned, true, 0)
+            }
+            EnterOutcome::NewRecord { ancestors_walked } => {
+                self.recorder.counter("cct.enter.new_record", 1);
+                self.recorder
+                    .observe("cct.enter.ancestor_walk", u64::from(ancestors_walked));
+                (10 + 2 * ancestors_walked, true, 4)
+            }
+            EnterOutcome::RecursiveBackedge { ancestors_walked } => {
+                self.recorder.counter("cct.enter.recursive", 1);
+                self.recorder
+                    .observe("cct.enter.ancestor_walk", u64::from(ancestors_walked));
+                (2 * ancestors_walked, true, 0)
+            }
             // Cap hit: the failed ancestor walk plus a hash probe for the
             // shared overflow record.
-            EnterOutcome::Overflow { ancestors_walked } => (4 + 2 * ancestors_walked, true, 0),
+            EnterOutcome::Overflow { ancestors_walked } => {
+                self.recorder.counter("cct.enter.overflow", 1);
+                self.recorder
+                    .observe("cct.enter.ancestor_walk", u64::from(ancestors_walked));
+                (4 + 2 * ancestors_walked, true, 0)
+            }
         };
         CctTransition {
             extra_uops,
@@ -82,13 +122,17 @@ impl ProfSink for PpSink {
 
     fn cct_path_event(&mut self, sum: u64, pics: Option<(u32, u32)>) -> u64 {
         match &mut self.cct {
-            Some(cct) => cct.path_event(sum, widen(pics)),
+            Some(cct) => {
+                self.recorder.counter("cct.path_events", 1);
+                cct.path_event(sum, widen(pics))
+            }
             None => 0,
         }
     }
 
     fn unwind(&mut self, depth: usize) {
         if let Some(cct) = &mut self.cct {
+            self.recorder.counter("cct.unwinds", 1);
             cct.unwind_to(depth);
         }
     }

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # pp-obs — the profiler watching itself
+//!
+//! The paper's core argument is that flow- and context-sensitive
+//! profiling is cheap enough to leave on everywhere; this crate gives
+//! the reproduction the machinery to *demonstrate* that about its own
+//! pipeline. Three layers, all in-tree and dependency-free (the build
+//! container is offline):
+//!
+//! * [`trace`] — lightweight wall-clock **spans** ([`span!`]) recorded
+//!   into a bounded per-thread ring buffer, dumpable as Chrome
+//!   `trace_event` JSON (load in `chrome://tracing` / Perfetto) or as
+//!   collapsed stacks (flamegraph input).
+//! * [`metrics`] — an internals **metrics registry**: monotonic
+//!   counters, gauges, and fixed-bucket histograms behind the
+//!   [`Recorder`] trait. The no-op implementation ([`NoopRecorder`])
+//!   monomorphizes away, so instrumented code paths cost nothing when
+//!   observability is off.
+//! * [`log`] — a leveled **logger** (`PP_LOG=warn|info|debug`,
+//!   `--quiet`) so diagnostic chatter goes to stderr through one gate
+//!   and stdout stays machine-parseable.
+//!
+//! [`json`] is the small JSON value model the other layers (and the
+//! `pp stats` / `pp bench` commands) use to validate and merge their
+//! emitted files.
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use json::Json;
+pub use log::Level;
+pub use metrics::{Hist, Metric, NoopRecorder, Recorder, Registry};
+pub use trace::{SpanEvent, SpanGuard};

@@ -1,0 +1,149 @@
+//! The leveled logger: one stderr gate for every diagnostic line.
+//!
+//! The CLI's stdout is machine-parseable (tables, JSON); everything
+//! else — warnings about aborted runs, merge notices, debug chatter —
+//! goes through [`warn!`], [`info!`], or [`debug!`]. The level comes
+//! from `PP_LOG` (`warn` by default) and can be forced by the CLI's
+//! `--quiet` flag via [`set_level`].
+//!
+//! ```
+//! pp_obs::log::set_level(pp_obs::Level::Debug);
+//! pp_obs::info!("merged {} cases", 18);
+//! pp_obs::log::set_level(pp_obs::Level::Warn); // restore the default
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity levels, ordered: a message prints when its level is at or
+/// below the configured one.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum Level {
+    /// Suppress everything (the CLI's `--quiet`).
+    Quiet = 0,
+    /// Problems the user should see (default).
+    Warn = 1,
+    /// Progress and decisions (file merges, degraded modes).
+    Info = 2,
+    /// Everything, for debugging the profiler itself.
+    Debug = 3,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "quiet" | "off" | "none" => Some(Level::Quiet),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// The label printed in brackets before each message.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Quiet => "quiet",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Current level + 1; 0 means "not yet initialized from PP_LOG".
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn init() -> u8 {
+    let lv = std::env::var("PP_LOG")
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .unwrap_or(Level::Warn);
+    let enc = lv as u8 + 1;
+    // A concurrent set_level wins; only fill the uninitialized slot.
+    let _ = LEVEL.compare_exchange(0, enc, Ordering::Relaxed, Ordering::Relaxed);
+    LEVEL.load(Ordering::Relaxed)
+}
+
+/// The level in effect (reads `PP_LOG` on first use).
+pub fn level() -> Level {
+    let enc = match LEVEL.load(Ordering::Relaxed) {
+        0 => init(),
+        v => v,
+    };
+    match enc - 1 {
+        0 => Level::Quiet,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Overrides the level (CLI flags beat the environment).
+pub fn set_level(lv: Level) {
+    LEVEL.store(lv as u8 + 1, Ordering::Relaxed);
+}
+
+/// Would a message at `lv` print?
+pub fn enabled(lv: Level) -> bool {
+    lv != Level::Quiet && lv <= level()
+}
+
+/// Implementation detail of the logging macros.
+#[doc(hidden)]
+pub fn emit(lv: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(lv) {
+        eprintln!("pp [{}] {args}", lv.label());
+    }
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Quiet < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("off"), Some(Level::Quiet));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn quiet_gates_everything() {
+        let before = level();
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Warn));
+        assert!(!enabled(Level::Quiet), "quiet is never an emit level");
+        set_level(Level::Debug);
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Debug));
+        set_level(before);
+    }
+}

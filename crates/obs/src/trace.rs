@@ -1,0 +1,373 @@
+//! Structured tracing: RAII wall-clock spans in a bounded per-thread
+//! ring buffer.
+//!
+//! A span is opened with [`span`] (or the [`span!`](crate::span!) macro)
+//! and records its duration when the guard drops. Recording is off by
+//! default: a disabled [`span`] costs one relaxed atomic load and
+//! constructs an inert guard, so spans can stay in the pipeline
+//! permanently. Enable with [`enable`] (the CLI wires `--trace` /
+//! `--trace-out` / `PP_TRACE=1` to it), then drain the calling thread's
+//! buffer with [`take_events`] and render with [`chrome_trace`] (load
+//! in `chrome://tracing` or Perfetto) or [`collapsed_stacks`]
+//! (flamegraph folded format).
+//!
+//! The buffer is bounded ([`set_capacity`], default 65 536 events): a
+//! long run overwrites its *oldest* completed spans rather than growing
+//! without bound, and the number dropped is reported alongside the
+//! drained events.
+//!
+//! ```
+//! pp_obs::trace::enable(true);
+//! {
+//!     let _outer = pp_obs::span!("decode");
+//!     let _inner = pp_obs::span!("validate");
+//! }
+//! let (events, dropped) = pp_obs::trace::take_events();
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(dropped, 0);
+//! pp_obs::trace::enable(false);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One completed span, timestamped in nanoseconds since the process's
+/// trace epoch (the first span ever opened).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanEvent {
+    /// The span's name (the phase it timed).
+    pub name: &'static str,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at open (0 = top level) on the recording thread.
+    pub depth: u16,
+}
+
+impl SpanEvent {
+    /// End timestamp, nanoseconds since the trace epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+const DEFAULT_CAPACITY: usize = 65_536;
+
+struct TraceBuf {
+    events: VecDeque<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+    depth: u16,
+}
+
+impl TraceBuf {
+    fn push(&mut self, ev: SpanEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<TraceBuf> = const {
+        RefCell::new(TraceBuf {
+            events: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+            depth: 0,
+        })
+    };
+}
+
+/// Turns span recording on or off process-wide. Spans opened while
+/// disabled record nothing, even if recording is enabled before they
+/// drop.
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is span recording on?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Reads `PP_TRACE` (any value but `0`/empty enables) and applies it.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("PP_TRACE") {
+        if !v.is_empty() && v != "0" {
+            enable(true);
+        }
+    }
+}
+
+/// Bounds the calling thread's ring buffer to `capacity` completed
+/// spans (at least 16; excess oldest events are dropped and counted).
+pub fn set_capacity(capacity: usize) {
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        b.capacity = capacity.max(16);
+        while b.events.len() > b.capacity {
+            b.events.pop_front();
+            b.dropped += 1;
+        }
+    });
+}
+
+/// Opens a span; its duration is recorded when the returned guard
+/// drops. Inert (and nearly free) while recording is disabled.
+#[must_use = "the span measures until the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name,
+            start: None,
+            depth: 0,
+        };
+    }
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    let depth = BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        let d = b.depth;
+        b.depth = b.depth.saturating_add(1);
+        d
+    });
+    SpanGuard {
+        name,
+        start: Some((epoch, Instant::now())),
+        depth,
+    }
+}
+
+/// RAII guard returned by [`span`]; records the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `(epoch, open time)`; `None` for an inert guard.
+    start: Option<(Instant, Instant)>,
+    depth: u16,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((epoch, start)) = self.start else {
+            return;
+        };
+        let ev = SpanEvent {
+            name: self.name,
+            start_ns: start.duration_since(epoch).as_nanos() as u64,
+            dur_ns: start.elapsed().as_nanos() as u64,
+            depth: self.depth,
+        };
+        BUF.with(|b| {
+            let mut b = b.borrow_mut();
+            b.depth = b.depth.saturating_sub(1);
+            b.push(ev);
+        });
+    }
+}
+
+/// Opens a span named by a string literal:
+/// `let _span = pp_obs::span!("decode");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+}
+
+/// Drains the calling thread's completed spans, returning them in
+/// completion order plus the count of events the bounded buffer had to
+/// drop. Resets the drop counter.
+pub fn take_events() -> (Vec<SpanEvent>, u64) {
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        let events = b.events.drain(..).collect();
+        let dropped = std::mem::take(&mut b.dropped);
+        (events, dropped)
+    })
+}
+
+/// Sums span durations by name — the per-phase wall-time table `pp
+/// stats` prints. Deterministically ordered by name.
+pub fn totals_by_name(events: &[SpanEvent]) -> BTreeMap<&'static str, u64> {
+    let mut m: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in events {
+        *m.entry(ev.name).or_default() += ev.dur_ns;
+    }
+    m
+}
+
+/// Renders events as Chrome `trace_event` JSON (the "JSON Array
+/// Format" object wrapper): complete (`"ph":"X"`) events with
+/// microsecond timestamps, loadable in `chrome://tracing` / Perfetto.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":{},\"cat\":\"pp\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+             \"ts\":{:.3},\"dur\":{:.3}}}",
+            crate::json::quote(ev.name),
+            ev.start_ns as f64 / 1e3,
+            ev.dur_ns as f64 / 1e3,
+        );
+    }
+    s.push_str("]}\n");
+    s
+}
+
+/// Renders events in the collapsed-stack ("folded") format flamegraph
+/// tools consume: `parent;child <exclusive-µs>` per line, aggregated
+/// and sorted. Nesting is reconstructed from the recorded intervals,
+/// and each frame is charged its *exclusive* time (children
+/// subtracted).
+pub fn collapsed_stacks(events: &[SpanEvent]) -> String {
+    // Sort parents before their children: by start ascending, and at
+    // equal starts the longer (enclosing) span first.
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then(b.dur_ns.cmp(&a.dur_ns))
+            .then(a.depth.cmp(&b.depth))
+    });
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    // Open stack of enclosing spans: (end_ns, dur_ns, path, child_ns).
+    let mut open: Vec<(u64, u64, String, u64)> = Vec::new();
+    fn finish(open: &mut Vec<(u64, u64, String, u64)>, folded: &mut BTreeMap<String, u64>) {
+        let (_, dur, path, child_ns) = open.pop().expect("nonempty");
+        let excl_us = dur.saturating_sub(child_ns) / 1_000;
+        *folded.entry(path).or_default() += excl_us;
+        if let Some(parent) = open.last_mut() {
+            parent.3 += dur;
+        }
+    }
+    for ev in sorted {
+        while open.last().is_some_and(|&(end, ..)| ev.start_ns >= end) {
+            finish(&mut open, &mut folded);
+        }
+        let path = match open.last() {
+            Some((_, _, parent, _)) => format!("{parent};{}", ev.name),
+            None => ev.name.to_string(),
+        };
+        open.push((ev.end_ns(), ev.dur_ns, path, 0));
+    }
+    while !open.is_empty() {
+        finish(&mut open, &mut folded);
+    }
+    let mut s = String::new();
+    for (path, us) in folded {
+        let _ = writeln!(s, "{path} {us}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, start: u64, dur: u64, depth: u16) -> SpanEvent {
+        SpanEvent {
+            name,
+            start_ns: start,
+            dur_ns: dur,
+            depth,
+        }
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        enable(false);
+        {
+            let _g = span("ghost");
+        }
+        let (events, dropped) = take_events();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn nested_spans_record_depth_and_order() {
+        enable(true);
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let (events, _) = take_events();
+        enable(false);
+        assert_eq!(events.len(), 2);
+        // Inner drops first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[1].depth, 0);
+        assert!(events[1].dur_ns >= events[0].dur_ns);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_counts_drops() {
+        enable(true);
+        set_capacity(16);
+        for _ in 0..40 {
+            let _g = span("tick");
+        }
+        let (events, dropped) = take_events();
+        enable(false);
+        set_capacity(DEFAULT_CAPACITY);
+        assert_eq!(events.len(), 16);
+        assert_eq!(dropped, 24);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let events = vec![ev("a", 0, 5_000, 0), ev("b \"q\"", 1_000, 2_000, 1)];
+        let text = chrome_trace(&events);
+        let v = crate::json::parse(&text).expect("valid JSON");
+        let arr = v.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].get("name").and_then(Json::as_str), Some("b \"q\""));
+        assert_eq!(arr[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(arr[0].get("dur").and_then(Json::as_f64), Some(5.0));
+    }
+
+    use crate::json::Json;
+
+    #[test]
+    fn collapsed_stacks_nest_and_charge_exclusive_time() {
+        // run [0, 10ms]; decode [1ms, 3ms]; simulate [3ms, 9ms].
+        let events = vec![
+            ev("decode", 1_000_000, 2_000_000, 1),
+            ev("simulate", 3_000_000, 6_000_000, 1),
+            ev("run", 0, 10_000_000, 0),
+        ];
+        let text = collapsed_stacks(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"run;decode 2000"), "{text}");
+        assert!(lines.contains(&"run;simulate 6000"), "{text}");
+        assert!(
+            lines.contains(&"run 2000"),
+            "exclusive = 10 - 2 - 6 ms: {text}"
+        );
+    }
+
+    #[test]
+    fn totals_aggregate_by_name() {
+        let events = vec![ev("x", 0, 5, 0), ev("x", 10, 7, 0), ev("y", 2, 1, 1)];
+        let t = totals_by_name(&events);
+        assert_eq!(t["x"], 12);
+        assert_eq!(t["y"], 1);
+    }
+}

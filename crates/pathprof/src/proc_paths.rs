@@ -42,6 +42,7 @@ impl ProcPaths {
     /// blocks (strip them first) and [`LabelError::TooManyPaths`] if the
     /// potential path count overflows `u64`.
     pub fn analyze(proc: &Procedure) -> Result<ProcPaths, LabelError> {
+        let _span = pp_obs::span!("path_analyze");
         let n = proc.blocks.len() as u32;
         let exit = n; // virtual exit vertex
         let mut g = PathGraph::new(n + 1, 0, exit);

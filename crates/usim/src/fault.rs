@@ -73,6 +73,28 @@ impl FaultPlan {
     }
 }
 
+/// What a run's fault plan *actually did* — kept by both interpreters
+/// and returned in [`RunResult`](crate::RunResult) so tests and the
+/// observability layer can assert which faults fired rather than
+/// inferring them from the degraded outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// The PICs were preloaded at run start (wrap-stress injection).
+    pub pics_preloaded: bool,
+    /// How many profiling counter reads the [`ReadSkew`] perturbed.
+    pub skewed_reads: u64,
+    /// Micro-op count at which `abort_at_uops` killed the run, if it
+    /// did.
+    pub aborted_at: Option<u64>,
+}
+
+impl FaultLog {
+    /// Did any injected fault actually fire?
+    pub fn any_fired(&self) -> bool {
+        self.pics_preloaded || self.skewed_reads > 0 || self.aborted_at.is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,7 +65,7 @@ mod sink;
 pub use cache::{AssocCache, DirectMappedCache};
 pub use config::MachineConfig;
 pub use decode::DecodedProgram;
-pub use fault::{FaultPlan, ReadSkew};
+pub use fault::{FaultLog, FaultPlan, ReadSkew};
 pub use layout::CodeLayout;
 pub use machine::{ExecError, Machine, RunResult};
 pub use mem::Memory;

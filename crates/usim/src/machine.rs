@@ -27,7 +27,7 @@ use pp_ir::{BlockId, HwEvent, Operand, ProcId, ProfOp, Program, Reg};
 use crate::cache::{AssocCache, DirectMappedCache};
 use crate::config::MachineConfig;
 use crate::decode::{BlockIdx, DecodedProgram, MicroOp};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultLog, FaultPlan};
 use crate::layout::CodeLayout;
 use crate::metrics::HwMetrics;
 use crate::predict::{BranchPredictor, TargetPredictor};
@@ -98,6 +98,8 @@ pub struct RunResult {
     pub code_bytes: u64,
     /// Final architectural counter registers `(%pic0, %pic1)`.
     pub pics: (u32, u32),
+    /// Which injected faults actually fired during the run.
+    pub fault_log: FaultLog,
 }
 
 impl RunResult {
@@ -171,6 +173,7 @@ pub struct Machine<'p> {
     block_counts: Vec<u64>,
     argv_scratch: Vec<i64>,
     fault: FaultPlan,
+    fault_log: FaultLog,
     counter_reads: u64,
 }
 
@@ -222,6 +225,7 @@ impl<'p> Machine<'p> {
             block_counts: vec![0; num_blocks],
             argv_scratch: Vec::new(),
             fault: FaultPlan::default(),
+            fault_log: FaultLog::default(),
             counter_reads: 0,
         }
     }
@@ -231,6 +235,12 @@ impl<'p> Machine<'p> {
     /// same perturbed run.
     pub fn inject_faults(&mut self, plan: FaultPlan) {
         self.fault = plan;
+        self.fault_log = FaultLog::default();
+    }
+
+    /// Which injected faults have fired so far (see [`FaultLog`]).
+    pub fn fault_log(&self) -> FaultLog {
+        self.fault_log
     }
 
     /// The code layout in effect.
@@ -618,6 +628,7 @@ impl<'p> Machine<'p> {
         }
         if let Some((p0, p1)) = self.fault.preload_pics {
             self.set_pics([p0, p1]);
+            self.fault_log.pics_preloaded = true;
         }
         // The instruction budget and the fault plan's abort point collapse
         // into one hoisted bound, so the loop top pays a single compare;
@@ -640,6 +651,7 @@ impl<'p> Machine<'p> {
                 if self.uops() >= self.config.max_instructions {
                     return Err(ExecError::InstructionLimit);
                 }
+                self.fault_log.aborted_at = Some(self.uops());
                 return Err(ExecError::FaultAbort { uops: self.uops() });
             }
             if SAMPLED && self.now() >= next_sample {
@@ -937,6 +949,7 @@ impl<'p> Machine<'p> {
             resident_pages: self.mem.resident_pages(),
             code_bytes: self.layout.total_bytes(),
             pics: (pics[0], pics[1]),
+            fault_log: self.fault_log,
         }
     }
 
@@ -973,6 +986,7 @@ impl<'p> Machine<'p> {
             if skew.period > 0 && self.counter_reads.is_multiple_of(skew.period) {
                 p.0 = p.0.wrapping_add(skew.magnitude);
                 p.1 = p.1.wrapping_add(skew.magnitude);
+                self.fault_log.skewed_reads += 1;
             }
         }
         p

@@ -24,7 +24,7 @@ use pp_ir::{
 
 use self::frozen::{AssocCache, DirectMappedCache, Memory};
 use crate::config::MachineConfig;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultLog, FaultPlan};
 use crate::layout::CodeLayout;
 use crate::machine::{ExecError, RunResult};
 use crate::metrics::HwMetrics;
@@ -76,6 +76,7 @@ pub struct ReferenceMachine<'p> {
     uops: u64,
     block_counts: HashMap<(ProcId, BlockId), u64>,
     fault: FaultPlan,
+    fault_log: FaultLog,
     counter_reads: u64,
 }
 
@@ -117,6 +118,7 @@ impl<'p> ReferenceMachine<'p> {
             uops: 0,
             block_counts: HashMap::new(),
             fault: FaultPlan::default(),
+            fault_log: FaultLog::default(),
             counter_reads: 0,
         }
     }
@@ -126,6 +128,12 @@ impl<'p> ReferenceMachine<'p> {
     /// same perturbed run.
     pub fn inject_faults(&mut self, plan: FaultPlan) {
         self.fault = plan;
+        self.fault_log = FaultLog::default();
+    }
+
+    /// Which injected faults have fired so far (see [`FaultLog`]).
+    pub fn fault_log(&self) -> FaultLog {
+        self.fault_log
     }
 
     /// The code layout in effect.
@@ -401,6 +409,7 @@ impl<'p> ReferenceMachine<'p> {
         }
         if let Some((p0, p1)) = self.fault.preload_pics {
             self.pics = [p0, p1];
+            self.fault_log.pics_preloaded = true;
         }
         self.push_frame(self.program.entry(), &[], None)?;
         let mut next_sample = sampler.as_ref().map(|(iv, _)| *iv).unwrap_or(u64::MAX);
@@ -411,6 +420,7 @@ impl<'p> ReferenceMachine<'p> {
             }
             if let Some(limit) = self.fault.abort_at_uops {
                 if self.uops >= limit {
+                    self.fault_log.aborted_at = Some(self.uops);
                     return Err(ExecError::FaultAbort { uops: self.uops });
                 }
             }
@@ -450,6 +460,7 @@ impl<'p> ReferenceMachine<'p> {
             resident_pages: self.mem.resident_pages(),
             code_bytes: self.layout.total_bytes(),
             pics: (self.pics[0], self.pics[1]),
+            fault_log: self.fault_log,
         }
     }
 
@@ -731,6 +742,7 @@ impl<'p> ReferenceMachine<'p> {
             if skew.period > 0 && self.counter_reads.is_multiple_of(skew.period) {
                 p.0 = p.0.wrapping_add(skew.magnitude);
                 p.1 = p.1.wrapping_add(skew.magnitude);
+                self.fault_log.skewed_reads += 1;
             }
         }
         p

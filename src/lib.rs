@@ -21,6 +21,7 @@
 //! | [`profiler`] | `pp-core` | run configurations, reports, analyses |
 //! | [`workloads`] | `pp-workloads` | the synthetic SPEC95-analog suite |
 //! | [`baselines`] | `pp-baselines` | gprof-style, edge, Hall profilers |
+//! | [`obs`] | `pp-obs` | self-observability: spans, metrics registry, logging |
 //!
 //! ## Quick start
 //!
@@ -48,6 +49,7 @@ pub use pp_cct as cct;
 pub use pp_core as profiler;
 pub use pp_instrument as instrument;
 pub use pp_ir as ir;
+pub use pp_obs as obs;
 pub use pp_pathprof as pathprof;
 pub use pp_usim as usim;
 pub use pp_workloads as workloads;

@@ -8,6 +8,10 @@
 //!                                           paths, procedures, CCT stats
 //! pp cct <target> [--out FILE] [options]    build a CCT, print stats
 //! pp stats <file.cct>                       stats of a saved CCT profile
+//! pp stats <target> [options]               overhead accounting: per-phase
+//!                                           wall times, internals metrics,
+//!                                           instrumented-vs-base dilation
+//!                                           (the paper's Table 5 analogue)
 //! pp annotate <target> <proc> [options]     annotated block listing
 //! pp decode <target> <proc> <sum>           decode a path sum to blocks
 //! pp bench [--smoke] [--out FILE] [options] time the combined pipeline
@@ -30,6 +34,13 @@
 //!                             --out is given — the CI execution check
 //!   --repeat <n>              (bench) time each case n times, report the
 //!                             best (default 3; noise rejection)
+//!   --trace                   record pipeline spans; print a collapsed
+//!                             flamegraph stack to stderr at exit
+//!                             (PP_TRACE=1 does the same)
+//!   --trace-out <FILE>        write recorded spans as Chrome trace_event
+//!                             JSON (chrome://tracing, Perfetto)
+//!   --quiet                   suppress all stderr diagnostics
+//!                             (PP_LOG=warn|info|debug sets the level)
 //!
 //! exit codes: 0 success; 1 usage or instrumentation error; 2 run
 //! aborted, partial profile reported; 3 I/O error or corrupt profile.
@@ -38,6 +49,7 @@
 mod bench_cmd;
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use pp::cct::CctStats;
 use pp::ir::{HwEvent, ProcId, Program};
@@ -46,6 +58,9 @@ use pp::usim::{ExecError, MachineConfig};
 
 struct Options {
     config: String,
+    /// Was `--config` given explicitly? (`pp stats` defaults to the
+    /// combined pipeline, unlike the other commands.)
+    config_set: bool,
     events: (HwEvent, HwEvent),
     scale: f64,
     threshold: f64,
@@ -54,12 +69,16 @@ struct Options {
     max_uops: Option<u64>,
     smoke: bool,
     repeat: usize,
+    trace: bool,
+    trace_out: Option<String>,
+    quiet: bool,
 }
 
 impl Default for Options {
     fn default() -> Options {
         Options {
             config: "flow-hw".to_string(),
+            config_set: false,
             events: (HwEvent::Insts, HwEvent::DcMiss),
             scale: 1.0,
             threshold: 0.01,
@@ -68,6 +87,9 @@ impl Default for Options {
             max_uops: None,
             smoke: false,
             repeat: 3,
+            trace: false,
+            trace_out: None,
+            quiet: false,
         }
     }
 }
@@ -111,7 +133,10 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
     };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--config" => opts.config = value("--config", &mut it)?,
+            "--config" => {
+                opts.config = value("--config", &mut it)?;
+                opts.config_set = true;
+            }
             "--events" => {
                 let v = value("--events", &mut it)?;
                 let (a, b) = v
@@ -143,6 +168,9 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
                 );
             }
             "--smoke" => opts.smoke = true,
+            "--trace" => opts.trace = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out", &mut it)?),
+            "--quiet" => opts.quiet = true,
             "--repeat" => {
                 opts.repeat = value("--repeat", &mut it)?
                     .parse()
@@ -214,14 +242,19 @@ fn profiled(
     fault: &mut Option<ExecError>,
 ) -> Result<RunOutcome, PpError> {
     let run = profiler.run(program, config)?;
+    note_fault(&run, fault);
+    Ok(run)
+}
+
+/// Warns about (and stashes) the fault of an aborted run, if any.
+fn note_fault(run: &RunOutcome, fault: &mut Option<ExecError>) {
     if let Some(e) = &run.fault {
-        eprintln!(
-            "warning: {} run aborted ({e}); reporting the partial profile",
+        pp::obs::warn!(
+            "{} run aborted ({e}); reporting the partial profile",
             run.config
         );
         fault.get_or_insert_with(|| e.clone());
     }
-    Ok(run)
 }
 
 /// Ends a command: exit code 2 when any run was cut short.
@@ -515,7 +548,30 @@ fn cmd_cct(target: &str, opts: &Options) -> Result<(), PpError> {
     finish(fault)
 }
 
-fn cmd_stats(path: &str) -> Result<(), PpError> {
+/// `pp stats` wears two hats: handed a saved `.cct` file it prints the
+/// profile's statistics; handed a workload it runs the overhead
+/// accounting (per-phase wall times, internals metrics, and the
+/// instrumented-vs-base dilation table — the paper's Table 5 analogue).
+fn cmd_stats(arg: &str, opts: &Options) -> Result<(), PpError> {
+    if is_saved_profile(arg) {
+        return cmd_stats_file(arg);
+    }
+    cmd_stats_overhead(arg, opts)
+}
+
+/// Does `path` hold a serialized CCT profile? (Sniffs the `PPCCT`
+/// magic so `pp stats` can tell profile files from IR files.)
+fn is_saved_profile(path: &str) -> bool {
+    use std::io::Read as _;
+    let mut magic = [0u8; 5];
+    std::path::Path::new(path).is_file()
+        && std::fs::File::open(path)
+            .and_then(|mut f| f.read_exact(&mut magic))
+            .is_ok()
+        && &magic == b"PPCCT"
+}
+
+fn cmd_stats_file(path: &str) -> Result<(), PpError> {
     let mut file = std::fs::File::open(path).map_err(|e| PpError::io(path, e))?;
     let cct = pp::cct::read_cct(&mut file)?;
     let stats = CctStats::compute(&cct);
@@ -533,6 +589,216 @@ fn cmd_stats(path: &str) -> Result<(), PpError> {
     );
     if cct.config().max_records != 0 {
         println!("record cap:      {}", cct.config().max_records);
+    }
+    Ok(())
+}
+
+/// The overhead-accounting mode of `pp stats`: run `target` once
+/// uninstrumented and once under the profiling pipeline, and report
+/// where the time goes (tracing spans), what the internals did (the
+/// metrics registry), and how much each hardware metric dilated — the
+/// reproduction's analogue of the paper's Table 5 methodology.
+fn cmd_stats_overhead(target: &str, opts: &Options) -> Result<(), PpError> {
+    // The per-phase table needs spans whether or not --trace was given.
+    pp::obs::trace::enable(true);
+    let _ = pp::obs::trace::take_events(); // start from a clean buffer
+
+    let (name, program) = {
+        let _span = pp::obs::span!("load");
+        load_target(target, opts.scale)?
+    };
+    {
+        let _span = pp::obs::span!("verify");
+        pp::ir::verify::verify_program(&program).map_err(|e| usage_err(format!("{name}: {e}")))?;
+    }
+    let (setup_events, _) = pp::obs::trace::take_events();
+
+    let profiler = opts.profiler();
+    // Unlike the other commands, stats defaults to the combined pipeline
+    // so the report covers the CCT and path tables too.
+    let config = if opts.config_set {
+        run_config(opts)?
+    } else {
+        RunConfig::CombinedHw {
+            events: opts.events,
+        }
+    };
+    let mut fault = None;
+
+    // The uninstrumented baseline, wall-timed.
+    let t = Instant::now();
+    let base = profiled(&profiler, &program, RunConfig::Base, &mut fault)?;
+    let base_wall = t.elapsed().as_secs_f64();
+    let (base_events, _) = pp::obs::trace::take_events();
+
+    // The instrumented run, observed: the sink records hot-path metrics
+    // into the registry, the pipeline records its phase spans.
+    let mut reg = pp::obs::Registry::new();
+    let t = Instant::now();
+    let run = profiler.run_observed(&program, config, &mut reg)?;
+    let inst_wall = t.elapsed().as_secs_f64();
+    note_fault(&run, &mut fault);
+
+    // Post-run analyses, each its own phase.
+    if let Some(flow) = &run.flow {
+        let _span = pp::obs::span!("path_regen");
+        let _ = analysis::hot_paths(flow, opts.threshold);
+    }
+    if let Some(cct) = &run.cct {
+        let _span = pp::obs::span!("cct_stats");
+        let _ = CctStats::compute(cct);
+    }
+    {
+        let _span = pp::obs::span!("serialize");
+        pp::profiler::observe::record_outcome(&mut reg, &run);
+    }
+    let (run_events, dropped) = pp::obs::trace::take_events();
+    if dropped > 0 {
+        pp::obs::warn!("trace buffer dropped {dropped} oldest spans");
+    }
+
+    println!(
+        "== pp stats: {name} under {} (scale {}) ==",
+        run.config, opts.scale
+    );
+    if !run.is_complete() {
+        println!("(partial profile: the run was aborted)");
+    }
+
+    // Per-phase wall time: setup plus the instrumented pipeline (the
+    // base run's spans are excluded so phases describe one pipeline).
+    let mut phase_events = setup_events.clone();
+    phase_events.extend_from_slice(&run_events);
+    let phases = pp::obs::trace::totals_by_name(&phase_events);
+    println!("\n-- per-phase wall time (instrumented pipeline) --");
+    for (phase, ns) in &phases {
+        println!("  {:<14} {:>10.3} ms", phase, *ns as f64 / 1e6);
+    }
+
+    // The dilation table.
+    let dilation = |b: f64, i: f64| if b > 0.0 { i / b } else { 0.0 };
+    let mut events_of_interest = vec![HwEvent::Cycles, HwEvent::Insts];
+    for ev in [opts.events.0, opts.events.1] {
+        if !events_of_interest.contains(&ev) {
+            events_of_interest.push(ev);
+        }
+    }
+    println!("\n-- dilation vs uninstrumented base run (Table 5 analogue) --");
+    println!(
+        "  {:<14} {:>14} {:>14} {:>9}",
+        "metric", "base", "instrumented", "dilation"
+    );
+    println!(
+        "  {:<14} {:>11.3} ms {:>11.3} ms {:>8.2}x",
+        "wall",
+        base_wall * 1e3,
+        inst_wall * 1e3,
+        dilation(base_wall, inst_wall)
+    );
+    println!(
+        "  {:<14} {:>14} {:>14} {:>8.2}x",
+        "uops",
+        base.machine.uops,
+        run.machine.uops,
+        dilation(base.machine.uops as f64, run.machine.uops as f64)
+    );
+    for ev in &events_of_interest {
+        let (b, i) = (base.machine.metrics.get(*ev), run.machine.metrics.get(*ev));
+        println!(
+            "  {:<14} {:>14} {:>14} {:>8.2}x",
+            ev.mnemonic(),
+            b,
+            i,
+            dilation(b as f64, i as f64)
+        );
+    }
+
+    println!("\n-- internals metrics --");
+    print!("{}", reg.snapshot());
+
+    if let Some(path) = &opts.out {
+        let json = stats_json(
+            &name, &run, &base, opts, base_wall, inst_wall, &phases, &reg,
+        );
+        std::fs::write(path, json).map_err(|e| PpError::io(path, e))?;
+        println!("\nwrote stats to {path}");
+    }
+
+    // Everything recorded, in chronological order, for --trace-out.
+    let mut all_events = setup_events;
+    all_events.extend_from_slice(&base_events);
+    all_events.extend_from_slice(&run_events);
+    emit_trace(opts, &all_events)?;
+    finish(fault)
+}
+
+/// Renders the machine-readable form of the overhead report (`pp stats
+/// --out`); the schema round-trips through `pp::obs::json`.
+#[allow(clippy::too_many_arguments)]
+fn stats_json(
+    name: &str,
+    run: &RunOutcome,
+    base: &RunOutcome,
+    opts: &Options,
+    base_wall: f64,
+    inst_wall: f64,
+    phases: &std::collections::BTreeMap<&'static str, u64>,
+    reg: &pp::obs::Registry,
+) -> String {
+    use pp::obs::Json;
+    let dilation = |b: f64, i: f64| Json::Num(if b > 0.0 { i / b } else { 0.0 });
+    let mut dilations = vec![(
+        "uops".to_string(),
+        dilation(base.machine.uops as f64, run.machine.uops as f64),
+    )];
+    let mut events_of_interest = vec![HwEvent::Cycles, HwEvent::Insts];
+    for ev in [opts.events.0, opts.events.1] {
+        if !events_of_interest.contains(&ev) {
+            events_of_interest.push(ev);
+        }
+    }
+    for ev in &events_of_interest {
+        let (b, i) = (base.machine.metrics.get(*ev), run.machine.metrics.get(*ev));
+        dilations.push((ev.mnemonic().to_string(), dilation(b as f64, i as f64)));
+    }
+    let phases_us: Vec<(String, Json)> = phases
+        .iter()
+        .map(|(k, ns)| (k.to_string(), Json::Num(*ns as f64 / 1e3)))
+        .collect();
+    let metrics = pp::obs::json::parse(&reg.to_json()).unwrap_or(Json::Null);
+    let doc = Json::Obj(vec![
+        ("target".to_string(), Json::Str(name.to_string())),
+        ("config".to_string(), Json::Str(run.config.to_string())),
+        ("scale".to_string(), Json::Num(opts.scale)),
+        ("complete".to_string(), Json::Bool(run.is_complete())),
+        (
+            "wall".to_string(),
+            Json::Obj(vec![
+                ("base_s".to_string(), Json::Num(base_wall)),
+                ("instrumented_s".to_string(), Json::Num(inst_wall)),
+                ("dilation".to_string(), dilation(base_wall, inst_wall)),
+            ]),
+        ),
+        ("dilation".to_string(), Json::Obj(dilations)),
+        ("phases_us".to_string(), Json::Obj(phases_us)),
+        ("metrics".to_string(), metrics),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    text
+}
+
+/// Renders any recorded spans the way the trace flags asked for:
+/// `--trace-out FILE` writes Chrome trace_event JSON, `--trace` prints
+/// the collapsed flamegraph stacks to stderr.
+fn emit_trace(opts: &Options, events: &[pp::obs::SpanEvent]) -> Result<(), PpError> {
+    if let Some(path) = &opts.trace_out {
+        let json = pp::obs::trace::chrome_trace(events);
+        std::fs::write(path, json).map_err(|e| PpError::io(path, e))?;
+        pp::obs::info!("wrote {} trace events to {path}", events.len());
+    }
+    if opts.trace {
+        eprint!("{}", pp::obs::trace::collapsed_stacks(events));
     }
     Ok(())
 }
@@ -603,6 +869,7 @@ fn cmd_decode(
 fn usage() -> &'static str {
     "usage: pp <list|run|report|hot|cct|stats|annotate|decode|bench> [target] [options]\n\
      run `pp list` to see the benchmark suite; see crate docs for options\n\
+     observability: --trace, --trace-out FILE, --quiet (also PP_TRACE, PP_LOG)\n\
      exit codes: 0 ok, 1 usage, 2 aborted run (partial profile), 3 i/o or corrupt profile"
 }
 
@@ -623,8 +890,18 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     };
     let run = || -> Result<(), PpError> {
-        let (positional, opts) = parse_options(&args[1..])?;
-        match (cmd.as_str(), positional.as_slice()) {
+        let (positional, mut opts) = parse_options(&args[1..])?;
+        if opts.quiet {
+            pp::obs::log::set_level(pp::obs::Level::Quiet);
+        }
+        pp::obs::trace::init_from_env();
+        if pp::obs::trace::enabled() {
+            opts.trace = true; // PP_TRACE=1 behaves exactly like --trace
+        }
+        if opts.trace || opts.trace_out.is_some() {
+            pp::obs::trace::enable(true);
+        }
+        let result = match (cmd.as_str(), positional.as_slice()) {
             ("list", _) => {
                 cmd_list();
                 Ok(())
@@ -633,7 +910,7 @@ fn main() -> ExitCode {
             ("report", [t]) => cmd_report(t, &opts),
             ("hot", [t]) => cmd_hot(t, &opts),
             ("cct", [t]) => cmd_cct(t, &opts),
-            ("stats", [f]) => cmd_stats(f),
+            ("stats", [f]) => cmd_stats(f, &opts),
             ("annotate", [t, p]) => cmd_annotate(t, p, &opts),
             ("decode", [t, p, s]) => cmd_decode(t, p, s, &opts),
             ("bench", []) => bench_cmd::run_bench(&bench_cmd::BenchArgs {
@@ -644,7 +921,19 @@ fn main() -> ExitCode {
                 repeat: opts.repeat,
             }),
             _ => Err(PpError::Usage(usage().to_string())),
+        };
+        // Spans a command recorded but did not render itself (`pp
+        // stats` drains its own buffer, so this is a no-op there).
+        let (events, dropped) = pp::obs::trace::take_events();
+        let trace_result = if events.is_empty() {
+            Ok(())
+        } else {
+            emit_trace(&opts, &events)
+        };
+        if dropped > 0 {
+            pp::obs::warn!("trace buffer dropped {dropped} oldest spans");
         }
+        result.and(trace_result)
     };
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {

@@ -125,6 +125,146 @@ fn accepts_textual_ir_files() {
 }
 
 #[test]
+fn stats_reports_overhead_accounting() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let stats_path = dir.join("stats.json");
+    let trace_path = dir.join("trace.json");
+    let out = pp(&[
+        "stats",
+        "129.compress",
+        "--scale",
+        "0.05",
+        "--out",
+        stats_path.to_str().expect("utf8"),
+        "--trace-out",
+        trace_path.to_str().expect("utf8"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("per-phase wall time"), "{text}");
+    assert!(text.contains("simulate"), "{text}");
+    assert!(text.contains("dilation"), "{text}");
+    assert!(text.contains("internals metrics"), "{text}");
+    assert!(text.contains("counter sim.uops"), "{text}");
+
+    // The stats JSON round-trips through the in-tree parser, and every
+    // dilation field is a finite number.
+    let json_text = std::fs::read_to_string(&stats_path).expect("stats written");
+    let v = pp::obs::json::parse(&json_text).expect("stats JSON parses");
+    assert_eq!(
+        pp::obs::json::parse(&v.render()).expect("rendered form parses"),
+        v,
+        "round trip is lossless"
+    );
+    let wall_dilation = v
+        .get("wall")
+        .and_then(|w| w.get("dilation"))
+        .and_then(pp::obs::Json::as_f64)
+        .expect("wall dilation");
+    assert!(wall_dilation.is_finite() && wall_dilation > 0.0);
+    for (name, d) in v
+        .get("dilation")
+        .and_then(pp::obs::Json::as_obj)
+        .expect("dilation object")
+    {
+        let d = d.as_f64().unwrap_or(f64::NAN);
+        assert!(d.is_finite() && d >= 1.0, "dilation {name} = {d}");
+    }
+    assert!(
+        v.get("metrics")
+            .and_then(|m| m.get("sim.uops"))
+            .and_then(pp::obs::Json::as_f64)
+            .expect("sim.uops metric")
+            > 0.0
+    );
+
+    // The Chrome trace is valid JSON full of complete events.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let t = pp::obs::json::parse(&trace_text).expect("trace JSON parses");
+    let events = t
+        .get("traceEvents")
+        .and_then(pp::obs::Json::as_arr)
+        .expect("traceEvents");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(pp::obs::Json::as_str), Some("X"));
+        assert!(ev.get("dur").and_then(pp::obs::Json::as_f64).is_some());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_still_reads_saved_profiles() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-statscct-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("profile.cct");
+    let out = pp(&[
+        "cct",
+        "130.li",
+        "--scale",
+        "0.05",
+        "--out",
+        file.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success());
+    let out = pp(&["stats", file.to_str().expect("utf8")]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("records:"), "{text}");
+    assert!(
+        !text.contains("dilation"),
+        "saved-profile mode runs nothing"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quiet_silences_diagnostics_but_not_exit_codes() {
+    // --max-uops forces an abort: leveled warning on stderr, exit code 2.
+    let noisy = pp(&[
+        "run",
+        "129.compress",
+        "--scale",
+        "0.05",
+        "--max-uops",
+        "2000",
+    ]);
+    assert_eq!(noisy.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&noisy.stderr);
+    assert!(
+        err.contains("pp [warn]") && err.contains("aborted"),
+        "{err}"
+    );
+
+    let quiet = pp(&[
+        "run",
+        "129.compress",
+        "--scale",
+        "0.05",
+        "--max-uops",
+        "2000",
+        "--quiet",
+    ]);
+    assert_eq!(quiet.status.code(), Some(2), "--quiet keeps the exit code");
+    let err = String::from_utf8_lossy(&quiet.stderr);
+    assert!(
+        !err.contains("pp [warn]"),
+        "--quiet must silence the warning: {err}"
+    );
+    // The one-line error explaining the nonzero exit always prints.
+    assert!(err.contains("error:"), "{err}");
+}
+
+#[test]
 fn bad_target_fails_cleanly() {
     let out = pp(&["run", "999.nonesuch"]);
     assert!(!out.status.success());

@@ -83,6 +83,45 @@ fn every_profile_is_bit_identical_across_interpreters() {
     }
 }
 
+/// The observability layer inherits the determinism guarantee: every
+/// metric an observed run records — the sink's hot-path counters and
+/// everything `observe::record_outcome` derives afterwards — is a
+/// function of simulated state only, so the registry snapshot is
+/// byte-identical across the two interpreters, and across repeated
+/// runs of the same one.
+#[test]
+fn metrics_snapshots_are_identical_across_interpreters() {
+    let profiler = Profiler::default();
+    let config = RunConfig::CombinedHw { events: EVENTS };
+    for w in pp::workloads::suite(0.05) {
+        let observed = |run: &dyn Fn(&mut pp::obs::Registry) -> pp::profiler::RunOutcome| {
+            let mut reg = pp::obs::Registry::new();
+            let outcome = run(&mut reg);
+            pp::profiler::observe::record_outcome(&mut reg, &outcome);
+            reg
+        };
+        let a = observed(&|reg| {
+            profiler
+                .run_observed(&w.program, config, reg)
+                .expect("optimized")
+        });
+        let b = observed(&|reg| {
+            profiler
+                .run_reference_observed(&w.program, config, reg)
+                .expect("reference")
+        });
+        let rerun = observed(&|reg| {
+            profiler
+                .run_observed(&w.program, config, reg)
+                .expect("optimized rerun")
+        });
+        assert!(!a.is_empty(), "{}: observed run recorded nothing", w.name);
+        assert_eq!(a.snapshot(), b.snapshot(), "interpreters: {}", w.name);
+        assert_eq!(a.snapshot(), rerun.snapshot(), "rerun: {}", w.name);
+        assert_eq!(a.to_json(), b.to_json(), "json: {}", w.name);
+    }
+}
+
 /// Control flow itself is identical: with block tracing on, both
 /// interpreters count every `(procedure, block)` execution the same.
 #[test]

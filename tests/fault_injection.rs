@@ -349,6 +349,57 @@ fn cct_record_cap_degrades_to_bounded_tree() {
     );
 }
 
+/// The observability layer reports *which* injected faults actually
+/// fired, not just that the outcome degraded: the machine keeps a
+/// `FaultLog` in its `RunResult`, and an observed run surfaces it as
+/// `fault.*` metrics in the registry.
+#[test]
+fn fault_log_reports_which_faults_fired() {
+    let prog = sample_program();
+    let config = RunConfig::FlowHw { events: EVENTS };
+
+    // A clean run fires nothing.
+    let clean = Profiler::default().run(&prog, config).expect("instrument");
+    assert!(!clean.machine.fault_log.any_fired());
+
+    // Preload + skew (no abort): exactly those two families fire.
+    let plan = FaultPlan::default()
+        .preload_pics(u32::MAX, u32::MAX - 3)
+        .skew_reads(ReadSkew {
+            period: 3,
+            magnitude: 5,
+        });
+    let mut reg = pp::obs::Registry::new();
+    let run = Profiler::default()
+        .with_fault_plan(plan)
+        .run_observed(&prog, config, &mut reg)
+        .expect("instrument");
+    pp::profiler::observe::record_outcome(&mut reg, &run);
+    let log = run.machine.fault_log;
+    assert!(log.pics_preloaded);
+    assert!(log.skewed_reads > 0, "skew with period 3 must fire");
+    assert_eq!(log.aborted_at, None);
+    assert_eq!(reg.counter_value("fault.pics_preloaded"), 1);
+    assert_eq!(reg.counter_value("fault.skewed_reads"), log.skewed_reads);
+    assert_eq!(reg.counter_value("fault.aborted"), 0);
+
+    // An abort records that it fired and where.
+    let mut reg = pp::obs::Registry::new();
+    let run = Profiler::default()
+        .with_fault_plan(FaultPlan::default().abort_at_uops(500))
+        .run_observed(&prog, RunConfig::FlowFreq, &mut reg)
+        .expect("instrument");
+    pp::profiler::observe::record_outcome(&mut reg, &run);
+    assert!(!run.is_complete());
+    assert_eq!(run.machine.fault_log.aborted_at, Some(run.machine.uops));
+    assert!(!run.machine.fault_log.pics_preloaded);
+    assert_eq!(reg.counter_value("fault.aborted"), 1);
+    assert_eq!(
+        reg.gauge_value("fault.aborted_at_uops"),
+        Some(run.machine.uops as f64)
+    );
+}
+
 /// The full fault matrix: every injected fault under every run
 /// configuration completes without panicking and returns a usable
 /// outcome (typed fault or clean completion).
