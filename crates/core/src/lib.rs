@@ -49,9 +49,14 @@ pub mod profile;
 pub mod profiler;
 pub mod report;
 mod sink_impl;
+pub mod supervisor;
 
 pub use analysis::{ContextPathStat, HotPathReport, HotProcReport, PathClass, PathStat, ProcStat};
 pub use error::PpError;
 pub use profile::{FlowProfile, PathCell};
 pub use profiler::{ProfileError, Profiler, RunConfig, RunOutcome, RunReport};
 pub use report::TextTable;
+pub use supervisor::manifest::{BatchManifest, JobEntry, JobStatus, ProfileRef};
+pub use supervisor::{
+    BatchFaultPlan, BatchReport, FailureClass, FailureKind, JobFailure, JobSpec, Supervisor,
+};

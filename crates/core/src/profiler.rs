@@ -6,7 +6,7 @@ use pp_cct::{CctConfig, CctRuntime, ProcInfo};
 use pp_instrument::{instrument_program, InstrumentError, InstrumentOptions, Instrumented, Mode};
 use pp_ir::{HwEvent, Program};
 use pp_obs::{NoopRecorder, Recorder};
-use pp_usim::{ExecError, FaultPlan, Machine, MachineConfig, NullSink, RunResult};
+use pp_usim::{ExecError, FaultPlan, GuestLimits, Machine, MachineConfig, NullSink, RunResult};
 
 use crate::profile::FlowProfile;
 use crate::sink_impl::PpSink;
@@ -206,6 +206,7 @@ impl std::ops::DerefMut for RunOutcome {
 pub struct Profiler {
     machine_config: MachineConfig,
     fault_plan: FaultPlan,
+    limits: GuestLimits,
     cct_max_records: u32,
 }
 
@@ -215,6 +216,7 @@ impl Profiler {
         Profiler {
             machine_config,
             fault_plan: FaultPlan::default(),
+            limits: GuestLimits::default(),
             cct_max_records: 0,
         }
     }
@@ -224,6 +226,23 @@ impl Profiler {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Profiler {
         self.fault_plan = plan;
         self
+    }
+
+    /// Imposes [`GuestLimits`] (fuel, memory cap, call-depth cap,
+    /// deadline, cancellation) on every decoded-machine run. A tripped
+    /// limit comes back as a [`RunOutcome`] whose fault is
+    /// [`ExecError::LimitExceeded`] and whose report holds the partial
+    /// profile. The tree-walking reference interpreter ignores limits
+    /// (it is a differential oracle, never run unattended), so do not
+    /// set limits on runs that will be compared differentially.
+    pub fn with_limits(mut self, limits: GuestLimits) -> Profiler {
+        self.limits = limits;
+        self
+    }
+
+    /// The guest limits in effect.
+    pub fn limits(&self) -> &GuestLimits {
+        &self.limits
     }
 
     /// Caps the CCT record arena at `max_records` (0 = unlimited). Once
@@ -275,6 +294,7 @@ impl Profiler {
                 Machine::new(program, self.machine_config)
             };
             machine.inject_faults(self.fault_plan);
+            machine.set_limits(self.limits.clone());
             let _span = pp_obs::span!("simulate");
             let (machine, fault) = match machine.run(&mut NullSink) {
                 Ok(r) => (r, None),
@@ -344,6 +364,7 @@ impl Profiler {
             Machine::new(&inst.program, self.machine_config)
         };
         machine.inject_faults(self.fault_plan);
+        machine.set_limits(self.limits.clone());
         // On a machine fault the sink still holds everything collected up
         // to the fault; recover it rather than discarding the run.
         let _span = pp_obs::span!("simulate");

@@ -1,0 +1,512 @@
+//! The crash-safe batch manifest.
+//!
+//! A batch campaign periodically snapshots its per-job completion state
+//! into `manifest.ppb` inside the checkpoint directory, wrapped in the
+//! same magic/length/payload/CRC-32 envelope as the PPCCT02/PPFLOW2
+//! profile files. Every write is atomic — the bytes go to a temp file
+//! that is fsynced and renamed over the manifest — so a `kill -9` at any
+//! instant leaves either the previous manifest or the new one, never a
+//! torn hybrid. A manifest that *does* fail validation (a deliberately
+//! truncated file, flipped payload bytes, a stale magic) is reported as
+//! a typed [`SerializeError`] rather than silently re-running the world.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! magic    8 bytes   b"PPBAT01\n"
+//! length   u64 LE    payload byte count
+//! payload:
+//!   u64      jitter/backoff seed the campaign was started with
+//!   string   campaign parameter tag (config, scale, limits, …)
+//!   u32      number of jobs
+//!   per job:
+//!     string   job name
+//!     u8       status (0 pending, 1 done, 2 failed)
+//!     u32      attempts consumed
+//!     u64      simulated cycles (partial when failed)
+//!     u64      retired µops (partial when failed)
+//!     string   failure detail ("" unless failed)
+//!     u8       flow-profile ref present? + {string file, u64 len, u32 crc}
+//!     u8       cct-profile ref present? + {string file, u64 len, u32 crc}
+//! crc32    u32 LE    CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! where `string` is `u32 LE length + UTF-8 bytes`. Everything in the
+//! payload is a function of the campaign's inputs — no timestamps, no
+//! worker identities, no host state — so an interrupted-and-resumed
+//! campaign converges to a manifest byte-identical to an uninterrupted
+//! run with the same seed.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use pp_cct::{crc32, read_envelope, write_envelope, SerializeError};
+
+const MAGIC: &[u8; 8] = b"PPBAT01\n";
+
+/// File name of the manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.ppb";
+
+/// Guard against allocating job tables from garbage length fields.
+const MAX_JOBS: u32 = 1 << 20;
+const MAX_STRING: u32 = 1 << 20;
+
+/// Per-job completion state as persisted in the manifest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobStatus {
+    /// Not yet run (or was in flight when the campaign stopped).
+    Pending,
+    /// Ran to completion; profile refs may point at its serialized
+    /// profiles.
+    Done,
+    /// Exhausted its retries or failed permanently.
+    Failed,
+}
+
+impl JobStatus {
+    fn to_u8(self) -> u8 {
+        match self {
+            JobStatus::Pending => 0,
+            JobStatus::Done => 1,
+            JobStatus::Failed => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<JobStatus, SerializeError> {
+        match v {
+            0 => Ok(JobStatus::Pending),
+            1 => Ok(JobStatus::Done),
+            2 => Ok(JobStatus::Failed),
+            other => Err(SerializeError::Format(format!("bad job status {other}"))),
+        }
+    }
+}
+
+/// Reference to a profile file written next to the manifest: name,
+/// length, and CRC-32 of its bytes. Resume validates all three before
+/// trusting a `Done` entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProfileRef {
+    /// File name relative to the checkpoint directory.
+    pub file: String,
+    /// Byte length of the file.
+    pub len: u64,
+    /// CRC-32 (IEEE) of the file bytes.
+    pub crc: u32,
+}
+
+impl ProfileRef {
+    /// Builds a ref for `file` containing `bytes`.
+    pub fn for_bytes(file: impl Into<String>, bytes: &[u8]) -> ProfileRef {
+        ProfileRef {
+            file: file.into(),
+            len: bytes.len() as u64,
+            crc: crc32(bytes),
+        }
+    }
+
+    /// Whether the file under `dir` still matches this ref.
+    pub fn validates(&self, dir: &Path) -> bool {
+        match fs::read(dir.join(&self.file)) {
+            Ok(bytes) => bytes.len() as u64 == self.len && crc32(&bytes) == self.crc,
+            Err(_) => false,
+        }
+    }
+}
+
+/// One job's row in the manifest.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobEntry {
+    /// Workload name (unique within a campaign).
+    pub name: String,
+    /// Completion state.
+    pub status: JobStatus,
+    /// Attempts consumed so far (0 while pending).
+    pub attempts: u32,
+    /// Simulated cycles of the final attempt (partial when failed).
+    pub cycles: u64,
+    /// Retired µops of the final attempt (partial when failed).
+    pub uops: u64,
+    /// Failure description ("" unless failed).
+    pub detail: String,
+    /// Serialized flow profile, when the config produces one.
+    pub flow: Option<ProfileRef>,
+    /// Serialized CCT profile, when the config produces one.
+    pub cct: Option<ProfileRef>,
+}
+
+impl JobEntry {
+    /// A fresh pending entry for `name`.
+    pub fn pending(name: impl Into<String>) -> JobEntry {
+        JobEntry {
+            name: name.into(),
+            status: JobStatus::Pending,
+            attempts: 0,
+            cycles: 0,
+            uops: 0,
+            detail: String::new(),
+            flow: None,
+            cct: None,
+        }
+    }
+}
+
+/// The campaign manifest: jitter seed, parameter tag, and one
+/// [`JobEntry`] per job in job order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchManifest {
+    /// The seed the campaign's deterministic backoff jitter used.
+    pub seed: u64,
+    /// Opaque campaign-parameter tag (config, scale, limits). Resume
+    /// refuses a manifest whose tag differs from the live campaign's.
+    pub params: String,
+    /// Per-job state, in job order.
+    pub jobs: Vec<JobEntry>,
+}
+
+impl BatchManifest {
+    /// Whether every job reached a final state (done or failed).
+    pub fn is_complete(&self) -> bool {
+        self.jobs.iter().all(|j| j.status != JobStatus::Pending)
+    }
+
+    /// Jobs in each state: `(pending, done, failed)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for j in &self.jobs {
+            match j.status {
+                JobStatus::Pending => c.0 += 1,
+                JobStatus::Done => c.1 += 1,
+                JobStatus::Failed => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Serializes the manifest (envelope included) into a byte vector.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors from the in-memory writer, which cannot occur in
+    /// practice.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, SerializeError> {
+        let mut payload = Vec::new();
+        put8(&mut payload, self.seed);
+        put_str(&mut payload, &self.params);
+        put4(&mut payload, self.jobs.len() as u32);
+        for j in &self.jobs {
+            put_str(&mut payload, &j.name);
+            payload.push(j.status.to_u8());
+            put4(&mut payload, j.attempts);
+            put8(&mut payload, j.cycles);
+            put8(&mut payload, j.uops);
+            put_str(&mut payload, &j.detail);
+            for r in [&j.flow, &j.cct] {
+                match r {
+                    None => payload.push(0),
+                    Some(r) => {
+                        payload.push(1);
+                        put_str(&mut payload, &r.file);
+                        put8(&mut payload, r.len);
+                        put4(&mut payload, r.crc);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        write_envelope(&mut out, MAGIC, &payload)?;
+        Ok(out)
+    }
+
+    /// Parses a manifest produced by [`BatchManifest::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SerializeError`] for a bad magic, truncation, checksum
+    /// mismatch, or an internally implausible payload — the torn/corrupt
+    /// checkpoint cases resume must detect.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<BatchManifest, SerializeError> {
+        let payload = read_envelope(&mut bytes, MAGIC, &[])?;
+        let mut cur = payload.as_slice();
+        let seed = take8(&mut cur)?;
+        let params = take_str(&mut cur)?;
+        let njobs = take4(&mut cur)?;
+        if njobs > MAX_JOBS {
+            return Err(SerializeError::Format(format!(
+                "implausible job count {njobs}"
+            )));
+        }
+        let mut jobs = Vec::with_capacity(njobs as usize);
+        for _ in 0..njobs {
+            let name = take_str(&mut cur)?;
+            let status = JobStatus::from_u8(take1(&mut cur)?)?;
+            let attempts = take4(&mut cur)?;
+            let cycles = take8(&mut cur)?;
+            let uops = take8(&mut cur)?;
+            let detail = take_str(&mut cur)?;
+            let mut refs = [None, None];
+            for slot in &mut refs {
+                if take1(&mut cur)? != 0 {
+                    *slot = Some(ProfileRef {
+                        file: take_str(&mut cur)?,
+                        len: take8(&mut cur)?,
+                        crc: take4(&mut cur)?,
+                    });
+                }
+            }
+            let [flow, cct] = refs;
+            jobs.push(JobEntry {
+                name,
+                status,
+                attempts,
+                cycles,
+                uops,
+                detail,
+                flow,
+                cct,
+            });
+        }
+        if !cur.is_empty() {
+            return Err(SerializeError::Format(format!(
+                "{} trailing payload bytes",
+                cur.len()
+            )));
+        }
+        Ok(BatchManifest { seed, params, jobs })
+    }
+
+    /// Atomically writes the manifest to `dir/manifest.ppb` (temp file +
+    /// fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`SerializeError::Io`] on any filesystem failure.
+    pub fn save_atomic(&self, dir: &Path) -> Result<(), SerializeError> {
+        let bytes = self.to_bytes()?;
+        write_atomic(&dir.join(MANIFEST_FILE), &bytes)?;
+        Ok(())
+    }
+
+    /// Loads and validates `dir/manifest.ppb`.
+    ///
+    /// # Errors
+    ///
+    /// [`SerializeError::Io`] when the file cannot be read; otherwise as
+    /// for [`BatchManifest::from_bytes`].
+    pub fn load(dir: &Path) -> Result<BatchManifest, SerializeError> {
+        let bytes = fs::read(dir.join(MANIFEST_FILE))?;
+        BatchManifest::from_bytes(&bytes)
+    }
+
+    /// Path of the manifest inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+}
+
+/// Atomically replaces `path` with `bytes`: write `path.tmp`, fsync it,
+/// rename over `path`, then fsync the directory so the rename itself is
+/// durable. A crash at any point leaves either the old file or the new
+/// one.
+///
+/// # Errors
+///
+/// Any filesystem failure along the way.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Directory fsync makes the rename durable; best-effort on
+        // filesystems that refuse to sync directories.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Truncates `dir`'s manifest to `keep` bytes — the injected torn-write
+/// fault (`kill -9` landing mid-write on a filesystem without atomic
+/// rename). Used by the supervisor's fault plan and by tests.
+///
+/// # Errors
+///
+/// Any filesystem failure.
+pub fn truncate_manifest(dir: &Path, keep: u64) -> std::io::Result<()> {
+    let f = OpenOptions::new()
+        .write(true)
+        .open(dir.join(MANIFEST_FILE))?;
+    f.set_len(keep)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+// ----- little-endian cursor helpers -------------------------------------
+
+fn put4(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put8(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put4(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn short(cur: &[u8], want: usize) -> SerializeError {
+    SerializeError::Truncated {
+        expected: want as u64,
+        got: cur.len() as u64,
+    }
+}
+
+fn take1(cur: &mut &[u8]) -> Result<u8, SerializeError> {
+    if cur.is_empty() {
+        return Err(short(cur, 1));
+    }
+    let b = cur[0];
+    *cur = &cur[1..];
+    Ok(b)
+}
+
+fn take4(cur: &mut &[u8]) -> Result<u32, SerializeError> {
+    if cur.len() < 4 {
+        return Err(short(cur, 4));
+    }
+    let (head, rest) = cur.split_at(4);
+    *cur = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+}
+
+fn take8(cur: &mut &[u8]) -> Result<u64, SerializeError> {
+    if cur.len() < 8 {
+        return Err(short(cur, 8));
+    }
+    let (head, rest) = cur.split_at(8);
+    *cur = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
+fn take_str(cur: &mut &[u8]) -> Result<String, SerializeError> {
+    let len = take4(cur)?;
+    if len > MAX_STRING {
+        return Err(SerializeError::Format(format!(
+            "implausible string length {len}"
+        )));
+    }
+    let len = len as usize;
+    if cur.len() < len {
+        return Err(short(cur, len));
+    }
+    let (head, rest) = cur.split_at(len);
+    *cur = rest;
+    String::from_utf8(head.to_vec())
+        .map_err(|_| SerializeError::Format("non-UTF-8 string".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BatchManifest {
+        BatchManifest {
+            seed: 42,
+            params: "config=combined scale=0.1".to_string(),
+            jobs: vec![
+                JobEntry {
+                    name: "099.go".to_string(),
+                    status: JobStatus::Done,
+                    attempts: 1,
+                    cycles: 123_456,
+                    uops: 99_000,
+                    detail: String::new(),
+                    flow: None,
+                    cct: Some(ProfileRef::for_bytes("job-000.cct", b"cctbytes")),
+                },
+                JobEntry {
+                    name: "126.gcc".to_string(),
+                    status: JobStatus::Failed,
+                    attempts: 3,
+                    cycles: 10,
+                    uops: 7,
+                    detail: "panicked: injected".to_string(),
+                    flow: None,
+                    cct: None,
+                },
+                JobEntry::pending("130.li"),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_bytes() {
+        let m = sample();
+        let bytes = m.to_bytes().unwrap();
+        let back = BatchManifest::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert!(!m.is_complete());
+        assert_eq!(m.counts(), (1, 1, 1));
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed() {
+        let bytes = sample().to_bytes().unwrap();
+        let torn = &bytes[..bytes.len() / 2];
+        assert!(matches!(
+            BatchManifest::from_bytes(torn),
+            Err(SerializeError::Truncated { .. })
+        ));
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            BatchManifest::from_bytes(&flipped),
+            Err(SerializeError::ChecksumMismatch { .. })
+        ));
+        let mut bad_magic = bytes;
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            BatchManifest::from_bytes(&bad_magic),
+            Err(SerializeError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_save_and_load() {
+        let dir = std::env::temp_dir().join(format!("pp-manifest-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let m = sample();
+        m.save_atomic(&dir).unwrap();
+        assert!(!BatchManifest::path_in(&dir).with_extension("tmp").exists());
+        assert_eq!(BatchManifest::load(&dir).unwrap(), m);
+        // A torn write (simulated truncation) is detected, not parsed.
+        truncate_manifest(&dir, 9).unwrap();
+        assert!(matches!(
+            BatchManifest::load(&dir),
+            Err(SerializeError::Truncated { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_ref_validates_bytes() {
+        let dir = std::env::temp_dir().join(format!("pp-profref-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let r = ProfileRef::for_bytes("p.bin", b"payload");
+        assert!(!r.validates(&dir), "missing file fails");
+        fs::write(dir.join("p.bin"), b"payload").unwrap();
+        assert!(r.validates(&dir));
+        fs::write(dir.join("p.bin"), b"paYload").unwrap();
+        assert!(!r.validates(&dir), "altered bytes fail");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -54,6 +54,7 @@ mod config;
 mod decode;
 mod fault;
 mod layout;
+mod limits;
 mod machine;
 mod mem;
 mod metrics;
@@ -67,6 +68,7 @@ pub use config::MachineConfig;
 pub use decode::DecodedProgram;
 pub use fault::{FaultLog, FaultPlan, ReadSkew};
 pub use layout::CodeLayout;
+pub use limits::{CancelToken, GuestLimits, LimitKind, DEFAULT_CHECK_INTERVAL};
 pub use machine::{ExecError, Machine, RunResult};
 pub use mem::Memory;
 pub use metrics::HwMetrics;

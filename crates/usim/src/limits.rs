@@ -1,0 +1,251 @@
+//! Enforceable guest resource limits.
+//!
+//! [`MachineConfig`](crate::MachineConfig) already carries two *runaway
+//! guards* — `max_instructions` and `max_call_depth` — sized so that any
+//! correct workload stays far below them. This module adds *policy*
+//! limits a supervisor imposes per job: a fuel (µop) budget, a simulated
+//! resident-memory cap, a tighter call-depth cap, a wall-clock deadline,
+//! and a cooperative [`CancelToken`]. All of them terminate the guest
+//! with a typed [`ExecError::LimitExceeded`](crate::ExecError) from which
+//! [`Machine::partial_result`](crate::Machine::partial_result) still
+//! yields the profile collected up to the stop — a limit is a degraded
+//! outcome, not data loss.
+//!
+//! Enforcement is designed around the decoded run loop's single hoisted
+//! compare (`uops >= stop`):
+//!
+//! * **fuel** folds directly into `stop` — zero extra hot-loop cost;
+//! * **deadline / cancellation / memory** are *cooperative*: the loop
+//!   only reaches the slow checks every [`GuestLimits::check_interval`]
+//!   µops by clamping `stop` to the next checkpoint, so the hot path
+//!   still pays exactly one compare per µop (the `pp bench` guard holds
+//!   the combined-pipeline cost of this scheme under 2%);
+//! * **call depth** is checked where frames are pushed, off the µop
+//!   dispatch path.
+//!
+//! Limits apply to the decoded interpreter only; the tree-walking
+//! `ReferenceMachine` (a differential-testing oracle, never run
+//! unattended) ignores them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which resource limit stopped the guest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LimitKind {
+    /// The µop fuel budget ran out ([`GuestLimits::fuel`]).
+    Fuel {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// Simulated resident memory exceeded the cap
+    /// ([`GuestLimits::max_resident_pages`]). Detected at the next
+    /// cooperative checkpoint, so the observed footprint can overshoot
+    /// the cap by whatever one check interval allocates.
+    Memory {
+        /// Resident 4 KB pages when the check fired.
+        resident_pages: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// Call depth exceeded the per-job cap
+    /// ([`GuestLimits::max_call_depth`]), which is tighter than the
+    /// machine-wide `max_call_depth` runaway guard.
+    CallDepth {
+        /// Depth at which the push was refused.
+        depth: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The wall-clock deadline passed ([`GuestLimits::deadline`]).
+    Deadline {
+        /// Configured deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitKind::Fuel { budget } => write!(f, "fuel budget of {budget} uops exhausted"),
+            LimitKind::Memory {
+                resident_pages,
+                cap,
+            } => write!(
+                f,
+                "resident memory {resident_pages} pages exceeded cap of {cap} pages"
+            ),
+            LimitKind::CallDepth { depth, cap } => {
+                write!(f, "call depth {depth} exceeded cap of {cap}")
+            }
+            LimitKind::Deadline { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms passed")
+            }
+            LimitKind::Cancelled => f.write_str("cancelled by supervisor"),
+        }
+    }
+}
+
+/// A shared flag a supervisor flips to stop a running guest at its next
+/// cooperative checkpoint. Clones observe the same flag; triggering is
+/// sticky and async-signal-safe (a single relaxed atomic store), so a
+/// SIGINT handler may call [`CancelToken::cancel`] directly.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-run guest resource limits. All limits default to *off*; a
+/// default `GuestLimits` makes [`Machine::run`](crate::Machine::run)
+/// behave exactly as before. Install with
+/// [`Machine::set_limits`](crate::Machine::set_limits).
+///
+/// Not `Copy` (the cancel token is an `Arc`), unlike
+/// [`MachineConfig`](crate::MachineConfig) — limits are job policy, not
+/// machine shape.
+#[derive(Clone, Debug)]
+pub struct GuestLimits {
+    /// µop budget for the run. Exhaustion is
+    /// [`LimitKind::Fuel`]; distinct from `max_instructions`
+    /// (the machine-wide runaway guard) so a supervisor can budget a job
+    /// without reconfiguring the machine.
+    pub fuel: Option<u64>,
+    /// Cap on simulated resident memory, in 4 KB pages.
+    pub max_resident_pages: Option<usize>,
+    /// Per-job call-depth cap. Only meaningful below the machine's
+    /// `max_call_depth`; the tighter bound wins.
+    pub max_call_depth: Option<usize>,
+    /// Wall-clock budget measured from run start.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation, checked at the same cadence as the
+    /// deadline.
+    pub cancel: Option<CancelToken>,
+    /// µops between cooperative checks of the deadline / cancel /
+    /// memory limits. Smaller intervals tighten enforcement latency at
+    /// the cost of more `Instant::now` calls; the default (4096) costs
+    /// well under 0.1% of combined-pipeline wall time.
+    pub check_interval: u64,
+}
+
+/// Default cooperative-check cadence, in µops.
+pub const DEFAULT_CHECK_INTERVAL: u64 = 4096;
+
+impl Default for GuestLimits {
+    fn default() -> GuestLimits {
+        GuestLimits {
+            fuel: None,
+            max_resident_pages: None,
+            max_call_depth: None,
+            deadline: None,
+            cancel: None,
+            check_interval: DEFAULT_CHECK_INTERVAL,
+        }
+    }
+}
+
+impl GuestLimits {
+    /// No limits — identical to `GuestLimits::default()`.
+    pub fn none() -> GuestLimits {
+        GuestLimits::default()
+    }
+
+    /// Sets the µop fuel budget.
+    pub fn with_fuel(mut self, uops: u64) -> GuestLimits {
+        self.fuel = Some(uops);
+        self
+    }
+
+    /// Sets the resident-memory cap, in 4 KB pages.
+    pub fn with_max_resident_pages(mut self, pages: usize) -> GuestLimits {
+        self.max_resident_pages = Some(pages);
+        self
+    }
+
+    /// Sets the per-job call-depth cap.
+    pub fn with_max_call_depth(mut self, depth: usize) -> GuestLimits {
+        self.max_call_depth = Some(depth);
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> GuestLimits {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> GuestLimits {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets the cooperative-check cadence (clamped to ≥ 1).
+    pub fn with_check_interval(mut self, uops: u64) -> GuestLimits {
+        self.check_interval = uops.max(1);
+        self
+    }
+
+    /// Whether any limit that needs periodic (non-fuel) checking is set.
+    pub fn needs_periodic_checks(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some() || self.max_resident_pages.is_some()
+    }
+
+    /// Whether any limit at all is set.
+    pub fn is_active(&self) -> bool {
+        self.fuel.is_some() || self.max_call_depth.is_some() || self.needs_periodic_checks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_limits_are_inert() {
+        let l = GuestLimits::default();
+        assert!(!l.is_active());
+        assert!(!l.needs_periodic_checks());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn builders_activate_checks() {
+        let l = GuestLimits::none().with_fuel(10);
+        assert!(l.is_active());
+        assert!(!l.needs_periodic_checks());
+        let l = GuestLimits::none().with_deadline(Duration::from_millis(5));
+        assert!(l.needs_periodic_checks());
+        assert_eq!(GuestLimits::none().with_check_interval(0).check_interval, 1);
+    }
+}

@@ -19,6 +19,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::time::Instant;
 
 use pp_ir::instr::{BinOp, FBinOp};
 use pp_ir::prof::{CounterStorage, PathTable};
@@ -29,6 +30,7 @@ use crate::config::MachineConfig;
 use crate::decode::{BlockIdx, DecodedProgram, MicroOp};
 use crate::fault::{FaultLog, FaultPlan};
 use crate::layout::CodeLayout;
+use crate::limits::{CancelToken, GuestLimits, LimitKind};
 use crate::metrics::HwMetrics;
 use crate::predict::{BranchPredictor, TargetPredictor};
 use crate::sink::ProfSink;
@@ -65,6 +67,10 @@ pub enum ExecError {
         /// Micro-ops retired when the abort fired.
         uops: u64,
     },
+    /// A supervisor-imposed [`GuestLimits`] bound stopped the guest.
+    /// [`Machine::partial_result`] still yields the profile collected up
+    /// to the stop.
+    LimitExceeded(LimitKind),
 }
 
 impl fmt::Display for ExecError {
@@ -79,6 +85,7 @@ impl fmt::Display for ExecError {
             ExecError::FaultAbort { uops } => {
                 write!(f, "injected fault aborted execution after {uops} uops")
             }
+            ExecError::LimitExceeded(kind) => write!(f, "guest limit exceeded: {kind}"),
         }
     }
 }
@@ -174,6 +181,7 @@ pub struct Machine<'p> {
     argv_scratch: Vec<i64>,
     fault: FaultPlan,
     fault_log: FaultLog,
+    limits: GuestLimits,
     counter_reads: u64,
 }
 
@@ -226,6 +234,7 @@ impl<'p> Machine<'p> {
             argv_scratch: Vec::new(),
             fault: FaultPlan::default(),
             fault_log: FaultLog::default(),
+            limits: GuestLimits::default(),
             counter_reads: 0,
         }
     }
@@ -241,6 +250,19 @@ impl<'p> Machine<'p> {
     /// Which injected faults have fired so far (see [`FaultLog`]).
     pub fn fault_log(&self) -> FaultLog {
         self.fault_log
+    }
+
+    /// Installs per-run [`GuestLimits`] (all off by default). The fuel
+    /// budget folds into the run loop's hoisted stop bound; deadline,
+    /// cancellation, and memory limits are checked cooperatively every
+    /// [`GuestLimits::check_interval`] µops.
+    pub fn set_limits(&mut self, limits: GuestLimits) {
+        self.limits = limits;
+    }
+
+    /// The limits currently installed.
+    pub fn limits(&self) -> &GuestLimits {
+        &self.limits
     }
 
     /// The code layout in effect.
@@ -494,6 +516,14 @@ impl<'p> Machine<'p> {
         args: &[i64],
         ret_to: Option<Reg>,
     ) -> Result<u32, ExecError> {
+        if let Some(cap) = self.limits.max_call_depth {
+            if self.frames.len() >= cap {
+                return Err(ExecError::LimitExceeded(LimitKind::CallDepth {
+                    depth: self.frames.len(),
+                    cap,
+                }));
+            }
+        }
         if self.frames.len() >= self.config.max_call_depth {
             return Err(ExecError::StackOverflow {
                 depth: self.frames.len(),
@@ -630,13 +660,28 @@ impl<'p> Machine<'p> {
             self.set_pics([p0, p1]);
             self.fault_log.pics_preloaded = true;
         }
-        // The instruction budget and the fault plan's abort point collapse
-        // into one hoisted bound, so the loop top pays a single compare;
-        // which limit fired is disambiguated only when it trips.
-        let stop = self
+        // The instruction budget, the fault plan's abort point, and the
+        // guest fuel budget collapse into one hoisted bound, so the loop
+        // top pays a single compare; which limit fired is disambiguated
+        // only when it trips. Limits needing wall-clock or memory state
+        // (deadline / cancellation / resident cap) are cooperative: the
+        // running `stop` is clamped to the next check interval so the
+        // slow checks run off the per-µop path entirely.
+        let hard_stop = self
             .config
             .max_instructions
-            .min(self.fault.abort_at_uops.unwrap_or(u64::MAX));
+            .min(self.fault.abort_at_uops.unwrap_or(u64::MAX))
+            .min(self.limits.fuel.unwrap_or(u64::MAX));
+        let check_interval = if self.limits.needs_periodic_checks() {
+            self.limits.check_interval.max(1)
+        } else {
+            u64::MAX
+        };
+        let deadline_at = self
+            .limits
+            .deadline
+            .map(|d| (Instant::now() + d, d.as_millis() as u64));
+        let mut stop = hard_stop.min(self.uops().saturating_add(check_interval));
         // The live frame's instruction pointer stays in this local; the
         // frame's `ip` field is written only at call sites (the resume
         // point) and read back on return/unwind.
@@ -648,11 +693,48 @@ impl<'p> Machine<'p> {
         // rather than re-testing the frame stack every micro-op.
         'run: loop {
             if self.uops() >= stop {
-                if self.uops() >= self.config.max_instructions {
-                    return Err(ExecError::InstructionLimit);
+                if self.uops() >= hard_stop {
+                    if self.uops() >= self.config.max_instructions {
+                        return Err(ExecError::InstructionLimit);
+                    }
+                    if self.fault.abort_at_uops.is_some_and(|at| self.uops() >= at) {
+                        self.fault_log.aborted_at = Some(self.uops());
+                        return Err(ExecError::FaultAbort { uops: self.uops() });
+                    }
+                    let budget = self
+                        .limits
+                        .fuel
+                        .expect("below the hard stop only fuel remains");
+                    return Err(ExecError::LimitExceeded(LimitKind::Fuel { budget }));
                 }
-                self.fault_log.aborted_at = Some(self.uops());
-                return Err(ExecError::FaultAbort { uops: self.uops() });
+                // Cooperative checkpoint: only reached every
+                // `check_interval` µops.
+                if self
+                    .limits
+                    .cancel
+                    .as_ref()
+                    .is_some_and(CancelToken::is_cancelled)
+                {
+                    return Err(ExecError::LimitExceeded(LimitKind::Cancelled));
+                }
+                if let Some((at, deadline_ms)) = deadline_at {
+                    if Instant::now() >= at {
+                        return Err(ExecError::LimitExceeded(LimitKind::Deadline {
+                            deadline_ms,
+                        }));
+                    }
+                }
+                if let Some(cap) = self.limits.max_resident_pages {
+                    let resident_pages = self.mem.resident_pages();
+                    if resident_pages > cap {
+                        return Err(ExecError::LimitExceeded(LimitKind::Memory {
+                            resident_pages,
+                            cap,
+                        }));
+                    }
+                }
+                stop = hard_stop.min(self.uops().saturating_add(check_interval));
+                continue 'run;
             }
             if SAMPLED && self.now() >= next_sample {
                 let (interval, on_sample) = sampler.as_mut().expect("sampling enabled");
@@ -1619,5 +1701,170 @@ mod tests {
         assert_eq!(counts[&(pid, BlockId(1))], 11);
         assert_eq!(counts[&(pid, BlockId(2))], 10);
         assert_eq!(counts[&(pid, BlockId(3))], 1);
+    }
+
+    /// A well-formed CFG (exit edge exists) whose loop never exits.
+    fn spin_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        f.block(e).mov(i, 0i64).jump(h);
+        // `i` is never incremented, so the exit edge is dead at run time.
+        f.block(h).cmp_lt(c, i, 1i64).branch(c, body, x);
+        f.block(body).nop().jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    #[test]
+    fn fuel_limit_stops_guest_with_partial_result() {
+        let prog = spin_program();
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.set_limits(GuestLimits::none().with_fuel(5_000));
+        let err = m.run(&mut NullSink).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::LimitExceeded(LimitKind::Fuel { budget: 5_000 })
+        );
+        let partial = m.partial_result();
+        assert!(partial.uops >= 5_000, "uops = {}", partial.uops);
+        assert!(partial.cycles() > 0);
+    }
+
+    #[test]
+    fn fuel_limit_does_not_fire_below_budget() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        f.block(e).nop().ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.set_limits(GuestLimits::none().with_fuel(5_000));
+        m.run(&mut NullSink).expect("short run completes");
+    }
+
+    #[test]
+    fn cancel_token_stops_at_next_checkpoint() {
+        let prog = spin_program();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.set_limits(
+            GuestLimits::none()
+                .with_cancel(token)
+                .with_check_interval(64),
+        );
+        let err = m.run(&mut NullSink).unwrap_err();
+        assert_eq!(err, ExecError::LimitExceeded(LimitKind::Cancelled));
+        // The stop is cooperative: within one check interval of the start.
+        assert!(m.partial_result().uops <= 128);
+    }
+
+    #[test]
+    fn zero_deadline_expires_at_first_checkpoint() {
+        let prog = spin_program();
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.set_limits(
+            GuestLimits::none()
+                .with_deadline(std::time::Duration::ZERO)
+                .with_check_interval(64),
+        );
+        let err = m.run(&mut NullSink).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::LimitExceeded(LimitKind::Deadline { deadline_ms: 0 })
+        );
+    }
+
+    #[test]
+    fn memory_cap_trips_on_page_growth() {
+        // Touch 64 distinct 4 KB pages; cap at 8.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let base = f.new_reg();
+        let mut bb = f.block(e);
+        bb.mov(base, 0x10_0000i64);
+        for page in 0..64 {
+            bb.store(Operand::Imm(1), base, page * 4096);
+        }
+        bb.ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.set_limits(
+            GuestLimits::none()
+                .with_max_resident_pages(8)
+                .with_check_interval(16),
+        );
+        let err = m.run(&mut NullSink).unwrap_err();
+        match err {
+            ExecError::LimitExceeded(LimitKind::Memory {
+                resident_pages,
+                cap,
+            }) => {
+                assert_eq!(cap, 8);
+                assert!(resident_pages > 8);
+            }
+            other => panic!("expected memory limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_depth_cap_is_tighter_than_machine_guard() {
+        let mut pb = ProgramBuilder::new();
+        let this = pb.declare("rec");
+        let mut f = pb.procedure_for(this);
+        let e = f.entry_block();
+        f.block(e).call(this, vec![], None).ret();
+        f.finish();
+        let prog = pb.finish(this);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.set_limits(GuestLimits::none().with_max_call_depth(16));
+        let err = m.run(&mut NullSink).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::LimitExceeded(LimitKind::CallDepth { depth: 16, cap: 16 })
+        );
+    }
+
+    #[test]
+    fn inert_limits_leave_run_results_identical() {
+        let prog = {
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.procedure("main");
+            let e = f.entry_block();
+            let h = f.new_block();
+            let body = f.new_block();
+            let x = f.new_block();
+            let i = f.new_reg();
+            let c = f.new_reg();
+            f.block(e).mov(i, 0i64).jump(h);
+            f.block(h).cmp_lt(c, i, 1000i64).branch(c, body, x);
+            f.block(body).add(i, i, 1i64).jump(h);
+            f.block(x).ret();
+            let id = f.finish();
+            pb.finish(id)
+        };
+        let plain = run_program(&prog);
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        // Generous limits that never fire must not perturb the cost model.
+        m.set_limits(
+            GuestLimits::none()
+                .with_fuel(u64::MAX / 2)
+                .with_deadline(std::time::Duration::from_secs(3600))
+                .with_max_resident_pages(usize::MAX / 2),
+        );
+        let limited = m.run(&mut NullSink).expect("run");
+        assert_eq!(plain.uops, limited.uops);
+        assert_eq!(plain.metrics, limited.metrics);
+        assert_eq!(plain.pics, limited.pics);
     }
 }

@@ -69,6 +69,10 @@ pub struct BenchArgs {
     /// per pipeline. The simulation is deterministic, so repeats differ
     /// only by host scheduling noise — best-of-N strips it.
     pub repeat: usize,
+    /// Guest resource limits (by default a conservative deadline) so a
+    /// wedged case cannot hang the bench; timed runs therefore measure
+    /// the hot loop *with* its limit checks armed.
+    pub limits: pp::usim::GuestLimits,
 }
 
 fn sample(
@@ -85,6 +89,12 @@ fn sample(
     let outcome = run(profiler, program, config).map_err(|e| PpError::Usage(e.to_string()))?;
     let wall_s = t.elapsed().as_secs_f64();
     if let Some(fault) = outcome.fault {
+        if matches!(fault, pp::usim::ExecError::LimitExceeded(_)) {
+            pp::obs::warn!(
+                "bench case hit a guest limit ({fault}); \
+                 raise --fuel/--deadline or pass --deadline 0"
+            );
+        }
         return Err(PpError::Aborted(fault));
     }
     let (cct_bytes, cct_records) = outcome
@@ -140,7 +150,8 @@ pub fn run_bench(args: &BenchArgs) -> Result<(), PpError> {
         args.scale
     };
     let cases = pp::bench::cases_at(scale);
-    let profiler = Profiler::new(pp::usim::MachineConfig::default());
+    let profiler =
+        Profiler::new(pp::usim::MachineConfig::default()).with_limits(args.limits.clone());
     let config = RunConfig::CombinedHw {
         events: args.events,
     };

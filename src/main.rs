@@ -17,6 +17,11 @@
 //! pp bench [--smoke] [--out FILE] [options] time the combined pipeline
 //!                                           over the suite; write
 //!                                           BENCH_<date>.json
+//! pp batch [targets...] [options]           supervised campaign over the
+//!                                           suite (or the given targets):
+//!                                           worker threads, guest limits,
+//!                                           retries, crash-safe
+//!                                           checkpoint/resume
 //!
 //! <target> is a suite benchmark name (see `pp list`) or a path to a
 //! textual IR file (see pp_ir::parse).
@@ -30,6 +35,23 @@
 //!                             DCG-style (default unlimited)
 //!   --max-uops <u64>          abort runs after this many micro-ops
 //!                             (partial profile, exit code 2)
+//!   --fuel <u64>              guest µop budget; a run that exhausts it
+//!                             stops with a typed limit error (batch
+//!                             default 1e9; elsewhere unlimited)
+//!   --deadline <secs>         guest wall-clock deadline; 0 disables
+//!                             (stats/bench default 120s, else none)
+//!   --jobs <n>                (batch) worker threads (default: up to 4)
+//!   --retries <n>             (batch) transient-failure retry budget
+//!                             per job (default 2)
+//!   --seed <u64>              (batch) backoff-jitter seed, stored in
+//!                             the manifest (default 0)
+//!   --checkpoint-dir <DIR>    (batch) persist the manifest + finished
+//!                             profiles there after each completion
+//!   --resume <DIR>            (batch) resume an interrupted campaign
+//!                             from DIR's manifest
+//!   --inject <spec>           (batch) fault injection: comma-separated
+//!                             hang@I | panic@I[:N] | transient@I[:N] |
+//!                             truncate@W[:KEEP] | halt@W
 //!   --smoke                   (bench) tiny scale, no BENCH file unless
 //!                             --out is given — the CI execution check
 //!   --repeat <n>              (bench) time each case n times, report the
@@ -46,15 +68,22 @@
 //! aborted, partial profile reported; 3 I/O error or corrupt profile.
 //! ```
 
+mod batch_cmd;
 mod bench_cmd;
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pp::cct::CctStats;
 use pp::ir::{HwEvent, ProcId, Program};
 use pp::profiler::{analysis, annotate, PpError, Profiler, RunConfig, RunOutcome};
-use pp::usim::{ExecError, MachineConfig};
+use pp::usim::{ExecError, GuestLimits, MachineConfig};
+
+/// Default wall-clock deadline for the long-running accounting commands
+/// (`pp stats`, `pp bench`): generous enough that no legitimate run on
+/// any plausible host gets near it, but a wedged guest no longer hangs
+/// CI forever. `--deadline 0` disables it.
+const ACCOUNTING_DEADLINE_S: f64 = 120.0;
 
 struct Options {
     config: String,
@@ -67,6 +96,14 @@ struct Options {
     out: Option<String>,
     cct_cap: u32,
     max_uops: Option<u64>,
+    fuel: Option<u64>,
+    deadline: Option<f64>,
+    jobs: usize,
+    retries: u32,
+    seed: u64,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
+    inject: Option<String>,
     smoke: bool,
     repeat: usize,
     trace: bool,
@@ -85,6 +122,17 @@ impl Default for Options {
             out: None,
             cct_cap: 0,
             max_uops: None,
+            fuel: None,
+            deadline: None,
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(4),
+            retries: 2,
+            seed: 0,
+            checkpoint_dir: None,
+            resume: None,
+            inject: None,
             smoke: false,
             repeat: 3,
             trace: false,
@@ -100,7 +148,25 @@ impl Options {
         if let Some(uops) = self.max_uops {
             mc.max_instructions = uops;
         }
-        Profiler::new(mc).with_cct_record_cap(self.cct_cap)
+        Profiler::new(mc)
+            .with_cct_record_cap(self.cct_cap)
+            .with_limits(self.guest_limits(0.0))
+    }
+
+    /// The guest resource limits the flags ask for. Commands that want a
+    /// conservative safety net (`pp stats`, `pp bench`) pass a non-zero
+    /// `default_deadline_s`, applied only when `--deadline` was absent;
+    /// an explicit `--deadline 0` always means "no deadline".
+    fn guest_limits(&self, default_deadline_s: f64) -> GuestLimits {
+        let mut limits = GuestLimits::none();
+        if let Some(fuel) = self.fuel {
+            limits = limits.with_fuel(fuel);
+        }
+        let deadline = self.deadline.unwrap_or(default_deadline_s);
+        if deadline > 0.0 {
+            limits = limits.with_deadline(Duration::from_secs_f64(deadline));
+        }
+        limits
     }
 }
 
@@ -167,6 +233,45 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
                         .map_err(|_| usage_err("bad --max-uops value (expect a u64)"))?,
                 );
             }
+            "--fuel" => {
+                opts.fuel = Some(
+                    value("--fuel", &mut it)?
+                        .parse()
+                        .map_err(|_| usage_err("bad --fuel value (expect a u64)"))?,
+                );
+            }
+            "--deadline" => {
+                let d: f64 = value("--deadline", &mut it)?
+                    .parse()
+                    .map_err(|_| usage_err("bad --deadline value (expect seconds)"))?;
+                if d < 0.0 || !d.is_finite() {
+                    return Err(usage_err("--deadline must be a non-negative number"));
+                }
+                opts.deadline = Some(d);
+            }
+            "--jobs" => {
+                opts.jobs = value("--jobs", &mut it)?
+                    .parse()
+                    .map_err(|_| usage_err("bad --jobs value (expect a positive integer)"))?;
+                if opts.jobs == 0 {
+                    return Err(usage_err("--jobs must be at least 1"));
+                }
+            }
+            "--retries" => {
+                opts.retries = value("--retries", &mut it)?
+                    .parse()
+                    .map_err(|_| usage_err("bad --retries value (expect a u32)"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed", &mut it)?
+                    .parse()
+                    .map_err(|_| usage_err("bad --seed value (expect a u64)"))?;
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(value("--checkpoint-dir", &mut it)?);
+            }
+            "--resume" => opts.resume = Some(value("--resume", &mut it)?),
+            "--inject" => opts.inject = Some(value("--inject", &mut it)?),
             "--smoke" => opts.smoke = true,
             "--trace" => opts.trace = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out", &mut it)?),
@@ -249,8 +354,13 @@ fn profiled(
 /// Warns about (and stashes) the fault of an aborted run, if any.
 fn note_fault(run: &RunOutcome, fault: &mut Option<ExecError>) {
     if let Some(e) = &run.fault {
+        let hint = if matches!(e, ExecError::LimitExceeded(_)) {
+            " — raise --fuel/--deadline, or pass 0 to disable the limit"
+        } else {
+            ""
+        };
         pp::obs::warn!(
-            "{} run aborted ({e}); reporting the partial profile",
+            "{} run aborted ({e}{hint}); reporting the partial profile",
             run.config
         );
         fault.get_or_insert_with(|| e.clone());
@@ -613,7 +723,11 @@ fn cmd_stats_overhead(target: &str, opts: &Options) -> Result<(), PpError> {
     }
     let (setup_events, _) = pp::obs::trace::take_events();
 
-    let profiler = opts.profiler();
+    // A conservative safety-net deadline: accounting runs are long, and
+    // without a bound a wedged guest would hang the command forever.
+    let profiler = opts
+        .profiler()
+        .with_limits(opts.guest_limits(ACCOUNTING_DEADLINE_S));
     // Unlike the other commands, stats defaults to the combined pipeline
     // so the report covers the CCT and path tables too.
     let config = if opts.config_set {
@@ -867,8 +981,10 @@ fn cmd_decode(
 }
 
 fn usage() -> &'static str {
-    "usage: pp <list|run|report|hot|cct|stats|annotate|decode|bench> [target] [options]\n\
+    "usage: pp <list|run|report|hot|cct|stats|annotate|decode|bench|batch> [target] [options]\n\
      run `pp list` to see the benchmark suite; see crate docs for options\n\
+     batch: --jobs N --retries N --fuel N --deadline S --seed N\n\
+            --checkpoint-dir DIR | --resume DIR  --inject hang@I,panic@I,...\n\
      observability: --trace, --trace-out FILE, --quiet (also PP_TRACE, PP_LOG)\n\
      exit codes: 0 ok, 1 usage, 2 aborted run (partial profile), 3 i/o or corrupt profile"
 }
@@ -919,7 +1035,37 @@ fn main() -> ExitCode {
                 out: opts.out.clone(),
                 events: opts.events,
                 repeat: opts.repeat,
+                limits: opts.guest_limits(ACCOUNTING_DEADLINE_S),
             }),
+            ("batch", targets) => {
+                // Batch defaults to the combined pipeline so checkpoints
+                // carry both the flow and the CCT profile.
+                let (config, config_name) = if opts.config_set {
+                    (run_config(&opts)?, opts.config.clone())
+                } else {
+                    (
+                        RunConfig::CombinedHw {
+                            events: opts.events,
+                        },
+                        "combined".to_string(),
+                    )
+                };
+                batch_cmd::run_batch(&batch_cmd::BatchArgs {
+                    targets: targets.to_vec(),
+                    config,
+                    config_name,
+                    scale: opts.scale,
+                    workers: opts.jobs,
+                    retries: opts.retries,
+                    seed: opts.seed,
+                    fuel: opts.fuel.unwrap_or(batch_cmd::DEFAULT_FUEL),
+                    deadline_s: opts.deadline,
+                    checkpoint_dir: opts.resume.clone().or_else(|| opts.checkpoint_dir.clone()),
+                    resume: opts.resume.is_some(),
+                    inject: opts.inject.clone(),
+                    profiler: opts.profiler(),
+                })
+            }
             _ => Err(PpError::Usage(usage().to_string())),
         };
         // Spans a command recorded but did not render itself (`pp

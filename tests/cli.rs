@@ -296,3 +296,118 @@ fn report_combines_everything() {
     assert!(text.contains("calling context tree"), "{text}");
     assert!(text.contains("section 6.4.3"), "{text}");
 }
+
+#[test]
+fn batch_runs_an_injected_campaign() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // 8 jobs, one runaway guest, one permanently panicking worker, one
+    // transient fault the retry budget absorbs.
+    let names = &pp::workloads::SUITE_NAMES[..8];
+    let mut args = vec!["batch"];
+    args.extend(names.iter().copied());
+    args.extend([
+        "--scale",
+        "0.02",
+        "--jobs",
+        "3",
+        "--seed",
+        "7",
+        "--fuel",
+        "50000000",
+        "--retries",
+        "2",
+        "--inject",
+        "hang@1,panic@2,transient@4",
+        "--checkpoint-dir",
+    ]);
+    let dir_str = dir.to_str().expect("utf8").to_string();
+    args.push(&dir_str);
+    let out = pp(&args);
+    assert!(
+        out.status.success(),
+        "campaign with contained failures exits 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("batch complete: all 8 jobs finished"),
+        "{text}"
+    );
+    assert!(text.contains("6 done, 2 failed, 0 pending"), "{text}");
+    assert!(text.contains("fuel budget"), "hang job detail:\n{text}");
+    assert!(text.contains("panicked"), "panic job detail:\n{text}");
+    // The transient job recovered on a retry.
+    let retried = text
+        .lines()
+        .find(|l| l.starts_with(names[4]))
+        .expect("transient job row");
+    assert!(
+        retried.contains("done") && retried.contains('2'),
+        "retry-then-succeed row: {retried}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_halt_resume_round_trip_is_byte_identical() {
+    let base = std::env::temp_dir().join(format!("pp-cli-batchrt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let full = base.join("full");
+    let halted = base.join("halted");
+    let names: Vec<&str> = pp::workloads::SUITE_NAMES[..8].to_vec();
+    let run = |dir: &std::path::Path, extra: &[&str]| {
+        let mut args = vec!["batch"];
+        args.extend(names.iter().copied());
+        args.extend(["--scale", "0.02", "--jobs", "2", "--seed", "11", "--quiet"]);
+        args.extend(extra.iter().copied());
+        let d = dir.to_str().expect("utf8").to_string();
+        let leaked: &'static str = Box::leak(d.into_boxed_str());
+        args.push(leaked);
+        pp(&args)
+    };
+    // Uninterrupted reference.
+    let out = run(&full, &["--checkpoint-dir"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Killed after 3 checkpoints (exit 2), then resumed.
+    let out = run(&halted, &["--inject", "halt@3", "--checkpoint-dir"]);
+    assert_eq!(out.status.code(), Some(2), "halt leaves work pending");
+    let out = run(&halted, &["--resume"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("batch complete: all 8 jobs finished"),
+        "{text}"
+    );
+    assert_eq!(
+        std::fs::read(full.join("manifest.ppb")).expect("reference manifest"),
+        std::fs::read(halted.join("manifest.ppb")).expect("resumed manifest"),
+        "resume converges on the uninterrupted manifest"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn batch_resume_rejects_garbage() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-batchbad-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Resume from a directory with no manifest → I/O error, exit 3.
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let d = dir.to_str().expect("utf8");
+    let out = pp(&["batch", "--scale", "0.02", "--quiet", "--resume", d]);
+    assert_eq!(out.status.code(), Some(3));
+    // Bad inject spec → usage error, exit 1.
+    let out = pp(&["batch", "--inject", "explode@1"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown kind"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

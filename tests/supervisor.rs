@@ -1,0 +1,386 @@
+//! Supervised-batch-profiling suite: the campaign harness must survive
+//! runaway guests, panicking workers, transient faults, torn checkpoint
+//! files, and the supervisor itself dying mid-run — and still produce a
+//! deterministic manifest.
+//!
+//! Everything persisted is a function of the campaign inputs, so the
+//! core invariant tested throughout is *byte identity*: same seed and
+//! jobs ⇒ the same `manifest.ppb`, regardless of worker count, fault
+//! injection that retries eventually absorb, or an
+//! interruption-and-resume in between.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use pp::ir::build::ProgramBuilder;
+use pp::ir::{HwEvent, Program};
+use pp::profiler::{
+    BatchFaultPlan, BatchManifest, JobSpec, JobStatus, PpError, Profiler, RunConfig, Supervisor,
+};
+use pp::usim::{CancelToken, GuestLimits, LimitKind};
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+const CONFIG: RunConfig = RunConfig::CombinedHw { events: EVENTS };
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pp-supervisor-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small real campaign: the first `n` suite workloads at a tiny scale.
+fn suite_jobs(n: usize) -> Vec<JobSpec> {
+    pp::workloads::suite(0.02)
+        .into_iter()
+        .take(n)
+        .map(|w| JobSpec::new(w.name, w.program, CONFIG))
+        .collect()
+}
+
+/// A well-formed CFG that never terminates (the exit edge is dead at
+/// run time) — the "runaway guest" every limit test needs.
+fn spin_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.procedure("main");
+    let e = f.entry_block();
+    let h = f.new_block();
+    let body = f.new_block();
+    let x = f.new_block();
+    let i = f.new_reg();
+    let c = f.new_reg();
+    f.block(e).mov(i, 0i64).jump(h);
+    f.block(h).cmp_lt(c, i, 1i64).branch(c, body, x);
+    f.block(body).nop().jump(h);
+    f.block(x).ret();
+    let id = f.finish();
+    pb.finish(id)
+}
+
+fn supervisor(workers: usize) -> Supervisor {
+    Supervisor::new(Profiler::default())
+        .with_workers(workers)
+        .with_seed(99)
+        .with_params("test-campaign")
+        .with_backoff_ms(0, 0) // keep retry tests fast
+}
+
+fn manifest_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("manifest.ppb")).expect("manifest exists")
+}
+
+#[test]
+fn same_seed_same_manifest_across_worker_counts() {
+    let jobs = suite_jobs(6);
+    let mut manifests = Vec::new();
+    for workers in [1, 2, 4] {
+        let dir = scratch(&format!("det-{workers}"));
+        let report = supervisor(workers)
+            .with_checkpoint_dir(&dir)
+            .run(&jobs, false)
+            .expect("campaign runs");
+        assert!(!report.interrupted);
+        assert!(report.manifest.is_complete());
+        manifests.push(manifest_bytes(&dir));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(
+        manifests[0], manifests[1],
+        "1 and 2 workers must write identical manifests"
+    );
+    assert_eq!(
+        manifests[1], manifests[2],
+        "2 and 4 workers must write identical manifests"
+    );
+}
+
+#[test]
+fn transient_faults_retry_then_succeed() {
+    let jobs = suite_jobs(4);
+    // Two injected transient failures, retry budget of two: attempt 3
+    // succeeds.
+    let report = supervisor(2)
+        .with_max_retries(2)
+        .with_fault_plan(BatchFaultPlan::default().transient_on_job(1, 2))
+        .run(&jobs, false)
+        .expect("campaign runs");
+    let entry = &report.manifest.jobs[1];
+    assert_eq!(entry.status, JobStatus::Done);
+    assert_eq!(entry.attempts, 3, "two retries then success");
+    assert_eq!(report.retries, 2);
+    // With the budget exhausted instead, the job lands as failed — and
+    // the rest of the campaign is untouched.
+    let report = supervisor(2)
+        .with_max_retries(1)
+        .with_fault_plan(BatchFaultPlan::default().transient_on_job(1, 5))
+        .run(&jobs, false)
+        .expect("campaign runs");
+    assert_eq!(report.manifest.jobs[1].status, JobStatus::Failed);
+    for (i, entry) in report.manifest.jobs.iter().enumerate() {
+        if i != 1 {
+            assert_eq!(entry.status, JobStatus::Done, "job {i} unaffected");
+        }
+    }
+}
+
+#[test]
+fn worker_panic_is_isolated_and_typed() {
+    let jobs = suite_jobs(5);
+    let report = supervisor(2)
+        .with_max_retries(1)
+        .with_fault_plan(BatchFaultPlan::default().panic_on_job(2, u32::MAX))
+        .run(&jobs, false)
+        .expect("a panicking worker must not abort the campaign");
+    let entry = &report.manifest.jobs[2];
+    assert_eq!(entry.status, JobStatus::Failed);
+    assert!(
+        entry.detail.contains("panicked") && entry.detail.contains("injected worker panic"),
+        "typed panic detail, got: {}",
+        entry.detail
+    );
+    assert_eq!(report.panics, 2, "initial attempt + one retry");
+    for (i, entry) in report.manifest.jobs.iter().enumerate() {
+        if i != 2 {
+            assert_eq!(entry.status, JobStatus::Done, "job {i} unaffected");
+        }
+    }
+}
+
+#[test]
+fn runaway_guest_burns_fuel_and_reports_partial_result() {
+    let mut jobs = suite_jobs(3);
+    jobs.push(JobSpec::new("spinner", spin_program(), CONFIG));
+    // A budget the real jobs clear comfortably but the spinner cannot.
+    let profiler = Profiler::default().with_limits(GuestLimits::none().with_fuel(50_000_000));
+    let report = Supervisor::new(profiler)
+        .with_workers(2)
+        .with_params("fuel-test")
+        .run(&jobs, false)
+        .expect("campaign survives a runaway guest");
+    let entry = &report.manifest.jobs[3];
+    assert_eq!(entry.status, JobStatus::Failed);
+    assert!(
+        entry.detail.contains("fuel budget"),
+        "detail: {}",
+        entry.detail
+    );
+    assert!(
+        entry.uops >= 50_000_000,
+        "partial result preserved: uops = {}",
+        entry.uops
+    );
+    assert!(entry.cycles > 0, "partial cycles preserved");
+    assert_eq!(report.limit_stops, 1);
+    // Fuel stops are deterministic, so they are not retried.
+    assert_eq!(entry.attempts, 1);
+}
+
+#[test]
+fn deadline_stops_a_runaway_guest() {
+    let jobs = vec![JobSpec::new("spinner", spin_program(), CONFIG)];
+    let profiler = Profiler::default()
+        .with_limits(GuestLimits::none().with_deadline(Duration::from_millis(30)));
+    let report = Supervisor::new(profiler)
+        .with_max_retries(0) // a deadline miss is transient; don't retry here
+        .run(&jobs, false)
+        .expect("campaign survives");
+    let entry = &report.manifest.jobs[0];
+    assert_eq!(entry.status, JobStatus::Failed);
+    assert!(
+        entry.detail.contains("deadline"),
+        "detail: {}",
+        entry.detail
+    );
+}
+
+#[test]
+fn halt_and_resume_yields_byte_identical_manifest() {
+    let jobs = suite_jobs(8);
+    // The uninterrupted reference.
+    let full = scratch("resume-full");
+    supervisor(3)
+        .with_checkpoint_dir(&full)
+        .run(&jobs, false)
+        .expect("reference campaign");
+
+    // The same campaign killed (no drain, no final manifest) after 3
+    // checkpoint writes, then resumed.
+    let halted = scratch("resume-halt");
+    let report = supervisor(3)
+        .with_checkpoint_dir(&halted)
+        .with_fault_plan(BatchFaultPlan::default().halt_after_checkpoints(3))
+        .run(&jobs, false)
+        .expect("halted campaign still returns");
+    assert!(report.interrupted);
+    let (pending, done, _) = report.manifest.counts();
+    assert!(pending > 0, "the halt left work unfinished");
+    assert_eq!(done, 3, "exactly the checkpointed completions");
+
+    let report = supervisor(3)
+        .with_checkpoint_dir(&halted)
+        .run(&jobs, true)
+        .expect("resume");
+    assert!(report.manifest.is_complete());
+    assert_eq!(report.resumed_skips, 3);
+    assert_eq!(
+        manifest_bytes(&full),
+        manifest_bytes(&halted),
+        "resume must converge on the uninterrupted manifest, byte for byte"
+    );
+    // The persisted profiles converge too.
+    for entry in &report.manifest.jobs {
+        for r in entry.flow.iter().chain(entry.cct.iter()) {
+            assert_eq!(
+                std::fs::read(full.join(&r.file)).expect("reference profile"),
+                std::fs::read(halted.join(&r.file)).expect("resumed profile"),
+                "{} differs",
+                r.file
+            );
+        }
+    }
+    std::fs::remove_dir_all(&full).ok();
+    std::fs::remove_dir_all(&halted).ok();
+}
+
+#[test]
+fn torn_checkpoint_is_detected_and_typed() {
+    let jobs = suite_jobs(4);
+    let dir = scratch("torn");
+    // Tear the second checkpoint write mid-manifest, then halt.
+    let report = supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .with_fault_plan(
+            BatchFaultPlan::default()
+                .truncate_checkpoint(2, 16)
+                .halt_after_checkpoints(2),
+        )
+        .run(&jobs, false)
+        .expect("halted campaign returns");
+    assert!(report.interrupted);
+
+    // Resume must refuse the torn manifest with a typed error, not
+    // garbage state.
+    let err = supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .run(&jobs, true)
+        .expect_err("torn manifest must not resume");
+    assert!(
+        matches!(err, PpError::Corrupt(_)),
+        "expected PpError::Corrupt, got {err:?}"
+    );
+    assert_eq!(err.exit_code(), 3);
+
+    // A fresh (non-resume) campaign over the same directory repairs it.
+    let report = supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .run(&jobs, false)
+        .expect("fresh campaign overwrites the torn state");
+    assert!(report.manifest.is_complete());
+    assert!(BatchManifest::load(&dir).is_ok(), "manifest readable again");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_refuses_a_different_campaign() {
+    let jobs = suite_jobs(3);
+    let dir = scratch("mismatch");
+    supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .run(&jobs, false)
+        .expect("campaign");
+    // Different params tag.
+    let err = supervisor(2)
+        .with_params("other-campaign")
+        .with_checkpoint_dir(&dir)
+        .run(&jobs, true)
+        .expect_err("params mismatch");
+    assert!(matches!(err, PpError::Usage(_)), "got {err:?}");
+    // Different job list.
+    let err = supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .run(&suite_jobs(2), true)
+        .expect_err("job-list mismatch");
+    assert!(matches!(err, PpError::Usage(_)), "got {err:?}");
+    // Resume without any checkpoint directory at all.
+    let err = supervisor(2)
+        .run(&jobs, true)
+        .expect_err("resume needs a directory");
+    assert!(matches!(err, PpError::Usage(_)), "got {err:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_profile_bytes_force_a_rerun_on_resume() {
+    let jobs = suite_jobs(3);
+    let dir = scratch("bitrot");
+    let report = supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .run(&jobs, false)
+        .expect("campaign");
+    assert!(report.manifest.is_complete());
+
+    // Flip a byte in one finished job's profile (the combined pipeline
+    // folds the path tables into the CCT, so the CCT file is the one
+    // that exists).
+    let victim = report.manifest.jobs[1]
+        .cct
+        .as_ref()
+        .expect("combined config writes CCT profiles")
+        .file
+        .clone();
+    let mut bytes = std::fs::read(dir.join(&victim)).expect("profile");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(dir.join(&victim), &bytes).expect("re-write");
+
+    // Resume: the damaged job re-runs (and re-persists good bytes), the
+    // other two are skipped.
+    let report = supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .run(&jobs, true)
+        .expect("resume");
+    assert!(report.manifest.is_complete());
+    assert_eq!(report.resumed_skips, 2);
+    let healed = report.manifest.jobs[1].cct.as_ref().expect("cct ref");
+    assert!(healed.validates(&dir), "profile bytes healed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cancellation_drains_and_writes_a_final_manifest() {
+    let jobs = suite_jobs(6);
+    let dir = scratch("cancel");
+    let cancel = CancelToken::new();
+    cancel.cancel(); // cancelled before the first pop: nothing runs
+    let report = supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .with_cancel(cancel)
+        .run(&jobs, false)
+        .expect("cancelled campaign still reports");
+    assert!(report.interrupted);
+    let (pending, _, _) = report.manifest.counts();
+    assert_eq!(pending, 6, "no job started");
+    // The final manifest was still written, so a resume finishes the work.
+    let report = supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .run(&jobs, true)
+        .expect("resume after cancellation");
+    assert!(report.manifest.is_complete());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cancelled_guest_reports_the_cancel_limit() {
+    // A cancel token wired into the *guest* limits stops even a spin
+    // program mid-flight (the cooperative check in the µop loop).
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let profiler = Profiler::default().with_limits(GuestLimits::none().with_cancel(cancel));
+    let run = profiler
+        .run(&spin_program(), RunConfig::FlowFreq)
+        .expect("instrumentation fine");
+    match run.fault {
+        Some(pp::usim::ExecError::LimitExceeded(LimitKind::Cancelled)) => {}
+        other => panic!("expected a cancel stop, got {other:?}"),
+    }
+}
