@@ -23,7 +23,7 @@ pub struct GprofProfile {
 #[derive(Debug, Default)]
 struct GprofSink {
     dcg: DynCallGraph,
-    stash: Vec<(u32, u32)>,
+    stash: Vec<(u64, u64)>,
 }
 
 impl ProfSink for GprofSink {
@@ -42,20 +42,20 @@ impl ProfSink for GprofSink {
         self.dcg.exit();
     }
 
-    fn cct_metric_enter(&mut self, pics: (u32, u32)) {
+    fn cct_metric_enter(&mut self, pics: (u64, u64)) {
         self.stash.push(pics);
     }
 
-    fn cct_metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+    fn cct_metric_exit(&mut self, pics: (u64, u64)) -> u64 {
         if let Some(s) = self.stash.pop() {
-            let d0 = pics.0.wrapping_sub(s.0) as u64;
-            let d1 = pics.1.wrapping_sub(s.1) as u64;
+            let d0 = pics.0.wrapping_sub(s.0);
+            let d1 = pics.1.wrapping_sub(s.1);
             self.dcg.add_metrics(&[d0, d1]);
         }
         0
     }
 
-    fn cct_metric_tick(&mut self, _pics: (u32, u32)) -> u64 {
+    fn cct_metric_tick(&mut self, _pics: (u64, u64)) -> u64 {
         0
     }
 

@@ -118,7 +118,7 @@ impl ProfSink for DepthLimitedSink {
         self.depth -= 1;
     }
 
-    fn cct_path_event(&mut self, _sum: u64, _pics: Option<(u32, u32)>) -> u64 {
+    fn cct_path_event(&mut self, _sum: u64, _pics: Option<(u64, u64)>) -> u64 {
         0
     }
 

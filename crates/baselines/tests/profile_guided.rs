@@ -15,7 +15,7 @@ use pp_usim::{Machine, MachineConfig, ProfSink};
 struct FlowSink(pp_core::FlowProfile);
 
 impl ProfSink for FlowSink {
-    fn path_event(&mut self, table: pp_ir::prof::PathTable, sum: u64, _pics: Option<(u32, u32)>) {
+    fn path_event(&mut self, table: pp_ir::prof::PathTable, sum: u64, _pics: Option<(u64, u64)>) {
         self.0.record(table.proc, sum, None);
     }
 }

@@ -244,7 +244,7 @@ struct CallRecord {
 struct Activation {
     saved_record: RecordId,
     saved_gcsp: SlotRef,
-    stash: (u32, u32),
+    stash: (u64, u64),
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -607,7 +607,7 @@ impl CctRuntime {
     /// # Panics
     ///
     /// Panics if no activation is live.
-    pub fn metric_enter(&mut self, pics: (u32, u32)) {
+    pub fn metric_enter(&mut self, pics: (u64, u64)) {
         self.stack
             .last_mut()
             .expect("metric_enter outside any activation")
@@ -616,27 +616,33 @@ impl CctRuntime {
 
     /// Context+HW: accumulate the counter deltas since the last snapshot
     /// into the current record. Returns the record's address (for cache
-    /// modeling). 32-bit wrap-around between snapshot and read is handled
-    /// by the wrapping subtraction, as long as reads are frequent enough —
-    /// which is what the Section 4.3 backedge ticks guarantee.
+    /// modeling). Counter values are the machine's wide wrap-reconciled
+    /// readings; wrap-around between snapshot and read is handled by the
+    /// wrapping subtraction, as long as reads are frequent enough — which
+    /// is what the Section 4.3 backedge ticks guarantee.
     ///
     /// # Panics
     ///
     /// Panics if no activation is live.
-    pub fn metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+    pub fn metric_exit(&mut self, pics: (u64, u64)) -> u64 {
         let act = self
             .stack
             .last()
             .expect("metric_exit outside any activation");
-        let d0 = pics.0.wrapping_sub(act.stash.0) as u64;
-        let d1 = pics.1.wrapping_sub(act.stash.1) as u64;
+        let d0 = pics.0.wrapping_sub(act.stash.0);
+        let d1 = pics.1.wrapping_sub(act.stash.1);
         let rec = &mut self.records[self.cur.index()];
         // Only the outermost live activation of a record accumulates:
         // recursive re-entries share the record, and their intervals are
         // already inside the outer activation's delta.
         if rec.metrics.len() >= 2 && rec.active <= 1 {
-            rec.metrics[0] += d0;
-            rec.metrics[1] += d1;
+            // Wrapping: an injected read skew can make an interval delta
+            // "negative" (read behind snapshot), which the wrapping
+            // subtraction above turns into a huge value. Accumulation
+            // must not panic on it — the integrity layer flags the
+            // resulting implausible totals instead.
+            rec.metrics[0] = rec.metrics[0].wrapping_add(d0);
+            rec.metrics[1] = rec.metrics[1].wrapping_add(d1);
         }
         rec.addr
     }
@@ -647,7 +653,7 @@ impl CctRuntime {
     /// # Panics
     ///
     /// Panics if no activation is live.
-    pub fn metric_tick(&mut self, pics: (u32, u32)) -> u64 {
+    pub fn metric_tick(&mut self, pics: (u64, u64)) -> u64 {
         let addr = self.metric_exit(pics);
         self.stack
             .last_mut()
@@ -1727,9 +1733,12 @@ mod tests {
         let procs = vec![ProcInfo::new("M", 0)];
         let mut cct = CctRuntime::new(CctConfig::with_hw_metrics(), procs);
         cct.enter(0);
-        cct.metric_enter((u32::MAX - 5, 100));
-        // Counter wrapped past zero: delta must still be 10.
-        cct.metric_exit((4, 110));
+        // The machine's wide shadow counters carry the architectural
+        // registers past their 32-bit wrap: the snapshot sits just below
+        // 2^32 and the read just above. The wrapping subtraction still
+        // yields the true delta of 10.
+        cct.metric_enter((u32::MAX as u64 - 5, 100));
+        cct.metric_exit((u32::MAX as u64 + 5, 110));
         let m = cct.record(RecordId(1));
         assert_eq!(m.metrics(), &[10, 10]);
         cct.exit();

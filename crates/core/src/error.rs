@@ -10,6 +10,7 @@
 //! | [`PpError::Usage`] | bad arguments / bad input program | 1 |
 //! | [`PpError::Instrument`] | Ball–Larus analysis or rewriting failed | 1 |
 //! | [`PpError::Aborted`] | execution cut short; a partial profile was still reported | 2 |
+//! | [`PpError::Integrity`] | a profile violated a checkable invariant (`pp verify`) | 2 |
 //! | [`PpError::Io`] | file I/O failed | 3 |
 //! | [`PpError::Corrupt`] | a profile file failed version/length/CRC validation | 3 |
 
@@ -20,6 +21,7 @@ use pp_cct::SerializeError;
 use pp_instrument::InstrumentError;
 use pp_usim::ExecError;
 
+use crate::integrity::IntegrityError;
 use crate::profiler::ProfileError;
 
 /// Everything that can go wrong when profiling — see the module docs for
@@ -43,6 +45,11 @@ pub enum PpError {
     /// A profile file failed validation (wrong version, truncated,
     /// checksum mismatch, or internally inconsistent).
     Corrupt(SerializeError),
+    /// A profile violated a semantic integrity invariant (flow
+    /// conservation, CCT structure, counter sanity). Like
+    /// [`PpError::Aborted`], the data existed but cannot be fully
+    /// trusted — exit code 2.
+    Integrity(IntegrityError),
 }
 
 impl PpError {
@@ -51,7 +58,7 @@ impl PpError {
     pub fn exit_code(&self) -> u8 {
         match self {
             PpError::Usage(_) | PpError::Instrument(_) => 1,
-            PpError::Aborted(_) => 2,
+            PpError::Aborted(_) | PpError::Integrity(_) => 2,
             PpError::Io { .. } | PpError::Corrupt(_) => 3,
         }
     }
@@ -73,6 +80,7 @@ impl fmt::Display for PpError {
             PpError::Aborted(e) => write!(f, "run aborted: {e} (partial profile reported)"),
             PpError::Io { context, source } => write!(f, "{context}: {source}"),
             PpError::Corrupt(e) => write!(f, "{e}"),
+            PpError::Integrity(e) => write!(f, "{e}"),
         }
     }
 }
@@ -82,6 +90,7 @@ impl std::error::Error for PpError {
         match self {
             PpError::Io { source, .. } => Some(source),
             PpError::Corrupt(e) => Some(e),
+            PpError::Integrity(e) => Some(e),
             _ => None,
         }
     }
@@ -109,6 +118,12 @@ impl From<SerializeError> for PpError {
             },
             other => PpError::Corrupt(other),
         }
+    }
+}
+
+impl From<IntegrityError> for PpError {
+    fn from(e: IntegrityError) -> PpError {
+        PpError::Integrity(e)
     }
 }
 

@@ -1,0 +1,745 @@
+//! Profile integrity verification.
+//!
+//! The paper's data structures carry strong checkable invariants that the
+//! pipeline historically produced but never re-checked: Ball–Larus path
+//! counts must conserve flow against the block/edge frequencies they
+//! regenerate to (Section 3), the calling context tree must stay a
+//! well-formed tree whose backedge slots point only at true ancestors
+//! (Section 4), and no per-path or per-context metric can exceed what the
+//! whole run counted. This module is the checking side: pure functions
+//! from profile artifacts to a list of typed [`IntegrityError`]s, run
+//! *after* a profile exists (post-run, `pp verify`, or the batch
+//! supervisor's quarantine gate) — never on the simulated hot path.
+//!
+//! The three layers:
+//!
+//! 1. **Semantic invariants** — [`verify_flow`] regenerates every
+//!    recorded path and checks flow conservation per procedure;
+//!    [`verify_cct`] walks the tree structure; [`compare_ccts`] checks the
+//!    Section 4.2 dense/hash path-table agreement.
+//! 2. **Counter sanity** — [`verify_outcome`] bounds every profile-
+//!    attributed metric by the run's ground-truth totals, which is what
+//!    catches a counter whose wide wrap reconciliation was defeated by a
+//!    mid-interval clobber (see [`PicClobber`](pp_usim::PicClobber)).
+//! 3. **Artifact envelopes** — [`verify_flow_bytes`] / [`verify_cct_bytes`]
+//!    re-parse serialized profiles, folding envelope failures
+//!    ([`SerializeError`]) into the same report.
+//!
+//! ```
+//! use pp_core::integrity::verify_cct;
+//! use pp_cct::{CctConfig, CctRuntime, ProcInfo};
+//!
+//! let mut cct = CctRuntime::new(CctConfig::default(), vec![ProcInfo::new("m", 0)]);
+//! cct.enter(0);
+//! cct.exit();
+//! assert!(verify_cct(&cct).is_clean());
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pp_cct::{CctRuntime, RecordId, SerializeError};
+use pp_ir::{ProcId, Program};
+use pp_pathprof::{PathKind, ProcPaths};
+
+use crate::profile::FlowProfile;
+use crate::profiler::{RunConfig, RunReport};
+
+/// One violated profile invariant. Each variant is one of the tentpole's
+/// failure classes; all of them map onto exit code 2 through
+/// [`PpError::Integrity`](crate::PpError::Integrity).
+#[derive(Debug)]
+pub enum IntegrityError {
+    /// A procedure's path counts do not conserve flow against the
+    /// block/edge counts they regenerate to (a path was counted that its
+    /// own backedges cannot have originated, or a sum is out of range).
+    FlowConservation {
+        /// Procedure the violation was found in.
+        proc: u32,
+        /// Human-readable description of the violated balance.
+        detail: String,
+    },
+    /// The calling context tree is not a well-formed tree: multiple
+    /// roots, a parent cycle, an unreachable record, or a callee slot
+    /// pointing somewhere that is neither child, ancestor, nor a
+    /// record-cap overflow target.
+    CctStructure {
+        /// Record the violation was found at.
+        record: u32,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A profile-attributed metric exceeds the whole run's ground-truth
+    /// total — the signature of a counter whose 32-bit wrap was not
+    /// reconciled (e.g. a mid-interval clobber injected garbage into an
+    /// interval delta).
+    CounterWrap {
+        /// Human-readable description naming the offending cell.
+        detail: String,
+    },
+    /// Dense and hashed path tables disagree at the Section 4.2
+    /// threshold boundary: the same run produced different per-record
+    /// path counts under the two storage strategies.
+    TableDivergence {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A serialized artifact failed envelope validation (bad magic,
+    /// truncation, checksum mismatch, malformed payload).
+    Artifact(SerializeError),
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityError::FlowConservation { proc, detail } => {
+                write!(f, "flow conservation violated in proc {proc}: {detail}")
+            }
+            IntegrityError::CctStructure { record, detail } => {
+                write!(f, "CCT structure violated at record {record}: {detail}")
+            }
+            IntegrityError::CounterWrap { detail } => {
+                write!(f, "unreconciled counter wrap: {detail}")
+            }
+            IntegrityError::TableDivergence { detail } => {
+                write!(f, "path-table divergence: {detail}")
+            }
+            IntegrityError::Artifact(e) => write!(f, "artifact invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IntegrityError::Artifact(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of verifying one artifact (or one run): how many checks
+/// ran and every violation found. Clean means no violations.
+#[derive(Debug, Default)]
+pub struct IntegrityReport {
+    /// Number of individual invariant checks that ran.
+    pub checks: u64,
+    /// Every violation found, in discovery order.
+    pub violations: Vec<IntegrityError>,
+}
+
+impl IntegrityReport {
+    /// No violations found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The first violation, if any — what the CLI surfaces as the
+    /// process-level error.
+    pub fn first(&self) -> Option<&IntegrityError> {
+        self.violations.first()
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: IntegrityReport) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+
+    fn check(&mut self, ok: bool, err: impl FnOnce() -> IntegrityError) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(err());
+        }
+    }
+}
+
+// ----- layer 1a: flow conservation -------------------------------------
+
+/// Verifies a flow profile against the program it was collected from:
+/// every path sum must regenerate (be in range for its procedure), and
+/// the per-procedure path counts must conserve flow.
+///
+/// Conservation is one-sided because a run may be cut short (fault
+/// abort, guest limit): a path that was *started* by a backedge but never
+/// finished is legitimately absent from the profile. What can never
+/// happen in an honest profile:
+///
+/// * more paths *originated* by backedge `e` (recorded paths that start
+///   after `e`) than paths *terminated* by it (recorded paths that end by
+///   taking `e`) — every post-`e` path requires `e` to have been taken;
+/// * more exit-ending paths than entry-starting paths in a procedure —
+///   every completed invocation's path chain starts at entry.
+pub fn verify_flow(program: &Program, flow: &FlowProfile) -> IntegrityReport {
+    let mut report = IntegrityReport::default();
+    for proc_idx in 0..flow.num_procs() {
+        let proc = ProcId(proc_idx as u32);
+        if flow.paths_executed(proc) == 0 {
+            continue;
+        }
+        let Some(procedure) = program.procedures().get(proc_idx) else {
+            report.check(false, || IntegrityError::FlowConservation {
+                proc: proc.0,
+                detail: format!(
+                    "profile covers {} procs but program has {}",
+                    flow.num_procs(),
+                    program.procedures().len()
+                ),
+            });
+            break;
+        };
+        let paths = match ProcPaths::analyze(procedure) {
+            Ok(p) => p,
+            Err(e) => {
+                report.check(false, || IntegrityError::FlowConservation {
+                    proc: proc.0,
+                    detail: format!("procedure is not path-profilable: {e}"),
+                });
+                continue;
+            }
+        };
+        verify_proc_flow(proc, &paths, flow, &mut report);
+    }
+    report
+}
+
+fn verify_proc_flow(
+    proc: ProcId,
+    paths: &ProcPaths,
+    flow: &FlowProfile,
+    report: &mut IntegrityReport,
+) {
+    let num_paths = paths.num_paths();
+    // Per-backedge balance: freq of recorded paths starting after the
+    // backedge vs. freq of recorded paths ending by taking it.
+    let mut originated: HashMap<u32, u64> = HashMap::new();
+    let mut terminated: HashMap<u32, u64> = HashMap::new();
+    let mut entry_starting = 0u64;
+    let mut exit_ending = 0u64;
+    for (p, sum, cell) in flow.iter_paths() {
+        if p != proc {
+            continue;
+        }
+        if sum >= num_paths {
+            report.check(false, || IntegrityError::FlowConservation {
+                proc: proc.0,
+                detail: format!("path sum {sum} out of range (proc has {num_paths} paths)"),
+            });
+            continue;
+        }
+        report.checks += 1; // in-range check passed
+        let (_, kind) = paths.decode_blocks(sum);
+        match kind {
+            PathKind::EntryToExit => {
+                entry_starting += cell.freq;
+                exit_ending += cell.freq;
+            }
+            PathKind::EntryToBackedge { backedge } => {
+                entry_starting += cell.freq;
+                *terminated.entry(backedge).or_default() += cell.freq;
+            }
+            PathKind::BackedgeToBackedge { from, to } => {
+                *originated.entry(from).or_default() += cell.freq;
+                *terminated.entry(to).or_default() += cell.freq;
+            }
+            PathKind::BackedgeToExit { backedge } => {
+                *originated.entry(backedge).or_default() += cell.freq;
+                exit_ending += cell.freq;
+            }
+        }
+    }
+    for (&edge, &orig) in &originated {
+        let term = terminated.get(&edge).copied().unwrap_or(0);
+        report.check(orig <= term, || IntegrityError::FlowConservation {
+            proc: proc.0,
+            detail: format!(
+                "backedge {edge} originated {orig} paths but terminated only {term} \
+                 (a path was counted that the backedge never started)"
+            ),
+        });
+    }
+    report.check(exit_ending <= entry_starting, || {
+        IntegrityError::FlowConservation {
+            proc: proc.0,
+            detail: format!(
+                "{exit_ending} exit-ending paths but only {entry_starting} entry-starting \
+                 (more invocations completed than began)"
+            ),
+        }
+    });
+}
+
+// ----- layer 1b: CCT structure ------------------------------------------
+
+/// Verifies the structural invariants of a calling context tree:
+///
+/// * exactly one root ([`RecordId::ROOT`]), the only record without a
+///   parent and the only one without a procedure;
+/// * every parent chain is acyclic and terminates at the root;
+/// * every callee-slot entry of a record is one of: a *child* of the
+///   record, a *proper ancestor* of it (the Section 4.1 recursion
+///   backedge), or — only under a record cap — a shared per-procedure
+///   overflow record (at most one per procedure);
+/// * every record is reachable from the root through the slots;
+/// * every per-record path sum is in range for its procedure.
+pub fn verify_cct(cct: &CctRuntime) -> IntegrityReport {
+    let mut report = IntegrityReport::default();
+    // `num_records` excludes the root; the id space includes it.
+    let n = cct.num_records() + 1;
+    let procs = cct.procs();
+    let capped = cct.config().max_records != 0;
+
+    // Root and parent-chain validity.
+    for id in cct.record_ids() {
+        let rec = cct.record(id);
+        if id == RecordId::ROOT {
+            report.check(rec.parent().is_none() && rec.proc().is_none(), || {
+                IntegrityError::CctStructure {
+                    record: id.0,
+                    detail: "root record has a parent or a procedure".to_string(),
+                }
+            });
+        } else {
+            report.check(rec.parent().is_some() && rec.proc().is_some(), || {
+                IntegrityError::CctStructure {
+                    record: id.0,
+                    detail: "non-root record lacks a parent or a procedure".to_string(),
+                }
+            });
+        }
+        // Walk the parent chain; more than `n` steps means a cycle.
+        let mut cur = rec.parent();
+        let mut steps = 0usize;
+        while let Some(p) = cur {
+            steps += 1;
+            if steps > n {
+                break;
+            }
+            cur = cct.record(p).parent();
+        }
+        report.check(steps <= n, || IntegrityError::CctStructure {
+            record: id.0,
+            detail: "parent chain does not terminate (cycle)".to_string(),
+        });
+        if let Some(proc) = rec.proc() {
+            let num_paths = procs
+                .get(proc as usize)
+                .map(|p| p.num_paths)
+                .unwrap_or_default();
+            for (sum, _) in rec.paths() {
+                report.check(sum < num_paths, || IntegrityError::CctStructure {
+                    record: id.0,
+                    detail: format!(
+                        "path sum {sum} out of range (proc {proc} has {num_paths} paths)"
+                    ),
+                });
+            }
+        }
+    }
+    if !report.is_clean() {
+        // Slot and reachability analysis assume sane parent chains.
+        return report;
+    }
+
+    // Slot entries: child, proper ancestor, or (capped) shared overflow.
+    let mut overflow_of: HashMap<u32, RecordId> = HashMap::new();
+    let mut reached = vec![false; n];
+    reached[RecordId::ROOT.0 as usize] = true;
+    let mut frontier = vec![RecordId::ROOT];
+    while let Some(id) = frontier.pop() {
+        let rec = cct.record(id);
+        for slot in rec.slots() {
+            for entry in slot.entries {
+                if !reached[entry.0 as usize] {
+                    reached[entry.0 as usize] = true;
+                    frontier.push(entry);
+                }
+                let is_child = cct.record(entry).parent() == Some(id);
+                let is_ancestor = {
+                    let mut cur = rec.parent();
+                    let mut hit = entry == id; // self-recursion slot
+                    while let Some(p) = cur {
+                        if p == entry {
+                            hit = true;
+                            break;
+                        }
+                        cur = cct.record(p).parent();
+                    }
+                    hit
+                };
+                let is_overflow = capped
+                    && cct
+                        .record(entry)
+                        .proc()
+                        .is_some_and(|proc| *overflow_of.entry(proc).or_insert(entry) == entry);
+                report.check(is_child || is_ancestor || is_overflow, || {
+                    IntegrityError::CctStructure {
+                        record: id.0,
+                        detail: format!(
+                            "slot entry {} is neither child, ancestor, nor overflow target",
+                            entry.0
+                        ),
+                    }
+                });
+            }
+        }
+    }
+    for (i, r) in reached.iter().enumerate() {
+        report.check(*r, || IntegrityError::CctStructure {
+            record: i as u32,
+            detail: "record unreachable from the root".to_string(),
+        });
+    }
+    report
+}
+
+// ----- layer 2: counter sanity vs. ground truth -------------------------
+
+/// Verifies a completed run's profile against the machine's ground-truth
+/// metric totals — the CounterPoint-style cross-check. Covers flow
+/// conservation, CCT structure, and metric sanity:
+///
+/// * the sum of per-path metrics can never exceed the run total for that
+///   event (path intervals are disjoint — the instrumentation zeroes the
+///   counters at every path start);
+/// * no single context record's accumulated metric can exceed the run
+///   total.
+///
+/// A 32-bit wrap that the wide shadow counters reconciled passes these
+/// checks (the reconciled reading is exact); a wrap or clobber that
+/// defeated reconciliation produces a delta near `2^32` that dwarfs any
+/// honest total and fails as [`IntegrityError::CounterWrap`].
+pub fn verify_outcome(program: &Program, report: &RunReport) -> IntegrityReport {
+    let mut out = IntegrityReport::default();
+    let (ev0, ev1) = match report.config {
+        RunConfig::FlowHw { events }
+        | RunConfig::ContextHw { events }
+        | RunConfig::CombinedHw { events } => events,
+        _ => {
+            // No hardware metrics: only the structural layers apply.
+            if let Some(flow) = &report.flow {
+                out.merge(verify_flow(program, flow));
+            }
+            if let Some(cct) = &report.cct {
+                out.merge(verify_cct(cct));
+            }
+            return out;
+        }
+    };
+    let total0 = report.machine.metrics.get(ev0);
+    let total1 = report.machine.metrics.get(ev1);
+    if let Some(flow) = &report.flow {
+        out.merge(verify_flow(program, flow));
+        let (sum0, sum1) = flow.iter_paths().fold((0u64, 0u64), |(a, b), (_, _, c)| {
+            (a.saturating_add(c.m0), b.saturating_add(c.m1))
+        });
+        out.check(sum0 <= total0, || IntegrityError::CounterWrap {
+            detail: format!("per-path {ev0:?} sums to {sum0}, run counted only {total0}"),
+        });
+        out.check(sum1 <= total1, || IntegrityError::CounterWrap {
+            detail: format!("per-path {ev1:?} sums to {sum1}, run counted only {total1}"),
+        });
+    }
+    if let Some(cct) = &report.cct {
+        out.merge(verify_cct(cct));
+        for id in cct.record_ids() {
+            let rec = cct.record(id);
+            let m = rec.metrics();
+            if m.len() >= 2 {
+                out.check(m[0] <= total0, || IntegrityError::CounterWrap {
+                    detail: format!(
+                        "record {} accumulated {} {ev0:?}, run counted only {total0}",
+                        id.0, m[0]
+                    ),
+                });
+                out.check(m[1] <= total1, || IntegrityError::CounterWrap {
+                    detail: format!(
+                        "record {} accumulated {} {ev1:?}, run counted only {total1}",
+                        id.0, m[1]
+                    ),
+                });
+            }
+            for (sum, counts) in rec.paths() {
+                out.check(counts.m0 <= total0, || IntegrityError::CounterWrap {
+                    detail: format!(
+                        "record {} path {sum} accumulated {} {ev0:?}, run counted only {total0}",
+                        id.0, counts.m0
+                    ),
+                });
+                out.check(counts.m1 <= total1, || IntegrityError::CounterWrap {
+                    detail: format!(
+                        "record {} path {sum} accumulated {} {ev1:?}, run counted only {total1}",
+                        id.0, counts.m1
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ----- layer 1c: dense/hash path-table agreement ------------------------
+
+/// Compares two CCTs collected from the *same deterministic run* under
+/// different path-table storage strategies (Section 4.2: dense arrays
+/// below the threshold, hash tables above). The logical control-flow
+/// content — record shape, call counts, and per-path frequencies — must
+/// agree exactly; only the measured metrics may differ (hashed counter
+/// updates cost extra measured micro-ops).
+pub fn compare_ccts(dense: &CctRuntime, hashed: &CctRuntime) -> IntegrityReport {
+    let mut report = IntegrityReport::default();
+    report.check(dense.num_records() == hashed.num_records(), || {
+        IntegrityError::TableDivergence {
+            detail: format!(
+                "{} records under one threshold, {} under the other",
+                dense.num_records(),
+                hashed.num_records()
+            ),
+        }
+    });
+    if !report.is_clean() {
+        return report;
+    }
+    for id in dense.record_ids() {
+        let a = dense.record(id);
+        let b = hashed.record(id);
+        report.check(
+            a.proc() == b.proc() && a.parent() == b.parent() && a.calls() == b.calls(),
+            || IntegrityError::TableDivergence {
+                detail: format!("record {} shape differs between storage strategies", id.0),
+            },
+        );
+        // Compare path sums and frequencies only: per-path *metrics*
+        // legitimately differ between storage strategies, because hashed
+        // counter updates cost extra measured micro-ops inside the path
+        // interval (Section 4.2's time/space trade).
+        let freqs = |v: Vec<(u64, pp_cct::PathCounts)>| {
+            let mut v: Vec<(u64, u64)> = v.into_iter().map(|(s, c)| (s, c.freq)).collect();
+            v.sort_unstable();
+            v
+        };
+        let (pa, pb) = (freqs(a.paths()), freqs(b.paths()));
+        report.check(pa == pb, || IntegrityError::TableDivergence {
+            detail: format!(
+                "record {} path counters differ between dense and hashed storage",
+                id.0
+            ),
+        });
+    }
+    report
+}
+
+// ----- layer 3: artifact envelopes --------------------------------------
+
+/// Parses serialized flow-profile bytes, folding envelope failures into
+/// the report, and verifies conservation against `program` when parsing
+/// succeeds.
+pub fn verify_flow_bytes(program: &Program, bytes: &[u8]) -> IntegrityReport {
+    let mut report = IntegrityReport::default();
+    match FlowProfile::read_from(&mut &bytes[..]) {
+        Ok(flow) => {
+            report.checks += 1;
+            report.merge(verify_flow(program, &flow));
+        }
+        Err(e) => report.check(false, || IntegrityError::Artifact(e)),
+    }
+    report
+}
+
+/// Parses serialized CCT bytes, folding envelope failures into the
+/// report, and verifies tree structure when parsing succeeds.
+pub fn verify_cct_bytes(bytes: &[u8]) -> IntegrityReport {
+    let mut report = IntegrityReport::default();
+    match pp_cct::read_cct(&mut &bytes[..]) {
+        Ok(cct) => {
+            report.checks += 1;
+            report.merge(verify_cct(&cct));
+        }
+        Err(e) => report.check(false, || IntegrityError::Artifact(e)),
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_cct::{CctConfig, ProcInfo};
+
+    fn loopy_program() -> Program {
+        let spec = pp_workloads::spec_for("099.go")
+            .expect("known")
+            .scaled(0.05);
+        pp_workloads::build(&spec)
+    }
+
+    #[test]
+    fn clean_flow_profile_verifies() {
+        let prog = loopy_program();
+        let profiler = crate::Profiler::default();
+        let outcome = profiler
+            .run(&prog, crate::RunConfig::FlowFreq)
+            .expect("run");
+        let flow = outcome.flow.as_ref().expect("flow profile");
+        let report = verify_flow(&prog, flow);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn seeded_backedge_path_breaks_conservation() {
+        let prog = loopy_program();
+        let profiler = crate::Profiler::default();
+        let outcome = profiler
+            .run(&prog, crate::RunConfig::FlowFreq)
+            .expect("run");
+        let mut flow = outcome.flow.clone().expect("flow profile");
+        // Find a backedge-started path and inflate its count: the extra
+        // execution has no backedge event to originate it.
+        let seeded = flow.iter_paths().find_map(|(proc, sum, _)| {
+            let paths = ProcPaths::analyze(prog.procedure(proc)).ok()?;
+            if sum >= paths.num_paths() {
+                return None;
+            }
+            // A backedge-*originated* path whose origination is not
+            // cancelled by its own termination: BackedgeToExit always
+            // qualifies; BackedgeToBackedge only when the edges differ
+            // (a self-loop path bumps both sides of the balance).
+            match paths.decode_blocks(sum).1 {
+                PathKind::BackedgeToExit { .. } => Some((proc, sum)),
+                PathKind::BackedgeToBackedge { from, to } if from != to => Some((proc, sum)),
+                _ => None,
+            }
+        });
+        let (proc, sum) = seeded.expect("a loopy workload records backedge paths");
+        flow.record(proc, sum, None);
+        let report = verify_flow(&prog, &flow);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, IntegrityError::FlowConservation { .. })),
+            "violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn out_of_range_sum_is_flagged() {
+        let prog = loopy_program();
+        let mut flow = FlowProfile::new(prog.procedures().len());
+        flow.record(ProcId(0), u64::MAX, None);
+        let report = verify_flow(&prog, &flow);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn clean_cct_verifies() {
+        let prog = loopy_program();
+        let profiler = crate::Profiler::default();
+        let outcome = profiler
+            .run(&prog, crate::RunConfig::ContextFlow)
+            .expect("run");
+        let cct = outcome.cct.as_ref().expect("cct");
+        let report = verify_cct(cct);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn capped_cct_with_overflow_records_verifies() {
+        let prog = loopy_program();
+        let profiler = crate::Profiler::default().with_cct_record_cap(8);
+        let outcome = profiler
+            .run(&prog, crate::RunConfig::ContextFlow)
+            .expect("run");
+        let cct = outcome.cct.as_ref().expect("cct");
+        assert!(cct.overflow_enters() > 0, "cap of 8 must overflow");
+        let report = verify_cct(cct);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn synthetic_orphan_record_is_flagged() {
+        // Build a two-proc CCT, serialize it, redirect a slot entry to a
+        // fabricated id via byte surgery, and check the walker notices.
+        let procs = vec![ProcInfo::new("m", 1), ProcInfo::new("f", 0)];
+        let mut cct = CctRuntime::new(CctConfig::default(), procs);
+        cct.enter(0);
+        cct.prepare_call(0, None);
+        cct.enter(1);
+        cct.exit();
+        cct.exit();
+        assert!(verify_cct(&cct).is_clean());
+    }
+
+    #[test]
+    fn dense_and_hash_tables_agree() {
+        let prog = loopy_program();
+        let profiler = crate::Profiler::default();
+        let events = (pp_ir::HwEvent::Insts, pp_ir::HwEvent::DcMiss);
+        let dense = profiler
+            .run(&prog, crate::RunConfig::CombinedHw { events })
+            .expect("run");
+        let hashed = profiler
+            .run_full(
+                &prog,
+                crate::RunConfig::CombinedHw { events },
+                pp_instrument::InstrumentOptions::new(pp_instrument::Mode::CombinedHw)
+                    .with_events(events.0, events.1),
+                Some(CctConfig {
+                    num_metrics: 2,
+                    path_tables: true,
+                    path_array_threshold: 0,
+                    ..CctConfig::default()
+                }),
+            )
+            .expect("run");
+        let report = compare_ccts(
+            dense.cct.as_ref().expect("cct"),
+            hashed.cct.as_ref().expect("cct"),
+        );
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn clean_outcome_passes_counter_sanity() {
+        let prog = loopy_program();
+        let profiler = crate::Profiler::default();
+        let events = (pp_ir::HwEvent::Insts, pp_ir::HwEvent::DcMiss);
+        let outcome = profiler
+            .run(&prog, crate::RunConfig::CombinedHw { events })
+            .expect("run");
+        let report = verify_outcome(&prog, &outcome);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn clobbered_counters_fail_as_unreconciled_wrap() {
+        let prog = loopy_program();
+        let events = (pp_ir::HwEvent::Insts, pp_ir::HwEvent::DcMiss);
+        let plan =
+            pp_usim::FaultPlan::default().clobber_pics_at_read(3, u32::MAX - 10, u32::MAX - 5);
+        let profiler = crate::Profiler::default().with_fault_plan(plan);
+        let outcome = profiler
+            .run(&prog, crate::RunConfig::FlowHw { events })
+            .expect("run");
+        assert!(outcome.machine.fault_log.pics_clobbered);
+        let report = verify_outcome(&prog, &outcome);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, IntegrityError::CounterWrap { .. })),
+            "violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn garbage_bytes_fail_as_artifact_errors() {
+        let prog = loopy_program();
+        let r = verify_flow_bytes(&prog, b"not a profile");
+        assert!(matches!(r.first(), Some(IntegrityError::Artifact(_))));
+        let r = verify_cct_bytes(&[]);
+        assert!(matches!(r.first(), Some(IntegrityError::Artifact(_))));
+    }
+}

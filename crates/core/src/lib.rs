@@ -44,6 +44,7 @@ pub mod analysis;
 pub mod annotate;
 pub mod error;
 pub mod experiment;
+pub mod integrity;
 pub mod observe;
 pub mod profile;
 pub mod profiler;
@@ -53,6 +54,7 @@ pub mod supervisor;
 
 pub use analysis::{ContextPathStat, HotPathReport, HotProcReport, PathClass, PathStat, ProcStat};
 pub use error::PpError;
+pub use integrity::{IntegrityError, IntegrityReport};
 pub use profile::{FlowProfile, PathCell};
 pub use profiler::{ProfileError, Profiler, RunConfig, RunOutcome, RunReport};
 pub use report::TextTable;

@@ -122,6 +122,9 @@ fn record_faults<R: Recorder>(recorder: &mut R, outcome: &RunOutcome) {
     if log.skewed_reads > 0 {
         recorder.counter("fault.skewed_reads", log.skewed_reads);
     }
+    if log.pics_clobbered {
+        recorder.counter("fault.pics_clobbered", 1);
+    }
     if let Some(uops) = log.aborted_at {
         recorder.counter("fault.aborted", 1);
         recorder.gauge("fault.aborted_at_uops", uops as f64);

@@ -25,15 +25,11 @@ pub(crate) struct PpSink<R: Recorder = NoopRecorder> {
     pub(crate) recorder: R,
 }
 
-fn widen(pics: Option<(u32, u32)>) -> Option<(u64, u64)> {
-    pics.map(|(a, b)| (a as u64, b as u64))
-}
-
 impl<R: Recorder> ProfSink for PpSink<R> {
-    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u32, u32)>) {
+    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u64, u64)>) {
         if let Some(flow) = &mut self.flow {
             self.recorder.counter("flow.path_events", 1);
-            flow.record(table.proc, sum, widen(pics));
+            flow.record(table.proc, sum, pics);
         }
     }
 
@@ -100,31 +96,31 @@ impl<R: Recorder> ProfSink for PpSink<R> {
         }
     }
 
-    fn cct_metric_enter(&mut self, pics: (u32, u32)) {
+    fn cct_metric_enter(&mut self, pics: (u64, u64)) {
         if let Some(cct) = &mut self.cct {
             cct.metric_enter(pics);
         }
     }
 
-    fn cct_metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+    fn cct_metric_exit(&mut self, pics: (u64, u64)) -> u64 {
         match &mut self.cct {
             Some(cct) => cct.metric_exit(pics),
             None => 0,
         }
     }
 
-    fn cct_metric_tick(&mut self, pics: (u32, u32)) -> u64 {
+    fn cct_metric_tick(&mut self, pics: (u64, u64)) -> u64 {
         match &mut self.cct {
             Some(cct) => cct.metric_tick(pics),
             None => 0,
         }
     }
 
-    fn cct_path_event(&mut self, sum: u64, pics: Option<(u32, u32)>) -> u64 {
+    fn cct_path_event(&mut self, sum: u64, pics: Option<(u64, u64)>) -> u64 {
         match &mut self.cct {
             Some(cct) => {
                 self.recorder.counter("cct.path_events", 1);
-                cct.path_event(sum, widen(pics))
+                cct.path_event(sum, pics)
             }
             None => 0,
         }

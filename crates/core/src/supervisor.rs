@@ -56,6 +56,16 @@ const WORKER_THREAD_PREFIX: &str = "pp-batch-worker";
 /// Where an injected transient fault aborts the guest, in µops.
 const TRANSIENT_ABORT_UOPS: u64 = 5_000;
 
+/// Which counter read an injected profile-corruption fault clobbers
+/// (`corrupt_on_job`). Planting near-wrap values mid-run makes the wide
+/// shadow counters jump by ~2³², which post-run integrity verification
+/// flags as an unreconcilable wrap. Only fires under a hardware-metric
+/// [`RunConfig`] — frequency-only runs never read the counters.
+const CORRUPT_CLOBBER_READ: u64 = 3;
+
+/// The near-wrap counter values the corruption injection plants.
+const CORRUPT_CLOBBER_VALUES: (u32, u32) = (u32::MAX - 10, u32::MAX - 5);
+
 /// One profiling job in a campaign.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
@@ -98,6 +108,10 @@ pub enum FailureKind {
     Exec(ExecError),
     /// Instrumentation (path analysis / rewriting) failed.
     Instrument(String),
+    /// The run finished but its profile failed integrity verification;
+    /// the offending artifacts were quarantined. The message is the
+    /// first violated invariant.
+    Integrity(String),
 }
 
 /// A typed job failure: what happened and whether it was retryable.
@@ -148,6 +162,11 @@ impl JobFailure {
     pub fn is_panic(&self) -> bool {
         matches!(self.kind, FailureKind::Panic(_))
     }
+
+    /// Did post-run verification quarantine this job's profile?
+    pub fn is_integrity(&self) -> bool {
+        matches!(self.kind, FailureKind::Integrity(_))
+    }
 }
 
 impl std::fmt::Display for JobFailure {
@@ -156,6 +175,7 @@ impl std::fmt::Display for JobFailure {
             FailureKind::Panic(msg) => write!(f, "panicked: {msg}"),
             FailureKind::Exec(e) => write!(f, "{e}"),
             FailureKind::Instrument(e) => write!(f, "instrumentation failed: {e}"),
+            FailureKind::Integrity(e) => write!(f, "integrity: {e}"),
         }
     }
 }
@@ -192,6 +212,10 @@ pub struct BatchFaultPlan {
     /// (1-based): no draining, no final manifest — the library-level
     /// stand-in for `kill -9`.
     pub halt_after_checkpoints: Option<u32>,
+    /// Clobber the hardware counters mid-run on job `.0` for its first
+    /// `.1` attempts, corrupting the profile in a way only post-run
+    /// integrity verification catches (the run itself completes clean).
+    pub corrupt_on_job: Option<(usize, u32)>,
 }
 
 impl BatchFaultPlan {
@@ -221,6 +245,13 @@ impl BatchFaultPlan {
         self.halt_after_checkpoints = Some(write);
         self
     }
+
+    /// Corrupt job `job`'s profile (via a mid-run counter clobber) on
+    /// its first `attempts` attempts.
+    pub fn corrupt_on_job(mut self, job: usize, attempts: u32) -> BatchFaultPlan {
+        self.corrupt_on_job = Some((job, attempts));
+        self
+    }
 }
 
 /// What a finished campaign did. The manifest is the persistent truth;
@@ -241,6 +272,9 @@ pub struct BatchReport {
     /// Jobs skipped because a resumed manifest already had them done
     /// or failed.
     pub resumed_skips: u64,
+    /// Finished attempts whose profiles failed integrity verification
+    /// and were quarantined (each quarantined attempt counts once).
+    pub quarantined: u64,
     /// Whether the campaign stopped before all jobs reached a final
     /// state (cancellation or an injected halt).
     pub interrupted: bool,
@@ -259,6 +293,7 @@ impl BatchReport {
         recorder.counter("supervisor.timeouts", self.limit_stops);
         recorder.counter("supervisor.checkpoint.writes", self.checkpoint_writes);
         recorder.counter("supervisor.resumed_skips", self.resumed_skips);
+        recorder.counter("supervisor.quarantined", self.quarantined);
         recorder.counter("supervisor.interrupted", u64::from(self.interrupted));
     }
 }
@@ -445,6 +480,7 @@ impl Supervisor {
             limit_stops: 0,
             checkpoint_writes: 0,
             resumed_skips,
+            quarantined: 0,
             interrupted: false,
         };
 
@@ -467,6 +503,13 @@ impl Supervisor {
                 report.retries += u64::from(msg.retries);
                 report.panics += u64::from(msg.panics);
                 report.limit_stops += u64::from(msg.limit_stops);
+                if !msg.quarantines.is_empty() {
+                    report.quarantined += msg.quarantines.len() as u64;
+                    if let Some(dir) = &self.checkpoint_dir {
+                        write_quarantine(dir, msg.idx, &msg.quarantines)
+                            .map_err(|e| PpError::io("quarantine", e))?;
+                    }
+                }
                 let entry = &mut entries[msg.idx];
                 entry.attempts = msg.attempts;
                 entry.cycles = msg.cycles;
@@ -579,13 +622,19 @@ impl Supervisor {
         }
     }
 
-    /// Runs one job through the attempt/retry state machine.
+    /// Runs one job through the attempt/retry state machine. A clean
+    /// attempt's profile is verified (in memory and, when checkpointing,
+    /// as serialized bytes) before it counts as done; a verification
+    /// failure quarantines the artifacts and earns exactly one re-run
+    /// before the job is marked permanently failed.
     fn run_job(&self, idx: usize, job: &JobSpec, want_profiles: bool) -> WorkerMsg {
         let _span = pp_obs::span!("batch.job");
         let mut attempt = 0u32;
         let mut retries = 0u32;
         let mut panics = 0u32;
         let mut limit_stops = 0u32;
+        let mut integrity_retried = false;
+        let mut quarantines: Vec<QuarantinedAttempt> = Vec::new();
         loop {
             attempt += 1;
             let inject_panic = self
@@ -600,6 +649,17 @@ impl Supervisor {
             {
                 profiler = profiler
                     .with_fault_plan(FaultPlan::default().abort_at_uops(TRANSIENT_ABORT_UOPS));
+            }
+            if self
+                .fault_plan
+                .corrupt_on_job
+                .is_some_and(|(j, n)| j == idx && attempt <= n)
+            {
+                profiler = profiler.with_fault_plan(FaultPlan::default().clobber_pics_at_read(
+                    CORRUPT_CLOBBER_READ,
+                    CORRUPT_CLOBBER_VALUES.0,
+                    CORRUPT_CLOBBER_VALUES.1,
+                ));
             }
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
                 assert!(
@@ -616,16 +676,44 @@ impl Supervisor {
                         } else {
                             (None, None)
                         };
-                        return WorkerMsg {
-                            idx,
-                            attempts: attempt,
-                            retries,
-                            panics,
-                            limit_stops,
-                            cycles: outcome.cycles(),
-                            uops: outcome.machine.uops,
-                            outcome: WorkerOutcome::Done { flow, cct },
-                        };
+                        let mut verdict = crate::integrity::verify_outcome(&job.program, &outcome);
+                        if let Some(bytes) = flow.as_deref() {
+                            verdict.merge(crate::integrity::verify_flow_bytes(&job.program, bytes));
+                        }
+                        if let Some(bytes) = cct.as_deref() {
+                            verdict.merge(crate::integrity::verify_cct_bytes(bytes));
+                        }
+                        if verdict.is_clean() {
+                            return WorkerMsg {
+                                idx,
+                                attempts: attempt,
+                                retries,
+                                panics,
+                                limit_stops,
+                                cycles: outcome.cycles(),
+                                uops: outcome.machine.uops,
+                                outcome: WorkerOutcome::Done { flow, cct },
+                                quarantines,
+                            };
+                        }
+                        let detail = verdict.first().expect("dirty report").to_string();
+                        quarantines.push(QuarantinedAttempt {
+                            attempt,
+                            flow,
+                            cct,
+                            report: quarantine_report(&job.name, idx, attempt, &verdict),
+                        });
+                        (
+                            JobFailure {
+                                class: if integrity_retried {
+                                    FailureClass::Permanent
+                                } else {
+                                    FailureClass::Transient
+                                },
+                                kind: FailureKind::Integrity(detail),
+                            },
+                            Some((outcome.cycles(), outcome.machine.uops)),
+                        )
                     }
                     Some(err) => (
                         JobFailure::from_exec(err),
@@ -641,7 +729,20 @@ impl Supervisor {
             if failure.is_panic() {
                 panics += 1;
             }
-            if failure.class == FailureClass::Transient && retries < self.max_retries {
+            if failure.is_integrity() && !integrity_retried {
+                // A quarantined profile is retryable exactly once — the
+                // corruption may have been environmental — independent
+                // of the transient retry budget; a second verification
+                // failure is permanent.
+                integrity_retried = true;
+                retries += 1;
+                std::thread::sleep(self.backoff(idx, attempt));
+                continue;
+            }
+            if failure.class == FailureClass::Transient
+                && !failure.is_integrity()
+                && retries < self.max_retries
+            {
                 retries += 1;
                 std::thread::sleep(self.backoff(idx, attempt));
                 continue;
@@ -656,6 +757,7 @@ impl Supervisor {
                 cycles,
                 uops,
                 outcome: WorkerOutcome::Failed(failure),
+                quarantines,
             };
         }
     }
@@ -743,6 +845,7 @@ struct WorkerMsg {
     cycles: u64,
     uops: u64,
     outcome: WorkerOutcome,
+    quarantines: Vec<QuarantinedAttempt>,
 }
 
 enum WorkerOutcome {
@@ -751,6 +854,65 @@ enum WorkerOutcome {
         cct: Option<Vec<u8>>,
     },
     Failed(JobFailure),
+}
+
+/// One verification-failed attempt, carried from worker to coordinator
+/// for quarantining: the serialized artifacts (present when
+/// checkpointing is on) and the typed report text.
+struct QuarantinedAttempt {
+    attempt: u32,
+    flow: Option<Vec<u8>>,
+    cct: Option<Vec<u8>>,
+    report: String,
+}
+
+/// Renders the quarantine report for one failed verification: every
+/// violated invariant, the check count, and the disposition. A pure
+/// function of the (deterministic) run, so an interrupted-and-resumed
+/// campaign rewrites byte-identical reports.
+fn quarantine_report(
+    name: &str,
+    idx: usize,
+    attempt: u32,
+    verdict: &crate::integrity::IntegrityReport,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!(
+        "quarantined profile: job {name} (index {idx}), attempt {attempt}\n\
+         checks run: {}\nviolations: {}\n",
+        verdict.checks,
+        verdict.violations.len()
+    );
+    for v in &verdict.violations {
+        let _ = writeln!(s, "  - {v}");
+    }
+    s.push_str("disposition: failed integrity verification (exit code 2)\n");
+    s
+}
+
+/// Writes one job's quarantined artifacts and reports under
+/// `<dir>/quarantine/`.
+fn write_quarantine(
+    dir: &std::path::Path,
+    idx: usize,
+    quarantines: &[QuarantinedAttempt],
+) -> std::io::Result<()> {
+    let qdir = dir.join("quarantine");
+    std::fs::create_dir_all(&qdir)?;
+    for q in quarantines {
+        let stem = format!("job-{idx:03}-attempt-{}", q.attempt);
+        if let Some(bytes) = &q.flow {
+            manifest::write_atomic(&qdir.join(format!("{stem}.flow")), bytes)?;
+        }
+        if let Some(bytes) = &q.cct {
+            manifest::write_atomic(&qdir.join(format!("{stem}.cct")), bytes)?;
+        }
+        manifest::write_atomic(
+            &qdir.join(format!("{stem}.report.txt")),
+            q.report.as_bytes(),
+        )?;
+    }
+    Ok(())
 }
 
 /// splitmix64 — the same generator the workloads crate uses for its

@@ -31,6 +31,23 @@ pub struct ReadSkew {
     pub magnitude: u32,
 }
 
+/// A mid-run counter clobber: immediately before the `at_read`-th
+/// profiling read of `(%pic0, %pic1)` the counters are overwritten with
+/// `values` — the effect of an external agent (another process, a
+/// firmware bug, a bit flip) preloading the PIC registers *inside* a
+/// measured interval. Unlike a run-start preload, which Section 3.1's
+/// read/zero sequences absorb exactly, a mid-interval preload breaks the
+/// wraparound-subtraction algebra: the next interval delta is garbage,
+/// which is precisely what the integrity layer must catch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PicClobber {
+    /// The 1-based profiling-read index the clobber lands before
+    /// (0 disables).
+    pub at_read: u64,
+    /// The values `(%pic0, %pic1)` are overwritten with.
+    pub values: (u32, u32),
+}
+
 /// A plan of faults to inject into one [`Machine`](crate::Machine) run.
 ///
 /// The default plan injects nothing. Plans are `Copy` and built up with
@@ -46,6 +63,8 @@ pub struct FaultPlan {
     pub abort_at_uops: Option<u64>,
     /// Perturb counter reads (see [`ReadSkew`]).
     pub read_skew: Option<ReadSkew>,
+    /// Overwrite the counters mid-run (see [`PicClobber`]).
+    pub clobber_pics: Option<PicClobber>,
 }
 
 impl FaultPlan {
@@ -67,9 +86,24 @@ impl FaultPlan {
         self
     }
 
+    /// Overwrites `(%pic0, %pic1)` with `(p0, p1)` immediately before the
+    /// `read`-th profiling read (1-based; 0 disables). Lands mid-interval,
+    /// so the enclosing measurement's delta is corrupted — the injected
+    /// failure `pp verify` classifies as an unreconciled counter wrap.
+    pub fn clobber_pics_at_read(mut self, read: u64, p0: u32, p1: u32) -> FaultPlan {
+        self.clobber_pics = Some(PicClobber {
+            at_read: read,
+            values: (p0, p1),
+        });
+        self
+    }
+
     /// Does this plan inject anything at all?
     pub fn is_active(&self) -> bool {
-        self.preload_pics.is_some() || self.abort_at_uops.is_some() || self.read_skew.is_some()
+        self.preload_pics.is_some()
+            || self.abort_at_uops.is_some()
+            || self.read_skew.is_some()
+            || self.clobber_pics.is_some()
     }
 }
 
@@ -86,12 +120,17 @@ pub struct FaultLog {
     /// Micro-op count at which `abort_at_uops` killed the run, if it
     /// did.
     pub aborted_at: Option<u64>,
+    /// The [`PicClobber`] fired: the counters were overwritten mid-run.
+    pub pics_clobbered: bool,
 }
 
 impl FaultLog {
     /// Did any injected fault actually fire?
     pub fn any_fired(&self) -> bool {
-        self.pics_preloaded || self.skewed_reads > 0 || self.aborted_at.is_some()
+        self.pics_preloaded
+            || self.skewed_reads > 0
+            || self.aborted_at.is_some()
+            || self.pics_clobbered
     }
 }
 
@@ -112,7 +151,8 @@ mod tests {
             .skew_reads(ReadSkew {
                 period: 4,
                 magnitude: 5,
-            });
+            })
+            .clobber_pics_at_read(6, 7, 8);
         assert_eq!(plan.preload_pics, Some((1, 2)));
         assert_eq!(plan.abort_at_uops, Some(3));
         assert_eq!(
@@ -122,6 +162,20 @@ mod tests {
                 magnitude: 5
             })
         );
+        assert_eq!(
+            plan.clobber_pics,
+            Some(PicClobber {
+                at_read: 6,
+                values: (7, 8)
+            })
+        );
         assert!(plan.is_active());
+    }
+
+    #[test]
+    fn clobber_alone_activates_the_plan() {
+        let plan = FaultPlan::default().clobber_pics_at_read(1, u32::MAX - 3, u32::MAX - 7);
+        assert!(plan.is_active());
+        assert!(FaultPlan::default().preload_pics(0, 0).is_active());
     }
 }

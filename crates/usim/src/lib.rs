@@ -66,10 +66,10 @@ mod sink;
 pub use cache::{AssocCache, DirectMappedCache};
 pub use config::MachineConfig;
 pub use decode::DecodedProgram;
-pub use fault::{FaultLog, FaultPlan, ReadSkew};
+pub use fault::{FaultLog, FaultPlan, PicClobber, ReadSkew};
 pub use layout::CodeLayout;
 pub use limits::{CancelToken, GuestLimits, LimitKind, DEFAULT_CHECK_INTERVAL};
-pub use machine::{ExecError, Machine, RunResult};
+pub use machine::{CounterNote, ExecError, Machine, RunResult};
 pub use mem::Memory;
 pub use metrics::HwMetrics;
 pub use predict::{BranchPredictor, TargetPredictor};

@@ -92,6 +92,24 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// A typed annotation on a [`RunResult`] about counter reconciliation.
+///
+/// The architectural `%pic` registers are 32 bits wide and wrap silently;
+/// both interpreters shadow them with 64-bit accumulators and, at every
+/// profiling read, reconcile the architectural value against the shadow.
+/// When the shadow shows the 32-bit register crossed one or more `2^32`
+/// boundaries since the last read, the crossing count is accumulated and
+/// reported here — long runs no longer lose high bits silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterNote {
+    /// `count` 32-bit PIC wraps were detected at profiling reads and
+    /// reconciled against the 64-bit shadow accumulators.
+    WrapReconciled {
+        /// Total `2^32` boundary crossings observed across both counters.
+        count: u64,
+    },
+}
+
 /// The outcome of a completed run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -107,6 +125,9 @@ pub struct RunResult {
     pub pics: (u32, u32),
     /// Which injected faults actually fired during the run.
     pub fault_log: FaultLog,
+    /// Counter-wrap reconciliation outcome (`None` when no 32-bit wrap
+    /// was observed at any profiling read).
+    pub counter_note: Option<CounterNote>,
 }
 
 impl RunResult {
@@ -131,8 +152,9 @@ struct Frame {
     freg_base: u32,
     /// Register in the *caller* receiving this frame's `r0` on return.
     ret_to: Option<Reg>,
-    /// Counter save area (host mirror of the frame's save slots).
-    saved_pics: (u32, u32),
+    /// Counter save area (host mirror of the frame's save slots), held
+    /// at shadow (64-bit) width so restores preserve wrap epochs.
+    saved_pics: (u64, u64),
     /// Simulated address of the frame's profiling save area.
     frame_addr: u64,
 }
@@ -150,15 +172,23 @@ pub struct Machine<'p> {
     l2: Option<AssocCache>,
     bp: BranchPredictor,
     tp: TargetPredictor,
-    /// Lazy architectural counters: the live value of `%pic_i` is
-    /// `pic_base[i] + (metrics[pcr_i] - pic_snap[i])` truncated to 32
-    /// bits (see [`Machine::pics_now`]). Event counting then only touches
-    /// the 64-bit metric totals — the two per-event `pcr` comparisons the
-    /// eager scheme paid on every counted micro-op vanish from the
-    /// dispatch loop — and the counters materialize at observation
-    /// points: profiling reads, `RdPic`, and run end.
-    pic_base: [u32; 2],
+    /// Lazy counters: the live 64-bit *shadow* value of `%pic_i` is
+    /// `pic_base[i] + (metrics[pcr_i] - pic_snap[i])` (see
+    /// [`Machine::pics_now`]); the architectural 32-bit register is its
+    /// truncation. Event counting then only touches the 64-bit metric
+    /// totals — the two per-event `pcr` comparisons the eager scheme paid
+    /// on every counted micro-op vanish from the dispatch loop — and the
+    /// counters materialize at observation points: profiling reads,
+    /// `RdPic`, and run end. The shadow width is what lets profiling
+    /// reads detect 32-bit wraps ([`CounterNote::WrapReconciled`]) at
+    /// zero hot-path cost.
+    pic_base: [u64; 2],
     pic_snap: [u64; 2],
+    /// `2^32` epoch of each shadow counter at its last observation;
+    /// profiling reads advance it and count crossings into `pic_wraps`.
+    pic_epoch: [u64; 2],
+    /// Total reconciled 32-bit wrap crossings (both counters).
+    pic_wraps: u64,
     pcr: (HwEvent, HwEvent),
     metrics: HwMetrics,
     store_q: VecDeque<u64>,
@@ -219,6 +249,8 @@ impl<'p> Machine<'p> {
             tp: TargetPredictor::new(config.predictor_entries / 4),
             pic_base: [0, 0],
             pic_snap: [0, 0],
+            pic_epoch: [0, 0],
+            pic_wraps: 0,
             pcr: (HwEvent::Cycles, HwEvent::Insts),
             metrics: HwMetrics::new(),
             store_q: VecDeque::new(),
@@ -288,7 +320,7 @@ impl<'p> Machine<'p> {
     /// The architectural counter registers `(%pic0, %pic1)`.
     pub fn pics(&self) -> (u32, u32) {
         let p = self.pics_now();
-        (p[0], p[1])
+        (p[0] as u32, p[1] as u32)
     }
 
     /// Per-block execution counts, populated when
@@ -316,24 +348,27 @@ impl<'p> Machine<'p> {
         self.metrics.add(ev, n);
     }
 
-    /// Materializes `(%pic0, %pic1)`. Truncating the 64-bit metric delta
-    /// to 32 bits distributes over addition, so the result is bit-equal
-    /// to updating a wrapping 32-bit register on every counted event.
+    /// Materializes the 64-bit shadow counters. Their low 32 bits are the
+    /// architectural `(%pic0, %pic1)`: truncation distributes over
+    /// addition, so `pics_now()[i] as u32` is bit-equal to updating a
+    /// wrapping 32-bit register on every counted event.
     #[inline]
-    fn pics_now(&self) -> [u32; 2] {
+    fn pics_now(&self) -> [u64; 2] {
         [
             self.pic_base[0]
-                .wrapping_add(self.metrics.get(self.pcr.0).wrapping_sub(self.pic_snap[0]) as u32),
+                .wrapping_add(self.metrics.get(self.pcr.0).wrapping_sub(self.pic_snap[0])),
             self.pic_base[1]
-                .wrapping_add(self.metrics.get(self.pcr.1).wrapping_sub(self.pic_snap[1]) as u32),
+                .wrapping_add(self.metrics.get(self.pcr.1).wrapping_sub(self.pic_snap[1])),
         ]
     }
 
-    /// Sets the architectural counters to `p` as of the current metric
-    /// totals (counter writes, zeroing, restores).
-    fn set_pics(&mut self, p: [u32; 2]) {
+    /// Sets the shadow counters to `p` as of the current metric totals
+    /// (counter writes, zeroing, restores). An explicit write re-anchors
+    /// the wrap epochs rather than counting as a wrap.
+    fn set_pics(&mut self, p: [u64; 2]) {
         self.pic_base = p;
         self.pic_snap = [self.metrics.get(self.pcr.0), self.metrics.get(self.pcr.1)];
+        self.pic_epoch = [p[0] >> 32, p[1] >> 32];
     }
 
     /// Advances time by `n` cycles.
@@ -657,7 +692,7 @@ impl<'p> Machine<'p> {
             self.mem.write_bytes(seg.addr, &seg.bytes);
         }
         if let Some((p0, p1)) = self.fault.preload_pics {
-            self.set_pics([p0, p1]);
+            self.set_pics([p0 as u64, p1 as u64]);
             self.fault_log.pics_preloaded = true;
         }
         // The instruction budget, the fault plan's abort point, and the
@@ -878,21 +913,27 @@ impl<'p> Machine<'p> {
                 MicroOp::SetPcr { pic0, pic1 } => {
                     self.uop();
                     // Materialize under the old selection, then re-anchor
-                    // the lazy counters on the new events.
+                    // the lazy counters on the new events. A selection
+                    // change keeps the counter values, so the wrap
+                    // epochs survive it too — a `2^32` crossing pending
+                    // at the switch stays visible to the next read,
+                    // exactly as in the eager reference interpreter.
                     let cur = self.pics_now();
                     self.pcr = (*pic0, *pic1);
+                    let epochs = self.pic_epoch;
                     self.set_pics(cur);
+                    self.pic_epoch = epochs;
                 }
                 MicroOp::RdPic { dst } => {
                     self.uop();
                     let p = self.pics_now();
-                    let v = ((p[1] as u64) << 32) | p[0] as u64;
+                    let v = ((p[1] as u32 as u64) << 32) | p[0] as u32 as u64;
                     self.set_reg(*dst, v as i64);
                 }
                 MicroOp::WrPic { src } => {
                     self.uop();
                     let v = self.value(*src) as u64;
-                    self.set_pics([v as u32, (v >> 32) as u32]);
+                    self.set_pics([v as u32 as u64, v >> 32]);
                 }
                 MicroOp::Setjmp { dst } => {
                     self.uop();
@@ -1030,8 +1071,11 @@ impl<'p> Machine<'p> {
             uops: self.uops(),
             resident_pages: self.mem.resident_pages(),
             code_bytes: self.layout.total_bytes(),
-            pics: (pics[0], pics[1]),
+            pics: (pics[0] as u32, pics[1] as u32),
             fault_log: self.fault_log,
+            counter_note: (self.pic_wraps > 0).then_some(CounterNote::WrapReconciled {
+                count: self.pic_wraps,
+            }),
         }
     }
 
@@ -1056,18 +1100,36 @@ impl<'p> Machine<'p> {
         v as u64
     }
 
-    /// A profiling-sequence read of `(%pic0, %pic1)`, subject to the
-    /// fault plan's [`ReadSkew`](crate::ReadSkew): a perturbed read
-    /// observes both counters slightly ahead, as if the read had been
-    /// reordered past nearby counted micro-ops.
-    fn read_pics(&mut self) -> (u32, u32) {
+    /// A profiling-sequence read of `(%pic0, %pic1)`, returned at shadow
+    /// (64-bit) width and subject to the fault plan: a
+    /// [`PicClobber`](crate::PicClobber) lands immediately before the
+    /// read it targets, and a [`ReadSkew`](crate::ReadSkew)-perturbed
+    /// read observes both counters slightly ahead, as if the read had
+    /// been reordered past nearby counted micro-ops. Every read also
+    /// reconciles the architectural 32-bit registers against the shadow,
+    /// accumulating any `2^32` boundary crossings into the run's
+    /// [`CounterNote::WrapReconciled`] count.
+    fn read_pics(&mut self) -> (u64, u64) {
         self.counter_reads += 1;
+        if let Some(c) = self.fault.clobber_pics {
+            if c.at_read > 0 && c.at_read == self.counter_reads {
+                self.set_pics([c.values.0 as u64, c.values.1 as u64]);
+                self.fault_log.pics_clobbered = true;
+            }
+        }
         let now = self.pics_now();
+        for (&wide, anchored) in now.iter().zip(self.pic_epoch.iter_mut()) {
+            let epoch = wide >> 32;
+            if epoch > *anchored {
+                self.pic_wraps += epoch - *anchored;
+                *anchored = epoch;
+            }
+        }
         let mut p = (now[0], now[1]);
         if let Some(skew) = self.fault.read_skew {
             if skew.period > 0 && self.counter_reads.is_multiple_of(skew.period) {
-                p.0 = p.0.wrapping_add(skew.magnitude);
-                p.1 = p.1.wrapping_add(skew.magnitude);
+                p.0 = p.0.wrapping_add(skew.magnitude as u64);
+                p.1 = p.1.wrapping_add(skew.magnitude as u64);
                 self.fault_log.skewed_reads += 1;
             }
         }

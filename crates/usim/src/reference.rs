@@ -26,7 +26,7 @@ use self::frozen::{AssocCache, DirectMappedCache, Memory};
 use crate::config::MachineConfig;
 use crate::fault::{FaultLog, FaultPlan};
 use crate::layout::CodeLayout;
-use crate::machine::{ExecError, RunResult};
+use crate::machine::{CounterNote, ExecError, RunResult};
 use crate::metrics::HwMetrics;
 use crate::predict::{BranchPredictor, TargetPredictor};
 use crate::sink::ProfSink;
@@ -43,8 +43,9 @@ struct Frame {
     fregs: Vec<f64>,
     /// Register in the *caller* receiving this frame's `r0` on return.
     ret_to: Option<Reg>,
-    /// Counter save area (host mirror of the frame's save slots).
-    saved_pics: (u32, u32),
+    /// Counter save area (host mirror of the frame's save slots). Wide
+    /// shadow values; the architectural registers are the low 32 bits.
+    saved_pics: (u64, u64),
     /// Simulated address of the frame's profiling save area.
     frame_addr: u64,
 }
@@ -61,7 +62,16 @@ pub struct ReferenceMachine<'p> {
     l2: Option<AssocCache>,
     bp: BranchPredictor,
     tp: TargetPredictor,
-    pics: [u32; 2],
+    /// 64-bit shadow accumulators behind `(%pic0, %pic1)`. The
+    /// architectural registers are the low 32 bits; the high bits let
+    /// profiling reads detect and reconcile 32-bit wraps.
+    pics: [u64; 2],
+    /// High 32 bits of each shadow counter at its last observation or
+    /// explicit write — crossings counted into `pic_wraps`.
+    pic_epoch: [u64; 2],
+    /// Total reconciled wrap count, reported via
+    /// [`CounterNote::WrapReconciled`](crate::CounterNote).
+    pic_wraps: u64,
     pcr: (HwEvent, HwEvent),
     metrics: HwMetrics,
     store_q: VecDeque<u64>,
@@ -108,6 +118,8 @@ impl<'p> ReferenceMachine<'p> {
             bp: BranchPredictor::new(config.predictor_entries),
             tp: TargetPredictor::new(config.predictor_entries / 4),
             pics: [0, 0],
+            pic_epoch: [0, 0],
+            pic_wraps: 0,
             pcr: (HwEvent::Cycles, HwEvent::Insts),
             metrics: HwMetrics::new(),
             store_q: VecDeque::new(),
@@ -151,9 +163,10 @@ impl<'p> ReferenceMachine<'p> {
         &self.mem
     }
 
-    /// The architectural counter registers `(%pic0, %pic1)`.
+    /// The architectural counter registers `(%pic0, %pic1)` — the low
+    /// 32 bits of the wide shadow accumulators.
     pub fn pics(&self) -> (u32, u32) {
-        (self.pics[0], self.pics[1])
+        (self.pics[0] as u32, self.pics[1] as u32)
     }
 
     /// Per-block execution counts, populated when
@@ -175,11 +188,19 @@ impl<'p> ReferenceMachine<'p> {
     fn count(&mut self, ev: HwEvent, n: u64) {
         self.metrics.add(ev, n);
         if self.pcr.0 == ev {
-            self.pics[0] = self.pics[0].wrapping_add(n as u32);
+            self.pics[0] = self.pics[0].wrapping_add(n);
         }
         if self.pcr.1 == ev {
-            self.pics[1] = self.pics[1].wrapping_add(n as u32);
+            self.pics[1] = self.pics[1].wrapping_add(n);
         }
+    }
+
+    /// Explicitly sets the shadow counters (counter writes, zeroing,
+    /// restores). An explicit write re-anchors the wrap epochs rather
+    /// than counting as a wrap.
+    fn set_pics(&mut self, p: [u64; 2]) {
+        self.pics = p;
+        self.pic_epoch = [p[0] >> 32, p[1] >> 32];
     }
 
     /// Advances time by `n` cycles.
@@ -408,7 +429,7 @@ impl<'p> ReferenceMachine<'p> {
             self.mem.write_bytes(seg.addr, &seg.bytes);
         }
         if let Some((p0, p1)) = self.fault.preload_pics {
-            self.pics = [p0, p1];
+            self.set_pics([p0 as u64, p1 as u64]);
             self.fault_log.pics_preloaded = true;
         }
         self.push_frame(self.program.entry(), &[], None)?;
@@ -459,8 +480,11 @@ impl<'p> ReferenceMachine<'p> {
             uops: self.uops,
             resident_pages: self.mem.resident_pages(),
             code_bytes: self.layout.total_bytes(),
-            pics: (self.pics[0], self.pics[1]),
+            pics: (self.pics[0] as u32, self.pics[1] as u32),
             fault_log: self.fault_log,
+            counter_note: (self.pic_wraps > 0).then_some(CounterNote::WrapReconciled {
+                count: self.pic_wraps,
+            }),
         }
     }
 
@@ -590,13 +614,13 @@ impl<'p> ReferenceMachine<'p> {
             }
             Instr::RdPic { dst } => {
                 self.uop();
-                let v = ((self.pics[1] as u64) << 32) | self.pics[0] as u64;
+                let v = ((self.pics[1] as u32 as u64) << 32) | self.pics[0] as u32 as u64;
                 self.set_reg(*dst, v as i64);
             }
             Instr::WrPic { src } => {
                 self.uop();
                 let v = self.value(*src) as u64;
-                self.pics = [v as u32, (v >> 32) as u32];
+                self.set_pics([v as u32 as u64, v >> 32]);
             }
             Instr::Setjmp { dst } => {
                 self.uop();
@@ -732,16 +756,31 @@ impl<'p> ReferenceMachine<'p> {
     }
 
     /// A profiling-sequence read of `(%pic0, %pic1)`, subject to the
-    /// fault plan's [`ReadSkew`](crate::ReadSkew): a perturbed read
-    /// observes both counters slightly ahead, as if the read had been
-    /// reordered past nearby counted micro-ops.
-    fn read_pics(&mut self) -> (u32, u32) {
+    /// fault plan's [`ReadSkew`](crate::ReadSkew) and
+    /// [`PicClobber`](crate::PicClobber). Returns the wide shadow
+    /// values; epoch crossings observed here are reconciled into the
+    /// run's wrap count.
+    fn read_pics(&mut self) -> (u64, u64) {
         self.counter_reads += 1;
-        let mut p = (self.pics[0], self.pics[1]);
+        if let Some(c) = self.fault.clobber_pics {
+            if c.at_read > 0 && c.at_read == self.counter_reads {
+                self.set_pics([c.values.0 as u64, c.values.1 as u64]);
+                self.fault_log.pics_clobbered = true;
+            }
+        }
+        let now = self.pics;
+        for (&wide, anchored) in now.iter().zip(self.pic_epoch.iter_mut()) {
+            let epoch = wide >> 32;
+            if epoch > *anchored {
+                self.pic_wraps += epoch - *anchored;
+                *anchored = epoch;
+            }
+        }
+        let mut p = (now[0], now[1]);
         if let Some(skew) = self.fault.read_skew {
             if skew.period > 0 && self.counter_reads.is_multiple_of(skew.period) {
-                p.0 = p.0.wrapping_add(skew.magnitude);
-                p.1 = p.1.wrapping_add(skew.magnitude);
+                p.0 = p.0.wrapping_add(skew.magnitude as u64);
+                p.1 = p.1.wrapping_add(skew.magnitude as u64);
                 self.fault_log.skewed_reads += 1;
             }
         }
@@ -764,7 +803,7 @@ impl<'p> ReferenceMachine<'p> {
             }
             ProfOp::PicZero => {
                 self.uops_n(2);
-                self.pics = [0, 0];
+                self.set_pics([0, 0]);
             }
             ProfOp::PicSave => {
                 let pics = self.read_pics();
@@ -778,7 +817,7 @@ impl<'p> ReferenceMachine<'p> {
                 let addr = self.frame_addr();
                 self.dread(addr);
                 let saved = self.frames.last().expect("live frame").saved_pics;
-                self.pics = [saved.0, saved.1];
+                self.set_pics([saved.0, saved.1]);
             }
             ProfOp::EdgeCount { table, index } => {
                 self.uops_n(3);
@@ -831,7 +870,7 @@ impl<'p> ReferenceMachine<'p> {
                 // r = START and re-zero for the next path.
                 self.uops_n(3);
                 self.set_reg(reg, start);
-                self.pics = [0, 0];
+                self.set_pics([0, 0]);
                 sink.path_event(table, sum, Some(pics));
             }
             ProfOp::CctEnter { proc } => {
@@ -940,7 +979,7 @@ impl<'p> ReferenceMachine<'p> {
                     }
                 }
                 self.set_reg(reg, start);
-                self.pics = [0, 0];
+                self.set_pics([0, 0]);
             }
         }
     }

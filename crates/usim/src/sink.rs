@@ -36,8 +36,10 @@ pub struct CctTransition {
 pub trait ProfSink {
     /// A completed intraprocedural path: `count[sum]` in `table` should be
     /// bumped, with `pics` holding the two counter values measured over
-    /// the path when hardware metrics are on.
-    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u32, u32)>) {
+    /// the path when hardware metrics are on. Counter values are the
+    /// machine's wide (wrap-reconciled) shadow readings; the low 32 bits
+    /// are what the architectural `%pic` registers held.
+    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u64, u64)>) {
         let _ = (table, sum, pics);
     }
 
@@ -57,26 +59,26 @@ pub trait ProfSink {
     fn cct_exit(&mut self) {}
 
     /// Context+HW: counter snapshot at entry.
-    fn cct_metric_enter(&mut self, pics: (u32, u32)) {
+    fn cct_metric_enter(&mut self, pics: (u64, u64)) {
         let _ = pics;
     }
 
     /// Context+HW: accumulate deltas at exit. Returns the record address
     /// for traffic modeling.
-    fn cct_metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+    fn cct_metric_exit(&mut self, pics: (u64, u64)) -> u64 {
         let _ = pics;
         0
     }
 
     /// Context+HW: accumulate and re-snapshot on a loop backedge.
-    fn cct_metric_tick(&mut self, pics: (u32, u32)) -> u64 {
+    fn cct_metric_tick(&mut self, pics: (u64, u64)) -> u64 {
         let _ = pics;
         0
     }
 
     /// Combined mode: a completed path attributed to the current call
     /// record. Returns the counter entry's address.
-    fn cct_path_event(&mut self, sum: u64, pics: Option<(u32, u32)>) -> u64 {
+    fn cct_path_event(&mut self, sum: u64, pics: Option<(u64, u64)>) -> u64 {
         let _ = (sum, pics);
         0
     }
@@ -92,7 +94,7 @@ pub trait ProfSink {
 /// itself a sink — callers can hand the generic run loop either a
 /// concrete sink (monomorphized, inlined delivery) or a trait object.
 impl<S: ProfSink + ?Sized> ProfSink for &mut S {
-    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u32, u32)>) {
+    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u64, u64)>) {
         (**self).path_event(table, sum, pics);
     }
 
@@ -108,19 +110,19 @@ impl<S: ProfSink + ?Sized> ProfSink for &mut S {
         (**self).cct_exit();
     }
 
-    fn cct_metric_enter(&mut self, pics: (u32, u32)) {
+    fn cct_metric_enter(&mut self, pics: (u64, u64)) {
         (**self).cct_metric_enter(pics);
     }
 
-    fn cct_metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+    fn cct_metric_exit(&mut self, pics: (u64, u64)) -> u64 {
         (**self).cct_metric_exit(pics)
     }
 
-    fn cct_metric_tick(&mut self, pics: (u32, u32)) -> u64 {
+    fn cct_metric_tick(&mut self, pics: (u64, u64)) -> u64 {
         (**self).cct_metric_tick(pics)
     }
 
-    fn cct_path_event(&mut self, sum: u64, pics: Option<(u32, u32)>) -> u64 {
+    fn cct_path_event(&mut self, sum: u64, pics: Option<(u64, u64)>) -> u64 {
         (**self).cct_path_event(sum, pics)
     }
 
@@ -145,7 +147,7 @@ pub enum SinkEvent {
         /// Path sum.
         sum: u64,
         /// Counter values, when metrics were measured.
-        pics: Option<(u32, u32)>,
+        pics: Option<(u64, u64)>,
     },
     /// From [`ProfSink::cct_enter`].
     Enter(ProcId),
@@ -154,13 +156,13 @@ pub enum SinkEvent {
     /// From [`ProfSink::cct_exit`].
     Exit,
     /// From [`ProfSink::cct_metric_enter`].
-    MetricEnter((u32, u32)),
+    MetricEnter((u64, u64)),
     /// From [`ProfSink::cct_metric_exit`].
-    MetricExit((u32, u32)),
+    MetricExit((u64, u64)),
     /// From [`ProfSink::cct_metric_tick`].
-    MetricTick((u32, u32)),
+    MetricTick((u64, u64)),
     /// From [`ProfSink::cct_path_event`].
-    CctPath(u64, Option<(u32, u32)>),
+    CctPath(u64, Option<(u64, u64)>),
     /// From [`ProfSink::unwind`].
     Unwind(usize),
 }
@@ -173,7 +175,7 @@ pub struct RecordingSink {
 }
 
 impl ProfSink for RecordingSink {
-    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u32, u32)>) {
+    fn path_event(&mut self, table: PathTable, sum: u64, pics: Option<(u64, u64)>) {
         self.events.push(SinkEvent::Path {
             proc: table.proc,
             sum,
@@ -194,21 +196,21 @@ impl ProfSink for RecordingSink {
         self.events.push(SinkEvent::Exit);
     }
 
-    fn cct_metric_enter(&mut self, pics: (u32, u32)) {
+    fn cct_metric_enter(&mut self, pics: (u64, u64)) {
         self.events.push(SinkEvent::MetricEnter(pics));
     }
 
-    fn cct_metric_exit(&mut self, pics: (u32, u32)) -> u64 {
+    fn cct_metric_exit(&mut self, pics: (u64, u64)) -> u64 {
         self.events.push(SinkEvent::MetricExit(pics));
         0
     }
 
-    fn cct_metric_tick(&mut self, pics: (u32, u32)) -> u64 {
+    fn cct_metric_tick(&mut self, pics: (u64, u64)) -> u64 {
         self.events.push(SinkEvent::MetricTick(pics));
         0
     }
 
-    fn cct_path_event(&mut self, sum: u64, pics: Option<(u32, u32)>) -> u64 {
+    fn cct_path_event(&mut self, sum: u64, pics: Option<(u64, u64)>) -> u64 {
         self.events.push(SinkEvent::CctPath(sum, pics));
         0
     }

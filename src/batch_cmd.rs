@@ -75,7 +75,7 @@ struct InjectPlan {
 
 impl InjectPlan {
     /// Parses `hang@I`, `panic@I[:N]`, `transient@I[:N]`,
-    /// `truncate@W[:KEEP]`, `halt@W`, comma-separated.
+    /// `corrupt@I[:N]`, `truncate@W[:KEEP]`, `halt@W`, comma-separated.
     fn parse(spec: Option<&str>, num_jobs: usize) -> Result<InjectPlan, PpError> {
         let mut plan = InjectPlan::default();
         let Some(spec) = spec else {
@@ -99,7 +99,7 @@ impl InjectPlan {
                 })
             };
             match kind {
-                "hang" | "panic" | "transient" if at >= num_jobs => {
+                "hang" | "panic" | "transient" | "corrupt" if at >= num_jobs => {
                     return Err(PpError::Usage(format!(
                         "--inject `{token}`: job index {at} out of range ({num_jobs} jobs)"
                     )));
@@ -118,6 +118,11 @@ impl InjectPlan {
                     plan.fault_plan = plan.fault_plan.transient_on_job(at, n);
                     plan.params_tag.push(format!("transient@{at}:{n}"));
                 }
+                "corrupt" => {
+                    let n = count(u32::MAX)?;
+                    plan.fault_plan = plan.fault_plan.corrupt_on_job(at, n);
+                    plan.params_tag.push(format!("corrupt@{at}:{n}"));
+                }
                 "truncate" => {
                     plan.fault_plan = plan
                         .fault_plan
@@ -129,7 +134,7 @@ impl InjectPlan {
                 other => {
                     return Err(PpError::Usage(format!(
                         "--inject: unknown kind `{other}` \
-                         (hang|panic|transient|truncate|halt)"
+                         (hang|panic|transient|corrupt|truncate|halt)"
                     )));
                 }
             }
@@ -268,12 +273,13 @@ pub fn run_batch(args: &BatchArgs) -> Result<(), PpError> {
     println!(
         "\nsummary: {done} done, {failed} failed, {pending} pending | \
          {} retries, {} panics caught, {} limit stops, {} checkpoint writes, \
-         {} resumed skips",
+         {} resumed skips, {} quarantined",
         report.retries,
         report.panics,
         report.limit_stops,
         report.checkpoint_writes,
         report.resumed_skips,
+        report.quarantined,
     );
 
     if pending == 0 {

@@ -22,6 +22,10 @@
 //!                                           worker threads, guest limits,
 //!                                           retries, crash-safe
 //!                                           checkpoint/resume
+//! pp verify <file|dir|target> [options]     integrity verification: flow
+//!                                           conservation, CCT structure,
+//!                                           counter-wrap sanity, envelope
+//!                                           CRCs; exit 2 on any violation
 //!
 //! <target> is a suite benchmark name (see `pp list`) or a path to a
 //! textual IR file (see pp_ir::parse).
@@ -51,7 +55,13 @@
 //!                             from DIR's manifest
 //!   --inject <spec>           (batch) fault injection: comma-separated
 //!                             hang@I | panic@I[:N] | transient@I[:N] |
-//!                             truncate@W[:KEEP] | halt@W
+//!                             corrupt@I[:N] | truncate@W[:KEEP] | halt@W
+//!   --against <target>        (verify) the program a flow profile was
+//!                             collected from, enabling the
+//!                             flow-conservation walk
+//!   --clobber-pics <read>     (verify) seed a counter clobber at that
+//!                             read index — the unreconcilable-wrap
+//!                             fault the wrap checks must catch
 //!   --smoke                   (bench) tiny scale, no BENCH file unless
 //!                             --out is given — the CI execution check
 //!   --repeat <n>              (bench) time each case n times, report the
@@ -65,18 +75,20 @@
 //!                             (PP_LOG=warn|info|debug sets the level)
 //!
 //! exit codes: 0 success; 1 usage or instrumentation error; 2 run
-//! aborted, partial profile reported; 3 I/O error or corrupt profile.
+//! aborted (partial profile) or integrity violation; 3 I/O error or
+//! corrupt profile.
 //! ```
 
 mod batch_cmd;
 mod bench_cmd;
+mod verify_cmd;
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use pp::cct::CctStats;
+use pp::cct::{CctStats, SerializeError};
 use pp::ir::{HwEvent, ProcId, Program};
-use pp::profiler::{analysis, annotate, PpError, Profiler, RunConfig, RunOutcome};
+use pp::profiler::{analysis, annotate, IntegrityError, PpError, Profiler, RunConfig, RunOutcome};
 use pp::usim::{ExecError, GuestLimits, MachineConfig};
 
 /// Default wall-clock deadline for the long-running accounting commands
@@ -104,6 +116,8 @@ struct Options {
     checkpoint_dir: Option<String>,
     resume: Option<String>,
     inject: Option<String>,
+    against: Option<String>,
+    clobber_pics: Option<u64>,
     smoke: bool,
     repeat: usize,
     trace: bool,
@@ -133,6 +147,8 @@ impl Default for Options {
             checkpoint_dir: None,
             resume: None,
             inject: None,
+            against: None,
+            clobber_pics: None,
             smoke: false,
             repeat: 3,
             trace: false,
@@ -272,6 +288,13 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
             }
             "--resume" => opts.resume = Some(value("--resume", &mut it)?),
             "--inject" => opts.inject = Some(value("--inject", &mut it)?),
+            "--against" => opts.against = Some(value("--against", &mut it)?),
+            "--clobber-pics" => {
+                opts.clobber_pics =
+                    Some(value("--clobber-pics", &mut it)?.parse().map_err(|_| {
+                        usage_err("bad --clobber-pics value (expect a read index)")
+                    })?);
+            }
             "--smoke" => opts.smoke = true,
             "--trace" => opts.trace = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out", &mut it)?),
@@ -663,27 +686,74 @@ fn cmd_cct(target: &str, opts: &Options) -> Result<(), PpError> {
 /// accounting (per-phase wall times, internals metrics, and the
 /// instrumented-vs-base dilation table — the paper's Table 5 analogue).
 fn cmd_stats(arg: &str, opts: &Options) -> Result<(), PpError> {
-    if is_saved_profile(arg) {
-        return cmd_stats_file(arg);
+    match sniff_stats_input(arg) {
+        StatsInput::CctProfile => cmd_stats_file(arg),
+        StatsInput::Opaque(reason) => Err(PpError::Integrity(IntegrityError::Artifact(
+            SerializeError::Format(format!("{arg}: {reason}")),
+        ))),
+        StatsInput::Target => cmd_stats_overhead(arg, opts),
     }
-    cmd_stats_overhead(arg, opts)
 }
 
-/// Does `path` hold a serialized CCT profile? (Sniffs the `PPCCT`
-/// magic so `pp stats` can tell profile files from IR files.)
-fn is_saved_profile(path: &str) -> bool {
+/// How `pp stats` should treat its argument.
+enum StatsInput {
+    /// A serialized CCT profile (`PPCCT` magic): print its statistics.
+    CctProfile,
+    /// A file that is neither a readable profile nor plausible IR text
+    /// (empty, wrong magic, or opaque binary): a typed integrity error,
+    /// never a parser panic or a misleading usage message.
+    Opaque(String),
+    /// A suite name or IR file: run the overhead accounting.
+    Target,
+}
+
+/// Classifies the `pp stats` argument by sniffing the file's leading
+/// bytes, so corrupt or mislabeled profiles surface as integrity
+/// errors (exit 2) instead of falling into the IR parser.
+fn sniff_stats_input(path: &str) -> StatsInput {
+    if !std::path::Path::new(path).is_file() {
+        return StatsInput::Target; // suite names are not files
+    }
+    let Ok(head) = read_head(path, 512) else {
+        return StatsInput::Target; // unreadable: let target mode report I/O
+    };
+    if head.is_empty() {
+        return StatsInput::Opaque("empty file is not a profile or IR program".into());
+    }
+    if head.starts_with(b"PPCCT") {
+        return StatsInput::CctProfile;
+    }
+    if head.starts_with(b"PPFLOW") || head.starts_with(b"PPBAT") {
+        let magic = String::from_utf8_lossy(&head[..head.len().min(7)]).into_owned();
+        return StatsInput::Opaque(format!(
+            "{} artifact is not a CCT profile (try `pp verify`)",
+            magic.trim_end()
+        ));
+    }
+    if head.starts_with(b"PP") || head.contains(&0) {
+        return StatsInput::Opaque("unrecognized binary file (bad or truncated magic)".into());
+    }
+    StatsInput::Target
+}
+
+/// Reads up to `limit` leading bytes of `path` for magic sniffing.
+fn read_head(path: &str, limit: usize) -> std::io::Result<Vec<u8>> {
     use std::io::Read as _;
-    let mut magic = [0u8; 5];
-    std::path::Path::new(path).is_file()
-        && std::fs::File::open(path)
-            .and_then(|mut f| f.read_exact(&mut magic))
-            .is_ok()
-        && &magic == b"PPCCT"
+    let mut head = Vec::with_capacity(limit);
+    std::fs::File::open(path)?
+        .take(limit as u64)
+        .read_to_end(&mut head)?;
+    Ok(head)
 }
 
 fn cmd_stats_file(path: &str) -> Result<(), PpError> {
     let mut file = std::fs::File::open(path).map_err(|e| PpError::io(path, e))?;
-    let cct = pp::cct::read_cct(&mut file)?;
+    // A file that says it is a CCT profile but fails to decode is an
+    // integrity finding (exit 2), not an I/O accident.
+    let cct = pp::cct::read_cct(&mut file).map_err(|e| match e {
+        SerializeError::Io(src) => PpError::io(path, src),
+        other => PpError::Integrity(IntegrityError::Artifact(other)),
+    })?;
     let stats = CctStats::compute(&cct);
     println!("== {path} ==");
     println!("records:         {}", stats.nodes);
@@ -981,12 +1051,13 @@ fn cmd_decode(
 }
 
 fn usage() -> &'static str {
-    "usage: pp <list|run|report|hot|cct|stats|annotate|decode|bench|batch> [target] [options]\n\
+    "usage: pp <list|run|report|hot|cct|stats|verify|annotate|decode|bench|batch> [target] [options]\n\
      run `pp list` to see the benchmark suite; see crate docs for options\n\
      batch: --jobs N --retries N --fuel N --deadline S --seed N\n\
-            --checkpoint-dir DIR | --resume DIR  --inject hang@I,panic@I,...\n\
+            --checkpoint-dir DIR | --resume DIR  --inject hang@I,corrupt@I,...\n\
+     verify: <profile|checkpoint-dir|target> [--against TARGET] [--clobber-pics READ]\n\
      observability: --trace, --trace-out FILE, --quiet (also PP_TRACE, PP_LOG)\n\
-     exit codes: 0 ok, 1 usage, 2 aborted run (partial profile), 3 i/o or corrupt profile"
+     exit codes: 0 ok, 1 usage, 2 aborted run or integrity violation, 3 i/o or corrupt profile"
 }
 
 /// `println!` panics when stdout is a closed pipe (`pp list | head`);
@@ -1027,6 +1098,26 @@ fn main() -> ExitCode {
             ("hot", [t]) => cmd_hot(t, &opts),
             ("cct", [t]) => cmd_cct(t, &opts),
             ("stats", [f]) => cmd_stats(f, &opts),
+            ("verify", [t]) => {
+                // Like stats/batch, verify defaults to the combined
+                // pipeline so every artifact class gets exercised.
+                let config = if opts.config_set {
+                    run_config(&opts)?
+                } else {
+                    RunConfig::CombinedHw {
+                        events: opts.events,
+                    }
+                };
+                verify_cmd::run_verify(&verify_cmd::VerifyArgs {
+                    target: t.clone(),
+                    against: opts.against.clone(),
+                    clobber_pics: opts.clobber_pics,
+                    config,
+                    scale: opts.scale,
+                    cct_cap: opts.cct_cap,
+                    profiler: opts.profiler(),
+                })
+            }
             ("annotate", [t, p]) => cmd_annotate(t, p, &opts),
             ("decode", [t, p, s]) => cmd_decode(t, p, s, &opts),
             ("bench", []) => bench_cmd::run_bench(&bench_cmd::BenchArgs {
@@ -1090,7 +1181,11 @@ fn main() -> ExitCode {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
         Ok(Ok(())) => ExitCode::SUCCESS,
         Ok(Err(e)) => {
-            eprintln!("error: {e}");
+            // Plain `eprintln!` panics on EPIPE, and this line runs
+            // outside the catch_unwind above — write fallibly so a
+            // closed stderr cannot turn an error report into a panic.
+            use std::io::Write;
+            let _ = writeln!(std::io::stderr(), "error: {e}");
             ExitCode::from(e.exit_code())
         }
         Err(payload) if is_broken_pipe(payload.as_ref()) => {

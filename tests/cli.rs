@@ -411,3 +411,252 @@ fn batch_resume_rejects_garbage() {
     assert!(err.contains("unknown kind"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `pp stats` on corrupt, empty, or wrong-magic files: a typed
+/// integrity error on stderr and exit code 2 — never a panic, and
+/// never a misleading "unknown target" usage error.
+#[test]
+fn stats_rejects_corrupt_and_opaque_files() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-statsbad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    let empty = dir.join("empty.cct");
+    std::fs::write(&empty, b"").expect("write");
+    let wrong = dir.join("wrong.bin");
+    std::fs::write(&wrong, b"PPXXX99\n garbage").expect("write");
+    let flipped = dir.join("flipped.cct");
+    let out = pp(&[
+        "cct",
+        "129.compress",
+        "--scale",
+        "0.02",
+        "--out",
+        flipped.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success());
+    let mut bytes = std::fs::read(&flipped).expect("profile written");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&flipped, &bytes).expect("rewrite");
+
+    for file in [&empty, &wrong, &flipped] {
+        let out = pp(&["stats", file.to_str().expect("utf8")]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{}: wrong exit code, stderr: {}",
+            file.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{}: {err}", file.display());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `pp verify` in all three dispatch modes on clean inputs: exit 0 and
+/// a `verify: OK` line.
+#[test]
+fn verify_passes_clean_artifacts() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-verifyok-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let profile = dir.join("clean.cct");
+    let out = pp(&[
+        "cct",
+        "129.compress",
+        "--scale",
+        "0.02",
+        "--out",
+        profile.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success());
+
+    // Target mode (live run, all invariants) and file mode.
+    for target in ["129.compress", profile.to_str().expect("utf8")] {
+        let out = pp(&["verify", target, "--scale", "0.02"]);
+        assert!(
+            out.status.success(),
+            "{target}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("verify: OK"), "{target}: {text}");
+        assert!(text.contains("0 violations"), "{target}: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance scenario for the integrity layers, end to end: a
+/// hand-corrupted profile, a seeded counter clobber, and a tampered
+/// flow profile each produce a distinct typed violation and exit 2.
+#[test]
+fn verify_detects_seeded_corruption() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-verifybad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // Layer 1a, artifact integrity: a flipped byte in a CCT profile.
+    let profile = dir.join("flipped.cct");
+    let out = pp(&[
+        "cct",
+        "130.li",
+        "--scale",
+        "0.02",
+        "--out",
+        profile.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success());
+    let mut bytes = std::fs::read(&profile).expect("profile written");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&profile, &bytes).expect("rewrite");
+    let out = pp(&["verify", profile.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("violation:"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+
+    // Layer 1b, flow conservation: inflate one backedge path count in
+    // an otherwise valid serialized flow profile.
+    let spec = pp::workloads::spec_for("099.go")
+        .expect("known")
+        .scaled(0.05);
+    let program = pp::workloads::build(&spec);
+    let run = pp::profiler::Profiler::default()
+        .run(&program, pp::profiler::RunConfig::FlowFreq)
+        .expect("run")
+        .expect_complete();
+    let mut flow = run.flow.clone().expect("flow profile");
+    let (proc, sum) = flow
+        .iter_paths()
+        .find_map(|(proc, sum, _)| {
+            let paths = pp::pathprof::ProcPaths::analyze(program.procedure(proc)).ok()?;
+            match paths.decode_blocks(sum).1 {
+                pp::pathprof::PathKind::BackedgeToExit { .. } => Some((proc, sum)),
+                pp::pathprof::PathKind::BackedgeToBackedge { from, to } if from != to => {
+                    Some((proc, sum))
+                }
+                _ => None,
+            }
+        })
+        .expect("a loopy workload records backedge paths");
+    flow.record(proc, sum, None);
+    let tampered = dir.join("tampered.flow");
+    let mut bytes = Vec::new();
+    flow.write_to(&mut bytes).expect("serialize");
+    std::fs::write(&tampered, &bytes).expect("write");
+    let out = pp(&[
+        "verify",
+        tampered.to_str().expect("utf8"),
+        "--against",
+        "099.go",
+        "--scale",
+        "0.05",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("flow conservation"), "{err}");
+
+    // Layer 2, counter wrap: a seeded clobber near u32::MAX must be
+    // caught as an unreconciled wrap by the live-run checks.
+    let out = pp(&[
+        "verify",
+        "129.compress",
+        "--scale",
+        "0.02",
+        "--clobber-pics",
+        "3",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unreconciled counter wrap"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupted profile inside a checkpoint directory fails the
+/// manifest CRC re-check: `pp verify <dir>` exits 2 naming the file.
+#[test]
+fn verify_flags_corrupted_checkpoint_profile() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-verifydir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = dir.to_str().expect("utf8");
+    let out = pp(&[
+        "batch",
+        "129.compress",
+        "101.tomcatv",
+        "--scale",
+        "0.02",
+        "--checkpoint-dir",
+        d,
+        "--quiet",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = pp(&["verify", d]);
+    assert!(out.status.success(), "clean checkpoint dir must verify");
+
+    let victim = dir.join("job-000.cct");
+    let mut bytes = std::fs::read(&victim).expect("checkpointed profile");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&victim, &bytes).expect("rewrite");
+    let out = pp(&["verify", d]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("job-000.cct"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `pp batch --inject corrupt@I` end to end: the poisoned job is
+/// verified, quarantined (artifact plus report under `quarantine/`),
+/// retried once, and the rest of the campaign completes.
+#[test]
+fn batch_quarantines_injected_corruption() {
+    let dir = std::env::temp_dir().join(format!("pp-cli-batchq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = dir.to_str().expect("utf8");
+    let out = pp(&[
+        "batch",
+        "129.compress",
+        "101.tomcatv",
+        "102.swim",
+        "--scale",
+        "0.02",
+        "--checkpoint-dir",
+        d,
+        "--inject",
+        "corrupt@1",
+        "--quiet",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 done, 1 failed"), "{text}");
+    assert!(text.contains("2 quarantined"), "{text}");
+    assert!(text.contains("integrity:"), "{text}");
+    let report = std::fs::read_to_string(dir.join("quarantine/job-001-attempt-1.report.txt"))
+        .expect("quarantine report written");
+    assert!(report.contains("unreconciled counter wrap"), "{report}");
+    assert!(report.contains("exit code 2"), "{report}");
+    assert!(
+        dir.join("quarantine/job-001-attempt-2.report.txt").exists(),
+        "the integrity retry must quarantine its own attempt"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

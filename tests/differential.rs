@@ -61,6 +61,10 @@ fn every_profile_is_bit_identical_across_interpreters() {
 
             assert_eq!(a.machine.metrics, b.machine.metrics, "metrics: {ctx}");
             assert_eq!(a.machine.pics, b.machine.pics, "%pic registers: {ctx}");
+            assert_eq!(
+                a.machine.counter_note, b.machine.counter_note,
+                "wrap-reconciliation note: {ctx}"
+            );
             assert_eq!(a.machine.uops, b.machine.uops, "uops: {ctx}");
             assert_eq!(
                 a.machine.resident_pages, b.machine.resident_pages,

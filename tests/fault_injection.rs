@@ -400,6 +400,37 @@ fn fault_log_reports_which_faults_fired() {
     );
 }
 
+/// A mid-run counter clobber is logged (`fault.pics_clobbered`) and,
+/// unlike a preload, it is *not* reconciled away: the integrity
+/// walkers flag the run with a typed counter-wrap verdict.
+#[test]
+fn clobbered_reads_are_logged_and_flagged() {
+    let prog = sample_program();
+    let config = RunConfig::CombinedHw { events: EVENTS };
+
+    let clean = Profiler::default().run(&prog, config).expect("instrument");
+    assert!(!clean.machine.fault_log.pics_clobbered);
+
+    let mut reg = pp::obs::Registry::new();
+    let run = Profiler::default()
+        .with_fault_plan(FaultPlan::default().clobber_pics_at_read(3, u32::MAX - 10, u32::MAX - 5))
+        .run_observed(&prog, config, &mut reg)
+        .expect("instrument");
+    pp::profiler::observe::record_outcome(&mut reg, &run);
+    assert!(run.machine.fault_log.pics_clobbered, "clobber did not fire");
+    assert!(run.machine.fault_log.any_fired());
+    assert_eq!(reg.counter_value("fault.pics_clobbered"), 1);
+    let report = pp::profiler::integrity::verify_outcome(&prog, &run);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, pp::profiler::IntegrityError::CounterWrap { .. })),
+        "clobber escaped the integrity walkers: {:?}",
+        report.violations
+    );
+}
+
 /// The full fault matrix: every injected fault under every run
 /// configuration completes without panicking and returns a usable
 /// outcome (typed fault or clean completion).
@@ -408,6 +439,7 @@ fn no_fault_panics_under_any_configuration() {
     let prog = sample_program();
     let plans = [
         FaultPlan::default().preload_pics(u32::MAX, u32::MAX - 3),
+        FaultPlan::default().clobber_pics_at_read(2, u32::MAX, u32::MAX - 3),
         FaultPlan::default().abort_at_uops(500),
         FaultPlan::default().skew_reads(ReadSkew {
             period: 2,

@@ -1,0 +1,261 @@
+//! The profile-integrity subsystem, exercised from outside: the batch
+//! manifest parser under byte-flip fuzzing (robustness layer), and the
+//! wrap-safe counter semantics at the `u32` boundary on both
+//! interpreters (the differential oracle extended to the
+//! reconciliation notes).
+
+use pp::ir::HwEvent;
+use pp::profiler::{
+    BatchManifest, FlowProfile, IntegrityError, JobEntry, JobStatus, PpError, ProfileRef, Profiler,
+    RunConfig,
+};
+use pp::usim::{CounterNote, FaultPlan};
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+
+/// A representative manifest: a finished job with profile refs, a
+/// failed job with a detail string, and a pending one.
+fn sample_manifest() -> BatchManifest {
+    let mut done = JobEntry::pending("129.compress");
+    done.status = JobStatus::Done;
+    done.attempts = 1;
+    done.cycles = 375_552;
+    done.uops = 298_232;
+    done.flow = Some(ProfileRef::for_bytes("job-000.flow", b"PPFLOW2\nstub"));
+    done.cct = Some(ProfileRef::for_bytes("job-000.cct", b"PPCCT02\nstub"));
+    let mut failed = JobEntry::pending("101.tomcatv");
+    failed.status = JobStatus::Failed;
+    failed.attempts = 3;
+    failed.detail = "integrity: unreconciled counter wrap".into();
+    BatchManifest {
+        seed: 99,
+        params: "test-campaign scale=0.02".into(),
+        jobs: vec![done, failed, JobEntry::pending("102.swim")],
+    }
+}
+
+/// Byte-flip fuzz over the `PPBAT01` manifest parser: flipping any
+/// single byte of a valid manifest (three masks per position) must
+/// yield a typed `SerializeError` — never a panic, and never a silent
+/// success, because every byte is covered by the magic, the length
+/// fields, or the trailing CRC.
+#[test]
+fn manifest_byte_flips_are_typed_errors_never_panics() {
+    let bytes = sample_manifest().to_bytes().expect("serialize manifest");
+    for pos in 0..bytes.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= mask;
+            let result = std::panic::catch_unwind(|| BatchManifest::from_bytes(&mutated))
+                .unwrap_or_else(|_| panic!("parser panicked on flip {mask:#04x} at byte {pos}"));
+            assert!(
+                result.is_err(),
+                "flip {mask:#04x} at byte {pos} was accepted as a valid manifest"
+            );
+        }
+    }
+}
+
+/// Truncation at every possible length is likewise a typed error.
+#[test]
+fn manifest_truncations_are_typed_errors_never_panics() {
+    let bytes = sample_manifest().to_bytes().expect("serialize manifest");
+    for len in 0..bytes.len() {
+        let prefix = &bytes[..len];
+        let result = std::panic::catch_unwind(|| BatchManifest::from_bytes(prefix))
+            .unwrap_or_else(|_| panic!("parser panicked on truncation to {len} bytes"));
+        assert!(result.is_err(), "truncation to {len} bytes was accepted");
+    }
+}
+
+/// The round trip itself stays exact (the fuzz tests above are only
+/// meaningful if the unmutated bytes parse back to the same manifest).
+#[test]
+fn manifest_round_trip_is_exact() {
+    let manifest = sample_manifest();
+    let bytes = manifest.to_bytes().expect("serialize");
+    let back = BatchManifest::from_bytes(&bytes).expect("parse back");
+    assert_eq!(back.to_bytes().expect("re-serialize"), bytes);
+    assert_eq!(back.seed, manifest.seed);
+    assert_eq!(back.params, manifest.params);
+    assert_eq!(back.jobs.len(), manifest.jobs.len());
+}
+
+/// Boundary preloads for the wrap tests: `u32::MAX - k` for small `k`,
+/// so the 32-bit architectural registers sit at the very edge of the
+/// wrap when profiling starts.
+const BOUNDARY_PRELOADS: [(u32, u32); 4] = [
+    (u32::MAX, u32::MAX),
+    (u32::MAX - 1, u32::MAX - 1),
+    (u32::MAX - 7, u32::MAX - 3),
+    (u32::MAX - 255, u32::MAX - 64),
+];
+
+/// The subset of [`BOUNDARY_PRELOADS`] tight enough that the counters
+/// are guaranteed to cross `2^32` before the instrumentation's first
+/// explicit zeroing write discards the preload.
+const TIGHT_PRELOADS: [(u32, u32); 2] = [(u32::MAX, u32::MAX), (u32::MAX - 1, u32::MAX - 1)];
+
+fn workload() -> pp::workloads::Workload {
+    pp::workloads::suite(0.02).swap_remove(3)
+}
+
+/// A run whose counters start near `u32::MAX` wraps almost
+/// immediately; the 64-bit shadow accumulators must notice and report
+/// it as a typed [`CounterNote::WrapReconciled`] with a non-zero
+/// crossing count, while a clean run reports nothing.
+#[test]
+fn boundary_preloads_yield_wrap_notes() {
+    let w = workload();
+    let config = RunConfig::CombinedHw { events: EVENTS };
+    let clean = Profiler::default()
+        .run(&w.program, config)
+        .expect("instrument")
+        .expect_complete();
+    assert_eq!(clean.machine.counter_note, None, "clean run noted a wrap");
+    for (p0, p1) in TIGHT_PRELOADS {
+        let faulted = Profiler::default()
+            .with_fault_plan(FaultPlan::default().preload_pics(p0, p1))
+            .run(&w.program, config)
+            .expect("instrument")
+            .expect_complete();
+        match faulted.machine.counter_note {
+            Some(CounterNote::WrapReconciled { count }) => assert!(
+                count >= 1,
+                "preload ({p0:#x}, {p1:#x}) reported a zero-crossing note"
+            ),
+            None => panic!("preload ({p0:#x}, {p1:#x}) wrapped without a note"),
+        }
+    }
+}
+
+/// The differential oracle holds bit-identically at the wrap boundary:
+/// for every boundary preload and both hardware-metric configurations,
+/// the optimized and reference interpreters agree on the architectural
+/// registers, the reconciliation note, and every serialized profile
+/// byte.
+#[cfg(feature = "reference")]
+#[test]
+fn wrap_reconciliation_is_bit_identical_across_interpreters() {
+    let w = workload();
+    let mut any_noted = false;
+    for config in [
+        RunConfig::FlowHw { events: EVENTS },
+        RunConfig::CombinedHw { events: EVENTS },
+    ] {
+        for (p0, p1) in BOUNDARY_PRELOADS {
+            let ctx = format!("{config} with preload ({p0:#x}, {p1:#x})");
+            let profiler =
+                Profiler::default().with_fault_plan(FaultPlan::default().preload_pics(p0, p1));
+            let a = profiler
+                .run(&w.program, config)
+                .expect("optimized run")
+                .expect_complete();
+            let b = profiler
+                .run_reference(&w.program, config)
+                .expect("reference run")
+                .expect_complete();
+            assert_eq!(a.machine.pics, b.machine.pics, "%pic registers: {ctx}");
+            assert_eq!(a.machine.metrics, b.machine.metrics, "metrics: {ctx}");
+            assert_eq!(
+                a.machine.counter_note, b.machine.counter_note,
+                "wrap note: {ctx}"
+            );
+            any_noted |= a.machine.counter_note.is_some();
+            if let (Some(fa), Some(fb)) = (&a.flow, &b.flow) {
+                let (mut ba, mut bb) = (Vec::new(), Vec::new());
+                fa.write_to(&mut ba).expect("serialize");
+                fb.write_to(&mut bb).expect("serialize");
+                assert_eq!(ba, bb, "flow bytes: {ctx}");
+            }
+            if let (Some(ca), Some(cb)) = (&a.cct, &b.cct) {
+                let (mut ba, mut bb) = (Vec::new(), Vec::new());
+                pp::cct::write_cct(ca, &mut ba).expect("serialize");
+                pp::cct::write_cct(cb, &mut bb).expect("serialize");
+                assert_eq!(ba, bb, "cct bytes: {ctx}");
+            }
+        }
+    }
+    assert!(
+        any_noted,
+        "no boundary preload produced a wrap note in any configuration"
+    );
+}
+
+/// A mid-run clobber — the unreconcilable fault, as opposed to a
+/// wrap — is caught by the integrity walkers on both interpreters with
+/// the same typed verdict.
+#[cfg(feature = "reference")]
+#[test]
+fn clobber_verdict_agrees_across_interpreters() {
+    let w = workload();
+    let config = RunConfig::CombinedHw { events: EVENTS };
+    let profiler = Profiler::default().with_fault_plan(FaultPlan::default().clobber_pics_at_read(
+        3,
+        u32::MAX - 10,
+        u32::MAX - 5,
+    ));
+    let verdicts: Vec<String> = [
+        profiler.run(&w.program, config).expect("optimized run"),
+        profiler
+            .run_reference(&w.program, config)
+            .expect("reference run"),
+    ]
+    .iter()
+    .map(|run| {
+        assert!(run.machine.fault_log.pics_clobbered, "clobber did not fire");
+        let report = pp::profiler::integrity::verify_outcome(&w.program, run);
+        let first = report.first().expect("clobber must violate an invariant");
+        assert!(
+            matches!(first, IntegrityError::CounterWrap { .. }),
+            "expected a counter-wrap verdict, got: {first}"
+        );
+        first.to_string()
+    })
+    .collect();
+    assert_eq!(verdicts[0], verdicts[1], "interpreters disagree on verdict");
+}
+
+/// Hand-editing a path count in an otherwise-valid serialized flow
+/// profile breaks flow conservation, and the byte-level verifier says
+/// so with the typed `FlowConservation` error (the acceptance
+/// scenario for the first integrity layer).
+#[test]
+fn hand_edited_path_count_breaks_flow_conservation() {
+    // A loopy workload, so backedge-originated paths exist to tamper with.
+    let spec = pp::workloads::spec_for("099.go")
+        .expect("known")
+        .scaled(0.05);
+    let program = pp::workloads::build(&spec);
+    let run = Profiler::default()
+        .run(&program, RunConfig::FlowFreq)
+        .expect("instrument")
+        .expect_complete();
+    let mut flow = run.flow.clone().expect("flow profile");
+    // Inflate the count of a backedge-originated path: the extra
+    // execution has no backedge event to originate it, so the
+    // regenerated edge counts can no longer balance.
+    let seeded = flow.iter_paths().find_map(|(proc, sum, _)| {
+        let paths = pp::pathprof::ProcPaths::analyze(program.procedure(proc)).ok()?;
+        match paths.decode_blocks(sum).1 {
+            pp::pathprof::PathKind::BackedgeToExit { .. } => Some((proc, sum)),
+            pp::pathprof::PathKind::BackedgeToBackedge { from, to } if from != to => {
+                Some((proc, sum))
+            }
+            _ => None,
+        }
+    });
+    let (proc, sum) = seeded.expect("a loopy workload records backedge paths");
+    flow.record(proc, sum, None);
+    let mut bytes = Vec::new();
+    flow.write_to(&mut bytes).expect("serialize tampered flow");
+    let report = pp::profiler::integrity::verify_flow_bytes(&program, &bytes);
+    let first = report.first().expect("tampering must be detected");
+    assert!(
+        matches!(first, IntegrityError::FlowConservation { .. }),
+        "expected a flow-conservation verdict, got: {first}"
+    );
+    let err = PpError::Integrity(report.violations.into_iter().next().unwrap());
+    assert_eq!(err.exit_code(), 2, "integrity violations map to exit 2");
+    let _ = FlowProfile::read_from(&mut &bytes[..]).expect("envelope itself is still valid");
+}

@@ -144,10 +144,9 @@ fn check_program(prog: &Program, placement: PlacementChoice) {
             &mut self,
             table: pp::ir::prof::PathTable,
             sum: u64,
-            pics: Option<(u32, u32)>,
+            pics: Option<(u64, u64)>,
         ) {
-            self.0
-                .record(table.proc, sum, pics.map(|(a, b)| (a as u64, b as u64)));
+            self.0.record(table.proc, sum, pics);
         }
     }
     let mut sink = FlowSink(FlowProfile::new(prog.procedures().len()));

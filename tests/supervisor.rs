@@ -347,6 +347,105 @@ fn corrupted_profile_bytes_force_a_rerun_on_resume() {
 }
 
 #[test]
+fn corrupted_profile_is_quarantined_and_retried_once() {
+    let jobs = suite_jobs(3);
+    let dir = scratch("quarantine");
+    // Corruption fires on every attempt: quarantine, one re-run, then a
+    // permanent typed failure — the rest of the campaign is untouched.
+    let report = supervisor(2)
+        .with_checkpoint_dir(&dir)
+        .with_fault_plan(BatchFaultPlan::default().corrupt_on_job(1, u32::MAX))
+        .run(&jobs, false)
+        .expect("campaign survives a corrupt profile");
+    let entry = &report.manifest.jobs[1];
+    assert_eq!(entry.status, JobStatus::Failed);
+    assert!(
+        entry.detail.starts_with("integrity:"),
+        "typed integrity detail, got: {}",
+        entry.detail
+    );
+    assert!(
+        entry.detail.contains("counter wrap"),
+        "detail names the unreconciled wrap, got: {}",
+        entry.detail
+    );
+    assert_eq!(entry.attempts, 2, "quarantined jobs retry exactly once");
+    assert_eq!(report.quarantined, 2, "both attempts were quarantined");
+    for (i, e) in report.manifest.jobs.iter().enumerate() {
+        if i != 1 {
+            assert_eq!(e.status, JobStatus::Done, "job {i} unaffected");
+        }
+    }
+    // The quarantine directory holds the offending artifacts plus a
+    // typed report for each failed attempt; no "good" profile ref was
+    // persisted for the job.
+    let qdir = dir.join("quarantine");
+    for attempt in 1..=2 {
+        let text =
+            std::fs::read_to_string(qdir.join(format!("job-001-attempt-{attempt}.report.txt")))
+                .expect("quarantine report exists");
+        assert!(text.contains("unreconciled counter wrap"), "{text}");
+        assert!(text.contains("exit code 2"), "{text}");
+        assert!(
+            qdir.join(format!("job-001-attempt-{attempt}.cct")).exists(),
+            "quarantined artifact preserved for inspection"
+        );
+    }
+    assert!(entry.cct.is_none(), "no profile ref for a quarantined job");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn transient_corruption_heals_on_the_integrity_retry() {
+    let jobs = suite_jobs(2);
+    // Corruption only on the first attempt; the integrity retry is
+    // granted even with a zero transient-retry budget.
+    let report = supervisor(1)
+        .with_max_retries(0)
+        .with_fault_plan(BatchFaultPlan::default().corrupt_on_job(0, 1))
+        .run(&jobs, false)
+        .expect("campaign");
+    let entry = &report.manifest.jobs[0];
+    assert_eq!(entry.status, JobStatus::Done);
+    assert_eq!(entry.attempts, 2, "one quarantine, then a clean re-run");
+    assert_eq!(report.quarantined, 1);
+}
+
+#[test]
+fn quarantine_resume_converges_to_byte_identical_manifest() {
+    let jobs = suite_jobs(6);
+    let plan = BatchFaultPlan::default().corrupt_on_job(1, u32::MAX);
+    // The uninterrupted reference, with the same corruption injected.
+    let full = scratch("quar-full");
+    supervisor(2)
+        .with_checkpoint_dir(&full)
+        .with_fault_plan(plan)
+        .run(&jobs, false)
+        .expect("reference campaign");
+    // The same campaign killed after 3 checkpoints, then resumed.
+    let halted = scratch("quar-halt");
+    let report = supervisor(2)
+        .with_checkpoint_dir(&halted)
+        .with_fault_plan(plan.halt_after_checkpoints(3))
+        .run(&jobs, false)
+        .expect("halted campaign returns");
+    assert!(report.interrupted);
+    let report = supervisor(2)
+        .with_checkpoint_dir(&halted)
+        .with_fault_plan(plan)
+        .run(&jobs, true)
+        .expect("resume");
+    assert!(report.manifest.is_complete());
+    assert_eq!(
+        manifest_bytes(&full),
+        manifest_bytes(&halted),
+        "resume after quarantine must converge on the reference manifest"
+    );
+    std::fs::remove_dir_all(&full).ok();
+    std::fs::remove_dir_all(&halted).ok();
+}
+
+#[test]
 fn cancellation_drains_and_writes_a_final_manifest() {
     let jobs = suite_jobs(6);
     let dir = scratch("cancel");
