@@ -13,6 +13,7 @@
 //! | [`PpError::Integrity`] | a profile violated a checkable invariant (`pp verify`) | 2 |
 //! | [`PpError::Io`] | file I/O failed | 3 |
 //! | [`PpError::Corrupt`] | a profile file failed version/length/CRC validation | 3 |
+//! | [`PpError::Unavailable`] | the profiling service refused the request (overloaded, quota, draining) | 4 |
 
 use std::fmt;
 use std::io;
@@ -50,16 +51,24 @@ pub enum PpError {
     /// [`PpError::Aborted`], the data existed but cannot be fully
     /// trusted — exit code 2.
     Integrity(IntegrityError),
+    /// The profiling service refused to take the request: admission
+    /// queue full, per-client quota exhausted, or the server draining
+    /// for shutdown. Retryable by policy, hence its own exit code (4)
+    /// so callers can distinguish "back off and resubmit" from a
+    /// failed run.
+    Unavailable(crate::service::AdmitError),
 }
 
 impl PpError {
     /// The process exit code this error maps onto (1 usage, 2 aborted
-    /// run with partial profile, 3 I/O or corruption).
+    /// run with partial profile, 3 I/O or corruption, 4 service
+    /// unavailable).
     pub fn exit_code(&self) -> u8 {
         match self {
             PpError::Usage(_) | PpError::Instrument(_) => 1,
             PpError::Aborted(_) | PpError::Integrity(_) => 2,
             PpError::Io { .. } | PpError::Corrupt(_) => 3,
+            PpError::Unavailable(_) => 4,
         }
     }
 
@@ -81,6 +90,7 @@ impl fmt::Display for PpError {
             PpError::Io { context, source } => write!(f, "{context}: {source}"),
             PpError::Corrupt(e) => write!(f, "{e}"),
             PpError::Integrity(e) => write!(f, "{e}"),
+            PpError::Unavailable(e) => write!(f, "service unavailable: {e}"),
         }
     }
 }

@@ -49,6 +49,7 @@ pub mod observe;
 pub mod profile;
 pub mod profiler;
 pub mod report;
+pub mod service;
 mod sink_impl;
 pub mod supervisor;
 
@@ -58,7 +59,12 @@ pub use integrity::{IntegrityError, IntegrityReport};
 pub use profile::{FlowProfile, PathCell};
 pub use profiler::{ProfileError, Profiler, RunConfig, RunOutcome, RunReport};
 pub use report::TextTable;
+pub use service::{
+    AdmitError, JobState, JobView, Service, ServiceConfig, ServiceFaultPlan, ServiceMetrics,
+    ServicePhase, ServiceReport, SpecResolver,
+};
 pub use supervisor::manifest::{BatchManifest, JobEntry, JobStatus, ProfileRef};
 pub use supervisor::{
-    BatchFaultPlan, BatchReport, FailureClass, FailureKind, JobFailure, JobSpec, Supervisor,
+    BatchFaultPlan, BatchReport, ExecOutcome, FailureClass, FailureKind, JobExecutor, JobFailure,
+    JobFaults, JobRetry, JobSpec, RetryStep, Supervisor,
 };

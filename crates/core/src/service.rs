@@ -1,0 +1,1253 @@
+//! Profile-as-a-service: the long-running job spine behind `pp serve`.
+//!
+//! The batch [`Supervisor`](crate::Supervisor) runs a fixed campaign and
+//! exits; this module turns the same per-job machinery — panic-isolated
+//! execution, transient/permanent classification, deterministic backoff,
+//! integrity quarantine ([`JobExecutor`]) — into a [`Service`] that
+//! accepts work for as long as the process lives. The robustness spine:
+//!
+//! * **bounded admission**: a fixed-capacity queue; a submit that would
+//!   exceed it is rejected *immediately* with a typed
+//!   [`AdmitError::Overloaded`] — backpressure is explicit, never a
+//!   blocked client;
+//! * **per-client quotas**: a client may hold at most N jobs in flight
+//!   (queued + running); excess submits get
+//!   [`AdmitError::QuotaExceeded`];
+//! * **shed/drain state machine**: `Accepting → Draining → Stopped`.
+//!   Draining refuses intake ([`AdmitError::Draining`]), lets in-flight
+//!   jobs finish, leaves queued jobs pending, and writes a final
+//!   checkpoint — the SIGTERM path;
+//! * **crash-safe recovery**: every admitted job is appended to a
+//!   write-ahead intake journal (`intake.jsonl`, canonical JSON, one
+//!   line per job, fsynced before the submit is acknowledged) and
+//!   terminal states checkpoint into the same `PPBAT01` manifest the
+//!   batch supervisor uses. After a `kill -9`, [`Service::start`]
+//!   replays the journal, adopts manifest entries whose artifact bytes
+//!   still validate, and re-queues the rest — converging on artifacts
+//!   byte-identical to an uninterrupted run (everything persisted is a
+//!   function of the admitted job sequence and the seed).
+//!
+//! Job identity is the admission order: job `k` is the `k`-th journal
+//! line, its artifacts are `job-<k:06>.flow`/`.cct`, and manifest row
+//! `k` is its entry. The journal is the authoritative job list; the
+//! manifest is a prefix snapshot of terminal states.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pp_ir::Program;
+use pp_obs::json::Json;
+use pp_obs::Recorder;
+use pp_usim::CancelToken;
+
+use crate::error::PpError;
+use crate::profiler::{Profiler, RunConfig};
+use crate::supervisor::manifest::{self, BatchManifest, JobEntry, JobStatus, ProfileRef};
+use crate::supervisor::{ExecOutcome, JobExecutor, JobFaults, JobSpec, WORKER_THREAD_PREFIX};
+
+/// File name of the write-ahead intake journal inside the service
+/// checkpoint directory.
+pub const JOURNAL_FILE: &str = "intake.jsonl";
+
+/// Resolves a client-supplied spec string (e.g. `target=loops
+/// scale=0.5 config=combined`) into a runnable program and
+/// configuration. Lives behind an `Arc` so the CLI can close over its
+/// own target/suite loaders without `pp-core` knowing about them.
+pub type SpecResolver = Arc<dyn Fn(&str) -> Result<(Program, RunConfig), String> + Send + Sync>;
+
+/// Why a submission was refused at the door. Every variant is a typed,
+/// immediate answer — admission never blocks the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The bounded admission queue is full; back off and resubmit.
+    Overloaded {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The client already holds its quota of in-flight jobs.
+    QuotaExceeded {
+        /// The offending client.
+        client: String,
+        /// Its configured in-flight cap.
+        quota: usize,
+    },
+    /// The service is draining for shutdown and refuses new intake.
+    Draining,
+    /// The service has stopped.
+    Stopped,
+    /// The spec string did not resolve to a runnable job.
+    BadSpec(String),
+    /// Journaling the admission failed; the job was NOT accepted.
+    Io(String),
+}
+
+impl AdmitError {
+    /// Short machine-readable tag for the wire protocol and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdmitError::Overloaded { .. } => "overloaded",
+            AdmitError::QuotaExceeded { .. } => "quota-exceeded",
+            AdmitError::Draining => "draining",
+            AdmitError::Stopped => "stopped",
+            AdmitError::BadSpec(_) => "bad-spec",
+            AdmitError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Overloaded { capacity } => {
+                write!(f, "admission queue full ({capacity} jobs); resubmit later")
+            }
+            AdmitError::QuotaExceeded { client, quota } => {
+                write!(f, "client {client} already holds {quota} in-flight jobs")
+            }
+            AdmitError::Draining => write!(f, "service is draining; no new intake"),
+            AdmitError::Stopped => write!(f, "service has stopped"),
+            AdmitError::BadSpec(e) => write!(f, "unusable job spec: {e}"),
+            AdmitError::Io(e) => write!(f, "intake journal write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Periodic fault injection for soak testing: every N-th admitted job
+/// (1-based: jobs N−1, 2N−1, …) gets the fault on its first attempt,
+/// exercising the retry/quarantine paths under sustained load. 0 means
+/// never.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceFaultPlan {
+    /// Panic the worker on every N-th job's first attempt.
+    pub panic_every: u64,
+    /// Inject a transient guest abort on every N-th job's first attempt.
+    pub transient_every: u64,
+    /// Clobber the counters (corrupt profile → quarantine + one retry)
+    /// on every N-th job's first attempt.
+    pub corrupt_every: u64,
+}
+
+impl ServiceFaultPlan {
+    /// The executor-level faults for job `id`.
+    pub fn faults_for(&self, id: u64) -> JobFaults {
+        let hit = |every: u64| every > 0 && (id + 1).is_multiple_of(every);
+        JobFaults {
+            panic_attempts: u32::from(hit(self.panic_every)),
+            transient_attempts: u32::from(hit(self.transient_every)),
+            corrupt_attempts: u32::from(hit(self.corrupt_every)),
+        }
+    }
+}
+
+/// Service configuration; see field docs for defaults.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs (clamped to ≥ 1).
+    pub workers: usize,
+    /// Bounded admission queue capacity (clamped to ≥ 1); a submit
+    /// beyond it is [`AdmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Max in-flight (queued + running) jobs per client; 0 = unlimited.
+    pub per_client_quota: usize,
+    /// Transient-failure retry budget per job.
+    pub max_retries: u32,
+    /// Backoff base, in milliseconds (see [`JobExecutor::backoff`]).
+    pub backoff_base_ms: u64,
+    /// Backoff cap, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed for deterministic backoff jitter; persisted in the
+    /// manifest, and recovery refuses a checkpoint with a different one.
+    pub seed: u64,
+    /// Campaign-parameter tag persisted in the manifest; recovery
+    /// refuses a checkpoint whose tag differs.
+    pub params: String,
+    /// Terminal job states between checkpoint writes (clamped to ≥ 1).
+    pub checkpoint_every: u32,
+    /// Cap on quarantined attempt-sets kept on disk (0 = unbounded).
+    pub quarantine_cap: usize,
+    /// Soak-test fault injection.
+    pub fault_plan: ServiceFaultPlan,
+    /// Start with workers parked (tests use this to fill the queue
+    /// deterministically); release with [`Service::unpause`].
+    pub paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            per_client_quota: 0,
+            max_retries: 2,
+            backoff_base_ms: 4,
+            backoff_cap_ms: 250,
+            seed: 0,
+            params: String::new(),
+            checkpoint_every: 8,
+            quarantine_cap: 0,
+            fault_plan: ServiceFaultPlan::default(),
+            paused: false,
+        }
+    }
+}
+
+/// Where the service is in its shed/drain state machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServicePhase {
+    /// Accepting submissions.
+    Accepting,
+    /// Refusing intake; in-flight jobs finishing; queued jobs held.
+    Draining,
+    /// Workers joined, final checkpoint written.
+    Stopped,
+}
+
+/// A job's lifecycle state as reported to clients.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; artifacts persisted and verified.
+    Done,
+    /// Exhausted retries or failed permanently.
+    Failed,
+}
+
+impl JobState {
+    /// Wire tag for the status protocol.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// A client-facing snapshot of one job.
+#[derive(Clone, Debug)]
+pub struct JobView {
+    /// Admission-order id.
+    pub id: u64,
+    /// Submitted job name.
+    pub name: String,
+    /// Submitting client.
+    pub client: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Attempts consumed so far.
+    pub attempts: u32,
+    /// Guest cycles of the final attempt (terminal states only).
+    pub cycles: u64,
+    /// Retired µops of the final attempt.
+    pub uops: u64,
+    /// Failure detail ("" unless failed).
+    pub detail: String,
+    /// Flow-profile artifact file name, when persisted.
+    pub flow: Option<String>,
+    /// CCT artifact file name, when persisted.
+    pub cct: Option<String>,
+}
+
+impl JobView {
+    /// Renders the view as a canonical JSON object for the wire.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::Num(self.id as f64)),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("client".to_string(), Json::Str(self.client.clone())),
+            (
+                "state".to_string(),
+                Json::Str(self.state.as_str().to_string()),
+            ),
+            ("attempts".to_string(), Json::Num(f64::from(self.attempts))),
+            ("cycles".to_string(), Json::Num(self.cycles as f64)),
+            ("uops".to_string(), Json::Num(self.uops as f64)),
+        ];
+        if !self.detail.is_empty() {
+            fields.push(("detail".to_string(), Json::Str(self.detail.clone())));
+        }
+        if let Some(f) = &self.flow {
+            fields.push(("flow".to_string(), Json::Str(f.clone())));
+        }
+        if let Some(c) = &self.cct {
+            fields.push(("cct".to_string(), Json::Str(c.clone())));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A point-in-time snapshot of the service counters (monotonic) and
+/// queue gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Jobs admitted (journaled and queued).
+    pub admitted: u64,
+    /// Submits refused with [`AdmitError::Overloaded`].
+    pub rejected_overloaded: u64,
+    /// Submits refused with [`AdmitError::QuotaExceeded`].
+    pub rejected_quota: u64,
+    /// Submits refused while draining or stopped.
+    pub rejected_draining: u64,
+    /// Submits whose spec did not resolve.
+    pub rejected_bad_spec: u64,
+    /// Jobs that reached `Done`.
+    pub done: u64,
+    /// Jobs that reached `Failed`.
+    pub failed: u64,
+    /// Classified retries across all jobs.
+    pub retries: u64,
+    /// Worker panics caught.
+    pub panics: u64,
+    /// Attempts stopped on a guest-limit bound.
+    pub limit_stops: u64,
+    /// Attempts quarantined for failed verification.
+    pub quarantined: u64,
+    /// Quarantine attempt-sets evicted by rotation.
+    pub quarantine_pruned: u64,
+    /// Checkpoint manifests written.
+    pub checkpoint_writes: u64,
+    /// Terminal jobs adopted from the manifest on recovery.
+    pub recovered_adopted: u64,
+    /// Journaled jobs re-queued on recovery.
+    pub recovered_requeued: u64,
+    /// Jobs currently queued (gauge).
+    pub queued: u64,
+    /// Jobs currently running (gauge).
+    pub running: u64,
+    /// Total jobs ever admitted to this directory (gauge).
+    pub jobs: u64,
+}
+
+impl ServiceMetrics {
+    /// Records the `service.*` metric set into `recorder`.
+    pub fn record_metrics<R: Recorder>(&self, recorder: &mut R) {
+        recorder.counter("service.admitted", self.admitted);
+        recorder.counter("service.rejected.overloaded", self.rejected_overloaded);
+        recorder.counter("service.rejected.quota", self.rejected_quota);
+        recorder.counter("service.rejected.draining", self.rejected_draining);
+        recorder.counter("service.rejected.bad_spec", self.rejected_bad_spec);
+        recorder.counter("service.jobs.done", self.done);
+        recorder.counter("service.jobs.failed", self.failed);
+        recorder.counter("service.retries", self.retries);
+        recorder.counter("service.panics", self.panics);
+        recorder.counter("service.timeouts", self.limit_stops);
+        recorder.counter("service.quarantined", self.quarantined);
+        recorder.counter("service.quarantine.pruned", self.quarantine_pruned);
+        recorder.counter("service.checkpoint.writes", self.checkpoint_writes);
+        recorder.counter("service.recovered.adopted", self.recovered_adopted);
+        recorder.counter("service.recovered.requeued", self.recovered_requeued);
+        recorder.gauge("service.queue.depth", self.queued as f64);
+        recorder.gauge("service.jobs.running", self.running as f64);
+    }
+
+    /// Renders the snapshot as a canonical JSON object for the wire.
+    pub fn to_json(&self) -> Json {
+        let n = |v: u64| Json::Num(v as f64);
+        Json::Obj(vec![
+            ("admitted".to_string(), n(self.admitted)),
+            (
+                "rejected_overloaded".to_string(),
+                n(self.rejected_overloaded),
+            ),
+            ("rejected_quota".to_string(), n(self.rejected_quota)),
+            ("rejected_draining".to_string(), n(self.rejected_draining)),
+            ("rejected_bad_spec".to_string(), n(self.rejected_bad_spec)),
+            ("done".to_string(), n(self.done)),
+            ("failed".to_string(), n(self.failed)),
+            ("retries".to_string(), n(self.retries)),
+            ("panics".to_string(), n(self.panics)),
+            ("limit_stops".to_string(), n(self.limit_stops)),
+            ("quarantined".to_string(), n(self.quarantined)),
+            ("quarantine_pruned".to_string(), n(self.quarantine_pruned)),
+            ("checkpoint_writes".to_string(), n(self.checkpoint_writes)),
+            ("recovered_adopted".to_string(), n(self.recovered_adopted)),
+            ("recovered_requeued".to_string(), n(self.recovered_requeued)),
+            ("queued".to_string(), n(self.queued)),
+            ("running".to_string(), n(self.running)),
+            ("jobs".to_string(), n(self.jobs)),
+        ])
+    }
+}
+
+/// What a shut-down service did, for final reporting.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// The final manifest (also the last checkpoint written).
+    pub manifest: BatchManifest,
+    /// Final counter/gauge snapshot.
+    pub metrics: ServiceMetrics,
+}
+
+/// One job's full record inside the service.
+#[derive(Clone, Debug)]
+struct JobRecord {
+    client: String,
+    spec: JobSpec,
+    state: JobState,
+    attempts: u32,
+    cycles: u64,
+    uops: u64,
+    detail: String,
+    flow: Option<ProfileRef>,
+    cct: Option<ProfileRef>,
+}
+
+impl JobRecord {
+    fn entry(&self) -> JobEntry {
+        JobEntry {
+            name: self.spec.name.clone(),
+            status: match self.state {
+                JobState::Queued | JobState::Running => JobStatus::Pending,
+                JobState::Done => JobStatus::Done,
+                JobState::Failed => JobStatus::Failed,
+            },
+            attempts: self.attempts,
+            cycles: self.cycles,
+            uops: self.uops,
+            detail: self.detail.clone(),
+            flow: self.flow.clone(),
+            cct: self.cct.clone(),
+        }
+    }
+
+    fn view(&self, id: u64) -> JobView {
+        JobView {
+            id,
+            name: self.spec.name.clone(),
+            client: self.client.clone(),
+            state: self.state,
+            attempts: self.attempts,
+            cycles: self.cycles,
+            uops: self.uops,
+            detail: self.detail.clone(),
+            flow: self.flow.as_ref().map(|r| r.file.clone()),
+            cct: self.cct.as_ref().map(|r| r.file.clone()),
+        }
+    }
+}
+
+/// Mutable service state, guarded by one mutex.
+struct State {
+    phase: ServicePhase,
+    paused: bool,
+    halted: bool,
+    jobs: Vec<JobRecord>,
+    queue: VecDeque<u64>,
+    running: usize,
+    active_by_client: HashMap<String, usize>,
+    since_checkpoint: u32,
+    journal: File,
+    /// First checkpoint/persistence error hit by a worker; surfaced at
+    /// shutdown (workers cannot return a Result mid-service).
+    io_error: Option<String>,
+}
+
+/// Monotonic counters, updated lock-free.
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_draining: AtomicU64,
+    rejected_bad_spec: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    panics: AtomicU64,
+    limit_stops: AtomicU64,
+    quarantined: AtomicU64,
+    quarantine_pruned: AtomicU64,
+    checkpoint_writes: AtomicU64,
+    recovered_adopted: AtomicU64,
+    recovered_requeued: AtomicU64,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    executor: JobExecutor,
+    resolver: SpecResolver,
+    dir: PathBuf,
+    state: Mutex<State>,
+    /// Workers park here waiting for queue work (or phase changes).
+    wake: Condvar,
+    /// Status waiters park here for terminal transitions.
+    done: Condvar,
+    counters: Counters,
+    hard_cancel: CancelToken,
+}
+
+/// The profile service: admission, execution, persistence, recovery.
+/// Cheap to clone handles are not provided — share it via the struct
+/// itself (methods take `&self`; the worker threads hold `Arc`s to the
+/// internals).
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts the service over `dir`: recovers any prior journal and
+    /// checkpoint in it, then spawns the worker pool. The `profiler`
+    /// carries machine config and guest limits; the service adds its
+    /// own hard-cancel token to those limits (see
+    /// [`Service::hard_cancel`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Io`] when the directory or journal cannot be used;
+    /// [`PpError::Corrupt`] for an unusable journal or a manifest that
+    /// contradicts it; [`PpError::Usage`] when the checkpoint belongs
+    /// to a different campaign (seed/params mismatch) or a journaled
+    /// spec no longer resolves.
+    pub fn start(
+        config: ServiceConfig,
+        profiler: Profiler,
+        resolver: SpecResolver,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Service, PpError> {
+        let _span = pp_obs::span!("service.start");
+        crate::supervisor::suppress_worker_panic_output();
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| PpError::io(dir.display().to_string(), e))?;
+
+        let hard_cancel = CancelToken::new();
+        let profiler = {
+            let limits = profiler.limits().clone().with_cancel(hard_cancel.clone());
+            profiler.with_limits(limits)
+        };
+        let executor = JobExecutor::new(profiler)
+            .with_max_retries(config.max_retries)
+            .with_backoff_ms(config.backoff_base_ms, config.backoff_cap_ms)
+            .with_seed(config.seed);
+
+        let counters = Counters::default();
+        let (jobs, journal) = recover(&config, &resolver, &dir, &counters)?;
+        let queue: VecDeque<u64> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.state == JobState::Queued)
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut active_by_client: HashMap<String, usize> = HashMap::new();
+        for j in jobs.iter().filter(|j| j.state == JobState::Queued) {
+            *active_by_client.entry(j.client.clone()).or_insert(0) += 1;
+        }
+
+        let inner = Arc::new(Inner {
+            executor,
+            resolver,
+            dir,
+            state: Mutex::new(State {
+                phase: ServicePhase::Accepting,
+                paused: config.paused,
+                halted: false,
+                jobs,
+                queue,
+                running: 0,
+                active_by_client,
+                since_checkpoint: 0,
+                journal,
+                io_error: None,
+            }),
+            wake: Condvar::new(),
+            done: Condvar::new(),
+            counters,
+            hard_cancel,
+            config,
+        });
+
+        let mut handles = Vec::new();
+        for w in 0..inner.config.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("{WORKER_THREAD_PREFIX}-svc-{w}"))
+                .spawn(move || worker_loop(&inner))
+                .map_err(|e| PpError::io("service worker spawn", e))?;
+            handles.push(handle);
+        }
+        Ok(Service {
+            inner,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Submits one job. Returns its admission id, or a typed immediate
+    /// rejection — this call never blocks on queue space.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdmitError`].
+    pub fn submit(&self, client: &str, name: &str, spec: &str) -> Result<u64, AdmitError> {
+        let c = &self.inner.counters;
+        // Resolve outside the lock: spec parsing/loading is the
+        // expensive part and needs no shared state.
+        let (program, run_config) = (self.inner.resolver)(spec).map_err(|e| {
+            c.rejected_bad_spec.fetch_add(1, Ordering::Relaxed);
+            AdmitError::BadSpec(e)
+        })?;
+        let mut st = self.inner.state.lock().expect("service state");
+        match st.phase {
+            ServicePhase::Accepting => {}
+            ServicePhase::Draining => {
+                c.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Draining);
+            }
+            ServicePhase::Stopped => {
+                c.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Stopped);
+            }
+        }
+        let capacity = self.inner.config.queue_capacity.max(1);
+        if st.queue.len() >= capacity {
+            c.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmitError::Overloaded { capacity });
+        }
+        let quota = self.inner.config.per_client_quota;
+        if quota > 0 && st.active_by_client.get(client).copied().unwrap_or(0) >= quota {
+            c.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmitError::QuotaExceeded {
+                client: client.to_string(),
+                quota,
+            });
+        }
+        let id = st.jobs.len() as u64;
+        // Write-ahead: the admission is durable before it is
+        // acknowledged; a crash right after this line re-runs the job.
+        let line = journal_line(id, client, name, spec);
+        if let Err(e) = append_journal(&mut st.journal, &line) {
+            return Err(AdmitError::Io(e.to_string()));
+        }
+        st.jobs.push(JobRecord {
+            client: client.to_string(),
+            spec: JobSpec::new(name, program, run_config),
+            state: JobState::Queued,
+            attempts: 0,
+            cycles: 0,
+            uops: 0,
+            detail: String::new(),
+            flow: None,
+            cct: None,
+        });
+        st.queue.push_back(id);
+        *st.active_by_client.entry(client.to_string()).or_insert(0) += 1;
+        c.admitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.inner.wake.notify_one();
+        Ok(id)
+    }
+
+    /// Releases workers parked by [`ServiceConfig::paused`].
+    pub fn unpause(&self) {
+        let mut st = self.inner.state.lock().expect("service state");
+        st.paused = false;
+        drop(st);
+        self.inner.wake.notify_all();
+    }
+
+    /// A snapshot of one job, if it exists.
+    pub fn status(&self, id: u64) -> Option<JobView> {
+        let st = self.inner.state.lock().expect("service state");
+        st.jobs.get(id as usize).map(|j| j.view(id))
+    }
+
+    /// Snapshots of every job, in admission order.
+    pub fn jobs(&self) -> Vec<JobView> {
+        let st = self.inner.state.lock().expect("service state");
+        st.jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| j.view(i as u64))
+            .collect()
+    }
+
+    /// Jobs in each state: `(queued, running, done, failed)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let st = self.inner.state.lock().expect("service state");
+        let mut c = (0, 0, 0, 0);
+        for j in &st.jobs {
+            match j.state {
+                JobState::Queued => c.0 += 1,
+                JobState::Running => c.1 += 1,
+                JobState::Done => c.2 += 1,
+                JobState::Failed => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// The current shed/drain phase.
+    pub fn phase(&self) -> ServicePhase {
+        self.inner.state.lock().expect("service state").phase
+    }
+
+    /// Blocks until job `id` reaches a terminal state or `timeout`
+    /// elapses; returns the latest view either way (`None` for an
+    /// unknown id).
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobView> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().expect("service state");
+        loop {
+            match st.jobs.get(id as usize).map(|j| j.state) {
+                None => return None,
+                Some(JobState::Done | JobState::Failed) => {
+                    return st.jobs.get(id as usize).map(|j| j.view(id));
+                }
+                Some(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return st.jobs.get(id as usize).map(|j| j.view(id));
+            }
+            let (guard, _) = self
+                .inner
+                .done
+                .wait_timeout(st, deadline - now)
+                .expect("service state");
+            st = guard;
+        }
+    }
+
+    /// Blocks until no jobs are queued or running, or `timeout`
+    /// elapses. Returns whether the service went idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().expect("service state");
+        loop {
+            if st.queue.is_empty() && st.running == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .inner
+                .done
+                .wait_timeout(st, deadline - now)
+                .expect("service state");
+            st = guard;
+        }
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let c = &self.inner.counters;
+        let (queued, running, jobs) = {
+            let st = self.inner.state.lock().expect("service state");
+            (
+                st.queue.len() as u64,
+                st.running as u64,
+                st.jobs.len() as u64,
+            )
+        };
+        ServiceMetrics {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected_overloaded: c.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
+            rejected_draining: c.rejected_draining.load(Ordering::Relaxed),
+            rejected_bad_spec: c.rejected_bad_spec.load(Ordering::Relaxed),
+            done: c.done.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            limit_stops: c.limit_stops.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
+            quarantine_pruned: c.quarantine_pruned.load(Ordering::Relaxed),
+            checkpoint_writes: c.checkpoint_writes.load(Ordering::Relaxed),
+            recovered_adopted: c.recovered_adopted.load(Ordering::Relaxed),
+            recovered_requeued: c.recovered_requeued.load(Ordering::Relaxed),
+            queued,
+            running,
+            jobs,
+        }
+    }
+
+    /// Enters the draining phase: intake is refused, in-flight jobs
+    /// finish, queued jobs stay pending (they will re-queue on the next
+    /// start). Idempotent.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().expect("service state");
+        if st.phase == ServicePhase::Accepting {
+            st.phase = ServicePhase::Draining;
+        }
+        drop(st);
+        self.inner.wake.notify_all();
+        self.inner.done.notify_all();
+    }
+
+    /// Drains, joins the workers, writes the final checkpoint, and
+    /// returns the final report. The graceful-shutdown path (SIGTERM).
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Io`] when the final checkpoint (or any checkpoint a
+    /// worker attempted during the run) failed to persist.
+    pub fn shutdown(&self) -> Result<ServiceReport, PpError> {
+        let _span = pp_obs::span!("service.shutdown");
+        self.drain();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker handles")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = self.inner.state.lock().expect("service state");
+        let manifest = snapshot_manifest(&self.inner.config, &st.jobs);
+        if !st.halted {
+            manifest
+                .save_atomic(&self.inner.dir)
+                .map_err(PpError::from)?;
+            self.inner
+                .counters
+                .checkpoint_writes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        st.phase = ServicePhase::Stopped;
+        if let Some(e) = st.io_error.take() {
+            return Err(PpError::Io {
+                context: "service checkpoint".to_string(),
+                source: std::io::Error::other(e),
+            });
+        }
+        drop(st);
+        Ok(ServiceReport {
+            manifest,
+            metrics: self.metrics(),
+        })
+    }
+
+    /// Abandons the service abruptly: workers stop without persisting
+    /// their in-flight results, no final checkpoint is written, queued
+    /// jobs are dropped on the floor. The library-level stand-in for
+    /// `kill -9` — everything recovery needs is already on disk
+    /// (journal + last checkpoint). Used by crash-recovery tests.
+    pub fn halt_abandon(&self) {
+        let mut st = self.inner.state.lock().expect("service state");
+        st.halted = true;
+        st.phase = ServicePhase::Stopped;
+        drop(st);
+        self.inner.hard_cancel.cancel();
+        self.inner.wake.notify_all();
+        self.inner.done.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker handles")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// The hard-cancel token wired into every worker's guest limits:
+    /// cancelling it stops in-flight guest execution at the next limit
+    /// check (the second-signal escalation path).
+    pub fn hard_cancel_token(&self) -> CancelToken {
+        self.inner.hard_cancel.clone()
+    }
+
+    /// The directory this service checkpoints into.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+}
+
+/// One worker: park on the condvar → pop → execute → persist → update,
+/// until drained (queue empty and intake closed) or halted.
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let (id, spec, faults) = {
+            let mut st = inner.state.lock().expect("service state");
+            loop {
+                if st.halted {
+                    return;
+                }
+                if st.phase != ServicePhase::Accepting {
+                    // Draining: queued jobs stay pending (they re-queue
+                    // on the next start); only in-flight peers — already
+                    // past this loop — finish their jobs.
+                    return;
+                }
+                if !st.paused {
+                    if let Some(id) = st.queue.pop_front() {
+                        st.jobs[id as usize].state = JobState::Running;
+                        st.running += 1;
+                        let spec = st.jobs[id as usize].spec.clone();
+                        break (id, spec, inner.config.fault_plan.faults_for(id));
+                    }
+                }
+                st = inner.wake.wait(st).expect("service state");
+            }
+        };
+        let execution = inner.executor.execute(id, &spec, faults, true);
+        finish_job(inner, id, execution);
+    }
+}
+
+/// Persists one finished job's artifacts/quarantines (outside the state
+/// lock) and folds its terminal state into the service (under it).
+fn finish_job(inner: &Inner, id: u64, execution: crate::supervisor::JobExecution) {
+    let c = &inner.counters;
+    c.retries
+        .fetch_add(u64::from(execution.retries), Ordering::Relaxed);
+    c.panics
+        .fetch_add(u64::from(execution.panics), Ordering::Relaxed);
+    c.limit_stops
+        .fetch_add(u64::from(execution.limit_stops), Ordering::Relaxed);
+    let mut io_error: Option<String> = None;
+    let stem = format!("job-{id:06}");
+    if !execution.quarantines.is_empty() {
+        c.quarantined
+            .fetch_add(execution.quarantines.len() as u64, Ordering::Relaxed);
+        if let Err(e) =
+            crate::supervisor::write_quarantine(&inner.dir, &stem, &execution.quarantines)
+        {
+            io_error = Some(format!("quarantine: {e}"));
+        } else if inner.config.quarantine_cap > 0 {
+            match manifest::prune_quarantine(
+                &inner.dir.join("quarantine"),
+                inner.config.quarantine_cap,
+            ) {
+                Ok(n) => {
+                    c.quarantine_pruned.fetch_add(n, Ordering::Relaxed);
+                }
+                Err(e) => io_error = Some(format!("quarantine rotation: {e}")),
+            }
+        }
+    }
+    let (state, flow_ref, cct_ref, detail) = match &execution.outcome {
+        ExecOutcome::Done { flow, cct } => {
+            let mut refs = [None, None];
+            for ((bytes, ext), slot) in [(flow, "flow"), (cct, "cct")].iter().zip(refs.iter_mut()) {
+                if let Some(b) = bytes {
+                    let file = format!("{stem}.{ext}");
+                    match manifest::write_atomic(&inner.dir.join(&file), b) {
+                        Ok(()) => *slot = Some(ProfileRef::for_bytes(file, b)),
+                        Err(e) => io_error = Some(format!("artifact {file}: {e}")),
+                    }
+                }
+            }
+            let [f, ct] = refs;
+            (JobState::Done, f, ct, String::new())
+        }
+        ExecOutcome::Failed(f) => (JobState::Failed, None, None, f.to_string()),
+    };
+    let mut st = inner.state.lock().expect("service state");
+    if st.halted {
+        // Simulated kill -9: the result is abandoned. Any artifact
+        // bytes already written are harmless — recovery re-runs the job
+        // and (deterministically) rewrites them byte-identically.
+        return;
+    }
+    let client = {
+        let rec = &mut st.jobs[id as usize];
+        rec.state = state;
+        rec.attempts = execution.attempts;
+        rec.cycles = execution.cycles;
+        rec.uops = execution.uops;
+        rec.detail = detail;
+        rec.flow = flow_ref;
+        rec.cct = cct_ref;
+        rec.client.clone()
+    };
+    if let Some(n) = st.active_by_client.get_mut(&client) {
+        *n = n.saturating_sub(1);
+    }
+    st.running -= 1;
+    match state {
+        JobState::Done => {
+            c.done.fetch_add(1, Ordering::Relaxed);
+        }
+        JobState::Failed => {
+            c.failed.fetch_add(1, Ordering::Relaxed);
+            let rec = &st.jobs[id as usize];
+            pp_obs::warn!(
+                "service: job {} ({}) failed after {} attempts: {}",
+                id,
+                rec.spec.name,
+                rec.attempts,
+                rec.detail
+            );
+        }
+        JobState::Queued | JobState::Running => unreachable!("terminal states only"),
+    }
+    st.since_checkpoint += 1;
+    if st.since_checkpoint >= inner.config.checkpoint_every.max(1) {
+        st.since_checkpoint = 0;
+        let snapshot = snapshot_manifest(&inner.config, &st.jobs);
+        match snapshot.save_atomic(&inner.dir) {
+            Ok(()) => {
+                c.checkpoint_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => io_error = Some(format!("checkpoint: {e}")),
+        }
+    }
+    if st.io_error.is_none() {
+        st.io_error = io_error;
+    }
+    drop(st);
+    inner.done.notify_all();
+}
+
+/// The manifest snapshot of the current job table. Identical in format
+/// to the batch supervisor's — `pp verify` walks either.
+fn snapshot_manifest(config: &ServiceConfig, jobs: &[JobRecord]) -> BatchManifest {
+    BatchManifest {
+        seed: config.seed,
+        params: config.params.clone(),
+        jobs: jobs.iter().map(JobRecord::entry).collect(),
+    }
+}
+
+/// One canonical-JSON journal line (newline-terminated) recording an
+/// admission.
+fn journal_line(id: u64, client: &str, name: &str, spec: &str) -> String {
+    let mut line = Json::Obj(vec![
+        ("id".to_string(), Json::Num(id as f64)),
+        ("client".to_string(), Json::Str(client.to_string())),
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("spec".to_string(), Json::Str(spec.to_string())),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
+
+/// Appends and fsyncs one journal line; the admission is durable when
+/// this returns.
+fn append_journal(journal: &mut File, line: &str) -> std::io::Result<()> {
+    journal.write_all(line.as_bytes())?;
+    journal.sync_data()
+}
+
+/// Replays `dir`'s intake journal and checkpoint manifest into the
+/// initial job table: journaled jobs re-resolve and queue; manifest
+/// entries whose terminal state (and artifact bytes) still validate are
+/// adopted without re-running. Returns the table and the journal file
+/// positioned for appending (with any torn tail line truncated away).
+fn recover(
+    config: &ServiceConfig,
+    resolver: &SpecResolver,
+    dir: &Path,
+    counters: &Counters,
+) -> Result<(Vec<JobRecord>, File), PpError> {
+    use pp_cct::SerializeError;
+    let path = dir.join(JOURNAL_FILE);
+    let mut journal = OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .read(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| PpError::io(path.display().to_string(), e))?;
+    let mut text = String::new();
+    journal
+        .read_to_string(&mut text)
+        .map_err(|e| PpError::io(path.display().to_string(), e))?;
+
+    let mut jobs: Vec<JobRecord> = Vec::new();
+    let mut good_bytes = 0u64;
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            // A torn tail: the process died mid-append before the
+            // fsync, so the submit was never acknowledged. Drop it.
+            pp_obs::warn!(
+                "service: dropping torn intake-journal tail ({} bytes)",
+                line.len()
+            );
+            break;
+        }
+        let parsed = pp_obs::json::parse(line.trim()).map_err(|e| {
+            PpError::Corrupt(SerializeError::Format(format!(
+                "intake journal line {}: {e}",
+                jobs.len()
+            )))
+        })?;
+        let field_str = |key: &str| -> Result<String, PpError> {
+            parsed
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    PpError::Corrupt(SerializeError::Format(format!(
+                        "intake journal line {} lacks \"{key}\"",
+                        jobs.len()
+                    )))
+                })
+        };
+        let id = parsed.get("id").and_then(Json::as_f64).ok_or_else(|| {
+            PpError::Corrupt(SerializeError::Format(format!(
+                "intake journal line {} lacks \"id\"",
+                jobs.len()
+            )))
+        })? as u64;
+        if id != jobs.len() as u64 {
+            return Err(PpError::Corrupt(SerializeError::Format(format!(
+                "intake journal out of order: line {} claims id {id}",
+                jobs.len()
+            ))));
+        }
+        let client = field_str("client")?;
+        let name = field_str("name")?;
+        let spec = field_str("spec")?;
+        let (program, run_config) = resolver(&spec).map_err(|e| {
+            PpError::Usage(format!(
+                "journaled job {id} spec \"{spec}\" no longer resolves: {e}"
+            ))
+        })?;
+        jobs.push(JobRecord {
+            client,
+            spec: JobSpec::new(name, program, run_config),
+            state: JobState::Queued,
+            attempts: 0,
+            cycles: 0,
+            uops: 0,
+            detail: String::new(),
+            flow: None,
+            cct: None,
+        });
+        good_bytes += line.len() as u64;
+    }
+    if good_bytes != text.len() as u64 {
+        journal
+            .set_len(good_bytes)
+            .and_then(|()| journal.sync_data())
+            .map_err(|e| PpError::io(path.display().to_string(), e))?;
+    }
+    journal
+        .seek(SeekFrom::End(0))
+        .map_err(|e| PpError::io(path.display().to_string(), e))?;
+
+    let mut adopted = 0u64;
+    if dir.join(manifest::MANIFEST_FILE).is_file() {
+        let prior = BatchManifest::load(dir).map_err(PpError::from)?;
+        if prior.seed != config.seed || prior.params != config.params {
+            return Err(PpError::Usage(format!(
+                "checkpoint was written by a different service \
+                 (stored seed {} params \"{}\", live seed {} params \"{}\")",
+                prior.seed, prior.params, config.seed, config.params
+            )));
+        }
+        if prior.jobs.len() > jobs.len() {
+            return Err(PpError::Corrupt(SerializeError::Format(format!(
+                "manifest has {} jobs but the intake journal admitted {}",
+                prior.jobs.len(),
+                jobs.len()
+            ))));
+        }
+        for (i, entry) in prior.jobs.iter().enumerate() {
+            if entry.name != jobs[i].spec.name {
+                return Err(PpError::Corrupt(SerializeError::Format(format!(
+                    "manifest job {i} is \"{}\" but the journal admitted \"{}\"",
+                    entry.name, jobs[i].spec.name
+                ))));
+            }
+            let adopt = match entry.status {
+                JobStatus::Pending => false,
+                JobStatus::Failed => true,
+                JobStatus::Done => {
+                    let ok = entry
+                        .flow
+                        .iter()
+                        .chain(entry.cct.iter())
+                        .all(|r| r.validates(dir));
+                    if !ok {
+                        pp_obs::warn!(
+                            "service: job {i} artifact bytes do not validate; re-running"
+                        );
+                    }
+                    ok
+                }
+            };
+            if adopt {
+                let rec = &mut jobs[i];
+                rec.state = match entry.status {
+                    JobStatus::Done => JobState::Done,
+                    _ => JobState::Failed,
+                };
+                rec.attempts = entry.attempts;
+                rec.cycles = entry.cycles;
+                rec.uops = entry.uops;
+                rec.detail = entry.detail.clone();
+                rec.flow = entry.flow.clone();
+                rec.cct = entry.cct.clone();
+                adopted += 1;
+            }
+        }
+    }
+    let requeued = jobs.iter().filter(|j| j.state == JobState::Queued).count() as u64;
+    if !jobs.is_empty() {
+        pp_obs::info!(
+            "service: recovered {} journaled jobs ({adopted} adopted, {requeued} re-queued)",
+            jobs.len()
+        );
+    }
+    counters.recovered_adopted.store(adopted, Ordering::Relaxed);
+    counters
+        .recovered_requeued
+        .store(requeued, Ordering::Relaxed);
+    Ok((jobs, journal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_lines_round_trip() {
+        let line = journal_line(7, "ci", "job-a", "target=loops scale=0.1");
+        assert!(line.ends_with('\n'));
+        let v = pp_obs::json::parse(line.trim()).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(v.get("client").and_then(Json::as_str), Some("ci"));
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("job-a"));
+        assert_eq!(
+            v.get("spec").and_then(Json::as_str),
+            Some("target=loops scale=0.1")
+        );
+    }
+
+    #[test]
+    fn fault_plan_hits_every_nth_job() {
+        let plan = ServiceFaultPlan {
+            panic_every: 3,
+            transient_every: 0,
+            corrupt_every: 5,
+        };
+        assert_eq!(plan.faults_for(0).panic_attempts, 0);
+        assert_eq!(plan.faults_for(2).panic_attempts, 1, "job 2 is the 3rd");
+        assert_eq!(plan.faults_for(5).panic_attempts, 1);
+        assert_eq!(plan.faults_for(4).corrupt_attempts, 1, "job 4 is the 5th");
+        assert_eq!(plan.faults_for(4).transient_attempts, 0);
+    }
+
+    #[test]
+    fn admit_errors_have_wire_kinds() {
+        assert_eq!(AdmitError::Overloaded { capacity: 4 }.kind(), "overloaded");
+        assert_eq!(
+            AdmitError::QuotaExceeded {
+                client: "c".into(),
+                quota: 1
+            }
+            .kind(),
+            "quota-exceeded"
+        );
+        assert_eq!(AdmitError::Draining.kind(), "draining");
+        assert_eq!(AdmitError::BadSpec("x".into()).kind(), "bad-spec");
+    }
+}

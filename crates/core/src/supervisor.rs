@@ -25,7 +25,11 @@
 //!   stops job scheduling, drains in-flight jobs, and still writes a
 //!   final manifest.
 //!
-//! The per-job state machine is `queued → running → (retrying →
+//! The per-job attempt/retry state machine lives in [`JobExecutor`] so
+//! other schedulers — notably the long-running
+//! [`Service`](crate::service::Service) — can drive the same isolation,
+//! classification, backoff, and quarantine behavior from their own
+//! queues. The per-job state machine is `queued → running → (retrying →
 //! running)* → done | failed`; only `queued` (as pending), `done`, and
 //! `failed` are ever persisted. Everything persisted is a function of
 //! the campaign inputs — same seed and jobs ⇒ byte-identical final
@@ -50,8 +54,10 @@ use crate::profiler::{ProfileError, Profiler, RunConfig, RunOutcome};
 use manifest::{BatchManifest, JobEntry, JobStatus, ProfileRef};
 
 /// Name prefix of supervisor worker threads (the panic hook suppresses
-/// the default backtrace spew for injected/caught worker panics).
-const WORKER_THREAD_PREFIX: &str = "pp-batch-worker";
+/// the default backtrace spew for injected/caught worker panics). The
+/// service layer names its workers with the same prefix so they share
+/// the suppression.
+pub(crate) const WORKER_THREAD_PREFIX: &str = "pp-batch-worker";
 
 /// Where an injected transient fault aborts the guest, in µops.
 const TRANSIENT_ABORT_UOPS: u64 = 5_000;
@@ -252,6 +258,345 @@ impl BatchFaultPlan {
         self.corrupt_on_job = Some((job, attempts));
         self
     }
+
+    /// The per-job fault slice of this plan for job `idx` — what a
+    /// [`JobExecutor`] can inject on its own (the checkpoint-level
+    /// injections stay with the coordinator).
+    pub fn job_faults(&self, idx: usize) -> JobFaults {
+        let pick = |o: Option<(usize, u32)>| o.map_or(0, |(j, n)| if j == idx { n } else { 0 });
+        JobFaults {
+            panic_attempts: pick(self.panic_on_job),
+            transient_attempts: pick(self.transient_on_job),
+            corrupt_attempts: pick(self.corrupt_on_job),
+        }
+    }
+}
+
+/// Fault injection scoped to one job execution: each kind fires on the
+/// job's first N attempts (0 = never). This is the executor-level
+/// remnant of [`BatchFaultPlan`] — pure per-attempt behavior, no
+/// checkpoint hooks — and what the service layer uses for soak faults.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobFaults {
+    /// Panic the worker thread on the first N attempts.
+    pub panic_attempts: u32,
+    /// Inject a machine-level transient abort on the first N attempts.
+    pub transient_attempts: u32,
+    /// Clobber the hardware counters (profile corruption detectable
+    /// only by post-run verification) on the first N attempts.
+    pub corrupt_attempts: u32,
+}
+
+/// One classified retry decision: after `attempt` failed with `class`,
+/// the executor slept `delay_ms` before the next attempt. The schedule
+/// is a pure function of `(seed, job index, attempt)` — asserting it
+/// across runs is how backoff determinism is tested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryStep {
+    /// The 1-based attempt that failed and was retried.
+    pub attempt: u32,
+    /// How the failure was classified (integrity retries record
+    /// [`FailureClass::Transient`] — that is why they were retried).
+    pub class: FailureClass,
+    /// The backoff slept before the next attempt, in milliseconds.
+    pub delay_ms: u64,
+}
+
+/// A [`RetryStep`] tagged with its job index — the campaign-level
+/// schedule entry collected into [`BatchReport::retry_schedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobRetry {
+    /// Index of the job in the campaign's job list.
+    pub job: usize,
+    /// The 1-based attempt that failed and was retried.
+    pub attempt: u32,
+    /// The failure classification that justified the retry.
+    pub class: FailureClass,
+    /// The backoff slept before the next attempt, in milliseconds.
+    pub delay_ms: u64,
+}
+
+/// How one job execution ended.
+#[derive(Clone, Debug)]
+pub enum ExecOutcome {
+    /// The job finished and its profile verified; the serialized bytes
+    /// are present when the caller asked for them.
+    Done {
+        /// Serialized flow profile (envelope included), if collected.
+        flow: Option<Vec<u8>>,
+        /// Serialized CCT profile (envelope included), if collected.
+        cct: Option<Vec<u8>>,
+    },
+    /// The job exhausted its retry budget (or failed permanently).
+    Failed(JobFailure),
+}
+
+/// One verification-failed attempt, carried back for quarantining: the
+/// serialized artifacts (present when profiles were requested) and the
+/// typed report text.
+#[derive(Clone, Debug)]
+pub struct QuarantinedAttempt {
+    /// The 1-based attempt whose profile failed verification.
+    pub attempt: u32,
+    /// The rejected flow profile bytes, if collected.
+    pub flow: Option<Vec<u8>>,
+    /// The rejected CCT profile bytes, if collected.
+    pub cct: Option<Vec<u8>>,
+    /// Human-readable report of the violated invariants.
+    pub report: String,
+}
+
+/// Everything one [`JobExecutor::execute`] call did: the outcome, the
+/// attempt accounting, the quarantined artifacts, and the classified
+/// retry schedule.
+#[derive(Clone, Debug)]
+pub struct JobExecution {
+    /// Attempts made (≥ 1).
+    pub attempts: u32,
+    /// Retries taken (attempts − 1 when any were).
+    pub retries: u32,
+    /// Worker panics caught.
+    pub panics: u32,
+    /// Attempts stopped by a guest-limit bound.
+    pub limit_stops: u32,
+    /// Guest cycles of the final attempt (0 when none ran to a count).
+    pub cycles: u64,
+    /// Guest µops of the final attempt.
+    pub uops: u64,
+    /// How the job ended.
+    pub outcome: ExecOutcome,
+    /// Verification-failed attempts awaiting quarantine persistence.
+    pub quarantines: Vec<QuarantinedAttempt>,
+    /// The classified retry schedule, in attempt order.
+    pub retry_schedule: Vec<RetryStep>,
+}
+
+/// The per-job attempt/retry state machine, decoupled from the batch
+/// [`Supervisor`] so any scheduler — the one-shot batch queue or the
+/// long-running service intake — can execute jobs with identical panic
+/// isolation, failure classification, deterministic backoff, and
+/// integrity quarantine semantics.
+#[derive(Clone, Debug)]
+pub struct JobExecutor {
+    profiler: Profiler,
+    max_retries: u32,
+    backoff_base_ms: u64,
+    backoff_cap_ms: u64,
+    seed: u64,
+}
+
+impl Default for JobExecutor {
+    fn default() -> JobExecutor {
+        JobExecutor {
+            profiler: Profiler::default(),
+            max_retries: 2,
+            backoff_base_ms: 4,
+            backoff_cap_ms: 250,
+            seed: 0,
+        }
+    }
+}
+
+impl JobExecutor {
+    /// An executor running jobs through `profiler` (which carries the
+    /// machine configuration and any [`GuestLimits`](pp_usim::GuestLimits)).
+    pub fn new(profiler: Profiler) -> JobExecutor {
+        JobExecutor {
+            profiler,
+            ..JobExecutor::default()
+        }
+    }
+
+    /// Retry budget for transient failures (attempts = retries + 1).
+    pub fn with_max_retries(mut self, retries: u32) -> JobExecutor {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Backoff base and cap, in milliseconds. Delay before retry `n`
+    /// (1-based) is `min(cap, base·2ⁿ⁻¹) + jitter`, jitter seeded from
+    /// `(seed, job, attempt)` — deterministic across runs.
+    pub fn with_backoff_ms(mut self, base: u64, cap: u64) -> JobExecutor {
+        self.backoff_base_ms = base;
+        self.backoff_cap_ms = cap.max(base);
+        self
+    }
+
+    /// Seed for backoff jitter.
+    pub fn with_seed(mut self, seed: u64) -> JobExecutor {
+        self.seed = seed;
+        self
+    }
+
+    /// The profiler this executor runs jobs through.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Capped exponential backoff with deterministic jitter: retrying
+    /// `attempt` of job `idx` waits `min(cap, base·2^(attempt-1))` plus
+    /// up to `base` extra milliseconds drawn from a splitmix64 stream
+    /// seeded on `(seed, job, attempt)`.
+    pub fn backoff(&self, idx: u64, attempt: u32) -> Duration {
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << (attempt - 1).min(16))
+            .min(self.backoff_cap_ms);
+        let jitter = if self.backoff_base_ms == 0 {
+            0
+        } else {
+            splitmix64(self.seed ^ idx ^ (u64::from(attempt) << 32)) % self.backoff_base_ms
+        };
+        Duration::from_millis(exp + jitter)
+    }
+
+    /// Runs one job through the attempt/retry state machine. A clean
+    /// attempt's profile is verified (in memory and, when
+    /// `want_profiles`, as serialized bytes) before it counts as done; a
+    /// verification failure quarantines the artifacts and earns exactly
+    /// one re-run before the job is marked permanently failed.
+    pub fn execute(
+        &self,
+        idx: u64,
+        job: &JobSpec,
+        faults: JobFaults,
+        want_profiles: bool,
+    ) -> JobExecution {
+        let _span = pp_obs::span!("batch.job");
+        let mut attempt = 0u32;
+        let mut retries = 0u32;
+        let mut panics = 0u32;
+        let mut limit_stops = 0u32;
+        let mut integrity_retried = false;
+        let mut quarantines: Vec<QuarantinedAttempt> = Vec::new();
+        let mut retry_schedule: Vec<RetryStep> = Vec::new();
+        loop {
+            attempt += 1;
+            let inject_panic = attempt <= faults.panic_attempts;
+            let mut profiler = self.profiler.clone();
+            if attempt <= faults.transient_attempts {
+                profiler = profiler
+                    .with_fault_plan(FaultPlan::default().abort_at_uops(TRANSIENT_ABORT_UOPS));
+            }
+            if attempt <= faults.corrupt_attempts {
+                profiler = profiler.with_fault_plan(FaultPlan::default().clobber_pics_at_read(
+                    CORRUPT_CLOBBER_READ,
+                    CORRUPT_CLOBBER_VALUES.0,
+                    CORRUPT_CLOBBER_VALUES.1,
+                ));
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                assert!(
+                    !inject_panic,
+                    "injected worker panic (job {idx}, attempt {attempt})"
+                );
+                profiler.run(&job.program, job.config)
+            }));
+            let (failure, partial) = match result {
+                Ok(Ok(outcome)) => match outcome.fault.clone() {
+                    None => {
+                        let (flow, cct) = if want_profiles {
+                            serialize_profiles(&outcome)
+                        } else {
+                            (None, None)
+                        };
+                        let mut verdict = crate::integrity::verify_outcome(&job.program, &outcome);
+                        if let Some(bytes) = flow.as_deref() {
+                            verdict.merge(crate::integrity::verify_flow_bytes(&job.program, bytes));
+                        }
+                        if let Some(bytes) = cct.as_deref() {
+                            verdict.merge(crate::integrity::verify_cct_bytes(bytes));
+                        }
+                        if verdict.is_clean() {
+                            return JobExecution {
+                                attempts: attempt,
+                                retries,
+                                panics,
+                                limit_stops,
+                                cycles: outcome.cycles(),
+                                uops: outcome.machine.uops,
+                                outcome: ExecOutcome::Done { flow, cct },
+                                quarantines,
+                                retry_schedule,
+                            };
+                        }
+                        let detail = verdict.first().expect("dirty report").to_string();
+                        quarantines.push(QuarantinedAttempt {
+                            attempt,
+                            flow,
+                            cct,
+                            report: quarantine_report(&job.name, idx, attempt, &verdict),
+                        });
+                        (
+                            JobFailure {
+                                class: if integrity_retried {
+                                    FailureClass::Permanent
+                                } else {
+                                    FailureClass::Transient
+                                },
+                                kind: FailureKind::Integrity(detail),
+                            },
+                            Some((outcome.cycles(), outcome.machine.uops)),
+                        )
+                    }
+                    Some(err) => (
+                        JobFailure::from_exec(err),
+                        Some((outcome.cycles(), outcome.machine.uops)),
+                    ),
+                },
+                Ok(Err(e)) => (JobFailure::from_profile_error(e), None),
+                Err(payload) => (JobFailure::from_panic(payload), None),
+            };
+            if failure.is_limit() {
+                limit_stops += 1;
+            }
+            if failure.is_panic() {
+                panics += 1;
+            }
+            if failure.is_integrity() && !integrity_retried {
+                // A quarantined profile is retryable exactly once — the
+                // corruption may have been environmental — independent
+                // of the transient retry budget; a second verification
+                // failure is permanent.
+                integrity_retried = true;
+                retries += 1;
+                let delay = self.backoff(idx, attempt);
+                retry_schedule.push(RetryStep {
+                    attempt,
+                    class: failure.class,
+                    delay_ms: delay.as_millis() as u64,
+                });
+                std::thread::sleep(delay);
+                continue;
+            }
+            if failure.class == FailureClass::Transient
+                && !failure.is_integrity()
+                && retries < self.max_retries
+            {
+                retries += 1;
+                let delay = self.backoff(idx, attempt);
+                retry_schedule.push(RetryStep {
+                    attempt,
+                    class: failure.class,
+                    delay_ms: delay.as_millis() as u64,
+                });
+                std::thread::sleep(delay);
+                continue;
+            }
+            let (cycles, uops) = partial.unwrap_or((0, 0));
+            return JobExecution {
+                attempts: attempt,
+                retries,
+                panics,
+                limit_stops,
+                cycles,
+                uops,
+                outcome: ExecOutcome::Failed(failure),
+                quarantines,
+                retry_schedule,
+            };
+        }
+    }
 }
 
 /// What a finished campaign did. The manifest is the persistent truth;
@@ -275,9 +620,16 @@ pub struct BatchReport {
     /// Finished attempts whose profiles failed integrity verification
     /// and were quarantined (each quarantined attempt counts once).
     pub quarantined: u64,
+    /// Quarantined attempt-sets evicted by the oldest-first rotation
+    /// (only when a quarantine cap is configured).
+    pub quarantine_pruned: u64,
     /// Whether the campaign stopped before all jobs reached a final
     /// state (cancellation or an injected halt).
     pub interrupted: bool,
+    /// Every classified retry across the campaign, sorted by
+    /// `(job, attempt)` — a deterministic function of the campaign
+    /// inputs regardless of worker count or interleaving.
+    pub retry_schedule: Vec<JobRetry>,
 }
 
 impl BatchReport {
@@ -294,6 +646,7 @@ impl BatchReport {
         recorder.counter("supervisor.checkpoint.writes", self.checkpoint_writes);
         recorder.counter("supervisor.resumed_skips", self.resumed_skips);
         recorder.counter("supervisor.quarantined", self.quarantined);
+        recorder.counter("supervisor.quarantine.pruned", self.quarantine_pruned);
         recorder.counter("supervisor.interrupted", u64::from(self.interrupted));
     }
 }
@@ -311,6 +664,7 @@ pub struct Supervisor {
     params: String,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: u32,
+    quarantine_cap: usize,
     cancel: CancelToken,
     fault_plan: BatchFaultPlan,
 }
@@ -327,6 +681,7 @@ impl Default for Supervisor {
             params: String::new(),
             checkpoint_dir: None,
             checkpoint_every: 1,
+            quarantine_cap: 0,
             cancel: CancelToken::new(),
             fault_plan: BatchFaultPlan::default(),
         }
@@ -391,6 +746,15 @@ impl Supervisor {
         self
     }
 
+    /// Cap on quarantined attempt-sets kept on disk (0 = unbounded).
+    /// When a new quarantine write would exceed the cap, the oldest
+    /// attempt-sets rotate out — a repeatedly corrupt job cannot fill
+    /// the disk of a long campaign or server.
+    pub fn with_quarantine_cap(mut self, cap: usize) -> Supervisor {
+        self.quarantine_cap = cap;
+        self
+    }
+
     /// The token that requests graceful shutdown: scheduling stops,
     /// in-flight jobs drain, a final manifest is written. Cancelling is
     /// async-signal-safe, so a SIGINT handler may call it directly.
@@ -408,6 +772,14 @@ impl Supervisor {
     /// The cancel token this supervisor watches.
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
+    }
+
+    /// The per-job executor this supervisor's workers run.
+    fn executor(&self) -> JobExecutor {
+        JobExecutor::new(self.profiler.clone())
+            .with_max_retries(self.max_retries)
+            .with_backoff_ms(self.backoff_base_ms, self.backoff_cap_ms)
+            .with_seed(self.seed)
     }
 
     /// Runs the campaign. With `resume`, a valid manifest in the
@@ -481,7 +853,9 @@ impl Supervisor {
             checkpoint_writes: 0,
             resumed_skips,
             quarantined: 0,
+            quarantine_pruned: 0,
             interrupted: false,
+            retry_schedule: Vec::new(),
         };
 
         let coordinator_result = std::thread::scope(|scope| -> Result<(), PpError> {
@@ -500,22 +874,39 @@ impl Supervisor {
             let mut since_checkpoint = 0u32;
             let mut halted = false;
             for msg in rx.iter() {
-                report.retries += u64::from(msg.retries);
-                report.panics += u64::from(msg.panics);
-                report.limit_stops += u64::from(msg.limit_stops);
-                if !msg.quarantines.is_empty() {
-                    report.quarantined += msg.quarantines.len() as u64;
+                let exec = msg.execution;
+                report.retries += u64::from(exec.retries);
+                report.panics += u64::from(exec.panics);
+                report.limit_stops += u64::from(exec.limit_stops);
+                report
+                    .retry_schedule
+                    .extend(exec.retry_schedule.iter().map(|s| JobRetry {
+                        job: msg.idx,
+                        attempt: s.attempt,
+                        class: s.class,
+                        delay_ms: s.delay_ms,
+                    }));
+                if !exec.quarantines.is_empty() {
+                    report.quarantined += exec.quarantines.len() as u64;
                     if let Some(dir) = &self.checkpoint_dir {
-                        write_quarantine(dir, msg.idx, &msg.quarantines)
+                        let stem = format!("job-{:03}", msg.idx);
+                        write_quarantine(dir, &stem, &exec.quarantines)
                             .map_err(|e| PpError::io("quarantine", e))?;
+                        if self.quarantine_cap > 0 {
+                            report.quarantine_pruned += manifest::prune_quarantine(
+                                &dir.join("quarantine"),
+                                self.quarantine_cap,
+                            )
+                            .map_err(|e| PpError::io("quarantine rotation", e))?;
+                        }
                     }
                 }
                 let entry = &mut entries[msg.idx];
-                entry.attempts = msg.attempts;
-                entry.cycles = msg.cycles;
-                entry.uops = msg.uops;
-                match msg.outcome {
-                    WorkerOutcome::Done { flow, cct } => {
+                entry.attempts = exec.attempts;
+                entry.cycles = exec.cycles;
+                entry.uops = exec.uops;
+                match exec.outcome {
+                    ExecOutcome::Done { flow, cct } => {
                         entry.status = JobStatus::Done;
                         entry.detail.clear();
                         if let Some(dir) = &self.checkpoint_dir {
@@ -527,7 +918,7 @@ impl Supervisor {
                                 .map_err(|e| PpError::io("profile checkpoint", e))?;
                         }
                     }
-                    WorkerOutcome::Failed(failure) => {
+                    ExecOutcome::Failed(failure) => {
                         entry.status = JobStatus::Failed;
                         entry.detail = failure.to_string();
                         pp_obs::warn!(
@@ -568,6 +959,7 @@ impl Supervisor {
         });
         coordinator_result?;
 
+        report.retry_schedule.sort_by_key(|r| (r.job, r.attempt));
         report.manifest.jobs = entries;
         Ok(report)
     }
@@ -606,6 +998,7 @@ impl Supervisor {
         tx: &mpsc::Sender<WorkerMsg>,
         want_profiles: bool,
     ) {
+        let executor = self.executor();
         loop {
             if self.cancel.is_cancelled() {
                 return;
@@ -613,170 +1006,18 @@ impl Supervisor {
             let Some(idx) = queue.lock().expect("queue lock").pop_front() else {
                 return;
             };
-            let msg = self.run_job(idx, &jobs[idx], want_profiles);
+            let execution = executor.execute(
+                idx as u64,
+                &jobs[idx],
+                self.fault_plan.job_faults(idx),
+                want_profiles,
+            );
             // A send failure means the coordinator halted; nothing left
             // to report to.
-            if tx.send(msg).is_err() {
+            if tx.send(WorkerMsg { idx, execution }).is_err() {
                 return;
             }
         }
-    }
-
-    /// Runs one job through the attempt/retry state machine. A clean
-    /// attempt's profile is verified (in memory and, when checkpointing,
-    /// as serialized bytes) before it counts as done; a verification
-    /// failure quarantines the artifacts and earns exactly one re-run
-    /// before the job is marked permanently failed.
-    fn run_job(&self, idx: usize, job: &JobSpec, want_profiles: bool) -> WorkerMsg {
-        let _span = pp_obs::span!("batch.job");
-        let mut attempt = 0u32;
-        let mut retries = 0u32;
-        let mut panics = 0u32;
-        let mut limit_stops = 0u32;
-        let mut integrity_retried = false;
-        let mut quarantines: Vec<QuarantinedAttempt> = Vec::new();
-        loop {
-            attempt += 1;
-            let inject_panic = self
-                .fault_plan
-                .panic_on_job
-                .is_some_and(|(j, n)| j == idx && attempt <= n);
-            let mut profiler = self.profiler.clone();
-            if self
-                .fault_plan
-                .transient_on_job
-                .is_some_and(|(j, n)| j == idx && attempt <= n)
-            {
-                profiler = profiler
-                    .with_fault_plan(FaultPlan::default().abort_at_uops(TRANSIENT_ABORT_UOPS));
-            }
-            if self
-                .fault_plan
-                .corrupt_on_job
-                .is_some_and(|(j, n)| j == idx && attempt <= n)
-            {
-                profiler = profiler.with_fault_plan(FaultPlan::default().clobber_pics_at_read(
-                    CORRUPT_CLOBBER_READ,
-                    CORRUPT_CLOBBER_VALUES.0,
-                    CORRUPT_CLOBBER_VALUES.1,
-                ));
-            }
-            let result = panic::catch_unwind(AssertUnwindSafe(|| {
-                assert!(
-                    !inject_panic,
-                    "injected worker panic (job {idx}, attempt {attempt})"
-                );
-                profiler.run(&job.program, job.config)
-            }));
-            let (failure, partial) = match result {
-                Ok(Ok(outcome)) => match outcome.fault.clone() {
-                    None => {
-                        let (flow, cct) = if want_profiles {
-                            serialize_profiles(&outcome)
-                        } else {
-                            (None, None)
-                        };
-                        let mut verdict = crate::integrity::verify_outcome(&job.program, &outcome);
-                        if let Some(bytes) = flow.as_deref() {
-                            verdict.merge(crate::integrity::verify_flow_bytes(&job.program, bytes));
-                        }
-                        if let Some(bytes) = cct.as_deref() {
-                            verdict.merge(crate::integrity::verify_cct_bytes(bytes));
-                        }
-                        if verdict.is_clean() {
-                            return WorkerMsg {
-                                idx,
-                                attempts: attempt,
-                                retries,
-                                panics,
-                                limit_stops,
-                                cycles: outcome.cycles(),
-                                uops: outcome.machine.uops,
-                                outcome: WorkerOutcome::Done { flow, cct },
-                                quarantines,
-                            };
-                        }
-                        let detail = verdict.first().expect("dirty report").to_string();
-                        quarantines.push(QuarantinedAttempt {
-                            attempt,
-                            flow,
-                            cct,
-                            report: quarantine_report(&job.name, idx, attempt, &verdict),
-                        });
-                        (
-                            JobFailure {
-                                class: if integrity_retried {
-                                    FailureClass::Permanent
-                                } else {
-                                    FailureClass::Transient
-                                },
-                                kind: FailureKind::Integrity(detail),
-                            },
-                            Some((outcome.cycles(), outcome.machine.uops)),
-                        )
-                    }
-                    Some(err) => (
-                        JobFailure::from_exec(err),
-                        Some((outcome.cycles(), outcome.machine.uops)),
-                    ),
-                },
-                Ok(Err(e)) => (JobFailure::from_profile_error(e), None),
-                Err(payload) => (JobFailure::from_panic(payload), None),
-            };
-            if failure.is_limit() {
-                limit_stops += 1;
-            }
-            if failure.is_panic() {
-                panics += 1;
-            }
-            if failure.is_integrity() && !integrity_retried {
-                // A quarantined profile is retryable exactly once — the
-                // corruption may have been environmental — independent
-                // of the transient retry budget; a second verification
-                // failure is permanent.
-                integrity_retried = true;
-                retries += 1;
-                std::thread::sleep(self.backoff(idx, attempt));
-                continue;
-            }
-            if failure.class == FailureClass::Transient
-                && !failure.is_integrity()
-                && retries < self.max_retries
-            {
-                retries += 1;
-                std::thread::sleep(self.backoff(idx, attempt));
-                continue;
-            }
-            let (cycles, uops) = partial.unwrap_or((0, 0));
-            return WorkerMsg {
-                idx,
-                attempts: attempt,
-                retries,
-                panics,
-                limit_stops,
-                cycles,
-                uops,
-                outcome: WorkerOutcome::Failed(failure),
-                quarantines,
-            };
-        }
-    }
-
-    /// Capped exponential backoff with deterministic jitter: retrying
-    /// `attempt` of job `idx` waits `min(cap, base·2^(attempt-1))` plus
-    /// up to `base` extra milliseconds drawn from a splitmix64 stream
-    /// seeded on `(seed, job, attempt)`.
-    fn backoff(&self, idx: usize, attempt: u32) -> Duration {
-        let exp = self
-            .backoff_base_ms
-            .saturating_mul(1u64 << (attempt - 1).min(16))
-            .min(self.backoff_cap_ms);
-        let jitter = if self.backoff_base_ms == 0 {
-            0
-        } else {
-            splitmix64(self.seed ^ (idx as u64) ^ (u64::from(attempt) << 32)) % self.backoff_base_ms
-        };
-        Duration::from_millis(exp + jitter)
     }
 
     /// Atomically writes `bytes` (when present) as job `idx`'s profile
@@ -838,32 +1079,7 @@ fn serialize_profiles(outcome: &RunOutcome) -> (Option<Vec<u8>>, Option<Vec<u8>>
 
 struct WorkerMsg {
     idx: usize,
-    attempts: u32,
-    retries: u32,
-    panics: u32,
-    limit_stops: u32,
-    cycles: u64,
-    uops: u64,
-    outcome: WorkerOutcome,
-    quarantines: Vec<QuarantinedAttempt>,
-}
-
-enum WorkerOutcome {
-    Done {
-        flow: Option<Vec<u8>>,
-        cct: Option<Vec<u8>>,
-    },
-    Failed(JobFailure),
-}
-
-/// One verification-failed attempt, carried from worker to coordinator
-/// for quarantining: the serialized artifacts (present when
-/// checkpointing is on) and the typed report text.
-struct QuarantinedAttempt {
-    attempt: u32,
-    flow: Option<Vec<u8>>,
-    cct: Option<Vec<u8>>,
-    report: String,
+    execution: JobExecution,
 }
 
 /// Renders the quarantine report for one failed verification: every
@@ -872,7 +1088,7 @@ struct QuarantinedAttempt {
 /// campaign rewrites byte-identical reports.
 fn quarantine_report(
     name: &str,
-    idx: usize,
+    idx: u64,
     attempt: u32,
     verdict: &crate::integrity::IntegrityReport,
 ) -> String {
@@ -891,16 +1107,17 @@ fn quarantine_report(
 }
 
 /// Writes one job's quarantined artifacts and reports under
-/// `<dir>/quarantine/`.
-fn write_quarantine(
+/// `<dir>/quarantine/`, one attempt-set per failed attempt, stems
+/// `<stem_base>-attempt-<n>`.
+pub(crate) fn write_quarantine(
     dir: &std::path::Path,
-    idx: usize,
+    stem_base: &str,
     quarantines: &[QuarantinedAttempt],
 ) -> std::io::Result<()> {
     let qdir = dir.join("quarantine");
     std::fs::create_dir_all(&qdir)?;
     for q in quarantines {
-        let stem = format!("job-{idx:03}-attempt-{}", q.attempt);
+        let stem = format!("{stem_base}-attempt-{}", q.attempt);
         if let Some(bytes) = &q.flow {
             manifest::write_atomic(&qdir.join(format!("{stem}.flow")), bytes)?;
         }
@@ -929,7 +1146,7 @@ fn splitmix64(seed: u64) -> u64 {
 /// worker threads don't spew the default message/backtrace to stderr —
 /// they surface as typed [`JobFailure`]s instead. Panics on every other
 /// thread keep the previous hook's behavior.
-fn suppress_worker_panic_output() {
+pub(crate) fn suppress_worker_panic_output() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
         let previous = panic::take_hook();
@@ -972,15 +1189,15 @@ mod tests {
 
     #[test]
     fn backoff_is_capped_and_deterministic() {
-        let s = Supervisor::default().with_backoff_ms(4, 32).with_seed(7);
-        let a = s.backoff(3, 2);
-        let b = s.backoff(3, 2);
+        let x = JobExecutor::default().with_backoff_ms(4, 32).with_seed(7);
+        let a = x.backoff(3, 2);
+        let b = x.backoff(3, 2);
         assert_eq!(a, b, "same (seed, job, attempt) ⇒ same delay");
         for attempt in 1..12 {
-            let d = s.backoff(0, attempt);
+            let d = x.backoff(0, attempt);
             assert!(d.as_millis() <= 32 + 4, "attempt {attempt}: {d:?}");
         }
-        let zero = Supervisor::default().with_backoff_ms(0, 0).backoff(1, 1);
+        let zero = JobExecutor::default().with_backoff_ms(0, 0).backoff(1, 1);
         assert_eq!(zero, Duration::ZERO);
     }
 
@@ -994,5 +1211,40 @@ mod tests {
         assert_eq!(f.to_string(), "panicked: job 3 died");
         let f = JobFailure::from_panic(Box::new(17u32));
         assert_eq!(f.to_string(), "panicked: opaque panic payload");
+    }
+
+    #[test]
+    fn job_faults_slice_by_index() {
+        let plan = BatchFaultPlan::default()
+            .panic_on_job(2, 1)
+            .transient_on_job(3, 2)
+            .corrupt_on_job(2, 1);
+        let f2 = plan.job_faults(2);
+        assert_eq!(
+            (
+                f2.panic_attempts,
+                f2.transient_attempts,
+                f2.corrupt_attempts
+            ),
+            (1, 0, 1)
+        );
+        let f3 = plan.job_faults(3);
+        assert_eq!(
+            (
+                f3.panic_attempts,
+                f3.transient_attempts,
+                f3.corrupt_attempts
+            ),
+            (0, 2, 0)
+        );
+        let f0 = plan.job_faults(0);
+        assert_eq!(
+            (
+                f0.panic_attempts,
+                f0.transient_attempts,
+                f0.corrupt_attempts
+            ),
+            (0, 0, 0)
+        );
     }
 }

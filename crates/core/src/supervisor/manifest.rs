@@ -347,6 +347,65 @@ pub fn truncate_manifest(dir: &Path, keep: u64) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Bounds a quarantine directory to at most `cap` attempt-sets (the
+/// `<stem>.report.txt` + optional `<stem>.flow`/`<stem>.cct` written for
+/// one failed verification), evicting the oldest sets first so a
+/// repeatedly corrupt client cannot fill a long-running server's disk.
+/// Age is modification time with the stem name as a deterministic
+/// tiebreaker. Returns the number of attempt-sets removed. `cap` of 0
+/// means unbounded (a no-op), as does a missing directory.
+///
+/// # Errors
+///
+/// Any filesystem failure while listing or removing files.
+pub fn prune_quarantine(qdir: &Path, cap: usize) -> std::io::Result<u64> {
+    if cap == 0 || !qdir.is_dir() {
+        return Ok(0);
+    }
+    // Group files into attempt-sets by stem: everything before the
+    // artifact suffix. Reports anchor the set; stray artifacts without
+    // one still form a (prunable) set of their own.
+    let mut sets: std::collections::BTreeMap<String, (std::time::SystemTime, Vec<PathBuf>)> =
+        std::collections::BTreeMap::new();
+    for entry in fs::read_dir(qdir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let stem = [".report.txt", ".flow", ".cct"]
+            .iter()
+            .find_map(|suffix| name.strip_suffix(suffix))
+            .unwrap_or(&name)
+            .to_string();
+        let mtime = entry
+            .metadata()?
+            .modified()
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        let set = sets.entry(stem).or_insert_with(|| (mtime, Vec::new()));
+        set.0 = set.0.max(mtime);
+        set.1.push(path);
+    }
+    if sets.len() <= cap {
+        return Ok(0);
+    }
+    let mut ordered: Vec<(std::time::SystemTime, String, Vec<PathBuf>)> = sets
+        .into_iter()
+        .map(|(stem, (mtime, files))| (mtime, stem, files))
+        .collect();
+    ordered.sort();
+    let evict = ordered.len() - cap;
+    let mut removed = 0u64;
+    for (_, _, files) in ordered.into_iter().take(evict) {
+        for f in files {
+            fs::remove_file(f)?;
+        }
+        removed += 1;
+    }
+    Ok(removed)
+}
+
 // ----- little-endian cursor helpers -------------------------------------
 
 fn put4(out: &mut Vec<u8>, v: u32) {

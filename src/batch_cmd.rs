@@ -4,9 +4,10 @@
 //! Wraps [`pp::profiler::Supervisor`]: N panic-isolated workers, guest
 //! resource limits (fuel, wall-clock deadline), transient-failure
 //! retries with deterministic backoff, and crash-safe checkpointing
-//! (`--checkpoint-dir`, `--resume`). SIGINT asks for a graceful stop —
-//! scheduling halts, in-flight jobs drain, a final manifest is written;
-//! a second SIGINT also cancels the running guests.
+//! (`--checkpoint-dir`, `--resume`). SIGINT or SIGTERM asks for a
+//! graceful stop — scheduling halts, in-flight jobs drain, a final
+//! manifest is written; a second signal also cancels the running
+//! guests (see [`crate::signals`]).
 //!
 //! `--inject` drives the supervisor's fault plan from the command line
 //! (hang / panic / transient / truncate / halt), which is how the CI
@@ -53,6 +54,9 @@ pub struct BatchArgs {
     pub resume: bool,
     /// Fault-injection spec (`--inject`).
     pub inject: Option<String>,
+    /// Cap on quarantined attempt-sets kept on disk (`--quarantine-cap`;
+    /// 0 keeps everything).
+    pub quarantine_cap: usize,
     /// The base profiler (machine config, CCT cap) from the shared
     /// options; batch adds the guest limits on top.
     pub profiler: Profiler,
@@ -197,12 +201,13 @@ pub fn run_batch(args: &BatchArgs) -> Result<(), PpError> {
         jobs.push(JobSpec::new(name.clone(), program, args.config));
     }
 
-    // Two-stage shutdown: the first SIGINT cancels the supervisor
-    // (drain in-flight, write the final manifest); the second also
-    // cancels the guests, so even a long-fueled job stops promptly.
+    // Two-stage shutdown: the first SIGINT or SIGTERM cancels the
+    // supervisor (drain in-flight, write the final manifest); the
+    // second also cancels the guests, so even a long-fueled job stops
+    // promptly.
     let graceful = CancelToken::new();
     let hard = CancelToken::new();
-    sigint::install(graceful.clone(), hard.clone());
+    crate::signals::install(graceful.clone(), hard.clone());
 
     let mut limits = GuestLimits::none()
         .with_fuel(args.fuel)
@@ -233,6 +238,7 @@ pub fn run_batch(args: &BatchArgs) -> Result<(), PpError> {
         .with_seed(args.seed)
         .with_params(&params)
         .with_cancel(graceful.clone())
+        .with_quarantine_cap(args.quarantine_cap)
         .with_fault_plan(inject.fault_plan);
     if let Some(dir) = &args.checkpoint_dir {
         supervisor = supervisor.with_checkpoint_dir(dir);
@@ -301,48 +307,6 @@ pub fn run_batch(args: &BatchArgs) -> Result<(), PpError> {
             LimitKind::Cancelled,
         )))
     }
-}
-
-/// SIGINT handling without a signal crate: a raw `signal(2)` binding
-/// whose handler only touches atomics (async-signal-safe). The first
-/// SIGINT cancels the graceful token, the second the hard one.
-#[cfg(unix)]
-mod sigint {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::OnceLock;
-
-    use pp::usim::CancelToken;
-
-    static TOKENS: OnceLock<(CancelToken, CancelToken)> = OnceLock::new();
-    static HITS: AtomicUsize = AtomicUsize::new(0);
-
-    extern "C" fn on_sigint(_sig: i32) {
-        let hits = HITS.fetch_add(1, Ordering::Relaxed);
-        if let Some((graceful, hard)) = TOKENS.get() {
-            graceful.cancel();
-            if hits >= 1 {
-                hard.cancel();
-            }
-        }
-    }
-
-    pub fn install(graceful: CancelToken, hard: CancelToken) {
-        const SIGINT: i32 = 2;
-        extern "C" {
-            fn signal(signum: i32, handler: usize) -> usize;
-        }
-        let _ = TOKENS.set((graceful, hard));
-        unsafe {
-            signal(SIGINT, on_sigint as *const () as usize);
-        }
-    }
-}
-
-#[cfg(not(unix))]
-mod sigint {
-    use pp::usim::CancelToken;
-
-    pub fn install(_graceful: CancelToken, _hard: CancelToken) {}
 }
 
 #[cfg(test)]

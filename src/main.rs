@@ -26,6 +26,13 @@
 //!                                           conservation, CCT structure,
 //!                                           counter-wrap sanity, envelope
 //!                                           CRCs; exit 2 on any violation
+//! pp serve [options]                        profile-as-a-service daemon on
+//!                                           a Unix socket: bounded
+//!                                           admission, per-client quotas,
+//!                                           drain-on-signal, crash-safe
+//!                                           journal + checkpoint recovery
+//! pp submit <target> [options]              send one job to a daemon
+//! pp status [job-id] [options]              query a daemon's jobs/metrics
 //!
 //! <target> is a suite benchmark name (see `pp list`) or a path to a
 //! textual IR file (see pp_ir::parse).
@@ -56,6 +63,23 @@
 //!   --inject <spec>           (batch) fault injection: comma-separated
 //!                             hang@I | panic@I[:N] | transient@I[:N] |
 //!                             corrupt@I[:N] | truncate@W[:KEEP] | halt@W
+//!   --quarantine-cap <n>      (batch/serve) keep at most n quarantined
+//!                             attempt-sets, evicting oldest-first
+//!                             (default 0 = keep everything)
+//!   --socket <PATH>           (serve/submit/status) Unix-domain socket
+//!                             (default pp.sock)
+//!   --queue-cap <n>           (serve) bounded admission queue; a full
+//!                             queue rejects with `overloaded`, exit 4
+//!   --quota <n>               (serve) max in-flight jobs per client
+//!                             (default 0 = unlimited)
+//!   --checkpoint-every <n>    (serve) terminal jobs between checkpoint
+//!                             manifest writes (default 8)
+//!   --inject-every <spec>     (serve) soak-test faults: comma-separated
+//!                             panic=N | transient=N | corrupt=N, hitting
+//!                             every N-th job's first attempt
+//!   --client <NAME>           (submit) client name for quota accounting
+//!   --wait                    (submit) block until the job is terminal
+//!   --wait-idle               (status) block until the daemon is idle
 //!   --against <target>        (verify) the program a flow profile was
 //!                             collected from, enabling the
 //!                             flow-conservation walk
@@ -76,11 +100,15 @@
 //!
 //! exit codes: 0 success; 1 usage or instrumentation error; 2 run
 //! aborted (partial profile) or integrity violation; 3 I/O error or
-//! corrupt profile.
+//! corrupt profile; 4 service unavailable (overloaded, quota
+//! exhausted, or draining — back off and resubmit).
 //! ```
 
 mod batch_cmd;
 mod bench_cmd;
+#[cfg(unix)]
+mod serve_cmd;
+mod signals;
 mod verify_cmd;
 
 use std::process::ExitCode;
@@ -123,6 +151,15 @@ struct Options {
     trace: bool,
     trace_out: Option<String>,
     quiet: bool,
+    socket: String,
+    client: String,
+    wait: bool,
+    wait_idle: bool,
+    queue_cap: usize,
+    quota: usize,
+    checkpoint_every: u32,
+    quarantine_cap: usize,
+    inject_every: Option<String>,
 }
 
 impl Default for Options {
@@ -154,6 +191,15 @@ impl Default for Options {
             trace: false,
             trace_out: None,
             quiet: false,
+            socket: "pp.sock".to_string(),
+            client: "cli".to_string(),
+            wait: false,
+            wait_idle: false,
+            queue_cap: 64,
+            quota: 0,
+            checkpoint_every: 8,
+            quarantine_cap: 0,
+            inject_every: None,
         }
     }
 }
@@ -295,6 +341,40 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
                         usage_err("bad --clobber-pics value (expect a read index)")
                     })?);
             }
+            "--socket" => opts.socket = value("--socket", &mut it)?,
+            "--client" => opts.client = value("--client", &mut it)?,
+            "--wait" => opts.wait = true,
+            "--wait-idle" => opts.wait_idle = true,
+            "--queue-cap" => {
+                opts.queue_cap = value("--queue-cap", &mut it)?
+                    .parse()
+                    .map_err(|_| usage_err("bad --queue-cap value (expect a positive integer)"))?;
+                if opts.queue_cap == 0 {
+                    return Err(usage_err("--queue-cap must be at least 1"));
+                }
+            }
+            "--quota" => {
+                opts.quota = value("--quota", &mut it)?.parse().map_err(|_| {
+                    usage_err("bad --quota value (expect an integer; 0 = unlimited)")
+                })?;
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every", &mut it)?
+                    .parse()
+                    .map_err(|_| usage_err("bad --checkpoint-every value (expect a u32)"))?;
+                if opts.checkpoint_every == 0 {
+                    return Err(usage_err("--checkpoint-every must be at least 1"));
+                }
+            }
+            "--quarantine-cap" => {
+                opts.quarantine_cap =
+                    value("--quarantine-cap", &mut it)?.parse().map_err(|_| {
+                        usage_err("bad --quarantine-cap value (expect an integer; 0 = unbounded)")
+                    })?;
+            }
+            "--inject-every" => {
+                opts.inject_every = Some(value("--inject-every", &mut it)?);
+            }
             "--smoke" => opts.smoke = true,
             "--trace" => opts.trace = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out", &mut it)?),
@@ -334,23 +414,23 @@ fn load_target(target: &str, scale: f64) -> Result<(String, Program), PpError> {
     )))
 }
 
-fn run_config(opts: &Options) -> Result<RunConfig, PpError> {
-    Ok(match opts.config.as_str() {
+/// Maps a `--config` name (or a service job spec's `config=` key) onto
+/// a [`RunConfig`] with the given counter selection.
+fn config_by_name(name: &str, events: (HwEvent, HwEvent)) -> Result<RunConfig, PpError> {
+    Ok(match name {
         "base" => RunConfig::Base,
         "edge" => RunConfig::EdgeFreq,
         "flow" => RunConfig::FlowFreq,
-        "flow-hw" => RunConfig::FlowHw {
-            events: opts.events,
-        },
-        "context-hw" => RunConfig::ContextHw {
-            events: opts.events,
-        },
+        "flow-hw" => RunConfig::FlowHw { events },
+        "context-hw" => RunConfig::ContextHw { events },
         "context-flow" => RunConfig::ContextFlow,
-        "combined" => RunConfig::CombinedHw {
-            events: opts.events,
-        },
+        "combined" => RunConfig::CombinedHw { events },
         other => return Err(usage_err(format!("unknown config `{other}`"))),
     })
+}
+
+fn run_config(opts: &Options) -> Result<RunConfig, PpError> {
+    config_by_name(&opts.config, opts.events)
 }
 
 fn find_proc(program: &Program, name: &str) -> Result<ProcId, PpError> {
@@ -1051,13 +1131,30 @@ fn cmd_decode(
 }
 
 fn usage() -> &'static str {
-    "usage: pp <list|run|report|hot|cct|stats|verify|annotate|decode|bench|batch> [target] [options]\n\
+    "usage: pp <list|run|report|hot|cct|stats|verify|annotate|decode|bench|batch|serve|submit|status> [target] [options]\n\
      run `pp list` to see the benchmark suite; see crate docs for options\n\
-     batch: --jobs N --retries N --fuel N --deadline S --seed N\n\
+     batch: --jobs N --retries N --fuel N --deadline S --seed N --quarantine-cap N\n\
             --checkpoint-dir DIR | --resume DIR  --inject hang@I,corrupt@I,...\n\
+     serve: --socket PATH --checkpoint-dir DIR --jobs N --queue-cap N --quota N\n\
+            --checkpoint-every N --quarantine-cap N --inject-every panic=N,corrupt=N\n\
+     submit: <target> --socket PATH [--client NAME] [--wait]\n\
+     status: [job-id] --socket PATH [--wait-idle]\n\
      verify: <profile|checkpoint-dir|target> [--against TARGET] [--clobber-pics READ]\n\
      observability: --trace, --trace-out FILE, --quiet (also PP_TRACE, PP_LOG)\n\
-     exit codes: 0 ok, 1 usage, 2 aborted run or integrity violation, 3 i/o or corrupt profile"
+     exit codes: 0 ok, 1 usage, 2 aborted run or integrity violation,\n\
+                 3 i/o or corrupt profile, 4 service unavailable (overloaded/quota/draining)"
+}
+
+/// The client-verb options shared by `pp submit` and `pp status`.
+#[cfg(unix)]
+fn client_args(opts: &Options) -> serve_cmd::ClientArgs {
+    serve_cmd::ClientArgs {
+        socket: opts.socket.clone(),
+        client: opts.client.clone(),
+        wait: opts.wait,
+        wait_idle: opts.wait_idle,
+        deadline_s: opts.deadline,
+    }
 }
 
 /// `println!` panics when stdout is a closed pipe (`pp list | head`);
@@ -1154,8 +1251,54 @@ fn main() -> ExitCode {
                     checkpoint_dir: opts.resume.clone().or_else(|| opts.checkpoint_dir.clone()),
                     resume: opts.resume.is_some(),
                     inject: opts.inject.clone(),
+                    quarantine_cap: opts.quarantine_cap,
                     profiler: opts.profiler(),
                 })
+            }
+            #[cfg(unix)]
+            ("serve", []) => serve_cmd::run_serve(&serve_cmd::ServeArgs {
+                socket: opts.socket.clone(),
+                dir: opts
+                    .checkpoint_dir
+                    .clone()
+                    .unwrap_or_else(|| "pp-serve-state".to_string()),
+                workers: opts.jobs,
+                queue_cap: opts.queue_cap,
+                quota: opts.quota,
+                retries: opts.retries,
+                seed: opts.seed,
+                checkpoint_every: opts.checkpoint_every,
+                quarantine_cap: opts.quarantine_cap,
+                inject_every: opts.inject_every.clone(),
+                fuel: opts.fuel.unwrap_or(batch_cmd::DEFAULT_FUEL),
+                deadline_s: opts.deadline,
+                profiler: opts.profiler(),
+            }),
+            #[cfg(unix)]
+            ("submit", [t]) => {
+                // Like batch, service jobs default to the combined
+                // pipeline so artifacts carry flow and CCT profiles.
+                let config_name = if opts.config_set {
+                    opts.config.clone()
+                } else {
+                    "combined".to_string()
+                };
+                serve_cmd::run_submit(
+                    &client_args(&opts),
+                    t,
+                    opts.scale,
+                    &config_name,
+                    opts.events,
+                )
+            }
+            #[cfg(unix)]
+            ("status", []) => serve_cmd::run_status(&client_args(&opts), None),
+            #[cfg(unix)]
+            ("status", [id]) => {
+                let id = id
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad job id `{id}`")))?;
+                serve_cmd::run_status(&client_args(&opts), Some(id))
             }
             _ => Err(PpError::Usage(usage().to_string())),
         };

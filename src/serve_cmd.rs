@@ -1,0 +1,675 @@
+//! The `pp serve` / `pp submit` / `pp status` subcommands: the CLI face
+//! of the profile service ([`pp::profiler::Service`]).
+//!
+//! `pp serve` binds a Unix-domain socket and speaks a newline-delimited
+//! JSON protocol (one request object per line, one response object per
+//! line, canonical `pp::obs::json` rendering). Jobs are named by spec
+//! strings — `target=<suite|file> scale=<f> config=<name>
+//! events=<a>,<b>` — resolved server-side, so a thin client never loads
+//! a program. The daemon owns the service lifecycle: SIGINT/SIGTERM
+//! enters the drain phase (intake refused with a typed `draining`
+//! rejection, in-flight jobs finish, a final checkpoint is written); a
+//! second signal hard-cancels the running guests. A `kill -9` instead
+//! leaves the intake journal and last checkpoint behind, and the next
+//! `pp serve` over the same directory recovers from them.
+//!
+//! Protocol ops: `submit`, `status`, `wait`, `wait-idle`, `metrics`,
+//! `drain`, `ping`. Refusals carry the admission taxonomy on the wire
+//! (`overloaded`, `quota-exceeded`, `draining`, …) and the client maps
+//! them back onto [`AdmitError`] — so `pp submit` against a saturated
+//! server exits with code 4, distinct from a failed run.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pp::ir::HwEvent;
+use pp::obs::json::{self, Json};
+use pp::profiler::{
+    AdmitError, PpError, Profiler, Service, ServiceConfig, ServiceFaultPlan, ServicePhase,
+};
+use pp::usim::{CancelToken, GuestLimits};
+
+/// Options the CLI hands to [`run_serve`].
+pub struct ServeArgs {
+    /// Unix-domain socket path to bind.
+    pub socket: String,
+    /// Service state directory (intake journal, checkpoints, artifacts).
+    pub dir: String,
+    /// Worker thread count (`--jobs`).
+    pub workers: usize,
+    /// Admission queue capacity (`--queue-cap`).
+    pub queue_cap: usize,
+    /// Per-client in-flight quota (`--quota`; 0 = unlimited).
+    pub quota: usize,
+    /// Transient-failure retry budget per job (`--retries`).
+    pub retries: u32,
+    /// Backoff-jitter seed (`--seed`).
+    pub seed: u64,
+    /// Terminal states between checkpoints (`--checkpoint-every`).
+    pub checkpoint_every: u32,
+    /// Quarantine rotation cap (`--quarantine-cap`; 0 = unbounded).
+    pub quarantine_cap: usize,
+    /// Periodic fault injection (`--inject-every`), for soak tests.
+    pub inject_every: Option<String>,
+    /// Per-job µop budget (`--fuel`).
+    pub fuel: u64,
+    /// Per-job wall-clock deadline in seconds (`--deadline`).
+    pub deadline_s: Option<f64>,
+    /// The base profiler from the shared options.
+    pub profiler: Profiler,
+}
+
+/// Options for the client verbs ([`run_submit`], [`run_status`]).
+pub struct ClientArgs {
+    /// Socket of the `pp serve` daemon.
+    pub socket: String,
+    /// Client name for quota accounting (`--client`).
+    pub client: String,
+    /// Block until the submitted job is terminal (`--wait`).
+    pub wait: bool,
+    /// Block until the server is idle (`--wait-idle`).
+    pub wait_idle: bool,
+    /// Wait budget in seconds (`--deadline`; default 600).
+    pub deadline_s: Option<f64>,
+}
+
+impl ClientArgs {
+    fn wait_budget(&self) -> Duration {
+        Duration::from_secs_f64(self.deadline_s.filter(|d| *d > 0.0).unwrap_or(600.0))
+    }
+}
+
+/// Parses `--inject-every panic=N,transient=N,corrupt=N` (any subset).
+fn parse_inject_every(spec: Option<&str>) -> Result<ServiceFaultPlan, PpError> {
+    let mut plan = ServiceFaultPlan::default();
+    let Some(spec) = spec else {
+        return Ok(plan);
+    };
+    for token in spec.split(',').filter(|t| !t.is_empty()) {
+        let (kind, every) = token.split_once('=').ok_or_else(|| {
+            PpError::Usage(format!("--inject-every token `{token}` needs `kind=N`"))
+        })?;
+        let every: u64 = every.parse().map_err(|_| {
+            PpError::Usage(format!("--inject-every `{token}`: bad period `{every}`"))
+        })?;
+        match kind {
+            "panic" => plan.panic_every = every,
+            "transient" => plan.transient_every = every,
+            "corrupt" => plan.corrupt_every = every,
+            other => {
+                return Err(PpError::Usage(format!(
+                    "--inject-every: unknown kind `{other}` (panic|transient|corrupt)"
+                )));
+            }
+        }
+    }
+    Ok(plan)
+}
+
+/// Builds the job spec string a client sends for `target` under the
+/// shared CLI options; [`spec_resolver`] is its server-side inverse.
+pub fn spec_string(target: &str, scale: f64, config: &str, events: (HwEvent, HwEvent)) -> String {
+    format!(
+        "target={target} scale={scale} config={config} events={},{}",
+        events.0.mnemonic(),
+        events.1.mnemonic()
+    )
+}
+
+/// The server-side [`pp::profiler::SpecResolver`]: parses a spec string
+/// back into a loaded program and run configuration. Every error is a
+/// string — the service turns them into typed `bad-spec` rejections.
+pub fn spec_resolver() -> pp::profiler::SpecResolver {
+    Arc::new(|spec: &str| {
+        let mut target = None;
+        let mut scale = 1.0f64;
+        let mut config = "combined".to_string();
+        let mut events = (HwEvent::Insts, HwEvent::DcMiss);
+        for token in spec.split_whitespace() {
+            let (k, v) = token
+                .split_once('=')
+                .ok_or_else(|| format!("spec token `{token}` needs key=value"))?;
+            match k {
+                "target" => target = Some(v.to_string()),
+                "scale" => scale = v.parse().map_err(|_| format!("bad scale `{v}`"))?,
+                "config" => config = v.to_string(),
+                "events" => {
+                    let (a, b) = v
+                        .split_once(',')
+                        .ok_or_else(|| format!("events `{v}` need `ev0,ev1`"))?;
+                    events = (
+                        crate::parse_event(a).map_err(|e| e.to_string())?,
+                        crate::parse_event(b).map_err(|e| e.to_string())?,
+                    );
+                }
+                other => return Err(format!("unknown spec key `{other}`")),
+            }
+        }
+        let target = target.ok_or("spec lacks target=")?;
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(format!("bad scale {scale}"));
+        }
+        let (_, program) = crate::load_target(&target, scale).map_err(|e| e.to_string())?;
+        let run_config = crate::config_by_name(&config, events).map_err(|e| e.to_string())?;
+        Ok((program, run_config))
+    })
+}
+
+fn phase_str(phase: ServicePhase) -> &'static str {
+    match phase {
+        ServicePhase::Accepting => "accepting",
+        ServicePhase::Draining => "draining",
+        ServicePhase::Stopped => "stopped",
+    }
+}
+
+/// Runs the daemon until SIGINT/SIGTERM, then drains, checkpoints, and
+/// reports. See the module docs for the lifecycle.
+///
+/// # Errors
+///
+/// [`PpError::Io`] for socket or checkpoint failures;
+/// [`PpError::Usage`]/[`PpError::Corrupt`] when recovery refuses the
+/// state directory (foreign campaign, torn journal, lying manifest).
+pub fn run_serve(args: &ServeArgs) -> Result<(), PpError> {
+    let fault_plan = parse_inject_every(args.inject_every.as_deref())?;
+    // Everything that changes what a job computes goes into the params
+    // tag; recovery refuses a state directory written under different
+    // parameters. (config/scale/events live in each job's spec.)
+    let params = format!(
+        "service fuel={} deadline={} inject={}",
+        args.fuel,
+        args.deadline_s.unwrap_or(0.0),
+        args.inject_every.as_deref().unwrap_or("-"),
+    );
+    let mut limits = GuestLimits::none().with_fuel(args.fuel);
+    if let Some(d) = args.deadline_s.filter(|d| *d > 0.0) {
+        limits = limits.with_deadline(Duration::from_secs_f64(d));
+    }
+    let config = ServiceConfig {
+        workers: args.workers,
+        queue_capacity: args.queue_cap,
+        per_client_quota: args.quota,
+        max_retries: args.retries,
+        seed: args.seed,
+        params,
+        checkpoint_every: args.checkpoint_every,
+        quarantine_cap: args.quarantine_cap,
+        fault_plan,
+        ..ServiceConfig::default()
+    };
+    let profiler = args.profiler.clone().with_limits(limits);
+    let service = Arc::new(Service::start(
+        config,
+        profiler,
+        spec_resolver(),
+        &args.dir,
+    )?);
+
+    // First signal: stop accepting, drain, checkpoint. Second: also
+    // cancel the running guests.
+    let graceful = CancelToken::new();
+    crate::signals::install(graceful.clone(), service.hard_cancel_token());
+
+    // A stale socket file from a killed daemon would fail the bind.
+    if Path::new(&args.socket).exists() {
+        std::fs::remove_file(&args.socket).map_err(|e| PpError::io(&args.socket, e))?;
+    }
+    let listener = UnixListener::bind(&args.socket).map_err(|e| PpError::io(&args.socket, e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| PpError::io(&args.socket, e))?;
+    let (queued, running, done, failed) = service.counts();
+    println!(
+        "== pp serve: {} on {} workers (queue {}, quota {}, seed {}) ==",
+        args.socket,
+        args.workers,
+        args.queue_cap,
+        if args.quota == 0 {
+            "unlimited".to_string()
+        } else {
+            args.quota.to_string()
+        },
+        args.seed,
+    );
+    if queued + running + done + failed > 0 {
+        println!(
+            "recovered state: {queued} queued, {running} running, {done} done, {failed} failed"
+        );
+    }
+
+    // Accept loop: poll so the graceful token is observed promptly even
+    // with no clients connecting.
+    while !graceful.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || handle_client(&service, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                pp::obs::warn!("serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    drop(listener);
+    let _ = std::fs::remove_file(&args.socket);
+
+    println!("serve: draining (in-flight jobs finishing, intake refused)");
+    let report = service.shutdown()?;
+    let (pending, done, failed) = report.manifest.counts();
+    let mut registry = pp::obs::Registry::new();
+    report.metrics.record_metrics(&mut registry);
+    print!("{}", registry.snapshot());
+    println!(
+        "serve stopped: {done} done, {failed} failed, {pending} pending \
+         (pending jobs re-queue on the next `pp serve` over {})",
+        args.dir
+    );
+    Ok(())
+}
+
+/// Serves one client connection: a loop of NDJSON request/response
+/// pairs until the peer hangs up. Malformed requests get a typed
+/// `bad-request` reply, never a dropped connection.
+fn handle_client(service: &Service, stream: UnixStream) {
+    // Accepted sockets can inherit the listener's nonblocking mode on
+    // some platforms; the handler wants plain blocking reads.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let Ok(peer) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(peer);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match json::parse(&line) {
+            Ok(request) => handle_request(service, &request),
+            Err(e) => error_json("bad-request", &format!("unparsable request: {e}")),
+        };
+        if writeln!(writer, "{}", response.render())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// `{"ok":false,"error":kind,"detail":detail}`.
+fn error_json(kind: &str, detail: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(kind.to_string())),
+        ("detail".to_string(), Json::Str(detail.to_string())),
+    ])
+}
+
+/// Dispatches one parsed request object to the service.
+fn handle_request(service: &Service, request: &Json) -> Json {
+    let str_field = |key: &str| request.get(key).and_then(Json::as_str);
+    let num_field = |key: &str| request.get(key).and_then(Json::as_f64);
+    let ok = |mut fields: Vec<(String, Json)>| {
+        fields.insert(0, ("ok".to_string(), Json::Bool(true)));
+        Json::Obj(fields)
+    };
+    match str_field("op") {
+        Some("ping") => ok(vec![(
+            "phase".to_string(),
+            Json::Str(phase_str(service.phase()).to_string()),
+        )]),
+        Some("submit") => {
+            let Some(spec) = str_field("spec") else {
+                return error_json("bad-request", "submit needs \"spec\"");
+            };
+            let client = str_field("client").unwrap_or("anon");
+            let name = str_field("name").unwrap_or(spec);
+            match service.submit(client, name, spec) {
+                Ok(id) => ok(vec![("id".to_string(), Json::Num(id as f64))]),
+                Err(e) => {
+                    let mut reply = match error_json(e.kind(), &e.to_string()) {
+                        Json::Obj(fields) => fields,
+                        _ => unreachable!(),
+                    };
+                    // Structured fields so the client can rebuild the
+                    // exact AdmitError, not just its message.
+                    match &e {
+                        AdmitError::Overloaded { capacity } => {
+                            reply.push(("capacity".to_string(), Json::Num(*capacity as f64)));
+                        }
+                        AdmitError::QuotaExceeded { quota, .. } => {
+                            reply.push(("quota".to_string(), Json::Num(*quota as f64)));
+                        }
+                        _ => {}
+                    }
+                    Json::Obj(reply)
+                }
+            }
+        }
+        Some("status") => match num_field("id") {
+            Some(id) => match service.status(id as u64) {
+                Some(job) => ok(vec![("job".to_string(), job.to_json())]),
+                None => error_json("unknown-job", &format!("no job {id}")),
+            },
+            None => {
+                let jobs: Vec<Json> = service.jobs().iter().map(|j| j.to_json()).collect();
+                ok(vec![
+                    (
+                        "phase".to_string(),
+                        Json::Str(phase_str(service.phase()).to_string()),
+                    ),
+                    ("jobs".to_string(), Json::Arr(jobs)),
+                ])
+            }
+        },
+        Some("wait") => {
+            let Some(id) = num_field("id") else {
+                return error_json("bad-request", "wait needs \"id\"");
+            };
+            let timeout = Duration::from_secs_f64(num_field("timeout_s").unwrap_or(600.0));
+            match service.wait(id as u64, timeout) {
+                Some(job) => ok(vec![("job".to_string(), job.to_json())]),
+                None => error_json("unknown-job", &format!("no job {id}")),
+            }
+        }
+        Some("wait-idle") => {
+            let timeout = Duration::from_secs_f64(num_field("timeout_s").unwrap_or(60.0));
+            let idle = service.wait_idle(timeout);
+            ok(vec![("idle".to_string(), Json::Bool(idle))])
+        }
+        Some("metrics") => ok(vec![("metrics".to_string(), service.metrics().to_json())]),
+        Some("drain") => {
+            service.drain();
+            ok(vec![(
+                "phase".to_string(),
+                Json::Str(phase_str(service.phase()).to_string()),
+            )])
+        }
+        Some(other) => error_json("bad-request", &format!("unknown op `{other}`")),
+        None => error_json("bad-request", "request lacks \"op\""),
+    }
+}
+
+/// One client connection speaking the NDJSON protocol.
+struct Conn {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+    socket: String,
+}
+
+impl Conn {
+    /// Connects to the daemon. A refused/absent socket is an I/O error
+    /// (exit 3): the server is not there, which is different from a
+    /// server that answered "no" (exit 4).
+    fn open(socket: &str) -> Result<Conn, PpError> {
+        let stream = UnixStream::connect(socket).map_err(|e| PpError::io(socket, e))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| PpError::io(socket, e))?);
+        Ok(Conn {
+            writer: stream,
+            reader,
+            socket: socket.to_string(),
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    fn request(&mut self, request: &Json) -> Result<Json, PpError> {
+        writeln!(self.writer, "{}", request.render())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| PpError::io(&self.socket, e))?;
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| PpError::io(&self.socket, e))?;
+        if line.is_empty() {
+            return Err(PpError::io(
+                &self.socket,
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ),
+            ));
+        }
+        json::parse(line.trim()).map_err(|e| {
+            PpError::Corrupt(pp::cct::SerializeError::Format(format!(
+                "unparsable server reply: {e}"
+            )))
+        })
+    }
+}
+
+/// Maps a refusal reply back onto the typed error taxonomy: admission
+/// refusals become [`PpError::Unavailable`] (exit 4), an unusable spec
+/// is a usage error (exit 1).
+fn refusal_error(reply: &Json) -> PpError {
+    let kind = reply.get("error").and_then(Json::as_str).unwrap_or("?");
+    let detail = reply
+        .get("detail")
+        .and_then(Json::as_str)
+        .unwrap_or("no detail")
+        .to_string();
+    let num = |key: &str| reply.get(key).and_then(Json::as_f64).unwrap_or(0.0) as usize;
+    match kind {
+        "overloaded" => PpError::Unavailable(AdmitError::Overloaded {
+            capacity: num("capacity"),
+        }),
+        "quota-exceeded" => PpError::Unavailable(AdmitError::QuotaExceeded {
+            client: String::new(),
+            quota: num("quota"),
+        }),
+        "draining" => PpError::Unavailable(AdmitError::Draining),
+        "stopped" => PpError::Unavailable(AdmitError::Stopped),
+        "io" => PpError::Unavailable(AdmitError::Io(detail)),
+        "bad-spec" | "bad-request" => PpError::Usage(detail),
+        other => PpError::Usage(format!("server refused ({other}): {detail}")),
+    }
+}
+
+/// Renders one job object from the wire as a report table row.
+fn print_job_row(job: &Json) {
+    let s = |key: &str| job.get(key).and_then(Json::as_str).unwrap_or("");
+    let n = |key: &str| job.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "{:>6} {:<20} {:<8} {:>8} {:>12} {:>12}  {}",
+        n("id"),
+        s("name"),
+        s("state"),
+        n("attempts"),
+        n("cycles"),
+        n("uops"),
+        s("detail"),
+    );
+}
+
+/// `pp submit`: sends one job, optionally waits for its terminal state.
+///
+/// # Errors
+///
+/// [`PpError::Unavailable`] (exit 4) for typed admission refusals;
+/// [`PpError::Io`] (exit 3) when the daemon is unreachable.
+pub fn run_submit(
+    args: &ClientArgs,
+    target: &str,
+    scale: f64,
+    config: &str,
+    events: (HwEvent, HwEvent),
+) -> Result<(), PpError> {
+    let spec = spec_string(target, scale, config, events);
+    let mut conn = Conn::open(&args.socket)?;
+    let reply = conn.request(&Json::Obj(vec![
+        ("op".to_string(), Json::Str("submit".to_string())),
+        ("client".to_string(), Json::Str(args.client.clone())),
+        ("name".to_string(), Json::Str(target.to_string())),
+        ("spec".to_string(), Json::Str(spec)),
+    ]))?;
+    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(refusal_error(&reply));
+    }
+    let id = reply.get("id").and_then(Json::as_f64).unwrap_or(-1.0);
+    println!("submitted job {id} ({target}) as client {}", args.client);
+    if args.wait {
+        let reply = conn.request(&Json::Obj(vec![
+            ("op".to_string(), Json::Str("wait".to_string())),
+            ("id".to_string(), Json::Num(id)),
+            (
+                "timeout_s".to_string(),
+                Json::Num(args.wait_budget().as_secs_f64()),
+            ),
+        ]))?;
+        let Some(job) = reply.get("job") else {
+            return Err(refusal_error(&reply));
+        };
+        print_job_row(job);
+        let state = job.get("state").and_then(Json::as_str).unwrap_or("?");
+        if !matches!(state, "done" | "failed") {
+            return Err(PpError::io(
+                &args.socket,
+                std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("job {id} still {state} after the wait budget"),
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `pp status`: one job, the whole table, or `--wait-idle`.
+///
+/// # Errors
+///
+/// [`PpError::Io`] (exit 3) when the daemon is unreachable or the wait
+/// budget expires.
+pub fn run_status(args: &ClientArgs, id: Option<u64>) -> Result<(), PpError> {
+    let mut conn = Conn::open(&args.socket)?;
+    if args.wait_idle {
+        let deadline = std::time::Instant::now() + args.wait_budget();
+        loop {
+            let reply = conn.request(&Json::Obj(vec![
+                ("op".to_string(), Json::Str("wait-idle".to_string())),
+                ("timeout_s".to_string(), Json::Num(10.0)),
+            ]))?;
+            if reply.get("idle").and_then(Json::as_bool) == Some(true) {
+                println!("server is idle");
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(PpError::io(
+                    &args.socket,
+                    std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "server still busy after the wait budget",
+                    ),
+                ));
+            }
+        }
+        if id.is_none() {
+            return Ok(());
+        }
+    }
+    match id {
+        Some(id) => {
+            let reply = conn.request(&Json::Obj(vec![
+                ("op".to_string(), Json::Str("status".to_string())),
+                ("id".to_string(), Json::Num(id as f64)),
+            ]))?;
+            let Some(job) = reply.get("job") else {
+                return Err(refusal_error(&reply));
+            };
+            print_job_row(job);
+        }
+        None => {
+            let reply = conn.request(&Json::Obj(vec![(
+                "op".to_string(),
+                Json::Str("status".to_string()),
+            )]))?;
+            if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(refusal_error(&reply));
+            }
+            let phase = reply.get("phase").and_then(Json::as_str).unwrap_or("?");
+            let jobs = reply.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+            println!(
+                "{:>6} {:<20} {:<8} {:>8} {:>12} {:>12}  detail",
+                "id", "name", "state", "attempts", "cycles", "uops"
+            );
+            for job in jobs {
+                print_job_row(job);
+            }
+            let count = |state: &str| {
+                jobs.iter()
+                    .filter(|j| j.get("state").and_then(Json::as_str) == Some(state))
+                    .count()
+            };
+            println!(
+                "\nphase: {phase} | {} queued, {} running, {} done, {} failed",
+                count("queued"),
+                count("running"),
+                count("done"),
+                count("failed"),
+            );
+            let reply = conn.request(&Json::Obj(vec![(
+                "op".to_string(),
+                Json::Str("metrics".to_string()),
+            )]))?;
+            if let Some(metrics) = reply.get("metrics") {
+                println!("metrics: {}", metrics.render());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp::profiler::RunConfig;
+
+    #[test]
+    fn inject_every_parses_and_rejects() {
+        let plan = parse_inject_every(Some("panic=5,corrupt=11")).unwrap();
+        assert_eq!(plan.panic_every, 5);
+        assert_eq!(plan.transient_every, 0);
+        assert_eq!(plan.corrupt_every, 11);
+        for bad in ["panic", "panic=x", "nope=3"] {
+            assert!(parse_inject_every(Some(bad)).is_err(), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn spec_string_round_trips_through_the_resolver() {
+        let spec = spec_string(
+            "129.compress",
+            0.25,
+            "flow-hw",
+            (HwEvent::Insts, HwEvent::DcMiss),
+        );
+        let (program, config) = spec_resolver()(&spec).expect("resolves");
+        assert!(!program.procedures().is_empty());
+        assert!(matches!(config, RunConfig::FlowHw { .. }));
+        assert!(spec_resolver()("scale=1").is_err(), "missing target");
+        assert!(spec_resolver()("target=129.compress config=nope").is_err());
+    }
+
+    #[test]
+    fn refusals_map_to_the_error_taxonomy() {
+        let overloaded = error_json("overloaded", "queue full");
+        let e = refusal_error(&overloaded);
+        assert!(
+            matches!(e, PpError::Unavailable(AdmitError::Overloaded { .. })),
+            "{e}"
+        );
+        assert_eq!(e.exit_code(), 4);
+        let bad = error_json("bad-spec", "no such target");
+        assert_eq!(refusal_error(&bad).exit_code(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Shared SIGINT/SIGTERM handling for the long-running commands
+//! (`pp batch`, `pp serve`) without a signal crate: a raw `signal(2)`
+//! binding whose handler only touches atomics (async-signal-safe).
+//!
+//! Both signals feed the same two-stage shutdown: the *first* delivery
+//! of either cancels the graceful token (drain in-flight work, write a
+//! final checkpoint, refuse new intake); any *second* delivery also
+//! cancels the hard token, which is wired into the guest limits so even
+//! a long-fueled job stops promptly. SIGTERM matters because service
+//! managers and CI runners stop daemons with it — a `pp serve` under
+//! systemd or a `timeout`-wrapped `pp batch` must drain and checkpoint,
+//! not die mid-write.
+
+#[cfg(unix)]
+pub use unix::install;
+
+#[cfg(unix)]
+mod unix {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    use pp::usim::CancelToken;
+
+    static TOKENS: OnceLock<(CancelToken, CancelToken)> = OnceLock::new();
+    static HITS: AtomicUsize = AtomicUsize::new(0);
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Counted across both signals: SIGINT then SIGTERM (or two of
+        // either) escalates, exactly like a double Ctrl-C.
+        let hits = HITS.fetch_add(1, Ordering::Relaxed);
+        if let Some((graceful, hard)) = TOKENS.get() {
+            graceful.cancel();
+            if hits >= 1 {
+                hard.cancel();
+            }
+        }
+    }
+
+    /// Installs the two-stage handler for SIGINT and SIGTERM. Only the
+    /// first call's tokens win; later calls are ignored (the handler is
+    /// process-global).
+    pub fn install(graceful: CancelToken, hard: CancelToken) {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let _ = TOKENS.set((graceful, hard));
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install(_graceful: pp::usim::CancelToken, _hard: pp::usim::CancelToken) {}

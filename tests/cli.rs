@@ -660,3 +660,137 @@ fn batch_quarantines_injected_corruption() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `pp submit`/`pp status` against a missing daemon: a clean I/O error
+/// (exit 3), not a hang or a panic.
+#[cfg(unix)]
+#[test]
+fn submit_without_a_server_exits_3() {
+    let out = pp(&["submit", "129.compress", "--socket", "/nonexistent/pp.sock"]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    let out = pp(&["status", "--socket", "/nonexistent/pp.sock"]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+/// Malformed client verbs are usage errors before any socket I/O.
+#[cfg(unix)]
+#[test]
+fn service_verbs_reject_bad_arguments() {
+    // A job id must be numeric.
+    let out = pp(&["status", "not-a-number"]);
+    assert_eq!(out.status.code(), Some(1));
+    // serve: a zero queue capacity is rejected up front.
+    let out = pp(&["serve", "--queue-cap", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    // And the usage text advertises the service verbs.
+    let out = pp(&[]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    for verb in ["serve:", "submit:", "status:"] {
+        assert!(err.contains(verb), "usage must mention `{verb}`: {err}");
+    }
+    assert!(err.contains("4 service unavailable"), "{err}");
+}
+
+/// The full daemon lifecycle over a real Unix socket: serve, submit
+/// (including a refused bad spec), status, SIGTERM drain, and a
+/// `pp verify`-clean state directory left behind.
+#[cfg(unix)]
+#[test]
+fn serve_round_trip_drains_on_sigterm() {
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir().join(format!("pp-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let socket = dir.join("pp.sock");
+    let state = dir.join("state");
+    let daemon = Command::new(env!("CARGO_BIN_EXE_pp"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().expect("utf8"),
+            "--checkpoint-dir",
+            state.to_str().expect("utf8"),
+            "--jobs",
+            "2",
+            "--scale",
+            "0.02",
+            "--inject-every",
+            "panic=2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    // Wait for the socket to appear.
+    let t = Instant::now();
+    while !socket.exists() {
+        assert!(t.elapsed() < Duration::from_secs(10), "daemon never bound");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let sock = socket.to_str().expect("utf8");
+
+    let out = pp(&[
+        "submit",
+        "129.compress",
+        "--socket",
+        sock,
+        "--scale",
+        "0.02",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("submitted job 0"));
+    // A bad spec is refused with a usage error, and is not admitted.
+    let out = pp(&["submit", "999.nonesuch", "--socket", sock]);
+    assert_eq!(out.status.code(), Some(1));
+    // Job 1 hits the injected panic on its first attempt and recovers.
+    let out = pp(&["submit", "129.compress", "--socket", sock, "--wait"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("done"), "{text}");
+
+    let out = pp(&["status", "--socket", sock, "--wait-idle"]);
+    assert!(out.status.success());
+    let out = pp(&["status", "--socket", sock]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("phase: accepting"), "{text}");
+    assert!(text.contains("2 done"), "{text}");
+    assert!(text.contains("\"panics\":1"), "{text}");
+
+    // SIGTERM: graceful drain, metrics dump, clean exit.
+    let pid = daemon.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs")
+        .success());
+    let out = daemon.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "drain must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serve stopped: 2 done, 0 failed"), "{text}");
+    assert!(text.contains("counter service.admitted 2"), "{text}");
+    assert!(!socket.exists(), "the socket file is removed on shutdown");
+
+    // The state directory it leaves behind is verifiably intact.
+    let out = pp(&["verify", state.to_str().expect("utf8")]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

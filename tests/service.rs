@@ -1,0 +1,500 @@
+//! Profile-service suite: admission control, backpressure, quotas,
+//! drain, crash recovery — and a soak campaign of a thousand small jobs
+//! under sustained fault injection.
+//!
+//! The core robustness claims under test:
+//!
+//! * a full queue answers `Overloaded` *immediately* — backpressure is
+//!   typed and prompt, never a blocked client;
+//! * drain refuses intake, finishes in-flight jobs only, and leaves
+//!   queued jobs pending for the next start;
+//! * everything persisted is a function of the admitted job sequence
+//!   and the seed, so a `kill -9` (here [`Service::halt_abandon`]) plus
+//!   restart converges on artifacts byte-identical to an uninterrupted
+//!   service.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pp::ir::build::ProgramBuilder;
+use pp::ir::instr::Operand;
+use pp::ir::{HwEvent, Program};
+use pp::profiler::{
+    AdmitError, JobState, PpError, Profiler, Service, ServiceConfig, ServiceFaultPlan,
+    ServicePhase, SpecResolver,
+};
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pp-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small but structurally interesting: main loops calling leaf, which
+/// branches on parity — paths, calls, a loop, and (under the combined
+/// pipeline) enough counter reads that the injected-corruption clobber
+/// actually lands.
+fn job_program(iters: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let leaf = pb.declare("leaf");
+    let mut m = pb.procedure("main");
+    let e = m.entry_block();
+    let h = m.new_block();
+    let body = m.new_block();
+    let x = m.new_block();
+    let i = m.new_reg();
+    let c = m.new_reg();
+    m.block(e).mov(i, 0i64).jump(h);
+    m.block(h).cmp_lt(c, i, iters).branch(c, body, x);
+    m.block(body)
+        .call(leaf, vec![Operand::Reg(i)], None)
+        .add(i, i, 1i64)
+        .jump(h);
+    m.block(x).ret();
+    let main = m.finish();
+
+    let mut l = pb.procedure_for(leaf);
+    let e = l.entry_block();
+    let odd = l.new_block();
+    let even = l.new_block();
+    let x = l.new_block();
+    l.reserve_regs(1);
+    let p = l.new_reg();
+    l.block(e)
+        .bin(pp::ir::instr::BinOp::And, p, pp::ir::Reg(0), 1i64)
+        .branch(p, odd, even);
+    l.block(odd).nop().jump(x);
+    l.block(even).nop().nop().jump(x);
+    l.block(x).ret();
+    l.finish();
+    pb.finish(main)
+}
+
+/// The test resolver: `tiny` (the soak workhorse), `wide` (a longer
+/// loop), and everything else a typed bad-spec refusal.
+fn resolver() -> SpecResolver {
+    Arc::new(|spec: &str| {
+        let config = pp::profiler::RunConfig::CombinedHw { events: EVENTS };
+        match spec {
+            "tiny" => Ok((job_program(12), config)),
+            "wide" => Ok((job_program(400), config)),
+            other => Err(format!("unknown spec `{other}`")),
+        }
+    })
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        queue_capacity: 64,
+        backoff_base_ms: 0,
+        backoff_cap_ms: 0,
+        seed: 7,
+        params: "svc-test".to_string(),
+        checkpoint_every: 4,
+        ..ServiceConfig::default()
+    }
+}
+
+fn start(dir: &Path, config: ServiceConfig) -> Service {
+    Service::start(config, Profiler::default(), resolver(), dir).expect("service starts")
+}
+
+#[test]
+fn overloaded_rejection_is_immediate_and_typed() {
+    let dir = scratch("overload");
+    let service = start(
+        &dir,
+        ServiceConfig {
+            queue_capacity: 4,
+            paused: true, // park the workers so the queue fills
+            ..config()
+        },
+    );
+    for i in 0..4 {
+        service
+            .submit("c", &format!("job{i}"), "tiny")
+            .expect("fits");
+    }
+    let t = Instant::now();
+    let err = service
+        .submit("c", "job4", "tiny")
+        .expect_err("queue is full");
+    let latency = t.elapsed();
+    assert_eq!(err, AdmitError::Overloaded { capacity: 4 });
+    assert_eq!(err.kind(), "overloaded");
+    assert!(
+        latency < Duration::from_millis(250),
+        "backpressure must be immediate, took {latency:?}"
+    );
+    assert_eq!(service.metrics().rejected_overloaded, 1);
+    // Back off, let the pool work, resubmit: the queue has space again.
+    service.unpause();
+    assert!(service.wait_idle(Duration::from_secs(60)), "pool drains");
+    service
+        .submit("c", "job4", "tiny")
+        .expect("admitted after backoff");
+    assert!(service.wait_idle(Duration::from_secs(60)));
+    let report = service.shutdown().expect("clean shutdown");
+    assert_eq!(report.metrics.done, 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn per_client_quota_is_enforced_and_released() {
+    let dir = scratch("quota");
+    let service = start(
+        &dir,
+        ServiceConfig {
+            per_client_quota: 2,
+            paused: true,
+            ..config()
+        },
+    );
+    service.submit("alice", "a0", "tiny").expect("1st in quota");
+    service.submit("alice", "a1", "tiny").expect("2nd in quota");
+    let err = service
+        .submit("alice", "a2", "tiny")
+        .expect_err("over quota");
+    assert_eq!(
+        err,
+        AdmitError::QuotaExceeded {
+            client: "alice".to_string(),
+            quota: 2
+        }
+    );
+    // The quota is per client, not global.
+    service
+        .submit("bob", "b0", "tiny")
+        .expect("other client fine");
+    assert_eq!(service.metrics().rejected_quota, 1);
+    // Quota slots free up as jobs finish.
+    service.unpause();
+    assert!(service.wait_idle(Duration::from_secs(60)));
+    service
+        .submit("alice", "a2", "tiny")
+        .expect("slots released");
+    assert!(service.wait_idle(Duration::from_secs(60)));
+    service.shutdown().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_specs_are_refused_without_admission() {
+    let dir = scratch("badspec");
+    let service = start(&dir, config());
+    let err = service
+        .submit("c", "job", "nonsense")
+        .expect_err("bad spec");
+    assert!(matches!(err, AdmitError::BadSpec(_)), "{err:?}");
+    assert_eq!(service.metrics().rejected_bad_spec, 1);
+    assert_eq!(service.metrics().admitted, 0, "nothing was journaled");
+    let report = service.shutdown().expect("clean shutdown");
+    assert!(report.manifest.jobs.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drain_refuses_intake_finishes_in_flight_and_checkpoints() {
+    let dir = scratch("drain");
+    let service = start(
+        &dir,
+        ServiceConfig {
+            workers: 2,
+            paused: true,
+            ..config()
+        },
+    );
+    for i in 0..6 {
+        service
+            .submit("c", &format!("job{i}"), "tiny")
+            .expect("admitted");
+    }
+    service.drain();
+    assert_eq!(service.phase(), ServicePhase::Draining);
+    let err = service
+        .submit("c", "late", "tiny")
+        .expect_err("intake closed");
+    assert_eq!(err, AdmitError::Draining);
+    assert_eq!(err.to_string(), "service is draining; no new intake");
+    // Unparking the workers now must NOT start the queued jobs: drain
+    // only lets already-running jobs finish.
+    service.unpause();
+    let report = service.shutdown().expect("drained shutdown");
+    let (pending, done, failed) = report.manifest.counts();
+    assert_eq!(done + failed, 0, "nothing was in flight");
+    assert_eq!(pending, 6, "queued jobs stay pending across a drain");
+    assert!(
+        report.metrics.checkpoint_writes >= 1,
+        "final checkpoint written"
+    );
+    assert_eq!(service.phase(), ServicePhase::Stopped);
+
+    // The next service over the same directory re-queues and runs them.
+    let service = start(&dir, config());
+    assert_eq!(service.metrics().recovered_requeued, 6);
+    assert!(service.wait_idle(Duration::from_secs(60)));
+    let report = service.shutdown().expect("second shutdown");
+    assert!(report.manifest.is_complete());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn soak_thousand_jobs_with_sustained_faults() {
+    let dir = scratch("soak");
+    let service = start(
+        &dir,
+        ServiceConfig {
+            queue_capacity: 32,
+            checkpoint_every: 16,
+            quarantine_cap: 8,
+            paused: true,
+            fault_plan: ServiceFaultPlan {
+                panic_every: 97,
+                transient_every: 61,
+                corrupt_every: 103,
+            },
+            ..config()
+        },
+    );
+    // Fill the queue beyond capacity while the pool is parked: the
+    // overflow rejection is deterministic and typed.
+    let mut submitted = 0u64;
+    let mut overloaded = 0u64;
+    while submitted < 32 {
+        service
+            .submit("soak", &format!("job{submitted}"), "tiny")
+            .expect("fits while parked");
+        submitted += 1;
+    }
+    let t = Instant::now();
+    match service.submit("soak", "job-overflow", "tiny") {
+        Err(AdmitError::Overloaded { capacity: 32 }) => overloaded += 1,
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(
+        t.elapsed() < Duration::from_millis(250),
+        "admission rejection within the deadline"
+    );
+    service.unpause();
+
+    // The soak proper: keep the intake saturated until 1000 jobs are
+    // admitted, backing off (as a real client would) on each typed
+    // Overloaded answer.
+    const TOTAL: u64 = 1000;
+    while submitted < TOTAL {
+        match service.submit("soak", &format!("job{submitted}"), "tiny") {
+            Ok(_) => submitted += 1,
+            Err(AdmitError::Overloaded { .. }) => {
+                overloaded += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(other) => panic!("soak submit refused unexpectedly: {other:?}"),
+        }
+    }
+    assert!(
+        service.wait_idle(Duration::from_secs(300)),
+        "the pool must chew through the whole soak"
+    );
+    let report = service.shutdown().expect("soak shutdown");
+
+    // Every admitted job reached a typed terminal state.
+    let views = service.jobs();
+    assert_eq!(views.len(), TOTAL as usize);
+    for v in &views {
+        match v.state {
+            JobState::Done => assert!(v.detail.is_empty(), "job {}: {}", v.id, v.detail),
+            JobState::Failed => {
+                assert!(
+                    !v.detail.is_empty(),
+                    "job {} failed without a typed detail",
+                    v.id
+                );
+            }
+            other => panic!("job {} ended non-terminal: {other:?}", v.id),
+        }
+    }
+    let m = &report.metrics;
+    assert_eq!(m.admitted, TOTAL);
+    assert_eq!(m.done + m.failed, TOTAL);
+    assert!(overloaded > 0 && m.rejected_overloaded == overloaded);
+    // The injected faults actually exercised the recovery machinery.
+    assert!(m.panics >= TOTAL / 97, "panic injection ran: {}", m.panics);
+    assert!(m.retries > 0, "classified retries happened");
+    assert!(m.quarantined > 0, "corrupt profiles were quarantined");
+    assert!(
+        m.quarantine_pruned > 0,
+        "the quarantine cap rotated old attempt-sets"
+    );
+    assert!(m.checkpoint_writes >= TOTAL / 16, "periodic checkpoints");
+    // Persisted artifacts validate byte-for-byte against their CRCs.
+    let mut artifacts = 0;
+    for entry in &report.manifest.jobs {
+        for r in entry.flow.iter().chain(entry.cct.iter()) {
+            assert!(r.validates(&dir), "{} fails validation", r.file);
+            artifacts += 1;
+        }
+    }
+    assert!(artifacts > 0, "done jobs persisted artifacts");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Submits the standard recovery campaign: 40 tiny jobs plus a couple
+/// of wide ones, under periodic faults.
+fn submit_recovery_jobs(service: &Service) {
+    for i in 0..40 {
+        let spec = if i % 13 == 0 { "wide" } else { "tiny" };
+        loop {
+            match service.submit("rec", &format!("job{i}"), spec) {
+                Ok(_) => break,
+                Err(AdmitError::Overloaded { .. }) => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(other) => panic!("unexpected refusal: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn kill_and_restart_recovers_byte_identical_artifacts() {
+    let faults = ServiceFaultPlan {
+        panic_every: 7,
+        transient_every: 0,
+        corrupt_every: 11,
+    };
+    let cfg = || ServiceConfig {
+        workers: 3,
+        checkpoint_every: 4,
+        fault_plan: faults,
+        ..config()
+    };
+
+    // The uninterrupted reference run.
+    let ref_dir = scratch("rec-ref");
+    let service = start(&ref_dir, cfg());
+    submit_recovery_jobs(&service);
+    assert!(service.wait_idle(Duration::from_secs(120)));
+    let reference = service.shutdown().expect("reference shutdown");
+    assert!(reference.manifest.is_complete());
+
+    // The same campaign, killed mid-flight (no drain, no final
+    // checkpoint, in-flight results abandoned), then recovered.
+    let kill_dir = scratch("rec-kill");
+    let service = start(&kill_dir, cfg());
+    submit_recovery_jobs(&service);
+    // Let some jobs finish so the kill lands mid-campaign, with a
+    // checkpoint on disk and work still in the queue.
+    assert!(
+        service
+            .wait(5, Duration::from_secs(60))
+            .is_some_and(|v| matches!(v.state, JobState::Done | JobState::Failed)),
+        "job 5 reaches a terminal state before the kill"
+    );
+    service.halt_abandon();
+    let killed_at = service.counts();
+    assert!(
+        killed_at.2 + killed_at.3 < 40,
+        "the kill left work unfinished: {killed_at:?}"
+    );
+
+    // Restart over the same directory: the journal re-queues what the
+    // checkpoint cannot vouch for, and the campaign converges.
+    let service = start(&kill_dir, cfg());
+    let m = service.metrics();
+    assert_eq!(
+        m.recovered_adopted + m.recovered_requeued,
+        40,
+        "every journaled job is accounted for"
+    );
+    assert!(m.recovered_requeued > 0, "the kill really dropped work");
+    assert!(service.wait_idle(Duration::from_secs(120)));
+    let recovered = service.shutdown().expect("recovered shutdown");
+    assert!(recovered.manifest.is_complete());
+
+    // Byte identity: the final manifest and every persisted artifact
+    // match the uninterrupted run exactly.
+    assert_eq!(
+        std::fs::read(ref_dir.join("manifest.ppb")).expect("reference manifest"),
+        std::fs::read(kill_dir.join("manifest.ppb")).expect("recovered manifest"),
+        "kill -9 + restart must converge on the reference manifest, byte for byte"
+    );
+    for entry in &recovered.manifest.jobs {
+        for r in entry.flow.iter().chain(entry.cct.iter()) {
+            assert_eq!(
+                std::fs::read(ref_dir.join(&r.file)).expect("reference artifact"),
+                std::fs::read(kill_dir.join(&r.file)).expect("recovered artifact"),
+                "{} differs",
+                r.file
+            );
+        }
+    }
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&kill_dir).ok();
+}
+
+#[test]
+fn torn_journal_tail_is_dropped_and_truncated() {
+    let dir = scratch("torn-journal");
+    let service = start(&dir, config());
+    service.submit("c", "job0", "tiny").expect("admitted");
+    service.submit("c", "job1", "tiny").expect("admitted");
+    assert!(service.wait_idle(Duration::from_secs(60)));
+    service.shutdown().expect("shutdown");
+
+    // Simulate a crash mid-append: a torn, newline-less tail.
+    let journal = dir.join("intake.jsonl");
+    let mut bytes = std::fs::read(&journal).expect("journal");
+    let clean_len = bytes.len();
+    bytes.extend_from_slice(b"{\"id\":2,\"client\":\"c\"");
+    std::fs::write(&journal, &bytes).expect("tear the journal");
+
+    // Recovery tolerates the tear: the acknowledged jobs are intact,
+    // the unacknowledged fragment is gone — also from the file itself.
+    let service = start(&dir, config());
+    assert_eq!(service.metrics().jobs, 2, "only acknowledged admissions");
+    assert_eq!(
+        std::fs::metadata(&journal).expect("journal").len(),
+        clean_len as u64,
+        "the torn tail was truncated away"
+    );
+    // And the journal still appends cleanly after the repair.
+    service
+        .submit("c", "job2", "tiny")
+        .expect("admitted after repair");
+    assert!(service.wait_idle(Duration::from_secs(60)));
+    let report = service.shutdown().expect("shutdown");
+    assert!(report.manifest.is_complete());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_refuses_a_foreign_checkpoint() {
+    let dir = scratch("foreign");
+    let service = start(&dir, config());
+    service.submit("c", "job0", "tiny").expect("admitted");
+    assert!(service.wait_idle(Duration::from_secs(60)));
+    service.shutdown().expect("shutdown");
+
+    // A different seed means different retry/backoff behavior — the
+    // checkpoint is not this service's to adopt.
+    let err = match Service::start(
+        ServiceConfig {
+            seed: 8,
+            ..config()
+        },
+        Profiler::default(),
+        resolver(),
+        &dir,
+    ) {
+        Ok(_) => panic!("seed mismatch must refuse"),
+        Err(err) => err,
+    };
+    assert!(matches!(err, PpError::Usage(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -15,7 +15,8 @@ use std::time::Duration;
 use pp::ir::build::ProgramBuilder;
 use pp::ir::{HwEvent, Program};
 use pp::profiler::{
-    BatchFaultPlan, BatchManifest, JobSpec, JobStatus, PpError, Profiler, RunConfig, Supervisor,
+    BatchFaultPlan, BatchManifest, FailureClass, JobExecutor, JobSpec, JobStatus, PpError,
+    Profiler, RunConfig, Supervisor,
 };
 use pp::usim::{CancelToken, GuestLimits, LimitKind};
 
@@ -443,6 +444,84 @@ fn quarantine_resume_converges_to_byte_identical_manifest() {
     );
     std::fs::remove_dir_all(&full).ok();
     std::fs::remove_dir_all(&halted).ok();
+}
+
+#[test]
+fn retry_schedule_is_deterministic_across_runs_and_workers() {
+    let jobs = suite_jobs(5);
+    // A transient double-fault on job 1 and one worker panic on job 3:
+    // three classified retries total, racing across workers.
+    let plan = BatchFaultPlan::default()
+        .transient_on_job(1, 2)
+        .panic_on_job(3, 1);
+    let mut schedules = Vec::new();
+    for workers in [1, 4, 4] {
+        let report = supervisor(workers)
+            .with_backoff_ms(2, 8)
+            .with_fault_plan(plan)
+            .run(&jobs, false)
+            .expect("campaign runs");
+        assert!(report.manifest.is_complete());
+        let schedule: Vec<(usize, u32, FailureClass, u64)> = report
+            .retry_schedule
+            .iter()
+            .map(|r| (r.job, r.attempt, r.class, r.delay_ms))
+            .collect();
+        assert_eq!(schedule.len(), 3, "two transient retries + one panic retry");
+        schedules.push(schedule);
+    }
+    // The *schedule* — which attempt retried, with what class, after
+    // what delay — is identical across runs and worker counts, not just
+    // the final per-job report.
+    assert_eq!(
+        schedules[0], schedules[1],
+        "1 worker vs 4 workers: same classified-retry schedule"
+    );
+    assert_eq!(
+        schedules[1], schedules[2],
+        "repeated concurrent runs: same classified-retry schedule"
+    );
+    // And each delay matches the executor's closed-form backoff for
+    // (seed, job, attempt) — no hidden scheduling state leaks in.
+    let executor = JobExecutor::new(Profiler::default())
+        .with_backoff_ms(2, 8)
+        .with_seed(99);
+    for (job, attempt, class, delay_ms) in &schedules[0] {
+        assert_eq!(*class, FailureClass::Transient);
+        assert_eq!(
+            *delay_ms,
+            executor.backoff(*job as u64, *attempt).as_millis() as u64,
+            "job {job} attempt {attempt}"
+        );
+    }
+}
+
+#[test]
+fn quarantine_cap_rotates_oldest_first() {
+    let jobs = suite_jobs(3);
+    let dir = scratch("quar-cap");
+    // Corruption on every attempt quarantines two attempt-sets; a cap
+    // of one must evict the older set and keep the newer.
+    let report = supervisor(1)
+        .with_checkpoint_dir(&dir)
+        .with_quarantine_cap(1)
+        .with_fault_plan(BatchFaultPlan::default().corrupt_on_job(1, u32::MAX))
+        .run(&jobs, false)
+        .expect("campaign survives a corrupt profile");
+    assert_eq!(report.quarantined, 2);
+    assert_eq!(report.quarantine_pruned, 1, "one attempt-set evicted");
+    let qdir = dir.join("quarantine");
+    assert!(
+        !qdir.join("job-001-attempt-1.report.txt").exists()
+            && !qdir.join("job-001-attempt-1.cct").exists(),
+        "the oldest attempt-set is gone, all of it"
+    );
+    assert!(
+        qdir.join("job-001-attempt-2.report.txt").exists()
+            && qdir.join("job-001-attempt-2.cct").exists(),
+        "the newest attempt-set survives"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
