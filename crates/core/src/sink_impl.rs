@@ -132,4 +132,9 @@ impl<R: Recorder> ProfSink for PpSink<R> {
             cct.unwind_to(depth);
         }
     }
+
+    #[inline(always)]
+    fn obs_counter(&mut self, name: &'static str, delta: u64) {
+        self.recorder.counter(name, delta);
+    }
 }

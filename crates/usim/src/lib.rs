@@ -57,6 +57,7 @@ mod layout;
 mod limits;
 mod machine;
 mod mem;
+pub mod meta;
 mod metrics;
 mod predict;
 #[cfg(feature = "reference")]
@@ -71,6 +72,7 @@ pub use layout::CodeLayout;
 pub use limits::{CancelToken, GuestLimits, LimitKind, DEFAULT_CHECK_INTERVAL};
 pub use machine::{CounterNote, ExecError, Machine, RunResult};
 pub use mem::Memory;
+pub use meta::MetaProfile;
 pub use metrics::HwMetrics;
 pub use predict::{BranchPredictor, TargetPredictor};
 pub use sink::{CctTransition, NullSink, ProfSink, RecordingSink, SinkEvent};

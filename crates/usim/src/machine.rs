@@ -39,6 +39,49 @@ use crate::Memory;
 /// A sampling configuration: interval in cycles plus the stack consumer.
 type Sampler<'s> = (u64, &'s mut dyn FnMut(&[ProcId]));
 
+/// True when the `PP_NO_FUSE` environment variable disables
+/// superinstruction fusion (any value but `0`); the env override exists
+/// so the differential oracle and CI can force the unfused arena without
+/// plumbing a flag through every entry point.
+fn env_no_fuse() -> bool {
+    std::env::var_os("PP_NO_FUSE").is_some_and(|v| v != "0")
+}
+
+/// One integer ALU op. Shared by the plain `Bin` handler and every fused
+/// superinstruction so the semantics (wrapping arithmetic, div/rem by
+/// zero yielding 0) have exactly one definition.
+#[inline(always)]
+fn bin_eval(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => ((x as u64) << (y as u64 & 63)) as i64,
+        BinOp::Shr => ((x as u64) >> (y as u64 & 63)) as i64,
+        BinOp::CmpLt => i64::from(x < y),
+        BinOp::CmpLe => i64::from(x <= y),
+        BinOp::CmpEq => i64::from(x == y),
+        BinOp::CmpNe => i64::from(x != y),
+    }
+}
+
 /// Execution failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExecError {
@@ -208,6 +251,14 @@ pub struct Machine<'p> {
     setjmps: Vec<(usize, ProcId, BlockIdx, u32)>,
     /// Dense per-block execution counts, indexed by [`BlockIdx`].
     block_counts: Vec<u64>,
+    /// Inline caches for indirect call sites, indexed by the site's
+    /// decode-assigned `ic`. Each entry holds the last *validated* target
+    /// register value encoded as `value + 1` (0 = empty), so one compare
+    /// revalidates a monomorphic site — a matching entry was range-checked
+    /// when it was installed, and the empty encoding can't collide with
+    /// any value (`v + 1 == 0` only for `v == -1`, which is invalid and
+    /// therefore never installed).
+    icall_ic: Vec<u64>,
     argv_scratch: Vec<i64>,
     fault: FaultPlan,
     fault_log: FaultLog,
@@ -233,8 +284,15 @@ impl<'p> Machine<'p> {
     /// [`Machine::run`]).
     pub fn new(program: &'p Program, config: MachineConfig) -> Machine<'p> {
         let layout = CodeLayout::new(program, config.code_base);
-        let decoded = DecodedProgram::new(program, &layout);
+        let mut decoded = DecodedProgram::new(program, &layout);
+        if !config.no_fuse && !env_no_fuse() {
+            // Attributed to its own nested span so `phases_us` accounts
+            // the fusion pass under `decode`, not `simulate`.
+            let _span = pp_obs::span!("decode.fuse");
+            decoded.fuse();
+        }
         let num_blocks = decoded.num_blocks();
+        let num_icall_sites = decoded.num_icall_sites as usize;
         Machine {
             program,
             layout,
@@ -263,6 +321,7 @@ impl<'p> Machine<'p> {
             freg_base: 0,
             setjmps: Vec::new(),
             block_counts: vec![0; num_blocks],
+            icall_ic: vec![0; num_icall_sites],
             argv_scratch: Vec::new(),
             fault: FaultPlan::default(),
             fault_log: FaultLog::default(),
@@ -336,6 +395,15 @@ impl<'p> Machine<'p> {
             .filter(|(_, &c)| c > 0)
             .map(|(bm, &c)| ((bm.proc, bm.orig), c))
             .collect()
+    }
+
+    /// The raw dense per-block execution counts, indexed like
+    /// [`DecodedProgram::blocks`]. Meaningful only when
+    /// [`MachineConfig::trace_blocks`] is set; the meta-profiler uses
+    /// this to project dynamic micro-op mixes without touching the hot
+    /// path.
+    pub(crate) fn block_counts_dense(&self) -> &[u64] {
+        &self.block_counts
     }
 
     // ----- event plumbing -------------------------------------------------
@@ -625,6 +693,149 @@ impl<'p> Machine<'p> {
         first_op
     }
 
+    // ----- cold handlers ---------------------------------------------------
+    // The meta-profile puts every op below under 0.1% of dynamic
+    // dispatches; outlining them keeps their (sizable) bodies out of the
+    // dispatch loop's instruction footprint.
+
+    #[cold]
+    #[inline(never)]
+    fn exec_setpcr(&mut self, pic0: HwEvent, pic1: HwEvent) {
+        self.uop();
+        // Materialize under the old selection, then re-anchor
+        // the lazy counters on the new events. A selection
+        // change keeps the counter values, so the wrap
+        // epochs survive it too — a `2^32` crossing pending
+        // at the switch stays visible to the next read,
+        // exactly as in the eager reference interpreter.
+        let cur = self.pics_now();
+        self.pcr = (pic0, pic1);
+        let epochs = self.pic_epoch;
+        self.set_pics(cur);
+        self.pic_epoch = epochs;
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn exec_rdpic(&mut self, dst: Reg) {
+        self.uop();
+        let p = self.pics_now();
+        let v = ((p[1] as u32 as u64) << 32) | p[0] as u32 as u64;
+        self.set_reg(dst, v as i64);
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn exec_wrpic(&mut self, src: Operand) {
+        self.uop();
+        let v = self.value(src) as u64;
+        self.set_pics([v as u32 as u64, v >> 32]);
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn exec_setjmp(&mut self, dst: Reg, ip: u32) {
+        self.uop();
+        let f = self.frames.last().expect("live frame");
+        let token = self.setjmps.len() as i64;
+        self.setjmps.push((self.frames.len(), f.proc, f.block, ip));
+        self.set_reg(dst, token);
+    }
+
+    /// Returns the resume arena offset (the new `ip`).
+    #[cold]
+    #[inline(never)]
+    fn exec_longjmp<S: ProfSink + ?Sized>(
+        &mut self,
+        d: &DecodedProgram,
+        token: Reg,
+        sink: &mut S,
+    ) -> Result<u32, ExecError> {
+        self.uop();
+        let v = self.reg(token);
+        let &(depth, proc, block, resume_ip) = self
+            .setjmps
+            .get(usize::try_from(v).map_err(|_| ExecError::BadJumpToken { value: v })?)
+            .ok_or(ExecError::BadJumpToken { value: v })?;
+        // A token is stale once its frame is gone — including
+        // when the stack regrew and a *different* procedure's
+        // frame now sits at that depth (resuming would run
+        // one procedure's code against another's register
+        // window).
+        if depth > self.frames.len() || self.frames[depth - 1].proc != proc {
+            return Err(ExecError::BadJumpToken { value: v });
+        }
+        // Unwind costs a few cycles per frame popped.
+        let popped = self.frames.len() - depth;
+        self.uops_n(2 * popped as u32 + 2);
+        self.frames.truncate(depth);
+        sink.unwind(depth);
+        let f = self.frames.last_mut().expect("setjmp frame alive");
+        f.block = block;
+        let (rb, fb, proc) = (f.reg_base as usize, f.freg_base as usize, f.proc);
+        let pm = &d.procs[proc.index()];
+        self.regs.truncate(rb + pm.num_regs as usize);
+        self.fregs.truncate(fb + pm.num_fregs as usize);
+        self.reg_base = rb;
+        self.freg_base = fb;
+        Ok(resume_ip)
+    }
+
+    /// The cooperative limit checkpoint, reached only when the hoisted
+    /// `stop` bound trips — hard limits are disambiguated here, slow
+    /// checks (deadline, cancellation, memory) run, and the next `stop`
+    /// is returned.
+    #[cold]
+    #[inline(never)]
+    fn limit_checkpoint(
+        &mut self,
+        hard_stop: u64,
+        check_interval: u64,
+        deadline_at: Option<(Instant, u64)>,
+    ) -> Result<u64, ExecError> {
+        if self.uops() >= hard_stop {
+            if self.uops() >= self.config.max_instructions {
+                return Err(ExecError::InstructionLimit);
+            }
+            if self.fault.abort_at_uops.is_some_and(|at| self.uops() >= at) {
+                self.fault_log.aborted_at = Some(self.uops());
+                return Err(ExecError::FaultAbort { uops: self.uops() });
+            }
+            let budget = self
+                .limits
+                .fuel
+                .expect("below the hard stop only fuel remains");
+            return Err(ExecError::LimitExceeded(LimitKind::Fuel { budget }));
+        }
+        // Cooperative checkpoint: only reached every
+        // `check_interval` µops.
+        if self
+            .limits
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            return Err(ExecError::LimitExceeded(LimitKind::Cancelled));
+        }
+        if let Some((at, deadline_ms)) = deadline_at {
+            if Instant::now() >= at {
+                return Err(ExecError::LimitExceeded(LimitKind::Deadline {
+                    deadline_ms,
+                }));
+            }
+        }
+        if let Some(cap) = self.limits.max_resident_pages {
+            let resident_pages = self.mem.resident_pages();
+            if resident_pages > cap {
+                return Err(ExecError::LimitExceeded(LimitKind::Memory {
+                    resident_pages,
+                    cap,
+                }));
+            }
+        }
+        Ok(hard_stop.min(self.uops().saturating_add(check_interval)))
+    }
+
     // ----- the run loop ----------------------------------------------------
 
     /// Executes the program to completion, delivering profiling events to
@@ -728,47 +939,7 @@ impl<'p> Machine<'p> {
         // rather than re-testing the frame stack every micro-op.
         'run: loop {
             if self.uops() >= stop {
-                if self.uops() >= hard_stop {
-                    if self.uops() >= self.config.max_instructions {
-                        return Err(ExecError::InstructionLimit);
-                    }
-                    if self.fault.abort_at_uops.is_some_and(|at| self.uops() >= at) {
-                        self.fault_log.aborted_at = Some(self.uops());
-                        return Err(ExecError::FaultAbort { uops: self.uops() });
-                    }
-                    let budget = self
-                        .limits
-                        .fuel
-                        .expect("below the hard stop only fuel remains");
-                    return Err(ExecError::LimitExceeded(LimitKind::Fuel { budget }));
-                }
-                // Cooperative checkpoint: only reached every
-                // `check_interval` µops.
-                if self
-                    .limits
-                    .cancel
-                    .as_ref()
-                    .is_some_and(CancelToken::is_cancelled)
-                {
-                    return Err(ExecError::LimitExceeded(LimitKind::Cancelled));
-                }
-                if let Some((at, deadline_ms)) = deadline_at {
-                    if Instant::now() >= at {
-                        return Err(ExecError::LimitExceeded(LimitKind::Deadline {
-                            deadline_ms,
-                        }));
-                    }
-                }
-                if let Some(cap) = self.limits.max_resident_pages {
-                    let resident_pages = self.mem.resident_pages();
-                    if resident_pages > cap {
-                        return Err(ExecError::LimitExceeded(LimitKind::Memory {
-                            resident_pages,
-                            cap,
-                        }));
-                    }
-                }
-                stop = hard_stop.min(self.uops().saturating_add(check_interval));
+                stop = self.limit_checkpoint(hard_stop, check_interval, deadline_at)?;
                 continue 'run;
             }
             if SAMPLED && self.now() >= next_sample {
@@ -799,35 +970,394 @@ impl<'p> Machine<'p> {
                     self.uop();
                     let x = self.reg(*a);
                     let y = self.value(*b);
-                    let v = match op {
-                        BinOp::Add => x.wrapping_add(y),
-                        BinOp::Sub => x.wrapping_sub(y),
-                        BinOp::Mul => x.wrapping_mul(y),
-                        BinOp::Div => {
-                            if y == 0 {
-                                0
-                            } else {
-                                x.wrapping_div(y)
-                            }
-                        }
-                        BinOp::Rem => {
-                            if y == 0 {
-                                0
-                            } else {
-                                x.wrapping_rem(y)
-                            }
-                        }
-                        BinOp::And => x & y,
-                        BinOp::Or => x | y,
-                        BinOp::Xor => x ^ y,
-                        BinOp::Shl => ((x as u64) << (y as u64 & 63)) as i64,
-                        BinOp::Shr => ((x as u64) >> (y as u64 & 63)) as i64,
-                        BinOp::CmpLt => i64::from(x < y),
-                        BinOp::CmpLe => i64::from(x <= y),
-                        BinOp::CmpEq => i64::from(x == y),
-                        BinOp::CmpNe => i64::from(x != y),
-                    };
+                    self.set_reg(*dst, bin_eval(*op, x, y));
+                }
+                // ----- superinstructions: each replays its constituents'
+                // exact event sequence (same charges, same order), so the
+                // only difference from the unfused arena is one dispatch
+                // instead of two. The branch forms re-derive the predictor
+                // site key from the live frame's block — `goto` keeps
+                // `frame.block` current, and within a block it can't
+                // change before the terminator.
+                MicroOp::FusedBinBranch {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    taken,
+                    not_taken,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    // Nothing between the halves reads the clock, so one
+                    // batched charge is identical to two single ones.
+                    self.uops_n(2);
+                    let v = bin_eval(*op, self.reg(*a), self.reg(*b));
                     self.set_reg(*dst, v);
+                    self.count(HwEvent::Branches, 1);
+                    let is_taken = v != 0;
+                    let block = self.frames.last().expect("live frame").block;
+                    let site_key = d.blocks[block as usize].addr;
+                    if !self.bp.predict_and_update(site_key, is_taken) {
+                        self.count(HwEvent::BranchMispredict, 1);
+                        self.tick(self.config.mispredict_penalty);
+                    }
+                    let t = if is_taken { *taken } else { *not_taken };
+                    ip = self.goto(d, t);
+                }
+                MicroOp::FusedBinIBranch {
+                    op,
+                    dst,
+                    a,
+                    imm,
+                    taken,
+                    not_taken,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    self.uops_n(2);
+                    let v = bin_eval(*op, self.reg(*a), *imm);
+                    self.set_reg(*dst, v);
+                    self.count(HwEvent::Branches, 1);
+                    let is_taken = v != 0;
+                    let block = self.frames.last().expect("live frame").block;
+                    let site_key = d.blocks[block as usize].addr;
+                    if !self.bp.predict_and_update(site_key, is_taken) {
+                        self.count(HwEvent::BranchMispredict, 1);
+                        self.tick(self.config.mispredict_penalty);
+                    }
+                    let t = if is_taken { *taken } else { *not_taken };
+                    ip = self.goto(d, t);
+                }
+                MicroOp::FusedBinJump {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    target,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    self.uops_n(2);
+                    let v = bin_eval(*op, self.reg(*a), self.reg(*b));
+                    self.set_reg(*dst, v);
+                    ip = self.goto(d, *target);
+                }
+                MicroOp::FusedBinIJump {
+                    op,
+                    dst,
+                    a,
+                    imm,
+                    target,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    self.uops_n(2);
+                    let v = bin_eval(*op, self.reg(*a), *imm);
+                    self.set_reg(*dst, v);
+                    ip = self.goto(d, *target);
+                }
+                MicroOp::FusedLoadBin {
+                    ldst,
+                    base,
+                    offset,
+                    op,
+                    dst,
+                    a,
+                    b,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    self.uops_n(2);
+                    let addr = (self.reg(*base) as u64).wrapping_add(*offset);
+                    self.dread(addr);
+                    let v = self.mem.read_u64(addr) as i64;
+                    self.set_reg(*ldst, v);
+                    // The Bin half reads its operands *after* the load's
+                    // write-back, preserving the dependent forms.
+                    let x = self.reg(*a);
+                    let y = self.reg(*b);
+                    self.set_reg(*dst, bin_eval(*op, x, y));
+                }
+                MicroOp::FusedFBinFBin {
+                    op1,
+                    dst1,
+                    a1,
+                    b1,
+                    op2,
+                    dst2,
+                    a2,
+                    b2,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    // `fp_issue` reads the current cycle count, so each
+                    // half issues at exactly the cycle it would unfused.
+                    self.uop();
+                    let latency = match op1 {
+                        FBinOp::Div => self.config.fdiv_latency,
+                        _ => self.config.fp_latency,
+                    };
+                    self.fp_issue(latency);
+                    let x = self.freg(*a1);
+                    let y = self.freg(*b1);
+                    let v = match op1 {
+                        FBinOp::Add => x + y,
+                        FBinOp::Sub => x - y,
+                        FBinOp::Mul => x * y,
+                        FBinOp::Div => x / y,
+                    };
+                    self.set_freg(*dst1, v);
+                    self.uop();
+                    let latency = match op2 {
+                        FBinOp::Div => self.config.fdiv_latency,
+                        _ => self.config.fp_latency,
+                    };
+                    self.fp_issue(latency);
+                    let x = self.freg(*a2);
+                    let y = self.freg(*b2);
+                    let v = match op2 {
+                        FBinOp::Add => x + y,
+                        FBinOp::Sub => x - y,
+                        FBinOp::Mul => x * y,
+                        FBinOp::Div => x / y,
+                    };
+                    self.set_freg(*dst2, v);
+                }
+                MicroOp::FusedBinIBinI {
+                    op1,
+                    dst1,
+                    a1,
+                    imm1,
+                    op2,
+                    dst2,
+                    a2,
+                    imm2,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    // Counter updates are wrapping adds and nothing here
+                    // reads the clock, so one batched charge is identical
+                    // to two single ones (`uops_n`'s contract).
+                    self.uops_n(2);
+                    let x = self.reg(*a1);
+                    self.set_reg(*dst1, bin_eval(*op1, x, i64::from(*imm1)));
+                    // The second op reads after the first's write-back,
+                    // so `a2 == dst1` chains behave exactly as unfused.
+                    let x = self.reg(*a2);
+                    self.set_reg(*dst2, bin_eval(*op2, x, i64::from(*imm2)));
+                }
+                MicroOp::FusedBinRBinI {
+                    op1,
+                    dst1,
+                    a1,
+                    b1,
+                    op2,
+                    dst2,
+                    a2,
+                    imm2,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    self.uops_n(2);
+                    let v = bin_eval(*op1, self.reg(*a1), self.reg(*b1));
+                    self.set_reg(*dst1, v);
+                    let x = self.reg(*a2);
+                    self.set_reg(*dst2, bin_eval(*op2, x, i64::from(*imm2)));
+                }
+                MicroOp::FusedBinIBinR {
+                    op1,
+                    dst1,
+                    a1,
+                    imm1,
+                    op2,
+                    dst2,
+                    a2,
+                    b2,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    self.uops_n(2);
+                    let x = self.reg(*a1);
+                    self.set_reg(*dst1, bin_eval(*op1, x, i64::from(*imm1)));
+                    let v = bin_eval(*op2, self.reg(*a2), self.reg(*b2));
+                    self.set_reg(*dst2, v);
+                }
+                MicroOp::FusedFBin3 {
+                    op1,
+                    dst1,
+                    a1,
+                    b1,
+                    op2,
+                    dst2,
+                    a2,
+                    b2,
+                    op3,
+                    dst3,
+                    a3,
+                    b3,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    // `fp_issue` reads the clock, so each link charges its
+                    // own micro-op before issuing — no batching here.
+                    for (op, dst, a, b) in [
+                        (op1, dst1, a1, b1),
+                        (op2, dst2, a2, b2),
+                        (op3, dst3, a3, b3),
+                    ] {
+                        self.uop();
+                        let latency = match op {
+                            FBinOp::Div => self.config.fdiv_latency,
+                            _ => self.config.fp_latency,
+                        };
+                        self.fp_issue(latency);
+                        let x = self.freg(*a);
+                        let y = self.freg(*b);
+                        let v = match op {
+                            FBinOp::Add => x + y,
+                            FBinOp::Sub => x - y,
+                            FBinOp::Mul => x * y,
+                            FBinOp::Div => x / y,
+                        };
+                        self.set_freg(*dst, v);
+                    }
+                }
+                MicroOp::FusedFLoadFBin {
+                    ldst,
+                    base,
+                    offset,
+                    op,
+                    dst,
+                    a,
+                    b,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    // The only clock read (`fp_issue`) happens after both
+                    // micro-ops complete unfused, so batching is exact.
+                    self.uops_n(2);
+                    let addr = (self.reg(*base) as u64).wrapping_add(u64::from(*offset));
+                    self.dread(addr);
+                    let v = self.mem.read_f64(addr);
+                    self.set_freg(*ldst, v);
+                    let latency = match op {
+                        FBinOp::Div => self.config.fdiv_latency,
+                        _ => self.config.fp_latency,
+                    };
+                    self.fp_issue(latency);
+                    let x = self.freg(*a);
+                    let y = self.freg(*b);
+                    let v = match op {
+                        FBinOp::Add => x + y,
+                        FBinOp::Sub => x - y,
+                        FBinOp::Mul => x * y,
+                        FBinOp::Div => x / y,
+                    };
+                    self.set_freg(*dst, v);
+                }
+                MicroOp::FusedFBinFLoad {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    ldst,
+                    base,
+                    offset,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    // `fp_issue` reads the clock between the halves, so
+                    // each charges separately.
+                    self.uop();
+                    let latency = match op {
+                        FBinOp::Div => self.config.fdiv_latency,
+                        _ => self.config.fp_latency,
+                    };
+                    self.fp_issue(latency);
+                    let x = self.freg(*a);
+                    let y = self.freg(*b);
+                    let v = match op {
+                        FBinOp::Add => x + y,
+                        FBinOp::Sub => x - y,
+                        FBinOp::Mul => x * y,
+                        FBinOp::Div => x / y,
+                    };
+                    self.set_freg(*dst, v);
+                    self.uop();
+                    let addr = (self.reg(*base) as u64).wrapping_add(u64::from(*offset));
+                    self.dread(addr);
+                    let v = self.mem.read_f64(addr);
+                    self.set_freg(*ldst, v);
+                }
+                MicroOp::FusedBinILoad {
+                    op,
+                    dst,
+                    a,
+                    imm,
+                    ldst,
+                    base,
+                    offset,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    self.uops_n(2);
+                    let x = self.reg(*a);
+                    self.set_reg(*dst, bin_eval(*op, x, i64::from(*imm)));
+                    // The load reads `base` after the bin's write-back —
+                    // the `base == dst` index-then-load chain is exact.
+                    let addr = (self.reg(*base) as u64).wrapping_add(u64::from(*offset));
+                    self.dread(addr);
+                    let v = self.mem.read_u64(addr) as i64;
+                    self.set_reg(*ldst, v);
+                }
+                MicroOp::FusedBinStoreR {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    src,
+                    base,
+                    offset,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    // `dwrite` reads the clock, but only after both
+                    // micro-ops would have charged unfused — batch.
+                    self.uops_n(2);
+                    let v = bin_eval(*op, self.reg(*a), self.reg(*b));
+                    self.set_reg(*dst, v);
+                    let addr = (self.reg(*base) as u64).wrapping_add(u64::from(*offset));
+                    let v = self.reg(*src);
+                    self.dwrite(addr);
+                    self.mem.write_u64(addr, v as u64);
+                }
+                MicroOp::FusedStoreRJump {
+                    src,
+                    base,
+                    offset,
+                    target,
+                } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    // `dwrite` reads the clock *between* the halves here
+                    // (store first), so each charges separately.
+                    self.uop();
+                    let addr = (self.reg(*base) as u64).wrapping_add(u64::from(*offset));
+                    let v = self.reg(*src);
+                    self.dwrite(addr);
+                    self.mem.write_u64(addr, v as u64);
+                    self.uop();
+                    ip = self.goto(d, *target);
+                }
+                MicroOp::FusedProfProf { p1, p2 } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    // Profiling semantics replay strictly in order; each
+                    // pseudo-op does its own (clock-reading) accounting.
+                    let op = d.prof_ops[*p1 as usize];
+                    self.exec_prof(op, sink);
+                    let op = d.prof_ops[*p2 as usize];
+                    self.exec_prof(op, sink);
+                }
+                MicroOp::FusedProfJump { p, target } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    let op = d.prof_ops[*p as usize];
+                    self.exec_prof(op, sink);
+                    self.uop();
+                    ip = self.goto(d, *target);
+                }
+                MicroOp::FusedBinIProf { op, dst, a, imm, p } => {
+                    sink.obs_counter("dispatch.fused_hit", 1);
+                    self.uop();
+                    let x = self.reg(*a);
+                    self.set_reg(*dst, bin_eval(*op, x, i64::from(*imm)));
+                    let pop = d.prof_ops[*p as usize];
+                    self.exec_prof(pop, sink);
                 }
                 MicroOp::Load { dst, base, offset } => {
                     self.uop();
@@ -900,77 +1430,57 @@ impl<'p> Machine<'p> {
                     self.frames.last_mut().expect("live frame").ip = ip;
                     ip = self.call_with(d, *callee, d.args(*args), *ret)?;
                 }
-                MicroOp::CallIndirect { target, args, ret } => {
+                MicroOp::CallIndirect {
+                    target,
+                    args,
+                    ret,
+                    ic,
+                } => {
                     self.uop();
                     self.count(HwEvent::Calls, 1);
                     let v = self.reg(*target);
-                    if v < 0 || v as usize >= d.procs.len() {
-                        return Err(ExecError::BadIndirectTarget { value: v });
+                    let key = (v as u64).wrapping_add(1);
+                    debug_assert!((*ic as usize) < self.icall_ic.len());
+                    // SAFETY: decode numbered indirect call sites densely
+                    // and the cache was sized to `num_icall_sites`.
+                    let slot = unsafe { self.icall_ic.get_unchecked_mut(*ic as usize) };
+                    if *slot == key {
+                        // Monomorphic hit: `key` was range-checked when it
+                        // was installed, so the target is valid.
+                        sink.obs_counter("call.ic_hit", 1);
+                    } else {
+                        if v < 0 || v as usize >= d.procs.len() {
+                            return Err(ExecError::BadIndirectTarget { value: v });
+                        }
+                        *slot = key;
+                        sink.obs_counter("call.ic_miss", 1);
                     }
                     self.frames.last_mut().expect("live frame").ip = ip;
                     ip = self.call_with(d, ProcId(v as u32), d.args(*args), *ret)?;
                 }
+                // The counter-control and non-local-return ops sit in the
+                // cold tail of the meta-profile (every one of them is
+                // below 0.1% of dynamic dispatches); their handlers are
+                // outlined so the hot loop's code stays compact.
                 MicroOp::SetPcr { pic0, pic1 } => {
-                    self.uop();
-                    // Materialize under the old selection, then re-anchor
-                    // the lazy counters on the new events. A selection
-                    // change keeps the counter values, so the wrap
-                    // epochs survive it too — a `2^32` crossing pending
-                    // at the switch stays visible to the next read,
-                    // exactly as in the eager reference interpreter.
-                    let cur = self.pics_now();
-                    self.pcr = (*pic0, *pic1);
-                    let epochs = self.pic_epoch;
-                    self.set_pics(cur);
-                    self.pic_epoch = epochs;
+                    sink.obs_counter("dispatch.cold_taken", 1);
+                    self.exec_setpcr(*pic0, *pic1);
                 }
                 MicroOp::RdPic { dst } => {
-                    self.uop();
-                    let p = self.pics_now();
-                    let v = ((p[1] as u32 as u64) << 32) | p[0] as u32 as u64;
-                    self.set_reg(*dst, v as i64);
+                    sink.obs_counter("dispatch.cold_taken", 1);
+                    self.exec_rdpic(*dst);
                 }
                 MicroOp::WrPic { src } => {
-                    self.uop();
-                    let v = self.value(*src) as u64;
-                    self.set_pics([v as u32 as u64, v >> 32]);
+                    sink.obs_counter("dispatch.cold_taken", 1);
+                    self.exec_wrpic(*src);
                 }
                 MicroOp::Setjmp { dst } => {
-                    self.uop();
-                    let f = self.frames.last().expect("live frame");
-                    let token = self.setjmps.len() as i64;
-                    self.setjmps.push((self.frames.len(), f.proc, f.block, ip));
-                    self.set_reg(*dst, token);
+                    sink.obs_counter("dispatch.cold_taken", 1);
+                    self.exec_setjmp(*dst, ip);
                 }
                 MicroOp::Longjmp { token } => {
-                    self.uop();
-                    let v = self.reg(*token);
-                    let &(depth, proc, block, resume_ip) = self
-                        .setjmps
-                        .get(usize::try_from(v).map_err(|_| ExecError::BadJumpToken { value: v })?)
-                        .ok_or(ExecError::BadJumpToken { value: v })?;
-                    // A token is stale once its frame is gone — including
-                    // when the stack regrew and a *different* procedure's
-                    // frame now sits at that depth (resuming would run
-                    // one procedure's code against another's register
-                    // window).
-                    if depth > self.frames.len() || self.frames[depth - 1].proc != proc {
-                        return Err(ExecError::BadJumpToken { value: v });
-                    }
-                    // Unwind costs a few cycles per frame popped.
-                    let popped = self.frames.len() - depth;
-                    self.uops_n(2 * popped as u32 + 2);
-                    self.frames.truncate(depth);
-                    sink.unwind(depth);
-                    let f = self.frames.last_mut().expect("setjmp frame alive");
-                    f.block = block;
-                    ip = resume_ip;
-                    let (rb, fb, proc) = (f.reg_base as usize, f.freg_base as usize, f.proc);
-                    let pm = &d.procs[proc.index()];
-                    self.regs.truncate(rb + pm.num_regs as usize);
-                    self.fregs.truncate(fb + pm.num_fregs as usize);
-                    self.reg_base = rb;
-                    self.freg_base = fb;
+                    sink.obs_counter("dispatch.cold_taken", 1);
+                    ip = self.exec_longjmp(d, *token, sink)?;
                 }
                 MicroOp::Prof(i) => {
                     let op = d.prof_ops[*i as usize];
@@ -1928,5 +2438,129 @@ mod tests {
         assert_eq!(plain.uops, limited.uops);
         assert_eq!(plain.metrics, limited.metrics);
         assert_eq!(plain.pics, limited.pics);
+    }
+
+    /// Sink that collects only engine observability counters; every
+    /// profiling event uses the (no-op) trait defaults.
+    #[derive(Default)]
+    struct ObsSink(std::collections::BTreeMap<&'static str, u64>);
+
+    impl crate::sink::ProfSink for ObsSink {
+        fn obs_counter(&mut self, name: &'static str, delta: u64) {
+            *self.0.entry(name).or_insert(0) += delta;
+        }
+    }
+
+    fn counting_loop() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        f.block(e).mov(i, 0i64).jump(h);
+        f.block(h).cmp_lt(c, i, 100i64).branch(c, body, x);
+        f.block(body).add(i, i, 1i64).jump(h);
+        f.block(x).ret();
+        let id = f.finish();
+        pb.finish(id)
+    }
+
+    #[test]
+    fn no_fuse_config_keeps_the_arena_unfused() {
+        let prog = counting_loop();
+        let fused = Machine::new(&prog, MachineConfig::default());
+        assert!(fused.decoded.num_fused_ops() > 0);
+        let plain = Machine::new(
+            &prog,
+            MachineConfig {
+                no_fuse: true,
+                ..MachineConfig::default()
+            },
+        );
+        assert_eq!(plain.decoded.num_fused_ops(), 0);
+    }
+
+    #[test]
+    fn fused_dispatch_is_observable_and_does_not_perturb_the_run() {
+        let prog = counting_loop();
+
+        let mut obs = ObsSink::default();
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        let fused = m.run(&mut obs).expect("run");
+        let hits = obs.0.get("dispatch.fused_hit").copied().unwrap_or(0);
+        assert!(hits > 0, "hot loop should dispatch superinstructions");
+
+        // Observability counters describe the host interpreter only:
+        // the simulated run — fused, unfused, with or without a
+        // counter-collecting sink — is bit-for-bit the same.
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        let silent = m.run(&mut NullSink).expect("run");
+        let mut m = Machine::new(
+            &prog,
+            MachineConfig {
+                no_fuse: true,
+                ..MachineConfig::default()
+            },
+        );
+        let unfused = m.run(&mut NullSink).expect("run");
+        for other in [&silent, &unfused] {
+            assert_eq!(fused.uops, other.uops);
+            assert_eq!(fused.metrics, other.metrics);
+            assert_eq!(fused.pics, other.pics);
+        }
+    }
+
+    #[test]
+    fn monomorphic_indirect_call_hits_the_inline_cache() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("id");
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let fp = f.new_reg();
+        let i = f.new_reg();
+        let c = f.new_reg();
+        // The cache is per call *site*: one icall in a loop, so the same
+        // site dispatches the same target five times.
+        f.block(e).mov(fp, callee.0 as i64).mov(i, 0i64).jump(h);
+        f.block(h).cmp_lt(c, i, 5i64).branch(c, body, x);
+        f.block(body)
+            .icall(fp, vec![], None)
+            .add(i, i, 1i64)
+            .jump(h);
+        f.block(x).ret();
+        let main = f.finish();
+        let mut g = pb.procedure_for(callee);
+        let ge = g.entry_block();
+        g.block(ge).ret();
+        g.finish();
+        let prog = pb.finish(main);
+
+        let mut obs = ObsSink::default();
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.run(&mut obs).expect("run");
+        // One miss installs the cache line; the same target hits after.
+        assert_eq!(obs.0.get("call.ic_miss").copied(), Some(1));
+        assert_eq!(obs.0.get("call.ic_hit").copied(), Some(4));
+    }
+
+    #[test]
+    fn counter_control_ops_take_the_cold_path() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.procedure("main");
+        let e = f.entry_block();
+        let r = f.new_reg();
+        f.block(e).rdpic(r).ret();
+        let id = f.finish();
+        let prog = pb.finish(id);
+        let mut obs = ObsSink::default();
+        let mut m = Machine::new(&prog, MachineConfig::default());
+        m.run(&mut obs).expect("run");
+        assert_eq!(obs.0.get("dispatch.cold_taken").copied(), Some(1));
     }
 }

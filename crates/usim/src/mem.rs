@@ -8,10 +8,14 @@
 //!   into boxed pages;
 //! * the index uses a multiplicative hasher — the std `HashMap`'s SipHash
 //!   was the single largest cost in the original load/store path;
-//! * a one-entry cache remembers the last page touched (including "known
-//!   absent"), which captures the strong page locality of stack frames,
-//!   counter tables and sequential array walks without any eviction
-//!   logic. It lives in a [`Cell`] so reads stay `&self`.
+//! * a small direct-mapped translation cache (64 entries, indexed by the
+//!   low page-number bits) remembers recently touched pages (including
+//!   "known absent"). Stack frames, counter tables and array walks live
+//!   on different pages and alternate per micro-op, so a single-entry
+//!   cache thrashes; 64 slots capture the whole working set of a hot
+//!   loop with no eviction logic. Entries live in [`Cell`]s so reads
+//!   stay `&self`. This is host-side state only — it never affects
+//!   simulated metrics.
 
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -21,11 +25,13 @@ const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
-/// Slot value in the one-entry cache meaning "this page is unallocated".
+/// Slot value in the translation cache meaning "this page is unallocated".
 const ABSENT: u32 = u32::MAX;
 /// Page number no address can produce (`addr >> 12 < 2^52`), so the cache
 /// starts empty without an extra validity flag.
 const NO_PAGE: u64 = u64::MAX;
+/// Entries in the direct-mapped page-translation cache (power of two).
+const TLB_SIZE: usize = 64;
 
 /// Fibonacci-multiplicative hasher for page numbers. Page numbers are
 /// small, well-distributed integers; a single multiply mixes them far
@@ -59,10 +65,11 @@ impl Hasher for PageHasher {
 pub struct Memory {
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
     index: HashMap<u64, u32, BuildHasherDefault<PageHasher>>,
-    /// `(page number, slot)` of the last page looked up; slot [`ABSENT`]
-    /// caches a miss. Allocation always refills this, so a cached miss
-    /// can never go stale.
-    last: Cell<(u64, u32)>,
+    /// Direct-mapped `(page number, slot)` translation cache indexed by
+    /// the low page-number bits; slot [`ABSENT`] caches a miss.
+    /// Allocation always refills the allocated page's entry (same page
+    /// number → same cache index), so a cached miss can never go stale.
+    tlb: [Cell<(u64, u32)>; TLB_SIZE],
 }
 
 impl Default for Memory {
@@ -70,7 +77,7 @@ impl Default for Memory {
         Memory {
             pages: Vec::new(),
             index: HashMap::default(),
-            last: Cell::new((NO_PAGE, ABSENT)),
+            tlb: std::array::from_fn(|_| Cell::new((NO_PAGE, ABSENT))),
         }
     }
 }
@@ -87,15 +94,16 @@ impl Memory {
         Memory::default()
     }
 
-    /// Slot of `page_no`, consulting and refilling the one-entry cache.
+    /// Slot of `page_no`, consulting and refilling the translation cache.
     #[inline]
     fn slot_of(&self, page_no: u64) -> Option<u32> {
-        let (cached_no, cached_slot) = self.last.get();
+        let entry = &self.tlb[(page_no as usize) & (TLB_SIZE - 1)];
+        let (cached_no, cached_slot) = entry.get();
         if cached_no == page_no {
             return (cached_slot != ABSENT).then_some(cached_slot);
         }
         let slot = self.index.get(&page_no).copied();
-        self.last.set((page_no, slot.unwrap_or(ABSENT)));
+        entry.set((page_no, slot.unwrap_or(ABSENT)));
         slot
     }
 
@@ -116,7 +124,7 @@ impl Memory {
                 assert!(s != ABSENT, "page table full");
                 self.pages.push(Box::new([0u8; PAGE_SIZE]));
                 self.index.insert(page_no, s);
-                self.last.set((page_no, s));
+                self.tlb[(page_no as usize) & (TLB_SIZE - 1)].set((page_no, s));
                 s
             }
         };

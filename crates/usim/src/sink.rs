@@ -88,6 +88,16 @@ pub trait ProfSink {
     fn unwind(&mut self, depth: usize) {
         let _ = depth;
     }
+
+    /// Engine-internal observability counter (e.g. `dispatch.fused_hit`,
+    /// `call.ic_hit`). These describe the *host* interpreter's fast
+    /// paths, not the simulated machine — they never affect profiles or
+    /// metrics. The default is a no-op so `NullSink` (and any sink whose
+    /// recorder is `NoopRecorder`) monomorphizes the call away entirely.
+    #[inline(always)]
+    fn obs_counter(&mut self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
 }
 
 /// Forwarding impl so a `&mut S` (including `&mut dyn ProfSink`) is
@@ -128,6 +138,10 @@ impl<S: ProfSink + ?Sized> ProfSink for &mut S {
 
     fn unwind(&mut self, depth: usize) {
         (**self).unwind(depth);
+    }
+
+    fn obs_counter(&mut self, name: &'static str, delta: u64) {
+        (**self).obs_counter(name, delta);
     }
 }
 

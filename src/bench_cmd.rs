@@ -29,6 +29,7 @@ use std::fmt::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use pp::ir::HwEvent;
+use pp::obs::Recorder as _;
 use pp::profiler::{PpError, Profiler, RunConfig};
 
 /// The `"pipeline"` tag in the trajectory file — part of the merge key.
@@ -73,6 +74,16 @@ pub struct BenchArgs {
     /// wedged case cannot hang the bench; timed runs therefore measure
     /// the hot loop *with* its limit checks armed.
     pub limits: pp::usim::GuestLimits,
+    /// Guard mode: compare this run's totals against a prior trajectory
+    /// file instead of writing one; exit nonzero on a regression beyond
+    /// `tolerance`.
+    pub check: Option<String>,
+    /// Allowed relative regression in `--check` mode (0.02 = 2%).
+    pub tolerance: f64,
+    /// Meta-profiling mode: skip the stopwatch entirely; collect the
+    /// suite-wide dynamic micro-op mix (the self-hosted PGO input) and
+    /// write it to this path as a registry JSON.
+    pub emit_meta: Option<String>,
 }
 
 fn sample(
@@ -149,6 +160,9 @@ pub fn run_bench(args: &BenchArgs) -> Result<(), PpError> {
     } else {
         args.scale
     };
+    if let Some(path) = &args.emit_meta {
+        return emit_meta(args, scale, path);
+    }
     let cases = pp::bench::cases_at(scale);
     let profiler =
         Profiler::new(pp::usim::MachineConfig::default()).with_limits(args.limits.clone());
@@ -244,6 +258,10 @@ pub fn run_bench(args: &BenchArgs) -> Result<(), PpError> {
         sim_cycles as f64 / opt_wall.max(1e-12) / 1e6,
         peak_cct as f64 / 1024.0,
     );
+
+    if let Some(check_path) = &args.check {
+        return check_against(check_path, args.tolerance, opt_wall, speedup, have_ref);
+    }
 
     let path = match (&args.out, args.smoke) {
         (Some(p), _) => Some(p.clone()),
@@ -349,6 +367,10 @@ struct PrevTrajectory {
     pipeline: String,
     scale: f64,
     repeat: usize,
+    /// Suite total optimized wall seconds.
+    wall_s: f64,
+    /// Reference-over-optimized speedup, when the file has one.
+    speedup: Option<f64>,
     /// name → (wall_s, reference_wall_s).
     cases: BTreeMap<String, (f64, Option<f64>)>,
 }
@@ -370,8 +392,127 @@ fn read_trajectory(path: &str) -> Option<PrevTrajectory> {
         pipeline: v.get("pipeline")?.as_str()?.to_string(),
         scale: v.get("scale")?.as_f64()?,
         repeat: v.get("repeat")?.as_f64()? as usize,
+        wall_s: v.get("wall_s")?.as_f64()?,
+        speedup: v.get("speedup").and_then(|s| s.as_f64()),
         cases,
     })
+}
+
+/// `pp bench --check`: a regression guard. Compares this run's totals
+/// against a recorded trajectory and fails beyond `tolerance` — only in
+/// the slow direction; getting faster never fails the guard. Never
+/// writes the trajectory, so CI can run it against the checked-in
+/// `BENCH_*.json` without dirtying the tree.
+fn check_against(
+    path: &str,
+    tolerance: f64,
+    cur_wall: f64,
+    cur_speedup: f64,
+    have_ref: bool,
+) -> Result<(), PpError> {
+    let prev = read_trajectory(path).ok_or_else(|| {
+        PpError::Usage(format!(
+            "--check: `{path}` is not a readable trajectory file"
+        ))
+    })?;
+    let wall_delta = (cur_wall - prev.wall_s) / prev.wall_s.max(1e-12);
+    println!(
+        "check vs {path}: wall {:.3}s vs {:.3}s recorded ({:+.1}%)",
+        cur_wall,
+        prev.wall_s,
+        wall_delta * 100.0
+    );
+    let mut failures = Vec::new();
+    if wall_delta > tolerance {
+        failures.push(format!(
+            "wall time regressed {:.1}% (> {:.1}% tolerance)",
+            wall_delta * 100.0,
+            tolerance * 100.0
+        ));
+    }
+    if let (true, Some(prev_speedup)) = (have_ref, prev.speedup) {
+        let drop = (prev_speedup - cur_speedup) / prev_speedup.max(1e-12);
+        println!(
+            "check vs {path}: speedup {cur_speedup:.2}x vs {prev_speedup:.2}x recorded ({:+.1}%)",
+            -drop * 100.0
+        );
+        if drop > tolerance {
+            failures.push(format!(
+                "speedup regressed {:.1}% (> {:.1}% tolerance)",
+                drop * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("check passed (tolerance {:.1}%)", tolerance * 100.0);
+        Ok(())
+    } else {
+        Err(PpError::Usage(format!(
+            "bench check failed against {path}: {}",
+            failures.join("; ")
+        )))
+    }
+}
+
+/// `pp bench --emit-meta`: regenerates the self-hosted PGO input. Each
+/// suite workload is instrumented exactly as the timed bench runs it
+/// (the combined pipeline), then replayed unfused with block tracing to
+/// project its dynamic micro-op mix; the suite-wide merge is written as
+/// registry-JSON `uop.*` / `pair.*` counters. The checked-in copy lives
+/// at `crates/usim/meta/uop_meta.json` and is what the dispatch layout
+/// and the fusion pattern set are derived from.
+fn emit_meta(args: &BenchArgs, scale: f64, path: &str) -> Result<(), PpError> {
+    let cases = pp::bench::cases_at(scale);
+    let config = RunConfig::CombinedHw {
+        events: args.events,
+    };
+    let mode = config.mode().expect("combined pipeline instruments");
+    let mut meta = pp::usim::MetaProfile::default();
+    for case in &cases {
+        let options =
+            pp::instrument::InstrumentOptions::new(mode).with_events(args.events.0, args.events.1);
+        let inst = pp::instrument::instrument_program(&case.program, options)
+            .map_err(|e| PpError::Usage(format!("{}: {e}", case.name)))?;
+        let one = pp::usim::MetaProfile::collect(&inst.program, pp::usim::MachineConfig::default())
+            .map_err(PpError::Aborted)?;
+        meta.merge(&one);
+    }
+
+    let total = meta.total();
+    println!("== pp bench --emit-meta: dynamic micro-op mix, scale {scale} ==");
+    println!("{:<14} {:>14} {:>7}", "uop", "dispatches", "share");
+    for (name, n) in meta.ranked_uops() {
+        println!(
+            "{:<14} {:>14} {:>6.2}%",
+            name,
+            n,
+            n as f64 / total.max(1) as f64 * 100.0
+        );
+    }
+    println!(
+        "\n{:<22} {:>14} {:>7}  (top 15 fusable pairs)",
+        "pair", "dispatches", "share"
+    );
+    for ((a, b), n) in meta.ranked_pairs().into_iter().take(15) {
+        println!(
+            "{:<22} {:>14} {:>6.2}%",
+            format!("{a}+{b}"),
+            n,
+            n as f64 / total.max(1) as f64 * 100.0
+        );
+    }
+
+    let mut reg = pp::obs::Registry::new();
+    reg.counter("meta.scale_milli", (scale * 1000.0) as u64);
+    reg.counter("meta.cases", cases.len() as u64);
+    meta.record_to(&mut reg);
+    std::fs::write(path, reg.to_json()).map_err(|e| PpError::io(path, e))?;
+    println!(
+        "\nwrote {path} ({total} dynamic micro-ops over {} cases)",
+        cases.len()
+    );
+    Ok(())
 }
 
 /// Folds a previous same-key trajectory into `results`: each case keeps

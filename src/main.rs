@@ -90,6 +90,15 @@
 //!                             --out is given — the CI execution check
 //!   --repeat <n>              (bench) time each case n times, report the
 //!                             best (default 3; noise rejection)
+//!   --check <FILE>            (bench) regression guard: compare totals
+//!                             against a recorded BENCH_*.json and exit
+//!                             nonzero on a slowdown beyond --tolerance;
+//!                             never writes the trajectory
+//!   --tolerance <f>           (bench) allowed relative regression for
+//!                             --check (default 0.02 = 2%)
+//!   --emit-meta <FILE>        (bench) write the suite-wide dynamic
+//!                             micro-op mix (the self-hosted PGO input;
+//!                             checked in at crates/usim/meta/uop_meta.json)
 //!   --trace                   record pipeline spans; print a collapsed
 //!                             flamegraph stack to stderr at exit
 //!                             (PP_TRACE=1 does the same)
@@ -148,6 +157,9 @@ struct Options {
     clobber_pics: Option<u64>,
     smoke: bool,
     repeat: usize,
+    check: Option<String>,
+    tolerance: f64,
+    emit_meta: Option<String>,
     trace: bool,
     trace_out: Option<String>,
     quiet: bool,
@@ -188,6 +200,9 @@ impl Default for Options {
             clobber_pics: None,
             smoke: false,
             repeat: 3,
+            check: None,
+            tolerance: 0.02,
+            emit_meta: None,
             trace: false,
             trace_out: None,
             quiet: false,
@@ -387,6 +402,16 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
                     return Err(usage_err("--repeat must be at least 1"));
                 }
             }
+            "--check" => opts.check = Some(value("--check", &mut it)?),
+            "--tolerance" => {
+                opts.tolerance = value("--tolerance", &mut it)?.parse().map_err(|_| {
+                    usage_err("bad --tolerance value (expect a fraction, e.g. 0.02)")
+                })?;
+                if opts.tolerance.is_nan() || opts.tolerance < 0.0 {
+                    return Err(usage_err("--tolerance must be non-negative"));
+                }
+            }
+            "--emit-meta" => opts.emit_meta = Some(value("--emit-meta", &mut it)?),
             other if other.starts_with("--") => {
                 return Err(usage_err(format!("unknown option {other}")))
             }
@@ -1224,6 +1249,9 @@ fn main() -> ExitCode {
                 events: opts.events,
                 repeat: opts.repeat,
                 limits: opts.guest_limits(ACCOUNTING_DEADLINE_S),
+                check: opts.check.clone(),
+                tolerance: opts.tolerance,
+                emit_meta: opts.emit_meta.clone(),
             }),
             ("batch", targets) => {
                 // Batch defaults to the combined pipeline so checkpoints

@@ -79,6 +79,61 @@ fn cct_writes_a_loadable_profile() {
 }
 
 #[test]
+fn bench_check_guards_the_trajectory() {
+    let dir = std::env::temp_dir().join(format!("pp-bench-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // A baseline no real run can regress against: the check passes (an
+    // *improvement* is never an error, whatever the tolerance) and the
+    // comparison is printed.
+    let generous = dir.join("generous.json");
+    std::fs::write(
+        &generous,
+        r#"{"date": "2026-01-01", "scale": 0.05, "repeat": 1,
+            "pipeline": "combined (simulate + CCT + path counters)",
+            "wall_s": 1000000.0, "speedup": 0.000001, "cases": []}"#,
+    )
+    .expect("write");
+    let out = pp(&[
+        "bench",
+        "--smoke",
+        "--check",
+        generous.to_str().expect("utf8"),
+        "--tolerance",
+        "0",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("check passed"), "{text}");
+
+    // A baseline no real run can meet: wall time regresses beyond any
+    // tolerance, so the command exits 1 (usage-error contract).
+    let impossible = dir.join("impossible.json");
+    std::fs::write(
+        &impossible,
+        r#"{"date": "2026-01-01", "scale": 0.05, "repeat": 1,
+            "pipeline": "combined (simulate + CCT + path counters)",
+            "wall_s": 0.000001, "speedup": 1000000.0, "cases": []}"#,
+    )
+    .expect("write");
+    let out = pp(&[
+        "bench",
+        "--smoke",
+        "--check",
+        impossible.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("regressed") || err.contains("check"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn decode_prints_a_block_listing() {
     let out = pp(&["decode", "129.compress", "kernel_0", "0", "--scale", "0.1"]);
     assert!(

@@ -1,0 +1,40 @@
+//! `PP_NO_FUSE` environment toggle.
+//!
+//! This file holds exactly one test on purpose: it mutates the process
+//! environment, and Rust runs tests in one process with threads — a
+//! sibling test decoding a program while the variable flips would race.
+//! Keeping the env-dependent assertion in its own test binary makes the
+//! mutation safe without serializing the rest of the suite.
+
+use pp::ir::HwEvent;
+use pp::usim::{Machine, MachineConfig, NullSink};
+
+#[test]
+fn pp_no_fuse_disables_fusion_and_preserves_results() {
+    let w = pp::workloads::suite(0.05)
+        .into_iter()
+        .next()
+        .expect("suite has workloads");
+
+    let run = || {
+        let mut m = Machine::new(&w.program, MachineConfig::default());
+        m.run(&mut NullSink).expect("run")
+    };
+
+    let fused = run();
+
+    std::env::set_var("PP_NO_FUSE", "1");
+    let unfused = run();
+    std::env::set_var("PP_NO_FUSE", "0");
+    let explicit_off = run();
+    std::env::remove_var("PP_NO_FUSE");
+
+    // The toggle is free of observable effect on the simulation: every
+    // superinstruction replays its constituents' exact event sequence.
+    assert_eq!(fused.uops, unfused.uops);
+    assert_eq!(fused.metrics, unfused.metrics);
+    assert_eq!(fused.pics, unfused.pics);
+    assert_eq!(fused.uops, explicit_off.uops);
+    assert_eq!(fused.metrics, explicit_off.metrics);
+    assert!(fused.metrics.get(HwEvent::Insts) > 0);
+}
