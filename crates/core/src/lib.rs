@@ -65,6 +65,6 @@ pub use service::{
 };
 pub use supervisor::manifest::{BatchManifest, JobEntry, JobStatus, ProfileRef};
 pub use supervisor::{
-    BatchFaultPlan, BatchReport, ExecOutcome, FailureClass, FailureKind, JobExecutor, JobFailure,
-    JobFaults, JobRetry, JobSpec, RetryStep, Supervisor,
+    BatchFaultPlan, BatchReport, ExecEvent, ExecOutcome, FailureClass, FailureKind, JobExecutor,
+    JobFailure, JobFaults, JobRetry, JobSpec, RetryStep, Supervisor,
 };

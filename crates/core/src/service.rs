@@ -41,18 +41,27 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pp_ir::Program;
+use pp_obs::events::{Event, EventBus, EventFilter, Payload, Subscription};
 use pp_obs::json::Json;
-use pp_obs::Recorder;
+use pp_obs::{Recorder, Registry};
 use pp_usim::CancelToken;
 
 use crate::error::PpError;
 use crate::profiler::{Profiler, RunConfig};
 use crate::supervisor::manifest::{self, BatchManifest, JobEntry, JobStatus, ProfileRef};
-use crate::supervisor::{ExecOutcome, JobExecutor, JobFaults, JobSpec, WORKER_THREAD_PREFIX};
+use crate::supervisor::{
+    ExecEvent, ExecOutcome, JobExecutor, JobFaults, JobSpec, WORKER_THREAD_PREFIX,
+};
 
 /// File name of the write-ahead intake journal inside the service
 /// checkpoint directory.
 pub const JOURNAL_FILE: &str = "intake.jsonl";
+
+/// File name of the terminal-event journal next to [`JOURNAL_FILE`]:
+/// one fsynced line per job that reached `Done`/`Failed`, so a
+/// restarted daemon can replay terminal events for adopted jobs onto
+/// the event bus.
+pub const EVENTS_FILE: &str = "events.jsonl";
 
 /// Resolves a client-supplied spec string (e.g. `target=loops
 /// scale=0.5 config=combined`) into a runnable program and
@@ -401,6 +410,11 @@ struct JobRecord {
     detail: String,
     flow: Option<ProfileRef>,
     cct: Option<ProfileRef>,
+    /// When the job was admitted (feeds `service.queue_wait_us`).
+    admitted_at: Instant,
+    /// When a worker picked it up (feeds `service.exec_wall_us`);
+    /// `None` until started.
+    started_at: Option<Instant>,
 }
 
 impl JobRecord {
@@ -448,6 +462,9 @@ struct State {
     active_by_client: HashMap<String, usize>,
     since_checkpoint: u32,
     journal: File,
+    /// Terminal-event journal ([`EVENTS_FILE`]); telemetry, so write
+    /// failures warn rather than fail the job.
+    events_journal: File,
     /// First checkpoint/persistence error hit by a worker; surfaced at
     /// shutdown (workers cannot return a Result mid-service).
     io_error: Option<String>,
@@ -485,6 +502,15 @@ struct Inner {
     done: Condvar,
     counters: Counters,
     hard_cancel: CancelToken,
+    /// The observability event bus. Job-lifecycle events publish while
+    /// the state lock is held, so per-job ordering on the bus mirrors
+    /// the state machine; the bus lock is only ever taken *inside* the
+    /// state lock, never the reverse.
+    bus: EventBus,
+    /// Live timing histograms (`service.queue_wait_us`,
+    /// `service.exec_wall_us`, `service.admit.*_us`). Locked after the
+    /// state lock where both are held.
+    hists: Mutex<Registry>,
 }
 
 /// The profile service: admission, execution, persistence, recovery.
@@ -532,7 +558,13 @@ impl Service {
             .with_seed(config.seed);
 
         let counters = Counters::default();
-        let (jobs, journal) = recover(&config, &resolver, &dir, &counters)?;
+        let recovered = recover(&config, &resolver, &dir, &counters)?;
+        let Recovered {
+            jobs,
+            journal,
+            events_journal,
+            terminal_notes,
+        } = recovered;
         let queue: VecDeque<u64> = jobs
             .iter()
             .enumerate()
@@ -558,6 +590,7 @@ impl Service {
                 active_by_client,
                 since_checkpoint: 0,
                 journal,
+                events_journal,
                 io_error: None,
             }),
             wake: Condvar::new(),
@@ -565,14 +598,44 @@ impl Service {
             counters,
             hard_cancel,
             config,
+            bus: EventBus::default(),
+            hists: Mutex::new(Registry::new()),
         });
+
+        // Replay terminal events for adopted jobs (in id order, before
+        // workers can publish anything live) so a subscriber asking for
+        // history from seq 0 sees what the previous incarnation
+        // finished.
+        {
+            let st = inner.state.lock().expect("service state");
+            for (i, rec) in st.jobs.iter().enumerate() {
+                if !matches!(rec.state, JobState::Done | JobState::Failed) {
+                    continue;
+                }
+                let id = i as u64;
+                let wall_us = terminal_notes.get(&id).map_or(0, |n| n.wall_us);
+                inner.bus.publish(
+                    Event::job_event(
+                        id,
+                        &rec.client,
+                        &rec.spec.name,
+                        Payload::Done {
+                            outcome: rec.state.as_str().to_string(),
+                            wall_us,
+                            attempts: rec.attempts,
+                        },
+                    )
+                    .replayed(),
+                );
+            }
+        }
 
         let mut handles = Vec::new();
         for w in 0..inner.config.workers.max(1) {
             let inner = Arc::clone(&inner);
             let handle = std::thread::Builder::new()
                 .name(format!("{WORKER_THREAD_PREFIX}-svc-{w}"))
-                .spawn(move || worker_loop(&inner))
+                .spawn(move || worker_loop(&inner, w as u64))
                 .map_err(|e| PpError::io("service worker spawn", e))?;
             handles.push(handle);
         }
@@ -589,6 +652,25 @@ impl Service {
     ///
     /// See [`AdmitError`].
     pub fn submit(&self, client: &str, name: &str, spec: &str) -> Result<u64, AdmitError> {
+        let t0 = Instant::now();
+        let result = self.submit_inner(client, name, spec);
+        // Per-outcome admission-decision latency: every typed answer —
+        // accept or refuse — gets its own histogram, so the cost of
+        // saying "no" (which must stay cheap under overload) is
+        // observable separately from the cost of saying "yes".
+        let kind = match &result {
+            Ok(_) => "admitted",
+            Err(e) => e.kind(),
+        };
+        self.inner
+            .hists
+            .lock()
+            .expect("service hists")
+            .observe(admit_hist_name(kind), t0.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn submit_inner(&self, client: &str, name: &str, spec: &str) -> Result<u64, AdmitError> {
         let c = &self.inner.counters;
         // Resolve outside the lock: spec parsing/loading is the
         // expensive part and needs no shared state.
@@ -638,10 +720,30 @@ impl Service {
             detail: String::new(),
             flow: None,
             cct: None,
+            admitted_at: Instant::now(),
+            started_at: None,
         });
         st.queue.push_back(id);
         *st.active_by_client.entry(client.to_string()).or_insert(0) += 1;
         c.admitted.fetch_add(1, Ordering::Relaxed);
+        // Publish while still holding the state lock: a worker cannot
+        // pop this job (and publish `started`) until the lock drops, so
+        // bus order matches lifecycle order per job.
+        let depth = st.queue.len() as u64;
+        self.inner.bus.publish(Event::job_event(
+            id,
+            client,
+            name,
+            Payload::Admitted {
+                spec: spec.to_string(),
+            },
+        ));
+        self.inner.bus.publish(Event::job_event(
+            id,
+            client,
+            name,
+            Payload::Queued { depth },
+        ));
         drop(st);
         self.inner.wake.notify_one();
         Ok(id)
@@ -773,6 +875,48 @@ impl Service {
         }
     }
 
+    /// Subscribes to the service event bus with a bounded queue of
+    /// `capacity` frames (see
+    /// [`DEFAULT_SUBSCRIBER_CAPACITY`](pp_obs::events::DEFAULT_SUBSCRIBER_CAPACITY)).
+    /// A subscriber that falls behind loses its *oldest* events, exactly
+    /// counted in each delivered frame's `dropped_since_last` — the
+    /// daemon never blocks on a consumer.
+    pub fn subscribe(&self, filter: EventFilter, capacity: usize) -> Subscription {
+        self.inner.bus.subscribe(filter, capacity)
+    }
+
+    /// The service event bus (publication/drop totals, ad-hoc
+    /// publication by the embedding daemon).
+    pub fn events(&self) -> &EventBus {
+        &self.inner.bus
+    }
+
+    /// The full observability registry: the [`ServiceMetrics`] counter
+    /// and gauge set, the live timing histograms
+    /// (`service.queue_wait_us`, `service.exec_wall_us`, per-outcome
+    /// `service.admit.*_us`), and the event-bus accounting
+    /// (`events.published`, `events.dropped`, `events.subscribers`).
+    pub fn registry(&self) -> Registry {
+        let mut reg = self.inner.hists.lock().expect("service hists").clone();
+        self.metrics().record_metrics(&mut reg);
+        let bus = &self.inner.bus;
+        reg.counter("events.published", bus.published());
+        reg.counter("events.dropped", bus.dropped_total());
+        reg.gauge("events.subscribers", bus.subscriber_count() as f64);
+        reg
+    }
+
+    /// Publishes one `metrics` frame carrying the current
+    /// [`Service::registry`] snapshot; the daemon calls this on a
+    /// timer so streaming subscribers get a periodic fleet pulse.
+    pub fn publish_metrics_snapshot(&self) {
+        let metrics =
+            pp_obs::json::parse(&self.registry().to_json()).unwrap_or(Json::Obj(Vec::new()));
+        self.inner
+            .bus
+            .publish(Event::service_event(Payload::MetricsSnapshot { metrics }));
+    }
+
     /// Enters the draining phase: intake is refused, in-flight jobs
     /// finish, queued jobs stay pending (they will re-queue on the next
     /// start). Idempotent.
@@ -780,6 +924,11 @@ impl Service {
         let mut st = self.inner.state.lock().expect("service state");
         if st.phase == ServicePhase::Accepting {
             st.phase = ServicePhase::Draining;
+            self.inner
+                .bus
+                .publish(Event::service_event(Payload::StateChanged {
+                    phase: "draining".to_string(),
+                }));
         }
         drop(st);
         self.inner.wake.notify_all();
@@ -817,6 +966,11 @@ impl Service {
                 .fetch_add(1, Ordering::Relaxed);
         }
         st.phase = ServicePhase::Stopped;
+        self.inner
+            .bus
+            .publish(Event::service_event(Payload::StateChanged {
+                phase: "stopped".to_string(),
+            }));
         if let Some(e) = st.io_error.take() {
             return Err(PpError::Io {
                 context: "service checkpoint".to_string(),
@@ -869,9 +1023,9 @@ impl Service {
 
 /// One worker: park on the condvar → pop → execute → persist → update,
 /// until drained (queue empty and intake closed) or halted.
-fn worker_loop(inner: &Arc<Inner>) {
+fn worker_loop(inner: &Arc<Inner>, worker: u64) {
     loop {
-        let (id, spec, faults) = {
+        let (id, spec, faults, client) = {
             let mut st = inner.state.lock().expect("service state");
             loop {
                 if st.halted {
@@ -885,16 +1039,60 @@ fn worker_loop(inner: &Arc<Inner>) {
                 }
                 if !st.paused {
                     if let Some(id) = st.queue.pop_front() {
-                        st.jobs[id as usize].state = JobState::Running;
+                        let now = Instant::now();
+                        let rec = &mut st.jobs[id as usize];
+                        rec.state = JobState::Running;
+                        rec.started_at = Some(now);
+                        let queue_wait_us =
+                            now.saturating_duration_since(rec.admitted_at).as_micros() as u64;
                         st.running += 1;
-                        let spec = st.jobs[id as usize].spec.clone();
-                        break (id, spec, inner.config.fault_plan.faults_for(id));
+                        let rec = &st.jobs[id as usize];
+                        let (spec, client) = (rec.spec.clone(), rec.client.clone());
+                        // Still under the state lock: `started` lands on
+                        // the bus strictly after this job's `queued`.
+                        inner.bus.publish(Event::job_event(
+                            id,
+                            &client,
+                            &spec.name,
+                            Payload::Started { worker },
+                        ));
+                        inner
+                            .hists
+                            .lock()
+                            .expect("service hists")
+                            .observe("service.queue_wait_us", queue_wait_us);
+                        break (id, spec, inner.config.fault_plan.faults_for(id), client);
                     }
                 }
                 st = inner.wake.wait(st).expect("service state");
             }
         };
-        let execution = inner.executor.execute(id, &spec, faults, true);
+        // Live retry/quarantine events stream from inside the executor
+        // (on this worker thread, outside any lock) — between this
+        // job's `started` and its terminal event, which is all the
+        // ordering the per-job lifecycle promises.
+        let mut observer = |ev: ExecEvent| {
+            let payload = match ev {
+                ExecEvent::Retrying {
+                    attempt,
+                    class,
+                    delay_ms,
+                } => Payload::Retrying {
+                    class: class.as_str().to_string(),
+                    attempt,
+                    delay_ms,
+                },
+                ExecEvent::Quarantined { attempt, reason } => {
+                    Payload::Quarantined { attempt, reason }
+                }
+            };
+            inner
+                .bus
+                .publish(Event::job_event(id, &client, &spec.name, payload));
+        };
+        let execution = inner
+            .executor
+            .execute_observed(id, &spec, faults, true, &mut observer);
         finish_job(inner, id, execution);
     }
 }
@@ -954,7 +1152,7 @@ fn finish_job(inner: &Inner, id: u64, execution: crate::supervisor::JobExecution
         // and (deterministically) rewrites them byte-identically.
         return;
     }
-    let client = {
+    let (client, name, wall_us) = {
         let rec = &mut st.jobs[id as usize];
         rec.state = state;
         rec.attempts = execution.attempts;
@@ -963,12 +1161,43 @@ fn finish_job(inner: &Inner, id: u64, execution: crate::supervisor::JobExecution
         rec.detail = detail;
         rec.flow = flow_ref;
         rec.cct = cct_ref;
-        rec.client.clone()
+        let wall_us = rec.started_at.map_or(0, |t| t.elapsed().as_micros() as u64);
+        (rec.client.clone(), rec.spec.name.clone(), wall_us)
     };
     if let Some(n) = st.active_by_client.get_mut(&client) {
         *n = n.saturating_sub(1);
     }
     st.running -= 1;
+    // Terminal event: journaled (fsynced) so a restart can replay it
+    // for adopted jobs, then published under the state lock so it
+    // closes this job's lifecycle on the bus. Journal failures degrade
+    // telemetry, not the job — warn and move on.
+    let event_line = event_journal_line(
+        id,
+        &client,
+        &name,
+        state.as_str(),
+        wall_us,
+        execution.attempts,
+    );
+    if let Err(e) = append_journal(&mut st.events_journal, &event_line) {
+        pp_obs::warn!("service: terminal-event journal write failed: {e}");
+    }
+    inner.bus.publish(Event::job_event(
+        id,
+        &client,
+        &name,
+        Payload::Done {
+            outcome: state.as_str().to_string(),
+            wall_us,
+            attempts: execution.attempts,
+        },
+    ));
+    inner
+        .hists
+        .lock()
+        .expect("service hists")
+        .observe("service.exec_wall_us", wall_us);
     match state {
         JobState::Done => {
             c.done.fetch_add(1, Ordering::Relaxed);
@@ -1035,6 +1264,104 @@ fn append_journal(journal: &mut File, line: &str) -> std::io::Result<()> {
     journal.sync_data()
 }
 
+/// The `service.admit.*_us` histogram for one admission outcome.
+fn admit_hist_name(kind: &str) -> &'static str {
+    match kind {
+        "admitted" => "service.admit.admitted_us",
+        "overloaded" => "service.admit.overloaded_us",
+        "quota-exceeded" => "service.admit.quota_us",
+        "draining" => "service.admit.draining_us",
+        "stopped" => "service.admit.stopped_us",
+        "bad-spec" => "service.admit.bad_spec_us",
+        _ => "service.admit.io_us",
+    }
+}
+
+/// One canonical-JSON terminal-event journal line (newline-terminated).
+fn event_journal_line(
+    id: u64,
+    client: &str,
+    name: &str,
+    outcome: &str,
+    wall_us: u64,
+    attempts: u32,
+) -> String {
+    let mut line = Json::Obj(vec![
+        ("job".to_string(), Json::Num(id as f64)),
+        ("client".to_string(), Json::Str(client.to_string())),
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("outcome".to_string(), Json::Str(outcome.to_string())),
+        ("wall_us".to_string(), Json::Num(wall_us as f64)),
+        ("attempts".to_string(), Json::Num(f64::from(attempts))),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
+
+/// What the terminal-event journal remembers about one finished job.
+struct TerminalNote {
+    wall_us: u64,
+}
+
+/// What [`recover`] hands back to [`Service::start`].
+struct Recovered {
+    jobs: Vec<JobRecord>,
+    journal: File,
+    events_journal: File,
+    /// Latest terminal-event journal entry per job id (a job re-run
+    /// after a failed adoption writes a second line; last wins).
+    terminal_notes: HashMap<u64, TerminalNote>,
+}
+
+/// Opens (creating if absent) the terminal-event journal and replays
+/// its parseable prefix. Unlike the intake journal this is telemetry,
+/// not truth: a torn or unparsable tail is truncated with a warning,
+/// never a startup failure.
+fn recover_events_journal(dir: &Path) -> Result<(File, HashMap<u64, TerminalNote>), PpError> {
+    let path = dir.join(EVENTS_FILE);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .read(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| PpError::io(path.display().to_string(), e))?;
+    let mut text = String::new();
+    file.read_to_string(&mut text)
+        .map_err(|e| PpError::io(path.display().to_string(), e))?;
+    let mut notes: HashMap<u64, TerminalNote> = HashMap::new();
+    let mut good_bytes = 0u64;
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            pp_obs::warn!(
+                "service: dropping torn event-journal tail ({} bytes)",
+                line.len()
+            );
+            break;
+        }
+        let Ok(parsed) = pp_obs::json::parse(line.trim()) else {
+            pp_obs::warn!("service: dropping corrupt event-journal tail");
+            break;
+        };
+        let Some(job) = parsed.get("job").and_then(Json::as_f64) else {
+            pp_obs::warn!("service: dropping event-journal tail lacking \"job\"");
+            break;
+        };
+        let wall_us = parsed.get("wall_us").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        notes.insert(job as u64, TerminalNote { wall_us });
+        good_bytes += line.len() as u64;
+    }
+    if good_bytes != text.len() as u64 {
+        file.set_len(good_bytes)
+            .and_then(|()| file.sync_data())
+            .map_err(|e| PpError::io(path.display().to_string(), e))?;
+    }
+    file.seek(SeekFrom::End(0))
+        .map_err(|e| PpError::io(path.display().to_string(), e))?;
+    Ok((file, notes))
+}
+
 /// Replays `dir`'s intake journal and checkpoint manifest into the
 /// initial job table: journaled jobs re-resolve and queue; manifest
 /// entries whose terminal state (and artifact bytes) still validate are
@@ -1045,7 +1372,7 @@ fn recover(
     resolver: &SpecResolver,
     dir: &Path,
     counters: &Counters,
-) -> Result<(Vec<JobRecord>, File), PpError> {
+) -> Result<Recovered, PpError> {
     use pp_cct::SerializeError;
     let path = dir.join(JOURNAL_FILE);
     let mut journal = OpenOptions::new()
@@ -1120,6 +1447,8 @@ fn recover(
             detail: String::new(),
             flow: None,
             cct: None,
+            admitted_at: Instant::now(),
+            started_at: None,
         });
         good_bytes += line.len() as u64;
     }
@@ -1201,7 +1530,13 @@ fn recover(
     counters
         .recovered_requeued
         .store(requeued, Ordering::Relaxed);
-    Ok((jobs, journal))
+    let (events_journal, terminal_notes) = recover_events_journal(dir)?;
+    Ok(Recovered {
+        jobs,
+        journal,
+        events_journal,
+        terminal_notes,
+    })
 }
 
 #[cfg(test)]

@@ -105,6 +105,16 @@ pub enum FailureClass {
     Permanent,
 }
 
+impl FailureClass {
+    /// The wire tag of this class (`transient` / `permanent`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureClass::Transient => "transient",
+            FailureClass::Permanent => "permanent",
+        }
+    }
+}
+
 /// What a failed attempt actually hit.
 #[derive(Clone, Debug)]
 pub enum FailureKind {
@@ -302,6 +312,33 @@ pub struct RetryStep {
     pub delay_ms: u64,
 }
 
+/// A live notification from inside [`JobExecutor::execute_observed`],
+/// delivered on the worker thread *while the job is still running* —
+/// the hook the service's event bus uses to stream `retrying` /
+/// `quarantined` frames as they happen rather than after the terminal
+/// state.
+#[derive(Clone, Debug)]
+pub enum ExecEvent {
+    /// A failed attempt was classified and a retry scheduled; the
+    /// executor sleeps `delay_ms` before re-running.
+    Retrying {
+        /// The 1-based attempt that failed.
+        attempt: u32,
+        /// The failure classification that justified the retry.
+        class: FailureClass,
+        /// The backoff about to be slept, in milliseconds.
+        delay_ms: u64,
+    },
+    /// An attempt's profile failed post-run verification and its
+    /// artifacts were quarantined.
+    Quarantined {
+        /// The 1-based attempt whose artifacts were quarantined.
+        attempt: u32,
+        /// The first violated invariant.
+        reason: String,
+    },
+}
+
 /// A [`RetryStep`] tagged with its job index — the campaign-level
 /// schedule entry collected into [`BatchReport::retry_schedule`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -462,6 +499,23 @@ impl JobExecutor {
         faults: JobFaults,
         want_profiles: bool,
     ) -> JobExecution {
+        self.execute_observed(idx, job, faults, want_profiles, &mut |_| {})
+    }
+
+    /// [`JobExecutor::execute`] with a live observer: `observer` is
+    /// called *as* retries are scheduled and profiles quarantined (not
+    /// after the fact from [`JobExecution`]), so the service layer can
+    /// publish `retrying` / `quarantined` events while the job is still
+    /// running. The observer runs on the worker thread; it must not
+    /// block.
+    pub fn execute_observed(
+        &self,
+        idx: u64,
+        job: &JobSpec,
+        faults: JobFaults,
+        want_profiles: bool,
+        observer: &mut dyn FnMut(ExecEvent),
+    ) -> JobExecution {
         let _span = pp_obs::span!("batch.job");
         let mut attempt = 0u32;
         let mut retries = 0u32;
@@ -521,6 +575,10 @@ impl JobExecutor {
                             };
                         }
                         let detail = verdict.first().expect("dirty report").to_string();
+                        observer(ExecEvent::Quarantined {
+                            attempt,
+                            reason: detail.clone(),
+                        });
                         quarantines.push(QuarantinedAttempt {
                             attempt,
                             flow,
@@ -561,6 +619,11 @@ impl JobExecutor {
                 integrity_retried = true;
                 retries += 1;
                 let delay = self.backoff(idx, attempt);
+                observer(ExecEvent::Retrying {
+                    attempt,
+                    class: failure.class,
+                    delay_ms: delay.as_millis() as u64,
+                });
                 retry_schedule.push(RetryStep {
                     attempt,
                     class: failure.class,
@@ -575,6 +638,11 @@ impl JobExecutor {
             {
                 retries += 1;
                 let delay = self.backoff(idx, attempt);
+                observer(ExecEvent::Retrying {
+                    attempt,
+                    class: failure.class,
+                    delay_ms: delay.as_millis() as u64,
+                });
                 retry_schedule.push(RetryStep {
                     attempt,
                     class: failure.class,

@@ -1,0 +1,693 @@
+//! The service event bus: a bounded, lock-minimal MPSC fan-out of
+//! typed job-lifecycle and service events.
+//!
+//! Publishers (the service's admission path and workers) never block on
+//! a consumer: each subscriber owns a bounded queue, and when it fills
+//! the *oldest* queued event is discarded and counted. Every delivered
+//! [`Frame`] carries `dropped_since_last` — the number of events lost
+//! since the previous frame the subscriber saw — so a slow consumer
+//! degrades *visibly* (the loss-accounting principle the trace ring
+//! buffer already follows) instead of stalling the daemon.
+//!
+//! The bus also retains a bounded history of recent events so a late
+//! subscriber can ask for replay from a sequence number (`since`): this
+//! is how a restarted daemon's replayed terminal events reach clients
+//! that connect afterwards.
+//!
+//! Event *kinds* are job-lifecycle transitions (`admitted`, `queued`,
+//! `started`, `retrying`, `quarantined`, `done`), service phase changes
+//! (`state`), and periodic `metrics` snapshot frames derived from a
+//! [`Registry`](crate::Registry). Events replayed from a journal after
+//! a restart carry `replay = true`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+
+/// Default bound on one subscriber's event queue. Generous enough that
+/// a consumer keeping pace with a large soak (a few events per job)
+/// never drops at default capacity.
+pub const DEFAULT_SUBSCRIBER_CAPACITY: usize = 8192;
+
+/// Default bound on the bus's retained history (the `since` replay
+/// window).
+pub const DEFAULT_HISTORY_CAPACITY: usize = 4096;
+
+/// Every wire tag a [`Payload`] can carry, for filter validation.
+pub const EVENT_KINDS: &[&str] = &[
+    "admitted",
+    "queued",
+    "started",
+    "retrying",
+    "quarantined",
+    "done",
+    "state",
+    "metrics",
+];
+
+/// The typed body of one event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// A job was admitted (journaled and acknowledged).
+    Admitted {
+        /// The spec string the job resolves from.
+        spec: String,
+    },
+    /// The job entered the admission queue.
+    Queued {
+        /// Queue depth immediately after the enqueue.
+        depth: u64,
+    },
+    /// A worker began executing the job.
+    Started {
+        /// Index of the executing worker.
+        worker: u64,
+    },
+    /// A failed attempt was classified and scheduled for retry.
+    Retrying {
+        /// The failure classification (`transient`, …).
+        class: String,
+        /// The 1-based attempt that failed.
+        attempt: u32,
+        /// Backoff slept before the next attempt, in milliseconds.
+        delay_ms: u64,
+    },
+    /// An attempt's profile failed verification and was quarantined.
+    Quarantined {
+        /// The 1-based attempt whose artifacts were quarantined.
+        attempt: u32,
+        /// The first violated invariant.
+        reason: String,
+    },
+    /// The job reached a terminal state.
+    Done {
+        /// `done` or `failed`.
+        outcome: String,
+        /// Execution wall time (start → terminal), microseconds.
+        wall_us: u64,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// The service moved through its shed/drain state machine.
+    StateChanged {
+        /// The new phase (`accepting`, `draining`, `stopped`).
+        phase: String,
+    },
+    /// A periodic snapshot of the service metrics registry.
+    MetricsSnapshot {
+        /// The registry rendered as a JSON object (see
+        /// [`Registry::to_json`](crate::Registry::to_json)).
+        metrics: Json,
+    },
+}
+
+impl Payload {
+    /// The wire tag of this payload (one of [`EVENT_KINDS`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Admitted { .. } => "admitted",
+            Payload::Queued { .. } => "queued",
+            Payload::Started { .. } => "started",
+            Payload::Retrying { .. } => "retrying",
+            Payload::Quarantined { .. } => "quarantined",
+            Payload::Done { .. } => "done",
+            Payload::StateChanged { .. } => "state",
+            Payload::MetricsSnapshot { .. } => "metrics",
+        }
+    }
+}
+
+/// One event on the bus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Bus-wide publication order (1-based; assigned by
+    /// [`EventBus::publish`]).
+    pub seq: u64,
+    /// Wall-clock microseconds since the Unix epoch at publication.
+    pub ts_us: u64,
+    /// The job this event belongs to; `None` for service-level events.
+    pub job: Option<u64>,
+    /// The submitting client ("" for service-level events).
+    pub client: String,
+    /// The job name ("" for service-level events).
+    pub name: String,
+    /// True when this event was replayed from a journal after a
+    /// restart rather than observed live.
+    pub replay: bool,
+    /// The typed body.
+    pub payload: Payload,
+}
+
+impl Event {
+    /// A job-lifecycle event (seq/timestamp assigned at publish).
+    pub fn job_event(job: u64, client: &str, name: &str, payload: Payload) -> Event {
+        Event {
+            seq: 0,
+            ts_us: 0,
+            job: Some(job),
+            client: client.to_string(),
+            name: name.to_string(),
+            replay: false,
+            payload,
+        }
+    }
+
+    /// A service-level event (no job attached).
+    pub fn service_event(payload: Payload) -> Event {
+        Event {
+            seq: 0,
+            ts_us: 0,
+            job: None,
+            client: String::new(),
+            name: String::new(),
+            replay: false,
+            payload,
+        }
+    }
+
+    /// Marks the event as a journal replay.
+    pub fn replayed(mut self) -> Event {
+        self.replay = true;
+        self
+    }
+
+    /// Renders the event as one wire frame, carrying the subscriber's
+    /// drop accounting.
+    pub fn to_json(&self, dropped_since_last: u64) -> Json {
+        let mut fields = vec![
+            ("seq".to_string(), Json::Num(self.seq as f64)),
+            ("ts_us".to_string(), Json::Num(self.ts_us as f64)),
+            (
+                "event".to_string(),
+                Json::Str(self.payload.kind().to_string()),
+            ),
+        ];
+        if let Some(job) = self.job {
+            fields.push(("job".to_string(), Json::Num(job as f64)));
+        }
+        if !self.client.is_empty() {
+            fields.push(("client".to_string(), Json::Str(self.client.clone())));
+        }
+        if !self.name.is_empty() {
+            fields.push(("name".to_string(), Json::Str(self.name.clone())));
+        }
+        if self.replay {
+            fields.push(("replay".to_string(), Json::Bool(true)));
+        }
+        match &self.payload {
+            Payload::Admitted { spec } => {
+                fields.push(("spec".to_string(), Json::Str(spec.clone())));
+            }
+            Payload::Queued { depth } => {
+                fields.push(("depth".to_string(), Json::Num(*depth as f64)));
+            }
+            Payload::Started { worker } => {
+                fields.push(("worker".to_string(), Json::Num(*worker as f64)));
+            }
+            Payload::Retrying {
+                class,
+                attempt,
+                delay_ms,
+            } => {
+                fields.push(("class".to_string(), Json::Str(class.clone())));
+                fields.push(("attempt".to_string(), Json::Num(f64::from(*attempt))));
+                fields.push(("delay_ms".to_string(), Json::Num(*delay_ms as f64)));
+            }
+            Payload::Quarantined { attempt, reason } => {
+                fields.push(("attempt".to_string(), Json::Num(f64::from(*attempt))));
+                fields.push(("reason".to_string(), Json::Str(reason.clone())));
+            }
+            Payload::Done {
+                outcome,
+                wall_us,
+                attempts,
+            } => {
+                fields.push(("outcome".to_string(), Json::Str(outcome.clone())));
+                fields.push(("wall_us".to_string(), Json::Num(*wall_us as f64)));
+                fields.push(("attempts".to_string(), Json::Num(f64::from(*attempts))));
+            }
+            Payload::StateChanged { phase } => {
+                fields.push(("phase".to_string(), Json::Str(phase.clone())));
+            }
+            Payload::MetricsSnapshot { metrics } => {
+                fields.push(("metrics".to_string(), metrics.clone()));
+            }
+        }
+        fields.push((
+            "dropped_since_last".to_string(),
+            Json::Num(dropped_since_last as f64),
+        ));
+        Json::Obj(fields)
+    }
+}
+
+/// Server-side subscription filter: every populated field must match.
+#[derive(Clone, Debug, Default)]
+pub struct EventFilter {
+    /// Only events of this job (service-level events are excluded).
+    pub job: Option<u64>,
+    /// Only events from this submitting client.
+    pub client: Option<String>,
+    /// Only these event kinds (wire tags; see [`EVENT_KINDS`]).
+    pub kinds: Option<Vec<String>>,
+    /// Replay retained history from this sequence number (inclusive)
+    /// before streaming live events. `None` = live only.
+    pub since: Option<u64>,
+}
+
+impl EventFilter {
+    /// Does `event` pass this filter (ignoring `since`, which governs
+    /// history replay rather than matching)?
+    pub fn matches(&self, event: &Event) -> bool {
+        if let Some(job) = self.job {
+            if event.job != Some(job) {
+                return false;
+            }
+        }
+        if let Some(client) = &self.client {
+            if &event.client != client {
+                return false;
+            }
+        }
+        if let Some(kinds) = &self.kinds {
+            if !kinds.iter().any(|k| k == event.payload.kind()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One delivered event plus the subscriber's loss accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// The event.
+    pub event: Event,
+    /// Events this subscriber lost between the previous frame and this
+    /// one (0 whenever the consumer kept pace).
+    pub dropped_since_last: u64,
+}
+
+impl Frame {
+    /// The wire rendering of this frame.
+    pub fn to_json(&self) -> Json {
+        self.event.to_json(self.dropped_since_last)
+    }
+}
+
+struct SubQueue {
+    events: VecDeque<Event>,
+    dropped_since_last: u64,
+    closed: bool,
+}
+
+struct SubShared {
+    queue: Mutex<SubQueue>,
+    cond: Condvar,
+    filter: EventFilter,
+    capacity: usize,
+}
+
+struct BusState {
+    subs: Vec<Arc<SubShared>>,
+    history: VecDeque<Event>,
+    history_cap: usize,
+}
+
+struct BusShared {
+    state: Mutex<BusState>,
+    seq: AtomicU64,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// The bus: cheap to clone, safe to publish from any thread.
+#[derive(Clone)]
+pub struct EventBus {
+    shared: Arc<BusShared>,
+}
+
+impl Default for EventBus {
+    fn default() -> EventBus {
+        EventBus::with_history(DEFAULT_HISTORY_CAPACITY)
+    }
+}
+
+impl EventBus {
+    /// A bus retaining at most `history_cap` events for `since` replay.
+    pub fn with_history(history_cap: usize) -> EventBus {
+        EventBus {
+            shared: Arc::new(BusShared {
+                state: Mutex::new(BusState {
+                    subs: Vec::new(),
+                    history: VecDeque::new(),
+                    history_cap: history_cap.max(16),
+                }),
+                seq: AtomicU64::new(0),
+                published: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Publishes one event: assigns its sequence number and timestamp,
+    /// retains it in history, and fans it out to every matching
+    /// subscriber — never blocking on a slow one (its oldest queued
+    /// event is dropped and counted instead). Returns the assigned
+    /// sequence number.
+    pub fn publish(&self, mut event: Event) -> u64 {
+        let mut state = self.shared.state.lock().expect("event bus state");
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        event.seq = seq;
+        if event.ts_us == 0 {
+            event.ts_us = now_us();
+        }
+        if state.history.len() >= state.history_cap {
+            state.history.pop_front();
+        }
+        state.history.push_back(event.clone());
+        self.shared.published.fetch_add(1, Ordering::Relaxed);
+        for sub in &state.subs {
+            if !sub.filter.matches(&event) {
+                continue;
+            }
+            let mut q = sub.queue.lock().expect("subscriber queue");
+            if q.closed {
+                continue;
+            }
+            if q.events.len() >= sub.capacity {
+                q.events.pop_front();
+                q.dropped_since_last += 1;
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            q.events.push_back(event.clone());
+            drop(q);
+            sub.cond.notify_one();
+        }
+        seq
+    }
+
+    /// Registers a subscriber with a bounded queue of `capacity`
+    /// events. When the filter carries `since`, matching retained
+    /// history from that sequence number seeds the queue first (with
+    /// the same drop accounting if it overflows).
+    pub fn subscribe(&self, filter: EventFilter, capacity: usize) -> Subscription {
+        let sub = Arc::new(SubShared {
+            queue: Mutex::new(SubQueue {
+                events: VecDeque::new(),
+                dropped_since_last: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+            filter,
+        });
+        let mut state = self.shared.state.lock().expect("event bus state");
+        if let Some(since) = sub.filter.since {
+            let mut q = sub.queue.lock().expect("subscriber queue");
+            for event in state.history.iter() {
+                if event.seq < since || !sub.filter.matches(event) {
+                    continue;
+                }
+                if q.events.len() >= sub.capacity {
+                    q.events.pop_front();
+                    q.dropped_since_last += 1;
+                    self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                q.events.push_back(event.clone());
+            }
+        }
+        state.subs.push(Arc::clone(&sub));
+        drop(state);
+        Subscription {
+            sub,
+            bus: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Sequence number of the next event to be published, i.e. one past
+    /// the latest assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.shared.seq.load(Ordering::Relaxed) + 1
+    }
+
+    /// Total events published on this bus.
+    pub fn published(&self) -> u64 {
+        self.shared.published.load(Ordering::Relaxed)
+    }
+
+    /// Total events dropped across all subscribers (each drop counted
+    /// once per subscriber that lost it).
+    pub fn dropped_total(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Live subscriber count.
+    pub fn subscriber_count(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("event bus state")
+            .subs
+            .len()
+    }
+}
+
+/// A consumer handle; dropping it unregisters the subscriber.
+pub struct Subscription {
+    sub: Arc<SubShared>,
+    bus: Arc<BusShared>,
+}
+
+impl Subscription {
+    /// Waits up to `timeout` for the next frame. `None` means the wait
+    /// timed out (or the bus closed the subscription) with nothing
+    /// queued — check [`Subscription::is_closed`] to tell them apart.
+    pub fn recv(&self, timeout: Duration) -> Option<Frame> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.sub.queue.lock().expect("subscriber queue");
+        loop {
+            if let Some(event) = q.events.pop_front() {
+                let dropped_since_last = std::mem::take(&mut q.dropped_since_last);
+                return Some(Frame {
+                    event,
+                    dropped_since_last,
+                });
+            }
+            if q.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .sub
+                .cond
+                .wait_timeout(q, deadline - now)
+                .expect("subscriber queue");
+            q = guard;
+        }
+    }
+
+    /// Drains everything currently queued without waiting.
+    pub fn drain(&self) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        let mut q = self.sub.queue.lock().expect("subscriber queue");
+        while let Some(event) = q.events.pop_front() {
+            let dropped_since_last = std::mem::take(&mut q.dropped_since_last);
+            frames.push(Frame {
+                event,
+                dropped_since_last,
+            });
+        }
+        frames
+    }
+
+    /// Has the bus closed this subscription?
+    pub fn is_closed(&self) -> bool {
+        self.sub.queue.lock().expect("subscriber queue").closed
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        {
+            let mut q = self.sub.queue.lock().expect("subscriber queue");
+            q.closed = true;
+        }
+        let mut state = self.bus.state.lock().expect("event bus state");
+        state.subs.retain(|s| !Arc::ptr_eq(s, &self.sub));
+    }
+}
+
+/// Wall-clock microseconds since the Unix epoch.
+pub fn now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done_event(job: u64) -> Event {
+        Event::job_event(
+            job,
+            "c",
+            "job",
+            Payload::Done {
+                outcome: "done".to_string(),
+                wall_us: 5,
+                attempts: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn publish_assigns_increasing_seq_and_delivers_in_order() {
+        let bus = EventBus::default();
+        let sub = bus.subscribe(EventFilter::default(), 16);
+        let s1 = bus.publish(done_event(0));
+        let s2 = bus.publish(done_event(1));
+        assert!(s2 > s1);
+        let a = sub.recv(Duration::from_secs(1)).expect("first");
+        let b = sub.recv(Duration::from_secs(1)).expect("second");
+        assert_eq!(a.event.seq, s1);
+        assert_eq!(b.event.seq, s2);
+        assert_eq!(a.dropped_since_last, 0);
+        assert_eq!(b.dropped_since_last, 0);
+        assert_eq!(bus.published(), 2);
+        assert_eq!(bus.dropped_total(), 0);
+    }
+
+    #[test]
+    fn bounded_queue_drops_oldest_and_accounts_on_next_frame() {
+        let bus = EventBus::default();
+        let sub = bus.subscribe(EventFilter::default(), 4);
+        for job in 0..10 {
+            bus.publish(done_event(job));
+        }
+        // 6 dropped; the 4 freshest remain, the first delivered frame
+        // carries the full loss count.
+        let first = sub.recv(Duration::from_secs(1)).expect("frame");
+        assert_eq!(first.dropped_since_last, 6);
+        assert_eq!(first.event.job, Some(6));
+        let rest = sub.drain();
+        assert_eq!(rest.len(), 3);
+        assert!(rest.iter().all(|f| f.dropped_since_last == 0));
+        assert_eq!(bus.dropped_total(), 6);
+    }
+
+    #[test]
+    fn filters_match_job_client_and_kind() {
+        let bus = EventBus::default();
+        let by_job = bus.subscribe(
+            EventFilter {
+                job: Some(3),
+                ..EventFilter::default()
+            },
+            16,
+        );
+        let by_kind = bus.subscribe(
+            EventFilter {
+                kinds: Some(vec!["state".to_string()]),
+                ..EventFilter::default()
+            },
+            16,
+        );
+        bus.publish(done_event(2));
+        bus.publish(done_event(3));
+        bus.publish(Event::service_event(Payload::StateChanged {
+            phase: "draining".to_string(),
+        }));
+        let only = by_job.drain();
+        assert_eq!(only.len(), 1);
+        assert_eq!(only[0].event.job, Some(3));
+        let states = by_kind.drain();
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].event.payload.kind(), "state");
+    }
+
+    #[test]
+    fn since_replays_retained_history_to_late_subscribers() {
+        let bus = EventBus::default();
+        let s1 = bus.publish(done_event(0));
+        let s2 = bus.publish(done_event(1));
+        let all = bus.subscribe(
+            EventFilter {
+                since: Some(0),
+                ..EventFilter::default()
+            },
+            16,
+        );
+        let tail = bus.subscribe(
+            EventFilter {
+                since: Some(s2),
+                ..EventFilter::default()
+            },
+            16,
+        );
+        let live_only = bus.subscribe(EventFilter::default(), 16);
+        assert_eq!(all.drain().len(), 2);
+        let tail_frames = tail.drain();
+        assert_eq!(tail_frames.len(), 1);
+        assert_eq!(tail_frames[0].event.seq, s2);
+        assert!(live_only.drain().is_empty());
+        let _ = s1;
+    }
+
+    #[test]
+    fn dropped_subscription_unregisters() {
+        let bus = EventBus::default();
+        let sub = bus.subscribe(EventFilter::default(), 4);
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(sub);
+        assert_eq!(bus.subscriber_count(), 0);
+        bus.publish(done_event(0)); // no panic, nothing to deliver
+        assert_eq!(bus.dropped_total(), 0);
+    }
+
+    #[test]
+    fn frame_json_carries_kind_fields_and_drop_accounting() {
+        let mut event = Event::job_event(
+            7,
+            "ci",
+            "129.compress",
+            Payload::Retrying {
+                class: "transient".to_string(),
+                attempt: 1,
+                delay_ms: 4,
+            },
+        );
+        event.seq = 42;
+        event.ts_us = 1_000;
+        let json = event.to_json(3);
+        assert_eq!(json.get("seq").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(json.get("event").and_then(Json::as_str), Some("retrying"));
+        assert_eq!(json.get("job").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(json.get("class").and_then(Json::as_str), Some("transient"));
+        assert_eq!(
+            json.get("dropped_since_last").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        // The rendering is parseable NDJSON.
+        let parsed = crate::json::parse(&json.render()).expect("valid");
+        assert_eq!(parsed.get("delay_ms").and_then(Json::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn recv_times_out_when_idle() {
+        let bus = EventBus::default();
+        let sub = bus.subscribe(EventFilter::default(), 4);
+        let t = Instant::now();
+        assert!(sub.recv(Duration::from_millis(30)).is_none());
+        assert!(t.elapsed() >= Duration::from_millis(25));
+        assert!(!sub.is_closed());
+    }
+}

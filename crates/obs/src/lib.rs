@@ -21,15 +21,21 @@
 //!   `--quiet`) so diagnostic chatter goes to stderr through one gate
 //!   and stdout stays machine-parseable.
 //!
+//! * [`events`] — the service **event bus**: bounded, loss-accounted
+//!   fan-out of typed job-lifecycle and service events to streaming
+//!   subscribers (`pp watch`), with retained history for replay.
+//!
 //! [`json`] is the small JSON value model the other layers (and the
 //! `pp stats` / `pp bench` commands) use to validate and merge their
 //! emitted files.
 
+pub mod events;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod trace;
 
+pub use events::{Event, EventBus, EventFilter, Frame, Payload, Subscription};
 pub use json::Json;
 pub use log::Level;
 pub use metrics::{Hist, Metric, NoopRecorder, Recorder, Registry};

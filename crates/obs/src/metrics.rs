@@ -245,6 +245,42 @@ impl Registry {
         s.push('}');
         s
     }
+
+    /// Renders the registry in Prometheus text-exposition style for
+    /// scraping (`pp status --metrics --prom`): dotted names become
+    /// `pp_`-prefixed underscore names, counters and gauges keep their
+    /// types, and each histogram becomes a `summary` (`_count`/`_sum`)
+    /// plus a `_max` gauge. Deterministically ordered like every other
+    /// rendering.
+    pub fn prom_text(&self) -> String {
+        fn mangle(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 3);
+            out.push_str("pp_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            out
+        }
+        let mut s = String::new();
+        for (name, v) in &self.counters {
+            let n = mangle(name);
+            let _ = writeln!(s, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = mangle(name);
+            let _ = writeln!(s, "# TYPE {n} gauge\n{n} {}", fmt_f64(*v));
+        }
+        for (name, h) in &self.hists {
+            let n = mangle(name);
+            let _ = writeln!(
+                s,
+                "# TYPE {n} summary\n{n}_count {}\n{n}_sum {}\n\
+                 # TYPE {n}_max gauge\n{n}_max {}",
+                h.count, h.sum, h.max
+            );
+        }
+        s
+    }
 }
 
 /// Formats an `f64` deterministically and JSON-compatibly (no `NaN` /
@@ -333,6 +369,21 @@ mod tests {
         let v = crate::json::parse(&a.to_json()).expect("valid JSON");
         assert_eq!(v.get("c.one").and_then(crate::Json::as_f64), Some(42.0));
         assert_eq!(v.get("g.rate").and_then(crate::Json::as_f64), Some(0.875));
+    }
+
+    #[test]
+    fn prom_text_mangles_names_and_types_metrics() {
+        let mut r = Registry::new();
+        r.counter("service.admitted", 12);
+        r.gauge("service.queue_depth", 3.0);
+        r.observe("service.exec_wall_us", 100);
+        r.observe("service.exec_wall_us", 50);
+        let prom = r.prom_text();
+        assert!(prom.contains("# TYPE pp_service_admitted counter\npp_service_admitted 12"));
+        assert!(prom.contains("# TYPE pp_service_queue_depth gauge\npp_service_queue_depth 3"));
+        assert!(prom.contains("pp_service_exec_wall_us_count 2"));
+        assert!(prom.contains("pp_service_exec_wall_us_sum 150"));
+        assert!(prom.contains("pp_service_exec_wall_us_max 100"));
     }
 
     #[test]

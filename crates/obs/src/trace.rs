@@ -210,8 +210,21 @@ pub fn totals_by_name(events: &[SpanEvent]) -> BTreeMap<&'static str, u64> {
 /// Renders events as Chrome `trace_event` JSON (the "JSON Array
 /// Format" object wrapper): complete (`"ph":"X"`) events with
 /// microsecond timestamps, loadable in `chrome://tracing` / Perfetto.
-pub fn chrome_trace(events: &[SpanEvent]) -> String {
-    let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+///
+/// `dropped` is the ring-buffer overflow count reported by
+/// [`take_events`]; when nonzero it is surfaced as a top-level
+/// `droppedSpans` field plus a warning in `otherData`, so a truncated
+/// trace is never mistaken for a complete one.
+pub fn chrome_trace(events: &[SpanEvent], dropped: u64) -> String {
+    let mut s = String::from("{\"displayTimeUnit\":\"ms\",");
+    if dropped > 0 {
+        let _ = write!(
+            s,
+            "\"droppedSpans\":{dropped},\"otherData\":{{\"warning\":\
+             \"ring buffer overflowed; {dropped} oldest spans dropped\"}},"
+        );
+    }
+    s.push_str("\"traceEvents\":[");
     for (i, ev) in events.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -234,7 +247,11 @@ pub fn chrome_trace(events: &[SpanEvent]) -> String {
 /// and sorted. Nesting is reconstructed from the recorded intervals,
 /// and each frame is charged its *exclusive* time (children
 /// subtracted).
-pub fn collapsed_stacks(events: &[SpanEvent]) -> String {
+///
+/// `dropped` is the ring-buffer overflow count reported by
+/// [`take_events`]; when nonzero a synthetic `trace.dropped;<n>-spans`
+/// footer frame makes the loss visible in the rendered flamegraph.
+pub fn collapsed_stacks(events: &[SpanEvent], dropped: u64) -> String {
     // Sort parents before their children: by start ascending, and at
     // equal starts the longer (enclosing) span first.
     let mut sorted: Vec<&SpanEvent> = events.iter().collect();
@@ -271,6 +288,9 @@ pub fn collapsed_stacks(events: &[SpanEvent]) -> String {
     let mut s = String::new();
     for (path, us) in folded {
         let _ = writeln!(s, "{path} {us}");
+    }
+    if dropped > 0 {
+        let _ = writeln!(s, "trace.dropped;{dropped}-spans 1");
     }
     s
 }
@@ -334,13 +354,45 @@ mod tests {
     #[test]
     fn chrome_trace_is_valid_json() {
         let events = vec![ev("a", 0, 5_000, 0), ev("b \"q\"", 1_000, 2_000, 1)];
-        let text = chrome_trace(&events);
+        let text = chrome_trace(&events, 0);
         let v = crate::json::parse(&text).expect("valid JSON");
         let arr = v.get("traceEvents").and_then(Json::as_arr).unwrap();
         assert_eq!(arr.len(), 2);
         assert_eq!(arr[1].get("name").and_then(Json::as_str), Some("b \"q\""));
         assert_eq!(arr[0].get("ph").and_then(Json::as_str), Some("X"));
         assert_eq!(arr[0].get("dur").and_then(Json::as_f64), Some(5.0));
+        assert!(v.get("droppedSpans").is_none());
+    }
+
+    #[test]
+    fn chrome_trace_surfaces_ring_overflow() {
+        let events = vec![ev("a", 0, 5_000, 0)];
+        let text = chrome_trace(&events, 24);
+        let v = crate::json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("droppedSpans").and_then(Json::as_f64), Some(24.0));
+        let warning = v
+            .get("otherData")
+            .and_then(|o| o.get("warning"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(warning.contains("24"), "{warning}");
+        // Events themselves are untouched.
+        let arr = v.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(arr
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
+    }
+
+    #[test]
+    fn collapsed_stacks_surface_ring_overflow() {
+        let events = vec![ev("run", 0, 10_000_000, 0)];
+        let clean = collapsed_stacks(&events, 0);
+        assert!(!clean.contains("trace.dropped"), "{clean}");
+        let lossy = collapsed_stacks(&events, 7);
+        assert!(
+            lossy.lines().any(|l| l == "trace.dropped;7-spans 1"),
+            "{lossy}"
+        );
     }
 
     use crate::json::Json;
@@ -353,7 +405,7 @@ mod tests {
             ev("simulate", 3_000_000, 6_000_000, 1),
             ev("run", 0, 10_000_000, 0),
         ];
-        let text = collapsed_stacks(&events);
+        let text = collapsed_stacks(&events, 0);
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines.contains(&"run;decode 2000"), "{text}");
         assert!(lines.contains(&"run;simulate 6000"), "{text}");

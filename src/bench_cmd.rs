@@ -42,6 +42,9 @@ struct PipelineSample {
     wall_s: f64,
     /// Simulated cycles the run retired.
     sim_cycles: u64,
+    /// Micro-ops the run dispatched — the denominator of the per-uop
+    /// cost the trajectory guards.
+    uops: u64,
     /// Simulated bytes of the CCT heap at exit.
     cct_bytes: u64,
     /// CCT records allocated.
@@ -116,6 +119,7 @@ fn sample(
     Ok(PipelineSample {
         wall_s,
         sim_cycles: outcome.cycles(),
+        uops: outcome.machine.uops,
         cct_bytes,
         cct_records,
     })
@@ -210,13 +214,16 @@ pub fn run_bench(args: &BenchArgs) -> Result<(), PpError> {
         .collect();
 
     // Totals.
+    let t = totals(&results);
+    let ns_per_uop = t.ns_per_uop();
     let Totals {
         opt_wall,
         ref_wall,
         sim_cycles,
         peak_cct,
         have_ref,
-    } = totals(&results);
+        ..
+    } = t;
     let speedup = if have_ref && opt_wall > 0.0 {
         ref_wall / opt_wall
     } else {
@@ -248,7 +255,7 @@ pub fn run_bench(args: &BenchArgs) -> Result<(), PpError> {
         );
     }
     println!(
-        "\ntotals: {:.3}s optimized | {} | {:.1} M simulated cycles/s | peak CCT {:.1} KB",
+        "\ntotals: {:.3}s optimized | {} | {:.1} M simulated cycles/s | {:.1} ns/uop | peak CCT {:.1} KB",
         opt_wall,
         if have_ref {
             format!("{ref_wall:.3}s reference ({speedup:.2}x speedup)")
@@ -256,11 +263,19 @@ pub fn run_bench(args: &BenchArgs) -> Result<(), PpError> {
             "reference pipeline not built (enable the `reference` feature)".to_string()
         },
         sim_cycles as f64 / opt_wall.max(1e-12) / 1e6,
+        ns_per_uop,
         peak_cct as f64 / 1024.0,
     );
 
     if let Some(check_path) = &args.check {
-        return check_against(check_path, args.tolerance, opt_wall, speedup, have_ref);
+        return check_against(
+            check_path,
+            args.tolerance,
+            opt_wall,
+            speedup,
+            have_ref,
+            ns_per_uop,
+        );
     }
 
     let path = match (&args.out, args.smoke) {
@@ -298,16 +313,7 @@ pub fn run_bench(args: &BenchArgs) -> Result<(), PpError> {
             None => {}
         }
         let t = totals(&merged);
-        let json = render_json(
-            scale,
-            repeat_total,
-            &merged,
-            t.opt_wall,
-            t.ref_wall,
-            t.sim_cycles,
-            t.peak_cct,
-            &phases,
-        );
+        let json = render_json(scale, repeat_total, &merged, &t, &phases);
         std::fs::write(&path, json).map_err(|e| PpError::io(&path, e))?;
         println!("wrote {path}");
     }
@@ -319,8 +325,17 @@ struct Totals {
     opt_wall: f64,
     ref_wall: f64,
     sim_cycles: u64,
+    sim_uops: u64,
     peak_cct: u64,
     have_ref: bool,
+}
+
+impl Totals {
+    /// Host nanoseconds the optimized pipeline spends per simulated
+    /// micro-op — the suite-wide unit cost the trajectory guards.
+    fn ns_per_uop(&self) -> f64 {
+        self.opt_wall * 1e9 / self.sim_uops.max(1) as f64
+    }
 }
 
 fn totals(results: &[CaseResult]) -> Totals {
@@ -331,6 +346,7 @@ fn totals(results: &[CaseResult]) -> Totals {
             .map(|r| r.reference.map(|s| s.wall_s).unwrap_or(0.0))
             .sum(),
         sim_cycles: results.iter().map(|r| r.optimized.sim_cycles).sum(),
+        sim_uops: results.iter().map(|r| r.optimized.uops).sum(),
         peak_cct: results
             .iter()
             .map(|r| r.optimized.cct_bytes)
@@ -371,6 +387,9 @@ struct PrevTrajectory {
     wall_s: f64,
     /// Reference-over-optimized speedup, when the file has one.
     speedup: Option<f64>,
+    /// Host ns per simulated micro-op; absent in trajectories recorded
+    /// before the field existed (the guard then skips that check).
+    sim_ns_per_uop: Option<f64>,
     /// name → (wall_s, reference_wall_s).
     cases: BTreeMap<String, (f64, Option<f64>)>,
 }
@@ -394,6 +413,7 @@ fn read_trajectory(path: &str) -> Option<PrevTrajectory> {
         repeat: v.get("repeat")?.as_f64()? as usize,
         wall_s: v.get("wall_s")?.as_f64()?,
         speedup: v.get("speedup").and_then(|s| s.as_f64()),
+        sim_ns_per_uop: v.get("sim_ns_per_uop").and_then(|s| s.as_f64()),
         cases,
     })
 }
@@ -409,6 +429,7 @@ fn check_against(
     cur_wall: f64,
     cur_speedup: f64,
     have_ref: bool,
+    cur_ns_per_uop: f64,
 ) -> Result<(), PpError> {
     let prev = read_trajectory(path).ok_or_else(|| {
         PpError::Usage(format!(
@@ -440,6 +461,22 @@ fn check_against(
             failures.push(format!(
                 "speedup regressed {:.1}% (> {:.1}% tolerance)",
                 drop * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    // The per-uop unit cost: total wall normalized by simulated work, so
+    // the guard keeps meaning even when the suite grows or shrinks.
+    if let Some(prev_ns) = prev.sim_ns_per_uop {
+        let delta = (cur_ns_per_uop - prev_ns) / prev_ns.max(1e-12);
+        println!(
+            "check vs {path}: {cur_ns_per_uop:.1} ns/uop vs {prev_ns:.1} recorded ({:+.1}%)",
+            delta * 100.0
+        );
+        if delta > tolerance {
+            failures.push(format!(
+                "per-uop cost regressed {:.1}% (> {:.1}% tolerance)",
+                delta * 100.0,
                 tolerance * 100.0
             ));
         }
@@ -530,17 +567,14 @@ fn merge_cases(results: &mut [CaseResult], prev: &PrevTrajectory) {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: f64,
     repeat: usize,
     results: &[CaseResult],
-    opt_wall: f64,
-    ref_wall: f64,
-    sim_cycles: u64,
-    peak_cct: u64,
+    t: &Totals,
     phases: &BTreeMap<&'static str, u64>,
 ) -> String {
+    let (opt_wall, ref_wall) = (t.opt_wall, t.ref_wall);
     let have_ref = results.iter().all(|r| r.reference.is_some()) && !results.is_empty();
     let mut s = String::new();
     s.push_str("{\n");
@@ -553,13 +587,15 @@ fn render_json(
         let _ = writeln!(s, "  \"reference_wall_s\": {ref_wall:.6},");
         let _ = writeln!(s, "  \"speedup\": {:.3},", ref_wall / opt_wall.max(1e-12));
     }
-    let _ = writeln!(s, "  \"sim_cycles\": {sim_cycles},");
+    let _ = writeln!(s, "  \"sim_cycles\": {},", t.sim_cycles);
     let _ = writeln!(
         s,
         "  \"sim_cycles_per_sec\": {:.0},",
-        sim_cycles as f64 / opt_wall.max(1e-12)
+        t.sim_cycles as f64 / opt_wall.max(1e-12)
     );
-    let _ = writeln!(s, "  \"peak_cct_bytes\": {peak_cct},");
+    let _ = writeln!(s, "  \"sim_uops\": {},", t.sim_uops);
+    let _ = writeln!(s, "  \"sim_ns_per_uop\": {:.3},", t.ns_per_uop());
+    let _ = writeln!(s, "  \"peak_cct_bytes\": {},", t.peak_cct);
     s.push_str("  \"phases_us\": {");
     for (i, (phase, ns)) in phases.iter().enumerate() {
         if i > 0 {
@@ -580,8 +616,11 @@ fn render_json(
         }
         let _ = write!(
             s,
-            "\"sim_cycles\": {}, \"cct_bytes\": {}, \"cct_records\": {}}}",
-            r.optimized.sim_cycles, r.optimized.cct_bytes, r.optimized.cct_records
+            "\"sim_cycles\": {}, \"uops\": {}, \"cct_bytes\": {}, \"cct_records\": {}}}",
+            r.optimized.sim_cycles,
+            r.optimized.uops,
+            r.optimized.cct_bytes,
+            r.optimized.cct_records
         );
         s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }

@@ -33,6 +33,16 @@
 //!                                           journal + checkpoint recovery
 //! pp submit <target> [options]              send one job to a daemon
 //! pp status [job-id] [options]              query a daemon's jobs/metrics
+//!                                           (live when the daemon answers;
+//!                                           stale-labeled checkpoint state
+//!                                           otherwise; --metrics/--prom for
+//!                                           the full registry)
+//! pp watch [options]                        tail the daemon's event bus:
+//!                                           per-job lifecycle, phase
+//!                                           changes, metrics snapshots;
+//!                                           filter with --job/--client/
+//!                                           --events/--since, --json for
+//!                                           raw NDJSON frames
 //!
 //! <target> is a suite benchmark name (see `pp list`) or a path to a
 //! textual IR file (see pp_ir::parse).
@@ -77,9 +87,21 @@
 //!   --inject-every <spec>     (serve) soak-test faults: comma-separated
 //!                             panic=N | transient=N | corrupt=N, hitting
 //!                             every N-th job's first attempt
-//!   --client <NAME>           (submit) client name for quota accounting
+//!   --client <NAME>           (submit) client name for quota accounting;
+//!                             (watch) only that client's events
 //!   --wait                    (submit) block until the job is terminal
 //!   --wait-idle               (status) block until the daemon is idle
+//!   --metrics                 (status) print every counter, gauge, and
+//!                             histogram of the daemon's registry
+//!   --prom                    (status) Prometheus text exposition of
+//!                             the same registry (implies --metrics)
+//!   --job <id>                (watch) only that job's events
+//!   --since <seq>             (watch) replay retained events from that
+//!                             bus sequence number first (0 = all)
+//!   --json                    (watch) raw NDJSON frames, one per line
+//!                             (for watch, --events takes a comma list
+//!                             of kinds: admitted,queued,started,
+//!                             retrying,quarantined,done,state,metrics)
 //!   --against <target>        (verify) the program a flow profile was
 //!                             collected from, enabling the
 //!                             flow-conservation walk
@@ -140,6 +162,10 @@ struct Options {
     /// combined pipeline, unlike the other commands.)
     config_set: bool,
     events: (HwEvent, HwEvent),
+    /// The raw `--events` value. Most commands parse it as an
+    /// `ev0,ev1` counter pair into `events`; `pp watch` reads it as a
+    /// comma-separated event-kind filter instead.
+    events_spec: Option<String>,
     scale: f64,
     threshold: f64,
     out: Option<String>,
@@ -165,8 +191,16 @@ struct Options {
     quiet: bool,
     socket: String,
     client: String,
+    /// Was `--client` given explicitly? (`pp watch` only filters by
+    /// client when it was.)
+    client_set: bool,
     wait: bool,
     wait_idle: bool,
+    metrics: bool,
+    prom: bool,
+    job: Option<u64>,
+    since: Option<u64>,
+    json: bool,
     queue_cap: usize,
     quota: usize,
     checkpoint_every: u32,
@@ -180,6 +214,7 @@ impl Default for Options {
             config: "flow-hw".to_string(),
             config_set: false,
             events: (HwEvent::Insts, HwEvent::DcMiss),
+            events_spec: None,
             scale: 1.0,
             threshold: 0.01,
             out: None,
@@ -208,8 +243,14 @@ impl Default for Options {
             quiet: false,
             socket: "pp.sock".to_string(),
             client: "cli".to_string(),
+            client_set: false,
             wait: false,
             wait_idle: false,
+            metrics: false,
+            prom: false,
+            job: None,
+            since: None,
+            json: false,
             queue_cap: 64,
             quota: 0,
             checkpoint_every: 8,
@@ -281,11 +322,9 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
                 opts.config_set = true;
             }
             "--events" => {
-                let v = value("--events", &mut it)?;
-                let (a, b) = v
-                    .split_once(',')
-                    .ok_or_else(|| usage_err("--events expects `ev0,ev1`"))?;
-                opts.events = (parse_event(a.trim())?, parse_event(b.trim())?);
+                // Stored raw: `pp watch` reads a kind filter here, every
+                // other command a counter pair (parsed in main()).
+                opts.events_spec = Some(value("--events", &mut it)?);
             }
             "--scale" => {
                 opts.scale = value("--scale", &mut it)?
@@ -357,9 +396,29 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
                     })?);
             }
             "--socket" => opts.socket = value("--socket", &mut it)?,
-            "--client" => opts.client = value("--client", &mut it)?,
+            "--client" => {
+                opts.client = value("--client", &mut it)?;
+                opts.client_set = true;
+            }
             "--wait" => opts.wait = true,
             "--wait-idle" => opts.wait_idle = true,
+            "--metrics" => opts.metrics = true,
+            "--prom" => opts.prom = true,
+            "--json" => opts.json = true,
+            "--job" => {
+                opts.job = Some(
+                    value("--job", &mut it)?
+                        .parse()
+                        .map_err(|_| usage_err("bad --job value (expect a job id)"))?,
+                );
+            }
+            "--since" => {
+                opts.since = Some(
+                    value("--since", &mut it)?
+                        .parse()
+                        .map_err(|_| usage_err("bad --since value (expect a sequence number)"))?,
+                );
+            }
             "--queue-cap" => {
                 opts.queue_cap = value("--queue-cap", &mut it)?
                     .parse()
@@ -945,6 +1004,9 @@ fn cmd_stats_overhead(target: &str, opts: &Options) -> Result<(), PpError> {
     if dropped > 0 {
         pp::obs::warn!("trace buffer dropped {dropped} oldest spans");
     }
+    // The loss is a metric too, so `--out` JSON and the internals
+    // snapshot carry it alongside the phase totals.
+    pp::obs::Recorder::counter(&mut reg, "trace.dropped", dropped);
 
     println!(
         "== pp stats: {name} under {} (scale {}) ==",
@@ -1017,7 +1079,7 @@ fn cmd_stats_overhead(target: &str, opts: &Options) -> Result<(), PpError> {
     let mut all_events = setup_events;
     all_events.extend_from_slice(&base_events);
     all_events.extend_from_slice(&run_events);
-    emit_trace(opts, &all_events)?;
+    emit_trace(opts, &all_events, dropped)?;
     finish(fault)
 }
 
@@ -1079,15 +1141,17 @@ fn stats_json(
 
 /// Renders any recorded spans the way the trace flags asked for:
 /// `--trace-out FILE` writes Chrome trace_event JSON, `--trace` prints
-/// the collapsed flamegraph stacks to stderr.
-fn emit_trace(opts: &Options, events: &[pp::obs::SpanEvent]) -> Result<(), PpError> {
+/// the collapsed flamegraph stacks to stderr. `dropped` is the ring
+/// buffer's overflow count; both renderings surface it so a truncated
+/// trace never reads as a complete one.
+fn emit_trace(opts: &Options, events: &[pp::obs::SpanEvent], dropped: u64) -> Result<(), PpError> {
     if let Some(path) = &opts.trace_out {
-        let json = pp::obs::trace::chrome_trace(events);
+        let json = pp::obs::trace::chrome_trace(events, dropped);
         std::fs::write(path, json).map_err(|e| PpError::io(path, e))?;
         pp::obs::info!("wrote {} trace events to {path}", events.len());
     }
     if opts.trace {
-        eprint!("{}", pp::obs::trace::collapsed_stacks(events));
+        eprint!("{}", pp::obs::trace::collapsed_stacks(events, dropped));
     }
     Ok(())
 }
@@ -1156,26 +1220,33 @@ fn cmd_decode(
 }
 
 fn usage() -> &'static str {
-    "usage: pp <list|run|report|hot|cct|stats|verify|annotate|decode|bench|batch|serve|submit|status> [target] [options]\n\
+    "usage: pp <list|run|report|hot|cct|stats|verify|annotate|decode|bench|batch|serve|submit|status|watch> [target] [options]\n\
      run `pp list` to see the benchmark suite; see crate docs for options\n\
      batch: --jobs N --retries N --fuel N --deadline S --seed N --quarantine-cap N\n\
             --checkpoint-dir DIR | --resume DIR  --inject hang@I,corrupt@I,...\n\
      serve: --socket PATH --checkpoint-dir DIR --jobs N --queue-cap N --quota N\n\
             --checkpoint-every N --quarantine-cap N --inject-every panic=N,corrupt=N\n\
      submit: <target> --socket PATH [--client NAME] [--wait]\n\
-     status: [job-id] --socket PATH [--wait-idle]\n\
+     status: [job-id] --socket PATH [--wait-idle] [--metrics] [--prom]\n\
+     watch: --socket PATH [--job ID] [--client NAME] [--events k1,k2] [--since SEQ]\n\
+            [--json] [--deadline S]\n\
      verify: <profile|checkpoint-dir|target> [--against TARGET] [--clobber-pics READ]\n\
      observability: --trace, --trace-out FILE, --quiet (also PP_TRACE, PP_LOG)\n\
      exit codes: 0 ok, 1 usage, 2 aborted run or integrity violation,\n\
                  3 i/o or corrupt profile, 4 service unavailable (overloaded/quota/draining)"
 }
 
-/// The client-verb options shared by `pp submit` and `pp status`.
+/// The client-verb options shared by `pp submit`, `pp status`, and
+/// `pp watch`.
 #[cfg(unix)]
 fn client_args(opts: &Options) -> serve_cmd::ClientArgs {
     serve_cmd::ClientArgs {
         socket: opts.socket.clone(),
         client: opts.client.clone(),
+        dir: opts
+            .checkpoint_dir
+            .clone()
+            .unwrap_or_else(|| "pp-serve-state".to_string()),
         wait: opts.wait,
         wait_idle: opts.wait_idle,
         deadline_s: opts.deadline,
@@ -1200,6 +1271,16 @@ fn main() -> ExitCode {
     };
     let run = || -> Result<(), PpError> {
         let (positional, mut opts) = parse_options(&args[1..])?;
+        // `pp watch` reads `--events` as an event-kind filter; everyone
+        // else as the hardware-counter pair.
+        if cmd != "watch" {
+            if let Some(spec) = &opts.events_spec {
+                let (a, b) = spec
+                    .split_once(',')
+                    .ok_or_else(|| usage_err("--events expects `ev0,ev1`"))?;
+                opts.events = (parse_event(a.trim())?, parse_event(b.trim())?);
+            }
+        }
         if opts.quiet {
             pp::obs::log::set_level(pp::obs::Level::Quiet);
         }
@@ -1320,23 +1401,36 @@ fn main() -> ExitCode {
                 )
             }
             #[cfg(unix)]
-            ("status", []) => serve_cmd::run_status(&client_args(&opts), None),
+            ("status", []) => {
+                serve_cmd::run_status(&client_args(&opts), None, opts.metrics, opts.prom)
+            }
             #[cfg(unix)]
             ("status", [id]) => {
                 let id = id
                     .parse()
                     .map_err(|_| usage_err(format!("bad job id `{id}`")))?;
-                serve_cmd::run_status(&client_args(&opts), Some(id))
+                serve_cmd::run_status(&client_args(&opts), Some(id), opts.metrics, opts.prom)
             }
+            #[cfg(unix)]
+            ("watch", []) => serve_cmd::run_watch(
+                &client_args(&opts),
+                &serve_cmd::WatchArgs {
+                    job: opts.job,
+                    client_filter: opts.client_set.then(|| opts.client.clone()),
+                    kinds: opts.events_spec.clone(),
+                    since: opts.since,
+                    json: opts.json,
+                },
+            ),
             _ => Err(PpError::Usage(usage().to_string())),
         };
         // Spans a command recorded but did not render itself (`pp
         // stats` drains its own buffer, so this is a no-op there).
         let (events, dropped) = pp::obs::trace::take_events();
-        let trace_result = if events.is_empty() {
+        let trace_result = if events.is_empty() && dropped == 0 {
             Ok(())
         } else {
-            emit_trace(&opts, &events)
+            emit_trace(&opts, &events, dropped)
         };
         if dropped > 0 {
             pp::obs::warn!("trace buffer dropped {dropped} oldest spans");

@@ -14,23 +14,36 @@
 //! `pp serve` over the same directory recovers from them.
 //!
 //! Protocol ops: `submit`, `status`, `wait`, `wait-idle`, `metrics`,
-//! `drain`, `ping`. Refusals carry the admission taxonomy on the wire
-//! (`overloaded`, `quota-exceeded`, `draining`, …) and the client maps
-//! them back onto [`AdmitError`] — so `pp submit` against a saturated
-//! server exits with code 4, distinct from a failed run.
+//! `drain`, `ping`, `subscribe`. Refusals carry the admission taxonomy
+//! on the wire (`overloaded`, `quota-exceeded`, `draining`, …) and the
+//! client maps them back onto [`AdmitError`] — so `pp submit` against a
+//! saturated server exits with code 4, distinct from a failed run.
+//!
+//! Request frames are bounded (64 KiB): an oversized line earns a typed
+//! `frame-too-large` reply and the rest of the line is discarded, so a
+//! hostile or broken client can neither balloon server memory nor wedge
+//! the connection. `subscribe` switches the connection into streaming
+//! mode: one ack, then NDJSON event frames (see
+//! [`pp::obs::events`]) until the subscriber hangs up or the service
+//! stops — that is the `pp watch` transport.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pp::ir::HwEvent;
+use pp::obs::events::{EventFilter, DEFAULT_SUBSCRIBER_CAPACITY, EVENT_KINDS};
 use pp::obs::json::{self, Json};
 use pp::profiler::{
     AdmitError, PpError, Profiler, Service, ServiceConfig, ServiceFaultPlan, ServicePhase,
 };
 use pp::usim::{CancelToken, GuestLimits};
+
+/// Bound on one NDJSON request frame; longer lines get a typed
+/// `frame-too-large` reply and are discarded up to the next newline.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
 
 /// Options the CLI hands to [`run_serve`].
 pub struct ServeArgs {
@@ -62,18 +75,38 @@ pub struct ServeArgs {
     pub profiler: Profiler,
 }
 
-/// Options for the client verbs ([`run_submit`], [`run_status`]).
+/// Options for the client verbs ([`run_submit`], [`run_status`],
+/// [`run_watch`]).
 pub struct ClientArgs {
     /// Socket of the `pp serve` daemon.
     pub socket: String,
     /// Client name for quota accounting (`--client`).
     pub client: String,
+    /// Service state directory (`--checkpoint-dir`), for the offline
+    /// `pp status` fallback.
+    pub dir: String,
     /// Block until the submitted job is terminal (`--wait`).
     pub wait: bool,
     /// Block until the server is idle (`--wait-idle`).
     pub wait_idle: bool,
     /// Wait budget in seconds (`--deadline`; default 600).
     pub deadline_s: Option<f64>,
+}
+
+/// Options for `pp watch` beyond the shared [`ClientArgs`].
+#[derive(Default)]
+pub struct WatchArgs {
+    /// Only this job's events (`--job`).
+    pub job: Option<u64>,
+    /// Only this submitting client's events (`--client` when it was
+    /// given explicitly — the default client name is not a filter).
+    pub client_filter: Option<String>,
+    /// Comma-separated event kinds (`--events`), e.g. `done,retrying`.
+    pub kinds: Option<String>,
+    /// Replay retained history from this sequence number (`--since`).
+    pub since: Option<u64>,
+    /// Emit raw NDJSON frames instead of the human tail (`--json`).
+    pub json: bool,
 }
 
 impl ClientArgs {
@@ -242,8 +275,15 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), PpError> {
     }
 
     // Accept loop: poll so the graceful token is observed promptly even
-    // with no clients connecting.
+    // with no clients connecting. The same loop is the metrics ticker:
+    // once a second the full registry goes onto the event bus as a
+    // `metrics` snapshot frame for subscribers.
+    let mut last_snapshot = Instant::now();
     while !graceful.is_cancelled() {
+        if last_snapshot.elapsed() >= Duration::from_secs(1) {
+            service.publish_metrics_snapshot();
+            last_snapshot = Instant::now();
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let service = Arc::clone(&service);
@@ -275,9 +315,73 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), PpError> {
     Ok(())
 }
 
-/// Serves one client connection: a loop of NDJSON request/response
-/// pairs until the peer hangs up. Malformed requests get a typed
-/// `bad-request` reply, never a dropped connection.
+/// One bounded read of the NDJSON transport.
+enum FrameRead {
+    /// A complete line within the frame bound.
+    Line(String),
+    /// The line exceeded [`MAX_FRAME_BYTES`]; its bytes were discarded
+    /// up to (and including) the newline, so the connection can keep
+    /// serving.
+    TooLarge,
+    /// Peer hung up. A torn (newline-less) tail is dropped — it was
+    /// never a complete request, mirroring the intake journal's
+    /// torn-tail rule.
+    Eof,
+    /// Transport error.
+    Failed,
+}
+
+/// Reads one newline-terminated frame without ever buffering more than
+/// [`MAX_FRAME_BYTES`] of it.
+fn read_frame(reader: &mut impl BufRead) -> FrameRead {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let (consumed, complete) = {
+            let chunk = match reader.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return FrameRead::Failed,
+            };
+            if chunk.is_empty() {
+                return FrameRead::Eof;
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !oversized {
+                        line.extend_from_slice(&chunk[..pos]);
+                    }
+                    (pos + 1, true)
+                }
+                None => {
+                    if !oversized {
+                        line.extend_from_slice(chunk);
+                    }
+                    (chunk.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > MAX_FRAME_BYTES {
+            oversized = true;
+            line.clear();
+        }
+        if complete {
+            return if oversized {
+                FrameRead::TooLarge
+            } else {
+                FrameRead::Line(String::from_utf8_lossy(&line).into_owned())
+            };
+        }
+    }
+}
+
+/// Serves one client connection: a loop of bounded NDJSON
+/// request/response pairs until the peer hangs up. Malformed requests
+/// get a typed `bad-request` reply and oversized ones a typed
+/// `frame-too-large` reply — never a panic, never a dropped connection.
+/// A `subscribe` request switches the connection into streaming mode
+/// and it stays there until one side hangs up.
 fn handle_client(service: &Service, stream: UnixStream) {
     // Accepted sockets can inherit the listener's nonblocking mode on
     // some platforms; the handler wants plain blocking reads.
@@ -287,22 +391,131 @@ fn handle_client(service: &Service, stream: UnixStream) {
     let Ok(peer) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(peer);
+    let mut reader = BufReader::new(peer);
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
+    let send = |writer: &mut UnixStream, response: &Json| {
+        writeln!(writer, "{}", response.render())
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
+    loop {
+        let line = match read_frame(&mut reader) {
+            FrameRead::Line(line) => line,
+            FrameRead::TooLarge => {
+                let response = error_json(
+                    "frame-too-large",
+                    &format!("request frames are capped at {MAX_FRAME_BYTES} bytes"),
+                );
+                if !send(&mut writer, &response) {
+                    return;
+                }
+                continue;
+            }
+            FrameRead::Eof | FrameRead::Failed => return,
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let response = match json::parse(&line) {
-            Ok(request) => handle_request(service, &request),
-            Err(e) => error_json("bad-request", &format!("unparsable request: {e}")),
+        let request = match json::parse(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                let response = error_json("bad-request", &format!("unparsable request: {e}"));
+                if !send(&mut writer, &response) {
+                    return;
+                }
+                continue;
+            }
         };
-        if writeln!(writer, "{}", response.render())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
+        if request.get("op").and_then(Json::as_str) == Some("subscribe") {
+            stream_events(service, &mut writer, &request);
             return;
+        }
+        let response = handle_request(service, &request);
+        if !send(&mut writer, &response) {
+            return;
+        }
+    }
+}
+
+/// Serves a `subscribe` request: one ack object, then NDJSON event
+/// frames until the subscriber hangs up or the service stops. A slow
+/// subscriber only ever blocks its own connection thread; its bounded
+/// bus queue drops oldest events with exact accounting
+/// (`dropped_since_last`), and the daemon never waits on it.
+fn stream_events(service: &Service, writer: &mut UnixStream, request: &Json) {
+    let num = |key: &str| request.get(key).and_then(Json::as_f64);
+    let text = |key: &str| request.get(key).and_then(Json::as_str);
+    let mut kinds: Option<Vec<String>> = None;
+    if let Some(spec) = text("events") {
+        let list: Vec<String> = spec
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        for kind in &list {
+            if !EVENT_KINDS.contains(&kind.as_str()) {
+                let response = error_json(
+                    "bad-request",
+                    &format!(
+                        "unknown event kind `{kind}` (expected one of: {})",
+                        EVENT_KINDS.join(", ")
+                    ),
+                );
+                let _ = writeln!(writer, "{}", response.render());
+                return;
+            }
+        }
+        if !list.is_empty() {
+            kinds = Some(list);
+        }
+    }
+    let filter = EventFilter {
+        job: num("job").map(|j| j as u64),
+        client: text("client").map(str::to_string),
+        kinds,
+        since: num("since").map(|s| s as u64),
+    };
+    let capacity = num("capacity")
+        .map(|c| c as usize)
+        .filter(|c| *c > 0)
+        .unwrap_or(DEFAULT_SUBSCRIBER_CAPACITY);
+    let subscription = service.subscribe(filter, capacity);
+    let ack = Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("subscribed".to_string(), Json::Bool(true)),
+        (
+            "phase".to_string(),
+            Json::Str(phase_str(service.phase()).to_string()),
+        ),
+        (
+            "next_seq".to_string(),
+            Json::Num(service.events().next_seq() as f64),
+        ),
+        ("capacity".to_string(), Json::Num(capacity as f64)),
+    ]);
+    if writeln!(writer, "{}", ack.render())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match subscription.recv(Duration::from_millis(250)) {
+            Some(frame) => {
+                if writeln!(writer, "{}", frame.to_json().render())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    // Subscriber gone; dropping the subscription
+                    // unregisters it from the bus.
+                    return;
+                }
+            }
+            None => {
+                if subscription.is_closed() || service.phase() == ServicePhase::Stopped {
+                    return;
+                }
+            }
         }
     }
 }
@@ -325,10 +538,19 @@ fn handle_request(service: &Service, request: &Json) -> Json {
         Json::Obj(fields)
     };
     match str_field("op") {
-        Some("ping") => ok(vec![(
-            "phase".to_string(),
-            Json::Str(phase_str(service.phase()).to_string()),
-        )]),
+        Some("ping") => {
+            let (queued, running, done, failed) = service.counts();
+            ok(vec![
+                (
+                    "phase".to_string(),
+                    Json::Str(phase_str(service.phase()).to_string()),
+                ),
+                ("queued".to_string(), Json::Num(queued as f64)),
+                ("running".to_string(), Json::Num(running as f64)),
+                ("done".to_string(), Json::Num(done as f64)),
+                ("failed".to_string(), Json::Num(failed as f64)),
+            ])
+        }
         Some("submit") => {
             let Some(spec) = str_field("spec") else {
                 return error_json("bad-request", "submit needs \"spec\"");
@@ -388,7 +610,18 @@ fn handle_request(service: &Service, request: &Json) -> Json {
             let idle = service.wait_idle(timeout);
             ok(vec![("idle".to_string(), Json::Bool(idle))])
         }
-        Some("metrics") => ok(vec![("metrics".to_string(), service.metrics().to_json())]),
+        Some("metrics") => {
+            let registry = service.registry();
+            // The registry renders itself; parse it back so it embeds as
+            // an object rather than a string.
+            let registry_json =
+                json::parse(&registry.to_json()).unwrap_or_else(|_| Json::Obj(Vec::new()));
+            ok(vec![
+                ("metrics".to_string(), service.metrics().to_json()),
+                ("registry".to_string(), registry_json),
+                ("prom".to_string(), Json::Str(registry.prom_text())),
+            ])
+        }
         Some("drain") => {
             service.drain();
             ok(vec![(
@@ -544,14 +777,108 @@ pub fn run_submit(
     Ok(())
 }
 
-/// `pp status`: one job, the whole table, or `--wait-idle`.
+/// Renders one registry JSON object (counters/gauges as plain numbers,
+/// histograms as `count/sum/max/mean`) in wire order, which the server
+/// already sorts.
+fn print_registry(registry: &Json) {
+    let Json::Obj(fields) = registry else { return };
+    for (name, value) in fields {
+        match value {
+            Json::Num(v) => println!("{name:<36} {v}"),
+            Json::Obj(_) => {
+                let h = |key: &str| value.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                println!(
+                    "{name:<36} count={} sum={} max={} mean={}",
+                    h("count"),
+                    h("sum"),
+                    h("max"),
+                    h("mean"),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The offline `pp status` path: when no daemon answers on the socket,
+/// report the last checkpointed state from the service directory —
+/// clearly labeled as stale, never dressed up as live.
+fn status_from_disk(args: &ClientArgs) -> Result<(), PpError> {
+    use pp::profiler::service::JOURNAL_FILE;
+    let dir = Path::new(&args.dir);
+    let manifest = pp::profiler::BatchManifest::load(dir).map_err(PpError::Corrupt)?;
+    let intake_lines = std::fs::read_to_string(dir.join(JOURNAL_FILE))
+        .map(|s| s.lines().filter(|l| !l.trim().is_empty()).count())
+        .unwrap_or(0);
+    println!(
+        "daemon not reachable on {}; stale state from last checkpoint in {}:",
+        args.socket, args.dir
+    );
+    println!(
+        "{:>6} {:<20} {:<8} {:>8} {:>12} {:>12}  detail",
+        "id", "name", "state", "attempts", "cycles", "uops"
+    );
+    for (id, job) in manifest.jobs.iter().enumerate() {
+        let state = match job.status {
+            pp::profiler::JobStatus::Pending => "pending",
+            pp::profiler::JobStatus::Done => "done",
+            pp::profiler::JobStatus::Failed => "failed",
+        };
+        println!(
+            "{:>6} {:<20} {:<8} {:>8} {:>12} {:>12}  {}",
+            id, job.name, state, job.attempts, job.cycles, job.uops, job.detail,
+        );
+    }
+    let (pending, done, failed) = manifest.counts();
+    println!(
+        "\nphase: unknown (stale) | {pending} pending, {done} done, {failed} failed \
+         | {intake_lines} journaled admissions",
+    );
+    println!("start `pp serve` over {} for live state", args.dir);
+    Ok(())
+}
+
+/// `pp status`: one job, the whole table, `--wait-idle`, or the fleet
+/// metrics surface (`--metrics`, `--prom`). With no daemon on the
+/// socket, the full-table form falls back to the last checkpoint on
+/// disk, clearly labeled stale.
 ///
 /// # Errors
 ///
-/// [`PpError::Io`] (exit 3) when the daemon is unreachable or the wait
+/// [`PpError::Io`] (exit 3) when the daemon is unreachable and the
+/// request needs one (single job, `--wait-idle`, metrics), or the wait
 /// budget expires.
-pub fn run_status(args: &ClientArgs, id: Option<u64>) -> Result<(), PpError> {
-    let mut conn = Conn::open(&args.socket)?;
+pub fn run_status(
+    args: &ClientArgs,
+    id: Option<u64>,
+    metrics: bool,
+    prom: bool,
+) -> Result<(), PpError> {
+    let mut conn = match Conn::open(&args.socket) {
+        Ok(conn) => conn,
+        Err(e) => {
+            // Only the plain table view has a meaningful offline answer.
+            if id.is_none() && !args.wait_idle && !metrics && !prom {
+                return status_from_disk(args);
+            }
+            return Err(e);
+        }
+    };
+    if metrics || prom {
+        let reply = conn.request(&Json::Obj(vec![(
+            "op".to_string(),
+            Json::Str("metrics".to_string()),
+        )]))?;
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(refusal_error(&reply));
+        }
+        if prom {
+            print!("{}", reply.get("prom").and_then(Json::as_str).unwrap_or(""));
+        } else if let Some(registry) = reply.get("registry") {
+            print_registry(registry);
+        }
+        return Ok(());
+    }
     if args.wait_idle {
         let deadline = std::time::Instant::now() + args.wait_budget();
         loop {
@@ -629,6 +956,161 @@ pub fn run_status(args: &ClientArgs, id: Option<u64>) -> Result<(), PpError> {
     Ok(())
 }
 
+/// Renders one event frame as a human tail line.
+fn frame_line(frame: &Json) -> String {
+    let s = |key: &str| frame.get(key).and_then(Json::as_str).unwrap_or("");
+    let n = |key: &str| frame.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let kind = s("event");
+    let mut line = format!("#{:<6} ", n("seq"));
+    if frame.get("job").is_some() {
+        line.push_str(&format!("job {:<4} {:<12} ", n("job"), s("name")));
+    } else {
+        line.push_str(&format!("{:<21} ", "service"));
+    }
+    let body = match kind {
+        "admitted" => format!("admitted (client {})", s("client")),
+        "queued" => format!("queued (depth {})", n("depth")),
+        "started" => format!("started on worker {}", n("worker")),
+        "retrying" => format!(
+            "retrying attempt {} ({}, backoff {} ms)",
+            n("attempt"),
+            s("class"),
+            n("delay_ms"),
+        ),
+        "quarantined" => format!("quarantined attempt {}: {}", n("attempt"), s("reason")),
+        "done" => format!(
+            "{} in {} µs after {} attempt(s)",
+            s("outcome"),
+            n("wall_us"),
+            n("attempts"),
+        ),
+        "state" => format!("phase -> {}", s("phase")),
+        "metrics" => {
+            let m = |key: &str| {
+                frame
+                    .get("metrics")
+                    .and_then(|m| m.get(key))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0)
+            };
+            format!(
+                "metrics: {} done, {} failed, {} published events",
+                m("service.jobs.done"),
+                m("service.jobs.failed"),
+                m("events.published"),
+            )
+        }
+        other => format!("{other}?"),
+    };
+    line.push_str(&body);
+    if frame.get("replay").and_then(Json::as_bool) == Some(true) {
+        line.push_str(" [replay]");
+    }
+    let dropped = n("dropped_since_last");
+    if dropped > 0.0 {
+        line.push_str(&format!("  (+{dropped} dropped)"));
+    }
+    line
+}
+
+/// `pp watch`: subscribes to the daemon's event bus and tails it until
+/// the stream ends or `--deadline` elapses. `--json` passes the NDJSON
+/// frames through untouched for tooling.
+///
+/// # Errors
+///
+/// [`PpError::Io`] (exit 3) when the daemon is unreachable;
+/// [`PpError::Usage`] (exit 1) when the server refuses the filter.
+pub fn run_watch(args: &ClientArgs, watch: &WatchArgs) -> Result<(), PpError> {
+    let io_err = |e| PpError::io(&args.socket, e);
+    let stream = UnixStream::connect(&args.socket).map_err(io_err)?;
+    let mut fields = vec![("op".to_string(), Json::Str("subscribe".to_string()))];
+    if let Some(job) = watch.job {
+        fields.push(("job".to_string(), Json::Num(job as f64)));
+    }
+    if let Some(client) = &watch.client_filter {
+        fields.push(("client".to_string(), Json::Str(client.clone())));
+    }
+    if let Some(kinds) = &watch.kinds {
+        fields.push(("events".to_string(), Json::Str(kinds.clone())));
+    }
+    if let Some(since) = watch.since {
+        fields.push(("since".to_string(), Json::Num(since as f64)));
+    }
+    let mut writer = stream.try_clone().map_err(io_err)?;
+    writeln!(writer, "{}", Json::Obj(fields).render())
+        .and_then(|()| writer.flush())
+        .map_err(io_err)?;
+    // Short read timeouts bound every wait so `--deadline` terminates
+    // the tail even when the server goes silent mid-frame.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .map_err(io_err)?;
+    let budget = args
+        .deadline_s
+        .filter(|d| *d > 0.0)
+        .map(Duration::from_secs_f64);
+    let started = Instant::now();
+    let mut reader = BufReader::new(stream);
+    // read_until keeps partial bytes across timeouts, so a frame torn
+    // by the 250 ms tick is finished on the next read, not lost.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut acked = false;
+    loop {
+        if let Some(budget) = budget {
+            if started.elapsed() >= budget {
+                return Ok(());
+            }
+        }
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => return Ok(()),                          // server closed the stream
+            Ok(_) if buf.last() != Some(&b'\n') => continue, // torn, keep reading
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+        let line = String::from_utf8_lossy(&buf).trim().to_string();
+        buf.clear();
+        if line.is_empty() {
+            continue;
+        }
+        let frame = json::parse(&line).map_err(|e| {
+            PpError::Corrupt(pp::cct::SerializeError::Format(format!(
+                "unparsable event frame: {e}"
+            )))
+        })?;
+        if !acked {
+            acked = true;
+            if frame.get("subscribed").and_then(Json::as_bool) != Some(true) {
+                return Err(refusal_error(&frame));
+            }
+            if !watch.json {
+                println!(
+                    "watching {} (phase {}, next seq {})",
+                    args.socket,
+                    frame.get("phase").and_then(Json::as_str).unwrap_or("?"),
+                    frame.get("next_seq").and_then(Json::as_f64).unwrap_or(0.0),
+                );
+            }
+            continue;
+        }
+        if watch.json {
+            println!("{line}");
+        } else {
+            println!("{}", frame_line(&frame));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,5 +1153,217 @@ mod tests {
         assert_eq!(e.exit_code(), 4);
         let bad = error_json("bad-spec", "no such target");
         assert_eq!(refusal_error(&bad).exit_code(), 1);
+    }
+
+    // ---- protocol framing fuzz: torn, oversized, and interleaved
+    // frames must earn typed errors on a connection that keeps serving,
+    // never a panic or a hang. ----
+
+    use std::path::PathBuf;
+
+    /// A service whose resolver refuses everything — protocol tests
+    /// exercise the transport, not job execution.
+    fn proto_service(tag: &str) -> (std::sync::Arc<Service>, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("pp-serve-proto-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let resolver: pp::profiler::SpecResolver =
+            Arc::new(|_spec: &str| Err("protocol tests resolve nothing".to_string()));
+        let config = ServiceConfig {
+            workers: 1,
+            params: "proto-test".to_string(),
+            ..ServiceConfig::default()
+        };
+        let service =
+            Service::start(config, Profiler::default(), resolver, &dir).expect("service starts");
+        (Arc::new(service), dir)
+    }
+
+    /// Wires a raw client socket to a live `handle_client` thread.
+    fn proto_conn(
+        service: &Arc<Service>,
+    ) -> (
+        UnixStream,
+        BufReader<UnixStream>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (client, server) = UnixStream::pair().expect("socketpair");
+        let svc = Arc::clone(service);
+        let handler = std::thread::spawn(move || handle_client(&svc, server));
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let reader = BufReader::new(client.try_clone().expect("clone"));
+        (client, reader, handler)
+    }
+
+    fn read_reply(reader: &mut BufReader<UnixStream>) -> Json {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply line");
+        json::parse(line.trim()).expect("reply parses")
+    }
+
+    #[test]
+    fn oversized_frame_gets_typed_error_and_connection_survives() {
+        let (service, dir) = proto_service("oversized");
+        let (mut client, mut reader, handler) = proto_conn(&service);
+        let mut huge = vec![b'a'; MAX_FRAME_BYTES + 512];
+        huge.push(b'\n');
+        client.write_all(&huge).expect("oversized frame");
+        client
+            .write_all(b"{\"op\":\"ping\"}\n")
+            .expect("ping after");
+        client.flush().expect("flush");
+        let first = read_reply(&mut reader);
+        assert_eq!(
+            first.get("error").and_then(Json::as_str),
+            Some("frame-too-large"),
+            "{first:?}"
+        );
+        let second = read_reply(&mut reader);
+        assert_eq!(second.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            second.get("phase").and_then(Json::as_str),
+            Some("accepting"),
+            "the connection keeps serving after the oversized frame"
+        );
+        drop(client);
+        drop(reader);
+        handler.join().expect("handler exits");
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_and_garbage_frames_never_panic_or_wedge() {
+        let (service, dir) = proto_service("torn");
+        let (mut client, mut reader, handler) = proto_conn(&service);
+        // Interleaved garbage: binary junk, an empty line, unparsable
+        // JSON — each complete frame earns one typed reply.
+        client
+            .write_all(b"\x00\xfe\x01 binary junk\n")
+            .expect("junk");
+        client.write_all(b"\n").expect("blank");
+        client
+            .write_all(b"{\"op\": \"ping\"")
+            .expect("half an object");
+        client.write_all(b" oops}\n").expect("rest of the line");
+        client
+            .write_all(b"{\"op\":\"ping\"}\n")
+            .expect("valid ping");
+        client.flush().expect("flush");
+        let junk_reply = read_reply(&mut reader);
+        assert_eq!(
+            junk_reply.get("error").and_then(Json::as_str),
+            Some("bad-request")
+        );
+        let torn_json_reply = read_reply(&mut reader);
+        assert_eq!(
+            torn_json_reply.get("error").and_then(Json::as_str),
+            Some("bad-request")
+        );
+        let ping_reply = read_reply(&mut reader);
+        assert_eq!(ping_reply.get("ok").and_then(Json::as_bool), Some(true));
+        // A torn final frame (no newline) at hangup is dropped silently:
+        // it was never a complete request.
+        client.write_all(b"{\"op\":\"stat").expect("torn tail");
+        client
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut rest = String::new();
+        reader.read_line(&mut rest).expect("eof");
+        assert!(rest.is_empty(), "no reply to a torn tail: {rest:?}");
+        drop(client);
+        drop(reader);
+        handler.join().expect("handler exits cleanly");
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_ops_and_missing_fields_get_typed_refusals() {
+        let (service, dir) = proto_service("badops");
+        let (mut client, mut reader, handler) = proto_conn(&service);
+        for (request, want) in [
+            ("{\"op\":\"warp\"}", "bad-request"),
+            ("{\"no_op\":1}", "bad-request"),
+            ("{\"op\":\"submit\"}", "bad-request"),
+            ("{\"op\":\"submit\",\"spec\":\"x\"}", "bad-spec"),
+        ] {
+            client
+                .write_all(format!("{request}\n").as_bytes())
+                .expect("request");
+            client.flush().expect("flush");
+            let reply = read_reply(&mut reader);
+            assert_eq!(
+                reply.get("error").and_then(Json::as_str),
+                Some(want),
+                "{request} -> {reply:?}"
+            );
+        }
+        drop(client);
+        drop(reader);
+        handler.join().expect("handler exits");
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subscribe_validates_kinds_then_streams_frames() {
+        let (service, dir) = proto_service("subscribe");
+        // A bad kind is refused before any subscription exists.
+        {
+            let (mut client, mut reader, handler) = proto_conn(&service);
+            client
+                .write_all(b"{\"op\":\"subscribe\",\"events\":\"nonsense\"}\n")
+                .expect("bad subscribe");
+            client.flush().expect("flush");
+            let reply = read_reply(&mut reader);
+            assert_eq!(
+                reply.get("error").and_then(Json::as_str),
+                Some("bad-request")
+            );
+            drop(client);
+            drop(reader);
+            handler.join().expect("handler exits");
+        }
+        assert_eq!(service.events().subscriber_count(), 0);
+        // The happy path: ack, then frames as events are published.
+        let (client, mut reader, handler) = proto_conn(&service);
+        {
+            let mut w = client.try_clone().expect("clone");
+            w.write_all(b"{\"op\":\"subscribe\",\"since\":0}\n")
+                .expect("subscribe");
+            w.flush().expect("flush");
+        }
+        let ack = read_reply(&mut reader);
+        assert_eq!(ack.get("subscribed").and_then(Json::as_bool), Some(true));
+        let seq = service.events().publish(pp::obs::events::Event::job_event(
+            3,
+            "ci",
+            "tiny",
+            pp::obs::events::Payload::Queued { depth: 1 },
+        ));
+        let frame = read_reply(&mut reader);
+        assert_eq!(frame.get("seq").and_then(Json::as_f64), Some(seq as f64));
+        assert_eq!(frame.get("event").and_then(Json::as_str), Some("queued"));
+        assert_eq!(
+            frame.get("dropped_since_last").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        // Hanging up unregisters the subscriber: the next delivery's
+        // write fails with EPIPE and the stream loop exits.
+        drop(client);
+        drop(reader);
+        service
+            .events()
+            .publish(pp::obs::events::Event::service_event(
+                pp::obs::events::Payload::StateChanged {
+                    phase: "accepting".to_string(),
+                },
+            ));
+        handler.join().expect("stream handler exits");
+        assert_eq!(service.events().subscriber_count(), 0);
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

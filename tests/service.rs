@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use pp::ir::build::ProgramBuilder;
 use pp::ir::instr::Operand;
 use pp::ir::{HwEvent, Program};
+use pp::obs::events::{EventFilter, Payload, DEFAULT_SUBSCRIBER_CAPACITY};
 use pp::profiler::{
     AdmitError, JobState, PpError, Profiler, Service, ServiceConfig, ServiceFaultPlan,
     ServicePhase, SpecResolver,
@@ -261,6 +262,10 @@ fn soak_thousand_jobs_with_sustained_faults() {
             ..config()
         },
     );
+    // The observability plane rides along: one subscriber at default
+    // capacity must see the soak's every event with zero drops, and
+    // each job's lifecycle in order — the plane's acceptance bar.
+    let sub = service.subscribe(EventFilter::default(), DEFAULT_SUBSCRIBER_CAPACITY);
     // Fill the queue beyond capacity while the pool is parked: the
     // overflow rejection is deterministic and typed.
     let mut submitted = 0u64;
@@ -340,6 +345,43 @@ fn soak_thousand_jobs_with_sustained_faults() {
         }
     }
     assert!(artifacts > 0, "done jobs persisted artifacts");
+
+    // The subscriber's view of the soak: everything published was
+    // delivered (zero drops at default capacity), bus order is strict,
+    // and every job's lifecycle is well-formed —
+    // admitted, queued, started, [retrying|quarantined]*, done.
+    let frames = sub.drain();
+    assert_eq!(service.events().dropped_total(), 0, "no drops");
+    assert!(frames.iter().all(|f| f.dropped_since_last == 0));
+    assert_eq!(frames.len() as u64, service.events().published());
+    let mut lifecycles: std::collections::HashMap<u64, Vec<&'static str>> = Default::default();
+    let mut last_seq = 0;
+    for f in &frames {
+        assert!(f.event.seq > last_seq, "bus seq strictly increases");
+        last_seq = f.event.seq;
+        assert!(!f.event.replay, "nothing was replayed in a live soak");
+        if let Some(job) = f.event.job {
+            lifecycles
+                .entry(job)
+                .or_default()
+                .push(f.event.payload.kind());
+        }
+    }
+    assert_eq!(lifecycles.len(), TOTAL as usize, "all jobs streamed events");
+    for (job, kinds) in &lifecycles {
+        assert_eq!(
+            &kinds[..3],
+            &["admitted", "queued", "started"],
+            "job {job}: {kinds:?}"
+        );
+        assert_eq!(kinds.last(), Some(&"done"), "job {job}: {kinds:?}");
+        for mid in &kinds[3..kinds.len() - 1] {
+            assert!(
+                matches!(*mid, "retrying" | "quarantined"),
+                "job {job}: {kinds:?}"
+            );
+        }
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -496,5 +538,112 @@ fn recovery_refuses_a_foreign_checkpoint() {
     };
     assert!(matches!(err, PpError::Usage(_)), "{err:?}");
     assert_eq!(err.exit_code(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slow_subscriber_drops_are_exactly_accounted() {
+    let dir = scratch("slowsub");
+    let service = start(&dir, config());
+    // A pathologically slow consumer: four slots, never drained until
+    // the campaign is over. The daemon must not block on it — it sheds
+    // oldest-first and keeps an exact ledger of what was lost.
+    let sub = service.subscribe(EventFilter::default(), 4);
+    for i in 0..40 {
+        service
+            .submit("c", &format!("job{i}"), "tiny")
+            .expect("admitted");
+    }
+    assert!(
+        service.wait_idle(Duration::from_secs(120)),
+        "jobs unaffected"
+    );
+    let report = service.shutdown().expect("clean shutdown");
+    assert_eq!(report.metrics.done, 40, "a slow subscriber costs nothing");
+
+    // The ledger balances: every published event was either delivered
+    // or counted as dropped, and the bus-wide total agrees.
+    let frames = sub.drain();
+    assert_eq!(frames.len(), 4, "only the retained window is delivered");
+    let dropped: u64 = frames.iter().map(|f| f.dropped_since_last).sum();
+    assert!(dropped > 0, "40 jobs overflow a 4-slot subscriber");
+    assert_eq!(frames.len() as u64 + dropped, service.events().published());
+    assert_eq!(service.events().dropped_total(), dropped);
+    // The loss is surfaced on the first frame after the gap, never
+    // silently spread around.
+    assert!(frames[0].dropped_since_last > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restart_replays_terminal_events_for_adopted_jobs() {
+    let dir = scratch("replay");
+    let service = start(&dir, config());
+    for i in 0..8 {
+        service
+            .submit("c", &format!("job{i}"), "tiny")
+            .expect("admitted");
+    }
+    assert!(service.wait_idle(Duration::from_secs(60)));
+    service.shutdown().expect("clean shutdown");
+
+    // The restarted daemon adopts the finished jobs and re-publishes
+    // their terminal events (marked replay) before any live traffic,
+    // so `pp watch --since 0` reconstructs what the previous
+    // incarnation finished.
+    let service = start(&dir, config());
+    assert_eq!(service.metrics().recovered_adopted, 8);
+    let sub = service.subscribe(
+        EventFilter {
+            since: Some(0),
+            kinds: Some(vec!["done".to_string()]),
+            ..EventFilter::default()
+        },
+        DEFAULT_SUBSCRIBER_CAPACITY,
+    );
+    let frames = sub.drain();
+    assert_eq!(frames.len(), 8, "one terminal event per adopted job");
+    let mut seen = std::collections::HashSet::new();
+    for f in &frames {
+        assert!(f.event.replay, "adopted terminals are marked as replay");
+        assert_eq!(f.dropped_since_last, 0);
+        match &f.event.payload {
+            Payload::Done { outcome, .. } => assert_eq!(outcome, "done"),
+            other => panic!("filtered to done, got {other:?}"),
+        }
+        seen.insert(f.event.job.expect("job event"));
+    }
+    assert_eq!(seen.len(), 8, "every adopted job replayed exactly once");
+    service.shutdown().expect("second shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn timing_histograms_cover_admission_queue_and_execution() {
+    let dir = scratch("hists");
+    let service = start(&dir, config());
+    for i in 0..6 {
+        service
+            .submit("c", &format!("job{i}"), "tiny")
+            .expect("admitted");
+    }
+    assert!(service.wait_idle(Duration::from_secs(60)));
+    let reg = service.registry();
+    for name in [
+        "service.admit.admitted_us",
+        "service.queue_wait_us",
+        "service.exec_wall_us",
+    ] {
+        let h = reg.hist(name).unwrap_or_else(|| panic!("{name} exists"));
+        assert_eq!(h.count, 6, "{name} observed every job");
+        assert!(h.max >= h.sum / 6, "{name} max/mean sanity");
+    }
+    assert_eq!(
+        reg.counter_value("events.published"),
+        service.events().published(),
+        "the registry mirrors the bus"
+    );
+    assert_eq!(reg.counter_value("events.dropped"), 0);
+    service.shutdown().expect("clean shutdown");
     std::fs::remove_dir_all(&dir).ok();
 }
