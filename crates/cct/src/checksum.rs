@@ -23,6 +23,22 @@ pub fn update_crc32(crc: u32, data: &[u8]) -> u32 {
     !crc
 }
 
+/// Content fingerprint for whole artifact files: CRC-32 of the bytes
+/// with the trailing four bytes excluded.
+///
+/// A plain CRC-32 of a whole envelope file is useless as an identity:
+/// every valid file *ends with* the CRC-32 of the bytes before it, and
+/// CRC linearity then makes the whole-file CRC identical for any two
+/// valid files of equal length (their xor-difference is `Δ ‖ crc(Δ)`,
+/// which is divisible by the CRC polynomial by construction). Skipping
+/// the stored checksum breaks that cancellation, so the fingerprint is
+/// sensitive to the content again. A change confined to the trailing
+/// checksum itself escapes the fingerprint but makes the envelope
+/// undecodable, so it is caught the moment the file is read.
+pub fn fingerprint32(data: &[u8]) -> u32 {
+    crc32(&data[..data.len().saturating_sub(4)])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,6 +58,21 @@ mod tests {
             let (a, b) = data.split_at(split);
             assert_eq!(update_crc32(crc32(a), b), crc32(data));
         }
+    }
+
+    #[test]
+    fn whole_file_crc_is_blind_to_equal_length_valid_envelopes() {
+        // Two valid envelope files with different payloads of the same
+        // length share a whole-file CRC-32 (the residue trap described
+        // on `fingerprint32`); the fingerprint tells them apart.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::serialize::write_envelope(&mut a, b"PPTEST01", b"payload one").unwrap();
+        crate::serialize::write_envelope(&mut b, b"PPTEST01", b"payload two").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(crc32(&a), crc32(&b), "the trap fingerprint32 exists for");
+        assert_ne!(fingerprint32(&a), fingerprint32(&b));
     }
 
     #[test]

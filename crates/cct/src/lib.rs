@@ -52,7 +52,7 @@ mod runtime;
 mod serialize;
 mod stats;
 
-pub use checksum::crc32;
+pub use checksum::{crc32, fingerprint32};
 pub use config::{CctConfig, ProcInfo};
 pub use dcg::DynCallGraph;
 pub use dct::{DctNodeId, DynCallTree};

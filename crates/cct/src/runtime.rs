@@ -160,6 +160,11 @@ impl PathStore {
     /// falls outside a dense array, which live instrumentation never
     /// produces (Ball–Larus sums are below the procedure's `NumPaths`);
     /// only corrupt profile files can get here.
+    ///
+    /// Sums saturate rather than wrap: a fleet merge folds counters from
+    /// arbitrarily many shards, and saturating `u64` addition keeps the
+    /// fold commutative and associative even at the ceiling, which the
+    /// merge's byte-determinism contract relies on.
     fn add(&mut self, sum: u64, counts: PathCounts) -> Result<(), ()> {
         let cell = match self {
             PathStore::Dense(arr) => usize::try_from(sum)
@@ -168,9 +173,9 @@ impl PathStore {
                 .ok_or(())?,
             PathStore::Hashed(map) => map.entry(sum).or_default(),
         };
-        cell.freq += counts.freq;
-        cell.m0 += counts.m0;
-        cell.m1 += counts.m1;
+        cell.freq = cell.freq.saturating_add(counts.freq);
+        cell.m0 = cell.m0.saturating_add(counts.m0);
+        cell.m1 = cell.m1.saturating_add(counts.m1);
         Ok(())
     }
 
@@ -945,9 +950,11 @@ impl CctRuntime {
                 (rec.calls, rec.metrics.clone(), rec.paths.clone())
             };
             let mine = &mut self.records[self_id.index()];
-            mine.calls += calls;
+            // Saturating sums keep the fold commutative/associative at the
+            // ceiling, so fleet merges stay byte-deterministic.
+            mine.calls = mine.calls.saturating_add(calls);
             for (m, d) in mine.metrics.iter_mut().zip(&metrics) {
-                *m += d;
+                *m = m.saturating_add(*d);
             }
             if let (Some(mine_paths), Some(theirs)) = (mine.paths.as_mut(), paths.as_ref()) {
                 for (sum, counts) in theirs.touched() {
@@ -1055,6 +1062,105 @@ impl CctRuntime {
             }
         }
         new
+    }
+}
+
+impl CctRuntime {
+    /// Rebuilds the tree in canonical order: records renumbered in
+    /// depth-first preorder (children visited slot by slot, entries that
+    /// share an indirect-call slot ordered by procedure index) and slot
+    /// lists stored in that same order.
+    ///
+    /// Live profiling and [`CctRuntime::merge_from`] both allocate
+    /// records in *encounter* order and prepend to slot lists, so two
+    /// trees holding exactly the same contexts and counters can still
+    /// serialize to different bytes. Canonicalization is a function of
+    /// tree *content* only, which is what makes a fleet merge
+    /// byte-deterministic: any fold order or association of the same
+    /// shards canonicalizes to identical bytes.
+    ///
+    /// Slot entries that reference a record outside the reachable tree
+    /// (possible only in a crafted profile file — live instrumentation
+    /// and merging never produce one) are dropped along with the
+    /// unreachable records themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has live activations.
+    pub fn canonicalize(&self) -> CctRuntime {
+        assert!(
+            self.stack.is_empty(),
+            "canonicalize requires a quiescent profile"
+        );
+        // Pass 1: canonical preorder walk assigning new ids. Tree
+        // children are the slot entries whose parent pointer names the
+        // current record; within one slot, entry procedures are distinct
+        // by construction (enter() reuses an existing entry for its
+        // procedure), so the procedure index is a total order.
+        let mut order: Vec<RecordId> = Vec::with_capacity(self.records.len());
+        let mut remap = vec![u32::MAX; self.records.len()];
+        let mut stack = vec![RecordId::ROOT];
+        while let Some(id) = stack.pop() {
+            if remap[id.index()] != u32::MAX {
+                continue;
+            }
+            remap[id.index()] = order.len() as u32;
+            order.push(id);
+            let mut kids: Vec<RecordId> = Vec::new();
+            for view in self.record(id).slots() {
+                let mut in_slot: Vec<RecordId> = view
+                    .entries
+                    .iter()
+                    .copied()
+                    .filter(|r| self.records[r.index()].parent == Some(id))
+                    .collect();
+                in_slot.sort_unstable_by_key(|r| self.records[r.index()].proc);
+                kids.extend(in_slot);
+            }
+            // Reversed so the stack pops them in canonical order.
+            for k in kids.into_iter().rev() {
+                stack.push(k);
+            }
+        }
+        // Pass 2: re-emit every reachable record in the new order with
+        // remapped references, and let `from_parts` re-decide each path
+        // table's dense-vs-hashed representation from the same Section
+        // 4.2 rule it applies when reading a profile file.
+        let parts: Vec<RecordParts> = order
+            .iter()
+            .map(|&old| {
+                let view = self.record(old);
+                let rec = &self.records[old.index()];
+                let slots = view
+                    .slots()
+                    .iter()
+                    .map(|s| {
+                        let mut keyed: Vec<(u32, u32)> = s
+                            .entries
+                            .iter()
+                            .filter(|r| remap[r.index()] != u32::MAX)
+                            .map(|r| (self.records[r.index()].proc, remap[r.index()]))
+                            .collect();
+                        keyed.sort_unstable();
+                        SlotParts {
+                            entries: keyed.into_iter().map(|(_, e)| e).collect(),
+                            one_path: s.one_path,
+                            used: s.used,
+                        }
+                    })
+                    .collect();
+                RecordParts {
+                    proc: rec.proc,
+                    parent: rec.parent.map(|p| remap[p.index()]),
+                    calls: rec.calls,
+                    metrics: rec.metrics.clone(),
+                    slots,
+                    paths: view.paths(),
+                }
+            })
+            .collect();
+        CctRuntime::from_parts(self.config, self.procs.clone(), parts)
+            .expect("canonical parts of a well-formed tree rebuild")
     }
 }
 
@@ -1856,5 +1962,103 @@ mod tests {
         assert_eq!(b_slots[0].entries, vec![a]);
         assert!(cct.record(b).children().is_empty());
         assert_eq!(cct.record(a).children(), vec![b]);
+    }
+
+    /// Figure 4 driven in the opposite call order (D's subtree before
+    /// A's), so record ids come out in a different encounter order.
+    fn run_figure4_reversed(cct: &mut CctRuntime) {
+        cct.enter(0); // M
+        cct.prepare_call(1, None);
+        cct.enter(4); // D
+        cct.prepare_call(0, None);
+        cct.enter(3); // C
+        cct.exit();
+        cct.exit();
+        cct.prepare_call(0, None);
+        cct.enter(1); // A
+        cct.prepare_call(0, None);
+        cct.enter(2); // B
+        cct.prepare_call(0, None);
+        cct.enter(3); // C
+        cct.exit();
+        cct.exit();
+        cct.exit();
+        cct.exit();
+    }
+
+    fn serialized(cct: &CctRuntime) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        crate::serialize::write_cct(cct, &mut bytes).expect("serialize");
+        bytes
+    }
+
+    #[test]
+    fn canonicalize_makes_encounter_order_irrelevant() {
+        let mut forward = CctRuntime::new(CctConfig::default(), procs_abc());
+        run_figure4(&mut forward);
+        let mut reversed = CctRuntime::new(CctConfig::default(), procs_abc());
+        run_figure4_reversed(&mut reversed);
+        // Same contexts, different encounter order: the raw serializations
+        // differ, the canonical ones do not.
+        assert_ne!(serialized(&forward), serialized(&reversed));
+        assert_eq!(
+            serialized(&forward.canonicalize()),
+            serialized(&reversed.canonicalize())
+        );
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_content_preserving() {
+        let mut cct = CctRuntime::new(CctConfig::combined(true), procs_abc());
+        run_figure4(&mut cct);
+        let canon = cct.canonicalize();
+        assert_eq!(canon.num_records(), cct.num_records());
+        let mut contexts: Vec<Vec<u32>> = canon
+            .record_ids()
+            .skip(1)
+            .map(|id| canon.record(id).context())
+            .collect();
+        contexts.sort();
+        assert!(contexts.contains(&vec![0, 1, 2, 3]));
+        assert!(contexts.contains(&vec![0, 4, 3]));
+        assert_eq!(serialized(&canon), serialized(&canon.canonicalize()));
+    }
+
+    #[test]
+    fn canonicalize_makes_merge_fold_order_irrelevant() {
+        let build = |reverse: bool| {
+            let mut c = CctRuntime::new(CctConfig::default(), procs_abc());
+            if reverse {
+                run_figure4_reversed(&mut c);
+            } else {
+                run_figure4(&mut c);
+            }
+            c
+        };
+        let mut ab = build(false);
+        ab.merge_from(&build(true));
+        let mut ba = build(true);
+        ba.merge_from(&build(false));
+        assert_eq!(
+            serialized(&ab.canonicalize()),
+            serialized(&ba.canonicalize()),
+            "merge order must not leak into canonical bytes"
+        );
+    }
+
+    #[test]
+    fn merge_sums_saturate_instead_of_wrapping() {
+        let mut a = CctRuntime::new(CctConfig::default(), procs_abc());
+        run_figure4(&mut a);
+        let mut b = CctRuntime::new(CctConfig::default(), procs_abc());
+        run_figure4(&mut b);
+        // Force one record's call counter near the ceiling, then merge.
+        let m = a
+            .record_ids()
+            .find(|&id| a.record(id).proc_name() == "M")
+            .unwrap();
+        a.records[m.index()].calls = u64::MAX - 1;
+        a.merge_from(&b);
+        assert_eq!(a.record(m).calls(), u64::MAX, "saturates, no wrap");
     }
 }

@@ -334,6 +334,23 @@ pub fn verify_cct(cct: &CctRuntime) -> IntegrityReport {
                     ),
                 });
             }
+            // Section 4.2 representation rule: dense vs. hashed must be a
+            // pure function of NumPaths against the configured threshold.
+            // Live allocation, file reads, and the fleet merge all
+            // re-decide it from this rule, so a profile that disagrees was
+            // not produced by any of them.
+            if let Some(dense) = rec.paths_dense() {
+                let threshold = cct.config().path_array_threshold;
+                let expected = num_paths <= threshold;
+                report.check(dense == expected, || IntegrityError::TableDivergence {
+                    detail: format!(
+                        "record {} uses a {} path table but proc {proc} has {num_paths} \
+                         potential paths against threshold {threshold}",
+                        id.0,
+                        if dense { "dense" } else { "hashed" },
+                    ),
+                });
+            }
         }
     }
     if !report.is_clean() {

@@ -45,6 +45,7 @@ pub mod annotate;
 pub mod error;
 pub mod experiment;
 pub mod integrity;
+pub mod merge;
 pub mod observe;
 pub mod profile;
 pub mod profiler;
@@ -56,6 +57,9 @@ pub mod supervisor;
 pub use analysis::{ContextPathStat, HotPathReport, HotProcReport, PathClass, PathStat, ProcStat};
 pub use error::PpError;
 pub use integrity::{IntegrityError, IntegrityReport};
+pub use merge::{
+    MergeError, MergeManifest, MergeOptions, MergeOutcome, MergeReport, ShardRecord, ShardStatus,
+};
 pub use profile::{FlowProfile, PathCell};
 pub use profiler::{ProfileError, Profiler, RunConfig, RunOutcome, RunReport};
 pub use report::TextTable;

@@ -1,0 +1,1230 @@
+//! Fleet-scale deterministic CCT merge.
+//!
+//! The paper's profiles are per-run artifacts; the fleet we serve folds
+//! millions of them. This module turns N serialized CCT shards into one
+//! fleet profile with three headline properties:
+//!
+//! * **Associative and byte-deterministic.** A merge is the keyed union
+//!   of calling contexts with saturating-summed counters — commutative
+//!   and associative by construction — followed by
+//!   [`CctRuntime::canonicalize`], which makes the serialized bytes a
+//!   pure function of tree *content*. Any shard order, any pairwise
+//!   association, and any interrupted-and-resumed schedule therefore
+//!   produce `cmp`-identical output. The Section 4.2 dense→hashed path
+//!   table decision is re-taken on the merged table during the canonical
+//!   rebuild, so the merged profile obeys the same representation rule
+//!   as a live run.
+//! * **Corruption-tolerant.** Every shard is envelope/CRC-validated on
+//!   ingest. A bad shard is *quarantined* with a typed [`MergeError`]
+//!   and recorded in the [`MergeReport`]; by default the merge degrades
+//!   to a partial fleet profile that states exactly which shards were
+//!   excluded, while `--strict` fails fast on the first bad shard.
+//! * **Resumable.** With a checkpoint directory, the merge periodically
+//!   persists the partial fleet profile (`merged.cct`) plus a `PPMRG01`
+//!   manifest (`merge.ppm`) — both written atomically (temp file, fsync,
+//!   rename) like the batch manifest, so `kill -9` at any instant leaves
+//!   either the old checkpoint or the new one. Resume validates every
+//!   recorded shard against its stored length/CRC and converges on bytes
+//!   identical to an uninterrupted run.
+//!
+//! # `merge.ppm` on-disk format
+//!
+//! ```text
+//! magic    8 bytes   b"PPMRG01\n"
+//! length   u64 LE    payload byte count
+//! payload:
+//!   u8       strict-mode flag
+//!   u32      number of shards
+//!   per shard:
+//!     string   shard path (as collected, in canonical sorted order)
+//!     u8       disposition (0 pending, 1 merged, 2 quarantined)
+//!     u8       error kind (0 none, 1 truncated, 2 checksum mismatch,
+//!              3 schema skew, 4 incompatible config)
+//!     u64 ×2   error numerics (expected/got or stored/computed; else 0)
+//!     string   error detail ("" unless skew/config)
+//!     u64      shard byte length as ingested (0 while pending)
+//!     u32      shard CRC-32 as ingested (0 while pending)
+//!   u8       partial-profile ref present? + {string file, u64 len, u32 crc}
+//! crc32    u32 LE    CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! where `string` is `u32 LE length + UTF-8 bytes`. Like the batch
+//! manifest, the payload holds no timestamps or host state, so resumed
+//! and uninterrupted merges write identical bytes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pp_cct::{
+    fingerprint32, read_cct, read_envelope, write_cct, write_envelope, CctRuntime, SerializeError,
+};
+use pp_obs::Recorder;
+
+use crate::error::PpError;
+use crate::supervisor::manifest::{
+    put4, put8, put_str, take1, take4, take8, take_str, write_atomic, BatchManifest, ProfileRef,
+    MANIFEST_FILE,
+};
+
+const MAGIC: &[u8; 8] = b"PPMRG01\n";
+
+/// File name of the merge manifest inside a checkpoint directory.
+pub const MERGE_MANIFEST_FILE: &str = "merge.ppm";
+
+/// File name of the (partial or final) fleet profile inside a checkpoint
+/// or service state directory.
+pub const MERGED_PROFILE_FILE: &str = "merged.cct";
+
+/// Subdirectory of the checkpoint directory where quarantined shards are
+/// copied for offline inspection.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Guard against allocating shard tables from garbage length fields.
+const MAX_SHARDS: u32 = 1 << 20;
+
+/// Why one shard could not be folded into the fleet profile. Exactly the
+/// failure classes a fleet of independently-written shard files can
+/// exhibit; every variant quarantines the shard (default) or fails the
+/// merge (`--strict`, exit code 3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MergeError {
+    /// The shard ends before its declared payload and trailer — a torn
+    /// or mid-write file.
+    Truncated {
+        /// Bytes the envelope promised.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// The shard's payload fails its CRC-32 trailer — bit rot or a
+    /// partially overwritten file.
+    ChecksumMismatch {
+        /// Checksum stored in the shard.
+        stored: u32,
+        /// Checksum computed over the payload read.
+        computed: u32,
+    },
+    /// The shard is structurally alien: unknown or cross-version magic,
+    /// malformed payload, or a procedure table that does not match the
+    /// fleet's (it profiles a different program or build).
+    SchemaSkew(String),
+    /// The shard was produced under a different [`pp_cct::CctConfig`]
+    /// (metrics, call-site mode, path-table threshold, record cap …), so
+    /// its counters are not unit-compatible with the fleet profile.
+    IncompatibleConfig(String),
+}
+
+impl MergeError {
+    /// Short machine-readable class name (used in reports and metrics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MergeError::Truncated { .. } => "truncated",
+            MergeError::ChecksumMismatch { .. } => "checksum-mismatch",
+            MergeError::SchemaSkew(_) => "schema-skew",
+            MergeError::IncompatibleConfig(_) => "incompatible-config",
+        }
+    }
+
+    fn to_wire(&self) -> (u8, u64, u64, &str) {
+        match self {
+            MergeError::Truncated { expected, got } => (1, *expected, *got, ""),
+            MergeError::ChecksumMismatch { stored, computed } => {
+                (2, u64::from(*stored), u64::from(*computed), "")
+            }
+            MergeError::SchemaSkew(m) => (3, 0, 0, m),
+            MergeError::IncompatibleConfig(m) => (4, 0, 0, m),
+        }
+    }
+
+    fn from_wire(kind: u8, a: u64, b: u64, detail: String) -> Result<MergeError, SerializeError> {
+        Ok(match kind {
+            1 => MergeError::Truncated {
+                expected: a,
+                got: b,
+            },
+            2 => MergeError::ChecksumMismatch {
+                stored: a as u32,
+                computed: b as u32,
+            },
+            3 => MergeError::SchemaSkew(detail),
+            4 => MergeError::IncompatibleConfig(detail),
+            other => {
+                return Err(SerializeError::Format(format!(
+                    "bad merge error kind {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Truncated { expected, got } => {
+                write!(f, "truncated shard: expected {expected} bytes, got {got}")
+            }
+            MergeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "shard checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            MergeError::SchemaSkew(m) => write!(f, "schema skew: {m}"),
+            MergeError::IncompatibleConfig(m) => write!(f, "incompatible config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<MergeError> for PpError {
+    /// Strict-mode escalation: a quarantine-class failure becomes the
+    /// corruption exit code (3), preserving the typed class in the
+    /// message.
+    fn from(e: MergeError) -> PpError {
+        PpError::Corrupt(match e {
+            MergeError::Truncated { expected, got } => SerializeError::Truncated { expected, got },
+            MergeError::ChecksumMismatch { stored, computed } => {
+                SerializeError::ChecksumMismatch { stored, computed }
+            }
+            MergeError::SchemaSkew(m) => SerializeError::Format(format!("schema skew: {m}")),
+            MergeError::IncompatibleConfig(m) => {
+                SerializeError::Format(format!("incompatible config: {m}"))
+            }
+        })
+    }
+}
+
+/// Where one shard stands in the merge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ShardStatus {
+    /// Not yet ingested.
+    Pending,
+    /// Validated and folded into the fleet profile.
+    Merged,
+    /// Excluded from the fleet profile for the recorded reason.
+    Quarantined(MergeError),
+}
+
+/// One shard's row in the merge manifest / report.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardRecord {
+    /// Shard path as collected (canonical sorted order).
+    pub path: String,
+    /// Disposition.
+    pub status: ShardStatus,
+    /// Byte length as ingested (0 while pending).
+    pub len: u64,
+    /// Content fingerprint ([`pp_cct::fingerprint32`]) of the bytes as
+    /// ingested (0 while pending). A whole-file CRC-32 would be
+    /// constant across equal-length valid shards — see the fingerprint
+    /// docs — and so blind to the shard swaps resume must detect.
+    pub crc: u32,
+}
+
+/// The `PPMRG01` checkpoint manifest: shard dispositions plus a ref to
+/// the partial fleet profile written alongside it. See the module docs
+/// for the on-disk format.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MergeManifest {
+    /// Whether the merge runs in strict (fail-fast) mode.
+    pub strict: bool,
+    /// Every shard in canonical order with its disposition.
+    pub shards: Vec<ShardRecord>,
+    /// The partial `merged.cct` written with this checkpoint, if any
+    /// shard has been folded yet.
+    pub merged: Option<ProfileRef>,
+}
+
+impl MergeManifest {
+    /// Serializes to the `PPMRG01` envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        p.push(u8::from(self.strict));
+        put4(&mut p, self.shards.len() as u32);
+        for s in &self.shards {
+            put_str(&mut p, &s.path);
+            let (disp, kind, a, b, detail) = match &s.status {
+                ShardStatus::Pending => (0u8, 0u8, 0u64, 0u64, ""),
+                ShardStatus::Merged => (1, 0, 0, 0, ""),
+                ShardStatus::Quarantined(e) => {
+                    let (k, a, b, d) = e.to_wire();
+                    (2, k, a, b, d)
+                }
+            };
+            p.push(disp);
+            p.push(kind);
+            put8(&mut p, a);
+            put8(&mut p, b);
+            put_str(&mut p, detail);
+            put8(&mut p, s.len);
+            put4(&mut p, s.crc);
+        }
+        match &self.merged {
+            None => p.push(0),
+            Some(r) => {
+                p.push(1);
+                put_str(&mut p, &r.file);
+                put8(&mut p, r.len);
+                put4(&mut p, r.crc);
+            }
+        }
+        let mut out = Vec::new();
+        write_envelope(&mut out, MAGIC, &p).expect("vec write cannot fail");
+        out
+    }
+
+    /// Parses bytes written by [`MergeManifest::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`SerializeError`]s for truncation, checksum mismatch, bad
+    /// magic, or a malformed payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MergeManifest, SerializeError> {
+        let payload = read_envelope(&mut &bytes[..], MAGIC, &[])?;
+        let cur = &mut &payload[..];
+        let strict = take1(cur)? != 0;
+        let n = take4(cur)?;
+        if n > MAX_SHARDS {
+            return Err(SerializeError::Format(format!(
+                "implausible shard count {n}"
+            )));
+        }
+        let mut shards = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let path = take_str(cur)?;
+            let disp = take1(cur)?;
+            let kind = take1(cur)?;
+            let a = take8(cur)?;
+            let b = take8(cur)?;
+            let detail = take_str(cur)?;
+            let len = take8(cur)?;
+            let crc = take4(cur)?;
+            let status = match disp {
+                0 => ShardStatus::Pending,
+                1 => ShardStatus::Merged,
+                2 => ShardStatus::Quarantined(MergeError::from_wire(kind, a, b, detail)?),
+                other => {
+                    return Err(SerializeError::Format(format!(
+                        "bad shard disposition {other}"
+                    )))
+                }
+            };
+            shards.push(ShardRecord {
+                path,
+                status,
+                len,
+                crc,
+            });
+        }
+        let merged = match take1(cur)? {
+            0 => None,
+            _ => Some(ProfileRef {
+                file: take_str(cur)?,
+                len: take8(cur)?,
+                crc: take4(cur)?,
+            }),
+        };
+        if !cur.is_empty() {
+            return Err(SerializeError::Format(format!(
+                "{} trailing payload bytes",
+                cur.len()
+            )));
+        }
+        Ok(MergeManifest {
+            strict,
+            shards,
+            merged,
+        })
+    }
+
+    /// Atomically writes the manifest as `merge.ppm` under `dir` (temp
+    /// file, fsync, rename — the same torn-tail rule as the batch
+    /// manifest).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_atomic(&self, dir: &Path) -> Result<(), SerializeError> {
+        write_atomic(&dir.join(MERGE_MANIFEST_FILE), &self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads and validates `merge.ppm` from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`SerializeError::Io`] when the file is unreadable (including
+    /// not-found), or a typed corruption error.
+    pub fn load(dir: &Path) -> Result<MergeManifest, SerializeError> {
+        let bytes = fs::read(dir.join(MERGE_MANIFEST_FILE))?;
+        MergeManifest::from_bytes(&bytes)
+    }
+}
+
+/// Tuning knobs for [`run_merge`].
+#[derive(Clone, Debug)]
+pub struct MergeOptions {
+    /// Fail fast on the first bad shard instead of quarantining it.
+    pub strict: bool,
+    /// Directory for `merge.ppm` / partial `merged.cct` checkpoints and
+    /// the shard quarantine. `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Shards to fold between checkpoints (minimum 1).
+    pub checkpoint_every: u32,
+    /// Adopt a valid checkpoint in `checkpoint_dir` instead of starting
+    /// over.
+    pub resume: bool,
+    /// Test/fault-injection hook: stop after writing this many
+    /// checkpoints and return [`MergeOutcome::Halted`] (0 = never). The
+    /// CLI turns this into a hard abort to simulate `kill -9`.
+    pub halt_after_checkpoints: u32,
+}
+
+impl Default for MergeOptions {
+    fn default() -> MergeOptions {
+        MergeOptions {
+            strict: false,
+            checkpoint_dir: None,
+            checkpoint_every: 8,
+            resume: false,
+            halt_after_checkpoints: 0,
+        }
+    }
+}
+
+/// What [`run_merge`] did: per-shard dispositions plus fold statistics.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MergeReport {
+    /// Every shard in canonical order with its final disposition.
+    pub shards: Vec<ShardRecord>,
+    /// Duplicate input paths dropped during collection.
+    pub dedup_dropped: u64,
+    /// Shards adopted from a resume checkpoint instead of re-folding.
+    pub resumed: u64,
+    /// Checkpoints written during this run.
+    pub checkpoints: u64,
+}
+
+impl MergeReport {
+    /// Shards folded into the fleet profile.
+    pub fn merged_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.status == ShardStatus::Merged)
+            .count()
+    }
+
+    /// Shards excluded from the fleet profile.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined().count()
+    }
+
+    /// The excluded shards, in canonical order.
+    pub fn quarantined(&self) -> impl Iterator<Item = &ShardRecord> {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.status, ShardStatus::Quarantined(_)))
+    }
+}
+
+/// How [`run_merge`] ended.
+#[derive(Debug)]
+pub enum MergeOutcome {
+    /// All shards resolved; `bytes` is the canonical fleet profile.
+    Complete {
+        /// Serialized canonical `PPCCT02` fleet profile.
+        bytes: Vec<u8>,
+        /// Dispositions and fold statistics.
+        report: MergeReport,
+    },
+    /// [`MergeOptions::halt_after_checkpoints`] tripped; the state lives
+    /// in the checkpoint directory and a resumed run will converge on
+    /// the same final bytes.
+    Halted {
+        /// Dispositions at the instant of the halt.
+        report: MergeReport,
+    },
+}
+
+/// Expands `inputs` (shard files, or directories holding a `PPBAT01`
+/// batch / service checkpoint) into a deduplicated, canonically sorted
+/// shard list. Directory inputs contribute every job's CCT artifact;
+/// the merge's own ingest validation decides whether each one is
+/// usable, so a half-written artifact quarantines instead of failing
+/// collection. Returns the shard paths and the number of duplicate
+/// paths dropped.
+///
+/// # Errors
+///
+/// [`PpError::Io`] when an input does not exist, and [`PpError::Corrupt`]
+/// when a directory input's batch manifest is unreadable — the container
+/// being broken is an input error, not a shard fault.
+pub fn collect_shards(inputs: &[String]) -> Result<(Vec<PathBuf>, u64), PpError> {
+    let mut shards: Vec<PathBuf> = Vec::new();
+    for input in inputs {
+        let path = Path::new(input);
+        let meta = fs::metadata(path).map_err(|e| PpError::io(input.clone(), e))?;
+        if meta.is_dir() {
+            let manifest = BatchManifest::load(path).map_err(|e| match e {
+                SerializeError::Io(source) => {
+                    PpError::io(format!("{input}/{MANIFEST_FILE}"), source)
+                }
+                other => PpError::Corrupt(other),
+            })?;
+            for job in &manifest.jobs {
+                if let Some(r) = &job.cct {
+                    shards.push(path.join(&r.file));
+                }
+            }
+        } else {
+            shards.push(path.to_path_buf());
+        }
+    }
+    shards.sort();
+    let before = shards.len();
+    shards.dedup();
+    let dropped = (before - shards.len()) as u64;
+    Ok((shards, dropped))
+}
+
+/// Classifies a shard decode failure. I/O errors are *not* shard faults
+/// — the filesystem failing mid-merge aborts the run rather than
+/// silently shrinking the fleet profile.
+fn classify(path: &Path, e: SerializeError) -> Result<MergeError, PpError> {
+    Ok(match e {
+        SerializeError::Io(source) => {
+            return Err(PpError::io(path.display().to_string(), source));
+        }
+        SerializeError::Truncated { expected, got } => MergeError::Truncated { expected, got },
+        SerializeError::ChecksumMismatch { stored, computed } => {
+            MergeError::ChecksumMismatch { stored, computed }
+        }
+        SerializeError::Format(m) => MergeError::SchemaSkew(m),
+        SerializeError::UnsupportedVersion(m) => {
+            MergeError::SchemaSkew(format!("cross-version shard: {m}"))
+        }
+    })
+}
+
+/// Checks that `shard` is unit-compatible with the fleet accumulator
+/// before folding: identical [`pp_cct::CctConfig`] and identical
+/// procedure table (same program, same build).
+fn compatible(acc: &CctRuntime, shard: &CctRuntime) -> Result<(), MergeError> {
+    if acc.config() != shard.config() {
+        return Err(MergeError::IncompatibleConfig(format!(
+            "shard built under {:?}, fleet under {:?}",
+            shard.config(),
+            acc.config()
+        )));
+    }
+    if acc.procs() != shard.procs() {
+        let detail = if acc.procs().len() != shard.procs().len() {
+            format!(
+                "procedure table has {} entries, fleet has {}",
+                shard.procs().len(),
+                acc.procs().len()
+            )
+        } else {
+            let i = acc
+                .procs()
+                .iter()
+                .zip(shard.procs())
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            format!(
+                "procedure table diverges at index {i} ({:?} vs {:?})",
+                shard.procs()[i].name,
+                acc.procs()[i].name
+            )
+        };
+        return Err(MergeError::SchemaSkew(detail));
+    }
+    Ok(())
+}
+
+/// Copies a quarantined shard and its reason into
+/// `<checkpoint>/quarantine/` for offline inspection (best-effort:
+/// quarantine bookkeeping never fails the merge).
+fn quarantine_copy(dir: &Path, index: usize, path: &Path, bytes: &[u8], err: &MergeError) {
+    let qdir = dir.join(QUARANTINE_DIR);
+    if fs::create_dir_all(&qdir).is_err() {
+        return;
+    }
+    let base = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "shard".to_string());
+    let name = format!("{index:04}-{base}");
+    let _ = fs::write(qdir.join(&name), bytes);
+    let _ = fs::write(
+        qdir.join(format!("{name}.reason")),
+        format!("{}: {err}\n", err.kind()),
+    );
+}
+
+/// Writes one checkpoint: the canonical partial fleet profile first,
+/// then the manifest that references it (the manifest rename is the
+/// commit point, so a crash between the two leaves the previous
+/// checkpoint intact and valid).
+fn write_checkpoint(
+    dir: &Path,
+    strict: bool,
+    shards: &[ShardRecord],
+    acc: Option<&CctRuntime>,
+) -> Result<(), PpError> {
+    fs::create_dir_all(dir).map_err(|e| PpError::io(dir.display().to_string(), e))?;
+    let merged = match acc {
+        None => None,
+        Some(acc) => {
+            let mut bytes = Vec::new();
+            write_cct(&acc.canonicalize(), &mut bytes)?;
+            write_atomic(&dir.join(MERGED_PROFILE_FILE), &bytes)
+                .map_err(|e| PpError::io(format!("{}/{MERGED_PROFILE_FILE}", dir.display()), e))?;
+            Some(ProfileRef::for_bytes(MERGED_PROFILE_FILE, &bytes))
+        }
+    };
+    let manifest = MergeManifest {
+        strict,
+        shards: shards.to_vec(),
+        merged,
+    };
+    manifest.save_atomic(dir).map_err(PpError::from)
+}
+
+/// Attempts to adopt a checkpoint from `dir`: returns the recorded
+/// dispositions and the decoded partial profile when everything still
+/// validates, or `None` (with a reason logged) when the checkpoint is
+/// absent, torn, or stale — in which case the merge just starts over
+/// and still converges on the same bytes.
+fn adopt_checkpoint(
+    dir: &Path,
+    strict: bool,
+    shards: &[ShardRecord],
+) -> Option<(Vec<ShardRecord>, Option<CctRuntime>)> {
+    let manifest = match MergeManifest::load(dir) {
+        Ok(m) => m,
+        Err(SerializeError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            pp_obs::warn!("merge: ignoring unusable checkpoint ({e}); starting fresh");
+            return None;
+        }
+    };
+    if manifest.strict != strict {
+        pp_obs::warn!("merge: checkpoint was written in a different strict mode; starting fresh");
+        return None;
+    }
+    if manifest.shards.len() != shards.len()
+        || manifest
+            .shards
+            .iter()
+            .zip(shards)
+            .any(|(a, b)| a.path != b.path)
+    {
+        pp_obs::warn!("merge: checkpoint covers a different shard set; starting fresh");
+        return None;
+    }
+    // Every already-resolved shard must still hold the exact bytes the
+    // checkpoint saw: a swapped or repaired shard invalidates the
+    // checkpoint (starting over is always correct, just slower).
+    for s in &manifest.shards {
+        if s.status == ShardStatus::Pending {
+            continue;
+        }
+        match fs::read(&s.path) {
+            Ok(bytes) if bytes.len() as u64 == s.len && fingerprint32(&bytes) == s.crc => {}
+            _ => {
+                pp_obs::warn!(
+                    "merge: shard {} changed since the checkpoint; starting fresh",
+                    s.path
+                );
+                return None;
+            }
+        }
+    }
+    let any_merged = manifest
+        .shards
+        .iter()
+        .any(|s| s.status == ShardStatus::Merged);
+    let acc = if any_merged {
+        let r = match &manifest.merged {
+            Some(r) => r,
+            None => {
+                pp_obs::warn!("merge: checkpoint lacks its partial profile; starting fresh");
+                return None;
+            }
+        };
+        let bytes = match fs::read(dir.join(&r.file)) {
+            Ok(b) if b.len() as u64 == r.len && fingerprint32(&b) == r.crc => b,
+            _ => {
+                pp_obs::warn!("merge: partial fleet profile fails its checksum; starting fresh");
+                return None;
+            }
+        };
+        match read_cct(&mut &bytes[..]) {
+            Ok(cct) => Some(cct),
+            Err(e) => {
+                pp_obs::warn!("merge: partial fleet profile unreadable ({e}); starting fresh");
+                return None;
+            }
+        }
+    } else {
+        None
+    };
+    Some((manifest.shards, acc))
+}
+
+/// Folds every shard named by `inputs` into one canonical fleet profile.
+/// See the module docs for the determinism, quarantine, and resume
+/// contracts; `recorder` receives `merge.*` metrics (shards ok /
+/// quarantined per class, dedup collisions, checkpoint count, output
+/// size).
+///
+/// # Errors
+///
+/// * [`PpError::Usage`] — no inputs.
+/// * [`PpError::Io`] — an input is missing or the filesystem failed.
+/// * [`PpError::Corrupt`] — a directory input's batch manifest is
+///   corrupt; in `--strict` mode, the first bad shard (typed by its
+///   [`MergeError`] class); or every shard quarantined, leaving nothing
+///   to write.
+pub fn run_merge(
+    inputs: &[String],
+    opts: &MergeOptions,
+    recorder: &mut impl Recorder,
+) -> Result<MergeOutcome, PpError> {
+    if inputs.is_empty() {
+        return Err(PpError::Usage(
+            "pp merge needs at least one shard file or checkpoint dir".to_string(),
+        ));
+    }
+    let _span = pp_obs::span!("merge.run");
+    let (paths, dedup_dropped) = collect_shards(inputs)?;
+    if paths.is_empty() {
+        return Err(PpError::Usage(
+            "no CCT shards found in the given inputs".to_string(),
+        ));
+    }
+    recorder.counter("merge.dedup_collisions", dedup_dropped);
+
+    let mut shards: Vec<ShardRecord> = paths
+        .iter()
+        .map(|p| ShardRecord {
+            path: p.display().to_string(),
+            status: ShardStatus::Pending,
+            len: 0,
+            crc: 0,
+        })
+        .collect();
+    let mut acc: Option<CctRuntime> = None;
+    let mut report = MergeReport {
+        shards: Vec::new(),
+        dedup_dropped,
+        resumed: 0,
+        checkpoints: 0,
+    };
+
+    if opts.resume {
+        let dir = opts.checkpoint_dir.as_deref().ok_or_else(|| {
+            PpError::Usage("--resume requires a merge checkpoint directory".to_string())
+        })?;
+        if let Some((recorded, adopted)) = adopt_checkpoint(dir, opts.strict, &shards) {
+            report.resumed = recorded
+                .iter()
+                .filter(|s| s.status != ShardStatus::Pending)
+                .count() as u64;
+            shards = recorded;
+            acc = adopted;
+            recorder.counter("merge.shards_resumed", report.resumed);
+        }
+    }
+
+    let mut since_checkpoint = 0u32;
+    for i in 0..shards.len() {
+        match &shards[i].status {
+            ShardStatus::Pending => {}
+            ShardStatus::Merged => {
+                recorder.counter("merge.shards_ok", 1);
+                continue;
+            }
+            ShardStatus::Quarantined(_) => {
+                recorder.counter("merge.shards_quarantined", 1);
+                continue;
+            }
+        }
+        let path = PathBuf::from(&shards[i].path);
+        let bytes = fs::read(&path).map_err(|e| PpError::io(path.display().to_string(), e))?;
+        shards[i].len = bytes.len() as u64;
+        shards[i].crc = fingerprint32(&bytes);
+        recorder.observe("merge.shard_bytes", bytes.len() as u64);
+
+        let verdict: Result<CctRuntime, MergeError> = match read_cct(&mut &bytes[..]) {
+            Ok(shard) => match &acc {
+                Some(fleet) => compatible(fleet, &shard).map(|()| shard),
+                None => Ok(shard),
+            },
+            Err(e) => Err(classify(&path, e)?),
+        };
+        match verdict {
+            Ok(shard) => {
+                match acc.as_mut() {
+                    Some(fleet) => fleet.merge_from(&shard),
+                    None => acc = Some(shard),
+                }
+                shards[i].status = ShardStatus::Merged;
+                recorder.counter("merge.shards_ok", 1);
+            }
+            Err(e) => {
+                if opts.strict {
+                    return Err(e.into());
+                }
+                pp_obs::warn!("merge: quarantined {}: {e}", shards[i].path);
+                if let Some(dir) = &opts.checkpoint_dir {
+                    quarantine_copy(dir, i, &path, &bytes, &e);
+                }
+                recorder.counter("merge.shards_quarantined", 1);
+                match &e {
+                    MergeError::Truncated { .. } => {
+                        recorder.counter("merge.quarantine.truncated", 1);
+                    }
+                    MergeError::ChecksumMismatch { .. } => {
+                        recorder.counter("merge.quarantine.checksum_mismatch", 1);
+                    }
+                    MergeError::SchemaSkew(_) => {
+                        recorder.counter("merge.quarantine.schema_skew", 1);
+                    }
+                    MergeError::IncompatibleConfig(_) => {
+                        recorder.counter("merge.quarantine.incompatible_config", 1);
+                    }
+                }
+                shards[i].status = ShardStatus::Quarantined(e);
+            }
+        }
+
+        since_checkpoint += 1;
+        if let Some(dir) = &opts.checkpoint_dir {
+            if since_checkpoint >= opts.checkpoint_every.max(1) {
+                since_checkpoint = 0;
+                let _span = pp_obs::span!("merge.checkpoint");
+                write_checkpoint(dir, opts.strict, &shards, acc.as_ref())?;
+                report.checkpoints += 1;
+                recorder.counter("merge.checkpoints", 1);
+                if opts.halt_after_checkpoints != 0
+                    && report.checkpoints >= u64::from(opts.halt_after_checkpoints)
+                {
+                    report.shards = shards;
+                    return Ok(MergeOutcome::Halted { report });
+                }
+            }
+        }
+    }
+
+    let acc = match acc {
+        Some(acc) => acc,
+        None => {
+            return Err(PpError::Corrupt(SerializeError::Format(format!(
+                "every shard quarantined ({} of {}); nothing to merge",
+                shards.len(),
+                shards.len()
+            ))));
+        }
+    };
+    let canonical = {
+        let _span = pp_obs::span!("merge.canonicalize");
+        acc.canonicalize()
+    };
+    let mut bytes = Vec::new();
+    write_cct(&canonical, &mut bytes)?;
+    recorder.gauge("merge.records", canonical.num_records() as f64);
+    recorder.gauge("merge.out_bytes", bytes.len() as f64);
+
+    if let Some(dir) = &opts.checkpoint_dir {
+        // Final checkpoint: a resume of a finished merge adopts
+        // everything and rewrites identical bytes.
+        write_checkpoint(dir, opts.strict, &shards, Some(&canonical))?;
+        report.checkpoints += 1;
+        recorder.counter("merge.checkpoints", 1);
+    }
+    report.shards = shards;
+    Ok(MergeOutcome::Complete { bytes, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_cct::{CctConfig, CctRuntime, ProcInfo};
+    use pp_obs::NoopRecorder;
+
+    fn procs() -> Vec<ProcInfo> {
+        vec![
+            ProcInfo::new("main", 2),
+            ProcInfo::new("a", 1),
+            ProcInfo::new("b", 0),
+        ]
+    }
+
+    fn shard(order: &[(u32, u32)]) -> Vec<u8> {
+        // Each (site, callee) pair is one call from main.
+        let mut cct = CctRuntime::new(CctConfig::default(), procs());
+        cct.enter(0);
+        for &(site, callee) in order {
+            cct.prepare_call(site, None);
+            cct.enter(callee);
+            cct.exit();
+        }
+        cct.exit();
+        let mut bytes = Vec::new();
+        write_cct(&cct, &mut bytes).unwrap();
+        bytes
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pp-merge-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips_all_dispositions() {
+        let m = MergeManifest {
+            strict: true,
+            shards: vec![
+                ShardRecord {
+                    path: "a.cct".into(),
+                    status: ShardStatus::Merged,
+                    len: 10,
+                    crc: 0xDEAD,
+                },
+                ShardRecord {
+                    path: "b.cct".into(),
+                    status: ShardStatus::Quarantined(MergeError::Truncated {
+                        expected: 100,
+                        got: 7,
+                    }),
+                    len: 7,
+                    crc: 1,
+                },
+                ShardRecord {
+                    path: "c.cct".into(),
+                    status: ShardStatus::Quarantined(MergeError::SchemaSkew("other prog".into())),
+                    len: 9,
+                    crc: 2,
+                },
+                ShardRecord {
+                    path: "d.cct".into(),
+                    status: ShardStatus::Pending,
+                    len: 0,
+                    crc: 0,
+                },
+            ],
+            merged: Some(ProfileRef {
+                file: MERGED_PROFILE_FILE.into(),
+                len: 42,
+                crc: 0xBEEF,
+            }),
+        };
+        let bytes = m.to_bytes();
+        assert_eq!(MergeManifest::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn manifest_corruption_is_typed() {
+        let m = MergeManifest {
+            strict: false,
+            shards: vec![],
+            merged: None,
+        };
+        let bytes = m.to_bytes();
+        let truncated = &bytes[..bytes.len() - 3];
+        assert!(matches!(
+            MergeManifest::from_bytes(truncated),
+            Err(SerializeError::Truncated { .. })
+        ));
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(MergeManifest::from_bytes(&flipped).is_err());
+    }
+
+    #[test]
+    fn merge_error_maps_to_exit_code_3() {
+        for e in [
+            MergeError::Truncated {
+                expected: 2,
+                got: 1,
+            },
+            MergeError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            },
+            MergeError::SchemaSkew("x".into()),
+            MergeError::IncompatibleConfig("y".into()),
+        ] {
+            assert_eq!(PpError::from(e).exit_code(), 3);
+        }
+    }
+
+    #[test]
+    fn collect_sorts_and_dedups() {
+        let dir = tmpdir("collect");
+        for name in ["z.cct", "a.cct"] {
+            fs::write(dir.join(name), b"x").unwrap();
+        }
+        let inputs = vec![
+            dir.join("z.cct").display().to_string(),
+            dir.join("a.cct").display().to_string(),
+            dir.join("z.cct").display().to_string(),
+        ];
+        let (paths, dropped) = collect_shards(&inputs).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0] < paths[1], "canonically sorted");
+        let missing = vec![dir.join("nope.cct").display().to_string()];
+        assert!(matches!(collect_shards(&missing), Err(PpError::Io { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fold_is_order_invariant() {
+        let dir = tmpdir("order");
+        let a = shard(&[(0, 1), (1, 2)]);
+        let b = shard(&[(1, 2)]);
+        let c = shard(&[(0, 1), (0, 1)]);
+        for (name, bytes) in [("a.cct", &a), ("b.cct", &b), ("c.cct", &c)] {
+            fs::write(dir.join(name), bytes).unwrap();
+        }
+        let run = |names: &[&str]| -> Vec<u8> {
+            let inputs: Vec<String> = names
+                .iter()
+                .map(|n| dir.join(n).display().to_string())
+                .collect();
+            match run_merge(&inputs, &MergeOptions::default(), &mut NoopRecorder).unwrap() {
+                MergeOutcome::Complete { bytes, .. } => bytes,
+                MergeOutcome::Halted { .. } => panic!("no halt configured"),
+            }
+        };
+        let forward = run(&["a.cct", "b.cct", "c.cct"]);
+        let shuffled = run(&["c.cct", "a.cct", "b.cct"]);
+        assert_eq!(forward, shuffled, "input order must not change a byte");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shard_quarantines_by_class_and_strict_fails_fast() {
+        let dir = tmpdir("quarantine");
+        let good = shard(&[(0, 1)]);
+        fs::write(dir.join("good.cct"), &good).unwrap();
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        fs::write(dir.join("flipped.cct"), &flipped).unwrap();
+        fs::write(dir.join("torn.cct"), &good[..good.len() - 5]).unwrap();
+        let inputs: Vec<String> = ["flipped.cct", "good.cct", "torn.cct"]
+            .iter()
+            .map(|n| dir.join(n).display().to_string())
+            .collect();
+        let report = match run_merge(&inputs, &MergeOptions::default(), &mut NoopRecorder).unwrap()
+        {
+            MergeOutcome::Complete { report, .. } => report,
+            MergeOutcome::Halted { .. } => panic!("no halt configured"),
+        };
+        assert_eq!(report.merged_count(), 1);
+        assert_eq!(report.quarantined_count(), 2);
+        let classes: Vec<&'static str> = report
+            .quarantined()
+            .map(|s| match &s.status {
+                ShardStatus::Quarantined(e) => e.kind(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(classes.contains(&"checksum-mismatch"), "{classes:?}");
+        assert!(classes.contains(&"truncated"), "{classes:?}");
+
+        let strict = MergeOptions {
+            strict: true,
+            ..MergeOptions::default()
+        };
+        let err = match run_merge(&inputs, &strict, &mut NoopRecorder) {
+            Err(e) => e,
+            Ok(_) => panic!("strict mode must fail fast"),
+        };
+        assert_eq!(err.exit_code(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incompatible_shards_quarantine_with_the_right_classes() {
+        let dir = tmpdir("skew");
+        fs::write(dir.join("a-fleet.cct"), shard(&[(0, 1)])).unwrap();
+        // Same tree shape, different config (hardware metrics on).
+        let mut other_config = CctRuntime::new(CctConfig::with_hw_metrics(), procs());
+        other_config.enter(0);
+        other_config.exit();
+        let mut bytes = Vec::new();
+        write_cct(&other_config, &mut bytes).unwrap();
+        fs::write(dir.join("config.cct"), &bytes).unwrap();
+        // Different procedure table (another program).
+        let mut other_prog =
+            CctRuntime::new(CctConfig::default(), vec![ProcInfo::new("elsewhere", 0)]);
+        other_prog.enter(0);
+        other_prog.exit();
+        let mut bytes = Vec::new();
+        write_cct(&other_prog, &mut bytes).unwrap();
+        fs::write(dir.join("prog.cct"), &bytes).unwrap();
+
+        let inputs: Vec<String> = ["a-fleet.cct", "config.cct", "prog.cct"]
+            .iter()
+            .map(|n| dir.join(n).display().to_string())
+            .collect();
+        let report = match run_merge(&inputs, &MergeOptions::default(), &mut NoopRecorder).unwrap()
+        {
+            MergeOutcome::Complete { report, .. } => report,
+            MergeOutcome::Halted { .. } => panic!("no halt configured"),
+        };
+        let mut classes: Vec<&'static str> = report
+            .quarantined()
+            .map(|s| match &s.status {
+                ShardStatus::Quarantined(e) => e.kind(),
+                _ => unreachable!(),
+            })
+            .collect();
+        classes.sort_unstable();
+        assert_eq!(classes, vec!["incompatible-config", "schema-skew"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_bad_shards_is_an_error_not_a_panic() {
+        let dir = tmpdir("allbad");
+        fs::write(dir.join("junk.cct"), b"not a profile at all").unwrap();
+        let inputs = vec![dir.join("junk.cct").display().to_string()];
+        let err = run_merge(&inputs, &MergeOptions::default(), &mut NoopRecorder).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(run_merge(&[], &MergeOptions::default(), &mut NoopRecorder).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn halt_and_resume_converge_on_identical_bytes() {
+        let dir = tmpdir("resume");
+        let ckpt = dir.join("ckpt");
+        let names = ["a.cct", "b.cct", "c.cct", "d.cct"];
+        let shards = [
+            shard(&[(0, 1)]),
+            shard(&[(1, 2)]),
+            shard(&[(0, 1), (1, 2)]),
+            shard(&[(1, 2), (1, 2)]),
+        ];
+        for (name, bytes) in names.iter().zip(&shards) {
+            fs::write(dir.join(name), bytes).unwrap();
+        }
+        let inputs: Vec<String> = names
+            .iter()
+            .map(|n| dir.join(n).display().to_string())
+            .collect();
+        let uninterrupted =
+            match run_merge(&inputs, &MergeOptions::default(), &mut NoopRecorder).unwrap() {
+                MergeOutcome::Complete { bytes, .. } => bytes,
+                MergeOutcome::Halted { .. } => panic!("no halt configured"),
+            };
+
+        let halted = MergeOptions {
+            checkpoint_dir: Some(ckpt.clone()),
+            checkpoint_every: 1,
+            halt_after_checkpoints: 2,
+            ..MergeOptions::default()
+        };
+        match run_merge(&inputs, &halted, &mut NoopRecorder).unwrap() {
+            MergeOutcome::Halted { report } => assert_eq!(report.checkpoints, 2),
+            MergeOutcome::Complete { .. } => panic!("halt must trip"),
+        }
+        assert!(ckpt.join(MERGE_MANIFEST_FILE).exists());
+
+        let resumed_opts = MergeOptions {
+            checkpoint_dir: Some(ckpt.clone()),
+            checkpoint_every: 1,
+            resume: true,
+            ..MergeOptions::default()
+        };
+        let (resumed_bytes, report) =
+            match run_merge(&inputs, &resumed_opts, &mut NoopRecorder).unwrap() {
+                MergeOutcome::Complete { bytes, report } => (bytes, report),
+                MergeOutcome::Halted { .. } => panic!("no halt configured"),
+            };
+        assert_eq!(report.resumed, 2, "two shards adopted from the checkpoint");
+        assert_eq!(
+            resumed_bytes, uninterrupted,
+            "resume must converge on identical bytes"
+        );
+        // Resuming a *finished* merge adopts everything and still writes
+        // the same bytes.
+        let again = match run_merge(&inputs, &resumed_opts, &mut NoopRecorder).unwrap() {
+            MergeOutcome::Complete { bytes, report } => {
+                assert_eq!(report.resumed, 4);
+                bytes
+            }
+            MergeOutcome::Halted { .. } => panic!("no halt configured"),
+        };
+        assert_eq!(again, uninterrupted);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_checkpoint_manifest_restarts_cleanly() {
+        let dir = tmpdir("torn-ckpt");
+        let ckpt = dir.join("ckpt");
+        fs::create_dir_all(&ckpt).unwrap();
+        fs::write(dir.join("a.cct"), shard(&[(0, 1)])).unwrap();
+        let inputs = vec![dir.join("a.cct").display().to_string()];
+        // A torn manifest (half the envelope) must not stop a resume —
+        // the merge warns and starts fresh.
+        fs::write(ckpt.join(MERGE_MANIFEST_FILE), b"PPMRG01\n\x10\x00").unwrap();
+        let opts = MergeOptions {
+            checkpoint_dir: Some(ckpt.clone()),
+            resume: true,
+            ..MergeOptions::default()
+        };
+        match run_merge(&inputs, &opts, &mut NoopRecorder).unwrap() {
+            MergeOutcome::Complete { report, .. } => {
+                assert_eq!(report.resumed, 0, "nothing adopted from a torn checkpoint");
+                assert_eq!(report.merged_count(), 1);
+            }
+            MergeOutcome::Halted { .. } => panic!("no halt configured"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantined_shards_are_copied_for_inspection() {
+        let dir = tmpdir("qcopy");
+        let ckpt = dir.join("ckpt");
+        fs::write(dir.join("good.cct"), shard(&[(0, 1)])).unwrap();
+        fs::write(dir.join("bad.cct"), b"garbage").unwrap();
+        let inputs: Vec<String> = ["good.cct", "bad.cct"]
+            .iter()
+            .map(|n| dir.join(n).display().to_string())
+            .collect();
+        let opts = MergeOptions {
+            checkpoint_dir: Some(ckpt.clone()),
+            ..MergeOptions::default()
+        };
+        match run_merge(&inputs, &opts, &mut NoopRecorder).unwrap() {
+            MergeOutcome::Complete { report, .. } => {
+                assert_eq!(report.quarantined_count(), 1);
+            }
+            MergeOutcome::Halted { .. } => panic!("no halt configured"),
+        }
+        let entries: Vec<String> = fs::read_dir(ckpt.join(QUARANTINE_DIR))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            entries.iter().any(|n| n.ends_with("bad.cct")),
+            "{entries:?}"
+        );
+        assert!(
+            entries.iter().any(|n| n.ends_with(".reason")),
+            "{entries:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

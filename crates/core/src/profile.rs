@@ -79,7 +79,9 @@ impl FlowProfile {
     }
 
     /// Merges another profile of the same program: cells add. Profilers
-    /// use this to combine runs over several inputs.
+    /// use this to combine runs over several inputs. Sums saturate
+    /// rather than wrap, keeping a many-shard fold commutative and
+    /// associative even at the `u64` ceiling.
     ///
     /// # Panics
     ///
@@ -93,9 +95,9 @@ impl FlowProfile {
         for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
             for (&sum, cell) in theirs {
                 let e = mine.entry(sum).or_default();
-                e.freq += cell.freq;
-                e.m0 += cell.m0;
-                e.m1 += cell.m1;
+                e.freq = e.freq.saturating_add(cell.freq);
+                e.m0 = e.m0.saturating_add(cell.m0);
+                e.m1 = e.m1.saturating_add(cell.m1);
             }
         }
     }

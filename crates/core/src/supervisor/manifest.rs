@@ -41,7 +41,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use pp_cct::{crc32, read_envelope, write_envelope, SerializeError};
+use pp_cct::{fingerprint32, read_envelope, write_envelope, SerializeError};
 
 const MAGIC: &[u8; 8] = b"PPBAT01\n";
 
@@ -50,7 +50,7 @@ pub const MANIFEST_FILE: &str = "manifest.ppb";
 
 /// Guard against allocating job tables from garbage length fields.
 const MAX_JOBS: u32 = 1 << 20;
-const MAX_STRING: u32 = 1 << 20;
+pub(crate) const MAX_STRING: u32 = 1 << 20;
 
 /// Per-job completion state as persisted in the manifest.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -84,7 +84,7 @@ impl JobStatus {
 }
 
 /// Reference to a profile file written next to the manifest: name,
-/// length, and CRC-32 of its bytes. Resume validates all three before
+/// length, and content fingerprint. Resume validates all three before
 /// trusting a `Done` entry.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ProfileRef {
@@ -92,7 +92,11 @@ pub struct ProfileRef {
     pub file: String,
     /// Byte length of the file.
     pub len: u64,
-    /// CRC-32 (IEEE) of the file bytes.
+    /// Content fingerprint of the file bytes. Deliberately
+    /// [`fingerprint32`] rather than a whole-file CRC-32: envelope
+    /// files end with the CRC of their own payload, which makes the
+    /// whole-file CRC constant across equal-length valid files and
+    /// therefore blind to exactly the swaps this ref exists to catch.
     pub crc: u32,
 }
 
@@ -102,14 +106,14 @@ impl ProfileRef {
         ProfileRef {
             file: file.into(),
             len: bytes.len() as u64,
-            crc: crc32(bytes),
+            crc: fingerprint32(bytes),
         }
     }
 
     /// Whether the file under `dir` still matches this ref.
     pub fn validates(&self, dir: &Path) -> bool {
         match fs::read(dir.join(&self.file)) {
-            Ok(bytes) => bytes.len() as u64 == self.len && crc32(&bytes) == self.crc,
+            Ok(bytes) => bytes.len() as u64 == self.len && fingerprint32(&bytes) == self.crc,
             Err(_) => false,
         }
     }
@@ -408,27 +412,27 @@ pub fn prune_quarantine(qdir: &Path, cap: usize) -> std::io::Result<u64> {
 
 // ----- little-endian cursor helpers -------------------------------------
 
-fn put4(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put4(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put8(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put8(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put4(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn short(cur: &[u8], want: usize) -> SerializeError {
+pub(crate) fn short(cur: &[u8], want: usize) -> SerializeError {
     SerializeError::Truncated {
         expected: want as u64,
         got: cur.len() as u64,
     }
 }
 
-fn take1(cur: &mut &[u8]) -> Result<u8, SerializeError> {
+pub(crate) fn take1(cur: &mut &[u8]) -> Result<u8, SerializeError> {
     if cur.is_empty() {
         return Err(short(cur, 1));
     }
@@ -437,7 +441,7 @@ fn take1(cur: &mut &[u8]) -> Result<u8, SerializeError> {
     Ok(b)
 }
 
-fn take4(cur: &mut &[u8]) -> Result<u32, SerializeError> {
+pub(crate) fn take4(cur: &mut &[u8]) -> Result<u32, SerializeError> {
     if cur.len() < 4 {
         return Err(short(cur, 4));
     }
@@ -446,7 +450,7 @@ fn take4(cur: &mut &[u8]) -> Result<u32, SerializeError> {
     Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
 }
 
-fn take8(cur: &mut &[u8]) -> Result<u64, SerializeError> {
+pub(crate) fn take8(cur: &mut &[u8]) -> Result<u64, SerializeError> {
     if cur.len() < 8 {
         return Err(short(cur, 8));
     }
@@ -455,7 +459,7 @@ fn take8(cur: &mut &[u8]) -> Result<u64, SerializeError> {
     Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
 }
 
-fn take_str(cur: &mut &[u8]) -> Result<String, SerializeError> {
+pub(crate) fn take_str(cur: &mut &[u8]) -> Result<String, SerializeError> {
     let len = take4(cur)?;
     if len > MAX_STRING {
         return Err(SerializeError::Format(format!(

@@ -113,6 +113,20 @@ impl Hist {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Folds another histogram into this one: buckets, count, and sum
+    /// add (saturating), max takes the larger. Because the buckets are
+    /// fixed, absorption is exact — aggregating per-shard or per-worker
+    /// histograms loses nothing, which is what makes fleet-level
+    /// rollups of `merge.*` and `service.*` metrics trustworthy.
+    pub fn absorb(&mut self, other: &Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// One named metric in a [`Registry`] snapshot.
@@ -186,6 +200,25 @@ impl Registry {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Folds another registry into this one: counters add (saturating),
+    /// gauges take the other's value (last write wins, matching
+    /// [`Recorder::gauge`]), histograms absorb bucket-wise. This is the
+    /// fleet-metrics rollup: fold N per-run or per-worker registries
+    /// into one view, in any order, and the counter/histogram totals
+    /// come out the same.
+    pub fn absorb(&mut self, other: &Registry) {
+        for (&name, &v) in &other.counters {
+            let c = self.counters.entry(name).or_default();
+            *c = c.saturating_add(v);
+        }
+        for (&name, &v) in &other.gauges {
+            self.gauges.insert(name, v);
+        }
+        for (&name, h) in &other.hists {
+            self.hists.entry(name).or_default().absorb(h);
+        }
     }
 
     /// A deterministic plain-text snapshot, one metric per line —
@@ -384,6 +417,37 @@ mod tests {
         assert!(prom.contains("pp_service_exec_wall_us_count 2"));
         assert!(prom.contains("pp_service_exec_wall_us_sum 150"));
         assert!(prom.contains("pp_service_exec_wall_us_max 100"));
+    }
+
+    #[test]
+    fn absorb_folds_registries_exactly() {
+        let mut a = Registry::new();
+        a.counter("c", 2);
+        a.gauge("g", 1.0);
+        a.observe("h", 4);
+        let mut b = Registry::new();
+        b.counter("c", 3);
+        b.counter("only_b", 1);
+        b.gauge("g", 9.0);
+        b.observe("h", 1024);
+        a.absorb(&b);
+        assert_eq!(a.counter_value("c"), 5);
+        assert_eq!(a.counter_value("only_b"), 1);
+        assert_eq!(a.gauge_value("g"), Some(9.0), "last write wins");
+        let h = a.hist("h").unwrap();
+        assert_eq!((h.count, h.sum, h.max), (2, 1028, 1024));
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[10], 1);
+        // Saturation at the ceiling, like every other fleet fold.
+        let mut big = Hist {
+            count: u64::MAX - 1,
+            ..Hist::default()
+        };
+        big.absorb(&Hist {
+            count: 5,
+            ..Hist::default()
+        });
+        assert_eq!(big.count, u64::MAX);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //!                                           worker threads, guest limits,
 //!                                           retries, crash-safe
 //!                                           checkpoint/resume
+//! pp merge <shards...> --out FILE [options] fold N CCT shard profiles
+//!                                           (files and/or checkpoint
+//!                                           dirs) into one deterministic
+//!                                           fleet profile; corrupt
+//!                                           shards quarantine (--strict
+//!                                           fails fast, exit 3);
+//!                                           --checkpoint-dir/--resume
+//!                                           make the fold crash-safe
 //! pp verify <file|dir|target> [options]     integrity verification: flow
 //!                                           conservation, CCT structure,
 //!                                           counter-wrap sanity, envelope
@@ -37,6 +45,11 @@
 //!                                           stale-labeled checkpoint state
 //!                                           otherwise; --metrics/--prom for
 //!                                           the full registry)
+//! pp fetch [artifact] [options]             pull a stored artifact (or,
+//!                                           by default, the merged
+//!                                           fleet profile) off a daemon
+//!                                           over the socket, CRC
+//!                                           verified; --out renames it
 //! pp watch [options]                        tail the daemon's event bus:
 //!                                           per-job lifecycle, phase
 //!                                           changes, metrics snapshots;
@@ -67,9 +80,17 @@
 //!   --seed <u64>              (batch) backoff-jitter seed, stored in
 //!                             the manifest (default 0)
 //!   --checkpoint-dir <DIR>    (batch) persist the manifest + finished
-//!                             profiles there after each completion
+//!                             profiles there after each completion;
+//!                             (merge) commit a resumable fold
+//!                             checkpoint every --checkpoint-every
+//!                             shards
 //!   --resume <DIR>            (batch) resume an interrupted campaign
-//!                             from DIR's manifest
+//!                             from DIR's manifest; (merge) resume an
+//!                             interrupted fold — the result is
+//!                             byte-identical to an uninterrupted run
+//!   --strict                  (merge) first corrupt/alien shard fails
+//!                             the merge (exit 3) instead of
+//!                             quarantining it
 //!   --inject <spec>           (batch) fault injection: comma-separated
 //!                             hang@I | panic@I[:N] | transient@I[:N] |
 //!                             corrupt@I[:N] | truncate@W[:KEEP] | halt@W
@@ -137,6 +158,7 @@
 
 mod batch_cmd;
 mod bench_cmd;
+mod merge_cmd;
 #[cfg(unix)]
 mod serve_cmd;
 mod signals;
@@ -206,6 +228,7 @@ struct Options {
     checkpoint_every: u32,
     quarantine_cap: usize,
     inject_every: Option<String>,
+    strict: bool,
 }
 
 impl Default for Options {
@@ -256,6 +279,7 @@ impl Default for Options {
             checkpoint_every: 8,
             quarantine_cap: 0,
             inject_every: None,
+            strict: false,
         }
     }
 }
@@ -449,6 +473,7 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
             "--inject-every" => {
                 opts.inject_every = Some(value("--inject-every", &mut it)?);
             }
+            "--strict" => opts.strict = true,
             "--smoke" => opts.smoke = true,
             "--trace" => opts.trace = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out", &mut it)?),
@@ -1220,10 +1245,12 @@ fn cmd_decode(
 }
 
 fn usage() -> &'static str {
-    "usage: pp <list|run|report|hot|cct|stats|verify|annotate|decode|bench|batch|serve|submit|status|watch> [target] [options]\n\
+    "usage: pp <list|run|report|hot|cct|stats|merge|verify|annotate|decode|bench|batch|serve|submit|status|watch|fetch> [target] [options]\n\
      run `pp list` to see the benchmark suite; see crate docs for options\n\
      batch: --jobs N --retries N --fuel N --deadline S --seed N --quarantine-cap N\n\
             --checkpoint-dir DIR | --resume DIR  --inject hang@I,corrupt@I,...\n\
+     merge: <shards|dirs...> --out FILE [--strict] [--checkpoint-every N]\n\
+            [--checkpoint-dir DIR | --resume DIR] [--inject halt@N] [--metrics]\n\
      serve: --socket PATH --checkpoint-dir DIR --jobs N --queue-cap N --quota N\n\
             --checkpoint-every N --quarantine-cap N --inject-every panic=N,corrupt=N\n\
      submit: <target> --socket PATH [--client NAME] [--wait]\n\
@@ -1321,6 +1348,16 @@ fn main() -> ExitCode {
                     profiler: opts.profiler(),
                 })
             }
+            ("merge", inputs) => merge_cmd::run_merge_cmd(&merge_cmd::MergeArgs {
+                inputs: inputs.to_vec(),
+                out: opts.out.clone(),
+                strict: opts.strict,
+                checkpoint_dir: opts.resume.clone().or_else(|| opts.checkpoint_dir.clone()),
+                resume: opts.resume.is_some(),
+                checkpoint_every: opts.checkpoint_every,
+                inject: opts.inject.clone(),
+                metrics: opts.metrics,
+            }),
             ("annotate", [t, p]) => cmd_annotate(t, p, &opts),
             ("decode", [t, p, s]) => cmd_decode(t, p, s, &opts),
             ("bench", []) => bench_cmd::run_bench(&bench_cmd::BenchArgs {
@@ -1410,6 +1447,12 @@ fn main() -> ExitCode {
                     .parse()
                     .map_err(|_| usage_err(format!("bad job id `{id}`")))?;
                 serve_cmd::run_status(&client_args(&opts), Some(id), opts.metrics, opts.prom)
+            }
+            #[cfg(unix)]
+            ("fetch", []) => serve_cmd::run_fetch(&client_args(&opts), None, opts.out.as_deref()),
+            #[cfg(unix)]
+            ("fetch", [name]) => {
+                serve_cmd::run_fetch(&client_args(&opts), Some(name), opts.out.as_deref())
             }
             #[cfg(unix)]
             ("watch", []) => serve_cmd::run_watch(

@@ -14,7 +14,8 @@
 //! `pp serve` over the same directory recovers from them.
 //!
 //! Protocol ops: `submit`, `status`, `wait`, `wait-idle`, `metrics`,
-//! `drain`, `ping`, `subscribe`. Refusals carry the admission taxonomy
+//! `drain`, `ping`, `subscribe`, `fetch`. Refusals carry the admission
+//! taxonomy
 //! on the wire (`overloaded`, `quota-exceeded`, `draining`, …) and the
 //! client maps them back onto [`AdmitError`] — so `pp submit` against a
 //! saturated server exits with code 4, distinct from a failed run.
@@ -26,6 +27,13 @@
 //! mode: one ack, then NDJSON event frames (see
 //! [`pp::obs::events`]) until the subscriber hangs up or the service
 //! stops — that is the `pp watch` transport.
+//!
+//! `fetch` serves a stored artifact (a job's `.flow`/`.cct`, or the
+//! latest merged fleet profile) over the same socket without breaking
+//! the 64 KiB frame rule: one ack carrying length/CRC/chunk count, then
+//! base64 chunk frames of [`FETCH_CHUNK_RAW`] raw bytes each, then a
+//! `done` frame — after which the connection keeps serving requests.
+//! That is the `pp fetch` transport.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -37,13 +45,19 @@ use pp::ir::HwEvent;
 use pp::obs::events::{EventFilter, DEFAULT_SUBSCRIBER_CAPACITY, EVENT_KINDS};
 use pp::obs::json::{self, Json};
 use pp::profiler::{
-    AdmitError, PpError, Profiler, Service, ServiceConfig, ServiceFaultPlan, ServicePhase,
+    AdmitError, PpError, ProfileRef, Profiler, Service, ServiceConfig, ServiceFaultPlan,
+    ServicePhase,
 };
 use pp::usim::{CancelToken, GuestLimits};
 
 /// Bound on one NDJSON request frame; longer lines get a typed
 /// `frame-too-large` reply and are discarded up to the next newline.
 pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Raw bytes per `fetch` chunk frame. Base64 expands by 4/3, so a chunk
+/// frame is ~43 KiB of payload plus framing — comfortably under the
+/// 64 KiB frame rule that bounds every line on this protocol.
+const FETCH_CHUNK_RAW: usize = 32 * 1024;
 
 /// Options the CLI hands to [`run_serve`].
 pub struct ServeArgs {
@@ -430,6 +444,14 @@ fn handle_client(service: &Service, stream: UnixStream) {
             stream_events(service, &mut writer, &request);
             return;
         }
+        if request.get("op").and_then(Json::as_str) == Some("fetch") {
+            // Unlike subscribe, fetch is a bounded burst: stream the
+            // artifact, then fall back into the request loop.
+            if !stream_fetch(service, &mut writer, &request) {
+                return;
+            }
+            continue;
+        }
         let response = handle_request(service, &request);
         if !send(&mut writer, &response) {
             return;
@@ -518,6 +540,155 @@ fn stream_events(service: &Service, writer: &mut UnixStream, request: &Json) {
             }
         }
     }
+}
+
+/// The standard base64 alphabet, hand-rolled because artifact bytes
+/// must cross a line-oriented JSON protocol and the toolchain carries
+/// no dependencies.
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 with `=` padding.
+fn b64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let n = (u32::from(chunk[0]) << 16)
+            | (u32::from(chunk.get(1).copied().unwrap_or(0)) << 8)
+            | u32::from(chunk.get(2).copied().unwrap_or(0));
+        out.push(B64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Inverse of [`b64_encode`]; `None` on any malformed input (bad
+/// length, alien characters, interior padding).
+fn b64_decode(s: &str) -> Option<Vec<u8>> {
+    let val = |c: u8| -> Option<u32> {
+        Some(match c {
+            b'A'..=b'Z' => u32::from(c - b'A'),
+            b'a'..=b'z' => u32::from(c - b'a') + 26,
+            b'0'..=b'9' => u32::from(c - b'0') + 52,
+            b'+' => 62,
+            b'/' => 63,
+            _ => return None,
+        })
+    };
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, q) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = q.iter().filter(|&&c| c == b'=').count();
+        // Padding is only legal in the final quad's tail positions.
+        if pad > 0
+            && (!last || pad > 2 || q[0] == b'=' || q[1] == b'=' || q[2] == b'=' && q[3] != b'=')
+        {
+            return None;
+        }
+        let n = (val(q[0])? << 18)
+            | (val(q[1])? << 12)
+            | if q[2] == b'=' { 0 } else { val(q[2])? << 6 }
+            | if q[3] == b'=' { 0 } else { val(q[3])? };
+        out.push((n >> 16) as u8);
+        if q[2] != b'=' {
+            out.push((n >> 8) as u8);
+        }
+        if q[3] != b'=' {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+/// Is `name` an artifact this daemon is willing to serve? Only files
+/// the service itself wrote qualify: each job's persisted flow/CCT
+/// profile, plus the merged fleet profile a `pp merge` checkpointed
+/// into the state directory.
+fn fetch_allowed(service: &Service, name: &str) -> bool {
+    name == pp::profiler::merge::MERGED_PROFILE_FILE
+        || service
+            .jobs()
+            .iter()
+            .any(|j| j.flow.as_deref() == Some(name) || j.cct.as_deref() == Some(name))
+}
+
+/// Serves one `fetch` request: ack, chunk frames, done frame. Returns
+/// whether the connection is still usable (a write failure means the
+/// peer hung up). Errors are typed replies, never dropped connections:
+/// a traversal attempt or unknown name is refused before any I/O.
+fn stream_fetch(service: &Service, writer: &mut UnixStream, request: &Json) -> bool {
+    let send = |writer: &mut UnixStream, response: &Json| {
+        writeln!(writer, "{}", response.render())
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
+    let name = request
+        .get("file")
+        .and_then(Json::as_str)
+        .unwrap_or(pp::profiler::merge::MERGED_PROFILE_FILE);
+    // The served namespace is flat: artifact basenames inside the state
+    // directory, nothing else on the filesystem.
+    if name.contains('/') || name.contains('\\') || name.contains("..") || name.is_empty() {
+        return send(
+            writer,
+            &error_json("bad-request", "fetch file must be a bare artifact name"),
+        );
+    }
+    if !fetch_allowed(service, name) {
+        return send(
+            writer,
+            &error_json(
+                "unknown-artifact",
+                &format!("`{name}` is not a stored artifact of this daemon"),
+            ),
+        );
+    }
+    let bytes = match std::fs::read(service.dir().join(name)) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            return send(writer, &error_json("io", &format!("{name}: {e}")));
+        }
+    };
+    let r = ProfileRef::for_bytes(name, &bytes);
+    let chunks = bytes.len().div_ceil(FETCH_CHUNK_RAW);
+    let ack = Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("file".to_string(), Json::Str(name.to_string())),
+        ("len".to_string(), Json::Num(r.len as f64)),
+        ("crc".to_string(), Json::Num(f64::from(r.crc))),
+        ("chunks".to_string(), Json::Num(chunks as f64)),
+    ]);
+    if !send(writer, &ack) {
+        return false;
+    }
+    for (i, chunk) in bytes.chunks(FETCH_CHUNK_RAW).enumerate() {
+        let frame = Json::Obj(vec![
+            ("chunk".to_string(), Json::Num(i as f64)),
+            ("data".to_string(), Json::Str(b64_encode(chunk))),
+        ]);
+        if !send(writer, &frame) {
+            return false;
+        }
+    }
+    send(
+        writer,
+        &Json::Obj(vec![
+            ("done".to_string(), Json::Bool(true)),
+            ("chunks".to_string(), Json::Num(chunks as f64)),
+        ]),
+    )
 }
 
 /// `{"ok":false,"error":kind,"detail":detail}`.
@@ -679,6 +850,29 @@ impl Conn {
             )))
         })
     }
+
+    /// Reads one more response line without sending anything — the
+    /// streaming half of `fetch` and `subscribe`.
+    fn read_json_line(&mut self) -> Result<Json, PpError> {
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| PpError::io(&self.socket, e))?;
+        if line.is_empty() {
+            return Err(PpError::io(
+                &self.socket,
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-stream",
+                ),
+            ));
+        }
+        json::parse(line.trim()).map_err(|e| {
+            PpError::Corrupt(pp::cct::SerializeError::Format(format!(
+                "unparsable server frame: {e}"
+            )))
+        })
+    }
 }
 
 /// Maps a refusal reply back onto the typed error taxonomy: admission
@@ -777,6 +971,69 @@ pub fn run_submit(
     Ok(())
 }
 
+/// `pp fetch`: pulls a stored artifact (default: the merged fleet
+/// profile) off the daemon over the NDJSON socket, reassembles its
+/// base64 chunk frames, and verifies length + CRC before writing it.
+///
+/// # Errors
+///
+/// [`PpError::Io`] (exit 3) when the daemon is unreachable or the
+/// stream tears; [`PpError::Corrupt`] (exit 3) when the reassembled
+/// bytes fail the advertised CRC; typed refusals map as usual.
+pub fn run_fetch(args: &ClientArgs, name: Option<&str>, out: Option<&str>) -> Result<(), PpError> {
+    let mut conn = Conn::open(&args.socket)?;
+    let mut request = vec![("op".to_string(), Json::Str("fetch".to_string()))];
+    if let Some(name) = name {
+        request.push(("file".to_string(), Json::Str(name.to_string())));
+    }
+    let ack = conn.request(&Json::Obj(request))?;
+    if ack.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(refusal_error(&ack));
+    }
+    let file = ack
+        .get("file")
+        .and_then(Json::as_str)
+        .unwrap_or("artifact")
+        .to_string();
+    let len = ack.get("len").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let crc = ack.get("crc").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+    let chunks = ack.get("chunks").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+    let corrupt = |detail: String| {
+        PpError::Corrupt(pp::cct::SerializeError::Format(format!(
+            "fetch {file}: {detail}"
+        )))
+    };
+    let mut bytes: Vec<u8> = Vec::with_capacity(len as usize);
+    for i in 0..chunks {
+        let frame = conn.read_json_line()?;
+        if frame.get("chunk").and_then(Json::as_f64) != Some(i as f64) {
+            return Err(corrupt(format!(
+                "expected chunk {i}, got {}",
+                frame.render()
+            )));
+        }
+        let data = frame.get("data").and_then(Json::as_str).unwrap_or("");
+        let chunk =
+            b64_decode(data).ok_or_else(|| corrupt(format!("chunk {i} is not valid base64")))?;
+        bytes.extend_from_slice(&chunk);
+    }
+    let done = conn.read_json_line()?;
+    if done.get("done").and_then(Json::as_bool) != Some(true) {
+        return Err(corrupt("stream ended without a done frame".to_string()));
+    }
+    let got = ProfileRef::for_bytes(file.clone(), &bytes);
+    if got.len != len || got.crc != crc {
+        return Err(corrupt(format!(
+            "advertised {len} bytes fingerprint {crc:#010x}, received {} bytes fingerprint {:#010x}",
+            got.len, got.crc
+        )));
+    }
+    let dest = out.unwrap_or(&file);
+    std::fs::write(dest, &bytes).map_err(|e| PpError::io(dest, e))?;
+    println!("fetched {file} -> {dest} ({len} bytes, fingerprint {crc:#010x}, {chunks} chunk(s))");
+    Ok(())
+}
+
 /// Renders one registry JSON object (counters/gauges as plain numbers,
 /// histograms as `count/sum/max/mean`) in wire order, which the server
 /// already sorts.
@@ -796,6 +1053,35 @@ fn print_registry(registry: &Json) {
                 );
             }
             _ => {}
+        }
+    }
+}
+
+/// One `pp status` line about the merged fleet profile: present (with
+/// size and age) or absent. The file appears when a `pp merge
+/// --checkpoint-dir` fold runs over this state directory, so operators
+/// can see at a glance whether a fleet rollup exists and how stale it
+/// is.
+fn merged_profile_line(dir: &Path) {
+    let path = dir.join(pp::profiler::merge::MERGED_PROFILE_FILE);
+    match std::fs::metadata(&path) {
+        Err(_) => println!(
+            "merged fleet profile: none (run `pp merge {} --checkpoint-dir {} --out ...`)",
+            dir.display(),
+            dir.display()
+        ),
+        Ok(meta) => {
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .map(|d| format!(", {}s old", d.as_secs()))
+                .unwrap_or_default();
+            println!(
+                "merged fleet profile: {} ({} bytes{age})",
+                path.display(),
+                meta.len()
+            );
         }
     }
 }
@@ -834,6 +1120,7 @@ fn status_from_disk(args: &ClientArgs) -> Result<(), PpError> {
         "\nphase: unknown (stale) | {pending} pending, {done} done, {failed} failed \
          | {intake_lines} journaled admissions",
     );
+    merged_profile_line(dir);
     println!("start `pp serve` over {} for live state", args.dir);
     Ok(())
 }
@@ -951,6 +1238,7 @@ pub fn run_status(
             if let Some(metrics) = reply.get("metrics") {
                 println!("metrics: {}", metrics.render());
             }
+            merged_profile_line(Path::new(&args.dir));
         }
     }
     Ok(())
@@ -1200,6 +1488,112 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).expect("reply line");
         json::parse(line.trim()).expect("reply parses")
+    }
+
+    #[test]
+    fn base64_round_trips_and_rejects_malformed_input() {
+        for len in [0usize, 1, 2, 3, 4, 31, 32, 33, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let encoded = b64_encode(&data);
+            assert_eq!(encoded.len() % 4, 0);
+            assert_eq!(
+                b64_decode(&encoded).as_deref(),
+                Some(&data[..]),
+                "len {len}"
+            );
+        }
+        assert_eq!(
+            b64_encode(b"any carnal pleasure."),
+            "YW55IGNhcm5hbCBwbGVhc3VyZS4="
+        );
+        for bad in ["A", "AB!=", "====", "=AAA", "AB=A", "AA==BB==", "AB=="] {
+            // `AB==` decodes under lenient decoders but encodes no
+            // canonical byte; we only need never-panic + None on junk.
+            let _ = b64_decode(bad);
+        }
+        assert_eq!(b64_decode("AB!="), None);
+        assert_eq!(b64_decode("A"), None);
+        assert_eq!(b64_decode("=AAA"), None);
+        assert_eq!(b64_decode("AA==BB=="), None, "interior padding");
+    }
+
+    #[test]
+    fn fetch_streams_chunked_artifact_and_connection_survives() {
+        let (service, dir) = proto_service("fetch");
+        // Big enough for three chunk frames, awkwardly misaligned.
+        let artifact: Vec<u8> = (0..2 * FETCH_CHUNK_RAW + 777)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        std::fs::write(
+            dir.join(pp::profiler::merge::MERGED_PROFILE_FILE),
+            &artifact,
+        )
+        .expect("write artifact");
+        let (mut client, mut reader, handler) = proto_conn(&service);
+
+        // Traversal and unknown names are refused without touching disk.
+        for (request, want) in [
+            (
+                "{\"op\":\"fetch\",\"file\":\"../../etc/passwd\"}",
+                "bad-request",
+            ),
+            (
+                "{\"op\":\"fetch\",\"file\":\"job-000001.cct\"}",
+                "unknown-artifact",
+            ),
+        ] {
+            client.write_all(request.as_bytes()).expect("request");
+            client.write_all(b"\n").expect("newline");
+            client.flush().expect("flush");
+            let reply = read_reply(&mut reader);
+            assert_eq!(
+                reply.get("error").and_then(Json::as_str),
+                Some(want),
+                "{request}"
+            );
+        }
+
+        // Default fetch = the merged fleet profile, in order, CRC-true.
+        client.write_all(b"{\"op\":\"fetch\"}\n").expect("fetch");
+        client.flush().expect("flush");
+        let ack = read_reply(&mut reader);
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "{ack:?}");
+        assert_eq!(
+            ack.get("len").and_then(Json::as_f64),
+            Some(artifact.len() as f64)
+        );
+        let chunks = ack.get("chunks").and_then(Json::as_f64).expect("chunks") as usize;
+        assert_eq!(chunks, 3);
+        let mut got = Vec::new();
+        for i in 0..chunks {
+            let frame = read_reply(&mut reader);
+            assert_eq!(frame.get("chunk").and_then(Json::as_f64), Some(i as f64));
+            let data = frame.get("data").and_then(Json::as_str).expect("data");
+            assert!(
+                data.len() < MAX_FRAME_BYTES,
+                "chunk frames obey the frame rule"
+            );
+            got.extend(b64_decode(data).expect("valid base64"));
+        }
+        let done = read_reply(&mut reader);
+        assert_eq!(done.get("done").and_then(Json::as_bool), Some(true));
+        assert_eq!(got, artifact, "reassembled bytes match");
+        let want_crc = ProfileRef::for_bytes("x", &artifact).crc;
+        assert_eq!(
+            ack.get("crc").and_then(Json::as_f64),
+            Some(f64::from(want_crc))
+        );
+
+        // The connection keeps serving plain requests afterwards.
+        client.write_all(b"{\"op\":\"ping\"}\n").expect("ping");
+        client.flush().expect("flush");
+        let ping = read_reply(&mut reader);
+        assert_eq!(ping.get("ok").and_then(Json::as_bool), Some(true));
+        drop(client);
+        drop(reader);
+        handler.join().expect("handler exits");
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

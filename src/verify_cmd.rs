@@ -31,7 +31,10 @@ use pp::cct::SerializeError;
 use pp::instrument::{InstrumentOptions, Mode};
 use pp::ir::Program;
 use pp::profiler::integrity::{self, IntegrityError, IntegrityReport};
-use pp::profiler::{BatchManifest, FlowProfile, PpError, Profiler, RunConfig, RunOutcome};
+use pp::profiler::merge::{self, MergeManifest, ShardStatus};
+use pp::profiler::{
+    BatchManifest, FlowProfile, PpError, ProfileRef, Profiler, RunConfig, RunOutcome,
+};
 use pp::usim::FaultPlan;
 
 /// The counter values a `--clobber-pics` injection plants: just below
@@ -66,6 +69,7 @@ enum ArtifactKind {
     Flow,
     Cct,
     Manifest,
+    MergeManifest,
 }
 
 /// Reads the 8-byte magic of `path` and classifies it. `None` means
@@ -82,6 +86,7 @@ fn sniff_magic(path: &Path) -> Option<ArtifactKind> {
         m if m.starts_with(b"PPFLOW") => Some(ArtifactKind::Flow),
         m if m.starts_with(b"PPCCT") => Some(ArtifactKind::Cct),
         m if m.starts_with(b"PPBAT") => Some(ArtifactKind::Manifest),
+        m if m.starts_with(b"PPMRG") => Some(ArtifactKind::MergeManifest),
         _ => None,
     }
 }
@@ -92,10 +97,21 @@ fn sniff_magic(path: &Path) -> Option<ArtifactKind> {
 pub fn run_verify(args: &VerifyArgs) -> Result<(), PpError> {
     let path = Path::new(&args.target);
     let (what, report) = if path.is_dir() {
-        (
-            format!("checkpoint directory {}", args.target),
-            verify_checkpoint_dir(path)?,
-        )
+        // A directory can hold a batch/service checkpoint (PPBAT01
+        // manifest) or a merge checkpoint (PPMRG01 manifest); a batch
+        // manifest wins when both are present since merge state inside
+        // a service dir is derived from the batch artifacts.
+        if !path.join("manifest.ppb").is_file() && path.join(merge::MERGE_MANIFEST_FILE).is_file() {
+            (
+                format!("merge checkpoint directory {}", args.target),
+                verify_merge_dir(path)?,
+            )
+        } else {
+            (
+                format!("checkpoint directory {}", args.target),
+                verify_checkpoint_dir(path)?,
+            )
+        }
     } else {
         match sniff_magic(path) {
             Some(ArtifactKind::Flow) => (
@@ -111,6 +127,13 @@ pub fn run_verify(args: &VerifyArgs) -> Result<(), PpError> {
                 (
                     format!("batch manifest {}", args.target),
                     verify_checkpoint_dir(dir.unwrap_or(Path::new(".")))?,
+                )
+            }
+            Some(ArtifactKind::MergeManifest) => {
+                let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+                (
+                    format!("merge manifest {}", args.target),
+                    verify_merge_dir(dir.unwrap_or(Path::new(".")))?,
                 )
             }
             None => (format!("target {}", args.target), verify_target(args)?),
@@ -217,10 +240,20 @@ fn verify_checkpoint_dir(dir: &Path) -> Result<IntegrityReport, PpError> {
                 // plus envelope still catch corruption at rest.
                 ArtifactKind::Flow => flow_envelope_only(&bytes),
                 ArtifactKind::Cct => integrity::verify_cct_bytes(&bytes),
-                ArtifactKind::Manifest => unreachable!("refs are flow/cct"),
+                ArtifactKind::Manifest | ArtifactKind::MergeManifest => {
+                    unreachable!("refs are flow/cct")
+                }
             });
         }
     }
+    quarantine_note(dir, "pp batch");
+    Ok(report)
+}
+
+/// Mentions a non-empty quarantine subdirectory; held files are kept
+/// evidence, not fresh violations, so this is a note rather than a
+/// finding.
+fn quarantine_note(dir: &Path, tool: &str) {
     let quarantine = dir.join("quarantine");
     if quarantine.is_dir() {
         let held = std::fs::read_dir(&quarantine)
@@ -228,12 +261,92 @@ fn verify_checkpoint_dir(dir: &Path) -> Result<IntegrityReport, PpError> {
             .unwrap_or(0);
         if held > 0 {
             println!(
-                "note: {} file(s) held in {} (quarantined by pp batch)",
+                "note: {} file(s) held in {} (quarantined by {tool})",
                 held,
                 quarantine.display()
             );
         }
     }
+}
+
+/// Verifies a merge checkpoint directory: the `PPMRG01` manifest's own
+/// envelope, the partial (or final) fleet profile's stored CRC plus the
+/// full CCT structural walk, and every resolved shard's recorded bytes
+/// against what is on disk now. A shard that has vanished since the
+/// checkpoint is a note, not a violation — the merge result does not
+/// depend on it anymore — but one that *changed* invalidates the
+/// checkpoint's provenance and is flagged.
+fn verify_merge_dir(dir: &Path) -> Result<IntegrityReport, PpError> {
+    let mut report = IntegrityReport::default();
+    report.checks += 1;
+    let manifest = match MergeManifest::load(dir) {
+        Ok(m) => m,
+        Err(SerializeError::Io(e)) => {
+            return Err(PpError::io(
+                format!("{}/{}", dir.display(), merge::MERGE_MANIFEST_FILE),
+                e,
+            ))
+        }
+        Err(e) => {
+            report.violations.push(IntegrityError::Artifact(e));
+            return Ok(report);
+        }
+    };
+    match &manifest.merged {
+        Some(r) => {
+            report.checks += 1;
+            if !r.validates(dir) {
+                report
+                    .violations
+                    .push(IntegrityError::Artifact(SerializeError::Format(format!(
+                        "{}: bytes do not match the fingerprint stored in the merge manifest",
+                        r.file
+                    ))));
+            } else {
+                let bytes = read_bytes(&dir.join(&r.file))?;
+                report.merge(integrity::verify_cct_bytes(&bytes));
+            }
+        }
+        None => println!("note: checkpoint has no fleet profile yet (no shard had merged cleanly)"),
+    }
+    let mut missing = 0usize;
+    for shard in &manifest.shards {
+        if shard.status == ShardStatus::Pending {
+            continue;
+        }
+        report.checks += 1;
+        match std::fs::read(&shard.path) {
+            Err(_) => {
+                // The fold already consumed it; absence is expected in
+                // a fleet where shards are collected then reaped.
+                missing += 1;
+            }
+            Ok(bytes) => {
+                let now = ProfileRef::for_bytes(shard.path.clone(), &bytes);
+                if now.len != shard.len || now.crc != shard.crc {
+                    report
+                        .violations
+                        .push(IntegrityError::Artifact(SerializeError::Format(format!(
+                            "{}: shard bytes changed since the merge checkpoint \
+                             (recorded {} bytes fingerprint {:#010x}, found {} bytes fingerprint {:#010x})",
+                            shard.path, shard.len, shard.crc, now.len, now.crc
+                        ))));
+                }
+            }
+        }
+    }
+    if missing > 0 {
+        println!("note: {missing} recorded shard(s) no longer on disk (checked manifest only)");
+    }
+    let quarantined = manifest
+        .shards
+        .iter()
+        .filter(|s| matches!(s.status, ShardStatus::Quarantined(_)))
+        .count();
+    if quarantined > 0 {
+        println!("note: manifest records {quarantined} quarantined shard(s) — profile is partial");
+    }
+    quarantine_note(dir, "pp merge");
     Ok(report)
 }
 

@@ -1,0 +1,506 @@
+//! Fleet-merge integration: determinism, associativity, corruption
+//! tolerance, and crash-safe resume of `pp_core::merge` over real
+//! profiler output.
+//!
+//! The shards here are what a fleet actually produces: the same
+//! program profiled to different depths (full run plus two µop-capped
+//! partial runs), so their CCTs overlap structurally but differ in
+//! shape and counts.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use pp::cct::{read_cct, CctConfig};
+use pp::instrument::{InstrumentOptions, Mode};
+use pp::ir::HwEvent;
+use pp::obs::NoopRecorder;
+use pp::profiler::merge::{self, MergeOptions, MergeOutcome, ShardStatus};
+use pp::profiler::{integrity, PpError, Profiler, RunConfig};
+use pp::usim::MachineConfig;
+
+const EVENTS: (HwEvent, HwEvent) = (HwEvent::Insts, HwEvent::DcMiss);
+const CONFIG: RunConfig = RunConfig::CombinedHw { events: EVENTS };
+
+fn program(name: &str) -> pp::ir::Program {
+    pp::workloads::suite(0.05)
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("no workload {name}"))
+        .program
+}
+
+/// Serialized combined-mode CCT of `program`, cut short after
+/// `max_uops` micro-ops (0 = run to completion).
+fn shard_bytes(program: &pp::ir::Program, max_uops: u64) -> Vec<u8> {
+    let mut mc = MachineConfig::default();
+    if max_uops > 0 {
+        mc.max_instructions = max_uops;
+    }
+    let run = Profiler::new(mc).run(program, CONFIG).expect("profiles");
+    let cct = run.cct.as_ref().expect("combined run builds a CCT");
+    let mut bytes = Vec::new();
+    pp::cct::write_cct(cct, &mut bytes).expect("serializes");
+    bytes
+}
+
+/// Three honest shards of the same program: full, shallow, medium.
+fn fleet_shards(name: &str) -> Vec<Vec<u8>> {
+    let program = program(name);
+    vec![
+        shard_bytes(&program, 0),
+        shard_bytes(&program, 20_000),
+        shard_bytes(&program, 60_000),
+    ]
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pp-merge-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn write_shards(dir: &Path, named: &[(&str, &[u8])]) -> Vec<String> {
+    named
+        .iter()
+        .map(|(name, bytes)| {
+            let path = dir.join(name);
+            std::fs::write(&path, bytes).expect("write shard");
+            path.display().to_string()
+        })
+        .collect()
+}
+
+fn merge_bytes(inputs: &[String], opts: &MergeOptions) -> Result<Vec<u8>, PpError> {
+    match merge::run_merge(inputs, opts, &mut NoopRecorder)? {
+        MergeOutcome::Complete { bytes, .. } => Ok(bytes),
+        MergeOutcome::Halted { .. } => panic!("no halt was injected"),
+    }
+}
+
+#[test]
+fn merge_is_order_invariant_and_associative_over_real_profiles() {
+    let shards = fleet_shards("129.compress");
+    // Two directories holding the same three shards under *different*
+    // names, so the canonical (sorted) fold visits them in different
+    // orders.
+    let d1 = tmpdir("order1");
+    let d2 = tmpdir("order2");
+    let in1 = write_shards(
+        &d1,
+        &[
+            ("a.cct", &shards[0]),
+            ("b.cct", &shards[1]),
+            ("c.cct", &shards[2]),
+        ],
+    );
+    let in2 = write_shards(
+        &d2,
+        &[
+            ("a.cct", &shards[2]),
+            ("b.cct", &shards[0]),
+            ("c.cct", &shards[1]),
+        ],
+    );
+    let opts = MergeOptions::default();
+    let flat1 = merge_bytes(&in1, &opts).expect("merge 1");
+    let flat2 = merge_bytes(&in2, &opts).expect("merge 2");
+    assert_eq!(flat1, flat2, "fold order must not change a single byte");
+
+    // Associativity: merge(merge(a, b), c) == merge(a, b, c).
+    let ab = merge_bytes(&in1[..2], &opts).expect("pairwise");
+    let paired = write_shards(&d1, &[("ab.cct", &ab)]);
+    let nested = merge_bytes(&[paired[0].clone(), in1[2].clone()], &opts).expect("nested");
+    assert_eq!(flat1, nested, "pairwise-then-fold must match the flat fold");
+
+    // Merging a profile with itself doubles counters but never changes
+    // structure: the result still verifies clean.
+    let doubled = merge_bytes(&[in1[0].clone(), paired[0].clone()], &opts).expect("double");
+    let report = integrity::verify_cct_bytes(&doubled);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+
+    std::fs::remove_dir_all(&d1).ok();
+    std::fs::remove_dir_all(&d2).ok();
+}
+
+#[test]
+fn corrupt_and_alien_shards_quarantine_with_the_right_class() {
+    let shards = fleet_shards("129.compress");
+    let dir = tmpdir("fuzz");
+
+    // Five sabotaged variants of the fleet, each a distinct failure
+    // class a real fleet exhibits.
+    let mut flipped = shards[1].clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    let truncated = shards[1][..shards[1].len() - 10].to_vec();
+    let mut cross_version = shards[1].clone();
+    cross_version[6] = b'1'; // PPCCT02 -> PPCCT01
+    let other_program = shard_bytes(&program("101.tomcatv"), 0);
+    let hashed_cfg = CctConfig {
+        num_metrics: 2,
+        path_tables: true,
+        path_array_threshold: 0,
+        max_records: 0,
+        ..CctConfig::default()
+    };
+    let other_config = {
+        let program = program("129.compress");
+        let options = InstrumentOptions::new(Mode::CombinedHw).with_events(EVENTS.0, EVENTS.1);
+        let run = Profiler::default()
+            .run_full(&program, CONFIG, options, Some(hashed_cfg))
+            .expect("hashed run");
+        let mut bytes = Vec::new();
+        pp::cct::write_cct(run.cct.as_ref().expect("cct"), &mut bytes).expect("serializes");
+        bytes
+    };
+
+    let inputs = write_shards(
+        &dir,
+        &[
+            ("0-good.cct", &shards[0]),
+            ("1-flipped.cct", &flipped),
+            ("2-truncated.cct", &truncated),
+            ("3-crossver.cct", &cross_version),
+            ("4-otherprog.cct", &other_program),
+            ("5-otherconf.cct", &other_config),
+            ("6-junk.cct", b"not a profile at all\n"),
+        ],
+    );
+    let outcome = merge::run_merge(&inputs, &MergeOptions::default(), &mut NoopRecorder)
+        .expect("degraded merge succeeds");
+    let MergeOutcome::Complete { bytes, report } = outcome else {
+        panic!("no halt injected");
+    };
+    assert_eq!(report.merged_count(), 1, "only the good shard folds");
+    let classes: Vec<(&str, &str)> = report
+        .quarantined()
+        .map(|s| {
+            let ShardStatus::Quarantined(e) = &s.status else {
+                unreachable!()
+            };
+            (s.path.rsplit('/').next().unwrap(), e.kind())
+        })
+        .collect();
+    assert_eq!(
+        classes,
+        vec![
+            ("1-flipped.cct", "checksum-mismatch"),
+            ("2-truncated.cct", "truncated"),
+            ("3-crossver.cct", "schema-skew"),
+            ("4-otherprog.cct", "schema-skew"),
+            ("5-otherconf.cct", "incompatible-config"),
+            ("6-junk.cct", "schema-skew"),
+        ],
+        "each sabotage maps to its typed class"
+    );
+
+    // The partial fleet profile must still be a fully valid artifact.
+    let report = integrity::verify_cct_bytes(&bytes);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+
+    // Strict mode escalates the first bad shard to the corrupt exit.
+    let err = merge::run_merge(
+        &inputs,
+        &MergeOptions {
+            strict: true,
+            ..MergeOptions::default()
+        },
+        &mut NoopRecorder,
+    )
+    .expect_err("strict fails fast");
+    assert_eq!(err.exit_code(), 3, "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flip_sweep_never_panics() {
+    let shards = fleet_shards("129.compress");
+    let dir = tmpdir("sweep");
+    let good = write_shards(&dir, &[("good.cct", &shards[0])]);
+    // Sweep a flipped bit across the whole envelope: magic, length
+    // field, payload, CRC trailer. Every position must yield either a
+    // clean quarantine or (for a lucky no-op flip) a clean merge.
+    let step = (shards[1].len() / 41).max(1);
+    for pos in (0..shards[1].len()).step_by(step) {
+        let mut evil = shards[1].clone();
+        evil[pos] ^= 0x01;
+        let path = dir.join("evil.cct");
+        std::fs::write(&path, &evil).expect("write");
+        let inputs = vec![good[0].clone(), path.display().to_string()];
+        match merge::run_merge(&inputs, &MergeOptions::default(), &mut NoopRecorder) {
+            Ok(MergeOutcome::Complete { bytes, .. }) => {
+                let report = integrity::verify_cct_bytes(&bytes);
+                assert!(
+                    report.violations.is_empty(),
+                    "flip at {pos}: {:?}",
+                    report.violations
+                );
+            }
+            Ok(MergeOutcome::Halted { .. }) => panic!("no halt injected"),
+            Err(e) => panic!("flip at {pos} must quarantine, not error: {e}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_sweep_never_panics_and_types_the_fault() {
+    let shards = fleet_shards("129.compress");
+    let dir = tmpdir("trunc");
+    for keep in [
+        0,
+        1,
+        4,
+        7,
+        8,
+        9,
+        15,
+        16,
+        17,
+        shards[1].len() / 2,
+        shards[1].len() - 1,
+    ] {
+        let path = dir.join("torn.cct");
+        std::fs::write(&path, &shards[1][..keep]).expect("write");
+        let inputs = vec![path.display().to_string()];
+        let err = merge::run_merge(&inputs, &MergeOptions::default(), &mut NoopRecorder)
+            .expect_err("every shard quarantined leaves nothing to merge");
+        assert_eq!(err.exit_code(), 3, "keep={keep}: {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dense_and_hashed_fleets_merge_to_the_same_content() {
+    // The Section 4.2 boundary, fleet edition: profile the same
+    // workload with dense path tables and with everything hashed
+    // (threshold 0), merge each fleet, and demand the merged profiles
+    // agree on every (context, path, frequency) triple.
+    let program = program("129.compress");
+    let options = InstrumentOptions::new(Mode::CombinedHw).with_events(EVENTS.0, EVENTS.1);
+    let hashed_cfg = CctConfig {
+        num_metrics: 2,
+        path_tables: true,
+        path_array_threshold: 0,
+        max_records: 0,
+        ..CctConfig::default()
+    };
+    let mut dense_shards = Vec::new();
+    let mut hashed_shards = Vec::new();
+    for max_uops in [0u64, 40_000] {
+        let mut mc = MachineConfig::default();
+        if max_uops > 0 {
+            mc.max_instructions = max_uops;
+        }
+        let profiler = Profiler::new(mc);
+        for (cfg, out) in [
+            (None, &mut dense_shards),
+            (Some(hashed_cfg), &mut hashed_shards),
+        ] {
+            let run = profiler
+                .run_full(&program, CONFIG, options, cfg)
+                .expect("run");
+            let mut bytes = Vec::new();
+            pp::cct::write_cct(run.cct.as_ref().expect("cct"), &mut bytes).expect("serialize");
+            out.push(bytes);
+        }
+    }
+    let dir = tmpdir("parity");
+    let dense_in = write_shards(
+        &dir,
+        &[("d0.cct", &dense_shards[0]), ("d1.cct", &dense_shards[1])],
+    );
+    let hashed_in = write_shards(
+        &dir,
+        &[("h0.cct", &hashed_shards[0]), ("h1.cct", &hashed_shards[1])],
+    );
+    let opts = MergeOptions::default();
+    let dense = read_cct(&mut &merge_bytes(&dense_in, &opts).expect("dense merge")[..])
+        .expect("dense decodes");
+    let hashed = read_cct(&mut &merge_bytes(&hashed_in, &opts).expect("hashed merge")[..])
+        .expect("hashed decodes");
+    let report = integrity::compare_ccts(&dense, &hashed);
+    assert!(
+        report.violations.is_empty(),
+        "merged dense and hashed fleets diverge: {:?}",
+        report.violations
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---- CLI-level crash-safety: `--inject halt@N` aborts the process
+// (the kill -9 stand-in), and a resumed merge converges on bytes
+// identical to an uninterrupted one. ----
+
+fn pp(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pp"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+#[test]
+fn killed_merge_resumes_to_identical_bytes() {
+    let shards = fleet_shards("129.compress");
+    let dir = tmpdir("kill9");
+    let inputs = write_shards(
+        &dir,
+        &[
+            ("a.cct", &shards[0]),
+            ("b.cct", &shards[1]),
+            ("c.cct", &shards[2]),
+        ],
+    );
+    let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let ckpt = dir.join("ckpt");
+    let ckpt = ckpt.to_str().expect("utf8");
+    let straight = dir.join("straight.cct");
+    let resumed = dir.join("resumed.cct");
+
+    // The uninterrupted reference fold.
+    let out = pp(&[
+        &["merge"][..],
+        &refs,
+        &["--out", straight.to_str().unwrap()],
+    ]
+    .concat());
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Fold again, dying abruptly after the first checkpoint commit.
+    let out = pp(&[
+        &["merge"][..],
+        &refs,
+        &[
+            "--out",
+            resumed.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt,
+            "--checkpoint-every",
+            "1",
+            "--inject",
+            "halt@1",
+        ],
+    ]
+    .concat());
+    assert!(!out.status.success(), "halt must kill the process");
+    assert!(!resumed.exists(), "died before writing the output");
+    assert!(
+        dir.join("ckpt").join(merge::MERGE_MANIFEST_FILE).is_file(),
+        "checkpoint manifest survives the crash"
+    );
+
+    // Resume converges on byte-identical output.
+    let out = pp(&[
+        &["merge"][..],
+        &refs,
+        &["--out", resumed.to_str().unwrap(), "--resume", ckpt],
+    ]
+    .concat());
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("adopted from checkpoint"),
+        "resume must adopt prior work:\n{stdout}"
+    );
+    assert_eq!(
+        std::fs::read(&straight).expect("straight"),
+        std::fs::read(&resumed).expect("resumed"),
+        "kill -9 + resume must converge on the uninterrupted bytes"
+    );
+
+    // Resuming an already-finished fold is a cheap no-op with the same
+    // answer.
+    let again = dir.join("again.cct");
+    let out = pp(&[
+        &["merge"][..],
+        &refs,
+        &["--out", again.to_str().unwrap(), "--resume", ckpt],
+    ]
+    .concat());
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&straight).expect("straight"),
+        std::fs::read(&again).expect("again"),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_merge_report_quarantines_and_verify_accepts_the_partial() {
+    let shards = fleet_shards("129.compress");
+    let dir = tmpdir("cli-quarantine");
+    let mut bad = shards[1].clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xff;
+    let inputs = write_shards(&dir, &[("good.cct", &shards[0]), ("rot.cct", &bad)]);
+    let fleet = dir.join("fleet.cct");
+    let ckpt = dir.join("ckpt");
+
+    let out = pp(&[
+        "merge",
+        &inputs[0],
+        &inputs[1],
+        "--out",
+        fleet.to_str().unwrap(),
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "default mode degrades, not fails: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("QUARANTINED [checksum-mismatch]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("1 folded, 1 quarantined"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("PARTIAL"), "{stderr}");
+
+    // The partial profile and the merge checkpoint both verify clean,
+    // and the checkpoint dir names the quarantined shard.
+    for target in [fleet.to_str().unwrap(), ckpt.to_str().unwrap()] {
+        let out = pp(&["verify", target]);
+        assert!(
+            out.status.success(),
+            "verify {target}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = pp(&["verify", ckpt.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("quarantined"), "{text}");
+
+    // Strict mode refuses the same fleet with the corrupt exit code.
+    let out = pp(&[
+        "merge",
+        &inputs[0],
+        &inputs[1],
+        "--out",
+        fleet.to_str().unwrap(),
+        "--strict",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
