@@ -1,0 +1,465 @@
+//! A deterministic chaos proxy: an in-repo TCP middlebox that injects
+//! a *seeded, repeatable* fault plan between a `pp` client and a `pp
+//! serve` daemon, so the transport hardening is proved against real
+//! network pathologies instead of hoped about.
+//!
+//! The proxy listens on TCP and forwards to any upstream address (TCP
+//! or the daemon's Unix socket). Faults apply to the **downstream**
+//! direction (server → client) — the direction where a cut manifests
+//! as the client-visible pathologies the failure matrix names: torn
+//! reply frames, resets mid-stream, black-holed reads. The fault for
+//! connection `i` (0-based accept order) is `plan[(i + seed) % len]`,
+//! so a run is a pure function of (plan, seed, connection order): the
+//! soak test can predict exactly which submission meets which fault.
+//!
+//! Fault vocabulary ([`Fault`], spelled `ok`, `delay:MS`, `throttle:N`,
+//! `tear:K`, `reset:M`, `blackhole` in a plan string):
+//!
+//! * `ok` — forward untouched (the control connection).
+//! * `delay:MS` — add `MS` milliseconds of latency to every downstream
+//!   chunk.
+//! * `throttle:N` — forward downstream in `N`-byte slices with a pause
+//!   between each (a slow, lossy-feeling link).
+//! * `tear:K` — forward exactly `K` downstream bytes, then cut both
+//!   directions: the client holds a torn frame.
+//! * `reset:M` — forward `M` complete NDJSON frames downstream, then
+//!   cut: the class of mid-stream connection resets. (`std` exposes no
+//!   stable `SO_LINGER`, so the cut is a shutdown — the client sees
+//!   EOF-mid-stream, which it must treat exactly like a reset.)
+//! * `blackhole` — accept the client and read its bytes forever,
+//!   never connecting upstream and never replying: the absolute
+//!   silence only a client-side deadline survives.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::transport::{BindAddr, Stream};
+
+/// One per-connection fault. See the module docs for semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward untouched.
+    Ok,
+    /// Added latency per downstream chunk, in milliseconds.
+    Delay(u64),
+    /// Downstream slice size in bytes (with a pause between slices).
+    Throttle(usize),
+    /// Cut both directions after exactly this many downstream bytes.
+    TearAt(usize),
+    /// Cut both directions after this many complete downstream frames.
+    ResetAfter(usize),
+    /// Never connect upstream; swallow the client silently.
+    Blackhole,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Ok => write!(f, "ok"),
+            Fault::Delay(ms) => write!(f, "delay:{ms}"),
+            Fault::Throttle(n) => write!(f, "throttle:{n}"),
+            Fault::TearAt(k) => write!(f, "tear:{k}"),
+            Fault::ResetAfter(m) => write!(f, "reset:{m}"),
+            Fault::Blackhole => write!(f, "blackhole"),
+        }
+    }
+}
+
+/// A cyclic list of faults assigned to connections by accept order.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated plan, e.g.
+    /// `ok,delay:25,throttle:256,tear:40,reset:2,blackhole`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind, arg) = match token.split_once(':') {
+                Some((kind, arg)) => (kind, Some(arg)),
+                None => (token, None),
+            };
+            let num = || -> Result<u64, String> {
+                arg.ok_or_else(|| format!("fault `{token}` needs `:N`"))?
+                    .parse()
+                    .map_err(|_| format!("fault `{token}`: bad number"))
+            };
+            faults.push(match kind {
+                "ok" => Fault::Ok,
+                "delay" => Fault::Delay(num()?),
+                "throttle" => Fault::Throttle((num()?).max(1) as usize),
+                "tear" => Fault::TearAt(num()? as usize),
+                "reset" => Fault::ResetAfter(num()? as usize),
+                "blackhole" => Fault::Blackhole,
+                other => {
+                    return Err(format!(
+                        "unknown fault `{other}` (ok|delay:MS|throttle:N|tear:K|reset:M|blackhole)"
+                    ));
+                }
+            });
+        }
+        if faults.is_empty() {
+            return Err("empty fault plan".to_string());
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// The fault the `index`-th accepted connection (0-based) meets
+    /// under `seed`: `plan[(index + seed) % len]`.
+    pub fn fault_for(&self, index: u64, seed: u64) -> Fault {
+        self.faults[((index.wrapping_add(seed)) % self.faults.len() as u64) as usize]
+    }
+
+    /// The plan's faults in order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}
+
+/// Read-poll tick for the pump loops, bounding every blocking read so
+/// the stop flag is observed promptly.
+const PUMP_TICK: Duration = Duration::from_millis(25);
+/// Pause between throttled slices.
+const THROTTLE_PAUSE: Duration = Duration::from_millis(2);
+
+/// The running proxy: accept loop plus per-connection pump threads.
+/// Stops (and cuts every live connection's pumps) on [`ChaosProxy::stop`]
+/// or drop.
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicUsize>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `listen` (TCP, `host:port`, `:0` for ephemeral) and starts
+    /// forwarding to `upstream` under `plan` and `seed`.
+    pub fn start(
+        listen: &str,
+        upstream: BindAddr,
+        plan: FaultPlan,
+        seed: u64,
+    ) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let loop_stop = Arc::clone(&stop);
+        let loop_accepted = Arc::clone(&accepted);
+        let thread = std::thread::spawn(move || {
+            let mut index: u64 = 0;
+            while !loop_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let fault = plan.fault_for(index, seed);
+                        index += 1;
+                        loop_accepted.fetch_add(1, Ordering::SeqCst);
+                        let upstream = upstream.clone();
+                        let stop = Arc::clone(&loop_stop);
+                        std::thread::spawn(move || serve_conn(client, &upstream, fault, &stop));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accepted,
+            thread: Some(thread),
+        })
+    }
+
+    /// The proxy's bound TCP address (for `:0` ephemeral binds).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stops the accept loop and signals every pump to cut.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One proxied connection: an upstream pump thread (client → server,
+/// untouched) and the downstream pump (server → client, under the
+/// fault) in this thread.
+fn serve_conn(client: TcpStream, upstream: &BindAddr, fault: Fault, stop: &Arc<AtomicBool>) {
+    let _ = client.set_nodelay(true);
+    if fault == Fault::Blackhole {
+        blackhole(client, stop);
+        return;
+    }
+    let Ok(server) = Stream::connect(upstream) else {
+        // Upstream refused: drop the client, which sees EOF — the
+        // connect-refused row of the failure matrix, one hop removed.
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let Ok(client_read) = client.try_clone() else {
+        return;
+    };
+    let Ok(server_write) = server.try_clone() else {
+        return;
+    };
+    let up_stop = Arc::clone(stop);
+    let up = std::thread::spawn(move || {
+        pump_plain(client_read, server_write, &up_stop);
+    });
+    pump_faulted(server, client, fault, stop);
+    let _ = up.join();
+}
+
+/// Swallows a black-holed client: read and discard until it gives up
+/// (its own deadline) or the proxy stops.
+fn blackhole(mut client: TcpStream, stop: &Arc<AtomicBool>) {
+    let _ = client.set_read_timeout(Some(PUMP_TICK));
+    let mut buf = [0u8; 1024];
+    while !stop.load(Ordering::SeqCst) {
+        match client.read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    let _ = client.shutdown(Shutdown::Both);
+}
+
+/// The untouched client → server direction.
+fn pump_plain(mut from: TcpStream, mut to: Stream, stop: &Arc<AtomicBool>) {
+    let _ = from.set_read_timeout(Some(PUMP_TICK));
+    let mut buf = [0u8; 4096];
+    while !stop.load(Ordering::SeqCst) {
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        if to.write_all(&buf[..n]).and_then(|()| to.flush()).is_err() {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+/// The server → client direction, under the fault. Cutting means
+/// shutting down both directions of both sockets so neither peer can
+/// mistake the cut for a graceful end of just one stream.
+fn pump_faulted(mut from: Stream, mut to: TcpStream, fault: Fault, stop: &Arc<AtomicBool>) {
+    let _ = from.set_read_timeout(Some(PUMP_TICK));
+    let mut forwarded: usize = 0; // downstream bytes already sent
+    let mut frames: usize = 0; // complete downstream frames sent
+    let mut buf = [0u8; 4096];
+    let cut = |from: &Stream, to: &TcpStream| {
+        let _ = to.shutdown(Shutdown::Both);
+        let _ = from.shutdown(Shutdown::Both);
+    };
+    while !stop.load(Ordering::SeqCst) {
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let chunk = &buf[..n];
+        let write_ok = match fault {
+            Fault::Ok | Fault::Blackhole => to.write_all(chunk).is_ok(),
+            Fault::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                to.write_all(chunk).is_ok()
+            }
+            Fault::Throttle(step) => {
+                let mut ok = true;
+                for slice in chunk.chunks(step) {
+                    if to.write_all(slice).and_then(|()| to.flush()).is_err() {
+                        ok = false;
+                        break;
+                    }
+                    std::thread::sleep(THROTTLE_PAUSE);
+                }
+                ok
+            }
+            Fault::TearAt(k) => {
+                if forwarded + n >= k {
+                    let _ = to.write_all(&chunk[..k.saturating_sub(forwarded)]);
+                    let _ = to.flush();
+                    cut(&from, &to);
+                    return;
+                }
+                to.write_all(chunk).is_ok()
+            }
+            Fault::ResetAfter(m) => {
+                // Forward through the m-th newline, then cut.
+                let mut cut_at = None;
+                for (i, &b) in chunk.iter().enumerate() {
+                    if b == b'\n' {
+                        frames += 1;
+                        if frames >= m {
+                            cut_at = Some(i + 1);
+                            break;
+                        }
+                    }
+                }
+                match cut_at {
+                    Some(end) => {
+                        let _ = to.write_all(&chunk[..end]);
+                        let _ = to.flush();
+                        cut(&from, &to);
+                        return;
+                    }
+                    None => to.write_all(chunk).is_ok(),
+                }
+            }
+        };
+        if !write_ok || to.flush().is_err() {
+            break;
+        }
+        forwarded += n;
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parses_and_assigns_deterministically() {
+        let plan = FaultPlan::parse("ok, delay:25,throttle:256,tear:40,reset:2,blackhole").unwrap();
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault::Ok,
+                Fault::Delay(25),
+                Fault::Throttle(256),
+                Fault::TearAt(40),
+                Fault::ResetAfter(2),
+                Fault::Blackhole,
+            ]
+        );
+        // Pure function of (index, seed), cyclic.
+        assert_eq!(plan.fault_for(0, 0), Fault::Ok);
+        assert_eq!(plan.fault_for(6, 0), Fault::Ok);
+        assert_eq!(plan.fault_for(0, 2), Fault::Throttle(256));
+        assert_eq!(plan.fault_for(10, 2), Fault::Ok);
+        for bad in ["", "delay", "tear:x", "nuke:3"] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn proxy_forwards_tears_and_blackholes() {
+        use std::io::{BufRead, BufReader};
+        use std::net::TcpListener;
+
+        // A trivial upstream echo server: replies `hello N\n` per line.
+        let upstream = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let upstream_addr = upstream.local_addr().expect("addr");
+        let echo = std::thread::spawn(move || {
+            for (i, conn) in upstream.incoming().take(2).enumerate() {
+                let mut conn = conn.expect("accept");
+                let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_ok() {
+                    let _ = writeln!(conn, "hello {i} this reply is long enough to tear");
+                }
+            }
+        });
+        let plan = FaultPlan::parse("ok,tear:10,blackhole").expect("plan");
+        let mut proxy = ChaosProxy::start(
+            "127.0.0.1:0",
+            BindAddr::Tcp(upstream_addr.to_string()),
+            plan,
+            0,
+        )
+        .expect("proxy starts");
+        let addr = proxy.addr().to_string();
+
+        // Conn 0: ok — full line arrives.
+        let mut c0 = TcpStream::connect(&addr).expect("conn 0");
+        c0.write_all(b"hi\n").expect("send");
+        let mut line = String::new();
+        BufReader::new(c0).read_line(&mut line).expect("reply");
+        assert!(line.contains("hello 0"), "{line:?}");
+
+        // Conn 1: torn after 10 bytes — partial line then EOF.
+        let mut c1 = TcpStream::connect(&addr).expect("conn 1");
+        c1.write_all(b"hi\n").expect("send");
+        let mut got = Vec::new();
+        c1.read_to_end(&mut got).expect("read to cut");
+        assert_eq!(got.len(), 10, "exactly K bytes: {got:?}");
+        assert!(!got.contains(&b'\n'), "torn before the newline");
+
+        // Conn 2: black hole — a bounded read times out with no bytes.
+        let c2 = TcpStream::connect(&addr).expect("conn 2");
+        c2.set_read_timeout(Some(Duration::from_millis(100)))
+            .expect("timeout");
+        let mut c2 = c2;
+        c2.write_all(b"hi\n").expect("send into the void");
+        let mut buf = [0u8; 16];
+        match c2.read(&mut buf) {
+            Ok(0) => {} // proxy stopped first — still no payload
+            Ok(n) => panic!("blackhole returned {n} bytes"),
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ),
+                "{e}"
+            ),
+        }
+        assert_eq!(proxy.accepted(), 3);
+        proxy.stop();
+        echo.join().expect("echo exits");
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod analysis;
 pub mod annotate;
+pub mod chaos;
 pub mod error;
 pub mod experiment;
 pub mod integrity;
@@ -50,11 +51,14 @@ pub mod observe;
 pub mod profile;
 pub mod profiler;
 pub mod report;
+pub mod server;
 pub mod service;
 mod sink_impl;
 pub mod supervisor;
+pub mod transport;
 
 pub use analysis::{ContextPathStat, HotPathReport, HotProcReport, PathClass, PathStat, ProcStat};
+pub use chaos::{ChaosProxy, Fault, FaultPlan};
 pub use error::PpError;
 pub use integrity::{IntegrityError, IntegrityReport};
 pub use merge::{
@@ -63,6 +67,7 @@ pub use merge::{
 pub use profile::{FlowProfile, PathCell};
 pub use profiler::{ProfileError, Profiler, RunConfig, RunOutcome, RunReport};
 pub use report::TextTable;
+pub use server::ServerConfig;
 pub use service::{
     AdmitError, JobState, JobView, Service, ServiceConfig, ServiceFaultPlan, ServiceMetrics,
     ServicePhase, ServiceReport, SpecResolver,
@@ -72,3 +77,4 @@ pub use supervisor::{
     BatchFaultPlan, BatchReport, ExecEvent, ExecOutcome, FailureClass, FailureKind, JobExecutor,
     JobFailure, JobFaults, JobRetry, JobSpec, RetryStep, Supervisor,
 };
+pub use transport::{BindAddr, Client, ClientConfig, Listener, RetryPolicy, Stream};

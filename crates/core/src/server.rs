@@ -1,0 +1,1228 @@
+//! The NDJSON protocol server behind `pp serve`, hoisted out of the CLI
+//! so it runs over any [`crate::transport`] listener (Unix socket, TCP)
+//! and so integration tests can drive a real accept loop in-process.
+//!
+//! One request object per line, one response object per line, canonical
+//! `pp_obs::json` rendering. Request frames are bounded
+//! ([`MAX_FRAME_BYTES`]): an oversized line earns a typed
+//! `frame-too-large` reply and the rest of the line is discarded, so a
+//! hostile or broken client can neither balloon server memory nor wedge
+//! the connection.
+//!
+//! ## Connection governance
+//!
+//! Real networks add failure modes the original Unix-socket daemon
+//! never met, and every one of them is answered here with a typed
+//! frame, a metric, and a bounded wait — never a pinned worker:
+//!
+//! * **Connection cap** ([`ServerConfig::max_conns`]): at the cap, a
+//!   new connection is not queued behind a busy fleet — it gets an
+//!   immediate `overloaded` refusal frame carrying the cap and a
+//!   `retry_after_ms` pacing hint, then the socket closes
+//!   (`transport.refused`).
+//! * **Graceful shed on drain**: once the service leaves the
+//!   `Accepting` phase, new connections get a `draining`/`stopped`
+//!   refusal with the same retry hint instead of half-service.
+//! * **Idle timeout** ([`ServerConfig::idle_timeout`]): a peer that
+//!   connects and never sends a byte — or goes silent between requests
+//!   (half-open TCP peer) — is closed with a typed `idle-timeout`
+//!   frame (`transport.idle_closed`). It cannot hold a connection slot
+//!   forever.
+//! * **Slow-frame deadline** ([`ServerConfig::io_timeout`]): a peer
+//!   trickling one byte per tick (slowloris) has bounded time to finish
+//!   a started frame before a typed `slow-frame` close. This layers on
+//!   the byte bound: frames are capped in *size* by
+//!   [`MAX_FRAME_BYTES`] and in *time* by the deadline.
+//! * **Write deadlines**: replies and streamed frames are written under
+//!   `io_timeout`, so a reader that stops draining cannot wedge a
+//!   handler (streaming subscribers keep their bounded-bus semantics —
+//!   a slow watcher drops oldest events with exact accounting).
+//!
+//! All of it is counted in the service's observability registry
+//! (`transport.accepted`, `transport.refused`, `transport.idle_closed`,
+//! `transport.reset`, `transport.open`, `transport.conn_lifetime_us`)
+//! and therefore rides along in `pp status --metrics` / `--prom`.
+//!
+//! Protocol ops: `submit`, `status`, `wait`, `wait-idle`, `metrics`,
+//! `drain`, `ping`, `subscribe`, `fetch`. Refusals carry the admission
+//! taxonomy on the wire (`overloaded`, `quota-exceeded`, `draining`, …)
+//! plus `retry_after_ms` on the shed refusals, and the client maps them
+//! back onto [`AdmitError`] — so `pp submit` against a saturated server
+//! exits with code 4, distinct from a failed run.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pp_obs::events::{EventFilter, DEFAULT_SUBSCRIBER_CAPACITY, EVENT_KINDS};
+use pp_obs::json::{self, Json};
+use pp_usim::CancelToken;
+
+use crate::service::{AdmitError, Service, ServicePhase};
+use crate::supervisor::manifest::ProfileRef;
+use crate::transport::{b64_encode, Listener, Stream, MAX_FRAME_BYTES};
+
+/// Raw bytes per `fetch` chunk frame. Base64 expands by 4/3, so a chunk
+/// frame is ~43 KiB of payload plus framing — comfortably under the
+/// 64 KiB frame rule that bounds every line on this protocol.
+pub const FETCH_CHUNK_RAW: usize = 32 * 1024;
+
+/// Connection-governance knobs for the accept loop and the per-client
+/// handlers. Zero disables the corresponding limit.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Concurrent-connection cap; at the cap new connections get an
+    /// immediate typed `overloaded` refusal (0 = unlimited).
+    pub max_conns: usize,
+    /// Close a connection that sends no frame for this long
+    /// (0 = never).
+    pub idle_timeout: Duration,
+    /// Once a frame has started arriving, it must finish within this
+    /// budget (slowloris defense); also the per-write deadline
+    /// (0 = unbounded).
+    pub io_timeout: Duration,
+    /// Pacing hint attached to `overloaded`/`draining` refusals.
+    pub retry_after_ms: u64,
+    /// Read-poll tick bounding every blocking read in the handler.
+    pub tick: Duration,
+    /// Period of the metrics snapshot published onto the event bus.
+    pub snapshot_every: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_conns: 64,
+            idle_timeout: Duration::from_secs(300),
+            io_timeout: Duration::from_secs(10),
+            retry_after_ms: 50,
+            tick: Duration::from_millis(100),
+            snapshot_every: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Wire rendering of a service phase.
+pub fn phase_str(phase: ServicePhase) -> &'static str {
+    match phase {
+        ServicePhase::Accepting => "accepting",
+        ServicePhase::Draining => "draining",
+        ServicePhase::Stopped => "stopped",
+    }
+}
+
+/// `{"ok":false,"error":kind,"detail":detail}`.
+pub fn error_json(kind: &str, detail: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(kind.to_string())),
+        ("detail".to_string(), Json::Str(detail.to_string())),
+    ])
+}
+
+/// Keeps the open-connection gauge and lifetime histogram honest on
+/// every exit path of a handler thread.
+struct ConnGuard {
+    service: Arc<Service>,
+    open: Arc<AtomicUsize>,
+    started: Instant,
+}
+
+impl ConnGuard {
+    fn new(service: Arc<Service>, open: Arc<AtomicUsize>) -> ConnGuard {
+        let now_open = open.fetch_add(1, Ordering::SeqCst) + 1;
+        service.obs_gauge("transport.open", now_open as f64);
+        ConnGuard {
+            service,
+            open,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let now_open = self.open.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.service.obs_gauge("transport.open", now_open as f64);
+        self.service.obs_observe(
+            "transport.conn_lifetime_us",
+            self.started.elapsed().as_micros() as u64,
+        );
+    }
+}
+
+/// Runs the accept loop over every bound listener until `stop` fires:
+/// poll-accepts, applies the governance above, publishes the periodic
+/// metrics snapshot, and spawns one handler thread per admitted
+/// connection. Returns when `stop` is cancelled; handler threads finish
+/// on their own deadlines.
+pub fn run_accept_loop(
+    service: &Arc<Service>,
+    listeners: &[Listener],
+    config: &ServerConfig,
+    stop: &CancelToken,
+) {
+    for listener in listeners {
+        if let Err(e) = listener.set_nonblocking(true) {
+            pp_obs::warn!("serve: listener nonblocking failed: {e}");
+        }
+    }
+    let open = Arc::new(AtomicUsize::new(0));
+    let mut last_snapshot = Instant::now();
+    while !stop.is_cancelled() {
+        if last_snapshot.elapsed() >= config.snapshot_every {
+            service.publish_metrics_snapshot();
+            last_snapshot = Instant::now();
+        }
+        let mut accepted_any = false;
+        for listener in listeners {
+            match listener.accept() {
+                Ok(stream) => {
+                    accepted_any = true;
+                    admit_connection(service, &open, config, stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => {
+                    pp_obs::warn!("serve: accept failed: {e}");
+                }
+            }
+        }
+        if !accepted_any {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// Governance at the accept edge: count, shed, or hand off to a
+/// handler thread.
+fn admit_connection(
+    service: &Arc<Service>,
+    open: &Arc<AtomicUsize>,
+    config: &ServerConfig,
+    mut stream: Stream,
+) {
+    service.obs_counter("transport.accepted", 1);
+    let phase = service.phase();
+    if phase != ServicePhase::Accepting {
+        refuse(
+            service,
+            &mut stream,
+            config,
+            phase_str(phase),
+            "server is shutting down; retry against the next incarnation",
+            None,
+        );
+        return;
+    }
+    if config.max_conns > 0 && open.load(Ordering::SeqCst) >= config.max_conns {
+        refuse(
+            service,
+            &mut stream,
+            config,
+            "overloaded",
+            "connection limit reached; back off and reconnect",
+            Some(config.max_conns),
+        );
+        return;
+    }
+    let guard = ConnGuard::new(Arc::clone(service), Arc::clone(open));
+    let service = Arc::clone(service);
+    let config = config.clone();
+    std::thread::spawn(move || {
+        let _guard = guard;
+        handle_client(&service, stream, &config);
+    });
+}
+
+/// Writes one typed refusal frame (with the `retry_after_ms` pacing
+/// hint) and closes the connection.
+fn refuse(
+    service: &Service,
+    stream: &mut Stream,
+    config: &ServerConfig,
+    kind: &str,
+    detail: &str,
+    capacity: Option<usize>,
+) {
+    service.obs_counter("transport.refused", 1);
+    let mut fields = match error_json(kind, detail) {
+        Json::Obj(fields) => fields,
+        _ => unreachable!(),
+    };
+    fields.push((
+        "retry_after_ms".to_string(),
+        Json::Num(config.retry_after_ms as f64),
+    ));
+    if let Some(capacity) = capacity {
+        fields.push(("capacity".to_string(), Json::Num(capacity as f64)));
+    }
+    if config.io_timeout > Duration::ZERO {
+        let _ = stream.set_write_timeout(Some(config.io_timeout));
+    }
+    let _ = writeln!(stream, "{}", Json::Obj(fields).render());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// One bounded read of the NDJSON transport.
+enum FrameRead {
+    /// A complete line within the frame bound.
+    Line(String),
+    /// The line exceeded [`MAX_FRAME_BYTES`]; its bytes were discarded
+    /// up to (and including) the newline, so the connection can keep
+    /// serving.
+    TooLarge,
+    /// Peer hung up. A torn (newline-less) tail is dropped — it was
+    /// never a complete request, mirroring the intake journal's
+    /// torn-tail rule.
+    Eof,
+    /// Transport error (reset, broken pipe).
+    Failed,
+    /// No frame started within [`ServerConfig::idle_timeout`].
+    IdleTimeout,
+    /// A frame started but did not finish within
+    /// [`ServerConfig::io_timeout`] (slowloris).
+    FrameTimeout,
+}
+
+/// Reads one newline-terminated frame without ever buffering more than
+/// [`MAX_FRAME_BYTES`] of it, under the idle/slow-frame deadlines. The
+/// underlying stream must carry a short read timeout (the handler's
+/// tick); each timed-out read is one tick of the deadline clocks.
+fn read_frame(reader: &mut impl BufRead, config: &ServerConfig) -> FrameRead {
+    let idle_since = Instant::now();
+    let mut frame_since: Option<Instant> = None;
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let (consumed, complete) = {
+            let chunk = match reader.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    match frame_since {
+                        None => {
+                            if config.idle_timeout > Duration::ZERO
+                                && idle_since.elapsed() >= config.idle_timeout
+                            {
+                                return FrameRead::IdleTimeout;
+                            }
+                        }
+                        Some(started) => {
+                            if config.io_timeout > Duration::ZERO
+                                && started.elapsed() >= config.io_timeout
+                            {
+                                return FrameRead::FrameTimeout;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                Err(_) => return FrameRead::Failed,
+            };
+            if chunk.is_empty() {
+                return FrameRead::Eof;
+            }
+            frame_since.get_or_insert_with(Instant::now);
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !oversized {
+                        line.extend_from_slice(&chunk[..pos]);
+                    }
+                    (pos + 1, true)
+                }
+                None => {
+                    if !oversized {
+                        line.extend_from_slice(chunk);
+                    }
+                    (chunk.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > MAX_FRAME_BYTES {
+            oversized = true;
+            line.clear();
+        }
+        if complete {
+            return if oversized {
+                FrameRead::TooLarge
+            } else {
+                FrameRead::Line(String::from_utf8_lossy(&line).into_owned())
+            };
+        }
+    }
+}
+
+/// Serves one admitted connection: a loop of bounded NDJSON
+/// request/response pairs until the peer hangs up or a deadline closes
+/// it. Malformed requests get a typed `bad-request` reply and oversized
+/// ones a typed `frame-too-large` reply — never a panic, never a
+/// dropped connection. A `subscribe` request switches the connection
+/// into streaming mode and it stays there until one side hangs up.
+pub fn handle_client(service: &Service, stream: Stream, config: &ServerConfig) {
+    // The tick bounds every read so the deadline clocks advance even
+    // when the peer is silent; writes are bounded outright.
+    let tick = if config.tick.is_zero() {
+        Duration::from_millis(100)
+    } else {
+        config.tick
+    };
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return;
+    }
+    if config.io_timeout > Duration::ZERO
+        && stream.set_write_timeout(Some(config.io_timeout)).is_err()
+    {
+        return;
+    }
+    let Ok(peer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(peer);
+    let mut writer = stream;
+    let send = |writer: &mut Stream, response: &Json| {
+        writeln!(writer, "{}", response.render())
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
+    loop {
+        let line = match read_frame(&mut reader, config) {
+            FrameRead::Line(line) => line,
+            FrameRead::TooLarge => {
+                let response = error_json(
+                    "frame-too-large",
+                    &format!("request frames are capped at {MAX_FRAME_BYTES} bytes"),
+                );
+                if !send(&mut writer, &response) {
+                    service.obs_counter("transport.reset", 1);
+                    return;
+                }
+                continue;
+            }
+            FrameRead::IdleTimeout => {
+                service.obs_counter("transport.idle_closed", 1);
+                let response = error_json(
+                    "idle-timeout",
+                    &format!(
+                        "no request for {:.0}s; closing",
+                        config.idle_timeout.as_secs_f64()
+                    ),
+                );
+                let _ = send(&mut writer, &response);
+                let _ = writer.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            FrameRead::FrameTimeout => {
+                service.obs_counter("transport.idle_closed", 1);
+                let response = error_json(
+                    "slow-frame",
+                    &format!(
+                        "frame not completed within {:.0}s; closing",
+                        config.io_timeout.as_secs_f64()
+                    ),
+                );
+                let _ = send(&mut writer, &response);
+                let _ = writer.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            FrameRead::Eof => return,
+            FrameRead::Failed => {
+                service.obs_counter("transport.reset", 1);
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match json::parse(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                let response = error_json("bad-request", &format!("unparsable request: {e}"));
+                if !send(&mut writer, &response) {
+                    service.obs_counter("transport.reset", 1);
+                    return;
+                }
+                continue;
+            }
+        };
+        if request.get("op").and_then(Json::as_str) == Some("subscribe") {
+            stream_events(service, &mut writer, &request);
+            return;
+        }
+        if request.get("op").and_then(Json::as_str) == Some("fetch") {
+            // Unlike subscribe, fetch is a bounded burst: stream the
+            // artifact, then fall back into the request loop.
+            if !stream_fetch(service, &mut writer, &request) {
+                service.obs_counter("transport.reset", 1);
+                return;
+            }
+            continue;
+        }
+        let response = handle_request(service, config, &request);
+        if !send(&mut writer, &response) {
+            service.obs_counter("transport.reset", 1);
+            return;
+        }
+    }
+}
+
+/// Serves a `subscribe` request: one ack object, then NDJSON event
+/// frames until the subscriber hangs up or the service stops. A slow
+/// subscriber only ever blocks its own connection thread; its bounded
+/// bus queue drops oldest events with exact accounting
+/// (`dropped_since_last`), and the daemon never waits on it.
+fn stream_events(service: &Service, writer: &mut Stream, request: &Json) {
+    let num = |key: &str| request.get(key).and_then(Json::as_f64);
+    let text = |key: &str| request.get(key).and_then(Json::as_str);
+    let mut kinds: Option<Vec<String>> = None;
+    if let Some(spec) = text("events") {
+        let list: Vec<String> = spec
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        for kind in &list {
+            if !EVENT_KINDS.contains(&kind.as_str()) {
+                let response = error_json(
+                    "bad-request",
+                    &format!(
+                        "unknown event kind `{kind}` (expected one of: {})",
+                        EVENT_KINDS.join(", ")
+                    ),
+                );
+                let _ = writeln!(writer, "{}", response.render());
+                return;
+            }
+        }
+        if !list.is_empty() {
+            kinds = Some(list);
+        }
+    }
+    let filter = EventFilter {
+        job: num("job").map(|j| j as u64),
+        client: text("client").map(str::to_string),
+        kinds,
+        since: num("since").map(|s| s as u64),
+    };
+    let capacity = num("capacity")
+        .map(|c| c as usize)
+        .filter(|c| *c > 0)
+        .unwrap_or(DEFAULT_SUBSCRIBER_CAPACITY);
+    let subscription = service.subscribe(filter, capacity);
+    let ack = Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("subscribed".to_string(), Json::Bool(true)),
+        (
+            "phase".to_string(),
+            Json::Str(phase_str(service.phase()).to_string()),
+        ),
+        (
+            "next_seq".to_string(),
+            Json::Num(service.events().next_seq() as f64),
+        ),
+        ("capacity".to_string(), Json::Num(capacity as f64)),
+    ]);
+    if writeln!(writer, "{}", ack.render())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match subscription.recv(Duration::from_millis(250)) {
+            Some(frame) => {
+                if writeln!(writer, "{}", frame.to_json().render())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    // Subscriber gone; dropping the subscription
+                    // unregisters it from the bus.
+                    return;
+                }
+            }
+            None => {
+                if subscription.is_closed() || service.phase() == ServicePhase::Stopped {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Is `name` an artifact this daemon is willing to serve? Only files
+/// the service itself wrote qualify: each job's persisted flow/CCT
+/// profile, plus the merged fleet profile a `pp merge` checkpointed
+/// into the state directory.
+fn fetch_allowed(service: &Service, name: &str) -> bool {
+    name == crate::merge::MERGED_PROFILE_FILE
+        || service
+            .jobs()
+            .iter()
+            .any(|j| j.flow.as_deref() == Some(name) || j.cct.as_deref() == Some(name))
+}
+
+/// Serves one `fetch` request: ack, chunk frames, done frame. Returns
+/// whether the connection is still usable (a write failure means the
+/// peer hung up). Errors are typed replies, never dropped connections:
+/// a traversal attempt or unknown name is refused before any I/O.
+fn stream_fetch(service: &Service, writer: &mut Stream, request: &Json) -> bool {
+    let send = |writer: &mut Stream, response: &Json| {
+        writeln!(writer, "{}", response.render())
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
+    let name = request
+        .get("file")
+        .and_then(Json::as_str)
+        .unwrap_or(crate::merge::MERGED_PROFILE_FILE);
+    // The served namespace is flat: artifact basenames inside the state
+    // directory, nothing else on the filesystem.
+    if name.contains('/') || name.contains('\\') || name.contains("..") || name.is_empty() {
+        return send(
+            writer,
+            &error_json("bad-request", "fetch file must be a bare artifact name"),
+        );
+    }
+    if !fetch_allowed(service, name) {
+        return send(
+            writer,
+            &error_json(
+                "unknown-artifact",
+                &format!("`{name}` is not a stored artifact of this daemon"),
+            ),
+        );
+    }
+    let bytes = match std::fs::read(service.dir().join(name)) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            return send(writer, &error_json("io", &format!("{name}: {e}")));
+        }
+    };
+    let r = ProfileRef::for_bytes(name, &bytes);
+    let chunks = bytes.len().div_ceil(FETCH_CHUNK_RAW);
+    let ack = Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("file".to_string(), Json::Str(name.to_string())),
+        ("len".to_string(), Json::Num(r.len as f64)),
+        ("crc".to_string(), Json::Num(f64::from(r.crc))),
+        ("chunks".to_string(), Json::Num(chunks as f64)),
+    ]);
+    if !send(writer, &ack) {
+        return false;
+    }
+    for (i, chunk) in bytes.chunks(FETCH_CHUNK_RAW).enumerate() {
+        let frame = Json::Obj(vec![
+            ("chunk".to_string(), Json::Num(i as f64)),
+            ("data".to_string(), Json::Str(b64_encode(chunk))),
+        ]);
+        if !send(writer, &frame) {
+            return false;
+        }
+    }
+    send(
+        writer,
+        &Json::Obj(vec![
+            ("done".to_string(), Json::Bool(true)),
+            ("chunks".to_string(), Json::Num(chunks as f64)),
+        ]),
+    )
+}
+
+/// Dispatches one parsed request object to the service.
+fn handle_request(service: &Service, config: &ServerConfig, request: &Json) -> Json {
+    let str_field = |key: &str| request.get(key).and_then(Json::as_str);
+    let num_field = |key: &str| request.get(key).and_then(Json::as_f64);
+    let ok = |mut fields: Vec<(String, Json)>| {
+        fields.insert(0, ("ok".to_string(), Json::Bool(true)));
+        Json::Obj(fields)
+    };
+    match str_field("op") {
+        Some("ping") => {
+            let (queued, running, done, failed) = service.counts();
+            ok(vec![
+                (
+                    "phase".to_string(),
+                    Json::Str(phase_str(service.phase()).to_string()),
+                ),
+                ("queued".to_string(), Json::Num(queued as f64)),
+                ("running".to_string(), Json::Num(running as f64)),
+                ("done".to_string(), Json::Num(done as f64)),
+                ("failed".to_string(), Json::Num(failed as f64)),
+            ])
+        }
+        Some("submit") => {
+            let Some(spec) = str_field("spec") else {
+                return error_json("bad-request", "submit needs \"spec\"");
+            };
+            let client = str_field("client").unwrap_or("anon");
+            let name = str_field("name").unwrap_or(spec);
+            match service.submit(client, name, spec) {
+                Ok(id) => ok(vec![("id".to_string(), Json::Num(id as f64))]),
+                Err(e) => {
+                    let mut reply = match error_json(e.kind(), &e.to_string()) {
+                        Json::Obj(fields) => fields,
+                        _ => unreachable!(),
+                    };
+                    // Structured fields so the client can rebuild the
+                    // exact AdmitError, not just its message — and the
+                    // shed refusals carry the pacing hint the retrying
+                    // client honors.
+                    match &e {
+                        AdmitError::Overloaded { capacity } => {
+                            reply.push(("capacity".to_string(), Json::Num(*capacity as f64)));
+                            reply.push((
+                                "retry_after_ms".to_string(),
+                                Json::Num(config.retry_after_ms as f64),
+                            ));
+                        }
+                        AdmitError::QuotaExceeded { quota, .. } => {
+                            reply.push(("quota".to_string(), Json::Num(*quota as f64)));
+                        }
+                        AdmitError::Draining => {
+                            reply.push((
+                                "retry_after_ms".to_string(),
+                                Json::Num(config.retry_after_ms as f64),
+                            ));
+                        }
+                        _ => {}
+                    }
+                    Json::Obj(reply)
+                }
+            }
+        }
+        Some("status") => match num_field("id") {
+            Some(id) => match service.status(id as u64) {
+                Some(job) => ok(vec![("job".to_string(), job.to_json())]),
+                None => error_json("unknown-job", &format!("no job {id}")),
+            },
+            None => {
+                let jobs: Vec<Json> = service.jobs().iter().map(|j| j.to_json()).collect();
+                ok(vec![
+                    (
+                        "phase".to_string(),
+                        Json::Str(phase_str(service.phase()).to_string()),
+                    ),
+                    ("jobs".to_string(), Json::Arr(jobs)),
+                ])
+            }
+        },
+        Some("wait") => {
+            let Some(id) = num_field("id") else {
+                return error_json("bad-request", "wait needs \"id\"");
+            };
+            let timeout = Duration::from_secs_f64(num_field("timeout_s").unwrap_or(600.0));
+            match service.wait(id as u64, timeout) {
+                Some(job) => ok(vec![("job".to_string(), job.to_json())]),
+                None => error_json("unknown-job", &format!("no job {id}")),
+            }
+        }
+        Some("wait-idle") => {
+            let timeout = Duration::from_secs_f64(num_field("timeout_s").unwrap_or(60.0));
+            let idle = service.wait_idle(timeout);
+            ok(vec![("idle".to_string(), Json::Bool(idle))])
+        }
+        Some("metrics") => {
+            let registry = service.registry();
+            // The registry renders itself; parse it back so it embeds as
+            // an object rather than a string.
+            let registry_json =
+                json::parse(&registry.to_json()).unwrap_or_else(|_| Json::Obj(Vec::new()));
+            ok(vec![
+                ("metrics".to_string(), service.metrics().to_json()),
+                ("registry".to_string(), registry_json),
+                ("prom".to_string(), Json::Str(registry.prom_text())),
+            ])
+        }
+        Some("drain") => {
+            service.drain();
+            ok(vec![(
+                "phase".to_string(),
+                Json::Str(phase_str(service.phase()).to_string()),
+            )])
+        }
+        Some(other) => error_json("bad-request", &format!("unknown op `{other}`")),
+        None => error_json("bad-request", "request lacks \"op\""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::Profiler;
+    use crate::service::ServiceConfig;
+    use crate::transport::b64_decode;
+    use std::os::unix::net::UnixStream;
+    use std::path::PathBuf;
+
+    /// A service whose resolver refuses everything — protocol tests
+    /// exercise the transport, not job execution.
+    fn proto_service(tag: &str) -> (Arc<Service>, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("pp-server-proto-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let resolver: crate::service::SpecResolver =
+            Arc::new(|_spec: &str| Err("protocol tests resolve nothing".to_string()));
+        let config = ServiceConfig {
+            workers: 1,
+            params: "proto-test".to_string(),
+            ..ServiceConfig::default()
+        };
+        let service =
+            Service::start(config, Profiler::default(), resolver, &dir).expect("service starts");
+        (Arc::new(service), dir)
+    }
+
+    /// Protocol unit tests want blocking semantics with no surprise
+    /// deadline closes; governance has its own tests below.
+    fn lenient_config() -> ServerConfig {
+        ServerConfig {
+            idle_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(30),
+            tick: Duration::from_millis(20),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Wires a raw client socket to a live `handle_client` thread.
+    fn proto_conn(
+        service: &Arc<Service>,
+        config: &ServerConfig,
+    ) -> (
+        UnixStream,
+        BufReader<UnixStream>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (client, server) = UnixStream::pair().expect("socketpair");
+        let svc = Arc::clone(service);
+        let config = config.clone();
+        let handler =
+            std::thread::spawn(move || handle_client(&svc, Stream::Unix(server), &config));
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let reader = BufReader::new(client.try_clone().expect("clone"));
+        (client, reader, handler)
+    }
+
+    fn read_reply(reader: &mut BufReader<UnixStream>) -> Json {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply line");
+        json::parse(line.trim()).expect("reply parses")
+    }
+
+    #[test]
+    fn fetch_streams_chunked_artifact_and_connection_survives() {
+        let (service, dir) = proto_service("fetch");
+        // Big enough for three chunk frames, awkwardly misaligned.
+        let artifact: Vec<u8> = (0..2 * FETCH_CHUNK_RAW + 777)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        std::fs::write(dir.join(crate::merge::MERGED_PROFILE_FILE), &artifact)
+            .expect("write artifact");
+        let config = lenient_config();
+        let (mut client, mut reader, handler) = proto_conn(&service, &config);
+
+        // Traversal and unknown names are refused without touching disk.
+        for (request, want) in [
+            (
+                "{\"op\":\"fetch\",\"file\":\"../../etc/passwd\"}",
+                "bad-request",
+            ),
+            (
+                "{\"op\":\"fetch\",\"file\":\"job-000001.cct\"}",
+                "unknown-artifact",
+            ),
+        ] {
+            client.write_all(request.as_bytes()).expect("request");
+            client.write_all(b"\n").expect("newline");
+            client.flush().expect("flush");
+            let reply = read_reply(&mut reader);
+            assert_eq!(
+                reply.get("error").and_then(Json::as_str),
+                Some(want),
+                "{request}"
+            );
+        }
+
+        // Default fetch = the merged fleet profile, in order, CRC-true.
+        client.write_all(b"{\"op\":\"fetch\"}\n").expect("fetch");
+        client.flush().expect("flush");
+        let ack = read_reply(&mut reader);
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "{ack:?}");
+        assert_eq!(
+            ack.get("len").and_then(Json::as_f64),
+            Some(artifact.len() as f64)
+        );
+        let chunks = ack.get("chunks").and_then(Json::as_f64).expect("chunks") as usize;
+        assert_eq!(chunks, 3);
+        let mut got = Vec::new();
+        for i in 0..chunks {
+            let frame = read_reply(&mut reader);
+            assert_eq!(frame.get("chunk").and_then(Json::as_f64), Some(i as f64));
+            let data = frame.get("data").and_then(Json::as_str).expect("data");
+            assert!(
+                data.len() < MAX_FRAME_BYTES,
+                "chunk frames obey the frame rule"
+            );
+            got.extend(b64_decode(data).expect("valid base64"));
+        }
+        let done = read_reply(&mut reader);
+        assert_eq!(done.get("done").and_then(Json::as_bool), Some(true));
+        assert_eq!(got, artifact, "reassembled bytes match");
+        let want_crc = ProfileRef::for_bytes("x", &artifact).crc;
+        assert_eq!(
+            ack.get("crc").and_then(Json::as_f64),
+            Some(f64::from(want_crc))
+        );
+
+        // The connection keeps serving plain requests afterwards.
+        client.write_all(b"{\"op\":\"ping\"}\n").expect("ping");
+        client.flush().expect("flush");
+        let ping = read_reply(&mut reader);
+        assert_eq!(ping.get("ok").and_then(Json::as_bool), Some(true));
+        drop(client);
+        drop(reader);
+        handler.join().expect("handler exits");
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_frame_gets_typed_error_and_connection_survives() {
+        let (service, dir) = proto_service("oversized");
+        let config = lenient_config();
+        let (mut client, mut reader, handler) = proto_conn(&service, &config);
+        let mut huge = vec![b'a'; MAX_FRAME_BYTES + 512];
+        huge.push(b'\n');
+        client.write_all(&huge).expect("oversized frame");
+        client
+            .write_all(b"{\"op\":\"ping\"}\n")
+            .expect("ping after");
+        client.flush().expect("flush");
+        let first = read_reply(&mut reader);
+        assert_eq!(
+            first.get("error").and_then(Json::as_str),
+            Some("frame-too-large"),
+            "{first:?}"
+        );
+        let second = read_reply(&mut reader);
+        assert_eq!(second.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            second.get("phase").and_then(Json::as_str),
+            Some("accepting"),
+            "the connection keeps serving after the oversized frame"
+        );
+        drop(client);
+        drop(reader);
+        handler.join().expect("handler exits");
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_and_garbage_frames_never_panic_or_wedge() {
+        let (service, dir) = proto_service("torn");
+        let config = lenient_config();
+        let (mut client, mut reader, handler) = proto_conn(&service, &config);
+        // Interleaved garbage: binary junk, an empty line, unparsable
+        // JSON — each complete frame earns one typed reply.
+        client
+            .write_all(b"\x00\xfe\x01 binary junk\n")
+            .expect("junk");
+        client.write_all(b"\n").expect("blank");
+        client
+            .write_all(b"{\"op\": \"ping\"")
+            .expect("half an object");
+        client.write_all(b" oops}\n").expect("rest of the line");
+        client
+            .write_all(b"{\"op\":\"ping\"}\n")
+            .expect("valid ping");
+        client.flush().expect("flush");
+        let junk_reply = read_reply(&mut reader);
+        assert_eq!(
+            junk_reply.get("error").and_then(Json::as_str),
+            Some("bad-request")
+        );
+        let torn_json_reply = read_reply(&mut reader);
+        assert_eq!(
+            torn_json_reply.get("error").and_then(Json::as_str),
+            Some("bad-request")
+        );
+        let ping_reply = read_reply(&mut reader);
+        assert_eq!(ping_reply.get("ok").and_then(Json::as_bool), Some(true));
+        // A torn final frame (no newline) at hangup is dropped silently:
+        // it was never a complete request.
+        client.write_all(b"{\"op\":\"stat").expect("torn tail");
+        client
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut rest = String::new();
+        reader.read_line(&mut rest).expect("eof");
+        assert!(rest.is_empty(), "no reply to a torn tail: {rest:?}");
+        drop(client);
+        drop(reader);
+        handler.join().expect("handler exits cleanly");
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_ops_and_missing_fields_get_typed_refusals() {
+        let (service, dir) = proto_service("badops");
+        let config = lenient_config();
+        let (mut client, mut reader, handler) = proto_conn(&service, &config);
+        for (request, want) in [
+            ("{\"op\":\"warp\"}", "bad-request"),
+            ("{\"no_op\":1}", "bad-request"),
+            ("{\"op\":\"submit\"}", "bad-request"),
+            ("{\"op\":\"submit\",\"spec\":\"x\"}", "bad-spec"),
+        ] {
+            client
+                .write_all(format!("{request}\n").as_bytes())
+                .expect("request");
+            client.flush().expect("flush");
+            let reply = read_reply(&mut reader);
+            assert_eq!(
+                reply.get("error").and_then(Json::as_str),
+                Some(want),
+                "{request} -> {reply:?}"
+            );
+        }
+        drop(client);
+        drop(reader);
+        handler.join().expect("handler exits");
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subscribe_validates_kinds_then_streams_frames() {
+        let (service, dir) = proto_service("subscribe");
+        let config = lenient_config();
+        // A bad kind is refused before any subscription exists.
+        {
+            let (mut client, mut reader, handler) = proto_conn(&service, &config);
+            client
+                .write_all(b"{\"op\":\"subscribe\",\"events\":\"nonsense\"}\n")
+                .expect("bad subscribe");
+            client.flush().expect("flush");
+            let reply = read_reply(&mut reader);
+            assert_eq!(
+                reply.get("error").and_then(Json::as_str),
+                Some("bad-request")
+            );
+            drop(client);
+            drop(reader);
+            handler.join().expect("handler exits");
+        }
+        assert_eq!(service.events().subscriber_count(), 0);
+        // The happy path: ack, then frames as events are published.
+        let (client, mut reader, handler) = proto_conn(&service, &config);
+        {
+            let mut w = client.try_clone().expect("clone");
+            w.write_all(b"{\"op\":\"subscribe\",\"since\":0}\n")
+                .expect("subscribe");
+            w.flush().expect("flush");
+        }
+        let ack = read_reply(&mut reader);
+        assert_eq!(ack.get("subscribed").and_then(Json::as_bool), Some(true));
+        let seq = service.events().publish(pp_obs::events::Event::job_event(
+            3,
+            "ci",
+            "tiny",
+            pp_obs::events::Payload::Queued { depth: 1 },
+        ));
+        let frame = read_reply(&mut reader);
+        assert_eq!(frame.get("seq").and_then(Json::as_f64), Some(seq as f64));
+        assert_eq!(frame.get("event").and_then(Json::as_str), Some("queued"));
+        assert_eq!(
+            frame.get("dropped_since_last").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        // Hanging up unregisters the subscriber: the next delivery's
+        // write fails with EPIPE and the stream loop exits.
+        drop(client);
+        drop(reader);
+        service
+            .events()
+            .publish(pp_obs::events::Event::service_event(
+                pp_obs::events::Payload::StateChanged {
+                    phase: "accepting".to_string(),
+                },
+            ));
+        handler.join().expect("stream handler exits");
+        assert_eq!(service.events().subscriber_count(), 0);
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn idle_peer_is_closed_with_a_typed_frame_and_counted() {
+        let (service, dir) = proto_service("idle");
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(120),
+            io_timeout: Duration::from_secs(5),
+            tick: Duration::from_millis(20),
+            ..ServerConfig::default()
+        };
+        let (client, mut reader, handler) = proto_conn(&service, &config);
+        // Send nothing at all: the peer connected and went silent.
+        let reply = read_reply(&mut reader);
+        assert_eq!(
+            reply.get("error").and_then(Json::as_str),
+            Some("idle-timeout"),
+            "{reply:?}"
+        );
+        handler.join().expect("handler self-terminates");
+        let snapshot = service.registry().snapshot();
+        assert!(
+            snapshot.contains("transport.idle_closed"),
+            "idle close is counted:\n{snapshot}"
+        );
+        drop(client);
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slowloris_partial_frame_is_cut_by_the_io_deadline() {
+        let (service, dir) = proto_service("slowloris");
+        let config = ServerConfig {
+            idle_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_millis(150),
+            tick: Duration::from_millis(20),
+            ..ServerConfig::default()
+        };
+        let (mut client, mut reader, handler) = proto_conn(&service, &config);
+        // Start a frame and never finish it: one byte, then silence.
+        client.write_all(b"{").expect("first byte");
+        client.flush().expect("flush");
+        let reply = read_reply(&mut reader);
+        assert_eq!(
+            reply.get("error").and_then(Json::as_str),
+            Some("slow-frame"),
+            "{reply:?}"
+        );
+        handler.join().expect("handler self-terminates");
+        drop(client);
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn accept_loop_caps_connections_and_sheds_on_drain() {
+        use crate::transport::{BindAddr, Client, ClientConfig, RetryPolicy};
+
+        let (service, dir) = proto_service("cap");
+        let addr = BindAddr::Tcp("127.0.0.1:0".to_string());
+        let listener = Listener::bind(&addr).expect("bind");
+        let bound = listener.local_display();
+        let tcp = BindAddr::parse(bound.strip_prefix("tcp://").expect("tcp addr"));
+        let stop = CancelToken::new();
+        let config = ServerConfig {
+            max_conns: 1,
+            idle_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(5),
+            retry_after_ms: 10,
+            ..ServerConfig::default()
+        };
+        let loop_service = Arc::clone(&service);
+        let loop_stop = stop.clone();
+        let loop_config = config.clone();
+        let accept_loop = std::thread::spawn(move || {
+            run_accept_loop(&loop_service, &[listener], &loop_config, &loop_stop);
+        });
+
+        // First connection occupies the only slot (prove it is admitted
+        // by completing a request).
+        let mut first = Client::new(
+            tcp.clone(),
+            ClientConfig {
+                op_timeout: Duration::from_secs(5),
+                tick: Duration::from_millis(20),
+                retry: RetryPolicy {
+                    attempts: 10,
+                    base_ms: 10,
+                    cap_ms: 50,
+                    seed: 1,
+                },
+            },
+        );
+        let ping = Json::Obj(vec![("op".to_string(), Json::Str("ping".to_string()))]);
+        let reply = first.request(&ping).expect("first conn serves");
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+
+        // Second connection hits the cap: a raw dial reads the typed
+        // refusal with the pacing hint.
+        {
+            let raw = Stream::connect(&tcp).expect("dial");
+            raw.set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            let mut line = String::new();
+            BufReader::new(raw).read_line(&mut line).expect("refusal");
+            let frame = json::parse(line.trim()).expect("refusal parses");
+            assert_eq!(
+                frame.get("error").and_then(Json::as_str),
+                Some("overloaded"),
+                "{frame:?}"
+            );
+            assert_eq!(frame.get("capacity").and_then(Json::as_f64), Some(1.0));
+            assert_eq!(
+                frame.get("retry_after_ms").and_then(Json::as_f64),
+                Some(10.0)
+            );
+        }
+
+        // A retrying client succeeds once the slot frees up: drop the
+        // first connection mid-retry-schedule.
+        let mut second = Client::new(
+            tcp.clone(),
+            ClientConfig {
+                op_timeout: Duration::from_secs(5),
+                tick: Duration::from_millis(20),
+                retry: RetryPolicy {
+                    attempts: 50,
+                    base_ms: 10,
+                    cap_ms: 20,
+                    seed: 2,
+                },
+            },
+        );
+        drop(first);
+        let reply = second.request(&ping).expect("retry lands after shed");
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        drop(second);
+
+        // Drain: new connections get the typed `draining` shed.
+        service.drain();
+        let raw = Stream::connect(&tcp).expect("dial during drain");
+        raw.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut line = String::new();
+        BufReader::new(raw)
+            .read_line(&mut line)
+            .expect("shed frame");
+        let frame = json::parse(line.trim()).expect("shed parses");
+        assert_eq!(
+            frame.get("error").and_then(Json::as_str),
+            Some("draining"),
+            "{frame:?}"
+        );
+        assert!(frame.get("retry_after_ms").is_some());
+
+        stop.cancel();
+        accept_loop.join().expect("accept loop exits");
+        let snapshot = service.registry().snapshot();
+        assert!(snapshot.contains("transport.accepted"), "{snapshot}");
+        assert!(snapshot.contains("transport.refused"), "{snapshot}");
+        service.shutdown().expect("shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

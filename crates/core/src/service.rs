@@ -93,6 +93,9 @@ pub enum AdmitError {
     BadSpec(String),
     /// Journaling the admission failed; the job was NOT accepted.
     Io(String),
+    /// The transport to the service failed (connect refused, reset,
+    /// deadline elapsed); the request never reached admission.
+    Transport(String),
 }
 
 impl AdmitError {
@@ -105,6 +108,7 @@ impl AdmitError {
             AdmitError::Stopped => "stopped",
             AdmitError::BadSpec(_) => "bad-spec",
             AdmitError::Io(_) => "io",
+            AdmitError::Transport(_) => "transport",
         }
     }
 }
@@ -122,6 +126,7 @@ impl std::fmt::Display for AdmitError {
             AdmitError::Stopped => write!(f, "service has stopped"),
             AdmitError::BadSpec(e) => write!(f, "unusable job spec: {e}"),
             AdmitError::Io(e) => write!(f, "intake journal write failed: {e}"),
+            AdmitError::Transport(e) => write!(f, "transport failure: {e}"),
         }
     }
 }
@@ -891,10 +896,41 @@ impl Service {
         &self.inner.bus
     }
 
+    /// Bumps a counter in the service's internal registry — the hook
+    /// the transport layer uses so `transport.*` accounting rides along
+    /// in [`Service::registry`] snapshots (`pp status --metrics/--prom`)
+    /// without a registry of its own.
+    pub fn obs_counter(&self, name: &'static str, delta: u64) {
+        self.inner
+            .hists
+            .lock()
+            .expect("service hists")
+            .counter(name, delta);
+    }
+
+    /// Sets a gauge in the service's internal registry.
+    pub fn obs_gauge(&self, name: &'static str, value: f64) {
+        self.inner
+            .hists
+            .lock()
+            .expect("service hists")
+            .gauge(name, value);
+    }
+
+    /// Records a histogram sample in the service's internal registry.
+    pub fn obs_observe(&self, name: &'static str, value: u64) {
+        self.inner
+            .hists
+            .lock()
+            .expect("service hists")
+            .observe(name, value);
+    }
+
     /// The full observability registry: the [`ServiceMetrics`] counter
     /// and gauge set, the live timing histograms
     /// (`service.queue_wait_us`, `service.exec_wall_us`, per-outcome
-    /// `service.admit.*_us`), and the event-bus accounting
+    /// `service.admit.*_us`), transport accounting recorded via the
+    /// `obs_*` hooks, and the event-bus accounting
     /// (`events.published`, `events.dropped`, `events.subscribers`).
     pub fn registry(&self) -> Registry {
         let mut reg = self.inner.hists.lock().expect("service hists").clone();

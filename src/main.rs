@@ -35,10 +35,13 @@
 //!                                           counter-wrap sanity, envelope
 //!                                           CRCs; exit 2 on any violation
 //! pp serve [options]                        profile-as-a-service daemon on
-//!                                           a Unix socket: bounded
+//!                                           a Unix socket (and, with
+//!                                           --listen, TCP): bounded
 //!                                           admission, per-client quotas,
-//!                                           drain-on-signal, crash-safe
-//!                                           journal + checkpoint recovery
+//!                                           connection caps and idle/frame
+//!                                           deadlines, drain-on-signal,
+//!                                           crash-safe journal + checkpoint
+//!                                           recovery
 //! pp submit <target> [options]              send one job to a daemon
 //! pp status [job-id] [options]              query a daemon's jobs/metrics
 //!                                           (live when the daemon answers;
@@ -56,6 +59,13 @@
 //!                                           filter with --job/--client/
 //!                                           --events/--since, --json for
 //!                                           raw NDJSON frames
+//! pp chaos [options]                        deterministic fault-injecting
+//!                                           TCP proxy for transport soak
+//!                                           tests: --listen, --upstream,
+//!                                           --plan ok,delay:MS,throttle:N,
+//!                                           tear:K,reset:M,blackhole,
+//!                                           assigned by accept order
+//!                                           (rotated by --seed)
 //!
 //! <target> is a suite benchmark name (see `pp list`) or a path to a
 //! textual IR file (see pp_ir::parse).
@@ -75,10 +85,13 @@
 //!   --deadline <secs>         guest wall-clock deadline; 0 disables
 //!                             (stats/bench default 120s, else none)
 //!   --jobs <n>                (batch) worker threads (default: up to 4)
-//!   --retries <n>             (batch) transient-failure retry budget
-//!                             per job (default 2)
-//!   --seed <u64>              (batch) backoff-jitter seed, stored in
-//!                             the manifest (default 0)
+//!   --retries <n>             (batch/serve) transient-failure retry
+//!                             budget per job; (submit/status/fetch/
+//!                             watch) reconnect/retry budget (default 2)
+//!   --seed <u64>              (batch/serve) backoff-jitter seed, stored
+//!                             in the manifest; (client verbs/chaos)
+//!                             retry-jitter / plan-rotation seed
+//!                             (default 0)
 //!   --checkpoint-dir <DIR>    (batch) persist the manifest + finished
 //!                             profiles there after each completion;
 //!                             (merge) commit a resumable fold
@@ -97,8 +110,32 @@
 //!   --quarantine-cap <n>      (batch/serve) keep at most n quarantined
 //!                             attempt-sets, evicting oldest-first
 //!                             (default 0 = keep everything)
-//!   --socket <PATH>           (serve/submit/status) Unix-domain socket
+//!   --socket <PATH>           (serve/submit/status) daemon address: a
+//!                             Unix socket path, `unix:PATH`,
+//!                             `tcp:HOST:PORT`, or a bare `HOST:PORT`
 //!                             (default pp.sock)
+//!   --listen <HOST:PORT>      (serve) also listen on TCP; `:0` picks an
+//!                             ephemeral port, reported on stdout;
+//!                             (chaos) the proxy's listen address
+//!   --max-conns <n>           (serve) concurrent-connection cap; excess
+//!                             connections get a typed `overloaded`
+//!                             refusal with retry_after_ms (default 64;
+//!                             0 = unlimited)
+//!   --idle-timeout <secs>     (serve) close connections idle between
+//!                             requests, with a typed `idle-timeout`
+//!                             frame (default 300; 0 = never)
+//!   --io-timeout <secs>       (serve) per-frame read / per-write
+//!                             deadline — the slow-loris cutoff
+//!                             (default 10; 0 = none)
+//!   --timeout <secs>          (submit/status/fetch/watch) per-reply
+//!                             deadline; an unresponsive daemon is a
+//!                             typed transport failure, exit 4
+//!                             (default 30)
+//!   --upstream <ADDR>         (chaos) the real daemon the proxy
+//!                             forwards to (`tcp:HOST:PORT`)
+//!   --plan <SPEC>             (chaos) comma-separated fault plan:
+//!                             ok | delay:MS | throttle:BYTES | tear:K |
+//!                             reset:M | blackhole (default ok)
 //!   --queue-cap <n>           (serve) bounded admission queue; a full
 //!                             queue rejects with `overloaded`, exit 4
 //!   --quota <n>               (serve) max in-flight jobs per client
@@ -153,11 +190,13 @@
 //! exit codes: 0 success; 1 usage or instrumentation error; 2 run
 //! aborted (partial profile) or integrity violation; 3 I/O error or
 //! corrupt profile; 4 service unavailable (overloaded, quota
-//! exhausted, or draining — back off and resubmit).
+//! exhausted, draining, or an unreachable/unresponsive daemon on
+//! either transport — back off and resubmit).
 //! ```
 
 mod batch_cmd;
 mod bench_cmd;
+mod chaos_cmd;
 mod merge_cmd;
 #[cfg(unix)]
 mod serve_cmd;
@@ -212,6 +251,13 @@ struct Options {
     trace_out: Option<String>,
     quiet: bool,
     socket: String,
+    listen: Option<String>,
+    max_conns: usize,
+    idle_timeout: f64,
+    io_timeout: f64,
+    timeout: Option<f64>,
+    upstream: Option<String>,
+    plan: String,
     client: String,
     /// Was `--client` given explicitly? (`pp watch` only filters by
     /// client when it was.)
@@ -265,6 +311,13 @@ impl Default for Options {
             trace_out: None,
             quiet: false,
             socket: "pp.sock".to_string(),
+            listen: None,
+            max_conns: 64,
+            idle_timeout: 300.0,
+            io_timeout: 10.0,
+            timeout: None,
+            upstream: None,
+            plan: "ok".to_string(),
             client: "cli".to_string(),
             client_set: false,
             wait: false,
@@ -328,6 +381,18 @@ fn parse_event(name: &str) -> Result<HwEvent, PpError> {
                 all.join(", ")
             ))
         })
+}
+
+/// Parses a non-negative seconds value (`--timeout`, `--idle-timeout`,
+/// `--io-timeout`; 0 always means "disabled").
+fn parse_seconds(flag: &str, text: String) -> Result<f64, PpError> {
+    let s: f64 = text
+        .parse()
+        .map_err(|_| usage_err(format!("bad {flag} value (expect seconds)")))?;
+    if s < 0.0 || !s.is_finite() {
+        return Err(usage_err(format!("{flag} must be a non-negative number")));
+    }
+    Ok(s)
 }
 
 fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
@@ -420,6 +485,24 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), PpError> {
                     })?);
             }
             "--socket" => opts.socket = value("--socket", &mut it)?,
+            "--listen" => opts.listen = Some(value("--listen", &mut it)?),
+            "--max-conns" => {
+                opts.max_conns = value("--max-conns", &mut it)?.parse().map_err(|_| {
+                    usage_err("bad --max-conns value (expect an integer; 0 = unlimited)")
+                })?;
+            }
+            "--idle-timeout" => {
+                opts.idle_timeout =
+                    parse_seconds("--idle-timeout", value("--idle-timeout", &mut it)?)?;
+            }
+            "--io-timeout" => {
+                opts.io_timeout = parse_seconds("--io-timeout", value("--io-timeout", &mut it)?)?;
+            }
+            "--timeout" => {
+                opts.timeout = Some(parse_seconds("--timeout", value("--timeout", &mut it)?)?);
+            }
+            "--upstream" => opts.upstream = Some(value("--upstream", &mut it)?),
+            "--plan" => opts.plan = value("--plan", &mut it)?,
             "--client" => {
                 opts.client = value("--client", &mut it)?;
                 opts.client_set = true;
@@ -1245,22 +1328,27 @@ fn cmd_decode(
 }
 
 fn usage() -> &'static str {
-    "usage: pp <list|run|report|hot|cct|stats|merge|verify|annotate|decode|bench|batch|serve|submit|status|watch|fetch> [target] [options]\n\
+    "usage: pp <list|run|report|hot|cct|stats|merge|verify|annotate|decode|bench|batch|serve|submit|status|watch|fetch|chaos> [target] [options]\n\
      run `pp list` to see the benchmark suite; see crate docs for options\n\
      batch: --jobs N --retries N --fuel N --deadline S --seed N --quarantine-cap N\n\
             --checkpoint-dir DIR | --resume DIR  --inject hang@I,corrupt@I,...\n\
      merge: <shards|dirs...> --out FILE [--strict] [--checkpoint-every N]\n\
             [--checkpoint-dir DIR | --resume DIR] [--inject halt@N] [--metrics]\n\
-     serve: --socket PATH --checkpoint-dir DIR --jobs N --queue-cap N --quota N\n\
+     serve: --socket PATH [--listen HOST:PORT] --checkpoint-dir DIR --jobs N\n\
+            --queue-cap N --quota N --max-conns N --idle-timeout S --io-timeout S\n\
             --checkpoint-every N --quarantine-cap N --inject-every panic=N,corrupt=N\n\
-     submit: <target> --socket PATH [--client NAME] [--wait]\n\
-     status: [job-id] --socket PATH [--wait-idle] [--metrics] [--prom]\n\
-     watch: --socket PATH [--job ID] [--client NAME] [--events k1,k2] [--since SEQ]\n\
+     submit: <target> --socket ADDR [--client NAME] [--wait] [--timeout S]\n\
+             [--retries N] [--seed N]   (ADDR: path | unix:PATH | tcp:HOST:PORT)\n\
+     status: [job-id] --socket ADDR [--wait-idle] [--metrics] [--prom] [--timeout S]\n\
+     watch: --socket ADDR [--job ID] [--client NAME] [--events k1,k2] [--since SEQ]\n\
             [--json] [--deadline S]\n\
+     chaos: --listen HOST:PORT --upstream ADDR [--seed N]\n\
+            [--plan ok,delay:MS,throttle:N,tear:K,reset:M,blackhole]\n\
      verify: <profile|checkpoint-dir|target> [--against TARGET] [--clobber-pics READ]\n\
      observability: --trace, --trace-out FILE, --quiet (also PP_TRACE, PP_LOG)\n\
      exit codes: 0 ok, 1 usage, 2 aborted run or integrity violation,\n\
-                 3 i/o or corrupt profile, 4 service unavailable (overloaded/quota/draining)"
+                 3 i/o or corrupt profile, 4 service unavailable\n\
+                 (overloaded/quota/draining/unreachable)"
 }
 
 /// The client-verb options shared by `pp submit`, `pp status`, and
@@ -1277,6 +1365,9 @@ fn client_args(opts: &Options) -> serve_cmd::ClientArgs {
         wait: opts.wait,
         wait_idle: opts.wait_idle,
         deadline_s: opts.deadline,
+        timeout_s: opts.timeout,
+        retries: opts.retries,
+        seed: opts.seed,
     }
 }
 
@@ -1404,6 +1495,7 @@ fn main() -> ExitCode {
             #[cfg(unix)]
             ("serve", []) => serve_cmd::run_serve(&serve_cmd::ServeArgs {
                 socket: opts.socket.clone(),
+                listen: opts.listen.clone(),
                 dir: opts
                     .checkpoint_dir
                     .clone()
@@ -1411,6 +1503,9 @@ fn main() -> ExitCode {
                 workers: opts.jobs,
                 queue_cap: opts.queue_cap,
                 quota: opts.quota,
+                max_conns: opts.max_conns,
+                idle_timeout_s: opts.idle_timeout,
+                io_timeout_s: opts.io_timeout,
                 retries: opts.retries,
                 seed: opts.seed,
                 checkpoint_every: opts.checkpoint_every,
@@ -1453,6 +1548,17 @@ fn main() -> ExitCode {
             #[cfg(unix)]
             ("fetch", [name]) => {
                 serve_cmd::run_fetch(&client_args(&opts), Some(name), opts.out.as_deref())
+            }
+            ("chaos", []) => {
+                let listen = opts
+                    .listen
+                    .clone()
+                    .ok_or_else(|| usage_err("pp chaos needs --listen HOST:PORT"))?;
+                let upstream = opts
+                    .upstream
+                    .clone()
+                    .ok_or_else(|| usage_err("pp chaos needs --upstream ADDR"))?;
+                chaos_cmd::run_chaos(&listen, &upstream, &opts.plan, opts.seed)
             }
             #[cfg(unix)]
             ("watch", []) => serve_cmd::run_watch(

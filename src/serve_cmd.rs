@@ -1,68 +1,55 @@
 //! The `pp serve` / `pp submit` / `pp status` subcommands: the CLI face
 //! of the profile service ([`pp::profiler::Service`]).
 //!
-//! `pp serve` binds a Unix-domain socket and speaks a newline-delimited
-//! JSON protocol (one request object per line, one response object per
-//! line, canonical `pp::obs::json` rendering). Jobs are named by spec
-//! strings — `target=<suite|file> scale=<f> config=<name>
-//! events=<a>,<b>` — resolved server-side, so a thin client never loads
-//! a program. The daemon owns the service lifecycle: SIGINT/SIGTERM
-//! enters the drain phase (intake refused with a typed `draining`
-//! rejection, in-flight jobs finish, a final checkpoint is written); a
-//! second signal hard-cancels the running guests. A `kill -9` instead
-//! leaves the intake journal and last checkpoint behind, and the next
-//! `pp serve` over the same directory recovers from them.
+//! `pp serve` binds a Unix-domain socket (and, with `--listen`, a TCP
+//! endpoint) and speaks the newline-delimited JSON protocol of
+//! [`pp::profiler::server`] over both — one request object per line,
+//! one response object per line, canonical `pp::obs::json` rendering.
+//! Jobs are named by spec strings — `target=<suite|file> scale=<f>
+//! config=<name> events=<a>,<b>` — resolved server-side, so a thin
+//! client never loads a program. The daemon owns the service lifecycle:
+//! SIGINT/SIGTERM enters the drain phase (intake refused with a typed
+//! `draining` rejection, in-flight jobs finish, a final checkpoint is
+//! written); a second signal hard-cancels the running guests. A
+//! `kill -9` instead leaves the intake journal and last checkpoint
+//! behind, and the next `pp serve` over the same directory recovers
+//! from them.
 //!
-//! Protocol ops: `submit`, `status`, `wait`, `wait-idle`, `metrics`,
-//! `drain`, `ping`, `subscribe`, `fetch`. Refusals carry the admission
-//! taxonomy
-//! on the wire (`overloaded`, `quota-exceeded`, `draining`, …) and the
-//! client maps them back onto [`AdmitError`] — so `pp submit` against a
-//! saturated server exits with code 4, distinct from a failed run.
+//! Connection governance (cap, idle timeout, slow-frame deadline,
+//! shed-on-drain) lives in [`pp::profiler::server`]; the `--max-conns`,
+//! `--idle-timeout`, and `--io-timeout` flags configure it here.
 //!
-//! Request frames are bounded (64 KiB): an oversized line earns a typed
-//! `frame-too-large` reply and the rest of the line is discarded, so a
-//! hostile or broken client can neither balloon server memory nor wedge
-//! the connection. `subscribe` switches the connection into streaming
-//! mode: one ack, then NDJSON event frames (see
-//! [`pp::obs::events`]) until the subscriber hangs up or the service
-//! stops — that is the `pp watch` transport.
-//!
-//! `fetch` serves a stored artifact (a job's `.flow`/`.cct`, or the
-//! latest merged fleet profile) over the same socket without breaking
-//! the 64 KiB frame rule: one ack carrying length/CRC/chunk count, then
-//! base64 chunk frames of [`FETCH_CHUNK_RAW`] raw bytes each, then a
-//! `done` frame — after which the connection keeps serving requests.
-//! That is the `pp fetch` transport.
+//! Every client verb (`submit`, `status`, `watch`, `fetch`) speaks
+//! through the one shared [`pp::profiler::Client`]: deterministic
+//! jittered reconnect/retry on connect-refused and mid-stream reset,
+//! `retry_after_ms` pacing on `overloaded`/`draining` refusals, and
+//! strict no-resend for the non-idempotent `submit` once its bytes have
+//! left the socket. An unreachable or unresponsive daemon maps to
+//! [`PpError::Unavailable`] — exit code 4 on both transports — distinct
+//! from a failed run; `--timeout` bounds every reply wait.
 
-use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::io::Write as _;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pp::ir::HwEvent;
-use pp::obs::events::{EventFilter, DEFAULT_SUBSCRIBER_CAPACITY, EVENT_KINDS};
-use pp::obs::json::{self, Json};
+use pp::obs::json::Json;
+use pp::profiler::server;
+use pp::profiler::transport::refusal_error;
 use pp::profiler::{
-    AdmitError, PpError, ProfileRef, Profiler, Service, ServiceConfig, ServiceFaultPlan,
-    ServicePhase,
+    BindAddr, Client, ClientConfig, Listener, PpError, ProfileRef, Profiler, RetryPolicy,
+    ServerConfig, Service, ServiceConfig, ServiceFaultPlan,
 };
 use pp::usim::{CancelToken, GuestLimits};
-
-/// Bound on one NDJSON request frame; longer lines get a typed
-/// `frame-too-large` reply and are discarded up to the next newline.
-pub const MAX_FRAME_BYTES: usize = 64 * 1024;
-
-/// Raw bytes per `fetch` chunk frame. Base64 expands by 4/3, so a chunk
-/// frame is ~43 KiB of payload plus framing — comfortably under the
-/// 64 KiB frame rule that bounds every line on this protocol.
-const FETCH_CHUNK_RAW: usize = 32 * 1024;
 
 /// Options the CLI hands to [`run_serve`].
 pub struct ServeArgs {
     /// Unix-domain socket path to bind.
     pub socket: String,
+    /// Optional TCP listen address (`--listen host:port`; `:0` picks an
+    /// ephemeral port, reported on stdout).
+    pub listen: Option<String>,
     /// Service state directory (intake journal, checkpoints, artifacts).
     pub dir: String,
     /// Worker thread count (`--jobs`).
@@ -71,6 +58,12 @@ pub struct ServeArgs {
     pub queue_cap: usize,
     /// Per-client in-flight quota (`--quota`; 0 = unlimited).
     pub quota: usize,
+    /// Concurrent-connection cap (`--max-conns`; 0 = unlimited).
+    pub max_conns: usize,
+    /// Idle-connection timeout in seconds (`--idle-timeout`; 0 = off).
+    pub idle_timeout_s: f64,
+    /// Per-frame/per-write deadline in seconds (`--io-timeout`; 0 = off).
+    pub io_timeout_s: f64,
     /// Transient-failure retry budget per job (`--retries`).
     pub retries: u32,
     /// Backoff-jitter seed (`--seed`).
@@ -92,7 +85,8 @@ pub struct ServeArgs {
 /// Options for the client verbs ([`run_submit`], [`run_status`],
 /// [`run_watch`]).
 pub struct ClientArgs {
-    /// Socket of the `pp serve` daemon.
+    /// Address of the `pp serve` daemon: a socket path, `unix:PATH`,
+    /// `tcp:HOST:PORT`, or a bare `HOST:PORT`.
     pub socket: String,
     /// Client name for quota accounting (`--client`).
     pub client: String,
@@ -105,6 +99,12 @@ pub struct ClientArgs {
     pub wait_idle: bool,
     /// Wait budget in seconds (`--deadline`; default 600).
     pub deadline_s: Option<f64>,
+    /// Per-reply deadline in seconds (`--timeout`; default 30).
+    pub timeout_s: Option<f64>,
+    /// Reconnect/retry budget (`--retries`).
+    pub retries: u32,
+    /// Retry-jitter seed (`--seed`).
+    pub seed: u64,
 }
 
 /// Options for `pp watch` beyond the shared [`ClientArgs`].
@@ -126,6 +126,26 @@ pub struct WatchArgs {
 impl ClientArgs {
     fn wait_budget(&self) -> Duration {
         Duration::from_secs_f64(self.deadline_s.filter(|d| *d > 0.0).unwrap_or(600.0))
+    }
+
+    fn op_timeout(&self) -> Duration {
+        Duration::from_secs_f64(self.timeout_s.filter(|t| *t > 0.0).unwrap_or(30.0))
+    }
+
+    /// The one shared client every verb speaks through.
+    fn open(&self) -> Client {
+        Client::new(
+            BindAddr::parse(&self.socket),
+            ClientConfig {
+                op_timeout: self.op_timeout(),
+                tick: Duration::from_millis(250),
+                retry: RetryPolicy {
+                    attempts: self.retries,
+                    seed: self.seed,
+                    ..RetryPolicy::default()
+                },
+            },
+        )
     }
 }
 
@@ -205,14 +225,6 @@ pub fn spec_resolver() -> pp::profiler::SpecResolver {
     })
 }
 
-fn phase_str(phase: ServicePhase) -> &'static str {
-    match phase {
-        ServicePhase::Accepting => "accepting",
-        ServicePhase::Draining => "draining",
-        ServicePhase::Stopped => "stopped",
-    }
-}
-
 /// Runs the daemon until SIGINT/SIGTERM, then drains, checkpoints, and
 /// reports. See the module docs for the lifecycle.
 ///
@@ -261,17 +273,17 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), PpError> {
     let graceful = CancelToken::new();
     crate::signals::install(graceful.clone(), service.hard_cancel_token());
 
-    // A stale socket file from a killed daemon would fail the bind.
-    if Path::new(&args.socket).exists() {
-        std::fs::remove_file(&args.socket).map_err(|e| PpError::io(&args.socket, e))?;
+    // One Listener per transport behind the same accept loop (the bind
+    // removes a stale socket file a killed daemon left behind).
+    let unix_addr = BindAddr::parse(&args.socket);
+    let mut listeners = vec![Listener::bind(&unix_addr).map_err(|e| PpError::io(&args.socket, e))?];
+    if let Some(listen) = &args.listen {
+        let tcp_addr = BindAddr::parse(listen);
+        listeners.push(Listener::bind(&tcp_addr).map_err(|e| PpError::io(listen, e))?);
     }
-    let listener = UnixListener::bind(&args.socket).map_err(|e| PpError::io(&args.socket, e))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| PpError::io(&args.socket, e))?;
     let (queued, running, done, failed) = service.counts();
     println!(
-        "== pp serve: {} on {} workers (queue {}, quota {}, seed {}) ==",
+        "== pp serve: {} on {} workers (queue {}, quota {}, max-conns {}, seed {}) ==",
         args.socket,
         args.workers,
         args.queue_cap,
@@ -280,40 +292,36 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), PpError> {
         } else {
             args.quota.to_string()
         },
+        if args.max_conns == 0 {
+            "unlimited".to_string()
+        } else {
+            args.max_conns.to_string()
+        },
         args.seed,
     );
+    // The actual bound addresses, so scripts and tests can discover an
+    // ephemeral `--listen :0` port.
+    for listener in &listeners {
+        println!("listening on {}", listener.local_display());
+    }
+    let _ = std::io::stdout().flush();
     if queued + running + done + failed > 0 {
         println!(
             "recovered state: {queued} queued, {running} running, {done} done, {failed} failed"
         );
     }
 
-    // Accept loop: poll so the graceful token is observed promptly even
-    // with no clients connecting. The same loop is the metrics ticker:
-    // once a second the full registry goes onto the event bus as a
-    // `metrics` snapshot frame for subscribers.
-    let mut last_snapshot = Instant::now();
-    while !graceful.is_cancelled() {
-        if last_snapshot.elapsed() >= Duration::from_secs(1) {
-            service.publish_metrics_snapshot();
-            last_snapshot = Instant::now();
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let service = Arc::clone(&service);
-                std::thread::spawn(move || handle_client(&service, stream));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(e) => {
-                pp::obs::warn!("serve: accept failed: {e}");
-                std::thread::sleep(Duration::from_millis(100));
-            }
-        }
+    let server_config = ServerConfig {
+        max_conns: args.max_conns,
+        idle_timeout: Duration::from_secs_f64(args.idle_timeout_s.max(0.0)),
+        io_timeout: Duration::from_secs_f64(args.io_timeout_s.max(0.0)),
+        ..ServerConfig::default()
+    };
+    server::run_accept_loop(&service, &listeners, &server_config, &graceful);
+    drop(listeners);
+    if let BindAddr::Unix(path) = &unix_addr {
+        let _ = std::fs::remove_file(path);
     }
-    drop(listener);
-    let _ = std::fs::remove_file(&args.socket);
 
     println!("serve: draining (in-flight jobs finishing, intake refused)");
     let report = service.shutdown()?;
@@ -327,579 +335,6 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), PpError> {
         args.dir
     );
     Ok(())
-}
-
-/// One bounded read of the NDJSON transport.
-enum FrameRead {
-    /// A complete line within the frame bound.
-    Line(String),
-    /// The line exceeded [`MAX_FRAME_BYTES`]; its bytes were discarded
-    /// up to (and including) the newline, so the connection can keep
-    /// serving.
-    TooLarge,
-    /// Peer hung up. A torn (newline-less) tail is dropped — it was
-    /// never a complete request, mirroring the intake journal's
-    /// torn-tail rule.
-    Eof,
-    /// Transport error.
-    Failed,
-}
-
-/// Reads one newline-terminated frame without ever buffering more than
-/// [`MAX_FRAME_BYTES`] of it.
-fn read_frame(reader: &mut impl BufRead) -> FrameRead {
-    let mut line: Vec<u8> = Vec::new();
-    let mut oversized = false;
-    loop {
-        let (consumed, complete) = {
-            let chunk = match reader.fill_buf() {
-                Ok(chunk) => chunk,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => return FrameRead::Failed,
-            };
-            if chunk.is_empty() {
-                return FrameRead::Eof;
-            }
-            match chunk.iter().position(|&b| b == b'\n') {
-                Some(pos) => {
-                    if !oversized {
-                        line.extend_from_slice(&chunk[..pos]);
-                    }
-                    (pos + 1, true)
-                }
-                None => {
-                    if !oversized {
-                        line.extend_from_slice(chunk);
-                    }
-                    (chunk.len(), false)
-                }
-            }
-        };
-        reader.consume(consumed);
-        if line.len() > MAX_FRAME_BYTES {
-            oversized = true;
-            line.clear();
-        }
-        if complete {
-            return if oversized {
-                FrameRead::TooLarge
-            } else {
-                FrameRead::Line(String::from_utf8_lossy(&line).into_owned())
-            };
-        }
-    }
-}
-
-/// Serves one client connection: a loop of bounded NDJSON
-/// request/response pairs until the peer hangs up. Malformed requests
-/// get a typed `bad-request` reply and oversized ones a typed
-/// `frame-too-large` reply — never a panic, never a dropped connection.
-/// A `subscribe` request switches the connection into streaming mode
-/// and it stays there until one side hangs up.
-fn handle_client(service: &Service, stream: UnixStream) {
-    // Accepted sockets can inherit the listener's nonblocking mode on
-    // some platforms; the handler wants plain blocking reads.
-    if stream.set_nonblocking(false).is_err() {
-        return;
-    }
-    let Ok(peer) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(peer);
-    let mut writer = stream;
-    let send = |writer: &mut UnixStream, response: &Json| {
-        writeln!(writer, "{}", response.render())
-            .and_then(|()| writer.flush())
-            .is_ok()
-    };
-    loop {
-        let line = match read_frame(&mut reader) {
-            FrameRead::Line(line) => line,
-            FrameRead::TooLarge => {
-                let response = error_json(
-                    "frame-too-large",
-                    &format!("request frames are capped at {MAX_FRAME_BYTES} bytes"),
-                );
-                if !send(&mut writer, &response) {
-                    return;
-                }
-                continue;
-            }
-            FrameRead::Eof | FrameRead::Failed => return,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match json::parse(&line) {
-            Ok(request) => request,
-            Err(e) => {
-                let response = error_json("bad-request", &format!("unparsable request: {e}"));
-                if !send(&mut writer, &response) {
-                    return;
-                }
-                continue;
-            }
-        };
-        if request.get("op").and_then(Json::as_str) == Some("subscribe") {
-            stream_events(service, &mut writer, &request);
-            return;
-        }
-        if request.get("op").and_then(Json::as_str) == Some("fetch") {
-            // Unlike subscribe, fetch is a bounded burst: stream the
-            // artifact, then fall back into the request loop.
-            if !stream_fetch(service, &mut writer, &request) {
-                return;
-            }
-            continue;
-        }
-        let response = handle_request(service, &request);
-        if !send(&mut writer, &response) {
-            return;
-        }
-    }
-}
-
-/// Serves a `subscribe` request: one ack object, then NDJSON event
-/// frames until the subscriber hangs up or the service stops. A slow
-/// subscriber only ever blocks its own connection thread; its bounded
-/// bus queue drops oldest events with exact accounting
-/// (`dropped_since_last`), and the daemon never waits on it.
-fn stream_events(service: &Service, writer: &mut UnixStream, request: &Json) {
-    let num = |key: &str| request.get(key).and_then(Json::as_f64);
-    let text = |key: &str| request.get(key).and_then(Json::as_str);
-    let mut kinds: Option<Vec<String>> = None;
-    if let Some(spec) = text("events") {
-        let list: Vec<String> = spec
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty())
-            .collect();
-        for kind in &list {
-            if !EVENT_KINDS.contains(&kind.as_str()) {
-                let response = error_json(
-                    "bad-request",
-                    &format!(
-                        "unknown event kind `{kind}` (expected one of: {})",
-                        EVENT_KINDS.join(", ")
-                    ),
-                );
-                let _ = writeln!(writer, "{}", response.render());
-                return;
-            }
-        }
-        if !list.is_empty() {
-            kinds = Some(list);
-        }
-    }
-    let filter = EventFilter {
-        job: num("job").map(|j| j as u64),
-        client: text("client").map(str::to_string),
-        kinds,
-        since: num("since").map(|s| s as u64),
-    };
-    let capacity = num("capacity")
-        .map(|c| c as usize)
-        .filter(|c| *c > 0)
-        .unwrap_or(DEFAULT_SUBSCRIBER_CAPACITY);
-    let subscription = service.subscribe(filter, capacity);
-    let ack = Json::Obj(vec![
-        ("ok".to_string(), Json::Bool(true)),
-        ("subscribed".to_string(), Json::Bool(true)),
-        (
-            "phase".to_string(),
-            Json::Str(phase_str(service.phase()).to_string()),
-        ),
-        (
-            "next_seq".to_string(),
-            Json::Num(service.events().next_seq() as f64),
-        ),
-        ("capacity".to_string(), Json::Num(capacity as f64)),
-    ]);
-    if writeln!(writer, "{}", ack.render())
-        .and_then(|()| writer.flush())
-        .is_err()
-    {
-        return;
-    }
-    loop {
-        match subscription.recv(Duration::from_millis(250)) {
-            Some(frame) => {
-                if writeln!(writer, "{}", frame.to_json().render())
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    // Subscriber gone; dropping the subscription
-                    // unregisters it from the bus.
-                    return;
-                }
-            }
-            None => {
-                if subscription.is_closed() || service.phase() == ServicePhase::Stopped {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// The standard base64 alphabet, hand-rolled because artifact bytes
-/// must cross a line-oriented JSON protocol and the toolchain carries
-/// no dependencies.
-const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
-
-/// Standard base64 with `=` padding.
-fn b64_encode(data: &[u8]) -> String {
-    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
-    for chunk in data.chunks(3) {
-        let n = (u32::from(chunk[0]) << 16)
-            | (u32::from(chunk.get(1).copied().unwrap_or(0)) << 8)
-            | u32::from(chunk.get(2).copied().unwrap_or(0));
-        out.push(B64_ALPHABET[(n >> 18) as usize & 63] as char);
-        out.push(B64_ALPHABET[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 {
-            B64_ALPHABET[(n >> 6) as usize & 63] as char
-        } else {
-            '='
-        });
-        out.push(if chunk.len() > 2 {
-            B64_ALPHABET[n as usize & 63] as char
-        } else {
-            '='
-        });
-    }
-    out
-}
-
-/// Inverse of [`b64_encode`]; `None` on any malformed input (bad
-/// length, alien characters, interior padding).
-fn b64_decode(s: &str) -> Option<Vec<u8>> {
-    let val = |c: u8| -> Option<u32> {
-        Some(match c {
-            b'A'..=b'Z' => u32::from(c - b'A'),
-            b'a'..=b'z' => u32::from(c - b'a') + 26,
-            b'0'..=b'9' => u32::from(c - b'0') + 52,
-            b'+' => 62,
-            b'/' => 63,
-            _ => return None,
-        })
-    };
-    let bytes = s.as_bytes();
-    if !bytes.len().is_multiple_of(4) {
-        return None;
-    }
-    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
-    for (i, q) in bytes.chunks(4).enumerate() {
-        let last = (i + 1) * 4 == bytes.len();
-        let pad = q.iter().filter(|&&c| c == b'=').count();
-        // Padding is only legal in the final quad's tail positions.
-        if pad > 0
-            && (!last || pad > 2 || q[0] == b'=' || q[1] == b'=' || q[2] == b'=' && q[3] != b'=')
-        {
-            return None;
-        }
-        let n = (val(q[0])? << 18)
-            | (val(q[1])? << 12)
-            | if q[2] == b'=' { 0 } else { val(q[2])? << 6 }
-            | if q[3] == b'=' { 0 } else { val(q[3])? };
-        out.push((n >> 16) as u8);
-        if q[2] != b'=' {
-            out.push((n >> 8) as u8);
-        }
-        if q[3] != b'=' {
-            out.push(n as u8);
-        }
-    }
-    Some(out)
-}
-
-/// Is `name` an artifact this daemon is willing to serve? Only files
-/// the service itself wrote qualify: each job's persisted flow/CCT
-/// profile, plus the merged fleet profile a `pp merge` checkpointed
-/// into the state directory.
-fn fetch_allowed(service: &Service, name: &str) -> bool {
-    name == pp::profiler::merge::MERGED_PROFILE_FILE
-        || service
-            .jobs()
-            .iter()
-            .any(|j| j.flow.as_deref() == Some(name) || j.cct.as_deref() == Some(name))
-}
-
-/// Serves one `fetch` request: ack, chunk frames, done frame. Returns
-/// whether the connection is still usable (a write failure means the
-/// peer hung up). Errors are typed replies, never dropped connections:
-/// a traversal attempt or unknown name is refused before any I/O.
-fn stream_fetch(service: &Service, writer: &mut UnixStream, request: &Json) -> bool {
-    let send = |writer: &mut UnixStream, response: &Json| {
-        writeln!(writer, "{}", response.render())
-            .and_then(|()| writer.flush())
-            .is_ok()
-    };
-    let name = request
-        .get("file")
-        .and_then(Json::as_str)
-        .unwrap_or(pp::profiler::merge::MERGED_PROFILE_FILE);
-    // The served namespace is flat: artifact basenames inside the state
-    // directory, nothing else on the filesystem.
-    if name.contains('/') || name.contains('\\') || name.contains("..") || name.is_empty() {
-        return send(
-            writer,
-            &error_json("bad-request", "fetch file must be a bare artifact name"),
-        );
-    }
-    if !fetch_allowed(service, name) {
-        return send(
-            writer,
-            &error_json(
-                "unknown-artifact",
-                &format!("`{name}` is not a stored artifact of this daemon"),
-            ),
-        );
-    }
-    let bytes = match std::fs::read(service.dir().join(name)) {
-        Ok(bytes) => bytes,
-        Err(e) => {
-            return send(writer, &error_json("io", &format!("{name}: {e}")));
-        }
-    };
-    let r = ProfileRef::for_bytes(name, &bytes);
-    let chunks = bytes.len().div_ceil(FETCH_CHUNK_RAW);
-    let ack = Json::Obj(vec![
-        ("ok".to_string(), Json::Bool(true)),
-        ("file".to_string(), Json::Str(name.to_string())),
-        ("len".to_string(), Json::Num(r.len as f64)),
-        ("crc".to_string(), Json::Num(f64::from(r.crc))),
-        ("chunks".to_string(), Json::Num(chunks as f64)),
-    ]);
-    if !send(writer, &ack) {
-        return false;
-    }
-    for (i, chunk) in bytes.chunks(FETCH_CHUNK_RAW).enumerate() {
-        let frame = Json::Obj(vec![
-            ("chunk".to_string(), Json::Num(i as f64)),
-            ("data".to_string(), Json::Str(b64_encode(chunk))),
-        ]);
-        if !send(writer, &frame) {
-            return false;
-        }
-    }
-    send(
-        writer,
-        &Json::Obj(vec![
-            ("done".to_string(), Json::Bool(true)),
-            ("chunks".to_string(), Json::Num(chunks as f64)),
-        ]),
-    )
-}
-
-/// `{"ok":false,"error":kind,"detail":detail}`.
-fn error_json(kind: &str, detail: &str) -> Json {
-    Json::Obj(vec![
-        ("ok".to_string(), Json::Bool(false)),
-        ("error".to_string(), Json::Str(kind.to_string())),
-        ("detail".to_string(), Json::Str(detail.to_string())),
-    ])
-}
-
-/// Dispatches one parsed request object to the service.
-fn handle_request(service: &Service, request: &Json) -> Json {
-    let str_field = |key: &str| request.get(key).and_then(Json::as_str);
-    let num_field = |key: &str| request.get(key).and_then(Json::as_f64);
-    let ok = |mut fields: Vec<(String, Json)>| {
-        fields.insert(0, ("ok".to_string(), Json::Bool(true)));
-        Json::Obj(fields)
-    };
-    match str_field("op") {
-        Some("ping") => {
-            let (queued, running, done, failed) = service.counts();
-            ok(vec![
-                (
-                    "phase".to_string(),
-                    Json::Str(phase_str(service.phase()).to_string()),
-                ),
-                ("queued".to_string(), Json::Num(queued as f64)),
-                ("running".to_string(), Json::Num(running as f64)),
-                ("done".to_string(), Json::Num(done as f64)),
-                ("failed".to_string(), Json::Num(failed as f64)),
-            ])
-        }
-        Some("submit") => {
-            let Some(spec) = str_field("spec") else {
-                return error_json("bad-request", "submit needs \"spec\"");
-            };
-            let client = str_field("client").unwrap_or("anon");
-            let name = str_field("name").unwrap_or(spec);
-            match service.submit(client, name, spec) {
-                Ok(id) => ok(vec![("id".to_string(), Json::Num(id as f64))]),
-                Err(e) => {
-                    let mut reply = match error_json(e.kind(), &e.to_string()) {
-                        Json::Obj(fields) => fields,
-                        _ => unreachable!(),
-                    };
-                    // Structured fields so the client can rebuild the
-                    // exact AdmitError, not just its message.
-                    match &e {
-                        AdmitError::Overloaded { capacity } => {
-                            reply.push(("capacity".to_string(), Json::Num(*capacity as f64)));
-                        }
-                        AdmitError::QuotaExceeded { quota, .. } => {
-                            reply.push(("quota".to_string(), Json::Num(*quota as f64)));
-                        }
-                        _ => {}
-                    }
-                    Json::Obj(reply)
-                }
-            }
-        }
-        Some("status") => match num_field("id") {
-            Some(id) => match service.status(id as u64) {
-                Some(job) => ok(vec![("job".to_string(), job.to_json())]),
-                None => error_json("unknown-job", &format!("no job {id}")),
-            },
-            None => {
-                let jobs: Vec<Json> = service.jobs().iter().map(|j| j.to_json()).collect();
-                ok(vec![
-                    (
-                        "phase".to_string(),
-                        Json::Str(phase_str(service.phase()).to_string()),
-                    ),
-                    ("jobs".to_string(), Json::Arr(jobs)),
-                ])
-            }
-        },
-        Some("wait") => {
-            let Some(id) = num_field("id") else {
-                return error_json("bad-request", "wait needs \"id\"");
-            };
-            let timeout = Duration::from_secs_f64(num_field("timeout_s").unwrap_or(600.0));
-            match service.wait(id as u64, timeout) {
-                Some(job) => ok(vec![("job".to_string(), job.to_json())]),
-                None => error_json("unknown-job", &format!("no job {id}")),
-            }
-        }
-        Some("wait-idle") => {
-            let timeout = Duration::from_secs_f64(num_field("timeout_s").unwrap_or(60.0));
-            let idle = service.wait_idle(timeout);
-            ok(vec![("idle".to_string(), Json::Bool(idle))])
-        }
-        Some("metrics") => {
-            let registry = service.registry();
-            // The registry renders itself; parse it back so it embeds as
-            // an object rather than a string.
-            let registry_json =
-                json::parse(&registry.to_json()).unwrap_or_else(|_| Json::Obj(Vec::new()));
-            ok(vec![
-                ("metrics".to_string(), service.metrics().to_json()),
-                ("registry".to_string(), registry_json),
-                ("prom".to_string(), Json::Str(registry.prom_text())),
-            ])
-        }
-        Some("drain") => {
-            service.drain();
-            ok(vec![(
-                "phase".to_string(),
-                Json::Str(phase_str(service.phase()).to_string()),
-            )])
-        }
-        Some(other) => error_json("bad-request", &format!("unknown op `{other}`")),
-        None => error_json("bad-request", "request lacks \"op\""),
-    }
-}
-
-/// One client connection speaking the NDJSON protocol.
-struct Conn {
-    writer: UnixStream,
-    reader: BufReader<UnixStream>,
-    socket: String,
-}
-
-impl Conn {
-    /// Connects to the daemon. A refused/absent socket is an I/O error
-    /// (exit 3): the server is not there, which is different from a
-    /// server that answered "no" (exit 4).
-    fn open(socket: &str) -> Result<Conn, PpError> {
-        let stream = UnixStream::connect(socket).map_err(|e| PpError::io(socket, e))?;
-        let reader = BufReader::new(stream.try_clone().map_err(|e| PpError::io(socket, e))?);
-        Ok(Conn {
-            writer: stream,
-            reader,
-            socket: socket.to_string(),
-        })
-    }
-
-    /// Sends one request line and reads one response line.
-    fn request(&mut self, request: &Json) -> Result<Json, PpError> {
-        writeln!(self.writer, "{}", request.render())
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| PpError::io(&self.socket, e))?;
-        let mut line = String::new();
-        self.reader
-            .read_line(&mut line)
-            .map_err(|e| PpError::io(&self.socket, e))?;
-        if line.is_empty() {
-            return Err(PpError::io(
-                &self.socket,
-                std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                ),
-            ));
-        }
-        json::parse(line.trim()).map_err(|e| {
-            PpError::Corrupt(pp::cct::SerializeError::Format(format!(
-                "unparsable server reply: {e}"
-            )))
-        })
-    }
-
-    /// Reads one more response line without sending anything — the
-    /// streaming half of `fetch` and `subscribe`.
-    fn read_json_line(&mut self) -> Result<Json, PpError> {
-        let mut line = String::new();
-        self.reader
-            .read_line(&mut line)
-            .map_err(|e| PpError::io(&self.socket, e))?;
-        if line.is_empty() {
-            return Err(PpError::io(
-                &self.socket,
-                std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection mid-stream",
-                ),
-            ));
-        }
-        json::parse(line.trim()).map_err(|e| {
-            PpError::Corrupt(pp::cct::SerializeError::Format(format!(
-                "unparsable server frame: {e}"
-            )))
-        })
-    }
-}
-
-/// Maps a refusal reply back onto the typed error taxonomy: admission
-/// refusals become [`PpError::Unavailable`] (exit 4), an unusable spec
-/// is a usage error (exit 1).
-fn refusal_error(reply: &Json) -> PpError {
-    let kind = reply.get("error").and_then(Json::as_str).unwrap_or("?");
-    let detail = reply
-        .get("detail")
-        .and_then(Json::as_str)
-        .unwrap_or("no detail")
-        .to_string();
-    let num = |key: &str| reply.get(key).and_then(Json::as_f64).unwrap_or(0.0) as usize;
-    match kind {
-        "overloaded" => PpError::Unavailable(AdmitError::Overloaded {
-            capacity: num("capacity"),
-        }),
-        "quota-exceeded" => PpError::Unavailable(AdmitError::QuotaExceeded {
-            client: String::new(),
-            quota: num("quota"),
-        }),
-        "draining" => PpError::Unavailable(AdmitError::Draining),
-        "stopped" => PpError::Unavailable(AdmitError::Stopped),
-        "io" => PpError::Unavailable(AdmitError::Io(detail)),
-        "bad-spec" | "bad-request" => PpError::Usage(detail),
-        other => PpError::Usage(format!("server refused ({other}): {detail}")),
-    }
 }
 
 /// Renders one job object from the wire as a report table row.
@@ -919,11 +354,14 @@ fn print_job_row(job: &Json) {
 }
 
 /// `pp submit`: sends one job, optionally waits for its terminal state.
+/// The submit itself is non-idempotent — the client retries connect
+/// failures and typed shed refusals (which prove non-admission), but
+/// never resends after the request has left the socket.
 ///
 /// # Errors
 ///
-/// [`PpError::Unavailable`] (exit 4) for typed admission refusals;
-/// [`PpError::Io`] (exit 3) when the daemon is unreachable.
+/// [`PpError::Unavailable`] (exit 4) for typed admission refusals and
+/// for an unreachable or unresponsive daemon on either transport.
 pub fn run_submit(
     args: &ClientArgs,
     target: &str,
@@ -932,8 +370,8 @@ pub fn run_submit(
     events: (HwEvent, HwEvent),
 ) -> Result<(), PpError> {
     let spec = spec_string(target, scale, config, events);
-    let mut conn = Conn::open(&args.socket)?;
-    let reply = conn.request(&Json::Obj(vec![
+    let mut client = args.open();
+    let reply = client.request_once(&Json::Obj(vec![
         ("op".to_string(), Json::Str("submit".to_string())),
         ("client".to_string(), Json::Str(args.client.clone())),
         ("name".to_string(), Json::Str(target.to_string())),
@@ -945,14 +383,17 @@ pub fn run_submit(
     let id = reply.get("id").and_then(Json::as_f64).unwrap_or(-1.0);
     println!("submitted job {id} ({target}) as client {}", args.client);
     if args.wait {
-        let reply = conn.request(&Json::Obj(vec![
-            ("op".to_string(), Json::Str("wait".to_string())),
-            ("id".to_string(), Json::Num(id)),
-            (
-                "timeout_s".to_string(),
-                Json::Num(args.wait_budget().as_secs_f64()),
-            ),
-        ]))?;
+        let budget = args.wait_budget();
+        // The server blocks up to the whole budget before replying, so
+        // the read deadline must outlast it — not the per-op timeout.
+        let reply = client.request_deadline(
+            &Json::Obj(vec![
+                ("op".to_string(), Json::Str("wait".to_string())),
+                ("id".to_string(), Json::Num(id)),
+                ("timeout_s".to_string(), Json::Num(budget.as_secs_f64())),
+            ]),
+            budget + Duration::from_secs(5),
+        )?;
         let Some(job) = reply.get("job") else {
             return Err(refusal_error(&reply));
         };
@@ -972,65 +413,26 @@ pub fn run_submit(
 }
 
 /// `pp fetch`: pulls a stored artifact (default: the merged fleet
-/// profile) off the daemon over the NDJSON socket, reassembles its
-/// base64 chunk frames, and verifies length + CRC before writing it.
+/// profile) off the daemon, reassembles its base64 chunk frames, and
+/// verifies length + CRC before writing it.
 ///
 /// # Errors
 ///
-/// [`PpError::Io`] (exit 3) when the daemon is unreachable or the
-/// stream tears; [`PpError::Corrupt`] (exit 3) when the reassembled
-/// bytes fail the advertised CRC; typed refusals map as usual.
+/// [`PpError::Unavailable`] (exit 4) when the daemon is unreachable or
+/// the stream tears/stalls; [`PpError::Corrupt`] (exit 3) when the
+/// reassembled bytes fail the advertised CRC; typed refusals map as
+/// usual.
 pub fn run_fetch(args: &ClientArgs, name: Option<&str>, out: Option<&str>) -> Result<(), PpError> {
-    let mut conn = Conn::open(&args.socket)?;
-    let mut request = vec![("op".to_string(), Json::Str("fetch".to_string()))];
-    if let Some(name) = name {
-        request.push(("file".to_string(), Json::Str(name.to_string())));
-    }
-    let ack = conn.request(&Json::Obj(request))?;
-    if ack.get("ok").and_then(Json::as_bool) != Some(true) {
-        return Err(refusal_error(&ack));
-    }
-    let file = ack
-        .get("file")
-        .and_then(Json::as_str)
-        .unwrap_or("artifact")
-        .to_string();
-    let len = ack.get("len").and_then(Json::as_f64).unwrap_or(0.0) as u64;
-    let crc = ack.get("crc").and_then(Json::as_f64).unwrap_or(0.0) as u32;
-    let chunks = ack.get("chunks").and_then(Json::as_f64).unwrap_or(0.0) as usize;
-    let corrupt = |detail: String| {
-        PpError::Corrupt(pp::cct::SerializeError::Format(format!(
-            "fetch {file}: {detail}"
-        )))
-    };
-    let mut bytes: Vec<u8> = Vec::with_capacity(len as usize);
-    for i in 0..chunks {
-        let frame = conn.read_json_line()?;
-        if frame.get("chunk").and_then(Json::as_f64) != Some(i as f64) {
-            return Err(corrupt(format!(
-                "expected chunk {i}, got {}",
-                frame.render()
-            )));
-        }
-        let data = frame.get("data").and_then(Json::as_str).unwrap_or("");
-        let chunk =
-            b64_decode(data).ok_or_else(|| corrupt(format!("chunk {i} is not valid base64")))?;
-        bytes.extend_from_slice(&chunk);
-    }
-    let done = conn.read_json_line()?;
-    if done.get("done").and_then(Json::as_bool) != Some(true) {
-        return Err(corrupt("stream ended without a done frame".to_string()));
-    }
-    let got = ProfileRef::for_bytes(file.clone(), &bytes);
-    if got.len != len || got.crc != crc {
-        return Err(corrupt(format!(
-            "advertised {len} bytes fingerprint {crc:#010x}, received {} bytes fingerprint {:#010x}",
-            got.len, got.crc
-        )));
-    }
+    let mut client = args.open();
+    let (file, bytes) = client.fetch(name)?;
     let dest = out.unwrap_or(&file);
     std::fs::write(dest, &bytes).map_err(|e| PpError::io(dest, e))?;
-    println!("fetched {file} -> {dest} ({len} bytes, fingerprint {crc:#010x}, {chunks} chunk(s))");
+    let r = ProfileRef::for_bytes(file.clone(), &bytes);
+    let chunks = bytes.len().div_ceil(server::FETCH_CHUNK_RAW);
+    println!(
+        "fetched {file} -> {dest} ({} bytes, fingerprint {:#010x}, {chunks} chunk(s))",
+        r.len, r.crc
+    );
     Ok(())
 }
 
@@ -1132,27 +534,25 @@ fn status_from_disk(args: &ClientArgs) -> Result<(), PpError> {
 ///
 /// # Errors
 ///
-/// [`PpError::Io`] (exit 3) when the daemon is unreachable and the
-/// request needs one (single job, `--wait-idle`, metrics), or the wait
-/// budget expires.
+/// [`PpError::Unavailable`] (exit 4) when the daemon is unreachable and
+/// the request needs one (single job, `--wait-idle`, metrics);
+/// [`PpError::Io`] (exit 3) when the wait budget expires.
 pub fn run_status(
     args: &ClientArgs,
     id: Option<u64>,
     metrics: bool,
     prom: bool,
 ) -> Result<(), PpError> {
-    let mut conn = match Conn::open(&args.socket) {
-        Ok(conn) => conn,
-        Err(e) => {
-            // Only the plain table view has a meaningful offline answer.
-            if id.is_none() && !args.wait_idle && !metrics && !prom {
-                return status_from_disk(args);
-            }
-            return Err(e);
+    let mut client = args.open();
+    if let Err(e) = client.connect() {
+        // Only the plain table view has a meaningful offline answer.
+        if id.is_none() && !args.wait_idle && !metrics && !prom {
+            return status_from_disk(args);
         }
-    };
+        return Err(e);
+    }
     if metrics || prom {
-        let reply = conn.request(&Json::Obj(vec![(
+        let reply = client.request(&Json::Obj(vec![(
             "op".to_string(),
             Json::Str("metrics".to_string()),
         )]))?;
@@ -1169,10 +569,15 @@ pub fn run_status(
     if args.wait_idle {
         let deadline = std::time::Instant::now() + args.wait_budget();
         loop {
-            let reply = conn.request(&Json::Obj(vec![
-                ("op".to_string(), Json::Str("wait-idle".to_string())),
-                ("timeout_s".to_string(), Json::Num(10.0)),
-            ]))?;
+            // Each poll blocks server-side for up to 10 s; read under a
+            // deadline that outlasts that, not the per-op timeout.
+            let reply = client.request_deadline(
+                &Json::Obj(vec![
+                    ("op".to_string(), Json::Str("wait-idle".to_string())),
+                    ("timeout_s".to_string(), Json::Num(10.0)),
+                ]),
+                Duration::from_secs(15),
+            )?;
             if reply.get("idle").and_then(Json::as_bool) == Some(true) {
                 println!("server is idle");
                 break;
@@ -1193,7 +598,7 @@ pub fn run_status(
     }
     match id {
         Some(id) => {
-            let reply = conn.request(&Json::Obj(vec![
+            let reply = client.request(&Json::Obj(vec![
                 ("op".to_string(), Json::Str("status".to_string())),
                 ("id".to_string(), Json::Num(id as f64)),
             ]))?;
@@ -1203,7 +608,7 @@ pub fn run_status(
             print_job_row(job);
         }
         None => {
-            let reply = conn.request(&Json::Obj(vec![(
+            let reply = client.request(&Json::Obj(vec![(
                 "op".to_string(),
                 Json::Str("status".to_string()),
             )]))?;
@@ -1231,7 +636,7 @@ pub fn run_status(
                 count("done"),
                 count("failed"),
             );
-            let reply = conn.request(&Json::Obj(vec![(
+            let reply = client.request(&Json::Obj(vec![(
                 "op".to_string(),
                 Json::Str("metrics".to_string()),
             )]))?;
@@ -1307,11 +712,9 @@ fn frame_line(frame: &Json) -> String {
 ///
 /// # Errors
 ///
-/// [`PpError::Io`] (exit 3) when the daemon is unreachable;
+/// [`PpError::Unavailable`] (exit 4) when the daemon is unreachable;
 /// [`PpError::Usage`] (exit 1) when the server refuses the filter.
 pub fn run_watch(args: &ClientArgs, watch: &WatchArgs) -> Result<(), PpError> {
-    let io_err = |e| PpError::io(&args.socket, e);
-    let stream = UnixStream::connect(&args.socket).map_err(io_err)?;
     let mut fields = vec![("op".to_string(), Json::Str("subscribe".to_string()))];
     if let Some(job) = watch.job {
         fields.push(("job".to_string(), Json::Num(job as f64)));
@@ -1325,76 +728,46 @@ pub fn run_watch(args: &ClientArgs, watch: &WatchArgs) -> Result<(), PpError> {
     if let Some(since) = watch.since {
         fields.push(("since".to_string(), Json::Num(since as f64)));
     }
-    let mut writer = stream.try_clone().map_err(io_err)?;
-    writeln!(writer, "{}", Json::Obj(fields).render())
-        .and_then(|()| writer.flush())
-        .map_err(io_err)?;
-    // Short read timeouts bound every wait so `--deadline` terminates
-    // the tail even when the server goes silent mid-frame.
-    stream
-        .set_read_timeout(Some(Duration::from_millis(250)))
-        .map_err(io_err)?;
+    let mut client = args.open();
+    let ack = client.request(&Json::Obj(fields))?;
+    if ack.get("subscribed").and_then(Json::as_bool) != Some(true) {
+        return Err(refusal_error(&ack));
+    }
+    if !watch.json {
+        println!(
+            "watching {} (phase {}, next seq {})",
+            args.socket,
+            ack.get("phase").and_then(Json::as_str).unwrap_or("?"),
+            ack.get("next_seq").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+    }
     let budget = args
         .deadline_s
         .filter(|d| *d > 0.0)
         .map(Duration::from_secs_f64);
-    let started = Instant::now();
-    let mut reader = BufReader::new(stream);
-    // read_until keeps partial bytes across timeouts, so a frame torn
-    // by the 250 ms tick is finished on the next read, not lost.
-    let mut buf: Vec<u8> = Vec::new();
-    let mut acked = false;
+    let started = std::time::Instant::now();
+    // Tick-bounded polls: `--deadline` terminates the tail even when
+    // the server goes silent mid-frame, and an end of stream (server
+    // drained, subscriber dropped) ends the watch cleanly.
     loop {
         if let Some(budget) = budget {
             if started.elapsed() >= budget {
                 return Ok(());
             }
         }
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => return Ok(()),                          // server closed the stream
-            Ok(_) if buf.last() != Some(&b'\n') => continue, // torn, keep reading
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                continue;
+        match client.poll_stream_frame()? {
+            Some(frame) => {
+                if watch.json {
+                    println!("{}", frame.render());
+                } else {
+                    println!("{}", frame_line(&frame));
+                }
             }
-            Err(e) => return Err(io_err(e)),
-        }
-        let line = String::from_utf8_lossy(&buf).trim().to_string();
-        buf.clear();
-        if line.is_empty() {
-            continue;
-        }
-        let frame = json::parse(&line).map_err(|e| {
-            PpError::Corrupt(pp::cct::SerializeError::Format(format!(
-                "unparsable event frame: {e}"
-            )))
-        })?;
-        if !acked {
-            acked = true;
-            if frame.get("subscribed").and_then(Json::as_bool) != Some(true) {
-                return Err(refusal_error(&frame));
+            None => {
+                if !client.stream_open() {
+                    return Ok(());
+                }
             }
-            if !watch.json {
-                println!(
-                    "watching {} (phase {}, next seq {})",
-                    args.socket,
-                    frame.get("phase").and_then(Json::as_str).unwrap_or("?"),
-                    frame.get("next_seq").and_then(Json::as_f64).unwrap_or(0.0),
-                );
-            }
-            continue;
-        }
-        if watch.json {
-            println!("{line}");
-        } else {
-            println!("{}", frame_line(&frame));
         }
     }
 }
@@ -1402,7 +775,7 @@ pub fn run_watch(args: &ClientArgs, watch: &WatchArgs) -> Result<(), PpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pp::profiler::RunConfig;
+    use pp::profiler::{AdmitError, RunConfig};
 
     #[test]
     fn inject_every_parses_and_rejects() {
@@ -1432,332 +805,45 @@ mod tests {
 
     #[test]
     fn refusals_map_to_the_error_taxonomy() {
-        let overloaded = error_json("overloaded", "queue full");
+        let overloaded = server::error_json("overloaded", "queue full");
         let e = refusal_error(&overloaded);
         assert!(
             matches!(e, PpError::Unavailable(AdmitError::Overloaded { .. })),
             "{e}"
         );
         assert_eq!(e.exit_code(), 4);
-        let bad = error_json("bad-spec", "no such target");
+        let bad = server::error_json("bad-spec", "no such target");
         assert_eq!(refusal_error(&bad).exit_code(), 1);
+        // The client-manufactured transport failure sits in the same
+        // exit-4 bucket on both transports.
+        let e = PpError::Unavailable(AdmitError::Transport("tcp://x: connect failed".into()));
+        assert_eq!(e.exit_code(), 4);
     }
 
-    // ---- protocol framing fuzz: torn, oversized, and interleaved
-    // frames must earn typed errors on a connection that keeps serving,
-    // never a panic or a hang. ----
-
-    use std::path::PathBuf;
-
-    /// A service whose resolver refuses everything — protocol tests
-    /// exercise the transport, not job execution.
-    fn proto_service(tag: &str) -> (std::sync::Arc<Service>, PathBuf) {
-        let dir = std::env::temp_dir().join(format!("pp-serve-proto-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let resolver: pp::profiler::SpecResolver =
-            Arc::new(|_spec: &str| Err("protocol tests resolve nothing".to_string()));
-        let config = ServiceConfig {
-            workers: 1,
-            params: "proto-test".to_string(),
-            ..ServiceConfig::default()
+    #[test]
+    fn client_args_build_the_shared_client() {
+        let args = ClientArgs {
+            socket: "tcp:127.0.0.1:7777".to_string(),
+            client: "cli".to_string(),
+            dir: "pp-serve-state".to_string(),
+            wait: false,
+            wait_idle: false,
+            deadline_s: None,
+            timeout_s: Some(2.5),
+            retries: 4,
+            seed: 9,
         };
-        let service =
-            Service::start(config, Profiler::default(), resolver, &dir).expect("service starts");
-        (Arc::new(service), dir)
-    }
-
-    /// Wires a raw client socket to a live `handle_client` thread.
-    fn proto_conn(
-        service: &Arc<Service>,
-    ) -> (
-        UnixStream,
-        BufReader<UnixStream>,
-        std::thread::JoinHandle<()>,
-    ) {
-        let (client, server) = UnixStream::pair().expect("socketpair");
-        let svc = Arc::clone(service);
-        let handler = std::thread::spawn(move || handle_client(&svc, server));
-        client
-            .set_read_timeout(Some(Duration::from_secs(10)))
-            .expect("read timeout");
-        let reader = BufReader::new(client.try_clone().expect("clone"));
-        (client, reader, handler)
-    }
-
-    fn read_reply(reader: &mut BufReader<UnixStream>) -> Json {
-        let mut line = String::new();
-        reader.read_line(&mut line).expect("reply line");
-        json::parse(line.trim()).expect("reply parses")
-    }
-
-    #[test]
-    fn base64_round_trips_and_rejects_malformed_input() {
-        for len in [0usize, 1, 2, 3, 4, 31, 32, 33, 1000] {
-            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
-            let encoded = b64_encode(&data);
-            assert_eq!(encoded.len() % 4, 0);
-            assert_eq!(
-                b64_decode(&encoded).as_deref(),
-                Some(&data[..]),
-                "len {len}"
-            );
-        }
+        assert_eq!(args.op_timeout(), Duration::from_secs_f64(2.5));
+        let client = args.open();
         assert_eq!(
-            b64_encode(b"any carnal pleasure."),
-            "YW55IGNhcm5hbCBwbGVhc3VyZS4="
+            client.addr(),
+            &BindAddr::Tcp("127.0.0.1:7777".to_string()),
+            "tcp: prefix parses to a TCP address"
         );
-        for bad in ["A", "AB!=", "====", "=AAA", "AB=A", "AA==BB==", "AB=="] {
-            // `AB==` decodes under lenient decoders but encodes no
-            // canonical byte; we only need never-panic + None on junk.
-            let _ = b64_decode(bad);
-        }
-        assert_eq!(b64_decode("AB!="), None);
-        assert_eq!(b64_decode("A"), None);
-        assert_eq!(b64_decode("=AAA"), None);
-        assert_eq!(b64_decode("AA==BB=="), None, "interior padding");
-    }
-
-    #[test]
-    fn fetch_streams_chunked_artifact_and_connection_survives() {
-        let (service, dir) = proto_service("fetch");
-        // Big enough for three chunk frames, awkwardly misaligned.
-        let artifact: Vec<u8> = (0..2 * FETCH_CHUNK_RAW + 777)
-            .map(|i| (i % 251) as u8)
-            .collect();
-        std::fs::write(
-            dir.join(pp::profiler::merge::MERGED_PROFILE_FILE),
-            &artifact,
-        )
-        .expect("write artifact");
-        let (mut client, mut reader, handler) = proto_conn(&service);
-
-        // Traversal and unknown names are refused without touching disk.
-        for (request, want) in [
-            (
-                "{\"op\":\"fetch\",\"file\":\"../../etc/passwd\"}",
-                "bad-request",
-            ),
-            (
-                "{\"op\":\"fetch\",\"file\":\"job-000001.cct\"}",
-                "unknown-artifact",
-            ),
-        ] {
-            client.write_all(request.as_bytes()).expect("request");
-            client.write_all(b"\n").expect("newline");
-            client.flush().expect("flush");
-            let reply = read_reply(&mut reader);
-            assert_eq!(
-                reply.get("error").and_then(Json::as_str),
-                Some(want),
-                "{request}"
-            );
-        }
-
-        // Default fetch = the merged fleet profile, in order, CRC-true.
-        client.write_all(b"{\"op\":\"fetch\"}\n").expect("fetch");
-        client.flush().expect("flush");
-        let ack = read_reply(&mut reader);
-        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "{ack:?}");
         assert_eq!(
-            ack.get("len").and_then(Json::as_f64),
-            Some(artifact.len() as f64)
+            BindAddr::parse("pp.sock"),
+            BindAddr::Unix(std::path::PathBuf::from("pp.sock")),
+            "a bare socket path stays a Unix address"
         );
-        let chunks = ack.get("chunks").and_then(Json::as_f64).expect("chunks") as usize;
-        assert_eq!(chunks, 3);
-        let mut got = Vec::new();
-        for i in 0..chunks {
-            let frame = read_reply(&mut reader);
-            assert_eq!(frame.get("chunk").and_then(Json::as_f64), Some(i as f64));
-            let data = frame.get("data").and_then(Json::as_str).expect("data");
-            assert!(
-                data.len() < MAX_FRAME_BYTES,
-                "chunk frames obey the frame rule"
-            );
-            got.extend(b64_decode(data).expect("valid base64"));
-        }
-        let done = read_reply(&mut reader);
-        assert_eq!(done.get("done").and_then(Json::as_bool), Some(true));
-        assert_eq!(got, artifact, "reassembled bytes match");
-        let want_crc = ProfileRef::for_bytes("x", &artifact).crc;
-        assert_eq!(
-            ack.get("crc").and_then(Json::as_f64),
-            Some(f64::from(want_crc))
-        );
-
-        // The connection keeps serving plain requests afterwards.
-        client.write_all(b"{\"op\":\"ping\"}\n").expect("ping");
-        client.flush().expect("flush");
-        let ping = read_reply(&mut reader);
-        assert_eq!(ping.get("ok").and_then(Json::as_bool), Some(true));
-        drop(client);
-        drop(reader);
-        handler.join().expect("handler exits");
-        service.shutdown().expect("shutdown");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn oversized_frame_gets_typed_error_and_connection_survives() {
-        let (service, dir) = proto_service("oversized");
-        let (mut client, mut reader, handler) = proto_conn(&service);
-        let mut huge = vec![b'a'; MAX_FRAME_BYTES + 512];
-        huge.push(b'\n');
-        client.write_all(&huge).expect("oversized frame");
-        client
-            .write_all(b"{\"op\":\"ping\"}\n")
-            .expect("ping after");
-        client.flush().expect("flush");
-        let first = read_reply(&mut reader);
-        assert_eq!(
-            first.get("error").and_then(Json::as_str),
-            Some("frame-too-large"),
-            "{first:?}"
-        );
-        let second = read_reply(&mut reader);
-        assert_eq!(second.get("ok").and_then(Json::as_bool), Some(true));
-        assert_eq!(
-            second.get("phase").and_then(Json::as_str),
-            Some("accepting"),
-            "the connection keeps serving after the oversized frame"
-        );
-        drop(client);
-        drop(reader);
-        handler.join().expect("handler exits");
-        service.shutdown().expect("shutdown");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn torn_and_garbage_frames_never_panic_or_wedge() {
-        let (service, dir) = proto_service("torn");
-        let (mut client, mut reader, handler) = proto_conn(&service);
-        // Interleaved garbage: binary junk, an empty line, unparsable
-        // JSON — each complete frame earns one typed reply.
-        client
-            .write_all(b"\x00\xfe\x01 binary junk\n")
-            .expect("junk");
-        client.write_all(b"\n").expect("blank");
-        client
-            .write_all(b"{\"op\": \"ping\"")
-            .expect("half an object");
-        client.write_all(b" oops}\n").expect("rest of the line");
-        client
-            .write_all(b"{\"op\":\"ping\"}\n")
-            .expect("valid ping");
-        client.flush().expect("flush");
-        let junk_reply = read_reply(&mut reader);
-        assert_eq!(
-            junk_reply.get("error").and_then(Json::as_str),
-            Some("bad-request")
-        );
-        let torn_json_reply = read_reply(&mut reader);
-        assert_eq!(
-            torn_json_reply.get("error").and_then(Json::as_str),
-            Some("bad-request")
-        );
-        let ping_reply = read_reply(&mut reader);
-        assert_eq!(ping_reply.get("ok").and_then(Json::as_bool), Some(true));
-        // A torn final frame (no newline) at hangup is dropped silently:
-        // it was never a complete request.
-        client.write_all(b"{\"op\":\"stat").expect("torn tail");
-        client
-            .shutdown(std::net::Shutdown::Write)
-            .expect("half-close");
-        let mut rest = String::new();
-        reader.read_line(&mut rest).expect("eof");
-        assert!(rest.is_empty(), "no reply to a torn tail: {rest:?}");
-        drop(client);
-        drop(reader);
-        handler.join().expect("handler exits cleanly");
-        service.shutdown().expect("shutdown");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn unknown_ops_and_missing_fields_get_typed_refusals() {
-        let (service, dir) = proto_service("badops");
-        let (mut client, mut reader, handler) = proto_conn(&service);
-        for (request, want) in [
-            ("{\"op\":\"warp\"}", "bad-request"),
-            ("{\"no_op\":1}", "bad-request"),
-            ("{\"op\":\"submit\"}", "bad-request"),
-            ("{\"op\":\"submit\",\"spec\":\"x\"}", "bad-spec"),
-        ] {
-            client
-                .write_all(format!("{request}\n").as_bytes())
-                .expect("request");
-            client.flush().expect("flush");
-            let reply = read_reply(&mut reader);
-            assert_eq!(
-                reply.get("error").and_then(Json::as_str),
-                Some(want),
-                "{request} -> {reply:?}"
-            );
-        }
-        drop(client);
-        drop(reader);
-        handler.join().expect("handler exits");
-        service.shutdown().expect("shutdown");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn subscribe_validates_kinds_then_streams_frames() {
-        let (service, dir) = proto_service("subscribe");
-        // A bad kind is refused before any subscription exists.
-        {
-            let (mut client, mut reader, handler) = proto_conn(&service);
-            client
-                .write_all(b"{\"op\":\"subscribe\",\"events\":\"nonsense\"}\n")
-                .expect("bad subscribe");
-            client.flush().expect("flush");
-            let reply = read_reply(&mut reader);
-            assert_eq!(
-                reply.get("error").and_then(Json::as_str),
-                Some("bad-request")
-            );
-            drop(client);
-            drop(reader);
-            handler.join().expect("handler exits");
-        }
-        assert_eq!(service.events().subscriber_count(), 0);
-        // The happy path: ack, then frames as events are published.
-        let (client, mut reader, handler) = proto_conn(&service);
-        {
-            let mut w = client.try_clone().expect("clone");
-            w.write_all(b"{\"op\":\"subscribe\",\"since\":0}\n")
-                .expect("subscribe");
-            w.flush().expect("flush");
-        }
-        let ack = read_reply(&mut reader);
-        assert_eq!(ack.get("subscribed").and_then(Json::as_bool), Some(true));
-        let seq = service.events().publish(pp::obs::events::Event::job_event(
-            3,
-            "ci",
-            "tiny",
-            pp::obs::events::Payload::Queued { depth: 1 },
-        ));
-        let frame = read_reply(&mut reader);
-        assert_eq!(frame.get("seq").and_then(Json::as_f64), Some(seq as f64));
-        assert_eq!(frame.get("event").and_then(Json::as_str), Some("queued"));
-        assert_eq!(
-            frame.get("dropped_since_last").and_then(Json::as_f64),
-            Some(0.0)
-        );
-        // Hanging up unregisters the subscriber: the next delivery's
-        // write fails with EPIPE and the stream loop exits.
-        drop(client);
-        drop(reader);
-        service
-            .events()
-            .publish(pp::obs::events::Event::service_event(
-                pp::obs::events::Payload::StateChanged {
-                    phase: "accepting".to_string(),
-                },
-            ));
-        handler.join().expect("stream handler exits");
-        assert_eq!(service.events().subscriber_count(), 0);
-        service.shutdown().expect("shutdown");
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

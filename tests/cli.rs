@@ -716,17 +716,38 @@ fn batch_quarantines_injected_corruption() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// `pp submit`/`pp status` against a missing daemon: a clean I/O error
-/// (exit 3), not a hang or a panic.
+/// `pp submit` against a missing daemon: a typed transport failure
+/// (service unavailable, exit 4), not a hang or a panic — on both the
+/// Unix and the TCP transport, with or without retries.
 #[cfg(unix)]
 #[test]
-fn submit_without_a_server_exits_3() {
+fn submit_without_a_server_exits_4() {
     let out = pp(&["submit", "129.compress", "--socket", "/nonexistent/pp.sock"]);
-    assert_eq!(out.status.code(), Some(3));
+    assert_eq!(out.status.code(), Some(4));
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("transport failure"), "{err}");
+    // --retries 0: exactly one connect attempt, immediate typed error.
+    let out = pp(&[
+        "submit",
+        "129.compress",
+        "--socket",
+        "tcp:127.0.0.1:1", // reserved port: connection refused
+        "--retries",
+        "0",
+        "--timeout",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("transport failure"), "{err}");
+    // `pp status` without a daemon falls back to the on-disk checkpoint
+    // view; with no state directory either, that is a corrupt-profile
+    // error (exit 3), not a transport one.
     let out = pp(&["status", "--socket", "/nonexistent/pp.sock"]);
     assert_eq!(out.status.code(), Some(3));
+    // But a status request that *needs* the daemon (metrics) is exit 4.
+    let out = pp(&["status", "--metrics", "--socket", "/nonexistent/pp.sock"]);
+    assert_eq!(out.status.code(), Some(4));
 }
 
 /// Malformed client verbs are usage errors before any socket I/O.
